@@ -1,0 +1,216 @@
+//! 2D Delaunay triangulation via the lifting map.
+//!
+//! Lift each point `(x, y)` to the paraboloid `(x, y, x^2 + y^2)`; the
+//! *lower* facets of the 3D convex hull of the lifted points project to the
+//! Delaunay triangles. This exercises the 3D hull end to end (including the
+//! parallel algorithm) on an input in convex position — the regime where
+//! every point is extreme — and yields a second certified application: the
+//! empty-circumcircle property is validated with the exact `incircle`
+//! predicate.
+
+use chull_core::context::prepare_points;
+use chull_core::par::{parallel_hull, ParOptions};
+use chull_core::seq::incremental_hull_run;
+use chull_geometry::predicates::{incircle, orient2d, orientd_hom};
+use chull_geometry::{Point2i, PointSet, Sign};
+
+/// Maximum coordinate magnitude so the lift `x^2 + y^2` and its small sums
+/// stay comfortably within `i64`.
+pub const MAX_LIFT_COORD: i64 = 1 << 25;
+
+/// A Delaunay triangulation: triangles as sorted triples of input indices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Delaunay {
+    /// Triangles (each a sorted triple of point indices).
+    pub triangles: Vec<[u32; 3]>,
+}
+
+/// Lift 2D points onto the paraboloid.
+pub fn lift(points: &[Point2i]) -> PointSet {
+    let mut ps = PointSet::new(3);
+    for p in points {
+        assert!(
+            p.x.abs() <= MAX_LIFT_COORD && p.y.abs() <= MAX_LIFT_COORD,
+            "coordinate exceeds MAX_LIFT_COORD"
+        );
+        ps.push(&[p.x, p.y, p.x * p.x + p.y * p.y]);
+    }
+    ps
+}
+
+/// Which algorithm computes the lifted hull.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Engine {
+    /// Sequential Algorithm 2.
+    Sequential,
+    /// Parallel Algorithm 3.
+    Parallel,
+}
+
+/// Compute the Delaunay triangulation of `points` (distinct, in general
+/// position: no four cocircular) through the lifted hull.
+///
+/// ```
+/// use chull_apps::delaunay::{delaunay, verify_delaunay, Engine};
+/// use chull_geometry::Point2i;
+/// let pts = vec![
+///     Point2i::new(0, 0), Point2i::new(10, 0),
+///     Point2i::new(0, 10), Point2i::new(11, 12),
+/// ];
+/// let tri = delaunay(&pts, Engine::Sequential, 1);
+/// assert_eq!(tri.triangles.len(), 2);
+/// verify_delaunay(&pts, &tri).unwrap();
+/// ```
+pub fn delaunay(points: &[Point2i], engine: Engine, seed: u64) -> Delaunay {
+    assert!(points.len() >= 3, "need at least 3 points");
+    let lifted = lift(points);
+    // The hull algorithms permute; recover original ids through the
+    // permutation by tagging coordinates — instead, permute ourselves and
+    // keep the inverse map.
+    let prepared = prepare_points(&lifted, seed);
+    // Inverse id map: prepared index -> original index (points are distinct
+    // so coordinate lookup is unambiguous).
+    let mut coord_to_orig = std::collections::HashMap::new();
+    for (i, p) in points.iter().enumerate() {
+        coord_to_orig.insert((p.x, p.y), i as u32);
+    }
+    let facets = match engine {
+        Engine::Sequential => incremental_hull_run(&prepared).output,
+        Engine::Parallel => parallel_hull(&prepared, ParOptions::default()).output,
+    };
+
+    // Interior reference: centroid of the first 4 (affinely independent)
+    // prepared points, as a homogeneous row.
+    let mut interior = [0i64; 3];
+    for i in 0..4 {
+        for (acc, &c) in interior.iter_mut().zip(prepared.point(i)) {
+            *acc += c;
+        }
+    }
+
+    let mut triangles = Vec::new();
+    for f in &facets.facets {
+        // Lower facet iff a point far below the facet's centroid is
+        // *outside* the hull: compare the orientation sign of "down" with
+        // the interior sign.
+        let rows: Vec<&[i64]> = (0..3).map(|i| prepared.pt(f[i])).collect();
+        let mut below = [0i64; 3];
+        for r in &rows {
+            below[0] += r[0];
+            below[1] += r[1];
+            below[2] += r[2];
+        }
+        // One unit below the plane (in the homogeneous-3 scale); only the
+        // side of the plane matters, not the distance.
+        below[2] -= 3;
+        let s_below = orientd_hom(
+            3,
+            &[(rows[0], 1), (rows[1], 1), (rows[2], 1), (&below, 3)],
+        );
+        let s_interior = orientd_hom(
+            3,
+            &[(rows[0], 1), (rows[1], 1), (rows[2], 1), (&interior, 4)],
+        );
+        assert_ne!(s_interior, Sign::Zero);
+        if s_below != Sign::Zero && s_below != s_interior {
+            // Below is outside: lower facet -> Delaunay triangle.
+            let mut tri = [0u32; 3];
+            for (k, r) in rows.iter().enumerate() {
+                tri[k] = *coord_to_orig
+                    .get(&(r[0], r[1]))
+                    .expect("lifted point lost its identity");
+            }
+            tri.sort_unstable();
+            triangles.push(tri);
+        }
+    }
+    triangles.sort_unstable();
+    Delaunay { triangles }
+}
+
+/// Validate the empty-circumcircle property exactly: no input point lies
+/// strictly inside any triangle's circumcircle. `O(T n)`.
+pub fn verify_delaunay(points: &[Point2i], del: &Delaunay) -> Result<(), String> {
+    for tri in &del.triangles {
+        let (a, b, c) = (
+            points[tri[0] as usize],
+            points[tri[1] as usize],
+            points[tri[2] as usize],
+        );
+        // Normalize to ccw for the incircle sign convention.
+        let (a, b) = match orient2d(a, b, c) {
+            Sign::Positive => (a, b),
+            Sign::Negative => (b, a),
+            Sign::Zero => return Err(format!("degenerate triangle {tri:?}")),
+        };
+        for (qi, &q) in points.iter().enumerate() {
+            if tri.contains(&(qi as u32)) {
+                continue;
+            }
+            if incircle(a, b, c, q) == Sign::Positive {
+                return Err(format!("point {qi} inside circumcircle of {tri:?}"));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Euler-based size check for a triangulation of a point set whose hull has
+/// `h` vertices and `n` total vertices (no interior degeneracies):
+/// `T = 2n - h - 2`.
+pub fn expected_triangle_count(n: usize, hull_vertices: usize) -> usize {
+    2 * n - hull_vertices - 2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chull_core::baseline::monotone_chain;
+    use chull_geometry::generators;
+
+    #[test]
+    fn small_square_two_triangles() {
+        // Four points, no 4 cocircular: perturb one corner.
+        let pts = vec![
+            Point2i::new(0, 0),
+            Point2i::new(10, 0),
+            Point2i::new(0, 10),
+            Point2i::new(11, 12),
+        ];
+        let del = delaunay(&pts, Engine::Sequential, 1);
+        assert_eq!(del.triangles.len(), 2);
+        verify_delaunay(&pts, &del).unwrap();
+    }
+
+    #[test]
+    fn random_points_verify_and_count() {
+        for seed in 0..3u64 {
+            let pts = generators::disk_2d(80, 1 << 12, seed);
+            let del = delaunay(&pts, Engine::Sequential, seed);
+            verify_delaunay(&pts, &del).unwrap();
+            let h = monotone_chain::hull_indices(&pts).len();
+            assert_eq!(
+                del.triangles.len(),
+                expected_triangle_count(pts.len(), h),
+                "triangle count off (seed {seed})"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_and_sequential_agree() {
+        let pts = generators::disk_2d(150, 1 << 12, 9);
+        let a = delaunay(&pts, Engine::Sequential, 5);
+        let b = delaunay(&pts, Engine::Parallel, 5);
+        assert_eq!(a, b);
+        verify_delaunay(&pts, &a).unwrap();
+    }
+
+    #[test]
+    fn gaussian_cloud() {
+        let ps = generators::gaussian_d(2, 60, 500.0, 4);
+        let pts: Vec<Point2i> = ps.iter().map(|c| Point2i::new(c[0], c[1])).collect();
+        let del = delaunay(&pts, Engine::Sequential, 2);
+        verify_delaunay(&pts, &del).unwrap();
+    }
+}

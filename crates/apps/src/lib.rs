@@ -1,0 +1,17 @@
+//! # chull-apps
+//!
+//! The Section 7 applications of the paper's support-set framework:
+//!
+//! * [`halfspace`] — half-plane intersection, both as a direct
+//!   configuration space with 2-support and via point-hyperplane duality
+//!   (cross-validated against each other);
+//! * [`circles`] — intersection of unit circles via incremental arc
+//!   clipping with per-arc dependence depths;
+//! * [`delaunay`] — 2D Delaunay triangulation through the lifting map onto
+//!   a 3D lower hull, certified by the exact `incircle` predicate.
+
+#![warn(missing_docs)]
+
+pub mod circles;
+pub mod delaunay;
+pub mod halfspace;

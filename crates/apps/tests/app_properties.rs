@@ -1,0 +1,121 @@
+//! Property tests for the Section 7 applications.
+
+use chull_apps::circles::{incremental_intersection, random_circles, verify_intersection, Circle};
+use chull_apps::delaunay::{delaunay, verify_delaunay, Engine};
+use chull_apps::halfspace::{
+    excludes, intersection_via_duality, random_halfplanes, vertex_coords, HalfplaneSpace, Vertex,
+};
+use chull_geometry::Point2i;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Delaunay via lifting always satisfies the empty-circumcircle
+    /// property (certified by the exact incircle predicate), on arbitrary
+    /// distinct non-collinear point sets.
+    #[test]
+    fn prop_delaunay_empty_circumcircle(
+        raw in prop::collection::vec((-5_000i64..5_000, -5_000i64..5_000), 6..40),
+        seed in 0u64..100,
+    ) {
+        let mut pts: Vec<Point2i> = raw.into_iter().map(|(x, y)| Point2i::new(x, y)).collect();
+        pts.sort_unstable();
+        pts.dedup();
+        prop_assume!(pts.len() >= 5);
+        // Need a non-degenerate lifted hull: at least 3 non-collinear points.
+        let rows: Vec<Vec<i64>> = pts.iter().map(|p| vec![p.x, p.y]).collect();
+        let refs: Vec<&[i64]> = rows.iter().map(|r| r.as_slice()).collect();
+        prop_assume!(chull_geometry::exact::affine_rank(&refs) == 3);
+        let del = delaunay(&pts, Engine::Sequential, seed);
+        prop_assert!(verify_delaunay(&pts, &del).is_ok());
+        // Both engines agree.
+        let par = delaunay(&pts, Engine::Parallel, seed);
+        prop_assert_eq!(del, par);
+    }
+
+    /// Every vertex reported by the half-plane intersection satisfies every
+    /// half-plane (weakly), and the direct/dual computations agree.
+    #[test]
+    fn prop_halfplane_vertices_feasible(n in 8usize..48, seed in 0u64..100) {
+        let hs = random_halfplanes(n, seed);
+        let space = HalfplaneSpace::new(hs.clone());
+        let objs: Vec<usize> = (0..n).collect();
+        let direct = space.polygon_vertices(&objs);
+        for v in &direct {
+            let coords = vertex_coords(&hs, *v).unwrap();
+            for (k, h) in hs.iter().enumerate() {
+                if k == v.i || k == v.j {
+                    continue;
+                }
+                prop_assert!(!excludes(*h, coords), "vertex {v:?} violates half-plane {k}");
+            }
+        }
+        let mut direct_sorted: Vec<Vertex> = direct.clone();
+        direct_sorted.sort_unstable_by_key(|v| (v.i, v.j));
+        let mut dual: Vec<Vertex> =
+            intersection_via_duality(&hs).into_iter().map(|(v, _)| v).collect();
+        dual.sort_unstable_by_key(|v| (v.i, v.j));
+        prop_assert_eq!(direct_sorted, dual);
+    }
+
+    /// The circle-intersection boundary always verifies, and the number of
+    /// final arcs never exceeds the circle count (each unit circle
+    /// contributes at most one arc to the intersection of equal-radius
+    /// disks).
+    #[test]
+    fn prop_circle_intersection_valid(n in 3usize..64, seed in 0u64..100) {
+        let circles = random_circles(n, 0.45, seed);
+        let r = incremental_intersection(&circles);
+        prop_assert!(verify_intersection(&r).is_ok());
+        prop_assert!(r.arcs.len() <= n, "{} arcs from {n} circles", r.arcs.len());
+        prop_assert!(!r.arcs.is_empty());
+    }
+}
+
+#[test]
+fn delaunay_on_grid_subset() {
+    // A (slightly pruned) grid has many cocircular 4-tuples; the lifting
+    // hull still produces *a* triangulation whose circumcircles are
+    // empty-or-boundary. verify_delaunay only rejects *strict* violations,
+    // so this exercises the degenerate-tolerant path.
+    let mut pts: Vec<Point2i> = Vec::new();
+    for x in 0..6 {
+        for y in 0..6 {
+            if (x + y) % 7 != 3 {
+                pts.push(Point2i::new(x * 10, y * 10));
+            }
+        }
+    }
+    let del = delaunay(&pts, Engine::Sequential, 3);
+    verify_delaunay(&pts, &del).unwrap();
+    assert!(!del.triangles.is_empty());
+}
+
+#[test]
+fn two_identical_direction_halfplanes_tolerated_by_duality() {
+    // Parallel but distinct normals: the duller one is redundant.
+    let mut hs = random_halfplanes(16, 9);
+    // Double one normal scaled: same direction, same c -> dominated dual
+    // point colinear with the original; hull drops the interior one.
+    let h = hs[5];
+    hs.push(chull_apps::halfspace::Halfplane { a: h.a / 2, b: h.b / 2, c: h.c });
+    let verts = intersection_via_duality(&hs);
+    // The weaker copy never defines a vertex.
+    assert!(verts.iter().all(|(v, _)| v.i != hs.len() - 1 && v.j != hs.len() - 1));
+}
+
+#[test]
+fn circle_depth_monotone_workload() {
+    // Insert circles whose centers walk outward: later circles always cut,
+    // maximizing chains — depth stays modest anyway.
+    let mut circles = vec![Circle { x: 0.0, y: 0.001 }, Circle { x: 0.001, y: 0.0 }];
+    for i in 0..200 {
+        let ang = i as f64 * 0.37;
+        let rad = 0.05 + 0.4 * (i as f64 / 200.0);
+        circles.push(Circle { x: rad * ang.cos(), y: rad * ang.sin() });
+    }
+    let r = incremental_intersection(&circles);
+    verify_intersection(&r).unwrap();
+    assert!(r.max_depth < 202);
+}

@@ -1,0 +1,72 @@
+//! Predicate kernel microbenchmarks: the exact integer fast paths, the
+//! arbitrary-precision fallbacks, and the filtered float predicates.
+
+use chull_geometry::exact::det_sign_i64;
+use chull_geometry::predicates::{self, float};
+use chull_geometry::{Point2f, Point2i, Point3f, Point3i};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_predicates(c: &mut Criterion) {
+    let a2 = Point2i::new(12345, -6789);
+    let b2 = Point2i::new(-4242, 9001);
+    let c2 = Point2i::new(777, 31337);
+    c.bench_function("orient2d_i64", |b| {
+        b.iter(|| predicates::orient2d(a2, b2, c2));
+    });
+
+    let a3 = Point3i::new(1, 2, 3);
+    let b3 = Point3i::new(-7, 11, 5);
+    let c3 = Point3i::new(13, -17, 19);
+    let d3 = Point3i::new(23, 29, -31);
+    c.bench_function("orient3d_i64_fast", |b| {
+        b.iter(|| predicates::orient3d(a3, b3, c3, d3));
+    });
+    let big = 1i64 << 45; // beyond the i128 fast-path limit
+    let a3b = Point3i::new(big, big + 2, big + 3);
+    let b3b = Point3i::new(big - 7, big + 11, big + 5);
+    let c3b = Point3i::new(big + 13, big - 17, big + 19);
+    let d3b = Point3i::new(big + 23, big + 29, big - 31);
+    c.bench_function("orient3d_i64_bareiss", |b| {
+        b.iter(|| predicates::orient3d(a3b, b3b, c3b, d3b));
+    });
+
+    let rows5: Vec<Vec<i64>> = vec![
+        vec![3, 1, 4, 1, 5],
+        vec![9, 2, 6, 5, 3],
+        vec![5, 8, 9, 7, 9],
+        vec![3, 2, 3, 8, 4],
+        vec![6, 2, 6, 4, 3],
+    ];
+    c.bench_function("det5_bareiss", |b| {
+        b.iter(|| det_sign_i64(&rows5));
+    });
+
+    let fa = Point2f::new(0.1, 0.2);
+    let fb = Point2f::new(3.4, -1.2);
+    let fc = Point2f::new(-5.0, 2.2);
+    c.bench_function("orient2d_f64_filtered", |b| {
+        b.iter(|| float::orient2d(fa, fb, fc));
+    });
+    // Near-degenerate: forces the exact expansion fallback.
+    let ga = Point2f::new(12.0, 12.0);
+    let gb = Point2f::new(24.0, 24.0);
+    let gq = Point2f::new(0.5 + f64::EPSILON, 0.5);
+    c.bench_function("orient2d_f64_exact_fallback", |b| {
+        b.iter(|| float::orient2d(gq, ga, gb));
+    });
+
+    let pa = Point3f::new(0.0, 0.0, 0.0);
+    let pb = Point3f::new(1.0, 0.0, 0.0);
+    let pc = Point3f::new(0.0, 1.0, 0.0);
+    let pd = Point3f::new(0.3, 0.3, 1e-14);
+    c.bench_function("orient3d_f64_filtered", |b| {
+        b.iter(|| float::orient3d(pa, pb, pc, pd));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = bench_predicates
+}
+criterion_main!(benches);

@@ -1,0 +1,781 @@
+//! The experiment harness: regenerates every figure/table-equivalent of the
+//! paper (see DESIGN.md §5 for the experiment index and EXPERIMENTS.md for
+//! recorded results).
+//!
+//! Usage:
+//!   experiments [--fast] [e1 e2 ... | all]
+//!
+//! Run in release mode: `cargo run --release -p chull-bench --bin experiments -- all`
+
+use chull_bench::{harmonic, prepared_ball_3d, prepared_ball_d, prepared_disk_2d, time_median};
+use chull_confspace::clarkson_shor::clarkson_shor_report;
+use chull_confspace::depgraph::build_dep_graph;
+use chull_confspace::instances::hull2d::Hull2dSpace;
+use chull_confspace::space::{check_support, ConfigurationSpace, SupportCheck};
+use chull_core::baseline::{monotone_chain, quickhull2d};
+use chull_core::degenerate::CornerSpace;
+use chull_core::par::rounds::{rounds_hull, rounds_hull_from};
+use chull_core::par::{parallel_hull, MapKind, ParOptions};
+use chull_core::seq::incremental_hull_run;
+use chull_core::{prepare_points, HullStats};
+use chull_geometry::{generators, Point2i, Point3i, PointSet};
+
+struct Config {
+    fast: bool,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let fast = args.iter().any(|a| a == "--fast");
+    let cfg = Config { fast };
+    let wanted: Vec<String> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(|s| s.to_lowercase())
+        .collect();
+    let all = wanted.is_empty() || wanted.iter().any(|w| w == "all");
+    let run = |id: &str| all || wanted.iter().any(|w| w == id);
+
+    if run("e1") {
+        e1_dependence_depth(&cfg);
+    }
+    if run("e2") {
+        e2_rounds_and_recursion(&cfg);
+    }
+    if run("e3") {
+        e3_work_efficiency(&cfg);
+    }
+    if run("e4") {
+        e4_figure1();
+    }
+    if run("e5") {
+        e5_two_support(&cfg);
+    }
+    if run("e6") {
+        e6_degenerate(&cfg);
+    }
+    if run("e7") {
+        e7_applications(&cfg);
+    }
+    if run("e8") {
+        e8_clarkson_shor(&cfg);
+    }
+    if run("e9") {
+        e9_table1();
+    }
+    if run("e10") {
+        e10_ridge_maps(&cfg);
+    }
+    if run("e11") {
+        e11_runtimes(&cfg);
+    }
+    if run("e12") {
+        e12_ablations(&cfg);
+    }
+    if run("e13") {
+        e13_history_search(&cfg);
+    }
+    if run("e14") {
+        e14_trapezoid_negative(&cfg);
+    }
+    if run("e15") {
+        e15_workload_characterization(&cfg);
+    }
+}
+
+// ---------------------------------------------------------------- E15
+
+/// Workload characterization: hull sizes and created-facet counts per
+/// distribution (context for E3/E11 — e.g. why 2D-disk hulls are tiny).
+fn e15_workload_characterization(cfg: &Config) {
+    use chull_bench::{prepared_parabola_2d, prepared_sphere_3d};
+    println!("\n== E15: workload characterization (hull sizes per distribution) ==");
+    println!(
+        "  {:<18} {:>4} {:>8} {:>10} {:>12} {:>10}",
+        "distribution", "d", "n", "hull", "created", "tests"
+    );
+    let n2: usize = if cfg.fast { 10_000 } else { 50_000 };
+    let n3: usize = if cfg.fast { 5_000 } else { 20_000 };
+    let rows: Vec<(&str, PointSet)> = vec![
+        ("disk (uniform)", prepared_disk_2d(n2, 1)),
+        ("near-circle", {
+            prepare_points(
+                &PointSet::from_points2(&generators::near_circle_2d(n2 / 5, 1 << 24, 2)),
+                3,
+            )
+        }),
+        ("parabola (convex)", prepared_parabola_2d(n2 / 5, 4)),
+        ("ball (uniform)", prepared_ball_3d(n3, 5)),
+        ("near-sphere", prepared_sphere_3d(n3 / 4, 6)),
+        ("paraboloid", {
+            prepare_points(
+                &PointSet::from_points3(&generators::paraboloid_3d(n3 / 4, 1 << 12, 7)),
+                8,
+            )
+        }),
+    ];
+    for (name, pts) in rows {
+        let run = incremental_hull_run(&pts);
+        println!(
+            "  {:<18} {:>4} {:>8} {:>10} {:>12} {:>10}",
+            name,
+            pts.dim(),
+            pts.len(),
+            run.stats.hull_facets,
+            run.stats.facets_created,
+            run.stats.visibility_tests
+        );
+    }
+}
+
+// ---------------------------------------------------------------- E13
+
+/// History/influence-graph point location (Section 4 discussion):
+/// expected search cost O(log n) per query.
+fn e13_history_search(cfg: &Config) {
+    use chull_core::history::HullHistory;
+    use rand::Rng;
+    println!("\n== E13: history-graph point location (Section 4, history graphs) ==");
+    println!("  queries drawn from the point distribution behave like the (n+1)-st");
+    println!("  random point: O(log n) expected visits. Far-outside queries see");
+    println!("  Theta(hull) facets by definition — shown for contrast.");
+    println!(
+        "  {:>9} {:>14} {:>12} {:>12} {:>14}",
+        "n", "in-dist visits", "(/H_n)", "max", "far-out visits"
+    );
+    let exps: Vec<u32> = if cfg.fast { vec![10, 12] } else { vec![10, 12, 14, 16] };
+    for e in exps {
+        let n = 1usize << e;
+        let pts = prepared_disk_2d(n, 500 + e as u64);
+        let run = incremental_hull_run(&pts);
+        let h = HullHistory::from_run(&pts, &run);
+        let mut rng = generators::rng(9);
+        let queries = if cfg.fast { 100 } else { 400 };
+        let radius = 1i64 << 30; // the generator's disk radius
+        let (mut total_in, mut max_in, mut total_far) = (0usize, 0usize, 0usize);
+        let mut count_in = 0usize;
+        for _ in 0..queries {
+            let q = [rng.gen_range(-radius..radius), rng.gen_range(-radius..radius)];
+            if (q[0] as i128) * (q[0] as i128) + (q[1] as i128) * (q[1] as i128)
+                <= (radius as i128) * (radius as i128)
+            {
+                let v = h.locate(&q).nodes_visited;
+                total_in += v;
+                max_in = max_in.max(v);
+                count_in += 1;
+            }
+            let far = [q[0] * 4, q[1] * 4];
+            total_far += h.locate(&far).nodes_visited;
+        }
+        let mean_in = total_in as f64 / count_in as f64;
+        println!(
+            "  {:>9} {:>14.1} {:>12.2} {:>12} {:>14.1}",
+            n,
+            mean_in,
+            mean_in / harmonic(n),
+            max_in,
+            total_far as f64 / queries as f64
+        );
+    }
+}
+
+// ---------------------------------------------------------------- E14
+
+/// The paper's negative claim: trapezoidal decomposition has no constant
+/// support (Section 4 / Conclusion) — minimum support sizes grow with n.
+fn e14_trapezoid_negative(cfg: &Config) {
+    use chull_confspace::instances::trapezoid::merge_family;
+    println!("\n== E14: no constant support for trapezoidal decomposition ==");
+    println!("  merged face below the long segment; exact minimum support size:");
+    println!("  {:>5} {:>13} {:>13}", "k", "n (segments)", "min support");
+    let ks: Vec<usize> = if cfg.fast { vec![1, 2, 4] } else { vec![1, 2, 4, 6, 8] };
+    for k in ks {
+        let fam = merge_family(k);
+        let faces = fam.space.decompose(&fam.y);
+        let below = *faces
+            .iter()
+            .find(|f| f.top == Some(fam.long))
+            .expect("merged face below L");
+        let min = fam
+            .space
+            .min_support_size(&fam.y, &below, fam.long)
+            .expect("support exists");
+        println!("  {:>5} {:>13} {:>13}", k, 2 * k + 1, min);
+    }
+    println!("  (contrast: convex hull support sets have size <= 2, Theorem 5.1)");
+}
+
+fn seq_stats(pts: &PointSet) -> HullStats {
+    incremental_hull_run(pts).stats
+}
+
+// ---------------------------------------------------------------- E1
+
+/// Theorem 1.1 / 4.2: dependence depth O(log n) whp.
+fn e1_dependence_depth(cfg: &Config) {
+    println!("\n== E1: configuration dependence depth (Theorems 1.1, 4.2) ==");
+    println!("depth of G(S) for random insertion orders; theorem: < sigma*H_n whp,");
+    println!("sigma = g*k*e^2 (2D: {:.1}).", 2.0 * 2.0 * std::f64::consts::E.powi(2));
+    let seeds: u64 = if cfg.fast { 3 } else { 5 };
+    for (dim, exps) in [
+        (2usize, if cfg.fast { vec![10u32, 12, 14] } else { vec![10, 12, 14, 16, 17] }),
+        (3, if cfg.fast { vec![10, 12] } else { vec![10, 12, 14, 15] }),
+        (5, if cfg.fast { vec![8, 9] } else { vec![8, 9, 10, 11] }),
+    ] {
+        println!("\n  d = {dim} (uniform in a ball):");
+        println!(
+            "  {:>9} {:>10} {:>10} {:>10} {:>12}",
+            "n", "mean depth", "max depth", "H_n", "max/H_n"
+        );
+        for e in exps {
+            let n = 1usize << e;
+            let mut depths = Vec::new();
+            for s in 0..seeds {
+                let pts = match dim {
+                    2 => prepared_disk_2d(n, s * 100 + e as u64),
+                    3 => prepared_ball_3d(n, s * 100 + e as u64),
+                    d => prepared_ball_d(d, n, s * 100 + e as u64),
+                };
+                depths.push(seq_stats(&pts).dep_depth);
+            }
+            let mean = depths.iter().sum::<u64>() as f64 / depths.len() as f64;
+            let max = *depths.iter().max().unwrap();
+            let hn = harmonic(n);
+            println!(
+                "  {:>9} {:>10.1} {:>10} {:>10.2} {:>12.2}",
+                n, mean, max, hn, max as f64 / hn
+            );
+        }
+    }
+
+    // Tail shape at fixed n.
+    let n = 1 << 10;
+    let trials = if cfg.fast { 20 } else { 60 };
+    let hn = harmonic(n);
+    let mut depths = Vec::new();
+    for s in 0..trials {
+        depths.push(seq_stats(&prepared_disk_2d(n, 9000 + s)).dep_depth as f64);
+    }
+    println!("\n  tail at n = {n} over {trials} orders (2D):");
+    for sigma in [2.0f64, 3.0, 4.0, 6.0] {
+        let frac = depths.iter().filter(|&&d| d >= sigma * hn).count() as f64
+            / depths.len() as f64;
+        println!("    Pr[depth >= {sigma:.0} H_n] ~ {frac:.3}");
+    }
+}
+
+// ---------------------------------------------------------------- E2
+
+/// Theorem 5.3: ProcessRidge recursion depth; Theorem 5.4: rounds.
+fn e2_rounds_and_recursion(cfg: &Config) {
+    println!("\n== E2: ProcessRidge recursion depth and synchronous rounds (Thm 5.3/5.4) ==");
+    println!(
+        "  {:>4} {:>9} {:>10} {:>10} {:>10} {:>10}",
+        "d", "n", "dep depth", "recursion", "rounds", "rounds/H_n"
+    );
+    let exps2: Vec<u32> = if cfg.fast { vec![10, 12, 14] } else { vec![10, 12, 14, 16] };
+    let exps3: Vec<u32> = if cfg.fast { vec![10, 12] } else { vec![10, 12, 14] };
+    for (dim, exps) in [(2usize, exps2), (3, exps3)] {
+        for e in exps {
+            let n = 1usize << e;
+            let pts = if dim == 2 {
+                prepared_disk_2d(n, e as u64)
+            } else {
+                prepared_ball_3d(n, e as u64)
+            };
+            let seq = incremental_hull_run(&pts);
+            let par = parallel_hull(&pts, ParOptions::default());
+            let rr = rounds_hull(&pts, false);
+            println!(
+                "  {:>4} {:>9} {:>10} {:>10} {:>10} {:>10.2}",
+                dim,
+                n,
+                seq.stats.dep_depth,
+                par.stats.recursion_depth,
+                rr.stats.rounds,
+                rr.stats.rounds as f64 / harmonic(n)
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------- E3
+
+/// Theorems 5.4/5.5: work-efficiency — same tests, same facets.
+fn e3_work_efficiency(cfg: &Config) {
+    println!("\n== E3: work efficiency (Theorems 5.4/5.5) ==");
+    println!("Algorithm 3 must perform exactly the sequential algorithm's work.");
+    println!(
+        "  {:>4} {:>9} {:>12} {:>12} {:>6} {:>11} {:>13}",
+        "d", "n", "seq tests", "par tests", "same?", "facets", "tests/(n ln n)"
+    );
+    let exps2: Vec<u32> = if cfg.fast { vec![12, 14] } else { vec![12, 14, 16, 17] };
+    let exps3: Vec<u32> = if cfg.fast { vec![11, 13] } else { vec![11, 13, 15] };
+    for (dim, exps) in [(2usize, exps2), (3, exps3)] {
+        for e in exps {
+            let n = 1usize << e;
+            let pts = if dim == 2 {
+                prepared_disk_2d(n, 7 + e as u64)
+            } else {
+                prepared_ball_3d(n, 7 + e as u64)
+            };
+            let seq = incremental_hull_run(&pts);
+            let par = parallel_hull(&pts, ParOptions::default());
+            let mut a = seq.created.clone();
+            let mut b = par.created.clone();
+            a.sort_unstable();
+            b.sort_unstable();
+            println!(
+                "  {:>4} {:>9} {:>12} {:>12} {:>6} {:>11} {:>13.2}",
+                dim,
+                n,
+                seq.stats.visibility_tests,
+                par.stats.visibility_tests,
+                if seq.stats.visibility_tests == par.stats.visibility_tests && a == b {
+                    "yes"
+                } else {
+                    "NO!"
+                },
+                seq.stats.facets_created,
+                seq.stats.visibility_tests as f64 / (n as f64 * (n as f64).ln())
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------- E4
+
+/// Figure 1: the worked 2D example, round by round.
+fn e4_figure1() {
+    println!("\n== E4: Figure 1 walkthrough ==");
+    let names = ["u", "v", "w", "x", "y", "z", "t", "a", "b", "c"];
+    let pts = PointSet::from_rows(
+        2,
+        &[
+            vec![0, 0],
+            vec![0, 10],
+            vec![4, 14],
+            vec![9, 15],
+            vec![14, 13],
+            vec![17, 8],
+            vec![12, -3],
+            vec![15, 16],
+            vec![10, 18],
+            vec![10, 50],
+        ],
+    );
+    let run = rounds_hull_from(&pts, 7, true);
+    let mut last = 0;
+    for (round, ev) in &run.trace {
+        if *round != last {
+            println!("  --- round {round} ---");
+            last = *round;
+        }
+        println!("    {}", ev.render(&names));
+    }
+    println!("  rounds: {} (paper: 3)", run.stats.rounds);
+}
+
+// ---------------------------------------------------------------- E5
+
+/// Theorem 5.1 / Figure 2: 2-support verified by brute force.
+fn e5_two_support(cfg: &Config) {
+    println!("\n== E5: 2-support for convex hull (Theorem 5.1, Figure 2) ==");
+    let seeds: u64 = if cfg.fast { 2 } else { 5 };
+    let n = 24;
+    let mut checked = 0usize;
+    for seed in 0..seeds {
+        let pts = generators::disk_2d(n, 1 << 20, seed + 70);
+        let space = Hull2dSpace::new(pts);
+        let order = generators::random_permutation(n, seed);
+        for i in space.base_size()..=n {
+            let prefix = &order[..i];
+            for pi in space.active_configs(prefix) {
+                for x in space.defining_set(&pi) {
+                    if prefix[..space.base_size()].contains(&x) {
+                        continue;
+                    }
+                    let res = check_support(&space, prefix, &pi, x);
+                    assert_eq!(res, SupportCheck::Valid, "{pi:?}, x={x}");
+                    checked += 1;
+                }
+            }
+        }
+    }
+    println!(
+        "  checked {checked} (config, defining-point) pairs across {seeds} random orders \
+         of {n} points: all have valid 2-support."
+    );
+}
+
+// ---------------------------------------------------------------- E6
+
+/// Section 6: degenerate 3D inputs via the corner configuration space.
+fn e6_degenerate(cfg: &Config) {
+    println!("\n== E6: degeneracy — corner configuration space (Section 6) ==");
+    let grid = generators::grid_3d(3, 1);
+    let space = CornerSpace::new(grid.clone());
+    let objs: Vec<usize> = (0..grid.len()).collect();
+    let corners = space.active_configs(&objs);
+    println!(
+        "  3x3x3 grid ({} points, maximally degenerate): {} hull corners \
+         (Lemma 6.1: = 8 cube vertices x 3 faces = 24)",
+        grid.len(),
+        corners.len()
+    );
+
+    // 4-support checks along a random order (Lemma 6.2).
+    let (shuffled, order) = prepare_degenerate_order(&grid, 5);
+    let space = CornerSpace::new(shuffled);
+    let prefixes: Vec<usize> = if cfg.fast { vec![8, 12] } else { vec![6, 10, 14, 18] };
+    let mut checked = 0usize;
+    for &i in &prefixes {
+        let prefix = &order[..i];
+        for pi in space.active_configs(prefix) {
+            for x in space.defining_set(&pi) {
+                if prefix[..4].contains(&x) {
+                    continue;
+                }
+                assert_eq!(check_support(&space, prefix, &pi, x), SupportCheck::Valid);
+                checked += 1;
+            }
+        }
+    }
+    println!("  Lemma 6.2: {checked} corner/point pairs checked at prefixes {prefixes:?}: all 4-supported.");
+
+    // Dependence depth on degenerate input.
+    let stats = build_dep_graph(&space, &order, false);
+    println!(
+        "  corner dependence depth on the grid: {} (H_n = {:.1}, depth/H_n = {:.2}; \
+         theorem constant g*k*e^2 = {:.0})",
+        stats.depth,
+        harmonic(order.len()),
+        stats.depth as f64 / harmonic(order.len()),
+        3.0 * 4.0 * std::f64::consts::E.powi(2)
+    );
+
+    let faces = generators::cube_faces_3d(if cfg.fast { 24 } else { 40 }, 16, 3);
+    let (shuffled, order) = prepare_degenerate_order(&faces, 8);
+    let space = CornerSpace::new(shuffled);
+    let stats = build_dep_graph(&space, &order, false);
+    println!(
+        "  corner dependence depth on {} cube-face points: {} (depth/H_n = {:.2})",
+        faces.len(),
+        stats.depth,
+        stats.depth as f64 / harmonic(order.len())
+    );
+}
+
+fn prepare_degenerate_order(points: &[Point3i], seed: u64) -> (Vec<Point3i>, Vec<usize>) {
+    use chull_geometry::exact::affine_rank;
+    let perm = generators::random_permutation(points.len(), seed);
+    let shuffled: Vec<Point3i> = perm.iter().map(|&i| points[i]).collect();
+    let mut chosen: Vec<usize> = Vec::new();
+    for i in 0..shuffled.len() {
+        let coords: Vec<[i64; 3]> = chosen.iter().map(|&c| shuffled[c].coords()).collect();
+        let mut rows: Vec<&[i64]> = coords.iter().map(|c| c.as_slice()).collect();
+        let cand = shuffled[i].coords();
+        rows.push(&cand);
+        if affine_rank(&rows) == rows.len() {
+            chosen.push(i);
+            if chosen.len() == 4 {
+                break;
+            }
+        }
+    }
+    let mut order = chosen.clone();
+    order.extend((0..shuffled.len()).filter(|i| !chosen.contains(i)));
+    (shuffled, order)
+}
+
+// ---------------------------------------------------------------- E7
+
+/// Section 7: half-space intersection and unit-circle intersection.
+fn e7_applications(cfg: &Config) {
+    use chull_apps::circles::{incremental_intersection, random_circles, verify_intersection};
+    use chull_apps::halfspace::{random_halfplanes, HalfplaneSpace};
+    use rand::seq::SliceRandom;
+
+    println!("\n== E7: other k-support applications (Section 7) ==");
+    println!("  half-plane intersection (2-support):");
+    println!("  {:>7} {:>9} {:>8} {:>10}", "n", "vertices", "depth", "depth/H_n");
+    let sizes: Vec<usize> = if cfg.fast { vec![32, 64] } else { vec![32, 64, 128, 192] };
+    for n in sizes {
+        let hs = random_halfplanes(n, n as u64);
+        let space = HalfplaneSpace::new(hs);
+        let mut order: Vec<usize> = (3..n).collect();
+        order.shuffle(&mut generators::rng(n as u64 + 1));
+        let mut full = vec![0, 1, 2];
+        full.extend(order);
+        let stats = build_dep_graph(&space, &full, false);
+        let objs: Vec<usize> = (0..n).collect();
+        println!(
+            "  {:>7} {:>9} {:>8} {:>10.2}",
+            n,
+            space.polygon_vertices(&objs).len(),
+            stats.depth,
+            stats.depth as f64 / harmonic(n)
+        );
+    }
+
+    println!("\n  unit-circle intersection (arc clipping, 2-support):");
+    println!("  {:>7} {:>8} {:>10} {:>10} {:>10}", "n", "arcs", "created", "depth", "depth/H_n");
+    let sizes: Vec<usize> = if cfg.fast { vec![64, 256] } else { vec![64, 256, 1024, 4096] };
+    for n in sizes {
+        let circles = random_circles(n, 0.45, n as u64);
+        let r = incremental_intersection(&circles);
+        verify_intersection(&r).expect("circle intersection verification");
+        println!(
+            "  {:>7} {:>8} {:>10} {:>10} {:>10.2}",
+            n,
+            r.arcs.len(),
+            r.arcs_created,
+            r.max_depth,
+            r.max_depth as f64 / harmonic(n)
+        );
+    }
+
+    println!("\n  Delaunay via lifting (3D hull application):");
+    let n = if cfg.fast { 500 } else { 3000 };
+    let pts = generators::disk_2d(n, 1 << 20, 12);
+    let del =
+        chull_apps::delaunay::delaunay(&pts, chull_apps::delaunay::Engine::Parallel, 4);
+    chull_apps::delaunay::verify_delaunay(&pts, &del).expect("Delaunay verification");
+    println!(
+        "  {} points -> {} triangles; empty-circumcircle verified exactly.",
+        n,
+        del.triangles.len()
+    );
+}
+
+// ---------------------------------------------------------------- E8
+
+/// Theorem 3.1: Clarkson–Shor total conflict size.
+fn e8_clarkson_shor(cfg: &Config) {
+    println!("\n== E8: Clarkson–Shor total conflict size (Theorem 3.1) ==");
+    println!("  measured sum |C(pi)| over created configs vs bound n g^2 sum |T_i|/i^2");
+    println!("  {:>7} {:>12} {:>12} {:>8}", "n", "measured", "bound", "ratio");
+    let sizes: Vec<usize> = if cfg.fast { vec![48, 96] } else { vec![48, 96, 160, 256] };
+    for n in sizes {
+        let pts = generators::disk_2d(n, 1 << 20, n as u64);
+        let space = Hull2dSpace::new(pts);
+        let order = generators::random_permutation(n, n as u64 + 5);
+        let stats = build_dep_graph(&space, &order, false);
+        let report = clarkson_shor_report(&stats, space.max_degree(), space.base_size());
+        println!(
+            "  {:>7} {:>12} {:>12.0} {:>8.3}",
+            n, report.measured_total_conflicts, report.bound, report.ratio
+        );
+    }
+}
+
+// ---------------------------------------------------------------- E9
+
+/// Table 1: the configuration-space parameter map, as implemented.
+fn e9_table1() {
+    println!("\n== E9: Table 1 — configuration-space parameters as implemented ==");
+    println!(
+        "  {:<34} {:>3} {:>3} {:>4} {:>3}",
+        "space", "g", "c", "nb", "k"
+    );
+    let hull2 = Hull2dSpace::new(generators::disk_2d(8, 1 << 16, 0));
+    println!(
+        "  {:<34} {:>3} {:>3} {:>4} {:>3}",
+        "2D hull facets (Sec 5)",
+        hull2.max_degree(),
+        hull2.multiplicity(),
+        hull2.base_size(),
+        hull2.support_bound()
+    );
+    let corner = CornerSpace::new(generators::ball_3d(8, 1 << 16, 0));
+    println!(
+        "  {:<34} {:>3} {:>3} {:>4} {:>3}",
+        "3D corner space (Sec 6)",
+        corner.max_degree(),
+        corner.multiplicity(),
+        corner.base_size(),
+        corner.support_bound()
+    );
+    let hp = chull_apps::halfspace::HalfplaneSpace::new(
+        chull_apps::halfspace::random_halfplanes(8, 0),
+    );
+    println!(
+        "  {:<34} {:>3} {:>3} {:>4} {:>3}",
+        "half-plane intersection (Sec 7)",
+        hp.max_degree(),
+        hp.multiplicity(),
+        hp.base_size(),
+        hp.support_bound()
+    );
+    let sp = chull_confspace::instances::sorted_pairs::SortedPairsSpace::new(8);
+    println!(
+        "  {:<34} {:>3} {:>3} {:>4} {:>3}",
+        "sorted-pairs toy space",
+        sp.max_degree(),
+        sp.multiplicity(),
+        sp.base_size(),
+        sp.support_bound()
+    );
+    println!("  (paper Table 1 for d-dim hulls: g = d, c = 2, nb = d+1, k = 2)");
+}
+
+// ---------------------------------------------------------------- E10
+
+/// Algorithms 4 and 5: the lock-free InsertAndSet multimaps.
+fn e10_ridge_maps(cfg: &Config) {
+    use chull_concurrent::{RidgeMapCas, RidgeMapLocked, RidgeMapTas};
+    println!("\n== E10: InsertAndSet / GetValue engines (Algorithms 4, 5) ==");
+    let keys: usize = if cfg.fast { 1 << 16 } else { 1 << 19 };
+
+    fn bench_map<F: Fn(u64, u32) -> bool, G: Fn(u64, u32) -> u32>(
+        name: &str,
+        keys: usize,
+        insert: F,
+        get: G,
+    ) {
+        let t0 = std::time::Instant::now();
+        let mut losers = 0usize;
+        for k in 0..keys as u64 {
+            assert!(insert(k, (2 * k) as u32));
+        }
+        for k in 0..keys as u64 {
+            if !insert(k, (2 * k + 1) as u32) {
+                losers += 1;
+                assert_eq!(get(k, (2 * k + 1) as u32), (2 * k) as u32);
+            }
+        }
+        let dt = t0.elapsed().as_secs_f64();
+        assert_eq!(losers, keys, "exactly one loser per key");
+        println!(
+            "  {:<22} {:>10.1} ns/op  ({} keys, one loser per key verified)",
+            name,
+            dt / (2.0 * keys as f64) * 1e9,
+            keys
+        );
+    }
+
+    let cas: RidgeMapCas<u64> = RidgeMapCas::with_capacity(keys);
+    bench_map("CAS (Algorithm 4)", keys, |k, v| cas.insert_and_set(k, v), |k, n| cas.get_value(k, n));
+    let tas: RidgeMapTas<u64> = RidgeMapTas::with_capacity(keys);
+    bench_map("TAS (Algorithm 5)", keys, |k, v| tas.insert_and_set(k, v), |k, n| tas.get_value(k, n));
+    let locked: RidgeMapLocked<u64> = RidgeMapLocked::with_capacity(keys);
+    bench_map(
+        "sharded locked",
+        keys,
+        |k, v| locked.insert_and_set(k, v),
+        |k, n| locked.get_value(k, n),
+    );
+}
+
+// ---------------------------------------------------------------- E11
+
+/// Runtime comparison across algorithms and thread counts.
+fn e11_runtimes(cfg: &Config) {
+    println!("\n== E11: wall-clock runtimes (single machine; see EXPERIMENTS.md note) ==");
+    let n: usize = if cfg.fast { 50_000 } else { 200_000 };
+    let reps = if cfg.fast { 1 } else { 3 };
+    let pts2 = prepared_disk_2d(n, 21);
+    let raw2: Vec<Point2i> =
+        (0..pts2.len()).map(|i| Point2i::new(pts2.point(i)[0], pts2.point(i)[1])).collect();
+
+    println!("  2D, {n} points uniform in a disk:");
+    let t = time_median(reps, || {
+        std::hint::black_box(monotone_chain::hull_indices(&raw2));
+    });
+    println!("    {:<28} {:>9.1} ms", "monotone chain (baseline)", t * 1e3);
+    let t = time_median(reps, || {
+        std::hint::black_box(quickhull2d::hull_indices(&raw2));
+    });
+    println!("    {:<28} {:>9.1} ms", "quickhull (baseline)", t * 1e3);
+    let t = time_median(reps, || {
+        std::hint::black_box(incremental_hull_run(&pts2));
+    });
+    println!("    {:<28} {:>9.1} ms", "incremental seq (Alg 2)", t * 1e3);
+    let t = time_median(reps, || {
+        std::hint::black_box(parallel_hull(&pts2, ParOptions::default()));
+    });
+    println!(
+        "    {:<28} {:>9.1} ms   ({} rayon threads)",
+        "incremental par (Alg 3)",
+        t * 1e3,
+        rayon::current_num_threads()
+    );
+
+    let n3 = if cfg.fast { 20_000 } else { 100_000 };
+    let pts3 = prepared_ball_3d(n3, 22);
+    println!("  3D, {n3} points uniform in a ball:");
+    let t = time_median(reps, || {
+        std::hint::black_box(incremental_hull_run(&pts3));
+    });
+    println!("    {:<28} {:>9.1} ms", "incremental seq (Alg 2)", t * 1e3);
+    let t = time_median(reps, || {
+        std::hint::black_box(parallel_hull(&pts3, ParOptions::default()));
+    });
+    println!("    {:<28} {:>9.1} ms", "incremental par (Alg 3)", t * 1e3);
+}
+
+// ---------------------------------------------------------------- E12
+
+/// Ablations: support sets off, map engines, insertion order.
+fn e12_ablations(cfg: &Config) {
+    println!("\n== E12: ablations ==");
+
+    // (a) Support-set pruning vs naive "wait for everything the pivot
+    // touches" dependences.
+    println!("  (a) dependence depth: support sets (paper) vs naive synchronous waits");
+    println!("  {:>9} {:>14} {:>13} {:>8}", "n", "support depth", "naive depth", "ratio");
+    let exps: Vec<u32> = if cfg.fast { vec![10, 12, 14] } else { vec![10, 12, 14, 16] };
+    for e in exps {
+        let n = 1usize << e;
+        let pts = prepared_disk_2d(n, 300 + e as u64);
+        let s = seq_stats(&pts);
+        println!(
+            "  {:>9} {:>14} {:>13} {:>8.2}",
+            n,
+            s.dep_depth,
+            s.naive_dep_depth,
+            s.naive_dep_depth as f64 / s.dep_depth as f64
+        );
+    }
+
+    // (b) Map engines inside Algorithm 3. The fixed-capacity lock-free
+    // tables are sized a priori (as in the paper, whose analysis bounds the
+    // ridge count); their time includes zero-initializing that worst-case
+    // table, which dominates on small-hull inputs — see E10 for pure
+    // per-operation costs.
+    println!("\n  (b) Algorithm 3 with each InsertAndSet engine (2D, n = 100k):");
+    let n = if cfg.fast { 30_000 } else { 100_000 };
+    let pts = prepared_disk_2d(n, 44);
+    let reps = if cfg.fast { 1 } else { 3 };
+    for (name, kind) in [
+        ("locked (sharded)", MapKind::Locked),
+        ("CAS (Algorithm 4)", MapKind::Cas { capacity_factor: 2 }),
+        ("TAS (Algorithm 5)", MapKind::Tas { capacity_factor: 2 }),
+    ] {
+        let t = time_median(reps, || {
+            std::hint::black_box(parallel_hull(
+                &pts,
+                ParOptions { map: kind, record_trace: false },
+            ));
+        });
+        println!("    {:<22} {:>9.1} ms", name, t * 1e3);
+    }
+
+    // (c) Random vs sorted insertion order.
+    println!("\n  (c) insertion order (2D disk): random vs sorted by x");
+    println!("  {:>9} {:>13} {:>13}", "n", "random depth", "sorted depth");
+    let exps: Vec<u32> = if cfg.fast { vec![10, 12] } else { vec![10, 12, 14] };
+    for e in exps {
+        let n = 1usize << e;
+        let mut points = generators::disk_2d(n, 1 << 24, 400 + e as u64);
+        let random = seq_stats(&prepare_points(&PointSet::from_points2(&points), 1));
+        points.sort();
+        let ps = PointSet::from_points2(&points);
+        let simplex = chull_core::context::initial_simplex(&ps);
+        let chosen: Vec<usize> = simplex.iter().map(|&v| v as usize).collect();
+        let mut order = chosen.clone();
+        order.extend((0..ps.len()).filter(|i| !chosen.contains(i)));
+        let sorted = seq_stats(&ps.permuted(&order));
+        println!("  {:>9} {:>13} {:>13}", n, random.dep_depth, sorted.dep_depth);
+    }
+}

@@ -1,0 +1,80 @@
+//! Shared workloads and helpers for the benchmarks and the experiment
+//! harness.
+
+#![warn(missing_docs)]
+
+use chull_core::prepare_points;
+use chull_geometry::{generators, PointSet};
+
+/// Prepared (randomly ordered, seed-simplex-first) 2D disk workload.
+pub fn prepared_disk_2d(n: usize, seed: u64) -> PointSet {
+    prepare_points(
+        &PointSet::from_points2(&generators::disk_2d(n, 1 << 30, seed)),
+        seed ^ 0x9E37_79B9,
+    )
+}
+
+/// Prepared 2D convex-position (parabola) workload: every point extreme.
+pub fn prepared_parabola_2d(n: usize, seed: u64) -> PointSet {
+    prepare_points(
+        &PointSet::from_points2(&generators::parabola_2d(n, seed)),
+        seed ^ 0x517C_C1B7,
+    )
+}
+
+/// Prepared 3D ball workload.
+pub fn prepared_ball_3d(n: usize, seed: u64) -> PointSet {
+    prepare_points(
+        &PointSet::from_points3(&generators::ball_3d(n, 1 << 30, seed)),
+        seed ^ 0x2545_F491,
+    )
+}
+
+/// Prepared 3D near-sphere workload: Theta(n) hull facets.
+pub fn prepared_sphere_3d(n: usize, seed: u64) -> PointSet {
+    prepare_points(
+        &PointSet::from_points3(&generators::near_sphere_3d(n, 1 << 30, seed)),
+        seed ^ 0x1405_7B7E,
+    )
+}
+
+/// Prepared d-dimensional ball workload.
+pub fn prepared_ball_d(dim: usize, n: usize, seed: u64) -> PointSet {
+    prepare_points(&generators::ball_d(dim, n, 1 << 24, seed), seed ^ 0xDEAD_BEEF)
+}
+
+/// The harmonic number `H_n`.
+pub fn harmonic(n: usize) -> f64 {
+    (1..=n).map(|i| 1.0 / i as f64).sum()
+}
+
+/// Median wall-clock seconds over `reps` runs of `f`.
+pub fn time_median<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    let mut times: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t0 = std::time::Instant::now();
+            f();
+            t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    times[times.len() / 2]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workloads_are_deterministic() {
+        assert_eq!(prepared_disk_2d(100, 1), prepared_disk_2d(100, 1));
+        assert_eq!(prepared_ball_3d(50, 2), prepared_ball_3d(50, 2));
+        assert_eq!(prepared_ball_d(4, 30, 3), prepared_ball_d(4, 30, 3));
+    }
+
+    #[test]
+    fn harmonic_values() {
+        assert!((harmonic(1) - 1.0).abs() < 1e-12);
+        assert!((harmonic(4) - (1.0 + 0.5 + 1.0 / 3.0 + 0.25)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,144 @@
+//! Low-overhead concurrent statistics counters.
+//!
+//! The instrumented hull runs count visibility tests, facet creations,
+//! burials, etc. from inside tight parallel loops. A single shared atomic
+//! would serialize on the cache line, so [`StripedCounter`] shards the count
+//! over cache-line-padded cells indexed by thread.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of stripes (power of two).
+const STRIPES: usize = 16;
+
+/// A cache-line padded atomic cell.
+#[repr(align(64))]
+struct PaddedU64(AtomicU64);
+
+/// A sharded monotone counter: `add` is contention-free across threads,
+/// `sum` folds all stripes (call it after the parallel phase).
+pub struct StripedCounter {
+    cells: [PaddedU64; STRIPES],
+}
+
+impl StripedCounter {
+    /// A zeroed counter.
+    pub fn new() -> StripedCounter {
+        StripedCounter { cells: std::array::from_fn(|_| PaddedU64(AtomicU64::new(0))) }
+    }
+
+    #[inline]
+    fn stripe() -> usize {
+        // Hash the thread id onto a stripe; stable within a thread.
+        use std::hash::{BuildHasher, Hash, Hasher};
+        thread_local! {
+            static STRIPE: usize = {
+                let mut h = std::collections::hash_map::RandomState::new().build_hasher();
+                std::thread::current().id().hash(&mut h);
+                (h.finish() as usize) % STRIPES
+            };
+        }
+        STRIPE.with(|s| *s)
+    }
+
+    /// Add `v` to the counter.
+    #[inline]
+    pub fn add(&self, v: u64) {
+        self.cells[Self::stripe()].0.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Increment by one.
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Fold all stripes. Exact once concurrent writers have quiesced.
+    pub fn sum(&self) -> u64 {
+        self.cells.iter().map(|c| c.0.load(Ordering::Relaxed)).sum()
+    }
+}
+
+impl Default for StripedCounter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A monotone maximum tracker (e.g. deepest recursion observed).
+pub struct AtomicMax(AtomicU64);
+
+impl AtomicMax {
+    /// A tracker starting at zero.
+    pub fn new() -> AtomicMax {
+        AtomicMax(AtomicU64::new(0))
+    }
+
+    /// Record `v`; keeps the running maximum.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.0.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// The maximum recorded so far.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+impl Default for AtomicMax {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn striped_counter_exact_after_join() {
+        let c = Arc::new(StripedCounter::new());
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let c = Arc::clone(&c);
+                std::thread::spawn(move || {
+                    for _ in 0..10_000 {
+                        c.incr();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(c.sum(), 80_000);
+    }
+
+    #[test]
+    fn striped_counter_add() {
+        let c = StripedCounter::new();
+        c.add(5);
+        c.add(7);
+        assert_eq!(c.sum(), 12);
+    }
+
+    #[test]
+    fn atomic_max_tracks_maximum() {
+        let m = Arc::new(AtomicMax::new());
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let m = Arc::clone(&m);
+                std::thread::spawn(move || {
+                    for i in 0..1000u64 {
+                        m.record(t * 1000 + i);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(m.get(), 3999);
+    }
+}

@@ -1,0 +1,74 @@
+//! # chull-concurrent
+//!
+//! Lock-free substrate for the parallel incremental convex hull
+//! (Algorithm 3 of Blelloch, Gu, Shun, Sun, SPAA 2020):
+//!
+//! * [`RidgeMapCas`] — the `InsertAndSet`/`GetValue` ridge multimap built on
+//!   `CompareAndSwap` (the paper's Algorithm 4);
+//! * [`RidgeMapTas`] — the same interface built on `TestAndSet` only (the
+//!   paper's Appendix A, Algorithm 5), matching the binary-forking model's
+//!   weaker primitive;
+//! * [`ConcurrentArena`] — an append-only, lock-free arena with stable dense
+//!   ids, used to store facets created concurrently;
+//! * [`StripedCounter`] / [`AtomicMax`] — contention-free instrumentation.
+
+#![warn(missing_docs)]
+
+pub mod arena;
+pub mod counters;
+pub mod ridge_map_cas;
+pub mod ridge_map_locked;
+pub mod ridge_map_tas;
+
+pub use arena::ConcurrentArena;
+pub use counters::{AtomicMax, StripedCounter};
+pub use ridge_map_cas::RidgeMapCas;
+pub use ridge_map_locked::RidgeMapLocked;
+pub use ridge_map_tas::RidgeMapTas;
+
+/// The two interchangeable multimap implementations share this interface so
+/// the hull algorithm can be instantiated with either (E12 ablation).
+pub trait RidgeMultimap<K>: Sync {
+    /// If `key` is new, associate `value` and return `true`; otherwise
+    /// record `value` as the second value and return `false` (the caller is
+    /// the unique loser for this key).
+    fn insert_and_set(&self, key: K, value: u32) -> bool;
+    /// The value associated with `key` that is not `not`; callable only by
+    /// the loser of `insert_and_set(key, ..)`.
+    fn get_value(&self, key: K, not: u32) -> u32;
+}
+
+impl<K: std::hash::Hash + Eq + Copy + Send + Sync> RidgeMultimap<K> for RidgeMapCas<K> {
+    fn insert_and_set(&self, key: K, value: u32) -> bool {
+        RidgeMapCas::insert_and_set(self, key, value)
+    }
+    fn get_value(&self, key: K, not: u32) -> u32 {
+        RidgeMapCas::get_value(self, key, not)
+    }
+}
+
+impl<K: std::hash::Hash + Eq + Copy + Send + Sync> RidgeMultimap<K> for RidgeMapTas<K> {
+    fn insert_and_set(&self, key: K, value: u32) -> bool {
+        RidgeMapTas::insert_and_set(self, key, value)
+    }
+    fn get_value(&self, key: K, not: u32) -> u32 {
+        RidgeMapTas::get_value(self, key, not)
+    }
+}
+
+#[cfg(test)]
+mod trait_tests {
+    use super::*;
+
+    fn exercise<M: RidgeMultimap<u64>>(m: &M) {
+        assert!(m.insert_and_set(3, 30));
+        assert!(!m.insert_and_set(3, 31));
+        assert_eq!(m.get_value(3, 31), 30);
+    }
+
+    #[test]
+    fn both_impls_satisfy_trait() {
+        exercise(&RidgeMapCas::<u64>::with_capacity(8));
+        exercise(&RidgeMapTas::<u64>::with_capacity(8));
+    }
+}

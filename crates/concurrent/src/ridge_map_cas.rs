@@ -1,0 +1,334 @@
+//! `InsertAndSet` / `GetValue` via `CompareAndSwap` — Algorithm 4 of the
+//! paper.
+//!
+//! A fixed-capacity, open-addressing (linear probing) hash table mapping
+//! each ridge key to the **two** facets incident on it. For every key,
+//! exactly two `insert_and_set` calls ever happen, and exactly one of them
+//! returns `false` (the "loser", which then owns processing the ridge —
+//! Theorem A.1). `get_value(k, t)` returns the partner value `t' != t`
+//! associated with `k`, and is only called by the loser, at which point the
+//! winner's value is guaranteed to be present (Theorem A.2).
+//!
+//! Slots are claimed with a CAS on a per-slot state word; the key/value pair
+//! is written before the slot is published (`Release`), so readers that
+//! observe `FULL` (`Acquire`) see initialized data — the Rust-safe rendering
+//! of the paper's "CAS in the pointer of the key-value pair".
+
+use std::cell::UnsafeCell;
+use std::hash::{BuildHasher, BuildHasherDefault, Hash, Hasher};
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicU32, AtomicU8, Ordering};
+
+const EMPTY: u8 = 0;
+const BUSY: u8 = 1;
+const FULL: u8 = 2;
+
+/// Sentinel meaning "no second value recorded yet".
+const NO_VALUE: u32 = u32::MAX;
+
+struct Slot<K> {
+    state: AtomicU8,
+    /// Value recorded by the losing (second) inserter.
+    second: AtomicU32,
+    /// Key and first value; written while `state == BUSY`, read after
+    /// observing `state == FULL`.
+    data: UnsafeCell<MaybeUninit<(K, u32)>>,
+}
+
+/// Default hasher: FxHash-style multiply-xor, fast for small keys.
+#[derive(Default, Clone, Copy)]
+pub struct FxLikeHasher(u64);
+
+impl Hasher for FxLikeHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.write_u8(b);
+        }
+    }
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.write_u64(v as u64);
+    }
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.write_u64(v as u64);
+    }
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.0 = (self.0.rotate_left(5) ^ v).wrapping_mul(0x51_7c_c1_b7_27_22_0a_95);
+    }
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+}
+
+/// The CAS-based concurrent ridge multimap (Algorithm 4).
+///
+/// ```
+/// use chull_concurrent::RidgeMapCas;
+/// let m: RidgeMapCas<u64> = RidgeMapCas::with_capacity(16);
+/// assert!(m.insert_and_set(7, 100));   // first facet on ridge 7: winner
+/// assert!(!m.insert_and_set(7, 200));  // second facet: unique loser
+/// assert_eq!(m.get_value(7, 200), 100); // the loser finds its partner
+/// ```
+pub struct RidgeMapCas<K> {
+    slots: Box<[Slot<K>]>,
+    mask: usize,
+    hasher: BuildHasherDefault<FxLikeHasher>,
+}
+
+// SAFETY: all access to `data` is synchronized through `state`
+// (write while BUSY by the unique claimant, read only after FULL).
+unsafe impl<K: Send> Send for RidgeMapCas<K> {}
+unsafe impl<K: Send + Sync> Sync for RidgeMapCas<K> {}
+
+impl<K: Hash + Eq + Copy> RidgeMapCas<K> {
+    /// Create a map able to hold at least `capacity` distinct keys.
+    ///
+    /// The table is sized to the next power of two at least `2 * capacity`
+    /// so that linear-probe chains stay short.
+    pub fn with_capacity(capacity: usize) -> RidgeMapCas<K> {
+        let size = (capacity.max(4) * 2).next_power_of_two();
+        let slots: Vec<Slot<K>> = (0..size)
+            .map(|_| Slot {
+                state: AtomicU8::new(EMPTY),
+                second: AtomicU32::new(NO_VALUE),
+                data: UnsafeCell::new(MaybeUninit::uninit()),
+            })
+            .collect();
+        RidgeMapCas {
+            slots: slots.into_boxed_slice(),
+            mask: size - 1,
+            hasher: BuildHasherDefault::default(),
+        }
+    }
+
+    /// Number of slots in the table.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    #[inline]
+    fn start_index(&self, key: &K) -> usize {
+        let mut h = self.hasher.build_hasher();
+        key.hash(&mut h);
+        (h.finish() as usize) & self.mask
+    }
+
+    /// Spin until the slot's state is `FULL`, then return.
+    #[inline]
+    fn wait_full(&self, i: usize) {
+        let mut spins = 0u32;
+        while self.slots[i].state.load(Ordering::Acquire) != FULL {
+            spins += 1;
+            if spins < 64 {
+                std::hint::spin_loop();
+            } else {
+                // Single-core friendliness: let the writer run.
+                std::thread::yield_now();
+            }
+        }
+    }
+
+    /// `InsertAndSet(r, t)` (Algorithm 4): if `key` has not been inserted,
+    /// associate it with `value` and return `true`. If it has, record
+    /// `value` as the second value and return `false`.
+    ///
+    /// Panics if the table is full (the caller sized it too small).
+    pub fn insert_and_set(&self, key: K, value: u32) -> bool {
+        debug_assert_ne!(value, NO_VALUE, "u32::MAX is reserved");
+        let mut i = self.start_index(&key);
+        for _probe in 0..=self.mask {
+            let slot = &self.slots[i];
+            match slot.state.compare_exchange(
+                EMPTY,
+                BUSY,
+                Ordering::Acquire,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => {
+                    // We own the slot: write the pair, then publish.
+                    unsafe { (*slot.data.get()).write((key, value)) };
+                    slot.state.store(FULL, Ordering::Release);
+                    return true;
+                }
+                Err(_) => {
+                    // Occupied (or mid-write). Wait for the data, then check
+                    // whether this is our key (duplicate) or a collision.
+                    self.wait_full(i);
+                    let (k, _) = unsafe { (*slot.data.get()).assume_init_ref() };
+                    if *k == key {
+                        let prev = slot.second.swap(value, Ordering::AcqRel);
+                        debug_assert_eq!(
+                            prev, NO_VALUE,
+                            "third insert_and_set for the same key"
+                        );
+                        return false;
+                    }
+                    i = (i + 1) & self.mask;
+                }
+            }
+        }
+        panic!("RidgeMapCas is full; size it with the expected ridge count");
+    }
+
+    /// `GetValue(r, t)` (Algorithm 4): the value associated with `key` that
+    /// is not `not`. Must only be called after some `insert_and_set(key, _)`
+    /// returned `false`; the partner value is then guaranteed visible.
+    pub fn get_value(&self, key: K, not: u32) -> u32 {
+        let mut i = self.start_index(&key);
+        loop {
+            let slot = &self.slots[i];
+            let state = slot.state.load(Ordering::Acquire);
+            assert_ne!(state, EMPTY, "get_value on a key that was never inserted");
+            self.wait_full(i);
+            let (k, first) = unsafe { *(*slot.data.get()).assume_init_ref() };
+            if k == key {
+                if first != not {
+                    return first;
+                }
+                let second = slot.second.load(Ordering::Acquire);
+                assert_ne!(second, NO_VALUE, "partner value missing");
+                return second;
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    /// Look up the first value stored for `key`, if any (test helper; not
+    /// part of the paper's interface).
+    pub fn first_value(&self, key: K) -> Option<u32> {
+        let mut i = self.start_index(&key);
+        for _probe in 0..=self.mask {
+            let slot = &self.slots[i];
+            match slot.state.load(Ordering::Acquire) {
+                EMPTY => return None,
+                _ => {
+                    self.wait_full(i);
+                    let (k, v) = unsafe { *(*slot.data.get()).assume_init_ref() };
+                    if k == key {
+                        return Some(v);
+                    }
+                    i = (i + 1) & self.mask;
+                }
+            }
+        }
+        None
+    }
+}
+
+impl<K> Drop for RidgeMapCas<K> {
+    fn drop(&mut self) {
+        if std::mem::needs_drop::<K>() {
+            for slot in self.slots.iter_mut() {
+                if *slot.state.get_mut() == FULL {
+                    unsafe { (*slot.data.get()).assume_init_drop() };
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn single_threaded_winner_loser() {
+        let m: RidgeMapCas<u64> = RidgeMapCas::with_capacity(16);
+        assert!(m.insert_and_set(7, 100));
+        assert!(!m.insert_and_set(7, 200));
+        assert_eq!(m.get_value(7, 200), 100);
+        assert_eq!(m.get_value(7, 100), 200);
+        assert_eq!(m.first_value(7), Some(100));
+        assert_eq!(m.first_value(8), None);
+    }
+
+    #[test]
+    fn collisions_probe_linearly() {
+        // Fill a tiny table with many keys to force probe chains.
+        let m: RidgeMapCas<u64> = RidgeMapCas::with_capacity(32);
+        for k in 0..32u64 {
+            assert!(m.insert_and_set(k, k as u32 + 1));
+        }
+        for k in 0..32u64 {
+            assert!(!m.insert_and_set(k, 1000 + k as u32));
+            assert_eq!(m.get_value(k, 1000 + k as u32), k as u32 + 1);
+        }
+    }
+
+    #[test]
+    fn array_keys() {
+        let m: RidgeMapCas<[u32; 4]> = RidgeMapCas::with_capacity(8);
+        let k1 = [1, 2, 3, u32::MAX];
+        let k2 = [1, 2, 4, u32::MAX];
+        assert!(m.insert_and_set(k1, 10));
+        assert!(m.insert_and_set(k2, 20));
+        assert!(!m.insert_and_set(k1, 11));
+        assert_eq!(m.get_value(k1, 11), 10);
+        assert_eq!(m.first_value(k2), Some(20));
+    }
+
+    #[test]
+    fn concurrent_exactly_one_loser_per_key() {
+        // Theorem A.1: for each key inserted twice concurrently, exactly one
+        // insert_and_set returns false, and get_value finds the partner.
+        let keys: usize = 1 << 12;
+        let m: Arc<RidgeMapCas<u64>> = Arc::new(RidgeMapCas::with_capacity(keys));
+        let threads = 8;
+        let losses: Vec<std::thread::JoinHandle<Vec<(u64, u32, u32)>>> = (0..threads)
+            .map(|t| {
+                let m = Arc::clone(&m);
+                std::thread::spawn(move || {
+                    let mut lost = Vec::new();
+                    // Each key k is inserted by threads (k % threads) and
+                    // ((k + threads/2) % threads) with distinct values.
+                    for k in 0..keys as u64 {
+                        let first_owner = (k as usize) % threads;
+                        let second_owner = (first_owner + threads / 2) % threads;
+                        let my_value = if t == first_owner {
+                            Some((t as u32 + 1) * 1_000_000 + k as u32)
+                        } else if t == second_owner {
+                            Some((t as u32 + 1) * 1_000_000 + 500_000 + k as u32)
+                        } else {
+                            None
+                        };
+                        if let Some(v) = my_value {
+                            if !m.insert_and_set(k, v) {
+                                let partner = m.get_value(k, v);
+                                lost.push((k, v, partner));
+                            }
+                        }
+                    }
+                    lost
+                })
+            })
+            .collect();
+        let mut losses_per_key = vec![0usize; keys];
+        for h in losses {
+            for (k, mine, partner) in h.join().unwrap() {
+                losses_per_key[k as usize] += 1;
+                assert_ne!(mine, partner, "get_value returned the caller's own value");
+            }
+        }
+        for (k, &c) in losses_per_key.iter().enumerate() {
+            assert_eq!(c, 1, "key {k} had {c} losers; expected exactly 1");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "full")]
+    fn overflow_panics() {
+        let m: RidgeMapCas<u64> = RidgeMapCas::with_capacity(4);
+        for k in 0..m.capacity() as u64 + 1 {
+            m.insert_and_set(k, 1);
+        }
+    }
+}

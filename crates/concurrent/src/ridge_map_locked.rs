@@ -1,0 +1,162 @@
+//! A sharded, lock-based ridge multimap with the same `InsertAndSet` /
+//! `GetValue` semantics as Algorithms 4 and 5.
+//!
+//! The lock-free tables ([`crate::RidgeMapCas`], [`crate::RidgeMapTas`]) are
+//! fixed-capacity, as in the paper (which can size them because the analysis
+//! bounds the number of ridges). For general-dimension runs where a tight a
+//! priori bound is unavailable, this growable variant is the default engine;
+//! the E10/E12 experiments compare all three.
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::hash::{BuildHasher, BuildHasherDefault, Hash, Hasher};
+
+use crate::ridge_map_cas::FxLikeHasher;
+
+const SHARDS: usize = 64;
+
+/// Sentinel meaning "no second value yet".
+const NO_VALUE: u32 = u32::MAX;
+
+/// Sharded mutex-protected multimap; see module docs.
+pub struct RidgeMapLocked<K> {
+    shards: Vec<Mutex<HashMap<K, (u32, u32), BuildHasherDefault<FxLikeHasher>>>>,
+    hasher: BuildHasherDefault<FxLikeHasher>,
+}
+
+impl<K: Hash + Eq> RidgeMapLocked<K> {
+    /// An empty map; `capacity` pre-sizes the shards.
+    pub fn with_capacity(capacity: usize) -> RidgeMapLocked<K> {
+        RidgeMapLocked {
+            shards: (0..SHARDS)
+                .map(|_| {
+                    Mutex::new(HashMap::with_capacity_and_hasher(
+                        capacity / SHARDS + 1,
+                        BuildHasherDefault::default(),
+                    ))
+                })
+                .collect(),
+            hasher: BuildHasherDefault::default(),
+        }
+    }
+
+    #[inline]
+    fn shard(&self, key: &K) -> usize {
+        let mut h = self.hasher.build_hasher();
+        key.hash(&mut h);
+        // Use high bits so shard choice is independent of any in-shard
+        // HashMap bucketing on low bits.
+        (h.finish() >> 48) as usize % SHARDS
+    }
+
+    /// `InsertAndSet`: `true` if `key` was new, `false` if this is the
+    /// second (losing) insertion.
+    pub fn insert_and_set(&self, key: K, value: u32) -> bool {
+        debug_assert_ne!(value, NO_VALUE);
+        let shard = self.shard(&key);
+        let mut guard = self.shards[shard].lock();
+        match guard.entry(key) {
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert((value, NO_VALUE));
+                true
+            }
+            std::collections::hash_map::Entry::Occupied(mut e) => {
+                let slot = e.get_mut();
+                debug_assert_eq!(slot.1, NO_VALUE, "third insert_and_set for the same key");
+                slot.1 = value;
+                false
+            }
+        }
+    }
+
+    /// `GetValue`: the value for `key` that is not `not`.
+    pub fn get_value(&self, key: K, not: u32) -> u32 {
+        let shard = self.shard(&key);
+        let guard = self.shards[shard].lock();
+        let &(a, b) = guard.get(&key).expect("get_value on absent key");
+        if a != not {
+            a
+        } else {
+            debug_assert_ne!(b, NO_VALUE, "partner value missing");
+            b
+        }
+    }
+
+    /// Number of distinct keys (diagnostics).
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// True iff no key was inserted.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<K: Hash + Eq + Copy + Send + Sync> crate::RidgeMultimap<K> for RidgeMapLocked<K> {
+    fn insert_and_set(&self, key: K, value: u32) -> bool {
+        RidgeMapLocked::insert_and_set(self, key, value)
+    }
+    fn get_value(&self, key: K, not: u32) -> u32 {
+        RidgeMapLocked::get_value(self, key, not)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn winner_loser_semantics() {
+        let m: RidgeMapLocked<u64> = RidgeMapLocked::with_capacity(16);
+        assert!(m.insert_and_set(9, 1));
+        assert!(!m.insert_and_set(9, 2));
+        assert_eq!(m.get_value(9, 2), 1);
+        assert_eq!(m.get_value(9, 1), 2);
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn grows_without_bound() {
+        let m: RidgeMapLocked<u64> = RidgeMapLocked::with_capacity(4);
+        for k in 0..10_000u64 {
+            assert!(m.insert_and_set(k, k as u32));
+        }
+        assert_eq!(m.len(), 10_000);
+    }
+
+    #[test]
+    fn concurrent_one_loser_per_key() {
+        let keys = 1 << 12;
+        let m: Arc<RidgeMapLocked<u64>> = Arc::new(RidgeMapLocked::with_capacity(keys));
+        let threads = 8;
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let m = Arc::clone(&m);
+                std::thread::spawn(move || {
+                    let mut lost = Vec::new();
+                    for k in 0..keys as u64 {
+                        let first = (k as usize) % threads;
+                        let second = (first + threads / 2) % threads;
+                        if t == first || t == second {
+                            let v = (t as u32 + 1) * 100_000 + k as u32;
+                            if !m.insert_and_set(k, v) {
+                                lost.push((k, v, m.get_value(k, v)));
+                            }
+                        }
+                    }
+                    lost
+                })
+            })
+            .collect();
+        let mut per_key = vec![0usize; keys];
+        for h in handles {
+            for (k, mine, partner) in h.join().unwrap() {
+                per_key[k as usize] += 1;
+                assert_ne!(mine, partner);
+            }
+        }
+        assert!(per_key.iter().all(|&c| c == 1));
+    }
+}

@@ -1,0 +1,241 @@
+//! `InsertAndSet` / `GetValue` using only `TestAndSet` — Algorithm 5
+//! (Appendix A) of the paper.
+//!
+//! The binary-forking model assumes only a `TestAndSet` consensus primitive;
+//! this table follows the paper's two-pass protocol faithfully:
+//!
+//! 1. **First pass**: claim a slot by `TestAndSet(R[i].taken)` with linear
+//!    probing, then write the key/value pair into the claimed slot. Every
+//!    insertion succeeds (duplicates occupy distinct slots).
+//! 2. **Second pass**: rescan from the key's hash index; at every slot
+//!    holding our key, `TestAndSet(R[i].check)`. If the TAS fails (the other
+//!    facet of the ridge already set `check`), return `false` — this caller
+//!    is the unique loser for the key (Theorem A.1).
+//!
+//! The paper notes a reader may encounter a slot that is `taken` but whose
+//! data is not yet written; it resolves this by having both parties continue
+//! to a later slot. To express that in safe-Rust terms each slot carries a
+//! `written` flag published with `Release` after the data write: a reader
+//! finding `taken && !written` treats the slot exactly as the paper's
+//! "key not yet visible" case and keeps probing.
+
+use std::cell::UnsafeCell;
+use std::hash::{BuildHasher, BuildHasherDefault, Hash, Hasher};
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use crate::ridge_map_cas::FxLikeHasher;
+
+struct TasSlot<K> {
+    taken: AtomicBool,
+    written: AtomicBool,
+    check: AtomicBool,
+    data: UnsafeCell<MaybeUninit<(K, u32)>>,
+}
+
+/// The TestAndSet-only concurrent ridge multimap (Algorithm 5).
+pub struct RidgeMapTas<K> {
+    slots: Box<[TasSlot<K>]>,
+    mask: usize,
+    hasher: BuildHasherDefault<FxLikeHasher>,
+}
+
+// SAFETY: `data` is written only by the unique claimant of `taken`, before
+// `written` is released; it is read only after observing `written` (Acquire).
+unsafe impl<K: Send> Send for RidgeMapTas<K> {}
+unsafe impl<K: Send + Sync> Sync for RidgeMapTas<K> {}
+
+impl<K: Hash + Eq + Copy> RidgeMapTas<K> {
+    /// Create a map able to hold at least `capacity` distinct keys
+    /// (each key occupies **two** slots, one per incident facet).
+    pub fn with_capacity(capacity: usize) -> RidgeMapTas<K> {
+        // Two slots per key plus headroom for probe chains.
+        let size = (capacity.max(4) * 4).next_power_of_two();
+        let slots: Vec<TasSlot<K>> = (0..size)
+            .map(|_| TasSlot {
+                taken: AtomicBool::new(false),
+                written: AtomicBool::new(false),
+                check: AtomicBool::new(false),
+                data: UnsafeCell::new(MaybeUninit::uninit()),
+            })
+            .collect();
+        RidgeMapTas {
+            slots: slots.into_boxed_slice(),
+            mask: size - 1,
+            hasher: BuildHasherDefault::default(),
+        }
+    }
+
+    /// Number of slots in the table.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    #[inline]
+    fn start_index(&self, key: &K) -> usize {
+        let mut h = self.hasher.build_hasher();
+        key.hash(&mut h);
+        (h.finish() as usize) & self.mask
+    }
+
+    /// `TestAndSet`: returns `true` if this call flipped the flag from
+    /// `false` to `true` (i.e. the TAS "succeeded" in the paper's sense).
+    #[inline]
+    fn test_and_set(flag: &AtomicBool) -> bool {
+        !flag.swap(true, Ordering::AcqRel)
+    }
+
+    /// `InsertAndSet(r, t)` (Algorithm 5). Returns `true` if this call was
+    /// the first for `key`, `false` if it was the second (the loser).
+    pub fn insert_and_set(&self, key: K, value: u32) -> bool {
+        // First pass: claim a slot and write the entry.
+        let mut i = self.start_index(&key);
+        let mut probes = 0usize;
+        while !Self::test_and_set(&self.slots[i].taken) {
+            i = (i + 1) & self.mask;
+            probes += 1;
+            assert!(probes <= self.mask, "RidgeMapTas is full");
+        }
+        let slot = &self.slots[i];
+        unsafe { (*slot.data.get()).write((key, value)) };
+        slot.written.store(true, Ordering::Release);
+
+        // Second pass: scan from the hash index; TAS `check` at every slot
+        // holding our key. Failing the TAS means the partner got there
+        // first: we are the unique loser.
+        let mut i = self.start_index(&key);
+        loop {
+            let slot = &self.slots[i];
+            if !slot.taken.load(Ordering::Acquire) {
+                // Reached an empty slot: we saw no checked duplicate.
+                return true;
+            }
+            if slot.written.load(Ordering::Acquire) {
+                let (k, _) = unsafe { (*slot.data.get()).assume_init_ref() };
+                if *k == key && !Self::test_and_set(&slot.check) {
+                    return false;
+                }
+            }
+            // `taken && !written`: the paper's "data not yet visible" case —
+            // skip; both parties will meet at a later slot of this key.
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    /// `GetValue(r, t)` (Algorithm 5): scan for a value associated with
+    /// `key` that differs from `not`. Must only be called by the loser of
+    /// `insert_and_set(key, ..)`; both entries are then written
+    /// (Theorem A.2).
+    pub fn get_value(&self, key: K, not: u32) -> u32 {
+        let mut i = self.start_index(&key);
+        loop {
+            let slot = &self.slots[i];
+            assert!(
+                slot.taken.load(Ordering::Acquire),
+                "get_value: key absent from RidgeMapTas"
+            );
+            if slot.written.load(Ordering::Acquire) {
+                let (k, v) = unsafe { *(*slot.data.get()).assume_init_ref() };
+                if k == key && v != not {
+                    return v;
+                }
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+}
+
+impl<K> Drop for RidgeMapTas<K> {
+    fn drop(&mut self) {
+        if std::mem::needs_drop::<K>() {
+            for slot in self.slots.iter_mut() {
+                if *slot.written.get_mut() {
+                    unsafe { (*slot.data.get()).assume_init_drop() };
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn single_threaded_winner_loser() {
+        let m: RidgeMapTas<u64> = RidgeMapTas::with_capacity(16);
+        assert!(m.insert_and_set(7, 100));
+        assert!(!m.insert_and_set(7, 200));
+        assert_eq!(m.get_value(7, 200), 100);
+        assert_eq!(m.get_value(7, 100), 200);
+    }
+
+    #[test]
+    fn duplicates_occupy_two_slots() {
+        let m: RidgeMapTas<u64> = RidgeMapTas::with_capacity(8);
+        assert!(m.insert_and_set(1, 10));
+        assert!(!m.insert_and_set(1, 20));
+        assert!(m.insert_and_set(2, 30));
+        assert!(!m.insert_and_set(2, 40));
+        assert_eq!(m.get_value(1, 10), 20);
+        assert_eq!(m.get_value(2, 40), 30);
+    }
+
+    #[test]
+    fn heavy_collisions() {
+        let m: RidgeMapTas<u64> = RidgeMapTas::with_capacity(64);
+        for k in 0..64u64 {
+            assert!(m.insert_and_set(k, k as u32 * 2));
+        }
+        for k in 0..64u64 {
+            assert!(!m.insert_and_set(k, k as u32 * 2 + 1));
+        }
+        for k in 0..64u64 {
+            assert_eq!(m.get_value(k, k as u32 * 2 + 1), k as u32 * 2);
+        }
+    }
+
+    #[test]
+    fn concurrent_exactly_one_loser_per_key() {
+        let keys: usize = 1 << 12;
+        let m: Arc<RidgeMapTas<u64>> = Arc::new(RidgeMapTas::with_capacity(keys));
+        let threads = 8;
+        let handles: Vec<std::thread::JoinHandle<Vec<(u64, u32, u32)>>> = (0..threads)
+            .map(|t| {
+                let m = Arc::clone(&m);
+                std::thread::spawn(move || {
+                    let mut lost = Vec::new();
+                    for k in 0..keys as u64 {
+                        let first_owner = (k as usize) % threads;
+                        let second_owner = (first_owner + threads / 2) % threads;
+                        let my_value = if t == first_owner {
+                            Some((t as u32 + 1) * 1_000_000 + k as u32)
+                        } else if t == second_owner {
+                            Some((t as u32 + 1) * 1_000_000 + 500_000 + k as u32)
+                        } else {
+                            None
+                        };
+                        if let Some(v) = my_value {
+                            if !m.insert_and_set(k, v) {
+                                let partner = m.get_value(k, v);
+                                lost.push((k, v, partner));
+                            }
+                        }
+                    }
+                    lost
+                })
+            })
+            .collect();
+        let mut losses_per_key = vec![0usize; keys];
+        for h in handles {
+            for (k, mine, partner) in h.join().unwrap() {
+                losses_per_key[k as usize] += 1;
+                assert_ne!(mine, partner);
+            }
+        }
+        for (k, &c) in losses_per_key.iter().enumerate() {
+            assert_eq!(c, 1, "key {k} had {c} losers; expected exactly 1");
+        }
+    }
+}

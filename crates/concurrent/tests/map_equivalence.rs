@@ -1,0 +1,154 @@
+//! Semantic equivalence of the three `InsertAndSet` engines, plus
+//! property-based and adversarial stress.
+
+use chull_concurrent::{RidgeMapCas, RidgeMapLocked, RidgeMapTas, RidgeMultimap};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// Drive the same operation sequence into all three maps; winner/loser
+/// outcomes and partner lookups must be identical (single-threaded
+/// semantics are deterministic).
+fn drive<M: RidgeMultimap<u64>>(map: &M, ops: &[(u64, u32)]) -> Vec<(bool, Option<u32>)> {
+    let mut out = Vec::with_capacity(ops.len());
+    for &(k, v) in ops {
+        let won = map.insert_and_set(k, v);
+        let partner = if won { None } else { Some(map.get_value(k, v)) };
+        out.push((won, partner));
+    }
+    out
+}
+
+proptest! {
+    #[test]
+    fn three_engines_agree(
+        keys in prop::collection::vec(0u64..64, 1..128),
+    ) {
+        // Build an op sequence where each key appears at most twice with
+        // distinct values.
+        let mut count = std::collections::HashMap::new();
+        let mut ops = Vec::new();
+        for k in keys {
+            let c = count.entry(k).or_insert(0u32);
+            if *c < 2 {
+                ops.push((k, (k as u32) * 10 + *c));
+                *c += 1;
+            }
+        }
+        prop_assume!(!ops.is_empty());
+        let cas: RidgeMapCas<u64> = RidgeMapCas::with_capacity(128);
+        let tas: RidgeMapTas<u64> = RidgeMapTas::with_capacity(128);
+        let locked: RidgeMapLocked<u64> = RidgeMapLocked::with_capacity(128);
+        let a = drive(&cas, &ops);
+        let b = drive(&tas, &ops);
+        let c = drive(&locked, &ops);
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(&a, &c);
+        // Exactly the second occurrence of each key loses.
+        let mut seen = std::collections::HashSet::new();
+        for ((k, _), (won, partner)) in ops.iter().zip(&a) {
+            if seen.insert(*k) {
+                prop_assert!(*won);
+                prop_assert!(partner.is_none());
+            } else {
+                prop_assert!(!*won);
+                prop_assert_eq!(partner.unwrap(), (*k as u32) * 10);
+            }
+        }
+    }
+}
+
+/// All-keys-collide adversarial pattern: every key hashes into a tiny
+/// table region by construction (sequential keys in a small table).
+#[test]
+fn dense_small_table_probing() {
+    let n = 64u64;
+    let cas: RidgeMapCas<u64> = RidgeMapCas::with_capacity(n as usize);
+    let tas: RidgeMapTas<u64> = RidgeMapTas::with_capacity(n as usize);
+    for k in 0..n {
+        assert!(cas.insert_and_set(k, k as u32 + 1));
+        assert!(tas.insert_and_set(k, k as u32 + 1));
+    }
+    for k in 0..n {
+        assert!(!cas.insert_and_set(k, 1000 + k as u32));
+        assert!(!tas.insert_and_set(k, 1000 + k as u32));
+        assert_eq!(cas.get_value(k, 1000 + k as u32), k as u32 + 1);
+        assert_eq!(tas.get_value(k, 1000 + k as u32), k as u32 + 1);
+    }
+}
+
+/// Heavy multi-thread contention on FEW keys: every key is inserted twice
+/// by two racing threads out of many; exactly one loser each.
+#[test]
+fn contention_on_few_keys() {
+    for trial in 0..4u64 {
+        let keys = 64usize;
+        let threads = 16usize;
+        let cas: Arc<RidgeMapCas<u64>> = Arc::new(RidgeMapCas::with_capacity(keys));
+        let barrier = Arc::new(std::sync::Barrier::new(threads));
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let m = Arc::clone(&cas);
+                let b = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    b.wait();
+                    let mut lost = Vec::new();
+                    for k in 0..keys as u64 {
+                        let owner_a = ((k + trial) as usize) % threads;
+                        let owner_b = (owner_a + 7) % threads;
+                        if t == owner_a || t == owner_b {
+                            let v = (t as u32 + 1) * 1000 + k as u32;
+                            if !m.insert_and_set(k, v) {
+                                lost.push((k, m.get_value(k, v)));
+                            }
+                        }
+                    }
+                    lost
+                })
+            })
+            .collect();
+        let mut losses = vec![0usize; keys];
+        for h in handles {
+            for (k, _) in h.join().unwrap() {
+                losses[k as usize] += 1;
+            }
+        }
+        assert!(losses.iter().all(|&c| c == 1), "trial {trial}: {losses:?}");
+    }
+}
+
+/// Same contention pattern against the TAS map (Algorithm 5's two-pass
+/// protocol under racing second passes).
+#[test]
+fn contention_on_few_keys_tas() {
+    for trial in 0..4u64 {
+        let keys = 64usize;
+        let threads = 16usize;
+        let tas: Arc<RidgeMapTas<u64>> = Arc::new(RidgeMapTas::with_capacity(keys));
+        let barrier = Arc::new(std::sync::Barrier::new(threads));
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let m = Arc::clone(&tas);
+                let b = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    b.wait();
+                    let mut lost = 0usize;
+                    for k in 0..keys as u64 {
+                        let owner_a = ((k * 31 + trial) as usize) % threads;
+                        let owner_b = (owner_a + 3) % threads;
+                        if t == owner_a || t == owner_b {
+                            let v = (t as u32 + 1) * 1000 + k as u32;
+                            if !m.insert_and_set(k, v) {
+                                let partner = m.get_value(k, v);
+                                assert_ne!(partner, v);
+                                lost += 1;
+                            }
+                        }
+                    }
+                    lost
+                })
+            })
+            .collect();
+        let total: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        assert_eq!(total, keys, "trial {trial}");
+    }
+}

@@ -1,0 +1,96 @@
+//! Clarkson–Shor total conflict-size accounting (Theorem 3.1).
+//!
+//! For a random insertion order, Theorem 3.1 bounds the expected total
+//! conflict size of all configurations ever created:
+//!
+//! ```text
+//! E[ sum_{pi in T} |C(pi)| ]  <=  n * g^2 * sum_{i=1}^{n} E[|T(Y_i)|] / i^2
+//! ```
+//!
+//! The E8 experiment measures the left side directly (it is exactly the
+//! number of point-facet conflicts the incremental algorithm touches, i.e.
+//! its work up to constants) and evaluates the right side with the measured
+//! `|T(Y_i)|` as a proxy for the expectation, averaged over seeds.
+
+use crate::depgraph::DepGraphStats;
+
+/// Measured-vs-bound comparison for one run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClarksonShorReport {
+    /// Number of objects.
+    pub n: usize,
+    /// Measured `sum |C(pi)|` over all created configurations.
+    pub measured_total_conflicts: usize,
+    /// The right-hand side `n g^2 sum |T_i| / i^2` with measured `|T_i|`.
+    pub bound: f64,
+    /// `measured / bound` (should be <= ~1 on average over seeds).
+    pub ratio: f64,
+}
+
+/// Evaluate the Theorem 3.1 bound from dependence-graph statistics.
+///
+/// `stats.active_sizes[j]` is `|T(Y_{nb + j})|`; sizes for `i < nb` are
+/// taken as the base-size value (a constant that only slackens the bound).
+pub fn clarkson_shor_report(stats: &DepGraphStats, g: usize, nb: usize) -> ClarksonShorReport {
+    let n = stats.n;
+    let mut bound = 0.0f64;
+    for i in 1..=n {
+        let t_i = if i < nb {
+            *stats.active_sizes.first().unwrap_or(&1)
+        } else {
+            stats.active_sizes[(i - nb).min(stats.active_sizes.len() - 1)]
+        };
+        bound += t_i as f64 / (i as f64 * i as f64);
+    }
+    bound *= (n * g * g) as f64;
+    let measured = stats.total_conflicts;
+    ClarksonShorReport {
+        n,
+        measured_total_conflicts: measured,
+        bound,
+        ratio: measured as f64 / bound,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::depgraph::build_dep_graph;
+    use crate::instances::hull2d::Hull2dSpace;
+    use crate::instances::sorted_pairs::SortedPairsSpace;
+    use crate::space::ConfigurationSpace;
+    use chull_geometry::generators;
+
+    #[test]
+    fn bound_holds_for_sorted_pairs_random_order() {
+        // |T_i| = i + 1 for this space, so the bound is ~ n g^2 H_n.
+        let n = 512;
+        let space = SortedPairsSpace::new(n);
+        let mut ratios = Vec::new();
+        for seed in 0..5 {
+            let order = generators::random_permutation(n, seed);
+            let stats = build_dep_graph(&space, &order, false);
+            let report = clarkson_shor_report(&stats, space.max_degree(), space.base_size());
+            assert!(report.bound > 0.0);
+            ratios.push(report.ratio);
+        }
+        let mean: f64 = ratios.iter().sum::<f64>() / ratios.len() as f64;
+        assert!(mean <= 1.0, "mean measured/bound ratio {mean} exceeds 1");
+    }
+
+    #[test]
+    fn bound_holds_for_hull2d_random_order() {
+        let n = 96;
+        let pts = generators::disk_2d(n, 1 << 20, 21);
+        let space = Hull2dSpace::new(pts);
+        let mut ratios = Vec::new();
+        for seed in 0..4 {
+            let order = generators::random_permutation(n, seed + 50);
+            let stats = build_dep_graph(&space, &order, false);
+            let report = clarkson_shor_report(&stats, space.max_degree(), space.base_size());
+            ratios.push(report.ratio);
+        }
+        let mean: f64 = ratios.iter().sum::<f64>() / ratios.len() as f64;
+        assert!(mean <= 1.0, "mean measured/bound ratio {mean} exceeds 1");
+    }
+}

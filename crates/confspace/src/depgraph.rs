@@ -1,0 +1,215 @@
+//! The configuration dependence graph (Definition 4.1) and its statistics.
+//!
+//! For an insertion order `S = <x_1, ..., x_n>`, let
+//! `V_i = T({x_1..x_i}) \ T({x_1..x_{i-1}})` — the configurations added on
+//! step `i`. The dependence graph has a vertex per added configuration and,
+//! for `i > n_b`, edges from the (≤ k) configurations of
+//! `T({x_1..x_{i-1}})` that support `(pi, x_i)`.
+//!
+//! Theorem 4.2 bounds the depth: for `sigma >= g k e^2`,
+//! `Pr[D(G(S)) >= sigma * H_n] < c * n^{-(sigma - g)}`. The builder below
+//! materializes the graph generically from any [`ConfigurationSpace`]
+//! oracle, records per-configuration depths, and reports the statistics the
+//! E1 experiment tabulates.
+
+use crate::space::ConfigurationSpace;
+use std::collections::HashMap;
+
+/// Statistics of one configuration dependence graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DepGraphStats {
+    /// Number of objects inserted.
+    pub n: usize,
+    /// Longest dependence path `D(G(S))`.
+    pub depth: usize,
+    /// Total number of configurations ever created (`|V|`).
+    pub configs_created: usize,
+    /// Sum over created configurations of their conflict-set sizes
+    /// (the quantity bounded by Theorem 3.1).
+    pub total_conflicts: usize,
+    /// `|T(Y_i)|` for each prefix (used by the Clarkson–Shor bound).
+    pub active_sizes: Vec<usize>,
+    /// Number of configurations at each depth level.
+    pub level_sizes: Vec<usize>,
+}
+
+impl DepGraphStats {
+    /// The harmonic number `H_n`.
+    pub fn harmonic(&self) -> f64 {
+        (1..=self.n).map(|i| 1.0 / i as f64).sum()
+    }
+
+    /// The normalized depth `D(G(S)) / H_n` that Theorem 4.2 predicts is
+    /// bounded by a constant (w.r.t. `n`) with high probability.
+    pub fn depth_over_harmonic(&self) -> f64 {
+        self.depth as f64 / self.harmonic()
+    }
+}
+
+/// Build the configuration dependence graph for `order` and return its
+/// statistics. Generic over the space oracle; cost is dominated by
+/// `n` calls to `active_configs` plus one `support_set` per created
+/// configuration.
+///
+/// When `verify_supports` is set, every support set is additionally checked
+/// against Definition 3.2 (slow; use in tests).
+///
+/// ```
+/// use chull_confspace::{build_dep_graph, instances::sorted_pairs::SortedPairsSpace};
+/// let space = SortedPairsSpace::new(64);
+/// let order = chull_geometry::generators::random_permutation(64, 1);
+/// let stats = build_dep_graph(&space, &order, false);
+/// assert!(stats.depth >= 5 && (stats.depth as f64) < 10.0 * stats.harmonic());
+/// ```
+pub fn build_dep_graph<S: ConfigurationSpace>(
+    space: &S,
+    order: &[usize],
+    verify_supports: bool,
+) -> DepGraphStats {
+    let nb = space.base_size();
+    assert!(order.len() >= nb, "order shorter than the base size");
+
+    // depth of every currently-active configuration, plus bookkeeping for
+    // configurations created earlier (configs are never re-created: once
+    // deactivated a configuration conflicts with an inserted object).
+    let mut depth_of: HashMap<S::Config, usize> = HashMap::new();
+    let mut prev_active: Vec<S::Config> = space.active_configs(&order[..nb]);
+    for cfg in &prev_active {
+        depth_of.insert(cfg.clone(), 0);
+    }
+    let mut configs_created = prev_active.len();
+    let mut total_conflicts: usize = prev_active
+        .iter()
+        .map(|cfg| count_conflicts(space, cfg, order))
+        .sum();
+    let mut active_sizes = vec![prev_active.len()];
+    let mut max_depth = 0usize;
+    let mut level_sizes = vec![prev_active.len()];
+
+    for i in (nb + 1)..=order.len() {
+        let prefix = &order[..i];
+        let x = order[i - 1];
+        let active = space.active_configs(prefix);
+        let prev_set: std::collections::HashSet<&S::Config> = prev_active.iter().collect();
+        for cfg in &active {
+            if prev_set.contains(cfg) {
+                continue;
+            }
+            // Newly added configuration: depends on its support set in
+            // T(Y_{i-1}).
+            let support = space.support_set(prefix, cfg, x);
+            assert!(
+                support.len() <= space.support_bound(),
+                "support set of size {} exceeds k = {}",
+                support.len(),
+                space.support_bound()
+            );
+            if verify_supports {
+                let res = crate::space::check_support(space, prefix, cfg, x);
+                assert_eq!(
+                    res,
+                    crate::space::SupportCheck::Valid,
+                    "invalid support set for {cfg:?} at step {i}"
+                );
+            }
+            let d = 1 + support
+                .iter()
+                .map(|phi| {
+                    *depth_of
+                        .get(phi)
+                        .unwrap_or_else(|| panic!("support config {phi:?} was never created"))
+                })
+                .max()
+                .unwrap_or(0);
+            depth_of.insert(cfg.clone(), d);
+            if d > max_depth {
+                max_depth = d;
+            }
+            if level_sizes.len() <= d {
+                level_sizes.resize(d + 1, 0);
+            }
+            level_sizes[d] += 1;
+            configs_created += 1;
+            total_conflicts += count_conflicts(space, cfg, order);
+        }
+        active_sizes.push(active.len());
+        prev_active = active;
+    }
+
+    DepGraphStats {
+        n: order.len(),
+        depth: max_depth,
+        configs_created,
+        total_conflicts,
+        active_sizes,
+        level_sizes,
+    }
+}
+
+fn count_conflicts<S: ConfigurationSpace>(space: &S, cfg: &S::Config, order: &[usize]) -> usize {
+    order.iter().filter(|&&o| space.conflicts(cfg, o)).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instances::sorted_pairs::SortedPairsSpace;
+
+    #[test]
+    fn sorted_pairs_depth_is_logarithmic() {
+        // The sorted-pairs toy space is exactly a treap: expected depth
+        // O(log n). With n = 256 and a few seeds, depth must stay far below
+        // n and above log2(n) - 1.
+        for seed in 0..3u64 {
+            let n = 256;
+            let space = SortedPairsSpace::new(n);
+            let order = chull_geometry::generators::random_permutation(n, seed);
+            let stats = build_dep_graph(&space, &order, false);
+            assert!(stats.depth >= 7, "depth {} suspiciously small", stats.depth);
+            assert!(
+                stats.depth <= 12 * (n as f64).ln() as usize,
+                "depth {} too large for n = {n}",
+                stats.depth
+            );
+            // Every insertion creates exactly 2 configurations (split one
+            // interval into two), starting from 1 seed interval... plus the
+            // boundary pairs; just check totals are sane.
+            assert!(stats.configs_created >= n - 2);
+        }
+    }
+
+    #[test]
+    fn verify_supports_flag_passes_on_toy_space() {
+        let n = 64;
+        let space = SortedPairsSpace::new(n);
+        let order = chull_geometry::generators::random_permutation(n, 11);
+        let stats = build_dep_graph(&space, &order, true);
+        assert!(stats.depth > 0);
+    }
+
+    #[test]
+    fn sorted_order_insertion_is_deep() {
+        // E12(c): inserting in sorted order makes every new pair depend on
+        // the previous one — depth Theta(n), demonstrating why *randomized*
+        // insertion matters.
+        let n = 128;
+        let space = SortedPairsSpace::new(n);
+        let order: Vec<usize> = (0..n).collect();
+        let stats = build_dep_graph(&space, &order, false);
+        assert!(
+            stats.depth >= n / 2,
+            "sorted insertion should be deep, got {}",
+            stats.depth
+        );
+    }
+
+    #[test]
+    fn level_sizes_sum_to_configs() {
+        let n = 100;
+        let space = SortedPairsSpace::new(n);
+        let order = chull_geometry::generators::random_permutation(n, 3);
+        let stats = build_dep_graph(&space, &order, false);
+        assert_eq!(stats.level_sizes.iter().sum::<usize>(), stats.configs_created);
+        assert_eq!(stats.active_sizes.len(), n - space.base_size() + 1);
+    }
+}

@@ -1,0 +1,246 @@
+//! The 2D convex hull facet configuration space (Section 5, Table 1).
+//!
+//! Objects are input points (general position assumed: no three collinear).
+//! Each ordered pair `(a, b)` of points is a configuration — the oriented
+//! hull edge from `a` to `b` with the hull interior on its left. Its
+//! defining set is `{a, b}` (degree `g = 2`, multiplicity `c = 2` since the
+//! unordered pair defines both orientations) and its conflict set is every
+//! point strictly to the *right* of the directed line `a -> b` (the points
+//! the edge is *visible* from). The active configurations of `Y` are exactly
+//! the counterclockwise hull edges of `Y`.
+//!
+//! Theorem 5.1 says this space has 2-support: the support set for an edge
+//! `t = (r, x)` is the pair of hull edges of `Y \ {x}` incident on the
+//! shared endpoint ("ridge") `r`. This instance is the brute-force oracle
+//! that the E5 experiment and the property tests validate the theorem with.
+
+use crate::space::ConfigurationSpace;
+use chull_geometry::predicates::orient2d;
+use chull_geometry::{Point2i, Sign};
+
+/// An oriented hull edge `from -> to` (object indices).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Edge {
+    /// Source object index.
+    pub from: usize,
+    /// Destination object index.
+    pub to: usize,
+}
+
+/// The 2D hull facet space over a fixed point set.
+pub struct Hull2dSpace {
+    points: Vec<Point2i>,
+}
+
+impl Hull2dSpace {
+    /// Build the space; points must be distinct and in general position
+    /// (no three collinear) for the theorems to apply exactly.
+    pub fn new(points: Vec<Point2i>) -> Hull2dSpace {
+        assert!(points.len() >= 3);
+        Hull2dSpace { points }
+    }
+
+    /// The input points.
+    pub fn points(&self) -> &[Point2i] {
+        &self.points
+    }
+
+    /// Counterclockwise hull of the objects in `objs` (indices into the
+    /// point set), as object indices. Monotone chain with strict turns.
+    pub fn hull_ccw(&self, objs: &[usize]) -> Vec<usize> {
+        let mut idx = objs.to_vec();
+        idx.sort_unstable_by_key(|&i| self.points[i]);
+        idx.dedup();
+        if idx.len() < 3 {
+            return idx;
+        }
+        let p = |i: usize| self.points[i];
+        let mut lower: Vec<usize> = Vec::new();
+        for &i in &idx {
+            while lower.len() >= 2
+                && orient2d(p(lower[lower.len() - 2]), p(lower[lower.len() - 1]), p(i))
+                    != Sign::Positive
+            {
+                lower.pop();
+            }
+            lower.push(i);
+        }
+        let mut upper: Vec<usize> = Vec::new();
+        for &i in idx.iter().rev() {
+            while upper.len() >= 2
+                && orient2d(p(upper[upper.len() - 2]), p(upper[upper.len() - 1]), p(i))
+                    != Sign::Positive
+            {
+                upper.pop();
+            }
+            upper.push(i);
+        }
+        lower.pop();
+        upper.pop();
+        lower.extend(upper);
+        lower
+    }
+}
+
+impl ConfigurationSpace for Hull2dSpace {
+    type Config = Edge;
+
+    fn num_objects(&self) -> usize {
+        self.points.len()
+    }
+    fn max_degree(&self) -> usize {
+        2 // g = d
+    }
+    fn multiplicity(&self) -> usize {
+        2 // "facing up and down" (Table 1)
+    }
+    fn base_size(&self) -> usize {
+        3 // n_b = d + 1
+    }
+    fn support_bound(&self) -> usize {
+        2 // Theorem 5.1
+    }
+
+    fn defining_set(&self, pi: &Edge) -> Vec<usize> {
+        vec![pi.from, pi.to]
+    }
+
+    fn conflicts(&self, pi: &Edge, x: usize) -> bool {
+        if x == pi.from || x == pi.to {
+            return false;
+        }
+        orient2d(self.points[pi.from], self.points[pi.to], self.points[x]) == Sign::Negative
+    }
+
+    fn active_configs(&self, objs: &[usize]) -> Vec<Edge> {
+        let hull = self.hull_ccw(objs);
+        if hull.len() < 3 {
+            return Vec::new();
+        }
+        (0..hull.len())
+            .map(|i| Edge { from: hull[i], to: hull[(i + 1) % hull.len()] })
+            .collect()
+    }
+
+    fn support_set(&self, objs: &[usize], pi: &Edge, x: usize) -> Vec<Edge> {
+        assert!(x == pi.from || x == pi.to, "x must define pi");
+        let r = if x == pi.from { pi.to } else { pi.from };
+        let rest: Vec<usize> = objs.iter().copied().filter(|&o| o != x).collect();
+        let hull = self.hull_ccw(&rest);
+        let pos = hull
+            .iter()
+            .position(|&v| v == r)
+            .unwrap_or_else(|| panic!("ridge {r} not on hull of Y \\ {{x}}"));
+        let n = hull.len();
+        let prev = hull[(pos + n - 1) % n];
+        let next = hull[(pos + 1) % n];
+        vec![Edge { from: prev, to: r }, Edge { from: r, to: next }]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::{check_k_support_along_order, check_support, SupportCheck};
+    use chull_geometry::generators;
+
+    fn square_plus_center() -> Hull2dSpace {
+        Hull2dSpace::new(vec![
+            Point2i::new(0, 0),
+            Point2i::new(10, 0),
+            Point2i::new(10, 10),
+            Point2i::new(0, 10),
+            Point2i::new(5, 5),
+        ])
+    }
+
+    #[test]
+    fn hull_ccw_square() {
+        let s = square_plus_center();
+        let hull = s.hull_ccw(&[0, 1, 2, 3, 4]);
+        assert_eq!(hull.len(), 4);
+        assert!(!hull.contains(&4), "interior point on hull");
+        // Counterclockwise: consecutive triples turn left.
+        for i in 0..hull.len() {
+            let a = s.points()[hull[i]];
+            let b = s.points()[hull[(i + 1) % hull.len()]];
+            let c = s.points()[hull[(i + 2) % hull.len()]];
+            assert_eq!(orient2d(a, b, c), Sign::Positive);
+        }
+    }
+
+    #[test]
+    fn active_configs_are_hull_edges_with_no_conflicts() {
+        let s = square_plus_center();
+        let objs = vec![0, 1, 2, 3, 4];
+        for cfg in s.active_configs(&objs) {
+            for &o in &objs {
+                assert!(!s.conflicts(&cfg, o), "active edge {cfg:?} conflicts with {o}");
+            }
+        }
+    }
+
+    #[test]
+    fn conflict_is_visibility() {
+        let s = square_plus_center();
+        // Edge (0 -> 1) is the bottom edge (hull interior above); a point
+        // below the line y = 0 is visible from it.
+        let e = Edge { from: 0, to: 1 };
+        assert!(!s.conflicts(&e, 2));
+        assert!(!s.conflicts(&e, 4));
+        // No input point is below, so check geometric orientation directly.
+        assert_eq!(
+            orient2d(Point2i::new(0, 0), Point2i::new(10, 0), Point2i::new(3, -5)),
+            Sign::Negative
+        );
+    }
+
+    #[test]
+    fn support_set_is_two_edges_at_ridge() {
+        let s = square_plus_center();
+        // Y = all points; the edge (1 -> 2) with x = 2 has ridge 1;
+        // in hull(Y \ {2}) the two edges at vertex 1 support it.
+        let objs = vec![0, 1, 2, 3, 4];
+        let pi = Edge { from: 1, to: 2 };
+        let sup = s.support_set(&objs, &pi, 2);
+        assert_eq!(sup.len(), 2);
+        assert!(sup.iter().all(|e| e.from == 1 || e.to == 1));
+        assert_eq!(check_support(&s, &objs, &pi, 2), SupportCheck::Valid);
+    }
+
+    #[test]
+    fn theorem_5_1_exhaustive_on_random_inputs() {
+        // E5: every active configuration along random insertion orders has a
+        // valid 2-support set (Definition 3.2 checked by brute force).
+        for seed in 0..3u64 {
+            let pts = generators::disk_2d(16, 1 << 20, seed);
+            let order = generators::random_permutation(pts.len(), seed + 100);
+            let s = Hull2dSpace::new(pts);
+            assert_eq!(
+                check_k_support_along_order(&s, &order),
+                None,
+                "2-support violated (seed {seed})"
+            );
+        }
+    }
+
+    #[test]
+    fn dep_graph_depth_logarithmic_on_hull2d() {
+        use crate::depgraph::build_dep_graph;
+        let n = 128;
+        let pts = generators::disk_2d(n, 1 << 20, 7);
+        let order = generators::random_permutation(n, 8);
+        let s = Hull2dSpace::new(pts);
+        let stats = build_dep_graph(&s, &order, false);
+        let hn = stats.harmonic();
+        // Theorem 4.2 with g = k = 2: depth < sigma * H_n whp for
+        // sigma >= g k e^2 ~ 29.6. Use the theorem's constant as the test
+        // bound; typical observed values are ~2 H_n.
+        assert!(
+            (stats.depth as f64) < 30.0 * hn,
+            "depth {} exceeds theorem bound at n = {n}",
+            stats.depth
+        );
+        assert!(stats.depth >= 2);
+    }
+}

@@ -1,0 +1,230 @@
+//! The ridge-based formulation of convex hull (Section 7, first
+//! paragraph), instantiated in 2D.
+//!
+//! Configurations are hull *ridges with their two incident facets*: in 2D a
+//! ridge is a hull vertex `m` and its two incident edges `(l, m)` and
+//! `(m, r)` — the "corner" at `m`. The defining set is `{l, m, r}`
+//! (`d + 1 = 3` objects, multiplicity `(d+1 choose d-1) = 3`), and the
+//! conflict set is everything visible from either incident edge.
+//!
+//! Section 7 asserts 2-support: for a non-ridge defining point (`l` or `r`)
+//! the support is the single corner at `m` in `Y \ {x}`; for the ridge
+//! point `m` itself, the two corners at `l` and `r` in `Y \ {x}`.
+//! This formulation has the property that adding a configuration deletes
+//! its entire support set, which makes the Clarkson–Shor accounting direct.
+
+use crate::space::ConfigurationSpace;
+use chull_geometry::predicates::orient2d;
+use chull_geometry::{Point2i, Sign};
+
+/// A hull corner: vertex `m` with counterclockwise neighbors `prev -> m ->
+/// next`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Corner2 {
+    /// Counterclockwise predecessor of `m` on the hull.
+    pub prev: usize,
+    /// The ridge vertex.
+    pub m: usize,
+    /// Counterclockwise successor of `m` on the hull.
+    pub next: usize,
+}
+
+/// The 2D ridge (corner) configuration space over a fixed point set.
+pub struct Ridge2dSpace {
+    points: Vec<Point2i>,
+}
+
+impl Ridge2dSpace {
+    /// Build the space; general position assumed.
+    pub fn new(points: Vec<Point2i>) -> Ridge2dSpace {
+        assert!(points.len() >= 3);
+        Ridge2dSpace { points }
+    }
+
+    /// Counterclockwise hull of `objs` (object indices).
+    fn hull_ccw(&self, objs: &[usize]) -> Vec<usize> {
+        let mut idx = objs.to_vec();
+        idx.sort_unstable_by_key(|&i| self.points[i]);
+        idx.dedup();
+        if idx.len() < 3 {
+            return idx;
+        }
+        let p = |i: usize| self.points[i];
+        let mut lower: Vec<usize> = Vec::new();
+        for &i in &idx {
+            while lower.len() >= 2
+                && orient2d(p(lower[lower.len() - 2]), p(lower[lower.len() - 1]), p(i))
+                    != Sign::Positive
+            {
+                lower.pop();
+            }
+            lower.push(i);
+        }
+        let mut upper: Vec<usize> = Vec::new();
+        for &i in idx.iter().rev() {
+            while upper.len() >= 2
+                && orient2d(p(upper[upper.len() - 2]), p(upper[upper.len() - 1]), p(i))
+                    != Sign::Positive
+            {
+                upper.pop();
+            }
+            upper.push(i);
+        }
+        lower.pop();
+        upper.pop();
+        lower.extend(upper);
+        lower
+    }
+
+    fn corner_at(&self, hull: &[usize], m: usize) -> Corner2 {
+        let pos = hull.iter().position(|&v| v == m).expect("vertex not on hull");
+        let k = hull.len();
+        Corner2 { prev: hull[(pos + k - 1) % k], m, next: hull[(pos + 1) % k] }
+    }
+}
+
+impl ConfigurationSpace for Ridge2dSpace {
+    type Config = Corner2;
+
+    fn num_objects(&self) -> usize {
+        self.points.len()
+    }
+    fn max_degree(&self) -> usize {
+        3 // d + 1
+    }
+    fn multiplicity(&self) -> usize {
+        3 // (d+1 choose d-1)
+    }
+    fn base_size(&self) -> usize {
+        3
+    }
+    fn support_bound(&self) -> usize {
+        2
+    }
+
+    fn defining_set(&self, pi: &Corner2) -> Vec<usize> {
+        vec![pi.prev, pi.m, pi.next]
+    }
+
+    fn conflicts(&self, pi: &Corner2, x: usize) -> bool {
+        if x == pi.prev || x == pi.m || x == pi.next {
+            return false;
+        }
+        // Visible from either incident edge (strictly right of a ccw edge).
+        let p = |i: usize| self.points[i];
+        orient2d(p(pi.prev), p(pi.m), p(x)) == Sign::Negative
+            || orient2d(p(pi.m), p(pi.next), p(x)) == Sign::Negative
+    }
+
+    fn active_configs(&self, objs: &[usize]) -> Vec<Corner2> {
+        let hull = self.hull_ccw(objs);
+        if hull.len() < 3 {
+            return Vec::new();
+        }
+        let k = hull.len();
+        (0..k)
+            .map(|i| Corner2 {
+                prev: hull[(i + k - 1) % k],
+                m: hull[i],
+                next: hull[(i + 1) % k],
+            })
+            .collect()
+    }
+
+    fn support_set(&self, objs: &[usize], pi: &Corner2, x: usize) -> Vec<Corner2> {
+        let rest: Vec<usize> = objs.iter().copied().filter(|&o| o != x).collect();
+        let hull = self.hull_ccw(&rest);
+        if x == pi.m {
+            // The ridge point: supported by the corners at both neighbors.
+            vec![self.corner_at(&hull, pi.prev), self.corner_at(&hull, pi.next)]
+        } else {
+            // A facet point: supported by the corner at m alone.
+            vec![self.corner_at(&hull, pi.m)]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::depgraph::build_dep_graph;
+    use crate::space::{check_k_support_along_order, check_support, SupportCheck};
+    use chull_geometry::generators;
+
+    #[test]
+    fn active_corners_of_square() {
+        let s = Ridge2dSpace::new(vec![
+            Point2i::new(0, 0),
+            Point2i::new(10, 0),
+            Point2i::new(10, 10),
+            Point2i::new(0, 10),
+            Point2i::new(5, 5),
+        ]);
+        let corners = s.active_configs(&[0, 1, 2, 3, 4]);
+        assert_eq!(corners.len(), 4);
+        assert!(corners.iter().all(|c| c.m != 4));
+        // Consecutive neighbors are consistent with ccw order.
+        for c in &corners {
+            assert_eq!(
+                orient2d(s.points[c.prev], s.points[c.m], s.points[c.next]),
+                Sign::Positive
+            );
+        }
+    }
+
+    #[test]
+    fn conflicts_union_of_edge_visibility() {
+        let s = Ridge2dSpace::new(vec![
+            Point2i::new(0, 0),
+            Point2i::new(10, 0),
+            Point2i::new(5, 10),
+            Point2i::new(5, -3),  // below the bottom edge
+            Point2i::new(20, 5),  // right of edge (1,2)
+            Point2i::new(5, 3),   // interior
+        ]);
+        let hull = vec![0usize, 1, 2];
+        let corners = s.active_configs(&hull);
+        let at1 = corners.iter().find(|c| c.m == 1).unwrap();
+        assert!(s.conflicts(at1, 3), "below bottom edge");
+        assert!(s.conflicts(at1, 4), "right of right edge");
+        assert!(!s.conflicts(at1, 5), "interior");
+    }
+
+    #[test]
+    fn two_support_both_cases() {
+        let pts = generators::disk_2d(14, 1 << 18, 3);
+        let s = Ridge2dSpace::new(pts);
+        let objs: Vec<usize> = (0..14).collect();
+        for pi in s.active_configs(&objs) {
+            // Case x = m (ridge point) and x = facet point, both checked by
+            // the generic Definition 3.2 oracle.
+            for x in s.defining_set(&pi) {
+                let res = check_support(&s, &objs, &pi, x);
+                assert_eq!(res, SupportCheck::Valid, "{pi:?}, x = {x}");
+            }
+        }
+    }
+
+    #[test]
+    fn exhaustive_two_support_along_orders() {
+        for seed in 0..3u64 {
+            let pts = generators::disk_2d(14, 1 << 18, seed + 9);
+            let order = generators::random_permutation(14, seed);
+            let s = Ridge2dSpace::new(pts);
+            assert_eq!(check_k_support_along_order(&s, &order), None, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn dependence_depth_logarithmic() {
+        let n = 96;
+        let pts = generators::disk_2d(n, 1 << 20, 17);
+        let order = generators::random_permutation(n, 18);
+        let s = Ridge2dSpace::new(pts);
+        let stats = build_dep_graph(&s, &order, false);
+        let hn: f64 = (1..=n).map(|i| 1.0 / i as f64).sum();
+        // g = 3, k = 2: sigma = 6 e^2 ~ 44.
+        assert!((stats.depth as f64) < 45.0 * hn, "depth {}", stats.depth);
+        assert!(stats.depth >= 1);
+    }
+}

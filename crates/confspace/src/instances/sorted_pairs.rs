@@ -1,0 +1,175 @@
+//! A toy configuration space with 1-support: adjacent pairs in sorted order.
+//!
+//! Objects are the integers `0..n` (the object's index is its value).
+//! For an inserted subset `Y`, the active configurations are the adjacent
+//! pairs of the sorted order of `Y` plus two boundary configurations
+//! (`Left` of the minimum, `Right` of the maximum). A pair `(a, b)`
+//! conflicts with every value strictly between `a` and `b`.
+//!
+//! Inserting values in random order makes the dependence graph exactly the
+//! recursion tree of a treap, so its depth is `O(log n)` whp — this space is
+//! the simplest nontrivial witness of Theorem 4.2 and the primary test load
+//! for the generic dependence-graph builder.
+
+use crate::space::ConfigurationSpace;
+
+/// Configurations of the sorted-pairs space.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum PairConfig {
+    /// `a` and `b` are adjacent in sorted order (`a < b`).
+    Pair(usize, usize),
+    /// `a` is the minimum of the inserted set.
+    Left(usize),
+    /// `a` is the maximum of the inserted set.
+    Right(usize),
+}
+
+/// The sorted-pairs configuration space over objects `0..n`.
+pub struct SortedPairsSpace {
+    n: usize,
+}
+
+impl SortedPairsSpace {
+    /// A space over `n` objects (values `0..n`).
+    pub fn new(n: usize) -> SortedPairsSpace {
+        assert!(n >= 2);
+        SortedPairsSpace { n }
+    }
+}
+
+impl ConfigurationSpace for SortedPairsSpace {
+    type Config = PairConfig;
+
+    fn num_objects(&self) -> usize {
+        self.n
+    }
+    fn max_degree(&self) -> usize {
+        2
+    }
+    fn multiplicity(&self) -> usize {
+        2 // a singleton {a} defines both Left(a) and Right(a)
+    }
+    fn base_size(&self) -> usize {
+        1
+    }
+    fn support_bound(&self) -> usize {
+        1
+    }
+
+    fn defining_set(&self, pi: &PairConfig) -> Vec<usize> {
+        match *pi {
+            PairConfig::Pair(a, b) => vec![a, b],
+            PairConfig::Left(a) | PairConfig::Right(a) => vec![a],
+        }
+    }
+
+    fn conflicts(&self, pi: &PairConfig, x: usize) -> bool {
+        match *pi {
+            PairConfig::Pair(a, b) => a < x && x < b,
+            PairConfig::Left(a) => x < a,
+            PairConfig::Right(a) => x > a,
+        }
+    }
+
+    fn active_configs(&self, objs: &[usize]) -> Vec<PairConfig> {
+        let mut sorted = objs.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        let mut out = Vec::with_capacity(sorted.len() + 1);
+        if let (Some(&min), Some(&max)) = (sorted.first(), sorted.last()) {
+            out.push(PairConfig::Left(min));
+            out.push(PairConfig::Right(max));
+        }
+        for w in sorted.windows(2) {
+            out.push(PairConfig::Pair(w[0], w[1]));
+        }
+        out
+    }
+
+    fn support_set(&self, objs: &[usize], pi: &PairConfig, x: usize) -> Vec<PairConfig> {
+        let mut rest: Vec<usize> = objs.iter().copied().filter(|&o| o != x).collect();
+        rest.sort_unstable();
+        assert!(!rest.is_empty(), "support undefined below the base size");
+        let succ = |v: usize| rest.iter().copied().find(|&o| o > v);
+        let pred = |v: usize| rest.iter().rev().copied().find(|&o| o < v);
+        let cfg = match *pi {
+            PairConfig::Pair(a, b) if x == b => match succ(a) {
+                Some(c) => PairConfig::Pair(a, c),
+                None => PairConfig::Right(a),
+            },
+            PairConfig::Pair(a, b) => {
+                assert_eq!(x, a, "x must be a defining object of pi");
+                match pred(b) {
+                    Some(p) => PairConfig::Pair(p, b),
+                    None => PairConfig::Left(b),
+                }
+            }
+            PairConfig::Left(a) => {
+                assert_eq!(x, a);
+                PairConfig::Left(rest[0])
+            }
+            PairConfig::Right(a) => {
+                assert_eq!(x, a);
+                PairConfig::Right(*rest.last().unwrap())
+            }
+        };
+        vec![cfg]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::{check_k_support_along_order, check_support, SupportCheck};
+
+    #[test]
+    fn active_configs_of_sorted_set() {
+        let s = SortedPairsSpace::new(10);
+        let active = s.active_configs(&[7, 2, 5]);
+        assert!(active.contains(&PairConfig::Left(2)));
+        assert!(active.contains(&PairConfig::Pair(2, 5)));
+        assert!(active.contains(&PairConfig::Pair(5, 7)));
+        assert!(active.contains(&PairConfig::Right(7)));
+        assert_eq!(active.len(), 4);
+    }
+
+    #[test]
+    fn conflicts_are_open_intervals() {
+        let s = SortedPairsSpace::new(10);
+        let p = PairConfig::Pair(2, 6);
+        assert!(!s.conflicts(&p, 2));
+        assert!(s.conflicts(&p, 3));
+        assert!(s.conflicts(&p, 5));
+        assert!(!s.conflicts(&p, 6));
+        assert!(!s.conflicts(&p, 8));
+        assert!(s.conflicts(&PairConfig::Left(4), 1));
+        assert!(s.conflicts(&PairConfig::Right(4), 9));
+    }
+
+    #[test]
+    fn support_sets_satisfy_definition() {
+        let s = SortedPairsSpace::new(12);
+        // Y = {1, 4, 8, 10}; pi = Pair(4, 8); x = 8.
+        let y = vec![1, 4, 8, 10];
+        assert_eq!(
+            check_support(&s, &y, &PairConfig::Pair(4, 8), 8),
+            SupportCheck::Valid
+        );
+        assert_eq!(
+            check_support(&s, &y, &PairConfig::Pair(4, 8), 4),
+            SupportCheck::Valid
+        );
+        assert_eq!(check_support(&s, &y, &PairConfig::Left(1), 1), SupportCheck::Valid);
+        assert_eq!(check_support(&s, &y, &PairConfig::Right(10), 10), SupportCheck::Valid);
+    }
+
+    #[test]
+    fn exhaustive_k_support_random_orders() {
+        for seed in 0..5 {
+            let n = 24;
+            let s = SortedPairsSpace::new(n);
+            let order = chull_geometry::generators::random_permutation(n, seed);
+            assert_eq!(check_k_support_along_order(&s, &order), None);
+        }
+    }
+}

@@ -1,0 +1,27 @@
+//! # chull-confspace
+//!
+//! The theoretical framework of *Randomized Incremental Convex Hull is
+//! Highly Parallel* (Blelloch, Gu, Shun, Sun — SPAA 2020), executable:
+//!
+//! * [`space`] — configuration spaces, support sets (Definition 3.2), and
+//!   brute-force checkers for `k`-support (Definition 3.3);
+//! * [`depgraph`] — the configuration dependence graph (Definition 4.1) and
+//!   its depth statistics (the object of Theorems 1.1 / 4.2);
+//! * [`clarkson_shor`] — the total conflict-size bound (Theorem 3.1);
+//! * [`instances`] — concrete spaces: the 2D hull facet space (Section 5)
+//!   and a 1-support toy space used to validate the generic machinery.
+//!
+//! The high-performance measurement paths for large `n` live in
+//! `chull-core::instrument`; this crate is the *oracle* that those paths
+//! are validated against on small inputs.
+
+#![warn(missing_docs)]
+
+pub mod clarkson_shor;
+pub mod depgraph;
+pub mod instances;
+pub mod space;
+
+pub use clarkson_shor::{clarkson_shor_report, ClarksonShorReport};
+pub use depgraph::{build_dep_graph, DepGraphStats};
+pub use space::{check_k_support_along_order, check_support, ConfigurationSpace, SupportCheck};

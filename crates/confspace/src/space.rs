@@ -1,0 +1,148 @@
+//! Configuration spaces with support sets (Sections 3 and 4 of the paper).
+//!
+//! A configuration space `(X, Pi)` consists of objects `X` (identified here
+//! by indices `0..n`) and configurations, each with a *defining set*
+//! `D(pi) ⊆ X` and a *conflict set* `C(pi) ⊆ X \ D(pi)`. A configuration is
+//! *active* w.r.t. `Y ⊆ X` if `D(pi) ⊆ Y` and `C(pi) ∩ Y = ∅`.
+//!
+//! The paper's new notion is the **support set** (Definition 3.2): `Phi` is
+//! a support set for `(pi, x)` if
+//!
+//! 1. `D(pi) ⊆ D(Phi) ∪ {x}`, and
+//! 2. `C(pi) ∪ {x} ⊆ C(Phi)`.
+//!
+//! A space has *k-support* (Definition 3.3) if every active configuration
+//! and defining object has a support set of size at most `k` that is active
+//! before `x` is added. The trait below exposes exactly the oracles needed
+//! to *check* these definitions on concrete instances and to build the
+//! configuration dependence graph of Definition 4.1.
+
+use std::collections::HashSet;
+use std::fmt::Debug;
+use std::hash::Hash;
+
+/// A configuration space instance over objects `0..num_objects()`.
+pub trait ConfigurationSpace {
+    /// Configuration identifier (e.g. an oriented facet).
+    type Config: Clone + Eq + Hash + Debug;
+
+    /// Total number of objects in `X`.
+    fn num_objects(&self) -> usize;
+
+    /// Maximum degree `g`: an upper bound on `|D(pi)|`.
+    fn max_degree(&self) -> usize;
+
+    /// Multiplicity `c`: max number of configurations per defining set.
+    fn multiplicity(&self) -> usize;
+
+    /// Base size `n_b`: the prefix treated as the seed (no dependencies).
+    fn base_size(&self) -> usize;
+
+    /// Claimed support bound `k` (2 for convex hulls, Theorem 5.1).
+    fn support_bound(&self) -> usize;
+
+    /// The defining set `D(pi)` as object indices.
+    fn defining_set(&self, pi: &Self::Config) -> Vec<usize>;
+
+    /// Whether object `x` is in the conflict set `C(pi)`.
+    fn conflicts(&self, pi: &Self::Config, x: usize) -> bool;
+
+    /// The active configurations `T(Y)` for the object subset `Y`.
+    fn active_configs(&self, objs: &[usize]) -> Vec<Self::Config>;
+
+    /// The support set for `(pi, x)` within `T(Y \ {x})`, where `objs = Y`
+    /// and `pi ∈ T(Y)` with `x ∈ D(pi)`. Must return at most
+    /// [`support_bound`](Self::support_bound) configurations.
+    fn support_set(&self, objs: &[usize], pi: &Self::Config, x: usize) -> Vec<Self::Config>;
+}
+
+/// Outcome of checking Definition 3.2 for one `(pi, x)` pair.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SupportCheck {
+    /// Both containment conditions hold and the size bound is respected.
+    Valid,
+    /// The support set is larger than the claimed `k`.
+    TooLarge(usize),
+    /// Condition (1) fails: some defining object of `pi` is neither `x` nor
+    /// defined by the support set.
+    DefiningNotCovered(usize),
+    /// Condition (2) fails: some object of `C(pi) ∪ {x}` does not conflict
+    /// with the support set.
+    ConflictNotCovered(usize),
+    /// The returned support configurations are not all active in
+    /// `T(Y \ {x})`.
+    NotActive,
+}
+
+/// Check Definition 3.2 and the activity requirement of Definition 3.3 for
+/// one active configuration `pi ∈ T(Y)` and one `x ∈ D(pi)`.
+///
+/// `objs` is `Y`. This is the brute-force oracle used by the test suites to
+/// validate Theorem 5.1 (2-support for hulls) and Lemma 6.2 (4-support for
+/// corners) on concrete inputs.
+pub fn check_support<S: ConfigurationSpace>(
+    space: &S,
+    objs: &[usize],
+    pi: &S::Config,
+    x: usize,
+) -> SupportCheck {
+    let support = space.support_set(objs, pi, x);
+    if support.len() > space.support_bound() {
+        return SupportCheck::TooLarge(support.len());
+    }
+
+    // Activity: every support configuration must be active w.r.t. Y \ {x}.
+    let rest: Vec<usize> = objs.iter().copied().filter(|&o| o != x).collect();
+    let active: HashSet<S::Config> = space.active_configs(&rest).into_iter().collect();
+    if !support.iter().all(|phi| active.contains(phi)) {
+        return SupportCheck::NotActive;
+    }
+
+    // Condition (1): D(pi) ⊆ D(Phi) ∪ {x}.
+    let d_phi: HashSet<usize> = support.iter().flat_map(|phi| space.defining_set(phi)).collect();
+    for d in space.defining_set(pi) {
+        if d != x && !d_phi.contains(&d) {
+            return SupportCheck::DefiningNotCovered(d);
+        }
+    }
+
+    // Condition (2): C(pi) ∪ {x} ⊆ C(Phi). Checked over all objects.
+    let in_c_phi = |o: usize| support.iter().any(|phi| space.conflicts(phi, o));
+    if !in_c_phi(x) {
+        return SupportCheck::ConflictNotCovered(x);
+    }
+    for o in 0..space.num_objects() {
+        if space.conflicts(pi, o) && !in_c_phi(o) {
+            return SupportCheck::ConflictNotCovered(o);
+        }
+    }
+    SupportCheck::Valid
+}
+
+/// Check `k`-support (Definition 3.3) for every active configuration of
+/// every prefix of `order`, returning the first violation found.
+///
+/// Exhaustive and therefore quadratic-ish; intended for moderate `n` in
+/// tests and the E5/E6 experiments.
+pub fn check_k_support_along_order<S: ConfigurationSpace>(
+    space: &S,
+    order: &[usize],
+) -> Option<(usize, S::Config, usize, SupportCheck)> {
+    for i in space.base_size()..=order.len() {
+        let prefix = &order[..i];
+        for pi in space.active_configs(prefix) {
+            for x in space.defining_set(&pi) {
+                // Only objects beyond the seed prefix participate in
+                // dependencies (Definition 4.1 starts at i > n_b).
+                if prefix[..space.base_size()].contains(&x) {
+                    continue;
+                }
+                let res = check_support(space, prefix, &pi, x);
+                if res != SupportCheck::Valid {
+                    return Some((i, pi, x, res));
+                }
+            }
+        }
+    }
+    None
+}

@@ -1,0 +1,133 @@
+//! Brute-force facet enumeration: the `O(n^{d+1})` ground-truth oracle.
+//!
+//! Enumerates every `d`-subset of points and keeps it iff all remaining
+//! points lie (weakly) on one side of its hyperplane, with at least one
+//! strictly off it. Exact and dimension-generic; usable only for small `n`,
+//! which is exactly its job: validating the real algorithms.
+
+use crate::facet::facet_verts;
+use crate::output::HullOutput;
+use chull_geometry::predicates::orientd;
+use chull_geometry::{PointSet, Sign};
+
+/// All hull facets of `pts` by exhaustive search. Requires general position
+/// for the output to be a simplicial complex (otherwise coplanar subsets
+/// each report a facet).
+pub fn hull_output(pts: &PointSet) -> HullOutput {
+    let dim = pts.dim();
+    let n = pts.len();
+    assert!(n >= dim + 1, "too few points");
+    let mut facets = Vec::new();
+    let mut subset: Vec<usize> = (0..dim).collect();
+    loop {
+        if is_facet(pts, &subset) {
+            let ids: Vec<u32> = subset.iter().map(|&i| i as u32).collect();
+            facets.push(facet_verts(&ids));
+        }
+        // Next combination.
+        let mut i = dim;
+        loop {
+            if i == 0 {
+                return HullOutput { dim, facets };
+            }
+            i -= 1;
+            if subset[i] != i + n - dim {
+                subset[i] += 1;
+                for j in (i + 1)..dim {
+                    subset[j] = subset[j - 1] + 1;
+                }
+                break;
+            }
+        }
+    }
+}
+
+fn is_facet(pts: &PointSet, subset: &[usize]) -> bool {
+    let dim = pts.dim();
+    let rows: Vec<&[i64]> = subset.iter().map(|&i| pts.point(i)).collect();
+    let mut seen: Option<Sign> = None;
+    let mut any_strict = false;
+    for q in 0..pts.len() {
+        if subset.contains(&q) {
+            continue;
+        }
+        let mut all_rows = rows.clone();
+        all_rows.push(pts.point(q));
+        match orientd(dim, &all_rows) {
+            Sign::Zero => {}
+            s => {
+                any_strict = true;
+                match seen {
+                    None => seen = Some(s),
+                    Some(prev) if prev != s => return false,
+                    _ => {}
+                }
+            }
+        }
+    }
+    any_strict
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baseline::monotone_chain;
+    use crate::seq::incremental_hull_run;
+    use chull_geometry::generators;
+
+    #[test]
+    fn matches_monotone_chain_2d() {
+        for seed in 0..3u64 {
+            let pts2 = generators::disk_2d(14, 1 << 12, seed);
+            let ps = PointSet::from_points2(&pts2);
+            assert_eq!(
+                hull_output(&ps).canonical(),
+                monotone_chain::hull_output(&pts2).canonical(),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn matches_incremental_3d() {
+        for seed in 0..3u64 {
+            let pts3 = generators::ball_3d(12, 1 << 12, seed);
+            let ps = PointSet::from_points3(&pts3);
+            let prepared = crate::context::prepare_points(&ps, seed);
+            let run = incremental_hull_run(&prepared);
+            assert_eq!(
+                hull_output(&prepared).canonical(),
+                run.output.canonical(),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn simplex_has_d_plus_1_facets() {
+        for dim in 2..=5usize {
+            let mut rows = vec![vec![0i64; dim]];
+            for i in 0..dim {
+                let mut r = vec![0i64; dim];
+                r[i] = 7;
+                rows.push(r);
+            }
+            let ps = PointSet::from_rows(dim, &rows);
+            assert_eq!(hull_output(&ps).num_facets(), dim + 1, "dim {dim}");
+        }
+    }
+
+    #[test]
+    fn matches_incremental_4d_and_5d() {
+        for dim in [4usize, 5] {
+            let ps = generators::cube_d(dim, 11, 1 << 10, 42);
+            let prepared = crate::context::prepare_points(&ps, 1);
+            let run = incremental_hull_run(&prepared);
+            assert_eq!(
+                hull_output(&prepared).canonical(),
+                run.output.canonical(),
+                "dim {dim}"
+            );
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! 2D gift wrapping (Jarvis march): the `O(n h)` output-sensitive baseline.
+
+use chull_geometry::predicates::orient2d;
+use chull_geometry::{Point2i, Sign};
+
+/// Hull vertex indices in counterclockwise order (strict hull).
+pub fn hull_indices(points: &[Point2i]) -> Vec<u32> {
+    let n = points.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    // Start from the lexicographically smallest point.
+    let start = (0..n as u32).min_by_key(|&i| points[i as usize]).unwrap();
+    let mut hull = vec![start];
+    let mut cur = start;
+    loop {
+        // Candidate: the point such that all others are to the left of
+        // cur -> candidate (ties: farthest wins so collinear mid-points are
+        // skipped).
+        let mut best: Option<u32> = None;
+        for i in 0..n as u32 {
+            if i == cur || points[i as usize] == points[cur as usize] {
+                continue;
+            }
+            match best {
+                None => best = Some(i),
+                Some(b) => {
+                    match orient2d(points[cur as usize], points[b as usize], points[i as usize]) {
+                        Sign::Negative => best = Some(i),
+                        Sign::Zero => {
+                            // Collinear: keep the farther one.
+                            let db = dist2(points[cur as usize], points[b as usize]);
+                            let di = dist2(points[cur as usize], points[i as usize]);
+                            if di > db {
+                                best = Some(i);
+                            }
+                        }
+                        Sign::Positive => {}
+                    }
+                }
+            }
+        }
+        let next = match best {
+            Some(b) => b,
+            None => break, // all points coincide
+        };
+        if next == start {
+            break;
+        }
+        hull.push(next);
+        cur = next;
+        assert!(hull.len() <= n, "gift wrapping failed to terminate");
+    }
+    hull
+}
+
+fn dist2(a: Point2i, b: Point2i) -> i128 {
+    let dx = a.x as i128 - b.x as i128;
+    let dy = a.y as i128 - b.y as i128;
+    dx * dx + dy * dy
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baseline::monotone_chain;
+    use chull_geometry::generators;
+
+    #[test]
+    fn matches_monotone_chain() {
+        for seed in 0..4u64 {
+            let pts = generators::disk_2d(150, 1 << 16, seed);
+            let mut gw = hull_indices(&pts);
+            let mut mc = monotone_chain::hull_indices(&pts);
+            gw.sort_unstable();
+            mc.sort_unstable();
+            assert_eq!(gw, mc, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn collinear_points_skipped() {
+        use chull_geometry::Point2i;
+        let pts = vec![
+            Point2i::new(0, 0),
+            Point2i::new(2, 0),
+            Point2i::new(4, 0), // collinear on bottom edge
+            Point2i::new(4, 4),
+            Point2i::new(0, 4),
+        ];
+        let h = hull_indices(&pts);
+        assert_eq!(h.len(), 4);
+        assert!(!h.contains(&1));
+    }
+
+    #[test]
+    fn single_and_duplicate_points() {
+        use chull_geometry::Point2i;
+        assert_eq!(hull_indices(&[Point2i::new(3, 3)]), vec![0]);
+        let h = hull_indices(&[Point2i::new(1, 1), Point2i::new(1, 1)]);
+        assert_eq!(h, vec![0]);
+    }
+}

@@ -1,0 +1,6 @@
+//! Baseline hull algorithms: oracles and benchmark anchors.
+
+pub mod brute;
+pub mod giftwrap;
+pub mod monotone_chain;
+pub mod quickhull2d;

@@ -1,0 +1,121 @@
+//! Andrew's monotone chain: the exact `O(n log n)` 2D baseline.
+//!
+//! The fastest comparison-based 2D hull; used as the ground-truth oracle for
+//! every 2D test and as the sequential baseline in the benchmarks.
+
+use crate::facet::facet_verts;
+use crate::output::HullOutput;
+use chull_geometry::predicates::orient2d;
+use chull_geometry::{Point2i, Sign};
+
+/// Hull vertex indices in counterclockwise order (strict hull: collinear
+/// boundary points are excluded). Returns all distinct points if fewer than
+/// 3 or all collinear.
+pub fn hull_indices(points: &[Point2i]) -> Vec<u32> {
+    let mut idx: Vec<u32> = (0..points.len() as u32).collect();
+    idx.sort_unstable_by_key(|&i| points[i as usize]);
+    idx.dedup_by_key(|i| points[*i as usize]);
+    if idx.len() < 3 {
+        return idx;
+    }
+    let p = |i: u32| points[i as usize];
+    let mut lower: Vec<u32> = Vec::new();
+    for &i in &idx {
+        while lower.len() >= 2
+            && orient2d(p(lower[lower.len() - 2]), p(lower[lower.len() - 1]), p(i))
+                != Sign::Positive
+        {
+            lower.pop();
+        }
+        lower.push(i);
+    }
+    let mut upper: Vec<u32> = Vec::new();
+    for &i in idx.iter().rev() {
+        while upper.len() >= 2
+            && orient2d(p(upper[upper.len() - 2]), p(upper[upper.len() - 1]), p(i))
+                != Sign::Positive
+        {
+            upper.pop();
+        }
+        upper.push(i);
+    }
+    lower.pop();
+    upper.pop();
+    if upper.len() + lower.len() < 3 {
+        // Fully collinear input: return the two extremes.
+        let mut ends = vec![*idx.first().unwrap(), *idx.last().unwrap()];
+        ends.dedup();
+        return ends;
+    }
+    lower.extend(upper);
+    lower
+}
+
+/// The hull as a [`HullOutput`] (edges between cyclically adjacent hull
+/// vertices), comparable with the incremental algorithms' output.
+pub fn hull_output(points: &[Point2i]) -> HullOutput {
+    let h = hull_indices(points);
+    let facets = (0..h.len())
+        .map(|i| facet_verts(&[h[i], h[(i + 1) % h.len()]]))
+        .collect();
+    HullOutput { dim: 2, facets }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(x: i64, y: i64) -> Point2i {
+        Point2i::new(x, y)
+    }
+
+    #[test]
+    fn square_with_interior_and_boundary_points() {
+        let pts = vec![
+            p(0, 0),
+            p(10, 0),
+            p(10, 10),
+            p(0, 10),
+            p(5, 5),  // interior
+            p(5, 0),  // on edge: excluded by strict hull
+            p(0, 5),
+        ];
+        let h = hull_indices(&pts);
+        assert_eq!(h.len(), 4);
+        let hull_set: std::collections::BTreeSet<u32> = h.into_iter().collect();
+        assert_eq!(hull_set, [0u32, 1, 2, 3].into_iter().collect());
+    }
+
+    #[test]
+    fn counterclockwise_order() {
+        let pts = vec![p(0, 0), p(4, 0), p(4, 4), p(0, 4)];
+        let h = hull_indices(&pts);
+        for i in 0..h.len() {
+            let a = pts[h[i] as usize];
+            let b = pts[h[(i + 1) % h.len()] as usize];
+            let c = pts[h[(i + 2) % h.len()] as usize];
+            assert_eq!(orient2d(a, b, c), Sign::Positive);
+        }
+    }
+
+    #[test]
+    fn collinear_input() {
+        let pts = vec![p(0, 0), p(1, 1), p(2, 2), p(3, 3)];
+        let h = hull_indices(&pts);
+        assert_eq!(h.len(), 2);
+    }
+
+    #[test]
+    fn duplicates_collapse() {
+        let pts = vec![p(0, 0), p(0, 0), p(5, 0), p(5, 0), p(0, 5)];
+        let h = hull_indices(&pts);
+        assert_eq!(h.len(), 3);
+    }
+
+    #[test]
+    fn hull_output_is_closed_cycle() {
+        let pts = vec![p(0, 0), p(9, 1), p(7, 8), p(1, 7), p(4, 4)];
+        let out = hull_output(&pts);
+        assert_eq!(out.num_facets(), out.vertices().len());
+    }
+}

@@ -1,0 +1,156 @@
+//! 2D quickhull: the classic divide-and-conquer baseline.
+//!
+//! Expected `O(n log n)` on random inputs, `O(n^2)` worst case. Included
+//! because divide-and-conquer is the approach the paper contrasts the
+//! incremental method against (Section 2), and as an independent oracle.
+
+use crate::facet::facet_verts;
+use crate::output::HullOutput;
+use chull_geometry::predicates::orient2d;
+use chull_geometry::{Point2i, Sign};
+
+/// Squared-ish distance proxy: twice the signed area of `(a, b, p)`;
+/// larger magnitude = farther from line `a-b`. Exact in `i128`.
+fn line_dist2(a: Point2i, b: Point2i, p: Point2i) -> i128 {
+    let v = (b.x as i128 - a.x as i128) * (p.y as i128 - a.y as i128)
+        - (b.y as i128 - a.y as i128) * (p.x as i128 - a.x as i128);
+    v.abs()
+}
+
+fn find_side(
+    points: &[Point2i],
+    subset: &[u32],
+    a: u32,
+    b: u32,
+    out: &mut Vec<u32>,
+) {
+    // Points strictly right of directed line a -> b (the outside region
+    // when walking the hull counterclockwise from a to b).
+    let pa = points[a as usize];
+    let pb = points[b as usize];
+    for &i in subset {
+        if i != a && i != b && orient2d(pa, pb, points[i as usize]) == Sign::Negative {
+            out.push(i);
+        }
+    }
+}
+
+fn quickhull_rec(points: &[Point2i], subset: &[u32], a: u32, b: u32, hull: &mut Vec<u32>) {
+    if subset.is_empty() {
+        return;
+    }
+    let pa = points[a as usize];
+    let pb = points[b as usize];
+    // Farthest point from the line; ties broken by index for determinism.
+    let &far = subset
+        .iter()
+        .max_by_key(|&&i| (line_dist2(pa, pb, points[i as usize]), std::cmp::Reverse(i)))
+        .unwrap();
+    let mut left1 = Vec::new();
+    let mut left2 = Vec::new();
+    find_side(points, subset, a, far, &mut left1);
+    find_side(points, subset, far, b, &mut left2);
+    quickhull_rec(points, &left1, a, far, hull);
+    hull.push(far);
+    quickhull_rec(points, &left2, far, b, hull);
+}
+
+/// Hull vertex indices in counterclockwise order.
+pub fn hull_indices(points: &[Point2i]) -> Vec<u32> {
+    if points.is_empty() {
+        return Vec::new();
+    }
+    let all: Vec<u32> = (0..points.len() as u32).collect();
+    // Extremes in x (ties by y) are hull vertices.
+    let &min = all.iter().min_by_key(|&&i| points[i as usize]).unwrap();
+    let &max = all.iter().max_by_key(|&&i| points[i as usize]).unwrap();
+    if points[min as usize] == points[max as usize] {
+        return vec![min]; // all points identical
+    }
+    let mut below = Vec::new(); // strictly right of min->max = below
+    let mut above = Vec::new();
+    let pmin = points[min as usize];
+    let pmax = points[max as usize];
+    for &i in &all {
+        if i == min || i == max {
+            continue;
+        }
+        match orient2d(pmin, pmax, points[i as usize]) {
+            Sign::Positive => above.push(i),
+            Sign::Negative => below.push(i),
+            Sign::Zero => {}
+        }
+    }
+    if above.is_empty() && below.is_empty() {
+        return vec![min, max]; // collinear input
+    }
+    let mut hull = Vec::new();
+    hull.push(min);
+    quickhull_rec(points, &below, min, max, &mut hull);
+    hull.push(max);
+    quickhull_rec(points, &above, max, min, &mut hull);
+    hull
+}
+
+/// The hull as a [`HullOutput`].
+pub fn hull_output(points: &[Point2i]) -> HullOutput {
+    let h = hull_indices(points);
+    let facets = (0..h.len())
+        .map(|i| facet_verts(&[h[i], h[(i + 1) % h.len()]]))
+        .collect();
+    HullOutput { dim: 2, facets }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baseline::monotone_chain;
+    use chull_geometry::generators;
+
+    #[test]
+    fn matches_monotone_chain_on_random_inputs() {
+        for seed in 0..5u64 {
+            let pts = generators::disk_2d(300, 1 << 20, seed);
+            let mut qh = hull_indices(&pts);
+            let mut mc = monotone_chain::hull_indices(&pts);
+            qh.sort_unstable();
+            mc.sort_unstable();
+            assert_eq!(qh, mc, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn matches_on_convex_position() {
+        let pts = generators::parabola_2d(100, 7);
+        assert_eq!(
+            hull_output(&pts).canonical(),
+            monotone_chain::hull_output(&pts).canonical()
+        );
+    }
+
+    #[test]
+    fn ccw_order() {
+        use chull_geometry::predicates::orient2d;
+        use chull_geometry::Sign;
+        let pts = generators::disk_2d(60, 1 << 12, 9);
+        let h = hull_indices(&pts);
+        assert!(h.len() >= 3);
+        for i in 0..h.len() {
+            let a = pts[h[i] as usize];
+            let b = pts[h[(i + 1) % h.len()] as usize];
+            let c = pts[h[(i + 2) % h.len()] as usize];
+            assert_eq!(orient2d(a, b, c), Sign::Positive);
+        }
+    }
+
+    #[test]
+    fn degenerate_small_inputs() {
+        use chull_geometry::Point2i;
+        assert_eq!(hull_indices(&[]).len(), 0);
+        assert_eq!(hull_indices(&[Point2i::new(1, 1)]), vec![0]);
+        assert_eq!(
+            hull_indices(&[Point2i::new(0, 0), Point2i::new(1, 1), Point2i::new(2, 2)]).len(),
+            2
+        );
+    }
+}

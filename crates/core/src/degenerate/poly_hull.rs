@@ -1,0 +1,424 @@
+//! A degeneracy-tolerant 3D convex hull with polygonal faces: the exact,
+//! brute-force substrate for the Section 6 corner configuration space.
+//!
+//! Handles four-or-more coplanar points and collinear runs: faces are
+//! reported as convex polygons whose vertices are the *corner* points (the
+//! paper's note: collinear edge points keep only the outermost two, and
+//! face-interior points are dropped). `O(n^4)`; built for validating
+//! Lemmas 6.1 and 6.2 on small degenerate inputs, not for production runs.
+
+use chull_geometry::predicates::orient3d;
+use chull_geometry::{Point3i, Sign};
+use std::collections::BTreeSet;
+
+/// Coordinate bound under which all i128 intermediate products here are
+/// overflow-safe with huge margin.
+pub const DEGEN_MAX_COORD: i64 = 1 << 20;
+
+/// One polygonal face of the hull.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PolyFace {
+    /// All input points lying on the face plane (sorted ids), including
+    /// non-vertex interior/collinear points.
+    pub on_plane: Vec<u32>,
+    /// The face polygon's vertices in cyclic order (corner points only).
+    pub cycle: Vec<u32>,
+}
+
+/// A corner of the hull: `pm` is the corner point, `a < b` its two
+/// neighboring polygon vertices, and `side` the empty ("outward") side of
+/// the ordered triple `(a, pm, b)` — `orient3d(a, pm, b, q) == side` means
+/// `q` is strictly outside the face plane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Corner {
+    /// The corner point.
+    pub pm: u32,
+    /// Smaller neighbor id.
+    pub a: u32,
+    /// Larger neighbor id.
+    pub b: u32,
+    /// Outward side of the ordered triple `(a, pm, b)`:
+    /// `true` = `Sign::Positive`, `false` = `Sign::Negative`.
+    pub side_positive: bool,
+}
+
+impl Corner {
+    /// The outward side as a [`Sign`].
+    pub fn side(&self) -> Sign {
+        if self.side_positive {
+            Sign::Positive
+        } else {
+            Sign::Negative
+        }
+    }
+}
+
+/// The polygonal hull: faces plus the flattened corner list.
+#[derive(Debug, Clone)]
+pub struct PolyHull {
+    /// Polygonal faces.
+    pub faces: Vec<PolyFace>,
+    /// All corners of all faces (deduplicated, sorted).
+    pub corners: Vec<Corner>,
+}
+
+#[inline]
+fn sub(p: Point3i, q: Point3i) -> [i128; 3] {
+    [p.x as i128 - q.x as i128, p.y as i128 - q.y as i128, p.z as i128 - q.z as i128]
+}
+
+#[inline]
+fn cross(u: [i128; 3], v: [i128; 3]) -> [i128; 3] {
+    [
+        u[1] * v[2] - u[2] * v[1],
+        u[2] * v[0] - u[0] * v[2],
+        u[0] * v[1] - u[1] * v[0],
+    ]
+}
+
+#[inline]
+fn dot(u: [i128; 3], v: [i128; 3]) -> i128 {
+    u[0] * v[0] + u[1] * v[1] + u[2] * v[2]
+}
+
+/// Sign of the in-plane orientation of `(x, y, z)` (all on the plane with
+/// normal `n`): positive/negative distinguish the two in-plane sides of the
+/// directed line `x -> y`; comparisons between two such values are
+/// independent of the choice of `n`'s sign.
+fn inplane_orient(pts: &[Point3i], n: [i128; 3], x: u32, y: u32, z: u32) -> i128 {
+    let u = sub(pts[y as usize], pts[x as usize]);
+    let v = sub(pts[z as usize], pts[x as usize]);
+    dot(cross(u, v), n).signum()
+}
+
+/// Build the polygonal hull of `pts`. Requires: distinct points, affine
+/// rank 4 (not all coplanar), and coordinates within
+/// [`DEGEN_MAX_COORD`].
+pub fn poly_hull(pts: &[Point3i]) -> PolyHull {
+    let n = pts.len();
+    assert!(n >= 4, "need at least 4 points");
+    for p in pts {
+        assert!(
+            p.x.abs() <= DEGEN_MAX_COORD
+                && p.y.abs() <= DEGEN_MAX_COORD
+                && p.z.abs() <= DEGEN_MAX_COORD,
+            "coordinate exceeds DEGEN_MAX_COORD"
+        );
+    }
+
+    // Find all supporting planes as deduplicated on-sets.
+    let mut seen_on_sets: BTreeSet<Vec<u32>> = BTreeSet::new();
+    let mut faces: Vec<PolyFace> = Vec::new();
+    let mut any_rank4 = false;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            for k in (j + 1)..n {
+                let (pi, pj, pk) = (pts[i], pts[j], pts[k]);
+                let normal = cross(sub(pj, pi), sub(pk, pi));
+                if normal == [0, 0, 0] {
+                    continue; // collinear triple
+                }
+                let mut pos = false;
+                let mut neg = false;
+                let mut on_plane: Vec<u32> = Vec::new();
+                for (q, &pq) in pts.iter().enumerate() {
+                    match orient3d(pi, pj, pk, pq) {
+                        Sign::Positive => pos = true,
+                        Sign::Negative => neg = true,
+                        Sign::Zero => on_plane.push(q as u32),
+                    }
+                    if pos && neg {
+                        break;
+                    }
+                }
+                if pos && neg {
+                    any_rank4 = true;
+                    continue;
+                }
+                if !pos && !neg {
+                    panic!("all points coplanar: 3D hull undefined");
+                }
+                any_rank4 = true;
+                on_plane.sort_unstable();
+                if !seen_on_sets.insert(on_plane.clone()) {
+                    continue; // plane already processed via another triple
+                }
+                let cycle = face_cycle(pts, &on_plane, normal);
+                faces.push(PolyFace { on_plane, cycle });
+            }
+        }
+    }
+    assert!(any_rank4, "degenerate input with no supporting plane");
+
+    // Corners from face cycles.
+    let mut corners: BTreeSet<Corner> = BTreeSet::new();
+    for face in &faces {
+        let c = &face.cycle;
+        let k = c.len();
+        for i in 0..k {
+            let pl = c[(i + k - 1) % k];
+            let pm = c[i];
+            let pr = c[(i + 1) % k];
+            corners.insert(make_corner(pts, pl, pm, pr));
+        }
+    }
+    PolyHull { faces, corners: corners.into_iter().collect() }
+}
+
+/// Canonicalize a corner `(pl, pm, pr)` and compute its outward side.
+pub fn make_corner(pts: &[Point3i], pl: u32, pm: u32, pr: u32) -> Corner {
+    let (a, b) = if pl < pr { (pl, pr) } else { (pr, pl) };
+    // The outward side is the side of plane (a, pm, b) containing no point.
+    let mut side = None;
+    for (q, &pq) in pts.iter().enumerate() {
+        let _ = q;
+        match orient3d(pts[a as usize], pts[pm as usize], pts[b as usize], pq) {
+            Sign::Zero => {}
+            s => {
+                side = Some(s);
+                break;
+            }
+        }
+    }
+    let inward = side.expect("corner plane contains all points");
+    Corner { pm, a, b, side_positive: inward == Sign::Negative }
+}
+
+/// Order the on-plane points into the face polygon's vertex cycle: project
+/// along the normal's dominant axis (an affine bijection from the plane) and
+/// take the strict 2D hull.
+fn face_cycle(pts: &[Point3i], on_plane: &[u32], normal: [i128; 3]) -> Vec<u32> {
+    use chull_geometry::Point2i;
+    let axis = (0..3)
+        .max_by_key(|&a| normal[a].unsigned_abs())
+        .unwrap();
+    let proj = |p: Point3i| -> Point2i {
+        match axis {
+            0 => Point2i::new(p.y, p.z),
+            1 => Point2i::new(p.x, p.z),
+            _ => Point2i::new(p.x, p.y),
+        }
+    };
+    let projected: Vec<Point2i> = on_plane.iter().map(|&i| proj(pts[i as usize])).collect();
+    let hull_local = crate::baseline::monotone_chain::hull_indices(&projected);
+    assert!(hull_local.len() >= 3, "face polygon collapsed under projection");
+    hull_local.into_iter().map(|li| on_plane[li as usize]).collect()
+}
+
+/// Does point `q` conflict with `corner` per the paper's Figure 3 rules?
+///
+/// 1. strictly outside the face plane (on the corner's outward side);
+/// 2. coplanar and strictly outside either of the lines `pm-a` / `pm-b`;
+/// 3. on one of those lines, strictly beyond the neighbor (`a` or `b`) in
+///    the direction away from `pm`.
+pub fn corner_conflicts(pts: &[Point3i], corner: &Corner, q: u32) -> bool {
+    let Corner { pm, a, b, .. } = *corner;
+    if q == pm || q == a || q == b {
+        return false;
+    }
+    let (pa, pmid, pb, pq) =
+        (pts[a as usize], pts[pm as usize], pts[b as usize], pts[q as usize]);
+    match orient3d(pa, pmid, pb, pq) {
+        s if s == corner.side() => return true,
+        Sign::Zero => {}
+        _ => return false,
+    }
+    // Coplanar: in-plane rules.
+    let n = cross(sub(pmid, pa), sub(pb, pa));
+    let q_vs_ma = inplane_orient(pts, n, pm, a, q);
+    let b_vs_ma = inplane_orient(pts, n, pm, a, b);
+    debug_assert_ne!(b_vs_ma, 0, "degenerate corner: pl, pm, pr collinear");
+    if q_vs_ma != 0 && q_vs_ma != b_vs_ma {
+        return true; // strictly outside line pm-a
+    }
+    let q_vs_mb = inplane_orient(pts, n, pm, b, q);
+    let a_vs_mb = inplane_orient(pts, n, pm, b, a);
+    if q_vs_mb != 0 && q_vs_mb != a_vs_mb {
+        return true; // strictly outside line pm-b
+    }
+    // On a boundary line: beyond the neighbor, away from pm?
+    if q_vs_ma == 0 && dot(sub(pq, pa), sub(pa, pmid)) > 0 {
+        return true;
+    }
+    if q_vs_mb == 0 && dot(sub(pq, pb), sub(pb, pmid)) > 0 {
+        return true;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(x: i64, y: i64, z: i64) -> Point3i {
+        Point3i::new(x, y, z)
+    }
+
+    /// Unit cube corners plus degenerate extras.
+    fn cube_plus_degeneracies() -> Vec<Point3i> {
+        vec![
+            p(0, 0, 0),
+            p(4, 0, 0),
+            p(0, 4, 0),
+            p(4, 4, 0),
+            p(0, 0, 4),
+            p(4, 0, 4),
+            p(0, 4, 4),
+            p(4, 4, 4),
+            p(2, 2, 0), // interior of bottom face
+            p(2, 0, 0), // middle of a bottom edge (collinear)
+            p(1, 1, 1), // strictly interior
+        ]
+    }
+
+    #[test]
+    fn cube_faces_and_corners() {
+        let pts = cube_plus_degeneracies();
+        let hull = poly_hull(&pts);
+        assert_eq!(hull.faces.len(), 6, "a cube has 6 faces");
+        for f in &hull.faces {
+            assert_eq!(f.cycle.len(), 4, "each cube face is a quad: {f:?}");
+            // Degenerate extras are on-plane but never vertices.
+            assert!(!f.cycle.contains(&8));
+            assert!(!f.cycle.contains(&9));
+        }
+        // 8 cube vertices x 3 faces = 24 corners.
+        assert_eq!(hull.corners.len(), 24);
+        // The bottom face contains the interior and edge points on-plane.
+        let bottom = hull
+            .faces
+            .iter()
+            .find(|f| f.on_plane.contains(&8))
+            .expect("bottom face");
+        assert!(bottom.on_plane.contains(&9));
+    }
+
+    #[test]
+    fn tetrahedron_triangular_faces() {
+        let pts = vec![p(0, 0, 0), p(6, 0, 0), p(0, 6, 0), p(0, 0, 6)];
+        let hull = poly_hull(&pts);
+        assert_eq!(hull.faces.len(), 4);
+        assert!(hull.faces.iter().all(|f| f.cycle.len() == 3));
+        // 4 vertices x 3 incident faces = 12 corners.
+        assert_eq!(hull.corners.len(), 12);
+    }
+
+    #[test]
+    fn active_corners_have_no_conflicts() {
+        // Lemma 6.1, "if" direction: hull corners conflict with nothing.
+        let pts = cube_plus_degeneracies();
+        let hull = poly_hull(&pts);
+        for c in &hull.corners {
+            for q in 0..pts.len() as u32 {
+                assert!(
+                    !corner_conflicts(&pts, c, q),
+                    "hull corner {c:?} conflicts with point {q}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn non_corners_conflict() {
+        // Lemma 6.1, "only if" direction, spot checks on the cube.
+        let pts = cube_plus_degeneracies();
+        // (1) Corner at the face-interior point 8: its plane is the bottom
+        // face; coplanar vertices lie outside its corner lines.
+        let fake = make_corner(&pts, 0, 8, 1);
+        let conflicted = (0..pts.len() as u32).any(|q| corner_conflicts(&pts, &fake, q));
+        assert!(conflicted, "face-interior corner must conflict");
+        // (2) Corner at the collinear edge midpoint 9 along the edge 0-1:
+        // the outermost-two rule must kill it.
+        let fake = make_corner(&pts, 0, 9, 2);
+        let conflicted = (0..pts.len() as u32).any(|q| corner_conflicts(&pts, &fake, q));
+        assert!(conflicted, "edge-midpoint corner must conflict");
+        // (3) A corner through the strict interior point 10 conflicts with
+        // points above its plane.
+        let fake = make_corner(&pts, 0, 10, 1);
+        let conflicted = (0..pts.len() as u32).any(|q| corner_conflicts(&pts, &fake, q));
+        assert!(conflicted, "interior-point corner must conflict");
+    }
+
+    #[test]
+    fn grid_hull_is_cube_surface() {
+        // 3x3x3 grid: hull is the 2x2x2 cube with all corners at the 8
+        // extreme grid points.
+        let mut pts = Vec::new();
+        for x in 0..3 {
+            for y in 0..3 {
+                for z in 0..3 {
+                    pts.push(p(x, y, z));
+                }
+            }
+        }
+        let hull = poly_hull(&pts);
+        assert_eq!(hull.faces.len(), 6);
+        assert_eq!(hull.corners.len(), 24);
+        for f in &hull.faces {
+            assert_eq!(f.on_plane.len(), 9, "each face plane holds 9 grid points");
+            assert_eq!(f.cycle.len(), 4);
+        }
+    }
+
+    #[test]
+    fn square_pyramid_mixed_faces() {
+        // One quadrilateral base plus four triangular sides.
+        let pts = vec![
+            p(0, 0, 0),
+            p(8, 0, 0),
+            p(8, 8, 0),
+            p(0, 8, 0),
+            p(4, 4, 6), // apex
+        ];
+        let hull = poly_hull(&pts);
+        assert_eq!(hull.faces.len(), 5);
+        let sizes: Vec<usize> = {
+            let mut v: Vec<usize> = hull.faces.iter().map(|f| f.cycle.len()).collect();
+            v.sort_unstable();
+            v
+        };
+        assert_eq!(sizes, vec![3, 3, 3, 3, 4]);
+        // Corners: base vertices have 3 incident faces, apex has 4.
+        let apex_corners = hull.corners.iter().filter(|c| c.pm == 4).count();
+        assert_eq!(apex_corners, 4);
+        assert_eq!(hull.corners.len(), 4 * 3 + 4);
+    }
+
+    #[test]
+    fn tetra_with_collinear_edge_point() {
+        // A point strictly inside an edge of a tetrahedron is on the hull
+        // boundary but never a corner.
+        let pts = vec![
+            p(0, 0, 0),
+            p(8, 0, 0),
+            p(0, 8, 0),
+            p(0, 0, 8),
+            p(4, 0, 0), // midpoint of edge 0-1
+        ];
+        let hull = poly_hull(&pts);
+        assert_eq!(hull.faces.len(), 4);
+        assert!(hull.corners.iter().all(|c| c.pm != 4 && c.a != 4 && c.b != 4));
+        // The midpoint is on-plane for the two faces containing edge 0-1.
+        let containing = hull.faces.iter().filter(|f| f.on_plane.contains(&4)).count();
+        assert_eq!(containing, 2);
+    }
+
+    #[test]
+    fn collinear_beyond_rule() {
+        // Points 0 -(9)- 1 collinear on the bottom edge; a corner at 1 with
+        // neighbor 0 must NOT conflict with the midpoint 9 (between), but a
+        // corner claiming 9 as neighbor conflicts with 1 (beyond 9).
+        let pts = cube_plus_degeneracies();
+        let hull = poly_hull(&pts);
+        let corner_at_1 = hull
+            .corners
+            .iter()
+            .find(|c| c.pm == 1 && (c.a == 0 || c.b == 0))
+            .expect("cube corner at vertex 1 adjacent to 0");
+        assert!(!corner_conflicts(&pts, corner_at_1, 9));
+        // Fabricated corner with the midpoint as a neighbor: 1 lies beyond
+        // it on the same line.
+        let fake = make_corner(&pts, 9, 0, 2);
+        assert!(corner_conflicts(&pts, &fake, 1));
+    }
+}

@@ -1,0 +1,125 @@
+//! Facet and ridge representations for the general-dimension hulls.
+//!
+//! In `d` dimensions a facet (oriented `d`-simplex under general position)
+//! is identified by its `d` defining point ids, stored **sorted** in a
+//! fixed-size inline array (no heap allocation per facet); a ridge is the
+//! `d-1`-subset shared by two adjacent facets, stored the same way and used
+//! directly as the hash key of the concurrent ridge multimap.
+
+use chull_geometry::Sign;
+
+/// Maximum supported dimension (inline array capacity).
+pub const MAX_DIM: usize = 8;
+
+/// Sentinel filling unused key slots.
+pub const NO_VERT: u32 = u32::MAX;
+
+/// A facet's sorted vertex ids (first `dim` slots used).
+pub type FacetVerts = [u32; MAX_DIM];
+
+/// A ridge key: the sorted `dim - 1` vertex ids shared by two facets,
+/// padded with [`NO_VERT`]. Used directly as the concurrent multimap key.
+pub type RidgeKey = [u32; MAX_DIM];
+
+/// Build a sorted facet vertex array from a slice of ids.
+pub fn facet_verts(ids: &[u32]) -> FacetVerts {
+    assert!(ids.len() <= MAX_DIM, "dimension exceeds MAX_DIM");
+    let mut v = [NO_VERT; MAX_DIM];
+    v[..ids.len()].copy_from_slice(ids);
+    v[..ids.len()].sort_unstable();
+    debug_assert!(
+        v[..ids.len()].windows(2).all(|w| w[0] < w[1]),
+        "duplicate vertex in facet"
+    );
+    v
+}
+
+/// The ridge of `facet` (with `dim` used slots) that omits the vertex at
+/// position `omit`.
+pub fn ridge_omitting(facet: &FacetVerts, dim: usize, omit: usize) -> RidgeKey {
+    debug_assert!(omit < dim);
+    let mut r = [NO_VERT; MAX_DIM];
+    let mut k = 0;
+    for i in 0..dim {
+        if i != omit {
+            r[k] = facet[i];
+            k += 1;
+        }
+    }
+    r
+}
+
+/// The facet formed by joining ridge `r` (with `dim - 1` used slots) with
+/// point `p`: sorted union.
+pub fn join_ridge(r: &RidgeKey, dim: usize, p: u32) -> FacetVerts {
+    let mut v = [NO_VERT; MAX_DIM];
+    v[..dim - 1].copy_from_slice(&r[..dim - 1]);
+    v[dim - 1] = p;
+    v[..dim].sort_unstable();
+    debug_assert!(v[..dim].windows(2).all(|w| w[0] < w[1]), "p already on ridge");
+    v
+}
+
+/// A facet of the (sequential or parallel) hull under construction.
+#[derive(Clone, Debug)]
+pub struct Facet {
+    /// Sorted vertex ids (first `dim` used).
+    pub verts: FacetVerts,
+    /// The orientation sign meaning "visible": a point `q` is visible from
+    /// this facet iff `orientd(verts..., q) == visible_sign`. Precomputed at
+    /// creation as the negation of the sign of an interior reference point.
+    pub visible_sign: Sign,
+    /// Conflict list: ids of points visible from this facet, **sorted
+    /// ascending** (point id order == insertion order), immutable after
+    /// creation. The *conflict pivot* `min C(t)` is `conflicts[0]`.
+    pub conflicts: Vec<u32>,
+}
+
+impl Facet {
+    /// The conflict pivot `min(C(t))`, or `u32::MAX` when the conflict set
+    /// is empty (the facet is final).
+    #[inline]
+    pub fn pivot(&self) -> u32 {
+        self.conflicts.first().copied().unwrap_or(u32::MAX)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn facet_verts_sorts() {
+        let v = facet_verts(&[5, 2, 9]);
+        assert_eq!(&v[..3], &[2, 5, 9]);
+        assert_eq!(v[3], NO_VERT);
+    }
+
+    #[test]
+    fn ridge_omitting_each_vertex() {
+        let f = facet_verts(&[1, 4, 7, 9]);
+        assert_eq!(&ridge_omitting(&f, 4, 0)[..3], &[4, 7, 9]);
+        assert_eq!(&ridge_omitting(&f, 4, 1)[..3], &[1, 7, 9]);
+        assert_eq!(&ridge_omitting(&f, 4, 3)[..3], &[1, 4, 7]);
+        // Unused slots are the sentinel, so keys hash consistently.
+        assert_eq!(ridge_omitting(&f, 4, 0)[3], NO_VERT);
+    }
+
+    #[test]
+    fn join_ridge_roundtrip() {
+        let f = facet_verts(&[3, 6, 8]);
+        for omit in 0..3 {
+            let r = ridge_omitting(&f, 3, omit);
+            let back = join_ridge(&r, 3, f[omit]);
+            assert_eq!(back, f);
+        }
+    }
+
+    #[test]
+    fn pivot_of_facet() {
+        let f = Facet { verts: facet_verts(&[0, 1]), visible_sign: Sign::Positive, conflicts: vec![4, 9] };
+        assert_eq!(f.pivot(), 4);
+        let f2 = Facet { verts: facet_verts(&[0, 1]), visible_sign: Sign::Positive, conflicts: vec![] };
+        assert_eq!(f2.pivot(), u32::MAX);
+    }
+}

@@ -1,0 +1,297 @@
+//! A robust 2D randomized incremental hull over **floating-point** inputs.
+//!
+//! The main algorithms in this crate run on integer lattices so that every
+//! quantity in the experiments is exact. Real-world inputs are often `f64`;
+//! this module provides Algorithm 2 specialized to 2D over
+//! [`chull_geometry::predicates::float::orient2d`], whose filtered+exact
+//! evaluation makes every plane-side decision the sign of the *exact real*
+//! determinant — so the returned hull is the true hull of the given
+//! doubles, with no epsilon tuning.
+//!
+//! Counterclockwise convention throughout: an edge `(a, b)` on the hull has
+//! the interior strictly to its left; point `q` is *visible* from the edge
+//! iff `orient2d(a, b, q) < 0`.
+
+use chull_geometry::predicates::float::orient2d;
+use chull_geometry::Point2f;
+use rand::seq::SliceRandom;
+
+/// A directed hull edge with its conflict list.
+#[derive(Debug, Clone)]
+struct FEdge {
+    from: u32,
+    to: u32,
+    /// Indices (into the shuffled order) of uninserted points visible from
+    /// this edge, ascending.
+    conflicts: Vec<u32>,
+}
+
+/// Result of a float hull run.
+#[derive(Debug, Clone)]
+pub struct FloatHull {
+    /// Hull vertex indices (into the original input), counterclockwise.
+    pub hull: Vec<u32>,
+    /// Exact visibility tests performed.
+    pub visibility_tests: u64,
+    /// Edges ever created.
+    pub edges_created: u64,
+    /// Dependence-graph depth of the run (same definition as the integer
+    /// path).
+    pub dep_depth: u64,
+}
+
+/// Compute the 2D convex hull of `points` by randomized incremental
+/// insertion (seeded shuffle). Points must be finite and distinct; the
+/// input must not be fully collinear. Collinear points *on* hull edges are
+/// treated as interior (strict hull).
+///
+/// ```
+/// use chull_core::float2d::float_hull_2d;
+/// use chull_geometry::Point2f;
+/// let pts = [
+///     Point2f::new(0.0, 0.0), Point2f::new(1.0, 0.1),
+///     Point2f::new(0.9, 1.0), Point2f::new(0.1, 0.9),
+///     Point2f::new(0.5, 0.5), // interior
+/// ];
+/// let hull = float_hull_2d(&pts, 42);
+/// let mut verts = hull.hull.clone();
+/// verts.sort();
+/// assert_eq!(verts, vec![0, 1, 2, 3]);
+/// ```
+pub fn float_hull_2d(points: &[Point2f], seed: u64) -> FloatHull {
+    assert!(points.len() >= 3, "need at least 3 points");
+    for p in points {
+        assert!(p.x.is_finite() && p.y.is_finite(), "non-finite coordinate");
+    }
+    // Random insertion order.
+    let mut order: Vec<u32> = (0..points.len() as u32).collect();
+    order.shuffle(&mut chull_geometry::generators::rng(seed));
+    // Hoist the first non-collinear triple to the front.
+    let mut tri: Option<usize> = None;
+    'search: for k in 2..order.len() {
+        for j in 1..k {
+            if orient2d(
+                points[order[0] as usize],
+                points[order[j] as usize],
+                points[order[k] as usize],
+            ) != 0
+            {
+                order.swap(1, j);
+                order.swap(2, k);
+                tri = Some(k);
+                break 'search;
+            }
+        }
+        // All of order[1..=k] collinear with order[0]; keep scanning.
+    }
+    assert!(tri.is_some(), "input is fully collinear");
+    let p = |i: u32| points[order[i as usize] as usize];
+
+    // Seed triangle, counterclockwise.
+    let (a, b, c) = (0u32, 1u32, 2u32);
+    let (b, c) = if orient2d(p(a), p(b), p(c)) > 0 { (b, c) } else { (c, b) };
+
+    let mut tests = 0u64;
+    struct State {
+        edges: Vec<FEdge>,
+        depth: Vec<u32>,
+        alive: Vec<bool>,
+        /// Outgoing/incoming alive edge at each hull vertex.
+        out_edge: std::collections::HashMap<u32, u32>,
+        in_edge: std::collections::HashMap<u32, u32>,
+        point_conflicts: Vec<Vec<u32>>,
+    }
+    let mut st = State {
+        edges: Vec::new(),
+        depth: Vec::new(),
+        alive: Vec::new(),
+        out_edge: std::collections::HashMap::new(),
+        in_edge: std::collections::HashMap::new(),
+        point_conflicts: vec![Vec::new(); order.len()],
+    };
+
+    let mut make_edge = |st: &mut State, from: u32, to: u32, candidates: &[u32], skip: u32, d: u32| -> u32 {
+        let mut conflicts = Vec::new();
+        for &q in candidates {
+            if q == skip || q == from || q == to {
+                continue;
+            }
+            tests += 1;
+            if orient2d(p(from), p(to), p(q)) < 0 {
+                conflicts.push(q);
+            }
+        }
+        let id = st.edges.len() as u32;
+        for &q in &conflicts {
+            st.point_conflicts[q as usize].push(id);
+        }
+        st.edges.push(FEdge { from, to, conflicts });
+        st.depth.push(d);
+        st.alive.push(true);
+        st.out_edge.insert(from, id);
+        st.in_edge.insert(to, id);
+        id
+    };
+
+    let all: Vec<u32> = (3..order.len() as u32).collect();
+    for (from, to) in [(a, b), (b, c), (c, a)] {
+        make_edge(&mut st, from, to, &all, u32::MAX, 0);
+    }
+
+    for v in 3..order.len() as u32 {
+        let visible: Vec<u32> = st.point_conflicts[v as usize]
+            .iter()
+            .copied()
+            .filter(|&e| st.alive[e as usize])
+            .collect();
+        if visible.is_empty() {
+            continue;
+        }
+        // The visible edges form a contiguous ccw chain; its ends are where
+        // the neighboring edge is alive but invisible.
+        let in_chain = |e: u32| visible.contains(&e);
+        let mut left_end = None; // (vertex, chain edge, invisible neighbor)
+        let mut right_end = None;
+        for &e in &visible {
+            let (from, to) = (st.edges[e as usize].from, st.edges[e as usize].to);
+            let pred = st.in_edge[&from];
+            let succ = st.out_edge[&to];
+            if !in_chain(pred) {
+                left_end = Some((from, e, pred));
+            }
+            if !in_chain(succ) {
+                right_end = Some((to, e, succ));
+            }
+        }
+        let (lv, le, l_invis) = left_end.expect("visible chain has no left end");
+        let (rv, re, r_invis) = right_end.expect("visible chain has no right end");
+
+        // Delete the chain.
+        for &e in &visible {
+            st.alive[e as usize] = false;
+            let (from, to) = (st.edges[e as usize].from, st.edges[e as usize].to);
+            st.out_edge.remove(&from);
+            st.in_edge.remove(&to);
+        }
+        // New edges (lv, v) and (v, rv): each supported by the visible
+        // chain-end edge and its invisible neighbor (Fact 5.2).
+        let d_left = 1 + st.depth[le as usize].max(st.depth[l_invis as usize]);
+        let d_right = 1 + st.depth[re as usize].max(st.depth[r_invis as usize]);
+        let cand_left = crate::seq::merge_conflicts(
+            &st.edges[le as usize].conflicts,
+            &st.edges[l_invis as usize].conflicts,
+        );
+        let cand_right = crate::seq::merge_conflicts(
+            &st.edges[re as usize].conflicts,
+            &st.edges[r_invis as usize].conflicts,
+        );
+        make_edge(&mut st, lv, v, &cand_left, v, d_left);
+        make_edge(&mut st, v, rv, &cand_right, v, d_right);
+    }
+
+    // Walk the final cycle ccw starting anywhere.
+    drop(make_edge);
+    let start = (0..st.edges.len()).position(|i| st.alive[i]).expect("empty hull") as u32;
+    let mut hull = Vec::new();
+    let mut e = start;
+    loop {
+        let edge = &st.edges[e as usize];
+        hull.push(order[edge.from as usize]);
+        e = *st.out_edge.get(&edge.to).expect("broken hull cycle");
+        if e == start {
+            break;
+        }
+    }
+    let dep_depth = st.depth.iter().copied().max().unwrap_or(0) as u64;
+    FloatHull {
+        hull,
+        visibility_tests: tests,
+        edges_created: st.edges.len() as u64,
+        dep_depth,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baseline::monotone_chain;
+    use chull_geometry::generators;
+    use rand::Rng;
+
+    #[test]
+    fn matches_integer_hull_on_lattice_inputs() {
+        for seed in 0..4u64 {
+            let ipts = generators::disk_2d(400, 1 << 20, seed);
+            let fpts: Vec<Point2f> =
+                ipts.iter().map(|p| Point2f::new(p.x as f64, p.y as f64)).collect();
+            let fh = float_hull_2d(&fpts, seed + 9);
+            let mut fverts: Vec<u32> = fh.hull.clone();
+            fverts.sort_unstable();
+            let mut iverts: Vec<u32> = monotone_chain::hull_indices(&ipts);
+            iverts.sort_unstable();
+            assert_eq!(fverts, iverts, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn output_is_convex_and_contains_all_points() {
+        let mut rng = generators::rng(3);
+        let pts: Vec<Point2f> =
+            (0..500).map(|_| Point2f::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0))).collect();
+        let fh = float_hull_2d(&pts, 1);
+        let h = &fh.hull;
+        assert!(h.len() >= 3);
+        // Convex, ccw: every consecutive triple turns left (exactly).
+        for i in 0..h.len() {
+            let a = pts[h[i] as usize];
+            let b = pts[h[(i + 1) % h.len()] as usize];
+            let c = pts[h[(i + 2) % h.len()] as usize];
+            assert_eq!(orient2d(a, b, c), 1, "hull not strictly convex at {i}");
+        }
+        // Containment: no input point strictly right of any hull edge.
+        for i in 0..h.len() {
+            let a = pts[h[i] as usize];
+            let b = pts[h[(i + 1) % h.len()] as usize];
+            for q in &pts {
+                assert!(orient2d(a, b, *q) >= 0, "point outside hull");
+            }
+        }
+    }
+
+    #[test]
+    fn adversarial_tiny_coordinates() {
+        // Points separated by single ulps: naive arithmetic would misorder;
+        // the exact predicates must not.
+        let base = 1.0f64;
+        let ulp = f64::EPSILON;
+        let pts = vec![
+            Point2f::new(base, base),
+            Point2f::new(base + 4.0 * ulp, base + ulp),
+            Point2f::new(base + ulp, base + 4.0 * ulp),
+            Point2f::new(base + 5.0 * ulp, base + 5.0 * ulp),
+            Point2f::new(base + 2.0 * ulp, base + 2.0 * ulp), // interior-ish
+        ];
+        let fh = float_hull_2d(&pts, 0);
+        let mut verts = fh.hull.clone();
+        verts.sort_unstable();
+        assert_eq!(verts, vec![0, 1, 2, 3], "{:?}", fh.hull);
+    }
+
+    #[test]
+    fn depth_is_logarithmic_here_too() {
+        let mut rng = generators::rng(8);
+        let pts: Vec<Point2f> = (0..4000)
+            .map(|_| Point2f::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)))
+            .collect();
+        let fh = float_hull_2d(&pts, 2);
+        let hn: f64 = (1..=4000).map(|i| 1.0 / i as f64).sum();
+        assert!((fh.dep_depth as f64) < 30.0 * hn, "depth {}", fh.dep_depth);
+    }
+
+    #[test]
+    #[should_panic(expected = "collinear")]
+    fn fully_collinear_panics() {
+        let pts: Vec<Point2f> = (0..5).map(|i| Point2f::new(i as f64, 2.0 * i as f64)).collect();
+        float_hull_2d(&pts, 0);
+    }
+}

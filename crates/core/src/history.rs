@@ -1,0 +1,306 @@
+//! The history / influence graph of the incremental construction, and
+//! point location through it.
+//!
+//! The paper (Section 4, "Relationship to History Graphs") observes that
+//! the configuration dependence graph generalizes the classical history
+//! graphs of Mulmuley and the influence graphs of Boissonnat et al.: a
+//! search structure where each configuration points to the configurations
+//! it supports. The support-set condition
+//! `C(t) ⊆ C(t1) ∪ C(t2)` (Definition 3.2) is exactly the *influence*
+//! property that makes descent searches complete: if a query point
+//! conflicts with (is visible from) a facet, it conflicts with one of the
+//! facet's parents, all the way back to the seed simplex.
+//!
+//! [`HullHistory`] materializes that graph from a sequential run and
+//! answers **membership queries** — is `q` inside the hull, and if not,
+//! which facets see it — by descending from the seed facets through
+//! children whose conflict region contains `q`. The expected number of
+//! visited nodes for a random query is `O(log n)` in 2D/3D by the
+//! Clarkson–Shor analysis; experiment E13 measures it.
+//!
+//! Note the paper's caution: bounded search paths do *not* by themselves
+//! bound the dependence-graph depth (Section 4 discusses why); here the two
+//! coincide structurally because hulls have 2-support.
+
+use crate::context::HullContext;
+use crate::facet::Facet;
+use crate::seq::{SeqRun, NO_PARENT};
+use chull_geometry::{PointSet, Sign};
+
+/// The history (influence) graph of one hull construction.
+///
+/// ```
+/// use chull_core::{history::HullHistory, prepare_points, seq};
+/// use chull_geometry::{generators, PointSet};
+/// let pts = PointSet::from_points2(&generators::disk_2d(200, 1 << 20, 1));
+/// let pts = prepare_points(&pts, 2);
+/// let run = seq::incremental_hull_run(&pts);
+/// let history = HullHistory::from_run(&pts, &run);
+/// assert!(history.contains(pts.point(0)));          // input points inside
+/// assert!(!history.contains(&[1 << 40, 1 << 40]));  // far point outside
+/// ```
+pub struct HullHistory<'a> {
+    pts: &'a PointSet,
+    ctx: HullContext<'a>,
+    facets: Vec<Facet>,
+    alive: Vec<bool>,
+    children: Vec<Vec<u32>>,
+    seeds: Vec<u32>,
+}
+
+/// Result of a point-location query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Location {
+    /// Alive facets the query point is strictly visible from
+    /// (empty iff the point is inside or on the hull boundary).
+    pub visible_facets: Vec<u32>,
+    /// History nodes visited during the descent (the search cost).
+    pub nodes_visited: usize,
+}
+
+impl Location {
+    /// True iff the query point is inside or on the hull.
+    pub fn is_inside(&self) -> bool {
+        self.visible_facets.is_empty()
+    }
+}
+
+impl<'a> HullHistory<'a> {
+    /// Build the history graph from a completed sequential run on `pts`.
+    pub fn from_run(pts: &'a PointSet, run: &SeqRun) -> HullHistory<'a> {
+        let dim = pts.dim();
+        let simplex: Vec<u32> = (0..=dim as u32).collect();
+        let ctx = HullContext::new(pts, &simplex);
+        let mut children: Vec<Vec<u32>> = vec![Vec::new(); run.facets.len()];
+        let mut seeds = Vec::new();
+        for (id, ps) in run.parents.iter().enumerate() {
+            if ps[0] == NO_PARENT {
+                seeds.push(id as u32);
+            } else {
+                children[ps[0] as usize].push(id as u32);
+                children[ps[1] as usize].push(id as u32);
+            }
+        }
+        HullHistory {
+            pts,
+            ctx,
+            facets: run.facets.clone(),
+            alive: run.alive.clone(),
+            children,
+            seeds,
+        }
+    }
+
+    /// Number of history nodes (facets ever created).
+    pub fn len(&self) -> usize {
+        self.facets.len()
+    }
+
+    /// True iff the history is empty (never the case for a valid build).
+    pub fn is_empty(&self) -> bool {
+        self.facets.is_empty()
+    }
+
+    /// Exact visibility of an arbitrary query coordinate (need not be an
+    /// input point) from facet `id`.
+    fn sees(&self, id: u32, q: &[i64]) -> bool {
+        let f = &self.facets[id as usize];
+        let mut rows: Vec<&[i64]> = Vec::with_capacity(self.pts.dim() + 1);
+        for i in 0..self.pts.dim() {
+            rows.push(self.pts.pt(f.verts[i]));
+        }
+        rows.push(q);
+        let s = chull_geometry::predicates::orientd(self.pts.dim(), &rows);
+        s != Sign::Zero && s == f.visible_sign
+    }
+
+    /// Locate `q` (a coordinate slice of the right dimension): descend from
+    /// the seed facets through children whose conflict region contains `q`.
+    pub fn locate(&self, q: &[i64]) -> Location {
+        assert_eq!(q.len(), self.pts.dim(), "query of wrong dimension");
+        let mut visible = Vec::new();
+        let mut visited_flags = vec![false; self.facets.len()];
+        let mut stack: Vec<u32> = Vec::new();
+        let mut visited = 0usize;
+        for &s in &self.seeds {
+            visited_flags[s as usize] = true;
+            visited += 1;
+            if self.sees(s, q) {
+                stack.push(s);
+            }
+        }
+        while let Some(id) = stack.pop() {
+            // Invariant: q is visible from `id`.
+            if self.alive[id as usize] {
+                visible.push(id);
+            }
+            for &c in &self.children[id as usize] {
+                if !visited_flags[c as usize] {
+                    visited_flags[c as usize] = true;
+                    visited += 1;
+                    if self.sees(c, q) {
+                        stack.push(c);
+                    }
+                }
+            }
+        }
+        visible.sort_unstable();
+        Location { visible_facets: visible, nodes_visited: visited }
+    }
+
+    /// Membership oracle: is `q` inside or on the hull?
+    pub fn contains(&self, q: &[i64]) -> bool {
+        self.locate(q).is_inside()
+    }
+
+    /// The *influence property* (Definition 3.2, condition 2) checked by
+    /// brute force for every non-seed facet: its conflict list is covered
+    /// by its parents' conflict lists. Used in tests.
+    pub fn verify_influence_property(&self, run: &SeqRun) -> Result<(), String> {
+        for (id, ps) in run.parents.iter().enumerate() {
+            if ps[0] == NO_PARENT {
+                continue;
+            }
+            let child = &self.facets[id].conflicts;
+            let p0 = &self.facets[ps[0] as usize].conflicts;
+            let p1 = &self.facets[ps[1] as usize].conflicts;
+            for &q in child {
+                if p0.binary_search(&q).is_err() && p1.binary_search(&q).is_err() {
+                    return Err(format!(
+                        "facet {id}: conflict {q} not covered by parents {ps:?}"
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Exhaustive (linear) visibility scan — the oracle `locate` is tested
+    /// against.
+    pub fn locate_brute(&self, q: &[i64]) -> Vec<u32> {
+        let mut out: Vec<u32> = (0..self.facets.len() as u32)
+            .filter(|&id| self.alive[id as usize] && self.sees(id, q))
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Shared geometric context (exposed for tests).
+    pub fn context(&self) -> &HullContext<'a> {
+        &self.ctx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::prepare_points;
+    use crate::seq::incremental_hull_run;
+    use chull_geometry::generators;
+    use rand::Rng;
+
+    fn build(n: usize, seed: u64) -> (PointSet, SeqRun) {
+        let pts = prepare_points(
+            &PointSet::from_points2(&generators::disk_2d(n, 1 << 20, seed)),
+            seed + 1,
+        );
+        let run = incremental_hull_run(&pts);
+        (pts, run)
+    }
+
+    #[test]
+    fn influence_property_holds() {
+        for seed in 0..3u64 {
+            let (pts, run) = build(400, seed);
+            let h = HullHistory::from_run(&pts, &run);
+            h.verify_influence_property(&run).unwrap();
+        }
+    }
+
+    #[test]
+    fn locate_matches_brute_force() {
+        let (pts, run) = build(300, 4);
+        let h = HullHistory::from_run(&pts, &run);
+        let mut rng = generators::rng(99);
+        for _ in 0..200 {
+            let q = [
+                rng.gen_range(-(1 << 21)..(1 << 21)),
+                rng.gen_range(-(1 << 21)..(1 << 21)),
+            ];
+            let loc = h.locate(&q);
+            assert_eq!(loc.visible_facets, h.locate_brute(&q), "query {q:?}");
+        }
+    }
+
+    #[test]
+    fn input_points_are_inside() {
+        let (pts, run) = build(250, 7);
+        let h = HullHistory::from_run(&pts, &run);
+        for i in 0..pts.len() {
+            assert!(h.contains(pts.point(i)), "input point {i} reported outside");
+        }
+    }
+
+    #[test]
+    fn far_points_are_outside() {
+        let (pts, run) = build(250, 8);
+        let h = HullHistory::from_run(&pts, &run);
+        let far = 1i64 << 30;
+        for q in [[far, 0], [-far, 0], [0, far], [far, far]] {
+            let loc = h.locate(&q);
+            assert!(!loc.is_inside(), "far point {q:?} reported inside");
+            assert!(!loc.visible_facets.is_empty());
+        }
+    }
+
+    #[test]
+    fn search_cost_logarithmic() {
+        // E13: expected nodes visited per random query is O(log n).
+        let mut prev_mean = 0.0;
+        for n in [500usize, 4000] {
+            let (pts, run) = build(n, 11);
+            let h = HullHistory::from_run(&pts, &run);
+            let mut rng = generators::rng(5);
+            let queries = 100;
+            let mut total = 0usize;
+            for _ in 0..queries {
+                let q = [
+                    rng.gen_range(-(1 << 20)..(1 << 20)),
+                    rng.gen_range(-(1 << 20)..(1 << 20)),
+                ];
+                total += h.locate(&q).nodes_visited;
+            }
+            let mean = total as f64 / queries as f64;
+            let hn: f64 = (1..=n).map(|i| 1.0 / i as f64).sum();
+            assert!(
+                mean < 20.0 * hn,
+                "mean search cost {mean} too large for n = {n}"
+            );
+            if prev_mean > 0.0 {
+                // 8x more points must not mean 8x more visits.
+                assert!(mean < prev_mean * 4.0);
+            }
+            prev_mean = mean;
+        }
+    }
+
+    #[test]
+    fn works_in_3d() {
+        let pts = prepare_points(
+            &PointSet::from_points3(&generators::ball_3d(300, 1 << 20, 3)),
+            4,
+        );
+        let run = incremental_hull_run(&pts);
+        let h = HullHistory::from_run(&pts, &run);
+        h.verify_influence_property(&run).unwrap();
+        let mut rng = generators::rng(6);
+        for _ in 0..100 {
+            let q = [
+                rng.gen_range(-(1 << 21)..(1 << 21)),
+                rng.gen_range(-(1 << 21)..(1 << 21)),
+                rng.gen_range(-(1 << 21)..(1 << 21)),
+            ];
+            assert_eq!(h.locate(&q).visible_facets, h.locate_brute(&q));
+        }
+    }
+}

@@ -1,0 +1,124 @@
+//! Exact measure (area / volume) of computed hulls.
+//!
+//! For a convex polytope, the hull is star-shaped from any of its points,
+//! so `d! · volume = Σ_facets |det(v_1 - o, ..., v_d - o)|` for a fixed
+//! hull vertex `o` (facets containing `o` contribute zero). Computed in
+//! exact big-integer arithmetic — the returned value is `d!` times the
+//! volume, which is always an integer for lattice inputs.
+
+use crate::output::HullOutput;
+use chull_geometry::exact::{det_i64, BigInt, Sign};
+use chull_geometry::PointSet;
+
+/// `d! ·` (d-dimensional volume of the hull), exactly.
+pub fn hull_measure_times_d_factorial(pts: &PointSet, hull: &HullOutput) -> BigInt {
+    let dim = hull.dim;
+    assert_eq!(dim, pts.dim());
+    assert!(!hull.facets.is_empty(), "empty hull");
+    let o = hull.facets[0][0]; // any hull vertex
+    let o_coords = pts.pt(o).to_vec();
+    let mut total = BigInt::zero();
+    for f in &hull.facets {
+        if f[..dim].contains(&o) {
+            continue;
+        }
+        let rows: Vec<Vec<i64>> = (0..dim)
+            .map(|i| {
+                pts.pt(f[i])
+                    .iter()
+                    .zip(&o_coords)
+                    .map(|(&a, &b)| a - b)
+                    .collect()
+            })
+            .collect();
+        let mut det = det_i64(&rows);
+        if det.sign() == Sign::Negative {
+            det.negate();
+        }
+        total = total.add(&det);
+    }
+    total
+}
+
+/// The hull's measure as an `f64` (lossy; for display).
+pub fn hull_measure(pts: &PointSet, hull: &HullOutput) -> f64 {
+    let factorial: f64 = (1..=hull.dim as u64).product::<u64>() as f64;
+    hull_measure_times_d_factorial(pts, hull).to_f64() / factorial
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::prepare_points;
+    use crate::seq::incremental_hull_run;
+    use chull_geometry::generators;
+
+    #[test]
+    fn square_area() {
+        let pts = PointSet::from_rows(
+            2,
+            &[vec![0, 0], vec![40, 0], vec![0, 40], vec![40, 40], vec![11, 13]],
+        );
+        let run = incremental_hull_run(&pts);
+        assert_eq!(
+            hull_measure_times_d_factorial(&pts, &run.output),
+            BigInt::from(2 * 40 * 40i64)
+        );
+        assert!((hull_measure(&pts, &run.output) - 1600.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cube_volume() {
+        let mut rows = Vec::new();
+        for mask in 0..8u32 {
+            rows.push(vec![
+                if mask & 1 != 0 { 10 } else { 0 },
+                if mask & 2 != 0 { 10 } else { 0 },
+                if mask & 4 != 0 { 10 } else { 0 },
+            ]);
+        }
+        rows.push(vec![5, 5, 5]);
+        let pts = prepare_points(&PointSet::from_rows(3, &rows), 1);
+        let run = incremental_hull_run(&pts);
+        assert_eq!(
+            hull_measure_times_d_factorial(&pts, &run.output),
+            BigInt::from(6 * 1000i64)
+        );
+    }
+
+    #[test]
+    fn simplex_4d_volume() {
+        // Standard scaled simplex: volume = s^d / d!.
+        let s = 12i64;
+        let mut rows = vec![vec![0i64; 4]];
+        for i in 0..4 {
+            let mut r = vec![0i64; 4];
+            r[i] = s;
+            rows.push(r);
+        }
+        let pts = PointSet::from_rows(4, &rows);
+        let run = incremental_hull_run(&pts);
+        assert_eq!(
+            hull_measure_times_d_factorial(&pts, &run.output),
+            BigInt::from(s * s * s * s)
+        );
+    }
+
+    #[test]
+    fn measure_is_algorithm_invariant_and_monotone() {
+        use crate::par::{parallel_hull, ParOptions};
+        let small = generators::disk_2d(100, 1 << 16, 3);
+        let mut big = small.clone();
+        big.extend(generators::disk_2d(100, 1 << 17, 4)); // wider cloud
+        let ps_small = prepare_points(&PointSet::from_points2(&small), 1);
+        let ps_big = prepare_points(&PointSet::from_points2(&big), 2);
+        let seq_small = incremental_hull_run(&ps_small);
+        let par_small = parallel_hull(&ps_small, ParOptions::default());
+        let m_seq = hull_measure_times_d_factorial(&ps_small, &seq_small.output);
+        let m_par = hull_measure_times_d_factorial(&ps_small, &par_small.output);
+        assert_eq!(m_seq, m_par);
+        let seq_big = incremental_hull_run(&ps_big);
+        let m_big = hull_measure_times_d_factorial(&ps_big, &seq_big.output);
+        assert!(m_big > m_seq, "hull of a superset must not shrink");
+    }
+}

@@ -1,0 +1,343 @@
+//! An **online** convex hull: points arrive one at a time, with no access
+//! to future points.
+//!
+//! The offline algorithms (Algorithms 2 and 3) rely on conflict lists over
+//! the full input — the classic Clarkson–Shor bookkeeping. Online, the
+//! conflict lists are unavailable; instead each arriving point *locates*
+//! itself through the history (influence) graph that the construction has
+//! built so far: the support property `C(t) ⊆ C(t1) ∪ C(t2)` guarantees
+//! the descent finds every visible facet. For points arriving in random
+//! order this costs expected `O(log n)` history nodes per insertion
+//! (plus the size of the replaced region), i.e. the same asymptotics as
+//! the offline algorithm without ever seeing the future.
+//!
+//! Works in any dimension `2..=8` over exact integer coordinates.
+
+use crate::context::HullContext;
+use crate::facet::{
+    facet_verts, join_ridge, ridge_omitting, FacetVerts, RidgeKey, MAX_DIM, NO_VERT,
+};
+use crate::output::HullOutput;
+use chull_geometry::predicates::{orientd, orientd_hom};
+use chull_geometry::{PointSet, Sign};
+use std::collections::HashMap;
+
+/// Sentinel facet id.
+const NO_FACET: u32 = u32::MAX;
+
+struct OFacet {
+    verts: FacetVerts,
+    visible_sign: Sign,
+    alive: bool,
+    children: Vec<u32>,
+}
+
+/// An incrementally-growable convex hull; see module docs.
+pub struct OnlineHull {
+    dim: usize,
+    pts: PointSet,
+    facets: Vec<OFacet>,
+    seeds: Vec<u32>,
+    /// Ridge -> two incident alive facets.
+    adj: HashMap<RidgeKey, [u32; 2]>,
+    /// Homogeneous interior reference point (seed simplex coordinate sums).
+    interior_row: Vec<i64>,
+    interior_hom: i64,
+    /// History nodes visited by the last insertion (instrumentation).
+    pub last_visited: usize,
+}
+
+impl OnlineHull {
+    /// Start from `d + 1` affinely independent seed points.
+    pub fn new(dim: usize, seed_points: &[Vec<i64>]) -> OnlineHull {
+        assert!((2..=MAX_DIM).contains(&dim));
+        assert_eq!(seed_points.len(), dim + 1, "need d + 1 seed points");
+        let mut pts = PointSet::new(dim);
+        for p in seed_points {
+            pts.push(p);
+        }
+        let simplex: Vec<u32> = (0..=dim as u32).collect();
+        {
+            let rows: Vec<&[i64]> = (0..=dim).map(|i| pts.point(i)).collect();
+            assert_eq!(
+                chull_geometry::exact::affine_rank(&rows),
+                dim + 1,
+                "seed points must be affinely independent"
+            );
+        }
+        let ctx = HullContext::new(&pts, &simplex);
+        let mut interior_row = vec![0i64; dim];
+        for i in 0..=dim {
+            for (acc, &c) in interior_row.iter_mut().zip(pts.point(i)) {
+                *acc += c;
+            }
+        }
+        let mut hull = OnlineHull {
+            dim,
+            pts: pts.clone(),
+            facets: Vec::new(),
+            seeds: Vec::new(),
+            adj: HashMap::new(),
+            interior_row,
+            interior_hom: dim as i64 + 1,
+            last_visited: 0,
+        };
+        for omit in 0..=dim {
+            let verts: Vec<u32> = simplex.iter().copied().filter(|&v| v != omit as u32).collect();
+            let fv = facet_verts(&verts);
+            let visible_sign = ctx.visible_sign_for(&fv);
+            let id = hull.push_facet(fv, visible_sign);
+            hull.seeds.push(id);
+        }
+        hull
+    }
+
+    fn push_facet(&mut self, verts: FacetVerts, visible_sign: Sign) -> u32 {
+        let id = self.facets.len() as u32;
+        self.facets.push(OFacet { verts, visible_sign, alive: true, children: Vec::new() });
+        for omit in 0..self.dim {
+            let r = ridge_omitting(&verts, self.dim, omit);
+            let entry = self.adj.entry(r).or_insert([NO_FACET, NO_FACET]);
+            if entry[0] == NO_FACET {
+                entry[0] = id;
+            } else {
+                debug_assert_eq!(entry[1], NO_FACET);
+                entry[1] = id;
+            }
+        }
+        id
+    }
+
+    fn remove_from_adj(&mut self, id: u32) {
+        let verts = self.facets[id as usize].verts;
+        for omit in 0..self.dim {
+            let r = ridge_omitting(&verts, self.dim, omit);
+            if let Some(entry) = self.adj.get_mut(&r) {
+                if entry[0] == id {
+                    entry[0] = entry[1];
+                }
+                entry[1] = NO_FACET;
+                if entry[0] == NO_FACET {
+                    self.adj.remove(&r);
+                }
+            }
+        }
+    }
+
+    /// Exact visibility of coordinate `q` from facet `id`.
+    fn sees(&self, id: u32, q: &[i64]) -> bool {
+        let f = &self.facets[id as usize];
+        let mut rows: Vec<&[i64]> = Vec::with_capacity(self.dim + 1);
+        for i in 0..self.dim {
+            rows.push(self.pts.pt(f.verts[i]));
+        }
+        rows.push(q);
+        let s = orientd(self.dim, &rows);
+        s != Sign::Zero && s == f.visible_sign
+    }
+
+    /// All alive facets visible from `q`, found by history descent.
+    fn locate(&mut self, q: &[i64]) -> Vec<u32> {
+        let mut visited = vec![false; self.facets.len()];
+        let mut stack: Vec<u32> = Vec::new();
+        let mut out = Vec::new();
+        let mut count = 0usize;
+        for &s in &self.seeds {
+            visited[s as usize] = true;
+            count += 1;
+            if self.sees(s, q) {
+                stack.push(s);
+            }
+        }
+        while let Some(id) = stack.pop() {
+            if self.facets[id as usize].alive {
+                out.push(id);
+            }
+            for ci in 0..self.facets[id as usize].children.len() {
+                let c = self.facets[id as usize].children[ci];
+                if !visited[c as usize] {
+                    visited[c as usize] = true;
+                    count += 1;
+                    if self.sees(c, q) {
+                        stack.push(c);
+                    }
+                }
+            }
+        }
+        self.last_visited = count;
+        out
+    }
+
+    /// Insert a point. Returns `true` if the point is outside the current
+    /// hull (and the hull was extended), `false` if it is inside or on the
+    /// boundary (and was recorded but changed nothing).
+    pub fn insert(&mut self, coords: &[i64]) -> bool {
+        assert_eq!(coords.len(), self.dim, "point of wrong dimension");
+        let visible = self.locate(coords);
+        let v = self.pts.len() as u32;
+        self.pts.push(coords);
+        if visible.is_empty() {
+            return false;
+        }
+        // Boundary ridges: incident to exactly one visible facet.
+        let in_r: std::collections::HashSet<u32> = visible.iter().copied().collect();
+        let mut boundary: Vec<(RidgeKey, u32, u32)> = Vec::new();
+        for &t1 in &visible {
+            let verts = self.facets[t1 as usize].verts;
+            for omit in 0..self.dim {
+                let r = ridge_omitting(&verts, self.dim, omit);
+                let pair = self.adj[&r];
+                let t2 = if pair[0] == t1 { pair[1] } else { pair[0] };
+                debug_assert_ne!(t2, NO_FACET, "hull not closed");
+                if !in_r.contains(&t2) {
+                    boundary.push((r, t1, t2));
+                }
+            }
+        }
+        for &t in &visible {
+            self.facets[t as usize].alive = false;
+            self.remove_from_adj(t);
+        }
+        for (r, t1, t2) in boundary {
+            let verts = join_ridge(&r, self.dim, v);
+            let visible_sign = self.visible_sign_for(&verts);
+            let id = self.push_facet(verts, visible_sign);
+            self.facets[t1 as usize].children.push(id);
+            self.facets[t2 as usize].children.push(id);
+        }
+        true
+    }
+
+    fn visible_sign_for(&self, verts: &FacetVerts) -> Sign {
+        let mut rows: Vec<(&[i64], i64)> = Vec::with_capacity(self.dim + 1);
+        for i in 0..self.dim {
+            rows.push((self.pts.pt(verts[i]), 1));
+        }
+        rows.push((self.interior_row.as_slice(), self.interior_hom));
+        let s = orientd_hom(self.dim, &rows);
+        assert_ne!(s, Sign::Zero, "degenerate facet orientation");
+        s.negate()
+    }
+
+    /// Membership test for an arbitrary coordinate (does not insert).
+    pub fn contains(&mut self, coords: &[i64]) -> bool {
+        self.locate(coords).is_empty()
+    }
+
+    /// Number of points inserted so far (including the seed simplex).
+    pub fn num_points(&self) -> usize {
+        self.pts.len()
+    }
+
+    /// Snapshot of the current hull facets.
+    pub fn output(&self) -> HullOutput {
+        let facets: Vec<FacetVerts> = self
+            .facets
+            .iter()
+            .filter(|f| f.alive)
+            .map(|f| {
+                let mut v = [NO_VERT; MAX_DIM];
+                v[..self.dim].copy_from_slice(&f.verts[..self.dim]);
+                v
+            })
+            .collect();
+        HullOutput { dim: self.dim, facets }
+    }
+
+    /// The accumulated point set (insertion order).
+    pub fn points(&self) -> &PointSet {
+        &self.pts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::prepare_points;
+    use crate::seq::incremental_hull_run;
+    use crate::verify::verify_hull;
+    use chull_geometry::generators;
+
+    fn online_from(pts: &PointSet) -> OnlineHull {
+        let dim = pts.dim();
+        let seeds: Vec<Vec<i64>> = (0..=dim).map(|i| pts.point(i).to_vec()).collect();
+        let mut hull = OnlineHull::new(dim, &seeds);
+        for i in (dim + 1)..pts.len() {
+            hull.insert(pts.point(i));
+        }
+        hull
+    }
+
+    #[test]
+    fn matches_offline_2d_and_3d() {
+        for seed in 0..3u64 {
+            let pts = prepare_points(
+                &PointSet::from_points2(&generators::disk_2d(400, 1 << 20, seed)),
+                seed + 1,
+            );
+            let offline = incremental_hull_run(&pts);
+            let online = online_from(&pts);
+            assert_eq!(online.output().canonical(), offline.output.canonical());
+
+            let pts = prepare_points(
+                &PointSet::from_points3(&generators::ball_3d(250, 1 << 20, seed)),
+                seed + 2,
+            );
+            let offline = incremental_hull_run(&pts);
+            let online = online_from(&pts);
+            assert_eq!(online.output().canonical(), offline.output.canonical());
+        }
+    }
+
+    #[test]
+    fn matches_offline_higher_dims() {
+        for dim in 4..=5 {
+            let pts = prepare_points(&generators::ball_d(dim, 48, 1 << 16, 9), 10);
+            let offline = incremental_hull_run(&pts);
+            let online = online_from(&pts);
+            assert_eq!(online.output().canonical(), offline.output.canonical(), "dim {dim}");
+        }
+    }
+
+    #[test]
+    fn insert_reports_extremeness() {
+        let mut hull = OnlineHull::new(
+            2,
+            &[vec![0, 0], vec![100, 0], vec![0, 100]],
+        );
+        assert!(!hull.insert(&[10, 10]), "interior point");
+        assert!(hull.insert(&[100, 100]), "exterior point");
+        assert!(!hull.insert(&[50, 50]), "now interior");
+        assert_eq!(hull.output().num_facets(), 4);
+        let pts = hull.points().clone();
+        verify_hull(&pts, &hull.output()).unwrap();
+    }
+
+    #[test]
+    fn membership_queries_do_not_mutate() {
+        let mut hull = OnlineHull::new(2, &[vec![0, 0], vec![10, 0], vec![0, 10]]);
+        assert!(hull.contains(&[1, 1]));
+        assert!(!hull.contains(&[100, 100]));
+        assert_eq!(hull.num_points(), 3);
+        assert_eq!(hull.output().num_facets(), 3);
+    }
+
+    #[test]
+    fn location_cost_stays_logarithmic_random_order() {
+        let pts = prepare_points(
+            &PointSet::from_points2(&generators::disk_2d(4000, 1 << 24, 3)),
+            4,
+        );
+        let dim = 2;
+        let seeds: Vec<Vec<i64>> = (0..=dim).map(|i| pts.point(i).to_vec()).collect();
+        let mut hull = OnlineHull::new(dim, &seeds);
+        let mut total_visited = 0usize;
+        for i in (dim + 1)..pts.len() {
+            hull.insert(pts.point(i));
+            total_visited += hull.last_visited;
+        }
+        let mean = total_visited as f64 / (pts.len() - 3) as f64;
+        let hn: f64 = (1..=pts.len()).map(|i| 1.0 / i as f64).sum();
+        assert!(mean < 10.0 * hn, "mean location cost {mean} too high");
+    }
+}

@@ -1,0 +1,72 @@
+//! Hull outputs in a canonical, comparison-friendly form.
+
+use crate::facet::{FacetVerts, NO_VERT};
+use std::collections::BTreeSet;
+
+/// The facets of a computed convex hull.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HullOutput {
+    /// Dimension `d`.
+    pub dim: usize,
+    /// Facets as sorted vertex-id arrays (first `dim` slots used).
+    pub facets: Vec<FacetVerts>,
+}
+
+impl HullOutput {
+    /// Canonical form: the sorted set of sorted vertex tuples. Two hull
+    /// computations agree iff their canonical forms are equal.
+    pub fn canonical(&self) -> BTreeSet<Vec<u32>> {
+        self.facets.iter().map(|f| f[..self.dim].to_vec()).collect()
+    }
+
+    /// The set of hull vertices (point ids appearing on any facet).
+    pub fn vertices(&self) -> BTreeSet<u32> {
+        self.facets
+            .iter()
+            .flat_map(|f| f[..self.dim].iter().copied())
+            .filter(|&v| v != NO_VERT)
+            .collect()
+    }
+
+    /// Number of facets.
+    pub fn num_facets(&self) -> usize {
+        self.facets.len()
+    }
+
+    /// Number of distinct ridges (each must be shared by exactly two facets
+    /// in a valid closed hull).
+    pub fn num_ridges(&self) -> usize {
+        let mut ridges = BTreeSet::new();
+        for f in &self.facets {
+            for omit in 0..self.dim {
+                let r: Vec<u32> = (0..self.dim).filter(|&i| i != omit).map(|i| f[i]).collect();
+                ridges.insert(r);
+            }
+        }
+        ridges.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::facet::facet_verts;
+
+    #[test]
+    fn canonical_ignores_order() {
+        let a = HullOutput { dim: 2, facets: vec![facet_verts(&[0, 1]), facet_verts(&[1, 2])] };
+        let b = HullOutput { dim: 2, facets: vec![facet_verts(&[2, 1]), facet_verts(&[1, 0])] };
+        assert_eq!(a.canonical(), b.canonical());
+        assert_eq!(a.vertices().len(), 3);
+    }
+
+    #[test]
+    fn ridge_count_triangle() {
+        // 2D triangle: 3 edges, ridges are the 3 vertices.
+        let h = HullOutput {
+            dim: 2,
+            facets: vec![facet_verts(&[0, 1]), facet_verts(&[1, 2]), facet_verts(&[0, 2])],
+        };
+        assert_eq!(h.num_ridges(), 3);
+    }
+}

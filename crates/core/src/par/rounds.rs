@@ -1,0 +1,272 @@
+//! Level-synchronous execution of Algorithm 3: ridges are processed in
+//! waves ("rounds"), as in the CRCW PRAM formulation of Theorem 5.4.
+//!
+//! Each round processes every ready ridge; facets created in round `k` make
+//! their new ridges ready for round `k + 1` (a ridge is ready once both
+//! incident facets exist). The number of rounds is the synchronous span
+//! proxy measured by experiment E2, and the per-round traces reproduce the
+//! Figure 1 walkthrough (E4) exactly, including its three rounds.
+//!
+//! The runner is deterministic and single-threaded by design — it is a
+//! *measurement* device; the scheduler-driven implementation is
+//! [`super::parallel_hull`].
+
+use super::trace::TraceEvent;
+use crate::context::HullContext;
+use crate::facet::{join_ridge, ridge_omitting, Facet, FacetVerts, RidgeKey};
+use crate::output::HullOutput;
+use crate::seq::merge_conflicts;
+use crate::stats::HullStats;
+use chull_geometry::PointSet;
+use std::collections::HashMap;
+
+/// Result of a rounds run.
+#[derive(Debug)]
+pub struct RoundsRun {
+    /// The final hull.
+    pub output: HullOutput,
+    /// Instrumentation; `stats.rounds` is the synchronous round count.
+    pub stats: HullStats,
+    /// Facets ever created, in creation order.
+    pub created: Vec<FacetVerts>,
+    /// Number of `ProcessRidge` calls executed in each round.
+    pub ridges_per_round: Vec<usize>,
+    /// Trace events tagged with their (1-based) round.
+    pub trace: Vec<(usize, TraceEvent)>,
+}
+
+/// Run the rounds-synchronous Algorithm 3 starting from the seed simplex
+/// (the first `d + 1` points, which must be affinely independent).
+pub fn rounds_hull(pts: &PointSet, record_trace: bool) -> RoundsRun {
+    rounds_hull_from(pts, pts.dim() + 1, record_trace)
+}
+
+/// Run the rounds-synchronous Algorithm 3 starting from the already-built
+/// hull of the first `initial` points (computed sequentially), with the
+/// remaining points pending — the setting of the paper's Figure 1, where
+/// the hull `u-v-w-x-y-z-t` exists and `a, b, c` are inserted.
+pub fn rounds_hull_from(pts: &PointSet, initial: usize, record_trace: bool) -> RoundsRun {
+    let dim = pts.dim();
+    let n = pts.len();
+    assert!(initial >= dim + 1 && initial <= n);
+
+    // Hull of the first `initial` points, computed sequentially.
+    let head = PointSet::from_flat(dim, pts.flat()[..initial * dim].to_vec());
+    let head_run = crate::seq::incremental_hull_run(&head);
+    let simplex: Vec<u32> = (0..=dim as u32).collect();
+    let ctx = HullContext::new(pts, &simplex);
+
+    let mut stats = HullStats { n, dim, ..Default::default() };
+    let mut facets: Vec<Facet> = Vec::new();
+    let mut alive: Vec<bool> = Vec::new();
+    let mut created: Vec<FacetVerts> = Vec::new();
+    let mut trace: Vec<(usize, TraceEvent)> = Vec::new();
+
+    // Seed facets: the head hull's facets, with conflicts over the tail.
+    let tail: Vec<u32> = (initial as u32..n as u32).collect();
+    for verts in &head_run.output.facets {
+        let (facet, tests) = ctx.make_facet(*verts, &tail, u32::MAX);
+        stats.visibility_tests += tests;
+        created.push(facet.verts);
+        facets.push(facet);
+        alive.push(true);
+        stats.facets_created += 1;
+    }
+
+    // Initial frontier: every ridge of the seed hull (each shared by
+    // exactly two facets).
+    let mut incident: HashMap<RidgeKey, Vec<u32>> = HashMap::new();
+    for (id, f) in facets.iter().enumerate() {
+        for omit in 0..dim {
+            incident.entry(ridge_omitting(&f.verts, dim, omit)).or_default().push(id as u32);
+        }
+    }
+    let mut frontier: Vec<(u32, RidgeKey, u32)> = incident
+        .into_iter()
+        .map(|(r, ids)| {
+            assert_eq!(ids.len(), 2, "seed hull not closed at ridge {r:?}");
+            (ids[0], r, ids[1])
+        })
+        .collect();
+    frontier.sort_unstable_by_key(|&(_, r, _)| r); // determinism
+
+    let mut pending: HashMap<RidgeKey, u32> = HashMap::new();
+    let mut ridges_per_round = Vec::new();
+    let mut round = 0usize;
+
+    while !frontier.is_empty() {
+        round += 1;
+        ridges_per_round.push(frontier.len());
+        let mut next: Vec<(u32, RidgeKey, u32)> = Vec::new();
+        for (mut t1, r, mut t2) in frontier {
+            let (p1, p2) = (facets[t1 as usize].pivot(), facets[t2 as usize].pivot());
+            if p1 == u32::MAX && p2 == u32::MAX {
+                if record_trace {
+                    trace.push((
+                        round,
+                        TraceEvent::finalize(
+                            dim,
+                            &facets[t1 as usize].verts,
+                            &facets[t2 as usize].verts,
+                            round as u64,
+                        ),
+                    ));
+                }
+                continue;
+            }
+            if p1 == p2 {
+                alive[t1 as usize] = false;
+                alive[t2 as usize] = false;
+                stats.buried += 1;
+                if record_trace {
+                    trace.push((
+                        round,
+                        TraceEvent::bury(
+                            dim,
+                            &facets[t1 as usize].verts,
+                            &facets[t2 as usize].verts,
+                            p1,
+                            round as u64,
+                        ),
+                    ));
+                }
+                continue;
+            }
+            if p2 < p1 {
+                std::mem::swap(&mut t1, &mut t2);
+            }
+            let p = facets[t1 as usize].pivot();
+            let verts = join_ridge(&r, dim, p);
+            let candidates = merge_conflicts(
+                &facets[t1 as usize].conflicts,
+                &facets[t2 as usize].conflicts,
+            );
+            let (facet, tests) = ctx.make_facet(verts, &candidates, p);
+            stats.visibility_tests += tests;
+            alive[t1 as usize] = false;
+            stats.replaced += 1;
+            if record_trace {
+                trace.push((
+                    round,
+                    TraceEvent::replace(dim, &facets[t1 as usize].verts, &verts, p, round as u64),
+                ));
+            }
+            let t_id = facets.len() as u32;
+            created.push(facet.verts);
+            facets.push(facet);
+            alive.push(true);
+            stats.facets_created += 1;
+            for omit in 0..dim {
+                let r_new = ridge_omitting(&verts, dim, omit);
+                if r_new == r {
+                    next.push((t_id, r_new, t2));
+                } else if let Some(t_other) = pending.remove(&r_new) {
+                    next.push((t_id, r_new, t_other));
+                } else {
+                    pending.insert(r_new, t_id);
+                }
+            }
+        }
+        frontier = next;
+        frontier.sort_unstable_by_key(|&(_, r, _)| r);
+    }
+
+    let hull_facets: Vec<FacetVerts> = facets
+        .iter()
+        .zip(&alive)
+        .filter(|(f, &a)| {
+            debug_assert!(!a || f.conflicts.is_empty(), "alive facet with conflicts");
+            a
+        })
+        .map(|(f, _)| f.verts)
+        .collect();
+    stats.rounds = round as u64;
+    stats.hull_facets = hull_facets.len() as u64;
+    RoundsRun {
+        output: HullOutput { dim, facets: hull_facets },
+        stats,
+        created,
+        ridges_per_round,
+        trace,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::prepare_points;
+    use crate::seq::incremental_hull_run;
+    use chull_geometry::generators;
+
+    #[test]
+    fn matches_sequential_output_2d_and_3d() {
+        for seed in 0..3u64 {
+            let pts = PointSet::from_points2(&generators::disk_2d(300, 1 << 20, seed));
+            let pts = prepare_points(&pts, seed + 1);
+            let seq = incremental_hull_run(&pts);
+            let rr = rounds_hull(&pts, false);
+            assert_eq!(seq.output.canonical(), rr.output.canonical());
+
+            let pts = PointSet::from_points3(&generators::ball_3d(150, 1 << 20, seed));
+            let pts = prepare_points(&pts, seed + 2);
+            let seq = incremental_hull_run(&pts);
+            let rr = rounds_hull(&pts, false);
+            assert_eq!(seq.output.canonical(), rr.output.canonical());
+        }
+    }
+
+    #[test]
+    fn rounds_grow_logarithmically() {
+        let mut prev_rounds = 0;
+        for n in [256usize, 1024, 4096] {
+            let pts = PointSet::from_points2(&generators::disk_2d(n, 1 << 20, 3));
+            let pts = prepare_points(&pts, 4);
+            let rr = rounds_hull(&pts, false);
+            let hn: f64 = (1..=n).map(|i| 1.0 / i as f64).sum();
+            assert!(
+                (rr.stats.rounds as f64) < 30.0 * hn,
+                "rounds {} too large for n = {n}",
+                rr.stats.rounds
+            );
+            assert!(rr.stats.rounds as usize >= 2);
+            // Rounds should not explode as n quadruples.
+            if prev_rounds > 0 {
+                assert!(rr.stats.rounds <= prev_rounds * 3);
+            }
+            prev_rounds = rr.stats.rounds;
+        }
+    }
+
+    #[test]
+    fn from_initial_hull_matches_full_run() {
+        let pts = PointSet::from_points2(&generators::disk_2d(120, 1 << 16, 8));
+        let pts = prepare_points(&pts, 9);
+        let full = rounds_hull(&pts, false);
+        let staged = rounds_hull_from(&pts, 40, false);
+        assert_eq!(full.output.canonical(), staged.output.canonical());
+    }
+
+    #[test]
+    fn same_facets_as_async_parallel() {
+        let pts = PointSet::from_points2(&generators::disk_2d(250, 1 << 20, 12));
+        let pts = prepare_points(&pts, 13);
+        let rr = rounds_hull(&pts, false);
+        let par = super::super::parallel_hull(&pts, super::super::ParOptions::default());
+        let mut a = rr.created.clone();
+        let mut b = par.created.clone();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+        assert_eq!(rr.stats.visibility_tests, par.stats.visibility_tests);
+    }
+
+    #[test]
+    fn per_round_counts_sum_sanity() {
+        let pts = PointSet::from_points2(&generators::disk_2d(100, 1 << 16, 5));
+        let pts = prepare_points(&pts, 6);
+        let rr = rounds_hull(&pts, true);
+        assert_eq!(rr.ridges_per_round.len(), rr.stats.rounds as usize);
+        // Every trace round index is within bounds.
+        assert!(rr.trace.iter().all(|(r, _)| *r >= 1 && *r <= rr.stats.rounds as usize));
+    }
+}

@@ -1,0 +1,117 @@
+//! Replay traces of `ProcessRidge` actions, used to reproduce the paper's
+//! Figure 1 walkthrough (experiment E4).
+
+use crate::facet::{FacetVerts, MAX_DIM, NO_VERT};
+
+/// One `ProcessRidge` action.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// Line 9: both conflict sets empty; the ridge and its facets are final.
+    Finalize {
+        /// First facet's vertices.
+        t1: Vec<u32>,
+        /// Second facet's vertices.
+        t2: Vec<u32>,
+        /// Recursion depth of the call.
+        depth: u64,
+    },
+    /// Line 10: both facets share the conflict pivot, which buries them.
+    Bury {
+        /// First facet's vertices.
+        t1: Vec<u32>,
+        /// Second facet's vertices.
+        t2: Vec<u32>,
+        /// The burying point.
+        pivot: u32,
+        /// Recursion depth of the call.
+        depth: u64,
+    },
+    /// Lines 14-17: the new facet `new` replaces `old` (joined with `pivot`).
+    Replace {
+        /// The replaced facet's vertices.
+        old: Vec<u32>,
+        /// The created facet's vertices.
+        new: Vec<u32>,
+        /// The inserted point.
+        pivot: u32,
+        /// Recursion depth of the call.
+        depth: u64,
+    },
+}
+
+fn verts_vec(dim: usize, v: &FacetVerts) -> Vec<u32> {
+    debug_assert!(dim <= MAX_DIM && v[..dim].iter().all(|&x| x != NO_VERT));
+    v[..dim].to_vec()
+}
+
+impl TraceEvent {
+    pub(crate) fn finalize(dim: usize, t1: &FacetVerts, t2: &FacetVerts, depth: u64) -> TraceEvent {
+        TraceEvent::Finalize { t1: verts_vec(dim, t1), t2: verts_vec(dim, t2), depth }
+    }
+
+    pub(crate) fn bury(
+        dim: usize,
+        t1: &FacetVerts,
+        t2: &FacetVerts,
+        pivot: u32,
+        depth: u64,
+    ) -> TraceEvent {
+        TraceEvent::Bury { t1: verts_vec(dim, t1), t2: verts_vec(dim, t2), pivot, depth }
+    }
+
+    pub(crate) fn replace(
+        dim: usize,
+        old: &FacetVerts,
+        new: &FacetVerts,
+        pivot: u32,
+        depth: u64,
+    ) -> TraceEvent {
+        TraceEvent::Replace {
+            old: verts_vec(dim, old),
+            new: verts_vec(dim, new),
+            pivot,
+            depth,
+        }
+    }
+
+    /// The recursion depth the event occurred at.
+    pub fn depth(&self) -> u64 {
+        match self {
+            TraceEvent::Finalize { depth, .. }
+            | TraceEvent::Bury { depth, .. }
+            | TraceEvent::Replace { depth, .. } => *depth,
+        }
+    }
+
+    /// Render with point names (e.g. Figure 1's `u, v, w, ...`): an edge
+    /// `{1, 3}` becomes `v-x`.
+    pub fn render(&self, names: &[&str]) -> String {
+        let f = |vs: &Vec<u32>| {
+            vs.iter().map(|&v| names[v as usize]).collect::<Vec<_>>().join("-")
+        };
+        match self {
+            TraceEvent::Finalize { t1, t2, .. } => format!("finalize {} | {}", f(t1), f(t2)),
+            TraceEvent::Bury { t1, t2, pivot, .. } => {
+                format!("{} buries {} and {}", names[*pivot as usize], f(t1), f(t2))
+            }
+            TraceEvent::Replace { old, new, pivot, .. } => {
+                format!("{} replaces {} (pivot {})", f(new), f(old), names[*pivot as usize])
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::facet::facet_verts;
+
+    #[test]
+    fn render_uses_names() {
+        let e = TraceEvent::replace(2, &facet_verts(&[0, 1]), &facet_verts(&[1, 2]), 2, 3);
+        assert_eq!(e.render(&["u", "v", "c"]), "v-c replaces u-v (pivot c)");
+        assert_eq!(e.depth(), 3);
+        let b = TraceEvent::bury(2, &facet_verts(&[0, 1]), &facet_verts(&[1, 2]), 2, 1);
+        assert_eq!(b.render(&["u", "v", "c"]), "c buries u-v and v-c");
+    }
+}

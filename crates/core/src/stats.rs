@@ -1,0 +1,51 @@
+//! Instrumentation records shared by the hull algorithms.
+
+/// Counters and depth measurements from one hull construction.
+///
+/// The paper's claims map onto these fields:
+/// * Theorem 1.1 / 4.2 — `dep_depth` is `D(G(S))`, logarithmic whp;
+/// * Theorem 5.3 — `recursion_depth` of `ProcessRidge`, bounded by
+///   `dep_depth` levels;
+/// * Theorems 5.4/5.5 — `visibility_tests` (the work) is identical between
+///   Algorithm 2 and Algorithm 3, and `rounds` is the synchronous span proxy.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HullStats {
+    /// Number of input points.
+    pub n: usize,
+    /// Dimension `d`.
+    pub dim: usize,
+    /// Exact plane-side tests performed (the algorithm's work).
+    pub visibility_tests: u64,
+    /// Facets ever created (including later replaced/buried ones).
+    pub facets_created: u64,
+    /// Facets on the final hull.
+    pub hull_facets: u64,
+    /// Depth of the configuration dependence graph `D(G(S))`
+    /// (computed by the instrumented runs; 0 if not recorded).
+    pub dep_depth: u64,
+    /// Maximum `ProcessRidge` recursion depth (parallel runs only).
+    pub recursion_depth: u64,
+    /// Number of level-synchronous rounds (rounds runner only).
+    pub rounds: u64,
+    /// `ProcessRidge` invocations that buried a ridge (parallel only).
+    pub buried: u64,
+    /// `ProcessRidge` invocations that replaced a facet (parallel only).
+    pub replaced: u64,
+    /// Depth of the *naive* dependence graph, where a new facet depends on
+    /// **every** facet its pivot removes (the pre-paper, synchronous
+    /// scheduling discipline). The gap between this and `dep_depth` is what
+    /// the paper's support sets buy (ablation E12a). Sequential runs only.
+    pub naive_dep_depth: u64,
+}
+
+impl HullStats {
+    /// The harmonic number `H_n` for normalizing depths (Theorem 4.2).
+    pub fn harmonic(&self) -> f64 {
+        (1..=self.n).map(|i| 1.0 / i as f64).sum()
+    }
+
+    /// `dep_depth / H_n` — bounded by a constant whp per Theorem 4.2.
+    pub fn depth_over_harmonic(&self) -> f64 {
+        self.dep_depth as f64 / self.harmonic()
+    }
+}

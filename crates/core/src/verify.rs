@@ -1,0 +1,201 @@
+//! Exact hull validation.
+//!
+//! Used by every integration test and by the experiment harness after each
+//! run: checks the structural invariants of a closed convex polytope
+//! boundary and the geometric invariant that no input point lies strictly
+//! outside any facet.
+
+use crate::facet::NO_VERT;
+use crate::output::HullOutput;
+use chull_geometry::predicates::orientd;
+use chull_geometry::{PointSet, Sign};
+use std::collections::HashMap;
+
+/// Validate `hull` against the full input `pts`.
+///
+/// Checks:
+/// 1. every facet has `d` distinct vertex ids in range;
+/// 2. every ridge is shared by exactly two facets (closed pseudo-manifold);
+/// 3. for every facet, all input points lie in one closed halfspace of its
+///    hyperplane (exact arithmetic);
+/// 4. in 2D, facet count equals vertex count; in 3D, Euler's relation
+///    `V - E + F = 2` holds for the triangulated boundary.
+pub fn verify_hull(pts: &PointSet, hull: &HullOutput) -> Result<(), String> {
+    let dim = hull.dim;
+    if dim != pts.dim() {
+        return Err(format!("dimension mismatch: hull {dim}, points {}", pts.dim()));
+    }
+    if hull.facets.is_empty() {
+        return Err("hull has no facets".to_string());
+    }
+
+    // (1) well-formed facets.
+    for f in &hull.facets {
+        for i in 0..dim {
+            if f[i] == NO_VERT || (f[i] as usize) >= pts.len() {
+                return Err(format!("facet {f:?} has out-of-range vertex"));
+            }
+            if i > 0 && f[i - 1] >= f[i] {
+                return Err(format!("facet {f:?} vertices not sorted/distinct"));
+            }
+        }
+    }
+
+    // (2) ridge incidence.
+    let mut ridge_count: HashMap<Vec<u32>, usize> = HashMap::new();
+    for f in &hull.facets {
+        for omit in 0..dim {
+            let r: Vec<u32> = (0..dim).filter(|&i| i != omit).map(|i| f[i]).collect();
+            *ridge_count.entry(r).or_insert(0) += 1;
+        }
+    }
+    for (r, c) in &ridge_count {
+        if *c != 2 {
+            return Err(format!("ridge {r:?} incident to {c} facets, expected 2"));
+        }
+    }
+
+    // (3) one-sidedness of every facet, exactly.
+    for f in &hull.facets {
+        let rows: Vec<&[i64]> = (0..dim).map(|i| pts.pt(f[i])).collect();
+        let mut seen: Option<Sign> = None;
+        for q in 0..pts.len() {
+            let qi = q as u32;
+            if f[..dim].contains(&qi) {
+                continue;
+            }
+            let mut all_rows = rows.clone();
+            all_rows.push(pts.point(q));
+            let s = orientd(dim, &all_rows);
+            match (seen, s) {
+                (_, Sign::Zero) => {}
+                (None, s) => seen = Some(s),
+                (Some(prev), s) if prev != s => {
+                    return Err(format!(
+                        "facet {:?} has points on both sides (point {q})",
+                        &f[..dim]
+                    ));
+                }
+                _ => {}
+            }
+        }
+    }
+
+    // (4) combinatorial counts.
+    let v = hull.vertices().len();
+    let fcount = hull.facets.len();
+    let e = ridge_count.len();
+    match dim {
+        2 => {
+            if fcount != v {
+                return Err(format!("2D hull: {fcount} edges but {v} vertices"));
+            }
+        }
+        3 => {
+            let euler = v as i64 - e as i64 + fcount as i64;
+            if euler != 2 {
+                return Err(format!("3D Euler check failed: V-E+F = {euler} != 2"));
+            }
+        }
+        _ => {}
+    }
+    Ok(())
+}
+
+/// Check that every non-vertex input point is inside or on the hull
+/// boundary: for each point, no facet sees it strictly. Quadratic; used on
+/// moderate sizes. Facet orientation is inferred from one-sidedness, so
+/// this is implied by [`verify_hull`] (3); kept as an independent
+/// double-check with a different code path.
+pub fn verify_containment(pts: &PointSet, hull: &HullOutput) -> Result<(), String> {
+    let dim = hull.dim;
+    for f in &hull.facets {
+        let rows: Vec<&[i64]> = (0..dim).map(|i| pts.pt(f[i])).collect();
+        // Determine the inside sign from the majority of points.
+        let mut pos = 0usize;
+        let mut neg = 0usize;
+        for q in 0..pts.len() {
+            if f[..dim].contains(&(q as u32)) {
+                continue;
+            }
+            let mut all_rows = rows.clone();
+            all_rows.push(pts.point(q));
+            match orientd(dim, &all_rows) {
+                Sign::Positive => pos += 1,
+                Sign::Negative => neg += 1,
+                Sign::Zero => {}
+            }
+        }
+        if pos > 0 && neg > 0 {
+            return Err(format!("facet {:?} separates the input", &f[..dim]));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::facet::facet_verts;
+    use crate::seq::incremental_hull_run;
+
+    #[test]
+    fn accepts_valid_square() {
+        let pts = PointSet::from_rows(
+            2,
+            &[vec![0, 0], vec![10, 0], vec![0, 10], vec![10, 10], vec![5, 5]],
+        );
+        let run = incremental_hull_run(&pts);
+        verify_hull(&pts, &run.output).unwrap();
+        verify_containment(&pts, &run.output).unwrap();
+    }
+
+    #[test]
+    fn rejects_missing_facet() {
+        let pts = PointSet::from_rows(2, &[vec![0, 0], vec![10, 0], vec![0, 10]]);
+        let bad = HullOutput { dim: 2, facets: vec![facet_verts(&[0, 1]), facet_verts(&[1, 2])] };
+        assert!(verify_hull(&pts, &bad).is_err());
+    }
+
+    #[test]
+    fn rejects_malformed_facets() {
+        let pts = PointSet::from_rows(2, &[vec![0, 0], vec![10, 0], vec![0, 10]]);
+        // Out-of-range vertex id.
+        let bad = HullOutput {
+            dim: 2,
+            facets: vec![facet_verts(&[0, 1]), facet_verts(&[1, 2]), [0, 7, u32::MAX, u32::MAX, u32::MAX, u32::MAX, u32::MAX, u32::MAX]],
+        };
+        let err = verify_hull(&pts, &bad).unwrap_err();
+        assert!(err.contains("out-of-range"), "{err}");
+        // Unsorted/duplicate vertices.
+        let bad = HullOutput {
+            dim: 2,
+            facets: vec![[1, 1, u32::MAX, u32::MAX, u32::MAX, u32::MAX, u32::MAX, u32::MAX]],
+        };
+        let err = verify_hull(&pts, &bad).unwrap_err();
+        assert!(err.contains("not sorted"), "{err}");
+        // Empty facet list.
+        let bad = HullOutput { dim: 2, facets: vec![] };
+        assert!(verify_hull(&pts, &bad).is_err());
+    }
+
+    #[test]
+    fn rejects_non_hull_edge() {
+        let pts = PointSet::from_rows(
+            2,
+            &[vec![0, 0], vec![10, 0], vec![0, 10], vec![10, 10]],
+        );
+        // The diagonal (0, 3) is not a hull edge: points on both sides.
+        let bad = HullOutput {
+            dim: 2,
+            facets: vec![
+                facet_verts(&[0, 1]),
+                facet_verts(&[1, 3]),
+                facet_verts(&[0, 2]),
+                facet_verts(&[2, 3]),
+                facet_verts(&[0, 3]),
+            ],
+        };
+        assert!(verify_hull(&pts, &bad).is_err());
+    }
+}

@@ -1,0 +1,619 @@
+//! Arbitrary-precision signed integers for exact geometric determinants.
+//!
+//! The incremental hull needs exact sign-of-determinant tests in arbitrary
+//! (constant) dimension. Minors computed by fraction-free Gaussian
+//! elimination (Bareiss) grow beyond `i128` once the dimension or the
+//! coordinate range is large, so we provide a small sign-magnitude big
+//! integer: limbs are base-2^64 digits stored little-endian.
+//!
+//! Only the operations Bareiss elimination needs are implemented: addition,
+//! subtraction, multiplication, exact division (division known to leave no
+//! remainder, asserted), comparison, and sign inspection. Division uses
+//! Knuth's Algorithm D.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// Sign of a [`BigInt`] (or of any exact quantity in this crate).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Sign {
+    /// Strictly negative.
+    Negative,
+    /// Exactly zero.
+    Zero,
+    /// Strictly positive.
+    Positive,
+}
+
+impl Sign {
+    /// Map to the conventional `-1 / 0 / +1` integer.
+    #[inline]
+    pub fn as_i32(self) -> i32 {
+        match self {
+            Sign::Negative => -1,
+            Sign::Zero => 0,
+            Sign::Positive => 1,
+        }
+    }
+
+    /// Build from any signed integer-like comparison result.
+    #[inline]
+    pub fn from_i32(v: i32) -> Sign {
+        match v.cmp(&0) {
+            Ordering::Less => Sign::Negative,
+            Ordering::Equal => Sign::Zero,
+            Ordering::Greater => Sign::Positive,
+        }
+    }
+
+    /// Sign of the product of two signed quantities.
+    #[inline]
+    pub fn product(self, other: Sign) -> Sign {
+        Sign::from_i32(self.as_i32() * other.as_i32())
+    }
+
+    /// Flip positive to negative and vice versa.
+    #[inline]
+    pub fn negate(self) -> Sign {
+        match self {
+            Sign::Negative => Sign::Positive,
+            Sign::Zero => Sign::Zero,
+            Sign::Positive => Sign::Negative,
+        }
+    }
+}
+
+/// Sign-magnitude arbitrary-precision integer.
+///
+/// Invariants: `limbs` has no trailing zero limbs; `negative` is `false`
+/// when the value is zero.
+///
+/// ```
+/// use chull_geometry::BigInt;
+/// let a = BigInt::from(i64::MAX).mul(&BigInt::from(i64::MAX));
+/// let b = a.mul(&a); // far beyond i128
+/// assert_eq!(b.div_exact(&a), a);
+/// assert!(b > a);
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct BigInt {
+    negative: bool,
+    limbs: Vec<u64>,
+}
+
+impl BigInt {
+    /// The value 0.
+    #[inline]
+    pub fn zero() -> BigInt {
+        BigInt { negative: false, limbs: Vec::new() }
+    }
+
+    /// The value 1.
+    #[inline]
+    pub fn one() -> BigInt {
+        BigInt { negative: false, limbs: vec![1] }
+    }
+
+    /// True iff the value is zero.
+    #[inline]
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    /// Sign of the value.
+    #[inline]
+    pub fn sign(&self) -> Sign {
+        if self.limbs.is_empty() {
+            Sign::Zero
+        } else if self.negative {
+            Sign::Negative
+        } else {
+            Sign::Positive
+        }
+    }
+
+    /// Number of limbs in the magnitude (0 for zero).
+    #[inline]
+    pub fn limb_len(&self) -> usize {
+        self.limbs.len()
+    }
+
+    /// Number of significant bits in the magnitude (0 for zero).
+    pub fn bit_len(&self) -> usize {
+        match self.limbs.last() {
+            None => 0,
+            Some(&top) => 64 * (self.limbs.len() - 1) + (64 - top.leading_zeros() as usize),
+        }
+    }
+
+    fn trim(&mut self) {
+        while let Some(&0) = self.limbs.last() {
+            self.limbs.pop();
+        }
+        if self.limbs.is_empty() {
+            self.negative = false;
+        }
+    }
+
+    /// In-place negation.
+    #[inline]
+    pub fn negate(&mut self) {
+        if !self.limbs.is_empty() {
+            self.negative = !self.negative;
+        }
+    }
+
+    /// Negated copy.
+    #[inline]
+    pub fn neg(&self) -> BigInt {
+        let mut r = self.clone();
+        r.negate();
+        r
+    }
+
+    /// Compare magnitudes only, ignoring sign.
+    fn cmp_mag(a: &[u64], b: &[u64]) -> Ordering {
+        if a.len() != b.len() {
+            return a.len().cmp(&b.len());
+        }
+        for i in (0..a.len()).rev() {
+            if a[i] != b[i] {
+                return a[i].cmp(&b[i]);
+            }
+        }
+        Ordering::Equal
+    }
+
+    fn add_mag(a: &[u64], b: &[u64]) -> Vec<u64> {
+        let (long, short) = if a.len() >= b.len() { (a, b) } else { (b, a) };
+        let mut out = Vec::with_capacity(long.len() + 1);
+        let mut carry = 0u64;
+        for i in 0..long.len() {
+            let x = long[i];
+            let y = if i < short.len() { short[i] } else { 0 };
+            let (s1, c1) = x.overflowing_add(y);
+            let (s2, c2) = s1.overflowing_add(carry);
+            out.push(s2);
+            carry = (c1 as u64) + (c2 as u64);
+        }
+        if carry != 0 {
+            out.push(carry);
+        }
+        out
+    }
+
+    /// `a - b` for magnitudes with `a >= b`.
+    fn sub_mag(a: &[u64], b: &[u64]) -> Vec<u64> {
+        debug_assert!(Self::cmp_mag(a, b) != Ordering::Less);
+        let mut out = Vec::with_capacity(a.len());
+        let mut borrow = 0u64;
+        for i in 0..a.len() {
+            let y = if i < b.len() { b[i] } else { 0 };
+            let (d1, b1) = a[i].overflowing_sub(y);
+            let (d2, b2) = d1.overflowing_sub(borrow);
+            out.push(d2);
+            borrow = (b1 as u64) + (b2 as u64);
+        }
+        debug_assert_eq!(borrow, 0);
+        while let Some(&0) = out.last() {
+            out.pop();
+        }
+        out
+    }
+
+    fn mul_mag(a: &[u64], b: &[u64]) -> Vec<u64> {
+        if a.is_empty() || b.is_empty() {
+            return Vec::new();
+        }
+        let mut out = vec![0u64; a.len() + b.len()];
+        for (i, &x) in a.iter().enumerate() {
+            if x == 0 {
+                continue;
+            }
+            let mut carry = 0u128;
+            for (j, &y) in b.iter().enumerate() {
+                let cur = out[i + j] as u128 + (x as u128) * (y as u128) + carry;
+                out[i + j] = cur as u64;
+                carry = cur >> 64;
+            }
+            let mut k = i + b.len();
+            while carry != 0 {
+                let cur = out[k] as u128 + carry;
+                out[k] = cur as u64;
+                carry = cur >> 64;
+                k += 1;
+            }
+        }
+        while let Some(&0) = out.last() {
+            out.pop();
+        }
+        out
+    }
+
+    /// Sum of two big integers.
+    pub fn add(&self, other: &BigInt) -> BigInt {
+        if self.negative == other.negative {
+            let mut r = BigInt {
+                negative: self.negative,
+                limbs: Self::add_mag(&self.limbs, &other.limbs),
+            };
+            r.trim();
+            r
+        } else {
+            match Self::cmp_mag(&self.limbs, &other.limbs) {
+                Ordering::Equal => BigInt::zero(),
+                Ordering::Greater => {
+                    let mut r = BigInt {
+                        negative: self.negative,
+                        limbs: Self::sub_mag(&self.limbs, &other.limbs),
+                    };
+                    r.trim();
+                    r
+                }
+                Ordering::Less => {
+                    let mut r = BigInt {
+                        negative: other.negative,
+                        limbs: Self::sub_mag(&other.limbs, &self.limbs),
+                    };
+                    r.trim();
+                    r
+                }
+            }
+        }
+    }
+
+    /// Difference of two big integers.
+    pub fn sub(&self, other: &BigInt) -> BigInt {
+        self.add(&other.neg())
+    }
+
+    /// Product of two big integers.
+    pub fn mul(&self, other: &BigInt) -> BigInt {
+        let mut r = BigInt {
+            negative: self.negative != other.negative,
+            limbs: Self::mul_mag(&self.limbs, &other.limbs),
+        };
+        r.trim();
+        r
+    }
+
+    /// Divide magnitudes: returns (quotient, remainder). Knuth Algorithm D.
+    fn divmod_mag(a: &[u64], b: &[u64]) -> (Vec<u64>, Vec<u64>) {
+        assert!(!b.is_empty(), "division by zero");
+        if Self::cmp_mag(a, b) == Ordering::Less {
+            return (Vec::new(), a.to_vec());
+        }
+        if b.len() == 1 {
+            // Short division.
+            let d = b[0] as u128;
+            let mut q = vec![0u64; a.len()];
+            let mut rem = 0u128;
+            for i in (0..a.len()).rev() {
+                let cur = (rem << 64) | a[i] as u128;
+                q[i] = (cur / d) as u64;
+                rem = cur % d;
+            }
+            while let Some(&0) = q.last() {
+                q.pop();
+            }
+            let r = if rem == 0 { Vec::new() } else { vec![rem as u64] };
+            return (q, r);
+        }
+
+        // Normalize so the divisor's top limb has its high bit set.
+        let shift = b.last().unwrap().leading_zeros();
+        let bn = shl_bits(b, shift);
+        let mut an = shl_bits(a, shift);
+        an.push(0); // room for the virtual extra limb u[m+n]
+        let n = bn.len();
+        let m = an.len() - 1 - n;
+        let mut q = vec![0u64; m + 1];
+        let btop = bn[n - 1] as u128;
+        let bsecond = bn[n - 2] as u128;
+
+        for j in (0..=m).rev() {
+            // Estimate q_hat from the top two limbs of the current prefix.
+            let top2 = ((an[j + n] as u128) << 64) | an[j + n - 1] as u128;
+            let mut q_hat = top2 / btop;
+            let mut r_hat = top2 % btop;
+            // Refine: at most two corrections bring q_hat within 1 of truth.
+            while q_hat >> 64 != 0
+                || q_hat * bsecond > ((r_hat << 64) | an[j + n - 2] as u128)
+            {
+                q_hat -= 1;
+                r_hat += btop;
+                if r_hat >> 64 != 0 {
+                    break;
+                }
+            }
+            // Multiply-and-subtract q_hat * divisor from the prefix.
+            let mut borrow = 0i128;
+            let mut carry = 0u128;
+            for i in 0..n {
+                let prod = q_hat * bn[i] as u128 + carry;
+                carry = prod >> 64;
+                let sub = an[j + i] as i128 - (prod as u64) as i128 + borrow;
+                an[j + i] = sub as u64;
+                borrow = sub >> 64; // arithmetic shift: 0 or -1
+            }
+            let sub = an[j + n] as i128 - carry as i128 + borrow;
+            an[j + n] = sub as u64;
+            if sub < 0 {
+                // q_hat was one too large: add the divisor back.
+                q_hat -= 1;
+                let mut carry = 0u64;
+                for i in 0..n {
+                    let (s1, c1) = an[j + i].overflowing_add(bn[i]);
+                    let (s2, c2) = s1.overflowing_add(carry);
+                    an[j + i] = s2;
+                    carry = (c1 as u64) + (c2 as u64);
+                }
+                an[j + n] = an[j + n].wrapping_add(carry);
+            }
+            q[j] = q_hat as u64;
+        }
+        while let Some(&0) = q.last() {
+            q.pop();
+        }
+        let mut rem = shr_bits(&an[..n], shift);
+        while let Some(&0) = rem.last() {
+            rem.pop();
+        }
+        (q, rem)
+    }
+
+    /// Quotient and remainder with truncation toward zero
+    /// (remainder has the sign of `self`).
+    pub fn divmod(&self, other: &BigInt) -> (BigInt, BigInt) {
+        let (qm, rm) = Self::divmod_mag(&self.limbs, &other.limbs);
+        let mut q = BigInt { negative: self.negative != other.negative, limbs: qm };
+        let mut r = BigInt { negative: self.negative, limbs: rm };
+        q.trim();
+        r.trim();
+        (q, r)
+    }
+
+    /// Exact division: panics (in debug builds) if a remainder would be left.
+    ///
+    /// Bareiss elimination only ever divides by a previous pivot, which is
+    /// guaranteed to divide exactly; the assertion documents that contract.
+    pub fn div_exact(&self, other: &BigInt) -> BigInt {
+        let (q, r) = self.divmod(other);
+        debug_assert!(r.is_zero(), "div_exact called with non-exact division");
+        q
+    }
+
+    /// Lossy conversion to `f64` (used only for diagnostics/statistics).
+    pub fn to_f64(&self) -> f64 {
+        let mut v = 0.0f64;
+        for &limb in self.limbs.iter().rev() {
+            v = v * 18446744073709551616.0 + limb as f64;
+        }
+        if self.negative {
+            -v
+        } else {
+            v
+        }
+    }
+}
+
+/// Shift a magnitude left by `shift` bits (`shift < 64`), growing if needed.
+fn shl_bits(a: &[u64], shift: u32) -> Vec<u64> {
+    if shift == 0 {
+        return a.to_vec();
+    }
+    let mut out = Vec::with_capacity(a.len() + 1);
+    let mut carry = 0u64;
+    for &x in a {
+        out.push((x << shift) | carry);
+        carry = x >> (64 - shift);
+    }
+    if carry != 0 {
+        out.push(carry);
+    }
+    out
+}
+
+/// Shift a magnitude right by `shift` bits (`shift < 64`).
+fn shr_bits(a: &[u64], shift: u32) -> Vec<u64> {
+    if shift == 0 {
+        return a.to_vec();
+    }
+    let mut out = vec![0u64; a.len()];
+    for i in 0..a.len() {
+        out[i] = a[i] >> shift;
+        if i + 1 < a.len() {
+            out[i] |= a[i + 1] << (64 - shift);
+        }
+    }
+    out
+}
+
+impl From<i64> for BigInt {
+    fn from(v: i64) -> BigInt {
+        if v == 0 {
+            return BigInt::zero();
+        }
+        let mag = (v as i128).unsigned_abs() as u64;
+        BigInt { negative: v < 0, limbs: vec![mag] }
+    }
+}
+
+impl From<i128> for BigInt {
+    fn from(v: i128) -> BigInt {
+        if v == 0 {
+            return BigInt::zero();
+        }
+        let mag = v.unsigned_abs();
+        let lo = mag as u64;
+        let hi = (mag >> 64) as u64;
+        let limbs = if hi == 0 { vec![lo] } else { vec![lo, hi] };
+        BigInt { negative: v < 0, limbs }
+    }
+}
+
+impl PartialOrd for BigInt {
+    fn partial_cmp(&self, other: &BigInt) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for BigInt {
+    fn cmp(&self, other: &BigInt) -> Ordering {
+        match (self.sign(), other.sign()) {
+            (Sign::Negative, Sign::Negative) => Self::cmp_mag(&other.limbs, &self.limbs),
+            (Sign::Negative, _) => Ordering::Less,
+            (Sign::Zero, Sign::Negative) => Ordering::Greater,
+            (Sign::Zero, Sign::Zero) => Ordering::Equal,
+            (Sign::Zero, Sign::Positive) => Ordering::Less,
+            (Sign::Positive, Sign::Positive) => Self::cmp_mag(&self.limbs, &other.limbs),
+            (Sign::Positive, _) => Ordering::Greater,
+        }
+    }
+}
+
+impl fmt::Debug for BigInt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BigInt({})", self)
+    }
+}
+
+impl fmt::Display for BigInt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return write!(f, "0");
+        }
+        // Repeated division by 10^19 (largest power of ten in u64).
+        let ten19 = BigInt::from(10_000_000_000_000_000_000i128);
+        let mut chunks = Vec::new();
+        let mut cur = BigInt { negative: false, limbs: self.limbs.clone() };
+        while !cur.is_zero() {
+            let (q, r) = cur.divmod(&ten19);
+            chunks.push(if r.is_zero() { 0 } else { r.limbs[0] });
+            cur = q;
+        }
+        if self.negative {
+            write!(f, "-")?;
+        }
+        write!(f, "{}", chunks.pop().unwrap())?;
+        for c in chunks.iter().rev() {
+            write!(f, "{:019}", c)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bi(v: i128) -> BigInt {
+        BigInt::from(v)
+    }
+
+    #[test]
+    fn from_and_sign() {
+        assert_eq!(bi(0).sign(), Sign::Zero);
+        assert_eq!(bi(5).sign(), Sign::Positive);
+        assert_eq!(bi(-5).sign(), Sign::Negative);
+        assert!(bi(0).is_zero());
+        assert_eq!(BigInt::from(i64::MIN).to_f64(), i64::MIN as f64);
+    }
+
+    #[test]
+    fn add_sub_small() {
+        assert_eq!(bi(3).add(&bi(4)), bi(7));
+        assert_eq!(bi(3).sub(&bi(4)), bi(-1));
+        assert_eq!(bi(-3).add(&bi(-4)), bi(-7));
+        assert_eq!(bi(-3).add(&bi(3)), bi(0));
+        assert_eq!(bi(10).sub(&bi(10)), bi(0));
+    }
+
+    #[test]
+    fn mul_small() {
+        assert_eq!(bi(6).mul(&bi(7)), bi(42));
+        assert_eq!(bi(-6).mul(&bi(7)), bi(-42));
+        assert_eq!(bi(-6).mul(&bi(-7)), bi(42));
+        assert_eq!(bi(0).mul(&bi(123)), bi(0));
+    }
+
+    #[test]
+    fn mul_carries_across_limbs() {
+        let a = bi(i128::MAX);
+        let b = a.mul(&a);
+        // (2^127 - 1)^2 = 2^254 - 2^128 + 1; check bit length.
+        assert_eq!(b.bit_len(), 254);
+        assert_eq!(b.sign(), Sign::Positive);
+        // (x)^2 - x*(x) == 0
+        assert!(b.sub(&a.mul(&a)).is_zero());
+    }
+
+    #[test]
+    fn divmod_small() {
+        let (q, r) = bi(17).divmod(&bi(5));
+        assert_eq!((q, r), (bi(3), bi(2)));
+        let (q, r) = bi(-17).divmod(&bi(5));
+        assert_eq!((q, r), (bi(-3), bi(-2)));
+        let (q, r) = bi(17).divmod(&bi(-5));
+        assert_eq!((q, r), (bi(-3), bi(2)));
+    }
+
+    #[test]
+    fn divmod_multi_limb() {
+        // (a*b + r) / b == a with remainder r for big values.
+        let a = bi(i128::MAX).mul(&bi(987654321));
+        let b = bi(1234567890123456789);
+        let r = bi(42);
+        let n = a.mul(&b).add(&r);
+        let (q, rem) = n.divmod(&b);
+        assert_eq!(q, a);
+        assert_eq!(rem, r);
+    }
+
+    #[test]
+    fn divmod_requires_addback_path() {
+        // Crafted case exercising the rare Knuth-D add-back branch:
+        // dividend slightly below a multiple of the divisor.
+        let b = BigInt { negative: false, limbs: vec![0, 0x8000_0000_0000_0000] };
+        let q_true = BigInt { negative: false, limbs: vec![u64::MAX, u64::MAX] };
+        let n = b.mul(&q_true);
+        let (q, r) = n.divmod(&b);
+        assert_eq!(q, q_true);
+        assert!(r.is_zero());
+    }
+
+    #[test]
+    fn div_exact_roundtrip() {
+        let a = bi(123456789123456789).mul(&bi(-987654321987654321));
+        let b = bi(-987654321987654321);
+        assert_eq!(a.div_exact(&b), bi(123456789123456789));
+    }
+
+    #[test]
+    fn display_decimal() {
+        assert_eq!(bi(0).to_string(), "0");
+        assert_eq!(bi(-12345).to_string(), "-12345");
+        let big = bi(10_000_000_000_000_000_000i128).mul(&bi(10_000_000_000_000_000_000i128));
+        assert_eq!(big.to_string(), format!("1{}", "0".repeat(38)));
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(bi(-10) < bi(-9));
+        assert!(bi(-1) < bi(0));
+        assert!(bi(0) < bi(1));
+        assert!(bi(i128::MAX) > bi(i128::MAX - 1));
+        let huge = bi(i128::MAX).mul(&bi(2));
+        assert!(huge > bi(i128::MAX));
+        assert!(huge.neg() < bi(i128::MIN));
+    }
+
+    #[test]
+    fn sign_helpers() {
+        assert_eq!(Sign::Positive.product(Sign::Negative), Sign::Negative);
+        assert_eq!(Sign::Negative.product(Sign::Negative), Sign::Positive);
+        assert_eq!(Sign::Zero.product(Sign::Negative), Sign::Zero);
+        assert_eq!(Sign::Positive.negate(), Sign::Negative);
+        assert_eq!(Sign::from_i32(-7), Sign::Negative);
+    }
+}

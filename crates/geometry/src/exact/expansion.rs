@@ -1,0 +1,425 @@
+//! Floating-point expansion arithmetic (Shewchuk).
+//!
+//! An *expansion* is a sum of floating-point numbers `e = e_0 + ... + e_{m-1}`
+//! whose components are nonoverlapping and sorted by increasing magnitude.
+//! Expansions represent real numbers exactly; the error-free transforms
+//! `two_sum` and `two_product` are the building blocks.
+//!
+//! We implement the operations needed for exact signs of small geometric
+//! determinants: growing an expansion by a scalar, summing two expansions,
+//! scaling an expansion by a scalar, and full expansion products. The
+//! predicates in [`crate::predicates`] use a cheap floating-point filter and
+//! fall back to these exact routines only when the filter cannot certify the
+//! sign (Shewchuk's "static filter + exact" scheme).
+
+/// Error-free transform: `a + b = x + y` exactly, with `x = fl(a + b)`.
+#[inline]
+pub fn two_sum(a: f64, b: f64) -> (f64, f64) {
+    let x = a + b;
+    let bv = x - a;
+    let av = x - bv;
+    let br = b - bv;
+    let ar = a - av;
+    (x, ar + br)
+}
+
+/// Error-free transform for the case `|a| >= |b|` (slightly cheaper).
+#[inline]
+pub fn fast_two_sum(a: f64, b: f64) -> (f64, f64) {
+    debug_assert!(a == 0.0 || b == 0.0 || a.abs() >= b.abs() || a.is_nan() || b.is_nan());
+    let x = a + b;
+    let bv = x - a;
+    (x, b - bv)
+}
+
+/// Error-free transform: `a - b = x + y` exactly, with `x = fl(a - b)`.
+#[inline]
+pub fn two_diff(a: f64, b: f64) -> (f64, f64) {
+    let x = a - b;
+    let bv = a - x;
+    let av = x + bv;
+    let br = bv - b;
+    let ar = a - av;
+    (x, ar + br)
+}
+
+/// Error-free transform: `a * b = x + y` exactly, with `x = fl(a * b)`.
+///
+/// Uses a fused multiply-add for the exact tail: Rust guarantees `mul_add`
+/// rounds once, so `fma(a, b, -a*b)` is the exact product tail.
+#[inline]
+pub fn two_product(a: f64, b: f64) -> (f64, f64) {
+    let x = a * b;
+    let y = a.mul_add(b, -x);
+    (x, y)
+}
+
+/// An exact real number as a nonoverlapping floating-point expansion.
+///
+/// Components are stored in increasing magnitude order. The empty expansion
+/// and the all-zero expansion both represent zero.
+#[derive(Clone, Debug, Default)]
+pub struct Expansion {
+    comps: Vec<f64>,
+}
+
+impl Expansion {
+    /// The zero expansion.
+    #[inline]
+    pub fn zero() -> Expansion {
+        Expansion { comps: Vec::new() }
+    }
+
+    /// An expansion holding a single floating-point value.
+    #[inline]
+    pub fn from_f64(v: f64) -> Expansion {
+        if v == 0.0 {
+            Expansion::zero()
+        } else {
+            Expansion { comps: vec![v] }
+        }
+    }
+
+    /// The exact product of two doubles as a (≤2)-component expansion.
+    #[inline]
+    pub fn from_product(a: f64, b: f64) -> Expansion {
+        let (x, y) = two_product(a, b);
+        let mut comps = Vec::with_capacity(2);
+        if y != 0.0 {
+            comps.push(y);
+        }
+        if x != 0.0 {
+            comps.push(x);
+        }
+        Expansion { comps }
+    }
+
+    /// The exact difference `a - b` as a (≤2)-component expansion.
+    #[inline]
+    pub fn from_diff(a: f64, b: f64) -> Expansion {
+        let (x, y) = two_diff(a, b);
+        let mut comps = Vec::with_capacity(2);
+        if y != 0.0 {
+            comps.push(y);
+        }
+        if x != 0.0 {
+            comps.push(x);
+        }
+        Expansion { comps }
+    }
+
+    /// Number of (nonzero) stored components.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.comps.len()
+    }
+
+    /// True iff the represented value is zero.
+    #[inline]
+    pub fn is_zero(&self) -> bool {
+        self.comps.iter().all(|&c| c == 0.0)
+    }
+
+    /// Raw component access (increasing magnitude).
+    #[inline]
+    pub fn components(&self) -> &[f64] {
+        &self.comps
+    }
+
+    /// The best single floating-point approximation: the sum of components.
+    #[inline]
+    pub fn estimate(&self) -> f64 {
+        self.comps.iter().sum()
+    }
+
+    /// The exact sign: the sign of the largest-magnitude (last) nonzero
+    /// component, by the nonoverlapping property.
+    pub fn sign(&self) -> i32 {
+        for &c in self.comps.iter().rev() {
+            if c > 0.0 {
+                return 1;
+            }
+            if c < 0.0 {
+                return -1;
+            }
+        }
+        0
+    }
+
+    /// Exact sum of two expansions (`fast_expansion_sum_zeroelim`).
+    pub fn add(&self, other: &Expansion) -> Expansion {
+        if self.comps.is_empty() {
+            return other.clone();
+        }
+        if other.comps.is_empty() {
+            return self.clone();
+        }
+        let e = &self.comps;
+        let f = &other.comps;
+        // Merge by magnitude.
+        let mut g = Vec::with_capacity(e.len() + f.len());
+        let (mut i, mut j) = (0, 0);
+        while i < e.len() && j < f.len() {
+            if e[i].abs() <= f[j].abs() {
+                g.push(e[i]);
+                i += 1;
+            } else {
+                g.push(f[j]);
+                j += 1;
+            }
+        }
+        g.extend_from_slice(&e[i..]);
+        g.extend_from_slice(&f[j..]);
+
+        // Sum with carry propagation, eliminating zeros.
+        let mut h = Vec::with_capacity(g.len());
+        let (mut q, hh) = fast_two_sum(g[1], g[0]);
+        if hh != 0.0 {
+            h.push(hh);
+        }
+        for &gk in &g[2..] {
+            let (qn, hn) = two_sum(q, gk);
+            q = qn;
+            if hn != 0.0 {
+                h.push(hn);
+            }
+        }
+        if q != 0.0 || h.is_empty() {
+            if q != 0.0 {
+                h.push(q);
+            }
+        }
+        Expansion { comps: h }
+    }
+
+    /// Exact difference of two expansions.
+    pub fn sub(&self, other: &Expansion) -> Expansion {
+        self.add(&other.neg())
+    }
+
+    /// Negated copy.
+    pub fn neg(&self) -> Expansion {
+        Expansion { comps: self.comps.iter().map(|&c| -c).collect() }
+    }
+
+    /// Exact product by a scalar (`scale_expansion_zeroelim`).
+    pub fn scale(&self, b: f64) -> Expansion {
+        if self.comps.is_empty() || b == 0.0 {
+            return Expansion::zero();
+        }
+        let e = &self.comps;
+        let mut h = Vec::with_capacity(2 * e.len());
+        let (mut q, hh) = two_product(e[0], b);
+        if hh != 0.0 {
+            h.push(hh);
+        }
+        for &ei in &e[1..] {
+            let (p1, p0) = two_product(ei, b);
+            let (sum, hh) = two_sum(q, p0);
+            if hh != 0.0 {
+                h.push(hh);
+            }
+            let (qn, hh) = fast_two_sum(p1, sum);
+            q = qn;
+            if hh != 0.0 {
+                h.push(hh);
+            }
+        }
+        if q != 0.0 || h.is_empty() {
+            if q != 0.0 {
+                h.push(q);
+            }
+        }
+        Expansion { comps: h }
+    }
+
+    /// Exact product of two expansions (distribute-and-sum).
+    ///
+    /// Quadratic in component count; used only on tiny expansions inside the
+    /// exact fallback of predicates, where inputs have O(1) components.
+    pub fn mul(&self, other: &Expansion) -> Expansion {
+        let mut acc = Expansion::zero();
+        for &c in &other.comps {
+            acc = acc.add(&self.scale(c));
+        }
+        acc
+    }
+}
+
+/// Exact sign of the determinant of a small matrix of `f64` entries, via
+/// cofactor expansion carried out entirely in expansion arithmetic.
+///
+/// Exponential in `n`; intended for n ≤ 5 (the fallback path of the
+/// predicates). Panics if the matrix is not square.
+pub fn det_sign_exact(matrix: &[Vec<f64>]) -> i32 {
+    det_expansion(matrix).sign()
+}
+
+/// The exact determinant of a small `f64` matrix as an expansion.
+pub fn det_expansion(matrix: &[Vec<f64>]) -> Expansion {
+    let n = matrix.len();
+    for row in matrix {
+        assert_eq!(row.len(), n, "determinant of non-square matrix");
+    }
+    let exp_rows: Vec<Vec<Expansion>> = matrix
+        .iter()
+        .map(|row| row.iter().map(|&v| Expansion::from_f64(v)).collect())
+        .collect();
+    det_expansion_rows(&exp_rows)
+}
+
+/// The exact determinant of a small matrix whose entries are already
+/// expansions (used for lifted/incircle-style matrices whose entries are
+/// exact sums of products).
+pub fn det_expansion_rows(rows: &[Vec<Expansion>]) -> Expansion {
+    let n = rows.len();
+    match n {
+        0 => Expansion::from_f64(1.0),
+        1 => rows[0][0].clone(),
+        2 => rows[0][0].mul(&rows[1][1]).sub(&rows[0][1].mul(&rows[1][0])),
+        _ => {
+            let mut acc = Expansion::zero();
+            for j in 0..n {
+                if rows[0][j].is_zero() {
+                    continue;
+                }
+                let minor: Vec<Vec<Expansion>> = rows[1..]
+                    .iter()
+                    .map(|row| {
+                        row.iter()
+                            .enumerate()
+                            .filter(|&(k, _)| k != j)
+                            .map(|(_, e)| e.clone())
+                            .collect()
+                    })
+                    .collect();
+                let term = rows[0][j].mul(&det_expansion_rows(&minor));
+                acc = if j % 2 == 0 { acc.add(&term) } else { acc.sub(&term) };
+            }
+            acc
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_sum_exact() {
+        let (x, y) = two_sum(1.0, 1e-30);
+        assert_eq!(x, 1.0);
+        assert_eq!(y, 1e-30);
+        let (x, y) = two_sum(0.1, 0.2);
+        // x + y reconstructs the exact real sum of the two doubles.
+        assert_eq!(x, 0.1 + 0.2);
+        assert!(y != 0.0); // 0.1 + 0.2 is inexact in binary
+    }
+
+    #[test]
+    fn two_product_exact() {
+        let a = 1.0 + f64::EPSILON;
+        let b = 1.0 - f64::EPSILON;
+        let (x, y) = two_product(a, b);
+        // a*b = 1 - eps^2 exactly; x rounds to 1.0, tail recovers -eps^2.
+        assert_eq!(x, 1.0);
+        assert_eq!(y, -f64::EPSILON * f64::EPSILON);
+    }
+
+    #[test]
+    fn expansion_add_estimate() {
+        let a = Expansion::from_f64(1e30);
+        let b = Expansion::from_f64(1.0);
+        let c = Expansion::from_f64(-1e30);
+        let s = a.add(&b).add(&c);
+        assert_eq!(s.estimate(), 1.0);
+        assert_eq!(s.sign(), 1);
+    }
+
+    #[test]
+    fn expansion_cancellation_sign() {
+        // (1e30 + 1) - 1e30 - 2 = -1 despite catastrophic f64 cancellation.
+        let s = Expansion::from_f64(1e30)
+            .add(&Expansion::from_f64(1.0))
+            .sub(&Expansion::from_f64(1e30))
+            .sub(&Expansion::from_f64(2.0));
+        assert_eq!(s.sign(), -1);
+        assert_eq!(s.estimate(), -1.0);
+    }
+
+    #[test]
+    fn expansion_scale() {
+        let e = Expansion::from_f64(0.1).add(&Expansion::from_f64(0.2));
+        let s = e.scale(3.0);
+        let direct = Expansion::from_f64(0.1)
+            .scale(3.0)
+            .add(&Expansion::from_f64(0.2).scale(3.0));
+        assert_eq!(s.sub(&direct).sign(), 0);
+    }
+
+    #[test]
+    fn expansion_mul_matches_integer_arithmetic() {
+        // Exact small-integer checks: expansions over integers stay exact.
+        let a = Expansion::from_f64(12345.0);
+        let b = Expansion::from_f64(-6789.0);
+        let p = a.mul(&b);
+        assert_eq!(p.estimate(), -83810205.0);
+        assert_eq!(p.sign(), -1);
+    }
+
+    #[test]
+    fn det_2x2_exact_sign() {
+        // Nearly singular matrix where naive f64 gets the sign wrong.
+        let base = 94906265.62425156f64; // ~sqrt(2^53)
+        let m = vec![vec![base, base + 1.0], vec![base - 1.0, base]];
+        // det = base^2 - (base^2 - 1) = 1 exactly... but with non-integer
+        // base the products are inexact; expansion arithmetic gets it right.
+        let sign = det_sign_exact(&m);
+        let exact = Expansion::from_product(base, base)
+            .sub(&Expansion::from_product(base + 1.0, base - 1.0));
+        assert_eq!(sign, exact.sign());
+        assert_eq!(sign, 1);
+    }
+
+    #[test]
+    fn det_3x3_vs_naive_on_safe_input() {
+        let m = vec![
+            vec![2.0, -3.0, 1.0],
+            vec![0.5, 4.0, -2.0],
+            vec![1.0, 0.0, 5.0],
+        ];
+        let naive = 2.0 * (4.0 * 5.0 - (-2.0) * 0.0) - (-3.0) * (0.5 * 5.0 - (-2.0) * 1.0)
+            + 1.0 * (0.5 * 0.0 - 4.0 * 1.0);
+        let e = det_expansion(&m);
+        assert_eq!(e.estimate(), naive);
+    }
+
+    #[test]
+    fn det_4x4_identity_and_swap() {
+        let mut m = vec![vec![0.0; 4]; 4];
+        for i in 0..4 {
+            m[i][i] = 1.0;
+        }
+        assert_eq!(det_sign_exact(&m), 1);
+        m.swap(0, 1);
+        assert_eq!(det_sign_exact(&m), -1);
+    }
+
+    #[test]
+    fn det_singular_is_zero() {
+        let m = vec![
+            vec![1.0, 2.0, 3.0],
+            vec![4.0, 5.0, 6.0],
+            vec![5.0, 7.0, 9.0], // row0 + row1
+        ];
+        assert_eq!(det_sign_exact(&m), 0);
+    }
+
+    #[test]
+    fn zero_handling() {
+        assert_eq!(Expansion::zero().sign(), 0);
+        assert!(Expansion::from_f64(0.0).is_zero());
+        assert!(Expansion::from_f64(5.0).sub(&Expansion::from_f64(5.0)).is_zero());
+        assert_eq!(Expansion::from_f64(5.0).scale(0.0).sign(), 0);
+    }
+}

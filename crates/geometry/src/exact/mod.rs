@@ -1,0 +1,10 @@
+//! Exact arithmetic substrates: big integers, fraction-free determinants,
+//! and floating-point expansion arithmetic.
+
+pub mod bigint;
+pub mod det;
+pub mod expansion;
+
+pub use bigint::{BigInt, Sign};
+pub use det::{affine_rank, det_i64, det_sign_i128, det_sign_i64, rank_i64};
+pub use expansion::{det_sign_exact, Expansion};

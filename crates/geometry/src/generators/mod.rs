@@ -1,0 +1,408 @@
+//! Reproducible workload generators for every experiment in the suite.
+//!
+//! All generators are seeded (ChaCha8) so that every table in
+//! `EXPERIMENTS.md` can be regenerated bit-for-bit. Points are integer
+//! lattice points; distributions cover the regimes that matter for
+//! randomized incremental hull analysis:
+//!
+//! * **small hull** (uniform in a ball/cube — expected hull size
+//!   `O(log^{d-1} n)` in a ball): the common case;
+//! * **all-extreme** (convex position: parabola/paraboloid, near-sphere):
+//!   the adversarial case where the hull has `Theta(n)` facets;
+//! * **degenerate** (grids, co-planar faces, collinear runs): exercises the
+//!   Section 6 corner-configuration algorithm and the exact predicates.
+
+use crate::point::{Point2i, Point3i, PointSet};
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::collections::HashSet;
+
+/// The deterministic RNG used throughout the suite.
+pub fn rng(seed: u64) -> ChaCha8Rng {
+    ChaCha8Rng::seed_from_u64(seed)
+}
+
+/// A uniformly random permutation of `0..n`.
+pub fn random_permutation(n: usize, seed: u64) -> Vec<usize> {
+    let mut perm: Vec<usize> = (0..n).collect();
+    perm.shuffle(&mut rng(seed));
+    perm
+}
+
+fn dedup_shuffled<T: Ord + Copy + std::hash::Hash>(pts: Vec<T>, r: &mut ChaCha8Rng) -> Vec<T> {
+    let mut seen = HashSet::with_capacity(pts.len());
+    let mut out: Vec<T> = pts.into_iter().filter(|p| seen.insert(*p)).collect();
+    out.shuffle(r);
+    out
+}
+
+/// `n` distinct points uniform in the disk of the given radius.
+pub fn disk_2d(n: usize, radius: i64, seed: u64) -> Vec<Point2i> {
+    assert!(radius >= 4, "radius too small to host distinct points");
+    let mut r = rng(seed);
+    let r2 = (radius as i128) * (radius as i128);
+    let mut pts = Vec::with_capacity(n);
+    while pts.len() < n {
+        let x = r.gen_range(-radius..=radius);
+        let y = r.gen_range(-radius..=radius);
+        if (x as i128) * (x as i128) + (y as i128) * (y as i128) <= r2 {
+            pts.push(Point2i::new(x, y));
+        }
+    }
+    let mut out = dedup_shuffled(pts, &mut r);
+    top_up_2d(&mut out, n, radius, &mut r);
+    out
+}
+
+/// `n` distinct points uniform in the ball of the given radius.
+pub fn ball_3d(n: usize, radius: i64, seed: u64) -> Vec<Point3i> {
+    assert!(radius >= 4, "radius too small to host distinct points");
+    let mut r = rng(seed);
+    let r2 = (radius as i128) * (radius as i128);
+    let mut pts = Vec::with_capacity(n);
+    while pts.len() < n {
+        let x = r.gen_range(-radius..=radius);
+        let y = r.gen_range(-radius..=radius);
+        let z = r.gen_range(-radius..=radius);
+        let d2 = (x as i128) * (x as i128) + (y as i128) * (y as i128) + (z as i128) * (z as i128);
+        if d2 <= r2 {
+            pts.push(Point3i::new(x, y, z));
+        }
+    }
+    let mut out = dedup_shuffled(pts, &mut r);
+    while out.len() < n {
+        let x = r.gen_range(-radius..=radius);
+        let y = r.gen_range(-radius..=radius);
+        let z = r.gen_range(-radius..=radius);
+        let p = Point3i::new(x, y, z);
+        if !out.contains(&p) {
+            out.push(p);
+        }
+    }
+    out
+}
+
+fn top_up_2d(out: &mut Vec<Point2i>, n: usize, radius: i64, r: &mut ChaCha8Rng) {
+    while out.len() < n {
+        let p = Point2i::new(r.gen_range(-radius..=radius), r.gen_range(-radius..=radius));
+        if !out.contains(&p) {
+            out.push(p);
+        }
+    }
+}
+
+/// `n` distinct points uniform in the `dim`-cube `[-radius, radius]^dim`.
+pub fn cube_d(dim: usize, n: usize, radius: i64, seed: u64) -> PointSet {
+    assert!(dim >= 2);
+    let mut r = rng(seed);
+    let mut seen = HashSet::with_capacity(n);
+    let mut rows: Vec<Vec<i64>> = Vec::with_capacity(n);
+    while rows.len() < n {
+        let p: Vec<i64> = (0..dim).map(|_| r.gen_range(-radius..=radius)).collect();
+        if seen.insert(p.clone()) {
+            rows.push(p);
+        }
+    }
+    rows.shuffle(&mut r);
+    PointSet::from_rows(dim, &rows)
+}
+
+/// `n` distinct points uniform in the `dim`-ball of the given radius
+/// (rejection sampling; fine for `dim <= 8`).
+pub fn ball_d(dim: usize, n: usize, radius: i64, seed: u64) -> PointSet {
+    assert!(dim >= 2);
+    let mut r = rng(seed);
+    let r2 = (radius as i128) * (radius as i128);
+    let mut seen = HashSet::with_capacity(n);
+    let mut rows: Vec<Vec<i64>> = Vec::with_capacity(n);
+    while rows.len() < n {
+        let p: Vec<i64> = (0..dim).map(|_| r.gen_range(-radius..=radius)).collect();
+        let d2: i128 = p.iter().map(|&c| (c as i128) * (c as i128)).sum();
+        if d2 <= r2 && seen.insert(p.clone()) {
+            rows.push(p);
+        }
+    }
+    rows.shuffle(&mut r);
+    PointSet::from_rows(dim, &rows)
+}
+
+/// `n` distinct points close to the sphere of the given radius (gaussian
+/// direction scaled to the radius, rounded to the lattice). Almost every
+/// point is a hull vertex: the adversarial "all-extreme" regime.
+pub fn near_sphere_d(dim: usize, n: usize, radius: i64, seed: u64) -> PointSet {
+    assert!(dim >= 2);
+    assert!(radius >= 1000, "need a large radius for near-sphere lattice points");
+    let mut r = rng(seed);
+    let mut seen = HashSet::with_capacity(n);
+    let mut rows: Vec<Vec<i64>> = Vec::with_capacity(n);
+    while rows.len() < n {
+        let dir: Vec<f64> = (0..dim).map(|_| standard_normal(&mut r)).collect();
+        let norm: f64 = dir.iter().map(|v| v * v).sum::<f64>().sqrt();
+        if norm < 1e-9 {
+            continue;
+        }
+        let p: Vec<i64> = dir.iter().map(|v| (v / norm * radius as f64).round() as i64).collect();
+        if seen.insert(p.clone()) {
+            rows.push(p);
+        }
+    }
+    rows.shuffle(&mut r);
+    PointSet::from_rows(dim, &rows)
+}
+
+/// 3D variant of [`near_sphere_d`] returning typed points.
+pub fn near_sphere_3d(n: usize, radius: i64, seed: u64) -> Vec<Point3i> {
+    let ps = near_sphere_d(3, n, radius, seed);
+    ps.iter().map(|c| Point3i::new(c[0], c[1], c[2])).collect()
+}
+
+/// 2D variant of [`near_sphere_d`] (a near-circle) returning typed points.
+pub fn near_circle_2d(n: usize, radius: i64, seed: u64) -> Vec<Point2i> {
+    let ps = near_sphere_d(2, n, radius, seed);
+    ps.iter().map(|c| Point2i::new(c[0], c[1])).collect()
+}
+
+/// `n` points in exact convex position: `(x, x^2)` for distinct `x`.
+/// Every point is a hull vertex; the hardest 2D input.
+pub fn parabola_2d(n: usize, seed: u64) -> Vec<Point2i> {
+    let mut r = rng(seed);
+    let span = (n as i64) * 4;
+    assert!(span * span <= crate::point::MAX_COORD, "parabola too wide");
+    let mut xs: HashSet<i64> = HashSet::with_capacity(n);
+    while xs.len() < n {
+        xs.insert(r.gen_range(-span..=span));
+    }
+    let mut pts: Vec<Point2i> = xs.into_iter().map(|x| Point2i::new(x, x * x)).collect();
+    pts.shuffle(&mut r);
+    pts
+}
+
+/// `n` points on the exact paraboloid `(x, y, x^2 + y^2)`: the lifting-map
+/// image of a 2D point set, and a 3D input in convex position (its lower
+/// hull is the Delaunay triangulation of the `(x, y)` projection).
+pub fn paraboloid_3d(n: usize, range: i64, seed: u64) -> Vec<Point3i> {
+    assert!(range * range * 2 <= crate::point::MAX_COORD);
+    let mut r = rng(seed);
+    let mut seen: HashSet<(i64, i64)> = HashSet::with_capacity(n);
+    let mut pts = Vec::with_capacity(n);
+    while pts.len() < n {
+        let x = r.gen_range(-range..=range);
+        let y = r.gen_range(-range..=range);
+        if seen.insert((x, y)) {
+            pts.push(Point3i::new(x, y, x * x + y * y));
+        }
+    }
+    pts.shuffle(&mut r);
+    pts
+}
+
+/// Gaussian cloud (rounded), standard deviation `stddev` lattice units.
+pub fn gaussian_d(dim: usize, n: usize, stddev: f64, seed: u64) -> PointSet {
+    assert!(dim >= 2);
+    assert!(stddev >= 100.0, "stddev too small for distinct lattice points");
+    let mut r = rng(seed);
+    let mut seen = HashSet::with_capacity(n);
+    let mut rows: Vec<Vec<i64>> = Vec::with_capacity(n);
+    while rows.len() < n {
+        let p: Vec<i64> = (0..dim)
+            .map(|_| (standard_normal(&mut r) * stddev).round() as i64)
+            .collect();
+        if seen.insert(p.clone()) {
+            rows.push(p);
+        }
+    }
+    rows.shuffle(&mut r);
+    PointSet::from_rows(dim, &rows)
+}
+
+/// The full integer grid `side x side x side`: maximally degenerate 3D input
+/// (co-planar, collinear, co-spherical subsets everywhere). Exercises the
+/// Section 6 corner-configuration algorithm.
+pub fn grid_3d(side: i64, seed: u64) -> Vec<Point3i> {
+    assert!(side >= 2);
+    let mut pts = Vec::with_capacity((side * side * side) as usize);
+    for x in 0..side {
+        for y in 0..side {
+            for z in 0..side {
+                pts.push(Point3i::new(x, y, z));
+            }
+        }
+    }
+    pts.shuffle(&mut rng(seed));
+    pts
+}
+
+/// The full integer grid `side x side`: degenerate 2D input.
+pub fn grid_2d(side: i64, seed: u64) -> Vec<Point2i> {
+    assert!(side >= 2);
+    let mut pts = Vec::with_capacity((side * side) as usize);
+    for x in 0..side {
+        for y in 0..side {
+            pts.push(Point2i::new(x, y));
+        }
+    }
+    pts.shuffle(&mut rng(seed));
+    pts
+}
+
+/// `n` points on the faces of the cube `[-radius, radius]^3`: many co-planar
+/// points (degenerate facets), the motivating input of Section 6.
+pub fn cube_faces_3d(n: usize, radius: i64, seed: u64) -> Vec<Point3i> {
+    assert!(radius >= 4);
+    let mut r = rng(seed);
+    let mut seen = HashSet::with_capacity(n);
+    let mut pts = Vec::with_capacity(n);
+    while pts.len() < n {
+        let face = r.gen_range(0..6);
+        let u = r.gen_range(-radius..=radius);
+        let v = r.gen_range(-radius..=radius);
+        let p = match face {
+            0 => Point3i::new(radius, u, v),
+            1 => Point3i::new(-radius, u, v),
+            2 => Point3i::new(u, radius, v),
+            3 => Point3i::new(u, -radius, v),
+            4 => Point3i::new(u, v, radius),
+            _ => Point3i::new(u, v, -radius),
+        };
+        if seen.insert(p) {
+            pts.push(p);
+        }
+    }
+    pts
+}
+
+/// Mostly-collinear 2D input: `n - extremes` points on a line segment plus
+/// `extremes` off-line points. Stresses zero-orientation handling.
+pub fn collinear_heavy_2d(n: usize, extremes: usize, seed: u64) -> Vec<Point2i> {
+    assert!(n > extremes + 1);
+    let mut r = rng(seed);
+    let mut seen = HashSet::with_capacity(n);
+    let mut pts = Vec::with_capacity(n);
+    while pts.len() < n - extremes {
+        let x = r.gen_range(-(n as i64 * 4)..=(n as i64 * 4));
+        let p = Point2i::new(x, 2 * x + 7); // on the line y = 2x + 7
+        if seen.insert(p) {
+            pts.push(p);
+        }
+    }
+    while pts.len() < n {
+        let p = Point2i::new(r.gen_range(-1000..=1000), r.gen_range(100_000..=200_000));
+        if seen.insert(p) {
+            pts.push(p);
+        }
+    }
+    pts.shuffle(&mut r);
+    pts
+}
+
+/// Box–Muller standard normal.
+fn standard_normal(r: &mut ChaCha8Rng) -> f64 {
+    loop {
+        let u: f64 = r.gen_range(f64::MIN_POSITIVE..1.0);
+        let v: f64 = r.gen_range(0.0..std::f64::consts::TAU);
+        let z = (-2.0 * u.ln()).sqrt() * v.cos();
+        if z.is_finite() {
+            return z;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_given_seed() {
+        assert_eq!(disk_2d(100, 1 << 20, 42), disk_2d(100, 1 << 20, 42));
+        assert_ne!(disk_2d(100, 1 << 20, 42), disk_2d(100, 1 << 20, 43));
+        assert_eq!(random_permutation(50, 7), random_permutation(50, 7));
+    }
+
+    #[test]
+    fn disk_points_distinct_and_inside() {
+        let radius = 1 << 16;
+        let pts = disk_2d(500, radius, 1);
+        assert_eq!(pts.len(), 500);
+        let set: HashSet<_> = pts.iter().collect();
+        assert_eq!(set.len(), 500, "points must be distinct");
+        let r2 = (radius as i128) * (radius as i128);
+        for p in &pts {
+            assert!((p.x as i128).pow(2) + (p.y as i128).pow(2) <= r2);
+        }
+    }
+
+    #[test]
+    fn ball3d_points_distinct_and_inside() {
+        let radius = 1 << 16;
+        let pts = ball_3d(300, radius, 2);
+        assert_eq!(pts.len(), 300);
+        let set: HashSet<_> = pts.iter().collect();
+        assert_eq!(set.len(), 300);
+    }
+
+    #[test]
+    fn cube_d_dimensions() {
+        for dim in 2..=6 {
+            let ps = cube_d(dim, 100, 1 << 16, 3);
+            assert_eq!(ps.dim(), dim);
+            assert_eq!(ps.len(), 100);
+        }
+    }
+
+    #[test]
+    fn parabola_strict_convex_position() {
+        use crate::predicates::orient2d;
+        use crate::exact::Sign;
+        let mut pts = parabola_2d(100, 4);
+        pts.sort();
+        // Consecutive triples along the parabola always turn left.
+        for w in pts.windows(3) {
+            assert_eq!(orient2d(w[0], w[1], w[2]), Sign::Positive);
+        }
+    }
+
+    #[test]
+    fn paraboloid_lift_exact() {
+        let pts = paraboloid_3d(200, 1 << 10, 5);
+        assert_eq!(pts.len(), 200);
+        for p in &pts {
+            assert_eq!(p.z, p.x * p.x + p.y * p.y);
+        }
+    }
+
+    #[test]
+    fn near_sphere_roughly_on_sphere() {
+        let radius = 1 << 20;
+        let ps = near_sphere_d(3, 200, radius, 6);
+        for c in ps.iter() {
+            let d2: i128 = c.iter().map(|&v| (v as i128) * (v as i128)).sum();
+            let d = (d2 as f64).sqrt();
+            assert!((d - radius as f64).abs() < 4.0, "point far from sphere: {d}");
+        }
+    }
+
+    #[test]
+    fn grid_sizes() {
+        assert_eq!(grid_3d(4, 0).len(), 64);
+        assert_eq!(grid_2d(5, 0).len(), 25);
+    }
+
+    #[test]
+    fn collinear_heavy_has_off_line_points() {
+        let pts = collinear_heavy_2d(100, 3, 9);
+        assert_eq!(pts.len(), 100);
+        let off = pts.iter().filter(|p| p.y != 2 * p.x + 7).count();
+        assert_eq!(off, 3);
+    }
+
+    #[test]
+    fn cube_faces_on_boundary() {
+        let radius = 1000;
+        let pts = cube_faces_3d(200, radius, 11);
+        for p in &pts {
+            let m = p.x.abs().max(p.y.abs()).max(p.z.abs());
+            assert_eq!(m, radius, "point not on cube boundary: {p}");
+        }
+    }
+}

@@ -1,0 +1,19 @@
+//! # chull-geometry
+//!
+//! Geometric substrate for the SPAA 2020 parallel randomized incremental
+//! convex hull reproduction: exact arithmetic ([`exact`]), exact and robust
+//! predicates ([`predicates`]), point types ([`point`]), and reproducible
+//! workload generators ([`generators`]).
+//!
+//! The hull algorithms in `chull-core` rely on this crate for every
+//! plane-side (visibility) test, which the paper assumes to be exact.
+
+#![warn(missing_docs)]
+
+pub mod exact;
+pub mod generators;
+pub mod point;
+pub mod predicates;
+
+pub use exact::{BigInt, Sign};
+pub use point::{Point2f, Point2i, Point3f, Point3i, PointSet, MAX_COORD};

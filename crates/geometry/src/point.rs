@@ -1,0 +1,276 @@
+//! Point types.
+//!
+//! The hull algorithms in this suite operate on **integer** coordinates so
+//! that every plane-side test is exact and every run is bit-reproducible
+//! (the paper's analysis assumes exact predicates). Floating-point points are
+//! provided for the robust `f64` predicates and their tests.
+//!
+//! Coordinates must satisfy `|c| <= MAX_COORD`; the generators stay well
+//! inside this bound and the predicates fall back to arbitrary precision in
+//! all cases, so the bound is about *differences* fitting in `i64`.
+
+use std::fmt;
+
+/// Largest allowed coordinate magnitude (so differences fit in `i64`).
+pub const MAX_COORD: i64 = i64::MAX / 4;
+
+/// A 2D point with integer coordinates.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Default)]
+pub struct Point2i {
+    /// x coordinate.
+    pub x: i64,
+    /// y coordinate.
+    pub y: i64,
+}
+
+impl Point2i {
+    /// Construct a point.
+    #[inline]
+    pub const fn new(x: i64, y: i64) -> Point2i {
+        Point2i { x, y }
+    }
+
+    /// Coordinates as a slice-friendly array.
+    #[inline]
+    pub fn coords(&self) -> [i64; 2] {
+        [self.x, self.y]
+    }
+}
+
+impl fmt::Display for Point2i {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.x, self.y)
+    }
+}
+
+/// A 3D point with integer coordinates.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Default)]
+pub struct Point3i {
+    /// x coordinate.
+    pub x: i64,
+    /// y coordinate.
+    pub y: i64,
+    /// z coordinate.
+    pub z: i64,
+}
+
+impl Point3i {
+    /// Construct a point.
+    #[inline]
+    pub const fn new(x: i64, y: i64, z: i64) -> Point3i {
+        Point3i { x, y, z }
+    }
+
+    /// Coordinates as an array.
+    #[inline]
+    pub fn coords(&self) -> [i64; 3] {
+        [self.x, self.y, self.z]
+    }
+}
+
+impl fmt::Display for Point3i {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {}, {})", self.x, self.y, self.z)
+    }
+}
+
+/// A 2D point with floating-point coordinates (for the robust `f64`
+/// predicates and their tests).
+#[derive(Clone, Copy, PartialEq, Debug, Default)]
+pub struct Point2f {
+    /// x coordinate.
+    pub x: f64,
+    /// y coordinate.
+    pub y: f64,
+}
+
+impl Point2f {
+    /// Construct a point.
+    #[inline]
+    pub const fn new(x: f64, y: f64) -> Point2f {
+        Point2f { x, y }
+    }
+}
+
+/// A 3D point with floating-point coordinates.
+#[derive(Clone, Copy, PartialEq, Debug, Default)]
+pub struct Point3f {
+    /// x coordinate.
+    pub x: f64,
+    /// y coordinate.
+    pub y: f64,
+    /// z coordinate.
+    pub z: f64,
+}
+
+impl Point3f {
+    /// Construct a point.
+    #[inline]
+    pub const fn new(x: f64, y: f64, z: f64) -> Point3f {
+        Point3f { x, y, z }
+    }
+}
+
+/// A set of points of uniform runtime dimension, stored as one flat,
+/// cache-friendly coordinate array (structure-of-arrays style per point).
+///
+/// This is the input type for the general-dimension hull algorithms.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct PointSet {
+    dim: usize,
+    coords: Vec<i64>,
+}
+
+impl PointSet {
+    /// An empty set of points of dimension `dim`.
+    pub fn new(dim: usize) -> PointSet {
+        assert!(dim >= 1, "dimension must be at least 1");
+        PointSet { dim, coords: Vec::new() }
+    }
+
+    /// Build from a flat coordinate buffer (`len` must divide evenly).
+    pub fn from_flat(dim: usize, coords: Vec<i64>) -> PointSet {
+        assert!(dim >= 1, "dimension must be at least 1");
+        assert_eq!(coords.len() % dim, 0, "coordinate buffer length not a multiple of dim");
+        PointSet { dim, coords }
+    }
+
+    /// Build from per-point coordinate rows.
+    pub fn from_rows(dim: usize, rows: &[Vec<i64>]) -> PointSet {
+        let mut ps = PointSet::new(dim);
+        for r in rows {
+            ps.push(r);
+        }
+        ps
+    }
+
+    /// Build a 2D point set.
+    pub fn from_points2(points: &[Point2i]) -> PointSet {
+        let mut coords = Vec::with_capacity(points.len() * 2);
+        for p in points {
+            coords.push(p.x);
+            coords.push(p.y);
+        }
+        PointSet { dim: 2, coords }
+    }
+
+    /// Build a 3D point set.
+    pub fn from_points3(points: &[Point3i]) -> PointSet {
+        let mut coords = Vec::with_capacity(points.len() * 3);
+        for p in points {
+            coords.push(p.x);
+            coords.push(p.y);
+            coords.push(p.z);
+        }
+        PointSet { dim: 3, coords }
+    }
+
+    /// Append a point; panics if the dimension does not match.
+    pub fn push(&mut self, coords: &[i64]) {
+        assert_eq!(coords.len(), self.dim, "point of wrong dimension");
+        self.coords.extend_from_slice(coords);
+    }
+
+    /// The dimension of every point in the set.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of points.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.coords.len() / self.dim
+    }
+
+    /// True iff the set holds no points.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.coords.is_empty()
+    }
+
+    /// Coordinates of point `i`.
+    #[inline]
+    pub fn point(&self, i: usize) -> &[i64] {
+        &self.coords[i * self.dim..(i + 1) * self.dim]
+    }
+
+    /// Coordinates of point `i` (u32 index convenience for facet ids).
+    #[inline]
+    pub fn pt(&self, i: u32) -> &[i64] {
+        self.point(i as usize)
+    }
+
+    /// Iterate over all points as coordinate slices.
+    pub fn iter(&self) -> impl Iterator<Item = &[i64]> + '_ {
+        self.coords.chunks_exact(self.dim)
+    }
+
+    /// The flat coordinate buffer.
+    #[inline]
+    pub fn flat(&self) -> &[i64] {
+        &self.coords
+    }
+
+    /// Reorder the points by `perm` (point `i` of the result is point
+    /// `perm[i]` of `self`). Used to apply a random insertion order once so
+    /// that "insertion order" and "index order" coincide downstream.
+    pub fn permuted(&self, perm: &[usize]) -> PointSet {
+        assert_eq!(perm.len(), self.len());
+        let mut coords = Vec::with_capacity(self.coords.len());
+        for &src in perm {
+            coords.extend_from_slice(self.point(src));
+        }
+        PointSet { dim: self.dim, coords }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pointset_basics() {
+        let mut ps = PointSet::new(3);
+        assert!(ps.is_empty());
+        ps.push(&[1, 2, 3]);
+        ps.push(&[4, 5, 6]);
+        assert_eq!(ps.len(), 2);
+        assert_eq!(ps.point(0), &[1, 2, 3]);
+        assert_eq!(ps.point(1), &[4, 5, 6]);
+        assert_eq!(ps.dim(), 3);
+        let pts: Vec<&[i64]> = ps.iter().collect();
+        assert_eq!(pts.len(), 2);
+    }
+
+    #[test]
+    fn pointset_from_points2_and_3() {
+        let ps = PointSet::from_points2(&[Point2i::new(1, 2), Point2i::new(3, 4)]);
+        assert_eq!(ps.dim(), 2);
+        assert_eq!(ps.point(1), &[3, 4]);
+        let ps = PointSet::from_points3(&[Point3i::new(1, 2, 3)]);
+        assert_eq!(ps.point(0), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn pointset_permuted() {
+        let ps = PointSet::from_rows(2, &[vec![0, 0], vec![1, 1], vec![2, 2]]);
+        let q = ps.permuted(&[2, 0, 1]);
+        assert_eq!(q.point(0), &[2, 2]);
+        assert_eq!(q.point(1), &[0, 0]);
+        assert_eq!(q.point(2), &[1, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong dimension")]
+    fn pointset_dim_mismatch_panics() {
+        let mut ps = PointSet::new(2);
+        ps.push(&[1, 2, 3]);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Point2i::new(-1, 2).to_string(), "(-1, 2)");
+        assert_eq!(Point3i::new(1, 2, 3).to_string(), "(1, 2, 3)");
+    }
+}

@@ -1,0 +1,427 @@
+//! Robust floating-point predicates: static filter + exact expansion fallback.
+//!
+//! Each predicate first evaluates the determinant in plain `f64` and accepts
+//! the sign when its magnitude exceeds a forward error bound (Shewchuk's
+//! "stage A" filter). Otherwise it recomputes the sign exactly with the
+//! expansion arithmetic of [`crate::exact::expansion`], so the returned sign
+//! is always the sign of the exact real determinant.
+//!
+//! Sign conventions match the integer predicates in
+//! [`crate::predicates::int`] (homogeneous determinants; `orient2d > 0` is
+//! counterclockwise).
+
+use crate::exact::expansion::{det_expansion_rows, Expansion};
+use crate::point::{Point2f, Point3f};
+
+/// Machine epsilon in Shewchuk's convention: 2^-53.
+const EPS: f64 = f64::EPSILON / 2.0;
+
+/// Stage-A error bound coefficient for orient2d: (3 + 16 eps) eps.
+const CCW_ERRBOUND_A: f64 = (3.0 + 16.0 * EPS) * EPS;
+/// Stage-A error bound coefficient for orient3d: (7 + 56 eps) eps.
+const O3D_ERRBOUND_A: f64 = (7.0 + 56.0 * EPS) * EPS;
+/// Stage-A error bound coefficient for incircle: (10 + 96 eps) eps.
+const ICC_ERRBOUND_A: f64 = (10.0 + 96.0 * EPS) * EPS;
+/// Stage-A error bound coefficient for insphere: (16 + 224 eps) eps.
+const ISP_ERRBOUND_A: f64 = (16.0 + 224.0 * EPS) * EPS;
+
+#[inline]
+fn sign_f64(v: f64) -> i32 {
+    if v > 0.0 {
+        1
+    } else if v < 0.0 {
+        -1
+    } else {
+        0
+    }
+}
+
+/// Orientation of 2D triangle `(a, b, c)`: `1` = counterclockwise,
+/// `-1` = clockwise, `0` = exactly collinear. Exact for all finite inputs.
+pub fn orient2d(a: Point2f, b: Point2f, c: Point2f) -> i32 {
+    let detleft = (a.x - c.x) * (b.y - c.y);
+    let detright = (a.y - c.y) * (b.x - c.x);
+    let det = detleft - detright;
+
+    let detsum = if detleft > 0.0 {
+        if detright <= 0.0 {
+            return sign_f64(det);
+        }
+        detleft + detright
+    } else if detleft < 0.0 {
+        if detright >= 0.0 {
+            return sign_f64(det);
+        }
+        -detleft - detright
+    } else {
+        return sign_f64(-detright);
+    };
+
+    let errbound = CCW_ERRBOUND_A * detsum;
+    if det >= errbound || -det >= errbound {
+        return sign_f64(det);
+    }
+    orient2d_exact(a, b, c)
+}
+
+/// Exact orient2d via the homogeneous 3x3 determinant in expansions.
+fn orient2d_exact(a: Point2f, b: Point2f, c: Point2f) -> i32 {
+    let one = || Expansion::from_f64(1.0);
+    let rows = vec![
+        vec![Expansion::from_f64(a.x), Expansion::from_f64(a.y), one()],
+        vec![Expansion::from_f64(b.x), Expansion::from_f64(b.y), one()],
+        vec![Expansion::from_f64(c.x), Expansion::from_f64(c.y), one()],
+    ];
+    det_expansion_rows(&rows).sign()
+}
+
+/// Orientation of 3D tetrahedron `(a, b, c, d)`: the sign of the homogeneous
+/// 4x4 determinant with rows `a, b, c, d`. Exact for all finite inputs.
+pub fn orient3d(a: Point3f, b: Point3f, c: Point3f, d: Point3f) -> i32 {
+    let adx = a.x - d.x;
+    let ady = a.y - d.y;
+    let adz = a.z - d.z;
+    let bdx = b.x - d.x;
+    let bdy = b.y - d.y;
+    let bdz = b.z - d.z;
+    let cdx = c.x - d.x;
+    let cdy = c.y - d.y;
+    let cdz = c.z - d.z;
+
+    let bdxcdy = bdx * cdy;
+    let cdxbdy = cdx * bdy;
+    let cdxady = cdx * ady;
+    let adxcdy = adx * cdy;
+    let adxbdy = adx * bdy;
+    let bdxady = bdx * ady;
+
+    let det = adz * (bdxcdy - cdxbdy) + bdz * (cdxady - adxcdy) + cdz * (adxbdy - bdxady);
+
+    let permanent = (bdxcdy.abs() + cdxbdy.abs()) * adz.abs()
+        + (cdxady.abs() + adxcdy.abs()) * bdz.abs()
+        + (adxbdy.abs() + bdxady.abs()) * cdz.abs();
+    let errbound = O3D_ERRBOUND_A * permanent;
+    if det > errbound || -det > errbound {
+        return sign_f64(det);
+    }
+    orient3d_exact(a, b, c, d)
+}
+
+/// Exact orient3d via the homogeneous 4x4 determinant in expansions.
+fn orient3d_exact(a: Point3f, b: Point3f, c: Point3f, d: Point3f) -> i32 {
+    let row = |p: Point3f| {
+        vec![
+            Expansion::from_f64(p.x),
+            Expansion::from_f64(p.y),
+            Expansion::from_f64(p.z),
+            Expansion::from_f64(1.0),
+        ]
+    };
+    let rows = vec![row(a), row(b), row(c), row(d)];
+    det_expansion_rows(&rows).sign()
+}
+
+/// Incircle test: `1` iff `d` is strictly inside the circle through
+/// `a, b, c` (counterclockwise `abc`), `-1` outside, `0` cocircular.
+/// Exact for all finite inputs.
+pub fn incircle(a: Point2f, b: Point2f, c: Point2f, d: Point2f) -> i32 {
+    let adx = a.x - d.x;
+    let ady = a.y - d.y;
+    let bdx = b.x - d.x;
+    let bdy = b.y - d.y;
+    let cdx = c.x - d.x;
+    let cdy = c.y - d.y;
+
+    let bdxcdy = bdx * cdy;
+    let cdxbdy = cdx * bdy;
+    let alift = adx * adx + ady * ady;
+
+    let cdxady = cdx * ady;
+    let adxcdy = adx * cdy;
+    let blift = bdx * bdx + bdy * bdy;
+
+    let adxbdy = adx * bdy;
+    let bdxady = bdx * ady;
+    let clift = cdx * cdx + cdy * cdy;
+
+    let det = alift * (bdxcdy - cdxbdy) + blift * (cdxady - adxcdy) + clift * (adxbdy - bdxady);
+
+    let permanent = (bdxcdy.abs() + cdxbdy.abs()) * alift
+        + (cdxady.abs() + adxcdy.abs()) * blift
+        + (adxbdy.abs() + bdxady.abs()) * clift;
+    let errbound = ICC_ERRBOUND_A * permanent;
+    if det > errbound || -det > errbound {
+        return sign_f64(det);
+    }
+    incircle_exact(a, b, c, d)
+}
+
+/// Exact incircle via the homogeneous lifted 4x4 determinant in expansions.
+fn incircle_exact(a: Point2f, b: Point2f, c: Point2f, d: Point2f) -> i32 {
+    let row = |p: Point2f| {
+        let lift = Expansion::from_product(p.x, p.x).add(&Expansion::from_product(p.y, p.y));
+        vec![
+            Expansion::from_f64(p.x),
+            Expansion::from_f64(p.y),
+            lift,
+            Expansion::from_f64(1.0),
+        ]
+    };
+    let rows = vec![row(a), row(b), row(c), row(d)];
+    det_expansion_rows(&rows).sign()
+}
+
+/// Insphere test: `1` iff `e` is strictly inside the sphere through
+/// `a, b, c, d` (positively oriented per [`orient3d`]), `-1` outside,
+/// `0` cospherical. Exact for all finite inputs.
+pub fn insphere(a: Point3f, b: Point3f, c: Point3f, d: Point3f, e: Point3f) -> i32 {
+    let aex = a.x - e.x;
+    let aey = a.y - e.y;
+    let aez = a.z - e.z;
+    let bex = b.x - e.x;
+    let bey = b.y - e.y;
+    let bez = b.z - e.z;
+    let cex = c.x - e.x;
+    let cey = c.y - e.y;
+    let cez = c.z - e.z;
+    let dex = d.x - e.x;
+    let dey = d.y - e.y;
+    let dez = d.z - e.z;
+
+    let aexbey = aex * bey;
+    let bexaey = bex * aey;
+    let ab = aexbey - bexaey;
+    let bexcey = bex * cey;
+    let cexbey = cex * bey;
+    let bc = bexcey - cexbey;
+    let cexdey = cex * dey;
+    let dexcey = dex * cey;
+    let cd = cexdey - dexcey;
+    let dexaey = dex * aey;
+    let aexdey = aex * dey;
+    let da = dexaey - aexdey;
+    let aexcey = aex * cey;
+    let cexaey = cex * aey;
+    let ac = aexcey - cexaey;
+    let bexdey = bex * dey;
+    let dexbey = dex * bey;
+    let bd = bexdey - dexbey;
+
+    let abc = aez * bc - bez * ac + cez * ab;
+    let bcd = bez * cd - cez * bd + dez * bc;
+    let cda = cez * da + dez * ac + aez * cd;
+    let dab = dez * ab + aez * bd + bez * da;
+
+    let alift = aex * aex + aey * aey + aez * aez;
+    let blift = bex * bex + bey * bey + bez * bez;
+    let clift = cex * cex + cey * cey + cez * cez;
+    let dlift = dex * dex + dey * dey + dez * dez;
+
+    let det = (dlift * abc - clift * dab) + (blift * cda - alift * bcd);
+
+    let aezplus = aez.abs();
+    let bezplus = bez.abs();
+    let cezplus = cez.abs();
+    let dezplus = dez.abs();
+    let aexbeyplus = aexbey.abs();
+    let bexaeyplus = bexaey.abs();
+    let bexceyplus = bexcey.abs();
+    let cexbeyplus = cexbey.abs();
+    let cexdeyplus = cexdey.abs();
+    let dexceyplus = dexcey.abs();
+    let dexaeyplus = dexaey.abs();
+    let aexdeyplus = aexdey.abs();
+    let aexceyplus = aexcey.abs();
+    let cexaeyplus = cexaey.abs();
+    let bexdeyplus = bexdey.abs();
+    let dexbeyplus = dexbey.abs();
+    let permanent = ((cexdeyplus + dexceyplus) * bezplus
+        + (dexbeyplus + bexdeyplus) * cezplus
+        + (bexceyplus + cexbeyplus) * dezplus)
+        * alift
+        + ((dexaeyplus + aexdeyplus) * cezplus
+            + (aexceyplus + cexaeyplus) * dezplus
+            + (cexdeyplus + dexceyplus) * aezplus)
+            * blift
+        + ((aexbeyplus + bexaeyplus) * dezplus
+            + (bexdeyplus + dexbeyplus) * aezplus
+            + (dexaeyplus + aexdeyplus) * bezplus)
+            * clift
+        + ((bexceyplus + cexbeyplus) * aezplus
+            + (cexaeyplus + aexceyplus) * bezplus
+            + (aexbeyplus + bexaeyplus) * cezplus)
+            * dlift;
+    let errbound = ISP_ERRBOUND_A * permanent;
+    if det > errbound || -det > errbound {
+        return sign_f64(det);
+    }
+    insphere_exact(a, b, c, d, e)
+}
+
+/// Exact insphere via the homogeneous lifted 5x5 determinant in expansions.
+fn insphere_exact(a: Point3f, b: Point3f, c: Point3f, d: Point3f, e: Point3f) -> i32 {
+    let row = |p: Point3f| {
+        let lift = Expansion::from_product(p.x, p.x)
+            .add(&Expansion::from_product(p.y, p.y))
+            .add(&Expansion::from_product(p.z, p.z));
+        vec![
+            Expansion::from_f64(p.x),
+            Expansion::from_f64(p.y),
+            Expansion::from_f64(p.z),
+            lift,
+            Expansion::from_f64(1.0),
+        ]
+    };
+    let rows = vec![row(a), row(b), row(c), row(d), row(e)];
+    det_expansion_rows(&rows).sign()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p2(x: f64, y: f64) -> Point2f {
+        Point2f::new(x, y)
+    }
+    fn p3(x: f64, y: f64, z: f64) -> Point3f {
+        Point3f::new(x, y, z)
+    }
+
+    #[test]
+    fn orient2d_basic() {
+        assert_eq!(orient2d(p2(0.0, 0.0), p2(1.0, 0.0), p2(0.0, 1.0)), 1);
+        assert_eq!(orient2d(p2(0.0, 0.0), p2(0.0, 1.0), p2(1.0, 0.0)), -1);
+        assert_eq!(orient2d(p2(0.0, 0.0), p2(1.0, 1.0), p2(2.0, 2.0)), 0);
+    }
+
+    #[test]
+    fn orient2d_adversarial_near_collinear() {
+        // Classical robustness test: walk a point along a nearly-degenerate
+        // line; naive evaluation flips signs chaotically, the exact fallback
+        // must produce a coherent (monotone) sequence.
+        let a = p2(12.0, 12.0);
+        let b = p2(24.0, 24.0);
+        let mut signs = Vec::new();
+        for i in 0..32 {
+            // Points on the line y = x perturbed by one ulp at a time.
+            let x = 0.5 + (i as f64) * f64::EPSILON;
+            signs.push(orient2d(p2(x, 0.5), a, b));
+        }
+        // The sequence must be monotone nonincreasing or nondecreasing
+        // (a single sign change as the point crosses the line), never
+        // oscillating.
+        let changes = signs.windows(2).filter(|w| w[0] != w[1]).count();
+        assert!(changes <= 2, "sign sequence oscillates: {signs:?}");
+        // And the exactly-on-line case is zero.
+        assert_eq!(orient2d(p2(0.5, 0.5), a, b), 0);
+    }
+
+    #[test]
+    fn orient2d_exact_matches_filter_on_easy_input() {
+        let cases = [
+            (p2(0.1, 0.2), p2(3.4, -1.2), p2(-5.0, 2.2)),
+            (p2(1e30, 1.0), p2(-1e30, 2.0), p2(0.0, -1e10)),
+        ];
+        for (a, b, c) in cases {
+            assert_eq!(orient2d(a, b, c), orient2d_exact(a, b, c));
+        }
+    }
+
+    #[test]
+    fn orient3d_basic_and_exact_agree() {
+        let a = p3(0.0, 0.0, 0.0);
+        let b = p3(1.0, 0.0, 0.0);
+        let c = p3(0.0, 1.0, 0.0);
+        let d = p3(0.0, 0.0, 1.0);
+        assert_eq!(orient3d(a, b, c, d), -1);
+        assert_eq!(orient3d(a, c, b, d), 1);
+        assert_eq!(orient3d(a, b, c, p3(0.5, 0.5, 0.0)), 0);
+        assert_eq!(orient3d(a, b, c, d), orient3d_exact(a, b, c, d));
+    }
+
+    #[test]
+    fn orient3d_near_coplanar() {
+        // d within one ulp of the plane z = 0.
+        let a = p3(0.0, 0.0, 0.0);
+        let b = p3(1.0, 0.0, 0.0);
+        let c = p3(0.0, 1.0, 0.0);
+        let tiny = f64::MIN_POSITIVE;
+        assert_eq!(orient3d(a, b, c, p3(0.3, 0.3, tiny)), orient3d_exact(a, b, c, p3(0.3, 0.3, tiny)));
+        assert_ne!(orient3d(a, b, c, p3(0.3, 0.3, tiny)), 0);
+        assert_eq!(orient3d(a, b, c, p3(0.3, 0.3, 0.0)), 0);
+    }
+
+    #[test]
+    fn incircle_basic() {
+        let a = p2(0.0, 0.0);
+        let b = p2(2.0, 0.0);
+        let c = p2(0.0, 2.0);
+        assert_eq!(incircle(a, b, c, p2(1.0, 1.0)), 1);
+        assert_eq!(incircle(a, b, c, p2(10.0, 10.0)), -1);
+        assert_eq!(incircle(a, b, c, p2(2.0, 2.0)), 0);
+    }
+
+    #[test]
+    fn incircle_near_cocircular() {
+        // Unit circle through 4 exact points; nudge the query by one ulp.
+        let a = p2(1.0, 0.0);
+        let b = p2(0.0, 1.0);
+        let c = p2(-1.0, 0.0);
+        let on = p2(0.0, -1.0);
+        assert_eq!(incircle(a, b, c, on), 0);
+        let inside = p2(0.0, -1.0 + f64::EPSILON);
+        let outside = p2(0.0, -1.0 - f64::EPSILON);
+        assert_eq!(incircle(a, b, c, inside), 1);
+        assert_eq!(incircle(a, b, c, outside), -1);
+    }
+
+    #[test]
+    fn insphere_basic() {
+        let a = p3(0.0, 0.0, 0.0);
+        let b = p3(2.0, 0.0, 0.0);
+        let c = p3(0.0, 2.0, 0.0);
+        let d = p3(0.0, 0.0, 2.0);
+        // Normalize orientation: want orient3d > 0.
+        let (a, b) = if orient3d(a, b, c, d) > 0 { (a, b) } else { (b, a) };
+        assert_eq!(insphere(a, b, c, d, p3(1.0, 1.0, 1.0)), 1);
+        assert_eq!(insphere(a, b, c, d, p3(10.0, 10.0, 10.0)), -1);
+        assert_eq!(insphere(a, b, c, d, p3(2.0, 2.0, 0.0)), 0);
+    }
+
+    #[test]
+    fn float_and_integer_predicates_agree() {
+        // Integer-valued float inputs must match the exact integer kernel.
+        use crate::point::{Point2i, Point3i};
+        use crate::predicates::int;
+        let cases2 = [
+            ((0i64, 0i64), (4, 1), (2, 7), (3, 3)),
+            ((-5, 2), (9, -3), (0, 0), (1, 1)),
+        ];
+        for ((ax, ay), (bx, by), (cx, cy), (dx, dy)) in cases2 {
+            let fa = p2(ax as f64, ay as f64);
+            let fb = p2(bx as f64, by as f64);
+            let fc = p2(cx as f64, cy as f64);
+            let fd = p2(dx as f64, dy as f64);
+            let ia = Point2i::new(ax, ay);
+            let ib = Point2i::new(bx, by);
+            let ic = Point2i::new(cx, cy);
+            let id = Point2i::new(dx, dy);
+            assert_eq!(orient2d(fa, fb, fc), int::orient2d(ia, ib, ic).as_i32());
+            assert_eq!(incircle(fa, fb, fc, fd), int::incircle(ia, ib, ic, id).as_i32());
+        }
+        let a = Point3i::new(0, 0, 0);
+        let b = Point3i::new(3, 1, 0);
+        let c = Point3i::new(1, 4, 0);
+        let d = Point3i::new(2, 2, 5);
+        let e = Point3i::new(1, 1, 1);
+        let f3 = |p: Point3i| p3(p.x as f64, p.y as f64, p.z as f64);
+        assert_eq!(
+            orient3d(f3(a), f3(b), f3(c), f3(d)),
+            int::orient3d(a, b, c, d).as_i32()
+        );
+        assert_eq!(
+            insphere(f3(a), f3(b), f3(c), f3(d), f3(e)),
+            int::insphere(a, b, c, d, e).as_i32()
+        );
+    }
+}

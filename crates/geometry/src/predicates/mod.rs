@@ -1,0 +1,6 @@
+//! Geometric predicates: exact integer kernels and robust float kernels.
+
+pub mod float;
+pub mod int;
+
+pub use int::{incircle, insphere, orient2d, orient3d, orientd, orientd_hom};

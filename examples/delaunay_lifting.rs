@@ -1,0 +1,29 @@
+//! Delaunay triangulation via the lifting map (a Section 7-style
+//! application built on the 3D parallel hull).
+//!
+//! Run with: `cargo run --release --example delaunay_lifting`
+
+use convex_hull_suite::apps::delaunay::{delaunay, verify_delaunay, Engine};
+use convex_hull_suite::core::baseline::monotone_chain;
+use convex_hull_suite::geometry::generators;
+
+fn main() {
+    let n = 2_000;
+    let pts = generators::disk_2d(n, 1 << 20, 11);
+
+    let seq = delaunay(&pts, Engine::Sequential, 3);
+    let par = delaunay(&pts, Engine::Parallel, 3);
+    assert_eq!(seq, par, "both engines produce the same triangulation");
+
+    verify_delaunay(&pts, &seq).expect("empty-circumcircle property (exact incircle)");
+    let hull_vertices = monotone_chain::hull_indices(&pts).len();
+    println!("points:            {n}");
+    println!("hull vertices:     {hull_vertices}");
+    println!("Delaunay triangles:{}", seq.triangles.len());
+    println!(
+        "Euler check:       2n - h - 2 = {}",
+        2 * n - hull_vertices - 2
+    );
+    assert_eq!(seq.triangles.len(), 2 * n - hull_vertices - 2);
+    println!("verified: no point lies strictly inside any circumcircle.");
+}

@@ -1,0 +1,59 @@
+//! The paper's main theorem, visually: the dependence depth of randomized
+//! incremental convex hull grows like `O(log n)` — the `depth / H_n` column
+//! stays flat while `n` grows by three orders of magnitude (Theorem 1.1),
+//! and insertion in *sorted* order destroys the guarantee (the paper's
+//! randomness is doing real work).
+//!
+//! Run with: `cargo run --release --example depth_scaling`
+
+use convex_hull_suite::core::seq::incremental_hull_run;
+use convex_hull_suite::core::prepare_points;
+use convex_hull_suite::geometry::{generators, PointSet};
+
+fn main() {
+    println!("2D hull of points uniform in a disk, random insertion order:");
+    println!("{:>9} {:>7} {:>10} {:>11}", "n", "depth", "H_n", "depth/H_n");
+    for e in 10..=17 {
+        let n = 1usize << e;
+        let pts = PointSet::from_points2(&generators::disk_2d(n, 1 << 30, e as u64));
+        let pts = prepare_points(&pts, 100 + e as u64);
+        let run = incremental_hull_run(&pts);
+        println!(
+            "{:>9} {:>7} {:>10.2} {:>11.2}",
+            n,
+            run.stats.dep_depth,
+            run.stats.harmonic(),
+            run.stats.depth_over_harmonic()
+        );
+    }
+
+    println!("\nSame input, points sorted by x (adversarial order):");
+    println!("{:>9} {:>7} {:>10} {:>11}", "n", "depth", "H_n", "depth/H_n");
+    for e in 10..=14 {
+        let n = 1usize << e;
+        let mut points = generators::disk_2d(n, 1 << 30, e as u64);
+        points.sort();
+        let pts = PointSet::from_points2(&points);
+        // No shuffle: insert in sorted order (first 3 made independent).
+        let pts = sorted_order_prepare(&pts);
+        let run = incremental_hull_run(&pts);
+        println!(
+            "{:>9} {:>7} {:>10.2} {:>11.2}",
+            n,
+            run.stats.dep_depth,
+            run.stats.harmonic(),
+            run.stats.depth_over_harmonic()
+        );
+    }
+    println!("\nRandom order: flat depth/H_n. Sorted order: depth grows linearly in n.");
+}
+
+/// Keep the given order but hoist the first affinely independent triple to
+/// the front (the algorithms need an initial simplex).
+fn sorted_order_prepare(pts: &PointSet) -> PointSet {
+    let simplex = convex_hull_suite::core::context::initial_simplex(pts);
+    let chosen: Vec<usize> = simplex.iter().map(|&v| v as usize).collect();
+    let mut order = chosen.clone();
+    order.extend((0..pts.len()).filter(|i| !chosen.contains(i)));
+    pts.permuted(&order)
+}

@@ -1,0 +1,76 @@
+//! Reproduces the paper's **Figure 1** walkthrough exactly (experiment E4).
+//!
+//! Starting from the hull `u-v-w-x-y-z-t`, the points `a`, `b`, `c` are
+//! inserted (in that order). The paper's narrative:
+//!
+//! * round 1: `v-c`, `w-b`, `x-a`, `a-z` are all added in parallel,
+//!   replacing `v-w`, `w-x`, `x-y`, `y-z`;
+//! * round 2: `b-a` replaces `x-a` and `c-z` replaces `a-z`;
+//! * round 3: `w-b` and `b-a` are buried by `c`; `v-c` / `c-z` finalize.
+//!
+//! Run with: `cargo run --example figure1_trace`
+
+use convex_hull_suite::core::par::rounds::rounds_hull_from;
+use convex_hull_suite::core::par::TraceEvent;
+use convex_hull_suite::geometry::PointSet;
+
+/// Point names in insertion order: the hull points u..t first, then a, b, c.
+pub const NAMES: [&str; 10] = ["u", "v", "w", "x", "y", "z", "t", "a", "b", "c"];
+
+/// Coordinates realizing the figure's combinatorics (verified by the
+/// integration test `tests/figure1.rs`).
+pub fn figure1_points() -> PointSet {
+    PointSet::from_rows(
+        2,
+        &[
+            vec![0, 0],    // u
+            vec![0, 10],   // v
+            vec![4, 14],   // w
+            vec![9, 15],   // x
+            vec![14, 13],  // y
+            vec![17, 8],   // z
+            vec![12, -3],  // t
+            vec![15, 16],  // a
+            vec![10, 18],  // b
+            vec![10, 50],  // c
+        ],
+    )
+}
+
+fn main() {
+    let pts = figure1_points();
+    // Start from the prebuilt 7-gon hull, then insert a, b, c.
+    let run = rounds_hull_from(&pts, 7, true);
+
+    println!("Figure 1 walkthrough: hull u-v-w-x-y-z-t, inserting a, b, c\n");
+    let mut last_round = 0;
+    for (round, ev) in &run.trace {
+        if *round != last_round {
+            println!("--- round {round} ---");
+            last_round = *round;
+        }
+        println!("  {}", ev.render(&NAMES));
+    }
+
+    println!("\nrounds: {}", run.stats.rounds);
+    println!("facets created: {}", run.stats.facets_created - 7);
+    let final_edges: Vec<String> = run
+        .output
+        .facets
+        .iter()
+        .map(|f| format!("{}-{}", NAMES[f[0] as usize], NAMES[f[1] as usize]))
+        .collect();
+    println!("final hull edges: {}", final_edges.join(", "));
+
+    // Sanity: the final hull is u-v, v-c, c-z, z-t, t-u.
+    assert_eq!(run.output.num_facets(), 5);
+    let replaces_in_round = |r: usize| {
+        run.trace
+            .iter()
+            .filter(|(round, ev)| *round == r && matches!(ev, TraceEvent::Replace { .. }))
+            .count()
+    };
+    assert_eq!(replaces_in_round(1), 4, "round 1 must add v-c, w-b, x-a, a-z");
+    assert_eq!(replaces_in_round(2), 2, "round 2 must add b-a and c-z");
+    println!("\ntrace matches the paper's Figure 1.");
+}

@@ -1,0 +1,58 @@
+//! Quickstart: compute 2D and 3D convex hulls with the sequential
+//! (Algorithm 2) and parallel (Algorithm 3) randomized incremental
+//! algorithms, and print the instrumentation the paper's theorems are
+//! about.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use convex_hull_suite::core::par::{parallel_hull, ParOptions};
+use convex_hull_suite::core::seq::incremental_hull_run;
+use convex_hull_suite::core::{prepare_points, verify};
+use convex_hull_suite::geometry::{generators, PointSet};
+
+fn main() {
+    let n = 50_000;
+    println!("== 2D: {n} random points in a disk ==");
+    let pts = PointSet::from_points2(&generators::disk_2d(n, 1 << 30, 42));
+    // Apply a random insertion order (the "randomized" in the title).
+    let pts = prepare_points(&pts, 7);
+
+    let seq = incremental_hull_run(&pts);
+    println!(
+        "sequential: {} hull edges, {} facets created, {} visibility tests, dependence depth {}",
+        seq.stats.hull_facets,
+        seq.stats.facets_created,
+        seq.stats.visibility_tests,
+        seq.stats.dep_depth
+    );
+
+    let par = parallel_hull(&pts, ParOptions::default());
+    println!(
+        "parallel:   {} hull edges, {} facets created, {} visibility tests, recursion depth {}",
+        par.stats.hull_facets,
+        par.stats.facets_created,
+        par.stats.visibility_tests,
+        par.stats.recursion_depth
+    );
+    assert_eq!(seq.output.canonical(), par.output.canonical());
+    assert_eq!(seq.stats.visibility_tests, par.stats.visibility_tests);
+    println!("parallel output and work match the sequential run exactly.");
+    println!(
+        "depth / H_n = {:.2}  (Theorem 1.1: O(log n) whp)",
+        seq.stats.depth_over_harmonic()
+    );
+
+    let n3 = 20_000;
+    println!("\n== 3D: {n3} random points in a ball ==");
+    let pts3 = PointSet::from_points3(&generators::ball_3d(n3, 1 << 30, 1));
+    let pts3 = prepare_points(&pts3, 2);
+    let seq3 = incremental_hull_run(&pts3);
+    let par3 = parallel_hull(&pts3, ParOptions::default());
+    println!(
+        "sequential: {} hull facets, depth {}; parallel recursion depth {}",
+        seq3.stats.hull_facets, seq3.stats.dep_depth, par3.stats.recursion_depth
+    );
+    assert_eq!(seq3.output.canonical(), par3.output.canonical());
+    verify::verify_hull(&pts3, &par3.output).expect("hull verification");
+    println!("3D hull verified (closed manifold, exact one-sidedness, Euler formula).");
+}

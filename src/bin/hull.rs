@@ -1,0 +1,255 @@
+//! `hull` — a command-line convex hull tool over the suite.
+//!
+//! Reads whitespace-separated integer coordinates (one point per line) from
+//! a file or stdin, computes the hull with the requested algorithm, and
+//! prints the hull facets (as 0-based input indices) plus instrumentation.
+//!
+//! ```text
+//! USAGE: hull [--dim D] [--algo seq|par|rounds|chain] [--seed S] [--stats] [FILE]
+//! ```
+//!
+//! Examples:
+//! ```text
+//! $ printf '0 0\n4 0\n0 4\n4 4\n2 2\n' | hull
+//! $ hull --dim 3 --algo par --stats points3d.txt
+//! ```
+
+use convex_hull_suite::core::baseline::monotone_chain;
+use convex_hull_suite::core::par::rounds::rounds_hull;
+use convex_hull_suite::core::par::{parallel_hull, ParOptions};
+use convex_hull_suite::core::seq::incremental_hull_run;
+use convex_hull_suite::core::context::prepare_points_with_perm;
+use convex_hull_suite::core::{HullOutput, HullStats};
+use convex_hull_suite::geometry::{Point2i, PointSet};
+use std::io::Read;
+
+/// Parsed command-line options.
+#[derive(Debug, PartialEq, Eq)]
+struct Options {
+    dim: usize,
+    algo: Algo,
+    seed: u64,
+    stats: bool,
+    file: Option<String>,
+}
+
+#[derive(Debug, PartialEq, Eq, Clone, Copy)]
+enum Algo {
+    Seq,
+    Par,
+    Rounds,
+    Chain,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "USAGE: hull [--dim D] [--algo seq|par|rounds|chain] [--seed S] [--stats] [FILE]\n\
+         Reads one point per line (D whitespace-separated integers); FILE defaults to stdin."
+    );
+    std::process::exit(2);
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts =
+        Options { dim: 2, algo: Algo::Seq, seed: 42, stats: false, file: None };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--dim" => {
+                opts.dim = it
+                    .next()
+                    .ok_or("--dim needs a value")?
+                    .parse()
+                    .map_err(|_| "bad --dim value")?;
+            }
+            "--algo" => {
+                opts.algo = match it.next().ok_or("--algo needs a value")?.as_str() {
+                    "seq" => Algo::Seq,
+                    "par" => Algo::Par,
+                    "rounds" => Algo::Rounds,
+                    "chain" => Algo::Chain,
+                    other => return Err(format!("unknown algorithm '{other}'")),
+                };
+            }
+            "--seed" => {
+                opts.seed = it
+                    .next()
+                    .ok_or("--seed needs a value")?
+                    .parse()
+                    .map_err(|_| "bad --seed value")?;
+            }
+            "--stats" => opts.stats = true,
+            "--help" | "-h" => return Err("help".to_string()),
+            f if !f.starts_with('-') => {
+                if opts.file.is_some() {
+                    return Err("multiple input files".to_string());
+                }
+                opts.file = Some(f.to_string());
+            }
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    if opts.dim < 2 || opts.dim > 8 {
+        return Err("--dim must be in 2..=8".to_string());
+    }
+    if opts.algo == Algo::Chain && opts.dim != 2 {
+        return Err("--algo chain is 2D only".to_string());
+    }
+    Ok(opts)
+}
+
+/// Parse whitespace-separated integer points, one per line.
+fn parse_points(input: &str, dim: usize) -> Result<PointSet, String> {
+    let mut ps = PointSet::new(dim);
+    for (lineno, line) in input.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let coords: Result<Vec<i64>, _> =
+            line.split_whitespace().map(|t| t.parse::<i64>()).collect();
+        let coords = coords.map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        if coords.len() != dim {
+            return Err(format!(
+                "line {}: expected {dim} coordinates, got {}",
+                lineno + 1,
+                coords.len()
+            ));
+        }
+        ps.push(&coords);
+    }
+    if ps.len() < dim + 1 {
+        return Err(format!("need at least {} points for a {dim}D hull", dim + 1));
+    }
+    Ok(ps)
+}
+
+fn print_output(out: &HullOutput, stats: Option<&HullStats>, perm: Option<&[usize]>) {
+    for f in &out.facets {
+        let ids: Vec<String> = f[..out.dim]
+            .iter()
+            .map(|&v| match perm {
+                Some(p) => p[v as usize].to_string(),
+                None => v.to_string(),
+            })
+            .collect();
+        println!("{}", ids.join(" "));
+    }
+    if let Some(s) = stats {
+        eprintln!(
+            "# n={} dim={} hull_facets={} facets_created={} visibility_tests={} dep_depth={} recursion_depth={} rounds={}",
+            s.n,
+            s.dim,
+            s.hull_facets,
+            s.facets_created,
+            s.visibility_tests,
+            s.dep_depth,
+            s.recursion_depth,
+            s.rounds
+        );
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(o) => o,
+        Err(e) => {
+            if e != "help" {
+                eprintln!("error: {e}");
+            }
+            usage();
+        }
+    };
+    let mut input = String::new();
+    match &opts.file {
+        Some(f) => {
+            input = std::fs::read_to_string(f).unwrap_or_else(|e| {
+                eprintln!("error reading {f}: {e}");
+                std::process::exit(1);
+            });
+        }
+        None => {
+            std::io::stdin().read_to_string(&mut input).expect("reading stdin");
+        }
+    }
+    let pts = parse_points(&input, opts.dim).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    });
+
+    if opts.algo == Algo::Chain {
+        let raw: Vec<Point2i> =
+            (0..pts.len()).map(|i| Point2i::new(pts.point(i)[0], pts.point(i)[1])).collect();
+        let out = monotone_chain::hull_output(&raw);
+        print_output(&out, None, None);
+        return;
+    }
+
+    // The incremental algorithms want a random insertion order; translate
+    // facet indices back to the input order via the permutation.
+    let (prepared, perm) = prepare_points_with_perm(&pts, opts.seed);
+    match opts.algo {
+        Algo::Seq => {
+            let run = incremental_hull_run(&prepared);
+            print_output(&run.output, opts.stats.then_some(&run.stats), Some(&perm));
+        }
+        Algo::Par => {
+            let run = parallel_hull(&prepared, ParOptions::default());
+            print_output(&run.output, opts.stats.then_some(&run.stats), Some(&perm));
+        }
+        Algo::Rounds => {
+            let run = rounds_hull(&prepared, false);
+            print_output(&run.output, opts.stats.then_some(&run.stats), Some(&perm));
+        }
+        Algo::Chain => unreachable!(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_args_defaults_and_flags() {
+        let o = parse_args(&s(&[])).unwrap();
+        assert_eq!(o.dim, 2);
+        assert_eq!(o.algo, Algo::Seq);
+        let o = parse_args(&s(&["--dim", "3", "--algo", "par", "--seed", "7", "--stats", "f.txt"]))
+            .unwrap();
+        assert_eq!(o.dim, 3);
+        assert_eq!(o.algo, Algo::Par);
+        assert_eq!(o.seed, 7);
+        assert!(o.stats);
+        assert_eq!(o.file.as_deref(), Some("f.txt"));
+    }
+
+    #[test]
+    fn parse_args_rejects_bad_input() {
+        assert!(parse_args(&s(&["--dim"])).is_err());
+        assert!(parse_args(&s(&["--dim", "1"])).is_err());
+        assert!(parse_args(&s(&["--dim", "9"])).is_err());
+        assert!(parse_args(&s(&["--algo", "magic"])).is_err());
+        assert!(parse_args(&s(&["--bogus"])).is_err());
+        assert!(parse_args(&s(&["a.txt", "b.txt"])).is_err());
+        assert!(parse_args(&s(&["--dim", "3", "--algo", "chain"])).is_err());
+    }
+
+    #[test]
+    fn parse_points_happy_path() {
+        let ps = parse_points("0 0\n4 0\n# comment\n\n0 4\n4 4\n", 2).unwrap();
+        assert_eq!(ps.len(), 4);
+        assert_eq!(ps.point(2), &[0, 4]);
+    }
+
+    #[test]
+    fn parse_points_errors() {
+        assert!(parse_points("1 2 3\n", 2).is_err());
+        assert!(parse_points("1 x\n2 3\n4 5\n6 7\n", 2).is_err());
+        assert!(parse_points("1 2\n3 4\n", 2).is_err()); // too few
+    }
+}

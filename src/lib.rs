@@ -1,0 +1,21 @@
+//! # convex-hull-suite
+//!
+//! Facade crate for the reproduction of *Randomized Incremental Convex
+//! Hull is Highly Parallel* (Blelloch, Gu, Shun, Sun — SPAA 2020).
+//!
+//! Re-exports the workspace crates:
+//!
+//! * [`geometry`] — exact predicates, points, generators;
+//! * [`confspace`] — configuration spaces, support sets, dependence graphs;
+//! * [`concurrent`] — the lock-free `InsertAndSet` multimaps and arena;
+//! * [`core`] — Algorithms 2 and 3, baselines, instrumentation;
+//! * [`apps`] — half-space intersection, circle intersection, Delaunay.
+//!
+//! See `README.md` for a tour and `DESIGN.md`/`EXPERIMENTS.md` for the
+//! paper-to-code map.
+
+pub use chull_apps as apps;
+pub use chull_confspace as confspace;
+pub use chull_concurrent as concurrent;
+pub use chull_core as core;
+pub use chull_geometry as geometry;

@@ -1,0 +1,98 @@
+//! End-to-end tests of the `hull` CLI binary.
+
+use std::io::Write;
+use std::process::{Command, Stdio};
+
+fn run_hull(args: &[&str], input: &str) -> (String, String, bool) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_hull"))
+        .args(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawning hull binary");
+    child.stdin.as_mut().unwrap().write_all(input.as_bytes()).unwrap();
+    let out = child.wait_with_output().unwrap();
+    (
+        String::from_utf8(out.stdout).unwrap(),
+        String::from_utf8(out.stderr).unwrap(),
+        out.status.success(),
+    )
+}
+
+const SQUARE: &str = "0 0\n40 0\n0 40\n40 40\n20 20\n7 31\n";
+
+fn edges_of(stdout: &str) -> Vec<Vec<u32>> {
+    let mut edges: Vec<Vec<u32>> = stdout
+        .lines()
+        .map(|l| {
+            let mut e: Vec<u32> =
+                l.split_whitespace().map(|t| t.parse().unwrap()).collect();
+            e.sort_unstable();
+            e
+        })
+        .collect();
+    edges.sort();
+    edges
+}
+
+#[test]
+fn square_hull_all_algorithms_agree() {
+    let expected = edges_of(&run_hull(&["--algo", "chain"], SQUARE).0);
+    assert_eq!(expected.len(), 4);
+    assert!(expected.iter().all(|e| e.iter().all(|&v| v < 4)), "interior point on hull");
+    for algo in ["seq", "par", "rounds"] {
+        let (stdout, _, ok) = run_hull(&["--algo", algo], SQUARE);
+        assert!(ok, "{algo} failed");
+        assert_eq!(edges_of(&stdout), expected, "algorithm {algo}");
+    }
+}
+
+#[test]
+fn stats_go_to_stderr() {
+    let (stdout, stderr, ok) = run_hull(&["--stats"], SQUARE);
+    assert!(ok);
+    assert!(!stdout.contains("hull_facets"));
+    assert!(stderr.contains("hull_facets=4"), "stderr: {stderr}");
+    assert!(stderr.contains("visibility_tests="));
+}
+
+#[test]
+fn three_d_input() {
+    let input = "0 0 0\n9 0 0\n0 9 0\n0 0 9\n9 9 9\n2 2 2\n";
+    let (stdout, _, ok) = run_hull(&["--dim", "3", "--algo", "par"], input);
+    assert!(ok);
+    let facets = edges_of(&stdout);
+    // 5 extreme points (index 5 interior); each facet has 3 vertices < 5.
+    assert!(facets.iter().all(|f| f.len() == 3 && f.iter().all(|&v| v < 5)));
+    // Euler for V=5 triangulated sphere: F = 2V - 4 = 6.
+    assert_eq!(facets.len(), 6);
+}
+
+#[test]
+fn bad_input_is_an_error() {
+    let (_, stderr, ok) = run_hull(&[], "1 2\n3 4\n");
+    assert!(!ok);
+    assert!(stderr.contains("need at least"));
+    let (_, stderr, ok) = run_hull(&[], "1 2 3\n4 5 6\n7 8 9\n10 11 12\n");
+    assert!(!ok);
+    assert!(stderr.contains("expected 2 coordinates"));
+    let (_, stderr, ok) = run_hull(&["--algo", "warp"], SQUARE);
+    assert!(!ok);
+    assert!(stderr.contains("unknown algorithm"));
+}
+
+#[test]
+fn comments_and_blank_lines_ignored() {
+    let input = "# square\n\n0 0\n40 0\n\n0 40\n# interior:\n20 20\n40 40\n";
+    let (stdout, _, ok) = run_hull(&["--algo", "chain"], input);
+    assert!(ok);
+    assert_eq!(edges_of(&stdout).len(), 4);
+}
+
+#[test]
+fn seed_changes_internal_order_not_hull() {
+    let a = edges_of(&run_hull(&["--seed", "1"], SQUARE).0);
+    let b = edges_of(&run_hull(&["--seed", "999"], SQUARE).0);
+    assert_eq!(a, b, "hull must not depend on the insertion seed");
+}

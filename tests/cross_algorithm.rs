@@ -1,0 +1,170 @@
+//! Cross-algorithm agreement: every hull algorithm in the suite must
+//! produce the same hull on the same input, across distributions, seeds,
+//! and dimensions — including property-based random inputs.
+
+use convex_hull_suite::core::baseline::{brute, giftwrap, monotone_chain, quickhull2d};
+use convex_hull_suite::core::par::rounds::rounds_hull;
+use convex_hull_suite::core::par::{parallel_hull, MapKind, ParOptions};
+use convex_hull_suite::core::seq::incremental_hull_run;
+use convex_hull_suite::core::{prepare_points, verify};
+use convex_hull_suite::geometry::{generators, Point2i, PointSet};
+use proptest::prelude::*;
+
+fn assert_all_2d_agree(points: &[Point2i], seed: u64) {
+    let mc = monotone_chain::hull_output(points);
+    let qh = quickhull2d::hull_output(points);
+    assert_eq!(mc.canonical(), qh.canonical(), "monotone chain vs quickhull");
+    let mut gw = giftwrap::hull_indices(points);
+    gw.sort_unstable();
+    let mut mcv: Vec<u32> = mc.vertices().into_iter().collect();
+    mcv.sort_unstable();
+    assert_eq!(gw, mcv, "gift wrapping vertex set");
+
+    let pts = prepare_points(&PointSet::from_points2(points), seed);
+    let seq = incremental_hull_run(&pts);
+    let par = parallel_hull(&pts, ParOptions::default());
+    let rr = rounds_hull(&pts, false);
+    assert_eq!(seq.output.canonical(), par.output.canonical(), "seq vs par");
+    assert_eq!(seq.output.canonical(), rr.output.canonical(), "seq vs rounds");
+    verify::verify_hull(&pts, &seq.output).expect("verify incremental hull");
+
+    // Vertex *sets* are permutation-invariant: compare coordinates.
+    let hull_coords = |out: &convex_hull_suite::core::HullOutput,
+                       ps: &PointSet|
+     -> std::collections::BTreeSet<(i64, i64)> {
+        out.vertices()
+            .into_iter()
+            .map(|v| {
+                let c = ps.pt(v);
+                (c[0], c[1])
+            })
+            .collect()
+    };
+    let ps_orig = PointSet::from_points2(points);
+    assert_eq!(
+        hull_coords(&mc, &ps_orig),
+        hull_coords(&seq.output, &pts),
+        "incremental vs baseline vertex coordinates"
+    );
+}
+
+#[test]
+fn all_2d_algorithms_agree_across_distributions() {
+    for seed in 0..3u64 {
+        assert_all_2d_agree(&generators::disk_2d(500, 1 << 20, seed), seed);
+        assert_all_2d_agree(&generators::near_circle_2d(200, 1 << 20, seed), seed + 1);
+        assert_all_2d_agree(&generators::parabola_2d(150, seed), seed + 2);
+        let g = generators::gaussian_d(2, 300, 10_000.0, seed);
+        let pts: Vec<Point2i> = g.iter().map(|c| Point2i::new(c[0], c[1])).collect();
+        assert_all_2d_agree(&pts, seed + 3);
+    }
+}
+
+#[test]
+fn small_3d_matches_brute_force() {
+    for seed in 0..5u64 {
+        let pts3 = generators::ball_3d(13, 1 << 14, seed);
+        let ps = prepare_points(&PointSet::from_points3(&pts3), seed);
+        let seq = incremental_hull_run(&ps);
+        let par = parallel_hull(&ps, ParOptions::default());
+        let oracle = brute::hull_output(&ps);
+        assert_eq!(seq.output.canonical(), oracle.canonical(), "seq vs brute (seed {seed})");
+        assert_eq!(par.output.canonical(), oracle.canonical(), "par vs brute (seed {seed})");
+    }
+}
+
+#[test]
+fn small_4d_5d_match_brute_force() {
+    for dim in [4usize, 5] {
+        for seed in 0..2u64 {
+            let ps = generators::ball_d(dim, 12, 1 << 12, seed);
+            let ps = prepare_points(&ps, seed + 7);
+            let seq = incremental_hull_run(&ps);
+            let par = parallel_hull(&ps, ParOptions::default());
+            let oracle = brute::hull_output(&ps);
+            assert_eq!(seq.output.canonical(), oracle.canonical(), "dim {dim} seed {seed}");
+            assert_eq!(par.output.canonical(), oracle.canonical(), "dim {dim} seed {seed}");
+            verify::verify_hull(&ps, &seq.output).unwrap();
+        }
+    }
+}
+
+#[test]
+fn map_engines_are_interchangeable() {
+    let pts = prepare_points(
+        &PointSet::from_points3(&generators::ball_3d(400, 1 << 20, 3)),
+        4,
+    );
+    let locked = parallel_hull(&pts, ParOptions { map: MapKind::Locked, record_trace: false });
+    let cas = parallel_hull(
+        &pts,
+        ParOptions { map: MapKind::Cas { capacity_factor: 16 }, record_trace: false },
+    );
+    let tas = parallel_hull(
+        &pts,
+        ParOptions { map: MapKind::Tas { capacity_factor: 16 }, record_trace: false },
+    );
+    assert_eq!(locked.output.canonical(), cas.output.canonical());
+    assert_eq!(locked.output.canonical(), tas.output.canonical());
+    assert_eq!(locked.stats.visibility_tests, cas.stats.visibility_tests);
+    assert_eq!(locked.stats.visibility_tests, tas.stats.visibility_tests);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any set of >= 3 non-collinear random points: all 2D algorithms agree
+    /// and the hull verifies.
+    #[test]
+    fn prop_random_2d_points_agree(
+        // Wide coordinate range keeps exact hull-boundary collinearity
+        // (where strict and non-strict hulls legitimately differ) rare.
+        raw in prop::collection::vec(
+            (-100_000_000i64..100_000_000, -100_000_000i64..100_000_000),
+            8..80,
+        ),
+        seed in 0u64..1000,
+    ) {
+        // Dedup; skip fully collinear samples (the incremental algorithms
+        // require an initial simplex).
+        let mut pts: Vec<Point2i> = raw.into_iter().map(|(x, y)| Point2i::new(x, y)).collect();
+        pts.sort_unstable();
+        pts.dedup();
+        prop_assume!(pts.len() >= 4);
+        let rows: Vec<Vec<i64>> = pts.iter().map(|p| vec![p.x, p.y]).collect();
+        let rank = convex_hull_suite::geometry::exact::affine_rank(
+            &rows.iter().map(|r| r.as_slice()).collect::<Vec<_>>(),
+        );
+        prop_assume!(rank == 3);
+        assert_all_2d_agree(&pts, seed);
+    }
+
+    /// The parallel hull equals the sequential hull and performs exactly
+    /// the same visibility tests, on random 3D inputs.
+    #[test]
+    fn prop_par_equals_seq_3d(
+        raw in prop::collection::vec((-500i64..500, -500i64..500, -500i64..500), 6..40),
+        seed in 0u64..1000,
+    ) {
+        let mut pts: Vec<_> = raw
+            .into_iter()
+            .map(|(x, y, z)| convex_hull_suite::geometry::Point3i::new(x, y, z))
+            .collect();
+        pts.sort_unstable();
+        pts.dedup();
+        prop_assume!(pts.len() >= 5);
+        let ps = PointSet::from_points3(&pts);
+        let rows: Vec<&[i64]> = (0..ps.len()).map(|i| ps.point(i)).collect();
+        prop_assume!(convex_hull_suite::geometry::exact::affine_rank(&rows) == 4);
+        let prepared = prepare_points(&ps, seed);
+        let seq = incremental_hull_run(&prepared);
+        let par = parallel_hull(&prepared, ParOptions::default());
+        prop_assert_eq!(seq.output.canonical(), par.output.canonical());
+        prop_assert_eq!(seq.stats.visibility_tests, par.stats.visibility_tests);
+        let mut a = seq.created.clone();
+        let mut b = par.created.clone();
+        a.sort_unstable();
+        b.sort_unstable();
+        prop_assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,146 @@
+//! E4: the paper's Figure 1 worked example, asserted event by event.
+//!
+//! Hull `u-v-w-x-y-z-t` exists; `a`, `b`, `c` are inserted in order.
+//! Expected (Section 5.3):
+//! * round 1: `v-c` replaces `v-w`, `w-b` replaces `w-x`, `x-a` replaces
+//!   `x-y`, `a-z` replaces `y-z` (all in parallel);
+//! * round 2: `b-a` replaces `x-a`, `c-z` replaces `a-z`;
+//! * round 3: `c` buries `w-b` and `b-a`; `v-c`/`c-z` finalize.
+
+use convex_hull_suite::core::par::rounds::rounds_hull_from;
+use convex_hull_suite::core::par::TraceEvent;
+use convex_hull_suite::geometry::PointSet;
+
+const NAMES: [&str; 10] = ["u", "v", "w", "x", "y", "z", "t", "a", "b", "c"];
+
+fn figure1_points() -> PointSet {
+    PointSet::from_rows(
+        2,
+        &[
+            vec![0, 0],    // u
+            vec![0, 10],   // v
+            vec![4, 14],   // w
+            vec![9, 15],   // x
+            vec![14, 13],  // y
+            vec![17, 8],   // z
+            vec![12, -3],  // t
+            vec![15, 16],  // a
+            vec![10, 18],  // b
+            vec![10, 50],  // c
+        ],
+    )
+}
+
+fn name(v: u32) -> &'static str {
+    NAMES[v as usize]
+}
+
+fn edge_name(vs: &[u32]) -> String {
+    let mut names: Vec<&str> = vs.iter().map(|&v| name(v)).collect();
+    names.sort_unstable();
+    names.join("-")
+}
+
+#[test]
+fn figure1_rounds_match_paper() {
+    let pts = figure1_points();
+    let run = rounds_hull_from(&pts, 7, true);
+
+    // Collect replace events per round as (new, old) name pairs.
+    let replaces = |round: usize| -> Vec<(String, String)> {
+        let mut v: Vec<(String, String)> = run
+            .trace
+            .iter()
+            .filter_map(|(r, ev)| match ev {
+                TraceEvent::Replace { old, new, .. } if *r == round => {
+                    Some((edge_name(new), edge_name(old)))
+                }
+                _ => None,
+            })
+            .collect();
+        v.sort();
+        v
+    };
+
+    // Round 1: v-c, w-b, x-a, a-z added (figure (a) -> (b)).
+    assert_eq!(
+        replaces(1),
+        vec![
+            ("a-x".to_string(), "x-y".to_string()),
+            ("a-z".to_string(), "y-z".to_string()),
+            ("b-w".to_string(), "w-x".to_string()),
+            ("c-v".to_string(), "v-w".to_string()),
+        ]
+    );
+
+    // Round 1 also buries the interior corner x-y / y-z (both see `a`).
+    let round1_buries: Vec<_> = run
+        .trace
+        .iter()
+        .filter(|(r, ev)| *r == 1 && matches!(ev, TraceEvent::Bury { .. }))
+        .collect();
+    assert_eq!(round1_buries.len(), 1);
+    if let (_, TraceEvent::Bury { t1, t2, pivot, .. }) = round1_buries[0] {
+        let mut pair = vec![edge_name(t1), edge_name(t2)];
+        pair.sort();
+        assert_eq!(pair, vec!["x-y", "y-z"]);
+        assert_eq!(name(*pivot), "a");
+    }
+
+    // Round 2: b-a replaces x-a; c-z replaces a-z (figure (b) -> (c)).
+    assert_eq!(
+        replaces(2),
+        vec![
+            ("a-b".to_string(), "a-x".to_string()),
+            ("c-z".to_string(), "a-z".to_string()),
+        ]
+    );
+
+    // Round 3: c buries w-b and b-a (figure (c) -> (d)); no new facets.
+    assert_eq!(replaces(3), vec![]);
+    let round3_bury = run
+        .trace
+        .iter()
+        .find(|(r, ev)| {
+            *r == 3
+                && matches!(ev, TraceEvent::Bury { t1, t2, pivot, .. }
+                    if name(*pivot) == "c" && {
+                        let mut p = vec![edge_name(t1), edge_name(t2)];
+                        p.sort();
+                        p == vec!["a-b", "b-w"]
+                    })
+        });
+    assert!(round3_bury.is_some(), "round 3 must bury w-b and b-a by c: {:?}", run.trace);
+
+    // Round 3 finalizes the corner v-c / c-z.
+    let vc_cz_final = run.trace.iter().any(|(r, ev)| {
+        *r == 3
+            && matches!(ev, TraceEvent::Finalize { t1, t2, .. } if {
+                let mut p = vec![edge_name(t1), edge_name(t2)];
+                p.sort();
+                p == vec!["c-v", "c-z"]
+            })
+    });
+    assert!(vc_cz_final, "v-c / c-z must finalize in round 3: {:?}", run.trace);
+
+    // Exactly the paper's six facets are created (four in round 1, two in
+    // round 2), and the final hull is u-v, v-c, c-z, z-t, t-u.
+    assert_eq!(run.stats.facets_created, 7 + 6);
+    let mut hull: Vec<String> = run.output.facets.iter().map(|f| edge_name(&f[..2])).collect();
+    hull.sort();
+    assert_eq!(hull, vec!["c-v", "c-z", "t-u", "t-z", "u-v"]);
+}
+
+#[test]
+fn figure1_async_parallel_same_hull() {
+    // The asynchronous Algorithm 3 on the full input (seed simplex start)
+    // produces the same final hull.
+    use convex_hull_suite::core::par::{parallel_hull, ParOptions};
+    use convex_hull_suite::core::seq::incremental_hull_run;
+    let pts = figure1_points();
+    let seq = incremental_hull_run(&pts);
+    let par = parallel_hull(&pts, ParOptions::default());
+    assert_eq!(seq.output.canonical(), par.output.canonical());
+    let verts: Vec<&str> = seq.output.vertices().iter().map(|&v| name(v)).collect();
+    assert_eq!(verts, vec!["u", "v", "z", "t", "c"]);
+}
