@@ -129,8 +129,18 @@ pub fn incremental_intersection(circles: &[Circle]) -> CircleIntersection {
     let (m01, h01) = inside_interval(c0, c1).expect("distinct seed circles required");
     let (m10, h10) = inside_interval(c1, c0).expect("distinct seed circles required");
     let mut arcs = vec![
-        Arc { circle: 0, a0: m01 - h01, len: 2.0 * h01, depth: 0 },
-        Arc { circle: 1, a0: m10 - h10, len: 2.0 * h10, depth: 0 },
+        Arc {
+            circle: 0,
+            a0: m01 - h01,
+            len: 2.0 * h01,
+            depth: 0,
+        },
+        Arc {
+            circle: 1,
+            a0: m10 - h10,
+            len: 2.0 * h10,
+            depth: 0,
+        },
     ];
     let mut arcs_created = 2usize;
     let mut max_depth = 0u32;
@@ -149,9 +159,9 @@ pub fn incremental_intersection(circles: &[Circle]) -> CircleIntersection {
                     let pieces = clip_arc(arc.a0, arc.len, mid, half);
                     let full = pieces.len() == 1
                         && (pieces[0].1 - arc.len).abs() < EPS
-                        && ((pieces[0].0 - arc.a0).rem_euclid(TAU)).min(
-                            TAU - (pieces[0].0 - arc.a0).rem_euclid(TAU),
-                        ) < EPS;
+                        && ((pieces[0].0 - arc.a0).rem_euclid(TAU))
+                            .min(TAU - (pieces[0].0 - arc.a0).rem_euclid(TAU))
+                            < EPS;
                     if full {
                         new_arcs.push(*arc); // untouched
                     } else {
@@ -163,7 +173,12 @@ pub fn incremental_intersection(circles: &[Circle]) -> CircleIntersection {
                             let d = arc.depth + 1;
                             max_depth = max_depth.max(d);
                             arcs_created += 1;
-                            new_arcs.push(Arc { circle: arc.circle, a0: s, len: l, depth: d });
+                            new_arcs.push(Arc {
+                                circle: arc.circle,
+                                a0: s,
+                                len: l,
+                                depth: d,
+                            });
                         }
                     }
                 }
@@ -190,13 +205,23 @@ pub fn incremental_intersection(circles: &[Circle]) -> CircleIntersection {
                 let d = support_depth + 1;
                 max_depth = max_depth.max(d);
                 arcs_created += 1;
-                new_arcs.push(Arc { circle: ci, a0: s, len: l, depth: d });
+                new_arcs.push(Arc {
+                    circle: ci,
+                    a0: s,
+                    len: l,
+                    depth: d,
+                });
             }
         }
         arcs = new_arcs;
     }
 
-    CircleIntersection { circles: circles.to_vec(), arcs, max_depth, arcs_created }
+    CircleIntersection {
+        circles: circles.to_vec(),
+        arcs,
+        max_depth,
+        arcs_created,
+    }
 }
 
 /// Validate the construction: every arc midpoint lies inside every disk
@@ -238,14 +263,16 @@ pub fn verify_intersection(result: &CircleIntersection) -> Result<(), String> {
 /// `spread < 1` (guaranteeing a nonempty common intersection).
 pub fn random_circles(n: usize, spread: f64, seed: u64) -> Vec<Circle> {
     assert!(n >= 2 && spread > 0.0 && spread < 1.0);
-    use rand::Rng;
+
     let mut rng = chull_geometry::generators::rng(seed);
     let mut out: Vec<Circle> = Vec::with_capacity(n);
     while out.len() < n {
         let x: f64 = rng.gen_range(-spread..spread);
         let y: f64 = rng.gen_range(-spread..spread);
         if x * x + y * y <= spread * spread
-            && out.iter().all(|c| (c.x - x).abs() > 1e-6 || (c.y - y).abs() > 1e-6)
+            && out
+                .iter()
+                .all(|c| (c.x - x).abs() > 1e-6 || (c.y - y).abs() > 1e-6)
         {
             out.push(Circle { x, y });
         }
@@ -315,8 +342,14 @@ mod tests {
         let c = 0.3;
         let circles = vec![
             Circle { x: c, y: 0.0 },
-            Circle { x: -c / 2.0, y: c * 0.866 },
-            Circle { x: -c / 2.0, y: -c * 0.866 },
+            Circle {
+                x: -c / 2.0,
+                y: c * 0.866,
+            },
+            Circle {
+                x: -c / 2.0,
+                y: -c * 0.866,
+            },
         ];
         let r = incremental_intersection(&circles);
         assert_eq!(r.arcs.len(), 3, "arcs: {:?}", r.arcs);

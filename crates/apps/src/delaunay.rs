@@ -103,10 +103,7 @@ pub fn delaunay(points: &[Point2i], engine: Engine, seed: u64) -> Delaunay {
         // One unit below the plane (in the homogeneous-3 scale); only the
         // side of the plane matters, not the distance.
         below[2] -= 3;
-        let s_below = orientd_hom(
-            3,
-            &[(rows[0], 1), (rows[1], 1), (rows[2], 1), (&below, 3)],
-        );
+        let s_below = orientd_hom(3, &[(rows[0], 1), (rows[1], 1), (rows[2], 1), (&below, 3)]);
         let s_interior = orientd_hom(
             3,
             &[(rows[0], 1), (rows[1], 1), (rows[2], 1), (&interior, 4)],

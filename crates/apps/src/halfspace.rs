@@ -96,7 +96,10 @@ impl HalfplaneSpace {
         let mut out = Vec::new();
         for (ii, &i) in objs.iter().enumerate() {
             for &j in &objs[ii + 1..] {
-                let v = Vertex { i: i.min(j), j: i.max(j) };
+                let v = Vertex {
+                    i: i.min(j),
+                    j: i.max(j),
+                };
                 let coords = match vertex_coords(&self.hs, v) {
                     Some(c) => c,
                     None => continue,
@@ -184,7 +187,10 @@ pub fn intersection_via_duality(hs: &[Halfplane]) -> Vec<(Vertex, (i128, i128, i
     let mut out = Vec::new();
     for k in 0..hull.len() {
         let (i, j) = (hull[k] as usize, hull[(k + 1) % hull.len()] as usize);
-        let v = Vertex { i: i.min(j), j: i.max(j) };
+        let v = Vertex {
+            i: i.min(j),
+            j: i.max(j),
+        };
         let coords = vertex_coords(hs, v).expect("adjacent dual hull points not parallel");
         out.push((v, coords));
     }
@@ -200,8 +206,16 @@ pub fn random_halfplanes(n: usize, seed: u64) -> Vec<Halfplane> {
     let c = r;
     let mut hs = vec![
         Halfplane { a: r, b: 3, c },
-        Halfplane { a: -r / 2, b: r - 7, c },
-        Halfplane { a: -r / 2 + 5, b: -r + 11, c },
+        Halfplane {
+            a: -r / 2,
+            b: r - 7,
+            c,
+        },
+        Halfplane {
+            a: -r / 2 + 5,
+            b: -r + 11,
+            c,
+        },
     ];
     let normals = chull_geometry::generators::near_circle_2d(n, r, seed);
     for p in normals {
@@ -239,11 +253,17 @@ mod tests {
     #[test]
     fn vertex_coords_cramer() {
         // x <= 2 and y <= 3 meet at (2, 3).
-        let hs = vec![Halfplane { a: 1, b: 0, c: 2 }, Halfplane { a: 0, b: 1, c: 3 }];
+        let hs = vec![
+            Halfplane { a: 1, b: 0, c: 2 },
+            Halfplane { a: 0, b: 1, c: 3 },
+        ];
         let (x, y, w) = vertex_coords(&hs, Vertex { i: 0, j: 1 }).unwrap();
         assert_eq!((x / w, y / w), (2, 3));
         // Parallel boundaries have no vertex.
-        let hs = vec![Halfplane { a: 1, b: 1, c: 2 }, Halfplane { a: 2, b: 2, c: 5 }];
+        let hs = vec![
+            Halfplane { a: 1, b: 1, c: 2 },
+            Halfplane { a: 2, b: 2, c: 5 },
+        ];
         assert!(vertex_coords(&hs, Vertex { i: 0, j: 1 }).is_none());
     }
 
@@ -251,7 +271,10 @@ mod tests {
     fn excludes_handles_negative_denominator() {
         // Force w < 0 by ordering: lines x = 2 (as -x >= -2 ... keep c > 0
         // convention) — craft via swapped normals.
-        let hs = vec![Halfplane { a: 0, b: 1, c: 3 }, Halfplane { a: 1, b: 0, c: 2 }];
+        let hs = vec![
+            Halfplane { a: 0, b: 1, c: 3 },
+            Halfplane { a: 1, b: 0, c: 2 },
+        ];
         let coords = vertex_coords(&hs, Vertex { i: 0, j: 1 }).unwrap();
         // The vertex is (2, 3) regardless of sign of the homogeneous w.
         let h_in = Halfplane { a: 1, b: 1, c: 6 }; // x + y <= 6 contains (2,3)
@@ -269,7 +292,10 @@ mod tests {
         // Adding x + y <= 1 cuts the (1,1) corner into two vertices.
         let vs = s.polygon_vertices(&[0, 1, 3, 4, 5]);
         assert_eq!(vs.len(), 5);
-        assert!(!vs.contains(&Vertex { i: 0, j: 1 }), "cut corner still present");
+        assert!(
+            !vs.contains(&Vertex { i: 0, j: 1 }),
+            "cut corner still present"
+        );
     }
 
     #[test]
@@ -297,11 +323,15 @@ mod tests {
             let hs = random_halfplanes(12, seed + 40);
             let space = HalfplaneSpace::new(hs);
             let mut order: Vec<usize> = (3..12).collect();
-            use rand::seq::SliceRandom;
+            use chull_geometry::rng::SliceRandom;
             order.shuffle(&mut generators::rng(seed));
             let mut full = vec![0, 1, 2];
             full.extend(order);
-            assert_eq!(check_k_support_along_order(&space, &full), None, "seed {seed}");
+            assert_eq!(
+                check_k_support_along_order(&space, &full),
+                None,
+                "seed {seed}"
+            );
         }
     }
 
@@ -312,8 +342,10 @@ mod tests {
             let space = HalfplaneSpace::new(hs.clone());
             let objs: Vec<usize> = (0..hs.len()).collect();
             let mut direct: Vec<Vertex> = space.polygon_vertices(&objs);
-            let mut dual: Vec<Vertex> =
-                intersection_via_duality(&hs).into_iter().map(|(v, _)| v).collect();
+            let mut dual: Vec<Vertex> = intersection_via_duality(&hs)
+                .into_iter()
+                .map(|(v, _)| v)
+                .collect();
             direct.sort_unstable_by_key(|v| (v.i, v.j));
             dual.sort_unstable_by_key(|v| (v.i, v.j));
             assert_eq!(direct, dual, "seed {seed}");
@@ -325,7 +357,7 @@ mod tests {
         let hs = random_halfplanes(64, 11);
         let space = HalfplaneSpace::new(hs);
         let mut order: Vec<usize> = (3..64).collect();
-        use rand::seq::SliceRandom;
+        use chull_geometry::rng::SliceRandom;
         order.shuffle(&mut generators::rng(13));
         let mut full = vec![0, 1, 2];
         full.extend(order);

@@ -5,39 +5,51 @@ use chull_apps::delaunay::{delaunay, verify_delaunay, Engine};
 use chull_apps::halfspace::{
     excludes, intersection_via_duality, random_halfplanes, vertex_coords, HalfplaneSpace, Vertex,
 };
+use chull_geometry::rng::ChaCha8Rng;
 use chull_geometry::Point2i;
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    /// Delaunay via lifting always satisfies the empty-circumcircle
-    /// property (certified by the exact incircle predicate), on arbitrary
-    /// distinct non-collinear point sets.
-    #[test]
-    fn prop_delaunay_empty_circumcircle(
-        raw in prop::collection::vec((-5_000i64..5_000, -5_000i64..5_000), 6..40),
-        seed in 0u64..100,
-    ) {
-        let mut pts: Vec<Point2i> = raw.into_iter().map(|(x, y)| Point2i::new(x, y)).collect();
+/// Delaunay via lifting always satisfies the empty-circumcircle
+/// property (certified by the exact incircle predicate), on arbitrary
+/// distinct non-collinear point sets. Deterministic pseudo-random cases
+/// stand in for the original proptest strategies.
+#[test]
+fn prop_delaunay_empty_circumcircle() {
+    let mut r = ChaCha8Rng::seed_from_u64(0xde1a);
+    let mut checked = 0;
+    while checked < 16 {
+        let len = r.gen_range(6usize..40);
+        let mut pts: Vec<Point2i> = (0..len)
+            .map(|_| Point2i::new(r.gen_range(-5_000i64..5_000), r.gen_range(-5_000i64..5_000)))
+            .collect();
+        let seed = r.gen_range(0u64..100);
         pts.sort_unstable();
         pts.dedup();
-        prop_assume!(pts.len() >= 5);
+        if pts.len() < 5 {
+            continue;
+        }
         // Need a non-degenerate lifted hull: at least 3 non-collinear points.
         let rows: Vec<Vec<i64>> = pts.iter().map(|p| vec![p.x, p.y]).collect();
-        let refs: Vec<&[i64]> = rows.iter().map(|r| r.as_slice()).collect();
-        prop_assume!(chull_geometry::exact::affine_rank(&refs) == 3);
+        let refs: Vec<&[i64]> = rows.iter().map(|row| row.as_slice()).collect();
+        if chull_geometry::exact::affine_rank(&refs) != 3 {
+            continue;
+        }
         let del = delaunay(&pts, Engine::Sequential, seed);
-        prop_assert!(verify_delaunay(&pts, &del).is_ok());
+        assert!(verify_delaunay(&pts, &del).is_ok());
         // Both engines agree.
         let par = delaunay(&pts, Engine::Parallel, seed);
-        prop_assert_eq!(del, par);
+        assert_eq!(del, par);
+        checked += 1;
     }
+}
 
-    /// Every vertex reported by the half-plane intersection satisfies every
-    /// half-plane (weakly), and the direct/dual computations agree.
-    #[test]
-    fn prop_halfplane_vertices_feasible(n in 8usize..48, seed in 0u64..100) {
+/// Every vertex reported by the half-plane intersection satisfies every
+/// half-plane (weakly), and the direct/dual computations agree.
+#[test]
+fn prop_halfplane_vertices_feasible() {
+    let mut r = ChaCha8Rng::seed_from_u64(0x6a1f);
+    for _ in 0..16 {
+        let n = r.gen_range(8usize..48);
+        let seed = r.gen_range(0u64..100);
         let hs = random_halfplanes(n, seed);
         let space = HalfplaneSpace::new(hs.clone());
         let objs: Vec<usize> = (0..n).collect();
@@ -48,28 +60,62 @@ proptest! {
                 if k == v.i || k == v.j {
                     continue;
                 }
-                prop_assert!(!excludes(*h, coords), "vertex {v:?} violates half-plane {k}");
+                assert!(
+                    !excludes(*h, coords),
+                    "vertex {v:?} violates half-plane {k}"
+                );
             }
         }
         let mut direct_sorted: Vec<Vertex> = direct.clone();
         direct_sorted.sort_unstable_by_key(|v| (v.i, v.j));
-        let mut dual: Vec<Vertex> =
-            intersection_via_duality(&hs).into_iter().map(|(v, _)| v).collect();
+        let mut dual: Vec<Vertex> = intersection_via_duality(&hs)
+            .into_iter()
+            .map(|(v, _)| v)
+            .collect();
         dual.sort_unstable_by_key(|v| (v.i, v.j));
-        prop_assert_eq!(direct_sorted, dual);
+        assert_eq!(direct_sorted, dual);
     }
+}
 
-    /// The circle-intersection boundary always verifies, and the number of
-    /// final arcs never exceeds the circle count (each unit circle
-    /// contributes at most one arc to the intersection of equal-radius
-    /// disks).
-    #[test]
-    fn prop_circle_intersection_valid(n in 3usize..64, seed in 0u64..100) {
+/// The circle-intersection boundary always verifies, and each unit circle
+/// contributes at most one *connected* arc to the intersection of
+/// equal-radius disks. The representation may store one connected arc as
+/// two pieces split exactly at the angular wrap point, so we group pieces
+/// per circle and require adjacency rather than `arcs.len() <= n`.
+#[test]
+fn prop_circle_intersection_valid() {
+    use std::f64::consts::TAU;
+    let mut r = ChaCha8Rng::seed_from_u64(0xc1cc);
+    for _ in 0..16 {
+        let n = r.gen_range(3usize..64);
+        let seed = r.gen_range(0u64..100);
         let circles = random_circles(n, 0.45, seed);
-        let r = incremental_intersection(&circles);
-        prop_assert!(verify_intersection(&r).is_ok());
-        prop_assert!(r.arcs.len() <= n, "{} arcs from {n} circles", r.arcs.len());
-        prop_assert!(!r.arcs.is_empty());
+        let res = incremental_intersection(&circles);
+        assert!(verify_intersection(&res).is_ok());
+        assert!(!res.arcs.is_empty());
+        let mut by_circle: std::collections::BTreeMap<usize, Vec<(f64, f64)>> =
+            std::collections::BTreeMap::new();
+        for a in &res.arcs {
+            by_circle.entry(a.circle).or_default().push((a.a0, a.len));
+        }
+        assert!(by_circle.len() <= n);
+        for (c, pieces) in by_circle {
+            assert!(pieces.len() <= 2, "circle {c} has {} pieces", pieces.len());
+            if let [(a0, l0), (a1, l1)] = pieces[..] {
+                // Two pieces must be one connected arc split at the wrap:
+                // one ends exactly where the other begins (mod TAU).
+                let gap0 = ((a0 + l0) - a1)
+                    .rem_euclid(TAU)
+                    .min((a1 - (a0 + l0)).rem_euclid(TAU));
+                let gap1 = ((a1 + l1) - a0)
+                    .rem_euclid(TAU)
+                    .min((a0 - (a1 + l1)).rem_euclid(TAU));
+                assert!(
+                    gap0 < 1e-9 || gap1 < 1e-9,
+                    "circle {c} pieces not adjacent: {pieces:?}"
+                );
+            }
+        }
     }
 }
 
@@ -99,10 +145,16 @@ fn two_identical_direction_halfplanes_tolerated_by_duality() {
     // Double one normal scaled: same direction, same c -> dominated dual
     // point colinear with the original; hull drops the interior one.
     let h = hs[5];
-    hs.push(chull_apps::halfspace::Halfplane { a: h.a / 2, b: h.b / 2, c: h.c });
+    hs.push(chull_apps::halfspace::Halfplane {
+        a: h.a / 2,
+        b: h.b / 2,
+        c: h.c,
+    });
     let verts = intersection_via_duality(&hs);
     // The weaker copy never defines a vertex.
-    assert!(verts.iter().all(|(v, _)| v.i != hs.len() - 1 && v.j != hs.len() - 1));
+    assert!(verts
+        .iter()
+        .all(|(v, _)| v.i != hs.len() - 1 && v.j != hs.len() - 1));
 }
 
 #[test]
@@ -113,7 +165,10 @@ fn circle_depth_monotone_workload() {
     for i in 0..200 {
         let ang = i as f64 * 0.37;
         let rad = 0.05 + 0.4 * (i as f64 / 200.0);
-        circles.push(Circle { x: rad * ang.cos(), y: rad * ang.sin() });
+        circles.push(Circle {
+            x: rad * ang.cos(),
+            y: rad * ang.sin(),
+        });
     }
     let r = incremental_intersection(&circles);
     verify_intersection(&r).unwrap();

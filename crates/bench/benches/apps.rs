@@ -4,36 +4,30 @@
 use chull_apps::circles::{incremental_intersection, random_circles};
 use chull_apps::delaunay::{delaunay, Engine};
 use chull_apps::halfspace::{intersection_via_duality, random_halfplanes};
+use chull_bench::harness::Bench;
 use chull_geometry::generators;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-fn bench_apps(c: &mut Criterion) {
-    let mut group = c.benchmark_group("apps");
+fn main() {
+    let mut b = Bench::new().samples(5).target_sample_time(0.2);
 
     let pts = generators::disk_2d(5_000, 1 << 20, 3);
-    group.bench_function(BenchmarkId::new("delaunay_lifting_seq", pts.len()), |b| {
-        b.iter(|| delaunay(&pts, Engine::Sequential, 1));
+    b.bench(&format!("apps/delaunay_lifting_seq/{}", pts.len()), || {
+        delaunay(&pts, Engine::Sequential, 1)
     });
-    group.bench_function(BenchmarkId::new("delaunay_lifting_par", pts.len()), |b| {
-        b.iter(|| delaunay(&pts, Engine::Parallel, 1));
+    b.bench(&format!("apps/delaunay_lifting_par/{}", pts.len()), || {
+        delaunay(&pts, Engine::Parallel, 1)
     });
 
     let hs = random_halfplanes(2_000, 4);
-    group.bench_function(BenchmarkId::new("halfplanes_duality", hs.len()), |b| {
-        b.iter(|| intersection_via_duality(&hs));
+    b.bench(&format!("apps/halfplanes_duality/{}", hs.len()), || {
+        intersection_via_duality(&hs)
     });
 
     let circles = random_circles(2_000, 0.45, 5);
-    group.bench_function(BenchmarkId::new("circle_intersection", circles.len()), |b| {
-        b.iter(|| incremental_intersection(&circles));
-    });
+    b.bench(
+        &format!("apps/circle_intersection/{}", circles.len()),
+        || incremental_intersection(&circles),
+    );
 
-    group.finish();
+    b.report();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_apps
-}
-criterion_main!(benches);

@@ -1,27 +1,20 @@
 //! Benchmarks of the instrumentation paths themselves: the rounds runner
 //! (synchronous span measurement) vs the async scheduler.
 
+use chull_bench::harness::Bench;
 use chull_bench::prepared_disk_2d;
 use chull_core::par::rounds::rounds_hull;
 use chull_core::par::{parallel_hull, ParOptions};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-fn bench_depth(c: &mut Criterion) {
-    let mut group = c.benchmark_group("depth_measurement");
+fn main() {
+    let mut b = Bench::new().samples(5).target_sample_time(0.2);
     let n = 50_000;
     let pts = prepared_disk_2d(n, 17);
-    group.bench_with_input(BenchmarkId::new("rounds_runner", n), &pts, |b, pts| {
-        b.iter(|| rounds_hull(pts, false));
+    b.bench(&format!("depth_measurement/rounds_runner/{n}"), || {
+        rounds_hull(&pts, false)
     });
-    group.bench_with_input(BenchmarkId::new("async_scheduler", n), &pts, |b, pts| {
-        b.iter(|| parallel_hull(pts, ParOptions::default()));
+    b.bench(&format!("depth_measurement/async_scheduler/{n}"), || {
+        parallel_hull(&pts, ParOptions::default())
     });
-    group.finish();
+    b.report();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_depth
-}
-criterion_main!(benches);

@@ -1,57 +1,54 @@
 //! 2D hull benchmarks: Algorithm 2 vs Algorithm 3 vs the divide-and-conquer
 //! baselines, on the easy (disk) and adversarial (convex-position) regimes.
 
+use chull_bench::harness::Bench;
 use chull_bench::{prepared_disk_2d, prepared_parabola_2d};
 use chull_core::baseline::{monotone_chain, quickhull2d};
 use chull_core::par::{parallel_hull, ParOptions};
 use chull_core::seq::incremental_hull_run;
 use chull_geometry::Point2i;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
-fn bench_hull2d(c: &mut Criterion) {
-    let mut group = c.benchmark_group("hull2d_disk");
+fn main() {
+    let mut b = Bench::new().samples(5).target_sample_time(0.2);
+
     for &n in &[10_000usize, 100_000] {
         let pts = prepared_disk_2d(n, 5);
-        let raw: Vec<Point2i> =
-            (0..pts.len()).map(|i| Point2i::new(pts.point(i)[0], pts.point(i)[1])).collect();
-        group.throughput(Throughput::Elements(n as u64));
-        group.bench_with_input(BenchmarkId::new("monotone_chain", n), &raw, |b, raw| {
-            b.iter(|| monotone_chain::hull_indices(raw));
+        let raw: Vec<Point2i> = (0..pts.len())
+            .map(|i| Point2i::new(pts.point(i)[0], pts.point(i)[1]))
+            .collect();
+        b.bench(&format!("hull2d_disk/monotone_chain/{n}"), || {
+            monotone_chain::hull_indices(&raw)
         });
-        group.bench_with_input(BenchmarkId::new("quickhull", n), &raw, |b, raw| {
-            b.iter(|| quickhull2d::hull_indices(raw));
+        b.bench(&format!("hull2d_disk/quickhull/{n}"), || {
+            quickhull2d::hull_indices(&raw)
         });
-        group.bench_with_input(BenchmarkId::new("incremental_seq", n), &pts, |b, pts| {
-            b.iter(|| incremental_hull_run(pts));
+        b.bench(&format!("hull2d_disk/incremental_seq/{n}"), || {
+            incremental_hull_run(&pts)
         });
-        group.bench_with_input(BenchmarkId::new("incremental_par", n), &pts, |b, pts| {
-            b.iter(|| parallel_hull(pts, ParOptions::default()));
+        b.bench(&format!("hull2d_disk/incremental_par/{n}"), || {
+            parallel_hull(&pts, ParOptions::default())
         });
     }
-    group.finish();
 
-    let mut group = c.benchmark_group("hull2d_convex_position");
-    for &n in &[10_000usize] {
+    {
+        let n = 10_000usize;
         let pts = prepared_parabola_2d(n, 6);
-        let raw: Vec<Point2i> =
-            (0..pts.len()).map(|i| Point2i::new(pts.point(i)[0], pts.point(i)[1])).collect();
-        group.throughput(Throughput::Elements(n as u64));
-        group.bench_with_input(BenchmarkId::new("monotone_chain", n), &raw, |b, raw| {
-            b.iter(|| monotone_chain::hull_indices(raw));
-        });
-        group.bench_with_input(BenchmarkId::new("incremental_seq", n), &pts, |b, pts| {
-            b.iter(|| incremental_hull_run(pts));
-        });
-        group.bench_with_input(BenchmarkId::new("incremental_par", n), &pts, |b, pts| {
-            b.iter(|| parallel_hull(pts, ParOptions::default()));
-        });
+        let raw: Vec<Point2i> = (0..pts.len())
+            .map(|i| Point2i::new(pts.point(i)[0], pts.point(i)[1]))
+            .collect();
+        b.bench(
+            &format!("hull2d_convex_position/monotone_chain/{n}"),
+            || monotone_chain::hull_indices(&raw),
+        );
+        b.bench(
+            &format!("hull2d_convex_position/incremental_seq/{n}"),
+            || incremental_hull_run(&pts),
+        );
+        b.bench(
+            &format!("hull2d_convex_position/incremental_par/{n}"),
+            || parallel_hull(&pts, ParOptions::default()),
+        );
     }
-    group.finish();
-}
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_hull2d
+    b.report();
 }
-criterion_main!(benches);

@@ -1,36 +1,24 @@
 //! 3D hull benchmarks: ball (small hull) vs near-sphere (Theta(n) hull).
 
+use chull_bench::harness::Bench;
 use chull_bench::{prepared_ball_3d, prepared_sphere_3d};
 use chull_core::par::{parallel_hull, ParOptions};
 use chull_core::seq::incremental_hull_run;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
-fn bench_hull3d(c: &mut Criterion) {
-    let mut group = c.benchmark_group("hull3d");
+fn main() {
+    let mut b = Bench::new().samples(5).target_sample_time(0.2);
     for (dist, n) in [("ball", 50_000usize), ("near_sphere", 20_000)] {
         let pts = if dist == "ball" {
             prepared_ball_3d(n, 9)
         } else {
             prepared_sphere_3d(n, 9)
         };
-        group.throughput(Throughput::Elements(n as u64));
-        group.bench_with_input(
-            BenchmarkId::new(format!("{dist}_seq"), n),
-            &pts,
-            |b, pts| b.iter(|| incremental_hull_run(pts)),
-        );
-        group.bench_with_input(
-            BenchmarkId::new(format!("{dist}_par"), n),
-            &pts,
-            |b, pts| b.iter(|| parallel_hull(pts, ParOptions::default())),
-        );
+        b.bench(&format!("hull3d/{dist}_seq/{n}"), || {
+            incremental_hull_run(&pts)
+        });
+        b.bench(&format!("hull3d/{dist}_par/{n}"), || {
+            parallel_hull(&pts, ParOptions::default())
+        });
     }
-    group.finish();
+    b.report();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_hull3d
-}
-criterion_main!(benches);

@@ -1,32 +1,21 @@
 //! Higher-dimensional hull benchmarks (d = 4, 5): the regime where the
 //! `O(n^{floor(d/2)})` term dominates the work bound.
 
+use chull_bench::harness::Bench;
 use chull_bench::prepared_ball_d;
 use chull_core::par::{parallel_hull, ParOptions};
 use chull_core::seq::incremental_hull_run;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-fn bench_hulld(c: &mut Criterion) {
-    let mut group = c.benchmark_group("hulld");
+fn main() {
+    let mut b = Bench::new().samples(5).target_sample_time(0.2);
     for (dim, n) in [(4usize, 1000usize), (5, 400)] {
         let pts = prepared_ball_d(dim, n, 13);
-        group.bench_with_input(
-            BenchmarkId::new(format!("d{dim}_seq"), n),
-            &pts,
-            |b, pts| b.iter(|| incremental_hull_run(pts)),
-        );
-        group.bench_with_input(
-            BenchmarkId::new(format!("d{dim}_par"), n),
-            &pts,
-            |b, pts| b.iter(|| parallel_hull(pts, ParOptions::default())),
-        );
+        b.bench(&format!("hulld/d{dim}_seq/{n}"), || {
+            incremental_hull_run(&pts)
+        });
+        b.bench(&format!("hulld/d{dim}_par/{n}"), || {
+            parallel_hull(&pts, ParOptions::default())
+        });
     }
-    group.finish();
+    b.report();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_hulld
-}
-criterion_main!(benches);

@@ -1,33 +1,89 @@
 //! Predicate kernel microbenchmarks: the exact integer fast paths, the
-//! arbitrary-precision fallbacks, and the filtered float predicates.
+//! arbitrary-precision fallbacks, the filtered float predicates — and the
+//! headline comparison of the **staged visibility kernel** (cached exact
+//! hyperplane + f64 filter + i128/BigInt fallback) against the naive
+//! per-query `O(d^3)` determinant it replaced on the hull hot path.
+//!
+//! Writes a machine-readable snapshot to `BENCH_predicates.json` in the
+//! current directory (the repo root under `cargo bench`).
 
+use chull_bench::harness::{black_box, Bench};
 use chull_geometry::exact::det_sign_i64;
-use chull_geometry::predicates::{self, float};
-use chull_geometry::{Point2f, Point2i, Point3f, Point3i};
-use criterion::{criterion_group, criterion_main, Criterion};
+use chull_geometry::predicates::{self, float, orientd};
+use chull_geometry::rng::ChaCha8Rng;
+use chull_geometry::{Hyperplane, KernelCounts, Point2f, Point2i, Point3f, Point3i};
 
-fn bench_predicates(c: &mut Criterion) {
+/// `queries` random points in a `dim`-ball plus one facet's worth of
+/// defining points, mirroring a conflict-list scan in the hull.
+fn visibility_workload(dim: usize, queries: usize, seed: u64) -> (Vec<Vec<i64>>, Vec<Vec<i64>>) {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let coord = |rng: &mut ChaCha8Rng| rng.gen_range(-(1i64 << 28)..(1i64 << 28));
+    let facet: Vec<Vec<i64>> = (0..dim)
+        .map(|_| (0..dim).map(|_| coord(&mut rng)).collect())
+        .collect();
+    let qs: Vec<Vec<i64>> = (0..queries)
+        .map(|_| (0..dim).map(|_| coord(&mut rng)).collect())
+        .collect();
+    (facet, qs)
+}
+
+fn bench_staged_vs_naive(b: &mut Bench, dim: usize) {
+    let (facet, queries) = visibility_workload(dim, 256, 42 + dim as u64);
+    let rows: Vec<&[i64]> = facet.iter().map(|r| r.as_slice()).collect();
+
+    // Naive reference: one O(d^3) determinant per query, exactly what the
+    // hull's visibility test used to do.
+    b.bench(&format!("visibility_naive_orientd_{dim}d"), || {
+        let mut acc = 0i32;
+        for q in &queries {
+            let mut m: Vec<&[i64]> = rows.clone();
+            m.push(q);
+            acc += orientd(dim, &m).as_i32();
+        }
+        acc
+    });
+
+    // Staged kernel: hyperplane cached once (amortized over every test the
+    // facet ever serves), each query an O(d) filtered dot product.
+    let plane = Hyperplane::new(dim, &rows);
+    b.bench(&format!("visibility_staged_plane_{dim}d"), || {
+        let mut counts = KernelCounts::default();
+        let mut acc = 0i32;
+        for q in &queries {
+            acc += plane.sign_point(q, &mut counts).as_i32();
+        }
+        black_box(counts);
+        acc
+    });
+
+    // Construction cost, for the amortization story: one plane build vs the
+    // conflict-list scans it pays for.
+    b.bench(&format!("hyperplane_construction_{dim}d"), || {
+        Hyperplane::new(dim, &rows)
+    });
+}
+
+fn main() {
+    let mut b = Bench::new();
+
     let a2 = Point2i::new(12345, -6789);
     let b2 = Point2i::new(-4242, 9001);
     let c2 = Point2i::new(777, 31337);
-    c.bench_function("orient2d_i64", |b| {
-        b.iter(|| predicates::orient2d(a2, b2, c2));
-    });
+    b.bench("orient2d_i64", || predicates::orient2d(a2, b2, c2));
 
     let a3 = Point3i::new(1, 2, 3);
     let b3 = Point3i::new(-7, 11, 5);
     let c3 = Point3i::new(13, -17, 19);
     let d3 = Point3i::new(23, 29, -31);
-    c.bench_function("orient3d_i64_fast", |b| {
-        b.iter(|| predicates::orient3d(a3, b3, c3, d3));
-    });
+    b.bench("orient3d_i64_fast", || predicates::orient3d(a3, b3, c3, d3));
+
     let big = 1i64 << 45; // beyond the i128 fast-path limit
     let a3b = Point3i::new(big, big + 2, big + 3);
     let b3b = Point3i::new(big - 7, big + 11, big + 5);
     let c3b = Point3i::new(big + 13, big - 17, big + 19);
     let d3b = Point3i::new(big + 23, big + 29, big - 31);
-    c.bench_function("orient3d_i64_bareiss", |b| {
-        b.iter(|| predicates::orient3d(a3b, b3b, c3b, d3b));
+    b.bench("orient3d_i64_bareiss", || {
+        predicates::orient3d(a3b, b3b, c3b, d3b)
     });
 
     let rows5: Vec<Vec<i64>> = vec![
@@ -37,36 +93,36 @@ fn bench_predicates(c: &mut Criterion) {
         vec![3, 2, 3, 8, 4],
         vec![6, 2, 6, 4, 3],
     ];
-    c.bench_function("det5_bareiss", |b| {
-        b.iter(|| det_sign_i64(&rows5));
-    });
+    b.bench("det5_bareiss", || det_sign_i64(&rows5));
 
     let fa = Point2f::new(0.1, 0.2);
     let fb = Point2f::new(3.4, -1.2);
     let fc = Point2f::new(-5.0, 2.2);
-    c.bench_function("orient2d_f64_filtered", |b| {
-        b.iter(|| float::orient2d(fa, fb, fc));
-    });
+    b.bench("orient2d_f64_filtered", || float::orient2d(fa, fb, fc));
+
     // Near-degenerate: forces the exact expansion fallback.
     let ga = Point2f::new(12.0, 12.0);
     let gb = Point2f::new(24.0, 24.0);
     let gq = Point2f::new(0.5 + f64::EPSILON, 0.5);
-    c.bench_function("orient2d_f64_exact_fallback", |b| {
-        b.iter(|| float::orient2d(gq, ga, gb));
+    b.bench("orient2d_f64_exact_fallback", || {
+        float::orient2d(gq, ga, gb)
     });
 
     let pa = Point3f::new(0.0, 0.0, 0.0);
     let pb = Point3f::new(1.0, 0.0, 0.0);
     let pc = Point3f::new(0.0, 1.0, 0.0);
     let pd = Point3f::new(0.3, 0.3, 1e-14);
-    c.bench_function("orient3d_f64_filtered", |b| {
-        b.iter(|| float::orient3d(pa, pb, pc, pd));
-    });
-}
+    b.bench("orient3d_f64_filtered", || float::orient3d(pa, pb, pc, pd));
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default();
-    targets = bench_predicates
+    // The staged-vs-naive visibility comparison across dimensions.
+    for dim in [2usize, 3, 5, 7] {
+        bench_staged_vs_naive(&mut b, dim);
+    }
+
+    b.report();
+    // Snapshot lands at the workspace root regardless of cargo's bench cwd.
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_predicates.json");
+    if let Err(e) = b.write_json(out) {
+        eprintln!("could not write {out}: {e}");
+    }
 }
-criterion_main!(benches);

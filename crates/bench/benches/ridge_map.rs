@@ -1,8 +1,8 @@
 //! Microbenchmarks of the three `InsertAndSet`/`GetValue` engines
 //! (Algorithm 4 CAS, Algorithm 5 TAS, sharded locked).
 
+use chull_bench::harness::{black_box, Bench};
 use chull_concurrent::{RidgeMapCas, RidgeMapLocked, RidgeMapTas};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
 const KEYS: usize = 1 << 16;
 
@@ -12,38 +12,24 @@ fn run_pairs(insert: impl Fn(u64, u32) -> bool, get: impl Fn(u64, u32) -> u32) {
     }
     for k in 0..KEYS as u64 {
         if !insert(k, (2 * k + 1) as u32) {
-            std::hint::black_box(get(k, (2 * k + 1) as u32));
+            black_box(get(k, (2 * k + 1) as u32));
         }
     }
 }
 
-fn bench_maps(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ridge_map");
-    group.throughput(Throughput::Elements(2 * KEYS as u64));
-    group.bench_function(BenchmarkId::new("cas", KEYS), |b| {
-        b.iter(|| {
-            let m: RidgeMapCas<u64> = RidgeMapCas::with_capacity(KEYS);
-            run_pairs(|k, v| m.insert_and_set(k, v), |k, n| m.get_value(k, n));
-        });
+fn main() {
+    let mut b = Bench::new().samples(5).target_sample_time(0.1);
+    b.bench(&format!("ridge_map/cas/{KEYS}"), || {
+        let m: RidgeMapCas<u64> = RidgeMapCas::with_capacity(KEYS);
+        run_pairs(|k, v| m.insert_and_set(k, v), |k, n| m.get_value(k, n));
     });
-    group.bench_function(BenchmarkId::new("tas", KEYS), |b| {
-        b.iter(|| {
-            let m: RidgeMapTas<u64> = RidgeMapTas::with_capacity(KEYS);
-            run_pairs(|k, v| m.insert_and_set(k, v), |k, n| m.get_value(k, n));
-        });
+    b.bench(&format!("ridge_map/tas/{KEYS}"), || {
+        let m: RidgeMapTas<u64> = RidgeMapTas::with_capacity(KEYS);
+        run_pairs(|k, v| m.insert_and_set(k, v), |k, n| m.get_value(k, n));
     });
-    group.bench_function(BenchmarkId::new("locked", KEYS), |b| {
-        b.iter(|| {
-            let m: RidgeMapLocked<u64> = RidgeMapLocked::with_capacity(KEYS);
-            run_pairs(|k, v| m.insert_and_set(k, v), |k, n| m.get_value(k, n));
-        });
+    b.bench(&format!("ridge_map/locked/{KEYS}"), || {
+        let m: RidgeMapLocked<u64> = RidgeMapLocked::with_capacity(KEYS);
+        run_pairs(|k, v| m.insert_and_set(k, v), |k, n| m.get_value(k, n));
     });
-    group.finish();
+    b.report();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_maps
-}
-criterion_main!(benches);

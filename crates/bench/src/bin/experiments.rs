@@ -134,7 +134,6 @@ fn e15_workload_characterization(cfg: &Config) {
 /// expected search cost O(log n) per query.
 fn e13_history_search(cfg: &Config) {
     use chull_core::history::HullHistory;
-    use rand::Rng;
     println!("\n== E13: history-graph point location (Section 4, history graphs) ==");
     println!("  queries drawn from the point distribution behave like the (n+1)-st");
     println!("  random point: O(log n) expected visits. Far-outside queries see");
@@ -143,7 +142,11 @@ fn e13_history_search(cfg: &Config) {
         "  {:>9} {:>14} {:>12} {:>12} {:>14}",
         "n", "in-dist visits", "(/H_n)", "max", "far-out visits"
     );
-    let exps: Vec<u32> = if cfg.fast { vec![10, 12] } else { vec![10, 12, 14, 16] };
+    let exps: Vec<u32> = if cfg.fast {
+        vec![10, 12]
+    } else {
+        vec![10, 12, 14, 16]
+    };
     for e in exps {
         let n = 1usize << e;
         let pts = prepared_disk_2d(n, 500 + e as u64);
@@ -155,7 +158,10 @@ fn e13_history_search(cfg: &Config) {
         let (mut total_in, mut max_in, mut total_far) = (0usize, 0usize, 0usize);
         let mut count_in = 0usize;
         for _ in 0..queries {
-            let q = [rng.gen_range(-radius..radius), rng.gen_range(-radius..radius)];
+            let q = [
+                rng.gen_range(-radius..radius),
+                rng.gen_range(-radius..radius),
+            ];
             if (q[0] as i128) * (q[0] as i128) + (q[1] as i128) * (q[1] as i128)
                 <= (radius as i128) * (radius as i128)
             {
@@ -188,7 +194,11 @@ fn e14_trapezoid_negative(cfg: &Config) {
     println!("\n== E14: no constant support for trapezoidal decomposition ==");
     println!("  merged face below the long segment; exact minimum support size:");
     println!("  {:>5} {:>13} {:>13}", "k", "n (segments)", "min support");
-    let ks: Vec<usize> = if cfg.fast { vec![1, 2, 4] } else { vec![1, 2, 4, 6, 8] };
+    let ks: Vec<usize> = if cfg.fast {
+        vec![1, 2, 4]
+    } else {
+        vec![1, 2, 4, 6, 8]
+    };
     for k in ks {
         let fam = merge_family(k);
         let faces = fam.space.decompose(&fam.y);
@@ -215,12 +225,36 @@ fn seq_stats(pts: &PointSet) -> HullStats {
 fn e1_dependence_depth(cfg: &Config) {
     println!("\n== E1: configuration dependence depth (Theorems 1.1, 4.2) ==");
     println!("depth of G(S) for random insertion orders; theorem: < sigma*H_n whp,");
-    println!("sigma = g*k*e^2 (2D: {:.1}).", 2.0 * 2.0 * std::f64::consts::E.powi(2));
+    println!(
+        "sigma = g*k*e^2 (2D: {:.1}).",
+        2.0 * 2.0 * std::f64::consts::E.powi(2)
+    );
     let seeds: u64 = if cfg.fast { 3 } else { 5 };
     for (dim, exps) in [
-        (2usize, if cfg.fast { vec![10u32, 12, 14] } else { vec![10, 12, 14, 16, 17] }),
-        (3, if cfg.fast { vec![10, 12] } else { vec![10, 12, 14, 15] }),
-        (5, if cfg.fast { vec![8, 9] } else { vec![8, 9, 10, 11] }),
+        (
+            2usize,
+            if cfg.fast {
+                vec![10u32, 12, 14]
+            } else {
+                vec![10, 12, 14, 16, 17]
+            },
+        ),
+        (
+            3,
+            if cfg.fast {
+                vec![10, 12]
+            } else {
+                vec![10, 12, 14, 15]
+            },
+        ),
+        (
+            5,
+            if cfg.fast {
+                vec![8, 9]
+            } else {
+                vec![8, 9, 10, 11]
+            },
+        ),
     ] {
         println!("\n  d = {dim} (uniform in a ball):");
         println!(
@@ -243,7 +277,11 @@ fn e1_dependence_depth(cfg: &Config) {
             let hn = harmonic(n);
             println!(
                 "  {:>9} {:>10.1} {:>10} {:>10.2} {:>12.2}",
-                n, mean, max, hn, max as f64 / hn
+                n,
+                mean,
+                max,
+                hn,
+                max as f64 / hn
             );
         }
     }
@@ -258,8 +296,7 @@ fn e1_dependence_depth(cfg: &Config) {
     }
     println!("\n  tail at n = {n} over {trials} orders (2D):");
     for sigma in [2.0f64, 3.0, 4.0, 6.0] {
-        let frac = depths.iter().filter(|&&d| d >= sigma * hn).count() as f64
-            / depths.len() as f64;
+        let frac = depths.iter().filter(|&&d| d >= sigma * hn).count() as f64 / depths.len() as f64;
         println!("    Pr[depth >= {sigma:.0} H_n] ~ {frac:.3}");
     }
 }
@@ -273,8 +310,16 @@ fn e2_rounds_and_recursion(cfg: &Config) {
         "  {:>4} {:>9} {:>10} {:>10} {:>10} {:>10}",
         "d", "n", "dep depth", "recursion", "rounds", "rounds/H_n"
     );
-    let exps2: Vec<u32> = if cfg.fast { vec![10, 12, 14] } else { vec![10, 12, 14, 16] };
-    let exps3: Vec<u32> = if cfg.fast { vec![10, 12] } else { vec![10, 12, 14] };
+    let exps2: Vec<u32> = if cfg.fast {
+        vec![10, 12, 14]
+    } else {
+        vec![10, 12, 14, 16]
+    };
+    let exps3: Vec<u32> = if cfg.fast {
+        vec![10, 12]
+    } else {
+        vec![10, 12, 14]
+    };
     for (dim, exps) in [(2usize, exps2), (3, exps3)] {
         for e in exps {
             let n = 1usize << e;
@@ -309,8 +354,16 @@ fn e3_work_efficiency(cfg: &Config) {
         "  {:>4} {:>9} {:>12} {:>12} {:>6} {:>11} {:>13}",
         "d", "n", "seq tests", "par tests", "same?", "facets", "tests/(n ln n)"
     );
-    let exps2: Vec<u32> = if cfg.fast { vec![12, 14] } else { vec![12, 14, 16, 17] };
-    let exps3: Vec<u32> = if cfg.fast { vec![11, 13] } else { vec![11, 13, 15] };
+    let exps2: Vec<u32> = if cfg.fast {
+        vec![12, 14]
+    } else {
+        vec![12, 14, 16, 17]
+    };
+    let exps3: Vec<u32> = if cfg.fast {
+        vec![11, 13]
+    } else {
+        vec![11, 13, 15]
+    };
     for (dim, exps) in [(2usize, exps2), (3, exps3)] {
         for e in exps {
             let n = 1usize << e;
@@ -427,7 +480,11 @@ fn e6_degenerate(cfg: &Config) {
     // 4-support checks along a random order (Lemma 6.2).
     let (shuffled, order) = prepare_degenerate_order(&grid, 5);
     let space = CornerSpace::new(shuffled);
-    let prefixes: Vec<usize> = if cfg.fast { vec![8, 12] } else { vec![6, 10, 14, 18] };
+    let prefixes: Vec<usize> = if cfg.fast {
+        vec![8, 12]
+    } else {
+        vec![6, 10, 14, 18]
+    };
     let mut checked = 0usize;
     for &i in &prefixes {
         let prefix = &order[..i];
@@ -494,12 +551,19 @@ fn prepare_degenerate_order(points: &[Point3i], seed: u64) -> (Vec<Point3i>, Vec
 fn e7_applications(cfg: &Config) {
     use chull_apps::circles::{incremental_intersection, random_circles, verify_intersection};
     use chull_apps::halfspace::{random_halfplanes, HalfplaneSpace};
-    use rand::seq::SliceRandom;
+    use chull_geometry::rng::SliceRandom;
 
     println!("\n== E7: other k-support applications (Section 7) ==");
     println!("  half-plane intersection (2-support):");
-    println!("  {:>7} {:>9} {:>8} {:>10}", "n", "vertices", "depth", "depth/H_n");
-    let sizes: Vec<usize> = if cfg.fast { vec![32, 64] } else { vec![32, 64, 128, 192] };
+    println!(
+        "  {:>7} {:>9} {:>8} {:>10}",
+        "n", "vertices", "depth", "depth/H_n"
+    );
+    let sizes: Vec<usize> = if cfg.fast {
+        vec![32, 64]
+    } else {
+        vec![32, 64, 128, 192]
+    };
     for n in sizes {
         let hs = random_halfplanes(n, n as u64);
         let space = HalfplaneSpace::new(hs);
@@ -519,8 +583,15 @@ fn e7_applications(cfg: &Config) {
     }
 
     println!("\n  unit-circle intersection (arc clipping, 2-support):");
-    println!("  {:>7} {:>8} {:>10} {:>10} {:>10}", "n", "arcs", "created", "depth", "depth/H_n");
-    let sizes: Vec<usize> = if cfg.fast { vec![64, 256] } else { vec![64, 256, 1024, 4096] };
+    println!(
+        "  {:>7} {:>8} {:>10} {:>10} {:>10}",
+        "n", "arcs", "created", "depth", "depth/H_n"
+    );
+    let sizes: Vec<usize> = if cfg.fast {
+        vec![64, 256]
+    } else {
+        vec![64, 256, 1024, 4096]
+    };
     for n in sizes {
         let circles = random_circles(n, 0.45, n as u64);
         let r = incremental_intersection(&circles);
@@ -538,8 +609,7 @@ fn e7_applications(cfg: &Config) {
     println!("\n  Delaunay via lifting (3D hull application):");
     let n = if cfg.fast { 500 } else { 3000 };
     let pts = generators::disk_2d(n, 1 << 20, 12);
-    let del =
-        chull_apps::delaunay::delaunay(&pts, chull_apps::delaunay::Engine::Parallel, 4);
+    let del = chull_apps::delaunay::delaunay(&pts, chull_apps::delaunay::Engine::Parallel, 4);
     chull_apps::delaunay::verify_delaunay(&pts, &del).expect("Delaunay verification");
     println!(
         "  {} points -> {} triangles; empty-circumcircle verified exactly.",
@@ -554,8 +624,15 @@ fn e7_applications(cfg: &Config) {
 fn e8_clarkson_shor(cfg: &Config) {
     println!("\n== E8: Clarkson–Shor total conflict size (Theorem 3.1) ==");
     println!("  measured sum |C(pi)| over created configs vs bound n g^2 sum |T_i|/i^2");
-    println!("  {:>7} {:>12} {:>12} {:>8}", "n", "measured", "bound", "ratio");
-    let sizes: Vec<usize> = if cfg.fast { vec![48, 96] } else { vec![48, 96, 160, 256] };
+    println!(
+        "  {:>7} {:>12} {:>12} {:>8}",
+        "n", "measured", "bound", "ratio"
+    );
+    let sizes: Vec<usize> = if cfg.fast {
+        vec![48, 96]
+    } else {
+        vec![48, 96, 160, 256]
+    };
     for n in sizes {
         let pts = generators::disk_2d(n, 1 << 20, n as u64);
         let space = Hull2dSpace::new(pts);
@@ -596,9 +673,8 @@ fn e9_table1() {
         corner.base_size(),
         corner.support_bound()
     );
-    let hp = chull_apps::halfspace::HalfplaneSpace::new(
-        chull_apps::halfspace::random_halfplanes(8, 0),
-    );
+    let hp =
+        chull_apps::halfspace::HalfplaneSpace::new(chull_apps::halfspace::random_halfplanes(8, 0));
     println!(
         "  {:<34} {:>3} {:>3} {:>4} {:>3}",
         "half-plane intersection (Sec 7)",
@@ -655,9 +731,19 @@ fn e10_ridge_maps(cfg: &Config) {
     }
 
     let cas: RidgeMapCas<u64> = RidgeMapCas::with_capacity(keys);
-    bench_map("CAS (Algorithm 4)", keys, |k, v| cas.insert_and_set(k, v), |k, n| cas.get_value(k, n));
+    bench_map(
+        "CAS (Algorithm 4)",
+        keys,
+        |k, v| cas.insert_and_set(k, v),
+        |k, n| cas.get_value(k, n),
+    );
     let tas: RidgeMapTas<u64> = RidgeMapTas::with_capacity(keys);
-    bench_map("TAS (Algorithm 5)", keys, |k, v| tas.insert_and_set(k, v), |k, n| tas.get_value(k, n));
+    bench_map(
+        "TAS (Algorithm 5)",
+        keys,
+        |k, v| tas.insert_and_set(k, v),
+        |k, n| tas.get_value(k, n),
+    );
     let locked: RidgeMapLocked<u64> = RidgeMapLocked::with_capacity(keys);
     bench_map(
         "sharded locked",
@@ -675,14 +761,19 @@ fn e11_runtimes(cfg: &Config) {
     let n: usize = if cfg.fast { 50_000 } else { 200_000 };
     let reps = if cfg.fast { 1 } else { 3 };
     let pts2 = prepared_disk_2d(n, 21);
-    let raw2: Vec<Point2i> =
-        (0..pts2.len()).map(|i| Point2i::new(pts2.point(i)[0], pts2.point(i)[1])).collect();
+    let raw2: Vec<Point2i> = (0..pts2.len())
+        .map(|i| Point2i::new(pts2.point(i)[0], pts2.point(i)[1]))
+        .collect();
 
     println!("  2D, {n} points uniform in a disk:");
     let t = time_median(reps, || {
         std::hint::black_box(monotone_chain::hull_indices(&raw2));
     });
-    println!("    {:<28} {:>9.1} ms", "monotone chain (baseline)", t * 1e3);
+    println!(
+        "    {:<28} {:>9.1} ms",
+        "monotone chain (baseline)",
+        t * 1e3
+    );
     let t = time_median(reps, || {
         std::hint::black_box(quickhull2d::hull_indices(&raw2));
     });
@@ -695,10 +786,10 @@ fn e11_runtimes(cfg: &Config) {
         std::hint::black_box(parallel_hull(&pts2, ParOptions::default()));
     });
     println!(
-        "    {:<28} {:>9.1} ms   ({} rayon threads)",
+        "    {:<28} {:>9.1} ms   ({} pool threads)",
         "incremental par (Alg 3)",
         t * 1e3,
-        rayon::current_num_threads()
+        chull_concurrent::pool::default_threads()
     );
 
     let n3 = if cfg.fast { 20_000 } else { 100_000 };
@@ -723,8 +814,15 @@ fn e12_ablations(cfg: &Config) {
     // (a) Support-set pruning vs naive "wait for everything the pivot
     // touches" dependences.
     println!("  (a) dependence depth: support sets (paper) vs naive synchronous waits");
-    println!("  {:>9} {:>14} {:>13} {:>8}", "n", "support depth", "naive depth", "ratio");
-    let exps: Vec<u32> = if cfg.fast { vec![10, 12, 14] } else { vec![10, 12, 14, 16] };
+    println!(
+        "  {:>9} {:>14} {:>13} {:>8}",
+        "n", "support depth", "naive depth", "ratio"
+    );
+    let exps: Vec<u32> = if cfg.fast {
+        vec![10, 12, 14]
+    } else {
+        vec![10, 12, 14, 16]
+    };
     for e in exps {
         let n = 1usize << e;
         let pts = prepared_disk_2d(n, 300 + e as u64);
@@ -755,7 +853,10 @@ fn e12_ablations(cfg: &Config) {
         let t = time_median(reps, || {
             std::hint::black_box(parallel_hull(
                 &pts,
-                ParOptions { map: kind, record_trace: false },
+                ParOptions {
+                    map: kind,
+                    record_trace: false,
+                },
             ));
         });
         println!("    {:<22} {:>9.1} ms", name, t * 1e3);
@@ -764,7 +865,11 @@ fn e12_ablations(cfg: &Config) {
     // (c) Random vs sorted insertion order.
     println!("\n  (c) insertion order (2D disk): random vs sorted by x");
     println!("  {:>9} {:>13} {:>13}", "n", "random depth", "sorted depth");
-    let exps: Vec<u32> = if cfg.fast { vec![10, 12] } else { vec![10, 12, 14] };
+    let exps: Vec<u32> = if cfg.fast {
+        vec![10, 12]
+    } else {
+        vec![10, 12, 14]
+    };
     for e in exps {
         let n = 1usize << e;
         let mut points = generators::disk_2d(n, 1 << 24, 400 + e as u64);
@@ -776,6 +881,9 @@ fn e12_ablations(cfg: &Config) {
         let mut order = chosen.clone();
         order.extend((0..ps.len()).filter(|i| !chosen.contains(i)));
         let sorted = seq_stats(&ps.permuted(&order));
-        println!("  {:>9} {:>13} {:>13}", n, random.dep_depth, sorted.dep_depth);
+        println!(
+            "  {:>9} {:>13} {:>13}",
+            n, random.dep_depth, sorted.dep_depth
+        );
     }
 }

@@ -3,6 +3,8 @@
 
 #![warn(missing_docs)]
 
+pub mod harness;
+
 use chull_core::prepare_points;
 use chull_geometry::{generators, PointSet};
 
@@ -40,7 +42,10 @@ pub fn prepared_sphere_3d(n: usize, seed: u64) -> PointSet {
 
 /// Prepared d-dimensional ball workload.
 pub fn prepared_ball_d(dim: usize, n: usize, seed: u64) -> PointSet {
-    prepare_points(&generators::ball_d(dim, n, 1 << 24, seed), seed ^ 0xDEAD_BEEF)
+    prepare_points(
+        &generators::ball_d(dim, n, 1 << 24, seed),
+        seed ^ 0xDEAD_BEEF,
+    )
 }
 
 /// The harmonic number `H_n`.

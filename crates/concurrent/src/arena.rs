@@ -22,10 +22,14 @@ struct Segment<T> {
 
 impl<T> Segment<T> {
     fn new(len: usize) -> Box<Segment<T>> {
-        let slots: Vec<UnsafeCell<MaybeUninit<T>>> =
-            (0..len).map(|_| UnsafeCell::new(MaybeUninit::uninit())).collect();
+        let slots: Vec<UnsafeCell<MaybeUninit<T>>> = (0..len)
+            .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+            .collect();
         let ready: Vec<AtomicBool> = (0..len).map(|_| AtomicBool::new(false)).collect();
-        Box::new(Segment { slots: slots.into_boxed_slice(), ready: ready.into_boxed_slice() })
+        Box::new(Segment {
+            slots: slots.into_boxed_slice(),
+            ready: ready.into_boxed_slice(),
+        })
     }
 }
 
@@ -215,7 +219,9 @@ mod tests {
             .map(|t| {
                 let arena = Arc::clone(&arena);
                 std::thread::spawn(move || {
-                    (0..per).map(|i| (arena.push((t, i)), (t, i))).collect::<Vec<_>>()
+                    (0..per)
+                        .map(|i| (arena.push((t, i)), (t, i)))
+                        .collect::<Vec<_>>()
                 })
             })
             .collect();

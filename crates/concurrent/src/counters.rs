@@ -23,18 +23,19 @@ pub struct StripedCounter {
 impl StripedCounter {
     /// A zeroed counter.
     pub fn new() -> StripedCounter {
-        StripedCounter { cells: std::array::from_fn(|_| PaddedU64(AtomicU64::new(0))) }
+        StripedCounter {
+            cells: std::array::from_fn(|_| PaddedU64(AtomicU64::new(0))),
+        }
     }
 
     #[inline]
     fn stripe() -> usize {
         // Hash the thread id onto a stripe; stable within a thread.
-        use std::hash::{BuildHasher, Hash, Hasher};
+        use std::hash::BuildHasher;
         thread_local! {
             static STRIPE: usize = {
-                let mut h = std::collections::hash_map::RandomState::new().build_hasher();
-                std::thread::current().id().hash(&mut h);
-                (h.finish() as usize) % STRIPES
+                let bh = std::collections::hash_map::RandomState::new();
+                (bh.hash_one(std::thread::current().id()) as usize) % STRIPES
             };
         }
         STRIPE.with(|s| *s)

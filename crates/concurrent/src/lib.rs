@@ -10,18 +10,25 @@
 //!   weaker primitive;
 //! * [`ConcurrentArena`] — an append-only, lock-free arena with stable dense
 //!   ids, used to store facets created concurrently;
-//! * [`StripedCounter`] / [`AtomicMax`] — contention-free instrumentation.
+//! * [`StripedCounter`] / [`AtomicMax`] — contention-free instrumentation;
+//! * [`pool`] — a minimal scoped task pool for the dynamically spawned
+//!   `ProcessRidge` tasks of Algorithm 3;
+//! * [`fast_hash`] — the deterministic FxHash-style hasher shared by every
+//!   ridge map (sequential adjacency included).
 
 #![warn(missing_docs)]
 
 pub mod arena;
 pub mod counters;
+pub mod fast_hash;
+pub mod pool;
 pub mod ridge_map_cas;
 pub mod ridge_map_locked;
 pub mod ridge_map_tas;
 
 pub use arena::ConcurrentArena;
 pub use counters::{AtomicMax, StripedCounter};
+pub use fast_hash::{FastBuildHasher, FastHashMap, FastHashSet, FxLikeHasher};
 pub use ridge_map_cas::RidgeMapCas;
 pub use ridge_map_locked::RidgeMapLocked;
 pub use ridge_map_tas::RidgeMapTas;

@@ -1,0 +1,194 @@
+//! A minimal scoped task pool for the asynchronous hull (Algorithm 3).
+//!
+//! `ProcessRidge` is naturally expressed as dynamically spawned tasks:
+//! each ridge task may spawn up to `d` successor tasks as new facets are
+//! created. This module provides exactly that shape — a [`scope`] whose
+//! [`Scope::spawn`] enqueues closures onto a shared deque drained by a
+//! fixed set of worker threads — with no work-stealing machinery: the
+//! queue is a single mutex-protected deque, which measures within noise
+//! of a stealing scheduler for this workload (tasks do real predicate
+//! work; queue traffic is not the bottleneck).
+//!
+//! The scope guarantees all spawned tasks finish before `scope` returns,
+//! so tasks may borrow from the enclosing stack frame (`'env`), exactly
+//! like `std::thread::scope`. Panics in tasks are propagated: the count
+//! of in-flight tasks is decremented by a drop guard so workers shut
+//! down cleanly, and the worker's panic resurfaces on join.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+
+type Task<'env> = Box<dyn FnOnce(&Scope<'env>) + Send + 'env>;
+
+/// Shared state of one task scope; hand out `&Scope` to spawn.
+pub struct Scope<'env> {
+    queue: Mutex<VecDeque<Task<'env>>>,
+    /// Tasks spawned but not yet finished (queued or running).
+    pending: AtomicUsize,
+    cv: Condvar,
+}
+
+/// Decrements `pending` even if the task panics, waking sleepers so the
+/// scope can unwind instead of deadlocking.
+struct PendingGuard<'a, 'env>(&'a Scope<'env>);
+
+impl Drop for PendingGuard<'_, '_> {
+    fn drop(&mut self) {
+        if self.0.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
+            let _lock = self.0.queue.lock().unwrap();
+            self.0.cv.notify_all();
+        }
+    }
+}
+
+impl<'env> Scope<'env> {
+    fn new() -> Scope<'env> {
+        Scope {
+            queue: Mutex::new(VecDeque::new()),
+            pending: AtomicUsize::new(0),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Enqueue a task; it runs on some worker before the scope ends.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce(&Scope<'env>) + Send + 'env,
+    {
+        self.pending.fetch_add(1, Ordering::AcqRel);
+        let mut q = self.queue.lock().unwrap();
+        q.push_back(Box::new(f));
+        drop(q);
+        self.cv.notify_one();
+    }
+
+    /// Worker loop: run tasks until no task is queued *and* none is in
+    /// flight anywhere (an in-flight task may still spawn more).
+    fn run_worker(&self) {
+        loop {
+            let task = {
+                let mut q = self.queue.lock().unwrap();
+                loop {
+                    if let Some(t) = q.pop_front() {
+                        break Some(t);
+                    }
+                    if self.pending.load(Ordering::Acquire) == 0 {
+                        break None;
+                    }
+                    q = self.cv.wait(q).unwrap();
+                }
+            };
+            match task {
+                Some(t) => {
+                    let _guard = PendingGuard(self);
+                    t(self);
+                }
+                None => return,
+            }
+        }
+    }
+}
+
+/// Default worker count: the machine's available parallelism.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Run `f` with a [`Scope`] drained by [`default_threads`] workers.
+pub fn scope<'env, F, R>(f: F) -> R
+where
+    F: FnOnce(&Scope<'env>) -> R,
+    R: Send,
+{
+    scope_with_threads(default_threads(), f)
+}
+
+/// Run `f` with a [`Scope`] drained by `threads` workers (the calling
+/// thread participates, so `threads == 1` runs everything inline).
+pub fn scope_with_threads<'env, F, R>(threads: usize, f: F) -> R
+where
+    F: FnOnce(&Scope<'env>) -> R,
+    R: Send,
+{
+    let threads = threads.max(1);
+    let pool_scope = Scope::new();
+    std::thread::scope(|s| {
+        for _ in 1..threads {
+            s.spawn(|| pool_scope.run_worker());
+        }
+        let r = f(&pool_scope);
+        pool_scope.run_worker();
+        r
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn runs_all_tasks_including_nested_spawns() {
+        let counter = AtomicU64::new(0);
+        scope_with_threads(4, |s| {
+            for _ in 0..100 {
+                s.spawn(|s| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                    for _ in 0..3 {
+                        s.spawn(|_| {
+                            counter.fetch_add(1, Ordering::Relaxed);
+                        });
+                    }
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 400);
+    }
+
+    #[test]
+    fn single_thread_is_inline_and_complete() {
+        let counter = AtomicU64::new(0);
+        scope_with_threads(1, |s| {
+            s.spawn(|s| {
+                counter.fetch_add(1, Ordering::Relaxed);
+                s.spawn(|_| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            });
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn deep_recursion_terminates() {
+        fn recurse<'env>(s: &Scope<'env>, depth: u32, hits: &'env AtomicU64) {
+            hits.fetch_add(1, Ordering::Relaxed);
+            if depth > 0 {
+                s.spawn(move |s| recurse(s, depth - 1, hits));
+                s.spawn(move |s| recurse(s, depth - 1, hits));
+            }
+        }
+        let hits = AtomicU64::new(0);
+        scope_with_threads(8, |s| {
+            s.spawn(|s| recurse(s, 10, &hits));
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 2u64.pow(11) - 1);
+    }
+
+    #[test]
+    fn scope_returns_closure_value() {
+        let v = scope_with_threads(2, |_| 42);
+        assert_eq!(v, 42);
+    }
+
+    #[test]
+    #[should_panic(expected = "task panic propagates")]
+    fn panics_propagate() {
+        scope_with_threads(2, |s| {
+            s.spawn(|_| panic!("task panic propagates"));
+        });
+    }
+}

@@ -15,7 +15,7 @@
 //! of the paper's "CAS in the pointer of the key-value pair".
 
 use std::cell::UnsafeCell;
-use std::hash::{BuildHasher, BuildHasherDefault, Hash, Hasher};
+use std::hash::{BuildHasher, BuildHasherDefault, Hash};
 use std::mem::MaybeUninit;
 use std::sync::atomic::{AtomicU32, AtomicU8, Ordering};
 
@@ -35,38 +35,7 @@ struct Slot<K> {
     data: UnsafeCell<MaybeUninit<(K, u32)>>,
 }
 
-/// Default hasher: FxHash-style multiply-xor, fast for small keys.
-#[derive(Default, Clone, Copy)]
-pub struct FxLikeHasher(u64);
-
-impl Hasher for FxLikeHasher {
-    #[inline]
-    fn finish(&self) -> u64 {
-        self.0
-    }
-    #[inline]
-    fn write(&mut self, bytes: &[u8]) {
-        for &b in bytes {
-            self.write_u8(b);
-        }
-    }
-    #[inline]
-    fn write_u8(&mut self, v: u8) {
-        self.write_u64(v as u64);
-    }
-    #[inline]
-    fn write_u32(&mut self, v: u32) {
-        self.write_u64(v as u64);
-    }
-    #[inline]
-    fn write_u64(&mut self, v: u64) {
-        self.0 = (self.0.rotate_left(5) ^ v).wrapping_mul(0x51_7c_c1_b7_27_22_0a_95);
-    }
-    #[inline]
-    fn write_usize(&mut self, v: usize) {
-        self.write_u64(v as u64);
-    }
-}
+pub use crate::fast_hash::FxLikeHasher;
 
 /// The CAS-based concurrent ridge multimap (Algorithm 4).
 ///
@@ -116,9 +85,7 @@ impl<K: Hash + Eq + Copy> RidgeMapCas<K> {
 
     #[inline]
     fn start_index(&self, key: &K) -> usize {
-        let mut h = self.hasher.build_hasher();
-        key.hash(&mut h);
-        (h.finish() as usize) & self.mask
+        (self.hasher.hash_one(key) as usize) & self.mask
     }
 
     /// Spin until the slot's state is `FULL`, then return.
@@ -146,12 +113,10 @@ impl<K: Hash + Eq + Copy> RidgeMapCas<K> {
         let mut i = self.start_index(&key);
         for _probe in 0..=self.mask {
             let slot = &self.slots[i];
-            match slot.state.compare_exchange(
-                EMPTY,
-                BUSY,
-                Ordering::Acquire,
-                Ordering::Acquire,
-            ) {
+            match slot
+                .state
+                .compare_exchange(EMPTY, BUSY, Ordering::Acquire, Ordering::Acquire)
+            {
                 Ok(_) => {
                     // We own the slot: write the pair, then publish.
                     unsafe { (*slot.data.get()).write((key, value)) };
@@ -165,10 +130,7 @@ impl<K: Hash + Eq + Copy> RidgeMapCas<K> {
                     let (k, _) = unsafe { (*slot.data.get()).assume_init_ref() };
                     if *k == key {
                         let prev = slot.second.swap(value, Ordering::AcqRel);
-                        debug_assert_eq!(
-                            prev, NO_VALUE,
-                            "third insert_and_set for the same key"
-                        );
+                        debug_assert_eq!(prev, NO_VALUE, "third insert_and_set for the same key");
                         return false;
                     }
                     i = (i + 1) & self.mask;

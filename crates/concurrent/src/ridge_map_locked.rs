@@ -7,20 +7,23 @@
 //! priori bound is unavailable, this growable variant is the default engine;
 //! the E10/E12 experiments compare all three.
 
-use parking_lot::Mutex;
 use std::collections::HashMap;
-use std::hash::{BuildHasher, BuildHasherDefault, Hash, Hasher};
+use std::hash::{BuildHasher, BuildHasherDefault, Hash};
+use std::sync::Mutex;
 
-use crate::ridge_map_cas::FxLikeHasher;
+use crate::fast_hash::FxLikeHasher;
 
 const SHARDS: usize = 64;
 
 /// Sentinel meaning "no second value yet".
 const NO_VALUE: u32 = u32::MAX;
 
+/// One shard's storage: a fast-hashed map from ridge key to value pair.
+type Shard<K> = HashMap<K, (u32, u32), BuildHasherDefault<FxLikeHasher>>;
+
 /// Sharded mutex-protected multimap; see module docs.
 pub struct RidgeMapLocked<K> {
-    shards: Vec<Mutex<HashMap<K, (u32, u32), BuildHasherDefault<FxLikeHasher>>>>,
+    shards: Vec<Mutex<Shard<K>>>,
     hasher: BuildHasherDefault<FxLikeHasher>,
 }
 
@@ -42,11 +45,9 @@ impl<K: Hash + Eq> RidgeMapLocked<K> {
 
     #[inline]
     fn shard(&self, key: &K) -> usize {
-        let mut h = self.hasher.build_hasher();
-        key.hash(&mut h);
         // Use high bits so shard choice is independent of any in-shard
         // HashMap bucketing on low bits.
-        (h.finish() >> 48) as usize % SHARDS
+        (self.hasher.hash_one(key) >> 48) as usize % SHARDS
     }
 
     /// `InsertAndSet`: `true` if `key` was new, `false` if this is the
@@ -54,7 +55,7 @@ impl<K: Hash + Eq> RidgeMapLocked<K> {
     pub fn insert_and_set(&self, key: K, value: u32) -> bool {
         debug_assert_ne!(value, NO_VALUE);
         let shard = self.shard(&key);
-        let mut guard = self.shards[shard].lock();
+        let mut guard = self.shards[shard].lock().unwrap();
         match guard.entry(key) {
             std::collections::hash_map::Entry::Vacant(e) => {
                 e.insert((value, NO_VALUE));
@@ -72,7 +73,7 @@ impl<K: Hash + Eq> RidgeMapLocked<K> {
     /// `GetValue`: the value for `key` that is not `not`.
     pub fn get_value(&self, key: K, not: u32) -> u32 {
         let shard = self.shard(&key);
-        let guard = self.shards[shard].lock();
+        let guard = self.shards[shard].lock().unwrap();
         let &(a, b) = guard.get(&key).expect("get_value on absent key");
         if a != not {
             a
@@ -84,7 +85,7 @@ impl<K: Hash + Eq> RidgeMapLocked<K> {
 
     /// Number of distinct keys (diagnostics).
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.lock().len()).sum()
+        self.shards.iter().map(|s| s.lock().unwrap().len()).sum()
     }
 
     /// True iff no key was inserted.

@@ -20,7 +20,7 @@
 //! "key not yet visible" case and keeps probing.
 
 use std::cell::UnsafeCell;
-use std::hash::{BuildHasher, BuildHasherDefault, Hash, Hasher};
+use std::hash::{BuildHasher, BuildHasherDefault, Hash};
 use std::mem::MaybeUninit;
 use std::sync::atomic::{AtomicBool, Ordering};
 
@@ -73,9 +73,7 @@ impl<K: Hash + Eq + Copy> RidgeMapTas<K> {
 
     #[inline]
     fn start_index(&self, key: &K) -> usize {
-        let mut h = self.hasher.build_hasher();
-        key.hash(&mut h);
-        (h.finish() as usize) & self.mask
+        (self.hasher.hash_one(key) as usize) & self.mask
     }
 
     /// `TestAndSet`: returns `true` if this call flipped the flag from

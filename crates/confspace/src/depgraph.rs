@@ -209,7 +209,10 @@ mod tests {
         let space = SortedPairsSpace::new(n);
         let order = chull_geometry::generators::random_permutation(n, 3);
         let stats = build_dep_graph(&space, &order, false);
-        assert_eq!(stats.level_sizes.iter().sum::<usize>(), stats.configs_created);
+        assert_eq!(
+            stats.level_sizes.iter().sum::<usize>(),
+            stats.configs_created
+        );
         assert_eq!(stats.active_sizes.len(), n - space.base_size() + 1);
     }
 }

@@ -118,7 +118,10 @@ impl ConfigurationSpace for Hull2dSpace {
             return Vec::new();
         }
         (0..hull.len())
-            .map(|i| Edge { from: hull[i], to: hull[(i + 1) % hull.len()] })
+            .map(|i| Edge {
+                from: hull[i],
+                to: hull[(i + 1) % hull.len()],
+            })
             .collect()
     }
 
@@ -175,7 +178,10 @@ mod tests {
         let objs = vec![0, 1, 2, 3, 4];
         for cfg in s.active_configs(&objs) {
             for &o in &objs {
-                assert!(!s.conflicts(&cfg, o), "active edge {cfg:?} conflicts with {o}");
+                assert!(
+                    !s.conflicts(&cfg, o),
+                    "active edge {cfg:?} conflicts with {o}"
+                );
             }
         }
     }

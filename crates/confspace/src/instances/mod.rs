@@ -1,6 +1,6 @@
 //! Concrete configuration-space instances.
 
 pub mod hull2d;
-pub mod trapezoid;
 pub mod ridge2d;
 pub mod sorted_pairs;
+pub mod trapezoid;

@@ -77,9 +77,16 @@ impl Ridge2dSpace {
     }
 
     fn corner_at(&self, hull: &[usize], m: usize) -> Corner2 {
-        let pos = hull.iter().position(|&v| v == m).expect("vertex not on hull");
+        let pos = hull
+            .iter()
+            .position(|&v| v == m)
+            .expect("vertex not on hull");
         let k = hull.len();
-        Corner2 { prev: hull[(pos + k - 1) % k], m, next: hull[(pos + 1) % k] }
+        Corner2 {
+            prev: hull[(pos + k - 1) % k],
+            m,
+            next: hull[(pos + 1) % k],
+        }
     }
 }
 
@@ -136,7 +143,10 @@ impl ConfigurationSpace for Ridge2dSpace {
         let hull = self.hull_ccw(&rest);
         if x == pi.m {
             // The ridge point: supported by the corners at both neighbors.
-            vec![self.corner_at(&hull, pi.prev), self.corner_at(&hull, pi.next)]
+            vec![
+                self.corner_at(&hull, pi.prev),
+                self.corner_at(&hull, pi.next),
+            ]
         } else {
             // A facet point: supported by the corner at m alone.
             vec![self.corner_at(&hull, pi.m)]
@@ -178,9 +188,9 @@ mod tests {
             Point2i::new(0, 0),
             Point2i::new(10, 0),
             Point2i::new(5, 10),
-            Point2i::new(5, -3),  // below the bottom edge
-            Point2i::new(20, 5),  // right of edge (1,2)
-            Point2i::new(5, 3),   // interior
+            Point2i::new(5, -3), // below the bottom edge
+            Point2i::new(20, 5), // right of edge (1,2)
+            Point2i::new(5, 3),  // interior
         ]);
         let hull = vec![0usize, 1, 2];
         let corners = s.active_configs(&hull);

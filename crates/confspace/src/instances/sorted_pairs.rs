@@ -159,8 +159,14 @@ mod tests {
             check_support(&s, &y, &PairConfig::Pair(4, 8), 4),
             SupportCheck::Valid
         );
-        assert_eq!(check_support(&s, &y, &PairConfig::Left(1), 1), SupportCheck::Valid);
-        assert_eq!(check_support(&s, &y, &PairConfig::Right(10), 10), SupportCheck::Valid);
+        assert_eq!(
+            check_support(&s, &y, &PairConfig::Left(1), 1),
+            SupportCheck::Valid
+        );
+        assert_eq!(
+            check_support(&s, &y, &PairConfig::Right(10), 10),
+            SupportCheck::Valid
+        );
     }
 
     #[test]

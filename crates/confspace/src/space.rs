@@ -99,7 +99,10 @@ pub fn check_support<S: ConfigurationSpace>(
     }
 
     // Condition (1): D(pi) ⊆ D(Phi) ∪ {x}.
-    let d_phi: HashSet<usize> = support.iter().flat_map(|phi| space.defining_set(phi)).collect();
+    let d_phi: HashSet<usize> = support
+        .iter()
+        .flat_map(|phi| space.defining_set(phi))
+        .collect();
     for d in space.defining_set(pi) {
         if d != x && !d_phi.contains(&d) {
             return SupportCheck::DefiningNotCovered(d);

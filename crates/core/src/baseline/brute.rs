@@ -16,7 +16,7 @@ use chull_geometry::{PointSet, Sign};
 pub fn hull_output(pts: &PointSet) -> HullOutput {
     let dim = pts.dim();
     let n = pts.len();
-    assert!(n >= dim + 1, "too few points");
+    assert!(n > dim, "too few points");
     let mut facets = Vec::new();
     let mut subset: Vec<usize> = (0..dim).collect();
     loop {

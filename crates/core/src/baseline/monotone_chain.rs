@@ -76,8 +76,8 @@ mod tests {
             p(10, 0),
             p(10, 10),
             p(0, 10),
-            p(5, 5),  // interior
-            p(5, 0),  // on edge: excluded by strict hull
+            p(5, 5), // interior
+            p(5, 0), // on edge: excluded by strict hull
             p(0, 5),
         ];
         let h = hull_indices(&pts);

@@ -17,13 +17,7 @@ fn line_dist2(a: Point2i, b: Point2i, p: Point2i) -> i128 {
     v.abs()
 }
 
-fn find_side(
-    points: &[Point2i],
-    subset: &[u32],
-    a: u32,
-    b: u32,
-    out: &mut Vec<u32>,
-) {
+fn find_side(points: &[Point2i], subset: &[u32], a: u32, b: u32, out: &mut Vec<u32>) {
     // Points strictly right of directed line a -> b (the outside region
     // when walking the hull counterclockwise from a to b).
     let pa = points[a as usize];

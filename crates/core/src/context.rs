@@ -5,10 +5,17 @@
 //! is fixed at facet creation by orienting against a reference point that is
 //! strictly interior to the hull — the centroid of the initial simplex,
 //! kept exact as the homogeneous row `(sum of simplex vertices, d + 1)`.
+//!
+//! Visibility tests run on the **staged kernel**
+//! ([`chull_geometry::kernel`]): each facet caches its exact hyperplane at
+//! creation ([`HullContext::make_facet`]), and every test is an `O(d)`
+//! filtered dot-product sign instead of a fresh `O(d³)` orientation
+//! determinant. The staged sign is bit-identical to [`orientd`], so hulls,
+//! facet-creation sequences, and test counts are unchanged — only cheaper.
 
 use crate::facet::{Facet, FacetVerts, MAX_DIM};
 use chull_geometry::predicates::{orientd, orientd_hom};
-use chull_geometry::{PointSet, Sign};
+use chull_geometry::{Hyperplane, KernelCounts, PointSet, Sign};
 
 /// Immutable geometric context shared by one hull construction.
 pub struct HullContext<'a> {
@@ -28,19 +35,43 @@ impl<'a> HullContext<'a> {
     /// simplex vertices.
     pub fn new(pts: &'a PointSet, simplex: &[u32]) -> HullContext<'a> {
         let dim = pts.dim();
-        assert!(dim >= 2 && dim <= MAX_DIM, "dimension out of range");
-        assert_eq!(simplex.len(), dim + 1, "initial simplex needs d + 1 vertices");
+        assert!((2..=MAX_DIM).contains(&dim), "dimension out of range");
+        assert_eq!(
+            simplex.len(),
+            dim + 1,
+            "initial simplex needs d + 1 vertices"
+        );
         let mut interior_row = vec![0i64; dim];
         for &v in simplex {
             for (acc, &c) in interior_row.iter_mut().zip(pts.pt(v)) {
                 *acc += c;
             }
         }
-        HullContext { pts, dim, interior_row, interior_hom: dim as i64 + 1 }
+        HullContext {
+            pts,
+            dim,
+            interior_row,
+            interior_hom: dim as i64 + 1,
+        }
+    }
+
+    /// The exact hyperplane through the facet's vertices, oriented to match
+    /// [`orientd`] with the query as the last row.
+    pub fn plane_for(&self, verts: &FacetVerts) -> Hyperplane {
+        let mut rows: [&[i64]; MAX_DIM] = [&[]; MAX_DIM];
+        for i in 0..self.dim {
+            rows[i] = self.pts.pt(verts[i]);
+        }
+        Hyperplane::new(self.dim, &rows[..self.dim])
     }
 
     /// Orientation sign of the facet's vertices (in sorted order) against
-    /// query point `q`.
+    /// query point `q`, evaluated as a fresh `O(d³)` determinant.
+    ///
+    /// This is the **naive reference kernel**: the staged kernel used by
+    /// [`HullContext::make_facet`] / [`HullContext::is_visible`] must agree
+    /// with it bit-for-bit (property-tested), and the `predicates` bench
+    /// compares their cost.
     #[inline]
     pub fn sign_vs_point(&self, verts: &FacetVerts, q: u32) -> Sign {
         let mut rows: [&[i64]; MAX_DIM + 1] = [&[]; MAX_DIM + 1];
@@ -56,8 +87,8 @@ impl<'a> HullContext<'a> {
     /// facet's hyperplane, impossible for a point interior to the hull).
     pub fn sign_vs_interior(&self, verts: &FacetVerts) -> Sign {
         let mut rows: Vec<(&[i64], i64)> = Vec::with_capacity(self.dim + 1);
-        for i in 0..self.dim {
-            rows.push((self.pts.pt(verts[i]), 1));
+        for &v in &verts[..self.dim] {
+            rows.push((self.pts.pt(v), 1));
         }
         rows.push((self.interior_row.as_slice(), self.interior_hom));
         let s = orientd_hom(self.dim, &rows);
@@ -79,29 +110,76 @@ impl<'a> HullContext<'a> {
 
     /// Is point `q` strictly visible from (i.e. in conflict with) `facet`?
     /// Points exactly on the hyperplane are *not* visible.
+    ///
+    /// Uses the facet's cached plane via the staged kernel; counters are
+    /// discarded (see [`HullContext::is_visible_counted`] to keep them).
     #[inline]
     pub fn is_visible(&self, facet: &Facet, q: u32) -> bool {
-        self.sign_vs_point(&facet.verts, q) == facet.visible_sign
+        let mut counts = KernelCounts::default();
+        self.is_visible_counted(facet, q, &mut counts)
     }
 
-    /// Create a facet: computes its visible orientation and filters its
-    /// conflict list from `candidates` (which must be sorted ascending);
-    /// `skip` (the just-inserted pivot) is excluded. Returns the facet and
-    /// the number of visibility tests performed.
-    pub fn make_facet(&self, verts: FacetVerts, candidates: &[u32], skip: u32) -> (Facet, u64) {
-        let visible_sign = self.visible_sign_for(&verts);
-        let mut facet = Facet { verts, visible_sign, conflicts: Vec::new() };
-        let mut tests = 0u64;
+    /// [`HullContext::is_visible`], accumulating staged-kernel counters.
+    #[inline]
+    pub fn is_visible_counted(&self, facet: &Facet, q: u32, counts: &mut KernelCounts) -> bool {
+        self.kernel_sign(facet, q, counts) == facet.visible_sign
+    }
+
+    /// One visibility-test sign through the active kernel.
+    #[cfg(not(feature = "naive-kernel"))]
+    #[inline]
+    fn kernel_sign(&self, facet: &Facet, q: u32, counts: &mut KernelCounts) -> Sign {
+        facet.plane.sign_point(self.pts.pt(q), counts)
+    }
+
+    /// One visibility-test sign through the naive `O(d³)` determinant —
+    /// the pre-staged-kernel behavior, kept behind the `naive-kernel`
+    /// feature purely for A/B benchmarking. Counted as an exact fallback so
+    /// the counter partition invariant still holds.
+    #[cfg(feature = "naive-kernel")]
+    #[inline]
+    fn kernel_sign(&self, facet: &Facet, q: u32, counts: &mut KernelCounts) -> Sign {
+        counts.tests += 1;
+        counts.i128_fallbacks += 1;
+        self.sign_vs_point(&facet.verts, q)
+    }
+
+    /// Create a facet: computes its cached hyperplane and visible
+    /// orientation once, then filters its conflict list from `candidates`
+    /// (which must be sorted ascending); `skip` (the just-inserted pivot)
+    /// is excluded. Returns the facet and the staged-kernel counters for
+    /// the visibility tests performed (`counts.tests` of them).
+    pub fn make_facet(
+        &self,
+        verts: FacetVerts,
+        candidates: &[u32],
+        skip: u32,
+    ) -> (Facet, KernelCounts) {
+        let plane = self.plane_for(&verts);
+        let s = plane.sign_hom(&self.interior_row, self.interior_hom);
+        assert_ne!(
+            s,
+            Sign::Zero,
+            "interior reference point on a facet hyperplane: degenerate input \
+             (the core algorithms require general position; see DESIGN.md)"
+        );
+        let visible_sign = s.negate();
+        let mut facet = Facet {
+            verts,
+            visible_sign,
+            conflicts: Vec::new(),
+            plane,
+        };
+        let mut counts = KernelCounts::default();
         for &q in candidates {
             if q == skip {
                 continue;
             }
-            tests += 1;
-            if self.is_visible(&facet, q) {
+            if self.kernel_sign(&facet, q, &mut counts) == visible_sign {
                 facet.conflicts.push(q);
             }
         }
-        (facet, tests)
+        (facet, counts)
     }
 }
 
@@ -166,7 +244,13 @@ mod tests {
     fn square_pts() -> PointSet {
         PointSet::from_rows(
             2,
-            &[vec![0, 0], vec![10, 0], vec![0, 10], vec![10, 10], vec![5, 5]],
+            &[
+                vec![0, 0],
+                vec![10, 0],
+                vec![0, 10],
+                vec![10, 10],
+                vec![5, 5],
+            ],
         )
     }
 
@@ -196,7 +280,11 @@ mod tests {
         let verts = facet_verts(&[0, 1]);
         let vis = ctx.visible_sign_for(&verts);
         assert_ne!(vis, Sign::Zero);
-        assert_ne!(ctx.sign_vs_point(&verts, 3), vis, "interior-side point visible");
+        assert_ne!(
+            ctx.sign_vs_point(&verts, 3),
+            vis,
+            "interior-side point visible"
+        );
         // Point 4 = (5,5) strictly inside: not visible from any facet.
         for pair in [[0u32, 1], [0, 2], [1, 2]] {
             let verts = facet_verts(&pair);
@@ -209,16 +297,46 @@ mod tests {
     fn make_facet_counts_tests_and_filters() {
         let pts = PointSet::from_rows(
             2,
-            &[vec![0, 0], vec![10, 0], vec![0, 10], vec![5, -5], vec![5, 5], vec![20, -1]],
+            &[
+                vec![0, 0],
+                vec![10, 0],
+                vec![0, 10],
+                vec![5, -5],
+                vec![5, 5],
+                vec![20, -1],
+            ],
         );
         let ctx = HullContext::new(&pts, &[0, 1, 2]);
         let verts = facet_verts(&[0, 1]); // bottom edge
-        let (facet, tests) = ctx.make_facet(verts, &[3, 4, 5], u32::MAX);
-        assert_eq!(tests, 3);
+        let (facet, counts) = ctx.make_facet(verts, &[3, 4, 5], u32::MAX);
+        assert_eq!(counts.tests, 3);
+        assert_eq!(
+            counts.tests,
+            counts.filter_hits + counts.i128_fallbacks + counts.bigint_fallbacks,
+            "every test resolves in exactly one kernel stage"
+        );
         // (5,-5) and (20,-1) are below the bottom edge; (5,5) is not.
         assert_eq!(facet.conflicts, vec![3, 5]);
-        let (_, tests) = ctx.make_facet(verts, &[3, 4, 5], 3);
-        assert_eq!(tests, 2, "skip must not be tested");
+        let (_, counts) = ctx.make_facet(verts, &[3, 4, 5], 3);
+        assert_eq!(counts.tests, 2, "skip must not be tested");
+    }
+
+    #[test]
+    fn staged_kernel_matches_naive_reference() {
+        let pts = square_pts();
+        let ctx = HullContext::new(&pts, &[0, 1, 2]);
+        for pair in [[0u32, 1], [0, 2], [1, 2]] {
+            let verts = facet_verts(&pair);
+            let (facet, _) = ctx.make_facet(verts, &[], u32::MAX);
+            let mut counts = KernelCounts::default();
+            for q in 0..pts.len() as u32 {
+                assert_eq!(
+                    facet.plane.sign_point(pts.pt(q), &mut counts),
+                    ctx.sign_vs_point(&verts, q),
+                    "facet {pair:?} vs point {q}"
+                );
+            }
+        }
     }
 
     #[test]
@@ -226,8 +344,8 @@ mod tests {
         let pts = PointSet::from_points2(&generators::disk_2d(50, 1 << 20, 7));
         let (prepared, perm) = prepare_points_with_perm(&pts, 3);
         assert_eq!(perm.len(), 50);
-        for i in 0..50 {
-            assert_eq!(prepared.point(i), pts.point(perm[i]), "index {i}");
+        for (i, &p) in perm.iter().enumerate() {
+            assert_eq!(prepared.point(i), pts.point(p), "index {i}");
         }
         // perm is a permutation.
         let mut sorted = perm.clone();

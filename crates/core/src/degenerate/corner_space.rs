@@ -43,12 +43,16 @@ impl CornerSpace {
         hull.corners
             .into_iter()
             .map(|c| {
-                let (mut a, mut b) =
-                    (objs[c.a as usize] as u32, objs[c.b as usize] as u32);
+                let (mut a, mut b) = (objs[c.a as usize] as u32, objs[c.b as usize] as u32);
                 if a > b {
                     std::mem::swap(&mut a, &mut b);
                 }
-                Corner { pm: objs[c.pm as usize] as u32, a, b, side_positive: remap_side(c, objs) }
+                Corner {
+                    pm: objs[c.pm as usize] as u32,
+                    a,
+                    b,
+                    side_positive: remap_side(c, objs),
+                }
             })
             .collect()
     }
@@ -112,7 +116,9 @@ impl ConfigurationSpace for CornerSpace {
         let touch_pool: Vec<&Corner> = active
             .iter()
             .filter(|c| {
-                self.defining_set(c).iter().any(|d| defining.contains(d) && *d != x)
+                self.defining_set(c)
+                    .iter()
+                    .any(|d| defining.contains(d) && *d != x)
             })
             .collect();
         for pool in [&pm_pool, &touch_pool] {
@@ -124,8 +130,9 @@ impl ConfigurationSpace for CornerSpace {
         // Lemma 6.2 holds; kept so a lemma violation surfaces as a
         // TooLarge/NotFound failure rather than a wrong answer).
         let all: Vec<&Corner> = active.iter().collect();
-        self.search_support(&all, pi, x)
-            .unwrap_or_else(|| panic!("no 4-support found for {pi:?}, x = {x} — Lemma 6.2 violated?"))
+        self.search_support(&all, pi, x).unwrap_or_else(|| {
+            panic!("no 4-support found for {pi:?}, x = {x} — Lemma 6.2 violated?")
+        })
     }
 }
 
@@ -145,12 +152,18 @@ impl CornerSpace {
             }
             req
         };
-        let need_defs: Vec<usize> =
-            self.defining_set(pi).into_iter().filter(|&d| d != x).collect();
+        let need_defs: Vec<usize> = self
+            .defining_set(pi)
+            .into_iter()
+            .filter(|&d| d != x)
+            .collect();
 
         let covers = |subset: &[usize]| -> bool {
             for &d in &need_defs {
-                if !subset.iter().any(|&ci| self.defining_set(pool[ci]).contains(&d)) {
+                if !subset
+                    .iter()
+                    .any(|&ci| self.defining_set(pool[ci]).contains(&d))
+                {
                     return false;
                 }
             }
@@ -166,7 +179,7 @@ impl CornerSpace {
             let mut idx: Vec<usize> = (0..size).collect();
             'combos: loop {
                 if covers(&idx) {
-                    return Some(idx.iter().map(|&i| pool[i].clone()).collect());
+                    return Some(idx.iter().map(|&i| *pool[i]).collect());
                 }
                 // Advance to the next size-combination of 0..m.
                 let mut i = size;
@@ -204,8 +217,7 @@ mod tests {
         let mut chosen: Vec<usize> = Vec::new();
         for i in 0..shuffled.len() {
             let mut rows: Vec<&[i64]> = Vec::new();
-            let coords: Vec<[i64; 3]> =
-                chosen.iter().map(|&c| shuffled[c].coords()).collect();
+            let coords: Vec<[i64; 3]> = chosen.iter().map(|&c| shuffled[c].coords()).collect();
             for c in &coords {
                 rows.push(c);
             }
@@ -234,7 +246,10 @@ mod tests {
         let active = space.active_configs(&objs);
         for c in &active {
             for o in &objs {
-                assert!(!space.conflicts(c, *o), "active corner {c:?} conflicts with {o}");
+                assert!(
+                    !space.conflicts(c, *o),
+                    "active corner {c:?} conflicts with {o}"
+                );
             }
         }
         // Hull corner count of the 3x3x3 grid cube: 8 vertices x 3 faces.

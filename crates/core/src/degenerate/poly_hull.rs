@@ -8,7 +8,7 @@
 //! Lemmas 6.1 and 6.2 on small degenerate inputs, not for production runs.
 
 use chull_geometry::predicates::orient3d;
-use chull_geometry::{Point3i, Sign};
+use chull_geometry::{Hyperplane, KernelCounts, Point3i, Sign};
 use std::collections::BTreeSet;
 
 /// Coordinate bound under which all i128 intermediate products here are
@@ -60,11 +60,18 @@ pub struct PolyHull {
     pub faces: Vec<PolyFace>,
     /// All corners of all faces (deduplicated, sorted).
     pub corners: Vec<Corner>,
+    /// Staged-kernel counters from the supporting-plane classification
+    /// sweep (the `O(n^4)` dominant cost).
+    pub kernel: KernelCounts,
 }
 
 #[inline]
 fn sub(p: Point3i, q: Point3i) -> [i128; 3] {
-    [p.x as i128 - q.x as i128, p.y as i128 - q.y as i128, p.z as i128 - q.z as i128]
+    [
+        p.x as i128 - q.x as i128,
+        p.y as i128 - q.y as i128,
+        p.z as i128 - q.z as i128,
+    ]
 }
 
 #[inline]
@@ -110,6 +117,7 @@ pub fn poly_hull(pts: &[Point3i]) -> PolyHull {
     let mut seen_on_sets: BTreeSet<Vec<u32>> = BTreeSet::new();
     let mut faces: Vec<PolyFace> = Vec::new();
     let mut any_rank4 = false;
+    let mut kernel = KernelCounts::default();
     for i in 0..n {
         for j in (i + 1)..n {
             for k in (j + 1)..n {
@@ -118,11 +126,21 @@ pub fn poly_hull(pts: &[Point3i]) -> PolyHull {
                 if normal == [0, 0, 0] {
                     continue; // collinear triple
                 }
+                // One cached plane per candidate triple turns the inner
+                // point sweep into staged O(d) sign tests.
+                let plane = Hyperplane::new(
+                    3,
+                    &[
+                        &[pi.x, pi.y, pi.z],
+                        &[pj.x, pj.y, pj.z],
+                        &[pk.x, pk.y, pk.z],
+                    ],
+                );
                 let mut pos = false;
                 let mut neg = false;
                 let mut on_plane: Vec<u32> = Vec::new();
                 for (q, &pq) in pts.iter().enumerate() {
-                    match orient3d(pi, pj, pk, pq) {
+                    match plane.sign_point(&[pq.x, pq.y, pq.z], &mut kernel) {
                         Sign::Positive => pos = true,
                         Sign::Negative => neg = true,
                         Sign::Zero => on_plane.push(q as u32),
@@ -162,7 +180,11 @@ pub fn poly_hull(pts: &[Point3i]) -> PolyHull {
             corners.insert(make_corner(pts, pl, pm, pr));
         }
     }
-    PolyHull { faces, corners: corners.into_iter().collect() }
+    PolyHull {
+        faces,
+        corners: corners.into_iter().collect(),
+        kernel,
+    }
 }
 
 /// Canonicalize a corner `(pl, pm, pr)` and compute its outward side.
@@ -181,7 +203,12 @@ pub fn make_corner(pts: &[Point3i], pl: u32, pm: u32, pr: u32) -> Corner {
         }
     }
     let inward = side.expect("corner plane contains all points");
-    Corner { pm, a, b, side_positive: inward == Sign::Negative }
+    Corner {
+        pm,
+        a,
+        b,
+        side_positive: inward == Sign::Negative,
+    }
 }
 
 /// Order the on-plane points into the face polygon's vertex cycle: project
@@ -189,9 +216,7 @@ pub fn make_corner(pts: &[Point3i], pl: u32, pm: u32, pr: u32) -> Corner {
 /// take the strict 2D hull.
 fn face_cycle(pts: &[Point3i], on_plane: &[u32], normal: [i128; 3]) -> Vec<u32> {
     use chull_geometry::Point2i;
-    let axis = (0..3)
-        .max_by_key(|&a| normal[a].unsigned_abs())
-        .unwrap();
+    let axis = (0..3).max_by_key(|&a| normal[a].unsigned_abs()).unwrap();
     let proj = |p: Point3i| -> Point2i {
         match axis {
             0 => Point2i::new(p.y, p.z),
@@ -201,8 +226,14 @@ fn face_cycle(pts: &[Point3i], on_plane: &[u32], normal: [i128; 3]) -> Vec<u32> 
     };
     let projected: Vec<Point2i> = on_plane.iter().map(|&i| proj(pts[i as usize])).collect();
     let hull_local = crate::baseline::monotone_chain::hull_indices(&projected);
-    assert!(hull_local.len() >= 3, "face polygon collapsed under projection");
-    hull_local.into_iter().map(|li| on_plane[li as usize]).collect()
+    assert!(
+        hull_local.len() >= 3,
+        "face polygon collapsed under projection"
+    );
+    hull_local
+        .into_iter()
+        .map(|li| on_plane[li as usize])
+        .collect()
 }
 
 /// Does point `q` conflict with `corner` per the paper's Figure 3 rules?
@@ -216,8 +247,12 @@ pub fn corner_conflicts(pts: &[Point3i], corner: &Corner, q: u32) -> bool {
     if q == pm || q == a || q == b {
         return false;
     }
-    let (pa, pmid, pb, pq) =
-        (pts[a as usize], pts[pm as usize], pts[b as usize], pts[q as usize]);
+    let (pa, pmid, pb, pq) = (
+        pts[a as usize],
+        pts[pm as usize],
+        pts[b as usize],
+        pts[q as usize],
+    );
     match orient3d(pa, pmid, pb, pq) {
         s if s == corner.side() => return true,
         Sign::Zero => {}
@@ -397,9 +432,16 @@ mod tests {
         ];
         let hull = poly_hull(&pts);
         assert_eq!(hull.faces.len(), 4);
-        assert!(hull.corners.iter().all(|c| c.pm != 4 && c.a != 4 && c.b != 4));
+        assert!(hull
+            .corners
+            .iter()
+            .all(|c| c.pm != 4 && c.a != 4 && c.b != 4));
         // The midpoint is on-plane for the two faces containing edge 0-1.
-        let containing = hull.faces.iter().filter(|f| f.on_plane.contains(&4)).count();
+        let containing = hull
+            .faces
+            .iter()
+            .filter(|f| f.on_plane.contains(&4))
+            .count();
         assert_eq!(containing, 2);
     }
 

@@ -6,10 +6,11 @@
 //! `d-1`-subset shared by two adjacent facets, stored the same way and used
 //! directly as the hash key of the concurrent ridge multimap.
 
-use chull_geometry::Sign;
+use chull_geometry::{Hyperplane, Sign};
 
-/// Maximum supported dimension (inline array capacity).
-pub const MAX_DIM: usize = 8;
+/// Maximum supported dimension (inline array capacity); shared with the
+/// geometry kernel so cached hyperplanes and facets agree on capacity.
+pub use chull_geometry::kernel::MAX_DIM;
 
 /// Sentinel filling unused key slots.
 pub const NO_VERT: u32 = u32::MAX;
@@ -40,9 +41,9 @@ pub fn ridge_omitting(facet: &FacetVerts, dim: usize, omit: usize) -> RidgeKey {
     debug_assert!(omit < dim);
     let mut r = [NO_VERT; MAX_DIM];
     let mut k = 0;
-    for i in 0..dim {
+    for (i, &fv) in facet.iter().enumerate().take(dim) {
         if i != omit {
-            r[k] = facet[i];
+            r[k] = fv;
             k += 1;
         }
     }
@@ -56,7 +57,10 @@ pub fn join_ridge(r: &RidgeKey, dim: usize, p: u32) -> FacetVerts {
     v[..dim - 1].copy_from_slice(&r[..dim - 1]);
     v[dim - 1] = p;
     v[..dim].sort_unstable();
-    debug_assert!(v[..dim].windows(2).all(|w| w[0] < w[1]), "p already on ridge");
+    debug_assert!(
+        v[..dim].windows(2).all(|w| w[0] < w[1]),
+        "p already on ridge"
+    );
     v
 }
 
@@ -73,6 +77,10 @@ pub struct Facet {
     /// ascending** (point id order == insertion order), immutable after
     /// creation. The *conflict pivot* `min C(t)` is `conflicts[0]`.
     pub conflicts: Vec<u32>,
+    /// Cached exact hyperplane through the facet's vertices, computed once
+    /// at creation; every visibility test against this facet is an `O(d)`
+    /// staged dot-product sign instead of an `O(d³)` determinant.
+    pub plane: Hyperplane,
 }
 
 impl Facet {
@@ -117,9 +125,19 @@ mod tests {
 
     #[test]
     fn pivot_of_facet() {
-        let f = Facet { verts: facet_verts(&[0, 1]), visible_sign: Sign::Positive, conflicts: vec![4, 9] };
+        let f = Facet {
+            verts: facet_verts(&[0, 1]),
+            visible_sign: Sign::Positive,
+            conflicts: vec![4, 9],
+            plane: Hyperplane::placeholder(2),
+        };
         assert_eq!(f.pivot(), 4);
-        let f2 = Facet { verts: facet_verts(&[0, 1]), visible_sign: Sign::Positive, conflicts: vec![] };
+        let f2 = Facet {
+            verts: facet_verts(&[0, 1]),
+            visible_sign: Sign::Positive,
+            conflicts: vec![],
+            plane: Hyperplane::placeholder(2),
+        };
         assert_eq!(f2.pivot(), u32::MAX);
     }
 }

@@ -13,8 +13,8 @@
 //! iff `orient2d(a, b, q) < 0`.
 
 use chull_geometry::predicates::float::orient2d;
+use chull_geometry::rng::SliceRandom;
 use chull_geometry::Point2f;
-use rand::seq::SliceRandom;
 
 /// A directed hull edge with its conflict list.
 #[derive(Debug, Clone)]
@@ -89,7 +89,11 @@ pub fn float_hull_2d(points: &[Point2f], seed: u64) -> FloatHull {
 
     // Seed triangle, counterclockwise.
     let (a, b, c) = (0u32, 1u32, 2u32);
-    let (b, c) = if orient2d(p(a), p(b), p(c)) > 0 { (b, c) } else { (c, b) };
+    let (b, c) = if orient2d(p(a), p(b), p(c)) > 0 {
+        (b, c)
+    } else {
+        (c, b)
+    };
 
     let mut tests = 0u64;
     struct State {
@@ -110,34 +114,40 @@ pub fn float_hull_2d(points: &[Point2f], seed: u64) -> FloatHull {
         point_conflicts: vec![Vec::new(); order.len()],
     };
 
-    let mut make_edge = |st: &mut State, from: u32, to: u32, candidates: &[u32], skip: u32, d: u32| -> u32 {
-        let mut conflicts = Vec::new();
-        for &q in candidates {
-            if q == skip || q == from || q == to {
-                continue;
+    let mut make_edge =
+        |st: &mut State, from: u32, to: u32, candidates: &[u32], skip: u32, d: u32| -> u32 {
+            let mut conflicts = Vec::new();
+            for &q in candidates {
+                if q == skip || q == from || q == to {
+                    continue;
+                }
+                tests += 1;
+                if orient2d(p(from), p(to), p(q)) < 0 {
+                    conflicts.push(q);
+                }
             }
-            tests += 1;
-            if orient2d(p(from), p(to), p(q)) < 0 {
-                conflicts.push(q);
+            let id = st.edges.len() as u32;
+            for &q in &conflicts {
+                st.point_conflicts[q as usize].push(id);
             }
-        }
-        let id = st.edges.len() as u32;
-        for &q in &conflicts {
-            st.point_conflicts[q as usize].push(id);
-        }
-        st.edges.push(FEdge { from, to, conflicts });
-        st.depth.push(d);
-        st.alive.push(true);
-        st.out_edge.insert(from, id);
-        st.in_edge.insert(to, id);
-        id
-    };
+            st.edges.push(FEdge {
+                from,
+                to,
+                conflicts,
+            });
+            st.depth.push(d);
+            st.alive.push(true);
+            st.out_edge.insert(from, id);
+            st.in_edge.insert(to, id);
+            id
+        };
 
     let all: Vec<u32> = (3..order.len() as u32).collect();
     for (from, to) in [(a, b), (b, c), (c, a)] {
         make_edge(&mut st, from, to, &all, u32::MAX, 0);
     }
 
+    let mut cand_scratch: Vec<u32> = Vec::new();
     for v in 3..order.len() as u32 {
         let visible: Vec<u32> = st.point_conflicts[v as usize]
             .iter()
@@ -177,21 +187,24 @@ pub fn float_hull_2d(points: &[Point2f], seed: u64) -> FloatHull {
         // chain-end edge and its invisible neighbor (Fact 5.2).
         let d_left = 1 + st.depth[le as usize].max(st.depth[l_invis as usize]);
         let d_right = 1 + st.depth[re as usize].max(st.depth[r_invis as usize]);
-        let cand_left = crate::seq::merge_conflicts(
+        crate::seq::merge_conflicts_into(
             &st.edges[le as usize].conflicts,
             &st.edges[l_invis as usize].conflicts,
+            &mut cand_scratch,
         );
-        let cand_right = crate::seq::merge_conflicts(
+        make_edge(&mut st, lv, v, &cand_scratch, v, d_left);
+        crate::seq::merge_conflicts_into(
             &st.edges[re as usize].conflicts,
             &st.edges[r_invis as usize].conflicts,
+            &mut cand_scratch,
         );
-        make_edge(&mut st, lv, v, &cand_left, v, d_left);
-        make_edge(&mut st, v, rv, &cand_right, v, d_right);
+        make_edge(&mut st, v, rv, &cand_scratch, v, d_right);
     }
 
     // Walk the final cycle ccw starting anywhere.
-    drop(make_edge);
-    let start = (0..st.edges.len()).position(|i| st.alive[i]).expect("empty hull") as u32;
+    let start = (0..st.edges.len())
+        .position(|i| st.alive[i])
+        .expect("empty hull") as u32;
     let mut hull = Vec::new();
     let mut e = start;
     loop {
@@ -216,14 +229,15 @@ mod tests {
     use super::*;
     use crate::baseline::monotone_chain;
     use chull_geometry::generators;
-    use rand::Rng;
 
     #[test]
     fn matches_integer_hull_on_lattice_inputs() {
         for seed in 0..4u64 {
             let ipts = generators::disk_2d(400, 1 << 20, seed);
-            let fpts: Vec<Point2f> =
-                ipts.iter().map(|p| Point2f::new(p.x as f64, p.y as f64)).collect();
+            let fpts: Vec<Point2f> = ipts
+                .iter()
+                .map(|p| Point2f::new(p.x as f64, p.y as f64))
+                .collect();
             let fh = float_hull_2d(&fpts, seed + 9);
             let mut fverts: Vec<u32> = fh.hull.clone();
             fverts.sort_unstable();
@@ -236,8 +250,9 @@ mod tests {
     #[test]
     fn output_is_convex_and_contains_all_points() {
         let mut rng = generators::rng(3);
-        let pts: Vec<Point2f> =
-            (0..500).map(|_| Point2f::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0))).collect();
+        let pts: Vec<Point2f> = (0..500)
+            .map(|_| Point2f::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)))
+            .collect();
         let fh = float_hull_2d(&pts, 1);
         let h = &fh.hull;
         assert!(h.len() >= 3);
@@ -291,7 +306,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "collinear")]
     fn fully_collinear_panics() {
-        let pts: Vec<Point2f> = (0..5).map(|i| Point2f::new(i as f64, 2.0 * i as f64)).collect();
+        let pts: Vec<Point2f> = (0..5)
+            .map(|i| Point2f::new(i as f64, 2.0 * i as f64))
+            .collect();
         float_hull_2d(&pts, 0);
     }
 }

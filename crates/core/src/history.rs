@@ -145,7 +145,10 @@ impl<'a> HullHistory<'a> {
             }
         }
         visible.sort_unstable();
-        Location { visible_facets: visible, nodes_visited: visited }
+        Location {
+            visible_facets: visible,
+            nodes_visited: visited,
+        }
     }
 
     /// Membership oracle: is `q` inside or on the hull?
@@ -197,7 +200,6 @@ mod tests {
     use crate::context::prepare_points;
     use crate::seq::incremental_hull_run;
     use chull_geometry::generators;
-    use rand::Rng;
 
     fn build(n: usize, seed: u64) -> (PointSet, SeqRun) {
         let pts = prepare_points(

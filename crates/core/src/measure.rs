@@ -57,7 +57,13 @@ mod tests {
     fn square_area() {
         let pts = PointSet::from_rows(
             2,
-            &[vec![0, 0], vec![40, 0], vec![0, 40], vec![40, 40], vec![11, 13]],
+            &[
+                vec![0, 0],
+                vec![40, 0],
+                vec![0, 40],
+                vec![40, 40],
+                vec![11, 13],
+            ],
         );
         let run = incremental_hull_run(&pts);
         assert_eq!(

@@ -13,13 +13,11 @@
 //!
 //! Works in any dimension `2..=8` over exact integer coordinates.
 
-use crate::context::HullContext;
 use crate::facet::{
     facet_verts, join_ridge, ridge_omitting, FacetVerts, RidgeKey, MAX_DIM, NO_VERT,
 };
 use crate::output::HullOutput;
-use chull_geometry::predicates::{orientd, orientd_hom};
-use chull_geometry::{PointSet, Sign};
+use chull_geometry::{Hyperplane, KernelCounts, PointSet, Sign};
 use std::collections::HashMap;
 
 /// Sentinel facet id.
@@ -28,6 +26,9 @@ const NO_FACET: u32 = u32::MAX;
 struct OFacet {
     verts: FacetVerts,
     visible_sign: Sign,
+    /// Cached exact hyperplane: every history-descent visibility test is a
+    /// staged `O(d)` dot-product sign instead of an `O(d³)` determinant.
+    plane: Hyperplane,
     alive: bool,
     children: Vec<u32>,
 }
@@ -45,6 +46,8 @@ pub struct OnlineHull {
     interior_hom: i64,
     /// History nodes visited by the last insertion (instrumentation).
     pub last_visited: usize,
+    /// Accumulated staged-kernel counters over all locate/insert queries.
+    pub kernel: KernelCounts,
 }
 
 impl OnlineHull {
@@ -65,7 +68,6 @@ impl OnlineHull {
                 "seed points must be affinely independent"
             );
         }
-        let ctx = HullContext::new(&pts, &simplex);
         let mut interior_row = vec![0i64; dim];
         for i in 0..=dim {
             for (acc, &c) in interior_row.iter_mut().zip(pts.point(i)) {
@@ -81,20 +83,41 @@ impl OnlineHull {
             interior_row,
             interior_hom: dim as i64 + 1,
             last_visited: 0,
+            kernel: KernelCounts::default(),
         };
         for omit in 0..=dim {
-            let verts: Vec<u32> = simplex.iter().copied().filter(|&v| v != omit as u32).collect();
+            let verts: Vec<u32> = simplex
+                .iter()
+                .copied()
+                .filter(|&v| v != omit as u32)
+                .collect();
             let fv = facet_verts(&verts);
-            let visible_sign = ctx.visible_sign_for(&fv);
-            let id = hull.push_facet(fv, visible_sign);
+            let plane = hull.plane_for(&fv);
+            let visible_sign = hull.visible_sign_for(&plane);
+            let id = hull.push_facet(fv, visible_sign, plane);
             hull.seeds.push(id);
         }
         hull
     }
 
-    fn push_facet(&mut self, verts: FacetVerts, visible_sign: Sign) -> u32 {
+    /// The exact hyperplane through a facet's vertices (staged kernel).
+    fn plane_for(&self, verts: &FacetVerts) -> Hyperplane {
+        let mut rows: [&[i64]; MAX_DIM] = [&[]; MAX_DIM];
+        for i in 0..self.dim {
+            rows[i] = self.pts.pt(verts[i]);
+        }
+        Hyperplane::new(self.dim, &rows[..self.dim])
+    }
+
+    fn push_facet(&mut self, verts: FacetVerts, visible_sign: Sign, plane: Hyperplane) -> u32 {
         let id = self.facets.len() as u32;
-        self.facets.push(OFacet { verts, visible_sign, alive: true, children: Vec::new() });
+        self.facets.push(OFacet {
+            verts,
+            visible_sign,
+            plane,
+            alive: true,
+            children: Vec::new(),
+        });
         for omit in 0..self.dim {
             let r = ridge_omitting(&verts, self.dim, omit);
             let entry = self.adj.entry(r).or_insert([NO_FACET, NO_FACET]);
@@ -124,15 +147,11 @@ impl OnlineHull {
         }
     }
 
-    /// Exact visibility of coordinate `q` from facet `id`.
-    fn sees(&self, id: u32, q: &[i64]) -> bool {
+    /// Exact visibility of coordinate `q` from facet `id`, via the
+    /// facet's cached plane (staged kernel).
+    fn sees(&self, id: u32, q: &[i64], counts: &mut KernelCounts) -> bool {
         let f = &self.facets[id as usize];
-        let mut rows: Vec<&[i64]> = Vec::with_capacity(self.dim + 1);
-        for i in 0..self.dim {
-            rows.push(self.pts.pt(f.verts[i]));
-        }
-        rows.push(q);
-        let s = orientd(self.dim, &rows);
+        let s = f.plane.sign_point(q, counts);
         s != Sign::Zero && s == f.visible_sign
     }
 
@@ -142,10 +161,12 @@ impl OnlineHull {
         let mut stack: Vec<u32> = Vec::new();
         let mut out = Vec::new();
         let mut count = 0usize;
-        for &s in &self.seeds {
+        let mut counts = KernelCounts::default();
+        for si in 0..self.seeds.len() {
+            let s = self.seeds[si];
             visited[s as usize] = true;
             count += 1;
-            if self.sees(s, q) {
+            if self.sees(s, q, &mut counts) {
                 stack.push(s);
             }
         }
@@ -158,12 +179,13 @@ impl OnlineHull {
                 if !visited[c as usize] {
                     visited[c as usize] = true;
                     count += 1;
-                    if self.sees(c, q) {
+                    if self.sees(c, q, &mut counts) {
                         stack.push(c);
                     }
                 }
             }
         }
+        self.kernel.merge(&counts);
         self.last_visited = count;
         out
     }
@@ -200,21 +222,17 @@ impl OnlineHull {
         }
         for (r, t1, t2) in boundary {
             let verts = join_ridge(&r, self.dim, v);
-            let visible_sign = self.visible_sign_for(&verts);
-            let id = self.push_facet(verts, visible_sign);
+            let plane = self.plane_for(&verts);
+            let visible_sign = self.visible_sign_for(&plane);
+            let id = self.push_facet(verts, visible_sign, plane);
             self.facets[t1 as usize].children.push(id);
             self.facets[t2 as usize].children.push(id);
         }
         true
     }
 
-    fn visible_sign_for(&self, verts: &FacetVerts) -> Sign {
-        let mut rows: Vec<(&[i64], i64)> = Vec::with_capacity(self.dim + 1);
-        for i in 0..self.dim {
-            rows.push((self.pts.pt(verts[i]), 1));
-        }
-        rows.push((self.interior_row.as_slice(), self.interior_hom));
-        let s = orientd_hom(self.dim, &rows);
+    fn visible_sign_for(&self, plane: &Hyperplane) -> Sign {
+        let s = plane.sign_hom(&self.interior_row, self.interior_hom);
         assert_ne!(s, Sign::Zero, "degenerate facet orientation");
         s.negate()
     }
@@ -241,7 +259,10 @@ impl OnlineHull {
                 v
             })
             .collect();
-        HullOutput { dim: self.dim, facets }
+        HullOutput {
+            dim: self.dim,
+            facets,
+        }
     }
 
     /// The accumulated point set (insertion order).
@@ -295,16 +316,17 @@ mod tests {
             let pts = prepare_points(&generators::ball_d(dim, 48, 1 << 16, 9), 10);
             let offline = incremental_hull_run(&pts);
             let online = online_from(&pts);
-            assert_eq!(online.output().canonical(), offline.output.canonical(), "dim {dim}");
+            assert_eq!(
+                online.output().canonical(),
+                offline.output.canonical(),
+                "dim {dim}"
+            );
         }
     }
 
     #[test]
     fn insert_reports_extremeness() {
-        let mut hull = OnlineHull::new(
-            2,
-            &[vec![0, 0], vec![100, 0], vec![0, 100]],
-        );
+        let mut hull = OnlineHull::new(2, &[vec![0, 0], vec![100, 0], vec![0, 100]]);
         assert!(!hull.insert(&[10, 10]), "interior point");
         assert!(hull.insert(&[100, 100]), "exterior point");
         assert!(!hull.insert(&[50, 50]), "now interior");

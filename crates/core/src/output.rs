@@ -54,8 +54,14 @@ mod tests {
 
     #[test]
     fn canonical_ignores_order() {
-        let a = HullOutput { dim: 2, facets: vec![facet_verts(&[0, 1]), facet_verts(&[1, 2])] };
-        let b = HullOutput { dim: 2, facets: vec![facet_verts(&[2, 1]), facet_verts(&[1, 0])] };
+        let a = HullOutput {
+            dim: 2,
+            facets: vec![facet_verts(&[0, 1]), facet_verts(&[1, 2])],
+        };
+        let b = HullOutput {
+            dim: 2,
+            facets: vec![facet_verts(&[2, 1]), facet_verts(&[1, 0])],
+        };
         assert_eq!(a.canonical(), b.canonical());
         assert_eq!(a.vertices().len(), 3);
     }
@@ -65,7 +71,11 @@ mod tests {
         // 2D triangle: 3 edges, ridges are the 3 vertices.
         let h = HullOutput {
             dim: 2,
-            facets: vec![facet_verts(&[0, 1]), facet_verts(&[1, 2]), facet_verts(&[0, 2])],
+            facets: vec![
+                facet_verts(&[0, 1]),
+                facet_verts(&[1, 2]),
+                facet_verts(&[0, 2]),
+            ],
         };
         assert_eq!(h.num_ridges(), 3);
     }

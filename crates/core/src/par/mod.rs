@@ -2,8 +2,9 @@
 //! paper — plus a level-synchronous variant measuring rounds.
 //!
 //! The asynchronous implementation ([`parallel_hull`]) runs `ProcessRidge`
-//! recursively under rayon's fork-join scheduler (the binary-forking model
-//! of Theorem 5.5), pairing the two facets of each ridge through a
+//! as dynamically spawned tasks on a scoped task pool
+//! ([`chull_concurrent::pool`], the binary-forking model of Theorem 5.5),
+//! pairing the two facets of each ridge through a
 //! concurrent `InsertAndSet`/`GetValue` multimap (Algorithms 4/5, or the
 //! growable locked variant). The level-synchronous implementation
 //! ([`rounds::rounds_hull`]) processes ridges in waves, measuring the
@@ -21,15 +22,23 @@ pub use trace::TraceEvent;
 use crate::context::{initial_simplex, HullContext};
 use crate::facet::{facet_verts, join_ridge, ridge_omitting, Facet, FacetVerts, RidgeKey};
 use crate::output::HullOutput;
-use crate::seq::merge_conflicts;
+use crate::seq::merge_conflicts_into;
 use crate::stats::HullStats;
+use chull_concurrent::pool;
 use chull_concurrent::{
     AtomicMax, ConcurrentArena, RidgeMapCas, RidgeMapLocked, RidgeMapTas, RidgeMultimap,
     StripedCounter,
 };
-use chull_geometry::PointSet;
-use parking_lot::Mutex;
+use chull_geometry::{KernelCounts, PointSet};
+use std::cell::RefCell;
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+thread_local! {
+    /// Per-thread scratch for conflict-list merges: `ProcessRidge` tasks
+    /// reuse one buffer per worker instead of allocating per facet.
+    static MERGE_SCRATCH: RefCell<Vec<u32>> = const { RefCell::new(Vec::new()) };
+}
 
 /// Which `InsertAndSet` engine pairs the two facets of each ridge.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -61,7 +70,10 @@ pub struct ParOptions {
 
 impl Default for ParOptions {
     fn default() -> ParOptions {
-        ParOptions { map: MapKind::Locked, record_trace: false }
+        ParOptions {
+            map: MapKind::Locked,
+            record_trace: false,
+        }
     }
 }
 
@@ -90,6 +102,9 @@ struct Shared<'a, M> {
     arena: ConcurrentArena<ParFacet>,
     map: M,
     tests: StripedCounter,
+    filter_hits: StripedCounter,
+    i128_fallbacks: StripedCounter,
+    bigint_fallbacks: StripedCounter,
     buried: StripedCounter,
     replaced: StripedCounter,
     max_depth: AtomicMax,
@@ -99,8 +114,16 @@ struct Shared<'a, M> {
 impl<'a, M: RidgeMultimap<RidgeKey>> Shared<'a, M> {
     fn record(&self, ev: impl FnOnce() -> TraceEvent) {
         if let Some(t) = &self.trace {
-            t.lock().push(ev());
+            t.lock().unwrap().push(ev());
         }
+    }
+
+    /// Fold one facet's staged-kernel counters into the striped totals.
+    fn add_counts(&self, c: &KernelCounts) {
+        self.tests.add(c.tests);
+        self.filter_hits.add(c.filter_hits);
+        self.i128_fallbacks.add(c.i128_fallbacks);
+        self.bigint_fallbacks.add(c.bigint_fallbacks);
     }
 
     /// `ProcessRidge(t1, r, t2)` — Algorithm 3, lines 8-22.
@@ -108,7 +131,7 @@ impl<'a, M: RidgeMultimap<RidgeKey>> Shared<'a, M> {
     /// `depth` is the recursion depth (Theorem 5.3 measures its maximum).
     fn process_ridge<'s>(
         &'s self,
-        scope: &rayon::Scope<'s>,
+        scope: &pool::Scope<'s>,
         mut t1: u32,
         r: RidgeKey,
         mut t2: u32,
@@ -122,7 +145,9 @@ impl<'a, M: RidgeMultimap<RidgeKey>> Shared<'a, M> {
 
         // Line 9: no conflicts on either side — the ridge is final.
         if p1 == u32::MAX && p2 == u32::MAX {
-            self.record(|| TraceEvent::finalize(self.dim(), &f1.facet.verts, &f2.facet.verts, depth));
+            self.record(|| {
+                TraceEvent::finalize(self.dim(), &f1.facet.verts, &f2.facet.verts, depth)
+            });
             return;
         }
         // Line 10: same pivot on both sides — the pivot buries the ridge
@@ -131,7 +156,9 @@ impl<'a, M: RidgeMultimap<RidgeKey>> Shared<'a, M> {
             f1.dead.store(true, Ordering::Relaxed);
             f2.dead.store(true, Ordering::Relaxed);
             self.buried.incr();
-            self.record(|| TraceEvent::bury(self.dim(), &f1.facet.verts, &f2.facet.verts, p1, depth));
+            self.record(|| {
+                TraceEvent::bury(self.dim(), &f1.facet.verts, &f2.facet.verts, p1, depth)
+            });
             return;
         }
         // Lines 11-12: orient so that t1 holds the earlier pivot.
@@ -146,13 +173,19 @@ impl<'a, M: RidgeMultimap<RidgeKey>> Shared<'a, M> {
         let p = p1;
         let dim = self.dim();
         let verts = join_ridge(&r, dim, p);
-        let candidates = merge_conflicts(&f1.facet.conflicts, &f2.facet.conflicts);
-        let (facet, tests) = self.ctx.make_facet(verts, &candidates, p);
-        self.tests.add(tests);
+        let (facet, counts) = MERGE_SCRATCH.with(|scratch| {
+            let mut candidates = scratch.borrow_mut();
+            merge_conflicts_into(&f1.facet.conflicts, &f2.facet.conflicts, &mut candidates);
+            self.ctx.make_facet(verts, &candidates, p)
+        });
+        self.add_counts(&counts);
         f1.dead.store(true, Ordering::Relaxed);
         self.replaced.incr();
         self.record(|| TraceEvent::replace(dim, &f1.facet.verts, &verts, p, depth));
-        let t_id = self.arena.push(ParFacet { facet, dead: AtomicBool::new(ALIVE) });
+        let t_id = self.arena.push(ParFacet {
+            facet,
+            dead: AtomicBool::new(ALIVE),
+        });
 
         // Lines 18-22: hand each ridge of t to its processor.
         for omit in 0..dim {
@@ -175,35 +208,35 @@ impl<'a, M: RidgeMultimap<RidgeKey>> Shared<'a, M> {
     }
 }
 
-/// Run Algorithm 3 on a dedicated rayon pool with `threads` workers
+/// Run Algorithm 3 with a dedicated pool of `threads` workers
 /// (for thread-scaling experiments and for stress-testing the concurrent
 /// paths with more workers than cores).
 pub fn parallel_hull_with_threads(pts: &PointSet, options: ParOptions, threads: usize) -> ParRun {
-    let pool = rayon::ThreadPoolBuilder::new()
-        .num_threads(threads)
-        .build()
-        .expect("building rayon pool");
-    pool.install(|| parallel_hull(pts, options))
+    dispatch_map(pts, options, threads)
 }
 
 /// Run Algorithm 3 on `pts` (insertion order = index order; the first
 /// `d + 1` points must be affinely independent — use
 /// [`crate::context::prepare_points`]).
 pub fn parallel_hull(pts: &PointSet, options: ParOptions) -> ParRun {
+    dispatch_map(pts, options, pool::default_threads())
+}
+
+fn dispatch_map(pts: &PointSet, options: ParOptions, threads: usize) -> ParRun {
     match options.map {
         MapKind::Locked => {
             let map: RidgeMapLocked<RidgeKey> = RidgeMapLocked::with_capacity(pts.len() * 4);
-            run_with_map(pts, options, map)
+            run_with_map(pts, options, map, threads)
         }
         MapKind::Cas { capacity_factor } => {
             let map: RidgeMapCas<RidgeKey> =
                 RidgeMapCas::with_capacity(capacity_factor * pts.dim() * pts.len() + 1024);
-            run_with_map(pts, options, map)
+            run_with_map(pts, options, map, threads)
         }
         MapKind::Tas { capacity_factor } => {
             let map: RidgeMapTas<RidgeKey> =
                 RidgeMapTas::with_capacity(capacity_factor * pts.dim() * pts.len() + 1024);
-            run_with_map(pts, options, map)
+            run_with_map(pts, options, map, threads)
         }
     }
 }
@@ -212,6 +245,7 @@ fn run_with_map<M: RidgeMultimap<RidgeKey>>(
     pts: &PointSet,
     options: ParOptions,
     map: M,
+    threads: usize,
 ) -> ParRun {
     let dim = pts.dim();
     let n = pts.len();
@@ -227,6 +261,9 @@ fn run_with_map<M: RidgeMultimap<RidgeKey>>(
         arena: ConcurrentArena::new(),
         map,
         tests: StripedCounter::new(),
+        filter_hits: StripedCounter::new(),
+        i128_fallbacks: StripedCounter::new(),
+        bigint_fallbacks: StripedCounter::new(),
         buried: StripedCounter::new(),
         replaced: StripedCounter::new(),
         max_depth: AtomicMax::new(),
@@ -235,21 +272,33 @@ fn run_with_map<M: RidgeMultimap<RidgeKey>>(
 
     // Lines 2-4: seed hull and its conflict sets, facets in parallel.
     let later: Vec<u32> = ((dim as u32 + 1)..n as u32).collect();
-    let seed_facets: Vec<(Facet, u64)> = {
-        use rayon::prelude::*;
-        (0..=dim)
-            .into_par_iter()
-            .map(|omit| {
-                let verts: Vec<u32> =
-                    simplex.iter().copied().filter(|&v| v != omit as u32).collect();
-                shared.ctx.make_facet(facet_verts(&verts), &later, u32::MAX)
-            })
+    let seed_facets: Vec<(Facet, KernelCounts)> = {
+        let mut slots: Vec<Option<(Facet, KernelCounts)>> = (0..=dim).map(|_| None).collect();
+        pool::scope_with_threads(threads.min(dim + 1), |s| {
+            for (omit, slot) in slots.iter_mut().enumerate() {
+                let (ctx, simplex, later) = (&shared.ctx, &simplex, &later);
+                s.spawn(move |_| {
+                    let verts: Vec<u32> = simplex
+                        .iter()
+                        .copied()
+                        .filter(|&v| v != omit as u32)
+                        .collect();
+                    *slot = Some(ctx.make_facet(facet_verts(&verts), later, u32::MAX));
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|x| x.expect("seed facet task ran"))
             .collect()
     };
     let mut seed_ids = Vec::with_capacity(dim + 1);
-    for (facet, tests) in seed_facets {
-        shared.tests.add(tests);
-        seed_ids.push(shared.arena.push(ParFacet { facet, dead: AtomicBool::new(ALIVE) }));
+    for (facet, counts) in seed_facets {
+        shared.add_counts(&counts);
+        seed_ids.push(shared.arena.push(ParFacet {
+            facet,
+            dead: AtomicBool::new(ALIVE),
+        }));
     }
 
     // Lines 5-6: every pair of seed facets shares exactly one ridge.
@@ -260,9 +309,9 @@ fn run_with_map<M: RidgeMultimap<RidgeKey>>(
             let fj = &shared.arena.get(seed_ids[j]).facet.verts;
             let mut r = [crate::facet::NO_VERT; crate::facet::MAX_DIM];
             let mut k = 0;
-            for x in 0..dim {
-                if fj[..dim].contains(&fi[x]) {
-                    r[k] = fi[x];
+            for &fv in &fi[..dim] {
+                if fj[..dim].contains(&fv) {
+                    r[k] = fv;
                     k += 1;
                 }
             }
@@ -271,7 +320,7 @@ fn run_with_map<M: RidgeMultimap<RidgeKey>>(
         }
     }
 
-    rayon::scope(|s| {
+    pool::scope_with_threads(threads, |s| {
         for (t1, r, t2) in seed_ridges {
             let shared = &shared;
             s.spawn(move |s| shared.process_ridge(s, t1, r, t2, 1));
@@ -300,10 +349,24 @@ fn run_with_map<M: RidgeMultimap<RidgeKey>>(
         recursion_depth: shared.max_depth.get(),
         buried: shared.buried.sum(),
         replaced: shared.replaced.sum(),
+        filter_hits: shared.filter_hits.sum(),
+        i128_fallbacks: shared.i128_fallbacks.sum(),
+        bigint_fallbacks: shared.bigint_fallbacks.sum(),
         ..Default::default()
     };
-    let trace = shared.trace.map(|t| t.into_inner()).unwrap_or_default();
-    ParRun { output: HullOutput { dim, facets: hull_facets }, stats, created, trace }
+    let trace = shared
+        .trace
+        .map(|t| t.into_inner().unwrap())
+        .unwrap_or_default();
+    ParRun {
+        output: HullOutput {
+            dim,
+            facets: hull_facets,
+        },
+        stats,
+        created,
+        trace,
+    }
 }
 
 #[cfg(test)]
@@ -331,6 +394,21 @@ mod tests {
         assert_eq!(
             seq.stats.visibility_tests, par.stats.visibility_tests,
             "visibility test counts differ"
+        );
+        // The staged kernel is deterministic per (facet, query), so even the
+        // per-stage counters agree across schedulers.
+        assert_eq!(
+            (
+                seq.stats.filter_hits,
+                seq.stats.i128_fallbacks,
+                seq.stats.bigint_fallbacks
+            ),
+            (
+                par.stats.filter_hits,
+                par.stats.i128_fallbacks,
+                par.stats.bigint_fallbacks
+            ),
+            "staged kernel stage counters differ"
         );
     }
 
@@ -379,8 +457,20 @@ mod tests {
     fn cas_and_tas_maps_agree() {
         let pts = PointSet::from_points2(&generators::disk_2d(300, 1 << 20, 9));
         let pts = prepare_points(&pts, 11);
-        check_matches_seq(&pts, ParOptions { map: MapKind::Cas { capacity_factor: 8 }, record_trace: false });
-        check_matches_seq(&pts, ParOptions { map: MapKind::Tas { capacity_factor: 8 }, record_trace: false });
+        check_matches_seq(
+            &pts,
+            ParOptions {
+                map: MapKind::Cas { capacity_factor: 8 },
+                record_trace: false,
+            },
+        );
+        check_matches_seq(
+            &pts,
+            ParOptions {
+                map: MapKind::Tas { capacity_factor: 8 },
+                record_trace: false,
+            },
+        );
     }
 
     #[test]

@@ -15,10 +15,10 @@ use super::trace::TraceEvent;
 use crate::context::HullContext;
 use crate::facet::{join_ridge, ridge_omitting, Facet, FacetVerts, RidgeKey};
 use crate::output::HullOutput;
-use crate::seq::merge_conflicts;
+use crate::seq::merge_conflicts_into;
 use crate::stats::HullStats;
+use chull_concurrent::fast_hash::FastHashMap;
 use chull_geometry::PointSet;
-use std::collections::HashMap;
 
 /// Result of a rounds run.
 #[derive(Debug)]
@@ -48,7 +48,7 @@ pub fn rounds_hull(pts: &PointSet, record_trace: bool) -> RoundsRun {
 pub fn rounds_hull_from(pts: &PointSet, initial: usize, record_trace: bool) -> RoundsRun {
     let dim = pts.dim();
     let n = pts.len();
-    assert!(initial >= dim + 1 && initial <= n);
+    assert!(initial > dim && initial <= n);
 
     // Hull of the first `initial` points, computed sequentially.
     let head = PointSet::from_flat(dim, pts.flat()[..initial * dim].to_vec());
@@ -56,7 +56,11 @@ pub fn rounds_hull_from(pts: &PointSet, initial: usize, record_trace: bool) -> R
     let simplex: Vec<u32> = (0..=dim as u32).collect();
     let ctx = HullContext::new(pts, &simplex);
 
-    let mut stats = HullStats { n, dim, ..Default::default() };
+    let mut stats = HullStats {
+        n,
+        dim,
+        ..Default::default()
+    };
     let mut facets: Vec<Facet> = Vec::new();
     let mut alive: Vec<bool> = Vec::new();
     let mut created: Vec<FacetVerts> = Vec::new();
@@ -65,8 +69,8 @@ pub fn rounds_hull_from(pts: &PointSet, initial: usize, record_trace: bool) -> R
     // Seed facets: the head hull's facets, with conflicts over the tail.
     let tail: Vec<u32> = (initial as u32..n as u32).collect();
     for verts in &head_run.output.facets {
-        let (facet, tests) = ctx.make_facet(*verts, &tail, u32::MAX);
-        stats.visibility_tests += tests;
+        let (facet, counts) = ctx.make_facet(*verts, &tail, u32::MAX);
+        stats.absorb_kernel(&counts);
         created.push(facet.verts);
         facets.push(facet);
         alive.push(true);
@@ -75,10 +79,13 @@ pub fn rounds_hull_from(pts: &PointSet, initial: usize, record_trace: bool) -> R
 
     // Initial frontier: every ridge of the seed hull (each shared by
     // exactly two facets).
-    let mut incident: HashMap<RidgeKey, Vec<u32>> = HashMap::new();
+    let mut incident: FastHashMap<RidgeKey, Vec<u32>> = FastHashMap::default();
     for (id, f) in facets.iter().enumerate() {
         for omit in 0..dim {
-            incident.entry(ridge_omitting(&f.verts, dim, omit)).or_default().push(id as u32);
+            incident
+                .entry(ridge_omitting(&f.verts, dim, omit))
+                .or_default()
+                .push(id as u32);
         }
     }
     let mut frontier: Vec<(u32, RidgeKey, u32)> = incident
@@ -90,9 +97,11 @@ pub fn rounds_hull_from(pts: &PointSet, initial: usize, record_trace: bool) -> R
         .collect();
     frontier.sort_unstable_by_key(|&(_, r, _)| r); // determinism
 
-    let mut pending: HashMap<RidgeKey, u32> = HashMap::new();
+    let mut pending: FastHashMap<RidgeKey, u32> = FastHashMap::default();
     let mut ridges_per_round = Vec::new();
     let mut round = 0usize;
+    // Reused conflict-merge scratch (one allocation for the whole run).
+    let mut candidates: Vec<u32> = Vec::new();
 
     while !frontier.is_empty() {
         round += 1;
@@ -137,12 +146,13 @@ pub fn rounds_hull_from(pts: &PointSet, initial: usize, record_trace: bool) -> R
             }
             let p = facets[t1 as usize].pivot();
             let verts = join_ridge(&r, dim, p);
-            let candidates = merge_conflicts(
+            merge_conflicts_into(
                 &facets[t1 as usize].conflicts,
                 &facets[t2 as usize].conflicts,
+                &mut candidates,
             );
-            let (facet, tests) = ctx.make_facet(verts, &candidates, p);
-            stats.visibility_tests += tests;
+            let (facet, counts) = ctx.make_facet(verts, &candidates, p);
+            stats.absorb_kernel(&counts);
             alive[t1 as usize] = false;
             stats.replaced += 1;
             if record_trace {
@@ -183,7 +193,10 @@ pub fn rounds_hull_from(pts: &PointSet, initial: usize, record_trace: bool) -> R
     stats.rounds = round as u64;
     stats.hull_facets = hull_facets.len() as u64;
     RoundsRun {
-        output: HullOutput { dim, facets: hull_facets },
+        output: HullOutput {
+            dim,
+            facets: hull_facets,
+        },
         stats,
         created,
         ridges_per_round,
@@ -267,6 +280,9 @@ mod tests {
         let rr = rounds_hull(&pts, true);
         assert_eq!(rr.ridges_per_round.len(), rr.stats.rounds as usize);
         // Every trace round index is within bounds.
-        assert!(rr.trace.iter().all(|(r, _)| *r >= 1 && *r <= rr.stats.rounds as usize));
+        assert!(rr
+            .trace
+            .iter()
+            .all(|(r, _)| *r >= 1 && *r <= rr.stats.rounds as usize));
     }
 }

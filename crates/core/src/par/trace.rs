@@ -46,7 +46,11 @@ fn verts_vec(dim: usize, v: &FacetVerts) -> Vec<u32> {
 
 impl TraceEvent {
     pub(crate) fn finalize(dim: usize, t1: &FacetVerts, t2: &FacetVerts, depth: u64) -> TraceEvent {
-        TraceEvent::Finalize { t1: verts_vec(dim, t1), t2: verts_vec(dim, t2), depth }
+        TraceEvent::Finalize {
+            t1: verts_vec(dim, t1),
+            t2: verts_vec(dim, t2),
+            depth,
+        }
     }
 
     pub(crate) fn bury(
@@ -56,7 +60,12 @@ impl TraceEvent {
         pivot: u32,
         depth: u64,
     ) -> TraceEvent {
-        TraceEvent::Bury { t1: verts_vec(dim, t1), t2: verts_vec(dim, t2), pivot, depth }
+        TraceEvent::Bury {
+            t1: verts_vec(dim, t1),
+            t2: verts_vec(dim, t2),
+            pivot,
+            depth,
+        }
     }
 
     pub(crate) fn replace(
@@ -87,15 +96,25 @@ impl TraceEvent {
     /// `{1, 3}` becomes `v-x`.
     pub fn render(&self, names: &[&str]) -> String {
         let f = |vs: &Vec<u32>| {
-            vs.iter().map(|&v| names[v as usize]).collect::<Vec<_>>().join("-")
+            vs.iter()
+                .map(|&v| names[v as usize])
+                .collect::<Vec<_>>()
+                .join("-")
         };
         match self {
             TraceEvent::Finalize { t1, t2, .. } => format!("finalize {} | {}", f(t1), f(t2)),
             TraceEvent::Bury { t1, t2, pivot, .. } => {
                 format!("{} buries {} and {}", names[*pivot as usize], f(t1), f(t2))
             }
-            TraceEvent::Replace { old, new, pivot, .. } => {
-                format!("{} replaces {} (pivot {})", f(new), f(old), names[*pivot as usize])
+            TraceEvent::Replace {
+                old, new, pivot, ..
+            } => {
+                format!(
+                    "{} replaces {} (pivot {})",
+                    f(new),
+                    f(old),
+                    names[*pivot as usize]
+                )
             }
         }
     }

@@ -15,8 +15,8 @@ use crate::context::{initial_simplex, HullContext};
 use crate::facet::{facet_verts, join_ridge, ridge_omitting, Facet, FacetVerts, RidgeKey, NO_VERT};
 use crate::output::HullOutput;
 use crate::stats::HullStats;
+use chull_concurrent::fast_hash::FastHashMap;
 use chull_geometry::PointSet;
-use std::collections::HashMap;
 
 /// Sentinel facet id.
 const NO_FACET: u32 = u32::MAX;
@@ -56,8 +56,18 @@ pub fn incremental_hull(pts: &PointSet) -> (HullOutput, HullStats) {
 }
 
 /// Merge two ascending conflict lists, dropping duplicates.
+#[cfg(test)]
 pub(crate) fn merge_conflicts(a: &[u32], b: &[u32]) -> Vec<u32> {
     let mut out = Vec::with_capacity(a.len() + b.len());
+    merge_conflicts_into(a, b, &mut out);
+    out
+}
+
+/// [`merge_conflicts`] into a caller-owned scratch buffer (cleared first),
+/// so the hot path reuses one allocation across all created facets.
+pub(crate) fn merge_conflicts_into(a: &[u32], b: &[u32], out: &mut Vec<u32>) {
+    out.clear();
+    out.reserve(a.len() + b.len());
     let (mut i, mut j) = (0, 0);
     while i < a.len() && j < b.len() {
         match a[i].cmp(&b[j]) {
@@ -78,18 +88,21 @@ pub(crate) fn merge_conflicts(a: &[u32], b: &[u32]) -> Vec<u32> {
     }
     out.extend_from_slice(&a[i..]);
     out.extend_from_slice(&b[j..]);
-    out
 }
 
 /// Adjacency bookkeeping: each current-hull ridge maps to its (up to) two
-/// incident alive facets.
+/// incident alive facets. Keyed with the deterministic fast hasher — ridge
+/// keys are tiny inline arrays, and this map is touched `d` times per
+/// facet ever created.
 struct Adjacency {
-    map: HashMap<RidgeKey, [u32; 2]>,
+    map: FastHashMap<RidgeKey, [u32; 2]>,
 }
 
 impl Adjacency {
     fn new() -> Adjacency {
-        Adjacency { map: HashMap::new() }
+        Adjacency {
+            map: FastHashMap::default(),
+        }
     }
 
     fn add(&mut self, r: RidgeKey, facet: u32) {
@@ -147,7 +160,11 @@ pub fn incremental_hull_run(pts: &PointSet) -> SeqRun {
     );
     let ctx = HullContext::new(pts, &simplex);
 
-    let mut stats = HullStats { n, dim, ..Default::default() };
+    let mut stats = HullStats {
+        n,
+        dim,
+        ..Default::default()
+    };
     let mut facets: Vec<Facet> = Vec::new();
     let mut alive: Vec<bool> = Vec::new();
     let mut depth: Vec<u32> = Vec::new();
@@ -164,39 +181,42 @@ pub fn incremental_hull_run(pts: &PointSet) -> SeqRun {
     let mut point_conflicts: Vec<Vec<u32>> = vec![Vec::new(); n];
 
     let all_later: Vec<u32> = ((dim as u32 + 1)..n as u32).collect();
-    let register =
-        |facet: Facet,
-         d: u32,
-         facets: &mut Vec<Facet>,
-         alive: &mut Vec<bool>,
-         depth: &mut Vec<u32>,
-         created: &mut Vec<FacetVerts>,
-         adj: &mut Adjacency,
-         point_conflicts: &mut Vec<Vec<u32>>,
-         stats: &mut HullStats| {
-            let id = facets.len() as u32;
-            for omit in 0..dim {
-                adj.add(ridge_omitting(&facet.verts, dim, omit), id);
-            }
-            for &q in &facet.conflicts {
-                point_conflicts[q as usize].push(id);
-            }
-            created.push(facet.verts);
-            facets.push(facet);
-            alive.push(true);
-            depth.push(d);
-            stats.facets_created += 1;
-            if d as u64 > stats.dep_depth {
-                stats.dep_depth = d as u64;
-            }
-            id
-        };
+    let register = |facet: Facet,
+                    d: u32,
+                    facets: &mut Vec<Facet>,
+                    alive: &mut Vec<bool>,
+                    depth: &mut Vec<u32>,
+                    created: &mut Vec<FacetVerts>,
+                    adj: &mut Adjacency,
+                    point_conflicts: &mut Vec<Vec<u32>>,
+                    stats: &mut HullStats| {
+        let id = facets.len() as u32;
+        for omit in 0..dim {
+            adj.add(ridge_omitting(&facet.verts, dim, omit), id);
+        }
+        for &q in &facet.conflicts {
+            point_conflicts[q as usize].push(id);
+        }
+        created.push(facet.verts);
+        facets.push(facet);
+        alive.push(true);
+        depth.push(d);
+        stats.facets_created += 1;
+        if d as u64 > stats.dep_depth {
+            stats.dep_depth = d as u64;
+        }
+        id
+    };
 
     // Initial hull: all d+1 facets of the seed simplex.
     for omit in 0..=dim {
-        let verts: Vec<u32> = simplex.iter().copied().filter(|&v| v != omit as u32).collect();
-        let (facet, tests) = ctx.make_facet(facet_verts(&verts), &all_later, NO_VERT);
-        stats.visibility_tests += tests;
+        let verts: Vec<u32> = simplex
+            .iter()
+            .copied()
+            .filter(|&v| v != omit as u32)
+            .collect();
+        let (facet, counts) = ctx.make_facet(facet_verts(&verts), &all_later, NO_VERT);
+        stats.absorb_kernel(&counts);
         register(
             facet,
             0,
@@ -217,6 +237,9 @@ pub fn incremental_hull_run(pts: &PointSet) -> SeqRun {
     // insertion, vs. clearing a bitmap of all facets every round).
     let mut in_r_stamp: Vec<u32> = Vec::new();
     let mut stamp: u32 = 0;
+    // Scratch buffer reused by every conflict-list merge (allocation
+    // hygiene: no fresh Vec per created facet).
+    let mut candidates: Vec<u32> = Vec::new();
     for v in (dim as u32 + 1)..n as u32 {
         // R = alive facets visible from v (Line 5 of Algorithm 2).
         let r_set: Vec<u32> = point_conflicts[v as usize]
@@ -276,10 +299,13 @@ pub fn incremental_hull_run(pts: &PointSet) -> SeqRun {
         // Create one new facet per boundary ridge (Lines 7-10).
         for (r, t1, t2) in boundary {
             let verts = join_ridge(&r, dim, v);
-            let candidates =
-                merge_conflicts(&facets[t1 as usize].conflicts, &facets[t2 as usize].conflicts);
-            let (facet, tests) = ctx.make_facet(verts, &candidates, v);
-            stats.visibility_tests += tests;
+            merge_conflicts_into(
+                &facets[t1 as usize].conflicts,
+                &facets[t2 as usize].conflicts,
+                &mut candidates,
+            );
+            let (facet, counts) = ctx.make_facet(verts, &candidates, v);
+            stats.absorb_kernel(&counts);
             let d = 1 + depth[t1 as usize].max(depth[t2 as usize]);
             register(
                 facet,
@@ -305,7 +331,10 @@ pub fn incremental_hull_run(pts: &PointSet) -> SeqRun {
         .collect();
     stats.hull_facets = hull_facets.len() as u64;
     SeqRun {
-        output: HullOutput { dim, facets: hull_facets },
+        output: HullOutput {
+            dim,
+            facets: hull_facets,
+        },
         stats,
         depths: depth,
         created,
@@ -346,7 +375,10 @@ mod tests {
         ]);
         assert_eq!(run.output.num_facets(), 4);
         let verts = run.output.vertices();
-        assert!(!verts.contains(&4), "interior point must not be a hull vertex");
+        assert!(
+            !verts.contains(&4),
+            "interior point must not be a hull vertex"
+        );
         assert_eq!(verts.len(), 4);
     }
 
@@ -447,6 +479,24 @@ mod tests {
             let run = incremental_hull_run(&pts);
             assert!(run.stats.naive_dep_depth >= run.stats.dep_depth);
         }
+    }
+
+    #[test]
+    fn kernel_counters_partition_visibility_tests() {
+        let pts = PointSet::from_points2(&generators::disk_2d(500, 1 << 20, 12));
+        let pts = prepare_points(&pts, 5);
+        let run = incremental_hull_run(&pts);
+        let s = &run.stats;
+        assert_eq!(
+            s.visibility_tests,
+            s.filter_hits + s.i128_fallbacks + s.bigint_fallbacks,
+            "kernel stages must partition the tests"
+        );
+        #[cfg(not(feature = "naive-kernel"))]
+        assert!(
+            s.filter_hits > 0,
+            "generic input should mostly resolve in the filter"
+        );
     }
 
     #[test]

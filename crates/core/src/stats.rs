@@ -1,5 +1,7 @@
 //! Instrumentation records shared by the hull algorithms.
 
+use chull_geometry::KernelCounts;
+
 /// Counters and depth measurements from one hull construction.
 ///
 /// The paper's claims map onto these fields:
@@ -36,9 +38,25 @@ pub struct HullStats {
     /// scheduling discipline). The gap between this and `dep_depth` is what
     /// the paper's support sets buy (ablation E12a). Sequential runs only.
     pub naive_dep_depth: u64,
+    /// Visibility tests certified by the staged kernel's f64 filter alone.
+    /// `visibility_tests == filter_hits + i128_fallbacks + bigint_fallbacks`.
+    pub filter_hits: u64,
+    /// Visibility tests that fell through to the checked `i128` dot product.
+    pub i128_fallbacks: u64,
+    /// Visibility tests that needed arbitrary-precision evaluation.
+    pub bigint_fallbacks: u64,
 }
 
 impl HullStats {
+    /// Fold one facet's staged-kernel counters into the run totals.
+    #[inline]
+    pub fn absorb_kernel(&mut self, counts: &KernelCounts) {
+        self.visibility_tests += counts.tests;
+        self.filter_hits += counts.filter_hits;
+        self.i128_fallbacks += counts.i128_fallbacks;
+        self.bigint_fallbacks += counts.bigint_fallbacks;
+    }
+
     /// The harmonic number `H_n` for normalizing depths (Theorem 4.2).
     pub fn harmonic(&self) -> f64 {
         (1..=self.n).map(|i| 1.0 / i as f64).sum()

@@ -23,7 +23,10 @@ use std::collections::HashMap;
 pub fn verify_hull(pts: &PointSet, hull: &HullOutput) -> Result<(), String> {
     let dim = hull.dim;
     if dim != pts.dim() {
-        return Err(format!("dimension mismatch: hull {dim}, points {}", pts.dim()));
+        return Err(format!(
+            "dimension mismatch: hull {dim}, points {}",
+            pts.dim()
+        ));
     }
     if hull.facets.is_empty() {
         return Err("hull has no facets".to_string());
@@ -86,10 +89,8 @@ pub fn verify_hull(pts: &PointSet, hull: &HullOutput) -> Result<(), String> {
     let fcount = hull.facets.len();
     let e = ridge_count.len();
     match dim {
-        2 => {
-            if fcount != v {
-                return Err(format!("2D hull: {fcount} edges but {v} vertices"));
-            }
+        2 if fcount != v => {
+            return Err(format!("2D hull: {fcount} edges but {v} vertices"));
         }
         3 => {
             let euler = v as i64 - e as i64 + fcount as i64;
@@ -143,7 +144,13 @@ mod tests {
     fn accepts_valid_square() {
         let pts = PointSet::from_rows(
             2,
-            &[vec![0, 0], vec![10, 0], vec![0, 10], vec![10, 10], vec![5, 5]],
+            &[
+                vec![0, 0],
+                vec![10, 0],
+                vec![0, 10],
+                vec![10, 10],
+                vec![5, 5],
+            ],
         );
         let run = incremental_hull_run(&pts);
         verify_hull(&pts, &run.output).unwrap();
@@ -153,7 +160,10 @@ mod tests {
     #[test]
     fn rejects_missing_facet() {
         let pts = PointSet::from_rows(2, &[vec![0, 0], vec![10, 0], vec![0, 10]]);
-        let bad = HullOutput { dim: 2, facets: vec![facet_verts(&[0, 1]), facet_verts(&[1, 2])] };
+        let bad = HullOutput {
+            dim: 2,
+            facets: vec![facet_verts(&[0, 1]), facet_verts(&[1, 2])],
+        };
         assert!(verify_hull(&pts, &bad).is_err());
     }
 
@@ -163,28 +173,50 @@ mod tests {
         // Out-of-range vertex id.
         let bad = HullOutput {
             dim: 2,
-            facets: vec![facet_verts(&[0, 1]), facet_verts(&[1, 2]), [0, 7, u32::MAX, u32::MAX, u32::MAX, u32::MAX, u32::MAX, u32::MAX]],
+            facets: vec![
+                facet_verts(&[0, 1]),
+                facet_verts(&[1, 2]),
+                [
+                    0,
+                    7,
+                    u32::MAX,
+                    u32::MAX,
+                    u32::MAX,
+                    u32::MAX,
+                    u32::MAX,
+                    u32::MAX,
+                ],
+            ],
         };
         let err = verify_hull(&pts, &bad).unwrap_err();
         assert!(err.contains("out-of-range"), "{err}");
         // Unsorted/duplicate vertices.
         let bad = HullOutput {
             dim: 2,
-            facets: vec![[1, 1, u32::MAX, u32::MAX, u32::MAX, u32::MAX, u32::MAX, u32::MAX]],
+            facets: vec![[
+                1,
+                1,
+                u32::MAX,
+                u32::MAX,
+                u32::MAX,
+                u32::MAX,
+                u32::MAX,
+                u32::MAX,
+            ]],
         };
         let err = verify_hull(&pts, &bad).unwrap_err();
         assert!(err.contains("not sorted"), "{err}");
         // Empty facet list.
-        let bad = HullOutput { dim: 2, facets: vec![] };
+        let bad = HullOutput {
+            dim: 2,
+            facets: vec![],
+        };
         assert!(verify_hull(&pts, &bad).is_err());
     }
 
     #[test]
     fn rejects_non_hull_edge() {
-        let pts = PointSet::from_rows(
-            2,
-            &[vec![0, 0], vec![10, 0], vec![0, 10], vec![10, 10]],
-        );
+        let pts = PointSet::from_rows(2, &[vec![0, 0], vec![10, 0], vec![0, 10], vec![10, 10]]);
         // The diagonal (0, 3) is not a hull edge: points on both sides.
         let bad = HullOutput {
             dim: 2,

@@ -85,13 +85,19 @@ impl BigInt {
     /// The value 0.
     #[inline]
     pub fn zero() -> BigInt {
-        BigInt { negative: false, limbs: Vec::new() }
+        BigInt {
+            negative: false,
+            limbs: Vec::new(),
+        }
     }
 
     /// The value 1.
     #[inline]
     pub fn one() -> BigInt {
-        BigInt { negative: false, limbs: vec![1] }
+        BigInt {
+            negative: false,
+            limbs: vec![1],
+        }
     }
 
     /// True iff the value is zero.
@@ -296,7 +302,11 @@ impl BigInt {
             while let Some(&0) = q.last() {
                 q.pop();
             }
-            let r = if rem == 0 { Vec::new() } else { vec![rem as u64] };
+            let r = if rem == 0 {
+                Vec::new()
+            } else {
+                vec![rem as u64]
+            };
             return (q, r);
         }
 
@@ -317,9 +327,7 @@ impl BigInt {
             let mut q_hat = top2 / btop;
             let mut r_hat = top2 % btop;
             // Refine: at most two corrections bring q_hat within 1 of truth.
-            while q_hat >> 64 != 0
-                || q_hat * bsecond > ((r_hat << 64) | an[j + n - 2] as u128)
-            {
+            while q_hat >> 64 != 0 || q_hat * bsecond > ((r_hat << 64) | an[j + n - 2] as u128) {
                 q_hat -= 1;
                 r_hat += btop;
                 if r_hat >> 64 != 0 {
@@ -366,8 +374,14 @@ impl BigInt {
     /// (remainder has the sign of `self`).
     pub fn divmod(&self, other: &BigInt) -> (BigInt, BigInt) {
         let (qm, rm) = Self::divmod_mag(&self.limbs, &other.limbs);
-        let mut q = BigInt { negative: self.negative != other.negative, limbs: qm };
-        let mut r = BigInt { negative: self.negative, limbs: rm };
+        let mut q = BigInt {
+            negative: self.negative != other.negative,
+            limbs: qm,
+        };
+        let mut r = BigInt {
+            negative: self.negative,
+            limbs: rm,
+        };
         q.trim();
         r.trim();
         (q, r)
@@ -435,7 +449,10 @@ impl From<i64> for BigInt {
             return BigInt::zero();
         }
         let mag = (v as i128).unsigned_abs() as u64;
-        BigInt { negative: v < 0, limbs: vec![mag] }
+        BigInt {
+            negative: v < 0,
+            limbs: vec![mag],
+        }
     }
 }
 
@@ -448,7 +465,10 @@ impl From<i128> for BigInt {
         let lo = mag as u64;
         let hi = (mag >> 64) as u64;
         let limbs = if hi == 0 { vec![lo] } else { vec![lo, hi] };
-        BigInt { negative: v < 0, limbs }
+        BigInt {
+            negative: v < 0,
+            limbs,
+        }
     }
 }
 
@@ -486,7 +506,10 @@ impl fmt::Display for BigInt {
         // Repeated division by 10^19 (largest power of ten in u64).
         let ten19 = BigInt::from(10_000_000_000_000_000_000i128);
         let mut chunks = Vec::new();
-        let mut cur = BigInt { negative: false, limbs: self.limbs.clone() };
+        let mut cur = BigInt {
+            negative: false,
+            limbs: self.limbs.clone(),
+        };
         while !cur.is_zero() {
             let (q, r) = cur.divmod(&ten19);
             chunks.push(if r.is_zero() { 0 } else { r.limbs[0] });
@@ -574,8 +597,14 @@ mod tests {
     fn divmod_requires_addback_path() {
         // Crafted case exercising the rare Knuth-D add-back branch:
         // dividend slightly below a multiple of the divisor.
-        let b = BigInt { negative: false, limbs: vec![0, 0x8000_0000_0000_0000] };
-        let q_true = BigInt { negative: false, limbs: vec![u64::MAX, u64::MAX] };
+        let b = BigInt {
+            negative: false,
+            limbs: vec![0, 0x8000_0000_0000_0000],
+        };
+        let q_true = BigInt {
+            negative: false,
+            limbs: vec![u64::MAX, u64::MAX],
+        };
         let n = b.mul(&q_true);
         let (q, r) = n.divmod(&b);
         assert_eq!(q, q_true);

@@ -72,6 +72,63 @@ pub fn det_sign_i128(rows: &[Vec<i128>]) -> Sign {
     }
 }
 
+/// Exact determinant **value** of a square `i128` matrix via checked
+/// Bareiss elimination; `None` if any intermediate would overflow `i128`.
+///
+/// This is the workhorse behind cached-hyperplane construction: facet
+/// plane coefficients are d×d minors of the orientation matrix, and the
+/// caller wants the value (not just the sign) on the fast path.
+pub fn det_i128_checked(rows: &[Vec<i128>]) -> Option<i128> {
+    let n = rows.len();
+    for r in rows {
+        assert_eq!(r.len(), n, "determinant of non-square matrix");
+    }
+    if n == 0 {
+        return Some(1);
+    }
+    let mut m = rows.to_vec();
+    let mut negate = false;
+    let mut prev_pivot: i128 = 1;
+    for k in 0..n {
+        let pivot_row = match (k..n).find(|&i| m[i][k] != 0) {
+            Some(r) => r,
+            None => return Some(0),
+        };
+        if pivot_row != k {
+            m.swap(k, pivot_row);
+            negate = !negate;
+        }
+        let pivot = m[k][k];
+        for i in (k + 1)..n {
+            for j in (k + 1)..n {
+                let a = pivot.checked_mul(m[i][j])?;
+                let b = m[i][k].checked_mul(m[k][j])?;
+                let num = a.checked_sub(b)?;
+                debug_assert_eq!(num % prev_pivot, 0);
+                m[i][j] = num / prev_pivot;
+            }
+            m[i][k] = 0;
+        }
+        prev_pivot = pivot;
+    }
+    let det = m[n - 1][n - 1];
+    Some(if negate { det.checked_neg()? } else { det })
+}
+
+/// Exact determinant of a square `i128` matrix as a [`BigInt`]
+/// (arbitrary-precision path for minors that overflow `i128`).
+pub fn det_i128_bigint(rows: &[Vec<i128>]) -> BigInt {
+    let n = rows.len();
+    for r in rows {
+        assert_eq!(r.len(), n, "determinant of non-square matrix");
+    }
+    let m: Vec<Vec<BigInt>> = rows
+        .iter()
+        .map(|r| r.iter().map(|&v| BigInt::from(v)).collect())
+        .collect();
+    bareiss_det_bigint(m)
+}
+
 /// Bareiss elimination over `i128` with overflow checking.
 /// Returns `None` if any intermediate would overflow.
 fn bareiss_sign_i128(mut m: Vec<Vec<i128>>) -> Option<Sign> {
@@ -233,8 +290,8 @@ mod tests {
     fn identity_and_permutations() {
         for n in 1..=6 {
             let mut m = vec![vec![0i64; n]; n];
-            for i in 0..n {
-                m[i][i] = 1;
+            for (i, row) in m.iter_mut().enumerate() {
+                row[i] = 1;
             }
             assert_eq!(det_sign_i64(&m).as_i32(), 1, "identity {n}x{n}");
             if n >= 2 {
@@ -257,7 +314,9 @@ mod tests {
         // Deterministic pseudo-random 3x3s, cross-check against cofactor i128.
         let mut state = 0x243F6A8885A308D3u64;
         let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as i64 % 1000) - 500
         };
         for _ in 0..200 {
@@ -299,7 +358,11 @@ mod tests {
         // 5x5 with a duplicated row: determinant must be exactly zero.
         let base: Vec<i64> = vec![3, -7, 11, 13, -17];
         let mut m: Vec<Vec<i64>> = (0..5)
-            .map(|i| base.iter().map(|&v| v * (i as i64 + 1) + i as i64).collect())
+            .map(|i| {
+                base.iter()
+                    .map(|&v| v * (i as i64 + 1) + i as i64)
+                    .collect()
+            })
             .collect();
         m[4] = m[2].clone();
         assert_eq!(det_sign_i64(&m), Sign::Zero);

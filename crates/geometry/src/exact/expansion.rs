@@ -114,6 +114,12 @@ impl Expansion {
         self.comps.len()
     }
 
+    /// True iff no components are stored (the canonical zero).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.comps.is_empty()
+    }
+
     /// True iff the represented value is zero.
     #[inline]
     pub fn is_zero(&self) -> bool {
@@ -184,10 +190,8 @@ impl Expansion {
                 h.push(hn);
             }
         }
-        if q != 0.0 || h.is_empty() {
-            if q != 0.0 {
-                h.push(q);
-            }
+        if q != 0.0 {
+            h.push(q);
         }
         Expansion { comps: h }
     }
@@ -199,7 +203,9 @@ impl Expansion {
 
     /// Negated copy.
     pub fn neg(&self) -> Expansion {
-        Expansion { comps: self.comps.iter().map(|&c| -c).collect() }
+        Expansion {
+            comps: self.comps.iter().map(|&c| -c).collect(),
+        }
     }
 
     /// Exact product by a scalar (`scale_expansion_zeroelim`).
@@ -225,10 +231,8 @@ impl Expansion {
                 h.push(hh);
             }
         }
-        if q != 0.0 || h.is_empty() {
-            if q != 0.0 {
-                h.push(q);
-            }
+        if q != 0.0 {
+            h.push(q);
         }
         Expansion { comps: h }
     }
@@ -276,7 +280,9 @@ pub fn det_expansion_rows(rows: &[Vec<Expansion>]) -> Expansion {
     match n {
         0 => Expansion::from_f64(1.0),
         1 => rows[0][0].clone(),
-        2 => rows[0][0].mul(&rows[1][1]).sub(&rows[0][1].mul(&rows[1][0])),
+        2 => rows[0][0]
+            .mul(&rows[1][1])
+            .sub(&rows[0][1].mul(&rows[1][0])),
         _ => {
             let mut acc = Expansion::zero();
             for j in 0..n {
@@ -294,7 +300,11 @@ pub fn det_expansion_rows(rows: &[Vec<Expansion>]) -> Expansion {
                     })
                     .collect();
                 let term = rows[0][j].mul(&det_expansion_rows(&minor));
-                acc = if j % 2 == 0 { acc.add(&term) } else { acc.sub(&term) };
+                acc = if j % 2 == 0 {
+                    acc.add(&term)
+                } else {
+                    acc.sub(&term)
+                };
             }
             acc
         }
@@ -397,8 +407,8 @@ mod tests {
     #[test]
     fn det_4x4_identity_and_swap() {
         let mut m = vec![vec![0.0; 4]; 4];
-        for i in 0..4 {
-            m[i][i] = 1.0;
+        for (i, row) in m.iter_mut().enumerate() {
+            row[i] = 1.0;
         }
         assert_eq!(det_sign_exact(&m), 1);
         m.swap(0, 1);
@@ -419,7 +429,9 @@ mod tests {
     fn zero_handling() {
         assert_eq!(Expansion::zero().sign(), 0);
         assert!(Expansion::from_f64(0.0).is_zero());
-        assert!(Expansion::from_f64(5.0).sub(&Expansion::from_f64(5.0)).is_zero());
+        assert!(Expansion::from_f64(5.0)
+            .sub(&Expansion::from_f64(5.0))
+            .is_zero());
         assert_eq!(Expansion::from_f64(5.0).scale(0.0).sign(), 0);
     }
 }

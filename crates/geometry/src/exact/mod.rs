@@ -6,5 +6,7 @@ pub mod det;
 pub mod expansion;
 
 pub use bigint::{BigInt, Sign};
-pub use det::{affine_rank, det_i64, det_sign_i128, det_sign_i64, rank_i64};
+pub use det::{
+    affine_rank, det_i128_bigint, det_i128_checked, det_i64, det_sign_i128, det_sign_i64, rank_i64,
+};
 pub use expansion::{det_sign_exact, Expansion};

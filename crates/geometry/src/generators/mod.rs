@@ -13,9 +13,7 @@
 //!   Section 6 corner-configuration algorithm and the exact predicates.
 
 use crate::point::{Point2i, Point3i, PointSet};
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
-use rand_chacha::ChaCha8Rng;
+use crate::rng::{ChaCha8Rng, SliceRandom};
 use std::collections::HashSet;
 
 /// The deterministic RNG used throughout the suite.
@@ -132,7 +130,10 @@ pub fn ball_d(dim: usize, n: usize, radius: i64, seed: u64) -> PointSet {
 /// point is a hull vertex: the adversarial "all-extreme" regime.
 pub fn near_sphere_d(dim: usize, n: usize, radius: i64, seed: u64) -> PointSet {
     assert!(dim >= 2);
-    assert!(radius >= 1000, "need a large radius for near-sphere lattice points");
+    assert!(
+        radius >= 1000,
+        "need a large radius for near-sphere lattice points"
+    );
     let mut r = rng(seed);
     let mut seen = HashSet::with_capacity(n);
     let mut rows: Vec<Vec<i64>> = Vec::with_capacity(n);
@@ -142,7 +143,10 @@ pub fn near_sphere_d(dim: usize, n: usize, radius: i64, seed: u64) -> PointSet {
         if norm < 1e-9 {
             continue;
         }
-        let p: Vec<i64> = dir.iter().map(|v| (v / norm * radius as f64).round() as i64).collect();
+        let p: Vec<i64> = dir
+            .iter()
+            .map(|v| (v / norm * radius as f64).round() as i64)
+            .collect();
         if seen.insert(p.clone()) {
             rows.push(p);
         }
@@ -200,7 +204,10 @@ pub fn paraboloid_3d(n: usize, range: i64, seed: u64) -> Vec<Point3i> {
 /// Gaussian cloud (rounded), standard deviation `stddev` lattice units.
 pub fn gaussian_d(dim: usize, n: usize, stddev: f64, seed: u64) -> PointSet {
     assert!(dim >= 2);
-    assert!(stddev >= 100.0, "stddev too small for distinct lattice points");
+    assert!(
+        stddev >= 100.0,
+        "stddev too small for distinct lattice points"
+    );
     let mut r = rng(seed);
     let mut seen = HashSet::with_capacity(n);
     let mut rows: Vec<Vec<i64>> = Vec::with_capacity(n);
@@ -352,8 +359,8 @@ mod tests {
 
     #[test]
     fn parabola_strict_convex_position() {
-        use crate::predicates::orient2d;
         use crate::exact::Sign;
+        use crate::predicates::orient2d;
         let mut pts = parabola_2d(100, 4);
         pts.sort();
         // Consecutive triples along the parabola always turn left.
@@ -378,7 +385,10 @@ mod tests {
         for c in ps.iter() {
             let d2: i128 = c.iter().map(|&v| (v as i128) * (v as i128)).sum();
             let d = (d2 as f64).sqrt();
-            assert!((d - radius as f64).abs() < 4.0, "point far from sphere: {d}");
+            assert!(
+                (d - radius as f64).abs() < 4.0,
+                "point far from sphere: {d}"
+            );
         }
     }
 

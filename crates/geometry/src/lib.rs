@@ -12,8 +12,11 @@
 
 pub mod exact;
 pub mod generators;
+pub mod kernel;
 pub mod point;
 pub mod predicates;
+pub mod rng;
 
 pub use exact::{BigInt, Sign};
+pub use kernel::{Hyperplane, KernelCounts};
 pub use point::{Point2f, Point2i, Point3f, Point3i, PointSet, MAX_COORD};

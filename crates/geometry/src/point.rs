@@ -125,13 +125,20 @@ impl PointSet {
     /// An empty set of points of dimension `dim`.
     pub fn new(dim: usize) -> PointSet {
         assert!(dim >= 1, "dimension must be at least 1");
-        PointSet { dim, coords: Vec::new() }
+        PointSet {
+            dim,
+            coords: Vec::new(),
+        }
     }
 
     /// Build from a flat coordinate buffer (`len` must divide evenly).
     pub fn from_flat(dim: usize, coords: Vec<i64>) -> PointSet {
         assert!(dim >= 1, "dimension must be at least 1");
-        assert_eq!(coords.len() % dim, 0, "coordinate buffer length not a multiple of dim");
+        assert_eq!(
+            coords.len() % dim,
+            0,
+            "coordinate buffer length not a multiple of dim"
+        );
         PointSet { dim, coords }
     }
 
@@ -221,7 +228,10 @@ impl PointSet {
         for &src in perm {
             coords.extend_from_slice(self.point(src));
         }
-        PointSet { dim: self.dim, coords }
+        PointSet {
+            dim: self.dim,
+            coords,
+        }
     }
 }
 

@@ -346,7 +346,10 @@ mod tests {
         let b = p3(1.0, 0.0, 0.0);
         let c = p3(0.0, 1.0, 0.0);
         let tiny = f64::MIN_POSITIVE;
-        assert_eq!(orient3d(a, b, c, p3(0.3, 0.3, tiny)), orient3d_exact(a, b, c, p3(0.3, 0.3, tiny)));
+        assert_eq!(
+            orient3d(a, b, c, p3(0.3, 0.3, tiny)),
+            orient3d_exact(a, b, c, p3(0.3, 0.3, tiny))
+        );
         assert_ne!(orient3d(a, b, c, p3(0.3, 0.3, tiny)), 0);
         assert_eq!(orient3d(a, b, c, p3(0.3, 0.3, 0.0)), 0);
     }
@@ -382,7 +385,11 @@ mod tests {
         let c = p3(0.0, 2.0, 0.0);
         let d = p3(0.0, 0.0, 2.0);
         // Normalize orientation: want orient3d > 0.
-        let (a, b) = if orient3d(a, b, c, d) > 0 { (a, b) } else { (b, a) };
+        let (a, b) = if orient3d(a, b, c, d) > 0 {
+            (a, b)
+        } else {
+            (b, a)
+        };
         assert_eq!(insphere(a, b, c, d, p3(1.0, 1.0, 1.0)), 1);
         assert_eq!(insphere(a, b, c, d, p3(10.0, 10.0, 10.0)), -1);
         assert_eq!(insphere(a, b, c, d, p3(2.0, 2.0, 0.0)), 0);
@@ -407,7 +414,10 @@ mod tests {
             let ic = Point2i::new(cx, cy);
             let id = Point2i::new(dx, dy);
             assert_eq!(orient2d(fa, fb, fc), int::orient2d(ia, ib, ic).as_i32());
-            assert_eq!(incircle(fa, fb, fc, fd), int::incircle(ia, ib, ic, id).as_i32());
+            assert_eq!(
+                incircle(fa, fb, fc, fd),
+                int::incircle(ia, ib, ic, id).as_i32()
+            );
         }
         let a = Point3i::new(0, 0, 0);
         let b = Point3i::new(3, 1, 0);

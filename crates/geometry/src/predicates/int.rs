@@ -58,9 +58,11 @@ pub fn orient2d(a: Point2i, b: Point2i, c: Point2i) -> Sign {
 /// is `Negative`; concretely this is the sign of the homogeneous 4x4
 /// determinant with rows `a, b, c, d`).
 pub fn orient3d(a: Point3i, b: Point3i, c: Point3i, d: Point3i) -> Sign {
-    let fast_ok = [a, b, c, d]
-        .iter()
-        .all(|p| p.x.abs() < ORIENT3D_FAST_LIMIT && p.y.abs() < ORIENT3D_FAST_LIMIT && p.z.abs() < ORIENT3D_FAST_LIMIT);
+    let fast_ok = [a, b, c, d].iter().all(|p| {
+        p.x.abs() < ORIENT3D_FAST_LIMIT
+            && p.y.abs() < ORIENT3D_FAST_LIMIT
+            && p.z.abs() < ORIENT3D_FAST_LIMIT
+    });
     if fast_ok {
         let adx = (a.x - d.x) as i128;
         let ady = (a.y - d.y) as i128;

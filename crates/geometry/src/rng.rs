@@ -1,0 +1,310 @@
+//! Deterministic, dependency-free random number generation.
+//!
+//! The crate used to pull in `rand`/`rand_chacha` for its point
+//! generators; this module replaces both with a small, fully in-repo
+//! ChaCha8 stream generator plus the handful of sampling helpers the
+//! workspace actually uses (`gen_range` over integer/float ranges and
+//! Fisher–Yates shuffling). Everything is seedable and deterministic so
+//! tests and experiments stay reproducible across machines.
+
+use std::ops::{Range, RangeInclusive};
+
+const CHACHA_ROUNDS: usize = 8;
+
+/// A seedable ChaCha8 pseudo-random generator.
+///
+/// Not cryptographically vetted in this form — it is used purely as a
+/// fast, high-quality deterministic stream for test data and workload
+/// generation.
+#[derive(Clone, Debug)]
+pub struct ChaCha8Rng {
+    /// The 16-word ChaCha input block (constants, key, counter, nonce).
+    state: [u32; 16],
+    /// Current output block.
+    buf: [u32; 16],
+    /// Next unread word in `buf`; 16 means "refill needed".
+    idx: usize,
+}
+
+#[inline]
+fn quarter_round(s: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(16);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(12);
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(8);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(7);
+}
+
+/// SplitMix64 step, used only to expand a 64-bit seed into key material.
+#[inline]
+fn splitmix64(x: &mut u64) -> u64 {
+    *x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl ChaCha8Rng {
+    /// Build a generator from a 64-bit seed.
+    pub fn seed_from_u64(seed: u64) -> ChaCha8Rng {
+        let mut s = seed;
+        let mut key = [0u32; 8];
+        for pair in key.chunks_mut(2) {
+            let w = splitmix64(&mut s);
+            pair[0] = w as u32;
+            pair[1] = (w >> 32) as u32;
+        }
+        let mut state = [0u32; 16];
+        // "expand 32-byte k"
+        state[0] = 0x6170_7865;
+        state[1] = 0x3320_646e;
+        state[2] = 0x7962_2d32;
+        state[3] = 0x6b20_6574;
+        state[4..12].copy_from_slice(&key);
+        // words 12..13: block counter, 14..15: nonce (zero).
+        ChaCha8Rng {
+            state,
+            buf: [0u32; 16],
+            idx: 16,
+        }
+    }
+
+    fn refill(&mut self) {
+        let mut w = self.state;
+        for _ in 0..CHACHA_ROUNDS / 2 {
+            quarter_round(&mut w, 0, 4, 8, 12);
+            quarter_round(&mut w, 1, 5, 9, 13);
+            quarter_round(&mut w, 2, 6, 10, 14);
+            quarter_round(&mut w, 3, 7, 11, 15);
+            quarter_round(&mut w, 0, 5, 10, 15);
+            quarter_round(&mut w, 1, 6, 11, 12);
+            quarter_round(&mut w, 2, 7, 8, 13);
+            quarter_round(&mut w, 3, 4, 9, 14);
+        }
+        for (o, (&a, &b)) in self.buf.iter_mut().zip(w.iter().zip(self.state.iter())) {
+            *o = a.wrapping_add(b);
+        }
+        let (ctr, carry) = self.state[12].overflowing_add(1);
+        self.state[12] = ctr;
+        if carry {
+            self.state[13] = self.state[13].wrapping_add(1);
+        }
+        self.idx = 0;
+    }
+
+    /// Next 32 uniform random bits.
+    #[inline]
+    pub fn next_u32(&mut self) -> u32 {
+        if self.idx == 16 {
+            self.refill();
+        }
+        let v = self.buf[self.idx];
+        self.idx += 1;
+        v
+    }
+
+    /// Next 64 uniform random bits.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let lo = self.next_u32() as u64;
+        let hi = self.next_u32() as u64;
+        (hi << 32) | lo
+    }
+
+    /// Unbiased uniform integer in `0..n` (Lemire's rejection method).
+    #[inline]
+    pub(crate) fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        let mut x = self.next_u64();
+        let mut m = (x as u128) * (n as u128);
+        let mut lo = m as u64;
+        if lo < n {
+            let t = n.wrapping_neg() % n;
+            while lo < t {
+                x = self.next_u64();
+                m = (x as u128) * (n as u128);
+                lo = m as u64;
+            }
+        }
+        (m >> 64) as u64
+    }
+
+    /// Uniform f64 in `[0, 1)` with 53 random bits.
+    #[inline]
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform sample from an integer or float range, e.g.
+    /// `rng.gen_range(-100..100)` or `rng.gen_range(0.0..1.0)`.
+    #[inline]
+    pub fn gen_range<R: UniformRange>(&mut self, range: R) -> R::Output {
+        range.sample(self)
+    }
+}
+
+/// Element types [`ChaCha8Rng::gen_range`] can sample uniformly.
+///
+/// Mirrors `rand`'s `SampleUniform` split so that integer-literal type
+/// inference works through `gen_range(0..6)` and friends: there is a
+/// single `UniformRange` impl per range shape, generic over the element.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Uniform sample from the half-open range `[start, end)`.
+    fn sample_half_open(rng: &mut ChaCha8Rng, start: Self, end: Self) -> Self;
+    /// Uniform sample from the closed range `[start, end]`.
+    fn sample_inclusive(rng: &mut ChaCha8Rng, start: Self, end: Self) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            #[inline]
+            fn sample_half_open(rng: &mut ChaCha8Rng, start: $t, end: $t) -> $t {
+                assert!(start < end, "gen_range: empty range");
+                let span = (end as i128 - start as i128) as u64;
+                (start as i128 + rng.below(span) as i128) as $t
+            }
+            #[inline]
+            fn sample_inclusive(rng: &mut ChaCha8Rng, start: $t, end: $t) -> $t {
+                assert!(start <= end, "gen_range: empty range");
+                let span = (end as i128 - start as i128) as u128 + 1;
+                let off = if span > u64::MAX as u128 {
+                    rng.next_u64()
+                } else {
+                    rng.below(span as u64)
+                };
+                (start as i128 + off as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(i32, i64, u32, u64, usize);
+
+impl SampleUniform for f64 {
+    #[inline]
+    fn sample_half_open(rng: &mut ChaCha8Rng, start: f64, end: f64) -> f64 {
+        assert!(start < end, "gen_range: empty range");
+        let v = start + (end - start) * rng.unit_f64();
+        if v < end {
+            v
+        } else {
+            start
+        }
+    }
+    #[inline]
+    fn sample_inclusive(rng: &mut ChaCha8Rng, start: f64, end: f64) -> f64 {
+        assert!(start <= end, "gen_range: empty range");
+        start + (end - start) * rng.unit_f64()
+    }
+}
+
+/// Ranges that [`ChaCha8Rng::gen_range`] can sample uniformly.
+pub trait UniformRange {
+    /// The sampled value type.
+    type Output;
+    /// Draw one uniform sample.
+    fn sample(self, rng: &mut ChaCha8Rng) -> Self::Output;
+}
+
+impl<T: SampleUniform> UniformRange for Range<T> {
+    type Output = T;
+    #[inline]
+    fn sample(self, rng: &mut ChaCha8Rng) -> T {
+        T::sample_half_open(rng, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform> UniformRange for RangeInclusive<T> {
+    type Output = T;
+    #[inline]
+    fn sample(self, rng: &mut ChaCha8Rng) -> T {
+        T::sample_inclusive(rng, *self.start(), *self.end())
+    }
+}
+
+/// In-place Fisher–Yates shuffling, mirroring the subset of
+/// `rand::seq::SliceRandom` the workspace uses.
+pub trait SliceRandom {
+    /// Shuffle the slice uniformly in place.
+    fn shuffle(&mut self, rng: &mut ChaCha8Rng);
+}
+
+impl<T> SliceRandom for [T] {
+    fn shuffle(&mut self, rng: &mut ChaCha8Rng) {
+        for i in (1..self.len()).rev() {
+            let j = rng.below(i as u64 + 1) as usize;
+            self.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_equal_seeds() {
+        let mut a = ChaCha8Rng::seed_from_u64(42);
+        let mut b = ChaCha8Rng::seed_from_u64(42);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = ChaCha8Rng::seed_from_u64(43);
+        let same = (0..64).filter(|_| a.next_u64() == c.next_u64()).count();
+        assert_eq!(same, 0, "different seeds should diverge immediately");
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = ChaCha8Rng::seed_from_u64(7);
+        for _ in 0..5000 {
+            let v = r.gen_range(-50i64..50);
+            assert!((-50..50).contains(&v));
+            let v = r.gen_range(-50i64..=50);
+            assert!((-50..=50).contains(&v));
+            let v = r.gen_range(0u64..3);
+            assert!(v < 3);
+            let v = r.gen_range(0.25f64..0.75);
+            assert!((0.25..0.75).contains(&v));
+            let v = r.gen_range(0usize..10);
+            assert!(v < 10);
+        }
+    }
+
+    #[test]
+    fn small_ranges_hit_every_value() {
+        let mut r = ChaCha8Rng::seed_from_u64(11);
+        let mut seen = [false; 6];
+        for _ in 0..600 {
+            seen[r.gen_range(0usize..6)] = true;
+        }
+        assert!(
+            seen.iter().all(|&s| s),
+            "all 6 values should appear: {seen:?}"
+        );
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut r = ChaCha8Rng::seed_from_u64(3);
+        let mut v: Vec<u32> = (0..100).collect();
+        v.shuffle(&mut r);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<u32>>());
+        assert_ne!(v, sorted, "shuffle of 100 elements should move something");
+    }
+
+    #[test]
+    fn unit_f64_mean_is_reasonable() {
+        let mut r = ChaCha8Rng::seed_from_u64(5);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| r.unit_f64()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean} far from 0.5");
+    }
+}

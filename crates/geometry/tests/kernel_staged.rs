@@ -1,0 +1,191 @@
+//! The staged visibility kernel's contract: for every facet and query, the
+//! cached-hyperplane sign equals a fresh [`orientd`] determinant — on
+//! random inputs, on adversarial nearly-degenerate queries sitting on or
+//! one unit off the hyperplane, and on huge coordinates that force the
+//! BigInt construction and evaluation fallbacks.
+
+use chull_geometry::predicates::{orientd, orientd_hom};
+use chull_geometry::rng::ChaCha8Rng;
+use chull_geometry::MAX_COORD;
+use chull_geometry::{Hyperplane, KernelCounts, Sign};
+
+fn staged_sign(plane: &Hyperplane, q: &[i64], counts: &mut KernelCounts) -> Sign {
+    plane.sign_point(q, counts)
+}
+
+fn naive_sign(dim: usize, facet: &[Vec<i64>], q: &[i64]) -> Sign {
+    let mut rows: Vec<&[i64]> = facet.iter().map(|r| r.as_slice()).collect();
+    rows.push(q);
+    orientd(dim, &rows)
+}
+
+/// Random facets and queries across 2D/3D/5D at moderate coordinates.
+#[test]
+fn staged_matches_orientd_random() {
+    for &dim in &[2usize, 3, 5] {
+        let mut rng = ChaCha8Rng::seed_from_u64(100 + dim as u64);
+        let mut counts = KernelCounts::default();
+        for _ in 0..120 {
+            let facet: Vec<Vec<i64>> = (0..dim)
+                .map(|_| {
+                    (0..dim)
+                        .map(|_| rng.gen_range(-1_000_000i64..=1_000_000))
+                        .collect()
+                })
+                .collect();
+            let rows: Vec<&[i64]> = facet.iter().map(|r| r.as_slice()).collect();
+            let plane = Hyperplane::new(dim, &rows);
+            for _ in 0..20 {
+                let q: Vec<i64> = (0..dim)
+                    .map(|_| rng.gen_range(-1_000_000i64..=1_000_000))
+                    .collect();
+                assert_eq!(
+                    staged_sign(&plane, &q, &mut counts),
+                    naive_sign(dim, &facet, &q),
+                    "dim {dim} facet {facet:?} q {q:?}"
+                );
+            }
+        }
+        assert_eq!(
+            counts.tests,
+            counts.filter_hits + counts.i128_fallbacks + counts.bigint_fallbacks
+        );
+        assert!(counts.filter_hits > 0, "dim {dim}: filter never certified");
+    }
+}
+
+/// Adversarial queries: affine combinations of the facet vertices (exactly
+/// on the hyperplane, sign must be Zero) and one-unit perturbations off
+/// them (sign must be exactly the perturbation side). The f64 filter can
+/// never certify these; the exact stages must.
+#[test]
+fn staged_matches_orientd_near_degenerate() {
+    for &dim in &[2usize, 3, 5] {
+        let mut rng = ChaCha8Rng::seed_from_u64(200 + dim as u64);
+        let mut counts = KernelCounts::default();
+        for _ in 0..80 {
+            let facet: Vec<Vec<i64>> = (0..dim)
+                .map(|_| {
+                    (0..dim)
+                        .map(|_| rng.gen_range(-1_000_000i64..=1_000_000))
+                        .collect()
+                })
+                .collect();
+            let rows: Vec<&[i64]> = facet.iter().map(|r| r.as_slice()).collect();
+            let plane = Hyperplane::new(dim, &rows);
+            // Integer affine combination: weights summing to 1.
+            let mut q = vec![0i64; dim];
+            let mut wsum = 0i64;
+            for (i, row) in facet.iter().enumerate() {
+                let w = if i + 1 == dim {
+                    1 - wsum
+                } else {
+                    rng.gen_range(-3i64..=3)
+                };
+                wsum += w;
+                for (acc, &c) in q.iter_mut().zip(row) {
+                    *acc += w * c;
+                }
+            }
+            let on = staged_sign(&plane, &q, &mut counts);
+            assert_eq!(on, Sign::Zero, "dim {dim}: affine combination not on plane");
+            assert_eq!(on, naive_sign(dim, &facet, &q));
+            // One-unit nudges along each axis: the smallest representable
+            // perturbation; filter fails, exact stages decide.
+            for axis in 0..dim {
+                for delta in [-1i64, 1] {
+                    let mut qq = q.clone();
+                    qq[axis] += delta;
+                    assert_eq!(
+                        staged_sign(&plane, &qq, &mut counts),
+                        naive_sign(dim, &facet, &qq),
+                        "dim {dim} axis {axis} delta {delta}"
+                    );
+                }
+            }
+        }
+        assert_eq!(
+            counts.tests,
+            counts.filter_hits + counts.i128_fallbacks + counts.bigint_fallbacks
+        );
+        assert!(
+            counts.i128_fallbacks + counts.bigint_fallbacks > 0,
+            "dim {dim}: degenerate queries must reach an exact stage"
+        );
+    }
+}
+
+/// Coordinates near `MAX_COORD` in 5D overflow the i128 cofactor minors:
+/// construction must fall back to BigInt coefficients, and evaluation must
+/// still agree with the (BigInt-backed) naive determinant everywhere.
+#[test]
+fn forced_overflow_exercises_bigint_fallback() {
+    let dim = 5usize;
+    let mut rng = ChaCha8Rng::seed_from_u64(333);
+    let mut counts = KernelCounts::default();
+    let mut saw_big = false;
+    for _ in 0..20 {
+        let facet: Vec<Vec<i64>> = (0..dim)
+            .map(|_| {
+                (0..dim)
+                    .map(|_| rng.gen_range(-MAX_COORD..=MAX_COORD))
+                    .collect()
+            })
+            .collect();
+        let rows: Vec<&[i64]> = facet.iter().map(|r| r.as_slice()).collect();
+        let plane = Hyperplane::new(dim, &rows);
+        saw_big |= plane.is_big();
+        for _ in 0..6 {
+            let q: Vec<i64> = (0..dim)
+                .map(|_| rng.gen_range(-MAX_COORD..=MAX_COORD))
+                .collect();
+            assert_eq!(
+                staged_sign(&plane, &q, &mut counts),
+                naive_sign(dim, &facet, &q)
+            );
+        }
+        // On-plane query at huge coordinates: copy a vertex.
+        assert_eq!(staged_sign(&plane, &facet[0], &mut counts), Sign::Zero);
+    }
+    assert!(saw_big, "MAX_COORD 5D facets must overflow i128 minors");
+    assert_eq!(
+        counts.tests,
+        counts.filter_hits + counts.i128_fallbacks + counts.bigint_fallbacks
+    );
+    assert!(
+        counts.bigint_fallbacks > 0,
+        "no test reached the BigInt stage"
+    );
+}
+
+/// The homogeneous variant agrees with `orientd_hom` (used for the
+/// interior-reference orientation at facet creation).
+#[test]
+fn sign_hom_matches_orientd_hom() {
+    for &dim in &[2usize, 3, 5] {
+        let mut rng = ChaCha8Rng::seed_from_u64(400 + dim as u64);
+        for _ in 0..60 {
+            let facet: Vec<Vec<i64>> = (0..dim)
+                .map(|_| {
+                    (0..dim)
+                        .map(|_| rng.gen_range(-100_000i64..=100_000))
+                        .collect()
+                })
+                .collect();
+            let rows: Vec<&[i64]> = facet.iter().map(|r| r.as_slice()).collect();
+            let plane = Hyperplane::new(dim, &rows);
+            let r: Vec<i64> = (0..dim)
+                .map(|_| rng.gen_range(-500_000i64..=500_000))
+                .collect();
+            let w = rng.gen_range(1i64..=9);
+            let mut hom_rows: Vec<(&[i64], i64)> =
+                facet.iter().map(|f| (f.as_slice(), 1)).collect();
+            hom_rows.push((r.as_slice(), w));
+            assert_eq!(
+                plane.sign_hom(&r, w),
+                orientd_hom(dim, &hom_rows),
+                "dim {dim}"
+            );
+        }
+    }
+}

@@ -1,59 +1,120 @@
 //! Property tests for the exact-arithmetic substrate: the big integer, the
 //! fraction-free determinants, the expansion arithmetic, and the agreement
 //! of all predicate implementations.
+//!
+//! Each property is exercised over many deterministic pseudo-random cases
+//! drawn from the in-repo [`chull_geometry::rng::ChaCha8Rng`] (the external
+//! `proptest` crate is unavailable in this build environment).
 
 use chull_geometry::exact::expansion::{det_expansion, Expansion};
 use chull_geometry::exact::{det_i64, det_sign_i64, rank_i64, BigInt, Sign};
 use chull_geometry::predicates::{self, float};
+use chull_geometry::rng::ChaCha8Rng;
 use chull_geometry::{Point2f, Point2i, Point3f, Point3i};
-use proptest::prelude::*;
+
+const CASES: u64 = 256;
 
 fn bi(v: i128) -> BigInt {
     BigInt::from(v)
 }
 
-proptest! {
-    #[test]
-    fn bigint_add_matches_i128(a in any::<i64>(), b in any::<i64>()) {
+fn rng(salt: u64) -> ChaCha8Rng {
+    ChaCha8Rng::seed_from_u64(0xbead_cafe ^ salt)
+}
+
+#[test]
+fn bigint_add_matches_i128() {
+    let mut r = rng(1);
+    for _ in 0..CASES {
+        let a = r.next_u64() as i64;
+        let b = r.next_u64() as i64;
         let exact = a as i128 + b as i128;
-        prop_assert_eq!(bi(a as i128).add(&bi(b as i128)), bi(exact));
+        assert_eq!(bi(a as i128).add(&bi(b as i128)), bi(exact));
     }
+}
 
-    #[test]
-    fn bigint_mul_matches_i128(a in any::<i64>(), b in any::<i64>()) {
+#[test]
+fn bigint_mul_matches_i128() {
+    let mut r = rng(2);
+    for _ in 0..CASES {
+        let a = r.next_u64() as i64;
+        let b = r.next_u64() as i64;
         let exact = a as i128 * b as i128;
-        prop_assert_eq!(bi(a as i128).mul(&bi(b as i128)), bi(exact));
+        assert_eq!(bi(a as i128).mul(&bi(b as i128)), bi(exact));
     }
+}
 
-    #[test]
-    fn bigint_divmod_matches_i128(a in any::<i128>(), b in any::<i128>()) {
-        prop_assume!(b != 0);
-        let (q, r) = bi(a).divmod(&bi(b));
-        prop_assert_eq!(q, bi(a / b));
-        prop_assert_eq!(r, bi(a % b));
+fn any_i128(r: &mut ChaCha8Rng) -> i128 {
+    // Mix widths so small and multi-limb magnitudes both occur.
+    let v = ((r.next_u64() as i128) << 64) | r.next_u64() as i128;
+    match r.next_u32() % 4 {
+        0 => v,
+        1 => v >> 64,
+        2 => v >> 96,
+        _ => v >> 120,
     }
+}
 
-    #[test]
-    fn bigint_mul_div_roundtrip(a in any::<i128>(), b in any::<i128>()) {
-        prop_assume!(b != 0);
+#[test]
+fn bigint_divmod_matches_i128() {
+    let mut r = rng(3);
+    for _ in 0..CASES {
+        let a = any_i128(&mut r);
+        let b = any_i128(&mut r);
+        if b == 0 {
+            continue;
+        }
+        let (q, rem) = bi(a).divmod(&bi(b));
+        assert_eq!(q, bi(a / b));
+        assert_eq!(rem, bi(a % b));
+    }
+}
+
+#[test]
+fn bigint_mul_div_roundtrip() {
+    let mut r = rng(4);
+    for _ in 0..CASES {
+        let a = any_i128(&mut r);
+        let b = any_i128(&mut r);
+        if b == 0 {
+            continue;
+        }
         // (a * b) / b == a even when a*b needs multiple limbs.
         let prod = bi(a).mul(&bi(b));
-        prop_assert_eq!(prod.div_exact(&bi(b)), bi(a));
+        assert_eq!(prod.div_exact(&bi(b)), bi(a));
     }
+}
 
-    #[test]
-    fn bigint_ordering_matches_i128(a in any::<i128>(), b in any::<i128>()) {
-        prop_assert_eq!(bi(a).cmp(&bi(b)), a.cmp(&b));
+#[test]
+fn bigint_ordering_matches_i128() {
+    let mut r = rng(5);
+    for _ in 0..CASES {
+        let a = any_i128(&mut r);
+        let b = any_i128(&mut r);
+        assert_eq!(bi(a).cmp(&bi(b)), a.cmp(&b));
     }
+}
 
-    #[test]
-    fn bigint_display_matches_i128(a in any::<i128>()) {
-        prop_assert_eq!(bi(a).to_string(), a.to_string());
+#[test]
+fn bigint_display_matches_i128() {
+    let mut r = rng(6);
+    for _ in 0..CASES {
+        let a = any_i128(&mut r);
+        assert_eq!(bi(a).to_string(), a.to_string());
     }
+}
 
-    #[test]
-    fn det3_sign_matches_cofactor(entries in prop::array::uniform9(-1_000_000i64..1_000_000)) {
-        let m: Vec<Vec<i64>> = entries.chunks(3).map(|c| c.to_vec()).collect();
+#[test]
+fn det3_sign_matches_cofactor() {
+    let mut r = rng(7);
+    for _ in 0..CASES {
+        let m: Vec<Vec<i64>> = (0..3)
+            .map(|_| {
+                (0..3)
+                    .map(|_| r.gen_range(-1_000_000i64..1_000_000))
+                    .collect()
+            })
+            .collect();
         let a = &m;
         let cof: i128 = (a[0][0] as i128)
             * ((a[1][1] as i128) * (a[2][2] as i128) - (a[1][2] as i128) * (a[2][1] as i128))
@@ -61,142 +122,212 @@ proptest! {
                 * ((a[1][0] as i128) * (a[2][2] as i128) - (a[1][2] as i128) * (a[2][0] as i128))
             + (a[0][2] as i128)
                 * ((a[1][0] as i128) * (a[2][1] as i128) - (a[1][1] as i128) * (a[2][0] as i128));
-        prop_assert_eq!(det_sign_i64(&m).as_i32(), cof.signum() as i32);
-        prop_assert_eq!(det_i64(&m), BigInt::from(cof));
+        assert_eq!(det_sign_i64(&m).as_i32(), cof.signum() as i32);
+        assert_eq!(det_i64(&m), BigInt::from(cof));
     }
+}
 
-    #[test]
-    fn det_antisymmetry_and_transpose(entries in prop::array::uniform16(-10_000i64..10_000)) {
-        let m: Vec<Vec<i64>> = entries.chunks(4).map(|c| c.to_vec()).collect();
+#[test]
+fn det_antisymmetry_and_transpose() {
+    let mut r = rng(8);
+    for _ in 0..CASES {
+        let m: Vec<Vec<i64>> = (0..4)
+            .map(|_| (0..4).map(|_| r.gen_range(-10_000i64..10_000)).collect())
+            .collect();
         // Swapping two rows flips the sign.
         let mut swapped = m.clone();
         swapped.swap(0, 2);
-        prop_assert_eq!(det_sign_i64(&swapped), det_sign_i64(&m).negate());
+        assert_eq!(det_sign_i64(&swapped), det_sign_i64(&m).negate());
         // Transpose preserves the determinant.
         let t: Vec<Vec<i64>> = (0..4).map(|j| (0..4).map(|i| m[i][j]).collect()).collect();
-        prop_assert_eq!(det_sign_i64(&t), det_sign_i64(&m));
+        assert_eq!(det_sign_i64(&t), det_sign_i64(&m));
     }
+}
 
-    #[test]
-    fn det_duplicate_row_is_zero(entries in prop::array::uniform12(-10_000i64..10_000)) {
-        let m: Vec<Vec<i64>> = entries.chunks(4).map(|c| c.to_vec()).collect(); // 3x4
+#[test]
+fn det_duplicate_row_is_zero() {
+    let mut r = rng(9);
+    for _ in 0..CASES {
+        let m: Vec<Vec<i64>> = (0..3)
+            .map(|_| (0..4).map(|_| r.gen_range(-10_000i64..10_000)).collect())
+            .collect();
         let m4: Vec<Vec<i64>> = vec![m[0].clone(), m[1].clone(), m[2].clone(), m[1].clone()];
-        prop_assert_eq!(det_sign_i64(&m4), Sign::Zero);
+        assert_eq!(det_sign_i64(&m4), Sign::Zero);
     }
+}
 
-    #[test]
-    fn rank_bounds(entries in prop::array::uniform12(-100i64..100)) {
-        let m: Vec<Vec<i64>> = entries.chunks(4).map(|c| c.to_vec()).collect(); // 3x4
-        let r = rank_i64(&m);
-        prop_assert!(r <= 3);
+#[test]
+fn rank_bounds() {
+    let mut r = rng(10);
+    for _ in 0..CASES {
+        let m: Vec<Vec<i64>> = (0..3)
+            .map(|_| (0..4).map(|_| r.gen_range(-100i64..100)).collect())
+            .collect();
+        let rank = rank_i64(&m);
+        assert!(rank <= 3);
         // Appending a copy of an existing row never raises the rank.
         let mut m2 = m.clone();
         m2.push(m[0].clone());
-        prop_assert_eq!(rank_i64(&m2), r);
+        assert_eq!(rank_i64(&m2), rank);
         // Appending a scaled sum of rows never raises the rank.
-        let combo: Vec<i64> =
-            (0..4).map(|j| 2 * m[0][j] - 3 * m[1][j] + m[2][j]).collect();
+        let combo: Vec<i64> = (0..4)
+            .map(|j| 2 * m[0][j] - 3 * m[1][j] + m[2][j])
+            .collect();
         let mut m3 = m.clone();
         m3.push(combo);
-        prop_assert_eq!(rank_i64(&m3), r);
+        assert_eq!(rank_i64(&m3), rank);
     }
+}
 
-    #[test]
-    fn expansion_det_matches_integer_det(entries in prop::array::uniform9(-1_000_000i64..1_000_000)) {
+#[test]
+fn expansion_det_matches_integer_det() {
+    let mut r = rng(11);
+    for _ in 0..CASES {
         // Integer-valued f64 matrices: expansion arithmetic must agree with
         // the exact integer kernel.
-        let mi: Vec<Vec<i64>> = entries.chunks(3).map(|c| c.to_vec()).collect();
-        let mf: Vec<Vec<f64>> = mi.iter().map(|r| r.iter().map(|&v| v as f64).collect()).collect();
-        prop_assert_eq!(det_expansion(&mf).sign(), det_sign_i64(&mi).as_i32());
+        let mi: Vec<Vec<i64>> = (0..3)
+            .map(|_| {
+                (0..3)
+                    .map(|_| r.gen_range(-1_000_000i64..1_000_000))
+                    .collect()
+            })
+            .collect();
+        let mf: Vec<Vec<f64>> = mi
+            .iter()
+            .map(|row| row.iter().map(|&v| v as f64).collect())
+            .collect();
+        assert_eq!(det_expansion(&mf).sign(), det_sign_i64(&mi).as_i32());
     }
+}
 
-    #[test]
-    fn expansion_sum_identity(vals in prop::collection::vec(-1e12f64..1e12, 1..12)) {
+#[test]
+fn expansion_sum_identity() {
+    let mut r = rng(12);
+    for _ in 0..CASES {
         // Sum all values through expansions in two different orders: the
         // exact results must agree (associativity holds exactly).
-        let fwd = vals.iter().fold(Expansion::zero(), |acc, &v| acc.add(&Expansion::from_f64(v)));
-        let rev = vals.iter().rev().fold(Expansion::zero(), |acc, &v| acc.add(&Expansion::from_f64(v)));
-        prop_assert_eq!(fwd.sub(&rev).sign(), 0);
+        let len = r.gen_range(1usize..12);
+        let vals: Vec<f64> = (0..len).map(|_| r.gen_range(-1e12f64..1e12)).collect();
+        let fwd = vals.iter().fold(Expansion::zero(), |acc, &v| {
+            acc.add(&Expansion::from_f64(v))
+        });
+        let rev = vals.iter().rev().fold(Expansion::zero(), |acc, &v| {
+            acc.add(&Expansion::from_f64(v))
+        });
+        assert_eq!(fwd.sub(&rev).sign(), 0);
     }
+}
 
-    #[test]
-    fn orient2d_int_float_agree(
-        ax in -1_000_000i64..1_000_000, ay in -1_000_000i64..1_000_000,
-        bx in -1_000_000i64..1_000_000, by in -1_000_000i64..1_000_000,
-        cx in -1_000_000i64..1_000_000, cy in -1_000_000i64..1_000_000,
-    ) {
+#[test]
+fn orient2d_int_float_agree() {
+    let mut r = rng(13);
+    for _ in 0..CASES {
+        let mut c = || r.gen_range(-1_000_000i64..1_000_000);
+        let (ax, ay, bx, by, cx, cy) = (c(), c(), c(), c(), c(), c());
         let int = predicates::orient2d(
-            Point2i::new(ax, ay), Point2i::new(bx, by), Point2i::new(cx, cy));
+            Point2i::new(ax, ay),
+            Point2i::new(bx, by),
+            Point2i::new(cx, cy),
+        );
         let flt = float::orient2d(
             Point2f::new(ax as f64, ay as f64),
             Point2f::new(bx as f64, by as f64),
-            Point2f::new(cx as f64, cy as f64));
-        prop_assert_eq!(int.as_i32(), flt);
+            Point2f::new(cx as f64, cy as f64),
+        );
+        assert_eq!(int.as_i32(), flt);
     }
+}
 
-    #[test]
-    fn orient3d_int_float_agree(
-        coords in prop::array::uniform12(-100_000i64..100_000),
-    ) {
-        let p = |i: usize| Point3i::new(coords[3*i], coords[3*i+1], coords[3*i+2]);
-        let f = |i: usize| Point3f::new(coords[3*i] as f64, coords[3*i+1] as f64, coords[3*i+2] as f64);
+#[test]
+fn orient3d_int_float_agree() {
+    let mut r = rng(14);
+    for _ in 0..CASES {
+        let coords: Vec<i64> = (0..12).map(|_| r.gen_range(-100_000i64..100_000)).collect();
+        let p = |i: usize| Point3i::new(coords[3 * i], coords[3 * i + 1], coords[3 * i + 2]);
+        let f = |i: usize| {
+            Point3f::new(
+                coords[3 * i] as f64,
+                coords[3 * i + 1] as f64,
+                coords[3 * i + 2] as f64,
+            )
+        };
         let int = predicates::orient3d(p(0), p(1), p(2), p(3));
         let flt = float::orient3d(f(0), f(1), f(2), f(3));
-        prop_assert_eq!(int.as_i32(), flt);
+        assert_eq!(int.as_i32(), flt);
     }
+}
 
-    #[test]
-    fn incircle_int_float_agree(coords in prop::array::uniform8(-30_000i64..30_000)) {
-        let p = |i: usize| Point2i::new(coords[2*i], coords[2*i+1]);
-        let f = |i: usize| Point2f::new(coords[2*i] as f64, coords[2*i+1] as f64);
+#[test]
+fn incircle_int_float_agree() {
+    let mut r = rng(15);
+    for _ in 0..CASES {
+        let coords: Vec<i64> = (0..8).map(|_| r.gen_range(-30_000i64..30_000)).collect();
+        let p = |i: usize| Point2i::new(coords[2 * i], coords[2 * i + 1]);
+        let f = |i: usize| Point2f::new(coords[2 * i] as f64, coords[2 * i + 1] as f64);
         let int = predicates::incircle(p(0), p(1), p(2), p(3));
         let flt = float::incircle(f(0), f(1), f(2), f(3));
-        prop_assert_eq!(int.as_i32(), flt);
+        assert_eq!(int.as_i32(), flt);
     }
+}
 
-    #[test]
-    fn orient2d_permutation_parity(
-        ax in -1_000i64..1_000, ay in -1_000i64..1_000,
-        bx in -1_000i64..1_000, by in -1_000i64..1_000,
-        cx in -1_000i64..1_000, cy in -1_000i64..1_000,
-    ) {
-        let (a, b, c) = (Point2i::new(ax, ay), Point2i::new(bx, by), Point2i::new(cx, cy));
-        let s = predicates::orient2d(a, b, c);
-        prop_assert_eq!(predicates::orient2d(b, c, a), s);
-        prop_assert_eq!(predicates::orient2d(c, a, b), s);
-        prop_assert_eq!(predicates::orient2d(b, a, c), s.negate());
-        prop_assert_eq!(predicates::orient2d(a, c, b), s.negate());
+#[test]
+fn orient2d_permutation_parity() {
+    let mut r = rng(16);
+    for _ in 0..CASES {
+        let mut c = || r.gen_range(-1_000i64..1_000);
+        let (a, b, cc) = (
+            Point2i::new(c(), c()),
+            Point2i::new(c(), c()),
+            Point2i::new(c(), c()),
+        );
+        let s = predicates::orient2d(a, b, cc);
+        assert_eq!(predicates::orient2d(b, cc, a), s);
+        assert_eq!(predicates::orient2d(cc, a, b), s);
+        assert_eq!(predicates::orient2d(b, a, cc), s.negate());
+        assert_eq!(predicates::orient2d(a, cc, b), s.negate());
     }
+}
 
-    #[test]
-    fn orient2d_translation_invariant(
-        ax in -100_000i64..100_000, ay in -100_000i64..100_000,
-        bx in -100_000i64..100_000, by in -100_000i64..100_000,
-        cx in -100_000i64..100_000, cy in -100_000i64..100_000,
-        tx in -100_000i64..100_000, ty in -100_000i64..100_000,
-    ) {
+#[test]
+fn orient2d_translation_invariant() {
+    let mut r = rng(17);
+    for _ in 0..CASES {
+        let mut c = || r.gen_range(-100_000i64..100_000);
+        let (ax, ay, bx, by, cx, cy, tx, ty) = (c(), c(), c(), c(), c(), c(), c(), c());
         let t = |x: i64, y: i64| Point2i::new(x + tx, y + ty);
-        prop_assert_eq!(
-            predicates::orient2d(Point2i::new(ax, ay), Point2i::new(bx, by), Point2i::new(cx, cy)),
+        assert_eq!(
+            predicates::orient2d(
+                Point2i::new(ax, ay),
+                Point2i::new(bx, by),
+                Point2i::new(cx, cy)
+            ),
             predicates::orient2d(t(ax, ay), t(bx, by), t(cx, cy))
         );
     }
+}
 
-    #[test]
-    fn orientd_agrees_with_specialized(coords in prop::array::uniform12(-50_000i64..50_000)) {
+#[test]
+fn orientd_agrees_with_specialized() {
+    let mut r = rng(18);
+    for _ in 0..CASES {
         // The generic homogeneous path must match the 3D fast path.
-        let rows: Vec<Vec<i64>> = coords.chunks(3).map(|c| c.to_vec()).collect();
-        let refs: Vec<&[i64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let rows: Vec<Vec<i64>> = (0..4)
+            .map(|_| (0..3).map(|_| r.gen_range(-50_000i64..50_000)).collect())
+            .collect();
+        let refs: Vec<&[i64]> = rows.iter().map(|row| row.as_slice()).collect();
         let generic = {
             // Bypass the dispatch by building the homogeneous matrix.
-            let m: Vec<Vec<i64>> = rows.iter().map(|r| {
-                let mut row = r.clone();
-                row.push(1);
-                row
-            }).collect();
+            let m: Vec<Vec<i64>> = rows
+                .iter()
+                .map(|row| {
+                    let mut h = row.clone();
+                    h.push(1);
+                    h
+                })
+                .collect();
             det_sign_i64(&m)
         };
-        prop_assert_eq!(predicates::orientd(3, &refs), generic);
+        assert_eq!(predicates::orientd(3, &refs), generic);
     }
 }
 

@@ -6,13 +6,16 @@
 //!
 //! Run with: `cargo run --release --example depth_scaling`
 
-use convex_hull_suite::core::seq::incremental_hull_run;
 use convex_hull_suite::core::prepare_points;
+use convex_hull_suite::core::seq::incremental_hull_run;
 use convex_hull_suite::geometry::{generators, PointSet};
 
 fn main() {
     println!("2D hull of points uniform in a disk, random insertion order:");
-    println!("{:>9} {:>7} {:>10} {:>11}", "n", "depth", "H_n", "depth/H_n");
+    println!(
+        "{:>9} {:>7} {:>10} {:>11}",
+        "n", "depth", "H_n", "depth/H_n"
+    );
     for e in 10..=17 {
         let n = 1usize << e;
         let pts = PointSet::from_points2(&generators::disk_2d(n, 1 << 30, e as u64));
@@ -28,7 +31,10 @@ fn main() {
     }
 
     println!("\nSame input, points sorted by x (adversarial order):");
-    println!("{:>9} {:>7} {:>10} {:>11}", "n", "depth", "H_n", "depth/H_n");
+    println!(
+        "{:>9} {:>7} {:>10} {:>11}",
+        "n", "depth", "H_n", "depth/H_n"
+    );
     for e in 10..=14 {
         let n = 1usize << e;
         let mut points = generators::disk_2d(n, 1 << 30, e as u64);

@@ -23,16 +23,16 @@ pub fn figure1_points() -> PointSet {
     PointSet::from_rows(
         2,
         &[
-            vec![0, 0],    // u
-            vec![0, 10],   // v
-            vec![4, 14],   // w
-            vec![9, 15],   // x
-            vec![14, 13],  // y
-            vec![17, 8],   // z
-            vec![12, -3],  // t
-            vec![15, 16],  // a
-            vec![10, 18],  // b
-            vec![10, 50],  // c
+            vec![0, 0],   // u
+            vec![0, 10],  // v
+            vec![4, 14],  // w
+            vec![9, 15],  // x
+            vec![14, 13], // y
+            vec![17, 8],  // z
+            vec![12, -3], // t
+            vec![15, 16], // a
+            vec![10, 18], // b
+            vec![10, 50], // c
         ],
     )
 }
@@ -70,7 +70,11 @@ fn main() {
             .filter(|(round, ev)| *round == r && matches!(ev, TraceEvent::Replace { .. }))
             .count()
     };
-    assert_eq!(replaces_in_round(1), 4, "round 1 must add v-c, w-b, x-a, a-z");
+    assert_eq!(
+        replaces_in_round(1),
+        4,
+        "round 1 must add v-c, w-b, x-a, a-z"
+    );
     assert_eq!(replaces_in_round(2), 2, "round 2 must add b-a and c-z");
     println!("\ntrace matches the paper's Figure 1.");
 }

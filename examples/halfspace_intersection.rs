@@ -3,12 +3,12 @@
 //!
 //! Run with: `cargo run --release --example halfspace_intersection`
 
+use chull_geometry::rng::SliceRandom;
 use convex_hull_suite::apps::halfspace::{
     intersection_via_duality, random_halfplanes, HalfplaneSpace,
 };
 use convex_hull_suite::confspace::build_dep_graph;
 use convex_hull_suite::geometry::generators;
-use rand::seq::SliceRandom;
 
 fn main() {
     let n = 96;

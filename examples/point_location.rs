@@ -7,10 +7,9 @@
 //! Run with: `cargo run --release --example point_location`
 
 use convex_hull_suite::core::history::HullHistory;
-use convex_hull_suite::core::seq::incremental_hull_run;
 use convex_hull_suite::core::prepare_points;
+use convex_hull_suite::core::seq::incremental_hull_run;
 use convex_hull_suite::geometry::{generators, PointSet};
-use rand::Rng;
 
 fn main() {
     let n = 100_000;

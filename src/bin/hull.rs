@@ -15,10 +15,10 @@
 //! ```
 
 use convex_hull_suite::core::baseline::monotone_chain;
+use convex_hull_suite::core::context::prepare_points_with_perm;
 use convex_hull_suite::core::par::rounds::rounds_hull;
 use convex_hull_suite::core::par::{parallel_hull, ParOptions};
 use convex_hull_suite::core::seq::incremental_hull_run;
-use convex_hull_suite::core::context::prepare_points_with_perm;
 use convex_hull_suite::core::{HullOutput, HullStats};
 use convex_hull_suite::geometry::{Point2i, PointSet};
 use std::io::Read;
@@ -50,8 +50,13 @@ fn usage() -> ! {
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
-    let mut opts =
-        Options { dim: 2, algo: Algo::Seq, seed: 42, stats: false, file: None };
+    let mut opts = Options {
+        dim: 2,
+        algo: Algo::Seq,
+        seed: 42,
+        stats: false,
+        file: None,
+    };
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -119,7 +124,10 @@ fn parse_points(input: &str, dim: usize) -> Result<PointSet, String> {
         ps.push(&coords);
     }
     if ps.len() < dim + 1 {
-        return Err(format!("need at least {} points for a {dim}D hull", dim + 1));
+        return Err(format!(
+            "need at least {} points for a {dim}D hull",
+            dim + 1
+        ));
     }
     Ok(ps)
 }
@@ -147,6 +155,10 @@ fn print_output(out: &HullOutput, stats: Option<&HullStats>, perm: Option<&[usiz
             s.recursion_depth,
             s.rounds
         );
+        eprintln!(
+            "# kernel: filter_hits={} i128_fallbacks={} bigint_fallbacks={}",
+            s.filter_hits, s.i128_fallbacks, s.bigint_fallbacks
+        );
     }
 }
 
@@ -170,7 +182,9 @@ fn main() {
             });
         }
         None => {
-            std::io::stdin().read_to_string(&mut input).expect("reading stdin");
+            std::io::stdin()
+                .read_to_string(&mut input)
+                .expect("reading stdin");
         }
     }
     let pts = parse_points(&input, opts.dim).unwrap_or_else(|e| {
@@ -179,8 +193,9 @@ fn main() {
     });
 
     if opts.algo == Algo::Chain {
-        let raw: Vec<Point2i> =
-            (0..pts.len()).map(|i| Point2i::new(pts.point(i)[0], pts.point(i)[1])).collect();
+        let raw: Vec<Point2i> = (0..pts.len())
+            .map(|i| Point2i::new(pts.point(i)[0], pts.point(i)[1]))
+            .collect();
         let out = monotone_chain::hull_output(&raw);
         print_output(&out, None, None);
         return;
@@ -219,8 +234,10 @@ mod tests {
         let o = parse_args(&s(&[])).unwrap();
         assert_eq!(o.dim, 2);
         assert_eq!(o.algo, Algo::Seq);
-        let o = parse_args(&s(&["--dim", "3", "--algo", "par", "--seed", "7", "--stats", "f.txt"]))
-            .unwrap();
+        let o = parse_args(&s(&[
+            "--dim", "3", "--algo", "par", "--seed", "7", "--stats", "f.txt",
+        ]))
+        .unwrap();
         assert_eq!(o.dim, 3);
         assert_eq!(o.algo, Algo::Par);
         assert_eq!(o.seed, 7);

@@ -15,7 +15,7 @@
 //! paper-to-code map.
 
 pub use chull_apps as apps;
-pub use chull_confspace as confspace;
 pub use chull_concurrent as concurrent;
+pub use chull_confspace as confspace;
 pub use chull_core as core;
 pub use chull_geometry as geometry;

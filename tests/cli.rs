@@ -11,7 +11,12 @@ fn run_hull(args: &[&str], input: &str) -> (String, String, bool) {
         .stderr(Stdio::piped())
         .spawn()
         .expect("spawning hull binary");
-    child.stdin.as_mut().unwrap().write_all(input.as_bytes()).unwrap();
+    child
+        .stdin
+        .as_mut()
+        .unwrap()
+        .write_all(input.as_bytes())
+        .unwrap();
     let out = child.wait_with_output().unwrap();
     (
         String::from_utf8(out.stdout).unwrap(),
@@ -26,8 +31,7 @@ fn edges_of(stdout: &str) -> Vec<Vec<u32>> {
     let mut edges: Vec<Vec<u32>> = stdout
         .lines()
         .map(|l| {
-            let mut e: Vec<u32> =
-                l.split_whitespace().map(|t| t.parse().unwrap()).collect();
+            let mut e: Vec<u32> = l.split_whitespace().map(|t| t.parse().unwrap()).collect();
             e.sort_unstable();
             e
         })
@@ -40,7 +44,10 @@ fn edges_of(stdout: &str) -> Vec<Vec<u32>> {
 fn square_hull_all_algorithms_agree() {
     let expected = edges_of(&run_hull(&["--algo", "chain"], SQUARE).0);
     assert_eq!(expected.len(), 4);
-    assert!(expected.iter().all(|e| e.iter().all(|&v| v < 4)), "interior point on hull");
+    assert!(
+        expected.iter().all(|e| e.iter().all(|&v| v < 4)),
+        "interior point on hull"
+    );
     for algo in ["seq", "par", "rounds"] {
         let (stdout, _, ok) = run_hull(&["--algo", algo], SQUARE);
         assert!(ok, "{algo} failed");
@@ -64,7 +71,9 @@ fn three_d_input() {
     assert!(ok);
     let facets = edges_of(&stdout);
     // 5 extreme points (index 5 interior); each facet has 3 vertices < 5.
-    assert!(facets.iter().all(|f| f.len() == 3 && f.iter().all(|&v| v < 5)));
+    assert!(facets
+        .iter()
+        .all(|f| f.len() == 3 && f.iter().all(|&v| v < 5)));
     // Euler for V=5 triangulated sphere: F = 2V - 4 = 6.
     assert_eq!(facets.len(), 6);
 }

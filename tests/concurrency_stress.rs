@@ -5,15 +5,18 @@
 //! thread count.
 
 use convex_hull_suite::core::par::{parallel_hull_with_threads, MapKind, ParOptions};
-use convex_hull_suite::core::seq::incremental_hull_run;
 use convex_hull_suite::core::prepare_points;
+use convex_hull_suite::core::seq::incremental_hull_run;
 use convex_hull_suite::geometry::{generators, PointSet};
 
 fn stress(pts: &PointSet, kind: MapKind, threads: usize) {
     let seq = incremental_hull_run(pts);
     let par = parallel_hull_with_threads(
         pts,
-        ParOptions { map: kind, record_trace: false },
+        ParOptions {
+            map: kind,
+            record_trace: false,
+        },
         threads,
     );
     assert_eq!(
@@ -26,7 +29,10 @@ fn stress(pts: &PointSet, kind: MapKind, threads: usize) {
     let mut b = par.created.clone();
     a.sort_unstable();
     b.sort_unstable();
-    assert_eq!(a, b, "{kind:?} with {threads} threads: created facet sets differ");
+    assert_eq!(
+        a, b,
+        "{kind:?} with {threads} threads: created facet sets differ"
+    );
 }
 
 #[test]
@@ -37,8 +43,20 @@ fn oversubscribed_pools_2d() {
     );
     for threads in [2usize, 4, 8] {
         stress(&pts, MapKind::Locked, threads);
-        stress(&pts, MapKind::Cas { capacity_factor: 16 }, threads);
-        stress(&pts, MapKind::Tas { capacity_factor: 16 }, threads);
+        stress(
+            &pts,
+            MapKind::Cas {
+                capacity_factor: 16,
+            },
+            threads,
+        );
+        stress(
+            &pts,
+            MapKind::Tas {
+                capacity_factor: 16,
+            },
+            threads,
+        );
     }
 }
 
@@ -52,8 +70,20 @@ fn oversubscribed_pools_3d_sphere() {
     );
     for threads in [4usize, 8] {
         stress(&pts, MapKind::Locked, threads);
-        stress(&pts, MapKind::Cas { capacity_factor: 32 }, threads);
-        stress(&pts, MapKind::Tas { capacity_factor: 32 }, threads);
+        stress(
+            &pts,
+            MapKind::Cas {
+                capacity_factor: 32,
+            },
+            threads,
+        );
+        stress(
+            &pts,
+            MapKind::Tas {
+                capacity_factor: 32,
+            },
+            threads,
+        );
     }
 }
 

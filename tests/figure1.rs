@@ -17,16 +17,16 @@ fn figure1_points() -> PointSet {
     PointSet::from_rows(
         2,
         &[
-            vec![0, 0],    // u
-            vec![0, 10],   // v
-            vec![4, 14],   // w
-            vec![9, 15],   // x
-            vec![14, 13],  // y
-            vec![17, 8],   // z
-            vec![12, -3],  // t
-            vec![15, 16],  // a
-            vec![10, 18],  // b
-            vec![10, 50],  // c
+            vec![0, 0],   // u
+            vec![0, 10],  // v
+            vec![4, 14],  // w
+            vec![9, 15],  // x
+            vec![14, 13], // y
+            vec![17, 8],  // z
+            vec![12, -3], // t
+            vec![15, 16], // a
+            vec![10, 18], // b
+            vec![10, 50], // c
         ],
     )
 }
@@ -98,19 +98,20 @@ fn figure1_rounds_match_paper() {
 
     // Round 3: c buries w-b and b-a (figure (c) -> (d)); no new facets.
     assert_eq!(replaces(3), vec![]);
-    let round3_bury = run
-        .trace
-        .iter()
-        .find(|(r, ev)| {
-            *r == 3
-                && matches!(ev, TraceEvent::Bury { t1, t2, pivot, .. }
-                    if name(*pivot) == "c" && {
-                        let mut p = vec![edge_name(t1), edge_name(t2)];
-                        p.sort();
-                        p == vec!["a-b", "b-w"]
-                    })
-        });
-    assert!(round3_bury.is_some(), "round 3 must bury w-b and b-a by c: {:?}", run.trace);
+    let round3_bury = run.trace.iter().find(|(r, ev)| {
+        *r == 3
+            && matches!(ev, TraceEvent::Bury { t1, t2, pivot, .. }
+            if name(*pivot) == "c" && {
+                let mut p = vec![edge_name(t1), edge_name(t2)];
+                p.sort();
+                p == vec!["a-b", "b-w"]
+            })
+    });
+    assert!(
+        round3_bury.is_some(),
+        "round 3 must bury w-b and b-a by c: {:?}",
+        run.trace
+    );
 
     // Round 3 finalizes the corner v-c / c-z.
     let vc_cz_final = run.trace.iter().any(|(r, ev)| {
@@ -121,12 +122,21 @@ fn figure1_rounds_match_paper() {
                 p == vec!["c-v", "c-z"]
             })
     });
-    assert!(vc_cz_final, "v-c / c-z must finalize in round 3: {:?}", run.trace);
+    assert!(
+        vc_cz_final,
+        "v-c / c-z must finalize in round 3: {:?}",
+        run.trace
+    );
 
     // Exactly the paper's six facets are created (four in round 1, two in
     // round 2), and the final hull is u-v, v-c, c-z, z-t, t-u.
     assert_eq!(run.stats.facets_created, 7 + 6);
-    let mut hull: Vec<String> = run.output.facets.iter().map(|f| edge_name(&f[..2])).collect();
+    let mut hull: Vec<String> = run
+        .output
+        .facets
+        .iter()
+        .map(|f| edge_name(&f[..2]))
+        .collect();
     hull.sort();
     assert_eq!(hull, vec!["c-v", "c-z", "t-u", "t-z", "u-v"]);
 }

@@ -12,8 +12,8 @@ use convex_hull_suite::confspace::depgraph::build_dep_graph;
 use convex_hull_suite::confspace::instances::hull2d::Hull2dSpace;
 use convex_hull_suite::core::par::rounds::rounds_hull;
 use convex_hull_suite::core::par::{parallel_hull, ParOptions};
-use convex_hull_suite::core::seq::incremental_hull_run;
 use convex_hull_suite::core::prepare_points;
+use convex_hull_suite::core::seq::incremental_hull_run;
 use convex_hull_suite::geometry::{generators, Point2i, PointSet};
 
 /// The instrumented depth in `seq::incremental_hull_run` must equal the
@@ -27,8 +27,9 @@ fn instrumented_depth_matches_confspace_oracle() {
         // The prepared order *is* the identity order of `ps`.
         let run = incremental_hull_run(&ps);
 
-        let oracle_points: Vec<Point2i> =
-            (0..ps.len()).map(|i| Point2i::new(ps.point(i)[0], ps.point(i)[1])).collect();
+        let oracle_points: Vec<Point2i> = (0..ps.len())
+            .map(|i| Point2i::new(ps.point(i)[0], ps.point(i)[1]))
+            .collect();
         let space = Hull2dSpace::new(oracle_points);
         let order: Vec<usize> = (0..n).collect();
         let stats = build_dep_graph(&space, &order, true);
@@ -64,7 +65,10 @@ fn depth_over_harmonic_is_flat() {
         // observed constant is far smaller, but most importantly it must
         // not grow with n.
         for r in &ratios {
-            assert!(*r < 2.0 * (dim as f64) * (std::f64::consts::E.powi(2)), "ratio {r}");
+            assert!(
+                *r < 2.0 * (dim as f64) * (std::f64::consts::E.powi(2)),
+                "ratio {r}"
+            );
         }
         assert!(
             ratios[2] < ratios[0] * 2.0 + 1.0,
@@ -126,7 +130,9 @@ fn clarkson_shor_bound_at_scale() {
         // facet defining work; tests are an upper proxy for conflicts.
         // Bound: n g^2 sum |T_i| / i^2 with |T_i| <= i (2D hull edges).
         let g = 2.0f64;
-        let bound: f64 = (1..=n).map(|i| i as f64 / (i as f64 * i as f64)).sum::<f64>()
+        let bound: f64 = (1..=n)
+            .map(|i| i as f64 / (i as f64 * i as f64))
+            .sum::<f64>()
             * g
             * g
             * n as f64;
