@@ -1,0 +1,263 @@
+//! Load generator for the `chull-service` hull server (experiment E17).
+//!
+//! Starts an in-process server on loopback, streams a workload into one
+//! shard from several concurrent client connections, then runs a mixed
+//! query phase against the published snapshot. Records throughput and
+//! client-observed latency percentiles per workload and writes them to a
+//! JSON file (default `BENCH_service.json`).
+//!
+//! ```text
+//! USAGE: service_load [--out FILE] [--clients C] [--quick]
+//! ```
+//!
+//! `--quick` shrinks the workloads for CI smoke runs. Latencies are
+//! *round-trip* (request written to reply decoded) over loopback TCP, so
+//! they include wire encode/decode and the socket — the serving cost a
+//! real client would see, not just the geometry.
+
+use chull_geometry::generators;
+use chull_geometry::PointSet;
+use chull_service::{serve, HullClient, ServeOptions, ServiceConfig};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// One workload's measured figures.
+struct LoadResult {
+    workload: String,
+    dim: usize,
+    n_points: usize,
+    clients: usize,
+    inserts_per_sec: f64,
+    insert_p50_us: f64,
+    insert_p99_us: f64,
+    overloaded: u64,
+    n_queries: usize,
+    queries_per_sec: f64,
+    query_p50_us: f64,
+    query_p99_us: f64,
+    hull_facets: usize,
+}
+
+fn percentile(sorted_us: &[f64], p: f64) -> f64 {
+    if sorted_us.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_us.len() as f64 - 1.0) * p).round() as usize;
+    sorted_us[idx]
+}
+
+/// Run one workload: ingest all of `pts` into shard 0 from `clients`
+/// connections, flush, then issue `queries_per_client` mixed queries from
+/// each connection.
+fn run_workload(
+    name: &str,
+    pts: &PointSet,
+    clients: usize,
+    queries_per_client: usize,
+) -> LoadResult {
+    let dim = pts.dim();
+    let mut server = serve(ServeOptions {
+        config: ServiceConfig {
+            dim,
+            shards: 1,
+            queue_capacity: 4096,
+            max_batch: 256,
+        },
+        ..Default::default()
+    })
+    .expect("bind loopback");
+    let addr = server.local_addr();
+    let n = pts.len();
+    let rows: Vec<Vec<i64>> = (0..n).map(|i| pts.point(i).to_vec()).collect();
+    let overloaded = Arc::new(AtomicU64::new(0));
+
+    // Ingest phase: each client owns an interleaved slice of the stream.
+    let t0 = Instant::now();
+    let mut insert_lat_us: Vec<f64> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                let rows = &rows;
+                let overloaded = Arc::clone(&overloaded);
+                s.spawn(move || {
+                    let mut client = HullClient::connect(addr).expect("connect");
+                    let mut lat = Vec::with_capacity(rows.len() / clients + 1);
+                    for row in rows.iter().skip(c).step_by(clients) {
+                        let q0 = Instant::now();
+                        let rej = client.insert_retry(0, row).expect("insert");
+                        lat.push(q0.elapsed().as_secs_f64() * 1e6);
+                        overloaded.fetch_add(rej, Ordering::Relaxed);
+                    }
+                    lat
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect()
+    });
+    let ingest_secs = t0.elapsed().as_secs_f64();
+
+    let mut client = HullClient::connect(addr).expect("connect");
+    client.flush(0).expect("flush");
+    let snap = client.snapshot(0).expect("snapshot");
+    assert_eq!(snap.points.len(), n, "ingest lost points");
+
+    // Query phase: 50% contains (half inside, half far outside), 25%
+    // visible, 25% extreme — all against the published snapshot.
+    let t1 = Instant::now();
+    let mut query_lat_us: Vec<f64> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                let rows = &rows;
+                s.spawn(move || {
+                    let mut client = HullClient::connect(addr).expect("connect");
+                    let mut lat = Vec::with_capacity(queries_per_client);
+                    for i in 0..queries_per_client {
+                        let row = &rows[(i * clients + c) % rows.len()];
+                        let q0 = Instant::now();
+                        match i % 4 {
+                            0 => {
+                                client.contains(0, row).expect("contains");
+                            }
+                            1 => {
+                                let far: Vec<i64> = row.iter().map(|&x| 2 * x + 3).collect();
+                                client.contains(0, &far).expect("contains");
+                            }
+                            2 => {
+                                client.visible(0, row).expect("visible");
+                            }
+                            _ => {
+                                let mut d = vec![0i64; row.len()];
+                                d[i % row.len()] = if i % 8 < 4 { 1 } else { -1 };
+                                client.extreme(0, &d).expect("extreme");
+                            }
+                        }
+                        lat.push(q0.elapsed().as_secs_f64() * 1e6);
+                    }
+                    lat
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect()
+    });
+    let query_secs = t1.elapsed().as_secs_f64();
+    server.shutdown();
+
+    insert_lat_us.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    query_lat_us.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let n_queries = clients * queries_per_client;
+    let res = LoadResult {
+        workload: name.to_string(),
+        dim,
+        n_points: n,
+        clients,
+        inserts_per_sec: n as f64 / ingest_secs,
+        insert_p50_us: percentile(&insert_lat_us, 0.50),
+        insert_p99_us: percentile(&insert_lat_us, 0.99),
+        overloaded: overloaded.load(Ordering::Relaxed),
+        n_queries,
+        queries_per_sec: n_queries as f64 / query_secs,
+        query_p50_us: percentile(&query_lat_us, 0.50),
+        query_p99_us: percentile(&query_lat_us, 0.99),
+        hull_facets: snap.facets.len(),
+    };
+    println!(
+        "{:<28} {:>8} pts  {:>10.0} ins/s (p50 {:>6.1}us p99 {:>7.1}us, {} overloaded)  {:>10.0} qry/s (p50 {:>6.1}us p99 {:>7.1}us)  {} facets",
+        res.workload,
+        res.n_points,
+        res.inserts_per_sec,
+        res.insert_p50_us,
+        res.insert_p99_us,
+        res.overloaded,
+        res.queries_per_sec,
+        res.query_p50_us,
+        res.query_p99_us,
+        res.hull_facets
+    );
+    res
+}
+
+fn write_json(path: &str, results: &[LoadResult]) -> std::io::Result<()> {
+    let mut out = String::from("[\n");
+    for (i, r) in results.iter().enumerate() {
+        out.push_str(&format!(
+            "  {{\"workload\": \"{}\", \"dim\": {}, \"n_points\": {}, \"clients\": {}, \
+             \"inserts_per_sec\": {:.0}, \"insert_p50_us\": {:.1}, \"insert_p99_us\": {:.1}, \
+             \"overloaded\": {}, \"n_queries\": {}, \"queries_per_sec\": {:.0}, \
+             \"query_p50_us\": {:.1}, \"query_p99_us\": {:.1}, \"hull_facets\": {}}}{}\n",
+            r.workload,
+            r.dim,
+            r.n_points,
+            r.clients,
+            r.inserts_per_sec,
+            r.insert_p50_us,
+            r.insert_p99_us,
+            r.overloaded,
+            r.n_queries,
+            r.queries_per_sec,
+            r.query_p50_us,
+            r.query_p99_us,
+            r.hull_facets,
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("]\n");
+    std::fs::write(path, out)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out_path = "BENCH_service.json".to_string();
+    let mut clients = 4usize;
+    let mut quick = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--out" => out_path = it.next().expect("--out needs a value").clone(),
+            "--clients" => {
+                clients = it
+                    .next()
+                    .expect("--clients needs a value")
+                    .parse()
+                    .expect("bad --clients value");
+            }
+            "--quick" => quick = true,
+            other => {
+                eprintln!("USAGE: service_load [--out FILE] [--clients C] [--quick]");
+                panic!("unknown flag '{other}'");
+            }
+        }
+    }
+    let (n2, n3, q) = if quick {
+        (2_000, 1_000, 500)
+    } else {
+        (50_000, 20_000, 5_000)
+    };
+    let results = vec![
+        run_workload(
+            "disk_2d/uniform",
+            &generators::cube_d(2, n2, 1_000_000, 42),
+            clients,
+            q,
+        ),
+        run_workload(
+            "near_circle_2d",
+            &generators::near_sphere_d(2, n2 / 2, 1_000_000, 42),
+            clients,
+            q,
+        ),
+        run_workload(
+            "ball_3d/uniform",
+            &generators::ball_d(3, n3, 1_000_000, 42),
+            clients,
+            q,
+        ),
+    ];
+    write_json(&out_path, &results).expect("writing results");
+    println!("wrote {out_path}");
+}

@@ -13,6 +13,8 @@
 //! * [`StripedCounter`] / [`AtomicMax`] — contention-free instrumentation;
 //! * [`pool`] — a minimal scoped task pool for the dynamically spawned
 //!   `ProcessRidge` tasks of Algorithm 3;
+//! * [`BoundedQueue`] — a bounded MPMC queue with explicit backpressure,
+//!   the ingest primitive of the `chull-service` serving layer;
 //! * [`fast_hash`] — the deterministic FxHash-style hasher shared by every
 //!   ridge map (sequential adjacency included).
 
@@ -22,6 +24,7 @@ pub mod arena;
 pub mod counters;
 pub mod fast_hash;
 pub mod pool;
+pub mod queue;
 pub mod ridge_map_cas;
 pub mod ridge_map_locked;
 pub mod ridge_map_tas;
@@ -29,6 +32,7 @@ pub mod ridge_map_tas;
 pub use arena::ConcurrentArena;
 pub use counters::{AtomicMax, StripedCounter};
 pub use fast_hash::{FastBuildHasher, FastHashMap, FastHashSet, FxLikeHasher};
+pub use queue::{BoundedQueue, PushError};
 pub use ridge_map_cas::RidgeMapCas;
 pub use ridge_map_locked::RidgeMapLocked;
 pub use ridge_map_tas::RidgeMapTas;

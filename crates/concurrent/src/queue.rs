@@ -1,0 +1,271 @@
+//! A bounded MPMC queue with explicit backpressure, built for the
+//! hull service's batched ingest pipeline.
+//!
+//! Design goals, in order:
+//!
+//! 1. **Bounded** — the queue never grows past its capacity; a full queue
+//!    rejects [`BoundedQueue::try_push`] with the value handed back, so the
+//!    caller can reply `Overloaded` instead of buffering unboundedly.
+//! 2. **Batch-friendly** — [`BoundedQueue::pop_batch`] blocks for the
+//!    first item, then drains everything queued up to a limit in one lock
+//!    acquisition. This is the coalescing primitive: a consumer that falls
+//!    behind automatically processes bigger batches, which amortizes the
+//!    per-batch cost (snapshot republication, in the service's case).
+//! 3. **Closable** — [`BoundedQueue::close`] wakes every sleeper; blocked
+//!    pushes fail with [`PushError::Closed`], and poppers drain what is
+//!    left and then observe emptiness.
+//!
+//! A `Mutex<VecDeque>` with two condvars is deliberately chosen over a
+//! lock-free ring: producers and consumers batch at both ends, so the
+//! lock is held for O(1) amortized work per item and measures far from
+//! the bottleneck (the consumer does geometry between pops).
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+/// Why a push did not enqueue.
+#[derive(Debug, PartialEq, Eq)]
+pub enum PushError<T> {
+    /// Queue at capacity; the value is handed back (backpressure signal).
+    Full(T),
+    /// Queue closed; no further pushes will ever succeed.
+    Closed(T),
+}
+
+struct Inner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded multi-producer multi-consumer queue; see module docs.
+pub struct BoundedQueue<T> {
+    inner: Mutex<Inner<T>>,
+    capacity: usize,
+    not_empty: Condvar,
+    not_full: Condvar,
+}
+
+impl<T> BoundedQueue<T> {
+    /// A queue holding at most `capacity` items (at least 1).
+    pub fn new(capacity: usize) -> BoundedQueue<T> {
+        let capacity = capacity.max(1);
+        BoundedQueue {
+            inner: Mutex::new(Inner {
+                items: VecDeque::with_capacity(capacity),
+                closed: false,
+            }),
+            capacity,
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        }
+    }
+
+    /// The fixed capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Items currently queued (a racy gauge, exact only at quiescence).
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().items.len()
+    }
+
+    /// True iff no items are queued right now.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// True once [`BoundedQueue::close`] has been called.
+    pub fn is_closed(&self) -> bool {
+        self.inner.lock().unwrap().closed
+    }
+
+    /// Enqueue without blocking; a full or closed queue hands the value
+    /// back so the caller can apply backpressure.
+    pub fn try_push(&self, value: T) -> Result<(), PushError<T>> {
+        let mut g = self.inner.lock().unwrap();
+        if g.closed {
+            return Err(PushError::Closed(value));
+        }
+        if g.items.len() >= self.capacity {
+            return Err(PushError::Full(value));
+        }
+        g.items.push_back(value);
+        drop(g);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Enqueue, blocking while the queue is full. Fails only if the queue
+    /// is (or becomes) closed.
+    pub fn push(&self, value: T) -> Result<(), PushError<T>> {
+        let mut g = self.inner.lock().unwrap();
+        loop {
+            if g.closed {
+                return Err(PushError::Closed(value));
+            }
+            if g.items.len() < self.capacity {
+                g.items.push_back(value);
+                drop(g);
+                self.not_empty.notify_one();
+                return Ok(());
+            }
+            g = self.not_full.wait(g).unwrap();
+        }
+    }
+
+    /// Dequeue one item, blocking until one is available; `None` once the
+    /// queue is closed **and** drained.
+    pub fn pop(&self) -> Option<T> {
+        let mut g = self.inner.lock().unwrap();
+        loop {
+            if let Some(v) = g.items.pop_front() {
+                drop(g);
+                self.not_full.notify_one();
+                return Some(v);
+            }
+            if g.closed {
+                return None;
+            }
+            g = self.not_empty.wait(g).unwrap();
+        }
+    }
+
+    /// Block until at least one item is available (or the queue is closed
+    /// and drained), then move up to `max` items into `out` in FIFO order.
+    /// Returns the number of items moved; `0` means closed-and-drained.
+    ///
+    /// This is the consumer half of ingest coalescing: one blocking wait
+    /// yields the whole backlog (bounded by `max`) under a single lock.
+    pub fn pop_batch(&self, max: usize, out: &mut Vec<T>) -> usize {
+        let max = max.max(1);
+        let mut g = self.inner.lock().unwrap();
+        loop {
+            if !g.items.is_empty() {
+                let take = g.items.len().min(max);
+                out.extend(g.items.drain(..take));
+                drop(g);
+                // Batch drain may free many slots; wake all producers.
+                self.not_full.notify_all();
+                return take;
+            }
+            if g.closed {
+                return 0;
+            }
+            g = self.not_empty.wait(g).unwrap();
+        }
+    }
+
+    /// Like [`BoundedQueue::pop_batch`] but gives up after `timeout` if
+    /// nothing arrives, returning `0` with the queue still open.
+    pub fn pop_batch_timeout(&self, max: usize, out: &mut Vec<T>, timeout: Duration) -> usize {
+        let max = max.max(1);
+        let mut g = self.inner.lock().unwrap();
+        loop {
+            if !g.items.is_empty() {
+                let take = g.items.len().min(max);
+                out.extend(g.items.drain(..take));
+                drop(g);
+                self.not_full.notify_all();
+                return take;
+            }
+            if g.closed {
+                return 0;
+            }
+            let (guard, res) = self.not_empty.wait_timeout(g, timeout).unwrap();
+            g = guard;
+            if res.timed_out() && g.items.is_empty() {
+                return 0;
+            }
+        }
+    }
+
+    /// Close the queue: all blocked and future pushes fail, poppers drain
+    /// the remainder and then observe closed-and-empty.
+    pub fn close(&self) {
+        let mut g = self.inner.lock().unwrap();
+        g.closed = true;
+        drop(g);
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_and_capacity() {
+        let q = BoundedQueue::new(2);
+        assert_eq!(q.capacity(), 2);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        assert_eq!(q.try_push(3), Err(PushError::Full(3)));
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop(), Some(1));
+        q.try_push(3).unwrap();
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), Some(3));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn pop_batch_drains_up_to_max() {
+        let q = BoundedQueue::new(8);
+        for i in 0..5 {
+            q.try_push(i).unwrap();
+        }
+        let mut out = Vec::new();
+        assert_eq!(q.pop_batch(3, &mut out), 3);
+        assert_eq!(out, vec![0, 1, 2]);
+        assert_eq!(q.pop_batch(10, &mut out), 2);
+        assert_eq!(out, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn close_wakes_and_drains() {
+        let q = Arc::new(BoundedQueue::new(4));
+        q.try_push(7).unwrap();
+        let qc = Arc::clone(&q);
+        let h = std::thread::spawn(move || {
+            let mut got = Vec::new();
+            loop {
+                let mut out = Vec::new();
+                if qc.pop_batch(16, &mut out) == 0 {
+                    break;
+                }
+                got.extend(out);
+            }
+            got
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        q.close();
+        assert_eq!(q.try_push(9), Err(PushError::Closed(9)));
+        let got = h.join().unwrap();
+        assert_eq!(got, vec![7]);
+    }
+
+    #[test]
+    fn blocking_push_waits_for_space() {
+        let q = Arc::new(BoundedQueue::new(1));
+        q.push(1).unwrap();
+        let qc = Arc::clone(&q);
+        let h = std::thread::spawn(move || qc.push(2));
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(q.pop(), Some(1));
+        h.join().unwrap().unwrap();
+        assert_eq!(q.pop(), Some(2));
+    }
+
+    #[test]
+    fn pop_batch_timeout_returns_zero_when_idle() {
+        let q: BoundedQueue<u32> = BoundedQueue::new(4);
+        let mut out = Vec::new();
+        let n = q.pop_batch_timeout(4, &mut out, Duration::from_millis(10));
+        assert_eq!(n, 0);
+        assert!(!q.is_closed());
+    }
+}

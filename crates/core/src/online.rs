@@ -23,6 +23,7 @@ use std::collections::HashMap;
 /// Sentinel facet id.
 const NO_FACET: u32 = u32::MAX;
 
+#[derive(Clone)]
 struct OFacet {
     verts: FacetVerts,
     visible_sign: Sign,
@@ -34,6 +35,15 @@ struct OFacet {
 }
 
 /// An incrementally-growable convex hull; see module docs.
+///
+/// **Read/write split:** mutation ([`OnlineHull::insert`]) takes
+/// `&mut self`; every query ([`OnlineHull::contains`],
+/// [`OnlineHull::visible_facets`], [`OnlineHull::extreme`], ...) takes
+/// `&self` and threads its staged-kernel counters through a per-call
+/// [`KernelCounts`] accumulator instead of mutating shared state. A frozen
+/// hull (e.g. behind an `Arc` snapshot in `chull-service`) therefore
+/// serves membership queries from many threads concurrently.
+#[derive(Clone)]
 pub struct OnlineHull {
     dim: usize,
     pts: PointSet,
@@ -156,17 +166,18 @@ impl OnlineHull {
     }
 
     /// All alive facets visible from `q`, found by history descent.
-    fn locate(&mut self, q: &[i64]) -> Vec<u32> {
+    /// Shared: counters go to the caller's accumulator, the visited-node
+    /// count is the second return. `O(log n)` expected nodes for points
+    /// in random position (Section 4).
+    fn locate(&self, q: &[i64], counts: &mut KernelCounts) -> (Vec<u32>, usize) {
         let mut visited = vec![false; self.facets.len()];
         let mut stack: Vec<u32> = Vec::new();
         let mut out = Vec::new();
         let mut count = 0usize;
-        let mut counts = KernelCounts::default();
-        for si in 0..self.seeds.len() {
-            let s = self.seeds[si];
+        for &s in &self.seeds {
             visited[s as usize] = true;
             count += 1;
-            if self.sees(s, q, &mut counts) {
+            if self.sees(s, q, counts) {
                 stack.push(s);
             }
         }
@@ -179,15 +190,13 @@ impl OnlineHull {
                 if !visited[c as usize] {
                     visited[c as usize] = true;
                     count += 1;
-                    if self.sees(c, q, &mut counts) {
+                    if self.sees(c, q, counts) {
                         stack.push(c);
                     }
                 }
             }
         }
-        self.kernel.merge(&counts);
-        self.last_visited = count;
-        out
+        (out, count)
     }
 
     /// Insert a point. Returns `true` if the point is outside the current
@@ -195,7 +204,10 @@ impl OnlineHull {
     /// boundary (and was recorded but changed nothing).
     pub fn insert(&mut self, coords: &[i64]) -> bool {
         assert_eq!(coords.len(), self.dim, "point of wrong dimension");
-        let visible = self.locate(coords);
+        let mut counts = KernelCounts::default();
+        let (visible, visited) = self.locate(coords, &mut counts);
+        self.kernel.merge(&counts);
+        self.last_visited = visited;
         let v = self.pts.len() as u32;
         self.pts.push(coords);
         if visible.is_empty() {
@@ -238,8 +250,63 @@ impl OnlineHull {
     }
 
     /// Membership test for an arbitrary coordinate (does not insert).
-    pub fn contains(&mut self, coords: &[i64]) -> bool {
-        self.locate(coords).is_empty()
+    /// Shared — runs concurrently from many threads; per-call kernel
+    /// counters are discarded (see [`OnlineHull::contains_counted`]).
+    pub fn contains(&self, coords: &[i64]) -> bool {
+        let mut counts = KernelCounts::default();
+        self.contains_counted(coords, &mut counts)
+    }
+
+    /// [`OnlineHull::contains`], accumulating staged-kernel counters into
+    /// the caller's tally (which the service folds into shared atomics).
+    pub fn contains_counted(&self, coords: &[i64], counts: &mut KernelCounts) -> bool {
+        assert_eq!(coords.len(), self.dim, "point of wrong dimension");
+        self.locate(coords, counts).0.is_empty()
+    }
+
+    /// The alive facets visible from `coords` (empty iff the point is
+    /// inside or on the hull). Shared read path, like
+    /// [`OnlineHull::contains_counted`].
+    pub fn visible_facets(&self, coords: &[i64], counts: &mut KernelCounts) -> Vec<u32> {
+        assert_eq!(coords.len(), self.dim, "point of wrong dimension");
+        self.locate(coords, counts).0
+    }
+
+    /// The hull vertex extreme in direction `dir` (maximizing `dir · p`
+    /// exactly over the current hull vertices): `(point id, coordinates)`.
+    /// Ties break toward the smallest id. `dir` components must stay
+    /// within [`chull_geometry::MAX_COORD`] so the `i128` dot products
+    /// cannot overflow.
+    pub fn extreme(&self, dir: &[i64]) -> (u32, Vec<i64>) {
+        assert_eq!(dir.len(), self.dim, "direction of wrong dimension");
+        assert!(
+            dir.iter().all(|&c| c.abs() <= chull_geometry::MAX_COORD),
+            "direction component exceeds MAX_COORD"
+        );
+        let dot = |v: u32| -> i128 {
+            self.pts
+                .pt(v)
+                .iter()
+                .zip(dir)
+                .map(|(&c, &d)| c as i128 * d as i128)
+                .sum()
+        };
+        let mut best: Option<(u32, i128)> = None;
+        let mut seen = std::collections::HashSet::new();
+        for f in self.facets.iter().filter(|f| f.alive) {
+            for &v in &f.verts[..self.dim] {
+                if !seen.insert(v) {
+                    continue;
+                }
+                let s = dot(v);
+                match best {
+                    Some((bv, bs)) if bs > s || (bs == s && bv < v) => {}
+                    _ => best = Some((v, s)),
+                }
+            }
+        }
+        let (v, _) = best.expect("hull has at least one facet");
+        (v, self.pts.pt(v).to_vec())
     }
 
     /// Number of points inserted so far (including the seed simplex).
@@ -336,12 +403,39 @@ mod tests {
     }
 
     #[test]
-    fn membership_queries_do_not_mutate() {
-        let mut hull = OnlineHull::new(2, &[vec![0, 0], vec![10, 0], vec![0, 10]]);
+    fn membership_queries_are_shared_reads() {
+        // `contains` takes `&self`: no mutation, usable through a shared
+        // reference from many threads at once.
+        let hull = OnlineHull::new(2, &[vec![0, 0], vec![10, 0], vec![0, 10]]);
         assert!(hull.contains(&[1, 1]));
         assert!(!hull.contains(&[100, 100]));
         assert_eq!(hull.num_points(), 3);
         assert_eq!(hull.output().num_facets(), 3);
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let h = &hull;
+                s.spawn(move || {
+                    let mut counts = KernelCounts::default();
+                    assert!(h.contains_counted(&[1, 1 + t % 2], &mut counts));
+                    assert!(counts.tests > 0);
+                    assert!(!h.visible_facets(&[100, 100], &mut counts).is_empty());
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn extreme_maximizes_direction() {
+        let mut hull = OnlineHull::new(2, &[vec![0, 0], vec![10, 0], vec![0, 10]]);
+        hull.insert(&[10, 10]);
+        hull.insert(&[5, 5]); // interior
+        let (v, coords) = hull.extreme(&[1, 1]);
+        assert_eq!(coords, vec![10, 10]);
+        assert_eq!(v, 3);
+        let (_, coords) = hull.extreme(&[-1, 0]);
+        assert_eq!(coords[0], 0);
+        let (_, coords) = hull.extreme(&[0, -1]);
+        assert_eq!(coords[1], 0);
     }
 
     #[test]

@@ -66,4 +66,57 @@ impl HullStats {
     pub fn depth_over_harmonic(&self) -> f64 {
         self.dep_depth as f64 / self.harmonic()
     }
+
+    /// One JSON object with every counter, on a single line — the
+    /// machine-readable form behind the CLI's `--stats-json` flag (no
+    /// external JSON dependency in this environment, so hand-rolled).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"n\":{},\"dim\":{},\"visibility_tests\":{},\"facets_created\":{},\
+             \"hull_facets\":{},\"dep_depth\":{},\"recursion_depth\":{},\"rounds\":{},\
+             \"buried\":{},\"replaced\":{},\"naive_dep_depth\":{},\"filter_hits\":{},\
+             \"i128_fallbacks\":{},\"bigint_fallbacks\":{}}}",
+            self.n,
+            self.dim,
+            self.visibility_tests,
+            self.facets_created,
+            self.hull_facets,
+            self.dep_depth,
+            self.recursion_depth,
+            self.rounds,
+            self.buried,
+            self.replaced,
+            self.naive_dep_depth,
+            self.filter_hits,
+            self.i128_fallbacks,
+            self.bigint_fallbacks
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_is_one_line_with_every_field() {
+        let s = HullStats {
+            n: 5,
+            dim: 2,
+            visibility_tests: 7,
+            ..Default::default()
+        };
+        let j = s.to_json();
+        assert!(!j.contains('\n'));
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        for key in [
+            "\"n\":5",
+            "\"dim\":2",
+            "\"visibility_tests\":7",
+            "\"filter_hits\":0",
+            "\"bigint_fallbacks\":0",
+        ] {
+            assert!(j.contains(key), "missing {key} in {j}");
+        }
+    }
 }

@@ -1,0 +1,170 @@
+//! A blocking client for the hull wire protocol — used by the `hull
+//! query` CLI, the loopback tests, and the load generator.
+
+use crate::wire::{read_frame, write_frame, Request, Response, ALL_SHARDS};
+use std::io::{self};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// A decoded `Snapshot` reply.
+#[derive(Debug, Clone)]
+pub struct SnapshotReply {
+    /// Publication epoch.
+    pub epoch: u64,
+    /// Dimension.
+    pub dim: usize,
+    /// Points, one `Vec` per point, in the shard's vertex-id order.
+    pub points: Vec<Vec<i64>>,
+    /// Facets as vertex-id tuples into `points`.
+    pub facets: Vec<Vec<u32>>,
+}
+
+/// One connection to a hull server; methods are synchronous
+/// request/response calls. Not thread-safe — use one client per thread
+/// (connections are cheap).
+pub struct HullClient {
+    stream: TcpStream,
+}
+
+fn unexpected(resp: Response) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("unexpected response: {resp:?}"),
+    )
+}
+
+fn server_error(msg: String) -> io::Error {
+    io::Error::other(format!("server error: {msg}"))
+}
+
+impl HullClient {
+    /// Connect (with `TCP_NODELAY`, request/response is latency-bound).
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<HullClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(HullClient { stream })
+    }
+
+    /// Send one request and read its reply (any variant).
+    pub fn raw(&mut self, req: &Request) -> io::Result<Response> {
+        write_frame(&mut self.stream, &req.encode())?;
+        let payload = read_frame(&mut self.stream)?.ok_or_else(|| {
+            io::Error::new(io::ErrorKind::UnexpectedEof, "server closed connection")
+        })?;
+        Response::decode(&payload).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+
+    /// Queue one point; `false` means the shard is overloaded (retry).
+    pub fn insert(&mut self, shard: u16, point: &[i64]) -> io::Result<bool> {
+        match self.raw(&Request::Insert {
+            shard,
+            point: point.to_vec(),
+        })? {
+            Response::Inserted => Ok(true),
+            Response::Overloaded => Ok(false),
+            Response::Error(m) => Err(server_error(m)),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Insert, retrying with a short sleep while the shard pushes back.
+    /// Returns the number of `Overloaded` rejections absorbed.
+    pub fn insert_retry(&mut self, shard: u16, point: &[i64]) -> io::Result<u64> {
+        let mut rejections = 0;
+        while !self.insert(shard, point)? {
+            rejections += 1;
+            // Brief pause: the worker drains whole batches, so capacity
+            // tends to reappear in bursts.
+            std::thread::sleep(Duration::from_micros(200));
+        }
+        Ok(rejections)
+    }
+
+    /// Membership query; `None` while the shard is bootstrapping.
+    pub fn contains(&mut self, shard: u16, point: &[i64]) -> io::Result<Option<bool>> {
+        match self.raw(&Request::Contains {
+            shard,
+            point: point.to_vec(),
+        })? {
+            Response::Bool(b) => Ok(Some(b)),
+            Response::NotReady => Ok(None),
+            Response::Error(m) => Err(server_error(m)),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Number of facets visible from the point; `None` while bootstrapping.
+    pub fn visible(&mut self, shard: u16, point: &[i64]) -> io::Result<Option<u32>> {
+        match self.raw(&Request::Visible {
+            shard,
+            point: point.to_vec(),
+        })? {
+            Response::VisibleCount(n) => Ok(Some(n)),
+            Response::NotReady => Ok(None),
+            Response::Error(m) => Err(server_error(m)),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Extreme vertex in a direction; `None` while bootstrapping.
+    pub fn extreme(&mut self, shard: u16, dir: &[i64]) -> io::Result<Option<(u32, Vec<i64>)>> {
+        match self.raw(&Request::Extreme {
+            shard,
+            direction: dir.to_vec(),
+        })? {
+            Response::Extreme { vertex, coords } => Ok(Some((vertex, coords))),
+            Response::NotReady => Ok(None),
+            Response::Error(m) => Err(server_error(m)),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Service counters as JSON (`None` aggregates all shards).
+    pub fn stats(&mut self, shard: Option<u16>) -> io::Result<String> {
+        match self.raw(&Request::Stats {
+            shard: shard.unwrap_or(ALL_SHARDS),
+        })? {
+            Response::Stats(json) => Ok(json),
+            Response::Error(m) => Err(server_error(m)),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// The shard's current points and hull facets.
+    pub fn snapshot(&mut self, shard: u16) -> io::Result<SnapshotReply> {
+        match self.raw(&Request::Snapshot { shard })? {
+            Response::Snapshot {
+                epoch,
+                dim,
+                points,
+                facets,
+            } => Ok(SnapshotReply {
+                epoch,
+                dim,
+                points: points.chunks(dim).map(|c| c.to_vec()).collect(),
+                facets: facets.chunks(dim).map(|c| c.to_vec()).collect(),
+            }),
+            Response::Error(m) => Err(server_error(m)),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Barrier: every insert this client enqueued before the call is
+    /// applied once this returns. Returns the publication epoch.
+    pub fn flush(&mut self, shard: u16) -> io::Result<u64> {
+        match self.raw(&Request::Flush { shard })? {
+            Response::Flushed { epoch } => Ok(epoch),
+            Response::Error(m) => Err(server_error(m)),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Ask the server to shut down gracefully.
+    pub fn shutdown_server(&mut self) -> io::Result<()> {
+        match self.raw(&Request::Shutdown)? {
+            Response::ShuttingDown => Ok(()),
+            Response::Error(m) => Err(server_error(m)),
+            other => Err(unexpected(other)),
+        }
+    }
+}

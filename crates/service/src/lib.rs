@@ -1,0 +1,43 @@
+//! # chull-service
+//!
+//! A long-lived convex hull **server** over the SPAA 2020 reproduction's
+//! online hull: the history (influence) graph already gives expected
+//! `O(log n)` point location per query (Section 4 of the paper), so this
+//! crate packages it as a concurrent serving subsystem:
+//!
+//! * [`shard::HullService`] — the shard manager: independent
+//!   epoch-versioned [`online hulls`](chull_core::online::OnlineHull),
+//!   one worker thread per shard, copy-on-write snapshot publication
+//!   (an `Arc<HullSnapshot>` swapped under a short critical section) so
+//!   reads never block ingest;
+//! * batched ingest — a bounded MPMC queue
+//!   ([`chull_concurrent::BoundedQueue`]) coalesces inserts into batches
+//!   applied through the staged exact kernel, with explicit backpressure
+//!   (`Overloaded` replies) instead of unbounded buffering;
+//! * [`wire`] — a length-prefixed binary protocol (`Insert`, `Contains`,
+//!   `Visible`, `Extreme`, `Stats`, `Snapshot`, `Flush`, `Shutdown`)
+//!   over std TCP, served by [`server::serve`] with a
+//!   thread-per-connection accept loop, graceful shutdown, and
+//!   per-request timeouts;
+//! * [`client::HullClient`] — the blocking client used by the `hull`
+//!   CLI, the integration tests, and the load generator in `chull-bench`.
+//!
+//! Correctness bar: the served hull is **bit-identical** to the offline
+//! sequential Algorithm 2 on the same point multiset (the loopback
+//! integration test in the workspace root proves it under concurrent
+//! clients), because both paths run the same staged exact predicates.
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod server;
+pub mod shard;
+pub mod snapshot;
+pub mod stats;
+pub mod wire;
+
+pub use client::{HullClient, SnapshotReply};
+pub use server::{serve, ServeOptions, ServerHandle};
+pub use shard::{HullService, InsertOutcome, ServiceConfig, ServiceError};
+pub use snapshot::HullSnapshot;
+pub use stats::{AtomicKernel, ShardStats};

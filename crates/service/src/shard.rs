@@ -1,0 +1,538 @@
+//! The shard manager: epoch-versioned online hulls behind a batched,
+//! backpressured ingest pipeline.
+//!
+//! Each shard is an **independent** hull (a namespace — clients route
+//! requests by shard id, spreading unrelated workloads across workers).
+//! Per shard:
+//!
+//! * one [`BoundedQueue`] of ingest items — producers are connection
+//!   threads calling [`HullService::try_insert`], which never blocks: a
+//!   full queue is reported as [`InsertOutcome::Overloaded`] so the wire
+//!   layer replies with explicit backpressure instead of buffering;
+//! * one **worker thread** that drains the queue in coalesced batches
+//!   (`pop_batch`), applies them to its private [`OnlineHull`] through
+//!   the staged exact kernel, and republishes an `Arc<HullSnapshot>`
+//!   under a short write-lock — readers clone the `Arc` under the
+//!   matching read-lock and never block ingest;
+//! * a [`ShardStats`] block of lock-free counters.
+//!
+//! The first `d + 1` affinely independent points of a shard become its
+//! seed simplex (arrivals are buffered until then); everything after goes
+//! through `OnlineHull::insert`, i.e. history-graph descent with expected
+//! `O(log n)` location per point in random arrival order.
+
+use crate::snapshot::{HullSnapshot, SnapState};
+use crate::stats::ShardStats;
+use chull_concurrent::{BoundedQueue, PushError};
+use chull_core::online::OnlineHull;
+use chull_geometry::{exact::affine_rank, MAX_COORD};
+use std::sync::atomic::Ordering;
+use std::sync::{mpsc, Arc, Mutex, RwLock};
+use std::thread::JoinHandle;
+
+/// Sizing and placement knobs for one [`HullService`].
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Dimension of every hull (2..=8).
+    pub dim: usize,
+    /// Number of independent shards.
+    pub shards: usize,
+    /// Ingest queue capacity per shard (backpressure threshold).
+    pub queue_capacity: usize,
+    /// Largest batch one publication coalesces.
+    pub max_batch: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> ServiceConfig {
+        ServiceConfig {
+            dim: 2,
+            shards: 4,
+            queue_capacity: 1024,
+            max_batch: 256,
+        }
+    }
+}
+
+/// Outcome of a non-blocking insert attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InsertOutcome {
+    /// Queued for the shard's next batch.
+    Queued,
+    /// Queue at capacity — the caller should retry after a pause.
+    Overloaded,
+}
+
+/// Request-level failures (distinct from backpressure).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServiceError {
+    /// Shard id out of range.
+    BadShard(u16),
+    /// Point rejected (wrong dimension or coordinate out of range).
+    BadPoint(String),
+    /// The service is shutting down.
+    Closed,
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::BadShard(s) => write!(f, "shard {s} out of range"),
+            ServiceError::BadPoint(msg) => write!(f, "bad point: {msg}"),
+            ServiceError::Closed => write!(f, "service shutting down"),
+        }
+    }
+}
+
+enum Ingest {
+    Insert(Vec<i64>),
+    /// Barrier: acknowledged (with the publication epoch) only after every
+    /// item queued before it has been applied and republished.
+    Flush(mpsc::Sender<u64>),
+}
+
+/// Shard worker's private state: bootstrap buffer or live hull.
+struct ShardCore {
+    dim: usize,
+    applied: u64,
+    state: CoreState,
+}
+
+enum CoreState {
+    /// Buffered arrivals + indices of an affinely independent subset.
+    Boot {
+        pts: Vec<Vec<i64>>,
+        basis: Vec<usize>,
+    },
+    Live(OnlineHull),
+}
+
+impl ShardCore {
+    fn new(dim: usize) -> ShardCore {
+        ShardCore {
+            dim,
+            applied: 0,
+            state: CoreState::Boot {
+                pts: Vec::new(),
+                basis: Vec::new(),
+            },
+        }
+    }
+
+    fn insert(&mut self, p: Vec<i64>) {
+        self.applied += 1;
+        match &mut self.state {
+            CoreState::Boot { pts, basis } => {
+                let mut rows: Vec<&[i64]> = basis.iter().map(|&i| pts[i].as_slice()).collect();
+                rows.push(&p);
+                if affine_rank(&rows) == rows.len() {
+                    basis.push(pts.len());
+                }
+                pts.push(p);
+                if basis.len() == self.dim + 1 {
+                    // Seed simplex found: promote to a live hull and replay
+                    // the remaining buffered arrivals in order.
+                    let seeds: Vec<Vec<i64>> = basis.iter().map(|&i| pts[i].clone()).collect();
+                    let mut hull = OnlineHull::new(self.dim, &seeds);
+                    let basis_set: std::collections::HashSet<usize> =
+                        basis.iter().copied().collect();
+                    for (i, q) in pts.iter().enumerate() {
+                        if !basis_set.contains(&i) {
+                            hull.insert(q);
+                        }
+                    }
+                    self.state = CoreState::Live(hull);
+                }
+            }
+            CoreState::Live(hull) => {
+                hull.insert(&p);
+            }
+        }
+    }
+
+    fn snapshot(&self, epoch: u64) -> HullSnapshot {
+        HullSnapshot {
+            epoch,
+            applied: self.applied,
+            dim: self.dim,
+            state: match &self.state {
+                CoreState::Boot { pts, .. } => SnapState::Boot(pts.clone()),
+                CoreState::Live(h) => SnapState::Live(h.clone()),
+            },
+        }
+    }
+}
+
+struct Shard {
+    queue: Arc<BoundedQueue<Ingest>>,
+    snap: Arc<RwLock<Arc<HullSnapshot>>>,
+    stats: Arc<ShardStats>,
+    worker: Mutex<Option<JoinHandle<()>>>,
+}
+
+/// The shard manager; see module docs. Shared (`&self`) by every
+/// connection thread; [`HullService::shutdown`] drains and joins.
+pub struct HullService {
+    config: ServiceConfig,
+    shards: Vec<Shard>,
+}
+
+impl HullService {
+    /// Start `config.shards` shard workers.
+    pub fn new(config: ServiceConfig) -> HullService {
+        assert!(
+            (2..=chull_core::facet::MAX_DIM).contains(&config.dim),
+            "dimension out of range"
+        );
+        assert!(config.shards >= 1 && config.shards < u16::MAX as usize);
+        let shards = (0..config.shards)
+            .map(|_| {
+                let queue = Arc::new(BoundedQueue::new(config.queue_capacity));
+                let snap = Arc::new(RwLock::new(Arc::new(HullSnapshot::empty(config.dim))));
+                let stats = Arc::new(ShardStats::default());
+                let worker = {
+                    let queue = Arc::clone(&queue);
+                    let snap = Arc::clone(&snap);
+                    let stats = Arc::clone(&stats);
+                    let dim = config.dim;
+                    let max_batch = config.max_batch;
+                    std::thread::spawn(move || shard_worker(dim, max_batch, &queue, &snap, &stats))
+                };
+                Shard {
+                    queue,
+                    snap,
+                    stats,
+                    worker: Mutex::new(Some(worker)),
+                }
+            })
+            .collect();
+        HullService { config, shards }
+    }
+
+    /// The configuration this service was started with.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard(&self, id: u16) -> Result<&Shard, ServiceError> {
+        self.shards
+            .get(id as usize)
+            .ok_or(ServiceError::BadShard(id))
+    }
+
+    fn validate(&self, point: &[i64]) -> Result<(), ServiceError> {
+        if point.len() != self.config.dim {
+            return Err(ServiceError::BadPoint(format!(
+                "expected {} coordinates, got {}",
+                self.config.dim,
+                point.len()
+            )));
+        }
+        if let Some(c) = point.iter().find(|c| c.abs() > MAX_COORD) {
+            return Err(ServiceError::BadPoint(format!(
+                "coordinate {c} exceeds MAX_COORD"
+            )));
+        }
+        Ok(())
+    }
+
+    /// Non-blocking insert; `Overloaded` is the backpressure signal.
+    pub fn try_insert(&self, shard: u16, point: Vec<i64>) -> Result<InsertOutcome, ServiceError> {
+        self.validate(&point)?;
+        let sh = self.shard(shard)?;
+        match sh.queue.try_push(Ingest::Insert(point)) {
+            Ok(()) => {
+                sh.stats.inserts_enqueued.fetch_add(1, Ordering::Relaxed);
+                Ok(InsertOutcome::Queued)
+            }
+            Err(PushError::Full(_)) => {
+                sh.stats.overloaded.fetch_add(1, Ordering::Relaxed);
+                Ok(InsertOutcome::Overloaded)
+            }
+            Err(PushError::Closed(_)) => Err(ServiceError::Closed),
+        }
+    }
+
+    /// Barrier: blocks until every insert enqueued before this call has
+    /// been applied and republished; returns the publication epoch.
+    pub fn flush(&self, shard: u16) -> Result<u64, ServiceError> {
+        let sh = self.shard(shard)?;
+        sh.stats.flushes.fetch_add(1, Ordering::Relaxed);
+        let (tx, rx) = mpsc::channel();
+        // Blocking push: a flush may wait for queue space, but never
+        // spins — it rides the same FIFO as the inserts it fences.
+        match sh.queue.push(Ingest::Flush(tx)) {
+            Ok(()) => rx.recv().map_err(|_| ServiceError::Closed),
+            Err(_) => Err(ServiceError::Closed),
+        }
+    }
+
+    /// The shard's current published snapshot (wait-free for ingest: the
+    /// write side holds the lock only to swap an `Arc`).
+    pub fn snapshot(&self, shard: u16) -> Result<Arc<HullSnapshot>, ServiceError> {
+        let sh = self.shard(shard)?;
+        Ok(Arc::clone(&sh.snap.read().unwrap()))
+    }
+
+    /// Per-shard stats block (for folding query-path kernel counters).
+    pub fn stats_for(&self, shard: u16) -> Result<&ShardStats, ServiceError> {
+        Ok(&self.shard(shard)?.stats)
+    }
+
+    /// Queue depth gauge for one shard.
+    pub fn queue_depth(&self, shard: u16) -> Result<usize, ServiceError> {
+        Ok(self.shard(shard)?.queue.len())
+    }
+
+    /// One JSON line: a single shard's counters, or (for `None`) the
+    /// service aggregate with a per-shard breakdown.
+    pub fn stats_json(&self, shard: Option<u16>) -> Result<String, ServiceError> {
+        match shard {
+            Some(id) => {
+                let sh = self.shard(id)?;
+                let snap = Arc::clone(&sh.snap.read().unwrap());
+                Ok(sh.stats.json(id as usize, &snap, sh.queue.len()))
+            }
+            None => {
+                let mut total_applied = 0u64;
+                let mut total_facets = 0usize;
+                let mut parts = Vec::with_capacity(self.shards.len());
+                for (i, sh) in self.shards.iter().enumerate() {
+                    let snap = Arc::clone(&sh.snap.read().unwrap());
+                    total_applied += snap.applied;
+                    total_facets += snap.num_facets();
+                    parts.push(sh.stats.json(i, &snap, sh.queue.len()));
+                }
+                Ok(format!(
+                    "{{\"dim\":{},\"shards\":{},\"applied_total\":{total_applied},\
+                     \"hull_facets_total\":{total_facets},\"per_shard\":[{}]}}",
+                    self.config.dim,
+                    self.shards.len(),
+                    parts.join(",")
+                ))
+            }
+        }
+    }
+
+    /// Graceful shutdown: close every ingest queue (pending batches still
+    /// apply), then join the workers. Idempotent.
+    pub fn shutdown(&self) {
+        for sh in &self.shards {
+            sh.queue.close();
+        }
+        for sh in &self.shards {
+            if let Some(h) = sh.worker.lock().unwrap().take() {
+                h.join().expect("shard worker panicked");
+            }
+        }
+    }
+}
+
+impl Drop for HullService {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// The per-shard ingest loop: block for a batch, apply it, republish.
+fn shard_worker(
+    dim: usize,
+    max_batch: usize,
+    queue: &BoundedQueue<Ingest>,
+    snap: &RwLock<Arc<HullSnapshot>>,
+    stats: &ShardStats,
+) {
+    let mut core = ShardCore::new(dim);
+    let mut epoch = 0u64;
+    let mut batch: Vec<Ingest> = Vec::with_capacity(max_batch);
+    loop {
+        batch.clear();
+        if queue.pop_batch(max_batch, &mut batch) == 0 {
+            // Closed and drained.
+            return;
+        }
+        let mut inserted = 0u64;
+        let mut flushes: Vec<mpsc::Sender<u64>> = Vec::new();
+        for item in batch.drain(..) {
+            match item {
+                Ingest::Insert(p) => {
+                    core.insert(p);
+                    inserted += 1;
+                }
+                Ingest::Flush(tx) => flushes.push(tx),
+            }
+        }
+        if inserted > 0 {
+            epoch += 1;
+            stats.record_batch(inserted);
+            let published = Arc::new(core.snapshot(epoch));
+            // Short critical section: swap one Arc.
+            *snap.write().unwrap() = published;
+        }
+        for tx in flushes {
+            // Receiver may have given up (client disconnect) — fine.
+            let _ = tx.send(epoch);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chull_core::context::prepare_points;
+    use chull_core::seq::incremental_hull_run;
+    use chull_geometry::{generators, KernelCounts, PointSet};
+
+    fn cfg(dim: usize, shards: usize) -> ServiceConfig {
+        ServiceConfig {
+            dim,
+            shards,
+            queue_capacity: 64,
+            max_batch: 16,
+        }
+    }
+
+    #[test]
+    fn single_shard_matches_offline_hull() {
+        let pts = prepare_points(
+            &PointSet::from_points2(&generators::disk_2d(300, 1 << 20, 11)),
+            12,
+        );
+        let svc = HullService::new(cfg(2, 1));
+        for p in pts.iter() {
+            loop {
+                match svc.try_insert(0, p.to_vec()).unwrap() {
+                    InsertOutcome::Queued => break,
+                    InsertOutcome::Overloaded => std::thread::yield_now(),
+                }
+            }
+        }
+        svc.flush(0).unwrap();
+        let snap = svc.snapshot(0).unwrap();
+        assert!(snap.ready());
+        assert_eq!(snap.num_points(), pts.len());
+        let offline = incremental_hull_run(&pts);
+        // Same point multiset => identical facet geometry; vertex ids may
+        // differ (the shard reorders its seed simplex to the front), so
+        // compare canonical coordinate sets.
+        let served = canonical_coords(&snap.flat_points(), &snap.output(), 2);
+        let expect = canonical_coords(pts.flat(), &offline.output, 2);
+        assert_eq!(served, expect);
+        svc.shutdown();
+    }
+
+    fn canonical_coords(
+        flat: &[i64],
+        out: &chull_core::HullOutput,
+        dim: usize,
+    ) -> std::collections::BTreeSet<Vec<Vec<i64>>> {
+        out.facets
+            .iter()
+            .map(|f| {
+                let mut verts: Vec<Vec<i64>> = f[..dim]
+                    .iter()
+                    .map(|&v| flat[v as usize * dim..(v as usize + 1) * dim].to_vec())
+                    .collect();
+                verts.sort();
+                verts
+            })
+            .collect()
+    }
+
+    #[test]
+    fn shards_are_independent() {
+        let svc = HullService::new(cfg(2, 2));
+        for p in [[0, 0], [8, 0], [0, 8], [8, 8]] {
+            svc.try_insert(0, p.to_vec()).unwrap();
+        }
+        for p in [[100, 100], [101, 100], [100, 101]] {
+            svc.try_insert(1, p.to_vec()).unwrap();
+        }
+        svc.flush(0).unwrap();
+        svc.flush(1).unwrap();
+        let s0 = svc.snapshot(0).unwrap();
+        let s1 = svc.snapshot(1).unwrap();
+        assert_eq!(s0.num_points(), 4);
+        assert_eq!(s1.num_points(), 3);
+        let mut k = KernelCounts::default();
+        assert_eq!(s0.contains(&[4, 4], &mut k), Some(true));
+        assert_eq!(s1.contains(&[4, 4], &mut k), Some(false));
+    }
+
+    #[test]
+    fn bootstrap_buffers_degenerate_prefix() {
+        let svc = HullService::new(cfg(2, 1));
+        // Collinear prefix: stays in bootstrap.
+        for p in [[0, 0], [1, 1], [2, 2], [3, 3]] {
+            svc.try_insert(0, p.to_vec()).unwrap();
+        }
+        svc.flush(0).unwrap();
+        let snap = svc.snapshot(0).unwrap();
+        assert!(!snap.ready());
+        assert_eq!(snap.num_points(), 4);
+        // One off-line point completes the simplex; the buffer replays.
+        svc.try_insert(0, vec![5, 0]).unwrap();
+        svc.flush(0).unwrap();
+        let snap = svc.snapshot(0).unwrap();
+        assert!(snap.ready());
+        assert_eq!(snap.num_points(), 5);
+        let mut k = KernelCounts::default();
+        assert_eq!(snap.contains(&[2, 1], &mut k), Some(true));
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        let svc = HullService::new(cfg(2, 1));
+        assert!(matches!(
+            svc.try_insert(5, vec![0, 0]),
+            Err(ServiceError::BadShard(5))
+        ));
+        assert!(matches!(
+            svc.try_insert(0, vec![0, 0, 0]),
+            Err(ServiceError::BadPoint(_))
+        ));
+        assert!(matches!(
+            svc.try_insert(0, vec![i64::MAX, 0]),
+            Err(ServiceError::BadPoint(_))
+        ));
+    }
+
+    #[test]
+    fn epoch_is_monotone_and_batches_coalesce() {
+        let svc = HullService::new(ServiceConfig {
+            dim: 2,
+            shards: 1,
+            queue_capacity: 512,
+            max_batch: 64,
+        });
+        let pts = prepare_points(
+            &PointSet::from_points2(&generators::disk_2d(200, 1 << 16, 3)),
+            4,
+        );
+        for p in pts.iter() {
+            loop {
+                match svc.try_insert(0, p.to_vec()).unwrap() {
+                    InsertOutcome::Queued => break,
+                    InsertOutcome::Overloaded => std::thread::yield_now(),
+                }
+            }
+        }
+        let e1 = svc.flush(0).unwrap();
+        assert!(e1 >= 1);
+        let snap = svc.snapshot(0).unwrap();
+        assert_eq!(snap.epoch, e1);
+        assert_eq!(snap.applied, 200);
+        // Flush with nothing pending must not bump the epoch.
+        let e2 = svc.flush(0).unwrap();
+        assert_eq!(e2, e1);
+        let stats = svc.stats_json(Some(0)).unwrap();
+        assert!(stats.contains("\"batched_inserts\":200"), "{stats}");
+        let agg = svc.stats_json(None).unwrap();
+        assert!(agg.contains("\"applied_total\":200"), "{agg}");
+    }
+}

@@ -1,0 +1,169 @@
+//! Epoch-versioned, immutable hull snapshots — the service's read side.
+//!
+//! Each shard worker owns a mutable [`OnlineHull`]; after applying a batch
+//! it publishes a frozen copy behind an `Arc`. Readers grab the `Arc`
+//! under a short lock and then query **without any synchronization**:
+//! every query on [`HullSnapshot`] takes `&self` and descends the frozen
+//! history (influence) graph, so the paper's expected `O(log n)` point
+//! location (Section 4) carries over verbatim to the serving path — a
+//! snapshot is exactly the history graph of some prefix of the insertion
+//! sequence, and the support property `C(t) ⊆ C(t1) ∪ C(t2)` guarantees
+//! the descent finds every visible facet of that prefix.
+//!
+//! A shard that has not yet seen `d + 1` affinely independent points is
+//! **bootstrapping**: it buffers arrivals and answers geometric queries
+//! with "not ready" (the hull is still degenerate).
+
+use chull_core::online::OnlineHull;
+use chull_core::HullOutput;
+use chull_geometry::KernelCounts;
+
+/// Frozen state behind one snapshot.
+#[derive(Clone)]
+pub(crate) enum SnapState {
+    /// Fewer than `d + 1` affinely independent points so far; the buffered
+    /// arrivals in order.
+    Boot(Vec<Vec<i64>>),
+    /// A live hull (frozen copy of the shard's online hull).
+    Live(OnlineHull),
+}
+
+/// An immutable, epoch-stamped view of one shard; see module docs.
+#[derive(Clone)]
+pub struct HullSnapshot {
+    /// Publication epoch: the number of ingest batches applied before this
+    /// snapshot was taken. Strictly increasing per shard.
+    pub epoch: u64,
+    /// Points accepted so far (buffered + inserted, including seeds).
+    pub applied: u64,
+    /// Dimension.
+    pub dim: usize,
+    pub(crate) state: SnapState,
+}
+
+impl HullSnapshot {
+    /// The empty snapshot a shard publishes before any point arrives.
+    pub(crate) fn empty(dim: usize) -> HullSnapshot {
+        HullSnapshot {
+            epoch: 0,
+            applied: 0,
+            dim,
+            state: SnapState::Boot(Vec::new()),
+        }
+    }
+
+    /// False while the shard is still assembling its seed simplex.
+    pub fn ready(&self) -> bool {
+        matches!(self.state, SnapState::Live(_))
+    }
+
+    /// Membership test; `None` while bootstrapping. Kernel counters go to
+    /// the caller's accumulator (folded into shard atomics by the server).
+    pub fn contains(&self, point: &[i64], counts: &mut KernelCounts) -> Option<bool> {
+        match &self.state {
+            SnapState::Boot(_) => None,
+            SnapState::Live(h) => Some(h.contains_counted(point, counts)),
+        }
+    }
+
+    /// Number of hull facets visible from `point` (0 = inside or on);
+    /// `None` while bootstrapping.
+    pub fn visible_count(&self, point: &[i64], counts: &mut KernelCounts) -> Option<u32> {
+        match &self.state {
+            SnapState::Boot(_) => None,
+            SnapState::Live(h) => Some(h.visible_facets(point, counts).len() as u32),
+        }
+    }
+
+    /// The hull vertex extreme in `direction`; `None` while bootstrapping.
+    pub fn extreme(&self, direction: &[i64]) -> Option<(u32, Vec<i64>)> {
+        match &self.state {
+            SnapState::Boot(_) => None,
+            SnapState::Live(h) => Some(h.extreme(direction)),
+        }
+    }
+
+    /// The current hull facets (empty while bootstrapping).
+    pub fn output(&self) -> HullOutput {
+        match &self.state {
+            SnapState::Boot(_) => HullOutput {
+                dim: self.dim,
+                facets: Vec::new(),
+            },
+            SnapState::Live(h) => h.output(),
+        }
+    }
+
+    /// All points this snapshot holds, flattened `dim` per point, in
+    /// arrival order (for `Live`, seed-simplex points come first — the
+    /// order the hull assigned vertex ids in).
+    pub fn flat_points(&self) -> Vec<i64> {
+        match &self.state {
+            SnapState::Boot(pts) => pts.iter().flatten().copied().collect(),
+            SnapState::Live(h) => h.points().flat().to_vec(),
+        }
+    }
+
+    /// Number of points held.
+    pub fn num_points(&self) -> usize {
+        match &self.state {
+            SnapState::Boot(pts) => pts.len(),
+            SnapState::Live(h) => h.num_points(),
+        }
+    }
+
+    /// Number of facets on the current hull (0 while bootstrapping).
+    pub fn num_facets(&self) -> usize {
+        match &self.state {
+            SnapState::Boot(_) => 0,
+            SnapState::Live(h) => h.output().num_facets(),
+        }
+    }
+
+    /// Ingest-path staged-kernel counters accumulated by the hull this
+    /// snapshot was taken from (zero while bootstrapping).
+    pub fn ingest_kernel(&self) -> KernelCounts {
+        match &self.state {
+            SnapState::Boot(_) => KernelCounts::default(),
+            SnapState::Live(h) => h.kernel,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn boot_snapshot_answers_not_ready() {
+        let s = HullSnapshot::empty(2);
+        assert!(!s.ready());
+        let mut k = KernelCounts::default();
+        assert_eq!(s.contains(&[0, 0], &mut k), None);
+        assert_eq!(s.visible_count(&[0, 0], &mut k), None);
+        assert_eq!(s.extreme(&[1, 0]), None);
+        assert_eq!(s.num_points(), 0);
+        assert_eq!(s.num_facets(), 0);
+        assert!(s.output().facets.is_empty());
+    }
+
+    #[test]
+    fn live_snapshot_queries_shared() {
+        let mut h = OnlineHull::new(2, &[vec![0, 0], vec![10, 0], vec![0, 10]]);
+        h.insert(&[10, 10]);
+        let s = HullSnapshot {
+            epoch: 1,
+            applied: 4,
+            dim: 2,
+            state: SnapState::Live(h),
+        };
+        assert!(s.ready());
+        let mut k = KernelCounts::default();
+        assert_eq!(s.contains(&[5, 5], &mut k), Some(true));
+        assert_eq!(s.contains(&[50, 50], &mut k), Some(false));
+        assert!(s.visible_count(&[50, 50], &mut k).unwrap() > 0);
+        assert_eq!(s.extreme(&[1, 1]).unwrap().1, vec![10, 10]);
+        assert_eq!(s.num_facets(), 4);
+        assert!(k.tests > 0);
+    }
+}

@@ -1,0 +1,166 @@
+//! Service-level observability: lock-free per-shard counters, folded into
+//! one JSON line for the wire `Stats` request and the CLI `--stats-json`.
+
+use crate::snapshot::HullSnapshot;
+use chull_geometry::KernelCounts;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Staged-kernel counters as four atomics, so concurrent readers can fold
+/// their per-call [`KernelCounts`] accumulators in without coordination.
+#[derive(Default)]
+pub struct AtomicKernel {
+    tests: AtomicU64,
+    filter_hits: AtomicU64,
+    i128_fallbacks: AtomicU64,
+    bigint_fallbacks: AtomicU64,
+}
+
+impl AtomicKernel {
+    /// Fold a per-call tally in.
+    pub fn fold(&self, c: &KernelCounts) {
+        self.tests.fetch_add(c.tests, Ordering::Relaxed);
+        self.filter_hits.fetch_add(c.filter_hits, Ordering::Relaxed);
+        self.i128_fallbacks
+            .fetch_add(c.i128_fallbacks, Ordering::Relaxed);
+        self.bigint_fallbacks
+            .fetch_add(c.bigint_fallbacks, Ordering::Relaxed);
+    }
+
+    /// Current totals.
+    pub fn load(&self) -> KernelCounts {
+        KernelCounts {
+            tests: self.tests.load(Ordering::Relaxed),
+            filter_hits: self.filter_hits.load(Ordering::Relaxed),
+            i128_fallbacks: self.i128_fallbacks.load(Ordering::Relaxed),
+            bigint_fallbacks: self.bigint_fallbacks.load(Ordering::Relaxed),
+        }
+    }
+}
+
+fn kernel_json(c: &KernelCounts) -> String {
+    format!(
+        "{{\"tests\":{},\"filter_hits\":{},\"i128_fallbacks\":{},\"bigint_fallbacks\":{}}}",
+        c.tests, c.filter_hits, c.i128_fallbacks, c.bigint_fallbacks
+    )
+}
+
+/// Per-shard request and pipeline counters. All monotone atomics; exact
+/// at quiescence, momentarily racy gauges otherwise — fine for serving
+/// dashboards.
+#[derive(Default)]
+pub struct ShardStats {
+    /// Inserts accepted into the ingest queue.
+    pub inserts_enqueued: AtomicU64,
+    /// Inserts rejected with `Overloaded` (queue at capacity).
+    pub overloaded: AtomicU64,
+    /// `Contains` requests served.
+    pub queries_contains: AtomicU64,
+    /// `Visible` requests served.
+    pub queries_visible: AtomicU64,
+    /// `Extreme` requests served.
+    pub queries_extreme: AtomicU64,
+    /// `Snapshot` requests served.
+    pub snapshots: AtomicU64,
+    /// `Flush` barriers served.
+    pub flushes: AtomicU64,
+    /// Ingest batches applied by the shard worker.
+    pub batches_applied: AtomicU64,
+    /// Inserts applied through those batches.
+    pub batched_inserts: AtomicU64,
+    /// Largest single batch coalesced so far.
+    pub max_batch: AtomicU64,
+    /// Staged-kernel counters from the read path (history descents run by
+    /// `Contains`/`Visible` against published snapshots).
+    pub query_kernel: AtomicKernel,
+}
+
+impl ShardStats {
+    /// Record one applied batch of `n` inserts.
+    pub fn record_batch(&self, n: u64) {
+        self.batches_applied.fetch_add(1, Ordering::Relaxed);
+        self.batched_inserts.fetch_add(n, Ordering::Relaxed);
+        self.max_batch.fetch_max(n, Ordering::Relaxed);
+    }
+
+    /// One shard's counters as a JSON object, joined with the snapshot
+    /// gauges (epoch, applied points, hull size) and the live queue depth.
+    pub fn json(&self, shard: usize, snap: &HullSnapshot, queue_depth: usize) -> String {
+        let ingest = snap.ingest_kernel();
+        format!(
+            "{{\"shard\":{shard},\"epoch\":{},\"applied\":{},\"ready\":{},\
+             \"points\":{},\"hull_facets\":{},\"queue_depth\":{queue_depth},\
+             \"inserts_enqueued\":{},\"overloaded\":{},\
+             \"queries_contains\":{},\"queries_visible\":{},\"queries_extreme\":{},\
+             \"snapshots\":{},\"flushes\":{},\
+             \"batches_applied\":{},\"batched_inserts\":{},\"max_batch\":{},\
+             \"ingest_kernel\":{},\"query_kernel\":{}}}",
+            snap.epoch,
+            snap.applied,
+            snap.ready(),
+            snap.num_points(),
+            snap.num_facets(),
+            self.inserts_enqueued.load(Ordering::Relaxed),
+            self.overloaded.load(Ordering::Relaxed),
+            self.queries_contains.load(Ordering::Relaxed),
+            self.queries_visible.load(Ordering::Relaxed),
+            self.queries_extreme.load(Ordering::Relaxed),
+            self.snapshots.load(Ordering::Relaxed),
+            self.flushes.load(Ordering::Relaxed),
+            self.batches_applied.load(Ordering::Relaxed),
+            self.batched_inserts.load(Ordering::Relaxed),
+            self.max_batch.load(Ordering::Relaxed),
+            kernel_json(&ingest),
+            kernel_json(&self.query_kernel.load()),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fold_and_load_roundtrip() {
+        let k = AtomicKernel::default();
+        k.fold(&KernelCounts {
+            tests: 5,
+            filter_hits: 3,
+            i128_fallbacks: 1,
+            bigint_fallbacks: 1,
+        });
+        k.fold(&KernelCounts {
+            tests: 2,
+            filter_hits: 2,
+            i128_fallbacks: 0,
+            bigint_fallbacks: 0,
+        });
+        let c = k.load();
+        assert_eq!(c.tests, 7);
+        assert_eq!(c.filter_hits, 5);
+        assert_eq!(
+            c.tests,
+            c.filter_hits + c.i128_fallbacks + c.bigint_fallbacks
+        );
+    }
+
+    #[test]
+    fn json_has_every_counter() {
+        let s = ShardStats::default();
+        s.record_batch(4);
+        s.record_batch(9);
+        let j = s.json(2, &HullSnapshot::empty(3), 5);
+        for key in [
+            "\"shard\":2",
+            "\"queue_depth\":5",
+            "\"batches_applied\":2",
+            "\"batched_inserts\":13",
+            "\"max_batch\":9",
+            "\"ready\":false",
+            "\"ingest_kernel\":{\"tests\":0",
+            "\"query_kernel\":{\"tests\":0",
+        ] {
+            assert!(j.contains(key), "missing {key} in {j}");
+        }
+        assert!(!j.contains('\n'));
+    }
+}

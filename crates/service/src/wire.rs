@@ -1,0 +1,561 @@
+//! The `hull` wire protocol: length-prefixed binary frames over TCP.
+//!
+//! Every message is one **frame**: a `u32` little-endian payload length
+//! followed by the payload (capped at [`MAX_FRAME`] bytes; a peer sending
+//! a longer prefix is protocol-broken and the connection is dropped).
+//!
+//! Request payloads start with an opcode byte and a `u16` LE shard id;
+//! response payloads start with a status byte. Points and directions are
+//! a `u8` dimension followed by that many `i64` LE coordinates.
+//!
+//! | opcode | request    | Ok-response body                               |
+//! |-------:|------------|------------------------------------------------|
+//! | `0x01` | `Insert`   | empty (insert queued for the shard's batch)     |
+//! | `0x02` | `Contains` | `u8` boolean                                    |
+//! | `0x03` | `Visible`  | `u32` count of visible facets (0 = inside/on)   |
+//! | `0x04` | `Extreme`  | `u32` vertex id, point                          |
+//! | `0x05` | `Stats`    | `u32` length + JSON utf-8                       |
+//! | `0x06` | `Snapshot` | `u64` epoch, `u8` dim, points, facets           |
+//! | `0x07` | `Flush`    | `u64` epoch after all prior inserts applied     |
+//! | `0x08` | `Shutdown` | empty (server begins graceful shutdown)         |
+//!
+//! Non-Ok statuses: `Overloaded` (ingest queue full — retry), `NotReady`
+//! (shard still bootstrapping its seed simplex), `Error` (+ utf-8 text).
+
+use std::io::{self, Read, Write};
+
+/// Hard cap on one frame's payload (16 MiB — a full snapshot of a large
+/// shard stays well under this; anything bigger is a broken peer).
+pub const MAX_FRAME: usize = 16 << 20;
+
+/// Shard id meaning "aggregate over all shards" (Stats only).
+pub const ALL_SHARDS: u16 = u16::MAX;
+
+const OP_INSERT: u8 = 0x01;
+const OP_CONTAINS: u8 = 0x02;
+const OP_VISIBLE: u8 = 0x03;
+const OP_EXTREME: u8 = 0x04;
+const OP_STATS: u8 = 0x05;
+const OP_SNAPSHOT: u8 = 0x06;
+const OP_FLUSH: u8 = 0x07;
+const OP_SHUTDOWN: u8 = 0x08;
+
+const ST_OK: u8 = 0x00;
+const ST_OVERLOADED: u8 = 0x01;
+const ST_NOT_READY: u8 = 0x02;
+const ST_ERROR: u8 = 0x03;
+
+/// A decoded client request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Queue one point for insertion into `shard`'s hull.
+    Insert {
+        /// Target shard.
+        shard: u16,
+        /// The point's coordinates.
+        point: Vec<i64>,
+    },
+    /// Is the point inside (or on) `shard`'s current hull snapshot?
+    Contains {
+        /// Target shard.
+        shard: u16,
+        /// The query point.
+        point: Vec<i64>,
+    },
+    /// How many hull facets are visible from the point?
+    Visible {
+        /// Target shard.
+        shard: u16,
+        /// The query point.
+        point: Vec<i64>,
+    },
+    /// The hull vertex extreme in a direction.
+    Extreme {
+        /// Target shard.
+        shard: u16,
+        /// The direction to maximize.
+        direction: Vec<i64>,
+    },
+    /// Service counters as JSON ([`ALL_SHARDS`] aggregates).
+    Stats {
+        /// Target shard, or [`ALL_SHARDS`].
+        shard: u16,
+    },
+    /// The shard's current points and hull facets.
+    Snapshot {
+        /// Target shard.
+        shard: u16,
+    },
+    /// Barrier: returns once every insert enqueued before it is applied.
+    Flush {
+        /// Target shard.
+        shard: u16,
+    },
+    /// Ask the server to shut down gracefully.
+    Shutdown,
+}
+
+/// A decoded server response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// Insert accepted into the shard's ingest queue.
+    Inserted,
+    /// Boolean answer (Contains).
+    Bool(bool),
+    /// Number of visible facets (Visible).
+    VisibleCount(u32),
+    /// Extreme vertex: id within the shard and its coordinates.
+    Extreme {
+        /// Vertex id in the shard's insertion order.
+        vertex: u32,
+        /// The vertex coordinates.
+        coords: Vec<i64>,
+    },
+    /// Service counters as a JSON line.
+    Stats(String),
+    /// Epoch-stamped shard contents.
+    Snapshot {
+        /// Snapshot epoch (batches applied so far).
+        epoch: u64,
+        /// Dimension.
+        dim: usize,
+        /// Flat coordinates, `dim` per point, insertion order.
+        points: Vec<i64>,
+        /// Flat facet vertex ids, `dim` per facet.
+        facets: Vec<u32>,
+    },
+    /// Flush barrier passed at this epoch.
+    Flushed {
+        /// Epoch after the barrier.
+        epoch: u64,
+    },
+    /// Server acknowledges shutdown.
+    ShuttingDown,
+    /// Ingest queue full — backpressure; retry later.
+    Overloaded,
+    /// Shard has fewer than `d + 1` affinely independent points.
+    NotReady,
+    /// Request failed.
+    Error(String),
+}
+
+fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+fn put_point(out: &mut Vec<u8>, p: &[i64]) {
+    out.push(p.len() as u8);
+    for &c in p {
+        out.extend_from_slice(&c.to_le_bytes());
+    }
+}
+
+/// Byte-slice cursor for decoding; every read is bounds-checked so a
+/// malformed frame yields an error, never a panic.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Cursor<'a> {
+        Cursor { buf, at: 0 }
+    }
+    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+        if self.at + n > self.buf.len() {
+            return Err(format!(
+                "truncated frame: need {n} bytes at offset {}, have {}",
+                self.at,
+                self.buf.len() - self.at
+            ));
+        }
+        let s = &self.buf[self.at..self.at + n];
+        self.at += n;
+        Ok(s)
+    }
+    fn u8(&mut self) -> Result<u8, String> {
+        Ok(self.take(1)?[0])
+    }
+    fn u16(&mut self) -> Result<u16, String> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+    fn u32(&mut self) -> Result<u32, String> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    fn u64(&mut self) -> Result<u64, String> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn i64(&mut self) -> Result<i64, String> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn point(&mut self) -> Result<Vec<i64>, String> {
+        let d = self.u8()? as usize;
+        if !(2..=chull_core::facet::MAX_DIM).contains(&d) {
+            return Err(format!("point dimension {d} out of range"));
+        }
+        (0..d).map(|_| self.i64()).collect()
+    }
+    fn done(&self) -> Result<(), String> {
+        if self.at != self.buf.len() {
+            return Err(format!(
+                "{} trailing bytes after message",
+                self.buf.len() - self.at
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl Request {
+    /// Serialize to a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16);
+        match self {
+            Request::Insert { shard, point } => {
+                out.push(OP_INSERT);
+                put_u16(&mut out, *shard);
+                put_point(&mut out, point);
+            }
+            Request::Contains { shard, point } => {
+                out.push(OP_CONTAINS);
+                put_u16(&mut out, *shard);
+                put_point(&mut out, point);
+            }
+            Request::Visible { shard, point } => {
+                out.push(OP_VISIBLE);
+                put_u16(&mut out, *shard);
+                put_point(&mut out, point);
+            }
+            Request::Extreme { shard, direction } => {
+                out.push(OP_EXTREME);
+                put_u16(&mut out, *shard);
+                put_point(&mut out, direction);
+            }
+            Request::Stats { shard } => {
+                out.push(OP_STATS);
+                put_u16(&mut out, *shard);
+            }
+            Request::Snapshot { shard } => {
+                out.push(OP_SNAPSHOT);
+                put_u16(&mut out, *shard);
+            }
+            Request::Flush { shard } => {
+                out.push(OP_FLUSH);
+                put_u16(&mut out, *shard);
+            }
+            Request::Shutdown => {
+                out.push(OP_SHUTDOWN);
+                put_u16(&mut out, 0);
+            }
+        }
+        out
+    }
+
+    /// Parse a frame payload.
+    pub fn decode(buf: &[u8]) -> Result<Request, String> {
+        let mut c = Cursor::new(buf);
+        let op = c.u8()?;
+        let shard = c.u16()?;
+        let req = match op {
+            OP_INSERT => Request::Insert {
+                shard,
+                point: c.point()?,
+            },
+            OP_CONTAINS => Request::Contains {
+                shard,
+                point: c.point()?,
+            },
+            OP_VISIBLE => Request::Visible {
+                shard,
+                point: c.point()?,
+            },
+            OP_EXTREME => Request::Extreme {
+                shard,
+                direction: c.point()?,
+            },
+            OP_STATS => Request::Stats { shard },
+            OP_SNAPSHOT => Request::Snapshot { shard },
+            OP_FLUSH => Request::Flush { shard },
+            OP_SHUTDOWN => Request::Shutdown,
+            other => return Err(format!("unknown opcode {other:#04x}")),
+        };
+        c.done()?;
+        Ok(req)
+    }
+}
+
+impl Response {
+    /// Serialize to a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16);
+        match self {
+            Response::Inserted => {
+                out.push(ST_OK);
+                out.push(OP_INSERT);
+            }
+            Response::Bool(b) => {
+                out.push(ST_OK);
+                out.push(OP_CONTAINS);
+                out.push(*b as u8);
+            }
+            Response::VisibleCount(n) => {
+                out.push(ST_OK);
+                out.push(OP_VISIBLE);
+                put_u32(&mut out, *n);
+            }
+            Response::Extreme { vertex, coords } => {
+                out.push(ST_OK);
+                out.push(OP_EXTREME);
+                put_u32(&mut out, *vertex);
+                put_point(&mut out, coords);
+            }
+            Response::Stats(json) => {
+                out.push(ST_OK);
+                out.push(OP_STATS);
+                put_u32(&mut out, json.len() as u32);
+                out.extend_from_slice(json.as_bytes());
+            }
+            Response::Snapshot {
+                epoch,
+                dim,
+                points,
+                facets,
+            } => {
+                out.push(ST_OK);
+                out.push(OP_SNAPSHOT);
+                put_u64(&mut out, *epoch);
+                out.push(*dim as u8);
+                put_u32(&mut out, (points.len() / dim) as u32);
+                for &c in points {
+                    out.extend_from_slice(&c.to_le_bytes());
+                }
+                put_u32(&mut out, (facets.len() / dim) as u32);
+                for &v in facets {
+                    put_u32(&mut out, v);
+                }
+            }
+            Response::Flushed { epoch } => {
+                out.push(ST_OK);
+                out.push(OP_FLUSH);
+                put_u64(&mut out, *epoch);
+            }
+            Response::ShuttingDown => {
+                out.push(ST_OK);
+                out.push(OP_SHUTDOWN);
+            }
+            Response::Overloaded => out.push(ST_OVERLOADED),
+            Response::NotReady => out.push(ST_NOT_READY),
+            Response::Error(msg) => {
+                out.push(ST_ERROR);
+                let bytes = msg.as_bytes();
+                put_u32(&mut out, bytes.len() as u32);
+                out.extend_from_slice(bytes);
+            }
+        }
+        out
+    }
+
+    /// Parse a frame payload.
+    pub fn decode(buf: &[u8]) -> Result<Response, String> {
+        let mut c = Cursor::new(buf);
+        let resp = match c.u8()? {
+            ST_OVERLOADED => Response::Overloaded,
+            ST_NOT_READY => Response::NotReady,
+            ST_ERROR => {
+                let n = c.u32()? as usize;
+                let msg = String::from_utf8(c.take(n)?.to_vec())
+                    .map_err(|_| "error message not utf-8".to_string())?;
+                Response::Error(msg)
+            }
+            ST_OK => match c.u8()? {
+                OP_INSERT => Response::Inserted,
+                OP_CONTAINS => Response::Bool(c.u8()? != 0),
+                OP_VISIBLE => Response::VisibleCount(c.u32()?),
+                OP_EXTREME => {
+                    let vertex = c.u32()?;
+                    Response::Extreme {
+                        vertex,
+                        coords: c.point()?,
+                    }
+                }
+                OP_STATS => {
+                    let n = c.u32()? as usize;
+                    let json = String::from_utf8(c.take(n)?.to_vec())
+                        .map_err(|_| "stats not utf-8".to_string())?;
+                    Response::Stats(json)
+                }
+                OP_SNAPSHOT => {
+                    let epoch = c.u64()?;
+                    let dim = c.u8()? as usize;
+                    if !(2..=chull_core::facet::MAX_DIM).contains(&dim) {
+                        return Err(format!("snapshot dimension {dim} out of range"));
+                    }
+                    let npts = c.u32()? as usize;
+                    let mut points = Vec::with_capacity(npts * dim);
+                    for _ in 0..npts * dim {
+                        points.push(c.i64()?);
+                    }
+                    let nfacets = c.u32()? as usize;
+                    let mut facets = Vec::with_capacity(nfacets * dim);
+                    for _ in 0..nfacets * dim {
+                        facets.push(c.u32()?);
+                    }
+                    Response::Snapshot {
+                        epoch,
+                        dim,
+                        points,
+                        facets,
+                    }
+                }
+                OP_FLUSH => Response::Flushed { epoch: c.u64()? },
+                OP_SHUTDOWN => Response::ShuttingDown,
+                other => return Err(format!("unknown Ok-body tag {other:#04x}")),
+            },
+            other => return Err(format!("unknown status byte {other:#04x}")),
+        };
+        c.done()?;
+        Ok(resp)
+    }
+}
+
+/// Write one frame (length prefix + payload).
+pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> io::Result<()> {
+    assert!(payload.len() <= MAX_FRAME, "frame exceeds MAX_FRAME");
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Read one frame payload; `Ok(None)` on clean EOF before any byte.
+/// Blocking — the server uses its own deadline-aware variant.
+pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Option<Vec<u8>>> {
+    let mut hdr = [0u8; 4];
+    match r.read(&mut hdr) {
+        Ok(0) => return Ok(None),
+        Ok(mut got) => {
+            while got < 4 {
+                let n = r.read(&mut hdr[got..])?;
+                if n == 0 {
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "eof inside frame header",
+                    ));
+                }
+                got += n;
+            }
+        }
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_le_bytes(hdr) as usize;
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds MAX_FRAME"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_roundtrip() {
+        let reqs = [
+            Request::Insert {
+                shard: 3,
+                point: vec![1, -2],
+            },
+            Request::Contains {
+                shard: 0,
+                point: vec![i64::MIN / 8, i64::MAX / 8, 0],
+            },
+            Request::Visible {
+                shard: 9,
+                point: vec![5, 5],
+            },
+            Request::Extreme {
+                shard: 1,
+                direction: vec![1, 0, 0, -1],
+            },
+            Request::Stats { shard: ALL_SHARDS },
+            Request::Snapshot { shard: 2 },
+            Request::Flush { shard: 7 },
+            Request::Shutdown,
+        ];
+        for r in reqs {
+            assert_eq!(Request::decode(&r.encode()).unwrap(), r, "{r:?}");
+        }
+    }
+
+    #[test]
+    fn response_roundtrip() {
+        let resps = [
+            Response::Inserted,
+            Response::Bool(true),
+            Response::Bool(false),
+            Response::VisibleCount(17),
+            Response::Extreme {
+                vertex: 4,
+                coords: vec![10, -10],
+            },
+            Response::Stats("{\"requests\":1}".to_string()),
+            Response::Snapshot {
+                epoch: 12,
+                dim: 2,
+                points: vec![0, 0, 4, 0, 0, 4],
+                facets: vec![0, 1, 1, 2, 0, 2],
+            },
+            Response::Flushed { epoch: 99 },
+            Response::ShuttingDown,
+            Response::Overloaded,
+            Response::NotReady,
+            Response::Error("boom".to_string()),
+        ];
+        for r in resps {
+            assert_eq!(Response::decode(&r.encode()).unwrap(), r, "{r:?}");
+        }
+    }
+
+    #[test]
+    fn malformed_frames_error_not_panic() {
+        assert!(Request::decode(&[]).is_err());
+        assert!(Request::decode(&[0xEE, 0, 0]).is_err());
+        // Truncated point.
+        assert!(Request::decode(&[OP_INSERT, 0, 0, 2, 1, 2, 3]).is_err());
+        // Dimension out of range.
+        assert!(Request::decode(&[OP_CONTAINS, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0, 0]).is_err());
+        // Trailing garbage.
+        let mut buf = Request::Shutdown.encode();
+        buf.push(0);
+        assert!(Request::decode(&buf).is_err());
+        assert!(Response::decode(&[0x77]).is_err());
+    }
+
+    #[test]
+    fn frame_io_roundtrip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        let mut r = &buf[..];
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"hello");
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"");
+        assert!(read_frame(&mut r).unwrap().is_none());
+    }
+
+    #[test]
+    fn oversized_frame_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(MAX_FRAME as u32 + 1).to_le_bytes());
+        let mut r = &buf[..];
+        assert!(read_frame(&mut r).is_err());
+    }
+}

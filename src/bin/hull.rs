@@ -1,17 +1,30 @@
 //! `hull` — a command-line convex hull tool over the suite.
 //!
-//! Reads whitespace-separated integer coordinates (one point per line) from
-//! a file or stdin, computes the hull with the requested algorithm, and
-//! prints the hull facets (as 0-based input indices) plus instrumentation.
+//! **Offline mode** (default): reads whitespace-separated integer
+//! coordinates (one point per line) from a file or stdin, computes the
+//! hull with the requested algorithm, and prints the hull facets (as
+//! 0-based input indices) plus instrumentation.
+//!
+//! **Serving mode**: `hull serve` runs the long-lived `chull-service`
+//! hull server; `hull query` talks to one over its wire protocol.
 //!
 //! ```text
-//! USAGE: hull [--dim D] [--algo seq|par|rounds|chain] [--seed S] [--stats] [FILE]
+//! USAGE: hull [--dim D] [--algo seq|par|rounds|chain] [--seed S]
+//!             [--stats] [--stats-json] [FILE]
+//!        hull serve [--addr H:P] [--dim D] [--shards N] [--queue-cap C]
+//!                   [--batch B] [--oneshot] [--stats-json]
+//!        hull query ADDR OP [SHARD] [COORDS...]
+//!          OP: insert|contains|visible|extreme|stats|snapshot|flush|
+//!              shutdown|script      (script reads one OP line per stdin line)
 //! ```
 //!
 //! Examples:
 //! ```text
 //! $ printf '0 0\n4 0\n0 4\n4 4\n2 2\n' | hull
 //! $ hull --dim 3 --algo par --stats points3d.txt
+//! $ hull serve --addr 127.0.0.1:4077 --dim 2 &
+//! $ hull query 127.0.0.1:4077 insert 0 3 4
+//! $ hull query 127.0.0.1:4077 contains 0 1 1
 //! ```
 
 use convex_hull_suite::core::baseline::monotone_chain;
@@ -21,6 +34,7 @@ use convex_hull_suite::core::par::{parallel_hull, ParOptions};
 use convex_hull_suite::core::seq::incremental_hull_run;
 use convex_hull_suite::core::{HullOutput, HullStats};
 use convex_hull_suite::geometry::{Point2i, PointSet};
+use convex_hull_suite::service::{serve, HullClient, ServeOptions};
 use std::io::Read;
 
 /// Parsed command-line options.
@@ -30,6 +44,7 @@ struct Options {
     algo: Algo,
     seed: u64,
     stats: bool,
+    stats_json: bool,
     file: Option<String>,
 }
 
@@ -43,8 +58,14 @@ enum Algo {
 
 fn usage() -> ! {
     eprintln!(
-        "USAGE: hull [--dim D] [--algo seq|par|rounds|chain] [--seed S] [--stats] [FILE]\n\
-         Reads one point per line (D whitespace-separated integers); FILE defaults to stdin."
+        "USAGE: hull [--dim D] [--algo seq|par|rounds|chain] [--seed S] [--stats] [--stats-json] [FILE]\n\
+         \x20      hull serve [--addr H:P] [--dim D] [--shards N] [--queue-cap C] [--batch B]\n\
+         \x20                 [--oneshot] [--stats-json]\n\
+         \x20      hull query ADDR OP [SHARD] [COORDS...]\n\
+         \x20        OP: insert|contains|visible|extreme SHARD C1..CD\n\
+         \x20            stats [SHARD] | snapshot SHARD | flush SHARD | shutdown\n\
+         \x20            script   (reads one OP line per stdin line, one connection)\n\
+         Offline mode reads one point per line (D whitespace-separated integers); FILE defaults to stdin."
     );
     std::process::exit(2);
 }
@@ -55,6 +76,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         algo: Algo::Seq,
         seed: 42,
         stats: false,
+        stats_json: false,
         file: None,
     };
     let mut it = args.iter();
@@ -84,6 +106,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                     .map_err(|_| "bad --seed value")?;
             }
             "--stats" => opts.stats = true,
+            "--stats-json" => opts.stats_json = true,
             "--help" | "-h" => return Err("help".to_string()),
             f if !f.starts_with('-') => {
                 if opts.file.is_some() {
@@ -99,6 +122,9 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     }
     if opts.algo == Algo::Chain && opts.dim != 2 {
         return Err("--algo chain is 2D only".to_string());
+    }
+    if opts.algo == Algo::Chain && opts.stats_json {
+        return Err("--stats-json needs an instrumented algorithm (not chain)".to_string());
     }
     Ok(opts)
 }
@@ -132,7 +158,12 @@ fn parse_points(input: &str, dim: usize) -> Result<PointSet, String> {
     Ok(ps)
 }
 
-fn print_output(out: &HullOutput, stats: Option<&HullStats>, perm: Option<&[usize]>) {
+fn print_output(
+    out: &HullOutput,
+    stats: Option<&HullStats>,
+    stats_json: Option<&HullStats>,
+    perm: Option<&[usize]>,
+) {
     for f in &out.facets {
         let ids: Vec<String> = f[..out.dim]
             .iter()
@@ -160,11 +191,22 @@ fn print_output(out: &HullOutput, stats: Option<&HullStats>, perm: Option<&[usiz
             s.filter_hits, s.i128_fallbacks, s.bigint_fallbacks
         );
     }
+    if let Some(s) = stats_json {
+        println!("{}", s.to_json());
+    }
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let opts = match parse_args(&args) {
+    match args.first().map(String::as_str) {
+        Some("serve") => serve_main(&args[1..]),
+        Some("query") => query_main(&args[1..]),
+        _ => offline_main(&args),
+    }
+}
+
+fn offline_main(args: &[String]) {
+    let opts = match parse_args(args) {
         Ok(o) => o,
         Err(e) => {
             if e != "help" {
@@ -197,27 +239,202 @@ fn main() {
             .map(|i| Point2i::new(pts.point(i)[0], pts.point(i)[1]))
             .collect();
         let out = monotone_chain::hull_output(&raw);
-        print_output(&out, None, None);
+        print_output(&out, None, None, None);
         return;
     }
 
     // The incremental algorithms want a random insertion order; translate
     // facet indices back to the input order via the permutation.
     let (prepared, perm) = prepare_points_with_perm(&pts, opts.seed);
-    match opts.algo {
+    let (output, stats) = match opts.algo {
         Algo::Seq => {
             let run = incremental_hull_run(&prepared);
-            print_output(&run.output, opts.stats.then_some(&run.stats), Some(&perm));
+            (run.output, run.stats)
         }
         Algo::Par => {
             let run = parallel_hull(&prepared, ParOptions::default());
-            print_output(&run.output, opts.stats.then_some(&run.stats), Some(&perm));
+            (run.output, run.stats)
         }
         Algo::Rounds => {
             let run = rounds_hull(&prepared, false);
-            print_output(&run.output, opts.stats.then_some(&run.stats), Some(&perm));
+            (run.output, run.stats)
         }
         Algo::Chain => unreachable!(),
+    };
+    print_output(
+        &output,
+        opts.stats.then_some(&stats),
+        opts.stats_json.then_some(&stats),
+        Some(&perm),
+    );
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(1);
+}
+
+fn serve_main(args: &[String]) {
+    let mut opts = ServeOptions {
+        addr: "127.0.0.1:4077".to_string(),
+        ..Default::default()
+    };
+    let mut stats_json = false;
+    let mut it = args.iter();
+    let next = |what: &str, it: &mut std::slice::Iter<String>| -> String {
+        it.next()
+            .unwrap_or_else(|| die(&format!("{what} needs a value")))
+            .clone()
+    };
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--addr" => opts.addr = next("--addr", &mut it),
+            "--dim" => {
+                opts.config.dim = next("--dim", &mut it)
+                    .parse()
+                    .unwrap_or_else(|_| die("bad --dim value"));
+            }
+            "--shards" => {
+                opts.config.shards = next("--shards", &mut it)
+                    .parse()
+                    .unwrap_or_else(|_| die("bad --shards value"));
+            }
+            "--queue-cap" => {
+                opts.config.queue_capacity = next("--queue-cap", &mut it)
+                    .parse()
+                    .unwrap_or_else(|_| die("bad --queue-cap value"));
+            }
+            "--batch" => {
+                opts.config.max_batch = next("--batch", &mut it)
+                    .parse()
+                    .unwrap_or_else(|_| die("bad --batch value"));
+            }
+            "--oneshot" => opts.oneshot = true,
+            "--stats-json" => stats_json = true,
+            "--help" | "-h" => usage(),
+            other => die(&format!("unknown serve flag '{other}'")),
+        }
+    }
+    if opts.config.dim < 2 || opts.config.dim > 8 {
+        die("--dim must be in 2..=8");
+    }
+    if opts.config.shards == 0 || opts.config.shards > u16::MAX as usize {
+        die("--shards must be in 1..=65535");
+    }
+    let handle = serve(opts).unwrap_or_else(|e| die(&format!("bind failed: {e}")));
+    // The resolved address goes to stderr so facet/stat stdout stays clean
+    // and scripts with `--addr host:0` can learn the picked port.
+    eprintln!("hull: listening on {}", handle.local_addr());
+    let final_stats = handle.join_stats();
+    if stats_json {
+        println!("{final_stats}");
+    }
+}
+
+fn parse_shard(tok: Option<&String>) -> u16 {
+    tok.unwrap_or_else(|| die("missing shard id"))
+        .parse()
+        .unwrap_or_else(|_| die("bad shard id"))
+}
+
+fn parse_coords(toks: &[String]) -> Vec<i64> {
+    if toks.is_empty() {
+        die("missing coordinates");
+    }
+    toks.iter()
+        .map(|t| {
+            t.parse()
+                .unwrap_or_else(|_| die(&format!("bad coordinate '{t}'")))
+        })
+        .collect()
+}
+
+/// Execute one query op (tokens: `OP [SHARD] [COORDS...]`) and render the
+/// reply as a single stdout line.
+fn run_query_op(client: &mut HullClient, toks: &[String]) -> std::io::Result<String> {
+    let op = toks.first().map(String::as_str).unwrap_or_else(|| usage());
+    Ok(match op {
+        "insert" => {
+            let shard = parse_shard(toks.get(1));
+            if client.insert(shard, &parse_coords(&toks[2..]))? {
+                "queued".to_string()
+            } else {
+                "overloaded".to_string()
+            }
+        }
+        "contains" => {
+            let shard = parse_shard(toks.get(1));
+            match client.contains(shard, &parse_coords(&toks[2..]))? {
+                Some(b) => b.to_string(),
+                None => "not-ready".to_string(),
+            }
+        }
+        "visible" => {
+            let shard = parse_shard(toks.get(1));
+            match client.visible(shard, &parse_coords(&toks[2..]))? {
+                Some(n) => format!("visible {n}"),
+                None => "not-ready".to_string(),
+            }
+        }
+        "extreme" => {
+            let shard = parse_shard(toks.get(1));
+            match client.extreme(shard, &parse_coords(&toks[2..]))? {
+                Some((v, coords)) => {
+                    let c: Vec<String> = coords.iter().map(|x| x.to_string()).collect();
+                    format!("extreme v={v} at {}", c.join(" "))
+                }
+                None => "not-ready".to_string(),
+            }
+        }
+        "stats" => client.stats(toks.get(1).map(|t| parse_shard(Some(t))))?,
+        "snapshot" => {
+            let snap = client.snapshot(parse_shard(toks.get(1)))?;
+            format!(
+                "snapshot epoch={} points={} facets={}",
+                snap.epoch,
+                snap.points.len(),
+                snap.facets.len()
+            )
+        }
+        "flush" => format!("flushed epoch={}", client.flush(parse_shard(toks.get(1)))?),
+        "shutdown" => {
+            client.shutdown_server()?;
+            "shutting-down".to_string()
+        }
+        other => die(&format!("unknown query op '{other}'")),
+    })
+}
+
+fn query_main(args: &[String]) {
+    if args.len() < 2 {
+        usage();
+    }
+    let addr = &args[0];
+    let mut client =
+        HullClient::connect(addr).unwrap_or_else(|e| die(&format!("connect {addr}: {e}")));
+    if args[1] == "script" {
+        // One connection, one op per stdin line — the shape the oneshot CI
+        // smoke test needs (the server exits when this connection closes).
+        let mut input = String::new();
+        std::io::stdin()
+            .read_to_string(&mut input)
+            .expect("reading stdin");
+        for line in input.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let toks: Vec<String> = line.split_whitespace().map(str::to_string).collect();
+            match run_query_op(&mut client, &toks) {
+                Ok(reply) => println!("{reply}"),
+                Err(e) => die(&format!("{line}: {e}")),
+            }
+        }
+    } else {
+        match run_query_op(&mut client, &args[1..]) {
+            Ok(reply) => println!("{reply}"),
+            Err(e) => die(&e.to_string()),
+        }
     }
 }
 
@@ -254,6 +471,14 @@ mod tests {
         assert!(parse_args(&s(&["--bogus"])).is_err());
         assert!(parse_args(&s(&["a.txt", "b.txt"])).is_err());
         assert!(parse_args(&s(&["--dim", "3", "--algo", "chain"])).is_err());
+        assert!(parse_args(&s(&["--algo", "chain", "--stats-json"])).is_err());
+    }
+
+    #[test]
+    fn parse_args_stats_json() {
+        let o = parse_args(&s(&["--stats-json"])).unwrap();
+        assert!(o.stats_json);
+        assert!(!o.stats);
     }
 
     #[test]

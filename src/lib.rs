@@ -9,7 +9,9 @@
 //! * [`confspace`] — configuration spaces, support sets, dependence graphs;
 //! * [`concurrent`] — the lock-free `InsertAndSet` multimaps and arena;
 //! * [`core`] — Algorithms 2 and 3, baselines, instrumentation;
-//! * [`apps`] — half-space intersection, circle intersection, Delaunay.
+//! * [`apps`] — half-space intersection, circle intersection, Delaunay;
+//! * [`service`] — the long-lived hull server (sharded online hulls,
+//!   batched ingest, snapshot reads, TCP wire protocol).
 //!
 //! See `README.md` for a tour and `DESIGN.md`/`EXPERIMENTS.md` for the
 //! paper-to-code map.
@@ -19,3 +21,4 @@ pub use chull_concurrent as concurrent;
 pub use chull_confspace as confspace;
 pub use chull_core as core;
 pub use chull_geometry as geometry;
+pub use chull_service as service;
