@@ -1,10 +1,18 @@
-//! Load generator for the `chull-service` hull server (experiment E17).
+//! Load generator for the `chull-service` hull server (experiments E17
+//! and E18).
 //!
 //! Starts an in-process server on loopback, streams a workload into one
 //! shard from several concurrent client connections, then runs a mixed
 //! query phase against the published snapshot. Records throughput and
 //! client-observed latency percentiles per workload and writes them to a
 //! JSON file (default `BENCH_service.json`).
+//!
+//! The final workload (E18, `chaos_recovery_2d`) arms a deterministic
+//! failpoint that kills the shard worker exactly once, mid-stream, and
+//! measures the cost of supervised recovery: journal-replay time, the
+//! degraded-read window a polling reader observes, and the largest
+//! insert-ack stall any client saw — then verifies the recovered hull
+//! is bit-identical to the offline Algorithm 2 on the served points.
 //!
 //! ```text
 //! USAGE: service_load [--out FILE] [--clients C] [--quick]
@@ -15,12 +23,14 @@
 //! they include wire encode/decode and the socket — the serving cost a
 //! real client would see, not just the geometry.
 
+use chull_concurrent::failpoint::{self, sites, FaultPlan, SiteSpec};
+use chull_core::seq::incremental_hull_run;
 use chull_geometry::generators;
 use chull_geometry::PointSet;
-use chull_service::{serve, HullClient, ServeOptions, ServiceConfig};
-use std::sync::atomic::{AtomicU64, Ordering};
+use chull_service::{serve, HullClient, RetryPolicy, ServeOptions, ServiceConfig};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// One workload's measured figures.
 struct LoadResult {
@@ -63,6 +73,7 @@ fn run_workload(
             shards: 1,
             queue_capacity: 4096,
             max_batch: 256,
+            wal_dir: None,
         },
         ..Default::default()
     })
@@ -81,10 +92,11 @@ fn run_workload(
                 let overloaded = Arc::clone(&overloaded);
                 s.spawn(move || {
                     let mut client = HullClient::connect(addr).expect("connect");
+                    let policy = RetryPolicy::default();
                     let mut lat = Vec::with_capacity(rows.len() / clients + 1);
                     for row in rows.iter().skip(c).step_by(clients) {
                         let q0 = Instant::now();
-                        let rej = client.insert_retry(0, row).expect("insert");
+                        let rej = client.insert_retry(0, row, &policy).expect("insert");
                         lat.push(q0.elapsed().as_secs_f64() * 1e6);
                         overloaded.fetch_add(rej, Ordering::Relaxed);
                     }
@@ -182,7 +194,150 @@ fn run_workload(
     res
 }
 
-fn write_json(path: &str, results: &[LoadResult]) -> std::io::Result<()> {
+/// E18: kill the shard worker exactly once, mid-stream, and measure
+/// supervised recovery end to end. Returns one pre-formatted JSON row.
+fn run_chaos_recovery(pts: &PointSet, clients: usize) -> String {
+    let dim = pts.dim();
+    let n = pts.len();
+    let mut server = serve(ServeOptions {
+        config: ServiceConfig {
+            dim,
+            shards: 1,
+            queue_capacity: 4096,
+            max_batch: 256,
+            wal_dir: None,
+        },
+        ..Default::default()
+    })
+    .expect("bind loopback");
+    let addr = server.local_addr();
+    let rows: Vec<Vec<i64>> = (0..n).map(|i| pts.point(i).to_vec()).collect();
+
+    // Deterministic single kill: the worker dies applying insert n/2
+    // (`panic_every` counts applies; `max_fires: 1` makes it one-shot).
+    failpoint::arm(FaultPlan::new(0xC4A0_5EED).site(
+        sites::SHARD_APPLY,
+        SiteSpec {
+            panic_every: (n as u32 / 2).max(1),
+            max_fires: 1,
+            ..SiteSpec::default()
+        },
+    ));
+
+    let done = Arc::new(AtomicBool::new(false));
+    let t0 = Instant::now();
+    let (max_gap_us, degraded_reads, degraded_window_us) = std::thread::scope(|s| {
+        // Polling reader: observes the degraded window around recovery.
+        let probe = {
+            let done = Arc::clone(&done);
+            let origin = vec![0i64; dim];
+            s.spawn(move || {
+                let mut client = HullClient::connect(addr).expect("connect");
+                let mut reads = 0u64;
+                let mut first: Option<Instant> = None;
+                let mut last: Option<Instant> = None;
+                while !done.load(Ordering::SeqCst) {
+                    let _ = client.contains(0, &origin);
+                    if client.last_degraded().is_some() {
+                        reads += 1;
+                        first.get_or_insert_with(Instant::now);
+                        last = Some(Instant::now());
+                    }
+                    std::thread::sleep(Duration::from_micros(100));
+                }
+                let window = match (first, last) {
+                    (Some(a), Some(b)) => b.duration_since(a).as_micros() as u64,
+                    _ => 0,
+                };
+                (reads, window)
+            })
+        };
+        let writers: Vec<_> = (0..clients)
+            .map(|c| {
+                let rows = &rows;
+                s.spawn(move || {
+                    let mut client = HullClient::connect(addr).expect("connect");
+                    let policy = RetryPolicy::default();
+                    let mut max_gap = 0u64;
+                    let mut last_ack = Instant::now();
+                    for row in rows.iter().skip(c).step_by(clients) {
+                        client.insert_retry(0, row, &policy).expect("insert");
+                        let now = Instant::now();
+                        max_gap = max_gap.max(now.duration_since(last_ack).as_micros() as u64);
+                        last_ack = now;
+                    }
+                    max_gap
+                })
+            })
+            .collect();
+        let max_gap = writers
+            .into_iter()
+            .map(|h| h.join().expect("writer"))
+            .max()
+            .unwrap_or(0);
+        done.store(true, Ordering::SeqCst);
+        let (reads, window) = probe.join().expect("probe");
+        (max_gap, reads, window)
+    });
+    let ingest_secs = t0.elapsed().as_secs_f64();
+    failpoint::disarm();
+
+    let mut client = HullClient::connect(addr).expect("connect");
+    client.flush(0).expect("flush");
+    let snap = client.snapshot(0).expect("snapshot");
+    let stats = client.stats(Some(0)).expect("stats");
+    server.shutdown();
+    assert_eq!(snap.points.len(), n, "acked inserts lost across the crash");
+
+    // Bit-identical check: offline Algorithm 2 over the served points
+    // must produce the same canonical facet set.
+    let flat: Vec<i64> = snap.points.iter().flatten().copied().collect();
+    let served_set = PointSet::from_flat(dim, flat.clone());
+    let offline = incremental_hull_run(&served_set);
+    let canon = |facets: &[Vec<u32>]| -> std::collections::BTreeSet<Vec<Vec<i64>>> {
+        facets
+            .iter()
+            .map(|f| {
+                let mut verts: Vec<Vec<i64>> = f[..dim]
+                    .iter()
+                    .map(|&v| flat[v as usize * dim..(v as usize + 1) * dim].to_vec())
+                    .collect();
+                verts.sort();
+                verts
+            })
+            .collect()
+    };
+    let offline_facets: Vec<Vec<u32>> = offline.output.facets.iter().map(|f| f.to_vec()).collect();
+    let bit_identical = canon(&snap.facets) == canon(&offline_facets);
+    assert!(bit_identical, "recovered hull differs from offline");
+
+    let grab = |key: &str| -> u64 {
+        stats
+            .split(&format!("\"{key}\":"))
+            .nth(1)
+            .and_then(|s| s.split([',', '}']).next())
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0)
+    };
+    let recoveries = grab("recoveries");
+    let recovery_us = grab("recovery_us_last");
+    assert!(recoveries >= 1, "injected kill did not fire: {stats}");
+    println!(
+        "{:<28} {:>8} pts  {:>10.0} ins/s  {} recoveries (replay {}us)  max ack gap {}us  degraded window {}us ({} reads)",
+        "chaos_recovery_2d", n, n as f64 / ingest_secs, recoveries, recovery_us,
+        max_gap_us, degraded_window_us, degraded_reads
+    );
+    format!(
+        "  {{\"workload\": \"chaos_recovery_2d\", \"dim\": {dim}, \"n_points\": {n}, \
+         \"clients\": {clients}, \"inserts_per_sec\": {:.0}, \"recoveries\": {recoveries}, \
+         \"recovery_replay_us\": {recovery_us}, \"max_ack_gap_us\": {max_gap_us}, \
+         \"degraded_window_us\": {degraded_window_us}, \"degraded_reads\": {degraded_reads}, \
+         \"bit_identical_after_recovery\": {bit_identical}}}",
+        n as f64 / ingest_secs,
+    )
+}
+
+fn write_json(path: &str, results: &[LoadResult], extra_rows: &[String]) -> std::io::Result<()> {
     let mut out = String::from("[\n");
     for (i, r) in results.iter().enumerate() {
         out.push_str(&format!(
@@ -203,8 +358,20 @@ fn write_json(path: &str, results: &[LoadResult]) -> std::io::Result<()> {
             r.query_p50_us,
             r.query_p99_us,
             r.hull_facets,
-            if i + 1 < results.len() { "," } else { "" }
+            if i + 1 < results.len() || !extra_rows.is_empty() {
+                ","
+            } else {
+                ""
+            }
         ));
+    }
+    for (i, row) in extra_rows.iter().enumerate() {
+        out.push_str(row);
+        out.push_str(if i + 1 < extra_rows.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
     }
     out.push_str("]\n");
     std::fs::write(path, out)
@@ -258,6 +425,7 @@ fn main() {
             q,
         ),
     ];
-    write_json(&out_path, &results).expect("writing results");
+    let chaos = run_chaos_recovery(&generators::cube_d(2, n2, 1_000_000, 77), clients);
+    write_json(&out_path, &results, &[chaos]).expect("writing results");
     println!("wrote {out_path}");
 }

@@ -1,0 +1,410 @@
+//! Deterministic fault injection: a std-only failpoint registry.
+//!
+//! Production code is instrumented with **named sites** — one
+//! [`eval`] call per site, e.g. `shard.drain.before_publish` in the
+//! shard worker's drain loop or `wire.write_frame` in the wire layer.
+//! A site costs a single relaxed atomic load while the registry is
+//! disarmed (the branch predicts perfectly and the slow path is
+//! `#[cold]`), so instrumented binaries serve production traffic at
+//! full speed.
+//!
+//! Chaos runs [`arm`] the registry with a [`FaultPlan`]: per-site
+//! specs of *what* to inject (panics, artificial latency, spurious
+//! queue-full backpressure, truncated frame writes) and *when*
+//! (deterministically on every k-th hit, or randomly with a seeded
+//! per-site ChaCha8 stream). Every random draw derives from one `u64`
+//! seed and the site's name — never from global state or wall-clock —
+//! so a chaos schedule replays exactly from its seed alone, per site,
+//! regardless of how other sites interleave.
+//!
+//! [`eval`] performs `Panic` (a `panic!` carrying the site name, for
+//! `catch_unwind` supervisors) and `Delay` (a `sleep`) itself; actions
+//! the caller must interpret in context (`SpuriousFull`,
+//! `TruncateWrite`) are returned. Counters ([`hits`], [`fires`]) let
+//! harnesses assert that a schedule actually exercised a site.
+
+use crate::fast_hash::FxLikeHasher;
+use chull_geometry::rng::ChaCha8Rng;
+use std::collections::HashMap;
+use std::hash::Hasher;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Canonical site names, so call sites and plans cannot drift apart.
+pub mod sites {
+    /// [`crate::BoundedQueue::try_push`]: inject spurious `Full`.
+    pub const QUEUE_PUSH: &str = "queue.push";
+    /// Shard drain loop, between journaling and applying one insert.
+    pub const SHARD_APPLY: &str = "shard.apply.insert";
+    /// Shard drain loop, after applying a batch, before publishing.
+    pub const SHARD_BEFORE_PUBLISH: &str = "shard.drain.before_publish";
+    /// Wire frame writer: truncate the frame and abort the connection.
+    pub const WIRE_WRITE_FRAME: &str = "wire.write_frame";
+    /// Server accept loop (latency injection only in canned plans).
+    pub const SERVER_ACCEPT: &str = "server.accept";
+}
+
+/// What a site evaluation decided. `Panic` and `Delay` never reach the
+/// caller — [`eval`] performs them internally.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// No fault: run the real code.
+    Proceed,
+    /// Queue sites: report `Full` without consulting the real queue.
+    SpuriousFull,
+    /// Write sites: emit only this many payload bytes, then fail the
+    /// write as if the peer (or the process) died mid-frame.
+    TruncateWrite(usize),
+}
+
+/// When and what to inject at one site. All probabilities are parts
+/// per million of each evaluation; `every` fires deterministically on
+/// hit counts divisible by it. A site fires at most [`SiteSpec::max_fires`]
+/// times when that is non-zero.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SiteSpec {
+    /// Fire a panic on every `panic_every`-th hit (0 = never).
+    pub panic_every: u32,
+    /// Additionally panic with this probability (ppm per hit).
+    pub panic_ppm: u32,
+    /// Truncate a frame write with this probability (ppm per hit).
+    pub truncate_ppm: u32,
+    /// Report spurious `Full` with this probability (ppm per hit).
+    pub full_ppm: u32,
+    /// Sleep `delay_us` with this probability (ppm per hit).
+    pub delay_ppm: u32,
+    /// Injected latency for `delay_ppm` hits, in microseconds.
+    pub delay_us: u64,
+    /// Cap on total injected faults at this site (0 = unlimited).
+    pub max_fires: u32,
+}
+
+/// A seeded chaos schedule: per-site [`SiteSpec`]s plus the master
+/// seed every per-site random stream derives from.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    seed: u64,
+    sites: Vec<(&'static str, SiteSpec)>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no site injects anything) over `seed`.
+    pub fn new(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            sites: Vec::new(),
+        }
+    }
+
+    /// Add (or replace) one site's spec.
+    pub fn site(mut self, name: &'static str, spec: SiteSpec) -> FaultPlan {
+        self.sites.retain(|(n, _)| *n != name);
+        self.sites.push((name, spec));
+        self
+    }
+
+    /// The canned chaos schedule `hull serve --chaos-seed` arms: worker
+    /// panics mid-batch and before publish, truncated frame writes,
+    /// spurious backpressure, and a little accept/apply latency.
+    pub fn chaos(seed: u64) -> FaultPlan {
+        FaultPlan::new(seed)
+            .site(
+                sites::SHARD_APPLY,
+                SiteSpec {
+                    panic_ppm: 2_000,
+                    delay_ppm: 1_000,
+                    delay_us: 200,
+                    ..SiteSpec::default()
+                },
+            )
+            .site(
+                sites::SHARD_BEFORE_PUBLISH,
+                SiteSpec {
+                    panic_ppm: 10_000,
+                    ..SiteSpec::default()
+                },
+            )
+            .site(
+                sites::WIRE_WRITE_FRAME,
+                SiteSpec {
+                    truncate_ppm: 1_000,
+                    ..SiteSpec::default()
+                },
+            )
+            .site(
+                sites::QUEUE_PUSH,
+                SiteSpec {
+                    full_ppm: 5_000,
+                    ..SiteSpec::default()
+                },
+            )
+            .site(
+                sites::SERVER_ACCEPT,
+                SiteSpec {
+                    delay_ppm: 20_000,
+                    delay_us: 500,
+                    ..SiteSpec::default()
+                },
+            )
+    }
+}
+
+/// Mutable per-site state while armed.
+struct SiteState {
+    spec: SiteSpec,
+    rng: ChaCha8Rng,
+    hits: u64,
+    fires: u64,
+}
+
+#[derive(Default)]
+struct Registry {
+    sites: HashMap<&'static str, SiteState>,
+    /// Hit counters survive for sites evaluated while armed but absent
+    /// from the plan, so harnesses can see coverage.
+    other_hits: HashMap<&'static str, u64>,
+}
+
+/// Fast-path gate: one relaxed load per site evaluation when disarmed.
+static ARMED: AtomicBool = AtomicBool::new(false);
+static REGISTRY: Mutex<Option<Registry>> = Mutex::new(None);
+
+fn registry() -> std::sync::MutexGuard<'static, Option<Registry>> {
+    // A panicking holder cannot corrupt the map (all mutations are
+    // counter bumps and rng draws); recover from poisoning.
+    match REGISTRY.lock() {
+        Ok(g) => g,
+        Err(p) => p.into_inner(),
+    }
+}
+
+/// Derive one site's deterministic stream from the master seed and the
+/// site's name (stable Fx-style hash), so per-site draw sequences do
+/// not depend on cross-site interleaving.
+fn site_rng(seed: u64, name: &str) -> ChaCha8Rng {
+    let mut h = FxLikeHasher::default();
+    h.write(name.as_bytes());
+    ChaCha8Rng::seed_from_u64(seed ^ h.finish())
+}
+
+/// Arm the registry with a plan. Replaces any previous plan and resets
+/// all counters. Sites begin injecting immediately, process-wide.
+pub fn arm(plan: FaultPlan) {
+    let mut reg = Registry::default();
+    for (name, spec) in &plan.sites {
+        reg.sites.insert(
+            name,
+            SiteState {
+                spec: *spec,
+                rng: site_rng(plan.seed, name),
+                hits: 0,
+                fires: 0,
+            },
+        );
+    }
+    *registry() = Some(reg);
+    ARMED.store(true, Ordering::SeqCst);
+}
+
+/// Disarm: every site reverts to the zero-cost fast path. Counters are
+/// kept until the next [`arm`] so harnesses can read them afterwards.
+pub fn disarm() {
+    ARMED.store(false, Ordering::SeqCst);
+}
+
+/// Whether a plan is currently armed.
+pub fn is_armed() -> bool {
+    ARMED.load(Ordering::Relaxed)
+}
+
+/// Times `site` was evaluated while armed (plan member or not).
+pub fn hits(site: &str) -> u64 {
+    match registry().as_ref() {
+        Some(r) => r
+            .sites
+            .get(site)
+            .map(|s| s.hits)
+            .or_else(|| r.other_hits.get(site).copied())
+            .unwrap_or(0),
+        None => 0,
+    }
+}
+
+/// Faults actually injected at `site` under the current/last plan.
+pub fn fires(site: &str) -> u64 {
+    match registry().as_ref() {
+        Some(r) => r.sites.get(site).map(|s| s.fires).unwrap_or(0),
+        None => 0,
+    }
+}
+
+/// Evaluate a failpoint site. Disarmed: a single relaxed atomic load.
+/// Armed: consult the plan; `Panic` panics (with the site name in the
+/// message) and `Delay` sleeps right here, other actions are returned
+/// for the caller to interpret.
+#[inline]
+pub fn eval(site: &'static str) -> FaultAction {
+    if !ARMED.load(Ordering::Relaxed) {
+        return FaultAction::Proceed;
+    }
+    eval_armed(site)
+}
+
+#[cold]
+fn eval_armed(site: &'static str) -> FaultAction {
+    let decision = {
+        let mut guard = registry();
+        let Some(reg) = guard.as_mut() else {
+            return FaultAction::Proceed;
+        };
+        let Some(st) = reg.sites.get_mut(site) else {
+            *reg.other_hits.entry(site).or_insert(0) += 1;
+            return FaultAction::Proceed;
+        };
+        st.hits += 1;
+        if st.spec.max_fires != 0 && st.fires >= st.spec.max_fires as u64 {
+            return FaultAction::Proceed;
+        }
+        let roll =
+            |rng: &mut ChaCha8Rng, ppm: u32| ppm != 0 && rng.gen_range(0u32..1_000_000) < ppm;
+        let spec = st.spec;
+        let deterministic_panic = spec.panic_every != 0 && st.hits % spec.panic_every as u64 == 0;
+        // Draw every configured probability each hit, so a site's draw
+        // sequence is a pure function of (seed, site, hit index).
+        let p = roll(&mut st.rng, spec.panic_ppm);
+        let t = roll(&mut st.rng, spec.truncate_ppm);
+        let f = roll(&mut st.rng, spec.full_ppm);
+        let d = roll(&mut st.rng, spec.delay_ppm);
+        let truncate_at = if spec.truncate_ppm != 0 {
+            st.rng.gen_range(0usize..64)
+        } else {
+            0
+        };
+        let decision = if deterministic_panic || p {
+            Some(Decision::Panic)
+        } else if t {
+            Some(Decision::Truncate(truncate_at))
+        } else if f {
+            Some(Decision::Full)
+        } else if d {
+            Some(Decision::Delay(Duration::from_micros(spec.delay_us)))
+        } else {
+            None
+        };
+        if decision.is_some() {
+            st.fires += 1;
+        }
+        decision
+        // Lock released here: the panic/sleep below happens outside it.
+    };
+    match decision {
+        None => FaultAction::Proceed,
+        Some(Decision::Full) => FaultAction::SpuriousFull,
+        Some(Decision::Truncate(n)) => FaultAction::TruncateWrite(n),
+        Some(Decision::Delay(d)) => {
+            std::thread::sleep(d);
+            FaultAction::Proceed
+        }
+        Some(Decision::Panic) => {
+            panic!("failpoint '{site}' injected panic (chaos schedule)");
+        }
+    }
+}
+
+enum Decision {
+    Panic,
+    Truncate(usize),
+    Full,
+    Delay(Duration),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Mutex, OnceLock};
+
+    /// The registry is process-global: serialize tests that arm it.
+    fn lock() -> std::sync::MutexGuard<'static, ()> {
+        static GUARD: OnceLock<Mutex<()>> = OnceLock::new();
+        match GUARD.get_or_init(|| Mutex::new(())).lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        }
+    }
+
+    #[test]
+    fn disarmed_is_proceed() {
+        let _g = lock();
+        disarm();
+        assert_eq!(eval(sites::QUEUE_PUSH), FaultAction::Proceed);
+        assert!(!is_armed());
+    }
+
+    #[test]
+    fn deterministic_panic_every() {
+        let _g = lock();
+        arm(FaultPlan::new(1).site(
+            sites::SHARD_APPLY,
+            SiteSpec {
+                panic_every: 3,
+                ..SiteSpec::default()
+            },
+        ));
+        let mut panics = 0;
+        for _ in 0..9 {
+            if std::panic::catch_unwind(|| eval(sites::SHARD_APPLY)).is_err() {
+                panics += 1;
+            }
+        }
+        disarm();
+        assert_eq!(panics, 3, "hits 3, 6, 9 panic");
+        assert_eq!(hits(sites::SHARD_APPLY), 9);
+        assert_eq!(fires(sites::SHARD_APPLY), 3);
+    }
+
+    #[test]
+    fn max_fires_caps_injection() {
+        let _g = lock();
+        arm(FaultPlan::new(2).site(
+            sites::QUEUE_PUSH,
+            SiteSpec {
+                full_ppm: 1_000_000,
+                max_fires: 2,
+                ..SiteSpec::default()
+            },
+        ));
+        let fulls = (0..10)
+            .filter(|_| eval(sites::QUEUE_PUSH) == FaultAction::SpuriousFull)
+            .count();
+        disarm();
+        assert_eq!(fulls, 2);
+    }
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let _g = lock();
+        let spec = SiteSpec {
+            truncate_ppm: 300_000,
+            ..SiteSpec::default()
+        };
+        let run = |seed: u64| -> Vec<FaultAction> {
+            arm(FaultPlan::new(seed).site(sites::WIRE_WRITE_FRAME, spec));
+            let v = (0..64).map(|_| eval(sites::WIRE_WRITE_FRAME)).collect();
+            disarm();
+            v
+        };
+        assert_eq!(run(77), run(77), "replayable from the seed alone");
+        assert_ne!(run(77), run(78), "different seeds diverge");
+    }
+
+    #[test]
+    fn unplanned_sites_proceed_but_count() {
+        let _g = lock();
+        arm(FaultPlan::new(9));
+        assert_eq!(eval(sites::SERVER_ACCEPT), FaultAction::Proceed);
+        assert_eq!(hits(sites::SERVER_ACCEPT), 1);
+        assert_eq!(fires(sites::SERVER_ACCEPT), 0);
+        disarm();
+    }
+}

@@ -15,6 +15,9 @@
 //!   `ProcessRidge` tasks of Algorithm 3;
 //! * [`BoundedQueue`] — a bounded MPMC queue with explicit backpressure,
 //!   the ingest primitive of the `chull-service` serving layer;
+//! * [`failpoint`] — a std-only deterministic fault-injection registry:
+//!   named sites, armed by a seeded [`failpoint::FaultPlan`], that cost a
+//!   single relaxed atomic load when disarmed;
 //! * [`fast_hash`] — the deterministic FxHash-style hasher shared by every
 //!   ridge map (sequential adjacency included).
 
@@ -22,6 +25,7 @@
 
 pub mod arena;
 pub mod counters;
+pub mod failpoint;
 pub mod fast_hash;
 pub mod pool;
 pub mod queue;

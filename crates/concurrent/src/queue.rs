@@ -83,7 +83,16 @@ impl<T> BoundedQueue<T> {
 
     /// Enqueue without blocking; a full or closed queue hands the value
     /// back so the caller can apply backpressure.
+    ///
+    /// Failpoint `queue.push`: an armed chaos schedule may report
+    /// spurious `Full` here without consulting the queue, exercising
+    /// the caller's backpressure/retry path.
     pub fn try_push(&self, value: T) -> Result<(), PushError<T>> {
+        if crate::failpoint::eval(crate::failpoint::sites::QUEUE_PUSH)
+            == crate::failpoint::FaultAction::SpuriousFull
+        {
+            return Err(PushError::Full(value));
+        }
         let mut g = self.inner.lock().unwrap();
         if g.closed {
             return Err(PushError::Closed(value));

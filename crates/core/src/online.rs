@@ -338,6 +338,122 @@ impl OnlineHull {
     }
 }
 
+/// An online hull builder that also handles the **degenerate prefix**:
+/// arrivals are buffered until `d + 1` affinely independent points have
+/// been seen (the seed simplex), then the buffer replays into a live
+/// [`OnlineHull`] in arrival order.
+///
+/// This is the crash-recovery **replay entry point**: a shard that loses
+/// its worker rebuilds its exact state by streaming its append-only
+/// insert journal through [`HullBuilder::replay`]. Because the hull is
+/// order-independent (any execution order consistent with the dependence
+/// graph yields the identical hull — Theorem 4.2), and replay preserves
+/// the journal order anyway, the rebuilt hull is bit-identical to the
+/// lost one on the same insert prefix.
+#[derive(Clone)]
+pub struct HullBuilder {
+    dim: usize,
+    applied: u64,
+    state: BuilderState,
+}
+
+#[derive(Clone)]
+enum BuilderState {
+    /// Buffered arrivals + indices of an affinely independent subset.
+    Boot {
+        pts: Vec<Vec<i64>>,
+        basis: Vec<usize>,
+    },
+    Live(OnlineHull),
+}
+
+impl HullBuilder {
+    /// An empty builder for dimension `dim` (2..=[`MAX_DIM`]).
+    pub fn new(dim: usize) -> HullBuilder {
+        assert!((2..=MAX_DIM).contains(&dim), "dimension out of range");
+        HullBuilder {
+            dim,
+            applied: 0,
+            state: BuilderState::Boot {
+                pts: Vec::new(),
+                basis: Vec::new(),
+            },
+        }
+    }
+
+    /// Rebuild a builder by replaying an insert sequence in order.
+    pub fn replay<'a, I>(dim: usize, inserts: I) -> HullBuilder
+    where
+        I: IntoIterator<Item = &'a [i64]>,
+    {
+        let mut b = HullBuilder::new(dim);
+        for p in inserts {
+            b.push(p);
+        }
+        b
+    }
+
+    /// Accept one arrival: buffer it while bootstrapping, insert it into
+    /// the live hull afterwards.
+    pub fn push(&mut self, p: &[i64]) {
+        assert_eq!(p.len(), self.dim, "point of wrong dimension");
+        self.applied += 1;
+        match &mut self.state {
+            BuilderState::Boot { pts, basis } => {
+                let mut rows: Vec<&[i64]> = basis.iter().map(|&i| pts[i].as_slice()).collect();
+                rows.push(p);
+                if chull_geometry::exact::affine_rank(&rows) == rows.len() {
+                    basis.push(pts.len());
+                }
+                pts.push(p.to_vec());
+                if basis.len() == self.dim + 1 {
+                    // Seed simplex found: promote to a live hull and
+                    // replay the remaining buffered arrivals in order.
+                    let seeds: Vec<Vec<i64>> = basis.iter().map(|&i| pts[i].clone()).collect();
+                    let mut hull = OnlineHull::new(self.dim, &seeds);
+                    let basis_set: std::collections::HashSet<usize> =
+                        basis.iter().copied().collect();
+                    for (i, q) in pts.iter().enumerate() {
+                        if !basis_set.contains(&i) {
+                            hull.insert(q);
+                        }
+                    }
+                    self.state = BuilderState::Live(hull);
+                }
+            }
+            BuilderState::Live(hull) => {
+                hull.insert(p);
+            }
+        }
+    }
+
+    /// The dimension this builder was created with.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Arrivals accepted so far (buffered + inserted, including seeds).
+    pub fn applied(&self) -> u64 {
+        self.applied
+    }
+
+    /// The live hull, once the seed simplex has been found.
+    pub fn hull(&self) -> Option<&OnlineHull> {
+        match &self.state {
+            BuilderState::Boot { .. } => None,
+            BuilderState::Live(h) => Some(h),
+        }
+    }
+
+    /// The buffered arrivals while bootstrapping (`None` once live).
+    pub fn buffered(&self) -> Option<&[Vec<i64>]> {
+        match &self.state {
+            BuilderState::Boot { pts, .. } => Some(pts),
+            BuilderState::Live(_) => None,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -436,6 +552,39 @@ mod tests {
         assert_eq!(coords[0], 0);
         let (_, coords) = hull.extreme(&[0, -1]);
         assert_eq!(coords[1], 0);
+    }
+
+    #[test]
+    fn builder_buffers_degenerate_prefix_then_goes_live() {
+        let mut b = HullBuilder::new(2);
+        for p in [[0, 0], [1, 1], [2, 2], [3, 3]] {
+            b.push(&p);
+        }
+        assert!(b.hull().is_none(), "collinear prefix stays in bootstrap");
+        assert_eq!(b.buffered().unwrap().len(), 4);
+        b.push(&[5, 0]);
+        assert!(b.hull().is_some());
+        assert_eq!(b.applied(), 5);
+        assert!(b.hull().unwrap().contains(&[2, 1]));
+    }
+
+    #[test]
+    fn replay_rebuilds_bit_identical_hull() {
+        let pts = prepare_points(
+            &PointSet::from_points2(&generators::disk_2d(300, 1 << 20, 17)),
+            18,
+        );
+        let rows: Vec<&[i64]> = (0..pts.len()).map(|i| pts.point(i)).collect();
+        let mut live = HullBuilder::new(2);
+        for r in &rows {
+            live.push(r);
+        }
+        let replayed = HullBuilder::replay(2, rows.iter().copied());
+        let (a, b) = (live.hull().unwrap(), replayed.hull().unwrap());
+        assert_eq!(a.output().canonical(), b.output().canonical());
+        assert_eq!(a.num_points(), b.num_points());
+        // Same arrival order => identical vertex ids, facets, everything.
+        assert_eq!(a.output().facets, b.output().facets);
     }
 
     #[test]

@@ -1,10 +1,28 @@
 //! A blocking client for the hull wire protocol — used by the `hull
-//! query` CLI, the loopback tests, and the load generator.
+//! query` CLI, the loopback tests, the chaos harness, and the load
+//! generator.
+//!
+//! Hardening (matching the server's failure model):
+//!
+//! * [`HullClient::insert_retry`] absorbs `Overloaded` backpressure with
+//!   **capped exponential backoff plus seeded jitter** under an overall
+//!   deadline ([`RetryPolicy`]) — replayable from a single seed, and the
+//!   jitter decorrelates a fleet of load-generator threads;
+//! * a broken connection (server restart, failpoint-truncated frame)
+//!   triggers one **reconnect-and-resume** per request: the client
+//!   remembers the resolved address and transparently redials. A resend
+//!   after a lost *response* can duplicate an insert; the hull is
+//!   insensitive to duplicate coordinates, so the chaos harness asserts
+//!   acked-⊆-served rather than exact multiset equality;
+//! * `Degraded` replies are unwrapped to their inner answer and surfaced
+//!   via [`HullClient::last_degraded`], so callers can observe recovery
+//!   windows without every call site matching on the wrapper.
 
 use crate::wire::{read_frame, write_frame, Request, Response, ALL_SHARDS};
+use chull_geometry::rng::ChaCha8Rng;
 use std::io::{self};
-use std::net::{TcpStream, ToSocketAddrs};
-use std::time::Duration;
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
 
 /// A decoded `Snapshot` reply.
 #[derive(Debug, Clone)]
@@ -19,11 +37,45 @@ pub struct SnapshotReply {
     pub facets: Vec<Vec<u32>>,
 }
 
+/// Backoff shape for [`HullClient::insert_retry`]: delay doubles from
+/// `base` up to `cap`, each sleep jittered uniformly into its upper
+/// half, until `deadline` elapses overall.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// First backoff delay.
+    pub base: Duration,
+    /// Largest single delay.
+    pub cap: Duration,
+    /// Overall budget; past it the retry loop fails with `TimedOut`.
+    pub deadline: Duration,
+    /// Jitter seed — same seed, same jitter sequence (replayability).
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            base: Duration::from_micros(100),
+            cap: Duration::from_millis(50),
+            deadline: Duration::from_secs(30),
+            seed: 0x07E5_7BAC_C0FF,
+        }
+    }
+}
+
 /// One connection to a hull server; methods are synchronous
 /// request/response calls. Not thread-safe — use one client per thread
 /// (connections are cheap).
 pub struct HullClient {
     stream: TcpStream,
+    /// Resolved peer address, kept for reconnect-and-resume.
+    addr: Option<SocketAddr>,
+    /// Generation from the most recent reply iff it was `Degraded`.
+    last_degraded: Option<u32>,
+    /// Reconnects performed so far (observability for the chaos tests).
+    reconnects: u64,
+    /// Calls made, mixed into the per-call jitter stream.
+    calls: u64,
 }
 
 fn unexpected(resp: Response) -> io::Error {
@@ -37,26 +89,95 @@ fn server_error(msg: String) -> io::Error {
     io::Error::other(format!("server error: {msg}"))
 }
 
+/// Connection failures worth one transparent redial (the server — or a
+/// failpoint — dropped the connection, not the request semantics).
+fn reconnectable(kind: io::ErrorKind) -> bool {
+    matches!(
+        kind,
+        io::ErrorKind::BrokenPipe
+            | io::ErrorKind::ConnectionReset
+            | io::ErrorKind::ConnectionAborted
+            | io::ErrorKind::UnexpectedEof
+            | io::ErrorKind::NotConnected
+    )
+}
+
 impl HullClient {
     /// Connect (with `TCP_NODELAY`, request/response is latency-bound).
     pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<HullClient> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
-        Ok(HullClient { stream })
+        let addr = stream.peer_addr().ok();
+        Ok(HullClient {
+            stream,
+            addr,
+            last_degraded: None,
+            reconnects: 0,
+            calls: 0,
+        })
     }
 
-    /// Send one request and read its reply (any variant).
-    pub fn raw(&mut self, req: &Request) -> io::Result<Response> {
+    /// Generation of the most recent reply if it was `Degraded` (the
+    /// shard's worker was being recovered and the answer came from the
+    /// last good snapshot); `None` if the last reply was healthy.
+    pub fn last_degraded(&self) -> Option<u32> {
+        self.last_degraded
+    }
+
+    /// Reconnect-and-resume redials performed so far.
+    pub fn reconnects(&self) -> u64 {
+        self.reconnects
+    }
+
+    fn exchange(&mut self, req: &Request) -> io::Result<Response> {
         write_frame(&mut self.stream, &req.encode())?;
         let payload = read_frame(&mut self.stream)?.ok_or_else(|| {
             io::Error::new(io::ErrorKind::UnexpectedEof, "server closed connection")
         })?;
-        Response::decode(&payload).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+        Response::decode(&payload).map_err(io::Error::from)
+    }
+
+    /// Send one request and read its reply (any variant, `Degraded`
+    /// included). A dropped connection is redialed once and the request
+    /// resent — note a resend after a lost response can double-apply an
+    /// `Insert` (harmless to the hull; see module docs).
+    pub fn raw(&mut self, req: &Request) -> io::Result<Response> {
+        self.calls += 1;
+        match self.exchange(req) {
+            Ok(resp) => Ok(resp),
+            Err(e) if reconnectable(e.kind()) => {
+                let addr = match self.addr {
+                    Some(a) => a,
+                    None => return Err(e),
+                };
+                let stream = TcpStream::connect(addr)?;
+                stream.set_nodelay(true)?;
+                self.stream = stream;
+                self.reconnects += 1;
+                self.exchange(req)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// [`raw`](HullClient::raw), then unwrap a `Degraded` wrapper into
+    /// its inner answer, recording the generation.
+    fn ask(&mut self, req: &Request) -> io::Result<Response> {
+        match self.raw(req)? {
+            Response::Degraded { generation, inner } => {
+                self.last_degraded = Some(generation);
+                Ok(*inner)
+            }
+            resp => {
+                self.last_degraded = None;
+                Ok(resp)
+            }
+        }
     }
 
     /// Queue one point; `false` means the shard is overloaded (retry).
     pub fn insert(&mut self, shard: u16, point: &[i64]) -> io::Result<bool> {
-        match self.raw(&Request::Insert {
+        match self.ask(&Request::Insert {
             shard,
             point: point.to_vec(),
         })? {
@@ -67,22 +188,41 @@ impl HullClient {
         }
     }
 
-    /// Insert, retrying with a short sleep while the shard pushes back.
-    /// Returns the number of `Overloaded` rejections absorbed.
-    pub fn insert_retry(&mut self, shard: u16, point: &[i64]) -> io::Result<u64> {
-        let mut rejections = 0;
+    /// Insert, absorbing `Overloaded` pushback with capped exponential
+    /// backoff and seeded jitter until `policy.deadline` elapses
+    /// (`TimedOut` past it). Returns the number of rejections absorbed.
+    pub fn insert_retry(
+        &mut self,
+        shard: u16,
+        point: &[i64],
+        policy: &RetryPolicy,
+    ) -> io::Result<u64> {
+        let start = Instant::now();
+        let mut rng = ChaCha8Rng::seed_from_u64(policy.seed ^ self.calls);
+        let mut delay = policy.base.max(Duration::from_micros(1));
+        let mut rejections = 0u64;
         while !self.insert(shard, point)? {
             rejections += 1;
-            // Brief pause: the worker drains whole batches, so capacity
-            // tends to reappear in bursts.
-            std::thread::sleep(Duration::from_micros(200));
+            if start.elapsed() >= policy.deadline {
+                return Err(io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    format!("insert still overloaded after {rejections} retries"),
+                ));
+            }
+            // Jitter into the upper half of the window: full delays stay
+            // bounded, but concurrent clients desynchronize instead of
+            // stampeding the freshly drained queue together.
+            let us = delay.as_micros() as u64;
+            let jittered = rng.gen_range(us / 2 + 1..us + 1);
+            std::thread::sleep(Duration::from_micros(jittered));
+            delay = (delay * 2).min(policy.cap);
         }
         Ok(rejections)
     }
 
     /// Membership query; `None` while the shard is bootstrapping.
     pub fn contains(&mut self, shard: u16, point: &[i64]) -> io::Result<Option<bool>> {
-        match self.raw(&Request::Contains {
+        match self.ask(&Request::Contains {
             shard,
             point: point.to_vec(),
         })? {
@@ -95,7 +235,7 @@ impl HullClient {
 
     /// Number of facets visible from the point; `None` while bootstrapping.
     pub fn visible(&mut self, shard: u16, point: &[i64]) -> io::Result<Option<u32>> {
-        match self.raw(&Request::Visible {
+        match self.ask(&Request::Visible {
             shard,
             point: point.to_vec(),
         })? {
@@ -108,7 +248,7 @@ impl HullClient {
 
     /// Extreme vertex in a direction; `None` while bootstrapping.
     pub fn extreme(&mut self, shard: u16, dir: &[i64]) -> io::Result<Option<(u32, Vec<i64>)>> {
-        match self.raw(&Request::Extreme {
+        match self.ask(&Request::Extreme {
             shard,
             direction: dir.to_vec(),
         })? {
@@ -121,7 +261,7 @@ impl HullClient {
 
     /// Service counters as JSON (`None` aggregates all shards).
     pub fn stats(&mut self, shard: Option<u16>) -> io::Result<String> {
-        match self.raw(&Request::Stats {
+        match self.ask(&Request::Stats {
             shard: shard.unwrap_or(ALL_SHARDS),
         })? {
             Response::Stats(json) => Ok(json),
@@ -132,7 +272,7 @@ impl HullClient {
 
     /// The shard's current points and hull facets.
     pub fn snapshot(&mut self, shard: u16) -> io::Result<SnapshotReply> {
-        match self.raw(&Request::Snapshot { shard })? {
+        match self.ask(&Request::Snapshot { shard })? {
             Response::Snapshot {
                 epoch,
                 dim,
@@ -152,7 +292,7 @@ impl HullClient {
     /// Barrier: every insert this client enqueued before the call is
     /// applied once this returns. Returns the publication epoch.
     pub fn flush(&mut self, shard: u16) -> io::Result<u64> {
-        match self.raw(&Request::Flush { shard })? {
+        match self.ask(&Request::Flush { shard })? {
             Response::Flushed { epoch } => Ok(epoch),
             Response::Error(m) => Err(server_error(m)),
             other => Err(unexpected(other)),
@@ -161,7 +301,7 @@ impl HullClient {
 
     /// Ask the server to shut down gracefully.
     pub fn shutdown_server(&mut self) -> io::Result<()> {
-        match self.raw(&Request::Shutdown)? {
+        match self.ask(&Request::Shutdown)? {
             Response::ShuttingDown => Ok(()),
             Response::Error(m) => Err(server_error(m)),
             other => Err(unexpected(other)),

@@ -30,14 +30,17 @@
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod journal;
 pub mod server;
 pub mod shard;
 pub mod snapshot;
 pub mod stats;
 pub mod wire;
 
-pub use client::{HullClient, SnapshotReply};
+pub use client::{HullClient, RetryPolicy, SnapshotReply};
+pub use journal::Journal;
 pub use server::{serve, ServeOptions, ServerHandle};
 pub use shard::{HullService, InsertOutcome, ServiceConfig, ServiceError};
 pub use snapshot::HullSnapshot;
 pub use stats::{AtomicKernel, ShardStats};
+pub use wire::WireError;

@@ -12,6 +12,7 @@
 use crate::shard::{HullService, InsertOutcome, ServiceConfig, ServiceError};
 use crate::snapshot::HullSnapshot;
 use crate::wire::{self, Request, Response, ALL_SHARDS};
+use chull_concurrent::failpoint::{self, sites};
 use chull_geometry::{KernelCounts, MAX_COORD};
 use std::io::{self, Read};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -64,7 +65,7 @@ pub fn serve(opts: ServeOptions) -> io::Result<ServerHandle> {
     let listener = TcpListener::bind(&opts.addr)?;
     let addr = listener.local_addr()?;
     let shared = Arc::new(Shared {
-        service: HullService::new(opts.config.clone()),
+        service: HullService::new(opts.config.clone())?,
         shutdown: AtomicBool::new(false),
         addr,
     });
@@ -145,6 +146,9 @@ fn accept_loop(
 ) {
     let mut conns: Vec<std::thread::JoinHandle<()>> = Vec::new();
     loop {
+        // Failpoint `server.accept`: an armed chaos schedule may stall
+        // here, simulating accept pressure (never panics the loop).
+        let _ = failpoint::eval(sites::SERVER_ACCEPT);
         let (stream, _) = match listener.accept() {
             Ok(s) => s,
             Err(_) => {
@@ -258,7 +262,7 @@ fn handle_connection(mut stream: TcpStream, shared: &Arc<Shared>, request_timeou
         };
         let (response, shutdown_after) = match Request::decode(&payload) {
             Ok(req) => dispatch(&shared.service, req),
-            Err(msg) => (Response::Error(msg), false),
+            Err(e) => (Response::Error(e.to_string()), false),
         };
         if wire::write_frame(&mut stream, &response.encode()).is_err() {
             return;
@@ -355,12 +359,16 @@ fn dispatch(service: &HullService, req: Request) -> (Response, bool) {
                 for f in &out.facets {
                     facets.extend_from_slice(&f[..dim]);
                 }
-                Response::Snapshot {
-                    epoch: snap.epoch,
-                    dim,
-                    points: snap.flat_points(),
-                    facets,
-                }
+                wrap_degraded(
+                    service,
+                    shard,
+                    Response::Snapshot {
+                        epoch: snap.epoch,
+                        dim,
+                        points: snap.flat_points(),
+                        facets,
+                    },
+                )
             }
             Err(e) => err_response(e),
         },
@@ -374,14 +382,31 @@ fn dispatch(service: &HullService, req: Request) -> (Response, bool) {
 }
 
 /// Snapshot-read helper: grabs the published `Arc`, runs the closure, and
-/// maps a bootstrapping shard to `NotReady`.
+/// maps a bootstrapping shard to `NotReady`. Answers served while the
+/// shard's worker is being recovered are wrapped in `Degraded` so the
+/// caller can see it read from the last good snapshot.
 fn query<F>(service: &HullService, shard: u16, f: F) -> Response
 where
     F: FnOnce(&HullSnapshot, &crate::stats::ShardStats) -> Option<Response>,
 {
     match (service.snapshot(shard), service.stats_for(shard)) {
-        (Ok(snap), Ok(stats)) => f(&snap, stats).unwrap_or(Response::NotReady),
+        (Ok(snap), Ok(stats)) => {
+            let resp = f(&snap, stats).unwrap_or(Response::NotReady);
+            wrap_degraded(service, shard, resp)
+        }
         (Err(e), _) | (_, Err(e)) => err_response(e),
+    }
+}
+
+/// Wrap a read-path response in `Degraded(generation)` while the shard's
+/// supervisor is replaying its journal; errors pass through unwrapped.
+fn wrap_degraded(service: &HullService, shard: u16, resp: Response) -> Response {
+    match service.degraded(shard) {
+        Ok(Some(generation)) if !matches!(resp, Response::Error(_)) => Response::Degraded {
+            generation,
+            inner: Box::new(resp),
+        },
+        _ => resp,
     }
 }
 
@@ -397,6 +422,7 @@ mod tests {
                 shards: 2,
                 queue_capacity: 64,
                 max_batch: 16,
+                wal_dir: None,
             },
             ..Default::default()
         }

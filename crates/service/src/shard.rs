@@ -1,5 +1,5 @@
 //! The shard manager: epoch-versioned online hulls behind a batched,
-//! backpressured ingest pipeline.
+//! backpressured, **supervised** ingest pipeline.
 //!
 //! Each shard is an **independent** hull (a namespace — clients route
 //! requests by shard id, spreading unrelated workloads across workers).
@@ -9,26 +9,54 @@
 //!   threads calling [`HullService::try_insert`], which never blocks: a
 //!   full queue is reported as [`InsertOutcome::Overloaded`] so the wire
 //!   layer replies with explicit backpressure instead of buffering;
-//! * one **worker thread** that drains the queue in coalesced batches
-//!   (`pop_batch`), applies them to its private [`OnlineHull`] through
-//!   the staged exact kernel, and republishes an `Arc<HullSnapshot>`
-//!   under a short write-lock — readers clone the `Arc` under the
-//!   matching read-lock and never block ingest;
+//! * one **supervised worker thread** that drains the queue in coalesced
+//!   batches (`pop_batch`), journals each batch, applies it to its
+//!   private hull through the staged exact kernel, and republishes an
+//!   `Arc<HullSnapshot>` under a short write-lock — readers clone the
+//!   `Arc` under the matching read-lock and never block ingest;
 //! * a [`ShardStats`] block of lock-free counters.
 //!
-//! The first `d + 1` affinely independent points of a shard become its
-//! seed simplex (arrivals are buffered until then); everything after goes
-//! through `OnlineHull::insert`, i.e. history-graph descent with expected
-//! `O(log n)` location per point in random arrival order.
+//! ## Failure model
+//!
+//! The drain loop runs under `catch_unwind`. If it panics (a bug, or an
+//! armed [`failpoint`](chull_concurrent::failpoint) schedule), the
+//! supervisor — the same OS thread, one frame up — takes over:
+//!
+//! 1. marks the shard **degraded** and bumps its recovery *generation*;
+//!    queries keep flowing from the last published snapshot, wrapped in
+//!    the wire `Degraded` status so callers can see the staleness;
+//! 2. rebuilds the hull by replaying the shard's append-only insert
+//!    [`Journal`] through [`HullBuilder::replay`] — order-independence
+//!    (Theorem 4.2) plus order-preserving replay makes the rebuilt hull
+//!    bit-identical to the lost one;
+//! 3. republishes a fresh snapshot and clears the degraded flag.
+//!
+//! **Exactly-once for acked inserts**: an insert is acked when it enters
+//! the queue. The queue lives outside `catch_unwind`, so un-popped items
+//! survive a worker death; popped items are journaled (journal-before-
+//! apply) *before* any of them touches the hull, so a panic during apply
+//! loses nothing — the journal prefix plus the remaining queue is the
+//! complete shard state. A `Flush` barrier whose ack channel dies with
+//! the worker is transparently re-armed by [`HullService::flush`].
+//!
+//! With `wal_dir` set, the journal is additionally a crc32-checked
+//! on-disk WAL, so the same replay survives a full process restart
+//! (torn tails from a mid-write crash are detected and dropped).
 
+use crate::journal::Journal;
 use crate::snapshot::{HullSnapshot, SnapState};
 use crate::stats::ShardStats;
+use chull_concurrent::failpoint::{self, sites};
 use chull_concurrent::{BoundedQueue, PushError};
-use chull_core::online::OnlineHull;
-use chull_geometry::{exact::affine_rank, MAX_COORD};
-use std::sync::atomic::Ordering;
+use chull_core::online::HullBuilder;
+use chull_geometry::MAX_COORD;
+use std::io;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use std::sync::{mpsc, Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// Sizing and placement knobs for one [`HullService`].
 #[derive(Debug, Clone)]
@@ -41,6 +69,10 @@ pub struct ServiceConfig {
     pub queue_capacity: usize,
     /// Largest batch one publication coalesces.
     pub max_batch: usize,
+    /// Directory for per-shard write-ahead logs. `None` keeps the insert
+    /// journal purely in memory: worker crashes are still recovered, but
+    /// a process restart starts empty.
+    pub wal_dir: Option<PathBuf>,
 }
 
 impl Default for ServiceConfig {
@@ -50,6 +82,7 @@ impl Default for ServiceConfig {
             shards: 4,
             queue_capacity: 1024,
             max_batch: 256,
+            wal_dir: None,
         }
     }
 }
@@ -91,75 +124,34 @@ enum Ingest {
     Flush(mpsc::Sender<u64>),
 }
 
-/// Shard worker's private state: bootstrap buffer or live hull.
-struct ShardCore {
-    dim: usize,
-    applied: u64,
-    state: CoreState,
+/// Clone the published snapshot `Arc`, tolerating a poisoned lock (the
+/// lock only ever guards an `Arc` swap, so the value is always intact).
+fn load_snap(lock: &RwLock<Arc<HullSnapshot>>) -> Arc<HullSnapshot> {
+    match lock.read() {
+        Ok(g) => Arc::clone(&g),
+        Err(poisoned) => Arc::clone(&poisoned.into_inner()),
+    }
 }
 
-enum CoreState {
-    /// Buffered arrivals + indices of an affinely independent subset.
-    Boot {
-        pts: Vec<Vec<i64>>,
-        basis: Vec<usize>,
-    },
-    Live(OnlineHull),
+/// Swap in a new published snapshot, tolerating a poisoned lock.
+fn store_snap(lock: &RwLock<Arc<HullSnapshot>>, snap: HullSnapshot) {
+    let mut g = match lock.write() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    *g = Arc::new(snap);
 }
 
-impl ShardCore {
-    fn new(dim: usize) -> ShardCore {
-        ShardCore {
-            dim,
-            applied: 0,
-            state: CoreState::Boot {
-                pts: Vec::new(),
-                basis: Vec::new(),
-            },
-        }
-    }
-
-    fn insert(&mut self, p: Vec<i64>) {
-        self.applied += 1;
-        match &mut self.state {
-            CoreState::Boot { pts, basis } => {
-                let mut rows: Vec<&[i64]> = basis.iter().map(|&i| pts[i].as_slice()).collect();
-                rows.push(&p);
-                if affine_rank(&rows) == rows.len() {
-                    basis.push(pts.len());
-                }
-                pts.push(p);
-                if basis.len() == self.dim + 1 {
-                    // Seed simplex found: promote to a live hull and replay
-                    // the remaining buffered arrivals in order.
-                    let seeds: Vec<Vec<i64>> = basis.iter().map(|&i| pts[i].clone()).collect();
-                    let mut hull = OnlineHull::new(self.dim, &seeds);
-                    let basis_set: std::collections::HashSet<usize> =
-                        basis.iter().copied().collect();
-                    for (i, q) in pts.iter().enumerate() {
-                        if !basis_set.contains(&i) {
-                            hull.insert(q);
-                        }
-                    }
-                    self.state = CoreState::Live(hull);
-                }
-            }
-            CoreState::Live(hull) => {
-                hull.insert(&p);
-            }
-        }
-    }
-
-    fn snapshot(&self, epoch: u64) -> HullSnapshot {
-        HullSnapshot {
-            epoch,
-            applied: self.applied,
-            dim: self.dim,
-            state: match &self.state {
-                CoreState::Boot { pts, .. } => SnapState::Boot(pts.clone()),
-                CoreState::Live(h) => SnapState::Live(h.clone()),
-            },
-        }
+/// Freeze the builder's current state into an epoch-stamped snapshot.
+fn snapshot_of(core: &HullBuilder, epoch: u64) -> HullSnapshot {
+    HullSnapshot {
+        epoch,
+        applied: core.applied(),
+        dim: core.dim(),
+        state: match core.hull() {
+            Some(h) => SnapState::Live(h.clone()),
+            None => SnapState::Boot(core.buffered().unwrap_or(&[]).to_vec()),
+        },
     }
 }
 
@@ -167,6 +159,10 @@ struct Shard {
     queue: Arc<BoundedQueue<Ingest>>,
     snap: Arc<RwLock<Arc<HullSnapshot>>>,
     stats: Arc<ShardStats>,
+    /// Recovery generation: how many workers this shard has lost.
+    generation: Arc<AtomicU32>,
+    /// True only while the supervisor is replaying the journal.
+    degraded: Arc<AtomicBool>,
     worker: Mutex<Option<JoinHandle<()>>>,
 }
 
@@ -178,35 +174,67 @@ pub struct HullService {
 }
 
 impl HullService {
-    /// Start `config.shards` shard workers.
-    pub fn new(config: ServiceConfig) -> HullService {
-        assert!(
-            (2..=chull_core::facet::MAX_DIM).contains(&config.dim),
-            "dimension out of range"
-        );
-        assert!(config.shards >= 1 && config.shards < u16::MAX as usize);
-        let shards = (0..config.shards)
-            .map(|_| {
-                let queue = Arc::new(BoundedQueue::new(config.queue_capacity));
-                let snap = Arc::new(RwLock::new(Arc::new(HullSnapshot::empty(config.dim))));
-                let stats = Arc::new(ShardStats::default());
-                let worker = {
-                    let queue = Arc::clone(&queue);
-                    let snap = Arc::clone(&snap);
-                    let stats = Arc::clone(&stats);
-                    let dim = config.dim;
-                    let max_batch = config.max_batch;
-                    std::thread::spawn(move || shard_worker(dim, max_batch, &queue, &snap, &stats))
-                };
-                Shard {
-                    queue,
-                    snap,
-                    stats,
-                    worker: Mutex::new(Some(worker)),
-                }
-            })
-            .collect();
-        HullService { config, shards }
+    /// Start `config.shards` supervised shard workers, recovering each
+    /// shard's WAL first when `config.wal_dir` is set. Fails only on
+    /// invalid sizing or a WAL directory that cannot be opened.
+    pub fn new(config: ServiceConfig) -> io::Result<HullService> {
+        if !(2..=chull_core::facet::MAX_DIM).contains(&config.dim) {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("dimension {} out of range", config.dim),
+            ));
+        }
+        if config.shards < 1 || config.shards >= u16::MAX as usize {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("shard count {} out of range", config.shards),
+            ));
+        }
+        let mut shards = Vec::with_capacity(config.shards);
+        for id in 0..config.shards {
+            let journal = match &config.wal_dir {
+                Some(dir) => Journal::with_wal(config.dim, dir, id as u16)?,
+                None => Journal::in_memory(config.dim),
+            };
+            // Cold-start recovery happens *here*, synchronously: when
+            // `new` returns, a WAL-backed shard already serves its
+            // previous run's points.
+            let core =
+                HullBuilder::replay(config.dim, journal.entries().iter().map(|p| p.as_slice()));
+            let stats = Arc::new(ShardStats::default());
+            let epoch = if core.applied() > 0 {
+                stats.record_batch(core.applied());
+                1
+            } else {
+                0
+            };
+            stats
+                .journal_len
+                .store(journal.len() as u64, Ordering::Relaxed);
+            let queue = Arc::new(BoundedQueue::new(config.queue_capacity));
+            let snap = Arc::new(RwLock::new(Arc::new(snapshot_of(&core, epoch))));
+            let generation = Arc::new(AtomicU32::new(0));
+            let degraded = Arc::new(AtomicBool::new(false));
+            let ctx = ShardCtx {
+                dim: config.dim,
+                max_batch: config.max_batch,
+                queue: Arc::clone(&queue),
+                snap: Arc::clone(&snap),
+                stats: Arc::clone(&stats),
+                generation: Arc::clone(&generation),
+                degraded: Arc::clone(&degraded),
+            };
+            let worker = std::thread::spawn(move || shard_supervisor(&ctx, core, journal, epoch));
+            shards.push(Shard {
+                queue,
+                snap,
+                stats,
+                generation,
+                degraded,
+                worker: Mutex::new(Some(worker)),
+            });
+        }
+        Ok(HullService { config, shards })
     }
 
     /// The configuration this service was started with.
@@ -242,6 +270,8 @@ impl HullService {
     }
 
     /// Non-blocking insert; `Overloaded` is the backpressure signal.
+    /// A `Queued` reply is the service's **ack**: the point now either
+    /// reaches the hull or survives a worker death in the queue/journal.
     pub fn try_insert(&self, shard: u16, point: Vec<i64>) -> Result<InsertOutcome, ServiceError> {
         self.validate(&point)?;
         let sh = self.shard(shard)?;
@@ -260,23 +290,53 @@ impl HullService {
 
     /// Barrier: blocks until every insert enqueued before this call has
     /// been applied and republished; returns the publication epoch.
+    ///
+    /// If the worker dies while holding the barrier, its ack channel dies
+    /// with it — the barrier is re-armed on the recovered worker, so a
+    /// flush straddling a crash still fences everything queued before it
+    /// (the journal replay reapplies the popped prefix first).
     pub fn flush(&self, shard: u16) -> Result<u64, ServiceError> {
         let sh = self.shard(shard)?;
         sh.stats.flushes.fetch_add(1, Ordering::Relaxed);
-        let (tx, rx) = mpsc::channel();
-        // Blocking push: a flush may wait for queue space, but never
-        // spins — it rides the same FIFO as the inserts it fences.
-        match sh.queue.push(Ingest::Flush(tx)) {
-            Ok(()) => rx.recv().map_err(|_| ServiceError::Closed),
-            Err(_) => Err(ServiceError::Closed),
+        loop {
+            let (tx, rx) = mpsc::channel();
+            // Blocking push: a flush may wait for queue space, but never
+            // spins — it rides the same FIFO as the inserts it fences.
+            match sh.queue.push(Ingest::Flush(tx)) {
+                Ok(()) => match rx.recv() {
+                    Ok(epoch) => return Ok(epoch),
+                    // Worker died mid-batch and dropped the sender;
+                    // the supervisor is rebuilding. Re-arm the barrier.
+                    Err(_) => continue,
+                },
+                Err(_) => return Err(ServiceError::Closed),
+            }
         }
     }
 
     /// The shard's current published snapshot (wait-free for ingest: the
-    /// write side holds the lock only to swap an `Arc`).
+    /// write side holds the lock only to swap an `Arc`). During recovery
+    /// this is the last snapshot the dead worker published.
     pub fn snapshot(&self, shard: u16) -> Result<Arc<HullSnapshot>, ServiceError> {
+        Ok(load_snap(&self.shard(shard)?.snap))
+    }
+
+    /// `Some(generation)` while the shard's supervisor is replaying its
+    /// journal after a worker death — reads meanwhile come from the last
+    /// good snapshot. `None` when the shard is healthy.
+    pub fn degraded(&self, shard: u16) -> Result<Option<u32>, ServiceError> {
         let sh = self.shard(shard)?;
-        Ok(Arc::clone(&sh.snap.read().unwrap()))
+        if sh.degraded.load(Ordering::SeqCst) {
+            Ok(Some(sh.generation.load(Ordering::SeqCst)))
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// The shard's recovery generation: how many workers it has lost
+    /// (0 = the original worker is still alive).
+    pub fn generation(&self, shard: u16) -> Result<u32, ServiceError> {
+        Ok(self.shard(shard)?.generation.load(Ordering::SeqCst))
     }
 
     /// Per-shard stats block (for folding query-path kernel counters).
@@ -295,22 +355,25 @@ impl HullService {
         match shard {
             Some(id) => {
                 let sh = self.shard(id)?;
-                let snap = Arc::clone(&sh.snap.read().unwrap());
+                let snap = load_snap(&sh.snap);
                 Ok(sh.stats.json(id as usize, &snap, sh.queue.len()))
             }
             None => {
                 let mut total_applied = 0u64;
                 let mut total_facets = 0usize;
+                let mut total_recoveries = 0u64;
                 let mut parts = Vec::with_capacity(self.shards.len());
                 for (i, sh) in self.shards.iter().enumerate() {
-                    let snap = Arc::clone(&sh.snap.read().unwrap());
+                    let snap = load_snap(&sh.snap);
                     total_applied += snap.applied;
                     total_facets += snap.num_facets();
+                    total_recoveries += sh.stats.recoveries.load(Ordering::Relaxed);
                     parts.push(sh.stats.json(i, &snap, sh.queue.len()));
                 }
                 Ok(format!(
                     "{{\"dim\":{},\"shards\":{},\"applied_total\":{total_applied},\
-                     \"hull_facets_total\":{total_facets},\"per_shard\":[{}]}}",
+                     \"hull_facets_total\":{total_facets},\
+                     \"recoveries_total\":{total_recoveries},\"per_shard\":[{}]}}",
                     self.config.dim,
                     self.shards.len(),
                     parts.join(",")
@@ -326,8 +389,14 @@ impl HullService {
             sh.queue.close();
         }
         for sh in &self.shards {
-            if let Some(h) = sh.worker.lock().unwrap().take() {
-                h.join().expect("shard worker panicked");
+            let handle = match sh.worker.lock() {
+                Ok(mut g) => g.take(),
+                Err(poisoned) => poisoned.into_inner().take(),
+            };
+            if let Some(h) = handle {
+                // The supervisor catches every worker panic, so an
+                // unwinding join is a bug in the supervisor itself.
+                h.join().expect("invariant: shard supervisor never unwinds");
             }
         }
     }
@@ -339,44 +408,116 @@ impl Drop for HullService {
     }
 }
 
-/// The per-shard ingest loop: block for a batch, apply it, republish.
-fn shard_worker(
+/// Everything a shard's supervisor thread shares with the service.
+struct ShardCtx {
     dim: usize,
     max_batch: usize,
-    queue: &BoundedQueue<Ingest>,
-    snap: &RwLock<Arc<HullSnapshot>>,
-    stats: &ShardStats,
+    queue: Arc<BoundedQueue<Ingest>>,
+    snap: Arc<RwLock<Arc<HullSnapshot>>>,
+    stats: Arc<ShardStats>,
+    generation: Arc<AtomicU32>,
+    degraded: Arc<AtomicBool>,
+}
+
+/// The shard's OS thread: run the drain loop under `catch_unwind`; on a
+/// worker panic, rebuild from the journal and re-enter the loop. Never
+/// unwinds itself. (`core` arrives pre-built: WAL cold-start replay runs
+/// synchronously in [`HullService::new`].)
+fn shard_supervisor(ctx: &ShardCtx, mut core: HullBuilder, mut journal: Journal, mut epoch: u64) {
+    // Inserts already counted into `batched_inserts` (so recovery can
+    // account for a crashed batch exactly once).
+    let mut recorded = core.applied();
+    loop {
+        let run = catch_unwind(AssertUnwindSafe(|| {
+            drain_loop(ctx, &mut core, &mut journal, &mut epoch, &mut recorded)
+        }));
+        match run {
+            // Queue closed and drained: clean exit.
+            Ok(()) => return,
+            Err(_) => {
+                // The worker died mid-batch. Every popped insert is in
+                // the journal (journal-before-apply), so replaying it
+                // rebuilds the exact hull the dead worker was building.
+                ctx.degraded.store(true, Ordering::SeqCst);
+                let generation = ctx.generation.fetch_add(1, Ordering::SeqCst) + 1;
+                let t0 = Instant::now();
+                core = HullBuilder::replay(ctx.dim, journal.entries().iter().map(|p| p.as_slice()));
+                epoch += 1;
+                store_snap(&ctx.snap, snapshot_of(&core, epoch));
+                let missing = core.applied().saturating_sub(recorded);
+                if missing > 0 {
+                    ctx.stats.record_batch(missing);
+                    recorded = core.applied();
+                }
+                ctx.stats
+                    .record_recovery(t0.elapsed().as_micros() as u64, generation as u64);
+                ctx.degraded.store(false, Ordering::SeqCst);
+            }
+        }
+    }
+}
+
+/// The per-shard ingest loop: block for a batch, journal it, apply it,
+/// republish. May panic (failpoints, or a real bug) — the supervisor one
+/// frame up recovers.
+fn drain_loop(
+    ctx: &ShardCtx,
+    core: &mut HullBuilder,
+    journal: &mut Journal,
+    epoch: &mut u64,
+    recorded: &mut u64,
 ) {
-    let mut core = ShardCore::new(dim);
-    let mut epoch = 0u64;
-    let mut batch: Vec<Ingest> = Vec::with_capacity(max_batch);
+    let mut batch: Vec<Ingest> = Vec::with_capacity(ctx.max_batch);
     loop {
         batch.clear();
-        if queue.pop_batch(max_batch, &mut batch) == 0 {
+        if ctx.queue.pop_batch(ctx.max_batch, &mut batch) == 0 {
             // Closed and drained.
             return;
         }
-        let mut inserted = 0u64;
+        let mut points: Vec<Vec<i64>> = Vec::new();
         let mut flushes: Vec<mpsc::Sender<u64>> = Vec::new();
         for item in batch.drain(..) {
             match item {
-                Ingest::Insert(p) => {
-                    core.insert(p);
-                    inserted += 1;
-                }
+                Ingest::Insert(p) => points.push(p),
                 Ingest::Flush(tx) => flushes.push(tx),
             }
         }
+        // Journal-before-apply: the whole batch becomes replayable before
+        // any of it touches the hull, so a panic below loses nothing. A
+        // WAL write error is tolerated (counted), because the in-memory
+        // journal stays authoritative for in-process recovery.
+        for p in &points {
+            if journal.append(p).is_err() {
+                ctx.stats.wal_errors.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        if journal.sync().is_err() {
+            ctx.stats.wal_errors.fetch_add(1, Ordering::Relaxed);
+        }
+        ctx.stats
+            .journal_len
+            .store(journal.len() as u64, Ordering::Relaxed);
+        let mut inserted = 0u64;
+        for p in &points {
+            // Failpoint `shard.apply.insert`: may panic (worker death
+            // between journal and hull) or stall.
+            let _ = failpoint::eval(sites::SHARD_APPLY);
+            core.push(p);
+            inserted += 1;
+        }
         if inserted > 0 {
-            epoch += 1;
-            stats.record_batch(inserted);
-            let published = Arc::new(core.snapshot(epoch));
-            // Short critical section: swap one Arc.
-            *snap.write().unwrap() = published;
+            // Failpoint `shard.drain.before_publish`: the batch is fully
+            // applied but the snapshot swap has not happened — the worst
+            // spot to die (recovery must republish it from the journal).
+            let _ = failpoint::eval(sites::SHARD_BEFORE_PUBLISH);
+            *epoch += 1;
+            ctx.stats.record_batch(inserted);
+            *recorded += inserted;
+            store_snap(&ctx.snap, snapshot_of(core, *epoch));
         }
         for tx in flushes {
             // Receiver may have given up (client disconnect) — fine.
-            let _ = tx.send(epoch);
+            let _ = tx.send(*epoch);
         }
     }
 }
@@ -384,6 +525,7 @@ fn shard_worker(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use chull_concurrent::failpoint::{FaultPlan, SiteSpec};
     use chull_core::context::prepare_points;
     use chull_core::seq::incremental_hull_run;
     use chull_geometry::{generators, KernelCounts, PointSet};
@@ -394,6 +536,18 @@ mod tests {
             shards,
             queue_capacity: 64,
             max_batch: 16,
+            wal_dir: None,
+        }
+    }
+
+    fn insert_all(svc: &HullService, shard: u16, pts: &chull_geometry::PointSet) {
+        for p in pts.iter() {
+            loop {
+                match svc.try_insert(shard, p.to_vec()).unwrap() {
+                    InsertOutcome::Queued => break,
+                    InsertOutcome::Overloaded => std::thread::yield_now(),
+                }
+            }
         }
     }
 
@@ -403,15 +557,8 @@ mod tests {
             &PointSet::from_points2(&generators::disk_2d(300, 1 << 20, 11)),
             12,
         );
-        let svc = HullService::new(cfg(2, 1));
-        for p in pts.iter() {
-            loop {
-                match svc.try_insert(0, p.to_vec()).unwrap() {
-                    InsertOutcome::Queued => break,
-                    InsertOutcome::Overloaded => std::thread::yield_now(),
-                }
-            }
-        }
+        let svc = HullService::new(cfg(2, 1)).unwrap();
+        insert_all(&svc, 0, &pts);
         svc.flush(0).unwrap();
         let snap = svc.snapshot(0).unwrap();
         assert!(snap.ready());
@@ -446,7 +593,7 @@ mod tests {
 
     #[test]
     fn shards_are_independent() {
-        let svc = HullService::new(cfg(2, 2));
+        let svc = HullService::new(cfg(2, 2)).unwrap();
         for p in [[0, 0], [8, 0], [0, 8], [8, 8]] {
             svc.try_insert(0, p.to_vec()).unwrap();
         }
@@ -466,7 +613,7 @@ mod tests {
 
     #[test]
     fn bootstrap_buffers_degenerate_prefix() {
-        let svc = HullService::new(cfg(2, 1));
+        let svc = HullService::new(cfg(2, 1)).unwrap();
         // Collinear prefix: stays in bootstrap.
         for p in [[0, 0], [1, 1], [2, 2], [3, 3]] {
             svc.try_insert(0, p.to_vec()).unwrap();
@@ -487,7 +634,7 @@ mod tests {
 
     #[test]
     fn rejects_bad_input() {
-        let svc = HullService::new(cfg(2, 1));
+        let svc = HullService::new(cfg(2, 1)).unwrap();
         assert!(matches!(
             svc.try_insert(5, vec![0, 0]),
             Err(ServiceError::BadShard(5))
@@ -500,6 +647,8 @@ mod tests {
             svc.try_insert(0, vec![i64::MAX, 0]),
             Err(ServiceError::BadPoint(_))
         ));
+        assert!(HullService::new(cfg(1, 1)).is_err());
+        assert!(HullService::new(cfg(2, 0)).is_err());
     }
 
     #[test]
@@ -509,19 +658,14 @@ mod tests {
             shards: 1,
             queue_capacity: 512,
             max_batch: 64,
-        });
+            wal_dir: None,
+        })
+        .unwrap();
         let pts = prepare_points(
             &PointSet::from_points2(&generators::disk_2d(200, 1 << 16, 3)),
             4,
         );
-        for p in pts.iter() {
-            loop {
-                match svc.try_insert(0, p.to_vec()).unwrap() {
-                    InsertOutcome::Queued => break,
-                    InsertOutcome::Overloaded => std::thread::yield_now(),
-                }
-            }
-        }
+        insert_all(&svc, 0, &pts);
         let e1 = svc.flush(0).unwrap();
         assert!(e1 >= 1);
         let snap = svc.snapshot(0).unwrap();
@@ -532,7 +676,101 @@ mod tests {
         assert_eq!(e2, e1);
         let stats = svc.stats_json(Some(0)).unwrap();
         assert!(stats.contains("\"batched_inserts\":200"), "{stats}");
+        assert!(stats.contains("\"journal_len\":200"), "{stats}");
         let agg = svc.stats_json(None).unwrap();
         assert!(agg.contains("\"applied_total\":200"), "{agg}");
+    }
+
+    #[test]
+    fn worker_panic_recovers_bit_identical_hull() {
+        let pts = prepare_points(
+            &PointSet::from_points2(&generators::disk_2d(250, 1 << 18, 21)),
+            22,
+        );
+        let offline = incremental_hull_run(&pts);
+        // The failpoint registry is process-global and other tests insert
+        // points concurrently, so an injected panic may land on another
+        // (equally recoverable) shard. Re-arm until *this* shard has died
+        // at least once; each round replays the same workload into a
+        // fresh service.
+        let mut recovered = false;
+        for round in 0..20 {
+            let svc = HullService::new(cfg(2, 1)).unwrap();
+            failpoint::arm(
+                FaultPlan::new(0x5EED_0000 + round)
+                    .site(
+                        sites::SHARD_APPLY,
+                        SiteSpec {
+                            panic_every: 97,
+                            max_fires: 2,
+                            ..SiteSpec::default()
+                        },
+                    )
+                    .site(
+                        sites::SHARD_BEFORE_PUBLISH,
+                        SiteSpec {
+                            panic_every: 11,
+                            max_fires: 1,
+                            ..SiteSpec::default()
+                        },
+                    ),
+            );
+            insert_all(&svc, 0, &pts);
+            let flushed = svc.flush(0).unwrap();
+            failpoint::disarm();
+            let snap = svc.snapshot(0).unwrap();
+            assert_eq!(snap.applied, 250, "acked inserts survive the crash");
+            assert!(snap.epoch <= flushed || flushed > 0);
+            let served = canonical_coords(&snap.flat_points(), &snap.output(), 2);
+            let expect = canonical_coords(pts.flat(), &offline.output, 2);
+            assert_eq!(served, expect, "recovered hull differs from offline");
+            let stats = svc.stats_json(Some(0)).unwrap();
+            assert!(stats.contains("\"batched_inserts\":250"), "{stats}");
+            let hit = svc.stats_for(0).unwrap().recoveries.load(Ordering::Relaxed) >= 1;
+            assert_eq!(svc.generation(0).unwrap() >= 1, hit);
+            svc.shutdown();
+            if hit {
+                recovered = true;
+                break;
+            }
+        }
+        assert!(recovered, "no injected panic landed on the test shard");
+    }
+
+    #[test]
+    fn wal_restart_replays_previous_run() {
+        let dir = std::env::temp_dir().join(format!(
+            "chull-shard-wal-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut config = cfg(2, 2);
+        config.wal_dir = Some(dir.clone());
+        {
+            let svc = HullService::new(config.clone()).unwrap();
+            for p in [[0, 0], [10, 0], [0, 10], [10, 10]] {
+                svc.try_insert(0, p.to_vec()).unwrap();
+            }
+            svc.try_insert(1, vec![7, 7]).unwrap();
+            svc.flush(0).unwrap();
+            svc.flush(1).unwrap();
+            svc.shutdown();
+        }
+        // "Restart": a fresh service over the same WAL directory serves
+        // the previous run's points before any new insert arrives.
+        let svc = HullService::new(config).unwrap();
+        let snap = svc.snapshot(0).unwrap();
+        assert_eq!(snap.num_points(), 4);
+        assert!(snap.ready());
+        let mut k = KernelCounts::default();
+        assert_eq!(snap.contains(&[5, 5], &mut k), Some(true));
+        assert_eq!(svc.snapshot(1).unwrap().num_points(), 1);
+        // New inserts append to the recovered state.
+        svc.try_insert(0, vec![20, 5]).unwrap();
+        svc.flush(0).unwrap();
+        assert_eq!(svc.snapshot(0).unwrap().num_points(), 5);
+        svc.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

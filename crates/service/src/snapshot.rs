@@ -43,7 +43,7 @@ pub struct HullSnapshot {
 
 impl HullSnapshot {
     /// The empty snapshot a shard publishes before any point arrives.
-    pub(crate) fn empty(dim: usize) -> HullSnapshot {
+    pub fn empty(dim: usize) -> HullSnapshot {
         HullSnapshot {
             epoch: 0,
             applied: 0,

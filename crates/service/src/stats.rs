@@ -72,6 +72,22 @@ pub struct ShardStats {
     /// Staged-kernel counters from the read path (history descents run by
     /// `Contains`/`Visible` against published snapshots).
     pub query_kernel: AtomicKernel,
+    /// Worker deaths recovered by the shard supervisor.
+    pub recoveries: AtomicU64,
+    /// Duration of the most recent recovery (journal replay + republish),
+    /// in microseconds.
+    pub recovery_us_last: AtomicU64,
+    /// Total time spent recovering, in microseconds (equals the shard's
+    /// cumulative degraded-read window).
+    pub recovery_us_total: AtomicU64,
+    /// Shard recovery generation (mirrors the supervisor's counter; 0
+    /// until the first worker death).
+    pub generation: AtomicU64,
+    /// Inserts durably journaled (gauge, updated per batch).
+    pub journal_len: AtomicU64,
+    /// WAL write/flush failures tolerated (the in-memory journal remains
+    /// authoritative for in-process recovery).
+    pub wal_errors: AtomicU64,
 }
 
 impl ShardStats {
@@ -80,6 +96,14 @@ impl ShardStats {
         self.batches_applied.fetch_add(1, Ordering::Relaxed);
         self.batched_inserts.fetch_add(n, Ordering::Relaxed);
         self.max_batch.fetch_max(n, Ordering::Relaxed);
+    }
+
+    /// Record one completed recovery that took `us` microseconds.
+    pub fn record_recovery(&self, us: u64, generation: u64) {
+        self.recoveries.fetch_add(1, Ordering::Relaxed);
+        self.recovery_us_last.store(us, Ordering::Relaxed);
+        self.recovery_us_total.fetch_add(us, Ordering::Relaxed);
+        self.generation.store(generation, Ordering::Relaxed);
     }
 
     /// One shard's counters as a JSON object, joined with the snapshot
@@ -93,6 +117,8 @@ impl ShardStats {
              \"queries_contains\":{},\"queries_visible\":{},\"queries_extreme\":{},\
              \"snapshots\":{},\"flushes\":{},\
              \"batches_applied\":{},\"batched_inserts\":{},\"max_batch\":{},\
+             \"recoveries\":{},\"recovery_us_last\":{},\"recovery_us_total\":{},\
+             \"generation\":{},\"journal_len\":{},\"wal_errors\":{},\
              \"ingest_kernel\":{},\"query_kernel\":{}}}",
             snap.epoch,
             snap.applied,
@@ -109,6 +135,12 @@ impl ShardStats {
             self.batches_applied.load(Ordering::Relaxed),
             self.batched_inserts.load(Ordering::Relaxed),
             self.max_batch.load(Ordering::Relaxed),
+            self.recoveries.load(Ordering::Relaxed),
+            self.recovery_us_last.load(Ordering::Relaxed),
+            self.recovery_us_total.load(Ordering::Relaxed),
+            self.generation.load(Ordering::Relaxed),
+            self.journal_len.load(Ordering::Relaxed),
+            self.wal_errors.load(Ordering::Relaxed),
             kernel_json(&ingest),
             kernel_json(&self.query_kernel.load()),
         )
@@ -148,6 +180,7 @@ mod tests {
         let s = ShardStats::default();
         s.record_batch(4);
         s.record_batch(9);
+        s.record_recovery(250, 1);
         let j = s.json(2, &HullSnapshot::empty(3), 5);
         for key in [
             "\"shard\":2",
@@ -155,6 +188,10 @@ mod tests {
             "\"batches_applied\":2",
             "\"batched_inserts\":13",
             "\"max_batch\":9",
+            "\"recoveries\":1",
+            "\"recovery_us_last\":250",
+            "\"generation\":1",
+            "\"wal_errors\":0",
             "\"ready\":false",
             "\"ingest_kernel\":{\"tests\":0",
             "\"query_kernel\":{\"tests\":0",

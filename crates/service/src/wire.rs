@@ -20,8 +20,17 @@
 //! | `0x08` | `Shutdown` | empty (server begins graceful shutdown)         |
 //!
 //! Non-Ok statuses: `Overloaded` (ingest queue full — retry), `NotReady`
-//! (shard still bootstrapping its seed simplex), `Error` (+ utf-8 text).
+//! (shard still bootstrapping its seed simplex), `Error` (+ utf-8 text),
+//! and `Degraded` (`u32` recovery generation + a complete nested
+//! response): the shard's worker died and is replaying its journal, and
+//! the enclosed answer was served from the last good snapshot.
+//!
+//! **No decode path panics.** Every malformed byte sequence yields a
+//! typed [`WireError`]; the only panics left in this module are
+//! invariant violations on the *encode* side (a response we built
+//! ourselves exceeding [`MAX_FRAME`] is a bug, not input).
 
+use chull_concurrent::failpoint::{self, sites, FaultAction};
 use std::io::{self, Read, Write};
 
 /// Hard cap on one frame's payload (16 MiB — a full snapshot of a large
@@ -44,6 +53,67 @@ const ST_OK: u8 = 0x00;
 const ST_OVERLOADED: u8 = 0x01;
 const ST_NOT_READY: u8 = 0x02;
 const ST_ERROR: u8 = 0x03;
+const ST_DEGRADED: u8 = 0x04;
+
+/// Why a frame payload failed to decode. Typed so callers can reply
+/// with a precise error status (and tests can assert on the cause)
+/// instead of fishing through strings.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The payload ended before a field: needed `need` bytes at
+    /// `offset`, only `have` remained.
+    Truncated {
+        /// Bytes the next field needed.
+        need: usize,
+        /// Offset the read started at.
+        offset: usize,
+        /// Bytes actually remaining.
+        have: usize,
+    },
+    /// Bytes left over after a complete message.
+    Trailing(usize),
+    /// Point/direction/snapshot dimension outside `2..=MAX_DIM`.
+    BadDim(usize),
+    /// Unknown request opcode.
+    BadOpcode(u8),
+    /// Unknown response status byte.
+    BadStatus(u8),
+    /// Unknown Ok-body tag.
+    BadTag(u8),
+    /// A declared length would exceed the frame cap.
+    Oversized(usize),
+    /// Text field was not valid UTF-8.
+    BadUtf8(&'static str),
+    /// A `Degraded` response nested inside another `Degraded`.
+    NestedDegraded,
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated { need, offset, have } => write!(
+                f,
+                "truncated frame: need {need} bytes at offset {offset}, have {have}"
+            ),
+            WireError::Trailing(n) => write!(f, "{n} trailing bytes after message"),
+            WireError::BadDim(d) => write!(f, "dimension {d} out of range"),
+            WireError::BadOpcode(op) => write!(f, "unknown opcode {op:#04x}"),
+            WireError::BadStatus(st) => write!(f, "unknown status byte {st:#04x}"),
+            WireError::BadTag(t) => write!(f, "unknown Ok-body tag {t:#04x}"),
+            WireError::Oversized(n) => write!(f, "declared length {n} exceeds frame cap"),
+            WireError::BadUtf8(what) => write!(f, "{what} not utf-8"),
+            WireError::NestedDegraded => write!(f, "Degraded response nested in Degraded"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<WireError> for io::Error {
+    fn from(e: WireError) -> io::Error {
+        io::Error::new(io::ErrorKind::InvalidData, e)
+    }
+}
 
 /// A decoded client request.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -135,6 +205,14 @@ pub enum Response {
     Overloaded,
     /// Shard has fewer than `d + 1` affinely independent points.
     NotReady,
+    /// The shard's worker is recovering (generation counts recoveries);
+    /// the nested response was served from the last good snapshot.
+    Degraded {
+        /// Shard recovery generation (how many workers have died).
+        generation: u32,
+        /// The answer, served from the last published snapshot.
+        inner: Box<Response>,
+    },
     /// Request failed.
     Error(String),
 }
@@ -156,7 +234,9 @@ fn put_point(out: &mut Vec<u8>, p: &[i64]) {
 }
 
 /// Byte-slice cursor for decoding; every read is bounds-checked so a
-/// malformed frame yields an error, never a panic.
+/// malformed frame yields a [`WireError`], never a panic (no `unwrap`
+/// anywhere on this path — fixed-size reads build their arrays by
+/// index, which the preceding bounds check makes infallible).
 struct Cursor<'a> {
     buf: &'a [u8],
     at: usize,
@@ -166,46 +246,56 @@ impl<'a> Cursor<'a> {
     fn new(buf: &'a [u8]) -> Cursor<'a> {
         Cursor { buf, at: 0 }
     }
-    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
         if self.at + n > self.buf.len() {
-            return Err(format!(
-                "truncated frame: need {n} bytes at offset {}, have {}",
-                self.at,
-                self.buf.len() - self.at
-            ));
+            return Err(WireError::Truncated {
+                need: n,
+                offset: self.at,
+                have: self.buf.len() - self.at,
+            });
         }
         let s = &self.buf[self.at..self.at + n];
         self.at += n;
         Ok(s)
     }
-    fn u8(&mut self) -> Result<u8, String> {
+    fn u8(&mut self) -> Result<u8, WireError> {
         Ok(self.take(1)?[0])
     }
-    fn u16(&mut self) -> Result<u16, String> {
-        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    fn u16(&mut self) -> Result<u16, WireError> {
+        let s = self.take(2)?;
+        Ok(u16::from_le_bytes([s[0], s[1]]))
     }
-    fn u32(&mut self) -> Result<u32, String> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    fn u32(&mut self) -> Result<u32, WireError> {
+        let s = self.take(4)?;
+        Ok(u32::from_le_bytes([s[0], s[1], s[2], s[3]]))
     }
-    fn u64(&mut self) -> Result<u64, String> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    fn u64(&mut self) -> Result<u64, WireError> {
+        let s = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            s[0], s[1], s[2], s[3], s[4], s[5], s[6], s[7],
+        ]))
     }
-    fn i64(&mut self) -> Result<i64, String> {
-        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    fn i64(&mut self) -> Result<i64, WireError> {
+        Ok(self.u64()? as i64)
     }
-    fn point(&mut self) -> Result<Vec<i64>, String> {
+    fn point(&mut self) -> Result<Vec<i64>, WireError> {
         let d = self.u8()? as usize;
         if !(2..=chull_core::facet::MAX_DIM).contains(&d) {
-            return Err(format!("point dimension {d} out of range"));
+            return Err(WireError::BadDim(d));
         }
         (0..d).map(|_| self.i64()).collect()
     }
-    fn done(&self) -> Result<(), String> {
+    /// A declared element count must fit in the remaining payload, so a
+    /// forged header cannot make us reserve gigabytes.
+    fn checked_count(&self, n: usize, elem_bytes: usize) -> Result<usize, WireError> {
+        if n.saturating_mul(elem_bytes) > self.buf.len() - self.at {
+            return Err(WireError::Oversized(n * elem_bytes));
+        }
+        Ok(n)
+    }
+    fn done(&self) -> Result<(), WireError> {
         if self.at != self.buf.len() {
-            return Err(format!(
-                "{} trailing bytes after message",
-                self.buf.len() - self.at
-            ));
+            return Err(WireError::Trailing(self.buf.len() - self.at));
         }
         Ok(())
     }
@@ -257,7 +347,7 @@ impl Request {
     }
 
     /// Parse a frame payload.
-    pub fn decode(buf: &[u8]) -> Result<Request, String> {
+    pub fn decode(buf: &[u8]) -> Result<Request, WireError> {
         let mut c = Cursor::new(buf);
         let op = c.u8()?;
         let shard = c.u16()?;
@@ -282,7 +372,7 @@ impl Request {
             OP_SNAPSHOT => Request::Snapshot { shard },
             OP_FLUSH => Request::Flush { shard },
             OP_SHUTDOWN => Request::Shutdown,
-            other => return Err(format!("unknown opcode {other:#04x}")),
+            other => return Err(WireError::BadOpcode(other)),
         };
         c.done()?;
         Ok(req)
@@ -350,6 +440,17 @@ impl Response {
             }
             Response::Overloaded => out.push(ST_OVERLOADED),
             Response::NotReady => out.push(ST_NOT_READY),
+            Response::Degraded { generation, inner } => {
+                // Invariant: a Degraded wrapper is applied at most once
+                // (the dispatch layer never wraps a wrapped response).
+                assert!(
+                    !matches!(**inner, Response::Degraded { .. }),
+                    "invariant: Degraded responses never nest"
+                );
+                out.push(ST_DEGRADED);
+                put_u32(&mut out, *generation);
+                out.extend_from_slice(&inner.encode());
+            }
             Response::Error(msg) => {
                 out.push(ST_ERROR);
                 let bytes = msg.as_bytes();
@@ -361,15 +462,34 @@ impl Response {
     }
 
     /// Parse a frame payload.
-    pub fn decode(buf: &[u8]) -> Result<Response, String> {
-        let mut c = Cursor::new(buf);
+    pub fn decode(buf: &[u8]) -> Result<Response, WireError> {
+        let resp = Self::decode_at(&mut Cursor::new(buf), true)?;
+        Ok(resp)
+    }
+
+    fn decode_at(c: &mut Cursor<'_>, allow_degraded: bool) -> Result<Response, WireError> {
         let resp = match c.u8()? {
             ST_OVERLOADED => Response::Overloaded,
             ST_NOT_READY => Response::NotReady,
+            ST_DEGRADED => {
+                if !allow_degraded {
+                    return Err(WireError::NestedDegraded);
+                }
+                let generation = c.u32()?;
+                let inner = Self::decode_at(c, false)?;
+                return finish(
+                    c,
+                    Response::Degraded {
+                        generation,
+                        inner: Box::new(inner),
+                    },
+                );
+            }
             ST_ERROR => {
                 let n = c.u32()? as usize;
+                let n = c.checked_count(n, 1)?;
                 let msg = String::from_utf8(c.take(n)?.to_vec())
-                    .map_err(|_| "error message not utf-8".to_string())?;
+                    .map_err(|_| WireError::BadUtf8("error message"))?;
                 Response::Error(msg)
             }
             ST_OK => match c.u8()? {
@@ -385,22 +505,25 @@ impl Response {
                 }
                 OP_STATS => {
                     let n = c.u32()? as usize;
+                    let n = c.checked_count(n, 1)?;
                     let json = String::from_utf8(c.take(n)?.to_vec())
-                        .map_err(|_| "stats not utf-8".to_string())?;
+                        .map_err(|_| WireError::BadUtf8("stats"))?;
                     Response::Stats(json)
                 }
                 OP_SNAPSHOT => {
                     let epoch = c.u64()?;
                     let dim = c.u8()? as usize;
                     if !(2..=chull_core::facet::MAX_DIM).contains(&dim) {
-                        return Err(format!("snapshot dimension {dim} out of range"));
+                        return Err(WireError::BadDim(dim));
                     }
-                    let npts = c.u32()? as usize;
+                    let declared = c.u32()? as usize;
+                    let npts = c.checked_count(declared, dim * 8)?;
                     let mut points = Vec::with_capacity(npts * dim);
                     for _ in 0..npts * dim {
                         points.push(c.i64()?);
                     }
-                    let nfacets = c.u32()? as usize;
+                    let declared = c.u32()? as usize;
+                    let nfacets = c.checked_count(declared, dim * 4)?;
                     let mut facets = Vec::with_capacity(nfacets * dim);
                     for _ in 0..nfacets * dim {
                         facets.push(c.u32()?);
@@ -414,18 +537,50 @@ impl Response {
                 }
                 OP_FLUSH => Response::Flushed { epoch: c.u64()? },
                 OP_SHUTDOWN => Response::ShuttingDown,
-                other => return Err(format!("unknown Ok-body tag {other:#04x}")),
+                other => return Err(WireError::BadTag(other)),
             },
-            other => return Err(format!("unknown status byte {other:#04x}")),
+            other => return Err(WireError::BadStatus(other)),
         };
-        c.done()?;
+        if allow_degraded {
+            // Top-level message: the payload must end here.
+            c.done()?;
+        }
         Ok(resp)
     }
 }
 
-/// Write one frame (length prefix + payload).
+/// `done()` check for the Degraded early-return arm.
+fn finish(c: &Cursor<'_>, r: Response) -> Result<Response, WireError> {
+    c.done()?;
+    Ok(r)
+}
+
+/// Write one frame (length prefix + payload). A payload over
+/// [`MAX_FRAME`] is rejected as `InvalidInput` (we built it — but a
+/// typed error beats a panic on a connection thread).
+///
+/// Failpoint `wire.write_frame`: an armed chaos schedule may truncate
+/// the frame after a prefix and abort, simulating a peer (or process)
+/// dying mid-write — the reader sees a torn frame, never a hang.
 pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> io::Result<()> {
-    assert!(payload.len() <= MAX_FRAME, "frame exceeds MAX_FRAME");
+    if payload.len() > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("frame of {} bytes exceeds MAX_FRAME", payload.len()),
+        ));
+    }
+    if let FaultAction::TruncateWrite(n) = failpoint::eval(sites::WIRE_WRITE_FRAME) {
+        let mut frame = Vec::with_capacity(4 + payload.len());
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(payload);
+        let cut = n.min(frame.len());
+        w.write_all(&frame[..cut])?;
+        let _ = w.flush();
+        return Err(io::Error::new(
+            io::ErrorKind::ConnectionAborted,
+            "failpoint 'wire.write_frame' truncated the frame",
+        ));
+    }
     w.write_all(&(payload.len() as u32).to_le_bytes())?;
     w.write_all(payload)?;
     w.flush()
@@ -518,6 +673,14 @@ mod tests {
             Response::ShuttingDown,
             Response::Overloaded,
             Response::NotReady,
+            Response::Degraded {
+                generation: 3,
+                inner: Box::new(Response::Bool(true)),
+            },
+            Response::Degraded {
+                generation: 1,
+                inner: Box::new(Response::NotReady),
+            },
             Response::Error("boom".to_string()),
         ];
         for r in resps {
@@ -536,8 +699,36 @@ mod tests {
         // Trailing garbage.
         let mut buf = Request::Shutdown.encode();
         buf.push(0);
-        assert!(Request::decode(&buf).is_err());
-        assert!(Response::decode(&[0x77]).is_err());
+        assert_eq!(Request::decode(&buf), Err(WireError::Trailing(1)));
+        assert_eq!(Response::decode(&[0x77]), Err(WireError::BadStatus(0x77)));
+    }
+
+    #[test]
+    fn degraded_cannot_nest_and_error_lengths_are_checked() {
+        // Degraded wrapping Degraded: rejected, not stack-overflowed.
+        let mut buf = vec![ST_DEGRADED];
+        buf.extend_from_slice(&1u32.to_le_bytes());
+        buf.push(ST_DEGRADED);
+        buf.extend_from_slice(&2u32.to_le_bytes());
+        buf.push(ST_NOT_READY);
+        assert_eq!(Response::decode(&buf), Err(WireError::NestedDegraded));
+        // Error text claiming more bytes than the payload holds.
+        let mut buf = vec![ST_ERROR];
+        buf.extend_from_slice(&1_000_000u32.to_le_bytes());
+        buf.extend_from_slice(b"hi");
+        assert!(matches!(
+            Response::decode(&buf),
+            Err(WireError::Oversized(_))
+        ));
+        // Snapshot claiming a gigantic point count.
+        let mut buf = vec![ST_OK, OP_SNAPSHOT];
+        buf.extend_from_slice(&7u64.to_le_bytes());
+        buf.push(2);
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            Response::decode(&buf),
+            Err(WireError::Oversized(_))
+        ));
     }
 
     #[test]
@@ -557,5 +748,10 @@ mod tests {
         buf.extend_from_slice(&(MAX_FRAME as u32 + 1).to_le_bytes());
         let mut r = &buf[..];
         assert!(read_frame(&mut r).is_err());
+        let big = vec![0u8; MAX_FRAME + 1];
+        let mut out = Vec::new();
+        let e = write_frame(&mut out, &big).unwrap_err();
+        assert_eq!(e.kind(), io::ErrorKind::InvalidInput);
+        assert!(out.is_empty(), "nothing written for an oversized frame");
     }
 }

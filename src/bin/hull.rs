@@ -12,7 +12,8 @@
 //! USAGE: hull [--dim D] [--algo seq|par|rounds|chain] [--seed S]
 //!             [--stats] [--stats-json] [FILE]
 //!        hull serve [--addr H:P] [--dim D] [--shards N] [--queue-cap C]
-//!                   [--batch B] [--oneshot] [--stats-json]
+//!                   [--batch B] [--wal DIR] [--chaos-seed S]
+//!                   [--oneshot] [--stats-json]
 //!        hull query ADDR OP [SHARD] [COORDS...]
 //!          OP: insert|contains|visible|extreme|stats|snapshot|flush|
 //!              shutdown|script      (script reads one OP line per stdin line)
@@ -60,7 +61,9 @@ fn usage() -> ! {
     eprintln!(
         "USAGE: hull [--dim D] [--algo seq|par|rounds|chain] [--seed S] [--stats] [--stats-json] [FILE]\n\
          \x20      hull serve [--addr H:P] [--dim D] [--shards N] [--queue-cap C] [--batch B]\n\
-         \x20                 [--oneshot] [--stats-json]\n\
+         \x20                 [--wal DIR] [--chaos-seed S] [--oneshot] [--stats-json]\n\
+         \x20        --wal DIR persists per-shard insert WALs under DIR (crash-safe restart);\n\
+         \x20        --chaos-seed S arms the canned fault-injection schedule (testing only)\n\
          \x20      hull query ADDR OP [SHARD] [COORDS...]\n\
          \x20        OP: insert|contains|visible|extreme SHARD C1..CD\n\
          \x20            stats [SHARD] | snapshot SHARD | flush SHARD | shutdown\n\
@@ -280,6 +283,7 @@ fn serve_main(args: &[String]) {
         ..Default::default()
     };
     let mut stats_json = false;
+    let mut chaos_seed: Option<u64> = None;
     let mut it = args.iter();
     let next = |what: &str, it: &mut std::slice::Iter<String>| -> String {
         it.next()
@@ -309,6 +313,16 @@ fn serve_main(args: &[String]) {
                     .parse()
                     .unwrap_or_else(|_| die("bad --batch value"));
             }
+            "--wal" => {
+                opts.config.wal_dir = Some(std::path::PathBuf::from(next("--wal", &mut it)));
+            }
+            "--chaos-seed" => {
+                chaos_seed = Some(
+                    next("--chaos-seed", &mut it)
+                        .parse()
+                        .unwrap_or_else(|_| die("bad --chaos-seed value")),
+                );
+            }
             "--oneshot" => opts.oneshot = true,
             "--stats-json" => stats_json = true,
             "--help" | "-h" => usage(),
@@ -320,6 +334,15 @@ fn serve_main(args: &[String]) {
     }
     if opts.config.shards == 0 || opts.config.shards > u16::MAX as usize {
         die("--shards must be in 1..=65535");
+    }
+    if let Some(seed) = chaos_seed {
+        // Fault injection for resilience testing: replayable from the
+        // seed alone. Workers will die and recover; clients see
+        // `Degraded` replies during replay windows.
+        convex_hull_suite::concurrent::failpoint::arm(
+            convex_hull_suite::concurrent::failpoint::FaultPlan::chaos(seed),
+        );
+        eprintln!("hull: chaos schedule armed (seed {seed})");
     }
     let handle = serve(opts).unwrap_or_else(|e| die(&format!("bind failed: {e}")));
     // The resolved address goes to stderr so facet/stat stdout stays clean

@@ -1,0 +1,267 @@
+//! Corrupt-frame corpus: the wire decoder and the live server must
+//! treat every malformed byte sequence as data, never as a crash.
+//!
+//! Two layers:
+//!
+//! * **decoder fuzz** — a seeded corpus of mutated frames (truncations,
+//!   flipped bytes, forged length fields, appended garbage, pure noise)
+//!   driven through `Request::decode` / `Response::decode`; every
+//!   mutant must yield `Ok` or a typed `WireError`, never a panic;
+//! * **live server** — a raw TCP peer sends garbage payloads (server
+//!   replies `Error` and keeps the connection), stalls mid-header or
+//!   mid-frame (server drops the connection within
+//!   `request_timeout`, never pinning a thread), and forges an
+//!   oversized length prefix (dropped immediately) — all while a
+//!   healthy client on another connection keeps being served.
+
+use convex_hull_suite::geometry::rng::ChaCha8Rng;
+use convex_hull_suite::service::wire::{
+    read_frame, write_frame, Request, Response, ALL_SHARDS, MAX_FRAME,
+};
+use convex_hull_suite::service::{serve, HullClient, ServeOptions, ServiceConfig};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+fn corpus() -> Vec<Vec<u8>> {
+    let reqs = [
+        Request::Insert {
+            shard: 0,
+            point: vec![3, -4],
+        },
+        Request::Contains {
+            shard: 1,
+            point: vec![1, 2, 3],
+        },
+        Request::Extreme {
+            shard: 0,
+            direction: vec![1, 0],
+        },
+        Request::Stats { shard: ALL_SHARDS },
+        Request::Snapshot { shard: 0 },
+        Request::Flush { shard: 0 },
+        Request::Shutdown,
+    ];
+    let resps = [
+        Response::Inserted,
+        Response::Bool(true),
+        Response::VisibleCount(7),
+        Response::Extreme {
+            vertex: 2,
+            coords: vec![5, 6],
+        },
+        Response::Stats("{\"requests\":3}".to_string()),
+        Response::Snapshot {
+            epoch: 4,
+            dim: 2,
+            points: vec![0, 0, 9, 0, 0, 9],
+            facets: vec![0, 1, 1, 2, 0, 2],
+        },
+        Response::Flushed { epoch: 11 },
+        Response::Overloaded,
+        Response::NotReady,
+        Response::Degraded {
+            generation: 2,
+            inner: Box::new(Response::Bool(false)),
+        },
+        Response::Error("nope".to_string()),
+    ];
+    let mut out: Vec<Vec<u8>> = reqs.iter().map(|r| r.encode()).collect();
+    out.extend(resps.iter().map(|r| r.encode()));
+    out
+}
+
+/// One seeded mutation: truncate, flip a byte, forge a 4-byte length
+/// window, append garbage, or replace with pure noise.
+fn mutate(rng: &mut ChaCha8Rng, base: &[u8]) -> Vec<u8> {
+    let mut b = base.to_vec();
+    match rng.next_u64() % 5 {
+        0 => {
+            let k = rng.next_u64() as usize % (b.len() + 1);
+            b.truncate(k);
+        }
+        1 => {
+            if !b.is_empty() {
+                let i = rng.next_u64() as usize % b.len();
+                b[i] ^= (rng.next_u64() as u8) | 1;
+            }
+        }
+        2 => {
+            if b.len() >= 4 {
+                let i = rng.next_u64() as usize % (b.len() - 3);
+                let forged = (u32::MAX - (rng.next_u64() as u32 % 1024)).to_le_bytes();
+                b[i..i + 4].copy_from_slice(&forged);
+            }
+        }
+        3 => {
+            for _ in 0..(rng.next_u64() % 9) {
+                b.push(rng.next_u64() as u8);
+            }
+        }
+        _ => {
+            let len = rng.next_u64() as usize % 64;
+            b = (0..len).map(|_| rng.next_u64() as u8).collect();
+        }
+    }
+    b
+}
+
+#[test]
+fn decode_never_panics_on_seeded_corrupt_corpus() {
+    let corpus = corpus();
+    let mut rejected = 0u64;
+    for seed in [0xF0CC_0001u64, 0xF0CC_0002, 0xF0CC_0003] {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        for round in 0..1500 {
+            let base = &corpus[rng.next_u64() as usize % corpus.len()];
+            let m = mutate(&mut rng, base);
+            let outcome = std::panic::catch_unwind(|| {
+                let a = Request::decode(&m).is_err();
+                let b = Response::decode(&m).is_err();
+                (a, b)
+            });
+            match outcome {
+                Ok((req_err, resp_err)) => {
+                    if req_err && resp_err {
+                        rejected += 1;
+                    }
+                }
+                Err(_) => panic!("decode panicked on seed {seed:#x} round {round}: {m:02x?}"),
+            }
+        }
+    }
+    // Sanity: the corpus actually exercises the error paths.
+    assert!(rejected > 1000, "only {rejected} mutants were rejected");
+}
+
+fn server(request_timeout: Duration) -> convex_hull_suite::service::ServerHandle {
+    serve(ServeOptions {
+        config: ServiceConfig {
+            dim: 2,
+            shards: 1,
+            queue_capacity: 64,
+            max_batch: 16,
+            wal_dir: None,
+        },
+        request_timeout,
+        ..Default::default()
+    })
+    .unwrap()
+}
+
+/// Assert the healthy path still works end to end on a fresh connection.
+fn assert_healthy(addr: std::net::SocketAddr) {
+    let mut c = HullClient::connect(addr).unwrap();
+    for p in [[0, 0], [10, 0], [0, 10], [10, 10]] {
+        c.insert(0, &p).unwrap();
+    }
+    c.flush(0).unwrap();
+    assert_eq!(c.contains(0, &[5, 5]).unwrap(), Some(true));
+}
+
+/// Block until the server closes `s`; returns how long it took.
+fn wait_for_close(s: &mut TcpStream) -> Duration {
+    let t0 = Instant::now();
+    s.set_read_timeout(Some(Duration::from_millis(100)))
+        .unwrap();
+    let mut buf = [0u8; 64];
+    loop {
+        match s.read(&mut buf) {
+            Ok(0) => return t0.elapsed(),
+            Ok(_) => {}
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                assert!(
+                    t0.elapsed() < Duration::from_secs(10),
+                    "server never dropped the connection"
+                );
+            }
+            Err(_) => return t0.elapsed(),
+        }
+    }
+}
+
+#[test]
+fn garbage_payload_gets_error_reply_and_connection_survives() {
+    let mut server = server(Duration::from_secs(2));
+    let addr = server.local_addr();
+    let mut s = TcpStream::connect(addr).unwrap();
+    // Complete frames whose payloads are protocol nonsense: the server
+    // must reply `Error` (typed decode failure) and keep the session.
+    for garbage in [
+        &[0xEEu8, 0xFF, 0x00, 0x13, 0x37][..],
+        &[],
+        &[0x01, 0x00],                   // Insert opcode, truncated before the point
+        &[0x02, 0x00, 0x00, 0x01, 0xAA], // Contains with dim 1
+    ] {
+        write_frame(&mut s, garbage).unwrap();
+        let payload = read_frame(&mut s).unwrap().expect("reply frame");
+        let resp = Response::decode(&payload).unwrap();
+        assert!(matches!(resp, Response::Error(_)), "{resp:?}");
+    }
+    // Same connection, now a well-formed request: still served.
+    write_frame(&mut s, &Request::Stats { shard: ALL_SHARDS }.encode()).unwrap();
+    let payload = read_frame(&mut s).unwrap().expect("stats frame");
+    assert!(matches!(
+        Response::decode(&payload).unwrap(),
+        Response::Stats(_)
+    ));
+    assert_healthy(addr);
+    server.shutdown();
+}
+
+#[test]
+fn partial_header_dropped_within_request_timeout() {
+    let timeout = Duration::from_millis(300);
+    let mut server = server(timeout);
+    let addr = server.local_addr();
+    let mut s = TcpStream::connect(addr).unwrap();
+    // Two of four header bytes, then silence: a started frame must
+    // complete within `request_timeout` or the connection is dropped.
+    s.write_all(&[7, 0]).unwrap();
+    let waited = wait_for_close(&mut s);
+    assert!(
+        waited < timeout + Duration::from_secs(5),
+        "stalled peer pinned its connection thread for {waited:?}"
+    );
+    assert_healthy(addr);
+    server.shutdown();
+}
+
+#[test]
+fn mid_frame_eof_drops_connection_cleanly() {
+    let mut server = server(Duration::from_secs(2));
+    let addr = server.local_addr();
+    let mut s = TcpStream::connect(addr).unwrap();
+    // Header promises 100 payload bytes; deliver 10, then half-close.
+    s.write_all(&100u32.to_le_bytes()).unwrap();
+    s.write_all(&[0xAB; 10]).unwrap();
+    s.shutdown(std::net::Shutdown::Write).unwrap();
+    let waited = wait_for_close(&mut s);
+    assert!(
+        waited < Duration::from_secs(5),
+        "EOF mid-frame hung: {waited:?}"
+    );
+    assert_healthy(addr);
+    server.shutdown();
+}
+
+#[test]
+fn oversized_length_prefix_drops_connection() {
+    let mut server = server(Duration::from_secs(2));
+    let addr = server.local_addr();
+    let mut s = TcpStream::connect(addr).unwrap();
+    s.write_all(&((MAX_FRAME as u32) + 1).to_le_bytes())
+        .unwrap();
+    let waited = wait_for_close(&mut s);
+    assert!(
+        waited < Duration::from_secs(5),
+        "oversized prefix not rejected promptly: {waited:?}"
+    );
+    assert_healthy(addr);
+    server.shutdown();
+}

@@ -9,7 +9,9 @@
 use convex_hull_suite::core::seq::incremental_hull_run;
 use convex_hull_suite::geometry::generators;
 use convex_hull_suite::geometry::PointSet;
-use convex_hull_suite::service::{serve, HullClient, ServeOptions, ServiceConfig, SnapshotReply};
+use convex_hull_suite::service::{
+    serve, HullClient, RetryPolicy, ServeOptions, ServiceConfig, SnapshotReply,
+};
 use std::collections::BTreeSet;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -23,6 +25,7 @@ fn opts(dim: usize, queue_capacity: usize, max_batch: usize) -> ServeOptions {
             shards: 2,
             queue_capacity,
             max_batch,
+            wal_dir: None,
         },
         ..Default::default()
     }
@@ -73,8 +76,9 @@ fn roundtrip(pts: PointSet, queue_capacity: usize, max_batch: usize) -> u64 {
             let rejections = Arc::clone(&rejections);
             s.spawn(move || {
                 let mut client = HullClient::connect(addr).unwrap();
+                let policy = RetryPolicy::default();
                 for row in rows.iter().skip(c).step_by(CLIENTS) {
-                    let r = client.insert_retry(0, row).unwrap();
+                    let r = client.insert_retry(0, row, &policy).unwrap();
                     rejections.fetch_add(r, Ordering::Relaxed);
                 }
             });
