@@ -25,6 +25,7 @@
 
 use chull_concurrent::failpoint::{self, sites, FaultPlan, SiteSpec};
 use chull_core::seq::incremental_hull_run;
+use chull_core::telemetry::engine_metrics;
 use chull_geometry::generators;
 use chull_geometry::PointSet;
 use chull_service::{serve, HullClient, RetryPolicy, ServeOptions, ServiceConfig};
@@ -47,6 +48,20 @@ struct LoadResult {
     query_p50_us: f64,
     query_p99_us: f64,
     hull_facets: usize,
+    /// Per-insert dependence-depth window for this workload, from the
+    /// `chull_insert_dep_depth{engine="online"}` histogram (0s when the
+    /// `no-obs` build disarms telemetry).
+    dep_depth_records: u64,
+    dep_depth_p50: u64,
+    dep_depth_max: u64,
+    /// `H_n`, the harmonic number of the workload size — Theorem 4.2
+    /// bounds the expected dependence depth by `O(σ·H_n)`.
+    harmonic_h_n: f64,
+}
+
+/// `H_n = Σ_{k=1..n} 1/k`.
+fn harmonic(n: usize) -> f64 {
+    (1..=n).map(|k| 1.0 / k as f64).sum()
 }
 
 fn percentile(sorted_us: &[f64], p: f64) -> f64 {
@@ -82,6 +97,10 @@ fn run_workload(
     let n = pts.len();
     let rows: Vec<Vec<i64>> = (0..n).map(|i| pts.point(i).to_vec()).collect();
     let overloaded = Arc::new(AtomicU64::new(0));
+    // Telemetry window for this workload's dependence-depth histogram
+    // (the serving path runs the online engine; workloads are serial in
+    // main, so the process-global delta is this workload's alone).
+    let depth_before = engine_metrics().online_insert_depth.snapshot();
 
     // Ingest phase: each client owns an interleaved slice of the stream.
     let t0 = Instant::now();
@@ -159,6 +178,10 @@ fn run_workload(
     });
     let query_secs = t1.elapsed().as_secs_f64();
     server.shutdown();
+    let depth = engine_metrics()
+        .online_insert_depth
+        .snapshot()
+        .delta_since(&depth_before);
 
     insert_lat_us.sort_by(|a, b| a.partial_cmp(b).unwrap());
     query_lat_us.sort_by(|a, b| a.partial_cmp(b).unwrap());
@@ -177,6 +200,10 @@ fn run_workload(
         query_p50_us: percentile(&query_lat_us, 0.50),
         query_p99_us: percentile(&query_lat_us, 0.99),
         hull_facets: snap.facets.len(),
+        dep_depth_records: depth.count,
+        dep_depth_p50: depth.quantile(0.5),
+        dep_depth_max: depth.quantile(1.0),
+        harmonic_h_n: harmonic(n),
     };
     println!(
         "{:<28} {:>8} pts  {:>10.0} ins/s (p50 {:>6.1}us p99 {:>7.1}us, {} overloaded)  {:>10.0} qry/s (p50 {:>6.1}us p99 {:>7.1}us)  {} facets",
@@ -191,6 +218,19 @@ fn run_workload(
         res.query_p99_us,
         res.hull_facets
     );
+    if res.dep_depth_records > 0 {
+        // Theorem 4.2 live: the deepest per-insert dependence chain
+        // should track H_n (≈ ln n), not n.
+        println!(
+            "{:<28} dep depth: {} records, p50 {} max {}  vs H_n = {:.1} (max/H_n = {:.2})",
+            "",
+            res.dep_depth_records,
+            res.dep_depth_p50,
+            res.dep_depth_max,
+            res.harmonic_h_n,
+            res.dep_depth_max as f64 / res.harmonic_h_n
+        );
+    }
     res
 }
 
@@ -344,7 +384,9 @@ fn write_json(path: &str, results: &[LoadResult], extra_rows: &[String]) -> std:
             "  {{\"workload\": \"{}\", \"dim\": {}, \"n_points\": {}, \"clients\": {}, \
              \"inserts_per_sec\": {:.0}, \"insert_p50_us\": {:.1}, \"insert_p99_us\": {:.1}, \
              \"overloaded\": {}, \"n_queries\": {}, \"queries_per_sec\": {:.0}, \
-             \"query_p50_us\": {:.1}, \"query_p99_us\": {:.1}, \"hull_facets\": {}}}{}\n",
+             \"query_p50_us\": {:.1}, \"query_p99_us\": {:.1}, \"hull_facets\": {}, \
+             \"dep_depth_records\": {}, \"dep_depth_p50\": {}, \"dep_depth_max\": {}, \
+             \"harmonic_h_n\": {:.2}}}{}\n",
             r.workload,
             r.dim,
             r.n_points,
@@ -358,6 +400,10 @@ fn write_json(path: &str, results: &[LoadResult], extra_rows: &[String]) -> std:
             r.query_p50_us,
             r.query_p99_us,
             r.hull_facets,
+            r.dep_depth_records,
+            r.dep_depth_p50,
+            r.dep_depth_max,
+            r.harmonic_h_n,
             if i + 1 < results.len() || !extra_rows.is_empty() {
                 ","
             } else {

@@ -19,10 +19,44 @@
 //! lock-free ring: producers and consumers batch at both ends, so the
 //! lock is held for O(1) amortized work per item and measures far from
 //! the bottleneck (the consumer does geometry between pops).
+//!
+//! When `chull_obs` is armed (i.e. inside a server process), every
+//! queue additionally reports accepted pushes, `Full` rejections and
+//! drain batch sizes into the global metric registry; disarmed cost is
+//! one relaxed load per operation.
 
 use std::collections::VecDeque;
-use std::sync::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex, OnceLock};
 use std::time::Duration;
+
+/// Registry handles shared by every queue instance (queues are
+/// per-shard; the series aggregate over all of them).
+struct QueueMetrics {
+    push: std::sync::Arc<chull_obs::Counter>,
+    full: std::sync::Arc<chull_obs::Counter>,
+    batch_items: std::sync::Arc<chull_obs::Histogram>,
+}
+
+fn metrics() -> &'static QueueMetrics {
+    static M: OnceLock<QueueMetrics> = OnceLock::new();
+    M.get_or_init(|| {
+        let r = chull_obs::registry();
+        QueueMetrics {
+            push: r.counter(
+                "chull_queue_push_total",
+                "Items accepted by BoundedQueue push/try_push across all queues.",
+            ),
+            full: r.counter(
+                "chull_queue_full_total",
+                "try_push rejections from a full queue (backpressure), including failpoint-injected spurious Full.",
+            ),
+            batch_items: r.histogram(
+                "chull_queue_pop_batch_items",
+                "Items drained per pop_batch call (ingest coalescing batch size).",
+            ),
+        }
+    })
+}
 
 /// Why a push did not enqueue.
 #[derive(Debug, PartialEq, Eq)]
@@ -91,6 +125,9 @@ impl<T> BoundedQueue<T> {
         if crate::failpoint::eval(crate::failpoint::sites::QUEUE_PUSH)
             == crate::failpoint::FaultAction::SpuriousFull
         {
+            if chull_obs::armed() {
+                metrics().full.incr();
+            }
             return Err(PushError::Full(value));
         }
         let mut g = self.inner.lock().unwrap();
@@ -98,11 +135,18 @@ impl<T> BoundedQueue<T> {
             return Err(PushError::Closed(value));
         }
         if g.items.len() >= self.capacity {
+            drop(g);
+            if chull_obs::armed() {
+                metrics().full.incr();
+            }
             return Err(PushError::Full(value));
         }
         g.items.push_back(value);
         drop(g);
         self.not_empty.notify_one();
+        if chull_obs::armed() {
+            metrics().push.incr();
+        }
         Ok(())
     }
 
@@ -118,6 +162,9 @@ impl<T> BoundedQueue<T> {
                 g.items.push_back(value);
                 drop(g);
                 self.not_empty.notify_one();
+                if chull_obs::armed() {
+                    metrics().push.incr();
+                }
                 return Ok(());
             }
             g = self.not_full.wait(g).unwrap();
@@ -157,6 +204,9 @@ impl<T> BoundedQueue<T> {
                 drop(g);
                 // Batch drain may free many slots; wake all producers.
                 self.not_full.notify_all();
+                if chull_obs::armed() {
+                    metrics().batch_items.record(take as u64);
+                }
                 return take;
             }
             if g.closed {
@@ -177,6 +227,9 @@ impl<T> BoundedQueue<T> {
                 out.extend(g.items.drain(..take));
                 drop(g);
                 self.not_full.notify_all();
+                if chull_obs::armed() {
+                    metrics().batch_items.record(take as u64);
+                }
                 return take;
             }
             if g.closed {

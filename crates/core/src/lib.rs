@@ -34,6 +34,7 @@ pub mod output;
 pub mod par;
 pub mod seq;
 pub mod stats;
+pub mod telemetry;
 pub mod verify;
 
 pub use context::prepare_points;

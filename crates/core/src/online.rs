@@ -32,6 +32,10 @@ struct OFacet {
     plane: Hyperplane,
     alive: bool,
     children: Vec<u32>,
+    /// Dependence depth: seeds are 1, a facet joining ridge `(t1, t2)`
+    /// is `1 + max(depth(t1), depth(t2))` — the online analogue of the
+    /// `depth(t)` recurrence behind Theorem 4.2's `O(log n)` whp bound.
+    depth: u32,
 }
 
 /// An incrementally-growable convex hull; see module docs.
@@ -58,6 +62,8 @@ pub struct OnlineHull {
     pub last_visited: usize,
     /// Accumulated staged-kernel counters over all locate/insert queries.
     pub kernel: KernelCounts,
+    /// Deepest facet created so far (see `OFacet::depth`).
+    dep_depth: u32,
 }
 
 impl OnlineHull {
@@ -94,6 +100,7 @@ impl OnlineHull {
             interior_hom: dim as i64 + 1,
             last_visited: 0,
             kernel: KernelCounts::default(),
+            dep_depth: 0,
         };
         for omit in 0..=dim {
             let verts: Vec<u32> = simplex
@@ -104,7 +111,7 @@ impl OnlineHull {
             let fv = facet_verts(&verts);
             let plane = hull.plane_for(&fv);
             let visible_sign = hull.visible_sign_for(&plane);
-            let id = hull.push_facet(fv, visible_sign, plane);
+            let id = hull.push_facet(fv, visible_sign, plane, 1);
             hull.seeds.push(id);
         }
         hull
@@ -119,14 +126,22 @@ impl OnlineHull {
         Hyperplane::new(self.dim, &rows[..self.dim])
     }
 
-    fn push_facet(&mut self, verts: FacetVerts, visible_sign: Sign, plane: Hyperplane) -> u32 {
+    fn push_facet(
+        &mut self,
+        verts: FacetVerts,
+        visible_sign: Sign,
+        plane: Hyperplane,
+        depth: u32,
+    ) -> u32 {
         let id = self.facets.len() as u32;
+        self.dep_depth = self.dep_depth.max(depth);
         self.facets.push(OFacet {
             verts,
             visible_sign,
             plane,
             alive: true,
             children: Vec::new(),
+            depth,
         });
         for omit in 0..self.dim {
             let r = ridge_omitting(&verts, self.dim, omit);
@@ -208,6 +223,11 @@ impl OnlineHull {
         let (visible, visited) = self.locate(coords, &mut counts);
         self.kernel.merge(&counts);
         self.last_visited = visited;
+        if chull_obs::armed() {
+            crate::telemetry::engine_metrics()
+                .online_visited_nodes
+                .record(visited as u64);
+        }
         let v = self.pts.len() as u32;
         self.pts.push(coords);
         if visible.is_empty() {
@@ -232,15 +252,32 @@ impl OnlineHull {
             self.facets[t as usize].alive = false;
             self.remove_from_adj(t);
         }
+        let mut insert_depth = 0u32;
         for (r, t1, t2) in boundary {
             let verts = join_ridge(&r, self.dim, v);
             let plane = self.plane_for(&verts);
             let visible_sign = self.visible_sign_for(&plane);
-            let id = self.push_facet(verts, visible_sign, plane);
+            let d = 1 + self.facets[t1 as usize]
+                .depth
+                .max(self.facets[t2 as usize].depth);
+            insert_depth = insert_depth.max(d);
+            let id = self.push_facet(verts, visible_sign, plane, d);
             self.facets[t1 as usize].children.push(id);
             self.facets[t2 as usize].children.push(id);
         }
+        if chull_obs::armed() {
+            crate::telemetry::engine_metrics()
+                .online_insert_depth
+                .record(insert_depth as u64);
+        }
         true
+    }
+
+    /// Deepest dependence chain over all facets ever created: the
+    /// observed `D(G(S))` this hull has realized, directly comparable
+    /// to the `σ·H_n` whp bound of Theorem 4.2. Seeds count 1.
+    pub fn dep_depth(&self) -> u64 {
+        self.dep_depth as u64
     }
 
     fn visible_sign_for(&self, plane: &Hyperplane) -> Sign {
@@ -541,6 +578,18 @@ mod tests {
     }
 
     #[test]
+    fn dep_depth_tracks_deepest_chain() {
+        let mut hull = OnlineHull::new(2, &[vec![0, 0], vec![100, 0], vec![0, 100]]);
+        assert_eq!(hull.dep_depth(), 1, "seed facets have depth 1");
+        assert!(hull.insert(&[100, 100]));
+        assert_eq!(hull.dep_depth(), 2, "children of seeds have depth 2");
+        assert!(!hull.insert(&[50, 50]));
+        assert_eq!(hull.dep_depth(), 2, "interior insert adds no depth");
+        assert!(hull.insert(&[300, 300]));
+        assert!(hull.dep_depth() >= 3, "chain through the new corner");
+    }
+
+    #[test]
     fn extreme_maximizes_direction() {
         let mut hull = OnlineHull::new(2, &[vec![0, 0], vec![10, 0], vec![0, 10]]);
         hull.insert(&[10, 10]);
@@ -604,5 +653,9 @@ mod tests {
         let mean = total_visited as f64 / (pts.len() - 3) as f64;
         let hn: f64 = (1..=pts.len()).map(|i| 1.0 / i as f64).sum();
         assert!(mean < 10.0 * hn, "mean location cost {mean} too high");
+        // Theorem 4.2 flavor: observed dependence depth stays within a
+        // small constant of H_n on random-order input.
+        let depth = hull.dep_depth() as f64;
+        assert!(depth < 10.0 * hn, "dep depth {depth} vs H_n {hn}");
     }
 }

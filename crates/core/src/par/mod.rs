@@ -140,6 +140,11 @@ impl<'a, M: RidgeMultimap<RidgeKey>> Shared<'a, M> {
         'a: 's,
     {
         self.max_depth.record(depth);
+        if chull_obs::armed() {
+            crate::telemetry::engine_metrics()
+                .par_ridge_depth
+                .record(depth);
+        }
         let (mut f1, mut f2) = (self.arena.get(t1), self.arena.get(t2));
         let (mut p1, mut p2) = (f1.facet.pivot(), f2.facet.pivot());
 

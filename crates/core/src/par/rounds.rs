@@ -191,6 +191,11 @@ pub fn rounds_hull_from(pts: &PointSet, initial: usize, record_trace: bool) -> R
         .map(|(f, _)| f.verts)
         .collect();
     stats.rounds = round as u64;
+    if chull_obs::armed() {
+        crate::telemetry::engine_metrics()
+            .rounds_total
+            .add(round as u64);
+    }
     stats.hull_facets = hull_facets.len() as u64;
     RoundsRun {
         output: HullOutput {

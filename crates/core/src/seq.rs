@@ -297,6 +297,7 @@ pub fn incremental_hull_run(pts: &PointSet) -> SeqRun {
         }
 
         // Create one new facet per boundary ridge (Lines 7-10).
+        let mut insert_depth = 0u32;
         for (r, t1, t2) in boundary {
             let verts = join_ridge(&r, dim, v);
             merge_conflicts_into(
@@ -307,6 +308,7 @@ pub fn incremental_hull_run(pts: &PointSet) -> SeqRun {
             let (facet, counts) = ctx.make_facet(verts, &candidates, v);
             stats.absorb_kernel(&counts);
             let d = 1 + depth[t1 as usize].max(depth[t2 as usize]);
+            insert_depth = insert_depth.max(d);
             register(
                 facet,
                 d,
@@ -320,6 +322,11 @@ pub fn incremental_hull_run(pts: &PointSet) -> SeqRun {
             );
             naive_depth.push(naive_level);
             parents.push([t1, t2]);
+        }
+        if chull_obs::armed() {
+            crate::telemetry::engine_metrics()
+                .seq_insert_depth
+                .record(insert_depth as u64);
         }
     }
 

@@ -1,0 +1,63 @@
+//! Engine-level metric handles: the paper-facing series.
+//!
+//! These histograms expose the quantities the paper's theorems bound —
+//! dependence depth (Theorem 4.2: `D(G(S)) = O(log n)` whp) and
+//! history-descent location cost — as live, continuously updated
+//! series instead of one-shot `HullStats` fields. Registration is
+//! lazy (first armed record); offline runs never pay more than one
+//! relaxed load per site (see `chull_obs::armed`).
+
+use chull_obs::{registry, Counter, Histogram};
+use std::sync::{Arc, OnceLock};
+
+/// Handles for the engine-side series; obtain via [`engine_metrics`].
+pub struct EngineMetrics {
+    /// Per-insert dependence depth of the online engine: the max depth
+    /// over the facets one extending insert created. Its running max
+    /// equals `OnlineHull::dep_depth`.
+    pub online_insert_depth: Arc<Histogram>,
+    /// History nodes visited per online insert (location cost; the
+    /// paper's expected `O(log n)` descent).
+    pub online_visited_nodes: Arc<Histogram>,
+    /// Per-insert dependence depth in the sequential offline engine
+    /// (Algorithm 2): the max depth over the facets one insertion
+    /// created. Its running max equals `HullStats::dep_depth`.
+    pub seq_insert_depth: Arc<Histogram>,
+    /// `ProcessRidge` recursion depth per call in the parallel engine
+    /// (Algorithm 3); its max is `HullStats::recursion_depth`.
+    pub par_ridge_depth: Arc<Histogram>,
+    /// Rounds executed by the prefix-doubling rounds engine.
+    pub rounds_total: Arc<Counter>,
+}
+
+/// The process-global engine metric handles (registered on first use).
+pub fn engine_metrics() -> &'static EngineMetrics {
+    static M: OnceLock<EngineMetrics> = OnceLock::new();
+    M.get_or_init(|| {
+        let r = registry();
+        EngineMetrics {
+            online_insert_depth: r.histogram_with(
+                "chull_insert_dep_depth",
+                &[("engine", "online")],
+                "Dependence depth added per extending insert; Theorem 4.2 bounds the max by sigma*H_n whp.",
+            ),
+            online_visited_nodes: r.histogram(
+                "chull_insert_visited_nodes",
+                "History nodes visited per online insert (expected O(log n) location cost).",
+            ),
+            seq_insert_depth: r.histogram_with(
+                "chull_insert_dep_depth",
+                &[("engine", "seq")],
+                "Dependence depth added per extending insert; Theorem 4.2 bounds the max by sigma*H_n whp.",
+            ),
+            par_ridge_depth: r.histogram(
+                "chull_process_ridge_depth",
+                "ProcessRidge recursion depth per call in the parallel engine.",
+            ),
+            rounds_total: r.counter(
+                "chull_rounds_total",
+                "Synchronous rounds executed by the rounds engine.",
+            ),
+        }
+    })
+}

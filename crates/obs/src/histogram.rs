@@ -1,0 +1,268 @@
+//! Log₂-bucketed histograms over `u64` with exact side-totals.
+//!
+//! Bucket `i` holds values whose bit length is `i`: bucket 0 is exactly
+//! `{0}`, bucket `i ≥ 1` covers `[2^(i-1), 2^i)`, and bucket 64 tops
+//! out at `u64::MAX`. 65 buckets therefore cover all of `u64` with at
+//! most 2× relative error on any quantile — ample for checking a
+//! `O(log n)` whp bound or reading tail latencies, while keeping
+//! `record` to two relaxed `fetch_add`s plus a `fetch_max`.
+//!
+//! `sum`, `count` and `max` are carried exactly (not reconstructed from
+//! buckets), so folded totals match striped-counter semantics: exact at
+//! quiescence. Snapshots are plain arrays — mergeable (bucketwise add)
+//! and diffable (bucketwise subtract) for per-workload windows.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of buckets: value 0, then one per bit length 1..=64.
+pub const BUCKETS: usize = 65;
+
+/// Bucket index for a value: `0` for 0, else the bit length of `v`
+/// (so 1 → 1, 2..=3 → 2, …, `u64::MAX` → 64).
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        64 - v.leading_zeros() as usize
+    }
+}
+
+/// Inclusive upper bound of bucket `i` (`2^i - 1`, saturating to
+/// `u64::MAX` for bucket 64).
+pub fn bucket_upper(i: usize) -> u64 {
+    match i {
+        0 => 0,
+        64.. => u64::MAX,
+        i => (1u64 << i) - 1,
+    }
+}
+
+/// A concurrent log₂ histogram. `record` is wait-free and a no-op
+/// while disarmed; `snapshot` is exact once writers have quiesced.
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    sum: AtomicU64,
+    count: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one observation (no-op while disarmed). `sum` wraps on
+    /// overflow rather than poisoning the whole series.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        if !crate::armed() {
+            return;
+        }
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of every bucket and side-total.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+            sum: self.sum.load(Ordering::Relaxed),
+            count: self.count.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A plain-data copy of a [`Histogram`]: mergeable, diffable, and
+/// queryable for quantiles.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket observation counts (see [`bucket_index`]).
+    pub buckets: [u64; BUCKETS],
+    /// Exact sum of observations (wrapping).
+    pub sum: u64,
+    /// Exact number of observations.
+    pub count: u64,
+    /// Largest observation.
+    pub max: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        HistogramSnapshot {
+            buckets: [0; BUCKETS],
+            sum: 0,
+            count: 0,
+            max: 0,
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// Fold `other` into `self` (bucketwise add; associative and
+    /// commutative, so shard-level snapshots fold in any order).
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+        self.sum = self.sum.wrapping_add(other.sum);
+        self.count += other.count;
+        self.max = self.max.max(other.max);
+    }
+
+    /// Observations recorded since `earlier` (bucketwise saturating
+    /// subtract). `max` is not diffable — the window's max is unknown
+    /// once superseded — so the later snapshot's max is kept as an
+    /// upper bound.
+    pub fn delta_since(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i].saturating_sub(earlier.buckets[i])),
+            sum: self.sum.wrapping_sub(earlier.sum),
+            count: self.count.saturating_sub(earlier.count),
+            max: self.max,
+        }
+    }
+
+    /// Quantile estimate for `q` in `[0, 1]`: the inclusive upper
+    /// bound of the bucket where the cumulative count crosses
+    /// `ceil(q · count)`, clamped to the observed [`max`]. 0 when
+    /// empty. The clamp makes `quantile(1.0)` exact.
+    ///
+    /// [`max`]: HistogramSnapshot::max
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut cum = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            cum += c;
+            if cum >= target {
+                return bucket_upper(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Mean observation (0.0 when empty). Meaningless if `sum` has
+    /// wrapped.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+#[cfg(all(test, not(feature = "noop")))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index((1 << 32) - 1), 32);
+        assert_eq!(bucket_index(1 << 32), 33);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        assert_eq!(bucket_upper(0), 0);
+        assert_eq!(bucket_upper(1), 1);
+        assert_eq!(bucket_upper(2), 3);
+        assert_eq!(bucket_upper(64), u64::MAX);
+    }
+
+    #[test]
+    fn extremes_round_trip() {
+        crate::arm();
+        let h = Histogram::new();
+        h.record(0);
+        h.record(u64::MAX);
+        let s = h.snapshot();
+        assert_eq!(s.count, 2);
+        assert_eq!(s.buckets[0], 1);
+        assert_eq!(s.buckets[64], 1);
+        assert_eq!(s.max, u64::MAX);
+        assert_eq!(s.sum, u64::MAX); // 0 + MAX, no wrap
+        assert_eq!(s.quantile(1.0), u64::MAX);
+        assert_eq!(s.quantile(0.5), 0);
+    }
+
+    #[test]
+    fn quantiles_clamped_to_max() {
+        crate::arm();
+        let h = Histogram::new();
+        for v in [5u64, 6, 7, 100] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        // p50 lands in bucket 3 (4..=7); p100 clamps to the exact max.
+        assert_eq!(s.quantile(0.5), 7);
+        assert_eq!(s.quantile(1.0), 100);
+        assert_eq!(s.max, 100);
+        assert_eq!(s.sum, 118);
+    }
+
+    #[test]
+    fn merge_is_associative_and_commutative() {
+        crate::arm();
+        let mk = |vals: &[u64]| {
+            let h = Histogram::new();
+            for &v in vals {
+                h.record(v);
+            }
+            h.snapshot()
+        };
+        let a = mk(&[0, 1, 7, 1000]);
+        let b = mk(&[u64::MAX, 3]);
+        let c = mk(&[42, 42, 42]);
+
+        let mut ab_c = a.clone();
+        ab_c.merge(&b);
+        ab_c.merge(&c);
+
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut a_bc = a.clone();
+        a_bc.merge(&bc);
+
+        assert_eq!(ab_c, a_bc);
+
+        let mut ba = b.clone();
+        ba.merge(&a);
+        let mut ab = a.clone();
+        ab.merge(&b);
+        assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn delta_since_isolates_a_window() {
+        crate::arm();
+        let h = Histogram::new();
+        h.record(10);
+        let before = h.snapshot();
+        h.record(20);
+        h.record(30);
+        let d = h.snapshot().delta_since(&before);
+        assert_eq!(d.count, 2);
+        assert_eq!(d.sum, 50);
+    }
+}

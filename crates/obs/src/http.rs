@@ -1,0 +1,181 @@
+//! A minimal plain-HTTP `GET /metrics` listener.
+//!
+//! Just enough HTTP/1.0 for `curl` and a Prometheus scraper: one
+//! accept thread, connections handled inline (scrapes are rare and
+//! cheap), `Connection: close` semantics. No external dependencies —
+//! the whole server is a `TcpListener` loop.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Work to run just before each render (e.g. refreshing point-in-time
+/// gauges such as queue depths from their owning structures).
+pub type RenderHook = Arc<dyn Fn() + Send + Sync>;
+
+/// Handle to a running metrics listener; dropping it stops the
+/// listener.
+pub struct MetricsHttpHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl MetricsHttpHandle {
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop the accept loop and join its thread. Idempotent.
+    pub fn shutdown(&mut self) {
+        if !self.stop.swap(true, Ordering::SeqCst) {
+            // Wake the blocking accept with a throwaway connection.
+            let _ = TcpStream::connect(self.addr);
+        }
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for MetricsHttpHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Bind `addr` (e.g. `"127.0.0.1:0"`) and serve `GET /metrics` with
+/// the global registry's exposition, running `pre_render` (if any)
+/// before each render.
+pub fn serve_metrics_http(
+    addr: &str,
+    pre_render: Option<RenderHook>,
+) -> io::Result<MetricsHttpHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let local = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop2 = Arc::clone(&stop);
+    let thread = std::thread::Builder::new()
+        .name("obs-http".into())
+        .spawn(move || loop {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    if stop2.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    handle_connection(stream, pre_render.as_deref());
+                }
+                Err(_) => {
+                    if stop2.load(Ordering::SeqCst) {
+                        return;
+                    }
+                }
+            }
+        })?;
+    Ok(MetricsHttpHandle {
+        addr: local,
+        stop,
+        thread: Some(thread),
+    })
+}
+
+fn handle_connection(mut stream: TcpStream, pre_render: Option<&(dyn Fn() + Send + Sync)>) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
+
+    // Read until the end of the request head (we ignore bodies).
+    let mut head = Vec::with_capacity(512);
+    let mut buf = [0u8; 512];
+    loop {
+        match stream.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => {
+                head.extend_from_slice(&buf[..n]);
+                if head.windows(4).any(|w| w == b"\r\n\r\n") || head.len() > 8192 {
+                    break;
+                }
+            }
+            Err(_) => return,
+        }
+    }
+    let request_line = match head.split(|&b| b == b'\r').next() {
+        Some(l) => String::from_utf8_lossy(l).into_owned(),
+        None => return,
+    };
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+
+    let (status, content_type, body) = if method == "GET" && (path == "/metrics" || path == "/") {
+        if let Some(hook) = pre_render {
+            hook();
+        }
+        (
+            "200 OK",
+            "text/plain; version=0.0.4; charset=utf-8",
+            crate::registry().render(),
+        )
+    } else {
+        (
+            "404 Not Found",
+            "text/plain; charset=utf-8",
+            "not found\n".to_string(),
+        )
+    };
+    let response = format!(
+        "HTTP/1.0 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    let _ = stream.write_all(response.as_bytes());
+    let _ = stream.flush();
+}
+
+#[cfg(all(test, not(feature = "noop")))]
+mod tests {
+    use super::*;
+
+    fn get(addr: SocketAddr, path: &str) -> String {
+        let mut s = TcpStream::connect(addr).unwrap();
+        write!(s, "GET {path} HTTP/1.0\r\nHost: x\r\n\r\n").unwrap();
+        let mut out = String::new();
+        s.read_to_string(&mut out).unwrap();
+        out
+    }
+
+    #[test]
+    fn serves_metrics_and_404s() {
+        crate::arm();
+        crate::registry()
+            .counter("obs_http_test_total", "test counter")
+            .add(9);
+        let mut handle = serve_metrics_http("127.0.0.1:0", None).unwrap();
+        let ok = get(handle.local_addr(), "/metrics");
+        assert!(ok.starts_with("HTTP/1.0 200"), "{ok}");
+        assert!(ok.contains("obs_http_test_total 9"), "{ok}");
+        let missing = get(handle.local_addr(), "/nope");
+        assert!(missing.starts_with("HTTP/1.0 404"), "{missing}");
+        handle.shutdown();
+    }
+
+    #[test]
+    fn pre_render_hook_runs_per_scrape() {
+        crate::arm();
+        let hits = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let h2 = Arc::clone(&hits);
+        let mut handle = serve_metrics_http(
+            "127.0.0.1:0",
+            Some(Arc::new(move || {
+                h2.fetch_add(1, Ordering::SeqCst);
+            })),
+        )
+        .unwrap();
+        get(handle.local_addr(), "/metrics");
+        get(handle.local_addr(), "/metrics");
+        assert_eq!(hits.load(Ordering::SeqCst), 2);
+        handle.shutdown();
+    }
+}

@@ -1,0 +1,331 @@
+//! The process-global metric registry and Prometheus text exposition.
+//!
+//! Registration is idempotent on `(name, labels)`: instrumentation
+//! sites call [`Registry::counter`] / [`Registry::histogram`] once at
+//! init (usually through a `OnceLock`-cached struct) and hold the
+//! returned `Arc` — the registry `Mutex` is never on a record path,
+//! only on registration and scrape.
+
+use crate::counter::{Counter, Gauge};
+use crate::histogram::{bucket_upper, Histogram};
+use std::fmt::Write as _;
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+impl Metric {
+    fn kind(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+        }
+    }
+}
+
+struct Entry {
+    name: String,
+    labels: Vec<(String, String)>,
+    help: String,
+    metric: Metric,
+}
+
+/// A name → metric table; see the module docs. Usually accessed
+/// through the process-global [`registry()`].
+pub struct Registry {
+    entries: Mutex<Vec<Entry>>,
+}
+
+fn canon(labels: &[(&str, &str)]) -> Vec<(String, String)> {
+    let mut v: Vec<(String, String)> = labels
+        .iter()
+        .map(|(k, val)| (k.to_string(), val.to_string()))
+        .collect();
+    v.sort();
+    v
+}
+
+fn escape(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+fn label_str(labels: &[(String, String)], extra: Option<(&str, &str)>) -> String {
+    if labels.is_empty() && extra.is_none() {
+        return String::new();
+    }
+    let mut parts: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape(v)))
+        .collect();
+    if let Some((k, v)) = extra {
+        parts.push(format!("{k}=\"{}\"", escape(v)));
+    }
+    format!("{{{}}}", parts.join(","))
+}
+
+impl Registry {
+    /// An empty registry (tests; production code uses [`registry()`]).
+    pub fn new() -> Registry {
+        Registry {
+            entries: Mutex::new(Vec::new()),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Vec<Entry>> {
+        match self.entries.lock() {
+            Ok(g) => g,
+            // A scrape or registration never leaves entries half-written.
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    fn get_or_insert(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        help: &str,
+        make: impl FnOnce() -> Metric,
+    ) -> Metric {
+        let labels = canon(labels);
+        let mut entries = self.lock();
+        for e in entries.iter() {
+            if e.name == name && e.labels == labels {
+                return match &e.metric {
+                    Metric::Counter(c) => Metric::Counter(Arc::clone(c)),
+                    Metric::Gauge(g) => Metric::Gauge(Arc::clone(g)),
+                    Metric::Histogram(h) => Metric::Histogram(Arc::clone(h)),
+                };
+            }
+        }
+        let metric = make();
+        if let Some(e) = entries.iter().find(|e| e.name == name) {
+            assert_eq!(
+                e.metric.kind(),
+                metric.kind(),
+                "metric family '{name}' registered with two different types"
+            );
+        }
+        let out = match &metric {
+            Metric::Counter(c) => Metric::Counter(Arc::clone(c)),
+            Metric::Gauge(g) => Metric::Gauge(Arc::clone(g)),
+            Metric::Histogram(h) => Metric::Histogram(Arc::clone(h)),
+        };
+        entries.push(Entry {
+            name: name.to_string(),
+            labels,
+            help: help.to_string(),
+            metric,
+        });
+        out
+    }
+
+    /// Get or register an unlabeled counter.
+    pub fn counter(&self, name: &str, help: &str) -> Arc<Counter> {
+        self.counter_with(name, &[], help)
+    }
+
+    /// Get or register a counter with labels. Panics if `(name,
+    /// labels)` already names a different metric type.
+    pub fn counter_with(&self, name: &str, labels: &[(&str, &str)], help: &str) -> Arc<Counter> {
+        match self.get_or_insert(name, labels, help, || {
+            Metric::Counter(Arc::new(Counter::new()))
+        }) {
+            Metric::Counter(c) => c,
+            other => panic!("'{name}' is a {}, not a counter", other.kind()),
+        }
+    }
+
+    /// Get or register an unlabeled gauge.
+    pub fn gauge(&self, name: &str, help: &str) -> Arc<Gauge> {
+        self.gauge_with(name, &[], help)
+    }
+
+    /// Get or register a gauge with labels.
+    pub fn gauge_with(&self, name: &str, labels: &[(&str, &str)], help: &str) -> Arc<Gauge> {
+        match self.get_or_insert(name, labels, help, || Metric::Gauge(Arc::new(Gauge::new()))) {
+            Metric::Gauge(g) => g,
+            other => panic!("'{name}' is a {}, not a gauge", other.kind()),
+        }
+    }
+
+    /// Get or register an unlabeled histogram.
+    pub fn histogram(&self, name: &str, help: &str) -> Arc<Histogram> {
+        self.histogram_with(name, &[], help)
+    }
+
+    /// Get or register a histogram with labels.
+    pub fn histogram_with(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        help: &str,
+    ) -> Arc<Histogram> {
+        match self.get_or_insert(name, labels, help, || {
+            Metric::Histogram(Arc::new(Histogram::new()))
+        }) {
+            Metric::Histogram(h) => h,
+            other => panic!("'{name}' is a {}, not a histogram", other.kind()),
+        }
+    }
+
+    /// Render the whole registry as Prometheus text exposition
+    /// (version 0.0.4): families sorted by name, `# HELP`/`# TYPE`
+    /// once per family, histograms as cumulative `le` buckets (powers
+    /// of two up to the highest occupied bucket, then `+Inf`) plus
+    /// `_sum`/`_count`, with the exact observed maximum as a companion
+    /// `<name>_max` gauge family.
+    pub fn render(&self) -> String {
+        let entries = self.lock();
+        let mut idx: Vec<usize> = (0..entries.len()).collect();
+        idx.sort_by(|&a, &b| {
+            (entries[a].name.as_str(), &entries[a].labels)
+                .cmp(&(entries[b].name.as_str(), &entries[b].labels))
+        });
+
+        let mut out = String::new();
+        let mut i = 0;
+        while i < idx.len() {
+            let name = entries[idx[i]].name.clone();
+            let mut j = i;
+            while j < idx.len() && entries[idx[j]].name == name {
+                j += 1;
+            }
+            let family = &idx[i..j];
+            let first = &entries[family[0]];
+            let kind = first.metric.kind();
+            let _ = writeln!(out, "# HELP {name} {}", escape(&first.help));
+            let _ = writeln!(out, "# TYPE {name} {kind}");
+            for &k in family {
+                let e = &entries[k];
+                let ls = label_str(&e.labels, None);
+                match &e.metric {
+                    Metric::Counter(c) => {
+                        let _ = writeln!(out, "{name}{ls} {}", c.get());
+                    }
+                    Metric::Gauge(g) => {
+                        let _ = writeln!(out, "{name}{ls} {}", g.get());
+                    }
+                    Metric::Histogram(h) => {
+                        let snap = h.snapshot();
+                        let top = snap.buckets.iter().rposition(|&c| c != 0).unwrap_or(0);
+                        let mut cum = 0u64;
+                        for (b, &c) in snap.buckets.iter().enumerate().take(top + 1) {
+                            cum += c;
+                            let le = bucket_upper(b).to_string();
+                            let ls = label_str(&e.labels, Some(("le", &le)));
+                            let _ = writeln!(out, "{name}_bucket{ls} {cum}");
+                        }
+                        let ls_inf = label_str(&e.labels, Some(("le", "+Inf")));
+                        let _ = writeln!(out, "{name}_bucket{ls_inf} {}", snap.count);
+                        let _ = writeln!(out, "{name}_sum{ls} {}", snap.sum);
+                        let _ = writeln!(out, "{name}_count{ls} {}", snap.count);
+                    }
+                }
+            }
+            // Exact-max companion family for histograms (Prometheus
+            // histograms cannot carry an exact max themselves).
+            if kind == "histogram" {
+                let _ = writeln!(out, "# HELP {name}_max largest observation of {name}");
+                let _ = writeln!(out, "# TYPE {name}_max gauge");
+                for &k in family {
+                    let e = &entries[k];
+                    if let Metric::Histogram(h) = &e.metric {
+                        let ls = label_str(&e.labels, None);
+                        let _ = writeln!(out, "{name}_max{ls} {}", h.snapshot().max);
+                    }
+                }
+            }
+            i = j;
+        }
+        out
+    }
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The process-global registry every instrumentation site registers
+/// into and both exposition paths (wire `Metrics` op, HTTP
+/// `/metrics`) render from.
+pub fn registry() -> &'static Registry {
+    static R: OnceLock<Registry> = OnceLock::new();
+    R.get_or_init(Registry::new)
+}
+
+#[cfg(all(test, not(feature = "noop")))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registration_is_idempotent_and_shared() {
+        crate::arm();
+        let r = Registry::new();
+        let a = r.counter("test_total", "help");
+        let b = r.counter("test_total", "help");
+        a.add(3);
+        assert_eq!(b.get(), 3);
+    }
+
+    #[test]
+    fn labeled_series_are_distinct() {
+        crate::arm();
+        let r = Registry::new();
+        let a = r.counter_with("ops_total", &[("op", "a")], "help");
+        let b = r.counter_with("ops_total", &[("op", "b")], "help");
+        a.incr();
+        assert_eq!(a.get(), 1);
+        assert_eq!(b.get(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "registered with two different types")]
+    fn kind_mismatch_panics() {
+        let r = Registry::new();
+        r.counter("mixed", "help");
+        r.gauge_with("mixed", &[("x", "1")], "help");
+    }
+
+    #[test]
+    fn render_shapes() {
+        crate::arm();
+        let r = Registry::new();
+        r.counter("z_total", "last family").incr();
+        let g = r.gauge("a_gauge", "first family");
+        g.set(-7);
+        let h = r.histogram_with("lat_us", &[("op", "q")], "latency");
+        h.record(0);
+        h.record(5);
+        let text = r.render();
+        // Families sorted by name.
+        let a = text.find("# HELP a_gauge").unwrap();
+        let l = text.find("# HELP lat_us").unwrap();
+        let z = text.find("# HELP z_total").unwrap();
+        assert!(a < l && l < z, "{text}");
+        assert!(text.contains("a_gauge -7\n"));
+        assert!(text.contains("z_total 1\n"));
+        // Cumulative buckets: value 0 → le="0" 1; value 5 → bucket 3
+        // (le="7") cumulative 2; +Inf = count.
+        assert!(
+            text.contains("lat_us_bucket{op=\"q\",le=\"0\"} 1\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("lat_us_bucket{op=\"q\",le=\"7\"} 2\n"),
+            "{text}"
+        );
+        assert!(text.contains("lat_us_bucket{op=\"q\",le=\"+Inf\"} 2\n"));
+        assert!(text.contains("lat_us_sum{op=\"q\"} 5\n"));
+        assert!(text.contains("lat_us_count{op=\"q\"} 2\n"));
+        assert!(text.contains("# TYPE lat_us_max gauge\n"));
+        assert!(text.contains("lat_us_max{op=\"q\"} 5\n"));
+    }
+}

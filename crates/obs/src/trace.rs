@@ -1,0 +1,172 @@
+//! A bounded ring-buffer event tracer with seeded sampling.
+//!
+//! Traces answer "what happened around the anomaly" where metrics only
+//! say "how often". Sites call [`trace`] with a static site name and a
+//! value (a latency, a depth, a batch size); while disarmed that is
+//! one relaxed load. When armed via [`trace_arm`], each event passes a
+//! sampling draw from a ChaCha8 stream seeded by a single `u64` — the
+//! same seed over the same event sequence keeps the same subsequence,
+//! so a trace from a failed run is replayable, exactly like
+//! `concurrent::failpoint` schedules. Kept events land in a bounded
+//! ring (oldest evicted first).
+
+use chull_geometry::rng::ChaCha8Rng;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+use std::time::Instant;
+
+/// One sampled event.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Microseconds since the tracer's first arm.
+    pub at_us: u64,
+    /// Static site name (e.g. `"shard.drain.batch"`).
+    pub site: &'static str,
+    /// Site-defined payload (latency, size, depth, …).
+    pub value: u64,
+}
+
+struct Inner {
+    ring: VecDeque<TraceEvent>,
+    rng: ChaCha8Rng,
+    capacity: usize,
+    sample_ppm: u32,
+    recorded: u64,
+    sampled_out: u64,
+    evicted: u64,
+}
+
+static TRACE_ARMED: AtomicBool = AtomicBool::new(false);
+static INNER: Mutex<Option<Inner>> = Mutex::new(None);
+
+fn lock() -> MutexGuard<'static, Option<Inner>> {
+    match INNER.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+fn epoch() -> Instant {
+    static E: OnceLock<Instant> = OnceLock::new();
+    *E.get_or_init(Instant::now)
+}
+
+/// Arm the tracer: keep each event with probability
+/// `sample_ppm / 1_000_000` (decided by a ChaCha8 stream from `seed`),
+/// in a ring of at most `capacity` events. Re-arming resets the ring
+/// and the stream.
+pub fn trace_arm(seed: u64, capacity: usize, sample_ppm: u32) {
+    let _ = epoch();
+    *lock() = Some(Inner {
+        ring: VecDeque::with_capacity(capacity.clamp(1, 1 << 20)),
+        rng: ChaCha8Rng::seed_from_u64(seed),
+        capacity: capacity.clamp(1, 1 << 20),
+        sample_ppm: sample_ppm.min(1_000_000),
+        recorded: 0,
+        sampled_out: 0,
+        evicted: 0,
+    });
+    TRACE_ARMED.store(true, Ordering::SeqCst);
+}
+
+/// Stop recording; the ring is kept for [`trace_events`] draining.
+pub fn trace_disarm() {
+    TRACE_ARMED.store(false, Ordering::SeqCst);
+}
+
+/// Record one event. One relaxed load while disarmed.
+#[inline]
+pub fn trace(site: &'static str, value: u64) {
+    if cfg!(feature = "noop") || !TRACE_ARMED.load(Ordering::Relaxed) {
+        return;
+    }
+    trace_slow(site, value);
+}
+
+#[cold]
+fn trace_slow(site: &'static str, value: u64) {
+    let mut guard = lock();
+    let Some(inner) = guard.as_mut() else { return };
+    // One draw per offered event: keep/drop is a pure function of the
+    // seed and the event's ordinal, independent of capacity.
+    let keep = inner.rng.gen_range(0u32..1_000_000) < inner.sample_ppm;
+    if !keep {
+        inner.sampled_out += 1;
+        return;
+    }
+    inner.recorded += 1;
+    if inner.ring.len() == inner.capacity {
+        inner.ring.pop_front();
+        inner.evicted += 1;
+    }
+    inner.ring.push_back(TraceEvent {
+        at_us: epoch().elapsed().as_micros() as u64,
+        site,
+        value,
+    });
+}
+
+/// The ring's current contents, oldest first.
+pub fn trace_events() -> Vec<TraceEvent> {
+    lock()
+        .as_ref()
+        .map(|i| i.ring.iter().cloned().collect())
+        .unwrap_or_default()
+}
+
+/// `(recorded, sampled_out, evicted)` totals since the last arm.
+pub fn trace_stats() -> (u64, u64, u64) {
+    lock()
+        .as_ref()
+        .map(|i| (i.recorded, i.sampled_out, i.evicted))
+        .unwrap_or((0, 0, 0))
+}
+
+#[cfg(all(test, not(feature = "noop")))]
+mod tests {
+    use super::*;
+
+    // One test function: the tracer is process-global and the harness
+    // runs tests concurrently.
+    #[test]
+    fn seeded_sampling_is_replayable_and_ring_is_bounded() {
+        // Same seed + same event sequence → identical kept subsequence.
+        let run = |seed: u64, ppm: u32| {
+            trace_arm(seed, 1024, ppm);
+            for i in 0..500u64 {
+                trace("test.site", i);
+            }
+            trace_disarm();
+            trace_events()
+                .into_iter()
+                .map(|e| e.value)
+                .collect::<Vec<_>>()
+        };
+        let a = run(42, 250_000);
+        let b = run(42, 250_000);
+        assert_eq!(a, b);
+        assert!(!a.is_empty() && a.len() < 500, "sampled {} of 500", a.len());
+        let c = run(43, 250_000);
+        assert_ne!(a, c, "different seed should sample differently");
+
+        // ppm = 1_000_000 keeps everything; capacity bounds the ring.
+        trace_arm(7, 16, 1_000_000);
+        for i in 0..100u64 {
+            trace("test.site", i);
+        }
+        trace_disarm();
+        let events = trace_events();
+        assert_eq!(events.len(), 16);
+        assert_eq!(events[0].value, 84, "oldest evicted first");
+        assert_eq!(events[15].value, 99);
+        let (recorded, sampled_out, evicted) = trace_stats();
+        assert_eq!((recorded, sampled_out, evicted), (100, 0, 84));
+
+        // ppm = 0 keeps nothing.
+        trace_arm(7, 16, 0);
+        trace("test.site", 1);
+        trace_disarm();
+        assert!(trace_events().is_empty());
+    }
+}

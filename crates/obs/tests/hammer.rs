@@ -1,0 +1,102 @@
+//! N-thread hammer tests: after every writer joins, folded totals are
+//! exact — the striped-counter contract carried over to histograms.
+
+#![cfg(not(feature = "noop"))]
+
+use chull_obs::{Counter, Histogram, HistogramSnapshot};
+use std::sync::Arc;
+
+const THREADS: u64 = 8;
+const PER_THREAD: u64 = 50_000;
+
+#[test]
+fn counter_hammer_exact_total() {
+    chull_obs::arm();
+    let c = Arc::new(Counter::new());
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let c = Arc::clone(&c);
+            std::thread::spawn(move || {
+                for i in 0..PER_THREAD {
+                    // Mix incr and add so both paths are exercised.
+                    if (t + i) % 2 == 0 {
+                        c.incr();
+                    } else {
+                        c.add(3);
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    // Per thread: PER_THREAD/2 incrs + PER_THREAD/2 adds of 3.
+    assert_eq!(c.get(), THREADS * (PER_THREAD / 2) * (1 + 3));
+}
+
+#[test]
+fn histogram_hammer_exact_totals_and_buckets() {
+    chull_obs::arm();
+    let h = Arc::new(Histogram::new());
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let h = Arc::clone(&h);
+            std::thread::spawn(move || {
+                for i in 0..PER_THREAD {
+                    // Deterministic value mix, including both extremes.
+                    let v = match i % 4 {
+                        0 => 0,
+                        1 => u64::MAX,
+                        2 => t * 1000 + i,
+                        _ => 1 << (i % 60),
+                    };
+                    h.record(v);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let snap = h.snapshot();
+    assert_eq!(snap.count, THREADS * PER_THREAD);
+    assert_eq!(snap.buckets.iter().sum::<u64>(), snap.count);
+    assert_eq!(snap.buckets[0], THREADS * PER_THREAD / 4, "zeros");
+    assert!(snap.buckets[64] >= THREADS * PER_THREAD / 4, "maxes");
+    assert_eq!(snap.max, u64::MAX);
+
+    // The exact sum must equal an independently computed (wrapping) sum.
+    let mut expect = 0u64;
+    for t in 0..THREADS {
+        for i in 0..PER_THREAD {
+            let v = match i % 4 {
+                0 => 0,
+                1 => u64::MAX,
+                2 => t * 1000 + i,
+                _ => 1 << (i % 60),
+            };
+            expect = expect.wrapping_add(v);
+        }
+    }
+    assert_eq!(snap.sum, expect);
+}
+
+#[test]
+fn snapshot_merge_matches_single_histogram() {
+    chull_obs::arm();
+    // Recording the same stream into one histogram, or into N and
+    // merging, must agree bucket-for-bucket (shard-fold soundness).
+    let whole = Histogram::new();
+    let parts: Vec<Histogram> = (0..4).map(|_| Histogram::new()).collect();
+    for i in 0..10_000u64 {
+        let v = i.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        whole.record(v);
+        parts[(i % 4) as usize].record(v);
+    }
+    let mut folded = HistogramSnapshot::default();
+    for p in &parts {
+        folded.merge(&p.snapshot());
+    }
+    assert_eq!(folded, whole.snapshot());
+}

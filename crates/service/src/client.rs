@@ -154,6 +154,7 @@ impl HullClient {
                 stream.set_nodelay(true)?;
                 self.stream = stream;
                 self.reconnects += 1;
+                crate::metrics::service_metrics().client_reconnects.incr();
                 self.exchange(req)
             }
             Err(e) => Err(e),
@@ -216,6 +217,11 @@ impl HullClient {
             let jittered = rng.gen_range(us / 2 + 1..us + 1);
             std::thread::sleep(Duration::from_micros(jittered));
             delay = (delay * 2).min(policy.cap);
+        }
+        if rejections > 0 {
+            crate::metrics::service_metrics()
+                .client_rejections
+                .add(rejections);
         }
         Ok(rejections)
     }
@@ -294,6 +300,17 @@ impl HullClient {
     pub fn flush(&mut self, shard: u16) -> io::Result<u64> {
         match self.ask(&Request::Flush { shard })? {
             Response::Flushed { epoch } => Ok(epoch),
+            Response::Error(m) => Err(server_error(m)),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// The server's telemetry registry as Prometheus text exposition —
+    /// the same text its HTTP `/metrics` listener serves, fetched in-band
+    /// over the wire protocol.
+    pub fn metrics(&mut self) -> io::Result<String> {
+        match self.ask(&Request::Metrics)? {
+            Response::Metrics(text) => Ok(text),
             Response::Error(m) => Err(server_error(m)),
             other => Err(unexpected(other)),
         }

@@ -15,10 +15,14 @@
 //!   applied through the staged exact kernel, with explicit backpressure
 //!   (`Overloaded` replies) instead of unbounded buffering;
 //! * [`wire`] — a length-prefixed binary protocol (`Insert`, `Contains`,
-//!   `Visible`, `Extreme`, `Stats`, `Snapshot`, `Flush`, `Shutdown`)
-//!   over std TCP, served by [`server::serve`] with a
+//!   `Visible`, `Extreme`, `Stats`, `Snapshot`, `Flush`, `Shutdown`,
+//!   `Metrics`) over std TCP, served by [`server::serve`] with a
 //!   thread-per-connection accept loop, graceful shutdown, and
 //!   per-request timeouts;
+//! * [`metrics`] — `chull_obs`-backed telemetry handles: per-op request
+//!   series, shard gauges, pipeline latency histograms, and kernel
+//!   counters, exposed via the wire `Metrics` op and the optional
+//!   plain-HTTP `GET /metrics` listener (`ServeOptions::metrics_addr`);
 //! * [`client::HullClient`] — the blocking client used by the `hull`
 //!   CLI, the integration tests, and the load generator in `chull-bench`.
 //!
@@ -31,6 +35,7 @@
 
 pub mod client;
 pub mod journal;
+pub mod metrics;
 pub mod server;
 pub mod shard;
 pub mod snapshot;
@@ -39,6 +44,7 @@ pub mod wire;
 
 pub use client::{HullClient, RetryPolicy, SnapshotReply};
 pub use journal::Journal;
+pub use metrics::{op_metrics, service_metrics, OpMetrics, ServiceMetrics, ShardGauges};
 pub use server::{serve, ServeOptions, ServerHandle};
 pub use shard::{HullService, InsertOutcome, ServiceConfig, ServiceError};
 pub use snapshot::HullSnapshot;

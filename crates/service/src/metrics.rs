@@ -1,0 +1,266 @@
+//! Service-level metric handles: one lazy-registered struct per layer.
+//!
+//! Naming: everything is `chull_*`; durations are microsecond
+//! histograms suffixed `_us`; monotone counts end `_total`. Per-shard
+//! levels (queue depth, journal length, dependence depth, epoch) are
+//! gauges labeled `shard="N"`, refreshed by the owning worker after
+//! each batch and by [`crate::shard::HullService::update_scrape_gauges`]
+//! at scrape time; per-op request series are labeled `op="..."`.
+
+use chull_geometry::KernelCounts;
+use chull_obs::{registry, Counter, Gauge, Histogram};
+use std::collections::HashMap;
+use std::sync::{Arc, OnceLock};
+
+/// Staged-kernel counters mirrored as Prometheus series, labeled by
+/// `path` (`ingest` for shard workers, `query` for read requests).
+pub struct KernelCounters {
+    /// `chull_kernel_visibility_tests_total`.
+    pub tests: Arc<Counter>,
+    /// `chull_kernel_filter_hits_total` (f64 filter decided the sign).
+    pub filter_hits: Arc<Counter>,
+    /// `chull_kernel_i128_fallbacks_total`.
+    pub i128_fallbacks: Arc<Counter>,
+    /// `chull_kernel_bigint_fallbacks_total`.
+    pub bigint_fallbacks: Arc<Counter>,
+}
+
+impl KernelCounters {
+    fn register(path: &'static str) -> KernelCounters {
+        let r = registry();
+        let l: &[(&str, &str)] = &[("path", path)];
+        KernelCounters {
+            tests: r.counter_with(
+                "chull_kernel_visibility_tests_total",
+                l,
+                "Staged-kernel visibility tests, by path (ingest = shard workers, query = reads).",
+            ),
+            filter_hits: r.counter_with(
+                "chull_kernel_filter_hits_total",
+                l,
+                "Visibility tests decided by the f64 semi-static filter.",
+            ),
+            i128_fallbacks: r.counter_with(
+                "chull_kernel_i128_fallbacks_total",
+                l,
+                "Visibility tests that fell back to checked i128 arithmetic.",
+            ),
+            bigint_fallbacks: r.counter_with(
+                "chull_kernel_bigint_fallbacks_total",
+                l,
+                "Visibility tests that fell back to exact BigInt arithmetic.",
+            ),
+        }
+    }
+
+    /// Fold a whole [`KernelCounts`] tally in.
+    pub fn fold(&self, c: &KernelCounts) {
+        self.tests.add(c.tests);
+        self.filter_hits.add(c.filter_hits);
+        self.i128_fallbacks.add(c.i128_fallbacks);
+        self.bigint_fallbacks.add(c.bigint_fallbacks);
+    }
+
+    /// Fold only the growth from `prev` to `now` (per-batch deltas from
+    /// a hull's cumulative tally).
+    pub fn fold_delta(&self, now: &KernelCounts, prev: &KernelCounts) {
+        self.tests.add(now.tests.saturating_sub(prev.tests));
+        self.filter_hits
+            .add(now.filter_hits.saturating_sub(prev.filter_hits));
+        self.i128_fallbacks
+            .add(now.i128_fallbacks.saturating_sub(prev.i128_fallbacks));
+        self.bigint_fallbacks
+            .add(now.bigint_fallbacks.saturating_sub(prev.bigint_fallbacks));
+    }
+}
+
+/// Process-wide service series (shared across all shards/connections).
+pub struct ServiceMetrics {
+    /// Inserts accepted into a shard queue.
+    pub inserts_enqueued: Arc<Counter>,
+    /// Inserts rejected with `Overloaded` backpressure.
+    pub overloaded: Arc<Counter>,
+    /// Flush barriers served.
+    pub flushes: Arc<Counter>,
+    /// Batches applied by shard workers.
+    pub batches: Arc<Counter>,
+    /// Inserts per applied batch.
+    pub batch_size: Arc<Histogram>,
+    /// Wall time to geometrically apply one batch (µs).
+    pub batch_apply_us: Arc<Histogram>,
+    /// Wall time to journal one batch before applying it (µs).
+    pub journal_append_us: Arc<Histogram>,
+    /// Wall time of the journal `sync` (WAL fsync) per batch (µs).
+    pub wal_sync_us: Arc<Histogram>,
+    /// WAL append/sync errors (journal stays authoritative in memory).
+    pub wal_errors: Arc<Counter>,
+    /// Shard worker recoveries (supervisor replays after a panic).
+    pub recoveries: Arc<Counter>,
+    /// Journal replay time per recovery (µs).
+    pub recovery_us: Arc<Histogram>,
+    /// Total time shards have spent degraded (µs).
+    pub degraded_us: Arc<Counter>,
+    /// Connections accepted by the server.
+    pub accepts: Arc<Counter>,
+    /// Client-side transparent reconnect-and-resumes.
+    pub client_reconnects: Arc<Counter>,
+    /// Client-side `Overloaded` rejections absorbed by `insert_retry`.
+    pub client_rejections: Arc<Counter>,
+    /// Kernel work done applying inserts on shard workers.
+    pub ingest_kernel: KernelCounters,
+    /// Kernel work done serving read queries.
+    pub query_kernel: KernelCounters,
+}
+
+/// The process-global service metric handles (registered on first use).
+pub fn service_metrics() -> &'static ServiceMetrics {
+    static M: OnceLock<ServiceMetrics> = OnceLock::new();
+    M.get_or_init(|| {
+        let r = registry();
+        ServiceMetrics {
+            inserts_enqueued: r.counter(
+                "chull_service_inserts_enqueued_total",
+                "Inserts accepted into a shard ingest queue.",
+            ),
+            overloaded: r.counter(
+                "chull_service_overloaded_total",
+                "Inserts rejected with Overloaded backpressure.",
+            ),
+            flushes: r.counter("chull_service_flushes_total", "Flush barriers served."),
+            batches: r.counter(
+                "chull_shard_batches_total",
+                "Batches applied by shard workers.",
+            ),
+            batch_size: r.histogram(
+                "chull_shard_batch_inserts",
+                "Inserts per applied shard batch (pop_batch coalescing at work).",
+            ),
+            batch_apply_us: r.histogram(
+                "chull_shard_batch_apply_us",
+                "Microseconds to apply one batch to the online hull.",
+            ),
+            journal_append_us: r.histogram(
+                "chull_journal_append_us",
+                "Microseconds to journal one batch before applying it.",
+            ),
+            wal_sync_us: r.histogram(
+                "chull_wal_sync_us",
+                "Microseconds in the journal sync (WAL fsync) per batch.",
+            ),
+            wal_errors: r.counter(
+                "chull_wal_errors_total",
+                "WAL append/sync errors (in-memory journal stays authoritative).",
+            ),
+            recoveries: r.counter(
+                "chull_shard_recoveries_total",
+                "Shard worker recoveries (supervised journal replays).",
+            ),
+            recovery_us: r.histogram(
+                "chull_shard_recovery_us",
+                "Microseconds to replay the journal after a worker death.",
+            ),
+            degraded_us: r.counter(
+                "chull_shard_degraded_us_total",
+                "Total microseconds shards have spent serving degraded reads.",
+            ),
+            accepts: r.counter(
+                "chull_server_accepts_total",
+                "TCP connections accepted by the wire server.",
+            ),
+            client_reconnects: r.counter(
+                "chull_client_reconnects_total",
+                "Client transparent reconnect-and-resume redials.",
+            ),
+            client_rejections: r.counter(
+                "chull_client_insert_rejections_total",
+                "Overloaded rejections absorbed by client insert_retry backoff.",
+            ),
+            ingest_kernel: KernelCounters::register("ingest"),
+            query_kernel: KernelCounters::register("query"),
+        }
+    })
+}
+
+/// Per-op request series: count + dispatch latency.
+pub struct OpMetrics {
+    /// `chull_server_requests_total{op=...}`.
+    pub total: Arc<Counter>,
+    /// `chull_server_request_us{op=...}`.
+    pub latency_us: Arc<Histogram>,
+}
+
+const OPS: &[&str] = &[
+    "insert", "contains", "visible", "extreme", "stats", "snapshot", "flush", "shutdown",
+    "metrics", "invalid",
+];
+
+/// Handles for one wire op (`"invalid"` covers undecodable requests).
+/// Unknown names map to `"invalid"`.
+pub fn op_metrics(op: &str) -> &'static OpMetrics {
+    static M: OnceLock<HashMap<&'static str, OpMetrics>> = OnceLock::new();
+    let map = M.get_or_init(|| {
+        let r = registry();
+        OPS.iter()
+            .map(|&op| {
+                (
+                    op,
+                    OpMetrics {
+                        total: r.counter_with(
+                            "chull_server_requests_total",
+                            &[("op", op)],
+                            "Requests dispatched, by wire op.",
+                        ),
+                        latency_us: r.histogram_with(
+                            "chull_server_request_us",
+                            &[("op", op)],
+                            "Request dispatch latency in microseconds, by wire op.",
+                        ),
+                    },
+                )
+            })
+            .collect()
+    });
+    map.get(op).unwrap_or_else(|| &map["invalid"])
+}
+
+/// Per-shard level gauges (one set per shard id, labeled `shard="N"`).
+#[derive(Clone)]
+pub struct ShardGauges {
+    /// Items currently in the shard's ingest queue.
+    pub queue_depth: Arc<Gauge>,
+    /// The published snapshot's dependence depth (`OnlineHull::dep_depth`).
+    pub dep_depth: Arc<Gauge>,
+    /// Entries in the shard's insert journal.
+    pub journal_len: Arc<Gauge>,
+    /// The shard's publication epoch.
+    pub epoch: Arc<Gauge>,
+}
+
+/// Register (or fetch) the gauge set for shard `shard`.
+pub fn shard_gauges(shard: usize) -> ShardGauges {
+    let r = registry();
+    let s = shard.to_string();
+    let l: &[(&str, &str)] = &[("shard", s.as_str())];
+    ShardGauges {
+        queue_depth: r.gauge_with(
+            "chull_shard_queue_depth",
+            l,
+            "Items currently queued for the shard worker.",
+        ),
+        dep_depth: r.gauge_with(
+            "chull_shard_dep_depth",
+            l,
+            "Dependence depth of the shard's published hull (Theorem 4.2 observable).",
+        ),
+        journal_len: r.gauge_with(
+            "chull_shard_journal_len",
+            l,
+            "Entries in the shard's append-only insert journal.",
+        ),
+        epoch: r.gauge_with(
+            "chull_shard_epoch",
+            l,
+            "The shard's snapshot publication epoch.",
+        ),
+    }
+}

@@ -9,11 +9,13 @@
 //! *started* frame must complete within [`ServeOptions::request_timeout`]
 //! or the connection is dropped (a stalled peer cannot pin a thread).
 
+use crate::metrics::{op_metrics, service_metrics};
 use crate::shard::{HullService, InsertOutcome, ServiceConfig, ServiceError};
 use crate::snapshot::HullSnapshot;
 use crate::wire::{self, Request, Response, ALL_SHARDS};
 use chull_concurrent::failpoint::{self, sites};
 use chull_geometry::{KernelCounts, MAX_COORD};
+use chull_obs::MetricsHttpHandle;
 use std::io::{self, Read};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -31,6 +33,11 @@ pub struct ServeOptions {
     pub oneshot: bool,
     /// Deadline for completing one started request frame.
     pub request_timeout: Duration,
+    /// When set, additionally serve the telemetry registry as Prometheus
+    /// text over plain HTTP (`GET /metrics`) on this address (port 0
+    /// picks a free port). The same text is always available in-band via
+    /// the wire `Metrics` op.
+    pub metrics_addr: Option<String>,
 }
 
 impl Default for ServeOptions {
@@ -40,6 +47,7 @@ impl Default for ServeOptions {
             config: ServiceConfig::default(),
             oneshot: false,
             request_timeout: Duration::from_secs(10),
+            metrics_addr: None,
         }
     }
 }
@@ -57,11 +65,17 @@ struct Shared {
 pub struct ServerHandle {
     shared: Arc<Shared>,
     accept: Option<std::thread::JoinHandle<()>>,
+    metrics: Option<MetricsHttpHandle>,
 }
 
 /// Bind `opts.addr`, start the shard workers and the accept loop, and
 /// return immediately with a handle.
+///
+/// Serving **arms** the process-wide telemetry registry
+/// ([`chull_obs::arm`]): a long-lived server wants its dashboards, and
+/// the disarmed fast path only matters for offline/bench runs.
 pub fn serve(opts: ServeOptions) -> io::Result<ServerHandle> {
+    chull_obs::arm();
     let listener = TcpListener::bind(&opts.addr)?;
     let addr = listener.local_addr()?;
     let shared = Arc::new(Shared {
@@ -69,6 +83,14 @@ pub fn serve(opts: ServeOptions) -> io::Result<ServerHandle> {
         shutdown: AtomicBool::new(false),
         addr,
     });
+    let metrics = match &opts.metrics_addr {
+        Some(maddr) => {
+            let sh = Arc::clone(&shared);
+            let hook: chull_obs::RenderHook = Arc::new(move || sh.service.update_scrape_gauges());
+            Some(chull_obs::serve_metrics_http(maddr, Some(hook))?)
+        }
+        None => None,
+    };
     let accept = {
         let shared = Arc::clone(&shared);
         let oneshot = opts.oneshot;
@@ -78,6 +100,7 @@ pub fn serve(opts: ServeOptions) -> io::Result<ServerHandle> {
     Ok(ServerHandle {
         shared,
         accept: Some(accept),
+        metrics,
     })
 }
 
@@ -87,12 +110,21 @@ impl ServerHandle {
         self.shared.addr
     }
 
+    /// The HTTP metrics listener's bound address, when one was requested
+    /// via [`ServeOptions::metrics_addr`].
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.metrics.as_ref().map(|m| m.local_addr())
+    }
+
     /// Begin graceful shutdown: stop accepting, let in-flight requests
     /// finish, drain the ingest queues, join every thread.
     pub fn shutdown(&mut self) {
         trigger_shutdown(&self.shared);
         if let Some(h) = self.accept.take() {
             h.join().expect("accept loop panicked");
+        }
+        if let Some(mut m) = self.metrics.take() {
+            m.shutdown();
         }
         self.shared.service.shutdown();
     }
@@ -102,6 +134,9 @@ impl ServerHandle {
     pub fn join(mut self) {
         if let Some(h) = self.accept.take() {
             h.join().expect("accept loop panicked");
+        }
+        if let Some(mut m) = self.metrics.take() {
+            m.shutdown();
         }
         self.shared.service.shutdown();
     }
@@ -161,6 +196,7 @@ fn accept_loop(
         if shared.shutdown.load(Ordering::SeqCst) {
             break;
         }
+        service_metrics().accepts.incr();
         if oneshot {
             // Serve exactly one connection, inline, then exit.
             handle_connection(stream, shared, request_timeout);
@@ -260,10 +296,21 @@ fn handle_connection(mut stream: TcpStream, shared: &Arc<Shared>, request_timeou
             FrameRead::Frame(p) => p,
             FrameRead::Done => return,
         };
-        let (response, shutdown_after) = match Request::decode(&payload) {
-            Ok(req) => dispatch(&shared.service, req),
-            Err(e) => (Response::Error(e.to_string()), false),
+        let armed = chull_obs::armed();
+        let t0 = armed.then(Instant::now);
+        let (response, shutdown_after, op) = match Request::decode(&payload) {
+            Ok(req) => {
+                let op = op_name(&req);
+                let (resp, stop) = dispatch(&shared.service, req);
+                (resp, stop, op)
+            }
+            Err(e) => (Response::Error(e.to_string()), false, "invalid"),
         };
+        if let Some(t0) = t0 {
+            let m = op_metrics(op);
+            m.total.incr();
+            m.latency_us.record(t0.elapsed().as_micros() as u64);
+        }
         if wire::write_frame(&mut stream, &response.encode()).is_err() {
             return;
         }
@@ -271,6 +318,21 @@ fn handle_connection(mut stream: TcpStream, shared: &Arc<Shared>, request_timeou
             trigger_shutdown(shared);
             return;
         }
+    }
+}
+
+/// The metric label for one request (`op_metrics` key).
+fn op_name(req: &Request) -> &'static str {
+    match req {
+        Request::Insert { .. } => "insert",
+        Request::Contains { .. } => "contains",
+        Request::Visible { .. } => "visible",
+        Request::Extreme { .. } => "extreme",
+        Request::Stats { .. } => "stats",
+        Request::Snapshot { .. } => "snapshot",
+        Request::Flush { .. } => "flush",
+        Request::Shutdown => "shutdown",
+        Request::Metrics => "metrics",
     }
 }
 
@@ -314,6 +376,7 @@ fn dispatch(service: &HullService, req: Request) -> (Response, bool) {
                 let mut counts = KernelCounts::default();
                 let r = snap.contains(&point, &mut counts).map(Response::Bool);
                 stats.query_kernel.fold(&counts);
+                service_metrics().query_kernel.fold(&counts);
                 r
             })
         }),
@@ -325,6 +388,7 @@ fn dispatch(service: &HullService, req: Request) -> (Response, bool) {
                     .visible_count(&point, &mut counts)
                     .map(Response::VisibleCount);
                 stats.query_kernel.fold(&counts);
+                service_metrics().query_kernel.fold(&counts);
                 r
             })
         }),
@@ -377,6 +441,12 @@ fn dispatch(service: &HullService, req: Request) -> (Response, bool) {
             Err(e) => err_response(e),
         },
         Request::Shutdown => return (Response::ShuttingDown, true),
+        Request::Metrics => {
+            // Refresh level gauges so an idle service still scrapes
+            // current queue depths / epochs, then render the registry.
+            service.update_scrape_gauges();
+            Response::Metrics(chull_obs::registry().render())
+        }
     };
     (resp, false)
 }

@@ -44,6 +44,7 @@
 //! (torn tails from a mid-write crash are detected and dropped).
 
 use crate::journal::Journal;
+use crate::metrics::{service_metrics, shard_gauges, ShardGauges};
 use crate::snapshot::{HullSnapshot, SnapState};
 use crate::stats::ShardStats;
 use chull_concurrent::failpoint::{self, sites};
@@ -159,6 +160,7 @@ struct Shard {
     queue: Arc<BoundedQueue<Ingest>>,
     snap: Arc<RwLock<Arc<HullSnapshot>>>,
     stats: Arc<ShardStats>,
+    gauges: ShardGauges,
     /// Recovery generation: how many workers this shard has lost.
     generation: Arc<AtomicU32>,
     /// True only while the supervisor is replaying the journal.
@@ -215,12 +217,14 @@ impl HullService {
             let snap = Arc::new(RwLock::new(Arc::new(snapshot_of(&core, epoch))));
             let generation = Arc::new(AtomicU32::new(0));
             let degraded = Arc::new(AtomicBool::new(false));
+            let gauges = shard_gauges(id);
             let ctx = ShardCtx {
                 dim: config.dim,
                 max_batch: config.max_batch,
                 queue: Arc::clone(&queue),
                 snap: Arc::clone(&snap),
                 stats: Arc::clone(&stats),
+                gauges: gauges.clone(),
                 generation: Arc::clone(&generation),
                 degraded: Arc::clone(&degraded),
             };
@@ -229,6 +233,7 @@ impl HullService {
                 queue,
                 snap,
                 stats,
+                gauges,
                 generation,
                 degraded,
                 worker: Mutex::new(Some(worker)),
@@ -278,10 +283,12 @@ impl HullService {
         match sh.queue.try_push(Ingest::Insert(point)) {
             Ok(()) => {
                 sh.stats.inserts_enqueued.fetch_add(1, Ordering::Relaxed);
+                service_metrics().inserts_enqueued.incr();
                 Ok(InsertOutcome::Queued)
             }
             Err(PushError::Full(_)) => {
                 sh.stats.overloaded.fetch_add(1, Ordering::Relaxed);
+                service_metrics().overloaded.incr();
                 Ok(InsertOutcome::Overloaded)
             }
             Err(PushError::Closed(_)) => Err(ServiceError::Closed),
@@ -298,6 +305,7 @@ impl HullService {
     pub fn flush(&self, shard: u16) -> Result<u64, ServiceError> {
         let sh = self.shard(shard)?;
         sh.stats.flushes.fetch_add(1, Ordering::Relaxed);
+        service_metrics().flushes.incr();
         loop {
             let (tx, rx) = mpsc::channel();
             // Blocking push: a flush may wait for queue space, but never
@@ -382,6 +390,26 @@ impl HullService {
         }
     }
 
+    /// Refresh each shard's level gauges (queue depth, dependence depth,
+    /// journal length, epoch) from live state. Called at scrape time — by
+    /// the wire `Metrics` dispatch and the HTTP `/metrics` pre-render
+    /// hook — so gauges are current even on an idle service. No-op while
+    /// telemetry is disarmed.
+    pub fn update_scrape_gauges(&self) {
+        if !chull_obs::armed() {
+            return;
+        }
+        for sh in &self.shards {
+            let snap = load_snap(&sh.snap);
+            sh.gauges.queue_depth.set(sh.queue.len() as i64);
+            sh.gauges.dep_depth.set(snap.dep_depth() as i64);
+            sh.gauges
+                .journal_len
+                .set(sh.stats.journal_len.load(Ordering::Relaxed) as i64);
+            sh.gauges.epoch.set(snap.epoch as i64);
+        }
+    }
+
     /// Graceful shutdown: close every ingest queue (pending batches still
     /// apply), then join the workers. Idempotent.
     pub fn shutdown(&self) {
@@ -415,6 +443,7 @@ struct ShardCtx {
     queue: Arc<BoundedQueue<Ingest>>,
     snap: Arc<RwLock<Arc<HullSnapshot>>>,
     stats: Arc<ShardStats>,
+    gauges: ShardGauges,
     generation: Arc<AtomicU32>,
     degraded: Arc<AtomicBool>,
 }
@@ -449,8 +478,16 @@ fn shard_supervisor(ctx: &ShardCtx, mut core: HullBuilder, mut journal: Journal,
                     ctx.stats.record_batch(missing);
                     recorded = core.applied();
                 }
-                ctx.stats
-                    .record_recovery(t0.elapsed().as_micros() as u64, generation as u64);
+                let us = t0.elapsed().as_micros() as u64;
+                ctx.stats.record_recovery(us, generation as u64);
+                if chull_obs::armed() {
+                    let m = service_metrics();
+                    m.recoveries.incr();
+                    m.recovery_us.record(us);
+                    // The degraded window is exactly the replay: queries
+                    // fall back to the stale snapshot for its duration.
+                    m.degraded_us.add(us);
+                }
                 ctx.degraded.store(false, Ordering::SeqCst);
             }
         }
@@ -468,12 +505,19 @@ fn drain_loop(
     recorded: &mut u64,
 ) {
     let mut batch: Vec<Ingest> = Vec::with_capacity(ctx.max_batch);
+    // Baseline for per-batch ingest-kernel deltas. Re-initialized from the
+    // (possibly replayed) hull on every loop (re)entry, so recovery replay
+    // work is never double-counted into the ingest counters.
+    let mut prev_kernel = core.hull().map(|h| h.kernel).unwrap_or_default();
     loop {
         batch.clear();
         if ctx.queue.pop_batch(ctx.max_batch, &mut batch) == 0 {
             // Closed and drained.
             return;
         }
+        // One relaxed load per batch; timing blocks below pay for
+        // `Instant::now` only when telemetry is armed.
+        let armed = chull_obs::armed();
         let mut points: Vec<Vec<i64>> = Vec::new();
         let mut flushes: Vec<mpsc::Sender<u64>> = Vec::new();
         for item in batch.drain(..) {
@@ -486,17 +530,36 @@ fn drain_loop(
         // any of it touches the hull, so a panic below loses nothing. A
         // WAL write error is tolerated (counted), because the in-memory
         // journal stays authoritative for in-process recovery.
+        let t_journal = armed.then(Instant::now);
         for p in &points {
             if journal.append(p).is_err() {
                 ctx.stats.wal_errors.fetch_add(1, Ordering::Relaxed);
+                service_metrics().wal_errors.incr();
             }
         }
+        if let Some(t0) = t_journal {
+            if !points.is_empty() {
+                service_metrics()
+                    .journal_append_us
+                    .record(t0.elapsed().as_micros() as u64);
+            }
+        }
+        let t_sync = armed.then(Instant::now);
         if journal.sync().is_err() {
             ctx.stats.wal_errors.fetch_add(1, Ordering::Relaxed);
+            service_metrics().wal_errors.incr();
+        }
+        if let Some(t0) = t_sync {
+            if !points.is_empty() {
+                service_metrics()
+                    .wal_sync_us
+                    .record(t0.elapsed().as_micros() as u64);
+            }
         }
         ctx.stats
             .journal_len
             .store(journal.len() as u64, Ordering::Relaxed);
+        let t_apply = armed.then(Instant::now);
         let mut inserted = 0u64;
         for p in &points {
             // Failpoint `shard.apply.insert`: may panic (worker death
@@ -514,6 +577,23 @@ fn drain_loop(
             ctx.stats.record_batch(inserted);
             *recorded += inserted;
             store_snap(&ctx.snap, snapshot_of(core, *epoch));
+            if armed {
+                let m = service_metrics();
+                m.batches.incr();
+                m.batch_size.record(inserted);
+                if let Some(t0) = t_apply {
+                    m.batch_apply_us.record(t0.elapsed().as_micros() as u64);
+                }
+                let now_kernel = core.hull().map(|h| h.kernel).unwrap_or_default();
+                m.ingest_kernel.fold_delta(&now_kernel, &prev_kernel);
+                prev_kernel = now_kernel;
+                ctx.gauges.queue_depth.set(ctx.queue.len() as i64);
+                ctx.gauges
+                    .dep_depth
+                    .set(core.hull().map(|h| h.dep_depth()).unwrap_or(0) as i64);
+                ctx.gauges.journal_len.set(journal.len() as i64);
+                ctx.gauges.epoch.set(*epoch as i64);
+            }
         }
         for tx in flushes {
             // Receiver may have given up (client disconnect) — fine.

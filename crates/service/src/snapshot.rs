@@ -128,6 +128,16 @@ impl HullSnapshot {
             SnapState::Live(h) => h.kernel,
         }
     }
+
+    /// Dependence depth of the hull behind this snapshot — the deepest
+    /// chain in its history graph, the observable Theorem 4.2 bounds by
+    /// `σ·H_n` whp (0 while bootstrapping).
+    pub fn dep_depth(&self) -> u64 {
+        match &self.state {
+            SnapState::Boot(_) => 0,
+            SnapState::Live(h) => h.dep_depth(),
+        }
+    }
 }
 
 #[cfg(test)]

@@ -112,7 +112,7 @@ impl ShardStats {
         let ingest = snap.ingest_kernel();
         format!(
             "{{\"shard\":{shard},\"epoch\":{},\"applied\":{},\"ready\":{},\
-             \"points\":{},\"hull_facets\":{},\"queue_depth\":{queue_depth},\
+             \"points\":{},\"hull_facets\":{},\"dep_depth\":{},\"queue_depth\":{queue_depth},\
              \"inserts_enqueued\":{},\"overloaded\":{},\
              \"queries_contains\":{},\"queries_visible\":{},\"queries_extreme\":{},\
              \"snapshots\":{},\"flushes\":{},\
@@ -125,6 +125,7 @@ impl ShardStats {
             snap.ready(),
             snap.num_points(),
             snap.num_facets(),
+            snap.dep_depth(),
             self.inserts_enqueued.load(Ordering::Relaxed),
             self.overloaded.load(Ordering::Relaxed),
             self.queries_contains.load(Ordering::Relaxed),
@@ -193,6 +194,7 @@ mod tests {
             "\"generation\":1",
             "\"wal_errors\":0",
             "\"ready\":false",
+            "\"dep_depth\":0",
             "\"ingest_kernel\":{\"tests\":0",
             "\"query_kernel\":{\"tests\":0",
         ] {

@@ -18,6 +18,7 @@
 //! | `0x06` | `Snapshot` | `u64` epoch, `u8` dim, points, facets           |
 //! | `0x07` | `Flush`    | `u64` epoch after all prior inserts applied     |
 //! | `0x08` | `Shutdown` | empty (server begins graceful shutdown)         |
+//! | `0x09` | `Metrics`  | `u32` length + Prometheus text exposition utf-8 |
 //!
 //! Non-Ok statuses: `Overloaded` (ingest queue full — retry), `NotReady`
 //! (shard still bootstrapping its seed simplex), `Error` (+ utf-8 text),
@@ -48,6 +49,7 @@ const OP_STATS: u8 = 0x05;
 const OP_SNAPSHOT: u8 = 0x06;
 const OP_FLUSH: u8 = 0x07;
 const OP_SHUTDOWN: u8 = 0x08;
+const OP_METRICS: u8 = 0x09;
 
 const ST_OK: u8 = 0x00;
 const ST_OVERLOADED: u8 = 0x01;
@@ -163,6 +165,8 @@ pub enum Request {
     },
     /// Ask the server to shut down gracefully.
     Shutdown,
+    /// The telemetry registry as Prometheus text exposition.
+    Metrics,
 }
 
 /// A decoded server response.
@@ -201,6 +205,8 @@ pub enum Response {
     },
     /// Server acknowledges shutdown.
     ShuttingDown,
+    /// Prometheus text exposition of the telemetry registry.
+    Metrics(String),
     /// Ingest queue full — backpressure; retry later.
     Overloaded,
     /// Shard has fewer than `d + 1` affinely independent points.
@@ -342,6 +348,10 @@ impl Request {
                 out.push(OP_SHUTDOWN);
                 put_u16(&mut out, 0);
             }
+            Request::Metrics => {
+                out.push(OP_METRICS);
+                put_u16(&mut out, 0);
+            }
         }
         out
     }
@@ -372,6 +382,7 @@ impl Request {
             OP_SNAPSHOT => Request::Snapshot { shard },
             OP_FLUSH => Request::Flush { shard },
             OP_SHUTDOWN => Request::Shutdown,
+            OP_METRICS => Request::Metrics,
             other => return Err(WireError::BadOpcode(other)),
         };
         c.done()?;
@@ -437,6 +448,12 @@ impl Response {
             Response::ShuttingDown => {
                 out.push(ST_OK);
                 out.push(OP_SHUTDOWN);
+            }
+            Response::Metrics(text) => {
+                out.push(ST_OK);
+                out.push(OP_METRICS);
+                put_u32(&mut out, text.len() as u32);
+                out.extend_from_slice(text.as_bytes());
             }
             Response::Overloaded => out.push(ST_OVERLOADED),
             Response::NotReady => out.push(ST_NOT_READY),
@@ -537,6 +554,13 @@ impl Response {
                 }
                 OP_FLUSH => Response::Flushed { epoch: c.u64()? },
                 OP_SHUTDOWN => Response::ShuttingDown,
+                OP_METRICS => {
+                    let n = c.u32()? as usize;
+                    let n = c.checked_count(n, 1)?;
+                    let text = String::from_utf8(c.take(n)?.to_vec())
+                        .map_err(|_| WireError::BadUtf8("metrics"))?;
+                    Response::Metrics(text)
+                }
                 other => return Err(WireError::BadTag(other)),
             },
             other => return Err(WireError::BadStatus(other)),
@@ -645,6 +669,7 @@ mod tests {
             Request::Snapshot { shard: 2 },
             Request::Flush { shard: 7 },
             Request::Shutdown,
+            Request::Metrics,
         ];
         for r in reqs {
             assert_eq!(Request::decode(&r.encode()).unwrap(), r, "{r:?}");
@@ -671,6 +696,7 @@ mod tests {
             },
             Response::Flushed { epoch: 99 },
             Response::ShuttingDown,
+            Response::Metrics("# HELP x y\n# TYPE x counter\nx 1\n".to_string()),
             Response::Overloaded,
             Response::NotReady,
             Response::Degraded {

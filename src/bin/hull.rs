@@ -6,26 +6,31 @@
 //! 0-based input indices) plus instrumentation.
 //!
 //! **Serving mode**: `hull serve` runs the long-lived `chull-service`
-//! hull server; `hull query` talks to one over its wire protocol.
+//! hull server; `hull query` talks to one over its wire protocol;
+//! `hull metrics` scrapes a server's telemetry (Prometheus text over
+//! HTTP `/metrics` or the in-band wire `Metrics` op) and pretty-prints
+//! it.
 //!
 //! ```text
 //! USAGE: hull [--dim D] [--algo seq|par|rounds|chain] [--seed S]
 //!             [--stats] [--stats-json] [FILE]
 //!        hull serve [--addr H:P] [--dim D] [--shards N] [--queue-cap C]
-//!                   [--batch B] [--wal DIR] [--chaos-seed S]
-//!                   [--oneshot] [--stats-json]
+//!                   [--batch B] [--wal DIR] [--metrics-addr H:P]
+//!                   [--chaos-seed S] [--oneshot] [--stats-json]
 //!        hull query ADDR OP [SHARD] [COORDS...]
 //!          OP: insert|contains|visible|extreme|stats|snapshot|flush|
-//!              shutdown|script      (script reads one OP line per stdin line)
+//!              metrics|shutdown|script  (script reads one OP line per stdin line)
+//!        hull metrics [--raw] ADDR
 //! ```
 //!
 //! Examples:
 //! ```text
 //! $ printf '0 0\n4 0\n0 4\n4 4\n2 2\n' | hull
 //! $ hull --dim 3 --algo par --stats points3d.txt
-//! $ hull serve --addr 127.0.0.1:4077 --dim 2 &
+//! $ hull serve --addr 127.0.0.1:4077 --metrics-addr 127.0.0.1:9107 &
 //! $ hull query 127.0.0.1:4077 insert 0 3 4
 //! $ hull query 127.0.0.1:4077 contains 0 1 1
+//! $ hull metrics 127.0.0.1:9107          # or the wire addr: 127.0.0.1:4077
 //! ```
 
 use convex_hull_suite::core::baseline::monotone_chain;
@@ -61,13 +66,17 @@ fn usage() -> ! {
     eprintln!(
         "USAGE: hull [--dim D] [--algo seq|par|rounds|chain] [--seed S] [--stats] [--stats-json] [FILE]\n\
          \x20      hull serve [--addr H:P] [--dim D] [--shards N] [--queue-cap C] [--batch B]\n\
-         \x20                 [--wal DIR] [--chaos-seed S] [--oneshot] [--stats-json]\n\
+         \x20                 [--wal DIR] [--metrics-addr H:P] [--chaos-seed S] [--oneshot] [--stats-json]\n\
          \x20        --wal DIR persists per-shard insert WALs under DIR (crash-safe restart);\n\
+         \x20        --metrics-addr H:P serves Prometheus text on plain HTTP GET /metrics;\n\
          \x20        --chaos-seed S arms the canned fault-injection schedule (testing only)\n\
          \x20      hull query ADDR OP [SHARD] [COORDS...]\n\
          \x20        OP: insert|contains|visible|extreme SHARD C1..CD\n\
-         \x20            stats [SHARD] | snapshot SHARD | flush SHARD | shutdown\n\
+         \x20            stats [SHARD] | snapshot SHARD | flush SHARD | metrics | shutdown\n\
          \x20            script   (reads one OP line per stdin line, one connection)\n\
+         \x20      hull metrics [--raw] ADDR\n\
+         \x20        scrape ADDR (HTTP /metrics, falling back to the wire Metrics op) and\n\
+         \x20        pretty-print a sorted table; --raw emits the exposition text verbatim\n\
          Offline mode reads one point per line (D whitespace-separated integers); FILE defaults to stdin."
     );
     std::process::exit(2);
@@ -204,6 +213,7 @@ fn main() {
     match args.first().map(String::as_str) {
         Some("serve") => serve_main(&args[1..]),
         Some("query") => query_main(&args[1..]),
+        Some("metrics") => metrics_main(&args[1..]),
         _ => offline_main(&args),
     }
 }
@@ -316,6 +326,9 @@ fn serve_main(args: &[String]) {
             "--wal" => {
                 opts.config.wal_dir = Some(std::path::PathBuf::from(next("--wal", &mut it)));
             }
+            "--metrics-addr" => {
+                opts.metrics_addr = Some(next("--metrics-addr", &mut it));
+            }
             "--chaos-seed" => {
                 chaos_seed = Some(
                     next("--chaos-seed", &mut it)
@@ -348,6 +361,9 @@ fn serve_main(args: &[String]) {
     // The resolved address goes to stderr so facet/stat stdout stays clean
     // and scripts with `--addr host:0` can learn the picked port.
     eprintln!("hull: listening on {}", handle.local_addr());
+    if let Some(maddr) = handle.metrics_addr() {
+        eprintln!("hull: metrics on http://{maddr}/metrics");
+    }
     let final_stats = handle.join_stats();
     if stats_json {
         println!("{final_stats}");
@@ -420,6 +436,7 @@ fn run_query_op(client: &mut HullClient, toks: &[String]) -> std::io::Result<Str
             )
         }
         "flush" => format!("flushed epoch={}", client.flush(parse_shard(toks.get(1)))?),
+        "metrics" => client.metrics()?,
         "shutdown" => {
             client.shutdown_server()?;
             "shutting-down".to_string()
@@ -458,6 +475,222 @@ fn query_main(args: &[String]) {
             Ok(reply) => println!("{reply}"),
             Err(e) => die(&e.to_string()),
         }
+    }
+}
+
+/// Fetch the Prometheus exposition from `addr`: try a plain HTTP
+/// `GET /metrics` first (the `--metrics-addr` listener), then fall back
+/// to the wire `Metrics` op (the query port), so either address works.
+fn scrape_metrics(addr: &str) -> std::io::Result<String> {
+    match http_get_metrics(addr) {
+        Ok(text) => Ok(text),
+        Err(_) => HullClient::connect(addr)?.metrics(),
+    }
+}
+
+/// Minimal HTTP/1.0 GET; returns the body of a 200 reply.
+fn http_get_metrics(addr: &str) -> std::io::Result<String> {
+    use std::io::Write;
+    let mut stream = std::net::TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(std::time::Duration::from_secs(2)))?;
+    stream.set_write_timeout(Some(std::time::Duration::from_secs(2)))?;
+    write!(stream, "GET /metrics HTTP/1.0\r\nHost: {addr}\r\n\r\n")?;
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw)?;
+    let bad = |m: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, m.to_string());
+    if !raw.starts_with("HTTP/") {
+        return Err(bad("not an HTTP reply"));
+    }
+    let status_ok = raw
+        .lines()
+        .next()
+        .is_some_and(|l| l.split_whitespace().nth(1) == Some("200"));
+    if !status_ok {
+        return Err(bad("HTTP status not 200"));
+    }
+    match raw.split_once("\r\n\r\n") {
+        Some((_, body)) => Ok(body.to_string()),
+        None => Err(bad("truncated HTTP reply")),
+    }
+}
+
+/// One parsed exposition sample: `name{labels} value`.
+struct MetricSample {
+    name: String,
+    labels: Vec<(String, String)>,
+    value: f64,
+}
+
+fn parse_sample(line: &str) -> Option<MetricSample> {
+    let (head, value) = line.rsplit_once(' ')?;
+    let value: f64 = value.parse().ok()?;
+    let (name, labels) = match head.split_once('{') {
+        Some((n, rest)) => {
+            let inner = rest.strip_suffix('}')?;
+            let mut labels = Vec::new();
+            for pair in inner.split(',').filter(|p| !p.is_empty()) {
+                let (k, v) = pair.split_once('=')?;
+                labels.push((k.to_string(), v.trim_matches('"').to_string()));
+            }
+            (n.to_string(), labels)
+        }
+        None => (head.to_string(), Vec::new()),
+    };
+    Some(MetricSample {
+        name,
+        labels,
+        value,
+    })
+}
+
+fn label_suffix(labels: &[(String, String)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let parts: Vec<String> = labels.iter().map(|(k, v)| format!("{k}={v}")).collect();
+    format!("{{{}}}", parts.join(","))
+}
+
+/// Cumulative-bucket quantile: the smallest `le` whose cumulative count
+/// covers fraction `q` of the total.
+fn bucket_quantile(buckets: &[(f64, f64)], count: f64, q: f64) -> f64 {
+    let target = q * count;
+    for &(le, cum) in buckets {
+        if cum >= target {
+            return le;
+        }
+    }
+    buckets.last().map(|&(le, _)| le).unwrap_or(0.0)
+}
+
+/// Render the exposition as a sorted human table: one line per scalar
+/// series, histograms summarized to `count/sum/p50/p95/p99`.
+fn pretty_metrics(text: &str) -> String {
+    use std::collections::BTreeMap;
+    let mut kinds: BTreeMap<String, String> = BTreeMap::new();
+    // Histogram accumulators keyed by (family, label-suffix).
+    struct Hist {
+        buckets: Vec<(f64, f64)>,
+        sum: f64,
+        count: f64,
+    }
+    let mut hists: BTreeMap<(String, String), Hist> = BTreeMap::new();
+    let mut scalars: BTreeMap<String, f64> = BTreeMap::new();
+    for line in text.lines() {
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            if let Some((name, kind)) = rest.split_once(' ') {
+                kinds.insert(name.to_string(), kind.to_string());
+            }
+            continue;
+        }
+        if line.starts_with('#') || line.trim().is_empty() {
+            continue;
+        }
+        let Some(s) = parse_sample(line) else {
+            continue;
+        };
+        let (family, part) = ["_bucket", "_sum", "_count"]
+            .iter()
+            .find_map(|suf| s.name.strip_suffix(suf).map(|f| (f.to_string(), *suf)))
+            .unwrap_or_else(|| (s.name.clone(), ""));
+        if !part.is_empty() && kinds.get(&family).map(String::as_str) == Some("histogram") {
+            let non_le: Vec<(String, String)> = s
+                .labels
+                .iter()
+                .filter(|(k, _)| k != "le")
+                .cloned()
+                .collect();
+            let h = hists
+                .entry((family, label_suffix(&non_le)))
+                .or_insert(Hist {
+                    buckets: Vec::new(),
+                    sum: 0.0,
+                    count: 0.0,
+                });
+            match part {
+                "_bucket" => {
+                    let le = s
+                        .labels
+                        .iter()
+                        .find(|(k, _)| k == "le")
+                        .map(|(_, v)| {
+                            if v == "+Inf" {
+                                f64::INFINITY
+                            } else {
+                                v.parse().unwrap_or(f64::INFINITY)
+                            }
+                        })
+                        .unwrap_or(f64::INFINITY);
+                    h.buckets.push((le, s.value));
+                }
+                "_sum" => h.sum = s.value,
+                _ => h.count = s.value,
+            }
+        } else {
+            scalars.insert(format!("{}{}", s.name, label_suffix(&s.labels)), s.value);
+        }
+    }
+    let mut rows: Vec<(String, String)> = Vec::new();
+    for (name, v) in &scalars {
+        rows.push((name.clone(), format!("{v}")));
+    }
+    for ((family, labels), h) in &hists {
+        let mut buckets = h.buckets.clone();
+        buckets.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let fin = |x: f64| {
+            if x.is_finite() {
+                format!("{x}")
+            } else {
+                "+Inf".to_string()
+            }
+        };
+        rows.push((
+            format!("{family}{labels}"),
+            if h.count == 0.0 {
+                "count=0".to_string()
+            } else {
+                format!(
+                    "count={} sum={} p50={} p95={} p99={}",
+                    h.count,
+                    h.sum,
+                    fin(bucket_quantile(&buckets, h.count, 0.50)),
+                    fin(bucket_quantile(&buckets, h.count, 0.95)),
+                    fin(bucket_quantile(&buckets, h.count, 0.99)),
+                )
+            },
+        ));
+    }
+    rows.sort();
+    let width = rows.iter().map(|(n, _)| n.len()).max().unwrap_or(0);
+    let mut out = String::new();
+    for (name, val) in rows {
+        out.push_str(&format!("{name:<width$}  {val}\n"));
+    }
+    out
+}
+
+fn metrics_main(args: &[String]) {
+    let mut raw = false;
+    let mut addr: Option<&String> = None;
+    for a in args {
+        match a.as_str() {
+            "--raw" => raw = true,
+            "--help" | "-h" => usage(),
+            other if !other.starts_with('-') => {
+                if addr.is_some() {
+                    die("multiple addresses");
+                }
+                addr = Some(a);
+            }
+            other => die(&format!("unknown metrics flag '{other}'")),
+        }
+    }
+    let addr = addr.unwrap_or_else(|| usage());
+    let text = scrape_metrics(addr).unwrap_or_else(|e| die(&format!("scrape {addr}: {e}")));
+    if raw {
+        print!("{text}");
+    } else {
+        print!("{}", pretty_metrics(&text));
     }
 }
 
@@ -509,6 +742,61 @@ mod tests {
         let ps = parse_points("0 0\n4 0\n# comment\n\n0 4\n4 4\n", 2).unwrap();
         assert_eq!(ps.len(), 4);
         assert_eq!(ps.point(2), &[0, 4]);
+    }
+
+    #[test]
+    fn parse_sample_forms() {
+        let s = parse_sample("chull_server_accepts_total 3").unwrap();
+        assert_eq!(s.name, "chull_server_accepts_total");
+        assert!(s.labels.is_empty());
+        assert_eq!(s.value, 3.0);
+        let s = parse_sample("chull_server_request_us_bucket{op=\"insert\",le=\"255\"} 7").unwrap();
+        assert_eq!(s.name, "chull_server_request_us_bucket");
+        assert_eq!(
+            s.labels,
+            vec![
+                ("op".to_string(), "insert".to_string()),
+                ("le".to_string(), "255".to_string())
+            ]
+        );
+        assert!(parse_sample("# HELP nope nope").is_none());
+    }
+
+    #[test]
+    fn pretty_metrics_summarizes_histograms() {
+        let text = "\
+# HELP lat_us latency\n\
+# TYPE lat_us histogram\n\
+lat_us_bucket{le=\"1\"} 5\n\
+lat_us_bucket{le=\"3\"} 9\n\
+lat_us_bucket{le=\"+Inf\"} 10\n\
+lat_us_sum 42\n\
+lat_us_count 10\n\
+# TYPE hits_total counter\n\
+hits_total 7\n";
+        let out = pretty_metrics(text);
+        assert!(out.contains("hits_total"), "{out}");
+        let hist_line = out.lines().find(|l| l.starts_with("lat_us")).unwrap();
+        assert!(hist_line.contains("count=10"), "{hist_line}");
+        assert!(hist_line.contains("sum=42"), "{hist_line}");
+        // p50 of 10 obs: cum 5 at le=1 covers it; p95 and p99 need 9.5/9.9.
+        assert!(hist_line.contains("p50=1"), "{hist_line}");
+        assert!(hist_line.contains("p95=+Inf"), "{hist_line}");
+    }
+
+    #[test]
+    fn pretty_metrics_groups_histograms_by_label() {
+        let text = "\
+# TYPE req_us histogram\n\
+req_us_bucket{op=\"a\",le=\"+Inf\"} 2\n\
+req_us_sum{op=\"a\"} 8\n\
+req_us_count{op=\"a\"} 2\n\
+req_us_bucket{op=\"b\",le=\"+Inf\"} 1\n\
+req_us_sum{op=\"b\"} 3\n\
+req_us_count{op=\"b\"} 1\n";
+        let out = pretty_metrics(text);
+        assert!(out.contains("req_us{op=a}"), "{out}");
+        assert!(out.contains("req_us{op=b}"), "{out}");
     }
 
     #[test]

@@ -11,7 +11,9 @@
 //! * [`core`] — Algorithms 2 and 3, baselines, instrumentation;
 //! * [`apps`] — half-space intersection, circle intersection, Delaunay;
 //! * [`service`] — the long-lived hull server (sharded online hulls,
-//!   batched ingest, snapshot reads, TCP wire protocol).
+//!   batched ingest, snapshot reads, TCP wire protocol);
+//! * [`obs`] — lock-free telemetry (striped counters, log₂ histograms,
+//!   event tracing, Prometheus `/metrics` exposition).
 //!
 //! See `README.md` for a tour and `DESIGN.md`/`EXPERIMENTS.md` for the
 //! paper-to-code map.
@@ -21,4 +23,5 @@ pub use chull_concurrent as concurrent;
 pub use chull_confspace as confspace;
 pub use chull_core as core;
 pub use chull_geometry as geometry;
+pub use chull_obs as obs;
 pub use chull_service as service;

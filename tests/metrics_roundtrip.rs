@@ -1,0 +1,163 @@
+//! End-to-end telemetry exposition: a live server scraped two ways.
+//!
+//! One server, one workload; then the Prometheus text is fetched both
+//! in-band (wire `Metrics` op) and out-of-band (plain HTTP
+//! `GET /metrics`). The two scrapes must expose the same metric
+//! families, every layer the ISSUE demands must be present (queue,
+//! shard pipeline, journal/WAL, kernel, depth, per-op request series),
+//! and the dependence-depth histogram must be non-empty and consistent
+//! with the `Stats` JSON's `dep_depth` gauge (Theorem 4.2's observable:
+//! depth stays logarithmic, so the histogram max is far below n).
+
+use convex_hull_suite::geometry::{generators, PointSet};
+use convex_hull_suite::service::{serve, HullClient, ServeOptions, ServiceConfig};
+use std::collections::BTreeSet;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+fn serve_opts() -> ServeOptions {
+    ServeOptions {
+        addr: "127.0.0.1:0".to_string(),
+        config: ServiceConfig {
+            dim: 2,
+            shards: 2,
+            queue_capacity: 256,
+            max_batch: 32,
+            wal_dir: None,
+        },
+        metrics_addr: Some("127.0.0.1:0".to_string()),
+        ..Default::default()
+    }
+}
+
+fn http_get(addr: std::net::SocketAddr, path: &str) -> String {
+    let mut s = TcpStream::connect(addr).unwrap();
+    write!(s, "GET {path} HTTP/1.0\r\nHost: test\r\n\r\n").unwrap();
+    let mut out = String::new();
+    s.read_to_string(&mut out).unwrap();
+    out
+}
+
+/// Metric family names: every non-comment sample line's bare name with
+/// histogram-part suffixes stripped.
+fn families(text: &str) -> BTreeSet<String> {
+    text.lines()
+        .filter(|l| !l.starts_with('#') && !l.trim().is_empty())
+        .filter_map(|l| l.split([' ', '{']).next())
+        .map(|n| {
+            n.trim_end_matches("_bucket")
+                .trim_end_matches("_sum")
+                .trim_end_matches("_count")
+                .to_string()
+        })
+        .collect()
+}
+
+/// Sum of a histogram family's `_count` samples across label sets.
+fn hist_count(text: &str, family: &str) -> u64 {
+    let prefix = format!("{family}_count");
+    text.lines()
+        .filter(|l| l.starts_with(&prefix))
+        .filter_map(|l| l.rsplit(' ').next())
+        .filter_map(|v| v.parse::<u64>().ok())
+        .sum()
+}
+
+fn json_field(json: &str, key: &str) -> u64 {
+    let pat = format!("\"{key}\":");
+    let at = json.find(&pat).unwrap_or_else(|| panic!("{key} in {json}")) + pat.len();
+    json[at..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect::<String>()
+        .parse()
+        .unwrap()
+}
+
+#[test]
+fn wire_and_http_scrapes_agree_and_cover_every_layer() {
+    let mut server = serve(serve_opts()).unwrap();
+    let maddr = server.metrics_addr().expect("metrics listener requested");
+    let mut c = HullClient::connect(server.local_addr()).unwrap();
+
+    // A workload big enough to exercise queue coalescing, batching, and
+    // a real history graph (depth > 1) on both shards.
+    let pts = PointSet::from_points2(&generators::disk_2d(120, 1 << 18, 77));
+    for (i, p) in pts.iter().enumerate() {
+        let shard = (i % 2) as u16;
+        while !c.insert(shard, p).unwrap() {
+            std::thread::yield_now();
+        }
+    }
+    c.flush(0).unwrap();
+    c.flush(1).unwrap();
+    assert_eq!(c.contains(0, &[0, 0]).unwrap(), Some(true));
+    assert!(c.visible(1, &[1 << 19, 0]).unwrap().is_some());
+
+    let wire_text = c.metrics().unwrap();
+    let http_reply = http_get(maddr, "/metrics");
+    assert!(http_reply.starts_with("HTTP/1.0 200"), "{http_reply}");
+    assert!(
+        http_reply.contains("text/plain; version=0.0.4"),
+        "{http_reply}"
+    );
+    let http_text = http_reply.split("\r\n\r\n").nth(1).unwrap();
+
+    // Same registry, same families, whichever door you come in through.
+    let wf = families(&wire_text);
+    let hf = families(http_text);
+    assert_eq!(wf, hf, "wire and HTTP scrapes expose different families");
+
+    // Every instrumented layer shows up.
+    for family in [
+        "chull_queue_push_total",
+        "chull_queue_pop_batch_items",
+        "chull_service_inserts_enqueued_total",
+        "chull_shard_batches_total",
+        "chull_shard_batch_inserts",
+        "chull_shard_batch_apply_us",
+        "chull_journal_append_us",
+        "chull_wal_sync_us",
+        "chull_shard_queue_depth",
+        "chull_shard_dep_depth",
+        "chull_shard_epoch",
+        "chull_shard_journal_len",
+        "chull_kernel_visibility_tests_total",
+        "chull_insert_dep_depth",
+        "chull_insert_visited_nodes",
+        "chull_server_requests_total",
+        "chull_server_request_us",
+        "chull_server_accepts_total",
+        "chull_service_flushes_total",
+    ] {
+        assert!(wf.contains(family), "family {family} missing:\n{wire_text}");
+    }
+
+    // The depth histogram is non-empty: one record per applied insert
+    // past the seed simplex, on the online engine label.
+    let depth_records = hist_count(&wire_text, "chull_insert_dep_depth");
+    assert!(depth_records > 0, "empty depth histogram:\n{wire_text}");
+
+    // Consistency with the Stats op: the per-shard dep_depth gauge in
+    // the JSON equals the chull_shard_dep_depth gauge at quiescence.
+    for shard in [0u16, 1u16] {
+        let stats = c.stats(Some(shard)).unwrap();
+        let dep = json_field(&stats, "dep_depth");
+        assert!(dep >= 1, "flushed live hull must have depth >= 1: {stats}");
+        let needle = format!("chull_shard_dep_depth{{shard=\"{shard}\"}} {dep}");
+        assert!(
+            wire_text.contains(&needle),
+            "wire scrape lacks `{needle}`:\n{wire_text}"
+        );
+        // Theorem 4.2 sanity: depth is logarithmic, nowhere near n.
+        assert!(dep < 60, "dep_depth {dep} not logarithmic-ish");
+    }
+
+    // Per-op request accounting covered the ops this test issued.
+    for op in ["insert", "flush", "contains", "visible", "stats", "metrics"] {
+        let needle = format!("chull_server_requests_total{{op=\"{op}\"}}");
+        assert!(wire_text.contains(&needle), "missing {needle}");
+    }
+
+    server.shutdown();
+}
