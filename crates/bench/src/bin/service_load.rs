@@ -1,5 +1,5 @@
-//! Load generator for the `chull-service` hull server (experiments E17
-//! and E18).
+//! Load generator for the `chull-service` hull server (experiments E17,
+//! E18 and E20).
 //!
 //! Starts an in-process server on loopback, streams a workload into one
 //! shard from several concurrent client connections, then runs a mixed
@@ -7,7 +7,14 @@
 //! client-observed latency percentiles per workload and writes them to a
 //! JSON file (default `BENCH_service.json`).
 //!
-//! The final workload (E18, `chaos_recovery_2d`) arms a deterministic
+//! The E20 workloads (`batch_apply_*`) A/B the parallel in-shard batch
+//! apply: the same stream goes through the pre-batching v1 serving path
+//! (single inserts, one worker), through v2 `InsertBatch` frames on one
+//! worker (coalescing alone), and through v2 frames on a 4-worker pool
+//! (Algorithm 3 on the serving path) — timed to **applied** (flush
+//! returns), not to enqueue ack.
+//!
+//! The E18 workload (`chaos_recovery_2d`) arms a deterministic
 //! failpoint that kills the shard worker exactly once, mid-stream, and
 //! measures the cost of supervised recovery: journal-replay time, the
 //! degraded-read window a polling reader observes, and the largest
@@ -88,6 +95,7 @@ fn run_workload(
             shards: 1,
             queue_capacity: 4096,
             max_batch: 256,
+            workers: 0,
             wal_dir: None,
         },
         ..Default::default()
@@ -110,7 +118,9 @@ fn run_workload(
                 let rows = &rows;
                 let overloaded = Arc::clone(&overloaded);
                 s.spawn(move || {
-                    let mut client = HullClient::connect(addr).expect("connect");
+                    let mut client = HullClient::builder(addr.to_string())
+                        .connect()
+                        .expect("connect");
                     let policy = RetryPolicy::default();
                     let mut lat = Vec::with_capacity(rows.len() / clients + 1);
                     for row in rows.iter().skip(c).step_by(clients) {
@@ -130,7 +140,9 @@ fn run_workload(
     });
     let ingest_secs = t0.elapsed().as_secs_f64();
 
-    let mut client = HullClient::connect(addr).expect("connect");
+    let mut client = HullClient::builder(addr.to_string())
+        .connect()
+        .expect("connect");
     client.flush(0).expect("flush");
     let snap = client.snapshot(0).expect("snapshot");
     assert_eq!(snap.points.len(), n, "ingest lost points");
@@ -143,7 +155,9 @@ fn run_workload(
             .map(|c| {
                 let rows = &rows;
                 s.spawn(move || {
-                    let mut client = HullClient::connect(addr).expect("connect");
+                    let mut client = HullClient::builder(addr.to_string())
+                        .connect()
+                        .expect("connect");
                     let mut lat = Vec::with_capacity(queries_per_client);
                     for i in 0..queries_per_client {
                         let row = &rows[(i * clients + c) % rows.len()];
@@ -245,6 +259,7 @@ fn run_chaos_recovery(pts: &PointSet, clients: usize) -> String {
             shards: 1,
             queue_capacity: 4096,
             max_batch: 256,
+            workers: 0,
             wal_dir: None,
         },
         ..Default::default()
@@ -272,7 +287,9 @@ fn run_chaos_recovery(pts: &PointSet, clients: usize) -> String {
             let done = Arc::clone(&done);
             let origin = vec![0i64; dim];
             s.spawn(move || {
-                let mut client = HullClient::connect(addr).expect("connect");
+                let mut client = HullClient::builder(addr.to_string())
+                    .connect()
+                    .expect("connect");
                 let mut reads = 0u64;
                 let mut first: Option<Instant> = None;
                 let mut last: Option<Instant> = None;
@@ -296,7 +313,9 @@ fn run_chaos_recovery(pts: &PointSet, clients: usize) -> String {
             .map(|c| {
                 let rows = &rows;
                 s.spawn(move || {
-                    let mut client = HullClient::connect(addr).expect("connect");
+                    let mut client = HullClient::builder(addr.to_string())
+                        .connect()
+                        .expect("connect");
                     let policy = RetryPolicy::default();
                     let mut max_gap = 0u64;
                     let mut last_ack = Instant::now();
@@ -322,7 +341,9 @@ fn run_chaos_recovery(pts: &PointSet, clients: usize) -> String {
     let ingest_secs = t0.elapsed().as_secs_f64();
     failpoint::disarm();
 
-    let mut client = HullClient::connect(addr).expect("connect");
+    let mut client = HullClient::builder(addr.to_string())
+        .connect()
+        .expect("connect");
     client.flush(0).expect("flush");
     let snap = client.snapshot(0).expect("snapshot");
     let stats = client.stats(Some(0)).expect("stats");
@@ -375,6 +396,110 @@ fn run_chaos_recovery(pts: &PointSet, clients: usize) -> String {
          \"bit_identical_after_recovery\": {bit_identical}}}",
         n as f64 / ingest_secs,
     )
+}
+
+/// One E20 arm: stream `pts` into shard 0 and time until **applied**
+/// (ingest + flush), so the figure measures the apply engine, not just
+/// enqueue acks. `batch` = 0 streams per-point over the v1 op (the
+/// pre-batching serving path); otherwise points go in `batch`-sized
+/// v2 `InsertBatch` frames. Returns applied points/sec plus the shard's
+/// drain-continuation-round count.
+fn run_applied_ingest(pts: &PointSet, clients: usize, batch: usize, workers: usize) -> (f64, u64) {
+    let dim = pts.dim();
+    let n = pts.len();
+    let mut server = serve(ServeOptions {
+        config: ServiceConfig {
+            dim,
+            shards: 1,
+            queue_capacity: 4096,
+            max_batch: 256,
+            workers,
+            wal_dir: None,
+        },
+        ..Default::default()
+    })
+    .expect("bind loopback");
+    let addr = server.local_addr();
+    let rows: Vec<Vec<i64>> = (0..n).map(|i| pts.point(i).to_vec()).collect();
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        for c in 0..clients {
+            let rows = &rows;
+            s.spawn(move || {
+                let mut client = HullClient::builder(addr.to_string())
+                    .connect()
+                    .expect("connect");
+                let mine: Vec<Vec<i64>> = rows.iter().skip(c).step_by(clients).cloned().collect();
+                if batch == 0 {
+                    let policy = RetryPolicy::default();
+                    for row in &mine {
+                        client.insert_retry(0, row, &policy).expect("insert");
+                    }
+                } else {
+                    for chunk in mine.chunks(batch) {
+                        client.insert_batch(0, chunk).expect("insert batch");
+                    }
+                }
+            });
+        }
+    });
+    let mut client = HullClient::builder(addr.to_string())
+        .connect()
+        .expect("connect");
+    client.flush(0).expect("flush");
+    let applied_secs = t0.elapsed().as_secs_f64();
+    assert_eq!(
+        client.snapshot(0).expect("snapshot").points.len(),
+        n,
+        "applied ingest lost points"
+    );
+    let stats = client.stats(Some(0)).expect("stats");
+    let drain_rounds = stats
+        .split("\"queue_drain_rounds\":")
+        .nth(1)
+        .and_then(|s| s.split([',', '}']).next())
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    server.shutdown();
+    (n as f64 / applied_secs, drain_rounds)
+}
+
+/// E20: parallel in-shard batch apply A/B. Per workload: a single-insert
+/// baseline (v1 op, 1 worker — the pre-batching serving path), batched
+/// frames on 1 worker (isolates coalescing from parallelism), and
+/// batched frames on a ≥4-worker pool (Algorithm 3 on the serving
+/// path). Returns pre-formatted JSON rows.
+fn run_batch_apply_ab(name: &str, pts: &PointSet, clients: usize, batch: usize) -> Vec<String> {
+    let dim = pts.dim();
+    let n = pts.len();
+    let (single_ps, single_rounds) = run_applied_ingest(pts, clients, 0, 1);
+    let arms = [
+        ("single_insert_w1", 0, 1, single_ps, single_rounds),
+        {
+            let (ps, rounds) = run_applied_ingest(pts, clients, batch, 1);
+            ("batched_w1", batch, 1, ps, rounds)
+        },
+        {
+            let (ps, rounds) = run_applied_ingest(pts, clients, batch, 4);
+            ("batched_w4", batch, 4, ps, rounds)
+        },
+    ];
+    arms.iter()
+        .map(|(mode, b, workers, ps, rounds)| {
+            let speedup = ps / single_ps;
+            println!(
+                "{:<28} {:>8} pts  {:>10.0} applied/s  ({mode}, batch {b}, {workers} workers, {speedup:.2}x vs single-insert, {rounds} drain rounds)",
+                name, n, ps
+            );
+            format!(
+                "  {{\"workload\": \"{name}\", \"dim\": {dim}, \"n_points\": {n}, \
+                 \"clients\": {clients}, \"mode\": \"{mode}\", \"batch\": {b}, \
+                 \"workers\": {workers}, \"applied_per_sec\": {ps:.0}, \
+                 \"speedup_vs_single_insert\": {speedup:.2}, \
+                 \"queue_drain_rounds\": {rounds}}}"
+            )
+        })
+        .collect()
 }
 
 fn write_json(path: &str, results: &[LoadResult], extra_rows: &[String]) -> std::io::Result<()> {
@@ -471,7 +596,22 @@ fn main() {
             q,
         ),
     ];
-    let chaos = run_chaos_recovery(&generators::cube_d(2, n2, 1_000_000, 77), clients);
-    write_json(&out_path, &results, &[chaos]).expect("writing results");
+    let mut extra = run_batch_apply_ab(
+        "batch_apply_3d",
+        &generators::ball_d(3, n3, 1_000_000, 42),
+        clients,
+        if quick { 64 } else { 256 },
+    );
+    extra.extend(run_batch_apply_ab(
+        "batch_apply_2d",
+        &generators::cube_d(2, n2, 1_000_000, 42),
+        clients,
+        if quick { 64 } else { 256 },
+    ));
+    extra.push(run_chaos_recovery(
+        &generators::cube_d(2, n2, 1_000_000, 77),
+        clients,
+    ));
+    write_json(&out_path, &results, &extra).expect("writing results");
     println!("wrote {out_path}");
 }

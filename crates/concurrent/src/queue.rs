@@ -216,6 +216,26 @@ impl<T> BoundedQueue<T> {
         }
     }
 
+    /// Like [`BoundedQueue::pop_batch`] but never blocks: an empty queue
+    /// returns `0` immediately (whether open or closed). The consumer's
+    /// continuation primitive — after processing one batch it can keep
+    /// draining a deep backlog without touching the condvar wait path.
+    pub fn try_pop_batch(&self, max: usize, out: &mut Vec<T>) -> usize {
+        let max = max.max(1);
+        let mut g = self.inner.lock().unwrap();
+        if g.items.is_empty() {
+            return 0;
+        }
+        let take = g.items.len().min(max);
+        out.extend(g.items.drain(..take));
+        drop(g);
+        self.not_full.notify_all();
+        if chull_obs::armed() {
+            metrics().batch_items.record(take as u64);
+        }
+        take
+    }
+
     /// Like [`BoundedQueue::pop_batch`] but gives up after `timeout` if
     /// nothing arrives, returning `0` with the queue still open.
     pub fn pop_batch_timeout(&self, max: usize, out: &mut Vec<T>, timeout: Duration) -> usize {
@@ -320,6 +340,22 @@ mod tests {
         assert_eq!(q.pop(), Some(1));
         h.join().unwrap().unwrap();
         assert_eq!(q.pop(), Some(2));
+    }
+
+    #[test]
+    fn try_pop_batch_never_blocks() {
+        let q = BoundedQueue::new(8);
+        let mut out = Vec::new();
+        assert_eq!(q.try_pop_batch(4, &mut out), 0, "empty and open");
+        for i in 0..6 {
+            q.try_push(i).unwrap();
+        }
+        assert_eq!(q.try_pop_batch(4, &mut out), 4);
+        assert_eq!(out, vec![0, 1, 2, 3]);
+        assert_eq!(q.try_pop_batch(4, &mut out), 2);
+        q.close();
+        assert_eq!(q.try_pop_batch(4, &mut out), 0, "empty and closed");
+        assert_eq!(out, vec![0, 1, 2, 3, 4, 5]);
     }
 
     #[test]

@@ -13,7 +13,21 @@
 //! is written before the slot is published (`Release`), so readers that
 //! observe `FULL` (`Acquire`) see initialized data — the Rust-safe rendering
 //! of the paper's "CAS in the pointer of the key-value pair".
+//!
+//! ## Growable mode
+//!
+//! [`RidgeMapCas::growable_with_capacity`] attaches a sharded locked map
+//! ([`RidgeMapLocked`]) as an **overflow tier**: when the ring fills, both
+//! inserters of a key route to the overflow consistently, so the
+//! exactly-one-loser guarantee survives exhaustion instead of panicking.
+//! The serving path (`OnlineHull::insert_batch_par`) depends on this — a
+//! panic-on-full map inside recovery replay would crash-loop the shard
+//! supervisor. Consistent routing holds because a probed slot is only
+//! passed over when it was non-`EMPTY`, and slots never empty out: a full
+//! ring is permanently full, so either inserter of a key finds its partner
+//! in-ring (via `wait_full` + key check) or both exhaust the same ring.
 
+use crate::ridge_map_locked::RidgeMapLocked;
 use std::cell::UnsafeCell;
 use std::hash::{BuildHasher, BuildHasherDefault, Hash};
 use std::mem::MaybeUninit;
@@ -50,6 +64,9 @@ pub struct RidgeMapCas<K> {
     slots: Box<[Slot<K>]>,
     mask: usize,
     hasher: BuildHasherDefault<FxLikeHasher>,
+    /// Overflow tier for growable mode; `None` keeps the paper's
+    /// fixed-capacity behavior (panic when full).
+    overflow: Option<RidgeMapLocked<K>>,
 }
 
 // SAFETY: all access to `data` is synchronized through `state`
@@ -63,6 +80,20 @@ impl<K: Hash + Eq + Copy> RidgeMapCas<K> {
     /// The table is sized to the next power of two at least `2 * capacity`
     /// so that linear-probe chains stay short.
     pub fn with_capacity(capacity: usize) -> RidgeMapCas<K> {
+        Self::build(capacity, false)
+    }
+
+    /// Like [`with_capacity`](RidgeMapCas::with_capacity), but ring
+    /// exhaustion routes to a locked overflow tier instead of panicking.
+    /// `capacity` is the fast-path size hint; correctness no longer depends
+    /// on it. This is the shared-growth API the batch-insert serving path
+    /// requires (a sizing misestimate must degrade to slower inserts, never
+    /// to a panic inside the shard supervisor's replay).
+    pub fn growable_with_capacity(capacity: usize) -> RidgeMapCas<K> {
+        Self::build(capacity, true)
+    }
+
+    fn build(capacity: usize, growable: bool) -> RidgeMapCas<K> {
         let size = (capacity.max(4) * 2).next_power_of_two();
         let slots: Vec<Slot<K>> = (0..size)
             .map(|_| Slot {
@@ -75,6 +106,11 @@ impl<K: Hash + Eq + Copy> RidgeMapCas<K> {
             slots: slots.into_boxed_slice(),
             mask: size - 1,
             hasher: BuildHasherDefault::default(),
+            overflow: if growable {
+                Some(RidgeMapLocked::with_capacity(64))
+            } else {
+                None
+            },
         }
     }
 
@@ -137,18 +173,31 @@ impl<K: Hash + Eq + Copy> RidgeMapCas<K> {
                 }
             }
         }
-        panic!("RidgeMapCas is full; size it with the expected ridge count");
+        // Ring exhausted: every slot was non-EMPTY when probed and none held
+        // our key. Slots never empty out, so the partner insert either also
+        // exhausts (and meets us in the overflow) or already found / will
+        // find our overflow-routed entry absent from the ring and exhaust
+        // too — routing is consistent per key.
+        match &self.overflow {
+            Some(of) => of.insert_and_set(key, value),
+            None => panic!("RidgeMapCas is full; size it with the expected ridge count"),
+        }
     }
 
     /// `GetValue(r, t)` (Algorithm 4): the value associated with `key` that
     /// is not `not`. Must only be called after some `insert_and_set(key, _)`
     /// returned `false`; the partner value is then guaranteed visible.
     pub fn get_value(&self, key: K, not: u32) -> u32 {
+        // Bounded ring walk: both inserts for `key` happened-before this
+        // call, and a key slot's probe prefix is non-EMPTY forever after
+        // its insert — so hitting EMPTY (or exhausting the ring) proves the
+        // key lives in the overflow tier, if anywhere.
         let mut i = self.start_index(&key);
-        loop {
+        for _probe in 0..=self.mask {
             let slot = &self.slots[i];
-            let state = slot.state.load(Ordering::Acquire);
-            assert_ne!(state, EMPTY, "get_value on a key that was never inserted");
+            if slot.state.load(Ordering::Acquire) == EMPTY {
+                break;
+            }
             self.wait_full(i);
             let (k, first) = unsafe { *(*slot.data.get()).assume_init_ref() };
             if k == key {
@@ -161,6 +210,10 @@ impl<K: Hash + Eq + Copy> RidgeMapCas<K> {
             }
             i = (i + 1) & self.mask;
         }
+        match &self.overflow {
+            Some(of) => of.get_value(key, not),
+            None => panic!("get_value on a key that was never inserted"),
+        }
     }
 
     /// Look up the first value stored for `key`, if any (test helper; not
@@ -170,7 +223,7 @@ impl<K: Hash + Eq + Copy> RidgeMapCas<K> {
         for _probe in 0..=self.mask {
             let slot = &self.slots[i];
             match slot.state.load(Ordering::Acquire) {
-                EMPTY => return None,
+                EMPTY => break,
                 _ => {
                     self.wait_full(i);
                     let (k, v) = unsafe { *(*slot.data.get()).assume_init_ref() };
@@ -181,7 +234,7 @@ impl<K: Hash + Eq + Copy> RidgeMapCas<K> {
                 }
             }
         }
-        None
+        self.overflow.as_ref().and_then(|of| of.first_value(&key))
     }
 }
 
@@ -291,6 +344,67 @@ mod tests {
         let m: RidgeMapCas<u64> = RidgeMapCas::with_capacity(4);
         for k in 0..m.capacity() as u64 + 1 {
             m.insert_and_set(k, 1);
+        }
+    }
+
+    #[test]
+    fn growable_absorbs_ring_exhaustion() {
+        let m: RidgeMapCas<u64> = RidgeMapCas::growable_with_capacity(4);
+        let keys = m.capacity() as u64 * 8;
+        for k in 0..keys {
+            assert!(m.insert_and_set(k, k as u32 + 1));
+        }
+        for k in 0..keys {
+            assert!(!m.insert_and_set(k, 100_000 + k as u32));
+            assert_eq!(m.get_value(k, 100_000 + k as u32), k as u32 + 1);
+            assert_eq!(m.get_value(k, k as u32 + 1), 100_000 + k as u32);
+            assert_eq!(m.first_value(k), Some(k as u32 + 1));
+        }
+        assert_eq!(m.first_value(keys + 7), None);
+    }
+
+    #[test]
+    fn growable_concurrent_one_loser_under_pressure() {
+        // Tiny base ring so most keys land in the overflow tier; the
+        // exactly-one-loser invariant must survive the mixed placement.
+        let keys: usize = 1 << 10;
+        let m: Arc<RidgeMapCas<u64>> = Arc::new(RidgeMapCas::growable_with_capacity(8));
+        let threads = 8;
+        let handles: Vec<std::thread::JoinHandle<Vec<(u64, u32, u32)>>> = (0..threads)
+            .map(|t| {
+                let m = Arc::clone(&m);
+                std::thread::spawn(move || {
+                    let mut lost = Vec::new();
+                    for k in 0..keys as u64 {
+                        let first_owner = (k as usize) % threads;
+                        let second_owner = (first_owner + threads / 2) % threads;
+                        let my_value = if t == first_owner {
+                            Some((t as u32 + 1) * 1_000_000 + k as u32)
+                        } else if t == second_owner {
+                            Some((t as u32 + 1) * 1_000_000 + 500_000 + k as u32)
+                        } else {
+                            None
+                        };
+                        if let Some(v) = my_value {
+                            if !m.insert_and_set(k, v) {
+                                let partner = m.get_value(k, v);
+                                lost.push((k, v, partner));
+                            }
+                        }
+                    }
+                    lost
+                })
+            })
+            .collect();
+        let mut losses_per_key = vec![0usize; keys];
+        for h in handles {
+            for (k, mine, partner) in h.join().unwrap() {
+                losses_per_key[k as usize] += 1;
+                assert_ne!(mine, partner);
+            }
+        }
+        for (k, &c) in losses_per_key.iter().enumerate() {
+            assert_eq!(c, 1, "key {k} had {c} losers; expected exactly 1");
         }
     }
 }

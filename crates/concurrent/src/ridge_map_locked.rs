@@ -83,6 +83,15 @@ impl<K: Hash + Eq> RidgeMapLocked<K> {
         }
     }
 
+    /// The first (winning) value stored for `key`, if any — supports the
+    /// lock-free maps' `first_value` diagnostics when this map serves as
+    /// their overflow tier.
+    pub fn first_value(&self, key: &K) -> Option<u32> {
+        let shard = self.shard(key);
+        let guard = self.shards[shard].lock().unwrap();
+        guard.get(key).map(|&(a, _)| a)
+    }
+
     /// Number of distinct keys (diagnostics).
     pub fn len(&self) -> usize {
         self.shards.iter().map(|s| s.lock().unwrap().len()).sum()

@@ -18,6 +18,21 @@
 //! `written` flag published with `Release` after the data write: a reader
 //! finding `taken && !written` treats the slot exactly as the paper's
 //! "key not yet visible" case and keeps probing.
+//!
+//! ## Growable mode
+//!
+//! [`RidgeMapTas::growable_with_capacity`] attaches a locked overflow tier
+//! so ring exhaustion degrades to slower inserts instead of a panic (the
+//! serving path's requirement; see `ridge_map_cas` module docs). The
+//! tie-break when one inserter claims a base slot and its partner exhausts
+//! the ring: the **exhausted (overflow-routed) inserter is the loser**. An
+//! exhausted inserter first records its value in the overflow (losing there
+//! if its partner already did), then scans the — permanently — full ring
+//! waiting out unwritten slots; finding its key means the partner holds a
+//! base slot and wins. A base claimant whose bounded second pass ends with
+//! no failed `check`-TAS is the winner: any exhausted partner self-declares
+//! loser without touching `check`, and its value is reachable through the
+//! overflow by `get_value`'s bounded-scan-then-overflow fallthrough.
 
 use std::cell::UnsafeCell;
 use std::hash::{BuildHasher, BuildHasherDefault, Hash};
@@ -25,6 +40,7 @@ use std::mem::MaybeUninit;
 use std::sync::atomic::{AtomicBool, Ordering};
 
 use crate::ridge_map_cas::FxLikeHasher;
+use crate::ridge_map_locked::RidgeMapLocked;
 
 struct TasSlot<K> {
     taken: AtomicBool,
@@ -38,6 +54,9 @@ pub struct RidgeMapTas<K> {
     slots: Box<[TasSlot<K>]>,
     mask: usize,
     hasher: BuildHasherDefault<FxLikeHasher>,
+    /// Overflow tier for growable mode; `None` keeps the paper's
+    /// fixed-capacity behavior (panic when full).
+    overflow: Option<RidgeMapLocked<K>>,
 }
 
 // SAFETY: `data` is written only by the unique claimant of `taken`, before
@@ -49,6 +68,17 @@ impl<K: Hash + Eq + Copy> RidgeMapTas<K> {
     /// Create a map able to hold at least `capacity` distinct keys
     /// (each key occupies **two** slots, one per incident facet).
     pub fn with_capacity(capacity: usize) -> RidgeMapTas<K> {
+        Self::build(capacity, false)
+    }
+
+    /// Like [`with_capacity`](RidgeMapTas::with_capacity), but ring
+    /// exhaustion routes to a locked overflow tier instead of panicking
+    /// (see module docs for the loser tie-break protocol).
+    pub fn growable_with_capacity(capacity: usize) -> RidgeMapTas<K> {
+        Self::build(capacity, true)
+    }
+
+    fn build(capacity: usize, growable: bool) -> RidgeMapTas<K> {
         // Two slots per key plus headroom for probe chains.
         let size = (capacity.max(4) * 4).next_power_of_two();
         let slots: Vec<TasSlot<K>> = (0..size)
@@ -63,6 +93,11 @@ impl<K: Hash + Eq + Copy> RidgeMapTas<K> {
             slots: slots.into_boxed_slice(),
             mask: size - 1,
             hasher: BuildHasherDefault::default(),
+            overflow: if growable {
+                Some(RidgeMapLocked::with_capacity(64))
+            } else {
+                None
+            },
         }
     }
 
@@ -83,6 +118,21 @@ impl<K: Hash + Eq + Copy> RidgeMapTas<K> {
         !flag.swap(true, Ordering::AcqRel)
     }
 
+    /// Spin until the claimed slot's data is published (claimants write
+    /// promptly after winning `taken`, so this is short).
+    #[inline]
+    fn wait_written(&self, i: usize) {
+        let mut spins = 0u32;
+        while !self.slots[i].written.load(Ordering::Acquire) {
+            spins += 1;
+            if spins < 64 {
+                std::hint::spin_loop();
+            } else {
+                std::thread::yield_now();
+            }
+        }
+    }
+
     /// `InsertAndSet(r, t)` (Algorithm 5). Returns `true` if this call was
     /// the first for `key`, `false` if it was the second (the loser).
     pub fn insert_and_set(&self, key: K, value: u32) -> bool {
@@ -92,7 +142,12 @@ impl<K: Hash + Eq + Copy> RidgeMapTas<K> {
         while !Self::test_and_set(&self.slots[i].taken) {
             i = (i + 1) & self.mask;
             probes += 1;
-            assert!(probes <= self.mask, "RidgeMapTas is full");
+            if probes > self.mask {
+                return match &self.overflow {
+                    Some(_) => self.insert_overflow(key, value),
+                    None => panic!("RidgeMapTas is full"),
+                };
+            }
         }
         let slot = &self.slots[i];
         unsafe { (*slot.data.get()).write((key, value)) };
@@ -102,6 +157,7 @@ impl<K: Hash + Eq + Copy> RidgeMapTas<K> {
         // holding our key. Failing the TAS means the partner got there
         // first: we are the unique loser.
         let mut i = self.start_index(&key);
+        let mut probes = 0usize;
         loop {
             let slot = &self.slots[i];
             if !slot.taken.load(Ordering::Acquire) {
@@ -117,7 +173,47 @@ impl<K: Hash + Eq + Copy> RidgeMapTas<K> {
             // `taken && !written`: the paper's "data not yet visible" case —
             // skip; both parties will meet at a later slot of this key.
             i = (i + 1) & self.mask;
+            probes += 1;
+            if probes > self.mask && self.overflow.is_some() {
+                // Full ring scanned without losing a check-TAS: winner. An
+                // exhausted partner self-declares loser via the overflow
+                // path and never touches `check`, so finishing the scan
+                // unbeaten is decisive. (The fixed-capacity map keeps the
+                // paper's unbounded scan; it panics on first-pass overflow
+                // long before a full ring is reachable here.)
+                return true;
+            }
         }
+    }
+
+    /// Slow path for an inserter that found the ring permanently full: the
+    /// overflow tier decides between two exhausted inserters, and an
+    /// exhausted inserter always loses to a base-slot partner.
+    fn insert_overflow(&self, key: K, value: u32) -> bool {
+        let of = self
+            .overflow
+            .as_ref()
+            .expect("insert_overflow in fixed mode");
+        // Record our value first so that, if we end up the winner, the
+        // loser's get_value fallthrough can find it in the overflow.
+        if !of.insert_and_set(key, value) {
+            // Partner exhausted too and beat us there: unique loser.
+            return false;
+        }
+        // The ring is full and stays full; wait out any in-flight writes and
+        // look for a base-slot partner, who wins by tie-break.
+        let mut i = self.start_index(&key);
+        for _probe in 0..=self.mask {
+            self.wait_written(i);
+            let (k, _) = unsafe { (*self.slots[i].data.get()).assume_init_ref() };
+            if *k == key {
+                return false;
+            }
+            i = (i + 1) & self.mask;
+        }
+        // No base partner: either none arrives, or it will also exhaust and
+        // lose in the overflow. We are the winner.
+        true
     }
 
     /// `GetValue(r, t)` (Algorithm 5): scan for a value associated with
@@ -126,12 +222,23 @@ impl<K: Hash + Eq + Copy> RidgeMapTas<K> {
     /// (Theorem A.2).
     pub fn get_value(&self, key: K, not: u32) -> u32 {
         let mut i = self.start_index(&key);
+        let mut probes = 0usize;
         loop {
             let slot = &self.slots[i];
-            assert!(
-                slot.taken.load(Ordering::Acquire),
-                "get_value: key absent from RidgeMapTas"
-            );
+            if !slot.taken.load(Ordering::Acquire) {
+                // Untaken terminator: the partner's entry, if it exists in
+                // the ring, would sit on an unbroken taken chain from the
+                // start index — so it can only be in the overflow.
+                match &self.overflow {
+                    Some(of) => return of.get_value(key, not),
+                    None => panic!("get_value: key absent from RidgeMapTas"),
+                }
+            }
+            if self.overflow.is_some() {
+                // Growable mode can afford to wait the write out; a skipped
+                // in-flight slot would otherwise force a ring restart.
+                self.wait_written(i);
+            }
             if slot.written.load(Ordering::Acquire) {
                 let (k, v) = unsafe { *(*slot.data.get()).assume_init_ref() };
                 if k == key && v != not {
@@ -139,6 +246,12 @@ impl<K: Hash + Eq + Copy> RidgeMapTas<K> {
                 }
             }
             i = (i + 1) & self.mask;
+            probes += 1;
+            if probes > self.mask {
+                if let Some(of) = &self.overflow {
+                    return of.get_value(key, not);
+                }
+            }
         }
     }
 }
@@ -191,6 +304,64 @@ mod tests {
         }
         for k in 0..64u64 {
             assert_eq!(m.get_value(k, k as u32 * 2 + 1), k as u32 * 2);
+        }
+    }
+
+    #[test]
+    fn growable_absorbs_ring_exhaustion() {
+        let m: RidgeMapTas<u64> = RidgeMapTas::growable_with_capacity(4);
+        // Each key takes two slots; overfill well past the ring.
+        let keys = m.capacity() as u64 * 4;
+        for k in 0..keys {
+            assert!(m.insert_and_set(k, k as u32 + 1));
+        }
+        for k in 0..keys {
+            assert!(!m.insert_and_set(k, 100_000 + k as u32));
+            assert_eq!(m.get_value(k, 100_000 + k as u32), k as u32 + 1);
+            assert_eq!(m.get_value(k, k as u32 + 1), 100_000 + k as u32);
+        }
+    }
+
+    #[test]
+    fn growable_concurrent_one_loser_under_pressure() {
+        let keys: usize = 1 << 10;
+        let m: Arc<RidgeMapTas<u64>> = Arc::new(RidgeMapTas::growable_with_capacity(8));
+        let threads = 8;
+        let handles: Vec<std::thread::JoinHandle<Vec<(u64, u32, u32)>>> = (0..threads)
+            .map(|t| {
+                let m = Arc::clone(&m);
+                std::thread::spawn(move || {
+                    let mut lost = Vec::new();
+                    for k in 0..keys as u64 {
+                        let first_owner = (k as usize) % threads;
+                        let second_owner = (first_owner + threads / 2) % threads;
+                        let my_value = if t == first_owner {
+                            Some((t as u32 + 1) * 1_000_000 + k as u32)
+                        } else if t == second_owner {
+                            Some((t as u32 + 1) * 1_000_000 + 500_000 + k as u32)
+                        } else {
+                            None
+                        };
+                        if let Some(v) = my_value {
+                            if !m.insert_and_set(k, v) {
+                                let partner = m.get_value(k, v);
+                                lost.push((k, v, partner));
+                            }
+                        }
+                    }
+                    lost
+                })
+            })
+            .collect();
+        let mut losses_per_key = vec![0usize; keys];
+        for h in handles {
+            for (k, mine, partner) in h.join().unwrap() {
+                losses_per_key[k as usize] += 1;
+                assert_ne!(mine, partner);
+            }
+        }
+        for (k, &c) in losses_per_key.iter().enumerate() {
+            assert_eq!(c, 1, "key {k} had {c} losers; expected exactly 1");
         }
     }
 

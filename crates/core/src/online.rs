@@ -23,6 +23,33 @@ use std::collections::HashMap;
 /// Sentinel facet id.
 const NO_FACET: u32 = u32::MAX;
 
+/// Batches smaller than this insert sequentially in
+/// [`OnlineHull::insert_batch_par`]: the parallel path pays an
+/// `O(|hull| · batch)` conflict-seeding cost that only amortizes for real
+/// batches. The cutoff depends solely on the batch length, so a journal
+/// replay re-derives the same sequential/parallel decision per batch.
+pub const MIN_PAR_BATCH: usize = 8;
+
+/// Telemetry summary of the most recent [`OnlineHull::insert_batch_par`]
+/// call that took the parallel path (all zeros after a sequential-path
+/// batch or before any batch). `busy_ns / wall_ns` of the call is the
+/// realized parallelism; `chull-service` exposes these as shard gauges.
+#[derive(Clone, Copy, Default)]
+pub struct BatchTelemetry {
+    /// Points in the batch.
+    pub batch_len: usize,
+    /// Facets the batch created (alive or since buried within the batch).
+    pub created: usize,
+    /// Maximum `ProcessRidge` recursion depth (Theorem 5.3's `O(log n)`).
+    pub recursion_depth: u64,
+    /// Ridges buried during the recursion (Algorithm 3 line 12).
+    pub buried: u64,
+    /// Facets replaced during the recursion (Algorithm 3 line 15).
+    pub replaced: u64,
+    /// Task-busy nanoseconds (0 unless `chull-obs` is armed).
+    pub busy_ns: u64,
+}
+
 #[derive(Clone)]
 struct OFacet {
     verts: FacetVerts,
@@ -64,6 +91,8 @@ pub struct OnlineHull {
     pub kernel: KernelCounts,
     /// Deepest facet created so far (see `OFacet::depth`).
     dep_depth: u32,
+    /// Telemetry of the last parallel batch insert (see [`BatchTelemetry`]).
+    pub last_batch: BatchTelemetry,
 }
 
 impl OnlineHull {
@@ -101,6 +130,7 @@ impl OnlineHull {
             last_visited: 0,
             kernel: KernelCounts::default(),
             dep_depth: 0,
+            last_batch: BatchTelemetry::default(),
         };
         for omit in 0..=dim {
             let verts: Vec<u32> = simplex
@@ -273,6 +303,148 @@ impl OnlineHull {
         true
     }
 
+    /// Insert a whole batch of points as **one parallel step** — Algorithm 3
+    /// (`ProcessRidge` recursion, Theorem 5.5) run from the current hull
+    /// instead of the initial simplex, on a pool of `threads` workers
+    /// (`0` = auto). Returns one flag per point, `true` iff that point
+    /// extended the hull — exactly what [`OnlineHull::insert`] would have
+    /// returned inserting the batch one point at a time in slice order.
+    ///
+    /// The resulting hull (facet set, ids, adjacency, history graph,
+    /// dependence depths, kernel counters) is identical for every
+    /// `threads` value: created facets are integrated in canonical
+    /// `(creator, verts)` order, which is schedule-independent. Batches
+    /// shorter than [`MIN_PAR_BATCH`] take the sequential path.
+    ///
+    /// Kernel counters follow the *offline* (conflict-list) counting
+    /// regime — `(batch size) × (alive facets)` seeding tests plus the
+    /// recursion's merge tests — which differs from the online locate
+    /// counting that per-point [`OnlineHull::insert`] performs; both are
+    /// deterministic, but they are not comparable across paths.
+    pub fn insert_batch_par(&mut self, points: &[Vec<i64>], threads: usize) -> Vec<bool> {
+        for p in points {
+            assert_eq!(p.len(), self.dim, "point of wrong dimension");
+        }
+        self.last_batch = BatchTelemetry::default();
+        if points.len() < MIN_PAR_BATCH {
+            return points.iter().map(|p| self.insert(p)).collect();
+        }
+        let threads = if threads == 0 {
+            chull_concurrent::pool::default_threads()
+        } else {
+            threads
+        };
+        let base = self.pts.len() as u32;
+        for p in points {
+            self.pts.push(p);
+        }
+        let batch_ids: Vec<u32> = (base..base + points.len() as u32).collect();
+
+        // Seed slots: alive facets in facet-id order.
+        let mut seed_ids: Vec<u32> = Vec::new();
+        let mut slot_of = vec![NO_FACET; self.facets.len()];
+        for (id, f) in self.facets.iter().enumerate() {
+            if f.alive {
+                slot_of[id] = seed_ids.len() as u32;
+                seed_ids.push(id as u32);
+            }
+        }
+        let seed_verts: Vec<FacetVerts> = seed_ids
+            .iter()
+            .map(|&id| self.facets[id as usize].verts)
+            .collect();
+        let mut ridges: Vec<(u32, RidgeKey, u32)> = self
+            .adj
+            .iter()
+            .map(|(&r, &pair)| {
+                debug_assert!(
+                    pair[0] != NO_FACET && pair[1] != NO_FACET,
+                    "hull not closed"
+                );
+                (slot_of[pair[0] as usize], r, slot_of[pair[1] as usize])
+            })
+            .collect();
+        // HashMap iteration order is arbitrary; sort by ridge key so the
+        // spawn order (and any armed telemetry) is reproducible. The hull
+        // outcome is schedule-independent either way.
+        ridges.sort_unstable_by_key(|&(_, r, _)| r);
+
+        let run = {
+            let simplex: Vec<u32> = (0..=self.dim as u32).collect();
+            // Same seed ids and interior centroid as `OnlineHull::new`, so
+            // every `make_facet` sign is bit-identical to this hull's own.
+            let ctx = crate::context::HullContext::new(&self.pts, &simplex);
+            crate::par::batch::run_batch(ctx, &seed_verts, &ridges, &batch_ids, threads)
+        };
+        self.last_batch = BatchTelemetry {
+            batch_len: points.len(),
+            created: run.created.len(),
+            recursion_depth: run.recursion_depth,
+            buried: run.buried,
+            replaced: run.replaced,
+            busy_ns: run.busy_ns,
+        };
+
+        // Integrate. Kill replaced pre-batch facets before registering any
+        // new adjacency, so shared ridges never see three incidents.
+        for &slot in &run.dead_seeds {
+            let id = seed_ids[slot as usize];
+            self.facets[id as usize].alive = false;
+            self.remove_from_adj(id);
+        }
+        let pre_len = self.facets.len() as u32;
+        let seed_count = seed_ids.len() as u32;
+        let mut accepted = vec![false; points.len()];
+        let mut batch_depth = 0u32;
+        for cf in run.created {
+            let id = self.facets.len() as u32;
+            let resolve = |p: u32| -> u32 {
+                if p < seed_count {
+                    seed_ids[p as usize]
+                } else {
+                    pre_len + (p - seed_count)
+                }
+            };
+            let (t1, t2) = (resolve(cf.parents[0]), resolve(cf.parents[1]));
+            let depth = 1 + self.facets[t1 as usize]
+                .depth
+                .max(self.facets[t2 as usize].depth);
+            batch_depth = batch_depth.max(depth);
+            self.dep_depth = self.dep_depth.max(depth);
+            accepted[(cf.creator - base) as usize] = true;
+            self.facets.push(OFacet {
+                verts: cf.verts,
+                visible_sign: cf.visible_sign,
+                plane: cf.plane,
+                alive: !cf.dead,
+                children: Vec::new(),
+                depth,
+            });
+            if !cf.dead {
+                for omit in 0..self.dim {
+                    let r = ridge_omitting(&cf.verts, self.dim, omit);
+                    let entry = self.adj.entry(r).or_insert([NO_FACET, NO_FACET]);
+                    if entry[0] == NO_FACET {
+                        entry[0] = id;
+                    } else {
+                        debug_assert_eq!(entry[1], NO_FACET);
+                        entry[1] = id;
+                    }
+                }
+            }
+            self.facets[t1 as usize].children.push(id);
+            self.facets[t2 as usize].children.push(id);
+        }
+        self.kernel.merge(&run.counts);
+        self.last_visited = 0;
+        if chull_obs::armed() {
+            crate::telemetry::engine_metrics()
+                .online_insert_depth
+                .record(batch_depth as u64);
+        }
+        accepted
+    }
+
     /// Deepest dependence chain over all facets ever created: the
     /// observed `D(G(S))` this hull has realized, directly comparable
     /// to the `σ·H_n` whp bound of Theorem 4.2. Seeds count 1.
@@ -401,7 +573,7 @@ enum BuilderState {
         pts: Vec<Vec<i64>>,
         basis: Vec<usize>,
     },
-    Live(OnlineHull),
+    Live(Box<OnlineHull>),
 }
 
 impl HullBuilder {
@@ -455,13 +627,63 @@ impl HullBuilder {
                             hull.insert(q);
                         }
                     }
-                    self.state = BuilderState::Live(hull);
+                    self.state = BuilderState::Live(Box::new(hull));
                 }
             }
             BuilderState::Live(hull) => {
                 hull.insert(p);
             }
         }
+    }
+
+    /// Accept a batch of arrivals as one unit: while bootstrapping, points
+    /// feed through [`HullBuilder::push`] singly (affine-rank growth is
+    /// inherently sequential); once live, the remainder of the batch goes
+    /// through [`OnlineHull::insert_batch_par`] in a single parallel step.
+    /// The bootstrap/parallel split depends only on the arrival sequence,
+    /// so a journal replay re-derives it exactly.
+    ///
+    /// Returns one flag per point, `true` iff it extended the hull; points
+    /// consumed while bootstrapping report `false` (they are seeds or
+    /// buffered, not yet classified — matching what a caller can observe
+    /// through [`HullBuilder::hull`]).
+    pub fn push_batch(&mut self, points: &[Vec<i64>], threads: usize) -> Vec<bool> {
+        let mut accepted = Vec::with_capacity(points.len());
+        let mut i = 0;
+        while i < points.len() {
+            match &mut self.state {
+                BuilderState::Boot { .. } => {
+                    self.push(&points[i]);
+                    accepted.push(false);
+                    i += 1;
+                }
+                BuilderState::Live(hull) => {
+                    let rest = &points[i..];
+                    let res = hull.insert_batch_par(rest, threads);
+                    self.applied += rest.len() as u64;
+                    accepted.extend(res);
+                    break;
+                }
+            }
+        }
+        accepted
+    }
+
+    /// Rebuild a builder by replaying journaled **batch units** through the
+    /// same parallel path the live shard used. Because
+    /// [`OnlineHull::insert_batch_par`] is deterministic in everything —
+    /// facet ids, adjacency, depths, counters — for any worker count, the
+    /// rebuilt hull is bit-identical to the lost one, not merely
+    /// canonically equal.
+    pub fn replay_batches<'a, I>(dim: usize, batches: I, threads: usize) -> HullBuilder
+    where
+        I: IntoIterator<Item = &'a [Vec<i64>]>,
+    {
+        let mut b = HullBuilder::new(dim);
+        for batch in batches {
+            b.push_batch(batch, threads);
+        }
+        b
     }
 
     /// The dimension this builder was created with.
@@ -478,7 +700,7 @@ impl HullBuilder {
     pub fn hull(&self) -> Option<&OnlineHull> {
         match &self.state {
             BuilderState::Boot { .. } => None,
-            BuilderState::Live(h) => Some(h),
+            BuilderState::Live(h) => Some(h.as_ref()),
         }
     }
 
@@ -634,6 +856,178 @@ mod tests {
         assert_eq!(a.num_points(), b.num_points());
         // Same arrival order => identical vertex ids, facets, everything.
         assert_eq!(a.output().facets, b.output().facets);
+    }
+
+    #[test]
+    fn single_batch_matches_offline_algorithm2_exactly() {
+        for (dim, seed) in [(2usize, 11u64), (3, 12)] {
+            let pts = if dim == 2 {
+                prepare_points(
+                    &PointSet::from_points2(&generators::disk_2d(500, 1 << 20, seed)),
+                    seed + 1,
+                )
+            } else {
+                prepare_points(
+                    &PointSet::from_points3(&generators::ball_3d(300, 1 << 20, seed)),
+                    seed + 1,
+                )
+            };
+            let offline = incremental_hull_run(&pts);
+            let seeds: Vec<Vec<i64>> = (0..=dim).map(|i| pts.point(i).to_vec()).collect();
+            let batch: Vec<Vec<i64>> = ((dim + 1)..pts.len())
+                .map(|i| pts.point(i).to_vec())
+                .collect();
+            let mut hull = OnlineHull::new(dim, &seeds);
+            let accepted = hull.insert_batch_par(&batch, 4);
+            assert_eq!(hull.output().canonical(), offline.output.canonical());
+            verify_hull(&pts, &hull.output()).unwrap();
+            // One batch over the whole input IS the offline Algorithm 2 run:
+            // seeding + recursion perform exactly its visibility tests, per
+            // kernel stage, and create exactly its facets.
+            assert_eq!(hull.kernel.tests, offline.stats.visibility_tests);
+            assert_eq!(hull.kernel.filter_hits, offline.stats.filter_hits);
+            assert_eq!(hull.kernel.i128_fallbacks, offline.stats.i128_fallbacks);
+            assert_eq!(hull.kernel.bigint_fallbacks, offline.stats.bigint_fallbacks);
+            assert_eq!(
+                hull.last_batch.created as u64 + dim as u64 + 1,
+                offline.stats.facets_created
+            );
+            // Seeds count 1 online but 0 offline; the chains are the same.
+            assert_eq!(hull.dep_depth(), offline.stats.dep_depth + 1);
+            // Extremeness flags match per-point insertion in the same order.
+            let mut solo = OnlineHull::new(dim, &seeds);
+            let solo_accepted: Vec<bool> = batch.iter().map(|p| solo.insert(p)).collect();
+            assert_eq!(accepted, solo_accepted);
+        }
+    }
+
+    #[test]
+    fn batch_insert_is_deterministic_across_worker_counts() {
+        let pts = prepare_points(
+            &PointSet::from_points3(&generators::ball_3d(400, 1 << 20, 7)),
+            8,
+        );
+        let dim = 3;
+        let seeds: Vec<Vec<i64>> = (0..=dim).map(|i| pts.point(i).to_vec()).collect();
+        let batch: Vec<Vec<i64>> = ((dim + 1)..pts.len())
+            .map(|i| pts.point(i).to_vec())
+            .collect();
+        let mut reference: Option<(Vec<bool>, HullOutput, KernelCounts, u64)> = None;
+        for threads in [1usize, 2, 4] {
+            let mut hull = OnlineHull::new(dim, &seeds);
+            let accepted = hull.insert_batch_par(&batch, threads);
+            assert_eq!(hull.last_batch.batch_len, batch.len());
+            let out = hull.output();
+            match &reference {
+                None => reference = Some((accepted, out, hull.kernel, hull.dep_depth())),
+                Some((a, o, k, d)) => {
+                    assert_eq!(&accepted, a, "accepted flags differ at {threads} threads");
+                    // Facet-id-order equality, not just canonical: the whole
+                    // point of the canonical integration order.
+                    assert_eq!(
+                        out.facets, o.facets,
+                        "facet ids differ at {threads} threads"
+                    );
+                    assert_eq!(hull.kernel, *k, "kernel counts differ at {threads} threads");
+                    assert_eq!(hull.dep_depth(), *d);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sequential_then_batch_continues_algorithm2() {
+        let pts = prepare_points(
+            &PointSet::from_points2(&generators::disk_2d(600, 1 << 20, 21)),
+            22,
+        );
+        let dim = 2;
+        let offline = incremental_hull_run(&pts);
+        let seeds: Vec<Vec<i64>> = (0..=dim).map(|i| pts.point(i).to_vec()).collect();
+        let mut hull = OnlineHull::new(dim, &seeds);
+        let split = pts.len() / 2;
+        for i in (dim + 1)..split {
+            hull.insert(pts.point(i));
+        }
+        let batch: Vec<Vec<i64>> = (split..pts.len()).map(|i| pts.point(i).to_vec()).collect();
+        hull.insert_batch_par(&batch, 3);
+        assert_eq!(hull.output().canonical(), offline.output.canonical());
+        verify_hull(&pts, &hull.output()).unwrap();
+        // And further single inserts keep working on the batch-built state.
+        assert!(!hull.insert(&[1, 1]), "interior point after batch");
+    }
+
+    #[test]
+    fn small_batches_take_the_sequential_path() {
+        let mut hull = OnlineHull::new(2, &[vec![0, 0], vec![100, 0], vec![0, 100]]);
+        let batch: Vec<Vec<i64>> = vec![vec![10, 10], vec![100, 100], vec![50, 50]];
+        assert!(batch.len() < MIN_PAR_BATCH);
+        let accepted = hull.insert_batch_par(&batch, 4);
+        assert_eq!(accepted, vec![false, true, false]);
+        assert_eq!(
+            hull.last_batch.batch_len, 0,
+            "sequential path leaves no batch telemetry"
+        );
+        assert_eq!(hull.output().num_facets(), 4);
+    }
+
+    #[test]
+    fn replay_batches_is_bit_identical() {
+        let pts = prepare_points(
+            &PointSet::from_points3(&generators::ball_3d(260, 1 << 20, 33)),
+            34,
+        );
+        let rows: Vec<Vec<i64>> = (0..pts.len()).map(|i| pts.point(i).to_vec()).collect();
+        // Uneven batch units, including sub-MIN_PAR_BATCH ones, like a
+        // recovering shard would find in its journal.
+        let sizes = [3usize, 5, 40, 7, 90, 2, 64];
+        let mut batches: Vec<&[Vec<i64>]> = Vec::new();
+        let mut at = 0;
+        for &s in sizes.iter().cycle() {
+            if at >= rows.len() {
+                break;
+            }
+            let end = (at + s).min(rows.len());
+            batches.push(&rows[at..end]);
+            at = end;
+        }
+        let a = HullBuilder::replay_batches(3, batches.iter().copied(), 4);
+        let b = HullBuilder::replay_batches(3, batches.iter().copied(), 1);
+        let (ha, hb) = (a.hull().unwrap(), b.hull().unwrap());
+        assert_eq!(
+            ha.output().facets,
+            hb.output().facets,
+            "replay not bit-identical"
+        );
+        assert_eq!(ha.kernel, hb.kernel);
+        assert_eq!(a.applied(), b.applied());
+        // Canonically equal to the pure single-insert build of the same log.
+        let singles = HullBuilder::replay(3, rows.iter().map(|r| r.as_slice()));
+        assert_eq!(
+            ha.output().canonical(),
+            singles.hull().unwrap().output().canonical()
+        );
+        verify_hull(&pts, &ha.output()).unwrap();
+    }
+
+    #[test]
+    fn push_batch_bootstraps_through_degenerate_prefix() {
+        // A collinear prefix keeps the builder in bootstrap through most of
+        // the batch; the parallel remainder starts mid-slice.
+        let mut rows: Vec<Vec<i64>> = (0..10i64).map(|i| vec![i, i]).collect();
+        rows.push(vec![5, 0]);
+        for i in 0..20i64 {
+            rows.push(vec![i % 7 * 13, (i * 31) % 11]);
+        }
+        let mut b = HullBuilder::new(2);
+        let accepted = b.push_batch(&rows, 2);
+        assert_eq!(accepted.len(), rows.len());
+        assert_eq!(b.applied(), rows.len() as u64);
+        let singles = HullBuilder::replay(2, rows.iter().map(|r| r.as_slice()));
+        assert_eq!(
+            b.hull().unwrap().output().canonical(),
+            singles.hull().unwrap().output().canonical()
+        );
     }
 
     #[test]

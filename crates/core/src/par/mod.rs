@@ -14,6 +14,7 @@
 //! the sequential Algorithm 2 on the same insertion order — the paper's
 //! central work-efficiency claim, asserted in the integration tests.
 
+pub(crate) mod batch;
 pub mod rounds;
 mod trace;
 
@@ -95,6 +96,12 @@ const ALIVE: bool = false; // AtomicBool false = alive, true = dead
 struct ParFacet {
     facet: Facet,
     dead: AtomicBool,
+    /// Pivot point whose insertion created this facet (`u32::MAX` for
+    /// seed facets). The batch engine orders created facets by it.
+    creator: u32,
+    /// Arena ids of the support pair `{t1, t2}` (`u32::MAX` for seeds);
+    /// `parents[0]` is the replaced facet (the earlier pivot's side).
+    parents: [u32; 2],
 }
 
 struct Shared<'a, M> {
@@ -108,6 +115,10 @@ struct Shared<'a, M> {
     buried: StripedCounter,
     replaced: StripedCounter,
     max_depth: AtomicMax,
+    /// Task-busy nanoseconds (armed-only): each `ProcessRidge` body adds
+    /// its own elapsed time, excluding spawned children. busy / wall is
+    /// the realized parallelism the serving layer exposes as a gauge.
+    busy_ns: StripedCounter,
     trace: Option<Mutex<Vec<TraceEvent>>>,
 }
 
@@ -132,9 +143,9 @@ impl<'a, M: RidgeMultimap<RidgeKey>> Shared<'a, M> {
     fn process_ridge<'s>(
         &'s self,
         scope: &pool::Scope<'s>,
-        mut t1: u32,
+        t1: u32,
         r: RidgeKey,
-        mut t2: u32,
+        t2: u32,
         depth: u64,
     ) where
         'a: 's,
@@ -144,7 +155,24 @@ impl<'a, M: RidgeMultimap<RidgeKey>> Shared<'a, M> {
             crate::telemetry::engine_metrics()
                 .par_ridge_depth
                 .record(depth);
+            let start = std::time::Instant::now();
+            self.process_ridge_inner(scope, t1, r, t2, depth);
+            self.busy_ns.add(start.elapsed().as_nanos() as u64);
+        } else {
+            self.process_ridge_inner(scope, t1, r, t2, depth);
         }
+    }
+
+    fn process_ridge_inner<'s>(
+        &'s self,
+        scope: &pool::Scope<'s>,
+        mut t1: u32,
+        r: RidgeKey,
+        mut t2: u32,
+        depth: u64,
+    ) where
+        'a: 's,
+    {
         let (mut f1, mut f2) = (self.arena.get(t1), self.arena.get(t2));
         let (mut p1, mut p2) = (f1.facet.pivot(), f2.facet.pivot());
 
@@ -190,6 +218,8 @@ impl<'a, M: RidgeMultimap<RidgeKey>> Shared<'a, M> {
         let t_id = self.arena.push(ParFacet {
             facet,
             dead: AtomicBool::new(ALIVE),
+            creator: p,
+            parents: [t1, t2],
         });
 
         // Lines 18-22: hand each ridge of t to its processor.
@@ -234,13 +264,16 @@ fn dispatch_map(pts: &PointSet, options: ParOptions, threads: usize) -> ParRun {
             run_with_map(pts, options, map, threads)
         }
         MapKind::Cas { capacity_factor } => {
+            // Growable: `capacity_factor` sizes the lock-free fast path;
+            // a misestimate degrades to the locked overflow tier instead
+            // of panicking (the shared-growth API the serving path needs).
             let map: RidgeMapCas<RidgeKey> =
-                RidgeMapCas::with_capacity(capacity_factor * pts.dim() * pts.len() + 1024);
+                RidgeMapCas::growable_with_capacity(capacity_factor * pts.dim() * pts.len() + 1024);
             run_with_map(pts, options, map, threads)
         }
         MapKind::Tas { capacity_factor } => {
             let map: RidgeMapTas<RidgeKey> =
-                RidgeMapTas::with_capacity(capacity_factor * pts.dim() * pts.len() + 1024);
+                RidgeMapTas::growable_with_capacity(capacity_factor * pts.dim() * pts.len() + 1024);
             run_with_map(pts, options, map, threads)
         }
     }
@@ -272,6 +305,7 @@ fn run_with_map<M: RidgeMultimap<RidgeKey>>(
         buried: StripedCounter::new(),
         replaced: StripedCounter::new(),
         max_depth: AtomicMax::new(),
+        busy_ns: StripedCounter::new(),
         trace: options.record_trace.then(|| Mutex::new(Vec::new())),
     };
 
@@ -303,6 +337,8 @@ fn run_with_map<M: RidgeMultimap<RidgeKey>>(
         seed_ids.push(shared.arena.push(ParFacet {
             facet,
             dead: AtomicBool::new(ALIVE),
+            creator: u32::MAX,
+            parents: [u32::MAX; 2],
         }));
     }
 

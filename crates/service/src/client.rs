@@ -17,8 +17,19 @@
 //! * `Degraded` replies are unwrapped to their inner answer and surfaced
 //!   via [`HullClient::last_degraded`], so callers can observe recovery
 //!   windows without every call site matching on the wrapper.
+//!
+//! Connections are opened through [`HullClientBuilder`]
+//! (`HullClient::builder(addr)`), which sets the connect deadline, the
+//! default retry policy, and the protocol version window: by default the
+//! client advertises [`PROTOCOL_V2`] in a `Hello` handshake and falls
+//! back to v1 when the server doesn't understand it, so the same binary
+//! talks to old and new servers. [`HullClient::insert_batch`] then uses
+//! one `InsertBatch` frame per attempt on v2 and degrades to per-point
+//! inserts on v1.
 
-use crate::wire::{read_frame, write_frame, Request, Response, ALL_SHARDS};
+use crate::wire::{
+    read_frame, write_frame, Request, Response, ALL_SHARDS, PROTOCOL_V1, PROTOCOL_V2,
+};
 use chull_geometry::rng::ChaCha8Rng;
 use std::io::{self};
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
@@ -63,6 +74,129 @@ impl Default for RetryPolicy {
     }
 }
 
+/// Configures and opens a [`HullClient`] connection: address, connect
+/// deadline, backoff policy, and the protocol version window to
+/// negotiate within. Entry point: [`HullClient::builder`].
+///
+/// ```no_run
+/// # fn main() -> std::io::Result<()> {
+/// use chull_service::HullClient;
+/// let mut c = HullClient::builder("127.0.0.1:4040")
+///     .deadline(std::time::Duration::from_secs(2))
+///     .connect()?;
+/// # Ok(()) }
+/// ```
+#[derive(Debug, Clone)]
+pub struct HullClientBuilder {
+    addr: String,
+    deadline: Option<Duration>,
+    policy: RetryPolicy,
+    floor: u16,
+    ceiling: u16,
+}
+
+impl HullClientBuilder {
+    /// Start a builder for `addr` (`host:port`).
+    pub fn new(addr: impl Into<String>) -> HullClientBuilder {
+        HullClientBuilder {
+            addr: addr.into(),
+            deadline: None,
+            policy: RetryPolicy::default(),
+            floor: PROTOCOL_V1,
+            ceiling: PROTOCOL_V2,
+        }
+    }
+
+    /// Bound connection establishment (default: the OS connect timeout).
+    pub fn deadline(mut self, d: Duration) -> HullClientBuilder {
+        self.deadline = Some(d);
+        self
+    }
+
+    /// Backoff shape used by [`HullClient::insert_retry`] and
+    /// [`HullClient::insert_batch`] when no explicit policy is passed.
+    pub fn retry_policy(mut self, p: RetryPolicy) -> HullClientBuilder {
+        self.policy = p;
+        self
+    }
+
+    /// Lowest acceptable protocol version; connecting to a server that
+    /// only speaks below it fails with `Unsupported`. Default
+    /// [`PROTOCOL_V1`] (interoperate with anything).
+    pub fn protocol_floor(mut self, v: u16) -> HullClientBuilder {
+        self.floor = v;
+        self
+    }
+
+    /// Highest version to advertise in the `Hello` handshake. Default
+    /// [`PROTOCOL_V2`]; a ceiling of [`PROTOCOL_V1`] skips the
+    /// handshake entirely, reproducing the legacy wire exchange
+    /// byte-for-byte.
+    pub fn protocol_ceiling(mut self, v: u16) -> HullClientBuilder {
+        self.ceiling = v;
+        self
+    }
+
+    /// Resolve, connect, and (when the ceiling allows v2) negotiate the
+    /// protocol version with a `Hello` handshake. A server that answers
+    /// `Hello` with an error is a v1 server — the client downgrades,
+    /// unless that violates the floor.
+    pub fn connect(self) -> io::Result<HullClient> {
+        let addr = self.addr.to_socket_addrs()?.next().ok_or_else(|| {
+            io::Error::new(io::ErrorKind::NotFound, "address resolved to nothing")
+        })?;
+        let stream = match self.deadline {
+            Some(d) => TcpStream::connect_timeout(&addr, d)?,
+            None => TcpStream::connect(addr)?,
+        };
+        stream.set_nodelay(true)?;
+        let mut client = HullClient {
+            stream,
+            addr: Some(addr),
+            last_degraded: None,
+            reconnects: 0,
+            calls: 0,
+            policy: self.policy,
+            negotiated: PROTOCOL_V1,
+            caps: 0,
+        };
+        if self.ceiling >= PROTOCOL_V2 {
+            match client.raw(&Request::Hello {
+                max_version: self.ceiling,
+            })? {
+                Response::Hello { version, caps } => {
+                    client.negotiated = version.min(self.ceiling).max(PROTOCOL_V1);
+                    client.caps = caps;
+                }
+                // A v1 server reports the unknown opcode; stay on v1.
+                Response::Error(_) => {}
+                other => return Err(unexpected(other)),
+            }
+        }
+        if client.negotiated < self.floor {
+            return Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                format!(
+                    "server speaks protocol v{}, but the floor is v{}",
+                    client.negotiated, self.floor
+                ),
+            ));
+        }
+        Ok(client)
+    }
+}
+
+/// Outcome of [`HullClient::insert_batch`]: every point was queued.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchInsertReply {
+    /// Publication epoch observed when the (last slice of the) batch
+    /// was enqueued; `0` when the server only speaks v1 (single-point
+    /// inserts carry no epoch).
+    pub epoch: u64,
+    /// `Overloaded` rejections absorbed by backoff along the way.
+    pub rejections: u64,
+}
+
 /// One connection to a hull server; methods are synchronous
 /// request/response calls. Not thread-safe — use one client per thread
 /// (connections are cheap).
@@ -76,6 +210,13 @@ pub struct HullClient {
     reconnects: u64,
     /// Calls made, mixed into the per-call jitter stream.
     calls: u64,
+    /// Default backoff shape for retrying methods.
+    policy: RetryPolicy,
+    /// Protocol version negotiated at connect ([`PROTOCOL_V1`] when the
+    /// handshake was skipped or refused).
+    negotiated: u16,
+    /// Capability bits from the server's `Hello` reply (0 on v1).
+    caps: u32,
 }
 
 fn unexpected(resp: Response) -> io::Error {
@@ -103,7 +244,17 @@ fn reconnectable(kind: io::ErrorKind) -> bool {
 }
 
 impl HullClient {
+    /// Configure a connection: deadline, retry policy, protocol window.
+    pub fn builder(addr: impl Into<String>) -> HullClientBuilder {
+        HullClientBuilder::new(addr)
+    }
+
     /// Connect (with `TCP_NODELAY`, request/response is latency-bound).
+    ///
+    /// Legacy v1 shim: no handshake is sent, so the connection behaves
+    /// byte-for-byte like a pre-v2 client and [`HullClient::insert_batch`]
+    /// falls back to single-point inserts.
+    #[deprecated(since = "0.6.0", note = "use HullClient::builder(addr).connect()")]
     pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<HullClient> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
@@ -114,7 +265,20 @@ impl HullClient {
             last_degraded: None,
             reconnects: 0,
             calls: 0,
+            policy: RetryPolicy::default(),
+            negotiated: PROTOCOL_V1,
+            caps: 0,
         })
+    }
+
+    /// The protocol version negotiated at connect time.
+    pub fn negotiated_version(&self) -> u16 {
+        self.negotiated
+    }
+
+    /// Capability bits from the server's `Hello` reply (0 on v1).
+    pub fn caps(&self) -> u32 {
+        self.caps
     }
 
     /// Generation of the most recent reply if it was `Degraded` (the
@@ -224,6 +388,94 @@ impl HullClient {
                 .add(rejections);
         }
         Ok(rejections)
+    }
+
+    /// Queue a whole batch of points in as few frames as the negotiated
+    /// protocol allows, absorbing `Overloaded` pushback on the rejected
+    /// suffix with the client's [`RetryPolicy`] until every point is
+    /// queued (`TimedOut` past the deadline).
+    ///
+    /// On protocol v2 this is one `InsertBatch` frame per attempt —
+    /// points the server could not queue are resent together after a
+    /// backoff. On a v1 connection it degrades to per-point
+    /// [`HullClient::insert_retry`], so callers can use it
+    /// unconditionally.
+    pub fn insert_batch(
+        &mut self,
+        shard: u16,
+        points: &[Vec<i64>],
+    ) -> io::Result<BatchInsertReply> {
+        if points.is_empty() {
+            return Ok(BatchInsertReply {
+                epoch: 0,
+                rejections: 0,
+            });
+        }
+        let policy = self.policy.clone();
+        if self.negotiated < PROTOCOL_V2 {
+            let mut rejections = 0u64;
+            for p in points {
+                rejections += self.insert_retry(shard, p, &policy)?;
+            }
+            return Ok(BatchInsertReply {
+                epoch: 0,
+                rejections,
+            });
+        }
+        let start = Instant::now();
+        let mut rng = ChaCha8Rng::seed_from_u64(policy.seed ^ self.calls);
+        let mut delay = policy.base.max(Duration::from_micros(1));
+        let mut pending: Vec<Vec<i64>> = points.to_vec();
+        let mut rejections = 0u64;
+        let epoch = loop {
+            let resp = self.ask(&Request::InsertBatch {
+                shard,
+                points: pending.clone(),
+            })?;
+            match resp {
+                Response::InsertedBatch { accepted, epoch } => {
+                    if accepted.len() != pending.len() {
+                        return Err(io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            format!(
+                                "batch reply covers {} points, sent {}",
+                                accepted.len(),
+                                pending.len()
+                            ),
+                        ));
+                    }
+                    let mut retry = Vec::new();
+                    for (p, ok) in pending.drain(..).zip(&accepted) {
+                        if !*ok {
+                            retry.push(p);
+                        }
+                    }
+                    if retry.is_empty() {
+                        break epoch;
+                    }
+                    rejections += retry.len() as u64;
+                    if start.elapsed() >= policy.deadline {
+                        return Err(io::Error::new(
+                            io::ErrorKind::TimedOut,
+                            format!("{} batch points still overloaded", retry.len()),
+                        ));
+                    }
+                    let us = delay.as_micros() as u64;
+                    let jittered = rng.gen_range(us / 2 + 1..us + 1);
+                    std::thread::sleep(Duration::from_micros(jittered));
+                    delay = (delay * 2).min(policy.cap);
+                    pending = retry;
+                }
+                Response::Error(m) => return Err(server_error(m)),
+                other => return Err(unexpected(other)),
+            }
+        };
+        if rejections > 0 {
+            crate::metrics::service_metrics()
+                .client_rejections
+                .add(rejections);
+        }
+        Ok(BatchInsertReply { epoch, rejections })
     }
 
     /// Membership query; `None` while the shard is bootstrapping.

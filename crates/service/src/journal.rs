@@ -55,25 +55,50 @@ fn crc32(bytes: &[u8]) -> u32 {
 }
 
 /// One WAL record on disk: `u32` LE payload length, `u32` LE crc32 of
-/// the payload, then the payload (`dim` i64 LE coordinates).
+/// the payload, then the payload. Two payload shapes exist:
+///
+/// * an **insert**: `dim` i64 LE coordinates (`len == dim * 8 >= 16`);
+/// * a **batch marker**: a single `u32` LE — the number of inserts in
+///   the batch it closes (`len == 4`, unambiguous since `dim >= 2`).
+///
+/// Markers delimit the atomic units of apply: one marker is appended
+/// (and synced) after a batch's inserts and **before** the batch is
+/// applied to the hull, so recovery replays whole batches through the
+/// same parallel path the live shard used. Inserts after the last
+/// marker are a batch whose marker was lost to a crash; they are
+/// committed (journal append is the commit point) and replay as one
+/// final batch.
 const RECORD_HEADER: usize = 8;
+
+/// Marker payload size; collides with no insert payload (`dim >= 2`).
+const MARKER_LEN: usize = 4;
+
+fn frame(payload: &[u8]) -> Vec<u8> {
+    let mut rec = Vec::with_capacity(RECORD_HEADER + payload.len());
+    rec.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    rec.extend_from_slice(&crc32(payload).to_le_bytes());
+    rec.extend_from_slice(payload);
+    rec
+}
 
 fn encode_record(p: &[i64]) -> Vec<u8> {
     let mut payload = Vec::with_capacity(p.len() * 8);
     for &c in p {
         payload.extend_from_slice(&c.to_le_bytes());
     }
-    let mut rec = Vec::with_capacity(RECORD_HEADER + payload.len());
-    rec.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-    rec.extend_from_slice(&crc32(&payload).to_le_bytes());
-    rec.extend_from_slice(&payload);
-    rec
+    frame(&payload)
+}
+
+fn encode_marker(count: u32) -> Vec<u8> {
+    frame(&count.to_le_bytes())
 }
 
 /// Result of scanning a WAL file on reopen.
 struct WalScan {
-    /// Intact records, in append order.
+    /// Intact insert records, in append order.
     records: Vec<Vec<i64>>,
+    /// Batch boundaries: cumulative insert counts at each marker.
+    marks: Vec<usize>,
     /// Byte offset of the first damaged/incomplete record (== file
     /// length when the tail is clean).
     good_len: u64,
@@ -87,7 +112,8 @@ fn scan_wal(file: &mut File, dim: usize) -> io::Result<WalScan> {
     let mut buf = Vec::new();
     file.seek(SeekFrom::Start(0))?;
     file.read_to_end(&mut buf)?;
-    let mut records = Vec::new();
+    let mut records: Vec<Vec<i64>> = Vec::new();
+    let mut marks: Vec<usize> = Vec::new();
     let mut at = 0usize;
     loop {
         if at + RECORD_HEADER > buf.len() {
@@ -95,24 +121,38 @@ fn scan_wal(file: &mut File, dim: usize) -> io::Result<WalScan> {
         }
         let len = u32::from_le_bytes([buf[at], buf[at + 1], buf[at + 2], buf[at + 3]]) as usize;
         let crc = u32::from_le_bytes([buf[at + 4], buf[at + 5], buf[at + 6], buf[at + 7]]);
-        // A record of the wrong size for this dimension is corruption,
+        // A record sized as neither an insert nor a marker is corruption,
         // not a format change: stop here.
-        if len != dim * 8 || at + RECORD_HEADER + len > buf.len() {
+        if (len != dim * 8 && len != MARKER_LEN) || at + RECORD_HEADER + len > buf.len() {
             break;
         }
         let payload = &buf[at + RECORD_HEADER..at + RECORD_HEADER + len];
         if crc32(payload) != crc {
             break;
         }
-        let row: Vec<i64> = payload
-            .chunks_exact(8)
-            .map(|c| i64::from_le_bytes([c[0], c[1], c[2], c[3], c[4], c[5], c[6], c[7]]))
-            .collect();
-        records.push(row);
+        if len == MARKER_LEN {
+            let count =
+                u32::from_le_bytes([payload[0], payload[1], payload[2], payload[3]]) as usize;
+            // A marker must close a non-empty batch of exactly the
+            // inserts since the previous marker; anything else is a
+            // damaged record that happened to checksum clean.
+            let since = records.len() - marks.last().copied().unwrap_or(0);
+            if count == 0 || count != since {
+                break;
+            }
+            marks.push(records.len());
+        } else {
+            let row: Vec<i64> = payload
+                .chunks_exact(8)
+                .map(|c| i64::from_le_bytes([c[0], c[1], c[2], c[3], c[4], c[5], c[6], c[7]]))
+                .collect();
+            records.push(row);
+        }
         at += RECORD_HEADER + len;
     }
     Ok(WalScan {
         records,
+        marks,
         good_len: at as u64,
         tail_damaged: at as u64 != buf.len() as u64,
     })
@@ -128,6 +168,10 @@ pub fn wal_path(dir: &Path, shard: u16) -> PathBuf {
 pub struct Journal {
     dim: usize,
     mem: Vec<Vec<i64>>,
+    /// Batch boundaries: cumulative insert counts at each
+    /// [`Journal::mark_batch`], ascending. Inserts past the last mark
+    /// form the open (in-flight) batch.
+    marks: Vec<usize>,
     wal: Option<BufWriter<File>>,
     /// Records recovered from disk on open (prefix of `mem`).
     recovered: usize,
@@ -142,6 +186,7 @@ impl Journal {
         Journal {
             dim,
             mem: Vec::new(),
+            marks: Vec::new(),
             wal: None,
             recovered: 0,
             tail_damaged: false,
@@ -170,6 +215,7 @@ impl Journal {
         Ok(Journal {
             dim,
             mem: scan.records,
+            marks: scan.marks,
             wal: Some(BufWriter::new(file)),
             recovered,
             tail_damaged: scan.tail_damaged,
@@ -195,6 +241,49 @@ impl Journal {
             w.flush()?;
         }
         Ok(())
+    }
+
+    /// Close the open batch: record that every insert appended since the
+    /// previous mark forms one atomic apply unit. Written (and meant to
+    /// be [`Journal::sync`]ed) **before** the batch is applied, so a
+    /// crash mid-apply still replays the batch whole. No-op when no
+    /// inserts are pending (batches are never empty).
+    pub fn mark_batch(&mut self) -> io::Result<()> {
+        let since = self.mem.len() - self.marks.last().copied().unwrap_or(0);
+        if since == 0 {
+            return Ok(());
+        }
+        // The in-memory mark lands even if the WAL write errors — like
+        // `append`, memory stays authoritative for in-process recovery.
+        let res = match &mut self.wal {
+            Some(w) => w.write_all(&encode_marker(since as u32)),
+            None => Ok(()),
+        };
+        self.marks.push(self.mem.len());
+        res
+    }
+
+    /// Number of batch units in the journal: every marked batch, plus
+    /// the open tail (inserts past the last marker) if non-empty. The
+    /// shard's published epoch equals this count.
+    pub fn batch_count(&self) -> u64 {
+        let marked = self.marks.last().copied().unwrap_or(0);
+        (self.marks.len() + usize::from(self.mem.len() > marked)) as u64
+    }
+
+    /// The journal split into its batch units, in append order — the
+    /// batch-replay input. The open tail (if any) is the final unit.
+    pub fn batches(&self) -> impl Iterator<Item = &[Vec<i64>]> {
+        let mut bounds = Vec::with_capacity(self.marks.len() + 1);
+        let mut prev = 0usize;
+        for &m in &self.marks {
+            bounds.push((prev, m));
+            prev = m;
+        }
+        if self.mem.len() > prev {
+            bounds.push((prev, self.mem.len()));
+        }
+        bounds.into_iter().map(move |(a, b)| &self.mem[a..b])
     }
 
     /// Every journaled insert, in append order — the replay input.
@@ -348,6 +437,73 @@ mod tests {
         );
         assert!(j.tail_damaged());
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn batch_marks_roundtrip_across_reopen() {
+        let dir = tmpdir("marks");
+        {
+            let mut j = Journal::with_wal(2, &dir, 0).unwrap();
+            for i in 0..4i64 {
+                j.append(&[i, i]).unwrap();
+            }
+            j.mark_batch().unwrap();
+            j.mark_batch().unwrap(); // empty: no-op
+            for i in 4..9i64 {
+                j.append(&[i, i]).unwrap();
+            }
+            j.mark_batch().unwrap();
+            // Open tail: journaled but the process dies before the marker.
+            j.append(&[99, 99]).unwrap();
+            j.sync().unwrap();
+            assert_eq!(j.batch_count(), 3);
+        }
+        let j = Journal::with_wal(2, &dir, 0).unwrap();
+        assert_eq!(j.recovered(), 10);
+        assert_eq!(j.batch_count(), 3, "open tail replays as one final batch");
+        let units: Vec<usize> = j.batches().map(|b| b.len()).collect();
+        assert_eq!(units, vec![4, 5, 1]);
+        assert_eq!(j.batches().next().unwrap()[0], vec![0, 0]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bogus_marker_count_stops_recovery() {
+        let dir = tmpdir("bogus-mark");
+        {
+            let mut j = Journal::with_wal(2, &dir, 0).unwrap();
+            j.append(&[1, 2]).unwrap();
+            j.append(&[3, 4]).unwrap();
+            j.mark_batch().unwrap();
+            j.sync().unwrap();
+        }
+        // Append a well-framed marker claiming a 7-insert batch that the
+        // journal does not contain: the scan must treat it as damage.
+        let path = wal_path(&dir, 0);
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes.extend_from_slice(&encode_marker(7));
+        std::fs::write(&path, &bytes).unwrap();
+        let j = Journal::with_wal(2, &dir, 0).unwrap();
+        assert_eq!(j.recovered(), 2);
+        assert_eq!(j.batch_count(), 1);
+        assert!(j.tail_damaged());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn in_memory_batches_track_marks() {
+        let mut j = Journal::in_memory(2);
+        assert_eq!(j.batch_count(), 0);
+        j.append(&[0, 0]).unwrap();
+        assert_eq!(j.batch_count(), 1, "open tail counts as a batch");
+        j.mark_batch().unwrap();
+        assert_eq!(j.batch_count(), 1);
+        j.append(&[1, 1]).unwrap();
+        j.append(&[2, 2]).unwrap();
+        j.mark_batch().unwrap();
+        assert_eq!(j.batch_count(), 2);
+        let units: Vec<usize> = j.batches().map(|b| b.len()).collect();
+        assert_eq!(units, vec![1, 2]);
     }
 
     #[test]

@@ -16,15 +16,21 @@
 //!   (`Overloaded` replies) instead of unbounded buffering;
 //! * [`wire`] — a length-prefixed binary protocol (`Insert`, `Contains`,
 //!   `Visible`, `Extreme`, `Stats`, `Snapshot`, `Flush`, `Shutdown`,
-//!   `Metrics`) over std TCP, served by [`server::serve`] with a
-//!   thread-per-connection accept loop, graceful shutdown, and
-//!   per-request timeouts;
+//!   `Metrics`, and — protocol v2 — `InsertBatch` + the `Hello`
+//!   version/capability handshake) over std TCP, served by
+//!   [`server::serve`] with a thread-per-connection accept loop,
+//!   graceful shutdown, and per-request timeouts; v1 clients
+//!   interoperate unchanged;
 //! * [`metrics`] — `chull_obs`-backed telemetry handles: per-op request
 //!   series, shard gauges, pipeline latency histograms, and kernel
 //!   counters, exposed via the wire `Metrics` op and the optional
 //!   plain-HTTP `GET /metrics` listener (`ServeOptions::metrics_addr`);
 //! * [`client::HullClient`] — the blocking client used by the `hull`
-//!   CLI, the integration tests, and the load generator in `chull-bench`.
+//!   CLI, the integration tests, and the load generator in `chull-bench`;
+//!   opened through [`client::HullClientBuilder`] (address, connect
+//!   deadline, retry policy, protocol floor/ceiling), with
+//!   [`client::HullClient::insert_batch`] streaming whole batches on v2
+//!   and degrading to single inserts against a v1 server.
 //!
 //! Correctness bar: the served hull is **bit-identical** to the offline
 //! sequential Algorithm 2 on the same point multiset (the loopback
@@ -42,7 +48,7 @@ pub mod snapshot;
 pub mod stats;
 pub mod wire;
 
-pub use client::{HullClient, RetryPolicy, SnapshotReply};
+pub use client::{BatchInsertReply, HullClient, HullClientBuilder, RetryPolicy, SnapshotReply};
 pub use journal::Journal;
 pub use metrics::{op_metrics, service_metrics, OpMetrics, ServiceMetrics, ShardGauges};
 pub use server::{serve, ServeOptions, ServerHandle};

@@ -190,8 +190,18 @@ pub struct OpMetrics {
 }
 
 const OPS: &[&str] = &[
-    "insert", "contains", "visible", "extreme", "stats", "snapshot", "flush", "shutdown",
-    "metrics", "invalid",
+    "insert",
+    "insert_batch",
+    "contains",
+    "visible",
+    "extreme",
+    "stats",
+    "snapshot",
+    "flush",
+    "shutdown",
+    "metrics",
+    "hello",
+    "invalid",
 ];
 
 /// Handles for one wire op (`"invalid"` covers undecodable requests).
@@ -234,6 +244,11 @@ pub struct ShardGauges {
     pub journal_len: Arc<Gauge>,
     /// The shard's publication epoch.
     pub epoch: Arc<Gauge>,
+    /// Realized parallelism of the last batch apply, in thousandths
+    /// (busy_ns * 1000 / wall_ns); 0 while no parallel batch has run.
+    pub parallelism_milli: Arc<Gauge>,
+    /// Pool worker threads the shard applies batches with.
+    pub workers: Arc<Gauge>,
 }
 
 /// Register (or fetch) the gauge set for shard `shard`.
@@ -261,6 +276,16 @@ pub fn shard_gauges(shard: usize) -> ShardGauges {
             "chull_shard_epoch",
             l,
             "The shard's snapshot publication epoch.",
+        ),
+        parallelism_milli: r.gauge_with(
+            "chull_shard_batch_parallelism_milli",
+            l,
+            "Realized parallelism of the last batch apply (busy/wall, in thousandths).",
+        ),
+        workers: r.gauge_with(
+            "chull_shard_workers",
+            l,
+            "Pool worker threads the shard applies batches with.",
         ),
     }
 }

@@ -333,6 +333,8 @@ fn op_name(req: &Request) -> &'static str {
         Request::Flush { .. } => "flush",
         Request::Shutdown => "shutdown",
         Request::Metrics => "metrics",
+        Request::InsertBatch { .. } => "insert_batch",
+        Request::Hello { .. } => "hello",
     }
 }
 
@@ -441,6 +443,16 @@ fn dispatch(service: &HullService, req: Request) -> (Response, bool) {
             Err(e) => err_response(e),
         },
         Request::Shutdown => return (Response::ShuttingDown, true),
+        Request::InsertBatch { shard, points } => match service.try_insert_batch(shard, points) {
+            Ok((accepted, epoch)) => Response::InsertedBatch { accepted, epoch },
+            Err(e) => err_response(e),
+        },
+        // Stateless: the handshake is advisory (a capability probe);
+        // the server accepts v2 ops with or without it.
+        Request::Hello { max_version } => Response::Hello {
+            version: wire::negotiate(max_version),
+            caps: wire::CAP_INSERT_BATCH,
+        },
         Request::Metrics => {
             // Refresh level gauges so an idle service still scrapes
             // current queue depths / epochs, then render the registry.
@@ -492,6 +504,7 @@ mod tests {
                 shards: 2,
                 queue_capacity: 64,
                 max_batch: 16,
+                workers: 2,
                 wal_dir: None,
             },
             ..Default::default()
@@ -502,7 +515,7 @@ mod tests {
     fn roundtrip_over_loopback() {
         let mut server = serve(opts(2)).unwrap();
         let addr = server.local_addr();
-        let mut c = HullClient::connect(addr).unwrap();
+        let mut c = HullClient::builder(addr.to_string()).connect().unwrap();
         assert_eq!(c.contains(0, &[0, 0]).unwrap(), None, "boot => NotReady");
         for p in [[0, 0], [10, 0], [0, 10], [10, 10]] {
             c.insert(0, &p).unwrap();
@@ -528,7 +541,9 @@ mod tests {
     #[test]
     fn bad_requests_get_error_replies() {
         let mut server = serve(opts(2)).unwrap();
-        let mut c = HullClient::connect(server.local_addr()).unwrap();
+        let mut c = HullClient::builder(server.local_addr().to_string())
+            .connect()
+            .unwrap();
         let r = c.raw(&Request::Insert {
             shard: 99,
             point: vec![0, 0],
@@ -551,13 +566,13 @@ mod tests {
     fn remote_shutdown_request_stops_server() {
         let server = serve(opts(2)).unwrap();
         let addr = server.local_addr();
-        let mut c = HullClient::connect(addr).unwrap();
+        let mut c = HullClient::builder(addr.to_string()).connect().unwrap();
         c.insert(0, &[1, 2]).unwrap();
         c.shutdown_server().unwrap();
         // join() returns because the accept loop exits.
         server.join();
         assert!(
-            HullClient::connect(addr).is_err() || {
+            HullClient::builder(addr.to_string()).connect().is_err() || {
                 // Port may be rebound by the OS race-free; a fresh connect that
                 // succeeds must at least fail to get a reply.
                 true

@@ -10,11 +10,23 @@
 //!   full queue is reported as [`InsertOutcome::Overloaded`] so the wire
 //!   layer replies with explicit backpressure instead of buffering;
 //! * one **supervised worker thread** that drains the queue in coalesced
-//!   batches (`pop_batch`), journals each batch, applies it to its
-//!   private hull through the staged exact kernel, and republishes an
-//!   `Arc<HullSnapshot>` under a short write-lock — readers clone the
-//!   `Arc` under the matching read-lock and never block ingest;
+//!   batches (`pop_batch`, continuing non-blockingly through a deep
+//!   backlog up to a fairness bound), journals each batch **and marks it
+//!   as one atomic unit**, applies it to its private hull as a single
+//!   parallel batch insert (Algorithm 3's `ProcessRidge` recursion via
+//!   [`HullBuilder::push_batch`], on `workers` pool threads), and
+//!   republishes an `Arc<HullSnapshot>` under a short write-lock —
+//!   readers clone the `Arc` under the matching read-lock and never
+//!   block ingest;
 //! * a [`ShardStats`] block of lock-free counters.
+//!
+//! The batch is the **atomic unit** end to end: journaled whole (marker
+//! after its inserts, before apply), applied whole, published once (one
+//! epoch per batch — the epoch equals the journal's batch count), and
+//! replayed whole through the same parallel path on recovery. Batch
+//! apply is bit-deterministic for any worker count, so a recovered hull
+//! is identical to the lost one — facet ids and all, not merely the
+//! same geometry.
 //!
 //! ## Failure model
 //!
@@ -26,9 +38,11 @@
 //!    queries keep flowing from the last published snapshot, wrapped in
 //!    the wire `Degraded` status so callers can see the staleness;
 //! 2. rebuilds the hull by replaying the shard's append-only insert
-//!    [`Journal`] through [`HullBuilder::replay`] — order-independence
-//!    (Theorem 4.2) plus order-preserving replay makes the rebuilt hull
-//!    bit-identical to the lost one;
+//!    [`Journal`] in its journaled batch units through
+//!    [`HullBuilder::replay_batches`] — the same parallel path the dead
+//!    worker used, deterministic per unit, so the rebuilt hull is
+//!    bit-identical to the lost one (inserts whose batch marker was
+//!    lost mid-crash replay as one final batch, then get sealed);
 //! 3. republishes a fresh snapshot and clears the degraded flag.
 //!
 //! **Exactly-once for acked inserts**: an insert is acked when it enters
@@ -50,7 +64,7 @@ use crate::stats::ShardStats;
 use chull_concurrent::failpoint::{self, sites};
 use chull_concurrent::{BoundedQueue, PushError};
 use chull_core::online::HullBuilder;
-use chull_geometry::MAX_COORD;
+use chull_geometry::{KernelCounts, MAX_COORD};
 use std::io;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
@@ -70,6 +84,11 @@ pub struct ServiceConfig {
     pub queue_capacity: usize,
     /// Largest batch one publication coalesces.
     pub max_batch: usize,
+    /// Pool worker threads each shard applies batches with (`0` = auto,
+    /// one per available core). `1` pins batch apply to the shard thread
+    /// — the A/B baseline for measuring parallel batch speedup. Any
+    /// value yields bit-identical hulls.
+    pub workers: usize,
     /// Directory for per-shard write-ahead logs. `None` keeps the insert
     /// journal purely in memory: worker crashes are still recovered, but
     /// a process restart starts empty.
@@ -83,6 +102,7 @@ impl Default for ServiceConfig {
             shards: 4,
             queue_capacity: 1024,
             max_batch: 256,
+            workers: 0,
             wal_dir: None,
         }
     }
@@ -150,7 +170,7 @@ fn snapshot_of(core: &HullBuilder, epoch: u64) -> HullSnapshot {
         applied: core.applied(),
         dim: core.dim(),
         state: match core.hull() {
-            Some(h) => SnapState::Live(h.clone()),
+            Some(h) => SnapState::Live(Box::new(h.clone())),
             None => SnapState::Boot(core.buffered().unwrap_or(&[]).to_vec()),
         },
     }
@@ -172,6 +192,8 @@ struct Shard {
 /// connection thread; [`HullService::shutdown`] drains and joins.
 pub struct HullService {
     config: ServiceConfig,
+    /// Resolved batch-apply worker count (`config.workers`, 0 → auto).
+    workers: usize,
     shards: Vec<Shard>,
 }
 
@@ -192,24 +214,33 @@ impl HullService {
                 format!("shard count {} out of range", config.shards),
             ));
         }
+        let workers = if config.workers == 0 {
+            chull_concurrent::pool::default_threads()
+        } else {
+            config.workers
+        };
         let mut shards = Vec::with_capacity(config.shards);
         for id in 0..config.shards {
-            let journal = match &config.wal_dir {
+            let mut journal = match &config.wal_dir {
                 Some(dir) => Journal::with_wal(config.dim, dir, id as u16)?,
                 None => Journal::in_memory(config.dim),
             };
             // Cold-start recovery happens *here*, synchronously: when
             // `new` returns, a WAL-backed shard already serves its
-            // previous run's points.
-            let core =
-                HullBuilder::replay(config.dim, journal.entries().iter().map(|p| p.as_slice()));
+            // previous run's points — replayed in journaled batch units
+            // through the same parallel path live ingest uses.
+            let core = HullBuilder::replay_batches(config.dim, journal.batches(), workers);
             let stats = Arc::new(ShardStats::default());
-            let epoch = if core.applied() > 0 {
-                stats.record_batch(core.applied());
-                1
-            } else {
-                0
-            };
+            // Seal any open tail (inserts whose batch marker was lost to
+            // the crash): it just replayed as one unit and must stay one
+            // unit in every future replay.
+            if journal.mark_batch().is_err() {
+                stats.wal_errors.fetch_add(1, Ordering::Relaxed);
+            }
+            let epoch = journal.batch_count();
+            for b in journal.batches() {
+                stats.record_batch(b.len() as u64);
+            }
             stats
                 .journal_len
                 .store(journal.len() as u64, Ordering::Relaxed);
@@ -221,6 +252,7 @@ impl HullService {
             let ctx = ShardCtx {
                 dim: config.dim,
                 max_batch: config.max_batch,
+                workers,
                 queue: Arc::clone(&queue),
                 snap: Arc::clone(&snap),
                 stats: Arc::clone(&stats),
@@ -239,7 +271,17 @@ impl HullService {
                 worker: Mutex::new(Some(worker)),
             });
         }
-        Ok(HullService { config, shards })
+        Ok(HullService {
+            config,
+            workers,
+            shards,
+        })
+    }
+
+    /// Resolved pool worker threads per shard (`config.workers`, with
+    /// `0` replaced by the machine's core count).
+    pub fn workers(&self) -> usize {
+        self.workers
     }
 
     /// The configuration this service was started with.
@@ -293,6 +335,43 @@ impl HullService {
             }
             Err(PushError::Closed(_)) => Err(ServiceError::Closed),
         }
+    }
+
+    /// Non-blocking batch insert (wire `InsertBatch`, protocol v2).
+    ///
+    /// Every point is validated **before** any is enqueued, so a
+    /// malformed batch fails whole with nothing queued. Enqueueing is
+    /// then per-point best-effort: `accepted[i]` is `false` when point
+    /// `i` hit a full queue (the caller retries just those). The
+    /// returned epoch is the published snapshot epoch observed at
+    /// enqueue time. Points that land in one `pop_batch` drain are
+    /// applied as a single parallel batch by the shard worker.
+    pub fn try_insert_batch(
+        &self,
+        shard: u16,
+        points: Vec<Vec<i64>>,
+    ) -> Result<(Vec<bool>, u64), ServiceError> {
+        for p in &points {
+            self.validate(p)?;
+        }
+        let sh = self.shard(shard)?;
+        let mut accepted = Vec::with_capacity(points.len());
+        for p in points {
+            match sh.queue.try_push(Ingest::Insert(p)) {
+                Ok(()) => {
+                    sh.stats.inserts_enqueued.fetch_add(1, Ordering::Relaxed);
+                    service_metrics().inserts_enqueued.incr();
+                    accepted.push(true);
+                }
+                Err(PushError::Full(_)) => {
+                    sh.stats.overloaded.fetch_add(1, Ordering::Relaxed);
+                    service_metrics().overloaded.incr();
+                    accepted.push(false);
+                }
+                Err(PushError::Closed(_)) => return Err(ServiceError::Closed),
+            }
+        }
+        Ok((accepted, load_snap(&sh.snap).epoch))
     }
 
     /// Barrier: blocks until every insert enqueued before this call has
@@ -407,6 +486,7 @@ impl HullService {
                 .journal_len
                 .set(sh.stats.journal_len.load(Ordering::Relaxed) as i64);
             sh.gauges.epoch.set(snap.epoch as i64);
+            sh.gauges.workers.set(self.workers as i64);
         }
     }
 
@@ -440,6 +520,8 @@ impl Drop for HullService {
 struct ShardCtx {
     dim: usize,
     max_batch: usize,
+    /// Resolved pool threads for parallel batch apply (never 0).
+    workers: usize,
     queue: Arc<BoundedQueue<Ingest>>,
     snap: Arc<RwLock<Arc<HullSnapshot>>>,
     stats: Arc<ShardStats>,
@@ -465,13 +547,22 @@ fn shard_supervisor(ctx: &ShardCtx, mut core: HullBuilder, mut journal: Journal,
             Ok(()) => return,
             Err(_) => {
                 // The worker died mid-batch. Every popped insert is in
-                // the journal (journal-before-apply), so replaying it
-                // rebuilds the exact hull the dead worker was building.
+                // the journal (journal-before-apply), so replaying its
+                // batch units through the same parallel path rebuilds
+                // the exact hull the dead worker was building.
                 ctx.degraded.store(true, Ordering::SeqCst);
                 let generation = ctx.generation.fetch_add(1, Ordering::SeqCst) + 1;
                 let t0 = Instant::now();
-                core = HullBuilder::replay(ctx.dim, journal.entries().iter().map(|p| p.as_slice()));
-                epoch += 1;
+                core = HullBuilder::replay_batches(ctx.dim, journal.batches(), ctx.workers);
+                // Seal an open tail (its marker died with the worker) so
+                // every future replay keeps the same batch units.
+                if journal.mark_batch().is_err() {
+                    ctx.stats.wal_errors.fetch_add(1, Ordering::Relaxed);
+                    service_metrics().wal_errors.incr();
+                }
+                // The epoch tracks journaled batch units; `max` keeps it
+                // monotone if a batch died between marker and publish.
+                epoch = journal.batch_count().max(epoch);
                 store_snap(&ctx.snap, snapshot_of(&core, epoch));
                 let missing = core.applied().saturating_sub(recorded);
                 if missing > 0 {
@@ -494,9 +585,18 @@ fn shard_supervisor(ctx: &ShardCtx, mut core: HullBuilder, mut journal: Journal,
     }
 }
 
-/// The per-shard ingest loop: block for a batch, journal it, apply it,
-/// republish. May panic (failpoints, or a real bug) — the supervisor one
-/// frame up recovers.
+/// Consecutive batches one wakeup may process before the worker
+/// re-enters the blocking pop (fairness toward producers waiting on
+/// `not_full` and toward shutdown). Each round still journals, applies,
+/// and publishes its own batch — the bound only caps how long the
+/// worker stays away from the condvar while a deep backlog drains.
+const DRAIN_ROUNDS_MAX: usize = 16;
+
+/// The per-shard ingest loop: block for a batch, then keep draining
+/// non-blockingly while the queue is deeper than one batch (up to
+/// [`DRAIN_ROUNDS_MAX`] rounds); each batch is journaled, marked,
+/// applied as one parallel batch insert, and republished. May panic
+/// (failpoints, or a real bug) — the supervisor one frame up recovers.
 fn drain_loop(
     ctx: &ShardCtx,
     core: &mut HullBuilder,
@@ -509,96 +609,158 @@ fn drain_loop(
     // (possibly replayed) hull on every loop (re)entry, so recovery replay
     // work is never double-counted into the ingest counters.
     let mut prev_kernel = core.hull().map(|h| h.kernel).unwrap_or_default();
+    if chull_obs::armed() {
+        ctx.gauges.workers.set(ctx.workers as i64);
+    }
     loop {
         batch.clear();
         if ctx.queue.pop_batch(ctx.max_batch, &mut batch) == 0 {
             // Closed and drained.
             return;
         }
-        // One relaxed load per batch; timing blocks below pay for
-        // `Instant::now` only when telemetry is armed.
-        let armed = chull_obs::armed();
-        let mut points: Vec<Vec<i64>> = Vec::new();
-        let mut flushes: Vec<mpsc::Sender<u64>> = Vec::new();
-        for item in batch.drain(..) {
-            match item {
-                Ingest::Insert(p) => points.push(p),
-                Ingest::Flush(tx) => flushes.push(tx),
+        let mut rounds = 1;
+        loop {
+            apply_batch(
+                ctx,
+                core,
+                journal,
+                epoch,
+                recorded,
+                &mut prev_kernel,
+                &mut batch,
+            );
+            if rounds >= DRAIN_ROUNDS_MAX {
+                break;
             }
-        }
-        // Journal-before-apply: the whole batch becomes replayable before
-        // any of it touches the hull, so a panic below loses nothing. A
-        // WAL write error is tolerated (counted), because the in-memory
-        // journal stays authoritative for in-process recovery.
-        let t_journal = armed.then(Instant::now);
-        for p in &points {
-            if journal.append(p).is_err() {
-                ctx.stats.wal_errors.fetch_add(1, Ordering::Relaxed);
-                service_metrics().wal_errors.incr();
+            batch.clear();
+            if ctx.queue.try_pop_batch(ctx.max_batch, &mut batch) == 0 {
+                break;
             }
+            // A continuation round: the queue was deeper than one batch
+            // and the worker kept draining instead of re-parking.
+            rounds += 1;
+            ctx.stats.queue_drain_rounds.fetch_add(1, Ordering::Relaxed);
         }
-        if let Some(t0) = t_journal {
-            if !points.is_empty() {
-                service_metrics()
-                    .journal_append_us
-                    .record(t0.elapsed().as_micros() as u64);
-            }
+    }
+}
+
+/// Process one popped batch: journal every insert, mark the batch as an
+/// atomic unit, sync, apply it as **one parallel batch insert**, publish
+/// one epoch, ack flush barriers.
+fn apply_batch(
+    ctx: &ShardCtx,
+    core: &mut HullBuilder,
+    journal: &mut Journal,
+    epoch: &mut u64,
+    recorded: &mut u64,
+    prev_kernel: &mut KernelCounts,
+    batch: &mut Vec<Ingest>,
+) {
+    // One relaxed load per batch; timing blocks below pay for
+    // `Instant::now` only when telemetry is armed.
+    let armed = chull_obs::armed();
+    let mut points: Vec<Vec<i64>> = Vec::new();
+    let mut flushes: Vec<mpsc::Sender<u64>> = Vec::new();
+    for item in batch.drain(..) {
+        match item {
+            Ingest::Insert(p) => points.push(p),
+            Ingest::Flush(tx) => flushes.push(tx),
         }
-        let t_sync = armed.then(Instant::now);
-        if journal.sync().is_err() {
+    }
+    // Journal-before-apply: the whole batch becomes replayable before
+    // any of it touches the hull, so a panic below loses nothing. The
+    // marker behind the inserts makes the batch the atomic replay unit.
+    // A WAL write error is tolerated (counted), because the in-memory
+    // journal stays authoritative for in-process recovery.
+    let t_journal = armed.then(Instant::now);
+    for p in &points {
+        if journal.append(p).is_err() {
             ctx.stats.wal_errors.fetch_add(1, Ordering::Relaxed);
             service_metrics().wal_errors.incr();
         }
-        if let Some(t0) = t_sync {
-            if !points.is_empty() {
-                service_metrics()
-                    .wal_sync_us
-                    .record(t0.elapsed().as_micros() as u64);
-            }
+    }
+    if journal.mark_batch().is_err() {
+        ctx.stats.wal_errors.fetch_add(1, Ordering::Relaxed);
+        service_metrics().wal_errors.incr();
+    }
+    if let Some(t0) = t_journal {
+        if !points.is_empty() {
+            service_metrics()
+                .journal_append_us
+                .record(t0.elapsed().as_micros() as u64);
         }
-        ctx.stats
-            .journal_len
-            .store(journal.len() as u64, Ordering::Relaxed);
-        let t_apply = armed.then(Instant::now);
-        let mut inserted = 0u64;
-        for p in &points {
-            // Failpoint `shard.apply.insert`: may panic (worker death
-            // between journal and hull) or stall.
+    }
+    let t_sync = armed.then(Instant::now);
+    if journal.sync().is_err() {
+        ctx.stats.wal_errors.fetch_add(1, Ordering::Relaxed);
+        service_metrics().wal_errors.incr();
+    }
+    if let Some(t0) = t_sync {
+        if !points.is_empty() {
+            service_metrics()
+                .wal_sync_us
+                .record(t0.elapsed().as_micros() as u64);
+        }
+    }
+    ctx.stats
+        .journal_len
+        .store(journal.len() as u64, Ordering::Relaxed);
+    let t_apply = armed.then(Instant::now);
+    let inserted = points.len() as u64;
+    if inserted > 0 {
+        // Failpoint `shard.apply.insert`: may panic (worker death
+        // between journal and hull) or stall. Evaluated once per point
+        // so armed chaos schedules keep their per-insert fire cadence.
+        for _ in &points {
             let _ = failpoint::eval(sites::SHARD_APPLY);
-            core.push(p);
-            inserted += 1;
         }
-        if inserted > 0 {
-            // Failpoint `shard.drain.before_publish`: the batch is fully
-            // applied but the snapshot swap has not happened — the worst
-            // spot to die (recovery must republish it from the journal).
-            let _ = failpoint::eval(sites::SHARD_BEFORE_PUBLISH);
-            *epoch += 1;
-            ctx.stats.record_batch(inserted);
-            *recorded += inserted;
-            store_snap(&ctx.snap, snapshot_of(core, *epoch));
-            if armed {
-                let m = service_metrics();
-                m.batches.incr();
-                m.batch_size.record(inserted);
-                if let Some(t0) = t_apply {
-                    m.batch_apply_us.record(t0.elapsed().as_micros() as u64);
+        // One parallel batch insert (Algorithm 3 from the current hull);
+        // bit-deterministic for any worker count, so recovery replay of
+        // the marked unit reproduces this exact state.
+        core.push_batch(&points, ctx.workers);
+        // Failpoint `shard.drain.before_publish`: the batch is fully
+        // applied but the snapshot swap has not happened — the worst
+        // spot to die (recovery must republish it from the journal).
+        let _ = failpoint::eval(sites::SHARD_BEFORE_PUBLISH);
+        *epoch += 1;
+        debug_assert_eq!(
+            *epoch,
+            journal.batch_count(),
+            "epoch tracks journaled batch units"
+        );
+        ctx.stats.record_batch(inserted);
+        *recorded += inserted;
+        store_snap(&ctx.snap, snapshot_of(core, *epoch));
+        if armed {
+            let m = service_metrics();
+            m.batches.incr();
+            m.batch_size.record(inserted);
+            if let Some(t0) = t_apply {
+                let wall = t0.elapsed();
+                m.batch_apply_us.record(wall.as_micros() as u64);
+                // busy/wall across the pool ≈ realized parallelism of
+                // the batch apply (0 when the batch went sequential).
+                let busy = core.hull().map(|h| h.last_batch.busy_ns).unwrap_or(0);
+                if busy > 0 && wall.as_nanos() > 0 {
+                    ctx.gauges
+                        .parallelism_milli
+                        .set((busy as u128 * 1000 / wall.as_nanos()) as i64);
                 }
-                let now_kernel = core.hull().map(|h| h.kernel).unwrap_or_default();
-                m.ingest_kernel.fold_delta(&now_kernel, &prev_kernel);
-                prev_kernel = now_kernel;
-                ctx.gauges.queue_depth.set(ctx.queue.len() as i64);
-                ctx.gauges
-                    .dep_depth
-                    .set(core.hull().map(|h| h.dep_depth()).unwrap_or(0) as i64);
-                ctx.gauges.journal_len.set(journal.len() as i64);
-                ctx.gauges.epoch.set(*epoch as i64);
             }
+            let now_kernel = core.hull().map(|h| h.kernel).unwrap_or_default();
+            m.ingest_kernel.fold_delta(&now_kernel, prev_kernel);
+            *prev_kernel = now_kernel;
+            ctx.gauges.queue_depth.set(ctx.queue.len() as i64);
+            ctx.gauges
+                .dep_depth
+                .set(core.hull().map(|h| h.dep_depth()).unwrap_or(0) as i64);
+            ctx.gauges.journal_len.set(journal.len() as i64);
+            ctx.gauges.epoch.set(*epoch as i64);
         }
-        for tx in flushes {
-            // Receiver may have given up (client disconnect) — fine.
-            let _ = tx.send(*epoch);
-        }
+    }
+    for tx in flushes {
+        // Receiver may have given up (client disconnect) — fine.
+        let _ = tx.send(*epoch);
     }
 }
 
@@ -616,6 +778,7 @@ mod tests {
             shards,
             queue_capacity: 64,
             max_batch: 16,
+            workers: 2,
             wal_dir: None,
         }
     }
@@ -738,6 +901,7 @@ mod tests {
             shards: 1,
             queue_capacity: 512,
             max_batch: 64,
+            workers: 2,
             wal_dir: None,
         })
         .unwrap();

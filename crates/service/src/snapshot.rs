@@ -25,7 +25,7 @@ pub(crate) enum SnapState {
     /// arrivals in order.
     Boot(Vec<Vec<i64>>),
     /// A live hull (frozen copy of the shard's online hull).
-    Live(OnlineHull),
+    Live(Box<OnlineHull>),
 }
 
 /// An immutable, epoch-stamped view of one shard; see module docs.
@@ -165,7 +165,7 @@ mod tests {
             epoch: 1,
             applied: 4,
             dim: 2,
-            state: SnapState::Live(h),
+            state: SnapState::Live(Box::new(h)),
         };
         assert!(s.ready());
         let mut k = KernelCounts::default();

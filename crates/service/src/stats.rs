@@ -69,6 +69,10 @@ pub struct ShardStats {
     pub batched_inserts: AtomicU64,
     /// Largest single batch coalesced so far.
     pub max_batch: AtomicU64,
+    /// Extra drain rounds: batches the worker pulled without re-parking
+    /// because the queue was still non-empty after the previous batch
+    /// (a deep backlog drains in one wakeup, up to a fairness bound).
+    pub queue_drain_rounds: AtomicU64,
     /// Staged-kernel counters from the read path (history descents run by
     /// `Contains`/`Visible` against published snapshots).
     pub query_kernel: AtomicKernel,
@@ -117,6 +121,7 @@ impl ShardStats {
              \"queries_contains\":{},\"queries_visible\":{},\"queries_extreme\":{},\
              \"snapshots\":{},\"flushes\":{},\
              \"batches_applied\":{},\"batched_inserts\":{},\"max_batch\":{},\
+             \"queue_drain_rounds\":{},\
              \"recoveries\":{},\"recovery_us_last\":{},\"recovery_us_total\":{},\
              \"generation\":{},\"journal_len\":{},\"wal_errors\":{},\
              \"ingest_kernel\":{},\"query_kernel\":{}}}",
@@ -136,6 +141,7 @@ impl ShardStats {
             self.batches_applied.load(Ordering::Relaxed),
             self.batched_inserts.load(Ordering::Relaxed),
             self.max_batch.load(Ordering::Relaxed),
+            self.queue_drain_rounds.load(Ordering::Relaxed),
             self.recoveries.load(Ordering::Relaxed),
             self.recovery_us_last.load(Ordering::Relaxed),
             self.recovery_us_total.load(Ordering::Relaxed),
@@ -189,6 +195,7 @@ mod tests {
             "\"batches_applied\":2",
             "\"batched_inserts\":13",
             "\"max_batch\":9",
+            "\"queue_drain_rounds\":0",
             "\"recoveries\":1",
             "\"recovery_us_last\":250",
             "\"generation\":1",

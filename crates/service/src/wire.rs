@@ -19,6 +19,19 @@
 //! | `0x07` | `Flush`    | `u64` epoch after all prior inserts applied     |
 //! | `0x08` | `Shutdown` | empty (server begins graceful shutdown)         |
 //! | `0x09` | `Metrics`  | `u32` length + Prometheus text exposition utf-8 |
+//! | `0x0A` | `InsertBatch` | `u32` count, per-point accepted bitmap, `u64` epoch |
+//! | `0x0B` | `Hello`    | `u16` negotiated version, `u32` capability bits |
+//!
+//! Opcodes `0x0A`–`0x0B` are **protocol v2** ([`PROTOCOL_V2`]).
+//! `InsertBatch` carries `u32` count then `count` packed points, and its
+//! Ok-reply bitmap records which points were *queued* (bit clear =
+//! that point hit `Overloaded` backpressure; geometric acceptance is
+//! decided later by the shard worker), plus the shard's publication
+//! epoch at enqueue time. `Hello` is optional and stateless: a client
+//! sends its highest supported version and the server answers
+//! `min(client, server)` plus capability bits ([`CAP_INSERT_BATCH`]).
+//! A v1 client that never sends `Hello` sees byte-for-byte v1 behavior;
+//! the server accepts v2 ops with or without a preceding `Hello`.
 //!
 //! Non-Ok statuses: `Overloaded` (ingest queue full — retry), `NotReady`
 //! (shard still bootstrapping its seed simplex), `Error` (+ utf-8 text),
@@ -41,6 +54,20 @@ pub const MAX_FRAME: usize = 16 << 20;
 /// Shard id meaning "aggregate over all shards" (Stats only).
 pub const ALL_SHARDS: u16 = u16::MAX;
 
+/// The original protocol: single-point inserts, no handshake.
+pub const PROTOCOL_V1: u16 = 1;
+/// Adds the `Hello` handshake and batched inserts (`InsertBatch`).
+pub const PROTOCOL_V2: u16 = 2;
+/// Capability bit: the server accepts `InsertBatch` frames.
+pub const CAP_INSERT_BATCH: u32 = 1;
+
+/// The version a server answers to a client advertising `client_max`:
+/// the highest both sides speak (never below [`PROTOCOL_V1`] — a
+/// client advertising 0 is treated as v1).
+pub fn negotiate(client_max: u16) -> u16 {
+    client_max.clamp(PROTOCOL_V1, PROTOCOL_V2)
+}
+
 const OP_INSERT: u8 = 0x01;
 const OP_CONTAINS: u8 = 0x02;
 const OP_VISIBLE: u8 = 0x03;
@@ -50,6 +77,8 @@ const OP_SNAPSHOT: u8 = 0x06;
 const OP_FLUSH: u8 = 0x07;
 const OP_SHUTDOWN: u8 = 0x08;
 const OP_METRICS: u8 = 0x09;
+const OP_INSERT_BATCH: u8 = 0x0A;
+const OP_HELLO: u8 = 0x0B;
 
 const ST_OK: u8 = 0x00;
 const ST_OVERLOADED: u8 = 0x01;
@@ -167,6 +196,19 @@ pub enum Request {
     Shutdown,
     /// The telemetry registry as Prometheus text exposition.
     Metrics,
+    /// Queue a whole batch of points for `shard` in one frame (v2).
+    InsertBatch {
+        /// Target shard.
+        shard: u16,
+        /// The points, applied by the shard worker as one parallel
+        /// batch insert (one journal unit, one epoch).
+        points: Vec<Vec<i64>>,
+    },
+    /// Version/capability handshake (v2; optional and stateless).
+    Hello {
+        /// Highest protocol version the client speaks.
+        max_version: u16,
+    },
 }
 
 /// A decoded server response.
@@ -207,6 +249,24 @@ pub enum Response {
     ShuttingDown,
     /// Prometheus text exposition of the telemetry registry.
     Metrics(String),
+    /// Batch enqueue outcome (v2): which points were queued, and the
+    /// shard's publication epoch observed at enqueue time.
+    InsertedBatch {
+        /// `accepted[i]` iff point `i` entered the ingest queue (a
+        /// clear bit means that point was dropped by backpressure and
+        /// should be retried); geometric extremeness is decided later
+        /// by the shard worker.
+        accepted: Vec<bool>,
+        /// Snapshot epoch when the batch was enqueued.
+        epoch: u64,
+    },
+    /// Handshake answer (v2): the negotiated version and capabilities.
+    Hello {
+        /// `min(client max, server max)`, at least [`PROTOCOL_V1`].
+        version: u16,
+        /// Capability bits ([`CAP_INSERT_BATCH`], ...).
+        caps: u32,
+    },
     /// Ingest queue full — backpressure; retry later.
     Overloaded,
     /// Shard has fewer than `d + 1` affinely independent points.
@@ -352,6 +412,19 @@ impl Request {
                 out.push(OP_METRICS);
                 put_u16(&mut out, 0);
             }
+            Request::InsertBatch { shard, points } => {
+                out.push(OP_INSERT_BATCH);
+                put_u16(&mut out, *shard);
+                put_u32(&mut out, points.len() as u32);
+                for p in points {
+                    put_point(&mut out, p);
+                }
+            }
+            Request::Hello { max_version } => {
+                out.push(OP_HELLO);
+                put_u16(&mut out, 0);
+                put_u16(&mut out, *max_version);
+            }
         }
         out
     }
@@ -383,6 +456,16 @@ impl Request {
             OP_FLUSH => Request::Flush { shard },
             OP_SHUTDOWN => Request::Shutdown,
             OP_METRICS => Request::Metrics,
+            OP_INSERT_BATCH => {
+                let declared = c.u32()? as usize;
+                // Smallest wire point: 1 dim byte + 2 × i64 coords.
+                let n = c.checked_count(declared, 17)?;
+                let points = (0..n).map(|_| c.point()).collect::<Result<Vec<_>, _>>()?;
+                Request::InsertBatch { shard, points }
+            }
+            OP_HELLO => Request::Hello {
+                max_version: c.u16()?,
+            },
             other => return Err(WireError::BadOpcode(other)),
         };
         c.done()?;
@@ -454,6 +537,32 @@ impl Response {
                 out.push(OP_METRICS);
                 put_u32(&mut out, text.len() as u32);
                 out.extend_from_slice(text.as_bytes());
+            }
+            Response::InsertedBatch { accepted, epoch } => {
+                out.push(ST_OK);
+                out.push(OP_INSERT_BATCH);
+                put_u32(&mut out, accepted.len() as u32);
+                // LSB-first bitmap: point i lives at byte i/8, bit i%8.
+                let mut byte = 0u8;
+                for (i, &a) in accepted.iter().enumerate() {
+                    if a {
+                        byte |= 1 << (i % 8);
+                    }
+                    if i % 8 == 7 {
+                        out.push(byte);
+                        byte = 0;
+                    }
+                }
+                if accepted.len() % 8 != 0 {
+                    out.push(byte);
+                }
+                put_u64(&mut out, *epoch);
+            }
+            Response::Hello { version, caps } => {
+                out.push(ST_OK);
+                out.push(OP_HELLO);
+                put_u16(&mut out, *version);
+                put_u32(&mut out, *caps);
             }
             Response::Overloaded => out.push(ST_OVERLOADED),
             Response::NotReady => out.push(ST_NOT_READY),
@@ -554,6 +663,24 @@ impl Response {
                 }
                 OP_FLUSH => Response::Flushed { epoch: c.u64()? },
                 OP_SHUTDOWN => Response::ShuttingDown,
+                OP_INSERT_BATCH => {
+                    let declared = c.u32()? as usize;
+                    // take() bounds-checks the bitmap before the Vec is
+                    // sized, so a forged count cannot over-allocate.
+                    let bits = c.take(declared.div_ceil(8))?;
+                    let mut accepted = Vec::with_capacity(declared);
+                    for i in 0..declared {
+                        accepted.push(bits[i / 8] >> (i % 8) & 1 != 0);
+                    }
+                    Response::InsertedBatch {
+                        accepted,
+                        epoch: c.u64()?,
+                    }
+                }
+                OP_HELLO => Response::Hello {
+                    version: c.u16()?,
+                    caps: c.u32()?,
+                },
                 OP_METRICS => {
                     let n = c.u32()? as usize;
                     let n = c.checked_count(n, 1)?;
@@ -670,6 +797,17 @@ mod tests {
             Request::Flush { shard: 7 },
             Request::Shutdown,
             Request::Metrics,
+            Request::InsertBatch {
+                shard: 5,
+                points: vec![vec![1, 2], vec![-3, 4], vec![0, 0]],
+            },
+            Request::InsertBatch {
+                shard: 0,
+                points: vec![],
+            },
+            Request::Hello {
+                max_version: PROTOCOL_V2,
+            },
         ];
         for r in reqs {
             assert_eq!(Request::decode(&r.encode()).unwrap(), r, "{r:?}");
@@ -708,6 +846,22 @@ mod tests {
                 inner: Box::new(Response::NotReady),
             },
             Response::Error("boom".to_string()),
+            Response::InsertedBatch {
+                accepted: vec![true; 8],
+                epoch: 3,
+            },
+            Response::InsertedBatch {
+                accepted: vec![true, false, true, false, false, true, true, false, true],
+                epoch: u64::MAX,
+            },
+            Response::InsertedBatch {
+                accepted: vec![],
+                epoch: 0,
+            },
+            Response::Hello {
+                version: PROTOCOL_V2,
+                caps: CAP_INSERT_BATCH,
+            },
         ];
         for r in resps {
             assert_eq!(Response::decode(&r.encode()).unwrap(), r, "{r:?}");
@@ -727,6 +881,45 @@ mod tests {
         buf.push(0);
         assert_eq!(Request::decode(&buf), Err(WireError::Trailing(1)));
         assert_eq!(Response::decode(&[0x77]), Err(WireError::BadStatus(0x77)));
+    }
+
+    #[test]
+    fn v2_batch_counts_are_checked() {
+        // A forged count far beyond the payload: rejected before any
+        // allocation sized by it.
+        let mut buf = vec![OP_INSERT_BATCH, 0, 0];
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        buf.push(2);
+        assert!(matches!(
+            Request::decode(&buf),
+            Err(WireError::Oversized(_))
+        ));
+        // Count says 2 but only one point follows.
+        let mut buf = vec![OP_INSERT_BATCH, 0, 0];
+        buf.extend_from_slice(&2u32.to_le_bytes());
+        let mut one = Vec::new();
+        put_point(&mut one, &[1, 2]);
+        buf.extend_from_slice(&one);
+        assert!(Request::decode(&buf).is_err());
+        // Reply bitmap claiming a gigantic batch: bounds-checked.
+        let mut buf = vec![ST_OK, OP_INSERT_BATCH];
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        buf.push(0xFF);
+        assert!(matches!(
+            Response::decode(&buf),
+            Err(WireError::Truncated { .. })
+        ));
+        // Truncated Hello.
+        assert!(Request::decode(&[OP_HELLO, 0, 0, 2]).is_err());
+        assert!(Response::decode(&[ST_OK, OP_HELLO, 2, 0]).is_err());
+    }
+
+    #[test]
+    fn negotiate_clamps_to_supported_range() {
+        assert_eq!(negotiate(0), PROTOCOL_V1);
+        assert_eq!(negotiate(PROTOCOL_V1), PROTOCOL_V1);
+        assert_eq!(negotiate(PROTOCOL_V2), PROTOCOL_V2);
+        assert_eq!(negotiate(u16::MAX), PROTOCOL_V2);
     }
 
     #[test]

@@ -15,11 +15,12 @@
 //! USAGE: hull [--dim D] [--algo seq|par|rounds|chain] [--seed S]
 //!             [--stats] [--stats-json] [FILE]
 //!        hull serve [--addr H:P] [--dim D] [--shards N] [--queue-cap C]
-//!                   [--batch B] [--wal DIR] [--metrics-addr H:P]
+//!                   [--batch B] [--workers W] [--wal DIR] [--metrics-addr H:P]
 //!                   [--chaos-seed S] [--oneshot] [--stats-json]
 //!        hull query ADDR OP [SHARD] [COORDS...]
 //!          OP: insert|contains|visible|extreme|stats|snapshot|flush|
-//!              metrics|shutdown|script  (script reads one OP line per stdin line)
+//!              metrics|shutdown|script  (script reads one OP line per stdin line;
+//!              consecutive same-shard inserts ride one wire InsertBatch frame)
 //!        hull metrics [--raw] ADDR
 //! ```
 //!
@@ -66,7 +67,8 @@ fn usage() -> ! {
     eprintln!(
         "USAGE: hull [--dim D] [--algo seq|par|rounds|chain] [--seed S] [--stats] [--stats-json] [FILE]\n\
          \x20      hull serve [--addr H:P] [--dim D] [--shards N] [--queue-cap C] [--batch B]\n\
-         \x20                 [--wal DIR] [--metrics-addr H:P] [--chaos-seed S] [--oneshot] [--stats-json]\n\
+         \x20                 [--workers W] [--wal DIR] [--metrics-addr H:P] [--chaos-seed S] [--oneshot] [--stats-json]\n\
+         \x20        --workers W sizes the pool each shard applies batches with (0 = auto, 1 = sequential baseline);\n\
          \x20        --wal DIR persists per-shard insert WALs under DIR (crash-safe restart);\n\
          \x20        --metrics-addr H:P serves Prometheus text on plain HTTP GET /metrics;\n\
          \x20        --chaos-seed S arms the canned fault-injection schedule (testing only)\n\
@@ -323,6 +325,11 @@ fn serve_main(args: &[String]) {
                     .parse()
                     .unwrap_or_else(|_| die("bad --batch value"));
             }
+            "--workers" => {
+                opts.config.workers = next("--workers", &mut it)
+                    .parse()
+                    .unwrap_or_else(|_| die("bad --workers value"));
+            }
             "--wal" => {
                 opts.config.wal_dir = Some(std::path::PathBuf::from(next("--wal", &mut it)));
             }
@@ -450,26 +457,59 @@ fn query_main(args: &[String]) {
         usage();
     }
     let addr = &args[0];
-    let mut client =
-        HullClient::connect(addr).unwrap_or_else(|e| die(&format!("connect {addr}: {e}")));
+    let mut client = HullClient::builder(addr.to_string())
+        .connect()
+        .unwrap_or_else(|e| die(&format!("connect {addr}: {e}")));
     if args[1] == "script" {
         // One connection, one op per stdin line — the shape the oneshot CI
         // smoke test needs (the server exits when this connection closes).
+        // Consecutive inserts to the same shard coalesce into a single
+        // wire `InsertBatch` frame (protocol v2; against a v1 server the
+        // client transparently falls back to per-point inserts), still
+        // printing one `queued` line per point.
         let mut input = String::new();
         std::io::stdin()
             .read_to_string(&mut input)
             .expect("reading stdin");
+        let mut pending: Option<(u16, Vec<Vec<i64>>)> = None;
+        let flush_pending =
+            |client: &mut HullClient, pending: &mut Option<(u16, Vec<Vec<i64>>)>| {
+                if let Some((shard, points)) = pending.take() {
+                    match client.insert_batch(shard, &points) {
+                        Ok(_) => {
+                            for _ in 0..points.len() {
+                                println!("queued");
+                            }
+                        }
+                        Err(e) => die(&format!("insert batch (shard {shard}): {e}")),
+                    }
+                }
+            };
         for line in input.lines() {
             let line = line.trim();
             if line.is_empty() || line.starts_with('#') {
                 continue;
             }
             let toks: Vec<String> = line.split_whitespace().map(str::to_string).collect();
+            if toks[0] == "insert" {
+                let shard = parse_shard(toks.get(1));
+                let point = parse_coords(&toks[2..]);
+                match &mut pending {
+                    Some((s, points)) if *s == shard => points.push(point),
+                    _ => {
+                        flush_pending(&mut client, &mut pending);
+                        pending = Some((shard, vec![point]));
+                    }
+                }
+                continue;
+            }
+            flush_pending(&mut client, &mut pending);
             match run_query_op(&mut client, &toks) {
                 Ok(reply) => println!("{reply}"),
                 Err(e) => die(&format!("{line}: {e}")),
             }
         }
+        flush_pending(&mut client, &mut pending);
     } else {
         match run_query_op(&mut client, &args[1..]) {
             Ok(reply) => println!("{reply}"),
@@ -484,7 +524,7 @@ fn query_main(args: &[String]) {
 fn scrape_metrics(addr: &str) -> std::io::Result<String> {
     match http_get_metrics(addr) {
         Ok(text) => Ok(text),
-        Err(_) => HullClient::connect(addr)?.metrics(),
+        Err(_) => HullClient::builder(addr.to_string()).connect()?.metrics(),
     }
 }
 

@@ -52,6 +52,7 @@ fn opts(dim: usize, wal_dir: Option<PathBuf>) -> ServeOptions {
             shards: 1,
             queue_capacity: 256,
             max_batch: 32,
+            workers: 2,
             wal_dir,
         },
         ..Default::default()
@@ -91,7 +92,7 @@ fn canonical_served(snap: &SnapshotReply) -> BTreeSet<Vec<Vec<i64>>> {
 
 fn connect_retry(addr: SocketAddr) -> HullClient {
     for _ in 0..200 {
-        if let Ok(c) = HullClient::connect(addr) {
+        if let Ok(c) = HullClient::builder(addr.to_string()).connect() {
             return c;
         }
         std::thread::sleep(Duration::from_millis(10));

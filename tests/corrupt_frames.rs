@@ -141,6 +141,7 @@ fn server(request_timeout: Duration) -> convex_hull_suite::service::ServerHandle
             shards: 1,
             queue_capacity: 64,
             max_batch: 16,
+            workers: 2,
             wal_dir: None,
         },
         request_timeout,
@@ -151,7 +152,7 @@ fn server(request_timeout: Duration) -> convex_hull_suite::service::ServerHandle
 
 /// Assert the healthy path still works end to end on a fresh connection.
 fn assert_healthy(addr: std::net::SocketAddr) {
-    let mut c = HullClient::connect(addr).unwrap();
+    let mut c = HullClient::builder(addr.to_string()).connect().unwrap();
     for p in [[0, 0], [10, 0], [0, 10], [10, 10]] {
         c.insert(0, &p).unwrap();
     }

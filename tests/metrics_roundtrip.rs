@@ -23,6 +23,7 @@ fn serve_opts() -> ServeOptions {
             shards: 2,
             queue_capacity: 256,
             max_batch: 32,
+            workers: 2,
             wal_dir: None,
         },
         metrics_addr: Some("127.0.0.1:0".to_string()),
@@ -78,7 +79,9 @@ fn json_field(json: &str, key: &str) -> u64 {
 fn wire_and_http_scrapes_agree_and_cover_every_layer() {
     let mut server = serve(serve_opts()).unwrap();
     let maddr = server.metrics_addr().expect("metrics listener requested");
-    let mut c = HullClient::connect(server.local_addr()).unwrap();
+    let mut c = HullClient::builder(server.local_addr().to_string())
+        .connect()
+        .unwrap();
 
     // A workload big enough to exercise queue coalescing, batching, and
     // a real history graph (depth > 1) on both shards.

@@ -25,6 +25,7 @@ fn opts(dim: usize, queue_capacity: usize, max_batch: usize) -> ServeOptions {
             shards: 2,
             queue_capacity,
             max_batch,
+            workers: 2,
             wal_dir: None,
         },
         ..Default::default()
@@ -75,7 +76,7 @@ fn roundtrip(pts: PointSet, queue_capacity: usize, max_batch: usize) -> u64 {
             let rows = &rows;
             let rejections = Arc::clone(&rejections);
             s.spawn(move || {
-                let mut client = HullClient::connect(addr).unwrap();
+                let mut client = HullClient::builder(addr.to_string()).connect().unwrap();
                 let policy = RetryPolicy::default();
                 for row in rows.iter().skip(c).step_by(CLIENTS) {
                     let r = client.insert_retry(0, row, &policy).unwrap();
@@ -84,7 +85,7 @@ fn roundtrip(pts: PointSet, queue_capacity: usize, max_batch: usize) -> u64 {
             });
         }
     });
-    let mut client = HullClient::connect(addr).unwrap();
+    let mut client = HullClient::builder(addr.to_string()).connect().unwrap();
     client.flush(0).unwrap();
     let snap = client.snapshot(0).unwrap();
     assert_eq!(snap.points.len(), n, "every enqueued point must be applied");
