@@ -11,7 +11,9 @@ use chull_bench::harness::{black_box, Bench};
 use chull_geometry::exact::det_sign_i64;
 use chull_geometry::predicates::{self, float, orientd};
 use chull_geometry::rng::ChaCha8Rng;
-use chull_geometry::{Hyperplane, KernelCounts, Point2f, Point2i, Point3f, Point3i};
+use chull_geometry::{
+    Hyperplane, KernelCounts, PlaneBlock, Point2f, Point2i, Point3f, Point3i, Sign,
+};
 
 /// `queries` random points in a `dim`-ball plus one facet's worth of
 /// defining points, mirroring a conflict-list scan in the hull.
@@ -60,6 +62,73 @@ fn bench_staged_vs_naive(b: &mut Bench, dim: usize) {
     // conflict-list scans it pays for.
     b.bench(&format!("hyperplane_construction_{dim}d"), || {
         Hyperplane::new(dim, &rows)
+    });
+}
+
+/// `n` non-degenerate random facet planes, for the snapshot-wide scans.
+fn random_planes(dim: usize, n: usize, seed: u64) -> Vec<Hyperplane> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let coord = |rng: &mut ChaCha8Rng| rng.gen_range(-(1i64 << 20)..(1i64 << 20));
+    let mut planes = Vec::with_capacity(n);
+    while planes.len() < n {
+        let pts: Vec<Vec<i64>> = (0..dim)
+            .map(|_| (0..dim).map(|_| coord(&mut rng)).collect())
+            .collect();
+        let rows: Vec<&[i64]> = pts.iter().map(|p| p.as_slice()).collect();
+        let mut probe = vec![0i64; dim];
+        probe[0] = 1 << 21;
+        let mut all = rows.clone();
+        all.push(&probe);
+        if orientd(dim, &all) == Sign::Zero {
+            continue;
+        }
+        planes.push(Hyperplane::new(dim, &rows));
+    }
+    planes
+}
+
+/// The batched snapshot filter: one query against `n` facet planes, as a
+/// per-facet staged scan (AoS, plane by plane) vs the SoA [`PlaneBlock`]
+/// coefficient-major scan with the identical exact fallback on ambiguous
+/// lanes. Same decisions, different memory walk — this is the E21 kernel
+/// under the service read path.
+fn bench_block_vs_perfacet(b: &mut Bench, dim: usize, n: usize) {
+    let planes = random_planes(dim, n, 9000 + dim as u64);
+    let block = PlaneBlock::from_planes(dim, planes.iter());
+    let mut rng = ChaCha8Rng::seed_from_u64(77 + dim as u64);
+    let queries: Vec<Vec<i64>> = (0..32)
+        .map(|_| {
+            (0..dim)
+                .map(|_| rng.gen_range(-(1i64 << 20)..(1i64 << 20)))
+                .collect()
+        })
+        .collect();
+
+    b.bench(&format!("plane_scan_perfacet_{dim}d_{n}f"), || {
+        let mut counts = KernelCounts::default();
+        let mut acc = 0i32;
+        for q in &queries {
+            for p in &planes {
+                acc += p.sign_point(q, &mut counts).as_i32();
+            }
+        }
+        black_box(counts);
+        acc
+    });
+
+    b.bench(&format!("plane_scan_soa_block_{dim}d_{n}f"), || {
+        let mut counts = KernelCounts::default();
+        let mut acc = 0i32;
+        for q in &queries {
+            block.filter_scan(q, |i, s| {
+                acc += match s {
+                    Some(sign) => sign.as_i32(),
+                    None => planes[i as usize].sign_exact(q, &mut counts).as_i32(),
+                };
+            });
+        }
+        black_box(counts);
+        acc
     });
 }
 
@@ -117,6 +186,11 @@ fn main() {
     // The staged-vs-naive visibility comparison across dimensions.
     for dim in [2usize, 3, 5, 7] {
         bench_staged_vs_naive(&mut b, dim);
+    }
+
+    // The SoA block filter vs the per-facet staged scan at snapshot scale.
+    for (dim, n) in [(2usize, 1024usize), (3, 1024), (5, 4096)] {
+        bench_block_vs_perfacet(&mut b, dim, n);
     }
 
     b.report();

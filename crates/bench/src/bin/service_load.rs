@@ -1,5 +1,5 @@
 //! Load generator for the `chull-service` hull server (experiments E17,
-//! E18 and E20).
+//! E18, E20 and E21).
 //!
 //! Starts an in-process server on loopback, streams a workload into one
 //! shard from several concurrent client connections, then runs a mixed
@@ -13,6 +13,12 @@
 //! worker (coalescing alone), and through v2 frames on a 4-worker pool
 //! (Algorithm 3 on the serving path) — timed to **applied** (flush
 //! returns), not to enqueue ack.
+//!
+//! The E21 workload (`query_ab_near_circle_2d`) replays one mixed query
+//! stream twice against the same published snapshot — once through the
+//! wire-v3 `*_scan` linear-scan oracle ops, once through the default
+//! history-descent path — asserts every reply bit-identical, and records
+//! the latency A/B.
 //!
 //! The E18 workload (`chaos_recovery_2d`) arms a deterministic
 //! failpoint that kills the shard worker exactly once, mid-stream, and
@@ -502,6 +508,153 @@ fn run_batch_apply_ab(name: &str, pts: &PointSet, clients: usize, batch: usize) 
         .collect()
 }
 
+/// E21: sublinear point location on the serving path. One server, one
+/// ingested workload; the identical query sequence then runs through the
+/// wire-v3 `*_scan` oracle ops (linear scan over alive facets) and the
+/// default ops (history-graph descent + SoA `PlaneBlock` filter, cached
+/// extreme vertices). Every reply must be bit-identical between the two
+/// paths; the A/B rows record how much the descent path wins by.
+fn run_query_ab(pts: &PointSet, clients: usize, queries_per_client: usize) -> Vec<String> {
+    let dim = pts.dim();
+    let n = pts.len();
+    let mut server = serve(ServeOptions {
+        config: ServiceConfig {
+            dim,
+            shards: 1,
+            queue_capacity: 4096,
+            max_batch: 256,
+            workers: 0,
+            wal_dir: None,
+        },
+        ..Default::default()
+    })
+    .expect("bind loopback");
+    let addr = server.local_addr();
+    let rows: Vec<Vec<i64>> = (0..n).map(|i| pts.point(i).to_vec()).collect();
+    let facets = {
+        let mut client = HullClient::builder(addr.to_string())
+            .connect()
+            .expect("connect");
+        for chunk in rows.chunks(256) {
+            client.insert_batch(0, chunk).expect("insert batch");
+        }
+        client.flush(0).expect("flush");
+        client.snapshot(0).expect("snapshot").facets.len()
+    };
+
+    // Same mixed query stream as `run_workload`, replayed once per mode;
+    // replies are collected in deterministic (client, index) order so the
+    // two passes can be compared element by element.
+    let phase = |scan: bool| -> (f64, Vec<f64>, Vec<String>) {
+        let t0 = Instant::now();
+        let per_thread: Vec<(Vec<f64>, Vec<String>)> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..clients)
+                .map(|c| {
+                    let rows = &rows;
+                    s.spawn(move || {
+                        let mut client = HullClient::builder(addr.to_string())
+                            .connect()
+                            .expect("connect");
+                        let mut lat = Vec::with_capacity(queries_per_client);
+                        let mut replies = Vec::with_capacity(queries_per_client);
+                        for i in 0..queries_per_client {
+                            let row = &rows[(i * clients + c) % rows.len()];
+                            let q0 = Instant::now();
+                            let reply = match i % 4 {
+                                0 => {
+                                    let r = if scan {
+                                        client.contains_scan(0, row)
+                                    } else {
+                                        client.contains(0, row)
+                                    }
+                                    .expect("contains");
+                                    format!("{r:?}")
+                                }
+                                1 => {
+                                    let far: Vec<i64> = row.iter().map(|&x| 2 * x + 3).collect();
+                                    let r = if scan {
+                                        client.contains_scan(0, &far)
+                                    } else {
+                                        client.contains(0, &far)
+                                    }
+                                    .expect("contains");
+                                    format!("{r:?}")
+                                }
+                                2 => {
+                                    let r = if scan {
+                                        client.visible_scan(0, row)
+                                    } else {
+                                        client.visible(0, row)
+                                    }
+                                    .expect("visible");
+                                    format!("{r:?}")
+                                }
+                                _ => {
+                                    let mut d = vec![0i64; row.len()];
+                                    d[i % row.len()] = if i % 8 < 4 { 1 } else { -1 };
+                                    let r = if scan {
+                                        client.extreme_scan(0, &d)
+                                    } else {
+                                        client.extreme(0, &d)
+                                    }
+                                    .expect("extreme");
+                                    format!("{r:?}")
+                                }
+                            };
+                            lat.push(q0.elapsed().as_secs_f64() * 1e6);
+                            replies.push(reply);
+                        }
+                        (lat, replies)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let secs = t0.elapsed().as_secs_f64();
+        let mut lat = Vec::new();
+        let mut replies = Vec::new();
+        for (l, r) in per_thread {
+            lat.extend(l);
+            replies.extend(r);
+        }
+        lat.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        (secs, lat, replies)
+    };
+
+    let (scan_secs, scan_lat, scan_replies) = phase(true);
+    let (fast_secs, fast_lat, fast_replies) = phase(false);
+    server.shutdown();
+    assert_eq!(
+        fast_replies, scan_replies,
+        "descent and linear-scan replies diverge"
+    );
+
+    let nq = clients * queries_per_client;
+    let speedup = percentile(&scan_lat, 0.50) / percentile(&fast_lat, 0.50).max(1e-9);
+    [
+        ("locate", fast_secs, fast_lat),
+        ("linear_scan", scan_secs, scan_lat),
+    ]
+    .iter()
+    .map(|(mode, secs, lat)| {
+        let p50 = percentile(lat, 0.50);
+        let p99 = percentile(lat, 0.99);
+        let qps = nq as f64 / secs;
+        println!(
+            "{:<28} {:>8} pts  {:>10.0} qry/s (p50 {:>7.1}us p99 {:>8.1}us)  {} facets  [{mode}, locate p50 {speedup:.1}x vs scan]",
+            "query_ab_near_circle_2d", n, qps, p50, p99, facets
+        );
+        format!(
+            "  {{\"workload\": \"query_ab_near_circle_2d\", \"dim\": {dim}, \"n_points\": {n}, \
+             \"clients\": {clients}, \"mode\": \"{mode}\", \"n_queries\": {nq}, \
+             \"queries_per_sec\": {qps:.0}, \"query_p50_us\": {p50:.1}, \
+             \"query_p99_us\": {p99:.1}, \"hull_facets\": {facets}, \
+             \"bit_identical\": true, \"locate_speedup_p50\": {speedup:.2}}}"
+        )
+    })
+    .collect()
+}
+
 fn write_json(path: &str, results: &[LoadResult], extra_rows: &[String]) -> std::io::Result<()> {
     let mut out = String::from("[\n");
     for (i, r) in results.iter().enumerate() {
@@ -607,6 +760,11 @@ fn main() {
         &generators::cube_d(2, n2, 1_000_000, 42),
         clients,
         if quick { 64 } else { 256 },
+    ));
+    extra.extend(run_query_ab(
+        &generators::near_sphere_d(2, n2 / 2, 1_000_000, 42),
+        clients,
+        q,
     ));
     extra.push(run_chaos_recovery(
         &generators::cube_d(2, n2, 1_000_000, 77),

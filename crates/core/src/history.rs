@@ -116,34 +116,52 @@ impl<'a> HullHistory<'a> {
 
     /// Locate `q` (a coordinate slice of the right dimension): descend from
     /// the seed facets through children whose conflict region contains `q`.
+    ///
+    /// Uses the same per-thread epoch-stamped visited scratch as the
+    /// online hull's descent, so a query costs O(nodes visited) rather
+    /// than O(history size) — the serving-path invariants this mirrors
+    /// are documented in DESIGN §S18.
     pub fn locate(&self, q: &[i64]) -> Location {
+        thread_local! {
+            static SCRATCH: std::cell::RefCell<(Vec<u64>, u64)> =
+                const { std::cell::RefCell::new((Vec::new(), 0)) };
+        }
         assert_eq!(q.len(), self.pts.dim(), "query of wrong dimension");
         let mut visible = Vec::new();
-        let mut visited_flags = vec![false; self.facets.len()];
-        let mut stack: Vec<u32> = Vec::new();
-        let mut visited = 0usize;
-        for &s in &self.seeds {
-            visited_flags[s as usize] = true;
-            visited += 1;
-            if self.sees(s, q) {
-                stack.push(s);
+        let visited = SCRATCH.with(|cell| {
+            let scratch = &mut *cell.borrow_mut();
+            scratch.1 += 1;
+            let epoch = scratch.1;
+            if scratch.0.len() < self.facets.len() {
+                scratch.0.resize(self.facets.len(), 0);
             }
-        }
-        while let Some(id) = stack.pop() {
-            // Invariant: q is visible from `id`.
-            if self.alive[id as usize] {
-                visible.push(id);
+            let stamps = &mut scratch.0;
+            let mut stack: Vec<u32> = Vec::new();
+            let mut visited = 0usize;
+            for &s in &self.seeds {
+                stamps[s as usize] = epoch;
+                visited += 1;
+                if self.sees(s, q) {
+                    stack.push(s);
+                }
             }
-            for &c in &self.children[id as usize] {
-                if !visited_flags[c as usize] {
-                    visited_flags[c as usize] = true;
-                    visited += 1;
-                    if self.sees(c, q) {
-                        stack.push(c);
+            while let Some(id) = stack.pop() {
+                // Invariant: q is visible from `id`.
+                if self.alive[id as usize] {
+                    visible.push(id);
+                }
+                for &c in &self.children[id as usize] {
+                    if stamps[c as usize] != epoch {
+                        stamps[c as usize] = epoch;
+                        visited += 1;
+                        if self.sees(c, q) {
+                            stack.push(c);
+                        }
                     }
                 }
             }
-        }
+            visited
+        });
         visible.sort_unstable();
         Location {
             visible_facets: visible,

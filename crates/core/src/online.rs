@@ -17,11 +17,22 @@ use crate::facet::{
     facet_verts, join_ridge, ridge_omitting, FacetVerts, RidgeKey, MAX_DIM, NO_VERT,
 };
 use crate::output::HullOutput;
-use chull_geometry::{Hyperplane, KernelCounts, PointSet, Sign};
+use chull_geometry::{Hyperplane, KernelCounts, PlaneBlock, PointSet, Sign};
+use std::cell::RefCell;
 use std::collections::HashMap;
 
 /// Sentinel facet id.
 const NO_FACET: u32 = u32::MAX;
+
+thread_local! {
+    /// Per-thread descent scratch: facet id → stamp of the last descent
+    /// that visited it, plus the running stamp. Comparing stamps against
+    /// the per-call epoch makes "clearing" free, so a descent costs
+    /// O(nodes visited) instead of the O(facets ever created) that a
+    /// fresh `vec![false; n]` per query used to pay — the allocation
+    /// alone re-linearized every point-location query.
+    static DESCENT_SCRATCH: RefCell<(Vec<u64>, u64)> = const { RefCell::new((Vec::new(), 0)) };
+}
 
 /// Batches smaller than this insert sequentially in
 /// [`OnlineHull::insert_batch_par`]: the parallel path pays an
@@ -210,37 +221,105 @@ impl OnlineHull {
         s != Sign::Zero && s == f.visible_sign
     }
 
-    /// All alive facets visible from `q`, found by history descent.
-    /// Shared: counters go to the caller's accumulator, the visited-node
-    /// count is the second return. `O(log n)` expected nodes for points
-    /// in random position (Section 4).
-    fn locate(&self, q: &[i64], counts: &mut KernelCounts) -> (Vec<u32>, usize) {
-        let mut visited = vec![false; self.facets.len()];
-        let mut stack: Vec<u32> = Vec::new();
-        let mut out = Vec::new();
-        let mut count = 0usize;
-        for &s in &self.seeds {
-            visited[s as usize] = true;
-            count += 1;
-            if self.sees(s, q, counts) {
-                stack.push(s);
+    /// Like [`OnlineHull::sees`], but routed through a batched SoA filter
+    /// block when one is supplied. The block's per-plane arithmetic is
+    /// identical to the scalar filter stage, so both the answer and every
+    /// counter increment (`tests`, `filter_hits`, exact fallbacks) are
+    /// bit-identical to the per-facet staged kernel.
+    #[inline]
+    fn sees_with(
+        &self,
+        id: u32,
+        q: &[i64],
+        qf: &[f64],
+        block: Option<&PlaneBlock>,
+        counts: &mut KernelCounts,
+    ) -> bool {
+        let f = &self.facets[id as usize];
+        let s = match block {
+            Some(b) => {
+                counts.tests += 1;
+                match b.filter_sign(id, qf) {
+                    Some(s) => {
+                        counts.filter_hits += 1;
+                        s
+                    }
+                    None => f.plane.sign_exact(q, counts),
+                }
             }
-        }
-        while let Some(id) = stack.pop() {
-            if self.facets[id as usize].alive {
-                out.push(id);
+            None => f.plane.sign_point(q, counts),
+        };
+        s != Sign::Zero && s == f.visible_sign
+    }
+
+    /// History descent from the seed facets: visit every history node
+    /// whose conflict region contains `q` (the support property
+    /// `C(t) ⊆ C(t1) ∪ C(t2)` guarantees no visible facet is missed),
+    /// calling `on_alive` for each **alive** visible facet in DFS order.
+    /// `on_alive` returning `true` stops the descent early (used by
+    /// membership tests, which only need *one* witness). Returns the
+    /// number of history nodes visited — the descent-step cost, expected
+    /// `O(log n)` for points in random position (Section 4).
+    fn descend<F>(
+        &self,
+        q: &[i64],
+        block: Option<&PlaneBlock>,
+        counts: &mut KernelCounts,
+        mut on_alive: F,
+    ) -> usize
+    where
+        F: FnMut(u32) -> bool,
+    {
+        debug_assert!(block.is_none_or(|b| b.len() == self.facets.len()));
+        let qf = PlaneBlock::query_row(q);
+        DESCENT_SCRATCH.with(|cell| {
+            let scratch = &mut *cell.borrow_mut();
+            scratch.1 += 1;
+            let epoch = scratch.1;
+            if scratch.0.len() < self.facets.len() {
+                scratch.0.resize(self.facets.len(), 0);
             }
-            for ci in 0..self.facets[id as usize].children.len() {
-                let c = self.facets[id as usize].children[ci];
-                if !visited[c as usize] {
-                    visited[c as usize] = true;
-                    count += 1;
-                    if self.sees(c, q, counts) {
-                        stack.push(c);
+            let stamps = &mut scratch.0;
+            let mut stack: Vec<u32> = Vec::new();
+            let mut visited = 0usize;
+            for &s in &self.seeds {
+                stamps[s as usize] = epoch;
+                visited += 1;
+                if self.sees_with(s, q, &qf, block, counts) {
+                    stack.push(s);
+                }
+            }
+            while let Some(id) = stack.pop() {
+                // Invariant: q is visible from `id`.
+                if self.facets[id as usize].alive && on_alive(id) {
+                    return visited;
+                }
+                for ci in 0..self.facets[id as usize].children.len() {
+                    let c = self.facets[id as usize].children[ci];
+                    if stamps[c as usize] != epoch {
+                        stamps[c as usize] = epoch;
+                        visited += 1;
+                        if self.sees_with(c, q, &qf, block, counts) {
+                            stack.push(c);
+                        }
                     }
                 }
             }
-        }
+            visited
+        })
+    }
+
+    /// All alive facets visible from `q`, found by history descent, in
+    /// DFS discovery order (insertion depends on this order — it fixes
+    /// the ids of the facets an insert creates). Shared: counters go to
+    /// the caller's accumulator, the visited-node count is the second
+    /// return.
+    fn locate(&self, q: &[i64], counts: &mut KernelCounts) -> (Vec<u32>, usize) {
+        let mut out = Vec::new();
+        let count = self.descend(q, None, counts, |id| {
+            out.push(id);
+            false
+        });
         (out, count)
     }
 
@@ -469,16 +548,121 @@ impl OnlineHull {
     /// [`OnlineHull::contains`], accumulating staged-kernel counters into
     /// the caller's tally (which the service folds into shared atomics).
     pub fn contains_counted(&self, coords: &[i64], counts: &mut KernelCounts) -> bool {
+        self.contains_with(coords, counts, None)
+    }
+
+    /// [`OnlineHull::contains_counted`] with an optional packed-plane
+    /// filter block (built once per frozen snapshot via
+    /// [`OnlineHull::plane_block`]). The descent stops at the **first**
+    /// alive visible facet — one witness decides membership — and folds
+    /// its visited-node count into `counts.descent_steps`. Under the
+    /// `linear-scan` feature this delegates to the full-scan oracle
+    /// ([`OnlineHull::contains_scan`]) instead; answers are identical
+    /// either way.
+    pub fn contains_with(
+        &self,
+        coords: &[i64],
+        counts: &mut KernelCounts,
+        block: Option<&PlaneBlock>,
+    ) -> bool {
         assert_eq!(coords.len(), self.dim, "point of wrong dimension");
-        self.locate(coords, counts).0.is_empty()
+        #[cfg(feature = "linear-scan")]
+        {
+            let _ = block;
+            self.contains_scan(coords, counts)
+        }
+        #[cfg(not(feature = "linear-scan"))]
+        {
+            let mut outside = false;
+            let visited = self.descend(coords, block, counts, |_| {
+                outside = true;
+                true
+            });
+            counts.descent_steps += visited as u64;
+            !outside
+        }
     }
 
     /// The alive facets visible from `coords` (empty iff the point is
     /// inside or on the hull). Shared read path, like
     /// [`OnlineHull::contains_counted`].
     pub fn visible_facets(&self, coords: &[i64], counts: &mut KernelCounts) -> Vec<u32> {
+        self.visible_facets_with(coords, counts, None)
+    }
+
+    /// [`OnlineHull::visible_facets`] with an optional packed-plane
+    /// filter block; folds the descent-step count into
+    /// `counts.descent_steps`. Under the `linear-scan` feature this
+    /// delegates to [`OnlineHull::visible_facets_scan`]; the returned
+    /// *set* of facets is identical either way (the orders differ: DFS
+    /// discovery vs ascending id).
+    pub fn visible_facets_with(
+        &self,
+        coords: &[i64],
+        counts: &mut KernelCounts,
+        block: Option<&PlaneBlock>,
+    ) -> Vec<u32> {
         assert_eq!(coords.len(), self.dim, "point of wrong dimension");
-        self.locate(coords, counts).0
+        #[cfg(feature = "linear-scan")]
+        {
+            let _ = block;
+            self.visible_facets_scan(coords, counts)
+        }
+        #[cfg(not(feature = "linear-scan"))]
+        {
+            let mut out = Vec::new();
+            let visited = self.descend(coords, block, counts, |id| {
+                out.push(id);
+                false
+            });
+            counts.descent_steps += visited as u64;
+            out
+        }
+    }
+
+    /// Linear-scan membership oracle: test **every** alive facet with the
+    /// per-facet staged kernel, in ascending facet-id order. This is the
+    /// pre-descent read path, kept as the A/B baseline and correctness
+    /// oracle (`hull query --scan`, the `linear-scan` feature, and the
+    /// wire `*Scan` ops). Never touches `descent_steps`.
+    pub fn contains_scan(&self, coords: &[i64], counts: &mut KernelCounts) -> bool {
+        assert_eq!(coords.len(), self.dim, "point of wrong dimension");
+        self.visible_facets_scan(coords, counts).is_empty()
+    }
+
+    /// Linear-scan twin of [`OnlineHull::visible_facets`]: all alive
+    /// facets that see `coords`, in ascending facet-id order.
+    pub fn visible_facets_scan(&self, coords: &[i64], counts: &mut KernelCounts) -> Vec<u32> {
+        assert_eq!(coords.len(), self.dim, "point of wrong dimension");
+        (0..self.facets.len() as u32)
+            .filter(|&id| self.facets[id as usize].alive && self.sees(id, coords, counts))
+            .collect()
+    }
+
+    /// Pack every facet plane ever created (dead ones included — the
+    /// history descent walks through them) into one SoA filter block,
+    /// indexed by facet id. Built once per frozen snapshot by
+    /// `chull-service` and shared read-only across query threads; it is
+    /// only valid for the exact facet vector it was built from, so a
+    /// mutable hull must rebuild it after inserting.
+    pub fn plane_block(&self) -> PlaneBlock {
+        PlaneBlock::from_planes(self.dim, self.facets.iter().map(|f| &f.plane))
+    }
+
+    /// The vertex ids on the current hull, ascending and deduplicated.
+    /// One O(facets) pass — intended to be cached per frozen snapshot so
+    /// [`OnlineHull::extreme_with`] answers directional queries in
+    /// O(hull vertices) with no per-query set-building.
+    pub fn hull_vertices(&self) -> Vec<u32> {
+        let mut verts: Vec<u32> = self
+            .facets
+            .iter()
+            .filter(|f| f.alive)
+            .flat_map(|f| f.verts[..self.dim].iter().copied())
+            .collect();
+        verts.sort_unstable();
+        verts.dedup();
+        verts
     }
 
     /// The hull vertex extreme in direction `dir` (maximizing `dir · p`
@@ -486,12 +670,27 @@ impl OnlineHull {
     /// Ties break toward the smallest id. `dir` components must stay
     /// within [`chull_geometry::MAX_COORD`] so the `i128` dot products
     /// cannot overflow.
+    ///
+    /// Directional queries deliberately do **not** descend the history
+    /// graph: visibility of a direction at infinity can degenerate to
+    /// `Zero` on an ancestor facet even when a descendant is extreme, so
+    /// the support property gives no completeness guarantee off the
+    /// finite point set (DESIGN §S18). A scan over the hull's vertex set
+    /// is exact and already sublinear in the history size.
     pub fn extreme(&self, dir: &[i64]) -> (u32, Vec<i64>) {
+        self.extreme_with(dir, &self.hull_vertices())
+    }
+
+    /// [`OnlineHull::extreme`] over a caller-cached vertex list (ascending
+    /// ids, as produced by [`OnlineHull::hull_vertices`]) — the tight loop
+    /// behind snapshot `Extreme` queries.
+    pub fn extreme_with(&self, dir: &[i64], verts: &[u32]) -> (u32, Vec<i64>) {
         assert_eq!(dir.len(), self.dim, "direction of wrong dimension");
         assert!(
             dir.iter().all(|&c| c.abs() <= chull_geometry::MAX_COORD),
             "direction component exceeds MAX_COORD"
         );
+        assert!(!verts.is_empty(), "hull has at least one facet");
         let dot = |v: u32| -> i128 {
             self.pts
                 .pt(v)
@@ -500,22 +699,17 @@ impl OnlineHull {
                 .map(|(&c, &d)| c as i128 * d as i128)
                 .sum()
         };
-        let mut best: Option<(u32, i128)> = None;
-        let mut seen = std::collections::HashSet::new();
-        for f in self.facets.iter().filter(|f| f.alive) {
-            for &v in &f.verts[..self.dim] {
-                if !seen.insert(v) {
-                    continue;
-                }
-                let s = dot(v);
-                match best {
-                    Some((bv, bs)) if bs > s || (bs == s && bv < v) => {}
-                    _ => best = Some((v, s)),
-                }
+        // Ascending ids + strictly-greater updates = smallest-id tie-break.
+        let mut best_v = verts[0];
+        let mut best_s = dot(verts[0]);
+        for &v in &verts[1..] {
+            let s = dot(v);
+            if s > best_s {
+                best_s = s;
+                best_v = v;
             }
         }
-        let (v, _) = best.expect("hull has at least one facet");
-        (v, self.pts.pt(v).to_vec())
+        (best_v, self.pts.pt(best_v).to_vec())
     }
 
     /// Number of points inserted so far (including the seed simplex).

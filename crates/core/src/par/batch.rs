@@ -196,6 +196,8 @@ pub(crate) fn run_batch(
         filter_hits: shared.filter_hits.sum(),
         i128_fallbacks: shared.i128_fallbacks.sum(),
         bigint_fallbacks: shared.bigint_fallbacks.sum(),
+        // Conflict-list batches never descend the history graph.
+        descent_steps: 0,
     };
     BatchRun {
         dead_seeds,

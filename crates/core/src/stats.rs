@@ -45,6 +45,10 @@ pub struct HullStats {
     pub i128_fallbacks: u64,
     /// Visibility tests that needed arbitrary-precision evaluation.
     pub bigint_fallbacks: u64,
+    /// History-graph nodes visited by point-location descents on the
+    /// query path (0 for construction-only runs; inserts locate through
+    /// the history too but report via `visibility_tests`).
+    pub descent_steps: u64,
 }
 
 impl HullStats {
@@ -55,6 +59,7 @@ impl HullStats {
         self.filter_hits += counts.filter_hits;
         self.i128_fallbacks += counts.i128_fallbacks;
         self.bigint_fallbacks += counts.bigint_fallbacks;
+        self.descent_steps += counts.descent_steps;
     }
 
     /// The harmonic number `H_n` for normalizing depths (Theorem 4.2).
@@ -75,7 +80,7 @@ impl HullStats {
             "{{\"n\":{},\"dim\":{},\"visibility_tests\":{},\"facets_created\":{},\
              \"hull_facets\":{},\"dep_depth\":{},\"recursion_depth\":{},\"rounds\":{},\
              \"buried\":{},\"replaced\":{},\"naive_dep_depth\":{},\"filter_hits\":{},\
-             \"i128_fallbacks\":{},\"bigint_fallbacks\":{}}}",
+             \"i128_fallbacks\":{},\"bigint_fallbacks\":{},\"descent_steps\":{}}}",
             self.n,
             self.dim,
             self.visibility_tests,
@@ -89,7 +94,8 @@ impl HullStats {
             self.naive_dep_depth,
             self.filter_hits,
             self.i128_fallbacks,
-            self.bigint_fallbacks
+            self.bigint_fallbacks,
+            self.descent_steps
         )
     }
 }
@@ -115,6 +121,7 @@ mod tests {
             "\"visibility_tests\":7",
             "\"filter_hits\":0",
             "\"bigint_fallbacks\":0",
+            "\"descent_steps\":0",
         ] {
             assert!(j.contains(key), "missing {key} in {j}");
         }

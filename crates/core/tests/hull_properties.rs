@@ -2,12 +2,13 @@
 //! dimensions and distributions.
 
 use chull_core::baseline::brute;
+use chull_core::online::{HullBuilder, OnlineHull};
 use chull_core::par::{parallel_hull, ParOptions};
 use chull_core::prepare_points;
 use chull_core::seq::incremental_hull_run;
 use chull_core::verify::{verify_containment, verify_hull};
 use chull_geometry::rng::ChaCha8Rng;
-use chull_geometry::{generators, PointSet};
+use chull_geometry::{generators, KernelCounts, PointSet};
 
 /// Every d-dimensional hull: each ridge is shared by exactly two facets, so
 /// ridges = d * F / 2; hull vertices are a subset of the input; every facet
@@ -135,6 +136,209 @@ fn prop_4d_matches_brute() {
         assert_eq!(run.output.canonical(), oracle.canonical());
         checked += 1;
     }
+}
+
+// ---------------------------------------------------------------------------
+// Query-path equivalence: history-graph point location (with and without
+// the SoA PlaneBlock filter) must be bit-identical to the linear-scan
+// oracle on every workload, including degenerate ones.
+// ---------------------------------------------------------------------------
+
+/// Build a live online hull by replaying the point set's rows in order.
+fn online_hull(pts: &PointSet) -> OnlineHull {
+    let rows: Vec<&[i64]> = (0..pts.len()).map(|i| pts.point(i)).collect();
+    let b = HullBuilder::replay(pts.dim(), rows.iter().copied());
+    b.hull().expect("workload must leave bootstrap").clone()
+}
+
+/// Query mix: every input point (exactly-at-vertex, on-facet, interior,
+/// duplicate coordinates), scaled copies (mostly outside), and midpoints
+/// of random pairs, each asked twice.
+fn query_points(pts: &PointSet, seed: u64) -> Vec<Vec<i64>> {
+    let n = pts.len();
+    let mut qs: Vec<Vec<i64>> = (0..n).map(|i| pts.point(i).to_vec()).collect();
+    for i in 0..n.min(48) {
+        qs.push(pts.point(i).iter().map(|&c| c * 2 + 1).collect());
+    }
+    let mut r = ChaCha8Rng::seed_from_u64(seed);
+    for _ in 0..48 {
+        let a = r.gen_range(0usize..n);
+        let b = r.gen_range(0usize..n);
+        let m: Vec<i64> = pts
+            .point(a)
+            .iter()
+            .zip(pts.point(b))
+            .map(|(&x, &y)| (x + y) / 2)
+            .collect();
+        qs.push(m.clone());
+        qs.push(m);
+    }
+    qs
+}
+
+/// Assert descent (scalar filter and SoA block filter) agrees with the
+/// scan oracle on every query, and that the block changes only *how* the
+/// float filter is evaluated, never what it decides: identical kernel
+/// counters, not just identical answers. Returns per-query descent steps.
+fn assert_query_paths_agree(h: &OnlineHull, qs: &[Vec<i64>]) -> Vec<u64> {
+    let block = h.plane_block();
+    let mut steps = Vec::with_capacity(qs.len());
+    for q in qs {
+        let mut k_loc = KernelCounts::default();
+        let mut k_blk = KernelCounts::default();
+        let mut k_scan = KernelCounts::default();
+        let c_loc = h.contains_with(q, &mut k_loc, None);
+        let c_blk = h.contains_with(q, &mut k_blk, Some(&block));
+        let c_scan = h.contains_scan(q, &mut k_scan);
+        assert_eq!(c_loc, c_scan, "contains: descent vs scan at {q:?}");
+        assert_eq!(c_blk, c_scan, "contains: block descent vs scan at {q:?}");
+        assert_eq!(k_loc, k_blk, "kernel counters: scalar vs block at {q:?}");
+        let mut v_loc = h.visible_facets_with(q, &mut KernelCounts::default(), Some(&block));
+        let mut v_scan = h.visible_facets_scan(q, &mut KernelCounts::default());
+        v_loc.sort_unstable();
+        v_scan.sort_unstable();
+        assert_eq!(v_loc, v_scan, "visible facet set at {q:?}");
+        steps.push(k_loc.descent_steps);
+    }
+    steps
+}
+
+/// The cached-vertex extreme path: agrees with per-query re-derivation,
+/// and the winner maximizes the dot product over *all* input points.
+fn assert_extreme_agrees(h: &OnlineHull, dirs: &[Vec<i64>]) {
+    let verts = h.hull_vertices();
+    for d in dirs {
+        let fast = h.extreme_with(d, &verts);
+        let slow = h.extreme(d);
+        assert_eq!(fast, slow, "extreme along {d:?}");
+        let dot =
+            |p: &[i64]| -> i128 { p.iter().zip(d).map(|(&a, &b)| a as i128 * b as i128).sum() };
+        let best = (0..h.num_points())
+            .map(|i| dot(h.points().point(i)))
+            .max()
+            .unwrap();
+        assert_eq!(dot(&fast.1), best, "extreme along {d:?} not maximal");
+    }
+}
+
+fn axis_and_random_dirs(dim: usize, seed: u64) -> Vec<Vec<i64>> {
+    let mut dirs = Vec::new();
+    for j in 0..dim {
+        for s in [1i64, -1] {
+            let mut d = vec![0i64; dim];
+            d[j] = s;
+            dirs.push(d);
+        }
+    }
+    let mut r = ChaCha8Rng::seed_from_u64(seed);
+    for _ in 0..16 {
+        dirs.push((0..dim).map(|_| r.gen_range(-1000i64..1000)).collect());
+    }
+    dirs.retain(|d| d.iter().any(|&c| c != 0));
+    dirs
+}
+
+#[test]
+fn query_paths_bit_identical_across_workloads() {
+    let mut dup_rows: Vec<Vec<i64>> = generators::disk_2d(150, 1 << 18, 21)
+        .iter()
+        .map(|p| vec![p.x, p.y])
+        .collect();
+    dup_rows.extend(dup_rows.clone()); // every point twice
+    let workloads: Vec<(&str, PointSet)> = vec![
+        (
+            "ball2",
+            prepare_points(&generators::ball_d(2, 400, 1 << 20, 11), 1),
+        ),
+        (
+            "ball3",
+            prepare_points(&generators::ball_d(3, 250, 1 << 20, 12), 2),
+        ),
+        (
+            "ball4",
+            prepare_points(&generators::ball_d(4, 100, 1 << 16, 13), 3),
+        ),
+        (
+            "near_circle",
+            prepare_points(
+                &PointSet::from_points2(&generators::near_circle_2d(400, 1 << 24, 14)),
+                4,
+            ),
+        ),
+        (
+            "near_sphere3",
+            prepare_points(
+                &PointSet::from_points3(&generators::near_sphere_3d(200, 1 << 20, 15)),
+                5,
+            ),
+        ),
+        (
+            "collinear",
+            prepare_points(
+                &PointSet::from_points2(&generators::collinear_heavy_2d(300, 12, 16)),
+                6,
+            ),
+        ),
+        (
+            "duplicates",
+            prepare_points(&PointSet::from_rows(2, &dup_rows), 7),
+        ),
+    ];
+    for (name, pts) in &workloads {
+        let h = online_hull(pts);
+        let qs = query_points(pts, 0xABC ^ pts.len() as u64);
+        assert_query_paths_agree(&h, &qs);
+        assert_extreme_agrees(&h, &axis_and_random_dirs(pts.dim(), 0xD12));
+        // Cross-check against the offline verifier too: `contains` says
+        // true exactly for the points the hull was built from.
+        for i in 0..pts.len() {
+            assert!(h.contains(pts.point(i)), "{name}: input point {i} escapes");
+        }
+    }
+}
+
+/// E21 core-level check: on a near-circle (every point a hull vertex),
+/// the history descent touches far fewer nodes than a linear scan would —
+/// p50 descent steps ≪ alive facet count. Scan builds record no descent
+/// steps, so this only means something on the default build.
+#[cfg(not(feature = "linear-scan"))]
+#[test]
+fn descent_steps_sublinear_on_near_circle() {
+    let pts = prepare_points(
+        &PointSet::from_points2(&generators::near_circle_2d(4000, 1 << 28, 99)),
+        8,
+    );
+    let h = online_hull(&pts);
+    let facets = h.output().num_facets();
+    assert!(facets > 1000, "workload too small: {facets} facets");
+    let block = h.plane_block();
+    let mut r = ChaCha8Rng::seed_from_u64(0xE21);
+    let mut steps: Vec<u64> = Vec::new();
+    for i in 0..256usize {
+        // Alternate interior midpoints and outside points so both the
+        // early-exit and the full-cone descents are measured.
+        let q: Vec<i64> = if i % 2 == 0 {
+            let a = r.gen_range(0usize..pts.len());
+            let b = r.gen_range(0usize..pts.len());
+            pts.point(a)
+                .iter()
+                .zip(pts.point(b))
+                .map(|(&x, &y)| (x + y) / 2)
+                .collect()
+        } else {
+            let a = r.gen_range(0usize..pts.len());
+            pts.point(a).iter().map(|&c| c + c / 8).collect()
+        };
+        let mut k = KernelCounts::default();
+        h.contains_with(&q, &mut k, Some(&block));
+        steps.push(k.descent_steps);
+    }
+    steps.sort_unstable();
+    let p50 = steps[steps.len() / 2];
+    assert!(
+        (p50 as usize) * 20 < facets,
+        "descent p50 {p50} not sublinear in {facets} facets"
+    );
 }
 
 /// Insertion order never changes the hull (only the dependence

@@ -39,6 +39,9 @@ pub struct KernelCounts {
     pub i128_fallbacks: u64,
     /// Tests that required arbitrary-precision evaluation.
     pub bigint_fallbacks: u64,
+    /// History-graph nodes visited by point-location descents (0 for
+    /// conflict-list runs and full linear scans, which never descend).
+    pub descent_steps: u64,
 }
 
 impl KernelCounts {
@@ -49,6 +52,7 @@ impl KernelCounts {
         self.filter_hits += other.filter_hits;
         self.i128_fallbacks += other.i128_fallbacks;
         self.bigint_fallbacks += other.bigint_fallbacks;
+        self.descent_steps += other.descent_steps;
     }
 }
 
@@ -254,8 +258,11 @@ impl Hyperplane {
         self.sign_exact(q, counts)
     }
 
-    /// Exact stages only (checked `i128`, then `BigInt`).
-    fn sign_exact(&self, q: &[i64], counts: &mut KernelCounts) -> Sign {
+    /// Exact stages only (checked `i128`, then `BigInt`). Public so a
+    /// batched filter ([`PlaneBlock`]) can resolve only its ambiguous
+    /// planes exactly; answers match [`Hyperplane::sign_point`] because
+    /// both filters certify only provably correct signs.
+    pub fn sign_exact(&self, q: &[i64], counts: &mut KernelCounts) -> Sign {
         let d = self.dim as usize;
         match &self.coeffs {
             Coeffs::Small(c) => {
@@ -326,6 +333,164 @@ fn dot_i128(c: &[i128; MAX_DIM + 1], q: &[i64], d: usize) -> Option<i128> {
         acc = acc.checked_add(c[j].checked_mul(q[j] as i128)?)?;
     }
     Some(acc)
+}
+
+/// Chunk width for [`PlaneBlock`] scans: small enough that the value and
+/// magnitude accumulator lanes live in registers/L1, wide enough for the
+/// compiler to vectorize the per-coefficient inner loops.
+const BLOCK_CHUNK: usize = 64;
+
+/// A contiguous structure-of-arrays block of f64-rounded hyperplane
+/// coefficients — the batched form of [`Hyperplane::sign_point`]'s filter
+/// stage.
+///
+/// Coefficient `j` of plane `i` lives at `coeffs[j * len + i]`, so the
+/// semi-static filter over many planes against one query point is a tight
+/// coefficient-major loop (`d + 1` vectorizable passes over contiguous
+/// lanes) instead of a pointer chase through per-facet [`Hyperplane`]s.
+/// Per plane, the arithmetic (value and magnitude accumulation order) is
+/// identical to the scalar filter, so a sign certified here is certified
+/// there and vice versa; ambiguous planes must be resolved through
+/// [`Hyperplane::sign_exact`], which keeps every answer bit-identical to
+/// the staged scalar kernel.
+///
+/// The block is immutable once built — callers construct one per frozen
+/// hull snapshot and share it across query threads.
+#[derive(Clone, Debug)]
+pub struct PlaneBlock {
+    dim: usize,
+    len: usize,
+    /// SoA coefficients, `(dim + 1) * len` entries (normal rows first,
+    /// the offset row last).
+    coeffs: Vec<f64>,
+    /// Filter error bound, as in [`Hyperplane`]: certify when
+    /// `|v| > err_factor * Σ|terms|`. A per-dimension constant, and an
+    /// upper bound for every plane in the block (including all-zero
+    /// placeholders, which can never certify anyway).
+    err_factor: f64,
+}
+
+impl PlaneBlock {
+    /// Pack the f64 coefficient images of `planes` (all of dimension
+    /// `dim`) into one SoA block, in iteration order: plane `i` of the
+    /// block is the `i`-th yielded hyperplane.
+    pub fn from_planes<'a, I>(dim: usize, planes: I) -> PlaneBlock
+    where
+        I: ExactSizeIterator<Item = &'a Hyperplane>,
+    {
+        assert!((2..=MAX_DIM).contains(&dim), "dimension out of range");
+        let len = planes.len();
+        let mut coeffs = vec![0.0f64; (dim + 1) * len];
+        for (i, p) in planes.enumerate() {
+            assert_eq!(p.dim(), dim, "plane of wrong dimension in block");
+            for j in 0..=dim {
+                coeffs[j * len + i] = p.approx[j];
+            }
+        }
+        PlaneBlock {
+            dim,
+            len,
+            coeffs,
+            err_factor: (4 * dim + 16) as f64 * f64::EPSILON,
+        }
+    }
+
+    /// Number of planes in the block.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True iff the block holds no planes.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The dimension every plane in the block lives in.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The query point as f64 lanes, computed once per query and reused
+    /// across every filter evaluation against this block.
+    #[inline]
+    pub fn query_row(q: &[i64]) -> [f64; MAX_DIM] {
+        let mut qf = [0.0f64; MAX_DIM];
+        for (slot, &c) in qf.iter_mut().zip(q) {
+            *slot = c as f64;
+        }
+        qf
+    }
+
+    /// Semi-static filter for plane `i` against the prepared query row:
+    /// `Some(sign)` when the f64 evaluation clears the error bound,
+    /// `None` when the exact stages must decide. Same certification
+    /// decision as the scalar filter in [`Hyperplane::sign_point`].
+    #[inline]
+    pub fn filter_sign(&self, i: u32, qf: &[f64]) -> Option<Sign> {
+        let (d, n, i) = (self.dim, self.len, i as usize);
+        debug_assert!(i < n);
+        let mut v = self.coeffs[d * n + i];
+        let mut mag = v.abs();
+        for (j, &qj) in qf.iter().enumerate().take(d) {
+            let t = self.coeffs[j * n + i] * qj;
+            v += t;
+            mag += t.abs();
+        }
+        let err = self.err_factor * mag;
+        if v > err {
+            Some(Sign::Positive)
+        } else if v < -err {
+            Some(Sign::Negative)
+        } else {
+            None
+        }
+    }
+
+    /// Run the filter over **every** plane in the block against `q`, in
+    /// plane order, visiting `(index, certified sign or None)` per plane.
+    /// The hot loops are coefficient-major over [`BLOCK_CHUNK`]-wide
+    /// contiguous lanes — this is the vectorizable full-scan path that
+    /// backs the `linear-scan` A/B oracle and the batched candidate
+    /// filter.
+    pub fn filter_scan<F: FnMut(u32, Option<Sign>)>(&self, q: &[i64], mut visit: F) {
+        let (d, n) = (self.dim, self.len);
+        debug_assert_eq!(q.len(), d);
+        let qf = Self::query_row(q);
+        let mut v = [0.0f64; BLOCK_CHUNK];
+        let mut mag = [0.0f64; BLOCK_CHUNK];
+        let mut base = 0usize;
+        while base < n {
+            let m = BLOCK_CHUNK.min(n - base);
+            let off = &self.coeffs[d * n + base..d * n + base + m];
+            for i in 0..m {
+                v[i] = off[i];
+                mag[i] = off[i].abs();
+            }
+            for (j, &qj) in qf.iter().enumerate().take(d) {
+                let col = &self.coeffs[j * n + base..j * n + base + m];
+                for i in 0..m {
+                    let t = col[i] * qj;
+                    v[i] += t;
+                    mag[i] += t.abs();
+                }
+            }
+            for i in 0..m {
+                let err = self.err_factor * mag[i];
+                let s = if v[i] > err {
+                    Some(Sign::Positive)
+                } else if v[i] < -err {
+                    Some(Sign::Negative)
+                } else {
+                    None
+                };
+                visit((base + i) as u32, s);
+            }
+            base += m;
+        }
+    }
 }
 
 #[cfg(test)]
@@ -457,5 +622,106 @@ mod tests {
         let mut counts = KernelCounts::default();
         assert_eq!(p.sign_point(&[1, 2, 3], &mut counts), Sign::Zero);
         assert!(!p.is_big());
+    }
+
+    /// Tiny deterministic generator for block tests (xorshift64*).
+    fn next_coord(state: &mut u64, bound: i64) -> i64 {
+        *state ^= *state << 13;
+        *state ^= *state >> 7;
+        *state ^= *state << 17;
+        (state.wrapping_mul(0x2545_f491_4f6c_dd1d) % (2 * bound as u64 + 1)) as i64 - bound
+    }
+
+    fn random_planes(dim: usize, n: usize, seed: u64) -> Vec<Hyperplane> {
+        let mut state = seed | 1;
+        let mut planes = Vec::with_capacity(n);
+        while planes.len() < n {
+            let pts: Vec<Vec<i64>> = (0..dim)
+                .map(|_| (0..dim).map(|_| next_coord(&mut state, 1 << 20)).collect())
+                .collect();
+            let rows: Vec<&[i64]> = pts.iter().map(|p| p.as_slice()).collect();
+            // Skip degenerate samples (affinely dependent defining sets).
+            let mut probe = vec![0i64; dim];
+            probe[0] = 1 << 21;
+            let mut all = rows.clone();
+            all.push(&probe);
+            if orientd(dim, &all) == Sign::Zero {
+                continue;
+            }
+            planes.push(Hyperplane::new(dim, &rows));
+        }
+        planes
+    }
+
+    #[test]
+    fn block_filter_matches_scalar_filter_decision() {
+        // For every (plane, query) pair the block must certify exactly
+        // when the scalar filter certifies, with the same sign; ambiguous
+        // lanes resolved by sign_exact must agree with sign_point.
+        for dim in 2..=5usize {
+            let planes = random_planes(dim, 40, 0xC0FFEE + dim as u64);
+            let block = PlaneBlock::from_planes(dim, planes.iter());
+            let mut state = 0xBEEF ^ dim as u64;
+            for _ in 0..30 {
+                let q: Vec<i64> = (0..dim).map(|_| next_coord(&mut state, 1 << 22)).collect();
+                let qf = PlaneBlock::query_row(&q);
+                for (i, plane) in planes.iter().enumerate() {
+                    let mut scalar = KernelCounts::default();
+                    let want = plane.sign_point(&q, &mut scalar);
+                    match block.filter_sign(i as u32, &qf) {
+                        Some(s) => {
+                            assert_eq!(s, want);
+                            assert_eq!(scalar.filter_hits, 1, "block certified, scalar must too");
+                        }
+                        None => {
+                            assert_eq!(scalar.filter_hits, 0, "scalar certified, block must too");
+                            let mut exact = KernelCounts::default();
+                            assert_eq!(plane.sign_exact(&q, &mut exact), want);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn block_scan_matches_per_index_filter_across_chunks() {
+        // > BLOCK_CHUNK planes so the scan exercises chunk boundaries.
+        let dim = 3;
+        let planes = random_planes(dim, 150, 0xFACE);
+        let block = PlaneBlock::from_planes(dim, planes.iter());
+        assert_eq!(block.len(), 150);
+        assert_eq!(block.dim(), dim);
+        assert!(!block.is_empty());
+        let mut state = 77u64;
+        let q: Vec<i64> = (0..dim).map(|_| next_coord(&mut state, 1 << 22)).collect();
+        let qf = PlaneBlock::query_row(&q);
+        let mut seen = Vec::new();
+        block.filter_scan(&q, |i, s| {
+            assert_eq!(s, block.filter_sign(i, &qf));
+            seen.push(i);
+        });
+        let want: Vec<u32> = (0..150).collect();
+        assert_eq!(seen, want, "scan must visit every plane in order");
+    }
+
+    #[test]
+    fn block_never_certifies_on_plane_queries() {
+        let a = [0i64, 0, 0];
+        let b = [100i64, 0, 0];
+        let c = [0i64, 100, 0];
+        let plane = Hyperplane::new(3, &[&a, &b, &c]);
+        let block = PlaneBlock::from_planes(3, std::iter::once(&plane));
+        let qf = PlaneBlock::query_row(&[37, 21, 0]);
+        assert_eq!(block.filter_sign(0, &qf), None);
+        let mut counts = KernelCounts::default();
+        assert_eq!(plane.sign_exact(&[37, 21, 0], &mut counts), Sign::Zero);
+    }
+
+    #[test]
+    fn empty_block_scans_nothing() {
+        let block = PlaneBlock::from_planes(2, std::iter::empty::<&Hyperplane>());
+        assert!(block.is_empty());
+        block.filter_scan(&[1, 2], |_, _| panic!("no planes to visit"));
     }
 }

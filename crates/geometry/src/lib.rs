@@ -18,5 +18,5 @@ pub mod predicates;
 pub mod rng;
 
 pub use exact::{BigInt, Sign};
-pub use kernel::{Hyperplane, KernelCounts};
+pub use kernel::{Hyperplane, KernelCounts, PlaneBlock};
 pub use point::{Point2f, Point2i, Point3f, Point3i, PointSet, MAX_COORD};

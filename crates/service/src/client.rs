@@ -21,14 +21,15 @@
 //! Connections are opened through [`HullClientBuilder`]
 //! (`HullClient::builder(addr)`), which sets the connect deadline, the
 //! default retry policy, and the protocol version window: by default the
-//! client advertises [`PROTOCOL_V2`] in a `Hello` handshake and falls
-//! back to v1 when the server doesn't understand it, so the same binary
-//! talks to old and new servers. [`HullClient::insert_batch`] then uses
-//! one `InsertBatch` frame per attempt on v2 and degrades to per-point
-//! inserts on v1.
+//! client advertises [`PROTOCOL_V3`] in a `Hello` handshake and falls
+//! back to v2 or v1 when the server doesn't understand it, so the same
+//! binary talks to old and new servers. [`HullClient::insert_batch`]
+//! then uses one `InsertBatch` frame per attempt on v2+ and degrades to
+//! per-point inserts on v1; the v3 `*_scan` query methods require a v3
+//! server ([`crate::wire::CAP_SCAN_QUERIES`]).
 
 use crate::wire::{
-    read_frame, write_frame, Request, Response, ALL_SHARDS, PROTOCOL_V1, PROTOCOL_V2,
+    read_frame, write_frame, Request, Response, ALL_SHARDS, PROTOCOL_V1, PROTOCOL_V2, PROTOCOL_V3,
 };
 use chull_geometry::rng::ChaCha8Rng;
 use std::io::{self};
@@ -103,7 +104,7 @@ impl HullClientBuilder {
             deadline: None,
             policy: RetryPolicy::default(),
             floor: PROTOCOL_V1,
-            ceiling: PROTOCOL_V2,
+            ceiling: PROTOCOL_V3,
         }
     }
 
@@ -129,7 +130,7 @@ impl HullClientBuilder {
     }
 
     /// Highest version to advertise in the `Hello` handshake. Default
-    /// [`PROTOCOL_V2`]; a ceiling of [`PROTOCOL_V1`] skips the
+    /// [`PROTOCOL_V3`]; a ceiling of [`PROTOCOL_V1`] skips the
     /// handshake entirely, reproducing the legacy wire exchange
     /// byte-for-byte.
     pub fn protocol_ceiling(mut self, v: u16) -> HullClientBuilder {
@@ -507,6 +508,49 @@ impl HullClient {
     /// Extreme vertex in a direction; `None` while bootstrapping.
     pub fn extreme(&mut self, shard: u16, dir: &[i64]) -> io::Result<Option<(u32, Vec<i64>)>> {
         match self.ask(&Request::Extreme {
+            shard,
+            direction: dir.to_vec(),
+        })? {
+            Response::Extreme { vertex, coords } => Ok(Some((vertex, coords))),
+            Response::NotReady => Ok(None),
+            Response::Error(m) => Err(server_error(m)),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Membership query forced down the linear-scan oracle path (v3,
+    /// [`crate::wire::CAP_SCAN_QUERIES`]). Same answer as [`Self::contains`], but the
+    /// server walks every alive facet instead of descending the history
+    /// graph — the A/B baseline for query benchmarks.
+    pub fn contains_scan(&mut self, shard: u16, point: &[i64]) -> io::Result<Option<bool>> {
+        match self.ask(&Request::ContainsScan {
+            shard,
+            point: point.to_vec(),
+        })? {
+            Response::Bool(b) => Ok(Some(b)),
+            Response::NotReady => Ok(None),
+            Response::Error(m) => Err(server_error(m)),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Visible-facet count via the linear-scan oracle path (v3).
+    pub fn visible_scan(&mut self, shard: u16, point: &[i64]) -> io::Result<Option<u32>> {
+        match self.ask(&Request::VisibleScan {
+            shard,
+            point: point.to_vec(),
+        })? {
+            Response::VisibleCount(n) => Ok(Some(n)),
+            Response::NotReady => Ok(None),
+            Response::Error(m) => Err(server_error(m)),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Extreme vertex via the linear-scan oracle path (v3): re-derives
+    /// the vertex set per query instead of using the snapshot cache.
+    pub fn extreme_scan(&mut self, shard: u16, dir: &[i64]) -> io::Result<Option<(u32, Vec<i64>)>> {
+        match self.ask(&Request::ExtremeScan {
             shard,
             direction: dir.to_vec(),
         })? {

@@ -181,6 +181,56 @@ pub fn service_metrics() -> &'static ServiceMetrics {
     })
 }
 
+/// Read-path telemetry for the sublinear query pipeline (history-graph
+/// descent + packed-plane filter). Folded per request by the server's
+/// query dispatch; the per-shard accelerator *levels* (plane-block
+/// length, hull vertex count) live in [`ShardGauges`] and refresh at
+/// scrape time.
+pub struct QueryMetrics {
+    /// `chull_query_descent_steps`: history nodes visited per point-
+    /// location query (expected `O(log n)`; compare against
+    /// `chull_shard_plane_block_len` for the linear baseline).
+    pub descent_steps: Arc<Histogram>,
+    /// `chull_query_planes_filtered_total`: candidate planes whose sign
+    /// the f64 SoA filter certified (no exact arithmetic needed).
+    pub planes_filtered: Arc<Counter>,
+    /// `chull_query_exact_fallbacks_total`: candidate planes that fell
+    /// through to the exact i128/BigInt stages.
+    pub exact_fallbacks: Arc<Counter>,
+}
+
+impl QueryMetrics {
+    /// Fold one query's kernel tally in.
+    pub fn fold(&self, c: &KernelCounts) {
+        self.descent_steps.record(c.descent_steps);
+        self.planes_filtered.add(c.filter_hits);
+        self.exact_fallbacks
+            .add(c.i128_fallbacks + c.bigint_fallbacks);
+    }
+}
+
+/// The process-global query-path metric handles (registered on first use).
+pub fn query_metrics() -> &'static QueryMetrics {
+    static M: OnceLock<QueryMetrics> = OnceLock::new();
+    M.get_or_init(|| {
+        let r = registry();
+        QueryMetrics {
+            descent_steps: r.histogram(
+                "chull_query_descent_steps",
+                "History-graph nodes visited per point-location query.",
+            ),
+            planes_filtered: r.counter(
+                "chull_query_planes_filtered_total",
+                "Query candidate planes certified by the f64 SoA filter.",
+            ),
+            exact_fallbacks: r.counter(
+                "chull_query_exact_fallbacks_total",
+                "Query candidate planes that needed exact i128/BigInt evaluation.",
+            ),
+        }
+    })
+}
+
 /// Per-op request series: count + dispatch latency.
 pub struct OpMetrics {
     /// `chull_server_requests_total{op=...}`.
@@ -195,6 +245,9 @@ const OPS: &[&str] = &[
     "contains",
     "visible",
     "extreme",
+    "contains_scan",
+    "visible_scan",
+    "extreme_scan",
     "stats",
     "snapshot",
     "flush",
@@ -249,6 +302,12 @@ pub struct ShardGauges {
     pub parallelism_milli: Arc<Gauge>,
     /// Pool worker threads the shard applies batches with.
     pub workers: Arc<Gauge>,
+    /// Planes in the published snapshot's packed filter block (= facets
+    /// ever created; the denominator `descent_steps` is sublinear in).
+    pub plane_block_len: Arc<Gauge>,
+    /// Vertices on the published snapshot's hull (the `Extreme` scan
+    /// length).
+    pub hull_vertices: Arc<Gauge>,
 }
 
 /// Register (or fetch) the gauge set for shard `shard`.
@@ -286,6 +345,16 @@ pub fn shard_gauges(shard: usize) -> ShardGauges {
             "chull_shard_workers",
             l,
             "Pool worker threads the shard applies batches with.",
+        ),
+        plane_block_len: r.gauge_with(
+            "chull_shard_plane_block_len",
+            l,
+            "Planes in the published snapshot's packed SoA filter block.",
+        ),
+        hull_vertices: r.gauge_with(
+            "chull_shard_hull_vertices",
+            l,
+            "Vertices on the published snapshot's hull.",
         ),
     }
 }

@@ -9,7 +9,7 @@
 //! *started* frame must complete within [`ServeOptions::request_timeout`]
 //! or the connection is dropped (a stalled peer cannot pin a thread).
 
-use crate::metrics::{op_metrics, service_metrics};
+use crate::metrics::{op_metrics, query_metrics, service_metrics};
 use crate::shard::{HullService, InsertOutcome, ServiceConfig, ServiceError};
 use crate::snapshot::HullSnapshot;
 use crate::wire::{self, Request, Response, ALL_SHARDS};
@@ -328,6 +328,9 @@ fn op_name(req: &Request) -> &'static str {
         Request::Contains { .. } => "contains",
         Request::Visible { .. } => "visible",
         Request::Extreme { .. } => "extreme",
+        Request::ContainsScan { .. } => "contains_scan",
+        Request::VisibleScan { .. } => "visible_scan",
+        Request::ExtremeScan { .. } => "extreme_scan",
         Request::Stats { .. } => "stats",
         Request::Snapshot { .. } => "snapshot",
         Request::Flush { .. } => "flush",
@@ -379,6 +382,7 @@ fn dispatch(service: &HullService, req: Request) -> (Response, bool) {
                 let r = snap.contains(&point, &mut counts).map(Response::Bool);
                 stats.query_kernel.fold(&counts);
                 service_metrics().query_kernel.fold(&counts);
+                query_metrics().fold(&counts);
                 r
             })
         }),
@@ -391,6 +395,7 @@ fn dispatch(service: &HullService, req: Request) -> (Response, bool) {
                     .map(Response::VisibleCount);
                 stats.query_kernel.fold(&counts);
                 service_metrics().query_kernel.fold(&counts);
+                query_metrics().fold(&counts);
                 r
             })
         }),
@@ -403,6 +408,40 @@ fn dispatch(service: &HullService, req: Request) -> (Response, bool) {
                 })
             })
         }
+        // The v3 `*Scan` ops: same stats counters and kernel folding as
+        // their fast twins, but answered through the linear-scan oracle
+        // (and never folded into the descent telemetry — a scan has no
+        // descent steps to report).
+        Request::ContainsScan { shard, point } => check_vec(&point, "point").unwrap_or_else(|| {
+            query(service, shard, |snap, stats| {
+                stats.queries_contains.fetch_add(1, Ordering::Relaxed);
+                let mut counts = KernelCounts::default();
+                let r = snap.contains_scan(&point, &mut counts).map(Response::Bool);
+                stats.query_kernel.fold(&counts);
+                service_metrics().query_kernel.fold(&counts);
+                r
+            })
+        }),
+        Request::VisibleScan { shard, point } => check_vec(&point, "point").unwrap_or_else(|| {
+            query(service, shard, |snap, stats| {
+                stats.queries_visible.fetch_add(1, Ordering::Relaxed);
+                let mut counts = KernelCounts::default();
+                let r = snap
+                    .visible_count_scan(&point, &mut counts)
+                    .map(Response::VisibleCount);
+                stats.query_kernel.fold(&counts);
+                service_metrics().query_kernel.fold(&counts);
+                r
+            })
+        }),
+        Request::ExtremeScan { shard, direction } => check_vec(&direction, "direction")
+            .unwrap_or_else(|| {
+                query(service, shard, |snap, stats| {
+                    stats.queries_extreme.fetch_add(1, Ordering::Relaxed);
+                    snap.extreme_scan(&direction)
+                        .map(|(vertex, coords)| Response::Extreme { vertex, coords })
+                })
+            }),
         Request::Stats { shard } => {
             let which = if shard == ALL_SHARDS {
                 None
@@ -448,10 +487,10 @@ fn dispatch(service: &HullService, req: Request) -> (Response, bool) {
             Err(e) => err_response(e),
         },
         // Stateless: the handshake is advisory (a capability probe);
-        // the server accepts v2 ops with or without it.
+        // the server accepts v2/v3 ops with or without it.
         Request::Hello { max_version } => Response::Hello {
             version: wire::negotiate(max_version),
-            caps: wire::CAP_INSERT_BATCH,
+            caps: wire::CAP_INSERT_BATCH | wire::CAP_SCAN_QUERIES,
         },
         Request::Metrics => {
             // Refresh level gauges so an idle service still scrapes
@@ -535,6 +574,39 @@ mod tests {
         assert!(stats.contains("\"queries_contains\":3"), "{stats}");
         let agg = c.stats(None).unwrap();
         assert!(agg.contains("\"per_shard\""), "{agg}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn scan_ops_agree_with_fast_queries() {
+        let mut server = serve(opts(2)).unwrap();
+        let mut c = HullClient::builder(server.local_addr().to_string())
+            .connect()
+            .unwrap();
+        assert_eq!(c.contains_scan(0, &[0, 0]).unwrap(), None, "boot");
+        for p in [[0, 0], [12, 0], [0, 12], [12, 12], [6, 14]] {
+            c.insert(0, &p).unwrap();
+        }
+        c.flush(0).unwrap();
+        for q in [[6, 6], [13, 13], [6, 13], [-1, 0], [12, 0]] {
+            assert_eq!(
+                c.contains(0, &q).unwrap(),
+                c.contains_scan(0, &q).unwrap(),
+                "contains vs scan at {q:?}"
+            );
+            assert_eq!(
+                c.visible(0, &q).unwrap(),
+                c.visible_scan(0, &q).unwrap(),
+                "visible vs scan at {q:?}"
+            );
+        }
+        for d in [[1, 1], [-1, 0], [0, 1], [3, -2]] {
+            assert_eq!(
+                c.extreme(0, &d).unwrap(),
+                c.extreme_scan(0, &d).unwrap(),
+                "extreme vs scan along {d:?}"
+            );
+        }
         server.shutdown();
     }
 

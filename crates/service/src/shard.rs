@@ -164,14 +164,19 @@ fn store_snap(lock: &RwLock<Arc<HullSnapshot>>, snap: HullSnapshot) {
 }
 
 /// Freeze the builder's current state into an epoch-stamped snapshot.
+/// For a live hull this also builds the snapshot's query accelerators
+/// (packed-plane filter block + cached hull vertex list) exactly once,
+/// here — every publish site (initial spawn, recovery republish, post-
+/// batch publish) funnels through this function.
 fn snapshot_of(core: &HullBuilder, epoch: u64) -> HullSnapshot {
-    HullSnapshot {
-        epoch,
-        applied: core.applied(),
-        dim: core.dim(),
-        state: match core.hull() {
-            Some(h) => SnapState::Live(Box::new(h.clone())),
-            None => SnapState::Boot(core.buffered().unwrap_or(&[]).to_vec()),
+    match core.hull() {
+        Some(h) => HullSnapshot::freeze_live(epoch, core.applied(), h.clone()),
+        None => HullSnapshot {
+            epoch,
+            applied: core.applied(),
+            dim: core.dim(),
+            state: SnapState::Boot(core.buffered().unwrap_or(&[]).to_vec()),
+            accel: None,
         },
     }
 }
@@ -487,6 +492,8 @@ impl HullService {
                 .set(sh.stats.journal_len.load(Ordering::Relaxed) as i64);
             sh.gauges.epoch.set(snap.epoch as i64);
             sh.gauges.workers.set(self.workers as i64);
+            sh.gauges.plane_block_len.set(snap.plane_block_len() as i64);
+            sh.gauges.hull_vertices.set(snap.hull_vertex_count() as i64);
         }
     }
 

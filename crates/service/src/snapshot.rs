@@ -10,13 +10,19 @@
 //! sequence, and the support property `C(t) ⊆ C(t1) ∪ C(t2)` guarantees
 //! the descent finds every visible facet of that prefix.
 //!
+//! Publication also freezes the snapshot's **query accelerators**
+//! ([`QueryAccel`]): the SoA packed-plane filter block over every facet
+//! plane in the history, and the hull's sorted vertex list for `Extreme`.
+//! Both are built once per epoch and shared read-only by every query
+//! thread; their lifetime is exactly the snapshot's (DESIGN §S18).
+//!
 //! A shard that has not yet seen `d + 1` affinely independent points is
 //! **bootstrapping**: it buffers arrivals and answers geometric queries
 //! with "not ready" (the hull is still degenerate).
 
 use chull_core::online::OnlineHull;
 use chull_core::HullOutput;
-use chull_geometry::KernelCounts;
+use chull_geometry::{KernelCounts, PlaneBlock};
 
 /// Frozen state behind one snapshot.
 #[derive(Clone)]
@@ -26,6 +32,17 @@ pub(crate) enum SnapState {
     Boot(Vec<Vec<i64>>),
     /// A live hull (frozen copy of the shard's online hull).
     Live(Box<OnlineHull>),
+}
+
+/// Per-snapshot read accelerators, built once at publication.
+#[derive(Clone)]
+pub(crate) struct QueryAccel {
+    /// SoA f64 filter block over **every** facet plane ever created
+    /// (the history descent walks dead facets too), indexed by facet id.
+    pub block: PlaneBlock,
+    /// Current hull vertex ids, ascending — `Extreme` scans this instead
+    /// of re-deriving the vertex set from the facet list per query.
+    pub verts: Vec<u32>,
 }
 
 /// An immutable, epoch-stamped view of one shard; see module docs.
@@ -39,6 +56,8 @@ pub struct HullSnapshot {
     /// Dimension.
     pub dim: usize,
     pub(crate) state: SnapState,
+    /// Read accelerators (`None` while bootstrapping).
+    pub(crate) accel: Option<QueryAccel>,
 }
 
 impl HullSnapshot {
@@ -49,7 +68,28 @@ impl HullSnapshot {
             applied: 0,
             dim,
             state: SnapState::Boot(Vec::new()),
+            accel: None,
         }
+    }
+
+    /// Freeze a live hull together with its query accelerators.
+    pub(crate) fn freeze_live(epoch: u64, applied: u64, hull: OnlineHull) -> HullSnapshot {
+        let accel = QueryAccel {
+            block: hull.plane_block(),
+            verts: hull.hull_vertices(),
+        };
+        HullSnapshot {
+            epoch,
+            applied,
+            dim: hull.points().dim(),
+            state: SnapState::Live(Box::new(hull)),
+            accel: Some(accel),
+        }
+    }
+
+    /// The packed-plane filter block, when live.
+    fn block(&self) -> Option<&PlaneBlock> {
+        self.accel.as_ref().map(|a| &a.block)
     }
 
     /// False while the shard is still assembling its seed simplex.
@@ -59,10 +99,12 @@ impl HullSnapshot {
 
     /// Membership test; `None` while bootstrapping. Kernel counters go to
     /// the caller's accumulator (folded into shard atomics by the server).
+    /// Descends the history graph through the snapshot's packed-plane
+    /// filter; see [`HullSnapshot::contains_scan`] for the oracle twin.
     pub fn contains(&self, point: &[i64], counts: &mut KernelCounts) -> Option<bool> {
         match &self.state {
             SnapState::Boot(_) => None,
-            SnapState::Live(h) => Some(h.contains_counted(point, counts)),
+            SnapState::Live(h) => Some(h.contains_with(point, counts, self.block())),
         }
     }
 
@@ -71,12 +113,46 @@ impl HullSnapshot {
     pub fn visible_count(&self, point: &[i64], counts: &mut KernelCounts) -> Option<u32> {
         match &self.state {
             SnapState::Boot(_) => None,
-            SnapState::Live(h) => Some(h.visible_facets(point, counts).len() as u32),
+            SnapState::Live(h) => {
+                Some(h.visible_facets_with(point, counts, self.block()).len() as u32)
+            }
         }
     }
 
     /// The hull vertex extreme in `direction`; `None` while bootstrapping.
+    /// Served from the snapshot's cached vertex list — directions at
+    /// infinity never descend the history graph (DESIGN §S18).
     pub fn extreme(&self, direction: &[i64]) -> Option<(u32, Vec<i64>)> {
+        match (&self.state, &self.accel) {
+            (SnapState::Boot(_), _) => None,
+            (SnapState::Live(h), Some(a)) => Some(h.extreme_with(direction, &a.verts)),
+            (SnapState::Live(h), None) => Some(h.extreme(direction)),
+        }
+    }
+
+    /// Linear-scan oracle twin of [`HullSnapshot::contains`]: test every
+    /// alive facet with the per-facet staged kernel. Same answer, O(f)
+    /// cost — the runtime A/B baseline behind `hull query --scan` and the
+    /// wire `ContainsScan` op.
+    pub fn contains_scan(&self, point: &[i64], counts: &mut KernelCounts) -> Option<bool> {
+        match &self.state {
+            SnapState::Boot(_) => None,
+            SnapState::Live(h) => Some(h.contains_scan(point, counts)),
+        }
+    }
+
+    /// Linear-scan oracle twin of [`HullSnapshot::visible_count`].
+    pub fn visible_count_scan(&self, point: &[i64], counts: &mut KernelCounts) -> Option<u32> {
+        match &self.state {
+            SnapState::Boot(_) => None,
+            SnapState::Live(h) => Some(h.visible_facets_scan(point, counts).len() as u32),
+        }
+    }
+
+    /// Baseline twin of [`HullSnapshot::extreme`]: re-derives the vertex
+    /// set from the alive facets per query instead of using the cached
+    /// list. Same answer (ties break toward the smallest id either way).
+    pub fn extreme_scan(&self, direction: &[i64]) -> Option<(u32, Vec<i64>)> {
         match &self.state {
             SnapState::Boot(_) => None,
             SnapState::Live(h) => Some(h.extreme(direction)),
@@ -120,6 +196,18 @@ impl HullSnapshot {
         }
     }
 
+    /// Planes in the packed filter block = facets ever created (0 while
+    /// bootstrapping). Scrape-time gauge source.
+    pub fn plane_block_len(&self) -> usize {
+        self.accel.as_ref().map_or(0, |a| a.block.len())
+    }
+
+    /// Vertices on the current hull (0 while bootstrapping). Scrape-time
+    /// gauge source.
+    pub fn hull_vertex_count(&self) -> usize {
+        self.accel.as_ref().map_or(0, |a| a.verts.len())
+    }
+
     /// Ingest-path staged-kernel counters accumulated by the hull this
     /// snapshot was taken from (zero while bootstrapping).
     pub fn ingest_kernel(&self) -> KernelCounts {
@@ -152,8 +240,13 @@ mod tests {
         assert_eq!(s.contains(&[0, 0], &mut k), None);
         assert_eq!(s.visible_count(&[0, 0], &mut k), None);
         assert_eq!(s.extreme(&[1, 0]), None);
+        assert_eq!(s.contains_scan(&[0, 0], &mut k), None);
+        assert_eq!(s.visible_count_scan(&[0, 0], &mut k), None);
+        assert_eq!(s.extreme_scan(&[1, 0]), None);
         assert_eq!(s.num_points(), 0);
         assert_eq!(s.num_facets(), 0);
+        assert_eq!(s.plane_block_len(), 0);
+        assert_eq!(s.hull_vertex_count(), 0);
         assert!(s.output().facets.is_empty());
     }
 
@@ -161,12 +254,7 @@ mod tests {
     fn live_snapshot_queries_shared() {
         let mut h = OnlineHull::new(2, &[vec![0, 0], vec![10, 0], vec![0, 10]]);
         h.insert(&[10, 10]);
-        let s = HullSnapshot {
-            epoch: 1,
-            applied: 4,
-            dim: 2,
-            state: SnapState::Live(Box::new(h)),
-        };
+        let s = HullSnapshot::freeze_live(1, 4, h);
         assert!(s.ready());
         let mut k = KernelCounts::default();
         assert_eq!(s.contains(&[5, 5], &mut k), Some(true));
@@ -175,5 +263,27 @@ mod tests {
         assert_eq!(s.extreme(&[1, 1]).unwrap().1, vec![10, 10]);
         assert_eq!(s.num_facets(), 4);
         assert!(k.tests > 0);
+        assert!(s.plane_block_len() >= s.num_facets());
+        assert_eq!(s.hull_vertex_count(), 4, "square has 4 corners");
+    }
+
+    #[test]
+    fn scan_twins_agree_with_descent() {
+        let mut h = OnlineHull::new(2, &[vec![0, 0], vec![10, 0], vec![0, 10]]);
+        for p in [[10, 10], [20, 5], [5, 20], [-3, -3], [7, 7]] {
+            h.insert(&p);
+        }
+        let s = HullSnapshot::freeze_live(2, 8, h);
+        let mut k = KernelCounts::default();
+        for q in [[5i64, 5], [100, 100], [-50, 2], [0, 0], [21, 4]] {
+            assert_eq!(s.contains(&q, &mut k), s.contains_scan(&q, &mut k));
+            assert_eq!(
+                s.visible_count(&q, &mut k),
+                s.visible_count_scan(&q, &mut k)
+            );
+            assert_eq!(s.extreme(&q), s.extreme_scan(&q));
+        }
+        #[cfg(not(feature = "linear-scan"))]
+        assert!(k.descent_steps > 0, "descent path must report its steps");
     }
 }

@@ -5,7 +5,7 @@ use crate::snapshot::HullSnapshot;
 use chull_geometry::KernelCounts;
 use std::sync::atomic::{AtomicU64, Ordering};
 
-/// Staged-kernel counters as four atomics, so concurrent readers can fold
+/// Staged-kernel counters as five atomics, so concurrent readers can fold
 /// their per-call [`KernelCounts`] accumulators in without coordination.
 #[derive(Default)]
 pub struct AtomicKernel {
@@ -13,6 +13,7 @@ pub struct AtomicKernel {
     filter_hits: AtomicU64,
     i128_fallbacks: AtomicU64,
     bigint_fallbacks: AtomicU64,
+    descent_steps: AtomicU64,
 }
 
 impl AtomicKernel {
@@ -24,6 +25,8 @@ impl AtomicKernel {
             .fetch_add(c.i128_fallbacks, Ordering::Relaxed);
         self.bigint_fallbacks
             .fetch_add(c.bigint_fallbacks, Ordering::Relaxed);
+        self.descent_steps
+            .fetch_add(c.descent_steps, Ordering::Relaxed);
     }
 
     /// Current totals.
@@ -33,14 +36,16 @@ impl AtomicKernel {
             filter_hits: self.filter_hits.load(Ordering::Relaxed),
             i128_fallbacks: self.i128_fallbacks.load(Ordering::Relaxed),
             bigint_fallbacks: self.bigint_fallbacks.load(Ordering::Relaxed),
+            descent_steps: self.descent_steps.load(Ordering::Relaxed),
         }
     }
 }
 
 fn kernel_json(c: &KernelCounts) -> String {
     format!(
-        "{{\"tests\":{},\"filter_hits\":{},\"i128_fallbacks\":{},\"bigint_fallbacks\":{}}}",
-        c.tests, c.filter_hits, c.i128_fallbacks, c.bigint_fallbacks
+        "{{\"tests\":{},\"filter_hits\":{},\"i128_fallbacks\":{},\"bigint_fallbacks\":{},\
+         \"descent_steps\":{}}}",
+        c.tests, c.filter_hits, c.i128_fallbacks, c.bigint_fallbacks, c.descent_steps
     )
 }
 
@@ -166,16 +171,19 @@ mod tests {
             filter_hits: 3,
             i128_fallbacks: 1,
             bigint_fallbacks: 1,
+            descent_steps: 9,
         });
         k.fold(&KernelCounts {
             tests: 2,
             filter_hits: 2,
             i128_fallbacks: 0,
             bigint_fallbacks: 0,
+            descent_steps: 4,
         });
         let c = k.load();
         assert_eq!(c.tests, 7);
         assert_eq!(c.filter_hits, 5);
+        assert_eq!(c.descent_steps, 13);
         assert_eq!(
             c.tests,
             c.filter_hits + c.i128_fallbacks + c.bigint_fallbacks

@@ -21,8 +21,16 @@
 //! | `0x09` | `Metrics`  | `u32` length + Prometheus text exposition utf-8 |
 //! | `0x0A` | `InsertBatch` | `u32` count, per-point accepted bitmap, `u64` epoch |
 //! | `0x0B` | `Hello`    | `u16` negotiated version, `u32` capability bits |
+//! | `0x0C` | `ContainsScan` | `u8` boolean (same body as `Contains`)      |
+//! | `0x0D` | `VisibleScan`  | `u32` count (same body as `Visible`)        |
+//! | `0x0E` | `ExtremeScan`  | `u32` vertex id, point (same as `Extreme`)  |
 //!
-//! Opcodes `0x0A`–`0x0B` are **protocol v2** ([`PROTOCOL_V2`]).
+//! Opcodes `0x0A`–`0x0B` are **protocol v2** ([`PROTOCOL_V2`]);
+//! `0x0C`–`0x0E` are **protocol v3** ([`PROTOCOL_V3`]): the `*Scan`
+//! query ops answer through the linear-scan oracle path (full staged
+//! scan over alive facets) instead of the history-graph descent, for
+//! live A/B comparison (`hull query --scan`). Answers are bit-identical
+//! to the fast ops; request/response bodies reuse the v1 encodings.
 //! `InsertBatch` carries `u32` count then `count` packed points, and its
 //! Ok-reply bitmap records which points were *queued* (bit clear =
 //! that point hit `Overloaded` backpressure; geometric acceptance is
@@ -58,14 +66,19 @@ pub const ALL_SHARDS: u16 = u16::MAX;
 pub const PROTOCOL_V1: u16 = 1;
 /// Adds the `Hello` handshake and batched inserts (`InsertBatch`).
 pub const PROTOCOL_V2: u16 = 2;
+/// Adds the linear-scan query ops (`ContainsScan`/`VisibleScan`/
+/// `ExtremeScan`) — runtime A/B oracles for the sublinear read path.
+pub const PROTOCOL_V3: u16 = 3;
 /// Capability bit: the server accepts `InsertBatch` frames.
 pub const CAP_INSERT_BATCH: u32 = 1;
+/// Capability bit: the server accepts the `*Scan` query ops.
+pub const CAP_SCAN_QUERIES: u32 = 2;
 
 /// The version a server answers to a client advertising `client_max`:
 /// the highest both sides speak (never below [`PROTOCOL_V1`] — a
 /// client advertising 0 is treated as v1).
 pub fn negotiate(client_max: u16) -> u16 {
-    client_max.clamp(PROTOCOL_V1, PROTOCOL_V2)
+    client_max.clamp(PROTOCOL_V1, PROTOCOL_V3)
 }
 
 const OP_INSERT: u8 = 0x01;
@@ -79,6 +92,9 @@ const OP_SHUTDOWN: u8 = 0x08;
 const OP_METRICS: u8 = 0x09;
 const OP_INSERT_BATCH: u8 = 0x0A;
 const OP_HELLO: u8 = 0x0B;
+const OP_CONTAINS_SCAN: u8 = 0x0C;
+const OP_VISIBLE_SCAN: u8 = 0x0D;
+const OP_EXTREME_SCAN: u8 = 0x0E;
 
 const ST_OK: u8 = 0x00;
 const ST_OVERLOADED: u8 = 0x01;
@@ -208,6 +224,30 @@ pub enum Request {
     Hello {
         /// Highest protocol version the client speaks.
         max_version: u16,
+    },
+    /// [`Request::Contains`] answered via the linear-scan oracle (v3):
+    /// full staged scan over alive facets, no history descent. Same
+    /// answer, used for live A/B.
+    ContainsScan {
+        /// Target shard.
+        shard: u16,
+        /// The query point.
+        point: Vec<i64>,
+    },
+    /// [`Request::Visible`] via the linear-scan oracle (v3).
+    VisibleScan {
+        /// Target shard.
+        shard: u16,
+        /// The query point.
+        point: Vec<i64>,
+    },
+    /// [`Request::Extreme`] via the per-query vertex re-derivation
+    /// baseline (v3), bypassing the snapshot's cached vertex list.
+    ExtremeScan {
+        /// Target shard.
+        shard: u16,
+        /// The direction to maximize.
+        direction: Vec<i64>,
     },
 }
 
@@ -425,6 +465,21 @@ impl Request {
                 put_u16(&mut out, 0);
                 put_u16(&mut out, *max_version);
             }
+            Request::ContainsScan { shard, point } => {
+                out.push(OP_CONTAINS_SCAN);
+                put_u16(&mut out, *shard);
+                put_point(&mut out, point);
+            }
+            Request::VisibleScan { shard, point } => {
+                out.push(OP_VISIBLE_SCAN);
+                put_u16(&mut out, *shard);
+                put_point(&mut out, point);
+            }
+            Request::ExtremeScan { shard, direction } => {
+                out.push(OP_EXTREME_SCAN);
+                put_u16(&mut out, *shard);
+                put_point(&mut out, direction);
+            }
         }
         out
     }
@@ -465,6 +520,18 @@ impl Request {
             }
             OP_HELLO => Request::Hello {
                 max_version: c.u16()?,
+            },
+            OP_CONTAINS_SCAN => Request::ContainsScan {
+                shard,
+                point: c.point()?,
+            },
+            OP_VISIBLE_SCAN => Request::VisibleScan {
+                shard,
+                point: c.point()?,
+            },
+            OP_EXTREME_SCAN => Request::ExtremeScan {
+                shard,
+                direction: c.point()?,
             },
             other => return Err(WireError::BadOpcode(other)),
         };
@@ -808,6 +875,21 @@ mod tests {
             Request::Hello {
                 max_version: PROTOCOL_V2,
             },
+            Request::Hello {
+                max_version: PROTOCOL_V3,
+            },
+            Request::ContainsScan {
+                shard: 4,
+                point: vec![3, -7],
+            },
+            Request::VisibleScan {
+                shard: 0,
+                point: vec![1, 2, 3],
+            },
+            Request::ExtremeScan {
+                shard: 6,
+                direction: vec![0, -1],
+            },
         ];
         for r in reqs {
             assert_eq!(Request::decode(&r.encode()).unwrap(), r, "{r:?}");
@@ -861,6 +943,10 @@ mod tests {
             Response::Hello {
                 version: PROTOCOL_V2,
                 caps: CAP_INSERT_BATCH,
+            },
+            Response::Hello {
+                version: PROTOCOL_V3,
+                caps: CAP_INSERT_BATCH | CAP_SCAN_QUERIES,
             },
         ];
         for r in resps {
@@ -919,7 +1005,8 @@ mod tests {
         assert_eq!(negotiate(0), PROTOCOL_V1);
         assert_eq!(negotiate(PROTOCOL_V1), PROTOCOL_V1);
         assert_eq!(negotiate(PROTOCOL_V2), PROTOCOL_V2);
-        assert_eq!(negotiate(u16::MAX), PROTOCOL_V2);
+        assert_eq!(negotiate(PROTOCOL_V3), PROTOCOL_V3);
+        assert_eq!(negotiate(u16::MAX), PROTOCOL_V3);
     }
 
     #[test]

@@ -17,10 +17,13 @@
 //!        hull serve [--addr H:P] [--dim D] [--shards N] [--queue-cap C]
 //!                   [--batch B] [--workers W] [--wal DIR] [--metrics-addr H:P]
 //!                   [--chaos-seed S] [--oneshot] [--stats-json]
-//!        hull query ADDR OP [SHARD] [COORDS...]
+//!        hull query ADDR [--scan] OP [SHARD] [COORDS...]
 //!          OP: insert|contains|visible|extreme|stats|snapshot|flush|
 //!              metrics|shutdown|script  (script reads one OP line per stdin line;
 //!              consecutive same-shard inserts ride one wire InsertBatch frame)
+//!          --scan routes contains/visible/extreme through the server's
+//!          linear-scan oracle ops (protocol v3) instead of history-graph
+//!          point location — the A/B baseline for query benchmarks
 //!        hull metrics [--raw] ADDR
 //! ```
 //!
@@ -72,10 +75,12 @@ fn usage() -> ! {
          \x20        --wal DIR persists per-shard insert WALs under DIR (crash-safe restart);\n\
          \x20        --metrics-addr H:P serves Prometheus text on plain HTTP GET /metrics;\n\
          \x20        --chaos-seed S arms the canned fault-injection schedule (testing only)\n\
-         \x20      hull query ADDR OP [SHARD] [COORDS...]\n\
+         \x20      hull query ADDR [--scan] OP [SHARD] [COORDS...]\n\
          \x20        OP: insert|contains|visible|extreme SHARD C1..CD\n\
          \x20            stats [SHARD] | snapshot SHARD | flush SHARD | metrics | shutdown\n\
          \x20            script   (reads one OP line per stdin line, one connection)\n\
+         \x20        --scan forces contains/visible/extreme down the linear-scan\n\
+         \x20        oracle ops (wire v3) instead of history-graph point location\n\
          \x20      hull metrics [--raw] ADDR\n\
          \x20        scrape ADDR (HTTP /metrics, falling back to the wire Metrics op) and\n\
          \x20        pretty-print a sorted table; --raw emits the exposition text verbatim\n\
@@ -396,8 +401,9 @@ fn parse_coords(toks: &[String]) -> Vec<i64> {
 }
 
 /// Execute one query op (tokens: `OP [SHARD] [COORDS...]`) and render the
-/// reply as a single stdout line.
-fn run_query_op(client: &mut HullClient, toks: &[String]) -> std::io::Result<String> {
+/// reply as a single stdout line. With `scan`, the three hull queries go
+/// down the wire-v3 linear-scan oracle ops instead of history descent.
+fn run_query_op(client: &mut HullClient, toks: &[String], scan: bool) -> std::io::Result<String> {
     let op = toks.first().map(String::as_str).unwrap_or_else(|| usage());
     Ok(match op {
         "insert" => {
@@ -410,21 +416,39 @@ fn run_query_op(client: &mut HullClient, toks: &[String]) -> std::io::Result<Str
         }
         "contains" => {
             let shard = parse_shard(toks.get(1));
-            match client.contains(shard, &parse_coords(&toks[2..]))? {
+            let point = parse_coords(&toks[2..]);
+            let reply = if scan {
+                client.contains_scan(shard, &point)?
+            } else {
+                client.contains(shard, &point)?
+            };
+            match reply {
                 Some(b) => b.to_string(),
                 None => "not-ready".to_string(),
             }
         }
         "visible" => {
             let shard = parse_shard(toks.get(1));
-            match client.visible(shard, &parse_coords(&toks[2..]))? {
+            let point = parse_coords(&toks[2..]);
+            let reply = if scan {
+                client.visible_scan(shard, &point)?
+            } else {
+                client.visible(shard, &point)?
+            };
+            match reply {
                 Some(n) => format!("visible {n}"),
                 None => "not-ready".to_string(),
             }
         }
         "extreme" => {
             let shard = parse_shard(toks.get(1));
-            match client.extreme(shard, &parse_coords(&toks[2..]))? {
+            let dir = parse_coords(&toks[2..]);
+            let reply = if scan {
+                client.extreme_scan(shard, &dir)?
+            } else {
+                client.extreme(shard, &dir)?
+            };
+            match reply {
                 Some((v, coords)) => {
                     let c: Vec<String> = coords.iter().map(|x| x.to_string()).collect();
                     format!("extreme v={v} at {}", c.join(" "))
@@ -453,6 +477,9 @@ fn run_query_op(client: &mut HullClient, toks: &[String]) -> std::io::Result<Str
 }
 
 fn query_main(args: &[String]) {
+    // `--scan` may appear anywhere before the op; strip it out first.
+    let scan = args.iter().any(|a| a == "--scan");
+    let args: Vec<String> = args.iter().filter(|a| *a != "--scan").cloned().collect();
     if args.len() < 2 {
         usage();
     }
@@ -504,14 +531,14 @@ fn query_main(args: &[String]) {
                 continue;
             }
             flush_pending(&mut client, &mut pending);
-            match run_query_op(&mut client, &toks) {
+            match run_query_op(&mut client, &toks, scan) {
                 Ok(reply) => println!("{reply}"),
                 Err(e) => die(&format!("{line}: {e}")),
             }
         }
         flush_pending(&mut client, &mut pending);
     } else {
-        match run_query_op(&mut client, &args[1..]) {
+        match run_query_op(&mut client, &args[1..], scan) {
             Ok(reply) => println!("{reply}"),
             Err(e) => die(&e.to_string()),
         }
