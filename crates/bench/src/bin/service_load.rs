@@ -27,11 +27,21 @@
 //! insert-ack stall any client saw — then verifies the recovered hull
 //! is bit-identical to the offline Algorithm 2 on the served points.
 //!
+//! The E22 workload (`service_fanin`) opens hundreds to tens of
+//! thousands of concurrent connections from a single-threaded
+//! `chull-net` poller client — one in-flight `Contains` per connection —
+//! against the thread-per-connection back end (at a scale it can hold)
+//! and the epoll event-loop back end (at 512 for the A/B and at the
+//! full `--fanin` target), recording connect time, sustained
+//! requests/sec, and per-request p50/p99.
+//!
 //! ```text
 //! USAGE: service_load [--out FILE] [--clients C] [--quick]
+//!                     [--fanin N] [--fanin-only]
 //! ```
 //!
-//! `--quick` shrinks the workloads for CI smoke runs. Latencies are
+//! `--quick` shrinks the workloads for CI smoke runs; `--fanin-only`
+//! runs just the E22 rows (the CI 10k-connection smoke). Latencies are
 //! *round-trip* (request written to reply decoded) over loopback TCP, so
 //! they include wire encode/decode and the socket — the serving cost a
 //! real client would see, not just the geometry.
@@ -655,6 +665,226 @@ fn run_query_ab(pts: &PointSet, clients: usize, queries_per_client: usize) -> Ve
     .collect()
 }
 
+/// E22: connection fan-in. `conns_wanted` concurrent connections, all
+/// driven by **one** client thread over a `chull-net` poller (one
+/// in-flight `Contains` per connection, `probes` requests each),
+/// against either serving front end. Measures connect-phase time,
+/// sustained requests/sec, and client-observed per-request
+/// percentiles — the figure of merit is a p99 that stays flat as
+/// `conns` grows on the event-loop back end, where the threaded back
+/// end would need one OS thread per connection.
+fn run_fanin(threaded: bool, conns_wanted: usize, probes: usize) -> String {
+    use chull_net::{poller, ByteBuf, FrameDecoder, Interest, Token};
+    use chull_service::wire::{Request, Response, MAX_FRAME};
+    use std::io::BufRead as _;
+    use std::net::TcpStream;
+    use std::os::fd::AsRawFd;
+
+    // A loopback connection costs one fd on each side. RLIMIT_NOFILE is
+    // per-process, so the server runs as a re-exec'd child of this
+    // binary (`--fanin-server`): client and server each get a whole
+    // nofile budget instead of splitting one 2-ways. Raise ours, and
+    // clamp the fan-in when the hard limit still wins.
+    let want = (conns_wanted + 256) as u64;
+    let limit = chull_net::raise_nofile_limit(want);
+    let conns = if limit < want {
+        let fit = (limit.saturating_sub(256)).max(1) as usize;
+        eprintln!("service_load: nofile limit {limit} clamps fan-in {conns_wanted} -> {fit} conns");
+        fit.min(conns_wanted)
+    } else {
+        conns_wanted
+    };
+
+    let backend = if threaded { "threaded" } else { "event" };
+    let mut child =
+        std::process::Command::new(std::env::current_exe().expect("current_exe for fan-in server"))
+            .args(["--fanin-server", backend, &conns.to_string()])
+            .stdout(std::process::Stdio::piped())
+            .spawn()
+            .expect("spawn fan-in server child");
+    let addr: std::net::SocketAddr = {
+        let out = child.stdout.take().expect("child stdout");
+        let mut line = String::new();
+        std::io::BufReader::new(out)
+            .read_line(&mut line)
+            .expect("read child addr banner");
+        line.trim()
+            .strip_prefix("FANIN_ADDR ")
+            .unwrap_or_else(|| panic!("bad fan-in server banner: {line:?}"))
+            .parse()
+            .expect("child addr")
+    };
+    {
+        // Seed a small hull so every probe does real point location and
+        // has one known answer.
+        let mut seed = HullClient::builder(addr.to_string())
+            .connect()
+            .expect("connect");
+        for p in [[0, 0], [1_000, 0], [0, 1_000], [1_000, 1_000]] {
+            assert!(seed.insert(0, &p).expect("seed insert"));
+        }
+        seed.flush(0).expect("seed flush");
+    }
+    let probe_frame = {
+        let payload = Request::Contains {
+            shard: 0,
+            point: vec![500, 500],
+        }
+        .encode();
+        let mut f = (payload.len() as u32).to_le_bytes().to_vec();
+        f.extend_from_slice(&payload);
+        f
+    };
+
+    struct FanConn {
+        stream: TcpStream,
+        dec: FrameDecoder,
+        wbuf: ByteBuf,
+        interest: Interest,
+        sent_at: Instant,
+        remaining: usize,
+    }
+    fn flush(c: &mut FanConn) -> bool {
+        while !c.wbuf.is_empty() {
+            match c.wbuf.write_to(&mut c.stream) {
+                Ok(_) => {}
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(_) => return false,
+            }
+        }
+        true
+    }
+
+    let p = poller().expect("poller");
+    let t_connect = Instant::now();
+    let mut ring: Vec<FanConn> = Vec::with_capacity(conns);
+    for i in 0..conns {
+        // Sequential blocking connects can outrun the accept loop's
+        // backlog at 10k-connection scale; back off briefly and retry.
+        let stream = (0..50)
+            .find_map(|attempt| {
+                if attempt > 0 {
+                    std::thread::sleep(Duration::from_millis(20 * attempt));
+                }
+                TcpStream::connect(addr).ok()
+            })
+            .unwrap_or_else(|| panic!("fan-in connect {i} kept failing"));
+        stream.set_nodelay(true).expect("nodelay");
+        stream.set_nonblocking(true).expect("nonblocking");
+        ring.push(FanConn {
+            stream,
+            dec: FrameDecoder::new(MAX_FRAME),
+            wbuf: ByteBuf::new(),
+            interest: Interest::READABLE,
+            sent_at: Instant::now(),
+            remaining: probes,
+        });
+    }
+    let connect_secs = t_connect.elapsed().as_secs_f64();
+
+    // Prime one in-flight probe per connection, then pump readiness.
+    let t_load = Instant::now();
+    let total = conns * probes;
+    let mut lat_us: Vec<f64> = Vec::with_capacity(total);
+    for (i, c) in ring.iter_mut().enumerate() {
+        c.wbuf.extend(&probe_frame);
+        c.sent_at = Instant::now();
+        assert!(flush(c), "conn {i} failed first send");
+        c.interest = if c.wbuf.is_empty() {
+            Interest::READABLE
+        } else {
+            Interest::BOTH
+        };
+        p.register(c.stream.as_raw_fd(), Token(i), c.interest)
+            .expect("register");
+    }
+    let mut done = 0usize;
+    let mut events = Vec::new();
+    while done < total {
+        events.clear();
+        p.wait(&mut events, Some(Duration::from_secs(10)))
+            .expect("poll wait");
+        assert!(
+            !events.is_empty(),
+            "fan-in stalled at {done}/{total} replies (threaded={threaded}, conns={conns})"
+        );
+        for ev in &events {
+            let i = ev.token.0;
+            let c = &mut ring[i];
+            assert!(!ev.error, "conn {i} entered an error state");
+            if ev.writable && !flush(c) {
+                panic!("conn {i} write failed");
+            }
+            if ev.readable || ev.hangup {
+                loop {
+                    match c.dec.read_from(&mut c.stream) {
+                        Ok(0) => panic!("server closed fan-in conn {i} early"),
+                        Ok(_) => {}
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                        Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                        Err(e) => panic!("conn {i} read failed: {e}"),
+                    }
+                }
+                while let Some(payload) = c.dec.next_frame().expect("frame decode") {
+                    let resp = Response::decode(&payload).expect("reply decode");
+                    assert!(
+                        matches!(resp, Response::Bool(true)),
+                        "probe reply: {resp:?}"
+                    );
+                    lat_us.push(c.sent_at.elapsed().as_secs_f64() * 1e6);
+                    c.remaining -= 1;
+                    done += 1;
+                    if c.remaining > 0 {
+                        c.wbuf.extend(&probe_frame);
+                        c.sent_at = Instant::now();
+                        if !flush(c) {
+                            panic!("conn {i} write failed");
+                        }
+                    }
+                }
+            }
+            let want = if c.wbuf.is_empty() {
+                Interest::READABLE
+            } else {
+                Interest::BOTH
+            };
+            if want != c.interest {
+                c.interest = want;
+                p.reregister(c.stream.as_raw_fd(), Token(i), want)
+                    .expect("reregister");
+            }
+        }
+    }
+    let load_secs = t_load.elapsed().as_secs_f64();
+    for c in &ring {
+        let _ = p.deregister(c.stream.as_raw_fd());
+    }
+    drop(ring);
+    HullClient::builder(addr.to_string())
+        .connect()
+        .expect("connect for shutdown")
+        .shutdown_server()
+        .expect("remote shutdown");
+    child.wait().expect("fan-in server child exit");
+
+    lat_us.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let rps = total as f64 / load_secs;
+    let p50 = percentile(&lat_us, 0.50);
+    let p99 = percentile(&lat_us, 0.99);
+    println!(
+        "{:<28} {:>8} conns ({backend}, poller {})  connect {:.2}s  {:>9.0} req/s (p50 {:>6.1}us p99 {:>8.1}us, {} probes/conn)",
+        "service_fanin", conns, p.name(), connect_secs, rps, p50, p99, probes
+    );
+    format!(
+        "  {{\"workload\": \"service_fanin\", \"backend\": \"{backend}\", \"poller\": \"{}\", \
+         \"conns\": {conns}, \"conns_wanted\": {conns_wanted}, \"probes_per_conn\": {probes}, \
+         \"n_requests\": {total}, \"connect_secs\": {connect_secs:.3}, \
+         \"requests_per_sec\": {rps:.0}, \"req_p50_us\": {p50:.1}, \"req_p99_us\": {p99:.1}}}",
+        p.name()
+    )
+}
+
 fn write_json(path: &str, results: &[LoadResult], extra_rows: &[String]) -> std::io::Result<()> {
     let mut out = String::from("[\n");
     for (i, r) in results.iter().enumerate() {
@@ -701,11 +931,48 @@ fn write_json(path: &str, results: &[LoadResult], extra_rows: &[String]) -> std:
     std::fs::write(path, out)
 }
 
+/// Internal child mode (`--fanin-server BACKEND CONNS`): serve on an
+/// ephemeral loopback port in a process of our own — so the E22 fan-in
+/// gets two whole RLIMIT_NOFILE budgets — print the address banner, and
+/// run until the parent sends a wire `Shutdown`.
+fn fanin_server_main(backend: &str, conns: usize) {
+    use std::io::Write as _;
+    chull_net::raise_nofile_limit((conns + 256) as u64);
+    let handle = serve(ServeOptions {
+        config: ServiceConfig {
+            dim: 2,
+            shards: 1,
+            queue_capacity: 4096,
+            max_batch: 256,
+            workers: 0,
+            wal_dir: None,
+        },
+        threaded: backend == "threaded",
+        ..Default::default()
+    })
+    .expect("bind loopback");
+    println!("FANIN_ADDR {}", handle.local_addr());
+    std::io::stdout().flush().expect("flush addr banner");
+    handle.join();
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("--fanin-server") {
+        let backend = args.get(1).expect("--fanin-server needs a backend");
+        let conns = args
+            .get(2)
+            .expect("--fanin-server needs a conns hint")
+            .parse()
+            .expect("bad conns hint");
+        fanin_server_main(backend, conns);
+        return;
+    }
     let mut out_path = "BENCH_service.json".to_string();
     let mut clients = 4usize;
     let mut quick = false;
+    let mut fanin = 10_000usize;
+    let mut fanin_only = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -718,11 +985,38 @@ fn main() {
                     .expect("bad --clients value");
             }
             "--quick" => quick = true,
+            "--fanin" => {
+                fanin = it
+                    .next()
+                    .expect("--fanin needs a value")
+                    .parse()
+                    .expect("bad --fanin value");
+            }
+            "--fanin-only" => fanin_only = true,
             other => {
-                eprintln!("USAGE: service_load [--out FILE] [--clients C] [--quick]");
+                eprintln!(
+                    "USAGE: service_load [--out FILE] [--clients C] [--quick] \
+                     [--fanin N] [--fanin-only]"
+                );
                 panic!("unknown flag '{other}'");
             }
         }
+    }
+    // E22: A/B both back ends at a thread-per-connection-friendly scale,
+    // then push the event loop to the full fan-in target.
+    let fanin_probes = if quick { 4 } else { 20 };
+    let run_fanin_rows = || -> Vec<String> {
+        vec![
+            run_fanin(true, 512.min(fanin), fanin_probes),
+            run_fanin(false, 512.min(fanin), fanin_probes),
+            run_fanin(false, fanin, fanin_probes),
+        ]
+    };
+    if fanin_only {
+        let rows = run_fanin_rows();
+        write_json(&out_path, &[], &rows).expect("writing results");
+        println!("wrote {out_path}");
+        return;
     }
     let (n2, n3, q) = if quick {
         (2_000, 1_000, 500)
@@ -770,6 +1064,7 @@ fn main() {
         &generators::cube_d(2, n2, 1_000_000, 77),
         clients,
     ));
+    extra.extend(run_fanin_rows());
     write_json(&out_path, &results, &extra).expect("writing results");
     println!("wrote {out_path}");
 }

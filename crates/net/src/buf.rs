@@ -1,0 +1,124 @@
+//! [`ByteBuf`]: the per-connection byte queue used on both sides of a
+//! non-blocking socket — bytes land at the tail, are consumed from the
+//! head, and the head slack is reclaimed by compaction once it
+//! dominates, so steady-state reads/writes never reallocate.
+
+use std::io::{self, Read, Write};
+
+/// Read chunk size: one socket read pulls at most this many bytes, so a
+/// firehose peer cannot monopolize the reactor in a single callback.
+const READ_CHUNK: usize = 16 * 1024;
+
+/// A growable FIFO byte buffer with O(1) amortized consume.
+#[derive(Default)]
+pub struct ByteBuf {
+    buf: Vec<u8>,
+    head: usize,
+}
+
+impl ByteBuf {
+    /// An empty buffer.
+    pub fn new() -> ByteBuf {
+        ByteBuf::default()
+    }
+
+    /// Unconsumed bytes.
+    pub fn len(&self) -> usize {
+        self.buf.len() - self.head
+    }
+
+    /// True when every byte has been consumed.
+    pub fn is_empty(&self) -> bool {
+        self.head == self.buf.len()
+    }
+
+    /// The unconsumed bytes, in order.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.buf[self.head..]
+    }
+
+    /// Append bytes at the tail.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Drop `n` bytes from the head.
+    ///
+    /// Compacts when the dead prefix outgrows the live bytes and is
+    /// big enough to matter, keeping the growth amortized-linear.
+    pub fn consume(&mut self, n: usize) {
+        assert!(n <= self.len(), "consume past end");
+        self.head += n;
+        if self.head > 4096 && self.head * 2 >= self.buf.len() {
+            self.buf.drain(..self.head);
+            self.head = 0;
+        }
+        if self.is_empty() && self.buf.capacity() > 1 << 20 {
+            // A burst (e.g. one snapshot reply) should not pin its
+            // high-water allocation for the connection's lifetime.
+            self.buf = Vec::new();
+            self.head = 0;
+        }
+    }
+
+    /// One non-blocking read from `r` into the tail: `Ok(0)` is EOF,
+    /// `WouldBlock` bubbles up for the reactor to wait on readiness.
+    pub fn read_from<R: Read>(&mut self, r: &mut R) -> io::Result<usize> {
+        let mut chunk = [0u8; READ_CHUNK];
+        let n = r.read(&mut chunk)?;
+        self.extend(&chunk[..n]);
+        Ok(n)
+    }
+
+    /// Write as much of the head as the sink accepts, consuming what was
+    /// written; `WouldBlock` bubbles up for the reactor.
+    pub fn write_to<W: Write>(&mut self, w: &mut W) -> io::Result<usize> {
+        if self.is_empty() {
+            return Ok(0);
+        }
+        let n = w.write(self.as_slice())?;
+        self.consume(n);
+        Ok(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_and_compaction() {
+        let mut b = ByteBuf::new();
+        for i in 0..10_000u32 {
+            b.extend(&i.to_le_bytes());
+        }
+        for i in 0..10_000u32 {
+            let s = b.as_slice();
+            assert_eq!(&s[..4], &i.to_le_bytes());
+            b.consume(4);
+        }
+        assert!(b.is_empty());
+        assert_eq!(b.len(), 0);
+    }
+
+    #[test]
+    fn write_to_drains_and_reports() {
+        let mut b = ByteBuf::new();
+        b.extend(b"hello world");
+        b.consume(6);
+        let mut out = Vec::new();
+        let n = b.write_to(&mut out).unwrap();
+        assert_eq!(n, 5);
+        assert_eq!(out, b"world");
+        assert!(b.is_empty());
+        assert_eq!(b.write_to(&mut out).unwrap(), 0);
+    }
+
+    #[test]
+    fn burst_allocation_released() {
+        let mut b = ByteBuf::new();
+        b.extend(&vec![7u8; 3 << 20]);
+        b.consume(3 << 20);
+        assert!(b.buf.capacity() <= 1 << 20, "burst capacity pinned");
+    }
+}

@@ -1,0 +1,162 @@
+//! Incremental decoding of the length-prefixed frame format (`u32` LE
+//! payload length, then the payload) used by the hull wire protocol.
+//!
+//! The blocking codec in `chull-service::wire` reads one whole frame per
+//! call; a reactor instead feeds whatever bytes the socket had into a
+//! [`FrameDecoder`] and pulls out zero or more complete frames — a
+//! frame may arrive one byte at a time across many readiness events, or
+//! many frames may land in one read (pipelining).
+
+use crate::buf::ByteBuf;
+use std::io::{self, Read};
+
+/// Why an incremental decode failed; both are protocol violations that
+/// should drop the connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameError {
+    /// The length prefix exceeds the decoder's frame cap.
+    Oversized(usize),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Oversized(n) => write!(f, "declared frame length {n} exceeds cap"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Accumulates socket bytes and yields complete frame payloads.
+pub struct FrameDecoder {
+    buf: ByteBuf,
+    max_frame: usize,
+}
+
+impl FrameDecoder {
+    /// A decoder that rejects payloads over `max_frame` bytes.
+    pub fn new(max_frame: usize) -> FrameDecoder {
+        FrameDecoder {
+            buf: ByteBuf::new(),
+            max_frame,
+        }
+    }
+
+    /// Feed raw socket bytes.
+    pub fn push(&mut self, bytes: &[u8]) {
+        self.buf.extend(bytes);
+    }
+
+    /// One non-blocking read from the socket into the decoder;
+    /// `Ok(0)` is EOF, `WouldBlock` bubbles up.
+    pub fn read_from<R: Read>(&mut self, r: &mut R) -> io::Result<usize> {
+        self.buf.read_from(r)
+    }
+
+    /// Pop the next complete frame payload, if one is buffered.
+    ///
+    /// `Ok(None)` means "need more bytes"; an [`FrameError`] means the
+    /// peer is protocol-broken (the connection should be dropped — the
+    /// decoder's buffer is poisoned past the bad prefix).
+    pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>, FrameError> {
+        let s = self.buf.as_slice();
+        if s.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes([s[0], s[1], s[2], s[3]]) as usize;
+        if len > self.max_frame {
+            return Err(FrameError::Oversized(len));
+        }
+        if s.len() < 4 + len {
+            return Ok(None);
+        }
+        let payload = s[4..4 + len].to_vec();
+        self.buf.consume(4 + len);
+        Ok(Some(payload))
+    }
+
+    /// True when bytes of an incomplete frame are buffered — the signal
+    /// the reactor uses to start (and keep) a frame deadline: a peer
+    /// that dribbles a header and stalls is holding `has_partial` true
+    /// until the deadline reaps it.
+    pub fn has_partial(&self) -> bool {
+        !self.buf.is_empty()
+    }
+
+    /// Bytes currently buffered (diagnostics).
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+}
+
+/// Append one encoded frame (prefix + payload) to `out`.
+pub fn encode_frame_into(out: &mut ByteBuf, payload: &[u8]) {
+    out.extend(&(payload.len() as u32).to_le_bytes());
+    out.extend(payload);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame(payload: &[u8]) -> Vec<u8> {
+        let mut f = (payload.len() as u32).to_le_bytes().to_vec();
+        f.extend_from_slice(payload);
+        f
+    }
+
+    #[test]
+    fn byte_at_a_time_reassembly() {
+        let mut d = FrameDecoder::new(1024);
+        let wire = frame(b"abc");
+        for (i, &b) in wire.iter().enumerate() {
+            assert_eq!(d.next_frame().unwrap(), None, "frame complete early at {i}");
+            d.push(&[b]);
+        }
+        assert_eq!(d.next_frame().unwrap().unwrap(), b"abc");
+        assert!(!d.has_partial());
+    }
+
+    #[test]
+    fn many_frames_in_one_push() {
+        let mut d = FrameDecoder::new(1024);
+        let mut wire = Vec::new();
+        for i in 0..50u8 {
+            wire.extend_from_slice(&frame(&[i; 3]));
+        }
+        wire.extend_from_slice(&frame(b"")[..2]); // trailing partial
+        d.push(&wire);
+        for i in 0..50u8 {
+            assert_eq!(d.next_frame().unwrap().unwrap(), vec![i; 3]);
+        }
+        assert_eq!(d.next_frame().unwrap(), None);
+        assert!(d.has_partial(), "partial trailing header not tracked");
+    }
+
+    #[test]
+    fn empty_frames_are_legal() {
+        let mut d = FrameDecoder::new(16);
+        d.push(&frame(b""));
+        assert_eq!(d.next_frame().unwrap().unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn oversized_prefix_rejected() {
+        let mut d = FrameDecoder::new(8);
+        d.push(&9u32.to_le_bytes());
+        assert_eq!(d.next_frame(), Err(FrameError::Oversized(9)));
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let mut out = ByteBuf::new();
+        encode_frame_into(&mut out, b"ping");
+        encode_frame_into(&mut out, b"");
+        let mut d = FrameDecoder::new(64);
+        d.push(out.as_slice());
+        assert_eq!(d.next_frame().unwrap().unwrap(), b"ping");
+        assert_eq!(d.next_frame().unwrap().unwrap(), b"");
+        assert_eq!(d.next_frame().unwrap(), None);
+    }
+}

@@ -1,0 +1,122 @@
+//! A minimal slab: stable `usize` keys over a free-list-backed vector.
+//! The reactor keys connections by slab index (offset into the poller
+//! token space); keys are reused, so the event loop pairs each key with
+//! a generation counter to shed stale completions.
+
+/// Preallocated storage with O(1) insert/remove and stable keys.
+pub struct Slab<T> {
+    entries: Vec<Option<T>>,
+    free: Vec<usize>,
+    len: usize,
+}
+
+impl<T> Default for Slab<T> {
+    fn default() -> Slab<T> {
+        Slab::new()
+    }
+}
+
+impl<T> Slab<T> {
+    /// An empty slab.
+    pub fn new() -> Slab<T> {
+        Slab {
+            entries: Vec::new(),
+            free: Vec::new(),
+            len: 0,
+        }
+    }
+
+    /// Occupied slots.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no slot is occupied.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Store `value`, returning its key.
+    pub fn insert(&mut self, value: T) -> usize {
+        self.len += 1;
+        match self.free.pop() {
+            Some(k) => {
+                self.entries[k] = Some(value);
+                k
+            }
+            None => {
+                self.entries.push(Some(value));
+                self.entries.len() - 1
+            }
+        }
+    }
+
+    /// Remove and return the value at `key`, freeing the slot.
+    pub fn remove(&mut self, key: usize) -> Option<T> {
+        let v = self.entries.get_mut(key)?.take();
+        if v.is_some() {
+            self.free.push(key);
+            self.len -= 1;
+        }
+        v
+    }
+
+    /// Borrow the value at `key`.
+    pub fn get(&self, key: usize) -> Option<&T> {
+        self.entries.get(key)?.as_ref()
+    }
+
+    /// Mutably borrow the value at `key`.
+    pub fn get_mut(&mut self, key: usize) -> Option<&mut T> {
+        self.entries.get_mut(key)?.as_mut()
+    }
+
+    /// The occupied keys, collected (so the caller may remove while
+    /// sweeping).
+    pub fn keys(&self) -> Vec<usize> {
+        self.entries
+            .iter()
+            .enumerate()
+            .filter_map(|(k, e)| e.as_ref().map(|_| k))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_reuse() {
+        let mut s = Slab::new();
+        let a = s.insert("a");
+        let b = s.insert("b");
+        assert_ne!(a, b);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.remove(a), Some("a"));
+        assert_eq!(s.remove(a), None, "double remove");
+        let c = s.insert("c");
+        assert_eq!(c, a, "freed slot reused");
+        assert_eq!(s.get(b), Some(&"b"));
+        *s.get_mut(c).unwrap() = "c2";
+        assert_eq!(s.get(c), Some(&"c2"));
+        let mut keys = s.keys();
+        keys.sort_unstable();
+        assert_eq!(keys, vec![a.min(b), a.max(b)]);
+    }
+
+    #[test]
+    fn sweep_while_removing() {
+        let mut s = Slab::new();
+        for i in 0..100 {
+            s.insert(i);
+        }
+        for k in s.keys() {
+            if k % 2 == 0 {
+                s.remove(k);
+            }
+        }
+        assert_eq!(s.len(), 50);
+        assert!(s.keys().iter().all(|k| k % 2 == 1));
+    }
+}

@@ -21,15 +21,18 @@
 //! Connections are opened through [`HullClientBuilder`]
 //! (`HullClient::builder(addr)`), which sets the connect deadline, the
 //! default retry policy, and the protocol version window: by default the
-//! client advertises [`PROTOCOL_V3`] in a `Hello` handshake and falls
-//! back to v2 or v1 when the server doesn't understand it, so the same
+//! client advertises [`PROTOCOL_V4`] in a `Hello` handshake and falls
+//! back to v3/v2/v1 when the server doesn't understand it, so the same
 //! binary talks to old and new servers. [`HullClient::insert_batch`]
 //! then uses one `InsertBatch` frame per attempt on v2+ and degrades to
 //! per-point inserts on v1; the v3 `*_scan` query methods require a v3
-//! server ([`crate::wire::CAP_SCAN_QUERIES`]).
+//! server ([`crate::wire::CAP_SCAN_QUERIES`]); and
+//! [`HullClient::pipeline`] issues many tagged requests back-to-back on
+//! a v4 server ([`crate::wire::CAP_PIPELINE`]) before reading any reply.
 
 use crate::wire::{
-    read_frame, write_frame, Request, Response, ALL_SHARDS, PROTOCOL_V1, PROTOCOL_V2, PROTOCOL_V3,
+    read_frame, write_frame, Request, Response, ALL_SHARDS, CAP_PIPELINE, PROTOCOL_V1, PROTOCOL_V2,
+    PROTOCOL_V4,
 };
 use chull_geometry::rng::ChaCha8Rng;
 use std::io::{self};
@@ -104,7 +107,7 @@ impl HullClientBuilder {
             deadline: None,
             policy: RetryPolicy::default(),
             floor: PROTOCOL_V1,
-            ceiling: PROTOCOL_V3,
+            ceiling: PROTOCOL_V4,
         }
     }
 
@@ -130,7 +133,7 @@ impl HullClientBuilder {
     }
 
     /// Highest version to advertise in the `Hello` handshake. Default
-    /// [`PROTOCOL_V3`]; a ceiling of [`PROTOCOL_V1`] skips the
+    /// [`PROTOCOL_V4`]; a ceiling of [`PROTOCOL_V1`] skips the
     /// handshake entirely, reproducing the legacy wire exchange
     /// byte-for-byte.
     pub fn protocol_ceiling(mut self, v: u16) -> HullClientBuilder {
@@ -324,6 +327,66 @@ impl HullClient {
             }
             Err(e) => Err(e),
         }
+    }
+
+    /// Issue `reqs` back-to-back as v4 `Tagged` frames — all writes
+    /// first, then all reads — and return the replies **in request
+    /// order**, whatever order the server completed them in (tagged
+    /// requests may execute concurrently across shards and reply out of
+    /// order; the correlation id restores the pairing).
+    ///
+    /// Requires a v4 server advertising [`CAP_PIPELINE`]; fails with
+    /// `Unsupported` otherwise. Replies are returned raw (a `Degraded`
+    /// wrapper is *not* unwrapped) and no reconnect-and-resume is
+    /// attempted: a connection lost mid-pipeline loses the whole
+    /// pipeline. Keep batches modest (the server parks at most 1024
+    /// frames per connection and pauses reads above 1 MiB of undrained
+    /// replies, so a huge write-all-then-read-all pipeline can deadlock
+    /// against its own backpressure); a few hundred requests is safe.
+    pub fn pipeline(&mut self, reqs: &[Request]) -> io::Result<Vec<Response>> {
+        if self.negotiated < PROTOCOL_V4 || self.caps & CAP_PIPELINE == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                format!(
+                    "pipelining needs protocol v4 + CAP_PIPELINE (negotiated v{}, caps {:#x})",
+                    self.negotiated, self.caps
+                ),
+            ));
+        }
+        self.calls += reqs.len() as u64;
+        for (id, req) in reqs.iter().enumerate() {
+            let tagged = Request::Tagged {
+                id: id as u64,
+                inner: Box::new(req.clone()),
+            };
+            write_frame(&mut self.stream, &tagged.encode())?;
+        }
+        let mut out: Vec<Option<Response>> = (0..reqs.len()).map(|_| None).collect();
+        let mut pending = reqs.len();
+        while pending > 0 {
+            let payload = read_frame(&mut self.stream)?.ok_or_else(|| {
+                io::Error::new(io::ErrorKind::UnexpectedEof, "server closed mid-pipeline")
+            })?;
+            match Response::decode(&payload).map_err(io::Error::from)? {
+                Response::Tagged { id, inner } => {
+                    let slot = out.get_mut(id as usize).ok_or_else(|| {
+                        io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            format!("reply tagged {id}, but only {} requests sent", reqs.len()),
+                        )
+                    })?;
+                    if slot.replace(*inner).is_some() {
+                        return Err(io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            format!("duplicate reply for tag {id}"),
+                        ));
+                    }
+                    pending -= 1;
+                }
+                other => return Err(unexpected(other)),
+            }
+        }
+        Ok(out.into_iter().map(|r| r.expect("all tags seen")).collect())
     }
 
     /// [`raw`](HullClient::raw), then unwrap a `Degraded` wrapper into

@@ -16,11 +16,16 @@
 //!   (`Overloaded` replies) instead of unbounded buffering;
 //! * [`wire`] — a length-prefixed binary protocol (`Insert`, `Contains`,
 //!   `Visible`, `Extreme`, `Stats`, `Snapshot`, `Flush`, `Shutdown`,
-//!   `Metrics`, and — protocol v2 — `InsertBatch` + the `Hello`
-//!   version/capability handshake) over std TCP, served by
-//!   [`server::serve`] with a thread-per-connection accept loop,
-//!   graceful shutdown, and per-request timeouts; v1 clients
-//!   interoperate unchanged;
+//!   `Metrics`, protocol v2's `InsertBatch` + `Hello` handshake, v3's
+//!   `*Scan` oracle queries, and v4's `Tagged` correlation-id frames
+//!   for pipelining) over std TCP; v1 clients interoperate unchanged;
+//! * [`server::serve`] — two interchangeable front ends over one
+//!   dispatch core: the default **event loop** (a `chull-net` epoll
+//!   reactor + dispatcher pool, scaling to tens of thousands of
+//!   connections with out-of-order pipelined replies) and the original
+//!   **thread-per-connection** loop ([`server::ServeOptions::threaded`])
+//!   kept as the A/B + correctness oracle; both give graceful shutdown
+//!   and per-request deadlines;
 //! * [`metrics`] — `chull_obs`-backed telemetry handles: per-op request
 //!   series, shard gauges, pipeline latency histograms, and kernel
 //!   counters, exposed via the wire `Metrics` op and the optional
@@ -40,6 +45,8 @@
 #![warn(missing_docs)]
 
 pub mod client;
+#[cfg(unix)]
+mod event_server;
 pub mod journal;
 pub mod metrics;
 pub mod server;

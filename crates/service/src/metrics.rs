@@ -102,6 +102,18 @@ pub struct ServiceMetrics {
     pub degraded_us: Arc<Counter>,
     /// Connections accepted by the server.
     pub accepts: Arc<Counter>,
+    /// Currently open client connections (either back end).
+    pub connections_active: Arc<Gauge>,
+    /// Connections accepted, cumulatively (alias of `accepts` under the
+    /// connection-lifecycle name so `accepted - closed = active` holds
+    /// within one metric family).
+    pub connections_accepted: Arc<Counter>,
+    /// Connections closed (EOF, error, deadline reap, or shutdown).
+    pub connections_closed: Arc<Counter>,
+    /// Reactor readiness wakeups (epoll_wait returns with ≥1 event).
+    pub readiness_wakeups: Arc<Counter>,
+    /// Accept/reactor threads that died by panic and were contained.
+    pub accept_thread_panics: Arc<Counter>,
     /// Client-side transparent reconnect-and-resumes.
     pub client_reconnects: Arc<Counter>,
     /// Client-side `Overloaded` rejections absorbed by `insert_retry`.
@@ -166,6 +178,26 @@ pub fn service_metrics() -> &'static ServiceMetrics {
             accepts: r.counter(
                 "chull_server_accepts_total",
                 "TCP connections accepted by the wire server.",
+            ),
+            connections_active: r.gauge(
+                "chull_server_connections_active",
+                "Client connections currently open.",
+            ),
+            connections_accepted: r.counter(
+                "chull_server_connections_accepted_total",
+                "Client connections accepted since start.",
+            ),
+            connections_closed: r.counter(
+                "chull_server_connections_closed_total",
+                "Client connections closed (EOF, error, deadline, shutdown).",
+            ),
+            readiness_wakeups: r.counter(
+                "chull_server_readiness_wakeups_total",
+                "Reactor poller wakeups that delivered at least one event.",
+            ),
+            accept_thread_panics: r.counter(
+                "chull_server_accept_thread_panics_total",
+                "Accept/reactor threads that panicked and were contained.",
             ),
             client_reconnects: r.counter(
                 "chull_client_reconnects_total",

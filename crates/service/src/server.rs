@@ -1,13 +1,22 @@
-//! The TCP serving layer: a thread-per-connection accept loop over the
-//! length-prefixed wire protocol, with graceful shutdown and per-request
-//! timeouts.
+//! The TCP serving layer, with two interchangeable front ends over the
+//! same dispatch core, shard workers and wire protocol:
 //!
-//! Connections are cheap threads (the workload is geometry-bound, not
-//! connection-count-bound at this reproduction's scale); each one loops
-//! `read_frame → dispatch → write_frame`. Reads poll with a short socket
-//! timeout so every connection notices the shutdown flag promptly; a
-//! *started* frame must complete within [`ServeOptions::request_timeout`]
-//! or the connection is dropped (a stalled peer cannot pin a thread).
+//! * the **event-loop back end** (default; DESIGN §S19): one reactor
+//!   thread multiplexes every connection over a `chull-net` readiness
+//!   poller — non-blocking sockets, per-connection byte queues, an
+//!   incremental frame decoder, and a small dispatcher pool executing
+//!   requests off the reactor. Scales to tens of thousands of
+//!   connections and serves pipelined v4 `Tagged` frames out of order.
+//! * the **threaded back end** ([`ServeOptions::threaded`], `hull serve
+//!   --threaded`): the original thread-per-connection accept loop, kept
+//!   as the A/B + correctness oracle (the same pattern the query path
+//!   uses with `linear-scan`).
+//!
+//! Both enforce the same robustness contract: a *started* frame must
+//! complete within [`ServeOptions::request_timeout`] or the connection
+//! is dropped (a stalled or dribbling peer cannot pin a thread *or* a
+//! reactor slot), shutdown is graceful, reads during shard recovery are
+//! wrapped `Degraded`, and the chaos failpoint sites fire identically.
 
 use crate::metrics::{op_metrics, query_metrics, service_metrics};
 use crate::shard::{HullService, InsertOutcome, ServiceConfig, ServiceError};
@@ -19,7 +28,7 @@ use chull_obs::MetricsHttpHandle;
 use std::io::{self, Read};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 /// Options for [`serve`].
@@ -38,6 +47,14 @@ pub struct ServeOptions {
     /// picks a free port). The same text is always available in-band via
     /// the wire `Metrics` op.
     pub metrics_addr: Option<String>,
+    /// Use the legacy thread-per-connection back end instead of the
+    /// event loop (the A/B + correctness oracle; `hull serve
+    /// --threaded`). Forced on where `chull-net` has no poller.
+    pub threaded: bool,
+    /// Dispatcher threads executing requests off the reactor (event
+    /// back end only); 0 picks a small default. Queries are fast, but a
+    /// `Flush` barrier blocks its dispatcher, so at least 2 run.
+    pub dispatchers: usize,
 }
 
 impl Default for ServeOptions {
@@ -48,6 +65,8 @@ impl Default for ServeOptions {
             oneshot: false,
             request_timeout: Duration::from_secs(10),
             metrics_addr: None,
+            threaded: false,
+            dispatchers: 0,
         }
     }
 }
@@ -55,10 +74,18 @@ impl Default for ServeOptions {
 /// Poll interval for the shutdown flag while a connection is idle.
 const POLL: Duration = Duration::from_millis(50);
 
-struct Shared {
-    service: HullService,
-    shutdown: AtomicBool,
-    addr: SocketAddr,
+pub(crate) struct Shared {
+    pub(crate) service: HullService,
+    pub(crate) shutdown: AtomicBool,
+    pub(crate) addr: SocketAddr,
+    /// Set by the event back end: wakes its poller so shutdown is
+    /// noticed without waiting out the tick.
+    pub(crate) waker: OnceLock<Arc<dyn Fn() + Send + Sync>>,
+    /// The panic message of a dead accept/reactor thread, surfaced via
+    /// [`ServerHandle::accept_fault`] instead of propagating the panic
+    /// into whoever calls `shutdown`/`join`/`Drop` (the shards keep
+    /// draining normally — the server is degraded, not poisoned).
+    pub(crate) accept_fault: Mutex<Option<String>>,
 }
 
 /// A running server; dropping the handle shuts it down.
@@ -82,6 +109,8 @@ pub fn serve(opts: ServeOptions) -> io::Result<ServerHandle> {
         service: HullService::new(opts.config.clone())?,
         shutdown: AtomicBool::new(false),
         addr,
+        waker: OnceLock::new(),
+        accept_fault: Mutex::new(None),
     });
     let metrics = match &opts.metrics_addr {
         Some(maddr) => {
@@ -91,11 +120,23 @@ pub fn serve(opts: ServeOptions) -> io::Result<ServerHandle> {
         }
         None => None,
     };
-    let accept = {
+    #[cfg(not(unix))]
+    let opts = ServeOptions {
+        threaded: true,
+        ..opts
+    };
+    let accept = if opts.threaded {
         let shared = Arc::clone(&shared);
         let oneshot = opts.oneshot;
         let request_timeout = opts.request_timeout;
         std::thread::spawn(move || accept_loop(&listener, &shared, oneshot, request_timeout))
+    } else {
+        #[cfg(unix)]
+        {
+            crate::event_server::spawn_reactor(listener, Arc::clone(&shared), &opts)?
+        }
+        #[cfg(not(unix))]
+        unreachable!("threaded forced on above")
     };
     Ok(ServerHandle {
         shared,
@@ -118,11 +159,14 @@ impl ServerHandle {
 
     /// Begin graceful shutdown: stop accepting, let in-flight requests
     /// finish, drain the ingest queues, join every thread.
+    ///
+    /// A dead accept/reactor thread (it panicked earlier) does **not**
+    /// propagate the panic here: the fault is recorded (see
+    /// [`accept_fault`](ServerHandle::accept_fault)) and the shards
+    /// still drain — every acked insert survives.
     pub fn shutdown(&mut self) {
         trigger_shutdown(&self.shared);
-        if let Some(h) = self.accept.take() {
-            h.join().expect("accept loop panicked");
-        }
+        self.join_accept();
         if let Some(mut m) = self.metrics.take() {
             m.shutdown();
         }
@@ -132,13 +176,29 @@ impl ServerHandle {
     /// Block until the server exits (remote `Shutdown` request or oneshot
     /// completion), then drain and join.
     pub fn join(mut self) {
-        if let Some(h) = self.accept.take() {
-            h.join().expect("accept loop panicked");
-        }
+        self.join_accept();
         if let Some(mut m) = self.metrics.take() {
             m.shutdown();
         }
         self.shared.service.shutdown();
+    }
+
+    /// If the accept/reactor thread died by panic, its panic message.
+    pub fn accept_fault(&self) -> Option<String> {
+        match self.shared.accept_fault.lock() {
+            Ok(g) => g.clone(),
+            Err(p) => p.into_inner().clone(),
+        }
+    }
+
+    /// Join the accept/reactor thread, containing (not propagating) a
+    /// panic: record it for [`accept_fault`](ServerHandle::accept_fault),
+    /// log it, and count it.
+    fn join_accept(&mut self) {
+        let Some(h) = self.accept.take() else { return };
+        if let Err(payload) = h.join() {
+            record_accept_fault(&self.shared, panic_message(payload.as_ref()));
+        }
     }
 
     /// [`join`](ServerHandle::join), then return the final aggregate stats
@@ -166,11 +226,44 @@ impl Drop for ServerHandle {
     }
 }
 
-fn trigger_shutdown(shared: &Shared) {
+pub(crate) fn trigger_shutdown(shared: &Shared) {
     if !shared.shutdown.swap(true, Ordering::SeqCst) {
-        // Wake the blocking accept with a throwaway connection.
-        let _ = TcpStream::connect(shared.addr);
+        match shared.waker.get() {
+            // Event back end: poke its poller.
+            Some(wake) => wake(),
+            // Threaded: wake the blocking accept with a throwaway
+            // connection.
+            None => {
+                let _ = TcpStream::connect(shared.addr);
+            }
+        }
     }
+}
+
+/// Best-effort text of a contained panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Record a dead accept/reactor thread: typed state for callers, a log
+/// line for operators, a counter for dashboards.
+pub(crate) fn record_accept_fault(shared: &Shared, msg: String) {
+    eprintln!(
+        "hull-server: accept/reactor thread died: {msg} \
+         (no new connections will be served; shards drain normally)"
+    );
+    service_metrics().accept_thread_panics.incr();
+    let mut slot = match shared.accept_fault.lock() {
+        Ok(g) => g,
+        Err(p) => p.into_inner(),
+    };
+    slot.get_or_insert(msg);
 }
 
 fn accept_loop(
@@ -289,36 +382,47 @@ fn read_frame_polled(
 }
 
 fn handle_connection(mut stream: TcpStream, shared: &Arc<Shared>, request_timeout: Duration) {
+    let m = service_metrics();
+    m.connections_accepted.incr();
+    m.connections_active.add(1);
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(POLL));
-    loop {
-        let payload = match read_frame_polled(&mut stream, &shared.shutdown, request_timeout) {
-            FrameRead::Frame(p) => p,
-            FrameRead::Done => return,
-        };
-        let armed = chull_obs::armed();
-        let t0 = armed.then(Instant::now);
-        let (response, shutdown_after, op) = match Request::decode(&payload) {
-            Ok(req) => {
-                let op = op_name(&req);
-                let (resp, stop) = dispatch(&shared.service, req);
-                (resp, stop, op)
-            }
-            Err(e) => (Response::Error(e.to_string()), false, "invalid"),
-        };
-        if let Some(t0) = t0 {
-            let m = op_metrics(op);
-            m.total.incr();
-            m.latency_us.record(t0.elapsed().as_micros() as u64);
-        }
+    while let FrameRead::Frame(payload) =
+        read_frame_polled(&mut stream, &shared.shutdown, request_timeout)
+    {
+        let (response, shutdown_after) = process_payload(&shared.service, &payload);
         if wire::write_frame(&mut stream, &response.encode()).is_err() {
-            return;
+            break;
         }
         if shutdown_after {
             trigger_shutdown(shared);
-            return;
+            break;
         }
     }
+    m.connections_closed.incr();
+    m.connections_active.add(-1);
+}
+
+/// Decode and execute one frame payload, with per-op metrics; shared by
+/// both back ends (the threaded loop above, the event dispatchers in
+/// `event_server`). The bool asks the caller to begin shutdown after
+/// the reply is written.
+pub(crate) fn process_payload(service: &HullService, payload: &[u8]) -> (Response, bool) {
+    let t0 = chull_obs::armed().then(Instant::now);
+    let (response, shutdown_after, op) = match Request::decode(payload) {
+        Ok(req) => {
+            let op = op_name(&req);
+            let (resp, stop) = dispatch(service, req);
+            (resp, stop, op)
+        }
+        Err(e) => (Response::Error(e.to_string()), false, "invalid"),
+    };
+    if let Some(t0) = t0 {
+        let m = op_metrics(op);
+        m.total.incr();
+        m.latency_us.record(t0.elapsed().as_micros() as u64);
+    }
+    (response, shutdown_after)
 }
 
 /// The metric label for one request (`op_metrics` key).
@@ -338,6 +442,9 @@ fn op_name(req: &Request) -> &'static str {
         Request::Metrics => "metrics",
         Request::InsertBatch { .. } => "insert_batch",
         Request::Hello { .. } => "hello",
+        // The tag wrapper is transparent to metrics: count the op the
+        // client is actually asking for.
+        Request::Tagged { inner, .. } => op_name(inner),
     }
 }
 
@@ -490,13 +597,27 @@ fn dispatch(service: &HullService, req: Request) -> (Response, bool) {
         // the server accepts v2/v3 ops with or without it.
         Request::Hello { max_version } => Response::Hello {
             version: wire::negotiate(max_version),
-            caps: wire::CAP_INSERT_BATCH | wire::CAP_SCAN_QUERIES,
+            caps: wire::CAP_INSERT_BATCH | wire::CAP_SCAN_QUERIES | wire::CAP_PIPELINE,
         },
         Request::Metrics => {
             // Refresh level gauges so an idle service still scrapes
             // current queue depths / epochs, then render the registry.
             service.update_scrape_gauges();
             Response::Metrics(chull_obs::registry().render())
+        }
+        // v4 pipelining: execute the wrapped request and echo the
+        // correlation id outermost. Depth is bounded — the decoder
+        // rejects nested Tagged frames — and both back ends route
+        // through here, so the oracle answers pipelined frames too.
+        Request::Tagged { id, inner } => {
+            let (resp, stop) = dispatch(service, *inner);
+            return (
+                Response::Tagged {
+                    id,
+                    inner: Box::new(resp),
+                },
+                stop,
+            );
         }
     };
     (resp, false)

@@ -24,6 +24,7 @@
 //! | `0x0C` | `ContainsScan` | `u8` boolean (same body as `Contains`)      |
 //! | `0x0D` | `VisibleScan`  | `u32` count (same body as `Visible`)        |
 //! | `0x0E` | `ExtremeScan`  | `u32` vertex id, point (same as `Extreme`)  |
+//! | `0x0F` | `Tagged`   | status `0x05` + `u64` id + complete inner reply |
 //!
 //! Opcodes `0x0A`–`0x0B` are **protocol v2** ([`PROTOCOL_V2`]);
 //! `0x0C`–`0x0E` are **protocol v3** ([`PROTOCOL_V3`]): the `*Scan`
@@ -40,6 +41,19 @@
 //! `min(client, server)` plus capability bits ([`CAP_INSERT_BATCH`]).
 //! A v1 client that never sends `Hello` sees byte-for-byte v1 behavior;
 //! the server accepts v2 ops with or without a preceding `Hello`.
+//!
+//! Opcode `0x0F` is **protocol v4** ([`PROTOCOL_V4`]): request
+//! **pipelining** with correlation ids. A `Tagged` request wraps any
+//! other request (never another `Tagged`) with a client-chosen `u64`
+//! id; the reply comes back as a `Tagged` response (status `0x05`)
+//! carrying the same id around the complete inner reply. Tagged frames
+//! on one connection may be answered **out of order** — the id, not
+//! arrival position, correlates replies — so a client can keep many
+//! requests in flight on one socket. Untagged frames keep the strict
+//! v1 contract: on any single connection they are executed and answered
+//! in arrival order, one at a time. `Tagged` wraps outermost on the
+//! response side: `Tagged(id, Degraded(g, inner))` is legal,
+//! `Degraded(g, Tagged(..))` is not.
 //!
 //! Non-Ok statuses: `Overloaded` (ingest queue full — retry), `NotReady`
 //! (shard still bootstrapping its seed simplex), `Error` (+ utf-8 text),
@@ -69,16 +83,21 @@ pub const PROTOCOL_V2: u16 = 2;
 /// Adds the linear-scan query ops (`ContainsScan`/`VisibleScan`/
 /// `ExtremeScan`) — runtime A/B oracles for the sublinear read path.
 pub const PROTOCOL_V3: u16 = 3;
+/// Adds `Tagged` correlation-id frames: pipelined, possibly
+/// out-of-order replies on one connection.
+pub const PROTOCOL_V4: u16 = 4;
 /// Capability bit: the server accepts `InsertBatch` frames.
 pub const CAP_INSERT_BATCH: u32 = 1;
 /// Capability bit: the server accepts the `*Scan` query ops.
 pub const CAP_SCAN_QUERIES: u32 = 2;
+/// Capability bit: the server accepts `Tagged` (pipelined) frames.
+pub const CAP_PIPELINE: u32 = 4;
 
 /// The version a server answers to a client advertising `client_max`:
 /// the highest both sides speak (never below [`PROTOCOL_V1`] — a
 /// client advertising 0 is treated as v1).
 pub fn negotiate(client_max: u16) -> u16 {
-    client_max.clamp(PROTOCOL_V1, PROTOCOL_V3)
+    client_max.clamp(PROTOCOL_V1, PROTOCOL_V4)
 }
 
 const OP_INSERT: u8 = 0x01;
@@ -95,12 +114,14 @@ const OP_HELLO: u8 = 0x0B;
 const OP_CONTAINS_SCAN: u8 = 0x0C;
 const OP_VISIBLE_SCAN: u8 = 0x0D;
 const OP_EXTREME_SCAN: u8 = 0x0E;
+const OP_TAGGED: u8 = 0x0F;
 
 const ST_OK: u8 = 0x00;
 const ST_OVERLOADED: u8 = 0x01;
 const ST_NOT_READY: u8 = 0x02;
 const ST_ERROR: u8 = 0x03;
 const ST_DEGRADED: u8 = 0x04;
+const ST_TAGGED: u8 = 0x05;
 
 /// Why a frame payload failed to decode. Typed so callers can reply
 /// with a precise error status (and tests can assert on the cause)
@@ -133,6 +154,9 @@ pub enum WireError {
     BadUtf8(&'static str),
     /// A `Degraded` response nested inside another `Degraded`.
     NestedDegraded,
+    /// A `Tagged` frame nested inside another `Tagged` (or inside a
+    /// `Degraded` wrapper, which `Tagged` must enclose, not ride in).
+    NestedTagged,
 }
 
 impl std::fmt::Display for WireError {
@@ -150,6 +174,7 @@ impl std::fmt::Display for WireError {
             WireError::Oversized(n) => write!(f, "declared length {n} exceeds frame cap"),
             WireError::BadUtf8(what) => write!(f, "{what} not utf-8"),
             WireError::NestedDegraded => write!(f, "Degraded response nested in Degraded"),
+            WireError::NestedTagged => write!(f, "Tagged frame nested inside another wrapper"),
         }
     }
 }
@@ -249,6 +274,16 @@ pub enum Request {
         /// The direction to maximize.
         direction: Vec<i64>,
     },
+    /// A pipelined request (v4): the reply will be a
+    /// [`Response::Tagged`] carrying the same `id`, possibly out of
+    /// order with other tagged replies on the connection. The inner
+    /// request may be anything except another `Tagged`.
+    Tagged {
+        /// Client-chosen correlation id, echoed on the reply.
+        id: u64,
+        /// The request being pipelined.
+        inner: Box<Request>,
+    },
 }
 
 /// A decoded server response.
@@ -317,6 +352,16 @@ pub enum Response {
         /// Shard recovery generation (how many workers have died).
         generation: u32,
         /// The answer, served from the last published snapshot.
+        inner: Box<Response>,
+    },
+    /// The reply to a [`Request::Tagged`] (v4): the request's
+    /// correlation id around the complete inner response. Always the
+    /// outermost wrapper (a `Degraded` inner is legal; another
+    /// `Tagged` is not).
+    Tagged {
+        /// The correlation id from the request.
+        id: u64,
+        /// The answer to the wrapped request.
         inner: Box<Response>,
     },
     /// Request failed.
@@ -480,6 +525,16 @@ impl Request {
                 put_u16(&mut out, *shard);
                 put_point(&mut out, direction);
             }
+            Request::Tagged { id, inner } => {
+                assert!(
+                    !matches!(**inner, Request::Tagged { .. }),
+                    "invariant: Tagged requests never nest"
+                );
+                out.push(OP_TAGGED);
+                put_u16(&mut out, 0);
+                put_u64(&mut out, *id);
+                out.extend_from_slice(&inner.encode());
+            }
         }
         out
     }
@@ -487,6 +542,12 @@ impl Request {
     /// Parse a frame payload.
     pub fn decode(buf: &[u8]) -> Result<Request, WireError> {
         let mut c = Cursor::new(buf);
+        let req = Self::decode_at(&mut c, true)?;
+        c.done()?;
+        Ok(req)
+    }
+
+    fn decode_at(c: &mut Cursor<'_>, allow_tagged: bool) -> Result<Request, WireError> {
         let op = c.u8()?;
         let shard = c.u16()?;
         let req = match op {
@@ -533,9 +594,18 @@ impl Request {
                 shard,
                 direction: c.point()?,
             },
+            OP_TAGGED => {
+                if !allow_tagged {
+                    return Err(WireError::NestedTagged);
+                }
+                let id = c.u64()?;
+                Request::Tagged {
+                    id,
+                    inner: Box::new(Self::decode_at(c, false)?),
+                }
+            }
             other => return Err(WireError::BadOpcode(other)),
         };
-        c.done()?;
         Ok(req)
     }
 }
@@ -633,6 +703,16 @@ impl Response {
             }
             Response::Overloaded => out.push(ST_OVERLOADED),
             Response::NotReady => out.push(ST_NOT_READY),
+            Response::Tagged { id, inner } => {
+                // Invariant: Tagged wraps outermost, exactly once.
+                assert!(
+                    !matches!(**inner, Response::Tagged { .. }),
+                    "invariant: Tagged responses never nest"
+                );
+                out.push(ST_TAGGED);
+                put_u64(&mut out, *id);
+                out.extend_from_slice(&inner.encode());
+            }
             Response::Degraded { generation, inner } => {
                 // Invariant: a Degraded wrapper is applied at most once
                 // (the dispatch layer never wraps a wrapped response).
@@ -656,27 +736,43 @@ impl Response {
 
     /// Parse a frame payload.
     pub fn decode(buf: &[u8]) -> Result<Response, WireError> {
-        let resp = Self::decode_at(&mut Cursor::new(buf), true)?;
+        let mut c = Cursor::new(buf);
+        let resp = Self::decode_at(&mut c, true, true)?;
+        c.done()?;
         Ok(resp)
     }
 
-    fn decode_at(c: &mut Cursor<'_>, allow_degraded: bool) -> Result<Response, WireError> {
+    fn decode_at(
+        c: &mut Cursor<'_>,
+        allow_tagged: bool,
+        allow_degraded: bool,
+    ) -> Result<Response, WireError> {
         let resp = match c.u8()? {
             ST_OVERLOADED => Response::Overloaded,
             ST_NOT_READY => Response::NotReady,
+            ST_TAGGED => {
+                if !allow_tagged {
+                    return Err(WireError::NestedTagged);
+                }
+                let id = c.u64()?;
+                // A Degraded answer may ride inside the tag wrapper;
+                // another Tagged may not.
+                let inner = Self::decode_at(c, false, true)?;
+                return Ok(Response::Tagged {
+                    id,
+                    inner: Box::new(inner),
+                });
+            }
             ST_DEGRADED => {
                 if !allow_degraded {
                     return Err(WireError::NestedDegraded);
                 }
                 let generation = c.u32()?;
-                let inner = Self::decode_at(c, false)?;
-                return finish(
-                    c,
-                    Response::Degraded {
-                        generation,
-                        inner: Box::new(inner),
-                    },
-                );
+                let inner = Self::decode_at(c, false, false)?;
+                return Ok(Response::Degraded {
+                    generation,
+                    inner: Box::new(inner),
+                });
             }
             ST_ERROR => {
                 let n = c.u32()? as usize;
@@ -759,18 +855,8 @@ impl Response {
             },
             other => return Err(WireError::BadStatus(other)),
         };
-        if allow_degraded {
-            // Top-level message: the payload must end here.
-            c.done()?;
-        }
         Ok(resp)
     }
-}
-
-/// `done()` check for the Degraded early-return arm.
-fn finish(c: &Cursor<'_>, r: Response) -> Result<Response, WireError> {
-    c.done()?;
-    Ok(r)
 }
 
 /// Write one frame (length prefix + payload). A payload over
@@ -890,6 +976,20 @@ mod tests {
                 shard: 6,
                 direction: vec![0, -1],
             },
+            Request::Hello {
+                max_version: PROTOCOL_V4,
+            },
+            Request::Tagged {
+                id: 0,
+                inner: Box::new(Request::Insert {
+                    shard: 1,
+                    point: vec![7, -8],
+                }),
+            },
+            Request::Tagged {
+                id: u64::MAX,
+                inner: Box::new(Request::Flush { shard: 0 }),
+            },
         ];
         for r in reqs {
             assert_eq!(Request::decode(&r.encode()).unwrap(), r, "{r:?}");
@@ -947,6 +1047,25 @@ mod tests {
             Response::Hello {
                 version: PROTOCOL_V3,
                 caps: CAP_INSERT_BATCH | CAP_SCAN_QUERIES,
+            },
+            Response::Hello {
+                version: PROTOCOL_V4,
+                caps: CAP_INSERT_BATCH | CAP_SCAN_QUERIES | CAP_PIPELINE,
+            },
+            Response::Tagged {
+                id: 42,
+                inner: Box::new(Response::Bool(true)),
+            },
+            Response::Tagged {
+                id: u64::MAX,
+                inner: Box::new(Response::Degraded {
+                    generation: 2,
+                    inner: Box::new(Response::VisibleCount(5)),
+                }),
+            },
+            Response::Tagged {
+                id: 0,
+                inner: Box::new(Response::Error("boom".to_string())),
             },
         ];
         for r in resps {
@@ -1006,7 +1125,47 @@ mod tests {
         assert_eq!(negotiate(PROTOCOL_V1), PROTOCOL_V1);
         assert_eq!(negotiate(PROTOCOL_V2), PROTOCOL_V2);
         assert_eq!(negotiate(PROTOCOL_V3), PROTOCOL_V3);
-        assert_eq!(negotiate(u16::MAX), PROTOCOL_V3);
+        assert_eq!(negotiate(PROTOCOL_V4), PROTOCOL_V4);
+        assert_eq!(negotiate(u16::MAX), PROTOCOL_V4);
+    }
+
+    #[test]
+    fn tagged_cannot_nest() {
+        // Tagged request inside a Tagged request: rejected at decode.
+        let inner = Request::Tagged {
+            id: 1,
+            inner: Box::new(Request::Shutdown),
+        }
+        .encode();
+        let mut buf = vec![OP_TAGGED, 0, 0];
+        buf.extend_from_slice(&2u64.to_le_bytes());
+        buf.extend_from_slice(&inner);
+        assert_eq!(Request::decode(&buf), Err(WireError::NestedTagged));
+        // Tagged response inside a Tagged response.
+        let inner = Response::Tagged {
+            id: 1,
+            inner: Box::new(Response::NotReady),
+        }
+        .encode();
+        let mut buf = vec![ST_TAGGED];
+        buf.extend_from_slice(&2u64.to_le_bytes());
+        buf.extend_from_slice(&inner);
+        assert_eq!(Response::decode(&buf), Err(WireError::NestedTagged));
+        // Tagged riding inside Degraded: the wrapper order is fixed
+        // (Tagged outermost), so this is also rejected.
+        let mut buf = vec![ST_DEGRADED];
+        buf.extend_from_slice(&3u32.to_le_bytes());
+        buf.extend_from_slice(
+            &Response::Tagged {
+                id: 9,
+                inner: Box::new(Response::NotReady),
+            }
+            .encode(),
+        );
+        assert_eq!(Response::decode(&buf), Err(WireError::NestedTagged));
+        // Truncated Tagged header (id cut short).
+        assert!(Request::decode(&[OP_TAGGED, 0, 0, 1, 2]).is_err());
+        assert!(Response::decode(&[ST_TAGGED, 1]).is_err());
     }
 
     #[test]

@@ -17,6 +17,7 @@
 //!        hull serve [--addr H:P] [--dim D] [--shards N] [--queue-cap C]
 //!                   [--batch B] [--workers W] [--wal DIR] [--metrics-addr H:P]
 //!                   [--chaos-seed S] [--oneshot] [--stats-json]
+//!                   [--threaded] [--dispatchers N]
 //!        hull query ADDR [--scan] OP [SHARD] [COORDS...]
 //!          OP: insert|contains|visible|extreme|stats|snapshot|flush|
 //!              metrics|shutdown|script  (script reads one OP line per stdin line;
@@ -71,10 +72,14 @@ fn usage() -> ! {
         "USAGE: hull [--dim D] [--algo seq|par|rounds|chain] [--seed S] [--stats] [--stats-json] [FILE]\n\
          \x20      hull serve [--addr H:P] [--dim D] [--shards N] [--queue-cap C] [--batch B]\n\
          \x20                 [--workers W] [--wal DIR] [--metrics-addr H:P] [--chaos-seed S] [--oneshot] [--stats-json]\n\
+         \x20                 [--threaded] [--dispatchers N]\n\
          \x20        --workers W sizes the pool each shard applies batches with (0 = auto, 1 = sequential baseline);\n\
          \x20        --wal DIR persists per-shard insert WALs under DIR (crash-safe restart);\n\
          \x20        --metrics-addr H:P serves Prometheus text on plain HTTP GET /metrics;\n\
-         \x20        --chaos-seed S arms the canned fault-injection schedule (testing only)\n\
+         \x20        --chaos-seed S arms the canned fault-injection schedule (testing only);\n\
+         \x20        --threaded uses the original thread-per-connection front end instead of the\n\
+         \x20        default epoll event loop; --dispatchers N sizes the event loop's request\n\
+         \x20        pool (0 = auto)\n\
          \x20      hull query ADDR [--scan] OP [SHARD] [COORDS...]\n\
          \x20        OP: insert|contains|visible|extreme SHARD C1..CD\n\
          \x20            stats [SHARD] | snapshot SHARD | flush SHARD | metrics | shutdown\n\
@@ -347,6 +352,12 @@ fn serve_main(args: &[String]) {
                         .parse()
                         .unwrap_or_else(|_| die("bad --chaos-seed value")),
                 );
+            }
+            "--threaded" => opts.threaded = true,
+            "--dispatchers" => {
+                opts.dispatchers = next("--dispatchers", &mut it)
+                    .parse()
+                    .unwrap_or_else(|_| die("bad --dispatchers value"));
             }
             "--oneshot" => opts.oneshot = true,
             "--stats-json" => stats_json = true,

@@ -12,6 +12,8 @@
 //! * [`apps`] — half-space intersection, circle intersection, Delaunay;
 //! * [`service`] — the long-lived hull server (sharded online hulls,
 //!   batched ingest, snapshot reads, TCP wire protocol);
+//! * [`net`] — the std-only readiness layer under the server's event
+//!   loop (hand-rolled epoll/poll, non-blocking buffers, frame codec);
 //! * [`obs`] — lock-free telemetry (striped counters, log₂ histograms,
 //!   event tracing, Prometheus `/metrics` exposition).
 //!
@@ -23,5 +25,6 @@ pub use chull_concurrent as concurrent;
 pub use chull_confspace as confspace;
 pub use chull_core as core;
 pub use chull_geometry as geometry;
+pub use chull_net as net;
 pub use chull_obs as obs;
 pub use chull_service as service;

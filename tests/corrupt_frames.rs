@@ -10,9 +10,15 @@
 //! * **live server** — a raw TCP peer sends garbage payloads (server
 //!   replies `Error` and keeps the connection), stalls mid-header or
 //!   mid-frame (server drops the connection within
-//!   `request_timeout`, never pinning a thread), and forges an
-//!   oversized length prefix (dropped immediately) — all while a
-//!   healthy client on another connection keeps being served.
+//!   `request_timeout`, never pinning a thread), forges an
+//!   oversized length prefix (dropped immediately), and slow-loris
+//!   dribbles a frame one byte at a time — all while a healthy client
+//!   on another connection keeps being served.
+//!
+//! Every live-server scenario runs against **both front ends**: the
+//! default epoll event loop and the original thread-per-connection
+//! loop (`ServeOptions::threaded`), which serves as the behavioral
+//! oracle for the reactor rewrite.
 
 use convex_hull_suite::geometry::rng::ChaCha8Rng;
 use convex_hull_suite::service::wire::{
@@ -134,7 +140,7 @@ fn decode_never_panics_on_seeded_corrupt_corpus() {
     assert!(rejected > 1000, "only {rejected} mutants were rejected");
 }
 
-fn server(request_timeout: Duration) -> convex_hull_suite::service::ServerHandle {
+fn server(request_timeout: Duration, threaded: bool) -> convex_hull_suite::service::ServerHandle {
     serve(ServeOptions {
         config: ServiceConfig {
             dim: 2,
@@ -145,9 +151,17 @@ fn server(request_timeout: Duration) -> convex_hull_suite::service::ServerHandle
             wal_dir: None,
         },
         request_timeout,
+        threaded,
         ..Default::default()
     })
     .unwrap()
+}
+
+/// Run `scenario` against both serving front ends.
+fn on_both_backends(scenario: impl Fn(bool)) {
+    for threaded in [false, true] {
+        scenario(threaded);
+    }
 }
 
 /// Assert the healthy path still works end to end on a fresh connection.
@@ -188,7 +202,11 @@ fn wait_for_close(s: &mut TcpStream) -> Duration {
 
 #[test]
 fn garbage_payload_gets_error_reply_and_connection_survives() {
-    let mut server = server(Duration::from_secs(2));
+    on_both_backends(garbage_payload_scenario);
+}
+
+fn garbage_payload_scenario(threaded: bool) {
+    let mut server = server(Duration::from_secs(2), threaded);
     let addr = server.local_addr();
     let mut s = TcpStream::connect(addr).unwrap();
     // Complete frames whose payloads are protocol nonsense: the server
@@ -217,8 +235,12 @@ fn garbage_payload_gets_error_reply_and_connection_survives() {
 
 #[test]
 fn partial_header_dropped_within_request_timeout() {
+    on_both_backends(partial_header_scenario);
+}
+
+fn partial_header_scenario(threaded: bool) {
     let timeout = Duration::from_millis(300);
-    let mut server = server(timeout);
+    let mut server = server(timeout, threaded);
     let addr = server.local_addr();
     let mut s = TcpStream::connect(addr).unwrap();
     // Two of four header bytes, then silence: a started frame must
@@ -235,7 +257,11 @@ fn partial_header_dropped_within_request_timeout() {
 
 #[test]
 fn mid_frame_eof_drops_connection_cleanly() {
-    let mut server = server(Duration::from_secs(2));
+    on_both_backends(mid_frame_eof_scenario);
+}
+
+fn mid_frame_eof_scenario(threaded: bool) {
+    let mut server = server(Duration::from_secs(2), threaded);
     let addr = server.local_addr();
     let mut s = TcpStream::connect(addr).unwrap();
     // Header promises 100 payload bytes; deliver 10, then half-close.
@@ -253,7 +279,11 @@ fn mid_frame_eof_drops_connection_cleanly() {
 
 #[test]
 fn oversized_length_prefix_drops_connection() {
-    let mut server = server(Duration::from_secs(2));
+    on_both_backends(oversized_prefix_scenario);
+}
+
+fn oversized_prefix_scenario(threaded: bool) {
+    let mut server = server(Duration::from_secs(2), threaded);
     let addr = server.local_addr();
     let mut s = TcpStream::connect(addr).unwrap();
     s.write_all(&((MAX_FRAME as u32) + 1).to_le_bytes())
@@ -262,6 +292,94 @@ fn oversized_length_prefix_drops_connection() {
     assert!(
         waited < Duration::from_secs(5),
         "oversized prefix not rejected promptly: {waited:?}"
+    );
+    assert_healthy(addr);
+    server.shutdown();
+}
+
+#[test]
+fn slow_loris_dribbler_reaped_without_stalling_healthy_clients() {
+    on_both_backends(slow_loris_scenario);
+}
+
+/// Slow-loris: a peer dribbles a *valid* frame one byte at a time, too
+/// slowly to ever finish within `request_timeout`. The server must reap
+/// the dribbler once its partial frame overstays the deadline, and a
+/// healthy client hammering the same server concurrently must never
+/// notice (no stalled accept loop, no pinned dispatcher).
+fn slow_loris_scenario(threaded: bool) {
+    let timeout = Duration::from_millis(300);
+    let mut server = server(timeout, threaded);
+    let addr = server.local_addr();
+
+    // Healthy traffic on its own thread for the duration of the attack.
+    let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let healthy = {
+        let stop = stop.clone();
+        std::thread::spawn(move || {
+            let mut c = HullClient::builder(addr.to_string()).connect().unwrap();
+            let mut slowest = Duration::ZERO;
+            let mut calls = 0u64;
+            while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                let t0 = Instant::now();
+                c.insert(0, &[calls as i64 % 50, (calls / 50) as i64 % 50])
+                    .unwrap();
+                slowest = slowest.max(t0.elapsed());
+                calls += 1;
+            }
+            (calls, slowest)
+        })
+    };
+
+    // The dribbler: a legitimate Stats frame, one byte every 100 ms —
+    // never idle long enough to look dead, never fast enough to finish.
+    let frame = {
+        let payload = Request::Stats { shard: ALL_SHARDS }.encode();
+        let mut f = (payload.len() as u32).to_le_bytes().to_vec();
+        f.extend_from_slice(&payload);
+        f
+    };
+    let mut s = TcpStream::connect(addr).unwrap();
+    let t0 = Instant::now();
+    let mut reaped = None;
+    'dribble: for _ in 0..3 {
+        // Up to 3 passes over the frame in case one dribble completes.
+        for b in &frame {
+            if s.write_all(std::slice::from_ref(b)).is_err() {
+                reaped = Some(t0.elapsed());
+                break 'dribble;
+            }
+            std::thread::sleep(Duration::from_millis(100));
+            // A send can succeed into the socket buffer after the server
+            // closed; poll the read side to observe the close promptly.
+            s.set_read_timeout(Some(Duration::from_millis(1))).unwrap();
+            let mut buf = [0u8; 16];
+            let closed = match s.read(&mut buf) {
+                Ok(0) => true,
+                Ok(_) => false,
+                Err(e) => !matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ),
+            };
+            if closed {
+                reaped = Some(t0.elapsed());
+                break 'dribble;
+            }
+        }
+    }
+    let reaped = reaped.unwrap_or_else(|| wait_for_close(&mut s));
+    assert!(
+        reaped < Duration::from_secs(10),
+        "slow-loris peer survived {reaped:?} (threaded={threaded})"
+    );
+
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    let (calls, slowest) = healthy.join().unwrap();
+    assert!(calls > 0, "healthy client made no progress");
+    assert!(
+        slowest < Duration::from_secs(5),
+        "healthy client stalled for {slowest:?} behind the dribbler (threaded={threaded})"
     );
     assert_healthy(addr);
     server.shutdown();
