@@ -35,13 +35,22 @@
 //! full `--fanin` target), recording connect time, sustained
 //! requests/sec, and per-request p50/p99.
 //!
+//! The E23 workload (`replicated_failover_2d`) stands up a replicated
+//! cluster — a primary in a child process, an in-process follower
+//! replica, and a `route` front end — ingests through the router, then
+//! `SIGKILL`s the primary under a polling reader: it records the
+//! read-unavailability window, the `Degraded`/`Stale` read counts, the
+//! time until the self-promoted follower accepts writes again, and
+//! verifies the promoted hull bit-identical to offline Algorithm 2.
+//!
 //! ```text
 //! USAGE: service_load [--out FILE] [--clients C] [--quick]
-//!                     [--fanin N] [--fanin-only]
+//!                     [--fanin N] [--fanin-only] [--repl-only]
 //! ```
 //!
 //! `--quick` shrinks the workloads for CI smoke runs; `--fanin-only`
-//! runs just the E22 rows (the CI 10k-connection smoke). Latencies are
+//! runs just the E22 rows (the CI 10k-connection smoke); `--repl-only`
+//! runs just the E23 kill-a-node drill. Latencies are
 //! *round-trip* (request written to reply decoded) over loopback TCP, so
 //! they include wire encode/decode and the socket — the serving cost a
 //! real client would see, not just the geometry.
@@ -410,6 +419,241 @@ fn run_chaos_recovery(pts: &PointSet, clients: usize) -> String {
          \"recovery_replay_us\": {recovery_us}, \"max_ack_gap_us\": {max_gap_us}, \
          \"degraded_window_us\": {degraded_window_us}, \"degraded_reads\": {degraded_reads}, \
          \"bit_identical_after_recovery\": {bit_identical}}}",
+        n as f64 / ingest_secs,
+    )
+}
+
+/// Internal child mode (`--repl-primary`): a primary hull server in a
+/// process of its own, so the E23 kill is a real `SIGKILL` — no drain,
+/// no goodbye — not an in-process graceful shutdown.
+fn repl_primary_main() {
+    use std::io::Write as _;
+    let handle = serve(ServeOptions {
+        config: ServiceConfig {
+            dim: 2,
+            shards: 1,
+            queue_capacity: 4096,
+            max_batch: 256,
+            workers: 0,
+            wal_dir: None,
+        },
+        ..Default::default()
+    })
+    .expect("bind loopback");
+    println!("REPL_ADDR {}", handle.local_addr());
+    std::io::stdout().flush().expect("flush addr banner");
+    handle.join();
+}
+
+/// The E23 workload (`replicated_failover_2d`): a primary process, an
+/// in-process follower replica, and a `route` front end. Ingest through
+/// the router, wait for replication to converge, then `SIGKILL` the
+/// primary while a reader polls through the router — measuring the
+/// read-unavailability window, the `Degraded`/`Stale`-wrapped read
+/// counts, and the time until the promoted follower accepts writes —
+/// and finally assert the promoted hull is bit-identical to offline
+/// Algorithm 2 on the ingested points.
+fn run_replicated_failover(pts: &PointSet, clients: usize) -> String {
+    use chull_service::{route, FollowOptions, RouterOptions, ServerHandle};
+    let dim = pts.dim();
+    let n = pts.len();
+    let rows: Vec<Vec<i64>> = (0..n).map(|i| pts.point(i).to_vec()).collect();
+
+    // The primary lives in a child process so the kill is SIGKILL.
+    let exe = std::env::current_exe().expect("own path");
+    let mut child = std::process::Command::new(&exe)
+        .arg("--repl-primary")
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .expect("spawning primary process");
+    let primary_addr = {
+        use std::io::BufRead as _;
+        let out = child.stdout.take().expect("child stdout");
+        let line = std::io::BufReader::new(out)
+            .lines()
+            .next()
+            .expect("primary exited before its banner")
+            .expect("banner io");
+        line.strip_prefix("REPL_ADDR ")
+            .expect("banner format")
+            .trim()
+            .to_string()
+    };
+
+    let mut follower: ServerHandle = serve(ServeOptions {
+        config: ServiceConfig {
+            dim,
+            shards: 1,
+            queue_capacity: 4096,
+            max_batch: 256,
+            workers: 0,
+            wal_dir: None,
+        },
+        follow: Some(FollowOptions {
+            primary: primary_addr.clone(),
+            poll: Duration::from_millis(1),
+            connect_deadline: Duration::from_millis(500),
+            promote_after: 10,
+        }),
+        ..Default::default()
+    })
+    .expect("bind follower");
+    let mut router = route(RouterOptions {
+        addr: "127.0.0.1:0".to_string(),
+        nodes: vec![primary_addr.clone(), follower.local_addr().to_string()],
+        probe_interval: Duration::from_millis(20),
+        deadline: Duration::from_millis(500),
+    })
+    .expect("bind router");
+    let raddr = router.local_addr();
+
+    // Ingest through the router (writes land on the primary).
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        for c in 0..clients {
+            let rows = &rows;
+            s.spawn(move || {
+                let mut client = HullClient::builder(raddr.to_string())
+                    .connect()
+                    .expect("connect router");
+                let policy = RetryPolicy::default();
+                for row in rows.iter().skip(c).step_by(clients) {
+                    client.insert_retry(0, row, &policy).expect("insert");
+                }
+            });
+        }
+    });
+    let ingest_secs = t0.elapsed().as_secs_f64();
+
+    // Converge: the follower's batch-unit count catches the primary's.
+    let mut pc = HullClient::builder(primary_addr.clone())
+        .connect()
+        .expect("connect primary");
+    pc.flush(0).expect("flush");
+    let (_, total, _, _) = pc.repl_fetch(0, u64::MAX).expect("primary total");
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while follower.service().batch_units(0).expect("units") < total {
+        assert!(Instant::now() < deadline, "replication never converged");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+
+    // Kill -9 the primary under a polling reader.
+    let done = Arc::new(AtomicBool::new(false));
+    let kill_at = Arc::new(std::sync::OnceLock::<Instant>::new());
+    let (failed_reads, degraded_reads, stale_reads, unavailable_us, promote_us) = {
+        let probe_done = Arc::clone(&done);
+        let probe_kill_at = Arc::clone(&kill_at);
+        let origin = vec![0i64; dim];
+        let probe = std::thread::spawn(move || {
+            let (done, kill_at) = (probe_done, probe_kill_at);
+            let mut client = HullClient::builder(raddr.to_string())
+                .connect()
+                .expect("connect router");
+            let mut failed = 0u64;
+            let mut degraded = 0u64;
+            let mut stale = 0u64;
+            let mut restored: Option<Instant> = None;
+            while !done.load(Ordering::SeqCst) {
+                match client.contains(0, &origin) {
+                    Ok(_) => {
+                        if kill_at.get().is_some() && restored.is_none() {
+                            restored = Some(Instant::now());
+                        }
+                        if client.last_degraded().is_some() {
+                            degraded += 1;
+                        }
+                        if client.last_stale().is_some() {
+                            stale += 1;
+                        }
+                    }
+                    // In-band routing errors ("no healthy backend"):
+                    // the connection to the router survives them.
+                    Err(_) => failed += 1,
+                }
+                std::thread::sleep(Duration::from_micros(100));
+            }
+            let unavailable = match (kill_at.get(), restored) {
+                (Some(k), Some(r)) => r.duration_since(*k).as_micros() as u64,
+                _ => 0,
+            };
+            (failed, degraded, stale, unavailable)
+        });
+        std::thread::sleep(Duration::from_millis(50));
+        kill_at.set(Instant::now()).expect("one kill");
+        child.kill().expect("SIGKILL primary");
+        child.wait().expect("reap primary");
+
+        // Writes through the router resume once the follower promotes
+        // and the write path fails over to it; probe with a duplicate
+        // of an already-ingested point (harmless, Theorem 4.2).
+        let mut wc = HullClient::builder(raddr.to_string())
+            .connect()
+            .expect("connect router");
+        let wdeadline = Instant::now() + Duration::from_secs(30);
+        while wc.insert(0, &rows[0]).is_err() {
+            assert!(Instant::now() < wdeadline, "follower never promoted");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let promote_us = kill_at
+            .get()
+            .map(|k| Instant::now().duration_since(*k).as_micros() as u64)
+            .unwrap_or(0);
+        done.store(true, Ordering::SeqCst);
+        let (failed, degraded, stale, unavailable) = probe.join().expect("probe");
+        (failed, degraded, stale, unavailable, promote_us)
+    };
+
+    // Bit-identical: the promoted follower's hull vs offline Algorithm 2.
+    let mut fc = HullClient::builder(raddr.to_string())
+        .connect()
+        .expect("connect router");
+    fc.flush(0).expect("flush promoted");
+    let snap = fc.snapshot(0).expect("snapshot promoted");
+    // `>=`: the write probe lands duplicate rows on purpose.
+    assert!(snap.points.len() >= n, "acked inserts lost across the kill");
+    let flat: Vec<i64> = snap.points.iter().flatten().copied().collect();
+    let served_set = PointSet::from_flat(dim, flat.clone());
+    let offline = incremental_hull_run(&served_set);
+    let canon = |facets: &[Vec<u32>]| -> std::collections::BTreeSet<Vec<Vec<i64>>> {
+        facets
+            .iter()
+            .map(|f| {
+                let mut verts: Vec<Vec<i64>> = f[..dim]
+                    .iter()
+                    .map(|&v| flat[v as usize * dim..(v as usize + 1) * dim].to_vec())
+                    .collect();
+                verts.sort();
+                verts
+            })
+            .collect()
+    };
+    let offline_facets: Vec<Vec<u32>> = offline.output.facets.iter().map(|f| f.to_vec()).collect();
+    let bit_identical = canon(&snap.facets) == canon(&offline_facets);
+    assert!(bit_identical, "promoted hull differs from offline");
+    let failovers = router.failovers();
+    router.shutdown();
+    follower.shutdown();
+
+    println!(
+        "{:<28} {:>8} pts  {:>10.0} ins/s  kill->reads {}us  kill->writes {}us  \
+         {} failed / {} degraded / {} stale reads  {} router failovers",
+        "replicated_failover_2d",
+        n,
+        n as f64 / ingest_secs,
+        unavailable_us,
+        promote_us,
+        failed_reads,
+        degraded_reads,
+        stale_reads,
+        failovers
+    );
+    format!(
+        "  {{\"workload\": \"replicated_failover_2d\", \"dim\": {dim}, \"n_points\": {n}, \
+         \"clients\": {clients}, \"inserts_per_sec\": {:.0}, \"degraded_window_us\": {unavailable_us}, \
+         \"promote_window_us\": {promote_us}, \"failed_reads\": {failed_reads}, \
+         \"degraded_reads\": {degraded_reads}, \"stale_reads\": {stale_reads}, \
+         \"router_failovers\": {failovers}, \"bit_identical_after_failover\": {bit_identical}}}",
         n as f64 / ingest_secs,
     )
 }
@@ -968,11 +1212,16 @@ fn main() {
         fanin_server_main(backend, conns);
         return;
     }
+    if args.first().map(String::as_str) == Some("--repl-primary") {
+        repl_primary_main();
+        return;
+    }
     let mut out_path = "BENCH_service.json".to_string();
     let mut clients = 4usize;
     let mut quick = false;
     let mut fanin = 10_000usize;
     let mut fanin_only = false;
+    let mut repl_only = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -993,14 +1242,22 @@ fn main() {
                     .expect("bad --fanin value");
             }
             "--fanin-only" => fanin_only = true,
+            "--repl-only" => repl_only = true,
             other => {
                 eprintln!(
                     "USAGE: service_load [--out FILE] [--clients C] [--quick] \
-                     [--fanin N] [--fanin-only]"
+                     [--fanin N] [--fanin-only] [--repl-only]"
                 );
                 panic!("unknown flag '{other}'");
             }
         }
+    }
+    if repl_only {
+        let n = if quick { 2_000 } else { 25_000 };
+        let row = run_replicated_failover(&generators::cube_d(2, n, 1_000_000, 88), clients);
+        write_json(&out_path, &[], &[row]).expect("writing results");
+        println!("wrote {out_path}");
+        return;
     }
     // E22: A/B both back ends at a thread-per-connection-friendly scale,
     // then push the event loop to the full fan-in target.
@@ -1062,6 +1319,10 @@ fn main() {
     ));
     extra.push(run_chaos_recovery(
         &generators::cube_d(2, n2, 1_000_000, 77),
+        clients,
+    ));
+    extra.push(run_replicated_failover(
+        &generators::cube_d(2, n2 / 2, 1_000_000, 88),
         clients,
     ));
     extra.extend(run_fanin_rows());

@@ -43,6 +43,14 @@ pub mod sites {
     pub const WIRE_WRITE_FRAME: &str = "wire.write_frame";
     /// Server accept loop (latency injection only in canned plans).
     pub const SERVER_ACCEPT: &str = "server.accept";
+    /// Primary replication dispatch, before shipping one batch unit:
+    /// `SpuriousFull` drops the shipment (the subscriber sees "caught
+    /// up" and must re-fetch), panics kill the serving thread.
+    pub const REPL_SHIP: &str = "replica.ship";
+    /// Follower puller, before applying one fetched batch unit:
+    /// `SpuriousFull` drops the fetched batch (forcing a duplicate
+    /// re-fetch), panics kill the puller mid-apply (resubscribe path).
+    pub const REPL_APPLY: &str = "replica.apply";
 }
 
 /// What a site evaluation decided. `Panic` and `Delay` never reach the
@@ -144,6 +152,26 @@ impl FaultPlan {
                 SiteSpec {
                     delay_ppm: 20_000,
                     delay_us: 500,
+                    ..SiteSpec::default()
+                },
+            )
+            // Replication-link faults (inert unless a replica is
+            // running): dropped shipments, dropped applies, puller
+            // deaths mid-apply, and a little shipping latency.
+            .site(
+                sites::REPL_SHIP,
+                SiteSpec {
+                    full_ppm: 20_000,
+                    delay_ppm: 5_000,
+                    delay_us: 300,
+                    ..SiteSpec::default()
+                },
+            )
+            .site(
+                sites::REPL_APPLY,
+                SiteSpec {
+                    full_ppm: 20_000,
+                    panic_ppm: 2_000,
                     ..SiteSpec::default()
                 },
             )

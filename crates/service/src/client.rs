@@ -15,15 +15,23 @@
 //!   insensitive to duplicate coordinates, so the chaos harness asserts
 //!   acked-⊆-served rather than exact multiset equality;
 //! * `Degraded` replies are unwrapped to their inner answer and surfaced
-//!   via [`HullClient::last_degraded`], so callers can observe recovery
-//!   windows without every call site matching on the wrapper.
+//!   via [`HullClient::last_degraded`]; likewise v5 `Stale` wrappers
+//!   (follower replicas trailing their primary) are unwrapped and the
+//!   staleness bound surfaced via [`HullClient::last_stale`];
+//! * an ordered **fallback address list**
+//!   ([`HullClientBuilder::fallback`]) turns reconnect-and-resume into
+//!   failover: when redialing the current address fails, the client
+//!   walks the fallbacks, re-negotiates the protocol on the node that
+//!   accepts, and resumes there ([`HullClient::failovers`] counts the
+//!   switches). Pointing the fallbacks at follower replicas keeps reads
+//!   available across a primary crash.
 //!
 //! Connections are opened through [`HullClientBuilder`]
 //! (`HullClient::builder(addr)`), which sets the connect deadline, the
 //! default retry policy, and the protocol version window: by default the
-//! client advertises [`PROTOCOL_V4`] in a `Hello` handshake and falls
-//! back to v3/v2/v1 when the server doesn't understand it, so the same
-//! binary talks to old and new servers. [`HullClient::insert_batch`]
+//! client advertises [`PROTOCOL_V5`] in a `Hello` handshake and falls
+//! back to v4/v3/v2/v1 when the server doesn't understand it, so the
+//! same binary talks to old and new servers. [`HullClient::insert_batch`]
 //! then uses one `InsertBatch` frame per attempt on v2+ and degrades to
 //! per-point inserts on v1; the v3 `*_scan` query methods require a v3
 //! server ([`crate::wire::CAP_SCAN_QUERIES`]); and
@@ -31,8 +39,8 @@
 //! a v4 server ([`crate::wire::CAP_PIPELINE`]) before reading any reply.
 
 use crate::wire::{
-    read_frame, write_frame, Request, Response, ALL_SHARDS, CAP_PIPELINE, PROTOCOL_V1, PROTOCOL_V2,
-    PROTOCOL_V4,
+    read_frame, write_frame, Request, Response, ALL_SHARDS, CAP_PIPELINE, CAP_REPLICATION,
+    PROTOCOL_V1, PROTOCOL_V2, PROTOCOL_V4, PROTOCOL_V5,
 };
 use chull_geometry::rng::ChaCha8Rng;
 use std::io::{self};
@@ -93,6 +101,7 @@ impl Default for RetryPolicy {
 #[derive(Debug, Clone)]
 pub struct HullClientBuilder {
     addr: String,
+    fallbacks: Vec<String>,
     deadline: Option<Duration>,
     policy: RetryPolicy,
     floor: u16,
@@ -104,11 +113,22 @@ impl HullClientBuilder {
     pub fn new(addr: impl Into<String>) -> HullClientBuilder {
         HullClientBuilder {
             addr: addr.into(),
+            fallbacks: Vec::new(),
             deadline: None,
             policy: RetryPolicy::default(),
             floor: PROTOCOL_V1,
-            ceiling: PROTOCOL_V4,
+            ceiling: PROTOCOL_V5,
         }
+    }
+
+    /// Append an ordered fallback address: when a redial of the current
+    /// address fails mid-session, the client fails over to the first
+    /// fallback that accepts (re-running the `Hello` handshake there,
+    /// since the fallback may be a different build). Typically the
+    /// follower replicas of the primary in `addr`.
+    pub fn fallback(mut self, addr: impl Into<String>) -> HullClientBuilder {
+        self.fallbacks.push(addr.into());
+        self
     }
 
     /// Bound connection establishment (default: the OS connect timeout).
@@ -133,9 +153,10 @@ impl HullClientBuilder {
     }
 
     /// Highest version to advertise in the `Hello` handshake. Default
-    /// [`PROTOCOL_V4`]; a ceiling of [`PROTOCOL_V1`] skips the
+    /// [`PROTOCOL_V5`]; a ceiling of [`PROTOCOL_V1`] skips the
     /// handshake entirely, reproducing the legacy wire exchange
-    /// byte-for-byte.
+    /// byte-for-byte, and [`PROTOCOL_V4`] reproduces the pre-replication
+    /// client.
     pub fn protocol_ceiling(mut self, v: u16) -> HullClientBuilder {
         self.ceiling = v;
         self
@@ -157,26 +178,19 @@ impl HullClientBuilder {
         let mut client = HullClient {
             stream,
             addr: Some(addr),
+            fallbacks: self.fallbacks,
+            deadline: self.deadline,
             last_degraded: None,
+            last_stale: None,
             reconnects: 0,
+            failovers: 0,
             calls: 0,
             policy: self.policy,
             negotiated: PROTOCOL_V1,
+            ceiling: self.ceiling,
             caps: 0,
         };
-        if self.ceiling >= PROTOCOL_V2 {
-            match client.raw(&Request::Hello {
-                max_version: self.ceiling,
-            })? {
-                Response::Hello { version, caps } => {
-                    client.negotiated = version.min(self.ceiling).max(PROTOCOL_V1);
-                    client.caps = caps;
-                }
-                // A v1 server reports the unknown opcode; stay on v1.
-                Response::Error(_) => {}
-                other => return Err(unexpected(other)),
-            }
-        }
+        client.handshake()?;
         if client.negotiated < self.floor {
             return Err(io::Error::new(
                 io::ErrorKind::Unsupported,
@@ -206,12 +220,23 @@ pub struct BatchInsertReply {
 /// (connections are cheap).
 pub struct HullClient {
     stream: TcpStream,
-    /// Resolved peer address, kept for reconnect-and-resume.
+    /// Resolved peer address, kept for reconnect-and-resume; replaced
+    /// when a redial fails over to a fallback.
     addr: Option<SocketAddr>,
+    /// Ordered failover targets tried after the current address refuses
+    /// a redial (resolved lazily, at failover time).
+    fallbacks: Vec<String>,
+    /// Connect deadline, reused for redials.
+    deadline: Option<Duration>,
     /// Generation from the most recent reply iff it was `Degraded`.
     last_degraded: Option<u32>,
+    /// Staleness bound (batch units behind the primary) from the most
+    /// recent reply iff it was `Stale` — a follower replica answered.
+    last_stale: Option<u64>,
     /// Reconnects performed so far (observability for the chaos tests).
     reconnects: u64,
+    /// Redials that switched to a fallback address.
+    failovers: u64,
     /// Calls made, mixed into the per-call jitter stream.
     calls: u64,
     /// Default backoff shape for retrying methods.
@@ -219,6 +244,8 @@ pub struct HullClient {
     /// Protocol version negotiated at connect ([`PROTOCOL_V1`] when the
     /// handshake was skipped or refused).
     negotiated: u16,
+    /// Ceiling advertised at connect, re-advertised after a failover.
+    ceiling: u16,
     /// Capability bits from the server's `Hello` reply (0 on v1).
     caps: u32,
 }
@@ -266,11 +293,16 @@ impl HullClient {
         Ok(HullClient {
             stream,
             addr,
+            fallbacks: Vec::new(),
+            deadline: None,
             last_degraded: None,
+            last_stale: None,
             reconnects: 0,
+            failovers: 0,
             calls: 0,
             policy: RetryPolicy::default(),
             negotiated: PROTOCOL_V1,
+            ceiling: PROTOCOL_V1,
             caps: 0,
         })
     }
@@ -292,9 +324,82 @@ impl HullClient {
         self.last_degraded
     }
 
+    /// Staleness bound of the most recent reply if it was `Stale` (a
+    /// follower replica answered while `lag` primary batch units behind);
+    /// `None` if the last reply was current.
+    pub fn last_stale(&self) -> Option<u64> {
+        self.last_stale
+    }
+
     /// Reconnect-and-resume redials performed so far.
     pub fn reconnects(&self) -> u64 {
         self.reconnects
+    }
+
+    /// Redials that failed over to a fallback address.
+    pub fn failovers(&self) -> u64 {
+        self.failovers
+    }
+
+    /// Renegotiate the protocol window on the current connection (used
+    /// at connect and after a failover — the new node may be a
+    /// different build). A server that answers `Hello` with an error is
+    /// a v1 server; the client downgrades.
+    fn handshake(&mut self) -> io::Result<()> {
+        self.negotiated = PROTOCOL_V1;
+        self.caps = 0;
+        if self.ceiling < PROTOCOL_V2 {
+            return Ok(());
+        }
+        match self.exchange(&Request::Hello {
+            max_version: self.ceiling,
+        })? {
+            Response::Hello { version, caps } => {
+                self.negotiated = version.min(self.ceiling).max(PROTOCOL_V1);
+                self.caps = caps;
+            }
+            // A v1 server reports the unknown opcode; stay on v1.
+            Response::Error(_) => {}
+            other => return Err(unexpected(other)),
+        }
+        Ok(())
+    }
+
+    /// Redial after a dropped connection: the current address first,
+    /// then each fallback in order. A connect that lands on a different
+    /// address is a **failover** — the client re-runs the handshake
+    /// there and resumes.
+    fn redial(&mut self, last: io::Error) -> io::Result<()> {
+        let primary = self.addr;
+        let fallback_addrs: Vec<SocketAddr> = self
+            .fallbacks
+            .iter()
+            .filter_map(|f| f.to_socket_addrs().ok().and_then(|mut it| it.next()))
+            .collect();
+        let mut last = last;
+        for addr in primary.into_iter().chain(fallback_addrs) {
+            let dial = match self.deadline {
+                Some(d) => TcpStream::connect_timeout(&addr, d),
+                None => TcpStream::connect(addr),
+            };
+            match dial {
+                Ok(stream) => {
+                    stream.set_nodelay(true)?;
+                    self.stream = stream;
+                    self.reconnects += 1;
+                    crate::metrics::service_metrics().client_reconnects.incr();
+                    if Some(addr) != primary {
+                        self.addr = Some(addr);
+                        self.failovers += 1;
+                        crate::metrics::service_metrics().repl_failovers.incr();
+                        self.handshake()?;
+                    }
+                    return Ok(());
+                }
+                Err(e) => last = e,
+            }
+        }
+        Err(last)
     }
 
     fn exchange(&mut self, req: &Request) -> io::Result<Response> {
@@ -314,15 +419,10 @@ impl HullClient {
         match self.exchange(req) {
             Ok(resp) => Ok(resp),
             Err(e) if reconnectable(e.kind()) => {
-                let addr = match self.addr {
-                    Some(a) => a,
-                    None => return Err(e),
-                };
-                let stream = TcpStream::connect(addr)?;
-                stream.set_nodelay(true)?;
-                self.stream = stream;
-                self.reconnects += 1;
-                crate::metrics::service_metrics().client_reconnects.incr();
+                if self.addr.is_none() && self.fallbacks.is_empty() {
+                    return Err(e);
+                }
+                self.redial(e)?;
                 self.exchange(req)
             }
             Err(e) => Err(e),
@@ -389,19 +489,22 @@ impl HullClient {
         Ok(out.into_iter().map(|r| r.expect("all tags seen")).collect())
     }
 
-    /// [`raw`](HullClient::raw), then unwrap a `Degraded` wrapper into
-    /// its inner answer, recording the generation.
+    /// [`raw`](HullClient::raw), then unwrap the read-status wrappers
+    /// into the inner answer — `Stale` (outer, v5 follower staleness
+    /// bound) then `Degraded` (recovery generation) — recording each.
     fn ask(&mut self, req: &Request) -> io::Result<Response> {
-        match self.raw(req)? {
-            Response::Degraded { generation, inner } => {
-                self.last_degraded = Some(generation);
-                Ok(*inner)
-            }
-            resp => {
-                self.last_degraded = None;
-                Ok(resp)
-            }
+        let mut resp = self.raw(req)?;
+        self.last_stale = None;
+        self.last_degraded = None;
+        if let Response::Stale { lag, inner } = resp {
+            self.last_stale = Some(lag);
+            resp = *inner;
         }
+        if let Response::Degraded { generation, inner } = resp {
+            self.last_degraded = Some(generation);
+            resp = *inner;
+        }
+        Ok(resp)
     }
 
     /// Queue one point; `false` means the shard is overloaded (retry).
@@ -679,6 +782,54 @@ impl HullClient {
     pub fn shutdown_server(&mut self) -> io::Result<()> {
         match self.ask(&Request::Shutdown)? {
             Response::ShuttingDown => Ok(()),
+            Response::Error(m) => Err(server_error(m)),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Pull one replication batch unit (v5, [`CAP_REPLICATION`]): the
+    /// journal unit at `from_index` as `(index, total, dim, flat
+    /// points)`. Empty `points` with `index == total` means caught up —
+    /// poll again later. A shipment dropped by the primary's
+    /// `replica.ship` failpoint surfaces as `WouldBlock`, so the
+    /// follower puller counts a resubscribe and resumes from its own
+    /// batch count.
+    pub fn repl_fetch(
+        &mut self,
+        shard: u16,
+        from_index: u64,
+    ) -> io::Result<(u64, u64, usize, Vec<i64>)> {
+        if self.negotiated >= PROTOCOL_V2 && self.caps & CAP_REPLICATION == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                format!(
+                    "replication needs protocol v5 + CAP_REPLICATION (negotiated v{}, caps {:#x})",
+                    self.negotiated, self.caps
+                ),
+            ));
+        }
+        match self.ask(&Request::ReplSubscribe { shard, from_index })? {
+            Response::ReplBatch {
+                index,
+                total,
+                dim,
+                points,
+            } => Ok((index, total, dim, points)),
+            Response::Overloaded => Err(io::Error::new(
+                io::ErrorKind::WouldBlock,
+                "primary dropped the replication shipment",
+            )),
+            Response::Error(m) => Err(server_error(m)),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Tell the primary this follower has durably applied every unit
+    /// below `index`; returns the primary's view of the follower's lag
+    /// in batch units (feeds the `chull_replica_*` gauges there).
+    pub fn repl_ack(&mut self, shard: u16, index: u64) -> io::Result<u64> {
+        match self.ask(&Request::ReplAck { shard, index })? {
+            Response::ReplAcked { lag } => Ok(lag),
             Response::Error(m) => Err(server_error(m)),
             other => Err(unexpected(other)),
         }

@@ -17,8 +17,19 @@
 //! * [`wire`] — a length-prefixed binary protocol (`Insert`, `Contains`,
 //!   `Visible`, `Extreme`, `Stats`, `Snapshot`, `Flush`, `Shutdown`,
 //!   `Metrics`, protocol v2's `InsertBatch` + `Hello` handshake, v3's
-//!   `*Scan` oracle queries, and v4's `Tagged` correlation-id frames
-//!   for pipelining) over std TCP; v1 clients interoperate unchanged;
+//!   `*Scan` oracle queries, v4's `Tagged` correlation-id frames for
+//!   pipelining, and v5's `ReplSubscribe`/`ReplAck` journal shipping +
+//!   `Stale` staleness wrapper) over std TCP; v1 clients interoperate
+//!   unchanged;
+//! * [`replica`] — follower replicas: a puller thread subscribes to a
+//!   primary's journal batch units (pull-based, resume cursor = its own
+//!   batch count, so faults reduce to reconnects), applies them through
+//!   the same parallel replay path, and self-promotes if the primary
+//!   stays unreachable; Theorem 4.2's order-independence makes this
+//!   convergent without consensus;
+//! * [`router`] — a thin front end that consistent-hashes read traffic
+//!   across a primary + followers, health-checks via `Stats`, and fails
+//!   reads over (wrapped `Degraded`) when a node dies;
 //! * [`server::serve`] — two interchangeable front ends over one
 //!   dispatch core: the default **event loop** (a `chull-net` epoll
 //!   reactor + dispatcher pool, scaling to tens of thousands of
@@ -49,6 +60,8 @@ pub mod client;
 mod event_server;
 pub mod journal;
 pub mod metrics;
+pub mod replica;
+pub mod router;
 pub mod server;
 pub mod shard;
 pub mod snapshot;
@@ -58,6 +71,8 @@ pub mod wire;
 pub use client::{BatchInsertReply, HullClient, HullClientBuilder, RetryPolicy, SnapshotReply};
 pub use journal::Journal;
 pub use metrics::{op_metrics, service_metrics, OpMetrics, ServiceMetrics, ShardGauges};
+pub use replica::{follow, FollowOptions, ReplicaHandle, ReplicaState};
+pub use router::{route, RouterHandle, RouterOptions};
 pub use server::{serve, ServeOptions, ServerHandle};
 pub use shard::{HullService, InsertOutcome, ServiceConfig, ServiceError};
 pub use snapshot::HullSnapshot;

@@ -118,6 +118,14 @@ pub struct ServiceMetrics {
     pub client_reconnects: Arc<Counter>,
     /// Client-side `Overloaded` rejections absorbed by `insert_retry`.
     pub client_rejections: Arc<Counter>,
+    /// Journal batch units shipped to replication subscribers.
+    pub repl_units_shipped: Arc<Counter>,
+    /// Replicated batch units applied by this follower.
+    pub repl_units_applied: Arc<Counter>,
+    /// Follower resubscribes (link loss, fault, or puller death).
+    pub repl_resubscribes: Arc<Counter>,
+    /// Client/router failovers to a fallback address.
+    pub repl_failovers: Arc<Counter>,
     /// Kernel work done applying inserts on shard workers.
     pub ingest_kernel: KernelCounters,
     /// Kernel work done serving read queries.
@@ -207,6 +215,22 @@ pub fn service_metrics() -> &'static ServiceMetrics {
                 "chull_client_insert_rejections_total",
                 "Overloaded rejections absorbed by client insert_retry backoff.",
             ),
+            repl_units_shipped: r.counter(
+                "chull_replica_units_shipped_total",
+                "Journal batch units shipped to replication subscribers.",
+            ),
+            repl_units_applied: r.counter(
+                "chull_replica_units_applied_total",
+                "Replicated batch units applied by this follower.",
+            ),
+            repl_resubscribes: r.counter(
+                "chull_replica_resubscribes_total",
+                "Follower resubscribe-with-resume attempts after a link fault.",
+            ),
+            repl_failovers: r.counter(
+                "chull_replica_failovers_total",
+                "Client/router failovers from a dead address to a fallback.",
+            ),
             ingest_kernel: KernelCounters::register("ingest"),
             query_kernel: KernelCounters::register("query"),
         }
@@ -286,6 +310,8 @@ const OPS: &[&str] = &[
     "shutdown",
     "metrics",
     "hello",
+    "repl_subscribe",
+    "repl_ack",
     "invalid",
 ];
 
@@ -340,6 +366,12 @@ pub struct ShardGauges {
     /// Vertices on the published snapshot's hull (the `Extreme` scan
     /// length).
     pub hull_vertices: Arc<Gauge>,
+    /// Batch units the slowest acked subscriber trails this shard by
+    /// (primary side; 0 with no subscribers).
+    pub replica_lag_batches: Arc<Gauge>,
+    /// One past the highest batch unit a subscriber has acked durably
+    /// applied (primary side).
+    pub replica_last_acked: Arc<Gauge>,
 }
 
 /// Register (or fetch) the gauge set for shard `shard`.
@@ -387,6 +419,16 @@ pub fn shard_gauges(shard: usize) -> ShardGauges {
             "chull_shard_hull_vertices",
             l,
             "Vertices on the published snapshot's hull.",
+        ),
+        replica_lag_batches: r.gauge_with(
+            "chull_replica_lag_batches",
+            l,
+            "Batch units the last-acked replication subscriber trails this shard by.",
+        ),
+        replica_last_acked: r.gauge_with(
+            "chull_replica_last_acked",
+            l,
+            "One past the highest journal batch unit acked by a replication subscriber.",
         ),
     }
 }

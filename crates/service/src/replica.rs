@@ -1,0 +1,357 @@
+//! Replication: journal shipping from a primary to follower replicas.
+//!
+//! Theorem 4.2's order-independence is what makes this safe without
+//! consensus: a shard's journaled insert **batch units** produce the
+//! identical hull no matter how their application interleaves, so a
+//! follower may fetch units late, twice, or out of order and still
+//! converge bit-identical to the primary — batch apply is deterministic
+//! per unit, and duplicate points never change a hull.
+//!
+//! The protocol is *pull-based* (wire v5, `ReplSubscribe`/`ReplAck`):
+//! the follower's [`ReplicaPuller`] thread asks the primary for the
+//! unit at `from_index = ` its own durable batch count, applies it
+//! through [`HullService::apply_replica_unit`] — the same supervised
+//! [`HullBuilder`](chull_core::online::HullBuilder) parallel path local
+//! ingest uses, as exactly one journal unit so the follower's batch
+//! indices mirror the primary's 1:1 — then acks. Because the resume
+//! cursor *is* the follower's own batch count, resubscribe-with-resume
+//! after any fault (link loss, dropped shipment, puller death
+//! mid-apply) is a plain reconnect: nothing is lost, duplicates are
+//! harmless, and the lag the primary reports is exact.
+//!
+//! Failure model:
+//!
+//! * the puller runs under `catch_unwind`; an injected
+//!   [`sites::REPL_APPLY`] panic (follower death mid-apply) or any
+//!   connection error triggers a counted resubscribe with capped
+//!   backoff, resuming from the follower's batch count;
+//! * a primary that stays unreachable for
+//!   [`FollowOptions::promote_after`] consecutive resubscribes causes
+//!   **self-promotion**: the follower leaves read-only mode and serves
+//!   writes with the hull it has — epochs stay monotone because the
+//!   follower's epoch is its (mirrored) batch count;
+//! * reads served while the follower trails its primary are wrapped in
+//!   the wire `Stale { lag }` status by the dispatch layer (the
+//!   epoch-staleness bound, surfaced in-band), via
+//!   [`HullService::replica_lag`].
+
+use crate::client::HullClient;
+use crate::journal::Journal;
+use crate::metrics::service_metrics;
+use crate::shard::HullService;
+use crate::wire::{CAP_REPLICATION, PROTOCOL_V5};
+use chull_concurrent::failpoint::{self, sites, FaultAction};
+use std::io;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// One shard's in-memory mirror of its journal batch units, shared
+/// between the shard worker (producer) and the wire layer (consumer:
+/// `ReplSubscribe` fetches). Invariant: `total() == journal batch
+/// count` — the worker pushes each unit before publishing its epoch,
+/// and the supervisor rebuilds the mirror from the journal after a
+/// crash, so a subscriber that has seen epoch `e` can always fetch
+/// every unit below `e`.
+pub(crate) struct ReplLog {
+    units: RwLock<Vec<Arc<Vec<Vec<i64>>>>>,
+    /// One past the highest unit a subscriber acked durably applied.
+    acked: AtomicU64,
+}
+
+impl ReplLog {
+    pub(crate) fn new() -> ReplLog {
+        ReplLog {
+            units: RwLock::new(Vec::new()),
+            acked: AtomicU64::new(0),
+        }
+    }
+
+    fn read(&self) -> std::sync::RwLockReadGuard<'_, Vec<Arc<Vec<Vec<i64>>>>> {
+        match self.units.read() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        }
+    }
+
+    /// Rebuild the mirror from the journal — the same source of truth
+    /// recovery replays — used at cold start and after a worker death.
+    pub(crate) fn reset_from(&self, journal: &Journal) {
+        let rebuilt: Vec<Arc<Vec<Vec<i64>>>> = journal
+            .batches()
+            .map(|unit| Arc::new(unit.to_vec()))
+            .collect();
+        let mut g = match self.units.write() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        *g = rebuilt;
+    }
+
+    /// Append one just-journaled batch unit.
+    pub(crate) fn push(&self, unit: Vec<Vec<i64>>) {
+        let mut g = match self.units.write() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        g.push(Arc::new(unit));
+    }
+
+    /// The unit at `index`, if it exists yet.
+    pub(crate) fn get(&self, index: u64) -> Option<Arc<Vec<Vec<i64>>>> {
+        usize::try_from(index)
+            .ok()
+            .and_then(|i| self.read().get(i).cloned())
+    }
+
+    /// Batch units held (== the shard's journal batch count).
+    pub(crate) fn total(&self) -> u64 {
+        self.read().len() as u64
+    }
+
+    /// Record a subscriber ack; keeps the high-water mark. Returns
+    /// `(acked, total)` for the gauge refresh.
+    pub(crate) fn record_ack(&self, index: u64) -> (u64, u64) {
+        let total = self.total();
+        let index = index.min(total);
+        let acked = self.acked.fetch_max(index, Ordering::SeqCst).max(index);
+        (acked, total)
+    }
+
+    /// The ack high-water mark.
+    pub(crate) fn acked(&self) -> u64 {
+        self.acked.load(Ordering::SeqCst)
+    }
+}
+
+/// Shared follower-side replication state: what the puller knows about
+/// its primary, read by the dispatch layer (staleness bound for the
+/// `Stale` wrapper) and by harnesses (fault-coverage assertions).
+pub struct ReplicaState {
+    /// Per-shard primary batch totals from the last `ReplBatch` seen.
+    primary_total: Vec<AtomicU64>,
+    applied: AtomicU64,
+    resubscribes: AtomicU64,
+    dropped: AtomicU64,
+    promoted: AtomicBool,
+    stop: AtomicBool,
+}
+
+impl ReplicaState {
+    fn new(shards: usize) -> ReplicaState {
+        ReplicaState {
+            primary_total: (0..shards).map(|_| AtomicU64::new(0)).collect(),
+            applied: AtomicU64::new(0),
+            resubscribes: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            promoted: AtomicBool::new(false),
+            stop: AtomicBool::new(false),
+        }
+    }
+
+    /// The primary's batch-unit total for `shard`, as last observed.
+    pub fn primary_total(&self, shard: u16) -> u64 {
+        self.primary_total
+            .get(shard as usize)
+            .map(|t| t.load(Ordering::SeqCst))
+            .unwrap_or(0)
+    }
+
+    /// Batch units this follower has applied through its puller.
+    pub fn applied(&self) -> u64 {
+        self.applied.load(Ordering::SeqCst)
+    }
+
+    /// Resubscribe-with-resume attempts (link loss, fault, panic).
+    pub fn resubscribes(&self) -> u64 {
+        self.resubscribes.load(Ordering::SeqCst)
+    }
+
+    /// Fetched units dropped before apply by the `replica.apply`
+    /// failpoint (each forces a duplicate re-fetch).
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::SeqCst)
+    }
+
+    /// Whether this follower promoted itself (primary unreachable).
+    pub fn promoted(&self) -> bool {
+        self.promoted.load(Ordering::SeqCst)
+    }
+}
+
+/// Configuration for [`follow`].
+#[derive(Debug, Clone)]
+pub struct FollowOptions {
+    /// The primary's wire address (`host:port`).
+    pub primary: String,
+    /// Idle poll interval while caught up.
+    pub poll: Duration,
+    /// Connect deadline per subscription attempt.
+    pub connect_deadline: Duration,
+    /// Self-promote (leave read-only mode, stop pulling) after this
+    /// many consecutive failed resubscribes; `0` never promotes.
+    pub promote_after: u32,
+}
+
+impl Default for FollowOptions {
+    fn default() -> FollowOptions {
+        FollowOptions {
+            primary: String::new(),
+            poll: Duration::from_millis(2),
+            connect_deadline: Duration::from_secs(2),
+            promote_after: 40,
+        }
+    }
+}
+
+/// A running follower puller; [`ReplicaHandle::stop`] (or drop) joins
+/// the thread. The service stays usable afterwards (still read-only
+/// unless promoted).
+pub struct ReplicaHandle {
+    state: Arc<ReplicaState>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl ReplicaHandle {
+    /// The shared replication state (counters, primary totals).
+    pub fn state(&self) -> Arc<ReplicaState> {
+        Arc::clone(&self.state)
+    }
+
+    /// Signal the puller to exit and join it. Idempotent.
+    pub fn stop(&mut self) {
+        self.state.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.thread.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ReplicaHandle {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Turn `service` into a read-only follower of `opts.primary`: marks it
+/// read-only, attaches shared [`ReplicaState`] (enabling the `Stale`
+/// read wrapper), and starts the supervised puller thread.
+pub fn follow(service: Arc<HullService>, opts: FollowOptions) -> ReplicaHandle {
+    let state = Arc::new(ReplicaState::new(service.num_shards()));
+    service.set_read_only(true);
+    service.attach_replica_state(Arc::clone(&state));
+    let st = Arc::clone(&state);
+    let thread = std::thread::spawn(move || puller(&service, &st, &opts));
+    ReplicaHandle {
+        state,
+        thread: Some(thread),
+    }
+}
+
+/// The puller supervisor: run subscription sessions under
+/// `catch_unwind`; on any error or injected panic, count a resubscribe,
+/// back off (capped), and resume from the follower's own batch count.
+fn puller(service: &HullService, state: &ReplicaState, opts: &FollowOptions) {
+    let mut backoff = Duration::from_millis(5);
+    let mut consecutive_failures = 0u32;
+    loop {
+        if state.stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let run = catch_unwind(AssertUnwindSafe(|| session(service, state, opts)));
+        match run {
+            // Stop requested from inside the session loop.
+            Ok(Ok(())) => return,
+            Ok(Err(e)) => {
+                // Did this session make progress before dying? Progress
+                // resets the promotion clock.
+                if matches!(e.kind(), io::ErrorKind::ConnectionRefused) {
+                    consecutive_failures = consecutive_failures.saturating_add(1);
+                } else {
+                    consecutive_failures = 1;
+                }
+            }
+            // Injected (or real) panic mid-apply: the shard supervisor
+            // already replayed the journal; resume from batch count.
+            Err(_) => consecutive_failures = 1,
+        }
+        state.resubscribes.fetch_add(1, Ordering::SeqCst);
+        service_metrics().repl_resubscribes.incr();
+        if opts.promote_after != 0 && consecutive_failures >= opts.promote_after {
+            // The primary is gone. Promote: leave read-only mode and
+            // serve writes from the converged hull. Epochs stay
+            // monotone — the follower's epoch is its batch count.
+            state.promoted.store(true, Ordering::SeqCst);
+            service.set_read_only(false);
+            service_metrics().repl_failovers.incr();
+            return;
+        }
+        std::thread::sleep(backoff);
+        backoff = (backoff * 2).min(Duration::from_millis(200));
+    }
+}
+
+/// One subscription session: connect, then pull/apply/ack round-robin
+/// across shards until an error (resubscribe) or stop. `Ok(())` only on
+/// a requested stop.
+fn session(service: &HullService, state: &ReplicaState, opts: &FollowOptions) -> io::Result<()> {
+    let mut client = HullClient::builder(opts.primary.clone())
+        .deadline(opts.connect_deadline)
+        .connect()?;
+    if client.negotiated_version() < PROTOCOL_V5 || client.caps() & CAP_REPLICATION == 0 {
+        return Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            "primary does not ship journal batches (needs wire v5 + CAP_REPLICATION)",
+        ));
+    }
+    let dim = service.config().dim;
+    let shards = service.num_shards() as u16;
+    loop {
+        if state.stop.load(Ordering::SeqCst) {
+            return Ok(());
+        }
+        let mut caught_up = true;
+        for shard in 0..shards {
+            let from = service.batch_units(shard).map_err(svc_err)?;
+            let (index, total, unit_dim, flat) = client.repl_fetch(shard, from)?;
+            if let Some(t) = state.primary_total.get(shard as usize) {
+                t.store(total, Ordering::SeqCst);
+            }
+            if !flat.is_empty() && unit_dim != dim {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("primary ships dimension {unit_dim}, follower is {dim}"),
+                ));
+            }
+            // `index < from` is a duplicated/reordered shipment of a
+            // unit this follower already holds: skip it (idempotent).
+            if index == from && !flat.is_empty() {
+                caught_up = false;
+                // Failpoint `replica.apply`: follower death mid-apply
+                // (panic → resubscribe-with-resume one frame up) or a
+                // dropped fetched batch (forces a duplicate re-fetch).
+                if failpoint::eval(sites::REPL_APPLY) == FaultAction::SpuriousFull {
+                    state.dropped.fetch_add(1, Ordering::SeqCst);
+                    continue;
+                }
+                let unit: Vec<Vec<i64>> = flat.chunks(dim).map(|c| c.to_vec()).collect();
+                service.apply_replica_unit(shard, unit).map_err(svc_err)?;
+                state.applied.fetch_add(1, Ordering::SeqCst);
+                let durable = service.batch_units(shard).map_err(svc_err)?;
+                let _ = client.repl_ack(shard, durable)?;
+            }
+            if total > service.batch_units(shard).map_err(svc_err)? {
+                caught_up = false;
+            }
+        }
+        if caught_up {
+            std::thread::sleep(opts.poll);
+        }
+    }
+}
+
+fn svc_err(e: crate::shard::ServiceError) -> io::Error {
+    io::Error::other(e.to_string())
+}

@@ -55,6 +55,14 @@ pub struct ServeOptions {
     /// back end only); 0 picks a small default. Queries are fast, but a
     /// `Flush` barrier blocks its dispatcher, so at least 2 run.
     pub dispatchers: usize,
+    /// Run as a read-only **follower replica** of the primary named in
+    /// [`crate::replica::FollowOptions::primary`]: wire writes are
+    /// rejected, a puller thread ships the primary's journal batch
+    /// units, and reads carry the v5 `Stale` staleness bound while
+    /// trailing. Incompatible with a WAL (`config.wal_dir`): followers
+    /// resync from the primary, so a stale WAL could only skew the 1:1
+    /// batch-index mirror.
+    pub follow: Option<crate::replica::FollowOptions>,
 }
 
 impl Default for ServeOptions {
@@ -67,6 +75,7 @@ impl Default for ServeOptions {
             metrics_addr: None,
             threaded: false,
             dispatchers: 0,
+            follow: None,
         }
     }
 }
@@ -75,7 +84,7 @@ impl Default for ServeOptions {
 const POLL: Duration = Duration::from_millis(50);
 
 pub(crate) struct Shared {
-    pub(crate) service: HullService,
+    pub(crate) service: Arc<HullService>,
     pub(crate) shutdown: AtomicBool,
     pub(crate) addr: SocketAddr,
     /// Set by the event back end: wakes its poller so shutdown is
@@ -93,6 +102,8 @@ pub struct ServerHandle {
     shared: Arc<Shared>,
     accept: Option<std::thread::JoinHandle<()>>,
     metrics: Option<MetricsHttpHandle>,
+    /// The follower puller, when started with [`ServeOptions::follow`].
+    replica: Option<crate::replica::ReplicaHandle>,
 }
 
 /// Bind `opts.addr`, start the shard workers and the accept loop, and
@@ -103,15 +114,26 @@ pub struct ServerHandle {
 /// the disarmed fast path only matters for offline/bench runs.
 pub fn serve(opts: ServeOptions) -> io::Result<ServerHandle> {
     chull_obs::arm();
+    if opts.follow.is_some() && opts.config.wal_dir.is_some() {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "follower replicas resync from the primary; a WAL is primary-only \
+             (a stale follower WAL would skew the batch-index mirror)",
+        ));
+    }
     let listener = TcpListener::bind(&opts.addr)?;
     let addr = listener.local_addr()?;
     let shared = Arc::new(Shared {
-        service: HullService::new(opts.config.clone())?,
+        service: Arc::new(HullService::new(opts.config.clone())?),
         shutdown: AtomicBool::new(false),
         addr,
         waker: OnceLock::new(),
         accept_fault: Mutex::new(None),
     });
+    let replica = opts
+        .follow
+        .clone()
+        .map(|f| crate::replica::follow(Arc::clone(&shared.service), f));
     let metrics = match &opts.metrics_addr {
         Some(maddr) => {
             let sh = Arc::clone(&shared);
@@ -142,6 +164,7 @@ pub fn serve(opts: ServeOptions) -> io::Result<ServerHandle> {
         shared,
         accept: Some(accept),
         metrics,
+        replica,
     })
 }
 
@@ -167,6 +190,9 @@ impl ServerHandle {
     pub fn shutdown(&mut self) {
         trigger_shutdown(&self.shared);
         self.join_accept();
+        if let Some(mut r) = self.replica.take() {
+            r.stop();
+        }
         if let Some(mut m) = self.metrics.take() {
             m.shutdown();
         }
@@ -177,10 +203,25 @@ impl ServerHandle {
     /// completion), then drain and join.
     pub fn join(mut self) {
         self.join_accept();
+        if let Some(mut r) = self.replica.take() {
+            r.stop();
+        }
         if let Some(mut m) = self.metrics.take() {
             m.shutdown();
         }
         self.shared.service.shutdown();
+    }
+
+    /// The underlying shard service (in-process harness access: epoch
+    /// sampling, promotion, read-only checks).
+    pub fn service(&self) -> Arc<HullService> {
+        Arc::clone(&self.shared.service)
+    }
+
+    /// The follower puller's shared replication state when running with
+    /// [`ServeOptions::follow`] (counters for test assertions).
+    pub fn replica_state(&self) -> Option<Arc<crate::replica::ReplicaState>> {
+        self.replica.as_ref().map(|r| r.state())
     }
 
     /// If the accept/reactor thread died by panic, its panic message.
@@ -442,6 +483,8 @@ fn op_name(req: &Request) -> &'static str {
         Request::Metrics => "metrics",
         Request::InsertBatch { .. } => "insert_batch",
         Request::Hello { .. } => "hello",
+        Request::ReplSubscribe { .. } => "repl_subscribe",
+        Request::ReplAck { .. } => "repl_ack",
         // The tag wrapper is transparent to metrics: count the op the
         // client is actually asking for.
         Request::Tagged { inner, .. } => op_name(inner),
@@ -571,7 +614,7 @@ fn dispatch(service: &HullService, req: Request) -> (Response, bool) {
                 for f in &out.facets {
                     facets.extend_from_slice(&f[..dim]);
                 }
-                wrap_degraded(
+                wrap_read(
                     service,
                     shard,
                     Response::Snapshot {
@@ -597,7 +640,33 @@ fn dispatch(service: &HullService, req: Request) -> (Response, bool) {
         // the server accepts v2/v3 ops with or without it.
         Request::Hello { max_version } => Response::Hello {
             version: wire::negotiate(max_version),
-            caps: wire::CAP_INSERT_BATCH | wire::CAP_SCAN_QUERIES | wire::CAP_PIPELINE,
+            caps: wire::CAP_INSERT_BATCH
+                | wire::CAP_SCAN_QUERIES
+                | wire::CAP_PIPELINE
+                | wire::CAP_REPLICATION,
+        },
+        // v5 replication: ship the journal batch unit at `from_index`
+        // (pull model — the subscriber's cursor is its own batch count,
+        // so a lost reply is just re-fetched). The `replica.ship`
+        // failpoint models a dropped/aborted shipment on the link.
+        Request::ReplSubscribe { shard, from_index } => match failpoint::eval(sites::REPL_SHIP) {
+            failpoint::FaultAction::SpuriousFull => Response::Overloaded,
+            failpoint::FaultAction::TruncateWrite(_) => {
+                Response::Error("replication shipment aborted (failpoint)".to_string())
+            }
+            failpoint::FaultAction::Proceed => match service.repl_fetch(shard, from_index) {
+                Ok((index, total, points)) => Response::ReplBatch {
+                    index,
+                    total,
+                    dim: service.config().dim,
+                    points,
+                },
+                Err(e) => err_response(e),
+            },
+        },
+        Request::ReplAck { shard, index } => match service.repl_ack(shard, index) {
+            Ok(lag) => Response::ReplAcked { lag },
+            Err(e) => err_response(e),
         },
         Request::Metrics => {
             // Refresh level gauges so an idle service still scrapes
@@ -634,18 +703,29 @@ where
     match (service.snapshot(shard), service.stats_for(shard)) {
         (Ok(snap), Ok(stats)) => {
             let resp = f(&snap, stats).unwrap_or(Response::NotReady);
-            wrap_degraded(service, shard, resp)
+            wrap_read(service, shard, resp)
         }
         (Err(e), _) | (_, Err(e)) => err_response(e),
     }
 }
 
-/// Wrap a read-path response in `Degraded(generation)` while the shard's
-/// supervisor is replaying its journal; errors pass through unwrapped.
-fn wrap_degraded(service: &HullService, shard: u16, resp: Response) -> Response {
-    match service.degraded(shard) {
+/// Read-reply status wrappers, innermost first: `Degraded(generation)`
+/// while the shard's supervisor is replaying its journal, then
+/// `Stale(lag)` when this node is a follower trailing its primary by
+/// `lag` batch units (the epoch-staleness bound, v5). The wire layer
+/// enforces this order — `Stale` ⊃ `Degraded` — and the `Tagged`
+/// pipelining wrapper goes outside both. Errors pass through unwrapped.
+fn wrap_read(service: &HullService, shard: u16, resp: Response) -> Response {
+    let resp = match service.degraded(shard) {
         Ok(Some(generation)) if !matches!(resp, Response::Error(_)) => Response::Degraded {
             generation,
+            inner: Box::new(resp),
+        },
+        _ => resp,
+    };
+    match service.replica_lag(shard) {
+        Some(lag) if lag > 0 && !matches!(resp, Response::Error(_)) => Response::Stale {
+            lag,
             inner: Box::new(resp),
         },
         _ => resp,

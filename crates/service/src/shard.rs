@@ -59,6 +59,7 @@
 
 use crate::journal::Journal;
 use crate::metrics::{service_metrics, shard_gauges, ShardGauges};
+use crate::replica::ReplLog;
 use crate::snapshot::{HullSnapshot, SnapState};
 use crate::stats::ShardStats;
 use chull_concurrent::failpoint::{self, sites};
@@ -69,7 +70,7 @@ use std::io;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
-use std::sync::{mpsc, Arc, Mutex, RwLock};
+use std::sync::{mpsc, Arc, Mutex, OnceLock, RwLock};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
@@ -126,6 +127,9 @@ pub enum ServiceError {
     BadPoint(String),
     /// The service is shutting down.
     Closed,
+    /// Write rejected: this node is a read-only follower replica; only
+    /// its replication puller may mutate shard state.
+    ReadOnly,
 }
 
 impl std::fmt::Display for ServiceError {
@@ -134,6 +138,7 @@ impl std::fmt::Display for ServiceError {
             ServiceError::BadShard(s) => write!(f, "shard {s} out of range"),
             ServiceError::BadPoint(msg) => write!(f, "bad point: {msg}"),
             ServiceError::Closed => write!(f, "service shutting down"),
+            ServiceError::ReadOnly => write!(f, "read-only follower replica"),
         }
     }
 }
@@ -143,6 +148,14 @@ enum Ingest {
     /// Barrier: acknowledged (with the publication epoch) only after every
     /// item queued before it has been applied and republished.
     Flush(mpsc::Sender<u64>),
+    /// One replicated journal batch unit (follower apply path): applied
+    /// as exactly one journal unit — its own marker, its own epoch — so
+    /// the follower's batch indices mirror the primary's 1:1. The ack
+    /// carries the publication epoch after the unit landed.
+    Replica {
+        unit: Vec<Vec<i64>>,
+        done: mpsc::Sender<u64>,
+    },
 }
 
 /// Clone the published snapshot `Arc`, tolerating a poisoned lock (the
@@ -190,6 +203,10 @@ struct Shard {
     generation: Arc<AtomicU32>,
     /// True only while the supervisor is replaying the journal.
     degraded: Arc<AtomicBool>,
+    /// In-memory mirror of the journal's batch units, shared with the
+    /// wire layer so `ReplSubscribe` can ship any unit without touching
+    /// the worker-owned journal. Always `repl.total() == batch_count`.
+    repl: Arc<ReplLog>,
     worker: Mutex<Option<JoinHandle<()>>>,
 }
 
@@ -199,6 +216,13 @@ pub struct HullService {
     config: ServiceConfig,
     /// Resolved batch-apply worker count (`config.workers`, 0 → auto).
     workers: usize,
+    /// Follower mode: wire writes are rejected with
+    /// [`ServiceError::ReadOnly`]; only [`HullService::apply_replica_unit`]
+    /// mutates shard state. Cleared on promotion.
+    read_only: AtomicBool,
+    /// Set once by [`crate::replica::follow`]: the puller's shared view
+    /// of the primary, read by the dispatch layer to bound staleness.
+    replica: OnceLock<Arc<crate::replica::ReplicaState>>,
     shards: Vec<Shard>,
 }
 
@@ -254,6 +278,11 @@ impl HullService {
             let generation = Arc::new(AtomicU32::new(0));
             let degraded = Arc::new(AtomicBool::new(false));
             let gauges = shard_gauges(id);
+            // The replication log mirrors the journal's batch units so
+            // subscribers can fetch any unit, including everything
+            // recovered from the WAL before this process started.
+            let repl = Arc::new(ReplLog::new());
+            repl.reset_from(&journal);
             let ctx = ShardCtx {
                 dim: config.dim,
                 max_batch: config.max_batch,
@@ -264,6 +293,7 @@ impl HullService {
                 gauges: gauges.clone(),
                 generation: Arc::clone(&generation),
                 degraded: Arc::clone(&degraded),
+                repl: Arc::clone(&repl),
             };
             let worker = std::thread::spawn(move || shard_supervisor(&ctx, core, journal, epoch));
             shards.push(Shard {
@@ -273,12 +303,15 @@ impl HullService {
                 gauges,
                 generation,
                 degraded,
+                repl,
                 worker: Mutex::new(Some(worker)),
             });
         }
         Ok(HullService {
             config,
             workers,
+            read_only: AtomicBool::new(false),
+            replica: OnceLock::new(),
             shards,
         })
     }
@@ -325,6 +358,9 @@ impl HullService {
     /// A `Queued` reply is the service's **ack**: the point now either
     /// reaches the hull or survives a worker death in the queue/journal.
     pub fn try_insert(&self, shard: u16, point: Vec<i64>) -> Result<InsertOutcome, ServiceError> {
+        if self.read_only.load(Ordering::SeqCst) {
+            return Err(ServiceError::ReadOnly);
+        }
         self.validate(&point)?;
         let sh = self.shard(shard)?;
         match sh.queue.try_push(Ingest::Insert(point)) {
@@ -356,6 +392,9 @@ impl HullService {
         shard: u16,
         points: Vec<Vec<i64>>,
     ) -> Result<(Vec<bool>, u64), ServiceError> {
+        if self.read_only.load(Ordering::SeqCst) {
+            return Err(ServiceError::ReadOnly);
+        }
         for p in &points {
             self.validate(p)?;
         }
@@ -403,6 +442,118 @@ impl HullService {
                 },
                 Err(_) => return Err(ServiceError::Closed),
             }
+        }
+    }
+
+    /// Put the service in (or take it out of) read-only follower mode:
+    /// wire writes are rejected with [`ServiceError::ReadOnly`] so a
+    /// follower's journal stays a 1:1 mirror of its primary's batch
+    /// units. Promotion is `set_read_only(false)` — the shards keep
+    /// their epochs, so the promoted history stays monotone.
+    pub fn set_read_only(&self, read_only: bool) {
+        self.read_only.store(read_only, Ordering::SeqCst);
+    }
+
+    /// Whether this service is a read-only follower replica.
+    pub fn is_read_only(&self) -> bool {
+        self.read_only.load(Ordering::SeqCst)
+    }
+
+    /// Attach the follower puller's shared state (first call wins);
+    /// done by [`crate::replica::follow`] before its thread starts.
+    pub fn attach_replica_state(&self, state: Arc<crate::replica::ReplicaState>) {
+        let _ = self.replica.set(state);
+    }
+
+    /// The epoch-staleness bound for a follower read: how many primary
+    /// batch units this shard has not applied yet. `None` when this
+    /// node never followed a primary, or once it promoted itself (a
+    /// promoted follower *is* the primary; its reads are not stale).
+    pub fn replica_lag(&self, shard: u16) -> Option<u64> {
+        let state = self.replica.get()?;
+        if state.promoted() {
+            return None;
+        }
+        let have = self.shard(shard).ok()?.repl.total();
+        Some(state.primary_total(shard).saturating_sub(have))
+    }
+
+    /// Journal batch units this shard holds — a follower's resume
+    /// cursor: its next `ReplSubscribe` asks for exactly this index.
+    pub fn batch_units(&self, shard: u16) -> Result<u64, ServiceError> {
+        Ok(self.shard(shard)?.repl.total())
+    }
+
+    /// Ship one journal batch unit to a replication subscriber
+    /// (`ReplSubscribe` dispatch): returns `(index, total, flat points)`
+    /// — the unit at `from_index`, or an empty unit with
+    /// `index == total` when the subscriber is caught up.
+    pub fn repl_fetch(
+        &self,
+        shard: u16,
+        from_index: u64,
+    ) -> Result<(u64, u64, Vec<i64>), ServiceError> {
+        let sh = self.shard(shard)?;
+        let total = sh.repl.total();
+        match sh.repl.get(from_index) {
+            Some(unit) => {
+                let mut flat = Vec::with_capacity(unit.len() * self.config.dim);
+                for p in unit.iter() {
+                    flat.extend_from_slice(p);
+                }
+                service_metrics().repl_units_shipped.incr();
+                Ok((from_index, total, flat))
+            }
+            None => Ok((total, total, Vec::new())),
+        }
+    }
+
+    /// Record a subscriber's durable-apply ack (`ReplAck` dispatch):
+    /// every unit below `index` is applied on the subscriber. Returns
+    /// the subscriber's lag in batch units and refreshes the
+    /// `chull_replica_*` gauges.
+    pub fn repl_ack(&self, shard: u16, index: u64) -> Result<u64, ServiceError> {
+        let sh = self.shard(shard)?;
+        let (acked, total) = sh.repl.record_ack(index);
+        if chull_obs::armed() {
+            sh.gauges
+                .replica_last_acked
+                .set(acked.min(i64::MAX as u64) as i64);
+            sh.gauges
+                .replica_lag_batches
+                .set(total.saturating_sub(acked).min(i64::MAX as u64) as i64);
+        }
+        Ok(total.saturating_sub(acked))
+    }
+
+    /// Apply one replicated batch unit (follower puller path, allowed
+    /// even in read-only mode): the unit is enqueued whole and applied
+    /// as exactly one journal unit — one marker, one epoch — keeping
+    /// the follower's batch indices aligned with the primary's.
+    /// Blocks until the unit is applied and published; if the shard
+    /// worker dies mid-apply, returns the current published epoch and
+    /// the caller re-derives its resume cursor from
+    /// [`HullService::batch_units`] (the unit is journaled before it
+    /// touches the hull, so it either survived whole or not at all).
+    pub fn apply_replica_unit(&self, shard: u16, unit: Vec<Vec<i64>>) -> Result<u64, ServiceError> {
+        for p in &unit {
+            self.validate(p)?;
+        }
+        let sh = self.shard(shard)?;
+        if unit.is_empty() {
+            return Ok(load_snap(&sh.snap).epoch);
+        }
+        let (done, rx) = mpsc::channel();
+        match sh.queue.push(Ingest::Replica { unit, done }) {
+            Ok(()) => {}
+            Err(_) => return Err(ServiceError::Closed),
+        }
+        match rx.recv() {
+            Ok(epoch) => Ok(epoch),
+            // Worker died mid-apply; the supervisor replays the journal.
+            // Never re-enqueue — a duplicate unit would skew the 1:1
+            // index mirror. The caller reconciles via `batch_units`.
+            Err(_) => Ok(load_snap(&sh.snap).epoch),
         }
     }
 
@@ -494,6 +645,13 @@ impl HullService {
             sh.gauges.workers.set(self.workers as i64);
             sh.gauges.plane_block_len.set(snap.plane_block_len() as i64);
             sh.gauges.hull_vertices.set(snap.hull_vertex_count() as i64);
+            let acked = sh.repl.acked();
+            sh.gauges
+                .replica_last_acked
+                .set(acked.min(i64::MAX as u64) as i64);
+            sh.gauges
+                .replica_lag_batches
+                .set(sh.repl.total().saturating_sub(acked).min(i64::MAX as u64) as i64);
         }
     }
 
@@ -535,6 +693,7 @@ struct ShardCtx {
     gauges: ShardGauges,
     generation: Arc<AtomicU32>,
     degraded: Arc<AtomicBool>,
+    repl: Arc<ReplLog>,
 }
 
 /// The shard's OS thread: run the drain loop under `catch_unwind`; on a
@@ -570,6 +729,10 @@ fn shard_supervisor(ctx: &ShardCtx, mut core: HullBuilder, mut journal: Journal,
                 // The epoch tracks journaled batch units; `max` keeps it
                 // monotone if a batch died between marker and publish.
                 epoch = journal.batch_count().max(epoch);
+                // Rebuild the replication mirror from the journal — the
+                // same source of truth the replay used — so subscribers
+                // see exactly the units a future replay would.
+                ctx.repl.reset_from(&journal);
                 store_snap(&ctx.snap, snapshot_of(&core, epoch));
                 let missing = core.applied().saturating_sub(recorded);
                 if missing > 0 {
@@ -651,9 +814,9 @@ fn drain_loop(
     }
 }
 
-/// Process one popped batch: journal every insert, mark the batch as an
-/// atomic unit, sync, apply it as **one parallel batch insert**, publish
-/// one epoch, ack flush barriers.
+/// Process one popped batch: local inserts coalesce into one journal
+/// unit; each replicated unit stays **its own** journal unit (the 1:1
+/// index mirror replication depends on); flush barriers ack last.
 fn apply_batch(
     ctx: &ShardCtx,
     core: &mut HullBuilder,
@@ -663,17 +826,43 @@ fn apply_batch(
     prev_kernel: &mut KernelCounts,
     batch: &mut Vec<Ingest>,
 ) {
-    // One relaxed load per batch; timing blocks below pay for
-    // `Instant::now` only when telemetry is armed.
-    let armed = chull_obs::armed();
     let mut points: Vec<Vec<i64>> = Vec::new();
     let mut flushes: Vec<mpsc::Sender<u64>> = Vec::new();
+    let mut replicas: Vec<(Vec<Vec<i64>>, mpsc::Sender<u64>)> = Vec::new();
     for item in batch.drain(..) {
         match item {
             Ingest::Insert(p) => points.push(p),
             Ingest::Flush(tx) => flushes.push(tx),
+            Ingest::Replica { unit, done } => replicas.push((unit, done)),
         }
     }
+    apply_unit(ctx, core, journal, epoch, recorded, prev_kernel, points);
+    for (unit, done) in replicas {
+        apply_unit(ctx, core, journal, epoch, recorded, prev_kernel, unit);
+        service_metrics().repl_units_applied.incr();
+        // Receiver may have given up (puller resubscribing) — fine.
+        let _ = done.send(*epoch);
+    }
+    for tx in flushes {
+        // Receiver may have given up (client disconnect) — fine.
+        let _ = tx.send(*epoch);
+    }
+}
+
+/// Journal, mark, sync, apply, and publish one batch unit (no-op when
+/// `points` is empty — batch units are never empty).
+fn apply_unit(
+    ctx: &ShardCtx,
+    core: &mut HullBuilder,
+    journal: &mut Journal,
+    epoch: &mut u64,
+    recorded: &mut u64,
+    prev_kernel: &mut KernelCounts,
+    points: Vec<Vec<i64>>,
+) {
+    // One relaxed load per batch; timing blocks below pay for
+    // `Instant::now` only when telemetry is armed.
+    let armed = chull_obs::armed();
     // Journal-before-apply: the whole batch becomes replayable before
     // any of it touches the hull, so a panic below loses nothing. The
     // marker behind the inserts makes the batch the atomic replay unit.
@@ -737,6 +926,10 @@ fn apply_batch(
         );
         ctx.stats.record_batch(inserted);
         *recorded += inserted;
+        // Mirror the unit into the replication log before the epoch
+        // becomes visible, so a subscriber that sees epoch `e` can
+        // always fetch every unit below `e`.
+        ctx.repl.push(points);
         store_snap(&ctx.snap, snapshot_of(core, *epoch));
         if armed {
             let m = service_metrics();
@@ -764,10 +957,6 @@ fn apply_batch(
             ctx.gauges.journal_len.set(journal.len() as i64);
             ctx.gauges.epoch.set(*epoch as i64);
         }
-    }
-    for tx in flushes {
-        // Receiver may have given up (client disconnect) — fine.
-        let _ = tx.send(*epoch);
     }
 }
 

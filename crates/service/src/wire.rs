@@ -25,6 +25,8 @@
 //! | `0x0D` | `VisibleScan`  | `u32` count (same body as `Visible`)        |
 //! | `0x0E` | `ExtremeScan`  | `u32` vertex id, point (same as `Extreme`)  |
 //! | `0x0F` | `Tagged`   | status `0x05` + `u64` id + complete inner reply |
+//! | `0x10` | `ReplSubscribe` | `u64` index, `u64` total, `u8` dim, packed batch |
+//! | `0x11` | `ReplAck`  | `u64` lag (total − acked batches)               |
 //!
 //! Opcodes `0x0A`–`0x0B` are **protocol v2** ([`PROTOCOL_V2`]);
 //! `0x0C`–`0x0E` are **protocol v3** ([`PROTOCOL_V3`]): the `*Scan`
@@ -54,6 +56,29 @@
 //! in arrival order, one at a time. `Tagged` wraps outermost on the
 //! response side: `Tagged(id, Degraded(g, inner))` is legal,
 //! `Degraded(g, Tagged(..))` is not.
+//!
+//! Opcodes `0x10`–`0x11` are **protocol v5** ([`PROTOCOL_V5`],
+//! [`CAP_REPLICATION`]): **journal shipping** between nodes. Replication
+//! is *pull-based* so it works unchanged through both request/reply
+//! front ends: a follower sends `ReplSubscribe { shard, from_index }`
+//! and the primary answers with the journal **batch unit** at that
+//! index (the atomic unit of S17 — one journal marker, one epoch) plus
+//! the primary's current batch total; an empty batch with
+//! `index == total` means "caught up, poll again". `ReplAck { shard,
+//! index }` tells the primary the follower has durably applied every
+//! batch below `index`; the primary answers the follower's current lag
+//! and feeds the `chull_replica_*` gauges. Order-independence
+//! (Theorem 4.2) is what makes this safe without consensus: batches may
+//! be re-fetched after a dropped or duplicated shipment and applied in
+//! any interleaving — the follower skips indices it already holds and
+//! the hull converges bit-identical regardless.
+//!
+//! Status `0x06` (`Stale`) is the v5 read-side wrapper: a follower
+//! serving a read while `lag` batch units behind its primary wraps the
+//! answer as `Stale { lag, inner }` — the epoch-staleness bound
+//! surfaced in-band, exactly as `Degraded` surfaces recovery windows.
+//! Wrapper order is fixed: `Tagged` ⊃ `Stale` ⊃ `Degraded` ⊃ plain;
+//! any other nesting is a decode error, and no wrapper nests in itself.
 //!
 //! Non-Ok statuses: `Overloaded` (ingest queue full — retry), `NotReady`
 //! (shard still bootstrapping its seed simplex), `Error` (+ utf-8 text),
@@ -86,18 +111,24 @@ pub const PROTOCOL_V3: u16 = 3;
 /// Adds `Tagged` correlation-id frames: pipelined, possibly
 /// out-of-order replies on one connection.
 pub const PROTOCOL_V4: u16 = 4;
+/// Adds the replication ops (`ReplSubscribe`/`ReplAck`) and the
+/// `Stale` staleness wrapper on follower reads.
+pub const PROTOCOL_V5: u16 = 5;
 /// Capability bit: the server accepts `InsertBatch` frames.
 pub const CAP_INSERT_BATCH: u32 = 1;
 /// Capability bit: the server accepts the `*Scan` query ops.
 pub const CAP_SCAN_QUERIES: u32 = 2;
 /// Capability bit: the server accepts `Tagged` (pipelined) frames.
 pub const CAP_PIPELINE: u32 = 4;
+/// Capability bit: the server ships journal batch units to
+/// subscribers (`ReplSubscribe`/`ReplAck`).
+pub const CAP_REPLICATION: u32 = 8;
 
 /// The version a server answers to a client advertising `client_max`:
 /// the highest both sides speak (never below [`PROTOCOL_V1`] — a
 /// client advertising 0 is treated as v1).
 pub fn negotiate(client_max: u16) -> u16 {
-    client_max.clamp(PROTOCOL_V1, PROTOCOL_V4)
+    client_max.clamp(PROTOCOL_V1, PROTOCOL_V5)
 }
 
 const OP_INSERT: u8 = 0x01;
@@ -115,6 +146,8 @@ const OP_CONTAINS_SCAN: u8 = 0x0C;
 const OP_VISIBLE_SCAN: u8 = 0x0D;
 const OP_EXTREME_SCAN: u8 = 0x0E;
 const OP_TAGGED: u8 = 0x0F;
+const OP_REPL_SUBSCRIBE: u8 = 0x10;
+const OP_REPL_ACK: u8 = 0x11;
 
 const ST_OK: u8 = 0x00;
 const ST_OVERLOADED: u8 = 0x01;
@@ -122,6 +155,7 @@ const ST_NOT_READY: u8 = 0x02;
 const ST_ERROR: u8 = 0x03;
 const ST_DEGRADED: u8 = 0x04;
 const ST_TAGGED: u8 = 0x05;
+const ST_STALE: u8 = 0x06;
 
 /// Why a frame payload failed to decode. Typed so callers can reply
 /// with a precise error status (and tests can assert on the cause)
@@ -157,6 +191,9 @@ pub enum WireError {
     /// A `Tagged` frame nested inside another `Tagged` (or inside a
     /// `Degraded` wrapper, which `Tagged` must enclose, not ride in).
     NestedTagged,
+    /// A `Stale` wrapper nested inside another `Stale` (or inside a
+    /// `Degraded`, which `Stale` must enclose, not ride in).
+    NestedStale,
 }
 
 impl std::fmt::Display for WireError {
@@ -175,6 +212,7 @@ impl std::fmt::Display for WireError {
             WireError::BadUtf8(what) => write!(f, "{what} not utf-8"),
             WireError::NestedDegraded => write!(f, "Degraded response nested in Degraded"),
             WireError::NestedTagged => write!(f, "Tagged frame nested inside another wrapper"),
+            WireError::NestedStale => write!(f, "Stale wrapper nested where it may not ride"),
         }
     }
 }
@@ -284,6 +322,25 @@ pub enum Request {
         /// The request being pipelined.
         inner: Box<Request>,
     },
+    /// Pull one journal batch unit from `shard`'s replication log (v5).
+    /// The reply is the batch at `from_index` (or an empty
+    /// [`Response::ReplBatch`] with `index == total` when caught up).
+    ReplSubscribe {
+        /// Source shard on the primary.
+        shard: u16,
+        /// Index of the first batch unit the subscriber still needs —
+        /// its own applied batch count, which makes
+        /// resubscribe-with-resume a plain reconnect.
+        from_index: u64,
+    },
+    /// Tell the primary every batch unit below `index` is durably
+    /// applied on this subscriber (v5); drives the replica lag gauges.
+    ReplAck {
+        /// Source shard on the primary.
+        shard: u16,
+        /// One past the highest batch unit applied by the subscriber.
+        index: u64,
+    },
 }
 
 /// A decoded server response.
@@ -362,6 +419,36 @@ pub enum Response {
         /// The correlation id from the request.
         id: u64,
         /// The answer to the wrapped request.
+        inner: Box<Response>,
+    },
+    /// One journal batch unit (v5 reply to [`Request::ReplSubscribe`]).
+    /// An empty `points` with `index == total` means the subscriber is
+    /// caught up and should poll again.
+    ReplBatch {
+        /// Index of this batch unit in the shard's journal.
+        index: u64,
+        /// The shard's total batch count at reply time — the
+        /// subscriber's staleness bound is `total - applied`.
+        total: u64,
+        /// Dimension.
+        dim: usize,
+        /// Flat coordinates, `dim` per point, journal order.
+        points: Vec<i64>,
+    },
+    /// Ack accepted (v5 reply to [`Request::ReplAck`]).
+    ReplAcked {
+        /// Batch units the subscriber still trails by, as seen by the
+        /// primary (`total - acked index`, saturating).
+        lag: u64,
+    },
+    /// The answer was served by a follower `lag` batch units behind
+    /// its replication source (v5): the epoch-staleness bound,
+    /// surfaced in-band. Wrapper order: `Tagged` ⊃ `Stale` ⊃
+    /// `Degraded` ⊃ plain.
+    Stale {
+        /// Batch units the serving follower trails its primary by.
+        lag: u64,
+        /// The answer, served from the follower's latest snapshot.
         inner: Box<Response>,
     },
     /// Request failed.
@@ -535,6 +622,16 @@ impl Request {
                 put_u64(&mut out, *id);
                 out.extend_from_slice(&inner.encode());
             }
+            Request::ReplSubscribe { shard, from_index } => {
+                out.push(OP_REPL_SUBSCRIBE);
+                put_u16(&mut out, *shard);
+                put_u64(&mut out, *from_index);
+            }
+            Request::ReplAck { shard, index } => {
+                out.push(OP_REPL_ACK);
+                put_u16(&mut out, *shard);
+                put_u64(&mut out, *index);
+            }
         }
         out
     }
@@ -604,6 +701,14 @@ impl Request {
                     inner: Box::new(Self::decode_at(c, false)?),
                 }
             }
+            OP_REPL_SUBSCRIBE => Request::ReplSubscribe {
+                shard,
+                from_index: c.u64()?,
+            },
+            OP_REPL_ACK => Request::ReplAck {
+                shard,
+                index: c.u64()?,
+            },
             other => return Err(WireError::BadOpcode(other)),
         };
         Ok(req)
@@ -701,6 +806,27 @@ impl Response {
                 put_u16(&mut out, *version);
                 put_u32(&mut out, *caps);
             }
+            Response::ReplBatch {
+                index,
+                total,
+                dim,
+                points,
+            } => {
+                out.push(ST_OK);
+                out.push(OP_REPL_SUBSCRIBE);
+                put_u64(&mut out, *index);
+                put_u64(&mut out, *total);
+                out.push(*dim as u8);
+                put_u32(&mut out, (points.len() / dim) as u32);
+                for &c in points {
+                    out.extend_from_slice(&c.to_le_bytes());
+                }
+            }
+            Response::ReplAcked { lag } => {
+                out.push(ST_OK);
+                out.push(OP_REPL_ACK);
+                put_u64(&mut out, *lag);
+            }
             Response::Overloaded => out.push(ST_OVERLOADED),
             Response::NotReady => out.push(ST_NOT_READY),
             Response::Tagged { id, inner } => {
@@ -715,13 +841,26 @@ impl Response {
             }
             Response::Degraded { generation, inner } => {
                 // Invariant: a Degraded wrapper is applied at most once
-                // (the dispatch layer never wraps a wrapped response).
+                // (the dispatch layer never wraps a wrapped response),
+                // and the wrapper order is fixed — Stale encloses
+                // Degraded, never the reverse.
                 assert!(
-                    !matches!(**inner, Response::Degraded { .. }),
-                    "invariant: Degraded responses never nest"
+                    !matches!(**inner, Response::Degraded { .. } | Response::Stale { .. }),
+                    "invariant: Degraded wraps at most once, below Stale"
                 );
                 out.push(ST_DEGRADED);
                 put_u32(&mut out, *generation);
+                out.extend_from_slice(&inner.encode());
+            }
+            Response::Stale { lag, inner } => {
+                // Invariant: Stale wraps at most once, inside Tagged
+                // and outside Degraded.
+                assert!(
+                    !matches!(**inner, Response::Stale { .. } | Response::Tagged { .. }),
+                    "invariant: Stale wraps at most once, inside Tagged"
+                );
+                out.push(ST_STALE);
+                put_u64(&mut out, *lag);
                 out.extend_from_slice(&inner.encode());
             }
             Response::Error(msg) => {
@@ -737,7 +876,7 @@ impl Response {
     /// Parse a frame payload.
     pub fn decode(buf: &[u8]) -> Result<Response, WireError> {
         let mut c = Cursor::new(buf);
-        let resp = Self::decode_at(&mut c, true, true)?;
+        let resp = Self::decode_at(&mut c, true, true, true)?;
         c.done()?;
         Ok(resp)
     }
@@ -745,6 +884,7 @@ impl Response {
     fn decode_at(
         c: &mut Cursor<'_>,
         allow_tagged: bool,
+        allow_stale: bool,
         allow_degraded: bool,
     ) -> Result<Response, WireError> {
         let resp = match c.u8()? {
@@ -755,11 +895,24 @@ impl Response {
                     return Err(WireError::NestedTagged);
                 }
                 let id = c.u64()?;
-                // A Degraded answer may ride inside the tag wrapper;
-                // another Tagged may not.
-                let inner = Self::decode_at(c, false, true)?;
+                // Stale and Degraded answers may ride inside the tag
+                // wrapper; another Tagged may not.
+                let inner = Self::decode_at(c, false, true, true)?;
                 return Ok(Response::Tagged {
                     id,
+                    inner: Box::new(inner),
+                });
+            }
+            ST_STALE => {
+                if !allow_stale {
+                    return Err(WireError::NestedStale);
+                }
+                let lag = c.u64()?;
+                // Degraded may ride inside Stale (a follower can be
+                // both behind and recovering); Tagged and Stale not.
+                let inner = Self::decode_at(c, false, false, true)?;
+                return Ok(Response::Stale {
+                    lag,
                     inner: Box::new(inner),
                 });
             }
@@ -768,7 +921,7 @@ impl Response {
                     return Err(WireError::NestedDegraded);
                 }
                 let generation = c.u32()?;
-                let inner = Self::decode_at(c, false, false)?;
+                let inner = Self::decode_at(c, false, false, false)?;
                 return Ok(Response::Degraded {
                     generation,
                     inner: Box::new(inner),
@@ -851,6 +1004,27 @@ impl Response {
                         .map_err(|_| WireError::BadUtf8("metrics"))?;
                     Response::Metrics(text)
                 }
+                OP_REPL_SUBSCRIBE => {
+                    let index = c.u64()?;
+                    let total = c.u64()?;
+                    let dim = c.u8()? as usize;
+                    if !(2..=chull_core::facet::MAX_DIM).contains(&dim) {
+                        return Err(WireError::BadDim(dim));
+                    }
+                    let declared = c.u32()? as usize;
+                    let npts = c.checked_count(declared, dim * 8)?;
+                    let mut points = Vec::with_capacity(npts * dim);
+                    for _ in 0..npts * dim {
+                        points.push(c.i64()?);
+                    }
+                    Response::ReplBatch {
+                        index,
+                        total,
+                        dim,
+                        points,
+                    }
+                }
+                OP_REPL_ACK => Response::ReplAcked { lag: c.u64()? },
                 other => return Err(WireError::BadTag(other)),
             },
             other => return Err(WireError::BadStatus(other)),
@@ -990,6 +1164,25 @@ mod tests {
                 id: u64::MAX,
                 inner: Box::new(Request::Flush { shard: 0 }),
             },
+            Request::Hello {
+                max_version: PROTOCOL_V5,
+            },
+            Request::ReplSubscribe {
+                shard: 3,
+                from_index: 0,
+            },
+            Request::ReplSubscribe {
+                shard: 0,
+                from_index: u64::MAX,
+            },
+            Request::ReplAck { shard: 1, index: 7 },
+            Request::Tagged {
+                id: 11,
+                inner: Box::new(Request::ReplSubscribe {
+                    shard: 0,
+                    from_index: 4,
+                }),
+            },
         ];
         for r in reqs {
             assert_eq!(Request::decode(&r.encode()).unwrap(), r, "{r:?}");
@@ -1067,6 +1260,42 @@ mod tests {
                 id: 0,
                 inner: Box::new(Response::Error("boom".to_string())),
             },
+            Response::Hello {
+                version: PROTOCOL_V5,
+                caps: CAP_INSERT_BATCH | CAP_SCAN_QUERIES | CAP_PIPELINE | CAP_REPLICATION,
+            },
+            Response::ReplBatch {
+                index: 4,
+                total: 9,
+                dim: 2,
+                points: vec![0, 0, 5, -5, 7, 7],
+            },
+            Response::ReplBatch {
+                index: 9,
+                total: 9,
+                dim: 3,
+                points: vec![],
+            },
+            Response::ReplAcked { lag: 0 },
+            Response::ReplAcked { lag: u64::MAX },
+            Response::Stale {
+                lag: 3,
+                inner: Box::new(Response::Bool(true)),
+            },
+            Response::Stale {
+                lag: 1,
+                inner: Box::new(Response::Degraded {
+                    generation: 2,
+                    inner: Box::new(Response::NotReady),
+                }),
+            },
+            Response::Tagged {
+                id: 8,
+                inner: Box::new(Response::Stale {
+                    lag: 5,
+                    inner: Box::new(Response::VisibleCount(2)),
+                }),
+            },
         ];
         for r in resps {
             assert_eq!(Response::decode(&r.encode()).unwrap(), r, "{r:?}");
@@ -1126,7 +1355,76 @@ mod tests {
         assert_eq!(negotiate(PROTOCOL_V2), PROTOCOL_V2);
         assert_eq!(negotiate(PROTOCOL_V3), PROTOCOL_V3);
         assert_eq!(negotiate(PROTOCOL_V4), PROTOCOL_V4);
-        assert_eq!(negotiate(u16::MAX), PROTOCOL_V4);
+        assert_eq!(negotiate(PROTOCOL_V5), PROTOCOL_V5);
+        assert_eq!(negotiate(u16::MAX), PROTOCOL_V5);
+    }
+
+    #[test]
+    fn stale_wrapper_nesting_rules() {
+        // Stale inside Stale: rejected.
+        let mut buf = vec![ST_STALE];
+        buf.extend_from_slice(&1u64.to_le_bytes());
+        buf.extend_from_slice(
+            &Response::Stale {
+                lag: 2,
+                inner: Box::new(Response::NotReady),
+            }
+            .encode(),
+        );
+        assert_eq!(Response::decode(&buf), Err(WireError::NestedStale));
+        // Stale inside Degraded: wrapper order is fixed, rejected.
+        let mut buf = vec![ST_DEGRADED];
+        buf.extend_from_slice(&1u32.to_le_bytes());
+        buf.extend_from_slice(
+            &Response::Stale {
+                lag: 2,
+                inner: Box::new(Response::NotReady),
+            }
+            .encode(),
+        );
+        assert_eq!(Response::decode(&buf), Err(WireError::NestedStale));
+        // Tagged inside Stale: rejected (Tagged wraps outermost).
+        let mut buf = vec![ST_STALE];
+        buf.extend_from_slice(&1u64.to_le_bytes());
+        buf.extend_from_slice(
+            &Response::Tagged {
+                id: 3,
+                inner: Box::new(Response::NotReady),
+            }
+            .encode(),
+        );
+        assert_eq!(Response::decode(&buf), Err(WireError::NestedTagged));
+        // Truncated Stale header (lag cut short).
+        assert!(Response::decode(&[ST_STALE, 1, 2]).is_err());
+    }
+
+    #[test]
+    fn v5_repl_bodies_are_bounds_checked() {
+        // ReplBatch claiming a gigantic point count: rejected before
+        // any allocation sized by it.
+        let mut buf = vec![ST_OK, OP_REPL_SUBSCRIBE];
+        buf.extend_from_slice(&0u64.to_le_bytes());
+        buf.extend_from_slice(&1u64.to_le_bytes());
+        buf.push(2);
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            Response::decode(&buf),
+            Err(WireError::Oversized(_))
+        ));
+        // ReplBatch with a dimension out of range.
+        let mut buf = vec![ST_OK, OP_REPL_SUBSCRIBE];
+        buf.extend_from_slice(&0u64.to_le_bytes());
+        buf.extend_from_slice(&1u64.to_le_bytes());
+        buf.push(1);
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        assert_eq!(Response::decode(&buf), Err(WireError::BadDim(1)));
+        // Truncated ReplSubscribe (index cut short).
+        assert!(Request::decode(&[OP_REPL_SUBSCRIBE, 0, 0, 1, 2]).is_err());
+        assert!(Request::decode(&[OP_REPL_ACK, 0, 0]).is_err());
+        // Trailing bytes after a complete ReplAck.
+        let mut buf = Request::ReplAck { shard: 0, index: 3 }.encode();
+        buf.push(0xAA);
+        assert_eq!(Request::decode(&buf), Err(WireError::Trailing(1)));
     }
 
     #[test]

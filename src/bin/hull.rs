@@ -6,10 +6,14 @@
 //! 0-based input indices) plus instrumentation.
 //!
 //! **Serving mode**: `hull serve` runs the long-lived `chull-service`
-//! hull server; `hull query` talks to one over its wire protocol;
+//! hull server (`--follow PRIMARY` turns it into a read-only follower
+//! replica shipping the primary's journal); `hull route` fronts a
+//! primary + followers with a consistent-hashing failover router;
+//! `hull query` talks to any of them over the wire protocol;
 //! `hull metrics` scrapes a server's telemetry (Prometheus text over
 //! HTTP `/metrics` or the in-band wire `Metrics` op) and pretty-prints
-//! it.
+//! it. `hull serve` and `hull route` shut down gracefully on
+//! SIGTERM/SIGINT.
 //!
 //! ```text
 //! USAGE: hull [--dim D] [--algo seq|par|rounds|chain] [--seed S]
@@ -18,6 +22,8 @@
 //!                   [--batch B] [--workers W] [--wal DIR] [--metrics-addr H:P]
 //!                   [--chaos-seed S] [--oneshot] [--stats-json]
 //!                   [--threaded] [--dispatchers N]
+//!                   [--follow PRIMARY] [--promote-after N]
+//!        hull route [--addr H:P] [--probe-ms MS] NODE...
 //!        hull query ADDR [--scan] OP [SHARD] [COORDS...]
 //!          OP: insert|contains|visible|extreme|stats|snapshot|flush|
 //!              metrics|shutdown|script  (script reads one OP line per stdin line;
@@ -45,7 +51,9 @@ use convex_hull_suite::core::par::{parallel_hull, ParOptions};
 use convex_hull_suite::core::seq::incremental_hull_run;
 use convex_hull_suite::core::{HullOutput, HullStats};
 use convex_hull_suite::geometry::{Point2i, PointSet};
-use convex_hull_suite::service::{serve, HullClient, ServeOptions};
+use convex_hull_suite::service::{
+    route, serve, FollowOptions, HullClient, RouterOptions, ServeOptions,
+};
 use std::io::Read;
 
 /// Parsed command-line options.
@@ -72,14 +80,21 @@ fn usage() -> ! {
         "USAGE: hull [--dim D] [--algo seq|par|rounds|chain] [--seed S] [--stats] [--stats-json] [FILE]\n\
          \x20      hull serve [--addr H:P] [--dim D] [--shards N] [--queue-cap C] [--batch B]\n\
          \x20                 [--workers W] [--wal DIR] [--metrics-addr H:P] [--chaos-seed S] [--oneshot] [--stats-json]\n\
-         \x20                 [--threaded] [--dispatchers N]\n\
+         \x20                 [--threaded] [--dispatchers N] [--follow PRIMARY] [--promote-after N]\n\
          \x20        --workers W sizes the pool each shard applies batches with (0 = auto, 1 = sequential baseline);\n\
          \x20        --wal DIR persists per-shard insert WALs under DIR (crash-safe restart);\n\
          \x20        --metrics-addr H:P serves Prometheus text on plain HTTP GET /metrics;\n\
          \x20        --chaos-seed S arms the canned fault-injection schedule (testing only);\n\
          \x20        --threaded uses the original thread-per-connection front end instead of the\n\
          \x20        default epoll event loop; --dispatchers N sizes the event loop's request\n\
-         \x20        pool (0 = auto)\n\
+         \x20        pool (0 = auto);\n\
+         \x20        --follow PRIMARY runs a read-only follower replica shipping PRIMARY's journal\n\
+         \x20        batch units (wire v5; incompatible with --wal — followers resync from the\n\
+         \x20        primary); --promote-after N self-promotes to writable after N consecutive\n\
+         \x20        failed resubscribes (0 = never)\n\
+         \x20      hull route [--addr H:P] [--probe-ms MS] NODE...\n\
+         \x20        consistent-hash reads across NODEs (first NODE = write primary), health-check\n\
+         \x20        every MS ms, and fail over with Degraded-wrapped replies when a node dies\n\
          \x20      hull query ADDR [--scan] OP [SHARD] [COORDS...]\n\
          \x20        OP: insert|contains|visible|extreme SHARD C1..CD\n\
          \x20            stats [SHARD] | snapshot SHARD | flush SHARD | metrics | shutdown\n\
@@ -224,10 +239,55 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("serve") => serve_main(&args[1..]),
+        Some("route") => route_main(&args[1..]),
         Some("query") => query_main(&args[1..]),
         Some("metrics") => metrics_main(&args[1..]),
         _ => offline_main(&args),
     }
+}
+
+/// Bind `SIGTERM`/`SIGINT` to an eventfd and watch it from a thread:
+/// when a signal lands, run `on_signal` (graceful shutdown) exactly
+/// once. The handler itself only does async-signal-safe work (one
+/// `write(2)`); everything else happens on the watcher thread. No-op
+/// off Linux.
+fn on_termination_signal(on_signal: impl FnOnce() + Send + 'static) {
+    #[cfg(target_os = "linux")]
+    {
+        use convex_hull_suite::net::sys::{sys_poll, sys_termination_eventfd, PollFd, POLLIN};
+        let efd = match sys_termination_eventfd() {
+            Ok(fd) => fd,
+            Err(e) => {
+                eprintln!("hull: cannot bind termination signals: {e}");
+                return;
+            }
+        };
+        std::thread::spawn(move || {
+            // Rebind the whole guard: disjoint closure capture would
+            // otherwise move only the `Copy` fd number in, drop the
+            // guard at the end of `on_termination_signal`, and close
+            // the eventfd under the poll (instant phantom POLLNVAL
+            // wake-ups = spurious shutdowns).
+            let efd = efd;
+            let mut fds = [PollFd {
+                fd: efd.0,
+                events: POLLIN,
+                revents: 0,
+            }];
+            loop {
+                match sys_poll(&mut fds, -1) {
+                    Ok(n) if n > 0 => break,
+                    // EINTR (the signal interrupting poll itself): retry;
+                    // the eventfd write still lands.
+                    _ => continue,
+                }
+            }
+            eprintln!("hull: termination signal received, shutting down");
+            on_signal();
+        });
+    }
+    #[cfg(not(target_os = "linux"))]
+    let _ = on_signal;
 }
 
 fn offline_main(args: &[String]) {
@@ -306,6 +366,8 @@ fn serve_main(args: &[String]) {
     };
     let mut stats_json = false;
     let mut chaos_seed: Option<u64> = None;
+    let mut follow: Option<String> = None;
+    let mut promote_after: Option<u32> = None;
     let mut it = args.iter();
     let next = |what: &str, it: &mut std::slice::Iter<String>| -> String {
         it.next()
@@ -353,6 +415,14 @@ fn serve_main(args: &[String]) {
                         .unwrap_or_else(|_| die("bad --chaos-seed value")),
                 );
             }
+            "--follow" => follow = Some(next("--follow", &mut it)),
+            "--promote-after" => {
+                promote_after = Some(
+                    next("--promote-after", &mut it)
+                        .parse()
+                        .unwrap_or_else(|_| die("bad --promote-after value")),
+                );
+            }
             "--threaded" => opts.threaded = true,
             "--dispatchers" => {
                 opts.dispatchers = next("--dispatchers", &mut it)
@@ -371,6 +441,24 @@ fn serve_main(args: &[String]) {
     if opts.config.shards == 0 || opts.config.shards > u16::MAX as usize {
         die("--shards must be in 1..=65535");
     }
+    if let Some(primary) = follow {
+        if opts.config.wal_dir.is_some() {
+            die(
+                "follower replicas resync from the primary on restart; --wal is primary-only \
+                 (a stale follower WAL would skew the batch-index mirror)",
+            );
+        }
+        let mut f = FollowOptions {
+            primary,
+            ..FollowOptions::default()
+        };
+        if let Some(n) = promote_after {
+            f.promote_after = n;
+        }
+        opts.follow = Some(f);
+    } else if promote_after.is_some() {
+        die("--promote-after only applies with --follow");
+    }
     if let Some(seed) = chaos_seed {
         // Fault injection for resilience testing: replayable from the
         // seed alone. Workers will die and recover; clients see
@@ -380,17 +468,81 @@ fn serve_main(args: &[String]) {
         );
         eprintln!("hull: chaos schedule armed (seed {seed})");
     }
+    let following = opts.follow.as_ref().map(|f| f.primary.clone());
     let handle = serve(opts).unwrap_or_else(|e| die(&format!("bind failed: {e}")));
     // The resolved address goes to stderr so facet/stat stdout stays clean
     // and scripts with `--addr host:0` can learn the picked port.
     eprintln!("hull: listening on {}", handle.local_addr());
+    if let Some(primary) = following {
+        eprintln!("hull: following {primary} (read-only replica)");
+    }
     if let Some(maddr) = handle.metrics_addr() {
         eprintln!("hull: metrics on http://{maddr}/metrics");
     }
+    // SIGTERM/SIGINT run the same graceful path as a remote `Shutdown`
+    // op: stop accepting, drain the shards (which leaves every applied
+    // batch unit sealed in the WAL — the open tail only exists inside a
+    // batch apply), then exit through the normal join below.
+    let wire_addr = handle.local_addr();
+    on_termination_signal(move || {
+        let ok = HullClient::builder(wire_addr.to_string())
+            .deadline(std::time::Duration::from_secs(2))
+            .connect()
+            .and_then(|mut c| c.shutdown_server());
+        if let Err(e) = ok {
+            eprintln!("hull: graceful shutdown request failed ({e}); exiting hard");
+            std::process::exit(1);
+        }
+    });
     let final_stats = handle.join_stats();
     if stats_json {
         println!("{final_stats}");
     }
+}
+
+fn route_main(args: &[String]) {
+    let mut opts = RouterOptions {
+        addr: "127.0.0.1:4090".to_string(),
+        ..RouterOptions::default()
+    };
+    let mut it = args.iter();
+    let next = |what: &str, it: &mut std::slice::Iter<String>| -> String {
+        it.next()
+            .unwrap_or_else(|| die(&format!("{what} needs a value")))
+            .clone()
+    };
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--addr" => opts.addr = next("--addr", &mut it),
+            "--probe-ms" => {
+                let ms: u64 = next("--probe-ms", &mut it)
+                    .parse()
+                    .unwrap_or_else(|_| die("bad --probe-ms value"));
+                opts.probe_interval = std::time::Duration::from_millis(ms.max(1));
+            }
+            "--help" | "-h" => usage(),
+            node if !node.starts_with('-') => opts.nodes.push(node.to_string()),
+            other => die(&format!("unknown route flag '{other}'")),
+        }
+    }
+    if opts.nodes.is_empty() {
+        die("route needs at least one NODE address (the first is the write primary)");
+    }
+    let nodes = opts.nodes.len();
+    let mut handle = route(opts).unwrap_or_else(|e| die(&format!("bind failed: {e}")));
+    eprintln!(
+        "hull: routing on {} across {nodes} node{}",
+        handle.local_addr(),
+        if nodes == 1 { "" } else { "s" }
+    );
+    // Park until SIGTERM/SIGINT, then stop the listener threads cleanly
+    // (backends are left running — the router holds no hull state).
+    let (tx, rx) = std::sync::mpsc::channel::<()>();
+    on_termination_signal(move || {
+        let _ = tx.send(());
+    });
+    let _ = rx.recv();
+    handle.shutdown();
 }
 
 fn parse_shard(tok: Option<&String>) -> u16 {

@@ -101,6 +101,76 @@ fn comments_and_blank_lines_ignored() {
 }
 
 #[test]
+fn serve_and_route_flag_validation() {
+    // A follower must not carry a WAL: on restart it resyncs from the
+    // primary, and a stale local WAL would skew the 1:1 batch-index
+    // mirror the replication protocol relies on.
+    let (_, stderr, ok) = run_hull(&["serve", "--follow", "127.0.0.1:1", "--wal", "/tmp/w"], "");
+    assert!(!ok);
+    assert!(stderr.contains("--wal is primary-only"), "stderr: {stderr}");
+
+    let (_, stderr, ok) = run_hull(&["serve", "--promote-after", "3"], "");
+    assert!(!ok);
+    assert!(
+        stderr.contains("--promote-after only applies with --follow"),
+        "stderr: {stderr}"
+    );
+
+    let (_, stderr, ok) = run_hull(&["route"], "");
+    assert!(!ok);
+    assert!(stderr.contains("at least one NODE"), "stderr: {stderr}");
+}
+
+/// SIGTERM runs the same graceful path as a wire `Shutdown`: stop
+/// accepting, drain the shards (sealing the journal tail), then exit 0
+/// with the final stats — not a mid-write death.
+#[cfg(target_os = "linux")]
+#[test]
+fn sigterm_drains_and_exits_cleanly() {
+    use std::io::BufRead;
+    let mut child = Command::new(env!("CARGO_BIN_EXE_hull"))
+        .args([
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--dim",
+            "2",
+            "--stats-json",
+        ])
+        .stdin(Stdio::null())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawning hull serve");
+    let mut lines = std::io::BufReader::new(child.stderr.take().unwrap()).lines();
+    loop {
+        let line = lines.next().expect("serve died early").expect("stderr");
+        if line.starts_with("hull: listening on ") {
+            break;
+        }
+    }
+    let ok = Command::new("kill")
+        .args(["-TERM", &child.id().to_string()])
+        .status()
+        .expect("running kill")
+        .success();
+    assert!(ok, "kill -TERM failed");
+    let rest: Vec<String> = lines.map_while(Result::ok).collect();
+    let out = child.wait_with_output().expect("waiting for serve");
+    assert!(out.status.success(), "SIGTERM exit must be clean: {out:?}");
+    assert!(
+        rest.iter()
+            .any(|l| l.contains("termination signal received")),
+        "stderr lines: {rest:?}"
+    );
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(
+        stdout.trim_start().starts_with('{'),
+        "--stats-json must still print final stats: {stdout}"
+    );
+}
+
+#[test]
 fn seed_changes_internal_order_not_hull() {
     let a = edges_of(&run_hull(&["--seed", "1"], SQUARE).0);
     let b = edges_of(&run_hull(&["--seed", "999"], SQUARE).0);

@@ -47,6 +47,19 @@ fn corpus() -> Vec<Vec<u8>> {
         Request::Snapshot { shard: 0 },
         Request::Flush { shard: 0 },
         Request::Shutdown,
+        // v5 replication ops, bare and nested under the v4 tag wrapper.
+        Request::ReplSubscribe {
+            shard: 0,
+            from_index: 3,
+        },
+        Request::ReplAck { shard: 0, index: 9 },
+        Request::Tagged {
+            id: 77,
+            inner: Box::new(Request::ReplSubscribe {
+                shard: 1,
+                from_index: 0,
+            }),
+        },
     ];
     let resps = [
         Response::Inserted,
@@ -71,6 +84,33 @@ fn corpus() -> Vec<Vec<u8>> {
             inner: Box::new(Response::Bool(false)),
         },
         Response::Error("nope".to_string()),
+        // v5 replication replies and the Stale staleness wrapper, at
+        // every legal nesting depth (Tagged ⊃ Stale ⊃ Degraded).
+        Response::ReplBatch {
+            index: 2,
+            total: 5,
+            dim: 2,
+            points: vec![1, 2, 3, 4],
+        },
+        Response::ReplAcked { lag: 3 },
+        Response::Stale {
+            lag: 4,
+            inner: Box::new(Response::Bool(true)),
+        },
+        Response::Stale {
+            lag: 1,
+            inner: Box::new(Response::Degraded {
+                generation: 2,
+                inner: Box::new(Response::VisibleCount(1)),
+            }),
+        },
+        Response::Tagged {
+            id: 9,
+            inner: Box::new(Response::Stale {
+                lag: 2,
+                inner: Box::new(Response::Bool(false)),
+            }),
+        },
     ];
     let mut out: Vec<Vec<u8>> = reqs.iter().map(|r| r.encode()).collect();
     out.extend(resps.iter().map(|r| r.encode()));
@@ -381,6 +421,72 @@ fn slow_loris_scenario(threaded: bool) {
         slowest < Duration::from_secs(5),
         "healthy client stalled for {slowest:?} behind the dribbler (threaded={threaded})"
     );
+    assert_healthy(addr);
+    server.shutdown();
+}
+
+#[test]
+fn repl_garbage_and_stale_acks_never_stall_replication() {
+    on_both_backends(repl_garbage_scenario);
+}
+
+/// v5 replication ops under attack: malformed `ReplSubscribe`/`ReplAck`
+/// payloads get typed `Error` replies (no panic, connection kept), a
+/// stale ack absurdly past the journal is clamped rather than trusted,
+/// and a healthy subscriber on another connection keeps shipping units
+/// throughout.
+fn repl_garbage_scenario(threaded: bool) {
+    let mut server = server(Duration::from_secs(2), threaded);
+    let addr = server.local_addr();
+    // Seed one journal batch unit so there is something to ship.
+    let mut c = HullClient::builder(addr.to_string()).connect().unwrap();
+    for p in [[0, 0], [9, 0], [0, 9]] {
+        c.insert(0, &p).unwrap();
+    }
+    c.flush(0).unwrap();
+
+    let mut s = TcpStream::connect(addr).unwrap();
+    for garbage in [
+        &[0x10u8][..],             // ReplSubscribe, no body
+        &[0x10, 0x00, 0x00, 0x01], // truncated from_index
+        &[0x11, 0xFF, 0xFF],       // ReplAck, index missing
+        // Well-formed ReplSubscribe body plus trailing junk.
+        &[
+            0x10, 0x00, 0x00, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x77,
+        ],
+    ] {
+        write_frame(&mut s, garbage).unwrap();
+        let payload = read_frame(&mut s).unwrap().expect("reply frame");
+        let resp = Response::decode(&payload).unwrap();
+        assert!(matches!(resp, Response::Error(_)), "{resp:?}");
+    }
+    // A stale/lying ack far past the journal is clamped to the unit
+    // count — the primary's lag gauge must not go negative or wrap.
+    write_frame(
+        &mut s,
+        &Request::ReplAck {
+            shard: 0,
+            index: u64::MAX,
+        }
+        .encode(),
+    )
+    .unwrap();
+    let payload = read_frame(&mut s).unwrap().expect("ack reply");
+    match Response::decode(&payload).unwrap() {
+        Response::ReplAcked { lag } => assert_eq!(lag, 0, "clamped ack must show zero lag"),
+        other => panic!("stale ack answered {other:?}"),
+    }
+
+    // Healthy subscriber on a fresh connection: units still ship, and
+    // asking from the end reads as caught-up, not an error.
+    let (index, total, dim, flat) = c.repl_fetch(0, 0).unwrap();
+    assert_eq!(index, 0);
+    assert!(total >= 1, "no units shipped (total {total})");
+    assert_eq!(dim, 2);
+    assert!(!flat.is_empty(), "first unit empty");
+    let (i2, t2, _, flat2) = c.repl_fetch(0, total).unwrap();
+    assert_eq!((i2, t2), (total, total));
+    assert!(flat2.is_empty(), "caught-up fetch returned points");
     assert_healthy(addr);
     server.shutdown();
 }

@@ -97,6 +97,14 @@ fn wire_and_http_scrapes_agree_and_cover_every_layer() {
     assert_eq!(c.contains(0, &[0, 0]).unwrap(), Some(true));
     assert!(c.visible(1, &[1 << 19, 0]).unwrap().is_some());
 
+    // Exercise the v5 replication surface so its op series and gauges
+    // carry real values: ship shard 0's first unit, ack it applied.
+    let (index, total, dim, flat) = c.repl_fetch(0, 0).unwrap();
+    assert_eq!((index, dim), (0, 2));
+    assert!(total >= 1 && !flat.is_empty(), "nothing shipped");
+    let lag = c.repl_ack(0, 1).unwrap();
+    assert_eq!(lag, total - 1, "ack through unit 0 leaves total-1 lag");
+
     let wire_text = c.metrics().unwrap();
     let http_reply = http_get(maddr, "/metrics");
     assert!(http_reply.starts_with("HTTP/1.0 200"), "{http_reply}");
@@ -132,9 +140,24 @@ fn wire_and_http_scrapes_agree_and_cover_every_layer() {
         "chull_server_request_us",
         "chull_server_accepts_total",
         "chull_service_flushes_total",
+        // Replication layer (PR 8): shipped/applied counters, the
+        // resubscribe/failover counters, and the per-shard lag gauges.
+        "chull_replica_units_shipped_total",
+        "chull_replica_units_applied_total",
+        "chull_replica_resubscribes_total",
+        "chull_replica_failovers_total",
+        "chull_replica_lag_batches",
+        "chull_replica_last_acked",
     ] {
         assert!(wf.contains(family), "family {family} missing:\n{wire_text}");
     }
+
+    // The ack above landed in the per-shard replication gauges.
+    let acked_needle = "chull_replica_last_acked{shard=\"0\"} 1";
+    assert!(
+        wire_text.contains(acked_needle),
+        "wire scrape lacks `{acked_needle}`:\n{wire_text}"
+    );
 
     // The depth histogram is non-empty: one record per applied insert
     // past the seed simplex, on the online engine label.
@@ -157,7 +180,16 @@ fn wire_and_http_scrapes_agree_and_cover_every_layer() {
     }
 
     // Per-op request accounting covered the ops this test issued.
-    for op in ["insert", "flush", "contains", "visible", "stats", "metrics"] {
+    for op in [
+        "insert",
+        "flush",
+        "contains",
+        "visible",
+        "stats",
+        "metrics",
+        "repl_subscribe",
+        "repl_ack",
+    ] {
         let needle = format!("chull_server_requests_total{{op=\"{op}\"}}");
         assert!(wire_text.contains(&needle), "missing {needle}");
     }

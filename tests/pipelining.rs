@@ -102,7 +102,7 @@ fn pipelined_vs_sequential(threaded: bool) {
     // 100 tagged requests per burst.
     let mut piped = server(threaded);
     let mut pc = client(piped.local_addr());
-    assert_eq!(pc.negotiated_version(), PROTOCOL_V4);
+    assert!(pc.negotiated_version() >= PROTOCOL_V4);
     assert_ne!(pc.caps() & CAP_PIPELINE, 0);
     for chunk in rows.chunks(100) {
         let reqs: Vec<Request> = chunk
@@ -254,7 +254,10 @@ fn mixed_version_clients_share_one_event_loop_server() {
         .protocol_ceiling(PROTOCOL_V3)
         .connect()
         .unwrap();
-    let mut v4 = HullClient::builder(&addr).connect().unwrap();
+    let mut v4 = HullClient::builder(&addr)
+        .protocol_ceiling(PROTOCOL_V4)
+        .connect()
+        .unwrap();
     assert_eq!(v1.negotiated_version(), PROTOCOL_V1);
     assert_eq!(v2.negotiated_version(), PROTOCOL_V2);
     assert_eq!(v3.negotiated_version(), PROTOCOL_V3);

@@ -1,0 +1,485 @@
+//! Replicated serving end-to-end: journal shipping to follower
+//! replicas, staleness-bounded reads, client fallback failover, the
+//! `hull route` front end, follower self-promotion, and a kill-a-node
+//! chaos run against real `hull serve` processes.
+//!
+//! The invariant under test everywhere (DESIGN §S20): because journal
+//! batch units are order-independent (Theorem 4.2) and duplicate points
+//! never change a hull, a follower may fetch units late, twice, or not
+//! at all for a while — dropped shipments, dropped applies, link loss,
+//! puller death — and still converge **bit-identical** (as a set of
+//! facet coordinate tuples) to the offline sequential Algorithm 2 on
+//! the primary's point multiset. Staleness meanwhile is bounded
+//! in-band: reads served while the follower trails are wrapped in the
+//! wire v5 `Stale { lag }` status.
+//!
+//! The failpoint registry is process-global, so every test here takes a
+//! shared mutex before touching a server (armed or not — a concurrent
+//! armed test would leak faults into an unarmed one).
+
+use convex_hull_suite::concurrent::failpoint::{self, sites, FaultPlan, SiteSpec};
+use convex_hull_suite::core::seq::incremental_hull_run;
+use convex_hull_suite::geometry::{generators, PointSet};
+use convex_hull_suite::service::{
+    route, serve, FollowOptions, HullClient, RouterOptions, ServeOptions, ServiceConfig,
+    SnapshotReply,
+};
+use std::collections::BTreeSet;
+use std::io::BufRead;
+use std::net::SocketAddr;
+use std::sync::{Mutex, MutexGuard, OnceLock};
+use std::time::{Duration, Instant};
+
+/// Serialize tests: the failpoint registry is process-global and the
+/// box is small — replication clusters should not time-share.
+fn repl_lock() -> MutexGuard<'static, ()> {
+    static GUARD: OnceLock<Mutex<()>> = OnceLock::new();
+    match GUARD.get_or_init(|| Mutex::new(())).lock() {
+        Ok(g) => g,
+        Err(p) => p.into_inner(),
+    }
+}
+
+fn opts(dim: usize) -> ServeOptions {
+    ServeOptions {
+        config: ServiceConfig {
+            dim,
+            shards: 1,
+            queue_capacity: 256,
+            max_batch: 16,
+            workers: 2,
+            wal_dir: None,
+        },
+        ..Default::default()
+    }
+}
+
+fn follower_opts(dim: usize, primary: SocketAddr, promote_after: u32) -> ServeOptions {
+    ServeOptions {
+        follow: Some(FollowOptions {
+            primary: primary.to_string(),
+            poll: Duration::from_millis(1),
+            connect_deadline: Duration::from_millis(500),
+            promote_after,
+        }),
+        ..opts(dim)
+    }
+}
+
+/// A hull as an order-free set of facets, each facet the sorted list of
+/// its vertices' coordinate rows — vertex ids differ between nodes that
+/// applied units in different interleavings; coordinates cannot.
+fn canonical(facets: impl Iterator<Item = Vec<Vec<i64>>>) -> BTreeSet<Vec<Vec<i64>>> {
+    facets
+        .map(|mut f| {
+            f.sort();
+            f
+        })
+        .collect()
+}
+
+fn canonical_offline(pts: &PointSet) -> BTreeSet<Vec<Vec<i64>>> {
+    let run = incremental_hull_run(pts);
+    let dim = pts.dim();
+    canonical(run.output.facets.iter().map(|f| {
+        f[..dim]
+            .iter()
+            .map(|&v| pts.point(v as usize).to_vec())
+            .collect()
+    }))
+}
+
+fn canonical_served(snap: &SnapshotReply) -> BTreeSet<Vec<Vec<i64>>> {
+    canonical(
+        snap.facets
+            .iter()
+            .map(|f| f.iter().map(|&v| snap.points[v as usize].clone()).collect()),
+    )
+}
+
+fn rows_of(pts: &PointSet) -> Vec<Vec<i64>> {
+    (0..pts.len()).map(|i| pts.point(i).to_vec()).collect()
+}
+
+fn connect(addr: SocketAddr) -> HullClient {
+    HullClient::builder(addr.to_string())
+        .deadline(Duration::from_secs(2))
+        .connect()
+        .expect("connect")
+}
+
+fn insert_all(c: &mut HullClient, rows: &[Vec<i64>]) {
+    for row in rows {
+        while !c.insert(0, row).expect("insert") {
+            std::thread::yield_now();
+        }
+    }
+    c.flush(0).expect("flush");
+}
+
+/// Poll `cond` for up to 15 s (generous: the box is one core and chaos
+/// backoff caps at 200 ms).
+fn wait_until(what: &str, mut cond: impl FnMut() -> bool) {
+    let start = Instant::now();
+    while start.elapsed() < Duration::from_secs(15) {
+        if cond() {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    panic!("timed out waiting for {what}");
+}
+
+/// Dropped shipments, dropped applies, and link resubscribes must not
+/// keep a follower from converging bit-identical to offline Algorithm 2
+/// — and while it trails, its reads carry the `Stale { lag }` bound.
+#[test]
+fn follower_converges_bit_identical_and_bounds_staleness() {
+    let _guard = repl_lock();
+    let pts = generators::cube_d(2, 96, 1_000_000, 11);
+    let rows = rows_of(&pts);
+
+    let mut primary = serve(opts(2)).unwrap();
+    let mut pc = connect(primary.local_addr());
+    insert_all(&mut pc, &rows);
+    let primary_units = primary.service().batch_units(0).unwrap();
+    assert!(primary_units >= 1, "workload produced no batch units");
+
+    // Phase 1: every fetched unit is dropped before apply — the
+    // follower learns the primary's total but applies nothing, so its
+    // reads must carry the full lag as the staleness bound.
+    failpoint::arm(FaultPlan::new(0xA11CE).site(
+        sites::REPL_APPLY,
+        SiteSpec {
+            full_ppm: 1_000_000,
+            ..SiteSpec::default()
+        },
+    ));
+    let mut follower = serve(follower_opts(2, primary.local_addr(), 0)).unwrap();
+    let state = follower.replica_state().expect("follower has a puller");
+    wait_until("drops to accumulate", || state.dropped() >= 3);
+    assert_eq!(state.applied(), 0, "dropped units must not be applied");
+
+    let mut fc = connect(follower.local_addr());
+    let snap = fc.snapshot(0).unwrap();
+    assert!(snap.points.is_empty(), "nothing applied yet");
+    assert_eq!(
+        fc.last_stale(),
+        Some(primary_units),
+        "read while fully behind must carry the whole lag as its bound"
+    );
+
+    // Phase 2: link heals; the follower resumes from its own batch
+    // count, re-fetches what it dropped, and converges.
+    failpoint::disarm();
+    wait_until("follower to catch up", || {
+        follower.service().batch_units(0).unwrap() == primary_units
+    });
+    assert!(state.applied() >= primary_units);
+    let snap = fc.snapshot(0).unwrap();
+    assert_eq!(fc.last_stale(), None, "caught-up reads are not stale");
+    assert_eq!(
+        canonical_served(&snap),
+        canonical_offline(&pts),
+        "converged follower differs from offline Algorithm 2"
+    );
+
+    // Phase 3: the primary keeps ingesting while its shipping side
+    // drops frames (`Overloaded` → counted resubscribe-with-resume).
+    failpoint::arm(FaultPlan::new(0xBEEF).site(
+        sites::REPL_SHIP,
+        SiteSpec {
+            full_ppm: 400_000,
+            max_fires: 6,
+            ..SiteSpec::default()
+        },
+    ));
+    let more = generators::cube_d(2, 64, 1_000_000, 12);
+    insert_all(&mut pc, &rows_of(&more));
+    let grown = primary.service().batch_units(0).unwrap();
+    assert!(grown > primary_units);
+    wait_until("follower to catch up through dropped shipments", || {
+        follower.service().batch_units(0).unwrap() == grown
+    });
+    failpoint::disarm();
+    assert!(
+        state.resubscribes() >= 1,
+        "dropped shipments must surface as counted resubscribes"
+    );
+
+    let mut all = PointSet::from_rows(2, &rows);
+    for row in rows_of(&more) {
+        all.push(&row);
+    }
+    assert_eq!(
+        canonical_served(&fc.snapshot(0).unwrap()),
+        canonical_offline(&all),
+        "follower diverged from offline Algorithm 2 after link chaos"
+    );
+
+    follower.shutdown();
+    primary.shutdown();
+}
+
+/// Satellite: a client with ordered fallback addresses redials through
+/// them when its primary dies mid-session, re-handshakes on the new
+/// node, and keeps answering.
+#[test]
+fn client_fails_over_to_fallback_follower() {
+    let _guard = repl_lock();
+    failpoint::disarm();
+    let pts = generators::cube_d(2, 48, 1_000_000, 21);
+
+    let mut primary = serve(opts(2)).unwrap();
+    let mut pc = connect(primary.local_addr());
+    insert_all(&mut pc, &rows_of(&pts));
+    let units = primary.service().batch_units(0).unwrap();
+    let mut follower = serve(follower_opts(2, primary.local_addr(), 0)).unwrap();
+    wait_until("follower to catch up", || {
+        follower.service().batch_units(0).unwrap() == units
+    });
+
+    let mut c = HullClient::builder(primary.local_addr().to_string())
+        .fallback(follower.local_addr().to_string())
+        .deadline(Duration::from_secs(2))
+        .connect()
+        .unwrap();
+    let far = vec![3_000_000i64, 3_000_000];
+    assert_eq!(c.contains(0, &far).unwrap(), Some(false));
+    assert_eq!(c.failovers(), 0);
+
+    primary.shutdown();
+    // The next call hits the dead connection, redials the (refused)
+    // primary, then fails over to the follower and resends.
+    assert_eq!(
+        c.contains(0, &far).unwrap(),
+        Some(false),
+        "failover must resume the interrupted call"
+    );
+    assert_eq!(c.failovers(), 1, "exactly one fallback switch");
+    assert_eq!(
+        c.last_stale(),
+        None,
+        "the follower was caught up when its primary died — lag 0"
+    );
+
+    follower.shutdown();
+}
+
+/// Tentpole: the `route` front end keeps reads available when the
+/// primary dies — writes route to the surviving node (which refuses
+/// them until it promotes), and the router's failover count moves.
+#[test]
+fn router_keeps_reads_available_through_primary_death() {
+    let _guard = repl_lock();
+    failpoint::disarm();
+    let pts = generators::cube_d(2, 64, 1_000_000, 31);
+    let rows = rows_of(&pts);
+
+    let mut primary = serve(opts(2)).unwrap();
+    let mut follower = serve(follower_opts(2, primary.local_addr(), 0)).unwrap();
+    let mut router = route(RouterOptions {
+        addr: "127.0.0.1:0".to_string(),
+        nodes: vec![
+            primary.local_addr().to_string(),
+            follower.local_addr().to_string(),
+        ],
+        probe_interval: Duration::from_millis(50),
+        deadline: Duration::from_millis(500),
+    })
+    .unwrap();
+
+    // Writes through the router land on the primary and replicate out.
+    let mut rc = connect(router.local_addr());
+    insert_all(&mut rc, &rows);
+    let units = primary.service().batch_units(0).unwrap();
+    assert!(units >= 1);
+    wait_until("follower to catch up", || {
+        follower.service().batch_units(0).unwrap() == units
+    });
+    assert_eq!(
+        canonical_served(&rc.snapshot(0).unwrap()),
+        canonical_offline(&pts),
+        "routed read differs from offline Algorithm 2"
+    );
+    assert!(router.forwarded() > 0);
+
+    primary.shutdown();
+    // Reads stay available: whichever node the ring owner was, the
+    // surviving follower answers (the router marks the dead node down
+    // on first failure and retries immediately).
+    let snap = rc.snapshot(0).expect("reads must survive the primary");
+    assert_eq!(canonical_served(&snap), canonical_offline(&pts));
+
+    // Writes deterministically fail over to the follower, which — not
+    // yet promoted — refuses them in-band; the failover still counts.
+    let err = loop {
+        match rc.insert(0, &rows[0]) {
+            Ok(_) => std::thread::sleep(Duration::from_millis(10)),
+            Err(e) => break e,
+        }
+    };
+    assert!(
+        err.to_string().contains("read-only follower replica"),
+        "unexpected write-path error: {err}"
+    );
+    assert!(router.failovers() >= 1, "failover must be counted");
+
+    router.shutdown();
+    follower.shutdown();
+}
+
+/// A follower whose primary stays unreachable for `promote_after`
+/// consecutive resubscribes promotes itself: leaves read-only mode,
+/// accepts writes, and its epochs stay monotone (the follower's epoch
+/// is its mirrored batch count).
+#[test]
+fn follower_promotes_and_accepts_writes() {
+    let _guard = repl_lock();
+    failpoint::disarm();
+    let pts = generators::cube_d(2, 48, 1_000_000, 41);
+    let rows = rows_of(&pts);
+
+    let mut primary = serve(opts(2)).unwrap();
+    let mut pc = connect(primary.local_addr());
+    insert_all(&mut pc, &rows);
+    let units = primary.service().batch_units(0).unwrap();
+    let mut follower = serve(follower_opts(2, primary.local_addr(), 3)).unwrap();
+    let state = follower.replica_state().unwrap();
+    wait_until("follower to catch up", || {
+        follower.service().batch_units(0).unwrap() == units
+    });
+    let epoch_before = follower.service().snapshot(0).unwrap().epoch;
+
+    primary.shutdown();
+    wait_until("self-promotion", || state.promoted());
+    assert!(
+        !follower.service().is_read_only(),
+        "a promoted follower serves writes"
+    );
+
+    let more = generators::cube_d(2, 24, 1_000_000, 42);
+    let mut fc = connect(follower.local_addr());
+    insert_all(&mut fc, &rows_of(&more));
+    let epoch_after = fc.flush(0).unwrap();
+    assert!(
+        epoch_after > epoch_before,
+        "epochs must stay monotone across promotion ({epoch_before} -> {epoch_after})"
+    );
+    assert_eq!(
+        fc.last_stale(),
+        None,
+        "a promoted node's reads are not stale"
+    );
+
+    let mut all = PointSet::from_rows(2, &rows);
+    for row in rows_of(&more) {
+        all.push(&row);
+    }
+    assert_eq!(
+        canonical_served(&fc.snapshot(0).unwrap()),
+        canonical_offline(&all),
+        "promoted hull differs from offline Algorithm 2"
+    );
+    follower.shutdown();
+}
+
+/// SIGKILL a child process on drop: chaos teardown must not leak
+/// servers when an assertion fails mid-test.
+struct KillOnDrop(std::process::Child);
+
+impl Drop for KillOnDrop {
+    fn drop(&mut self) {
+        let _ = self.0.kill();
+        let _ = self.0.wait();
+    }
+}
+
+/// Spawn `hull serve` with `extra` flags and parse the bound address
+/// off its stderr announcement.
+fn spawn_hull_serve(extra: &[&str]) -> (KillOnDrop, SocketAddr) {
+    let mut cmd = std::process::Command::new(env!("CARGO_BIN_EXE_hull"));
+    cmd.args([
+        "serve",
+        "--addr",
+        "127.0.0.1:0",
+        "--dim",
+        "2",
+        "--shards",
+        "1",
+    ])
+    .args(extra)
+    .stdin(std::process::Stdio::null())
+    .stdout(std::process::Stdio::null())
+    .stderr(std::process::Stdio::piped());
+    let mut child = cmd.spawn().expect("spawning hull serve");
+    let stderr = child.stderr.take().unwrap();
+    let mut lines = std::io::BufReader::new(stderr).lines();
+    let addr = loop {
+        let line = lines
+            .next()
+            .expect("hull serve exited before announcing its address")
+            .expect("child stderr");
+        if let Some(rest) = line.strip_prefix("hull: listening on ") {
+            break rest.trim().parse().expect("announced address");
+        }
+    };
+    // Keep draining stderr so the child never blocks on a full pipe.
+    std::thread::spawn(move || {
+        for l in lines.map_while(Result::ok) {
+            eprintln!("[child] {l}");
+        }
+    });
+    (KillOnDrop(child), addr)
+}
+
+/// The kill-a-node chaos drill, against real processes: SIGKILL the
+/// primary mid-cluster, assert reads stay available on the follower
+/// throughout, and that after self-promotion the promoted hull is
+/// bit-identical to offline Algorithm 2 on the primary's points.
+#[test]
+fn sigkill_primary_promoted_follower_serves_identical_hull() {
+    let _guard = repl_lock();
+    let pts = generators::cube_d(2, 64, 1_000_000, 51);
+    let rows = rows_of(&pts);
+
+    let (mut primary, paddr) = spawn_hull_serve(&[]);
+    let (_follower, faddr) =
+        spawn_hull_serve(&["--follow", &paddr.to_string(), "--promote-after", "5"]);
+
+    let mut pc = connect(paddr);
+    insert_all(&mut pc, &rows);
+    let (_, total, _, _) = pc.repl_fetch(0, u64::MAX).unwrap();
+    assert!(total >= 1);
+
+    // The follower serves the v5 replication surface too — its own
+    // batch-unit total is the catch-up cursor, observable externally.
+    let mut fc = connect(faddr);
+    wait_until("follower process to catch up", || {
+        fc.repl_fetch(0, u64::MAX).map(|(_, t, _, _)| t).ok() == Some(total)
+    });
+
+    // Kill -9: no drain, no goodbye. The degraded window starts here.
+    primary.0.kill().expect("SIGKILL primary");
+    let _ = primary.0.wait();
+
+    // Availability through the window: the follower answers reads
+    // immediately (read-only, lag 0 — its primary died caught-up).
+    let snap = fc.snapshot(0).expect("reads must survive the kill");
+    assert_eq!(canonical_served(&snap), canonical_offline(&pts));
+
+    // Writes start succeeding exactly when the follower promotes. A
+    // duplicate of an existing point is the probe — harmless to the
+    // hull by Theorem 4.2, whatever moment it lands.
+    wait_until("follower self-promotion", || {
+        fc.insert(0, &rows[0]).is_ok()
+    });
+    fc.flush(0).unwrap();
+    let snap = fc.snapshot(0).unwrap();
+    assert_eq!(
+        canonical_served(&snap),
+        canonical_offline(&pts),
+        "promoted hull differs from offline Algorithm 2 after SIGKILL"
+    );
+    fc.shutdown_server().unwrap();
+}
