@@ -43,14 +43,22 @@
 //! time until the self-promoted follower accepts writes again, and
 //! verifies the promoted hull bit-identical to offline Algorithm 2.
 //!
+//! The E24 workload (`recovery_bulk`, via `--recovery-only`) writes an
+//! n-insert WAL and A/Bs cold-start restart over it: incremental batch
+//! replay (`--bulk-threshold 0`) vs the bulk divide-and-conquer
+//! constructor (DESIGN §S21), asserting both restarts serve the
+//! identical canonical hull.
+//!
 //! ```text
 //! USAGE: service_load [--out FILE] [--clients C] [--quick]
-//!                     [--fanin N] [--fanin-only] [--repl-only]
+//!                     [--fanin N] [--fanin-only] [--repl-only] [--recovery-only]
 //! ```
 //!
 //! `--quick` shrinks the workloads for CI smoke runs; `--fanin-only`
 //! runs just the E22 rows (the CI 10k-connection smoke); `--repl-only`
-//! runs just the E23 kill-a-node drill. Latencies are
+//! runs just the E23 kill-a-node drill; `--recovery-only` runs just the
+//! E24 restart A/B (50k/200k/1M journals; 50k with `--quick`).
+//! Latencies are
 //! *round-trip* (request written to reply decoded) over loopback TCP, so
 //! they include wire encode/decode and the socket — the serving cost a
 //! real client would see, not just the geometry.
@@ -122,6 +130,7 @@ fn run_workload(
             max_batch: 256,
             workers: 0,
             wal_dir: None,
+            bulk_threshold: 0,
         },
         ..Default::default()
     })
@@ -286,6 +295,7 @@ fn run_chaos_recovery(pts: &PointSet, clients: usize) -> String {
             max_batch: 256,
             workers: 0,
             wal_dir: None,
+            bulk_threshold: 0,
         },
         ..Default::default()
     })
@@ -423,6 +433,45 @@ fn run_chaos_recovery(pts: &PointSet, clients: usize) -> String {
     )
 }
 
+/// Kills the child process on drop unless it was already reaped — so a
+/// panicking parent (any failed `expect`/`assert!` mid-workload) can't
+/// leak a re-exec'd server that outlives the bench and squats on a
+/// port. The harness's intentional `SIGKILL` and graceful-exit paths go
+/// through [`ChildGuard::kill_now`] / [`ChildGuard::wait`], which
+/// disarm the guard.
+struct ChildGuard(Option<std::process::Child>);
+
+impl ChildGuard {
+    fn new(child: std::process::Child) -> ChildGuard {
+        ChildGuard(Some(child))
+    }
+
+    fn inner(&mut self) -> &mut std::process::Child {
+        self.0.as_mut().expect("child already reaped")
+    }
+
+    /// `SIGKILL` + reap now (the E23 drill's intentional crash).
+    fn kill_now(&mut self) {
+        if let Some(mut c) = self.0.take() {
+            let _ = c.kill();
+            let _ = c.wait();
+        }
+    }
+
+    /// The child is exiting on its own (graceful shutdown): reap it.
+    fn wait(&mut self) {
+        if let Some(mut c) = self.0.take() {
+            let _ = c.wait();
+        }
+    }
+}
+
+impl Drop for ChildGuard {
+    fn drop(&mut self) {
+        self.kill_now();
+    }
+}
+
 /// Internal child mode (`--repl-primary`): a primary hull server in a
 /// process of its own, so the E23 kill is a real `SIGKILL` — no drain,
 /// no goodbye — not an in-process graceful shutdown.
@@ -436,6 +485,7 @@ fn repl_primary_main() {
             max_batch: 256,
             workers: 0,
             wal_dir: None,
+            bulk_threshold: 0,
         },
         ..Default::default()
     })
@@ -461,15 +511,17 @@ fn run_replicated_failover(pts: &PointSet, clients: usize) -> String {
 
     // The primary lives in a child process so the kill is SIGKILL.
     let exe = std::env::current_exe().expect("own path");
-    let mut child = std::process::Command::new(&exe)
-        .arg("--repl-primary")
-        .stdout(std::process::Stdio::piped())
-        .stderr(std::process::Stdio::null())
-        .spawn()
-        .expect("spawning primary process");
+    let mut child = ChildGuard::new(
+        std::process::Command::new(&exe)
+            .arg("--repl-primary")
+            .stdout(std::process::Stdio::piped())
+            .stderr(std::process::Stdio::null())
+            .spawn()
+            .expect("spawning primary process"),
+    );
     let primary_addr = {
         use std::io::BufRead as _;
-        let out = child.stdout.take().expect("child stdout");
+        let out = child.inner().stdout.take().expect("child stdout");
         let line = std::io::BufReader::new(out)
             .lines()
             .next()
@@ -489,6 +541,7 @@ fn run_replicated_failover(pts: &PointSet, clients: usize) -> String {
             max_batch: 256,
             workers: 0,
             wal_dir: None,
+            bulk_threshold: 0,
         },
         follow: Some(FollowOptions {
             primary: primary_addr.clone(),
@@ -581,8 +634,7 @@ fn run_replicated_failover(pts: &PointSet, clients: usize) -> String {
         });
         std::thread::sleep(Duration::from_millis(50));
         kill_at.set(Instant::now()).expect("one kill");
-        child.kill().expect("SIGKILL primary");
-        child.wait().expect("reap primary");
+        child.kill_now();
 
         // Writes through the router resume once the follower promotes
         // and the write path fails over to it; probe with a duplicate
@@ -675,6 +727,7 @@ fn run_applied_ingest(pts: &PointSet, clients: usize, batch: usize, workers: usi
             max_batch: 256,
             workers,
             wal_dir: None,
+            bulk_threshold: 0,
         },
         ..Default::default()
     })
@@ -779,6 +832,7 @@ fn run_query_ab(pts: &PointSet, clients: usize, queries_per_client: usize) -> Ve
             max_batch: 256,
             workers: 0,
             wal_dir: None,
+            bulk_threshold: 0,
         },
         ..Default::default()
     })
@@ -940,14 +994,15 @@ fn run_fanin(threaded: bool, conns_wanted: usize, probes: usize) -> String {
     };
 
     let backend = if threaded { "threaded" } else { "event" };
-    let mut child =
+    let mut child = ChildGuard::new(
         std::process::Command::new(std::env::current_exe().expect("current_exe for fan-in server"))
             .args(["--fanin-server", backend, &conns.to_string()])
             .stdout(std::process::Stdio::piped())
             .spawn()
-            .expect("spawn fan-in server child");
+            .expect("spawn fan-in server child"),
+    );
     let addr: std::net::SocketAddr = {
-        let out = child.stdout.take().expect("child stdout");
+        let out = child.inner().stdout.take().expect("child stdout");
         let mut line = String::new();
         std::io::BufReader::new(out)
             .read_line(&mut line)
@@ -1110,7 +1165,7 @@ fn run_fanin(threaded: bool, conns_wanted: usize, probes: usize) -> String {
         .expect("connect for shutdown")
         .shutdown_server()
         .expect("remote shutdown");
-    child.wait().expect("fan-in server child exit");
+    child.wait();
 
     lat_us.sort_by(|a, b| a.partial_cmp(b).unwrap());
     let rps = total as f64 / load_secs;
@@ -1127,6 +1182,98 @@ fn run_fanin(threaded: bool, conns_wanted: usize, probes: usize) -> String {
          \"requests_per_sec\": {rps:.0}, \"req_p50_us\": {p50:.1}, \"req_p99_us\": {p99:.1}}}",
         p.name()
     )
+}
+
+/// E24: cold-start recovery A/B. Writes an `n`-insert WAL directly
+/// through the journal layer (256-insert batch units — the shape a
+/// real ingest run leaves behind), then times [`HullService::new`] over
+/// it twice: once with incremental batch replay (`bulk_threshold: 0`,
+/// the bit-identical baseline) and once through the bulk
+/// divide-and-conquer constructor (DESIGN §S21). Asserts the two
+/// restarts serve the identical canonical hull and returns one
+/// pre-formatted JSON row per arm.
+fn run_recovery_ab(n: usize) -> Vec<String> {
+    use chull_service::{HullService, Journal};
+    let dim = 2;
+    let pts = generators::cube_d(dim, n, 1_000_000, 99);
+    let dir = std::env::temp_dir().join(format!("chull-recovery-ab-{}-{n}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("mkdir wal");
+    {
+        let mut journal = Journal::with_wal(dim, &dir, 0).expect("open wal");
+        for i in 0..n {
+            journal.append(pts.point(i)).expect("append");
+            if (i + 1) % 256 == 0 || i + 1 == n {
+                journal.mark_batch().expect("mark");
+            }
+        }
+        journal.sync().expect("sync");
+    }
+
+    let restart = |bulk_threshold: usize| {
+        let t0 = Instant::now();
+        let svc = HullService::new(ServiceConfig {
+            dim,
+            shards: 1,
+            queue_capacity: 4096,
+            max_batch: 256,
+            workers: 0,
+            wal_dir: Some(dir.clone()),
+            bulk_threshold,
+        })
+        .expect("restart over wal");
+        let secs = t0.elapsed().as_secs_f64();
+        let snap = svc.snapshot(0).expect("snapshot");
+        assert!(snap.ready());
+        assert_eq!(snap.num_points(), n, "restart lost journaled inserts");
+        let stats = svc.stats_for(0).expect("stats");
+        let bulk_builds = stats.bulk_builds.load(Ordering::Relaxed);
+        let pruned = stats.bulk_pruned.load(Ordering::Relaxed);
+        // Canonical facet set by coordinates: bulk and incremental
+        // replay may number internal ids differently.
+        let flat = snap.flat_points();
+        let canonical: std::collections::BTreeSet<Vec<Vec<i64>>> = snap
+            .output()
+            .facets
+            .iter()
+            .map(|f| {
+                let mut verts: Vec<Vec<i64>> = f[..dim]
+                    .iter()
+                    .map(|&v| flat[v as usize * dim..(v as usize + 1) * dim].to_vec())
+                    .collect();
+                verts.sort();
+                verts
+            })
+            .collect();
+        svc.shutdown();
+        (secs, bulk_builds, pruned, canonical)
+    };
+
+    let (inc_secs, inc_bulk, _, inc_hull) = restart(0);
+    assert_eq!(inc_bulk, 0, "baseline arm took the bulk path");
+    let (bulk_secs, bulk_builds, pruned, bulk_hull) = restart(1);
+    assert_eq!(bulk_builds, 1, "bulk arm did not take the bulk path");
+    assert_eq!(bulk_hull, inc_hull, "bulk restart serves a different hull");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let speedup = inc_secs / bulk_secs.max(1e-9);
+    [
+        ("incremental", inc_secs, 0u64),
+        ("bulk", bulk_secs, pruned),
+    ]
+    .iter()
+    .map(|(mode, secs, pruned)| {
+        println!(
+            "{:<28} {:>8} pts  restart {:>8.3}s  ({mode}, {pruned} pruned, bulk speedup {speedup:.2}x)",
+            "recovery_bulk", n, secs
+        );
+        format!(
+            "  {{\"workload\": \"recovery_bulk\", \"dim\": {dim}, \"n_points\": {n}, \
+             \"mode\": \"{mode}\", \"recovery_secs\": {secs:.4}, \"points_pruned\": {pruned}, \
+             \"canonical_identical\": true, \"bulk_speedup\": {speedup:.2}}}"
+        )
+    })
+    .collect()
 }
 
 fn write_json(path: &str, results: &[LoadResult], extra_rows: &[String]) -> std::io::Result<()> {
@@ -1190,6 +1337,7 @@ fn fanin_server_main(backend: &str, conns: usize) {
             max_batch: 256,
             workers: 0,
             wal_dir: None,
+            bulk_threshold: 0,
         },
         threaded: backend == "threaded",
         ..Default::default()
@@ -1222,6 +1370,7 @@ fn main() {
     let mut fanin = 10_000usize;
     let mut fanin_only = false;
     let mut repl_only = false;
+    let mut recovery_only = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -1243,14 +1392,26 @@ fn main() {
             }
             "--fanin-only" => fanin_only = true,
             "--repl-only" => repl_only = true,
+            "--recovery-only" => recovery_only = true,
             other => {
                 eprintln!(
                     "USAGE: service_load [--out FILE] [--clients C] [--quick] \
-                     [--fanin N] [--fanin-only] [--repl-only]"
+                     [--fanin N] [--fanin-only] [--repl-only] [--recovery-only]"
                 );
                 panic!("unknown flag '{other}'");
             }
         }
+    }
+    if recovery_only {
+        let sizes: &[usize] = if quick {
+            &[50_000]
+        } else {
+            &[50_000, 200_000, 1_000_000]
+        };
+        let rows: Vec<String> = sizes.iter().flat_map(|&n| run_recovery_ab(n)).collect();
+        write_json(&out_path, &[], &rows).expect("writing results");
+        println!("wrote {out_path}");
+        return;
     }
     if repl_only {
         let n = if quick { 2_000 } else { 25_000 };

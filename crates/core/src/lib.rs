@@ -23,6 +23,7 @@
 #![warn(missing_docs)]
 
 pub mod baseline;
+pub mod bulk;
 pub mod context;
 pub mod degenerate;
 pub mod facet;

@@ -464,8 +464,32 @@ impl OnlineHull {
             busy_ns: run.busy_ns,
         };
 
-        // Integrate. Kill replaced pre-batch facets before registering any
-        // new adjacency, so shared ridges never see three incidents.
+        let mut accepted = vec![false; points.len()];
+        let batch_depth = self.integrate_batch_run(run, &seed_ids, |creator| {
+            accepted[(creator - base) as usize] = true;
+        });
+        if chull_obs::armed() {
+            crate::telemetry::engine_metrics()
+                .online_insert_depth
+                .record(batch_depth as u64);
+        }
+        accepted
+    }
+
+    /// Integrate one [`crate::par::batch::run_batch`] result: kill the
+    /// replaced pre-batch facets before registering any new adjacency (so
+    /// shared ridges never see three incidents), then append created
+    /// facets in canonical `(creator, verts)` order, wiring adjacency,
+    /// history-graph children, and dependence depths, and fold the run's
+    /// kernel counters in. `on_created` fires once per created facet with
+    /// the creator's point id. Shared by [`OnlineHull::insert_batch_par`]
+    /// and the bulk-recovery install. Returns the deepest depth created.
+    fn integrate_batch_run(
+        &mut self,
+        run: crate::par::batch::BatchRun,
+        seed_ids: &[u32],
+        mut on_created: impl FnMut(u32),
+    ) -> u32 {
         for &slot in &run.dead_seeds {
             let id = seed_ids[slot as usize];
             self.facets[id as usize].alive = false;
@@ -473,7 +497,6 @@ impl OnlineHull {
         }
         let pre_len = self.facets.len() as u32;
         let seed_count = seed_ids.len() as u32;
-        let mut accepted = vec![false; points.len()];
         let mut batch_depth = 0u32;
         for cf in run.created {
             let id = self.facets.len() as u32;
@@ -490,7 +513,7 @@ impl OnlineHull {
                 .max(self.facets[t2 as usize].depth);
             batch_depth = batch_depth.max(depth);
             self.dep_depth = self.dep_depth.max(depth);
-            accepted[(cf.creator - base) as usize] = true;
+            on_created(cf.creator);
             self.facets.push(OFacet {
                 verts: cf.verts,
                 visible_sign: cf.visible_sign,
@@ -516,12 +539,57 @@ impl OnlineHull {
         }
         self.kernel.merge(&run.counts);
         self.last_visited = 0;
+        batch_depth
+    }
+
+    /// Extend a **freshly seeded** hull (seed simplex only, every point
+    /// already appended to the point set) with the given candidate ids in
+    /// one parallel batch step. This is the bulk-recovery install:
+    /// [`HullBuilder::seed_from_bulk`] appends all journaled points first
+    /// so pruned interior points keep their vertex ids, then the
+    /// divide-and-conquer survivors run through a single
+    /// [`crate::par::batch::run_batch`] from the simplex.
+    fn install_bulk(&mut self, candidates: &[u32], threads: usize) {
+        debug_assert!(
+            self.facets.iter().all(|f| f.alive) && self.facets.len() == self.dim + 1,
+            "install_bulk requires a fresh seed simplex"
+        );
+        self.last_batch = BatchTelemetry::default();
+        if candidates.is_empty() {
+            return;
+        }
+        // Facet ids on a fresh simplex are exactly the seed slots
+        // `0..=dim`, so adjacency pairs map to slots without translation.
+        let seed_ids: Vec<u32> = (0..self.facets.len() as u32).collect();
+        let seed_verts: Vec<FacetVerts> = seed_ids
+            .iter()
+            .map(|&id| self.facets[id as usize].verts)
+            .collect();
+        let mut ridges: Vec<(u32, RidgeKey, u32)> = self
+            .adj
+            .iter()
+            .map(|(&r, &pair)| (pair[0], r, pair[1]))
+            .collect();
+        ridges.sort_unstable_by_key(|&(_, r, _)| r);
+        let run = {
+            let simplex: Vec<u32> = (0..=self.dim as u32).collect();
+            let ctx = crate::context::HullContext::new(&self.pts, &simplex);
+            crate::par::batch::run_batch(ctx, &seed_verts, &ridges, candidates, threads)
+        };
+        self.last_batch = BatchTelemetry {
+            batch_len: candidates.len(),
+            created: run.created.len(),
+            recursion_depth: run.recursion_depth,
+            buried: run.buried,
+            replaced: run.replaced,
+            busy_ns: run.busy_ns,
+        };
+        let batch_depth = self.integrate_batch_run(run, &seed_ids, |_| {});
         if chull_obs::armed() {
             crate::telemetry::engine_metrics()
                 .online_insert_depth
                 .record(batch_depth as u64);
         }
-        accepted
     }
 
     /// Deepest dependence chain over all facets ever created: the
@@ -878,6 +946,86 @@ impl HullBuilder {
             b.push_batch(batch, threads);
         }
         b
+    }
+
+    /// Seed a builder from a **fully known** point sequence in one bulk
+    /// step instead of incremental replay — the recovery-path fast lane
+    /// (DESIGN §S21). Runs the divide-and-conquer candidate sweep
+    /// ([`crate::bulk::bulk_candidates`]) over all rows, then installs the
+    /// surviving candidates with a single parallel batch from the seed
+    /// simplex. The facet set is canonically identical to Algorithm 2 on
+    /// the same rows (debug builds cross-check against
+    /// [`crate::seq::incremental_hull_run`]) and to what
+    /// [`HullBuilder::replay`] would build, for every worker count; facet
+    /// ids, history depths, and kernel counters follow the bulk counting
+    /// regime rather than replay's, exactly as
+    /// [`OnlineHull::insert_batch_par`]'s differ from per-point inserts.
+    ///
+    /// Internal vertex-id order matches [`HullBuilder::push`] promotion —
+    /// the greedy affine basis first, then every other row in arrival
+    /// order — so snapshots and queries observe the same ids either way.
+    /// Inputs without `d + 1` affinely independent rows fall back to plain
+    /// incremental replay (`report.fallback`).
+    pub fn seed_from_bulk(
+        dim: usize,
+        rows: &[Vec<i64>],
+        threads: usize,
+    ) -> (HullBuilder, crate::bulk::BulkReport) {
+        let threads = if threads == 0 {
+            chull_concurrent::pool::default_threads()
+        } else {
+            threads
+        };
+        let mut report = crate::bulk::BulkReport::default();
+        // Greedy basis over arrival order — the same selection rule
+        // `HullBuilder::push` applies while bootstrapping.
+        let mut basis: Vec<usize> = Vec::with_capacity(dim + 1);
+        for (i, p) in rows.iter().enumerate() {
+            assert_eq!(p.len(), dim, "point of wrong dimension");
+            let mut sel: Vec<&[i64]> = basis.iter().map(|&j| rows[j].as_slice()).collect();
+            sel.push(p);
+            if chull_geometry::exact::affine_rank(&sel) == sel.len() {
+                basis.push(i);
+                if basis.len() == dim + 1 {
+                    break;
+                }
+            }
+        }
+        if basis.len() < dim + 1 {
+            report.fallback = true;
+            report.input = rows.len();
+            let b = HullBuilder::replay(dim, rows.iter().map(|r| r.as_slice()));
+            return (b, report);
+        }
+        let seeds: Vec<Vec<i64>> = basis.iter().map(|&i| rows[i].clone()).collect();
+        let mut hull = OnlineHull::new(dim, &seeds);
+        let basis_set: std::collections::HashSet<usize> = basis.iter().copied().collect();
+        for (i, p) in rows.iter().enumerate() {
+            if !basis_set.contains(&i) {
+                hull.pts.push(p);
+            }
+        }
+        let candidates: Vec<u32> = crate::bulk::bulk_candidates(&hull.pts, threads, &mut report)
+            .into_iter()
+            // The seed simplex ids `0..=dim` are already installed.
+            .filter(|&c| c > dim as u32)
+            .collect();
+        hull.install_bulk(&candidates, threads);
+        #[cfg(debug_assertions)]
+        {
+            let reference = crate::seq::incremental_hull_run(&hull.pts);
+            debug_assert_eq!(
+                hull.output().canonical(),
+                reference.output.canonical(),
+                "bulk-built hull differs from Algorithm 2's canonical hull"
+            );
+        }
+        let b = HullBuilder {
+            dim,
+            applied: rows.len() as u64,
+            state: BuilderState::Live(Box::new(hull)),
+        };
+        (b, report)
     }
 
     /// The dimension this builder was created with.

@@ -238,14 +238,16 @@ fn axis_and_random_dirs(dim: usize, seed: u64) -> Vec<Vec<i64>> {
     dirs
 }
 
-#[test]
-fn query_paths_bit_identical_across_workloads() {
+/// The canonical 7-workload property matrix: every dimension the service
+/// runs (2D/3D/4D), everything-extreme inputs, and the degenerate cases
+/// (collinear-heavy, duplicate-heavy) that stress weak hull vertices.
+fn property_workloads() -> Vec<(&'static str, PointSet)> {
     let mut dup_rows: Vec<Vec<i64>> = generators::disk_2d(150, 1 << 18, 21)
         .iter()
         .map(|p| vec![p.x, p.y])
         .collect();
     dup_rows.extend(dup_rows.clone()); // every point twice
-    let workloads: Vec<(&str, PointSet)> = vec![
+    vec![
         (
             "ball2",
             prepare_points(&generators::ball_d(2, 400, 1 << 20, 11), 1),
@@ -283,8 +285,12 @@ fn query_paths_bit_identical_across_workloads() {
             "duplicates",
             prepare_points(&PointSet::from_rows(2, &dup_rows), 7),
         ),
-    ];
-    for (name, pts) in &workloads {
+    ]
+}
+
+#[test]
+fn query_paths_bit_identical_across_workloads() {
+    for (name, pts) in &property_workloads() {
         let h = online_hull(pts);
         let qs = query_points(pts, 0xABC ^ pts.len() as u64);
         assert_query_paths_agree(&h, &qs);
@@ -339,6 +345,49 @@ fn descent_steps_sublinear_on_near_circle() {
         (p50 as usize) * 20 < facets,
         "descent p50 {p50} not sublinear in {facets} facets"
     );
+}
+
+/// Bulk construction vs Algorithm 2 — the DESIGN §S21 invariant. On every
+/// property workload (including degenerate collinear and duplicate-heavy
+/// inputs, where only the weak-boundary retention rule keeps the prune
+/// sound), `HullBuilder::seed_from_bulk` must produce the **canonically
+/// identical** facet set to an incremental replay of the same rows, at
+/// every worker count — and the bulk result itself must be identical
+/// across worker counts, not merely equivalent.
+#[test]
+fn bulk_build_matches_algorithm_2_across_workloads() {
+    for (name, pts) in &property_workloads() {
+        let rows: Vec<Vec<i64>> = (0..pts.len()).map(|i| pts.point(i).to_vec()).collect();
+        let replayed = HullBuilder::replay(pts.dim(), rows.iter().map(|r| r.as_slice()));
+        let reference = replayed.hull().expect("workload leaves bootstrap").output();
+        let mut canon_at_workers = Vec::new();
+        for threads in [1usize, 2, 4] {
+            let (b, report) = HullBuilder::seed_from_bulk(pts.dim(), &rows, threads);
+            assert!(!report.fallback, "{name}: unexpected replay fallback");
+            assert_eq!(report.input, pts.len(), "{name}: sweep saw every point");
+            assert!(
+                report.candidates >= reference.vertices().len(),
+                "{name}: candidate set smaller than the hull's vertex set"
+            );
+            assert_eq!(b.applied(), rows.len() as u64, "{name}: applied count");
+            let h = b.hull().expect("bulk seed is live");
+            let out = h.output();
+            // Bulk and replay share the basis-first internal point order,
+            // so canonical forms are comparable id-for-id.
+            assert_eq!(
+                out.canonical(),
+                reference.canonical(),
+                "{name}: bulk hull differs from incremental replay at {threads} workers"
+            );
+            verify_hull(h.points(), &out).unwrap();
+            verify_containment(h.points(), &out).unwrap();
+            canon_at_workers.push((out.canonical(), h.output().num_facets(), h.dep_depth()));
+        }
+        assert!(
+            canon_at_workers.windows(2).all(|w| w[0] == w[1]),
+            "{name}: bulk build not identical across worker counts"
+        );
+    }
 }
 
 /// Insertion order never changes the hull (only the dependence

@@ -163,6 +163,41 @@ pub fn wal_path(dir: &Path, shard: u16) -> PathBuf {
     dir.join(format!("shard-{shard}.wal"))
 }
 
+/// Typed journal failure surfaced from replay-time sealing — previously
+/// only a `debug_assert`, so release builds replayed a torn journal
+/// silently.
+#[derive(Debug)]
+pub enum JournalError {
+    /// Sealing the open tail left the journal with fewer batch units
+    /// than the epoch the shard had already published: acked, applied
+    /// units vanished from the journal (a torn tail the crc/size scan
+    /// could not see, or a corrupted in-memory log). The rebuilt hull
+    /// would be missing published state.
+    TornTail {
+        /// Batch units the shard had published before recovery.
+        epoch: u64,
+        /// Batch units actually present after sealing.
+        batches: u64,
+    },
+    /// The WAL write of the sealing marker failed (the in-memory seal
+    /// still landed; memory stays authoritative in-process).
+    Wal(io::Error),
+}
+
+impl std::fmt::Display for JournalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JournalError::TornTail { epoch, batches } => write!(
+                f,
+                "torn journal tail: {batches} batch units on record, epoch {epoch} published"
+            ),
+            JournalError::Wal(e) => write!(f, "journal WAL write failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for JournalError {}
+
 /// An append-only insert journal; see module docs. Owned by one shard's
 /// supervisor thread (no internal locking needed).
 pub struct Journal {
@@ -301,6 +336,29 @@ impl Journal {
         self.mem.is_empty()
     }
 
+    /// Seal the open tail for replay and **validate** the sealed journal
+    /// against `published_epoch`, the number of batch units the shard had
+    /// published before recovery began. Replay call sites use this
+    /// instead of a bare [`Journal::mark_batch`]: a journal holding
+    /// *fewer* units than were published means applied state has been
+    /// lost — a torn tail — which used to be caught only by a
+    /// `debug_assert` in the apply loop. Returns the sealed batch count
+    /// (which may legitimately exceed `published_epoch` by the units that
+    /// were journaled but died before publishing; replay reapplies them).
+    /// A torn tail takes priority over a WAL write error.
+    pub fn seal_tail(&mut self, published_epoch: u64) -> Result<u64, JournalError> {
+        let wal = self.mark_batch();
+        let batches = self.batch_count();
+        if batches < published_epoch {
+            return Err(JournalError::TornTail {
+                epoch: published_epoch,
+                batches,
+            });
+        }
+        wal.map_err(JournalError::Wal)?;
+        Ok(batches)
+    }
+
     /// Records recovered from disk when this journal was opened.
     pub fn recovered(&self) -> usize {
         self.recovered
@@ -310,6 +368,44 @@ impl Journal {
     pub fn tail_damaged(&self) -> bool {
         self.tail_damaged
     }
+}
+
+/// Snapshot compaction (offline; `hull compact`): atomically rewrite the
+/// shard's WAL as **one checkpoint unit** — `rows` in order, closed by a
+/// single batch marker. The caller passes the bulk sweep's candidate
+/// rows, so a long incremental history collapses into one unit holding
+/// only the points that can still matter to the hull. The rewrite goes
+/// through a temp file + rename, so a crash mid-compaction leaves the
+/// old WAL intact. Collapsing batch history resets the epoch/unit count
+/// to 1: replication cursors into this WAL are invalidated, and any
+/// follower must re-bootstrap (documented in DESIGN §S21).
+pub fn rewrite_wal(dim: usize, dir: &Path, shard: u16, rows: &[Vec<i64>]) -> io::Result<u64> {
+    let final_path = wal_path(dir, shard);
+    let tmp_path = final_path.with_extension("wal.tmp");
+    let mut written = 0u64;
+    {
+        let file = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&tmp_path)?;
+        let mut w = BufWriter::new(file);
+        for p in rows {
+            debug_assert_eq!(p.len(), dim, "compaction row of wrong dimension");
+            let rec = encode_record(p);
+            w.write_all(&rec)?;
+            written += rec.len() as u64;
+        }
+        if !rows.is_empty() {
+            let rec = encode_marker(rows.len() as u32);
+            w.write_all(&rec)?;
+            written += rec.len() as u64;
+        }
+        w.flush()?;
+        w.into_inner().map_err(|e| e.into_error())?.sync_all()?;
+    }
+    std::fs::rename(&tmp_path, &final_path)?;
+    Ok(written)
 }
 
 #[cfg(test)]
@@ -504,6 +600,58 @@ mod tests {
         assert_eq!(j.batch_count(), 2);
         let units: Vec<usize> = j.batches().map(|b| b.len()).collect();
         assert_eq!(units, vec![1, 2]);
+    }
+
+    #[test]
+    fn seal_tail_validates_published_epoch() {
+        let mut j = Journal::in_memory(2);
+        j.append(&[0, 0]).unwrap();
+        j.append(&[1, 1]).unwrap();
+        j.mark_batch().unwrap();
+        j.append(&[2, 2]).unwrap(); // open tail
+        assert_eq!(j.batch_count(), 2);
+        // Normal recovery: published epoch matches (or trails by the
+        // unpublished unit) — the tail seals into its own unit.
+        assert_eq!(j.seal_tail(2).unwrap(), 2);
+        assert_eq!(j.batch_count(), 2);
+        // Published 5 units but the journal only holds 2: torn tail,
+        // detected in release builds too.
+        match j.seal_tail(5) {
+            Err(JournalError::TornTail {
+                epoch: 5,
+                batches: 2,
+            }) => {}
+            other => panic!("expected TornTail, got {other:?}"),
+        }
+        // Journal ahead of the published epoch is legitimate (unit died
+        // between marker and publish; replay reapplies it).
+        assert_eq!(j.seal_tail(1).unwrap(), 2);
+    }
+
+    #[test]
+    fn rewrite_wal_collapses_to_one_unit() {
+        let dir = tmpdir("compact");
+        {
+            let mut j = Journal::with_wal(2, &dir, 0).unwrap();
+            for i in 0..9i64 {
+                j.append(&[i, i * 3]).unwrap();
+                j.mark_batch().unwrap();
+            }
+            j.sync().unwrap();
+            assert_eq!(j.batch_count(), 9);
+        }
+        // Compact down to three surviving rows.
+        let kept = vec![vec![0i64, 0], vec![4, 12], vec![8, 24]];
+        let bytes = rewrite_wal(2, &dir, 0, &kept).unwrap();
+        assert!(bytes > 0);
+        let j = Journal::with_wal(2, &dir, 0).unwrap();
+        assert_eq!(j.recovered(), 3);
+        assert!(!j.tail_damaged());
+        assert_eq!(j.batch_count(), 1, "checkpoint is one sealed unit");
+        assert_eq!(j.entries(), &kept[..]);
+        let units: Vec<usize> = j.batches().map(|b| b.len()).collect();
+        assert_eq!(units, vec![3]);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

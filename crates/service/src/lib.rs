@@ -69,7 +69,7 @@ pub mod stats;
 pub mod wire;
 
 pub use client::{BatchInsertReply, HullClient, HullClientBuilder, RetryPolicy, SnapshotReply};
-pub use journal::Journal;
+pub use journal::{rewrite_wal, wal_path, Journal, JournalError};
 pub use metrics::{op_metrics, service_metrics, OpMetrics, ServiceMetrics, ShardGauges};
 pub use replica::{follow, FollowOptions, ReplicaHandle, ReplicaState};
 pub use router::{route, RouterHandle, RouterOptions};

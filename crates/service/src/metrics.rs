@@ -98,6 +98,12 @@ pub struct ServiceMetrics {
     pub recoveries: Arc<Counter>,
     /// Journal replay time per recovery (µs).
     pub recovery_us: Arc<Histogram>,
+    /// Recoveries that took the bulk divide-and-conquer build path.
+    pub bulk_builds: Arc<Counter>,
+    /// Wall time of one bulk build (sweep + batch install), µs.
+    pub bulk_build_us: Arc<Histogram>,
+    /// Torn journal tails detected at replay sealing (should stay 0).
+    pub torn_tails: Arc<Counter>,
     /// Total time shards have spent degraded (µs).
     pub degraded_us: Arc<Counter>,
     /// Connections accepted by the server.
@@ -178,6 +184,18 @@ pub fn service_metrics() -> &'static ServiceMetrics {
             recovery_us: r.histogram(
                 "chull_shard_recovery_us",
                 "Microseconds to replay the journal after a worker death.",
+            ),
+            bulk_builds: r.counter(
+                "chull_shard_bulk_builds_total",
+                "Recoveries rebuilt by the bulk divide-and-conquer constructor.",
+            ),
+            bulk_build_us: r.histogram(
+                "chull_shard_bulk_build_us",
+                "Microseconds of one bulk build (candidate sweep + batch install).",
+            ),
+            torn_tails: r.counter(
+                "chull_journal_torn_tails_total",
+                "Torn journal tails detected when sealing for replay.",
             ),
             degraded_us: r.counter(
                 "chull_shard_degraded_us_total",

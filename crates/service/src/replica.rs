@@ -308,6 +308,9 @@ fn session(service: &HullService, state: &ReplicaState, opts: &FollowOptions) ->
     }
     let dim = service.config().dim;
     let shards = service.num_shards() as u16;
+    for shard in 0..shards {
+        bootstrap_bulk(service, state, &mut client, shard)?;
+    }
     loop {
         if state.stop.load(Ordering::SeqCst) {
             return Ok(());
@@ -350,6 +353,64 @@ fn session(service: &HullService, state: &ReplicaState, opts: &FollowOptions) ->
             std::thread::sleep(opts.poll);
         }
     }
+}
+
+/// Follower **bulk bootstrap**: when a shard is completely empty and
+/// the bulk threshold is armed, pull the primary's entire journaled
+/// prefix into memory and install it through the bulk
+/// divide-and-conquer constructor
+/// ([`HullService::apply_replica_bulk`], DESIGN §S21) — one hull build
+/// instead of per-unit incremental replay, while still journaling and
+/// marking every unit so the follower's batch-index mirror stays 1:1
+/// and the resume cursor lands exactly where per-unit pulling would
+/// have left it. Below the threshold (or with nothing to fetch) this
+/// applies nothing; the per-unit session loop takes over from cursor 0.
+fn bootstrap_bulk(
+    service: &HullService,
+    state: &ReplicaState,
+    client: &mut HullClient,
+    shard: u16,
+) -> io::Result<()> {
+    let threshold = service.config().bulk_threshold;
+    if threshold == 0 || service.batch_units(shard).map_err(svc_err)? != 0 {
+        return Ok(());
+    }
+    let dim = service.config().dim;
+    let mut units: Vec<Vec<Vec<i64>>> = Vec::new();
+    let mut points = 0usize;
+    loop {
+        let from = units.len() as u64;
+        let (index, total, unit_dim, flat) = client.repl_fetch(shard, from)?;
+        if let Some(t) = state.primary_total.get(shard as usize) {
+            t.store(total, Ordering::SeqCst);
+        }
+        if flat.is_empty() || index != from {
+            break;
+        }
+        if unit_dim != dim {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("primary ships dimension {unit_dim}, follower is {dim}"),
+            ));
+        }
+        points += flat.len() / dim;
+        units.push(flat.chunks(dim).map(|c| c.to_vec()).collect());
+        if from + 1 >= total {
+            break;
+        }
+    }
+    if units.is_empty() || points < threshold {
+        return Ok(());
+    }
+    let applied = units.len() as u64;
+    service.apply_replica_bulk(shard, units).map_err(svc_err)?;
+    state.applied.fetch_add(applied, Ordering::SeqCst);
+    let durable = service.batch_units(shard).map_err(svc_err)?;
+    let _ = client.repl_ack(shard, durable)?;
+    eprintln!(
+        "replica: shard {shard} bootstrapped {points} points / {applied} units via bulk build"
+    );
+    Ok(())
 }
 
 fn svc_err(e: crate::shard::ServiceError) -> io::Error {

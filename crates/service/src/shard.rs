@@ -94,6 +94,16 @@ pub struct ServiceConfig {
     /// journal purely in memory: worker crashes are still recovered, but
     /// a process restart starts empty.
     pub wal_dir: Option<PathBuf>,
+    /// Journals holding at least this many inserts rebuild through the
+    /// **bulk** divide-and-conquer constructor
+    /// ([`HullBuilder::seed_from_bulk`], DESIGN §S21) instead of
+    /// incremental batch replay — at WAL cold start, at supervised
+    /// crash recovery, and at follower bootstrap. `0` (the default)
+    /// disables the bulk path entirely: replay stays bit-identical to
+    /// the lost hull, the A/B baseline. With bulk, the rebuilt hull is
+    /// canonically identical (same facets, possibly different internal
+    /// ids), which every query surface is insensitive to.
+    pub bulk_threshold: usize,
 }
 
 impl Default for ServiceConfig {
@@ -105,6 +115,7 @@ impl Default for ServiceConfig {
             max_batch: 256,
             workers: 0,
             wal_dir: None,
+            bulk_threshold: 0,
         }
     }
 }
@@ -143,6 +154,10 @@ impl std::fmt::Display for ServiceError {
     }
 }
 
+/// A follower-bootstrap payload drained from the queue: the whole
+/// journaled prefix as batch units, plus the puller's ack channel.
+type BulkIngest = (Vec<Vec<Vec<i64>>>, mpsc::Sender<u64>);
+
 enum Ingest {
     Insert(Vec<i64>),
     /// Barrier: acknowledged (with the publication epoch) only after every
@@ -154,6 +169,16 @@ enum Ingest {
     /// carries the publication epoch after the unit landed.
     Replica {
         unit: Vec<Vec<i64>>,
+        done: mpsc::Sender<u64>,
+    },
+    /// Follower **bootstrap** (initial catch-up): the entire journaled
+    /// prefix as its original batch units. Every unit is journaled and
+    /// marked individually — the 1:1 index mirror survives — but the
+    /// hull is built **once**, through the bulk constructor when the
+    /// prefix clears the threshold, instead of unit by unit. The ack
+    /// carries the publication epoch after the whole prefix landed.
+    ReplicaBulk {
+        units: Vec<Vec<Vec<i64>>>,
         done: mpsc::Sender<u64>,
     },
 }
@@ -191,6 +216,63 @@ fn snapshot_of(core: &HullBuilder, epoch: u64) -> HullSnapshot {
             state: SnapState::Boot(core.buffered().unwrap_or(&[]).to_vec()),
             accel: None,
         },
+    }
+}
+
+/// Rebuild a shard's hull from its journal — the one decision point for
+/// **every** restart surface (WAL cold start, supervised crash recovery,
+/// follower bootstrap). Below `bulk_threshold` inserts (or with the
+/// threshold at 0), incremental batch replay reproduces the lost hull
+/// bit-identically. At or above it, the bulk divide-and-conquer
+/// constructor builds a canonically identical hull in one pass —
+/// the candidate sweep prunes interior points, and one parallel batch
+/// install replaces thousands of per-batch conflict-seeding passes.
+/// A degenerate journal (no full-rank prefix) falls back to incremental
+/// replay inside `seed_from_bulk`; that is not counted as a bulk build.
+fn replay_core(
+    dim: usize,
+    journal: &Journal,
+    workers: usize,
+    bulk_threshold: usize,
+    stats: &ShardStats,
+) -> HullBuilder {
+    if bulk_threshold > 0 && journal.len() >= bulk_threshold {
+        let t0 = Instant::now();
+        let (core, report) = HullBuilder::seed_from_bulk(dim, journal.entries(), workers);
+        if !report.fallback {
+            stats.bulk_builds.fetch_add(1, Ordering::Relaxed);
+            stats
+                .bulk_pruned
+                .fetch_add((report.input - report.candidates) as u64, Ordering::Relaxed);
+            if chull_obs::armed() {
+                let m = service_metrics();
+                m.bulk_builds.incr();
+                m.bulk_build_us.record(t0.elapsed().as_micros() as u64);
+            }
+        }
+        return core;
+    }
+    HullBuilder::replay_batches(dim, journal.batches(), workers)
+}
+
+/// Seal the journal's open tail for replay, surfacing a torn tail (a
+/// journal that lost already-published units — `JournalError::TornTail`)
+/// in release builds too, where it used to be a debug-only assert. The
+/// shard keeps serving from what the journal does hold (availability
+/// over self-destruction), but the event is counted and logged so it is
+/// never silent.
+fn seal_for_replay(journal: &mut Journal, published_epoch: u64, shard_stats: &ShardStats) {
+    match journal.seal_tail(published_epoch) {
+        Ok(_) => {}
+        Err(e @ crate::journal::JournalError::TornTail { .. }) => {
+            shard_stats.torn_tails.fetch_add(1, Ordering::Relaxed);
+            service_metrics().torn_tails.incr();
+            eprintln!("journal: {e}");
+        }
+        Err(crate::journal::JournalError::Wal(_)) => {
+            shard_stats.wal_errors.fetch_add(1, Ordering::Relaxed);
+            service_metrics().wal_errors.incr();
+        }
     }
 }
 
@@ -256,16 +338,16 @@ impl HullService {
             };
             // Cold-start recovery happens *here*, synchronously: when
             // `new` returns, a WAL-backed shard already serves its
-            // previous run's points — replayed in journaled batch units
-            // through the same parallel path live ingest uses.
-            let core = HullBuilder::replay_batches(config.dim, journal.batches(), workers);
+            // previous run's points — rebuilt through `replay_core`
+            // (incremental batch replay, or one bulk build for journals
+            // past `bulk_threshold`).
             let stats = Arc::new(ShardStats::default());
+            let core = replay_core(config.dim, &journal, workers, config.bulk_threshold, &stats);
             // Seal any open tail (inserts whose batch marker was lost to
             // the crash): it just replayed as one unit and must stay one
-            // unit in every future replay.
-            if journal.mark_batch().is_err() {
-                stats.wal_errors.fetch_add(1, Ordering::Relaxed);
-            }
+            // unit in every future replay. Cold start has no published
+            // epoch to validate against — 0 can never tear.
+            seal_for_replay(&mut journal, 0, &stats);
             let epoch = journal.batch_count();
             for b in journal.batches() {
                 stats.record_batch(b.len() as u64);
@@ -287,6 +369,7 @@ impl HullService {
                 dim: config.dim,
                 max_batch: config.max_batch,
                 workers,
+                bulk_threshold: config.bulk_threshold,
                 queue: Arc::clone(&queue),
                 snap: Arc::clone(&snap),
                 stats: Arc::clone(&stats),
@@ -557,6 +640,41 @@ impl HullService {
         }
     }
 
+    /// Apply a follower's **bootstrap prefix** — every replicated batch
+    /// unit from index 0 — as one build (follower puller path, allowed
+    /// in read-only mode). Each unit is still journaled and marked
+    /// individually, keeping the 1:1 batch-index mirror with the
+    /// primary, but the hull is constructed once over the whole prefix
+    /// (through [`HullBuilder::seed_from_bulk`] when it clears
+    /// `bulk_threshold`) and published at the final epoch, instead of
+    /// replaying thousands of units one publication at a time. Blocks
+    /// until published; worker-death semantics match
+    /// [`HullService::apply_replica_unit`].
+    pub fn apply_replica_bulk(
+        &self,
+        shard: u16,
+        units: Vec<Vec<Vec<i64>>>,
+    ) -> Result<u64, ServiceError> {
+        for unit in &units {
+            for p in unit {
+                self.validate(p)?;
+            }
+        }
+        let sh = self.shard(shard)?;
+        if units.is_empty() {
+            return Ok(load_snap(&sh.snap).epoch);
+        }
+        let (done, rx) = mpsc::channel();
+        match sh.queue.push(Ingest::ReplicaBulk { units, done }) {
+            Ok(()) => {}
+            Err(_) => return Err(ServiceError::Closed),
+        }
+        match rx.recv() {
+            Ok(epoch) => Ok(epoch),
+            Err(_) => Ok(load_snap(&sh.snap).epoch),
+        }
+    }
+
     /// The shard's current published snapshot (wait-free for ingest: the
     /// write side holds the lock only to swap an `Arc`). During recovery
     /// this is the last snapshot the dead worker published.
@@ -687,6 +805,8 @@ struct ShardCtx {
     max_batch: usize,
     /// Resolved pool threads for parallel batch apply (never 0).
     workers: usize,
+    /// Bulk-recovery threshold (inserts; 0 = bulk path disabled).
+    bulk_threshold: usize,
     queue: Arc<BoundedQueue<Ingest>>,
     snap: Arc<RwLock<Arc<HullSnapshot>>>,
     stats: Arc<ShardStats>,
@@ -719,13 +839,19 @@ fn shard_supervisor(ctx: &ShardCtx, mut core: HullBuilder, mut journal: Journal,
                 ctx.degraded.store(true, Ordering::SeqCst);
                 let generation = ctx.generation.fetch_add(1, Ordering::SeqCst) + 1;
                 let t0 = Instant::now();
-                core = HullBuilder::replay_batches(ctx.dim, journal.batches(), ctx.workers);
+                core = replay_core(
+                    ctx.dim,
+                    &journal,
+                    ctx.workers,
+                    ctx.bulk_threshold,
+                    &ctx.stats,
+                );
                 // Seal an open tail (its marker died with the worker) so
-                // every future replay keeps the same batch units.
-                if journal.mark_batch().is_err() {
-                    ctx.stats.wal_errors.fetch_add(1, Ordering::Relaxed);
-                    service_metrics().wal_errors.incr();
-                }
+                // every future replay keeps the same batch units — and
+                // verify the journal still holds everything this shard
+                // already published (typed torn-tail detection, active
+                // in release builds too).
+                seal_for_replay(&mut journal, epoch, &ctx.stats);
                 // The epoch tracks journaled batch units; `max` keeps it
                 // monotone if a batch died between marker and publish.
                 epoch = journal.batch_count().max(epoch);
@@ -829,12 +955,18 @@ fn apply_batch(
     let mut points: Vec<Vec<i64>> = Vec::new();
     let mut flushes: Vec<mpsc::Sender<u64>> = Vec::new();
     let mut replicas: Vec<(Vec<Vec<i64>>, mpsc::Sender<u64>)> = Vec::new();
+    let mut bulks: Vec<BulkIngest> = Vec::new();
     for item in batch.drain(..) {
         match item {
             Ingest::Insert(p) => points.push(p),
             Ingest::Flush(tx) => flushes.push(tx),
             Ingest::Replica { unit, done } => replicas.push((unit, done)),
+            Ingest::ReplicaBulk { units, done } => bulks.push((units, done)),
         }
+    }
+    for (units, done) in bulks {
+        apply_bulk_units(ctx, core, journal, epoch, recorded, prev_kernel, units);
+        let _ = done.send(*epoch);
     }
     apply_unit(ctx, core, journal, epoch, recorded, prev_kernel, points);
     for (unit, done) in replicas {
@@ -919,11 +1051,24 @@ fn apply_unit(
         // spot to die (recovery must republish it from the journal).
         let _ = failpoint::eval(sites::SHARD_BEFORE_PUBLISH);
         *epoch += 1;
-        debug_assert_eq!(
-            *epoch,
-            journal.batch_count(),
-            "epoch tracks journaled batch units"
-        );
+        // The epoch tracks journaled batch units — promoted from a
+        // debug-only assert: release builds count and log the drift
+        // (a torn tail the journal scan could not see) instead of
+        // serving silently from a diverged journal.
+        if *epoch != journal.batch_count() {
+            debug_assert_eq!(
+                *epoch,
+                journal.batch_count(),
+                "epoch tracks journaled batch units"
+            );
+            ctx.stats.torn_tails.fetch_add(1, Ordering::Relaxed);
+            service_metrics().torn_tails.incr();
+            eprintln!(
+                "journal: epoch {} out of step with {} journaled batch units",
+                *epoch,
+                journal.batch_count()
+            );
+        }
         ctx.stats.record_batch(inserted);
         *recorded += inserted;
         // Mirror the unit into the replication log before the epoch
@@ -960,6 +1105,88 @@ fn apply_unit(
     }
 }
 
+/// Follower bootstrap: journal the whole replicated prefix as its
+/// original batch units (each with its own marker — the 1:1 index mirror
+/// replication depends on), then build the hull **once** instead of unit
+/// by unit — through the bulk constructor when the prefix clears the
+/// threshold — and publish a single snapshot for the final epoch.
+#[allow(clippy::too_many_arguments)]
+fn apply_bulk_units(
+    ctx: &ShardCtx,
+    core: &mut HullBuilder,
+    journal: &mut Journal,
+    epoch: &mut u64,
+    recorded: &mut u64,
+    prev_kernel: &mut KernelCounts,
+    units: Vec<Vec<Vec<i64>>>,
+) {
+    // Bootstrap lands on an empty shard; anything else (a racing unit
+    // already applied, a retry after a partial bootstrap) degrades to
+    // the ordinary one-unit-at-a-time path for safety.
+    if core.applied() > 0 || !journal.is_empty() {
+        for unit in units {
+            apply_unit(ctx, core, journal, epoch, recorded, prev_kernel, unit);
+            service_metrics().repl_units_applied.incr();
+        }
+        return;
+    }
+    let armed = chull_obs::armed();
+    let t0 = Instant::now();
+    let mut inserted = 0u64;
+    for unit in &units {
+        for p in unit {
+            if journal.append(p).is_err() {
+                ctx.stats.wal_errors.fetch_add(1, Ordering::Relaxed);
+                service_metrics().wal_errors.incr();
+            }
+            inserted += 1;
+        }
+        if journal.mark_batch().is_err() {
+            ctx.stats.wal_errors.fetch_add(1, Ordering::Relaxed);
+            service_metrics().wal_errors.incr();
+        }
+    }
+    if inserted == 0 {
+        return;
+    }
+    if journal.sync().is_err() {
+        ctx.stats.wal_errors.fetch_add(1, Ordering::Relaxed);
+        service_metrics().wal_errors.incr();
+    }
+    ctx.stats
+        .journal_len
+        .store(journal.len() as u64, Ordering::Relaxed);
+    // One build over the whole prefix: bulk when it clears the
+    // threshold, a single incremental replay otherwise.
+    *core = replay_core(
+        ctx.dim,
+        journal,
+        ctx.workers,
+        ctx.bulk_threshold,
+        &ctx.stats,
+    );
+    *epoch = journal.batch_count();
+    for unit in units {
+        ctx.stats.record_batch(unit.len() as u64);
+        ctx.repl.push(unit);
+        service_metrics().repl_units_applied.incr();
+    }
+    *recorded = core.applied();
+    store_snap(&ctx.snap, snapshot_of(core, *epoch));
+    if armed {
+        let m = service_metrics();
+        m.batch_apply_us.record(t0.elapsed().as_micros() as u64);
+        let now_kernel = core.hull().map(|h| h.kernel).unwrap_or_default();
+        m.ingest_kernel.fold_delta(&now_kernel, prev_kernel);
+        *prev_kernel = now_kernel;
+        ctx.gauges.journal_len.set(journal.len() as i64);
+        ctx.gauges.epoch.set(*epoch as i64);
+        ctx.gauges
+            .dep_depth
+            .set(core.hull().map(|h| h.dep_depth()).unwrap_or(0) as i64);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -976,6 +1203,7 @@ mod tests {
             max_batch: 16,
             workers: 2,
             wal_dir: None,
+            bulk_threshold: 0,
         }
     }
 
@@ -1099,6 +1327,7 @@ mod tests {
             max_batch: 64,
             workers: 2,
             wal_dir: None,
+            bulk_threshold: 0,
         })
         .unwrap();
         let pts = prepare_points(
@@ -1210,6 +1439,66 @@ mod tests {
         svc.try_insert(0, vec![20, 5]).unwrap();
         svc.flush(0).unwrap();
         assert_eq!(svc.snapshot(0).unwrap().num_points(), 5);
+        svc.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bulk_cold_start_matches_incremental_replay() {
+        let dir = std::env::temp_dir().join(format!(
+            "chull-shard-bulk-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let pts = prepare_points(
+            &PointSet::from_points2(&generators::disk_2d(500, 1 << 20, 23)),
+            24,
+        );
+        let mut config = cfg(2, 1);
+        config.wal_dir = Some(dir.clone());
+        {
+            let svc = HullService::new(config.clone()).unwrap();
+            insert_all(&svc, 0, &pts);
+            svc.flush(0).unwrap();
+            svc.shutdown();
+        }
+        // Restart A: incremental replay (bulk off) — the baseline.
+        let baseline = {
+            let svc = HullService::new(config.clone()).unwrap();
+            let snap = svc.snapshot(0).unwrap();
+            assert_eq!(
+                svc.stats_for(0)
+                    .unwrap()
+                    .bulk_builds
+                    .load(Ordering::Relaxed),
+                0
+            );
+            let out = canonical_coords(&snap.flat_points(), &snap.output(), 2);
+            svc.shutdown();
+            out
+        };
+        // Restart B: bulk divide-and-conquer build over the same WAL.
+        config.bulk_threshold = 1;
+        let svc = HullService::new(config).unwrap();
+        let snap = svc.snapshot(0).unwrap();
+        assert!(snap.ready());
+        assert_eq!(snap.num_points(), pts.len());
+        let stats = svc.stats_for(0).unwrap();
+        assert_eq!(stats.bulk_builds.load(Ordering::Relaxed), 1);
+        assert!(stats.bulk_pruned.load(Ordering::Relaxed) > 0);
+        assert_eq!(
+            canonical_coords(&snap.flat_points(), &snap.output(), 2),
+            baseline
+        );
+        // The bulk-seeded hull keeps serving new inserts.
+        svc.try_insert(0, vec![(1 << 21) + 7, 0]).unwrap();
+        svc.flush(0).unwrap();
+        let mut k = KernelCounts::default();
+        assert_eq!(
+            svc.snapshot(0).unwrap().contains(&[(1 << 21), 0], &mut k),
+            Some(true)
+        );
         svc.shutdown();
         let _ = std::fs::remove_dir_all(&dir);
     }

@@ -97,6 +97,17 @@ pub struct ShardStats {
     /// WAL write/flush failures tolerated (the in-memory journal remains
     /// authoritative for in-process recovery).
     pub wal_errors: AtomicU64,
+    /// Torn journal tails detected at replay sealing (typed
+    /// `JournalError::TornTail`): the journal held fewer batch units than
+    /// the shard had published. Should stay 0; non-zero means a recovery
+    /// rebuilt from an incomplete journal.
+    pub torn_tails: AtomicU64,
+    /// Recoveries that took the bulk divide-and-conquer build path
+    /// instead of incremental batch replay (DESIGN §S21).
+    pub bulk_builds: AtomicU64,
+    /// Points the bulk sweep pruned as strictly interior across those
+    /// builds (never candidates, never touched the batch install).
+    pub bulk_pruned: AtomicU64,
 }
 
 impl ShardStats {
@@ -129,6 +140,7 @@ impl ShardStats {
              \"queue_drain_rounds\":{},\
              \"recoveries\":{},\"recovery_us_last\":{},\"recovery_us_total\":{},\
              \"generation\":{},\"journal_len\":{},\"wal_errors\":{},\
+             \"torn_tails\":{},\"bulk_builds\":{},\"bulk_pruned\":{},\
              \"ingest_kernel\":{},\"query_kernel\":{}}}",
             snap.epoch,
             snap.applied,
@@ -153,6 +165,9 @@ impl ShardStats {
             self.generation.load(Ordering::Relaxed),
             self.journal_len.load(Ordering::Relaxed),
             self.wal_errors.load(Ordering::Relaxed),
+            self.torn_tails.load(Ordering::Relaxed),
+            self.bulk_builds.load(Ordering::Relaxed),
+            self.bulk_pruned.load(Ordering::Relaxed),
             kernel_json(&ingest),
             kernel_json(&self.query_kernel.load()),
         )
@@ -208,6 +223,9 @@ mod tests {
             "\"recovery_us_last\":250",
             "\"generation\":1",
             "\"wal_errors\":0",
+            "\"torn_tails\":0",
+            "\"bulk_builds\":0",
+            "\"bulk_pruned\":0",
             "\"ready\":false",
             "\"dep_depth\":0",
             "\"ingest_kernel\":{\"tests\":0",

@@ -19,10 +19,11 @@
 //! USAGE: hull [--dim D] [--algo seq|par|rounds|chain] [--seed S]
 //!             [--stats] [--stats-json] [FILE]
 //!        hull serve [--addr H:P] [--dim D] [--shards N] [--queue-cap C]
-//!                   [--batch B] [--workers W] [--wal DIR] [--metrics-addr H:P]
-//!                   [--chaos-seed S] [--oneshot] [--stats-json]
+//!                   [--batch B] [--workers W] [--wal DIR] [--bulk-threshold N]
+//!                   [--metrics-addr H:P] [--chaos-seed S] [--oneshot] [--stats-json]
 //!                   [--threaded] [--dispatchers N]
 //!                   [--follow PRIMARY] [--promote-after N]
+//!        hull compact [--dim D] [--workers W] --wal DIR
 //!        hull route [--addr H:P] [--probe-ms MS] NODE...
 //!        hull query ADDR [--scan] OP [SHARD] [COORDS...]
 //!          OP: insert|contains|visible|extreme|stats|snapshot|flush|
@@ -79,10 +80,14 @@ fn usage() -> ! {
     eprintln!(
         "USAGE: hull [--dim D] [--algo seq|par|rounds|chain] [--seed S] [--stats] [--stats-json] [FILE]\n\
          \x20      hull serve [--addr H:P] [--dim D] [--shards N] [--queue-cap C] [--batch B]\n\
-         \x20                 [--workers W] [--wal DIR] [--metrics-addr H:P] [--chaos-seed S] [--oneshot] [--stats-json]\n\
+         \x20                 [--workers W] [--wal DIR] [--bulk-threshold N] [--metrics-addr H:P]\n\
+         \x20                 [--chaos-seed S] [--oneshot] [--stats-json]\n\
          \x20                 [--threaded] [--dispatchers N] [--follow PRIMARY] [--promote-after N]\n\
          \x20        --workers W sizes the pool each shard applies batches with (0 = auto, 1 = sequential baseline);\n\
          \x20        --wal DIR persists per-shard insert WALs under DIR (crash-safe restart);\n\
+         \x20        --bulk-threshold N rebuilds journals holding >= N inserts through the bulk\n\
+         \x20        divide-and-conquer constructor at restart/recovery/follower bootstrap\n\
+         \x20        (canonically identical hull, much faster; 0 = off, the bit-identical baseline);\n\
          \x20        --metrics-addr H:P serves Prometheus text on plain HTTP GET /metrics;\n\
          \x20        --chaos-seed S arms the canned fault-injection schedule (testing only);\n\
          \x20        --threaded uses the original thread-per-connection front end instead of the\n\
@@ -92,6 +97,10 @@ fn usage() -> ! {
          \x20        batch units (wire v5; incompatible with --wal — followers resync from the\n\
          \x20        primary); --promote-after N self-promotes to writable after N consecutive\n\
          \x20        failed resubscribes (0 = never)\n\
+         \x20      hull compact [--dim D] [--workers W] --wal DIR\n\
+         \x20        collapse each shard-*.wal under DIR into one bulk-built checkpoint unit:\n\
+         \x20        strictly-interior points are pruned, the hull served after restart is\n\
+         \x20        identical, epochs reset to 1 (followers must re-bootstrap)\n\
          \x20      hull route [--addr H:P] [--probe-ms MS] NODE...\n\
          \x20        consistent-hash reads across NODEs (first NODE = write primary), health-check\n\
          \x20        every MS ms, and fail over with Degraded-wrapped replies when a node dies\n\
@@ -239,6 +248,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("serve") => serve_main(&args[1..]),
+        Some("compact") => compact_main(&args[1..]),
         Some("route") => route_main(&args[1..]),
         Some("query") => query_main(&args[1..]),
         Some("metrics") => metrics_main(&args[1..]),
@@ -405,6 +415,11 @@ fn serve_main(args: &[String]) {
             "--wal" => {
                 opts.config.wal_dir = Some(std::path::PathBuf::from(next("--wal", &mut it)));
             }
+            "--bulk-threshold" => {
+                opts.config.bulk_threshold = next("--bulk-threshold", &mut it)
+                    .parse()
+                    .unwrap_or_else(|_| die("bad --bulk-threshold value"));
+            }
             "--metrics-addr" => {
                 opts.metrics_addr = Some(next("--metrics-addr", &mut it));
             }
@@ -470,19 +485,13 @@ fn serve_main(args: &[String]) {
     }
     let following = opts.follow.as_ref().map(|f| f.primary.clone());
     let handle = serve(opts).unwrap_or_else(|e| die(&format!("bind failed: {e}")));
-    // The resolved address goes to stderr so facet/stat stdout stays clean
-    // and scripts with `--addr host:0` can learn the picked port.
-    eprintln!("hull: listening on {}", handle.local_addr());
-    if let Some(primary) = following {
-        eprintln!("hull: following {primary} (read-only replica)");
-    }
-    if let Some(maddr) = handle.metrics_addr() {
-        eprintln!("hull: metrics on http://{maddr}/metrics");
-    }
     // SIGTERM/SIGINT run the same graceful path as a remote `Shutdown`
     // op: stop accepting, drain the shards (which leaves every applied
     // batch unit sealed in the WAL — the open tail only exists inside a
-    // batch apply), then exit through the normal join below.
+    // batch apply), then exit through the normal join below. Installed
+    // BEFORE the readiness line: harnesses send the signal as soon as
+    // they see "listening on", and one landing before the handler is
+    // bound would kill the process raw.
     let wire_addr = handle.local_addr();
     on_termination_signal(move || {
         let ok = HullClient::builder(wire_addr.to_string())
@@ -494,9 +503,105 @@ fn serve_main(args: &[String]) {
             std::process::exit(1);
         }
     });
+    // The resolved address goes to stderr so facet/stat stdout stays clean
+    // and scripts with `--addr host:0` can learn the picked port.
+    eprintln!("hull: listening on {}", handle.local_addr());
+    if let Some(primary) = following {
+        eprintln!("hull: following {primary} (read-only replica)");
+    }
+    if let Some(maddr) = handle.metrics_addr() {
+        eprintln!("hull: metrics on http://{maddr}/metrics");
+    }
     let final_stats = handle.join_stats();
     if stats_json {
         println!("{final_stats}");
+    }
+}
+
+/// `hull compact --wal DIR`: collapse each shard's journal into one
+/// bulk-built checkpoint. The divide-and-conquer candidate sweep
+/// ([`bulk_candidates`](convex_hull_suite::core::bulk::bulk_candidates),
+/// DESIGN §S21) prunes points strictly interior to the hull, and the
+/// survivors — every weakly-extreme point, in original arrival order —
+/// are rewritten atomically (tmp + rename) as **one** journal batch
+/// unit. A restart over the compacted WAL serves the identical hull
+/// while replaying a fraction of the inserts. Epochs reset to 1, so
+/// replication cursors into the old journal are invalidated: followers
+/// of a compacted primary must re-bootstrap from scratch.
+fn compact_main(args: &[String]) {
+    use convex_hull_suite::core::bulk::{bulk_candidates, BulkReport};
+    use convex_hull_suite::service::{rewrite_wal, Journal};
+
+    let mut dim = 2usize;
+    let mut wal: Option<std::path::PathBuf> = None;
+    let mut workers = 0usize;
+    let mut it = args.iter();
+    let next = |what: &str, it: &mut std::slice::Iter<String>| -> String {
+        it.next()
+            .unwrap_or_else(|| die(&format!("{what} needs a value")))
+            .clone()
+    };
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--wal" => wal = Some(std::path::PathBuf::from(next("--wal", &mut it))),
+            "--dim" => {
+                dim = next("--dim", &mut it)
+                    .parse()
+                    .unwrap_or_else(|_| die("bad --dim value"));
+            }
+            "--workers" => {
+                workers = next("--workers", &mut it)
+                    .parse()
+                    .unwrap_or_else(|_| die("bad --workers value"));
+            }
+            "--help" | "-h" => usage(),
+            other => die(&format!("unknown compact flag '{other}'")),
+        }
+    }
+    if !(2..=8).contains(&dim) {
+        die("--dim must be in 2..=8");
+    }
+    let dir = wal.unwrap_or_else(|| die("compact needs --wal DIR"));
+    // Every `shard-N.wal` under DIR, in shard order.
+    let mut shards: Vec<u16> = std::fs::read_dir(&dir)
+        .unwrap_or_else(|e| die(&format!("read {}: {e}", dir.display())))
+        .filter_map(|entry| {
+            let name = entry.ok()?.file_name();
+            name.to_str()?
+                .strip_prefix("shard-")?
+                .strip_suffix(".wal")?
+                .parse()
+                .ok()
+        })
+        .collect();
+    shards.sort_unstable();
+    if shards.is_empty() {
+        die(&format!("no shard-*.wal files under {}", dir.display()));
+    }
+    for shard in shards {
+        let journal = Journal::with_wal(dim, &dir, shard)
+            .unwrap_or_else(|e| die(&format!("open shard {shard} WAL: {e}")));
+        if journal.tail_damaged() {
+            eprintln!(
+                "hull: shard {shard}: dropped a torn WAL tail ({} inserts recovered)",
+                journal.len()
+            );
+        }
+        let rows = journal.entries();
+        let units = journal.batch_count();
+        let pts = PointSet::from_rows(dim, rows);
+        let mut report = BulkReport::default();
+        // Ascending candidate ids == original arrival order, so the
+        // compacted journal replays with the same seed-basis choice.
+        let keep = bulk_candidates(&pts, workers, &mut report);
+        let kept: Vec<Vec<i64>> = keep.iter().map(|&i| rows[i as usize].clone()).collect();
+        let bytes = rewrite_wal(dim, &dir, shard, &kept)
+            .unwrap_or_else(|e| die(&format!("rewrite shard {shard} WAL: {e}")));
+        println!(
+            "shard {shard}: {} inserts / {units} units -> {} inserts / 1 unit ({bytes} bytes)",
+            rows.len(),
+            kept.len(),
+        );
     }
 }
 
@@ -530,17 +635,19 @@ fn route_main(args: &[String]) {
     }
     let nodes = opts.nodes.len();
     let mut handle = route(opts).unwrap_or_else(|e| die(&format!("bind failed: {e}")));
+    // Park until SIGTERM/SIGINT, then stop the listener threads cleanly
+    // (backends are left running — the router holds no hull state).
+    // Installed before the readiness line, same as `serve`: a signal
+    // landing before the handler is bound would kill the process raw.
+    let (tx, rx) = std::sync::mpsc::channel::<()>();
+    on_termination_signal(move || {
+        let _ = tx.send(());
+    });
     eprintln!(
         "hull: routing on {} across {nodes} node{}",
         handle.local_addr(),
         if nodes == 1 { "" } else { "s" }
     );
-    // Park until SIGTERM/SIGINT, then stop the listener threads cleanly
-    // (backends are left running — the router holds no hull state).
-    let (tx, rx) = std::sync::mpsc::channel::<()>();
-    on_termination_signal(move || {
-        let _ = tx.send(());
-    });
     let _ = rx.recv();
     handle.shutdown();
 }

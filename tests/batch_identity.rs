@@ -38,6 +38,7 @@ fn opts(dim: usize, workers: usize) -> ServeOptions {
             max_batch: 128,
             workers,
             wal_dir: None,
+            bulk_threshold: 0,
         },
         ..Default::default()
     }

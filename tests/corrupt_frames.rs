@@ -189,6 +189,7 @@ fn server(request_timeout: Duration, threaded: bool) -> convex_hull_suite::servi
             max_batch: 16,
             workers: 2,
             wal_dir: None,
+            bulk_threshold: 0,
         },
         request_timeout,
         threaded,

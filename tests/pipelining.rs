@@ -43,6 +43,7 @@ fn server(threaded: bool) -> ServerHandle {
             max_batch: 32,
             workers: 2,
             wal_dir: None,
+            bulk_threshold: 0,
         },
         threaded,
         ..Default::default()

@@ -49,6 +49,7 @@ fn opts(dim: usize) -> ServeOptions {
             max_batch: 16,
             workers: 2,
             wal_dir: None,
+            bulk_threshold: 0,
         },
         ..Default::default()
     }
@@ -384,6 +385,77 @@ fn follower_promotes_and_accepts_writes() {
     follower.shutdown();
 }
 
+/// A follower armed with `bulk_threshold` bootstraps its empty shard by
+/// pulling the primary's whole journaled prefix and installing it
+/// through one bulk divide-and-conquer build — while still mirroring
+/// every batch unit 1:1, so the resume cursor, incremental tail
+/// replication, and the converged hull are all exactly what per-unit
+/// pulling would have produced.
+#[test]
+fn follower_bootstraps_via_bulk_build() {
+    use std::sync::atomic::Ordering;
+    let _guard = repl_lock();
+    failpoint::disarm();
+    let pts = generators::cube_d(2, 400, 1_000_000, 61);
+    let rows = rows_of(&pts);
+
+    let mut primary = serve(opts(2)).unwrap();
+    let mut pc = connect(primary.local_addr());
+    insert_all(&mut pc, &rows);
+    let units = primary.service().batch_units(0).unwrap();
+    assert!(units >= 2, "bootstrap needs a multi-unit journal");
+
+    let mut fopts = follower_opts(2, primary.local_addr(), 0);
+    fopts.config.bulk_threshold = 1;
+    let mut follower = serve(fopts).unwrap();
+    let state = follower.replica_state().unwrap();
+    wait_until("follower to bootstrap", || {
+        follower.service().batch_units(0).unwrap() == units
+    });
+    let fservice = follower.service();
+    let stats = fservice.stats_for(0).unwrap();
+    assert_eq!(
+        stats.bulk_builds.load(Ordering::Relaxed),
+        1,
+        "bootstrap must take exactly one bulk build"
+    );
+    assert!(stats.bulk_pruned.load(Ordering::Relaxed) > 0);
+    assert_eq!(
+        state.applied(),
+        units,
+        "bootstrap must mirror every batch unit"
+    );
+    let mut fc = connect(follower.local_addr());
+    assert_eq!(
+        canonical_served(&fc.snapshot(0).unwrap()),
+        canonical_offline(&pts)
+    );
+
+    // The tail after bootstrap replicates unit-by-unit as usual.
+    let more = generators::cube_d(2, 48, 1_000_000, 62);
+    insert_all(&mut pc, &rows_of(&more));
+    let grown = primary.service().batch_units(0).unwrap();
+    wait_until("incremental tail after bootstrap", || {
+        follower.service().batch_units(0).unwrap() == grown
+    });
+    assert_eq!(
+        stats.bulk_builds.load(Ordering::Relaxed),
+        1,
+        "the incremental tail must not re-trigger bulk builds"
+    );
+    let mut all = PointSet::from_rows(2, &rows);
+    for row in rows_of(&more) {
+        all.push(&row);
+    }
+    assert_eq!(
+        canonical_served(&fc.snapshot(0).unwrap()),
+        canonical_offline(&all),
+        "bulk-bootstrapped follower diverged on the incremental tail"
+    );
+    follower.shutdown();
+    primary.shutdown();
+}
+
 /// SIGKILL a child process on drop: chaos teardown must not leak
 /// servers when an assertion fails mid-test.
 struct KillOnDrop(std::process::Child);
@@ -471,9 +543,7 @@ fn sigkill_primary_promoted_follower_serves_identical_hull() {
     // Writes start succeeding exactly when the follower promotes. A
     // duplicate of an existing point is the probe — harmless to the
     // hull by Theorem 4.2, whatever moment it lands.
-    wait_until("follower self-promotion", || {
-        fc.insert(0, &rows[0]).is_ok()
-    });
+    wait_until("follower self-promotion", || fc.insert(0, &rows[0]).is_ok());
     fc.flush(0).unwrap();
     let snap = fc.snapshot(0).unwrap();
     assert_eq!(
