@@ -1,5 +1,5 @@
 //! Load generator for the `chull-service` hull server (experiments E17,
-//! E18, E20 and E21).
+//! E18, E20–E25).
 //!
 //! Starts an in-process server on loopback, streams a workload into one
 //! shard from several concurrent client connections, then runs a mixed
@@ -49,15 +49,24 @@
 //! constructor (DESIGN §S21), asserting both restarts serve the
 //! identical canonical hull.
 //!
+//! The E25 workload (`churn_2d`, via `--churn-only`) measures windowed
+//! / deletion churn throughput vs window size over the v6 `Mutate`
+//! envelope: an insert-only baseline, a server-side count-window arm,
+//! and an explicit-delete arm per window size, each asserting the
+//! served hull canonically identical to offline Algorithm 2 on the
+//! surviving suffix.
+//!
 //! ```text
 //! USAGE: service_load [--out FILE] [--clients C] [--quick]
 //!                     [--fanin N] [--fanin-only] [--repl-only] [--recovery-only]
+//!                     [--churn-only]
 //! ```
 //!
 //! `--quick` shrinks the workloads for CI smoke runs; `--fanin-only`
 //! runs just the E22 rows (the CI 10k-connection smoke); `--repl-only`
 //! runs just the E23 kill-a-node drill; `--recovery-only` runs just the
-//! E24 restart A/B (50k/200k/1M journals; 50k with `--quick`).
+//! E24 restart A/B (50k/200k/1M journals; 50k with `--quick`);
+//! `--churn-only` runs just the E25 window-churn sweep.
 //! Latencies are
 //! *round-trip* (request written to reply decoded) over loopback TCP, so
 //! they include wire encode/decode and the socket — the serving cost a
@@ -68,7 +77,9 @@ use chull_core::seq::incremental_hull_run;
 use chull_core::telemetry::engine_metrics;
 use chull_geometry::generators;
 use chull_geometry::PointSet;
-use chull_service::{serve, HullClient, RetryPolicy, ServeOptions, ServiceConfig};
+use chull_service::{
+    serve, HullClient, Mutation, MutationBatch, ServeOptions, ServiceConfig, WindowPolicy,
+};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -131,6 +142,7 @@ fn run_workload(
             workers: 0,
             wal_dir: None,
             bulk_threshold: 0,
+            ..Default::default()
         },
         ..Default::default()
     })
@@ -155,11 +167,13 @@ fn run_workload(
                     let mut client = HullClient::builder(addr.to_string())
                         .connect()
                         .expect("connect");
-                    let policy = RetryPolicy::default();
                     let mut lat = Vec::with_capacity(rows.len() / clients + 1);
                     for row in rows.iter().skip(c).step_by(clients) {
                         let q0 = Instant::now();
-                        let rej = client.insert_retry(0, row, &policy).expect("insert");
+                        let rej = client
+                            .mutate(0, MutationBatch::new().insert(row.clone()))
+                            .expect("insert")
+                            .rejections;
                         lat.push(q0.elapsed().as_secs_f64() * 1e6);
                         overloaded.fetch_add(rej, Ordering::Relaxed);
                     }
@@ -296,6 +310,7 @@ fn run_chaos_recovery(pts: &PointSet, clients: usize) -> String {
             workers: 0,
             wal_dir: None,
             bulk_threshold: 0,
+            ..Default::default()
         },
         ..Default::default()
     })
@@ -351,11 +366,12 @@ fn run_chaos_recovery(pts: &PointSet, clients: usize) -> String {
                     let mut client = HullClient::builder(addr.to_string())
                         .connect()
                         .expect("connect");
-                    let policy = RetryPolicy::default();
                     let mut max_gap = 0u64;
                     let mut last_ack = Instant::now();
                     for row in rows.iter().skip(c).step_by(clients) {
-                        client.insert_retry(0, row, &policy).expect("insert");
+                        client
+                            .mutate(0, MutationBatch::new().insert(row.clone()))
+                            .expect("insert");
                         let now = Instant::now();
                         max_gap = max_gap.max(now.duration_since(last_ack).as_micros() as u64);
                         last_ack = now;
@@ -486,6 +502,7 @@ fn repl_primary_main() {
             workers: 0,
             wal_dir: None,
             bulk_threshold: 0,
+            ..Default::default()
         },
         ..Default::default()
     })
@@ -542,6 +559,7 @@ fn run_replicated_failover(pts: &PointSet, clients: usize) -> String {
             workers: 0,
             wal_dir: None,
             bulk_threshold: 0,
+            ..Default::default()
         },
         follow: Some(FollowOptions {
             primary: primary_addr.clone(),
@@ -570,9 +588,10 @@ fn run_replicated_failover(pts: &PointSet, clients: usize) -> String {
                 let mut client = HullClient::builder(raddr.to_string())
                     .connect()
                     .expect("connect router");
-                let policy = RetryPolicy::default();
                 for row in rows.iter().skip(c).step_by(clients) {
-                    client.insert_retry(0, row, &policy).expect("insert");
+                    client
+                        .mutate(0, MutationBatch::new().insert(row.clone()))
+                        .expect("insert");
                 }
             });
         }
@@ -643,7 +662,10 @@ fn run_replicated_failover(pts: &PointSet, clients: usize) -> String {
             .connect()
             .expect("connect router");
         let wdeadline = Instant::now() + Duration::from_secs(30);
-        while wc.insert(0, &rows[0]).is_err() {
+        while wc
+            .mutate(0, MutationBatch::new().insert(rows[0].clone()))
+            .is_err()
+        {
             assert!(Instant::now() < wdeadline, "follower never promoted");
             std::thread::sleep(Duration::from_millis(5));
         }
@@ -728,6 +750,7 @@ fn run_applied_ingest(pts: &PointSet, clients: usize, batch: usize, workers: usi
             workers,
             wal_dir: None,
             bulk_threshold: 0,
+            ..Default::default()
         },
         ..Default::default()
     })
@@ -744,13 +767,16 @@ fn run_applied_ingest(pts: &PointSet, clients: usize, batch: usize, workers: usi
                     .expect("connect");
                 let mine: Vec<Vec<i64>> = rows.iter().skip(c).step_by(clients).cloned().collect();
                 if batch == 0 {
-                    let policy = RetryPolicy::default();
                     for row in &mine {
-                        client.insert_retry(0, row, &policy).expect("insert");
+                        client
+                            .mutate(0, MutationBatch::new().insert(row.clone()))
+                            .expect("insert");
                     }
                 } else {
                     for chunk in mine.chunks(batch) {
-                        client.insert_batch(0, chunk).expect("insert batch");
+                        let muts: Vec<Mutation> =
+                            chunk.iter().map(|p| Mutation::Insert(p.clone())).collect();
+                        client.mutate(0, muts.into()).expect("insert batch");
                     }
                 }
             });
@@ -833,6 +859,7 @@ fn run_query_ab(pts: &PointSet, clients: usize, queries_per_client: usize) -> Ve
             workers: 0,
             wal_dir: None,
             bulk_threshold: 0,
+            ..Default::default()
         },
         ..Default::default()
     })
@@ -844,7 +871,8 @@ fn run_query_ab(pts: &PointSet, clients: usize, queries_per_client: usize) -> Ve
             .connect()
             .expect("connect");
         for chunk in rows.chunks(256) {
-            client.insert_batch(0, chunk).expect("insert batch");
+            let muts: Vec<Mutation> = chunk.iter().map(|p| Mutation::Insert(p.clone())).collect();
+            client.mutate(0, muts.into()).expect("insert batch");
         }
         client.flush(0).expect("flush");
         client.snapshot(0).expect("snapshot").facets.len()
@@ -1020,7 +1048,8 @@ fn run_fanin(threaded: bool, conns_wanted: usize, probes: usize) -> String {
             .connect()
             .expect("connect");
         for p in [[0, 0], [1_000, 0], [0, 1_000], [1_000, 1_000]] {
-            assert!(seed.insert(0, &p).expect("seed insert"));
+            seed.mutate(0, MutationBatch::new().insert(p))
+                .expect("seed insert");
         }
         seed.flush(0).expect("seed flush");
     }
@@ -1220,6 +1249,7 @@ fn run_recovery_ab(n: usize) -> Vec<String> {
             workers: 0,
             wal_dir: Some(dir.clone()),
             bulk_threshold,
+            ..Default::default()
         })
         .expect("restart over wal");
         let secs = t0.elapsed().as_secs_f64();
@@ -1274,6 +1304,128 @@ fn run_recovery_ab(n: usize) -> Vec<String> {
         )
     })
     .collect()
+}
+
+/// E25 (`churn_2d`): sliding-window / deletion churn throughput vs
+/// window size. One ingest client streams `pts` in 64-mutation v6
+/// `Mutate` envelopes; the live set is bounded at `window` points
+/// either by the server's count-window policy (`mode == "window"`:
+/// pure inserts, the shard expires its own oldest rows) or by explicit
+/// client-side deletes (`mode == "delete"`: each envelope pairs the
+/// insert of point `i` with a `Delete` of point `i - window`).
+/// `window == 0` is the insert-only baseline. Single-client ingest
+/// keeps the surviving set deterministic — the newest `window` points
+/// in stream order — so the served hull is asserted canonically
+/// identical to offline Algorithm 2 on exactly those survivors.
+fn run_churn(pts: &PointSet, mode: &str, window: usize) -> String {
+    let dim = pts.dim();
+    let n = pts.len();
+    let rows: Vec<Vec<i64>> = (0..n).map(|i| pts.point(i).to_vec()).collect();
+    let mut server = serve(ServeOptions {
+        config: ServiceConfig {
+            dim,
+            shards: 1,
+            queue_capacity: 4096,
+            max_batch: 256,
+            workers: 0,
+            wal_dir: None,
+            bulk_threshold: 0,
+            window: if mode == "window" && window > 0 {
+                WindowPolicy::Count(window)
+            } else {
+                WindowPolicy::None
+            },
+            ..Default::default()
+        },
+        ..Default::default()
+    })
+    .expect("bind loopback");
+    let addr = server.local_addr();
+    let mut client = HullClient::builder(addr.to_string())
+        .connect()
+        .expect("connect");
+    let mut total_muts = 0usize;
+    let t0 = Instant::now();
+    let mut batch = MutationBatch::new();
+    for (i, row) in rows.iter().enumerate() {
+        batch = batch.insert(row.clone());
+        if mode == "delete" && window > 0 && i >= window {
+            batch = batch.delete(rows[i - window].clone());
+        }
+        if batch.len() >= 64 || i + 1 == n {
+            total_muts += batch.len();
+            client
+                .mutate(0, std::mem::take(&mut batch))
+                .expect("mutate");
+        }
+    }
+    client.flush(0).expect("flush");
+    let churn_secs = t0.elapsed().as_secs_f64();
+    let snap = client.snapshot(0).expect("snapshot");
+    let stats = client.stats(Some(0)).expect("stats");
+    server.shutdown();
+
+    // Canonical check: facets of the served hull vs offline Algorithm 2
+    // on the deterministic survivor suffix.
+    let survivors: &[Vec<i64>] = if window == 0 {
+        &rows
+    } else {
+        &rows[n - window..]
+    };
+    let canon = |facets: &[Vec<u32>], flat: &[i64]| -> std::collections::BTreeSet<Vec<Vec<i64>>> {
+        facets
+            .iter()
+            .map(|f| {
+                let mut verts: Vec<Vec<i64>> = f[..dim]
+                    .iter()
+                    .map(|&v| flat[v as usize * dim..(v as usize + 1) * dim].to_vec())
+                    .collect();
+                verts.sort();
+                verts
+            })
+            .collect()
+    };
+    let served_flat: Vec<i64> = snap.points.iter().flatten().copied().collect();
+    let surv_flat: Vec<i64> = survivors.iter().flatten().copied().collect();
+    let offline = incremental_hull_run(&PointSet::from_flat(dim, surv_flat.clone()));
+    let offline_facets: Vec<Vec<u32>> = offline.output.facets.iter().map(|f| f.to_vec()).collect();
+    assert_eq!(
+        canon(&snap.facets, &served_flat),
+        canon(&offline_facets, &surv_flat),
+        "windowed hull differs from offline on survivors (mode {mode}, window {window})"
+    );
+
+    let grab = |key: &str| -> u64 {
+        stats
+            .split(&format!("\"{key}\":"))
+            .nth(1)
+            .and_then(|s| s.split([',', '}']).next())
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0)
+    };
+    let (tombstones, expirations) = (grab("tombstones"), grab("window_expirations"));
+    let (rebuilds, autoc) = (grab("rebuilds"), grab("auto_compactions"));
+    let live = grab("live_points");
+    if window > 0 {
+        assert_eq!(live as usize, window, "live set missed the window bound");
+    }
+    let mps = total_muts as f64 / churn_secs;
+    println!(
+        "{:<28} {:>8} pts  {:>10.0} muts/s  ({mode}, window {window}: {tombstones} tombstones, \
+         {expirations} expired, {rebuilds} rebuilds / {autoc} auto, {live} live, {} facets)",
+        "churn_2d",
+        n,
+        mps,
+        snap.facets.len()
+    );
+    format!(
+        "  {{\"workload\": \"churn_2d\", \"mode\": \"{mode}\", \"window\": {window}, \
+         \"dim\": {dim}, \"n_points\": {n}, \"mutations\": {total_muts}, \
+         \"mutations_per_sec\": {mps:.0}, \"tombstones\": {tombstones}, \
+         \"window_expirations\": {expirations}, \"rebuilds\": {rebuilds}, \
+         \"auto_compactions\": {autoc}, \"live_points\": {live}, \
+         \"canonical_identical\": true}}"
+    )
 }
 
 fn write_json(path: &str, results: &[LoadResult], extra_rows: &[String]) -> std::io::Result<()> {
@@ -1338,6 +1490,7 @@ fn fanin_server_main(backend: &str, conns: usize) {
             workers: 0,
             wal_dir: None,
             bulk_threshold: 0,
+            ..Default::default()
         },
         threaded: backend == "threaded",
         ..Default::default()
@@ -1371,6 +1524,7 @@ fn main() {
     let mut fanin_only = false;
     let mut repl_only = false;
     let mut recovery_only = false;
+    let mut churn_only = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -1393,10 +1547,12 @@ fn main() {
             "--fanin-only" => fanin_only = true,
             "--repl-only" => repl_only = true,
             "--recovery-only" => recovery_only = true,
+            "--churn-only" => churn_only = true,
             other => {
                 eprintln!(
                     "USAGE: service_load [--out FILE] [--clients C] [--quick] \
-                     [--fanin N] [--fanin-only] [--repl-only] [--recovery-only]"
+                     [--fanin N] [--fanin-only] [--repl-only] [--recovery-only] \
+                     [--churn-only]"
                 );
                 panic!("unknown flag '{other}'");
             }
@@ -1417,6 +1573,29 @@ fn main() {
         let n = if quick { 2_000 } else { 25_000 };
         let row = run_replicated_failover(&generators::cube_d(2, n, 1_000_000, 88), clients);
         write_json(&out_path, &[], &[row]).expect("writing results");
+        println!("wrote {out_path}");
+        return;
+    }
+    // E25: churn throughput vs window size, windowed-expiry and
+    // explicit-delete arms, plus the insert-only baseline.
+    let run_churn_rows = |quick: bool| -> Vec<String> {
+        let n = if quick { 2_000 } else { 50_000 };
+        let windows: &[usize] = if quick {
+            &[256, 1_024]
+        } else {
+            &[2_048, 16_384]
+        };
+        let pts = generators::cube_d(2, n, 1_000_000, 55);
+        let mut rows = vec![run_churn(&pts, "insert_only", 0)];
+        for &w in windows {
+            rows.push(run_churn(&pts, "window", w));
+            rows.push(run_churn(&pts, "delete", w));
+        }
+        rows
+    };
+    if churn_only {
+        let rows = run_churn_rows(quick);
+        write_json(&out_path, &[], &rows).expect("writing results");
         println!("wrote {out_path}");
         return;
     }
@@ -1486,6 +1665,7 @@ fn main() {
         &generators::cube_d(2, n2 / 2, 1_000_000, 88),
         clients,
     ));
+    extra.extend(run_churn_rows(quick));
     extra.extend(run_fanin_rows());
     write_json(&out_path, &results, &extra).expect("writing results");
     println!("wrote {out_path}");

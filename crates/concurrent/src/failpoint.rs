@@ -39,6 +39,10 @@ pub mod sites {
     pub const SHARD_APPLY: &str = "shard.apply.insert";
     /// Shard drain loop, after applying a batch, before publishing.
     pub const SHARD_BEFORE_PUBLISH: &str = "shard.drain.before_publish";
+    /// Shard rebuild-from-survivors, before the bulk reconstruction:
+    /// panics kill the worker mid-rebuild (the triggering unit is
+    /// already journaled, so replay re-runs the rebuild decision).
+    pub const SHARD_REBUILD: &str = "shard.rebuild";
     /// Wire frame writer: truncate the frame and abort the connection.
     pub const WIRE_WRITE_FRAME: &str = "wire.write_frame";
     /// Server accept loop (latency injection only in canned plans).

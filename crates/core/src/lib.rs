@@ -29,6 +29,7 @@ pub mod degenerate;
 pub mod facet;
 pub mod float2d;
 pub mod history;
+pub mod liveset;
 pub mod measure;
 pub mod online;
 pub mod output;
@@ -39,5 +40,6 @@ pub mod telemetry;
 pub mod verify;
 
 pub use context::prepare_points;
+pub use liveset::{LiveSet, RemoveOutcome, WindowPolicy};
 pub use output::HullOutput;
 pub use stats::HullStats;

@@ -1,0 +1,285 @@
+//! The live multiset behind windowed/deletable serving: which inserted
+//! rows are still alive, in arrival order.
+//!
+//! The online hull itself is insert-only (Algorithm 2's structure has no
+//! cheap delete), so deletion is served by **tombstone-then-rebuild**:
+//! the serving layer tracks this multiset next to the hull, tombstones
+//! departing rows, and — when enough tombstones could matter — rebuilds
+//! the hull from [`LiveSet::survivors`] through the parallel bulk path.
+//! Theorem 4.2's order-independence makes that rebuild canonically
+//! equivalent to any insertion order of the survivors, which is what
+//! lets the whole design skip fine-grained dynamic-hull locking.
+//!
+//! Duplicate coordinates are counted (a multiset), and a delete kills
+//! the **oldest** live copy: survivors are always a suffix of each
+//! coordinate's arrival list, so window expiry (oldest-first) and
+//! explicit deletes compose without tracking per-copy identity.
+
+use std::collections::{HashMap, VecDeque};
+
+/// Per-shard retention policy for windowed serving.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum WindowPolicy {
+    /// Keep everything; only explicit deletes remove rows.
+    #[default]
+    None,
+    /// Keep at most this many live rows; inserting past the bound
+    /// expires the oldest live rows (count-bounded sliding window).
+    Count(usize),
+    /// Keep rows for this many publication epochs: a row inserted at
+    /// epoch `e` expires once the shard publishes epoch `e + n`
+    /// (logical-time-bounded window).
+    Epochs(u64),
+}
+
+/// What [`LiveSet::remove`] did.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RemoveOutcome {
+    /// No live copy of the row existed — nothing to tombstone.
+    Miss,
+    /// A duplicate copy died but at least one live copy remains; the
+    /// hull cannot have changed.
+    Dec,
+    /// The last live copy died; the row is gone from the live set.
+    Gone,
+}
+
+/// The live multiset: per-coordinate live counts plus the arrival-order
+/// FIFO that windows expire from and rebuilds enumerate survivors from.
+#[derive(Debug, Default)]
+pub struct LiveSet {
+    /// Live copies per coordinate row.
+    counts: HashMap<Vec<i64>, usize>,
+    /// Every arrival still in the FIFO (live or dead), oldest first,
+    /// with the publication epoch it arrived under.
+    fifo: VecDeque<(Vec<i64>, u64)>,
+    /// FIFO entries per coordinate that are already dead (deleted or
+    /// expired, with younger arrivals possibly still live). A delete
+    /// kills the oldest copy, so the first `dead[row]` FIFO occurrences
+    /// of `row` are the dead ones.
+    dead: HashMap<Vec<i64>, usize>,
+    /// Total live rows (sum of `counts`).
+    live: usize,
+}
+
+impl LiveSet {
+    /// An empty live set.
+    pub fn new() -> LiveSet {
+        LiveSet::default()
+    }
+
+    /// Record one inserted row arriving at publication epoch `epoch`.
+    pub fn insert(&mut self, row: Vec<i64>, epoch: u64) {
+        *self.counts.entry(row.clone()).or_insert(0) += 1;
+        self.fifo.push_back((row, epoch));
+        self.live += 1;
+    }
+
+    /// Kill the oldest live copy of `row`, if any.
+    pub fn remove(&mut self, row: &[i64]) -> RemoveOutcome {
+        let Some(n) = self.counts.get_mut(row) else {
+            return RemoveOutcome::Miss;
+        };
+        *n -= 1;
+        let gone = *n == 0;
+        if gone {
+            self.counts.remove(row);
+        }
+        *self.dead.entry(row.to_vec()).or_insert(0) += 1;
+        self.live -= 1;
+        if gone {
+            RemoveOutcome::Gone
+        } else {
+            RemoveOutcome::Dec
+        }
+    }
+
+    /// Live copies of `row` (0 when absent).
+    pub fn count(&self, row: &[i64]) -> usize {
+        self.counts.get(row).copied().unwrap_or(0)
+    }
+
+    /// Total live rows.
+    pub fn live(&self) -> usize {
+        self.live
+    }
+
+    /// FIFO entries that are dead but not yet compacted away — the
+    /// memory the next rebuild reclaims.
+    pub fn dead_entries(&self) -> usize {
+        self.fifo.len() - self.live
+    }
+
+    /// Expire the `n` oldest **live** rows, returning their coordinates
+    /// in expiry order. Rows whose last live copy dies here are exactly
+    /// the returned rows with no remaining [`LiveSet::count`].
+    pub fn expire_oldest(&mut self, n: usize) -> Vec<Vec<i64>> {
+        let mut out = Vec::with_capacity(n.min(self.live));
+        while out.len() < n && self.live > 0 {
+            let (row, _) = self.fifo.pop_front().expect("live > 0 implies entries");
+            if let Some(d) = self.dead.get_mut(&row) {
+                // Oldest copies die first, so a dead-marked front entry
+                // is one of the already-deleted copies: drop it and the
+                // mark together.
+                *d -= 1;
+                if *d == 0 {
+                    self.dead.remove(&row);
+                }
+                continue;
+            }
+            let c = self.counts.get_mut(&row).expect("live entry has a count");
+            *c -= 1;
+            if *c == 0 {
+                self.counts.remove(&row);
+            }
+            self.live -= 1;
+            out.push(row);
+        }
+        out
+    }
+
+    /// Apply `policy` after the shard published epoch `now`: expire
+    /// whatever the window no longer retains, oldest first.
+    pub fn expire_window(&mut self, policy: &WindowPolicy, now: u64) -> Vec<Vec<i64>> {
+        match *policy {
+            WindowPolicy::None => Vec::new(),
+            WindowPolicy::Count(cap) => {
+                let excess = self.live.saturating_sub(cap);
+                self.expire_oldest(excess)
+            }
+            WindowPolicy::Epochs(n) => {
+                let mut out = Vec::new();
+                loop {
+                    // Pop dead prefix entries for free while hunting the
+                    // oldest live arrival.
+                    match self.fifo.front() {
+                        Some((row, at)) if now.saturating_sub(*at) >= n => {
+                            if self.dead.contains_key(row) {
+                                let (row, _) = self.fifo.pop_front().expect("front exists");
+                                let d = self.dead.get_mut(&row).expect("checked above");
+                                *d -= 1;
+                                if *d == 0 {
+                                    self.dead.remove(&row);
+                                }
+                            } else {
+                                out.extend(self.expire_oldest(1));
+                            }
+                        }
+                        _ => break,
+                    }
+                }
+                out
+            }
+        }
+    }
+
+    /// The live rows in arrival order — the input a rebuild feeds to the
+    /// bulk constructor. For a coordinate with dead older copies, only
+    /// the youngest `count` arrivals are emitted.
+    pub fn survivors(&self) -> Vec<Vec<i64>> {
+        let mut skip = self.dead.clone();
+        let mut out = Vec::with_capacity(self.live);
+        for (row, _) in &self.fifo {
+            if let Some(d) = skip.get_mut(row) {
+                *d -= 1;
+                if *d == 0 {
+                    skip.remove(row);
+                }
+                continue;
+            }
+            out.push(row.clone());
+        }
+        debug_assert_eq!(out.len(), self.live);
+        out
+    }
+
+    /// Drop every dead FIFO entry (after a rebuild journaled the
+    /// survivors as the new checkpoint): the FIFO shrinks to exactly the
+    /// live rows, re-stamped as arriving at epoch `epoch`.
+    pub fn compact(&mut self, epoch: u64) {
+        let rows = self.survivors();
+        self.fifo.clear();
+        self.dead.clear();
+        for row in rows {
+            self.fifo.push_back((row, epoch));
+        }
+        debug_assert_eq!(self.fifo.len(), self.live);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rows(s: &LiveSet) -> Vec<Vec<i64>> {
+        s.survivors()
+    }
+
+    #[test]
+    fn multiset_delete_semantics() {
+        let mut s = LiveSet::new();
+        s.insert(vec![1, 1], 1);
+        s.insert(vec![2, 2], 1);
+        s.insert(vec![1, 1], 2);
+        assert_eq!(s.live(), 3);
+        assert_eq!(s.remove(&[3, 3]), RemoveOutcome::Miss);
+        assert_eq!(s.remove(&[1, 1]), RemoveOutcome::Dec);
+        assert_eq!(s.count(&[1, 1]), 1);
+        // The oldest copy died: the survivor list keeps the epoch-2 one.
+        assert_eq!(rows(&s), vec![vec![2, 2], vec![1, 1]]);
+        assert_eq!(s.remove(&[1, 1]), RemoveOutcome::Gone);
+        assert_eq!(s.remove(&[1, 1]), RemoveOutcome::Miss);
+        assert_eq!(rows(&s), vec![vec![2, 2]]);
+        assert_eq!(s.live(), 1);
+        assert_eq!(s.dead_entries(), 2);
+    }
+
+    #[test]
+    fn count_window_expires_oldest_live() {
+        let mut s = LiveSet::new();
+        for i in 0..5 {
+            s.insert(vec![i, i], i as u64);
+        }
+        assert_eq!(s.remove(&[0, 0]), RemoveOutcome::Gone);
+        let expired = s.expire_window(&WindowPolicy::Count(2), 5);
+        // live was 4, cap 2: the two oldest live rows go, skipping the
+        // already-dead [0,0] entry.
+        assert_eq!(expired, vec![vec![1, 1], vec![2, 2]]);
+        assert_eq!(rows(&s), vec![vec![3, 3], vec![4, 4]]);
+    }
+
+    #[test]
+    fn epoch_window_expires_by_age() {
+        let mut s = LiveSet::new();
+        s.insert(vec![0, 0], 1);
+        s.insert(vec![1, 1], 2);
+        s.insert(vec![2, 2], 5);
+        let expired = s.expire_window(&WindowPolicy::Epochs(3), 5);
+        assert_eq!(expired, vec![vec![0, 0], vec![1, 1]]);
+        assert_eq!(rows(&s), vec![vec![2, 2]]);
+        assert!(s.expire_window(&WindowPolicy::Epochs(3), 5).is_empty());
+        assert_eq!(
+            s.expire_window(&WindowPolicy::Epochs(3), 8),
+            vec![vec![2, 2]]
+        );
+    }
+
+    #[test]
+    fn compact_drops_dead_entries_and_preserves_survivors() {
+        let mut s = LiveSet::new();
+        for i in 0..6 {
+            s.insert(vec![i], i as u64);
+        }
+        s.remove(&[1]);
+        s.remove(&[4]);
+        let before = rows(&s);
+        assert_eq!(s.dead_entries(), 2);
+        s.compact(9);
+        assert_eq!(s.dead_entries(), 0);
+        assert_eq!(rows(&s), before);
+        assert_eq!(s.live(), 4);
+        // Everything now dates from epoch 9.
+        assert!(s.expire_window(&WindowPolicy::Epochs(1), 9).is_empty());
+        assert_eq!(s.expire_window(&WindowPolicy::Epochs(1), 10).len(), 4);
+    }
+}

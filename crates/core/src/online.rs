@@ -41,6 +41,20 @@ thread_local! {
 /// replay re-derives the same sequential/parallel decision per batch.
 pub const MIN_PAR_BATCH: usize = 8;
 
+/// Where a point sits relative to the current hull — the answer of
+/// [`OnlineHull::classify`]. Distinguishing `OnBoundary` from `Inside`
+/// matters for deletion: removing an interior point never changes the
+/// hull, removing a boundary point generally does.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PointLocation {
+    /// Strictly inside every alive facet's halfspace.
+    Inside,
+    /// On at least one alive facet's hyperplane, beyond none.
+    OnBoundary,
+    /// Beyond at least one alive facet (visible from outside).
+    Outside,
+}
+
 /// Telemetry summary of the most recent [`OnlineHull::insert_batch_par`]
 /// call that took the parallel path (all zeros after a sequential-path
 /// batch or before any batch). `busy_ns / wall_ns` of the call is the
@@ -705,6 +719,34 @@ impl OnlineHull {
         (0..self.facets.len() as u32)
             .filter(|&id| self.facets[id as usize].alive && self.sees(id, coords, counts))
             .collect()
+    }
+
+    /// Tri-state location of `coords` relative to the current hull, via
+    /// one pass over the alive facets with the staged exact kernel:
+    /// strictly interior, on the boundary (on some alive facet's
+    /// hyperplane without being beyond any), or strictly outside.
+    ///
+    /// Deleting an `Inside` point cannot change the hull; deleting an
+    /// `OnBoundary` or `Outside` one can — this is the decision the
+    /// windowed serving layer's tombstone-vs-rebuild trigger rests on
+    /// (an `Outside` classification only arises transiently, for points
+    /// buffered but not yet applied).
+    pub fn classify(&self, coords: &[i64], counts: &mut KernelCounts) -> PointLocation {
+        assert_eq!(coords.len(), self.dim, "point of wrong dimension");
+        let mut on_boundary = false;
+        for f in self.facets.iter().filter(|f| f.alive) {
+            let s = f.plane.sign_point(coords, counts);
+            if s == Sign::Zero {
+                on_boundary = true;
+            } else if s == f.visible_sign {
+                return PointLocation::Outside;
+            }
+        }
+        if on_boundary {
+            PointLocation::OnBoundary
+        } else {
+            PointLocation::Inside
+        }
     }
 
     /// Pack every facet plane ever created (dead ones included — the

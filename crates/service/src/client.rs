@@ -29,18 +29,28 @@
 //! Connections are opened through [`HullClientBuilder`]
 //! (`HullClient::builder(addr)`), which sets the connect deadline, the
 //! default retry policy, and the protocol version window: by default the
-//! client advertises [`PROTOCOL_V5`] in a `Hello` handshake and falls
-//! back to v4/v3/v2/v1 when the server doesn't understand it, so the
-//! same binary talks to old and new servers. [`HullClient::insert_batch`]
-//! then uses one `InsertBatch` frame per attempt on v2+ and degrades to
-//! per-point inserts on v1; the v3 `*_scan` query methods require a v3
-//! server ([`crate::wire::CAP_SCAN_QUERIES`]); and
-//! [`HullClient::pipeline`] issues many tagged requests back-to-back on
-//! a v4 server ([`crate::wire::CAP_PIPELINE`]) before reading any reply.
+//! client advertises [`PROTOCOL_V6`] in a `Hello` handshake and falls
+//! back to v5/v4/v3/v2/v1 when the server doesn't understand it, so the
+//! same binary talks to old and new servers.
+//!
+//! **Writes go through [`HullClient::mutate`]**: a [`MutationBatch`] of
+//! inserts, deletes, and window expirations applied by the shard as one
+//! journal unit, with `Overloaded` pushback on the rejected suffix
+//! absorbed by the client's [`RetryPolicy`]. On a v6 server this is one
+//! `Mutate` frame per attempt; a pure-insert batch transparently
+//! downgrades to `InsertBatch` on v2–v5 servers and to per-point
+//! inserts on v1, while a delete-bearing batch on a pre-v6 server fails
+//! with `Unsupported`. The older entry points —
+//! [`HullClient::insert`], [`HullClient::insert_batch`],
+//! [`HullClient::insert_retry`] — remain as deprecated shims over the
+//! same machinery. The v3 `*_scan` query methods require a v3 server
+//! ([`crate::wire::CAP_SCAN_QUERIES`]); [`HullClient::pipeline`] issues
+//! many tagged requests back-to-back on a v4 server
+//! ([`crate::wire::CAP_PIPELINE`]) before reading any reply.
 
 use crate::wire::{
-    read_frame, write_frame, Request, Response, ALL_SHARDS, CAP_PIPELINE, CAP_REPLICATION,
-    PROTOCOL_V1, PROTOCOL_V2, PROTOCOL_V4, PROTOCOL_V5,
+    read_frame, write_frame, Mutation, ReplUnit, Request, Response, ALL_SHARDS, CAP_MUTATION,
+    CAP_PIPELINE, CAP_REPLICATION, PROTOCOL_V1, PROTOCOL_V2, PROTOCOL_V4, PROTOCOL_V6,
 };
 use chull_geometry::rng::ChaCha8Rng;
 use std::io::{self};
@@ -117,7 +127,7 @@ impl HullClientBuilder {
             deadline: None,
             policy: RetryPolicy::default(),
             floor: PROTOCOL_V1,
-            ceiling: PROTOCOL_V5,
+            ceiling: PROTOCOL_V6,
         }
     }
 
@@ -153,10 +163,10 @@ impl HullClientBuilder {
     }
 
     /// Highest version to advertise in the `Hello` handshake. Default
-    /// [`PROTOCOL_V5`]; a ceiling of [`PROTOCOL_V1`] skips the
+    /// [`PROTOCOL_V6`]; a ceiling of [`PROTOCOL_V1`] skips the
     /// handshake entirely, reproducing the legacy wire exchange
-    /// byte-for-byte, and [`PROTOCOL_V4`] reproduces the pre-replication
-    /// client.
+    /// byte-for-byte, [`PROTOCOL_V4`] reproduces the pre-replication
+    /// client, and [`PROTOCOL_V5`] the pre-mutation one.
     pub fn protocol_ceiling(mut self, v: u16) -> HullClientBuilder {
         self.ceiling = v;
         self
@@ -209,6 +219,81 @@ impl HullClientBuilder {
 pub struct BatchInsertReply {
     /// Publication epoch observed when the (last slice of the) batch
     /// was enqueued; `0` when the server only speaks v1 (single-point
+    /// inserts carry no epoch).
+    pub epoch: u64,
+    /// `Overloaded` rejections absorbed by backoff along the way.
+    pub rejections: u64,
+}
+
+/// Builder for one mutation envelope: inserts, deletes, and window
+/// expirations the shard applies as a single journal unit (one epoch).
+///
+/// ```
+/// use chull_service::MutationBatch;
+/// let batch = MutationBatch::new()
+///     .insert([0, 0])
+///     .insert([10, 0])
+///     .delete([0, 0])
+///     .expire(1);
+/// assert_eq!(batch.len(), 4);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct MutationBatch {
+    muts: Vec<Mutation>,
+}
+
+impl MutationBatch {
+    /// An empty envelope.
+    pub fn new() -> MutationBatch {
+        MutationBatch::default()
+    }
+
+    /// Append an insert.
+    pub fn insert(mut self, point: impl Into<Vec<i64>>) -> MutationBatch {
+        self.muts.push(Mutation::Insert(point.into()));
+        self
+    }
+
+    /// Append a delete (tombstones the oldest live copy of the point;
+    /// a miss is counted server-side and ignored).
+    pub fn delete(mut self, point: impl Into<Vec<i64>>) -> MutationBatch {
+        self.muts.push(Mutation::Delete(point.into()));
+        self
+    }
+
+    /// Append an expiration of the `n` oldest live points.
+    pub fn expire(mut self, n: u32) -> MutationBatch {
+        self.muts.push(Mutation::Expire(n));
+        self
+    }
+
+    /// Mutations queued so far.
+    pub fn len(&self) -> usize {
+        self.muts.len()
+    }
+
+    /// Whether the envelope holds no mutations.
+    pub fn is_empty(&self) -> bool {
+        self.muts.is_empty()
+    }
+
+    /// The raw mutation list, in application order.
+    pub fn into_mutations(self) -> Vec<Mutation> {
+        self.muts
+    }
+}
+
+impl From<Vec<Mutation>> for MutationBatch {
+    fn from(muts: Vec<Mutation>) -> MutationBatch {
+        MutationBatch { muts }
+    }
+}
+
+/// Outcome of [`HullClient::mutate`]: every mutation was queued.
+#[derive(Debug, Clone, Copy)]
+pub struct MutateReply {
+    /// Publication epoch observed when the (last slice of the)
+    /// envelope was enqueued; `0` on a v1 connection (single-point
     /// inserts carry no epoch).
     pub epoch: u64,
     /// `Overloaded` rejections absorbed by backoff along the way.
@@ -508,7 +593,14 @@ impl HullClient {
     }
 
     /// Queue one point; `false` means the shard is overloaded (retry).
+    #[deprecated(since = "0.7.0", note = "use HullClient::mutate(MutationBatch)")]
     pub fn insert(&mut self, shard: u16, point: &[i64]) -> io::Result<bool> {
+        self.send_insert(shard, point)
+    }
+
+    /// The v1 single-point insert frame (kept for the v1 downgrade
+    /// path and the deprecated [`HullClient::insert`] shim).
+    fn send_insert(&mut self, shard: u16, point: &[i64]) -> io::Result<bool> {
         match self.ask(&Request::Insert {
             shard,
             point: point.to_vec(),
@@ -523,7 +615,17 @@ impl HullClient {
     /// Insert, absorbing `Overloaded` pushback with capped exponential
     /// backoff and seeded jitter until `policy.deadline` elapses
     /// (`TimedOut` past it). Returns the number of rejections absorbed.
+    #[deprecated(since = "0.7.0", note = "use HullClient::mutate(MutationBatch)")]
     pub fn insert_retry(
+        &mut self,
+        shard: u16,
+        point: &[i64],
+        policy: &RetryPolicy,
+    ) -> io::Result<u64> {
+        self.insert_retry_inner(shard, point, policy)
+    }
+
+    fn insert_retry_inner(
         &mut self,
         shard: u16,
         point: &[i64],
@@ -533,7 +635,7 @@ impl HullClient {
         let mut rng = ChaCha8Rng::seed_from_u64(policy.seed ^ self.calls);
         let mut delay = policy.base.max(Duration::from_micros(1));
         let mut rejections = 0u64;
-        while !self.insert(shard, point)? {
+        while !self.send_insert(shard, point)? {
             rejections += 1;
             if start.elapsed() >= policy.deadline {
                 return Err(io::Error::new(
@@ -557,42 +659,157 @@ impl HullClient {
         Ok(rejections)
     }
 
-    /// Queue a whole batch of points in as few frames as the negotiated
-    /// protocol allows, absorbing `Overloaded` pushback on the rejected
-    /// suffix with the client's [`RetryPolicy`] until every point is
-    /// queued (`TimedOut` past the deadline).
-    ///
-    /// On protocol v2 this is one `InsertBatch` frame per attempt —
-    /// points the server could not queue are resent together after a
-    /// backoff. On a v1 connection it degrades to per-point
-    /// [`HullClient::insert_retry`], so callers can use it
-    /// unconditionally.
+    /// Queue a whole batch of points; deprecated shim over
+    /// [`HullClient::mutate`] (a pure-insert envelope), kept so old
+    /// callers and old servers keep working unchanged.
+    #[deprecated(since = "0.7.0", note = "use HullClient::mutate(MutationBatch)")]
     pub fn insert_batch(
         &mut self,
         shard: u16,
         points: &[Vec<i64>],
     ) -> io::Result<BatchInsertReply> {
-        if points.is_empty() {
-            return Ok(BatchInsertReply {
+        let batch = MutationBatch::from(
+            points
+                .iter()
+                .map(|p| Mutation::Insert(p.clone()))
+                .collect::<Vec<_>>(),
+        );
+        let r = self.mutate(shard, batch)?;
+        Ok(BatchInsertReply {
+            epoch: r.epoch,
+            rejections: r.rejections,
+        })
+    }
+
+    /// Apply a [`MutationBatch`] to `shard`, absorbing `Overloaded`
+    /// pushback on the rejected suffix with the client's
+    /// [`RetryPolicy`] until every mutation is queued (`TimedOut` past
+    /// the deadline). **The unified write entry point**: inserts,
+    /// deletes, and window expirations in one frame, applied by the
+    /// shard worker as one journal unit (one epoch).
+    ///
+    /// Downgrades by negotiated protocol: v6 sends `Mutate` envelopes;
+    /// a *pure-insert* batch on v2–v5 sends `InsertBatch` frames and on
+    /// v1 degrades to per-point inserts, so insert-only callers work
+    /// against any server. A batch carrying deletes or expirations on a
+    /// pre-v6 connection fails with `Unsupported`.
+    pub fn mutate(&mut self, shard: u16, batch: MutationBatch) -> io::Result<MutateReply> {
+        if batch.is_empty() {
+            return Ok(MutateReply {
                 epoch: 0,
                 rejections: 0,
             });
         }
         let policy = self.policy.clone();
+        if self.negotiated >= PROTOCOL_V6 && self.caps & CAP_MUTATION != 0 {
+            return self.mutate_v6(shard, batch.muts, &policy);
+        }
+        let mut points = Vec::with_capacity(batch.muts.len());
+        for m in batch.muts {
+            match m {
+                Mutation::Insert(p) => points.push(p),
+                Mutation::Delete(_) | Mutation::Expire(_) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::Unsupported,
+                        format!(
+                            "deletes/expirations need protocol v6 + CAP_MUTATION \
+                             (negotiated v{}, caps {:#x})",
+                            self.negotiated, self.caps
+                        ),
+                    ));
+                }
+            }
+        }
         if self.negotiated < PROTOCOL_V2 {
             let mut rejections = 0u64;
-            for p in points {
-                rejections += self.insert_retry(shard, p, &policy)?;
+            for p in &points {
+                rejections += self.insert_retry_inner(shard, p, &policy)?;
             }
-            return Ok(BatchInsertReply {
+            return Ok(MutateReply {
                 epoch: 0,
                 rejections,
             });
         }
+        self.insert_batch_v2(shard, points, &policy)
+    }
+
+    /// One `Mutate` frame per attempt (v6): the rejected suffix is
+    /// resent together after a jittered backoff.
+    fn mutate_v6(
+        &mut self,
+        shard: u16,
+        muts: Vec<Mutation>,
+        policy: &RetryPolicy,
+    ) -> io::Result<MutateReply> {
         let start = Instant::now();
         let mut rng = ChaCha8Rng::seed_from_u64(policy.seed ^ self.calls);
         let mut delay = policy.base.max(Duration::from_micros(1));
-        let mut pending: Vec<Vec<i64>> = points.to_vec();
+        let mut pending = muts;
+        let mut rejections = 0u64;
+        let epoch = loop {
+            let resp = self.ask(&Request::Mutate {
+                shard,
+                muts: pending.clone(),
+            })?;
+            match resp {
+                Response::Mutated { accepted, epoch } => {
+                    if accepted.len() != pending.len() {
+                        return Err(io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            format!(
+                                "mutate reply covers {} mutations, sent {}",
+                                accepted.len(),
+                                pending.len()
+                            ),
+                        ));
+                    }
+                    let mut retry = Vec::new();
+                    for (m, ok) in pending.drain(..).zip(&accepted) {
+                        if !*ok {
+                            retry.push(m);
+                        }
+                    }
+                    if retry.is_empty() {
+                        break epoch;
+                    }
+                    rejections += retry.len() as u64;
+                    if start.elapsed() >= policy.deadline {
+                        return Err(io::Error::new(
+                            io::ErrorKind::TimedOut,
+                            format!("{} mutations still overloaded", retry.len()),
+                        ));
+                    }
+                    let us = delay.as_micros() as u64;
+                    let jittered = rng.gen_range(us / 2 + 1..us + 1);
+                    std::thread::sleep(Duration::from_micros(jittered));
+                    delay = (delay * 2).min(policy.cap);
+                    pending = retry;
+                }
+                Response::Error(m) => return Err(server_error(m)),
+                other => return Err(unexpected(other)),
+            }
+        };
+        if rejections > 0 {
+            crate::metrics::service_metrics()
+                .client_rejections
+                .add(rejections);
+        }
+        Ok(MutateReply { epoch, rejections })
+    }
+
+    /// One `InsertBatch` frame per attempt (v2–v5 downgrade for
+    /// pure-insert envelopes): the rejected suffix is resent together
+    /// after a jittered backoff.
+    fn insert_batch_v2(
+        &mut self,
+        shard: u16,
+        points: Vec<Vec<i64>>,
+        policy: &RetryPolicy,
+    ) -> io::Result<MutateReply> {
+        let start = Instant::now();
+        let mut rng = ChaCha8Rng::seed_from_u64(policy.seed ^ self.calls);
+        let mut delay = policy.base.max(Duration::from_micros(1));
+        let mut pending = points;
         let mut rejections = 0u64;
         let epoch = loop {
             let resp = self.ask(&Request::InsertBatch {
@@ -642,7 +859,7 @@ impl HullClient {
                 .client_rejections
                 .add(rejections);
         }
-        Ok(BatchInsertReply { epoch, rejections })
+        Ok(MutateReply { epoch, rejections })
     }
 
     /// Membership query; `None` while the shard is bootstrapping.
@@ -815,6 +1032,43 @@ impl HullClient {
                 dim,
                 points,
             } => Ok((index, total, dim, points)),
+            Response::Overloaded => Err(io::Error::new(
+                io::ErrorKind::WouldBlock,
+                "primary dropped the replication shipment",
+            )),
+            Response::Error(m) => Err(server_error(m)),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Pull one *typed* replication unit (v6, [`CAP_MUTATION`]): the
+    /// journal unit at `from_index` as `(index, total, dim, unit)`,
+    /// where the unit distinguishes ordinary ops (inserts plus
+    /// tombstones) from a survivor checkpoint that replaces everything
+    /// before it. `index == total` with an empty `Ops` unit means
+    /// caught up — poll again later. A shipment dropped by the
+    /// primary's `replica.ship` failpoint surfaces as `WouldBlock`.
+    pub fn repl_unit_fetch(
+        &mut self,
+        shard: u16,
+        from_index: u64,
+    ) -> io::Result<(u64, u64, usize, ReplUnit)> {
+        if self.negotiated < PROTOCOL_V6 || self.caps & CAP_MUTATION == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                format!(
+                    "typed replication needs protocol v6 + CAP_MUTATION (negotiated v{}, caps {:#x})",
+                    self.negotiated, self.caps
+                ),
+            ));
+        }
+        match self.ask(&Request::ReplUnitFetch { shard, from_index })? {
+            Response::ReplUnit {
+                index,
+                total,
+                dim,
+                unit,
+            } => Ok((index, total, dim, unit)),
             Response::Overloaded => Err(io::Error::new(
                 io::ErrorKind::WouldBlock,
                 "primary dropped the replication shipment",

@@ -1,18 +1,29 @@
-//! Per-shard append-only insert journals — the recovery substrate.
+//! Per-shard append-only mutation journals — the recovery substrate.
 //!
-//! Every insert a shard worker pops from its ingest queue is appended
+//! Every mutation a shard worker pops from its ingest queue is appended
 //! here **before** it is applied to the hull; the journal append is the
 //! commit point. A worker that panics mid-batch is therefore fully
 //! described by (journal prefix, remaining queue): the supervisor
 //! rebuilds the hull by replaying the journal through
 //! [`chull_core::online::HullBuilder::replay`] and resumes draining the
-//! queue — no acked insert is lost and none is applied twice
+//! queue — no acked mutation is lost and none is applied twice
 //! (exactly-once through the journal).
+//!
+//! Since the windowed-serving redesign the journal records **typed
+//! ops** ([`JournalOp`]): inserts and tombstones (explicit deletes and
+//! window expirations, both journaled as tombstones so replay is
+//! window-policy-independent). A rebuild-from-survivors compaction
+//! collapses the log into one **checkpoint unit** via
+//! [`Journal::reset_checkpoint`]: the survivors in order, preceded by a
+//! checkpoint header carrying the number of batch units the checkpoint
+//! replaces — so the shard's epoch/unit index keeps counting
+//! monotonically across compactions and follower replication cursors
+//! stay meaningful.
 //!
 //! Two tiers:
 //!
-//! * the **in-memory log** (always on): a `Vec` of coordinate rows,
-//!   enough to survive worker panics within one process;
+//! * the **in-memory log** (always on): a `Vec` of typed ops, enough to
+//!   survive worker panics within one process;
 //! * an optional **on-disk WAL** (`hull serve --wal <dir>`): one file
 //!   per shard of length-prefixed, crc32-checked records, enough to
 //!   survive process crashes. Reopening tolerates a truncated or
@@ -55,23 +66,46 @@ fn crc32(bytes: &[u8]) -> u32 {
 }
 
 /// One WAL record on disk: `u32` LE payload length, `u32` LE crc32 of
-/// the payload, then the payload. Two payload shapes exist:
+/// the payload, then the payload. Four payload shapes exist, with
+/// pairwise-distinct lengths for every dimension `2..=8`:
 ///
 /// * an **insert**: `dim` i64 LE coordinates (`len == dim * 8 >= 16`);
-/// * a **batch marker**: a single `u32` LE — the number of inserts in
-///   the batch it closes (`len == 4`, unambiguous since `dim >= 2`).
+/// * a **tombstone**: one tag byte [`TOMBSTONE_TAG`] then `dim` i64 LE
+///   coordinates (`len == dim * 8 + 1`) — an explicit delete or a
+///   window expiration of the oldest live copy of those coordinates;
+/// * a **batch marker**: a single `u32` LE — the number of ops
+///   (inserts + tombstones) in the batch it closes (`len == 4`);
+/// * a **checkpoint header**: `u32` LE magic [`CHECKPOINT_MAGIC`], a
+///   `u64` LE *unit base*, and a `u64` LE survivor count (`len == 20`),
+///   valid only as the very first record — the unit base is the number
+///   of batch units that preceded (and were collapsed into) this
+///   checkpoint, so `batch_count` keeps counting monotonically across
+///   compactions; the survivor count says how many leading insert
+///   records form the checkpoint unit itself (0 for a checkpoint of an
+///   emptied shard), which the replication mirror needs to tell the
+///   checkpoint unit apart from ordinary units appended after it.
 ///
 /// Markers delimit the atomic units of apply: one marker is appended
-/// (and synced) after a batch's inserts and **before** the batch is
-/// applied to the hull, so recovery replays whole batches through the
-/// same parallel path the live shard used. Inserts after the last
-/// marker are a batch whose marker was lost to a crash; they are
-/// committed (journal append is the commit point) and replay as one
-/// final batch.
+/// (and synced) after a batch's ops and **before** the batch is applied
+/// to the hull, so recovery replays whole batches through the same
+/// parallel path the live shard used. Ops after the last marker are a
+/// batch whose marker was lost to a crash; they are committed (journal
+/// append is the commit point) and replay as one final batch.
 const RECORD_HEADER: usize = 8;
 
 /// Marker payload size; collides with no insert payload (`dim >= 2`).
 const MARKER_LEN: usize = 4;
+
+/// Checkpoint header payload size (magic + unit base + survivor count);
+/// collides with no other record shape for `dim 2..=8`.
+const CHECKPOINT_LEN: usize = 20;
+
+/// First 4 bytes of a checkpoint header ("CHKP"); a 12-byte record
+/// without it is damage, not a checkpoint.
+const CHECKPOINT_MAGIC: u32 = 0x4348_4B50;
+
+/// Tag byte opening a tombstone payload.
+const TOMBSTONE_TAG: u8 = 1;
 
 fn frame(payload: &[u8]) -> Vec<u8> {
     let mut rec = Vec::with_capacity(RECORD_HEADER + payload.len());
@@ -89,16 +123,65 @@ fn encode_record(p: &[i64]) -> Vec<u8> {
     frame(&payload)
 }
 
+fn encode_tombstone(p: &[i64]) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(1 + p.len() * 8);
+    payload.push(TOMBSTONE_TAG);
+    for &c in p {
+        payload.extend_from_slice(&c.to_le_bytes());
+    }
+    frame(&payload)
+}
+
 fn encode_marker(count: u32) -> Vec<u8> {
     frame(&count.to_le_bytes())
 }
 
+fn encode_checkpoint(unit_base: u64, survivors: u64) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(CHECKPOINT_LEN);
+    payload.extend_from_slice(&CHECKPOINT_MAGIC.to_le_bytes());
+    payload.extend_from_slice(&unit_base.to_le_bytes());
+    payload.extend_from_slice(&survivors.to_le_bytes());
+    frame(&payload)
+}
+
+fn decode_row(payload: &[u8]) -> Vec<i64> {
+    payload
+        .chunks_exact(8)
+        .map(|c| i64::from_le_bytes([c[0], c[1], c[2], c[3], c[4], c[5], c[6], c[7]]))
+        .collect()
+}
+
+/// One journaled mutation: the typed unit the shard worker commits
+/// before applying, and the unit replication ships to followers.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum JournalOp {
+    /// A row entered the live set (and the hull).
+    Insert(Vec<i64>),
+    /// The oldest live copy of a row left the live set — an explicit
+    /// `Delete` or a window expiration; the journal does not
+    /// distinguish, so replay is window-policy-independent.
+    Tombstone(Vec<i64>),
+}
+
+impl JournalOp {
+    /// The coordinate row either way.
+    pub fn row(&self) -> &[i64] {
+        match self {
+            JournalOp::Insert(r) | JournalOp::Tombstone(r) => r,
+        }
+    }
+}
+
 /// Result of scanning a WAL file on reopen.
 struct WalScan {
-    /// Intact insert records, in append order.
-    records: Vec<Vec<i64>>,
-    /// Batch boundaries: cumulative insert counts at each marker.
+    /// Intact ops, in append order.
+    ops: Vec<JournalOp>,
+    /// Batch boundaries: cumulative op counts at each marker.
     marks: Vec<usize>,
+    /// Units collapsed into a leading checkpoint header (0 without one).
+    unit_base: u64,
+    /// Leading ops that form the checkpoint unit itself (0 without one).
+    checkpoint_rows: usize,
     /// Byte offset of the first damaged/incomplete record (== file
     /// length when the tail is clean).
     good_len: u64,
@@ -112,8 +195,10 @@ fn scan_wal(file: &mut File, dim: usize) -> io::Result<WalScan> {
     let mut buf = Vec::new();
     file.seek(SeekFrom::Start(0))?;
     file.read_to_end(&mut buf)?;
-    let mut records: Vec<Vec<i64>> = Vec::new();
+    let mut ops: Vec<JournalOp> = Vec::new();
     let mut marks: Vec<usize> = Vec::new();
+    let mut unit_base = 0u64;
+    let mut checkpoint_rows = 0u64;
     let mut at = 0usize;
     loop {
         if at + RECORD_HEADER > buf.len() {
@@ -121,9 +206,11 @@ fn scan_wal(file: &mut File, dim: usize) -> io::Result<WalScan> {
         }
         let len = u32::from_le_bytes([buf[at], buf[at + 1], buf[at + 2], buf[at + 3]]) as usize;
         let crc = u32::from_le_bytes([buf[at + 4], buf[at + 5], buf[at + 6], buf[at + 7]]);
-        // A record sized as neither an insert nor a marker is corruption,
-        // not a format change: stop here.
-        if (len != dim * 8 && len != MARKER_LEN) || at + RECORD_HEADER + len > buf.len() {
+        // A record sized as none of the known shapes is corruption, not
+        // a format change: stop here.
+        let known =
+            len == dim * 8 || len == dim * 8 + 1 || len == MARKER_LEN || len == CHECKPOINT_LEN;
+        if !known || at + RECORD_HEADER + len > buf.len() {
             break;
         }
         let payload = &buf[at + RECORD_HEADER..at + RECORD_HEADER + len];
@@ -133,26 +220,57 @@ fn scan_wal(file: &mut File, dim: usize) -> io::Result<WalScan> {
         if len == MARKER_LEN {
             let count =
                 u32::from_le_bytes([payload[0], payload[1], payload[2], payload[3]]) as usize;
-            // A marker must close a non-empty batch of exactly the
-            // inserts since the previous marker; anything else is a
-            // damaged record that happened to checksum clean.
-            let since = records.len() - marks.last().copied().unwrap_or(0);
+            // A marker must close a non-empty batch of exactly the ops
+            // since the previous marker; anything else is a damaged
+            // record that happened to checksum clean.
+            let since = ops.len() - marks.last().copied().unwrap_or(0);
             if count == 0 || count != since {
                 break;
             }
-            marks.push(records.len());
+            marks.push(ops.len());
+        } else if len == CHECKPOINT_LEN {
+            // Only valid as the very first record; elsewhere it is
+            // damage (a compaction never lands mid-file).
+            let magic = u32::from_le_bytes([payload[0], payload[1], payload[2], payload[3]]);
+            if at != 0 || magic != CHECKPOINT_MAGIC {
+                break;
+            }
+            unit_base = u64::from_le_bytes([
+                payload[4],
+                payload[5],
+                payload[6],
+                payload[7],
+                payload[8],
+                payload[9],
+                payload[10],
+                payload[11],
+            ]);
+            checkpoint_rows = u64::from_le_bytes([
+                payload[12],
+                payload[13],
+                payload[14],
+                payload[15],
+                payload[16],
+                payload[17],
+                payload[18],
+                payload[19],
+            ]);
+        } else if len == dim * 8 + 1 {
+            if payload[0] != TOMBSTONE_TAG {
+                break;
+            }
+            ops.push(JournalOp::Tombstone(decode_row(&payload[1..])));
         } else {
-            let row: Vec<i64> = payload
-                .chunks_exact(8)
-                .map(|c| i64::from_le_bytes([c[0], c[1], c[2], c[3], c[4], c[5], c[6], c[7]]))
-                .collect();
-            records.push(row);
+            ops.push(JournalOp::Insert(decode_row(payload)));
         }
         at += RECORD_HEADER + len;
     }
+    let checkpoint_rows = (checkpoint_rows as usize).min(ops.len());
     Ok(WalScan {
-        records,
+        ops,
         marks,
+        unit_base,
+        checkpoint_rows,
         good_len: at as u64,
         tail_damaged: at as u64 != buf.len() as u64,
     })
@@ -198,16 +316,24 @@ impl std::fmt::Display for JournalError {
 
 impl std::error::Error for JournalError {}
 
-/// An append-only insert journal; see module docs. Owned by one shard's
-/// supervisor thread (no internal locking needed).
+/// An append-only mutation journal; see module docs. Owned by one
+/// shard's supervisor thread (no internal locking needed).
 pub struct Journal {
     dim: usize,
-    mem: Vec<Vec<i64>>,
-    /// Batch boundaries: cumulative insert counts at each
-    /// [`Journal::mark_batch`], ascending. Inserts past the last mark
-    /// form the open (in-flight) batch.
+    mem: Vec<JournalOp>,
+    /// Batch boundaries: cumulative op counts at each
+    /// [`Journal::mark_batch`], ascending. Ops past the last mark form
+    /// the open (in-flight) batch.
     marks: Vec<usize>,
+    /// Batch units collapsed into the checkpoint this log starts from
+    /// (0 for a log that has never compacted).
+    unit_base: u64,
+    /// Leading ops that form the checkpoint unit itself (0 without one).
+    checkpoint_rows: usize,
     wal: Option<BufWriter<File>>,
+    /// The WAL directory and shard id, kept so a checkpoint rewrite can
+    /// re-create the file atomically (temp + rename + reopen).
+    wal_at: Option<(PathBuf, u16)>,
     /// Records recovered from disk on open (prefix of `mem`).
     recovered: usize,
     /// Whether the reopened WAL had a damaged tail that was dropped.
@@ -222,7 +348,10 @@ impl Journal {
             dim,
             mem: Vec::new(),
             marks: Vec::new(),
+            unit_base: 0,
+            checkpoint_rows: 0,
             wal: None,
+            wal_at: None,
             recovered: 0,
             tail_damaged: false,
         }
@@ -246,12 +375,15 @@ impl Journal {
             file.set_len(scan.good_len)?;
         }
         file.seek(SeekFrom::Start(scan.good_len))?;
-        let recovered = scan.records.len();
+        let recovered = scan.ops.len();
         Ok(Journal {
             dim,
-            mem: scan.records,
+            mem: scan.ops,
             marks: scan.marks,
+            unit_base: scan.unit_base,
+            checkpoint_rows: scan.checkpoint_rows,
             wal: Some(BufWriter::new(file)),
+            wal_at: Some((dir.to_path_buf(), shard)),
             recovered,
             tail_damaged: scan.tail_damaged,
         })
@@ -262,9 +394,22 @@ impl Journal {
     /// [`Journal::sync`].
     pub fn append(&mut self, p: &[i64]) -> io::Result<()> {
         debug_assert_eq!(p.len(), self.dim, "journal row of wrong dimension");
-        self.mem.push(p.to_vec());
+        self.mem.push(JournalOp::Insert(p.to_vec()));
         if let Some(w) = &mut self.wal {
             w.write_all(&encode_record(p))?;
+        }
+        Ok(())
+    }
+
+    /// Append one tombstone: the oldest live copy of `p` died (explicit
+    /// delete or window expiry). Journaled exactly like inserts —
+    /// **before** the geometry reacts — so a crash between tombstoning
+    /// and any triggered rebuild still replays to the same hull.
+    pub fn append_tombstone(&mut self, p: &[i64]) -> io::Result<()> {
+        debug_assert_eq!(p.len(), self.dim, "journal row of wrong dimension");
+        self.mem.push(JournalOp::Tombstone(p.to_vec()));
+        if let Some(w) = &mut self.wal {
+            w.write_all(&encode_tombstone(p))?;
         }
         Ok(())
     }
@@ -278,11 +423,11 @@ impl Journal {
         Ok(())
     }
 
-    /// Close the open batch: record that every insert appended since the
+    /// Close the open batch: record that every op appended since the
     /// previous mark forms one atomic apply unit. Written (and meant to
     /// be [`Journal::sync`]ed) **before** the batch is applied, so a
     /// crash mid-apply still replays the batch whole. No-op when no
-    /// inserts are pending (batches are never empty).
+    /// ops are pending (batches are never empty).
     pub fn mark_batch(&mut self) -> io::Result<()> {
         let since = self.mem.len() - self.marks.last().copied().unwrap_or(0);
         if since == 0 {
@@ -298,17 +443,33 @@ impl Journal {
         res
     }
 
-    /// Number of batch units in the journal: every marked batch, plus
-    /// the open tail (inserts past the last marker) if non-empty. The
-    /// shard's published epoch equals this count.
+    /// Number of batch units the journal accounts for: the units a
+    /// checkpoint collapsed ([`Journal::unit_base`]), every marked batch
+    /// since, plus the open tail (ops past the last marker) if
+    /// non-empty. The shard's published epoch equals this count.
     pub fn batch_count(&self) -> u64 {
         let marked = self.marks.last().copied().unwrap_or(0);
-        (self.marks.len() + usize::from(self.mem.len() > marked)) as u64
+        self.unit_base + (self.marks.len() + usize::from(self.mem.len() > marked)) as u64
+    }
+
+    /// Batch units collapsed into this log's leading checkpoint (0 when
+    /// the log has never compacted).
+    pub fn unit_base(&self) -> u64 {
+        self.unit_base
+    }
+
+    /// Leading ops that form the checkpoint unit itself (0 when the log
+    /// has never compacted, or when the checkpoint emptied the shard).
+    pub fn checkpoint_rows(&self) -> usize {
+        self.checkpoint_rows
     }
 
     /// The journal split into its batch units, in append order — the
     /// batch-replay input. The open tail (if any) is the final unit.
-    pub fn batches(&self) -> impl Iterator<Item = &[Vec<i64>]> {
+    /// Units before [`Journal::unit_base`] no longer exist individually;
+    /// the first yielded unit is the checkpoint unit when `unit_base >
+    /// 0`.
+    pub fn batches(&self) -> impl Iterator<Item = &[JournalOp]> {
         let mut bounds = Vec::with_capacity(self.marks.len() + 1);
         let mut prev = 0usize;
         for &m in &self.marks {
@@ -321,12 +482,31 @@ impl Journal {
         bounds.into_iter().map(move |(a, b)| &self.mem[a..b])
     }
 
-    /// Every journaled insert, in append order — the replay input.
-    pub fn entries(&self) -> &[Vec<i64>] {
+    /// Every journaled op, in append order — the replay input.
+    pub fn ops(&self) -> &[JournalOp] {
         &self.mem
     }
 
-    /// Number of journaled inserts.
+    /// The journaled **insert** rows in append order (tombstones
+    /// skipped) — what an insert-only consumer (bulk cold start, legacy
+    /// flat replication) sees.
+    pub fn insert_rows(&self) -> Vec<Vec<i64>> {
+        self.mem
+            .iter()
+            .filter_map(|op| match op {
+                JournalOp::Insert(r) => Some(r.clone()),
+                JournalOp::Tombstone(_) => None,
+            })
+            .collect()
+    }
+
+    /// True when no journaled op is a tombstone (the insert-only fast
+    /// paths — flat replication, plain bulk replay — stay valid).
+    pub fn is_insert_only(&self) -> bool {
+        self.mem.iter().all(|op| matches!(op, JournalOp::Insert(_)))
+    }
+
+    /// Number of journaled ops (inserts + tombstones).
     pub fn len(&self) -> usize {
         self.mem.len()
     }
@@ -359,6 +539,61 @@ impl Journal {
         Ok(batches)
     }
 
+    /// Collapse the whole log into **one checkpoint unit** holding
+    /// `survivors` in order — the in-process compaction a rebuild-from-
+    /// survivors commits. The journal's external batch count becomes
+    /// exactly `old_count + 1` (`old_count` = [`Journal::batch_count`]
+    /// before the call): the checkpoint is one new unit replacing all
+    /// prior ones, so the shard's epoch and follower unit cursors keep
+    /// advancing monotonically.
+    pub fn reset_checkpoint(&mut self, survivors: &[Vec<i64>]) -> io::Result<()> {
+        let after = self.batch_count() + 1;
+        self.install_checkpoint(survivors, after)
+    }
+
+    /// Make this journal hold exactly one checkpoint unit — `survivors`
+    /// in order, counting as unit number `units_after` (so
+    /// [`Journal::batch_count`] becomes exactly `units_after`). Used by
+    /// [`Journal::reset_checkpoint`] with the log's own successor count,
+    /// and by a follower installing a replicated checkpoint at the
+    /// primary's unit index. With empty `survivors` the checkpoint unit
+    /// is empty, carried entirely by the header (`unit_base ==
+    /// units_after`, no records) since batches are never empty.
+    ///
+    /// On-disk the WAL is atomically rewritten (temp file + rename +
+    /// reopen): a crash mid-rewrite leaves the previous WAL intact, and
+    /// replay then redoes the rebuild from the old log — same hull.
+    pub fn install_checkpoint(
+        &mut self,
+        survivors: &[Vec<i64>],
+        units_after: u64,
+    ) -> io::Result<()> {
+        assert!(units_after > 0, "a checkpoint is always at least unit 1");
+        self.mem = survivors.iter().cloned().map(JournalOp::Insert).collect();
+        if survivors.is_empty() {
+            self.unit_base = units_after;
+            self.marks = Vec::new();
+        } else {
+            self.unit_base = units_after - 1;
+            self.marks = vec![survivors.len()];
+        }
+        self.checkpoint_rows = survivors.len();
+        self.recovered = 0;
+        self.tail_damaged = false;
+        if let Some((dir, shard)) = self.wal_at.clone() {
+            // Drop the old writer before the rename so its buffer can't
+            // land in the replaced file afterwards.
+            self.wal = None;
+            rewrite_wal_checkpoint(self.dim, &dir, shard, survivors, self.unit_base)?;
+            let file = OpenOptions::new()
+                .append(true)
+                .open(wal_path(&dir, shard))?;
+            self.wal = Some(BufWriter::new(file));
+        }
+        debug_assert_eq!(self.batch_count(), units_after);
+        Ok(())
+    }
+
     /// Records recovered from disk when this journal was opened.
     pub fn recovered(&self) -> usize {
         self.recovered
@@ -370,16 +605,19 @@ impl Journal {
     }
 }
 
-/// Snapshot compaction (offline; `hull compact`): atomically rewrite the
-/// shard's WAL as **one checkpoint unit** — `rows` in order, closed by a
-/// single batch marker. The caller passes the bulk sweep's candidate
-/// rows, so a long incremental history collapses into one unit holding
-/// only the points that can still matter to the hull. The rewrite goes
+/// Atomically replace the shard's WAL with one checkpoint unit: a
+/// header carrying `unit_base`, then `rows` in order, closed by a
+/// single batch marker. Shared by offline compaction ([`rewrite_wal`])
+/// and the in-process [`Journal::reset_checkpoint`]. The rewrite goes
 /// through a temp file + rename, so a crash mid-compaction leaves the
-/// old WAL intact. Collapsing batch history resets the epoch/unit count
-/// to 1: replication cursors into this WAL are invalidated, and any
-/// follower must re-bootstrap (documented in DESIGN §S21).
-pub fn rewrite_wal(dim: usize, dir: &Path, shard: u16, rows: &[Vec<i64>]) -> io::Result<u64> {
+/// old WAL intact.
+fn rewrite_wal_checkpoint(
+    dim: usize,
+    dir: &Path,
+    shard: u16,
+    rows: &[Vec<i64>],
+    unit_base: u64,
+) -> io::Result<u64> {
     let final_path = wal_path(dir, shard);
     let tmp_path = final_path.with_extension("wal.tmp");
     let mut written = 0u64;
@@ -390,6 +628,11 @@ pub fn rewrite_wal(dim: usize, dir: &Path, shard: u16, rows: &[Vec<i64>]) -> io:
             .truncate(true)
             .open(&tmp_path)?;
         let mut w = BufWriter::new(file);
+        if unit_base > 0 {
+            let rec = encode_checkpoint(unit_base, rows.len() as u64);
+            w.write_all(&rec)?;
+            written += rec.len() as u64;
+        }
         for p in rows {
             debug_assert_eq!(p.len(), dim, "compaction row of wrong dimension");
             let rec = encode_record(p);
@@ -408,6 +651,20 @@ pub fn rewrite_wal(dim: usize, dir: &Path, shard: u16, rows: &[Vec<i64>]) -> io:
     Ok(written)
 }
 
+/// Snapshot compaction (offline; `hull compact`): atomically rewrite the
+/// shard's WAL as **one checkpoint unit** — `rows` in order, closed by a
+/// single batch marker. The caller passes the bulk sweep's candidate
+/// rows, so a long incremental history collapses into one unit holding
+/// only the points that can still matter to the hull. Collapsing batch
+/// history resets the epoch/unit count to 1: replication cursors into
+/// this WAL are invalidated, and any follower must re-bootstrap
+/// (documented in DESIGN §S21). The live auto-compaction path
+/// ([`Journal::reset_checkpoint`]) instead preserves the unit index via
+/// a checkpoint header.
+pub fn rewrite_wal(dim: usize, dir: &Path, shard: u16, rows: &[Vec<i64>]) -> io::Result<u64> {
+    rewrite_wal_checkpoint(dim, dir, shard, rows, 0)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -417,6 +674,10 @@ mod tests {
         let _ = std::fs::remove_dir_all(&d);
         std::fs::create_dir_all(&d).unwrap();
         d
+    }
+
+    fn insert_entries(j: &Journal) -> Vec<Vec<i64>> {
+        j.insert_rows()
     }
 
     #[test]
@@ -431,9 +692,10 @@ mod tests {
         let mut j = Journal::in_memory(2);
         j.append(&[1, 2]).unwrap();
         j.append(&[-3, 4]).unwrap();
-        assert_eq!(j.entries(), &[vec![1, 2], vec![-3, 4]]);
+        assert_eq!(insert_entries(&j), vec![vec![1, 2], vec![-3, 4]]);
         assert_eq!(j.len(), 2);
         assert_eq!(j.recovered(), 0);
+        assert!(j.is_insert_only());
     }
 
     #[test]
@@ -449,7 +711,7 @@ mod tests {
         let j = Journal::with_wal(3, &dir, 0).unwrap();
         assert_eq!(j.recovered(), 50);
         assert!(!j.tail_damaged());
-        assert_eq!(j.entries()[49], vec![49, -49, 343]);
+        assert_eq!(insert_entries(&j)[49], vec![49, -49, 343]);
         let _ = std::fs::remove_dir_all(&dir);
     }
 
@@ -464,12 +726,12 @@ mod tests {
         b.sync().unwrap();
         drop((a, b));
         assert_eq!(
-            Journal::with_wal(2, &dir, 0).unwrap().entries(),
-            &[vec![1, 1]]
+            insert_entries(&Journal::with_wal(2, &dir, 0).unwrap()),
+            vec![vec![1, 1]]
         );
         assert_eq!(
-            Journal::with_wal(2, &dir, 1).unwrap().entries(),
-            &[vec![2, 2]]
+            insert_entries(&Journal::with_wal(2, &dir, 1).unwrap()),
+            vec![vec![2, 2]]
         );
         let _ = std::fs::remove_dir_all(&dir);
     }
@@ -503,7 +765,7 @@ mod tests {
         }
         let j = Journal::with_wal(2, &dir, 0).unwrap();
         assert_eq!(j.recovered(), 10);
-        assert_eq!(j.entries()[9], vec![99, 100]);
+        assert_eq!(insert_entries(&j)[9], vec![99, 100]);
         assert!(!j.tail_damaged());
         let _ = std::fs::remove_dir_all(&dir);
     }
@@ -559,7 +821,63 @@ mod tests {
         assert_eq!(j.batch_count(), 3, "open tail replays as one final batch");
         let units: Vec<usize> = j.batches().map(|b| b.len()).collect();
         assert_eq!(units, vec![4, 5, 1]);
-        assert_eq!(j.batches().next().unwrap()[0], vec![0, 0]);
+        assert_eq!(
+            j.batches().next().unwrap()[0],
+            JournalOp::Insert(vec![0, 0])
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn tombstones_roundtrip_across_reopen() {
+        let dir = tmpdir("tombstones");
+        {
+            let mut j = Journal::with_wal(3, &dir, 0).unwrap();
+            j.append(&[1, 2, 3]).unwrap();
+            j.append(&[4, 5, 6]).unwrap();
+            j.append_tombstone(&[1, 2, 3]).unwrap();
+            j.mark_batch().unwrap();
+            j.sync().unwrap();
+            assert!(!j.is_insert_only());
+            assert_eq!(j.len(), 3, "tombstones count as ops");
+        }
+        let j = Journal::with_wal(3, &dir, 0).unwrap();
+        assert_eq!(j.recovered(), 3);
+        assert!(!j.tail_damaged());
+        assert_eq!(j.batch_count(), 1, "marker counts ops, not just inserts");
+        assert_eq!(
+            j.ops(),
+            &[
+                JournalOp::Insert(vec![1, 2, 3]),
+                JournalOp::Insert(vec![4, 5, 6]),
+                JournalOp::Tombstone(vec![1, 2, 3]),
+            ]
+        );
+        assert_eq!(insert_entries(&j), vec![vec![1, 2, 3], vec![4, 5, 6]]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn tombstone_with_bad_tag_is_damage() {
+        let dir = tmpdir("bad-tag");
+        {
+            let mut j = Journal::with_wal(2, &dir, 0).unwrap();
+            j.append(&[1, 1]).unwrap();
+            j.append_tombstone(&[1, 1]).unwrap();
+            j.sync().unwrap();
+        }
+        let path = wal_path(&dir, 0);
+        let mut bytes = std::fs::read(&path).unwrap();
+        // Corrupt the tombstone's tag byte and re-frame its crc so only
+        // the tag check can reject it.
+        let tag_at = 24 + RECORD_HEADER; // after one 2d insert record
+        bytes[tag_at] = 9;
+        let crc = crc32(&bytes[tag_at..tag_at + 17]);
+        bytes[tag_at - 4..tag_at].copy_from_slice(&crc.to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        let j = Journal::with_wal(2, &dir, 0).unwrap();
+        assert_eq!(j.recovered(), 1, "bad tombstone tag stops the scan");
+        assert!(j.tail_damaged());
         let _ = std::fs::remove_dir_all(&dir);
     }
 
@@ -573,7 +891,7 @@ mod tests {
             j.mark_batch().unwrap();
             j.sync().unwrap();
         }
-        // Append a well-framed marker claiming a 7-insert batch that the
+        // Append a well-framed marker claiming a 7-op batch that the
         // journal does not contain: the scan must treat it as damage.
         let path = wal_path(&dir, 0);
         let mut bytes = std::fs::read(&path).unwrap();
@@ -648,9 +966,87 @@ mod tests {
         assert_eq!(j.recovered(), 3);
         assert!(!j.tail_damaged());
         assert_eq!(j.batch_count(), 1, "checkpoint is one sealed unit");
-        assert_eq!(j.entries(), &kept[..]);
+        assert_eq!(insert_entries(&j), kept);
         let units: Vec<usize> = j.batches().map(|b| b.len()).collect();
         assert_eq!(units, vec![3]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn reset_checkpoint_preserves_unit_index() {
+        let dir = tmpdir("reset-checkpoint");
+        {
+            let mut j = Journal::with_wal(2, &dir, 0).unwrap();
+            for i in 0..5i64 {
+                j.append(&[i, i]).unwrap();
+                j.mark_batch().unwrap();
+            }
+            j.append_tombstone(&[0, 0]).unwrap();
+            j.mark_batch().unwrap();
+            j.sync().unwrap();
+            assert_eq!(j.batch_count(), 6);
+            // Compact to the survivors: the checkpoint is unit 7.
+            let survivors = vec![vec![1i64, 1], vec![2, 2]];
+            j.reset_checkpoint(&survivors).unwrap();
+            assert_eq!(j.batch_count(), 7, "checkpoint = old count + 1");
+            assert_eq!(j.unit_base(), 6);
+            assert_eq!(j.len(), 2);
+            assert!(j.is_insert_only());
+            // Appending keeps counting from there.
+            j.append(&[9, 9]).unwrap();
+            j.mark_batch().unwrap();
+            j.sync().unwrap();
+            assert_eq!(j.batch_count(), 8);
+        }
+        // And it all survives a process restart through the WAL header.
+        let j = Journal::with_wal(2, &dir, 0).unwrap();
+        assert_eq!(j.unit_base(), 6);
+        assert_eq!(j.batch_count(), 8);
+        assert_eq!(j.recovered(), 3);
+        assert_eq!(insert_entries(&j), vec![vec![1, 1], vec![2, 2], vec![9, 9]]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn reset_checkpoint_with_no_survivors_is_header_only() {
+        let dir = tmpdir("reset-empty");
+        {
+            let mut j = Journal::with_wal(2, &dir, 0).unwrap();
+            j.append(&[3, 3]).unwrap();
+            j.mark_batch().unwrap();
+            j.append_tombstone(&[3, 3]).unwrap();
+            j.mark_batch().unwrap();
+            j.sync().unwrap();
+            assert_eq!(j.batch_count(), 2);
+            j.reset_checkpoint(&[]).unwrap();
+            assert_eq!(j.batch_count(), 3, "empty checkpoint still counts");
+            assert!(j.is_empty());
+        }
+        let j = Journal::with_wal(2, &dir, 0).unwrap();
+        assert_eq!(j.batch_count(), 3);
+        assert_eq!(j.unit_base(), 3);
+        assert!(j.is_empty());
+        assert!(!j.tail_damaged());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checkpoint_header_mid_file_is_damage() {
+        let dir = tmpdir("mid-header");
+        {
+            let mut j = Journal::with_wal(2, &dir, 0).unwrap();
+            j.append(&[1, 1]).unwrap();
+            j.mark_batch().unwrap();
+            j.sync().unwrap();
+        }
+        let path = wal_path(&dir, 0);
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes.extend_from_slice(&encode_checkpoint(4, 0));
+        std::fs::write(&path, &bytes).unwrap();
+        let j = Journal::with_wal(2, &dir, 0).unwrap();
+        assert_eq!(j.recovered(), 1);
+        assert_eq!(j.unit_base(), 0, "mid-file header rejected");
+        assert!(j.tail_damaged());
         let _ = std::fs::remove_dir_all(&dir);
     }
 

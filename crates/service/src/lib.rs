@@ -45,8 +45,18 @@
 //!   CLI, the integration tests, and the load generator in `chull-bench`;
 //!   opened through [`client::HullClientBuilder`] (address, connect
 //!   deadline, retry policy, protocol floor/ceiling), with
-//!   [`client::HullClient::insert_batch`] streaming whole batches on v2
-//!   and degrading to single inserts against a v1 server.
+//!   [`client::HullClient::mutate`] streaming whole
+//!   [`client::MutationBatch`]es (inserts, deletes, window expirations)
+//!   as v6 `Mutate` envelopes and downgrading pure-insert batches to
+//!   v2 `InsertBatch` frames or v1 single inserts against old servers.
+//!
+//! Since wire v6 shards also serve **windowed / deletable** hulls:
+//! `Delete` tombstones a live point, a per-shard
+//! [`chull_core::WindowPolicy`] expires the oldest live points, and when
+//! tombstones (or journal growth) pass a configurable ratio the worker
+//! rebuilds the hull from survivors through the parallel bulk builder
+//! and journals the result as one checkpoint unit — crash-safe across
+//! WAL replay, supervised recovery, and follower replication.
 //!
 //! Correctness bar: the served hull is **bit-identical** to the offline
 //! sequential Algorithm 2 on the same point multiset (the loopback
@@ -68,8 +78,12 @@ pub mod snapshot;
 pub mod stats;
 pub mod wire;
 
-pub use client::{BatchInsertReply, HullClient, HullClientBuilder, RetryPolicy, SnapshotReply};
-pub use journal::{rewrite_wal, wal_path, Journal, JournalError};
+pub use chull_core::WindowPolicy;
+pub use client::{
+    BatchInsertReply, HullClient, HullClientBuilder, MutateReply, MutationBatch, RetryPolicy,
+    SnapshotReply,
+};
+pub use journal::{rewrite_wal, wal_path, Journal, JournalError, JournalOp};
 pub use metrics::{op_metrics, service_metrics, OpMetrics, ServiceMetrics, ShardGauges};
 pub use replica::{follow, FollowOptions, ReplicaHandle, ReplicaState};
 pub use router::{route, RouterHandle, RouterOptions};
@@ -77,4 +91,4 @@ pub use server::{serve, ServeOptions, ServerHandle};
 pub use shard::{HullService, InsertOutcome, ServiceConfig, ServiceError};
 pub use snapshot::HullSnapshot;
 pub use stats::{AtomicKernel, ShardStats};
-pub use wire::WireError;
+pub use wire::{Mutation, ReplUnit, WireError};

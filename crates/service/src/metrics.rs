@@ -132,6 +132,16 @@ pub struct ServiceMetrics {
     pub repl_resubscribes: Arc<Counter>,
     /// Client/router failovers to a fallback address.
     pub repl_failovers: Arc<Counter>,
+    /// Delete/expire tombstones journaled by shard workers.
+    pub tombstones: Arc<Counter>,
+    /// Points expired by per-shard window policies.
+    pub window_expirations: Arc<Counter>,
+    /// Hull rebuilds from the live survivor set.
+    pub rebuilds: Arc<Counter>,
+    /// Wall time of one survivor rebuild (µs).
+    pub rebuild_us: Arc<Histogram>,
+    /// Rebuilds triggered by the journal-growth ratio (auto-compaction).
+    pub auto_compactions: Arc<Counter>,
     /// Kernel work done applying inserts on shard workers.
     pub ingest_kernel: KernelCounters,
     /// Kernel work done serving read queries.
@@ -249,6 +259,26 @@ pub fn service_metrics() -> &'static ServiceMetrics {
                 "chull_replica_failovers_total",
                 "Client/router failovers from a dead address to a fallback.",
             ),
+            tombstones: r.counter(
+                "chull_shard_tombstones_total",
+                "Delete/expire tombstones journaled by shard workers.",
+            ),
+            window_expirations: r.counter(
+                "chull_shard_window_expirations_total",
+                "Points expired by per-shard window policies.",
+            ),
+            rebuilds: r.counter(
+                "chull_shard_rebuilds_total",
+                "Hull rebuilds from the live survivor set.",
+            ),
+            rebuild_us: r.histogram(
+                "chull_shard_rebuild_us",
+                "Microseconds of one rebuild from survivors (bulk build + checkpoint).",
+            ),
+            auto_compactions: r.counter(
+                "chull_shard_auto_compactions_total",
+                "Rebuilds triggered by the journal-growth ratio (auto-compaction).",
+            ),
             ingest_kernel: KernelCounters::register("ingest"),
             query_kernel: KernelCounters::register("query"),
         }
@@ -316,6 +346,7 @@ pub struct OpMetrics {
 const OPS: &[&str] = &[
     "insert",
     "insert_batch",
+    "mutate",
     "contains",
     "visible",
     "extreme",
@@ -330,6 +361,7 @@ const OPS: &[&str] = &[
     "hello",
     "repl_subscribe",
     "repl_ack",
+    "repl_unit",
     "invalid",
 ];
 
@@ -390,6 +422,10 @@ pub struct ShardGauges {
     /// One past the highest batch unit a subscriber has acked durably
     /// applied (primary side).
     pub replica_last_acked: Arc<Gauge>,
+    /// Distinct live (inserted, not yet deleted/expired) rows.
+    pub live_points: Arc<Gauge>,
+    /// Tombstoned rows awaiting the next survivor rebuild.
+    pub lazy_tombstones: Arc<Gauge>,
 }
 
 /// Register (or fetch) the gauge set for shard `shard`.
@@ -447,6 +483,16 @@ pub fn shard_gauges(shard: usize) -> ShardGauges {
             "chull_replica_last_acked",
             l,
             "One past the highest journal batch unit acked by a replication subscriber.",
+        ),
+        live_points: r.gauge_with(
+            "chull_shard_live_points",
+            l,
+            "Distinct live (inserted, not yet deleted/expired) rows.",
+        ),
+        lazy_tombstones: r.gauge_with(
+            "chull_shard_lazy_tombstones",
+            l,
+            "Tombstoned rows awaiting the next survivor rebuild.",
         ),
     }
 }

@@ -1,23 +1,29 @@
 //! Replication: journal shipping from a primary to follower replicas.
 //!
 //! Theorem 4.2's order-independence is what makes this safe without
-//! consensus: a shard's journaled insert **batch units** produce the
-//! identical hull no matter how their application interleaves, so a
-//! follower may fetch units late, twice, or out of order and still
-//! converge bit-identical to the primary — batch apply is deterministic
-//! per unit, and duplicate points never change a hull.
+//! consensus: a shard's journaled **batch units** produce the identical
+//! hull no matter how their application interleaves, so a follower may
+//! fetch units late, twice, or out of order and still converge
+//! bit-identical to the primary — batch apply is deterministic per
+//! unit, and duplicate points never change a hull.
 //!
-//! The protocol is *pull-based* (wire v5, `ReplSubscribe`/`ReplAck`):
-//! the follower's [`ReplicaPuller`] thread asks the primary for the
-//! unit at `from_index = ` its own durable batch count, applies it
-//! through [`HullService::apply_replica_unit`] — the same supervised
-//! [`HullBuilder`](chull_core::online::HullBuilder) parallel path local
-//! ingest uses, as exactly one journal unit so the follower's batch
-//! indices mirror the primary's 1:1 — then acks. Because the resume
-//! cursor *is* the follower's own batch count, resubscribe-with-resume
-//! after any fault (link loss, dropped shipment, puller death
-//! mid-apply) is a plain reconnect: nothing is lost, duplicates are
-//! harmless, and the lag the primary reports is exact.
+//! The protocol is *pull-based*. A v5 primary ships flat insert
+//! batches (`ReplSubscribe`/`ReplAck`); a v6 primary ships **typed
+//! units** (`ReplUnitFetch`): either `Ops` (inserts + tombstones
+//! journaled under one marker) or a `Checkpoint` (the survivor set of
+//! a tombstone/journal-ratio rebuild, which *replaces* the follower's
+//! shard state and moves its cursor past the compacted history). The
+//! follower's [`ReplicaPuller`] thread asks for the unit at
+//! `from_index = ` its own durable batch count, applies it through the
+//! same supervised parallel path local ingest uses — exactly one
+//! journal unit, so the follower's batch indices mirror the primary's
+//! 1:1 — then acks. Because the resume cursor *is* the follower's own
+//! batch count, resubscribe-with-resume after any fault (link loss,
+//! dropped shipment, puller death mid-apply) is a plain reconnect:
+//! nothing is lost, duplicates are harmless, and the lag the primary
+//! reports is exact. Followers never run window expiry or rebuild
+//! triggers themselves — the primary decides, and ships the decision
+//! as a checkpoint unit.
 //!
 //! Failure model:
 //!
@@ -36,10 +42,10 @@
 //!   [`HullService::replica_lag`].
 
 use crate::client::HullClient;
-use crate::journal::Journal;
+use crate::journal::{Journal, JournalOp};
 use crate::metrics::service_metrics;
 use crate::shard::HullService;
-use crate::wire::{CAP_REPLICATION, PROTOCOL_V5};
+use crate::wire::{ReplUnit, CAP_MUTATION, CAP_REPLICATION, PROTOCOL_V5, PROTOCOL_V6};
 use chull_concurrent::failpoint::{self, sites, FaultAction};
 use std::io;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -48,15 +54,24 @@ use std::sync::{Arc, RwLock};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+/// The inside of a [`ReplLog`]: a window of typed units starting at
+/// absolute index `base`. Units below `base` were compacted away; the
+/// oldest held unit is then always a `Checkpoint` a lagging subscriber
+/// can reset from.
+struct LogInner {
+    base: u64,
+    units: Vec<Arc<ReplUnit>>,
+}
+
 /// One shard's in-memory mirror of its journal batch units, shared
 /// between the shard worker (producer) and the wire layer (consumer:
-/// `ReplSubscribe` fetches). Invariant: `total() == journal batch
-/// count` — the worker pushes each unit before publishing its epoch,
-/// and the supervisor rebuilds the mirror from the journal after a
-/// crash, so a subscriber that has seen epoch `e` can always fetch
-/// every unit below `e`.
+/// `ReplSubscribe`/`ReplUnitFetch`). Invariant: `total() == journal
+/// batch count` — the worker pushes each unit before publishing its
+/// epoch, and the supervisor rebuilds the mirror from the journal
+/// after a crash, so a subscriber that has seen epoch `e` can always
+/// fetch every unit below `e` (or the checkpoint superseding them).
 pub(crate) struct ReplLog {
-    units: RwLock<Vec<Arc<Vec<Vec<i64>>>>>,
+    inner: RwLock<LogInner>,
     /// One past the highest unit a subscriber acked durably applied.
     acked: AtomicU64,
 }
@@ -64,13 +79,23 @@ pub(crate) struct ReplLog {
 impl ReplLog {
     pub(crate) fn new() -> ReplLog {
         ReplLog {
-            units: RwLock::new(Vec::new()),
+            inner: RwLock::new(LogInner {
+                base: 0,
+                units: Vec::new(),
+            }),
             acked: AtomicU64::new(0),
         }
     }
 
-    fn read(&self) -> std::sync::RwLockReadGuard<'_, Vec<Arc<Vec<Vec<i64>>>>> {
-        match self.units.read() {
+    fn read(&self) -> std::sync::RwLockReadGuard<'_, LogInner> {
+        match self.inner.read() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        }
+    }
+
+    fn write(&self) -> std::sync::RwLockWriteGuard<'_, LogInner> {
+        match self.inner.write() {
             Ok(g) => g,
             Err(p) => p.into_inner(),
         }
@@ -78,37 +103,108 @@ impl ReplLog {
 
     /// Rebuild the mirror from the journal — the same source of truth
     /// recovery replays — used at cold start and after a worker death.
+    /// A checkpointed journal (`unit_base() > 0`) maps back to a
+    /// leading `Checkpoint` unit: its first marked unit holds the
+    /// survivor rows (or, when the checkpoint emptied the shard, a
+    /// synthetic empty checkpoint precedes the live units).
     pub(crate) fn reset_from(&self, journal: &Journal) {
-        let rebuilt: Vec<Arc<Vec<Vec<i64>>>> = journal
-            .batches()
-            .map(|unit| Arc::new(unit.to_vec()))
-            .collect();
-        let mut g = match self.units.write() {
-            Ok(g) => g,
-            Err(p) => p.into_inner(),
+        fn split(ops: &[JournalOp]) -> ReplUnit {
+            let mut inserts = Vec::new();
+            let mut tombstones = Vec::new();
+            for op in ops {
+                match op {
+                    JournalOp::Insert(p) => inserts.push(p.clone()),
+                    JournalOp::Tombstone(p) => tombstones.push(p.clone()),
+                }
+            }
+            ReplUnit::Ops {
+                inserts,
+                tombstones,
+            }
+        }
+        let ub = journal.unit_base();
+        let (base, units) = if ub == 0 {
+            let units = journal.batches().map(|b| Arc::new(split(b))).collect();
+            (0, units)
+        } else if journal.checkpoint_rows() > 0 {
+            // First marked unit = the checkpoint's survivor rows.
+            let mut units: Vec<Arc<ReplUnit>> = Vec::new();
+            for (i, b) in journal.batches().enumerate() {
+                if i == 0 {
+                    let survivors = b
+                        .iter()
+                        .filter_map(|op| match op {
+                            JournalOp::Insert(p) => Some(p.clone()),
+                            JournalOp::Tombstone(_) => None,
+                        })
+                        .collect();
+                    units.push(Arc::new(ReplUnit::Checkpoint {
+                        units_after: ub + 1,
+                        survivors,
+                    }));
+                } else {
+                    units.push(Arc::new(split(b)));
+                }
+            }
+            (ub, units)
+        } else {
+            // Checkpoint emptied the shard: no survivor unit on disk.
+            let mut units = vec![Arc::new(ReplUnit::Checkpoint {
+                units_after: ub,
+                survivors: Vec::new(),
+            })];
+            units.extend(journal.batches().map(|b| Arc::new(split(b))));
+            (ub - 1, units)
         };
-        *g = rebuilt;
+        let mut g = self.write();
+        g.base = base;
+        g.units = units;
     }
 
-    /// Append one just-journaled batch unit.
-    pub(crate) fn push(&self, unit: Vec<Vec<i64>>) {
-        let mut g = match self.units.write() {
-            Ok(g) => g,
-            Err(p) => p.into_inner(),
-        };
-        g.push(Arc::new(unit));
+    /// Append one just-journaled ops unit.
+    pub(crate) fn push_ops(&self, inserts: Vec<Vec<i64>>, tombstones: Vec<Vec<i64>>) {
+        self.write().units.push(Arc::new(ReplUnit::Ops {
+            inserts,
+            tombstones,
+        }));
     }
 
-    /// The unit at `index`, if it exists yet.
-    pub(crate) fn get(&self, index: u64) -> Option<Arc<Vec<Vec<i64>>>> {
-        usize::try_from(index)
-            .ok()
-            .and_then(|i| self.read().get(i).cloned())
+    /// Replace the whole mirror with one checkpoint unit: the primary
+    /// rebuilt from `survivors` and its batch count is now
+    /// `units_after`. Subscribers below the checkpoint reset from it.
+    pub(crate) fn push_checkpoint(&self, units_after: u64, survivors: Vec<Vec<i64>>) {
+        let mut g = self.write();
+        g.base = units_after.saturating_sub(1);
+        g.units = vec![Arc::new(ReplUnit::Checkpoint {
+            units_after,
+            survivors,
+        })];
     }
 
-    /// Batch units held (== the shard's journal batch count).
+    /// The unit a subscriber at absolute cursor `from` needs: `None`
+    /// when caught up; the checkpoint at `base` when `from` points
+    /// into compacted history; otherwise the unit at `from` itself.
+    /// The returned index is the unit's absolute position (it may be
+    /// *below* `from` for the checkpoint case).
+    pub(crate) fn get_abs(&self, from: u64) -> Option<(u64, Arc<ReplUnit>)> {
+        let g = self.read();
+        let total = g.base + g.units.len() as u64;
+        if from >= total {
+            return None;
+        }
+        if from < g.base {
+            // Compacted past the cursor: the oldest held unit is the
+            // checkpoint the subscriber must reset from.
+            return Some((g.base, Arc::clone(&g.units[0])));
+        }
+        let i = (from - g.base) as usize;
+        Some((from, Arc::clone(&g.units[i])))
+    }
+
+    /// Batch units represented (== the shard's journal batch count).
     pub(crate) fn total(&self) -> u64 {
-        self.read().len() as u64
+        let g = self.read();
+        g.base + g.units.len() as u64
     }
 
     /// Record a subscriber ack; keeps the high-water mark. Returns
@@ -130,7 +226,7 @@ impl ReplLog {
 /// its primary, read by the dispatch layer (staleness bound for the
 /// `Stale` wrapper) and by harnesses (fault-coverage assertions).
 pub struct ReplicaState {
-    /// Per-shard primary batch totals from the last `ReplBatch` seen.
+    /// Per-shard primary batch totals from the last reply seen.
     primary_total: Vec<AtomicU64>,
     applied: AtomicU64,
     resubscribes: AtomicU64,
@@ -157,6 +253,12 @@ impl ReplicaState {
             .get(shard as usize)
             .map(|t| t.load(Ordering::SeqCst))
             .unwrap_or(0)
+    }
+
+    fn note_total(&self, shard: u16, total: u64) {
+        if let Some(t) = self.primary_total.get(shard as usize) {
+            t.store(total, Ordering::SeqCst);
+        }
     }
 
     /// Batch units this follower has applied through its puller.
@@ -295,7 +397,9 @@ fn puller(service: &HullService, state: &ReplicaState, opts: &FollowOptions) {
 
 /// One subscription session: connect, then pull/apply/ack round-robin
 /// across shards until an error (resubscribe) or stop. `Ok(())` only on
-/// a requested stop.
+/// a requested stop. The session speaks typed v6 units when the
+/// primary offers `CAP_MUTATION`, falling back to flat v5 batches
+/// otherwise (a v5 primary by definition has no tombstones to ship).
 fn session(service: &HullService, state: &ReplicaState, opts: &FollowOptions) -> io::Result<()> {
     let mut client = HullClient::builder(opts.primary.clone())
         .deadline(opts.connect_deadline)
@@ -306,10 +410,14 @@ fn session(service: &HullService, state: &ReplicaState, opts: &FollowOptions) ->
             "primary does not ship journal batches (needs wire v5 + CAP_REPLICATION)",
         ));
     }
-    let dim = service.config().dim;
+    let v6 = client.negotiated_version() >= PROTOCOL_V6 && client.caps() & CAP_MUTATION != 0;
     let shards = service.num_shards() as u16;
     for shard in 0..shards {
-        bootstrap_bulk(service, state, &mut client, shard)?;
+        if v6 {
+            bootstrap_bulk_v6(service, state, &mut client, shard)?;
+        } else {
+            bootstrap_bulk(service, state, &mut client, shard)?;
+        }
     }
     loop {
         if state.stop.load(Ordering::SeqCst) {
@@ -317,35 +425,12 @@ fn session(service: &HullService, state: &ReplicaState, opts: &FollowOptions) ->
         }
         let mut caught_up = true;
         for shard in 0..shards {
-            let from = service.batch_units(shard).map_err(svc_err)?;
-            let (index, total, unit_dim, flat) = client.repl_fetch(shard, from)?;
-            if let Some(t) = state.primary_total.get(shard as usize) {
-                t.store(total, Ordering::SeqCst);
-            }
-            if !flat.is_empty() && unit_dim != dim {
-                return Err(io::Error::new(
-                    io::ErrorKind::InvalidData,
-                    format!("primary ships dimension {unit_dim}, follower is {dim}"),
-                ));
-            }
-            // `index < from` is a duplicated/reordered shipment of a
-            // unit this follower already holds: skip it (idempotent).
-            if index == from && !flat.is_empty() {
-                caught_up = false;
-                // Failpoint `replica.apply`: follower death mid-apply
-                // (panic → resubscribe-with-resume one frame up) or a
-                // dropped fetched batch (forces a duplicate re-fetch).
-                if failpoint::eval(sites::REPL_APPLY) == FaultAction::SpuriousFull {
-                    state.dropped.fetch_add(1, Ordering::SeqCst);
-                    continue;
-                }
-                let unit: Vec<Vec<i64>> = flat.chunks(dim).map(|c| c.to_vec()).collect();
-                service.apply_replica_unit(shard, unit).map_err(svc_err)?;
-                state.applied.fetch_add(1, Ordering::SeqCst);
-                let durable = service.batch_units(shard).map_err(svc_err)?;
-                let _ = client.repl_ack(shard, durable)?;
-            }
-            if total > service.batch_units(shard).map_err(svc_err)? {
+            let progressed = if v6 {
+                pull_unit_v6(service, state, &mut client, shard)?
+            } else {
+                pull_unit_v5(service, state, &mut client, shard)?
+            };
+            if progressed {
                 caught_up = false;
             }
         }
@@ -355,16 +440,194 @@ fn session(service: &HullService, state: &ReplicaState, opts: &FollowOptions) ->
     }
 }
 
-/// Follower **bulk bootstrap**: when a shard is completely empty and
-/// the bulk threshold is armed, pull the primary's entire journaled
-/// prefix into memory and install it through the bulk
-/// divide-and-conquer constructor
-/// ([`HullService::apply_replica_bulk`], DESIGN §S21) — one hull build
+/// Pull and apply one typed unit for `shard` (v6 path). Returns
+/// whether the shard made (or still needs) progress.
+fn pull_unit_v6(
+    service: &HullService,
+    state: &ReplicaState,
+    client: &mut HullClient,
+    shard: u16,
+) -> io::Result<bool> {
+    let dim = service.config().dim;
+    let from = service.batch_units(shard).map_err(svc_err)?;
+    let (index, total, unit_dim, unit) = client.repl_unit_fetch(shard, from)?;
+    state.note_total(shard, total);
+    let has_rows = match &unit {
+        ReplUnit::Ops {
+            inserts,
+            tombstones,
+        } => !inserts.is_empty() || !tombstones.is_empty(),
+        ReplUnit::Checkpoint { survivors, .. } => !survivors.is_empty(),
+    };
+    if has_rows && unit_dim != dim {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("primary ships dimension {unit_dim}, follower is {dim}"),
+        ));
+    }
+    let mut progressed = false;
+    match unit {
+        ReplUnit::Checkpoint {
+            units_after,
+            survivors,
+        } => {
+            // The primary compacted past our cursor: replace shard
+            // state with the survivors and jump to `units_after`. A
+            // checkpoint at or below our cursor is a duplicate — skip.
+            if units_after > from {
+                progressed = true;
+                if failpoint::eval(sites::REPL_APPLY) == FaultAction::SpuriousFull {
+                    state.dropped.fetch_add(1, Ordering::SeqCst);
+                } else {
+                    service
+                        .apply_replica_checkpoint(shard, units_after, survivors)
+                        .map_err(svc_err)?;
+                    state.applied.fetch_add(1, Ordering::SeqCst);
+                    let durable = service.batch_units(shard).map_err(svc_err)?;
+                    let _ = client.repl_ack(shard, durable)?;
+                }
+            }
+        }
+        ReplUnit::Ops {
+            inserts,
+            tombstones,
+        } => {
+            // `index < from` is a duplicated/reordered shipment of a
+            // unit this follower already holds: skip it (idempotent).
+            if index == from && (!inserts.is_empty() || !tombstones.is_empty()) {
+                progressed = true;
+                // Failpoint `replica.apply`: follower death mid-apply
+                // (panic → resubscribe-with-resume one frame up) or a
+                // dropped fetched unit (forces a duplicate re-fetch).
+                if failpoint::eval(sites::REPL_APPLY) == FaultAction::SpuriousFull {
+                    state.dropped.fetch_add(1, Ordering::SeqCst);
+                } else {
+                    service
+                        .apply_replica_ops(shard, inserts, tombstones)
+                        .map_err(svc_err)?;
+                    state.applied.fetch_add(1, Ordering::SeqCst);
+                    let durable = service.batch_units(shard).map_err(svc_err)?;
+                    let _ = client.repl_ack(shard, durable)?;
+                }
+            }
+        }
+    }
+    if total > service.batch_units(shard).map_err(svc_err)? {
+        progressed = true;
+    }
+    Ok(progressed)
+}
+
+/// Pull and apply one flat insert batch for `shard` (v5 fallback).
+fn pull_unit_v5(
+    service: &HullService,
+    state: &ReplicaState,
+    client: &mut HullClient,
+    shard: u16,
+) -> io::Result<bool> {
+    let dim = service.config().dim;
+    let from = service.batch_units(shard).map_err(svc_err)?;
+    let (index, total, unit_dim, flat) = client.repl_fetch(shard, from)?;
+    state.note_total(shard, total);
+    if !flat.is_empty() && unit_dim != dim {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("primary ships dimension {unit_dim}, follower is {dim}"),
+        ));
+    }
+    let mut progressed = false;
+    // `index < from` is a duplicated/reordered shipment of a unit this
+    // follower already holds: skip it (idempotent).
+    if index == from && !flat.is_empty() {
+        progressed = true;
+        // Failpoint `replica.apply`: follower death mid-apply (panic →
+        // resubscribe-with-resume one frame up) or a dropped fetched
+        // batch (forces a duplicate re-fetch).
+        if failpoint::eval(sites::REPL_APPLY) == FaultAction::SpuriousFull {
+            state.dropped.fetch_add(1, Ordering::SeqCst);
+        } else {
+            let unit: Vec<Vec<i64>> = flat.chunks(dim).map(|c| c.to_vec()).collect();
+            service.apply_replica_unit(shard, unit).map_err(svc_err)?;
+            state.applied.fetch_add(1, Ordering::SeqCst);
+            let durable = service.batch_units(shard).map_err(svc_err)?;
+            let _ = client.repl_ack(shard, durable)?;
+        }
+    }
+    if total > service.batch_units(shard).map_err(svc_err)? {
+        progressed = true;
+    }
+    Ok(progressed)
+}
+
+/// Follower **bulk bootstrap** over typed v6 units: when a shard is
+/// completely empty and the bulk threshold is armed, scan the
+/// primary's journaled prefix and — if it is pure insert history —
+/// install it through the bulk divide-and-conquer constructor
+/// ([`HullService::apply_replica_bulk`], DESIGN §S21): one hull build
 /// instead of per-unit incremental replay, while still journaling and
-/// marking every unit so the follower's batch-index mirror stays 1:1
-/// and the resume cursor lands exactly where per-unit pulling would
-/// have left it. Below the threshold (or with nothing to fetch) this
-/// applies nothing; the per-unit session loop takes over from cursor 0.
+/// marking every unit so the follower's batch-index mirror stays 1:1.
+/// Any checkpoint or tombstone-bearing unit in the prefix abandons the
+/// bootstrap (the per-unit loop resets from the checkpoint instead —
+/// that path is already one bulk build).
+fn bootstrap_bulk_v6(
+    service: &HullService,
+    state: &ReplicaState,
+    client: &mut HullClient,
+    shard: u16,
+) -> io::Result<()> {
+    let threshold = service.config().bulk_threshold;
+    if threshold == 0 || service.batch_units(shard).map_err(svc_err)? != 0 {
+        return Ok(());
+    }
+    let dim = service.config().dim;
+    let mut units: Vec<Vec<Vec<i64>>> = Vec::new();
+    let mut points = 0usize;
+    loop {
+        let from = units.len() as u64;
+        let (index, total, unit_dim, unit) = client.repl_unit_fetch(shard, from)?;
+        state.note_total(shard, total);
+        match unit {
+            ReplUnit::Checkpoint { .. } => return Ok(()),
+            ReplUnit::Ops {
+                inserts,
+                tombstones,
+            } => {
+                if index != from || (inserts.is_empty() && tombstones.is_empty()) {
+                    break;
+                }
+                if !tombstones.is_empty() {
+                    return Ok(());
+                }
+                if unit_dim != dim {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("primary ships dimension {unit_dim}, follower is {dim}"),
+                    ));
+                }
+                points += inserts.len();
+                units.push(inserts);
+                if from + 1 >= total {
+                    break;
+                }
+            }
+        }
+    }
+    if units.is_empty() || points < threshold {
+        return Ok(());
+    }
+    let applied = units.len() as u64;
+    service.apply_replica_bulk(shard, units).map_err(svc_err)?;
+    state.applied.fetch_add(applied, Ordering::SeqCst);
+    let durable = service.batch_units(shard).map_err(svc_err)?;
+    let _ = client.repl_ack(shard, durable)?;
+    eprintln!(
+        "replica: shard {shard} bootstrapped {points} points / {applied} units via bulk build"
+    );
+    Ok(())
+}
+
+/// Follower bulk bootstrap over flat v5 batches (see
+/// [`bootstrap_bulk_v6`]); kept for primaries without `CAP_MUTATION`.
 fn bootstrap_bulk(
     service: &HullService,
     state: &ReplicaState,
@@ -381,9 +644,7 @@ fn bootstrap_bulk(
     loop {
         let from = units.len() as u64;
         let (index, total, unit_dim, flat) = client.repl_fetch(shard, from)?;
-        if let Some(t) = state.primary_total.get(shard as usize) {
-            t.store(total, Ordering::SeqCst);
-        }
+        state.note_total(shard, total);
         if flat.is_empty() || index != from {
             break;
         }

@@ -5,8 +5,9 @@
 //! node, forwarded verbatim as a request object, and the backend's
 //! reply relayed. Routing policy:
 //!
-//! * **writes** (`Insert`, `InsertBatch`, `Flush`, replication ops,
-//!   `Shutdown`) go to the first *healthy* node in configuration order
+//! * **writes** (`Insert`, `InsertBatch`, `Mutate`, `Flush`,
+//!   replication ops, `Shutdown`) go to the first *healthy* node in
+//!   configuration order
 //!   — node 0 is the write primary; while it is down, writes land on
 //!   the next node, which rejects them (`read-only follower replica`)
 //!   until it self-promotes, at which point writes resume there;
@@ -257,7 +258,9 @@ fn shard_of(req: &Request) -> u16 {
         | Request::Snapshot { shard }
         | Request::Flush { shard }
         | Request::InsertBatch { shard, .. }
+        | Request::Mutate { shard, .. }
         | Request::ReplSubscribe { shard, .. }
+        | Request::ReplUnitFetch { shard, .. }
         | Request::ReplAck { shard, .. } => *shard,
         Request::Tagged { inner, .. } => shard_of(inner),
         Request::Hello { .. } | Request::Shutdown | Request::Metrics => 0,
@@ -269,9 +272,11 @@ fn is_write(req: &Request) -> bool {
     match req {
         Request::Insert { .. }
         | Request::InsertBatch { .. }
+        | Request::Mutate { .. }
         | Request::Flush { .. }
         | Request::Shutdown
         | Request::ReplSubscribe { .. }
+        | Request::ReplUnitFetch { .. }
         | Request::ReplAck { .. } => true,
         Request::Tagged { inner, .. } => is_write(inner),
         _ => false,

@@ -482,8 +482,10 @@ fn op_name(req: &Request) -> &'static str {
         Request::Shutdown => "shutdown",
         Request::Metrics => "metrics",
         Request::InsertBatch { .. } => "insert_batch",
+        Request::Mutate { .. } => "mutate",
         Request::Hello { .. } => "hello",
         Request::ReplSubscribe { .. } => "repl_subscribe",
+        Request::ReplUnitFetch { .. } => "repl_unit",
         Request::ReplAck { .. } => "repl_ack",
         // The tag wrapper is transparent to metrics: count the op the
         // client is actually asking for.
@@ -636,14 +638,19 @@ fn dispatch(service: &HullService, req: Request) -> (Response, bool) {
             Ok((accepted, epoch)) => Response::InsertedBatch { accepted, epoch },
             Err(e) => err_response(e),
         },
+        // v6 unified ingest: inserts, deletes, and window expirations in
+        // one envelope, acked per item.
+        Request::Mutate { shard, muts } => match service.try_mutate(shard, muts) {
+            Ok((accepted, epoch)) => Response::Mutated { accepted, epoch },
+            Err(e) => err_response(e),
+        },
         // Stateless: the handshake is advisory (a capability probe);
-        // the server accepts v2/v3 ops with or without it.
+        // the server accepts v2/v3 ops with or without it. The cap mask
+        // is derived from the op-table registry, so adding an op with a
+        // capability bit advertises it automatically.
         Request::Hello { max_version } => Response::Hello {
             version: wire::negotiate(max_version),
-            caps: wire::CAP_INSERT_BATCH
-                | wire::CAP_SCAN_QUERIES
-                | wire::CAP_PIPELINE
-                | wire::CAP_REPLICATION,
+            caps: wire::server_caps(),
         },
         // v5 replication: ship the journal batch unit at `from_index`
         // (pull model — the subscriber's cursor is its own batch count,
@@ -660,6 +667,24 @@ fn dispatch(service: &HullService, req: Request) -> (Response, bool) {
                     total,
                     dim: service.config().dim,
                     points,
+                },
+                Err(e) => err_response(e),
+            },
+        },
+        // v6 typed replication: same pull model and `replica.ship`
+        // failpoint as `ReplSubscribe`, but the unit keeps tombstones
+        // and survivor checkpoints distinct instead of flattening.
+        Request::ReplUnitFetch { shard, from_index } => match failpoint::eval(sites::REPL_SHIP) {
+            failpoint::FaultAction::SpuriousFull => Response::Overloaded,
+            failpoint::FaultAction::TruncateWrite(_) => {
+                Response::Error("replication shipment aborted (failpoint)".to_string())
+            }
+            failpoint::FaultAction::Proceed => match service.repl_unit_fetch(shard, from_index) {
+                Ok((index, total, unit)) => Response::ReplUnit {
+                    index,
+                    total,
+                    dim: service.config().dim,
+                    unit,
                 },
                 Err(e) => err_response(e),
             },
@@ -735,7 +760,7 @@ fn wrap_read(service: &HullService, shard: u16, resp: Response) -> Response {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::client::HullClient;
+    use crate::client::{HullClient, MutationBatch};
 
     fn opts(dim: usize) -> ServeOptions {
         ServeOptions {
@@ -747,6 +772,7 @@ mod tests {
                 workers: 2,
                 wal_dir: None,
                 bulk_threshold: 0,
+                ..Default::default()
             },
             ..Default::default()
         }
@@ -759,7 +785,7 @@ mod tests {
         let mut c = HullClient::builder(addr.to_string()).connect().unwrap();
         assert_eq!(c.contains(0, &[0, 0]).unwrap(), None, "boot => NotReady");
         for p in [[0, 0], [10, 0], [0, 10], [10, 10]] {
-            c.insert(0, &p).unwrap();
+            c.mutate(0, MutationBatch::new().insert(p)).unwrap();
         }
         let epoch = c.flush(0).unwrap();
         assert!(epoch >= 1);
@@ -787,7 +813,7 @@ mod tests {
             .unwrap();
         assert_eq!(c.contains_scan(0, &[0, 0]).unwrap(), None, "boot");
         for p in [[0, 0], [12, 0], [0, 12], [12, 12], [6, 14]] {
-            c.insert(0, &p).unwrap();
+            c.mutate(0, MutationBatch::new().insert(p)).unwrap();
         }
         c.flush(0).unwrap();
         for q in [[6, 6], [13, 13], [6, 13], [-1, 0], [12, 0]] {
@@ -841,7 +867,7 @@ mod tests {
         let server = serve(opts(2)).unwrap();
         let addr = server.local_addr();
         let mut c = HullClient::builder(addr.to_string()).connect().unwrap();
-        c.insert(0, &[1, 2]).unwrap();
+        c.mutate(0, MutationBatch::new().insert([1, 2])).unwrap();
         c.shutdown_server().unwrap();
         // join() returns because the accept loop exits.
         server.join();

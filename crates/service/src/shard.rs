@@ -1,32 +1,54 @@
 //! The shard manager: epoch-versioned online hulls behind a batched,
-//! backpressured, **supervised** ingest pipeline.
+//! backpressured, **supervised** ingest pipeline — now windowed and
+//! deletable.
 //!
 //! Each shard is an **independent** hull (a namespace — clients route
 //! requests by shard id, spreading unrelated workloads across workers).
 //! Per shard:
 //!
 //! * one [`BoundedQueue`] of ingest items — producers are connection
-//!   threads calling [`HullService::try_insert`], which never blocks: a
-//!   full queue is reported as [`InsertOutcome::Overloaded`] so the wire
-//!   layer replies with explicit backpressure instead of buffering;
+//!   threads calling [`HullService::try_mutate`], which never blocks: a
+//!   full queue is reported per point so the wire layer replies with
+//!   explicit backpressure instead of buffering;
 //! * one **supervised worker thread** that drains the queue in coalesced
 //!   batches (`pop_batch`, continuing non-blockingly through a deep
-//!   backlog up to a fairness bound), journals each batch **and marks it
-//!   as one atomic unit**, applies it to its private hull as a single
-//!   parallel batch insert (Algorithm 3's `ProcessRidge` recursion via
-//!   [`HullBuilder::push_batch`], on `workers` pool threads), and
-//!   republishes an `Arc<HullSnapshot>` under a short write-lock —
-//!   readers clone the `Arc` under the matching read-lock and never
-//!   block ingest;
+//!   backlog up to a fairness bound), resolves the batch's mutations
+//!   against the shard's live multiset, journals the unit **and marks it
+//!   as one atomic unit**, applies its inserts to the private hull as a
+//!   single parallel batch insert (Algorithm 3's `ProcessRidge`
+//!   recursion via [`HullBuilder::push_batch`]), and republishes an
+//!   `Arc<HullSnapshot>` under a short write-lock;
+//! * a [`LiveSet`] tracking which inserted rows are still live (deletes
+//!   and window expiry tombstone rows instead of mutating the hull);
 //! * a [`ShardStats`] block of lock-free counters.
 //!
-//! The batch is the **atomic unit** end to end: journaled whole (marker
-//! after its inserts, before apply), applied whole, published once (one
-//! epoch per batch — the epoch equals the journal's batch count), and
-//! replayed whole through the same parallel path on recovery. Batch
-//! apply is bit-deterministic for any worker count, so a recovered hull
-//! is identical to the lost one — facet ids and all, not merely the
-//! same geometry.
+//! ## Deletion, windows, and rebuilds
+//!
+//! The online hull is insert-only, so departure is served by
+//! **tombstone-then-rebuild**: a `Delete` (or a window expiry) kills the
+//! row in the live set and journals a tombstone record in the same batch
+//! unit. The hull itself is rebuilt from [`LiveSet::survivors`] through
+//! the parallel bulk constructor ([`HullBuilder::seed_from_bulk`]) only
+//! when it has to be:
+//!
+//! * immediately, when a tombstoned row's last live copy does not
+//!   classify strictly [`PointLocation::Inside`] the current hull (an
+//!   interior delete can never change the hull — Theorem 4.2's
+//!   order-independence makes the survivor rebuild canonically
+//!   equivalent to any insertion order of the survivors);
+//! * lazily, when dead live-set entries exceed `rebuild_ratio` × live
+//!   rows (reclaiming memory), or when the journal exceeds
+//!   `journal_ratio` × live rows (**auto-compaction**, retiring the
+//!   manual-only `hull compact` flow).
+//!
+//! A primary-side rebuild is journaled as **one checkpoint unit**: the
+//! WAL is atomically rewritten to a checkpoint header (preserving the
+//! cumulative unit index) plus the survivors, so WAL replay, supervised
+//! recovery, and follower replication all stay crash-safe for free.
+//! The trigger ratios deliberately compare against **live rows**, not
+//! hull vertices: a rebuild cannot shrink the journal below the live
+//! count (survivors must be retained for delete correctness), so a
+//! hull-vertex denominator would re-trigger immediately forever.
 //!
 //! ## Failure model
 //!
@@ -37,35 +59,38 @@
 //! 1. marks the shard **degraded** and bumps its recovery *generation*;
 //!    queries keep flowing from the last published snapshot, wrapped in
 //!    the wire `Degraded` status so callers can see the staleness;
-//! 2. rebuilds the hull by replaying the shard's append-only insert
-//!    [`Journal`] in its journaled batch units through
-//!    [`HullBuilder::replay_batches`] — the same parallel path the dead
-//!    worker used, deterministic per unit, so the rebuilt hull is
-//!    bit-identical to the lost one (inserts whose batch marker was
-//!    lost mid-crash replay as one final batch, then get sealed);
+//! 2. rebuilds hull **and live set** by replaying the shard's typed
+//!    [`Journal`] in its journaled batch units (tombstones journaled
+//!    *before* the hull is touched, so a crash mid-rebuild loses
+//!    nothing: replay reconstructs the live set and re-runs the rebuild
+//!    decision);
 //! 3. republishes a fresh snapshot and clears the degraded flag.
 //!
-//! **Exactly-once for acked inserts**: an insert is acked when it enters
-//! the queue. The queue lives outside `catch_unwind`, so un-popped items
-//! survive a worker death; popped items are journaled (journal-before-
-//! apply) *before* any of them touches the hull, so a panic during apply
-//! loses nothing — the journal prefix plus the remaining queue is the
-//! complete shard state. A `Flush` barrier whose ack channel dies with
-//! the worker is transparently re-armed by [`HullService::flush`].
+//! **Exactly-once for acked mutations**: a mutation is acked when it
+//! enters the queue. The queue lives outside `catch_unwind`, so
+//! un-popped items survive a worker death; popped items are journaled
+//! (journal-before-apply) *before* any of them touches the hull, so a
+//! panic during apply loses nothing — the journal prefix plus the
+//! remaining queue is the complete shard state. A `Flush` barrier whose
+//! ack channel dies with the worker is transparently re-armed by
+//! [`HullService::flush`].
 //!
 //! With `wal_dir` set, the journal is additionally a crc32-checked
 //! on-disk WAL, so the same replay survives a full process restart
 //! (torn tails from a mid-write crash are detected and dropped).
 
-use crate::journal::Journal;
+use crate::journal::{Journal, JournalOp};
 use crate::metrics::{service_metrics, shard_gauges, ShardGauges};
 use crate::replica::ReplLog;
 use crate::snapshot::{HullSnapshot, SnapState};
 use crate::stats::ShardStats;
+use crate::wire::{Mutation, ReplUnit};
 use chull_concurrent::failpoint::{self, sites};
 use chull_concurrent::{BoundedQueue, PushError};
-use chull_core::online::HullBuilder;
+use chull_core::online::{HullBuilder, PointLocation};
+use chull_core::{LiveSet, RemoveOutcome, WindowPolicy};
 use chull_geometry::{KernelCounts, MAX_COORD};
+use std::collections::HashSet;
 use std::io;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
@@ -90,7 +115,7 @@ pub struct ServiceConfig {
     /// — the A/B baseline for measuring parallel batch speedup. Any
     /// value yields bit-identical hulls.
     pub workers: usize,
-    /// Directory for per-shard write-ahead logs. `None` keeps the insert
+    /// Directory for per-shard write-ahead logs. `None` keeps the
     /// journal purely in memory: worker crashes are still recovered, but
     /// a process restart starts empty.
     pub wal_dir: Option<PathBuf>,
@@ -104,6 +129,24 @@ pub struct ServiceConfig {
     /// canonically identical (same facets, possibly different internal
     /// ids), which every query surface is insensitive to.
     pub bulk_threshold: usize,
+    /// Per-shard retention window, applied after every publication:
+    /// rows falling out of the window are tombstoned exactly as if a
+    /// `Delete` had arrived for them. [`WindowPolicy::None`] (the
+    /// default) keeps everything; only explicit deletes remove rows.
+    pub window: WindowPolicy,
+    /// Tombstone-ratio rebuild trigger: when dead (tombstoned but not
+    /// yet compacted) live-set entries exceed this fraction of the live
+    /// rows, the shard rebuilds its hull from the survivors and
+    /// checkpoints the journal. Default `0.5`.
+    pub rebuild_ratio: f64,
+    /// Auto-compaction trigger: when the journal holds more than this
+    /// many ops per live row, the shard rebuilds and checkpoints even
+    /// if no tombstone demanded it — the successor to the manual-only
+    /// `hull compact` flow. Compared against **live rows** (see module
+    /// docs for why not hull vertices). `0.0` disables the trigger;
+    /// default `4.0`. Insert-only shards never reach it (one op per
+    /// live row).
+    pub journal_ratio: f64,
 }
 
 impl Default for ServiceConfig {
@@ -116,6 +159,9 @@ impl Default for ServiceConfig {
             workers: 0,
             wal_dir: None,
             bulk_threshold: 0,
+            window: WindowPolicy::None,
+            rebuild_ratio: 0.5,
+            journal_ratio: 4.0,
         }
     }
 }
@@ -141,6 +187,10 @@ pub enum ServiceError {
     /// Write rejected: this node is a read-only follower replica; only
     /// its replication puller may mutate shard state.
     ReadOnly,
+    /// The requested operation cannot be served at the negotiated
+    /// protocol version (e.g. a v5 flat replication fetch against a
+    /// journal holding tombstone or checkpoint units).
+    Unsupported(String),
 }
 
 impl std::fmt::Display for ServiceError {
@@ -150,16 +200,20 @@ impl std::fmt::Display for ServiceError {
             ServiceError::BadPoint(msg) => write!(f, "bad point: {msg}"),
             ServiceError::Closed => write!(f, "service shutting down"),
             ServiceError::ReadOnly => write!(f, "read-only follower replica"),
+            ServiceError::Unsupported(msg) => write!(f, "unsupported: {msg}"),
         }
     }
 }
 
 /// A follower-bootstrap payload drained from the queue: the whole
-/// journaled prefix as batch units, plus the puller's ack channel.
+/// journaled prefix as pure-insert batch units, plus the puller's ack
+/// channel.
 type BulkIngest = (Vec<Vec<Vec<i64>>>, mpsc::Sender<u64>);
 
 enum Ingest {
-    Insert(Vec<i64>),
+    /// One local mutation (insert, delete, or expire) — the unified
+    /// ingest item behind [`HullService::try_mutate`].
+    Mutate(Mutation),
     /// Barrier: acknowledged (with the publication epoch) only after every
     /// item queued before it has been applied and republished.
     Flush(mpsc::Sender<u64>),
@@ -168,15 +222,25 @@ enum Ingest {
     /// the follower's batch indices mirror the primary's 1:1. The ack
     /// carries the publication epoch after the unit landed.
     Replica {
-        unit: Vec<Vec<i64>>,
+        inserts: Vec<Vec<i64>>,
+        tombstones: Vec<Vec<i64>>,
+        done: mpsc::Sender<u64>,
+    },
+    /// A primary's checkpoint unit (follower apply path): replace the
+    /// shard's journal with the shipped survivors at the shipped
+    /// cumulative unit index, rebuilding hull and live set from them.
+    ReplicaCheckpoint {
+        units_after: u64,
+        survivors: Vec<Vec<i64>>,
         done: mpsc::Sender<u64>,
     },
     /// Follower **bootstrap** (initial catch-up): the entire journaled
-    /// prefix as its original batch units. Every unit is journaled and
-    /// marked individually — the 1:1 index mirror survives — but the
-    /// hull is built **once**, through the bulk constructor when the
-    /// prefix clears the threshold, instead of unit by unit. The ack
-    /// carries the publication epoch after the whole prefix landed.
+    /// prefix as its original pure-insert batch units. Every unit is
+    /// journaled and marked individually — the 1:1 index mirror
+    /// survives — but the hull is built **once**, through the bulk
+    /// constructor when the prefix clears the threshold, instead of
+    /// unit by unit. The ack carries the publication epoch after the
+    /// whole prefix landed.
     ReplicaBulk {
         units: Vec<Vec<Vec<i64>>>,
         done: mpsc::Sender<u64>,
@@ -205,7 +269,7 @@ fn store_snap(lock: &RwLock<Arc<HullSnapshot>>, snap: HullSnapshot) {
 /// For a live hull this also builds the snapshot's query accelerators
 /// (packed-plane filter block + cached hull vertex list) exactly once,
 /// here — every publish site (initial spawn, recovery republish, post-
-/// batch publish) funnels through this function.
+/// batch publish, post-rebuild publish) funnels through this function.
 fn snapshot_of(core: &HullBuilder, epoch: u64) -> HullSnapshot {
     match core.hull() {
         Some(h) => HullSnapshot::freeze_live(epoch, core.applied(), h.clone()),
@@ -219,16 +283,22 @@ fn snapshot_of(core: &HullBuilder, epoch: u64) -> HullSnapshot {
     }
 }
 
-/// Rebuild a shard's hull from its journal — the one decision point for
-/// **every** restart surface (WAL cold start, supervised crash recovery,
-/// follower bootstrap). Below `bulk_threshold` inserts (or with the
-/// threshold at 0), incremental batch replay reproduces the lost hull
-/// bit-identically. At or above it, the bulk divide-and-conquer
-/// constructor builds a canonically identical hull in one pass —
-/// the candidate sweep prunes interior points, and one parallel batch
-/// install replaces thousands of per-batch conflict-seeding passes.
-/// A degenerate journal (no full-rank prefix) falls back to incremental
-/// replay inside `seed_from_bulk`; that is not counted as a bulk build.
+/// Count a WAL write failure (tolerated: the in-memory journal stays
+/// authoritative for in-process recovery).
+fn wal_err(stats: &ShardStats) {
+    stats.wal_errors.fetch_add(1, Ordering::Relaxed);
+    service_metrics().wal_errors.incr();
+}
+
+/// Build a hull from the journal's **insert** rows in their batch units
+/// (tombstones contribute nothing to the build — see [`replay_shard`]
+/// for where they are honored). Below `bulk_threshold` inserts (or with
+/// the threshold at 0), incremental batch replay reproduces the lost
+/// hull bit-identically for insert-only journals. At or above it, the
+/// bulk divide-and-conquer constructor builds a canonically identical
+/// hull in one pass. A degenerate journal (no full-rank prefix) falls
+/// back to incremental replay inside `seed_from_bulk`; that is not
+/// counted as a bulk build.
 fn replay_core(
     dim: usize,
     journal: &Journal,
@@ -237,22 +307,96 @@ fn replay_core(
     stats: &ShardStats,
 ) -> HullBuilder {
     if bulk_threshold > 0 && journal.len() >= bulk_threshold {
-        let t0 = Instant::now();
-        let (core, report) = HullBuilder::seed_from_bulk(dim, journal.entries(), workers);
-        if !report.fallback {
-            stats.bulk_builds.fetch_add(1, Ordering::Relaxed);
-            stats
-                .bulk_pruned
-                .fetch_add((report.input - report.candidates) as u64, Ordering::Relaxed);
-            if chull_obs::armed() {
-                let m = service_metrics();
-                m.bulk_builds.incr();
-                m.bulk_build_us.record(t0.elapsed().as_micros() as u64);
+        let rows = journal.insert_rows();
+        if rows.len() >= bulk_threshold {
+            let t0 = Instant::now();
+            let (core, report) = HullBuilder::seed_from_bulk(dim, &rows, workers);
+            if !report.fallback {
+                stats.bulk_builds.fetch_add(1, Ordering::Relaxed);
+                stats
+                    .bulk_pruned
+                    .fetch_add((report.input - report.candidates) as u64, Ordering::Relaxed);
+                if chull_obs::armed() {
+                    let m = service_metrics();
+                    m.bulk_builds.incr();
+                    m.bulk_build_us.record(t0.elapsed().as_micros() as u64);
+                }
+            }
+            return core;
+        }
+    }
+    // Tombstone-only units applied no batch originally, so dropping
+    // their (empty) insert unit keeps replay bit-identical.
+    let units: Vec<Vec<Vec<i64>>> = journal
+        .batches()
+        .map(|u| {
+            u.iter()
+                .filter_map(|op| match op {
+                    JournalOp::Insert(r) => Some(r.clone()),
+                    JournalOp::Tombstone(_) => None,
+                })
+                .collect::<Vec<_>>()
+        })
+        .filter(|u| !u.is_empty())
+        .collect();
+    HullBuilder::replay_batches(dim, units.iter().map(|u| u.as_slice()), workers)
+}
+
+/// Rebuild a shard's hull **and live set** from its journal — the one
+/// decision point for every restart surface (WAL cold start, supervised
+/// crash recovery). The hull is built from all journaled insert rows;
+/// the live set is reconstructed by walking the typed ops in unit order
+/// (every journaled tombstone finds a live copy on replay, because
+/// tombstones are journaled only when they killed one originally and
+/// replay sees at least as many arrivals). If any fully-dead row is not
+/// strictly inside the built hull, one in-memory rebuild from the
+/// survivors restores the windowed-serving invariant — no WAL rewrite,
+/// no unit-count change, so replay stays idempotent.
+fn replay_shard(
+    dim: usize,
+    journal: &Journal,
+    workers: usize,
+    bulk_threshold: usize,
+    stats: &ShardStats,
+) -> (HullBuilder, LiveSet) {
+    let mut core = replay_core(dim, journal, workers, bulk_threshold, stats);
+    let mut live = LiveSet::new();
+    let base = journal.unit_base();
+    let mut tombstoned: HashSet<Vec<i64>> = HashSet::new();
+    for (idx, unit) in journal.batches().enumerate() {
+        let at = base + idx as u64 + 1;
+        for op in unit {
+            match op {
+                JournalOp::Insert(row) => live.insert(row.clone(), at),
+                JournalOp::Tombstone(row) => {
+                    let _ = live.remove(row);
+                    tombstoned.insert(row.clone());
+                }
             }
         }
-        return core;
     }
-    HullBuilder::replay_batches(dim, journal.batches(), workers)
+    if tombstoned.is_empty() {
+        // Insert-only journal: replay is bit-identical, nothing to
+        // classify.
+        return (core, live);
+    }
+    let needs_rebuild = match core.hull() {
+        Some(h) => {
+            let mut scratch = KernelCounts::default();
+            tombstoned
+                .iter()
+                .any(|t| live.count(t) == 0 && h.classify(t, &mut scratch) != PointLocation::Inside)
+        }
+        // Still bootstrapping: the buffer may hold dead rows; rebuild
+        // conservatively whenever any row is fully dead.
+        None => tombstoned.iter().any(|t| live.count(t) == 0),
+    };
+    if needs_rebuild {
+        let survivors = live.survivors();
+        core = HullBuilder::seed_from_bulk(dim, &survivors, workers).0;
+        stats.rebuilds.fetch_add(1, Ordering::Relaxed);
+    }
+    (core, live)
 }
 
 /// Seal the journal's open tail for replay, surfacing a torn tail (a
@@ -286,10 +430,27 @@ struct Shard {
     /// True only while the supervisor is replaying the journal.
     degraded: Arc<AtomicBool>,
     /// In-memory mirror of the journal's batch units, shared with the
-    /// wire layer so `ReplSubscribe` can ship any unit without touching
+    /// wire layer so replication can ship any unit without touching
     /// the worker-owned journal. Always `repl.total() == batch_count`.
     repl: Arc<ReplLog>,
     worker: Mutex<Option<JoinHandle<()>>>,
+}
+
+/// Everything the shard worker owns and mutates: the hull under
+/// construction, the typed journal, the live multiset, and the epoch
+/// bookkeeping that ties them together (`epoch` always equals the
+/// journal's cumulative batch-unit count).
+struct ShardState {
+    core: HullBuilder,
+    journal: Journal,
+    /// Published epoch == journaled batch units (checkpoint-inclusive).
+    epoch: u64,
+    /// Inserts already counted into `batched_inserts` (so recovery can
+    /// account for a crashed batch exactly once).
+    recorded: u64,
+    /// Which inserted rows are still live — deletes and window expiry
+    /// resolve against this, never against the hull directly.
+    live: LiveSet,
 }
 
 /// The shard manager; see module docs. Shared (`&self`) by every
@@ -299,7 +460,7 @@ pub struct HullService {
     /// Resolved batch-apply worker count (`config.workers`, 0 → auto).
     workers: usize,
     /// Follower mode: wire writes are rejected with
-    /// [`ServiceError::ReadOnly`]; only [`HullService::apply_replica_unit`]
+    /// [`ServiceError::ReadOnly`]; only the replica apply surface
     /// mutates shard state. Cleared on promotion.
     read_only: AtomicBool,
     /// Set once by [`crate::replica::follow`]: the puller's shared view
@@ -338,23 +499,32 @@ impl HullService {
             };
             // Cold-start recovery happens *here*, synchronously: when
             // `new` returns, a WAL-backed shard already serves its
-            // previous run's points — rebuilt through `replay_core`
-            // (incremental batch replay, or one bulk build for journals
-            // past `bulk_threshold`).
+            // previous run's surviving points.
             let stats = Arc::new(ShardStats::default());
-            let core = replay_core(config.dim, &journal, workers, config.bulk_threshold, &stats);
-            // Seal any open tail (inserts whose batch marker was lost to
+            let (core, live) =
+                replay_shard(config.dim, &journal, workers, config.bulk_threshold, &stats);
+            // Seal any open tail (ops whose batch marker was lost to
             // the crash): it just replayed as one unit and must stay one
             // unit in every future replay. Cold start has no published
             // epoch to validate against — 0 can never tear.
             seal_for_replay(&mut journal, 0, &stats);
             let epoch = journal.batch_count();
             for b in journal.batches() {
-                stats.record_batch(b.len() as u64);
+                let inserts = b
+                    .iter()
+                    .filter(|op| matches!(op, JournalOp::Insert(_)))
+                    .count();
+                stats.record_batch(inserts as u64);
             }
             stats
                 .journal_len
                 .store(journal.len() as u64, Ordering::Relaxed);
+            stats
+                .live_points
+                .store(live.live() as u64, Ordering::Relaxed);
+            stats
+                .lazy_tombstones
+                .store(live.dead_entries() as u64, Ordering::Relaxed);
             let queue = Arc::new(BoundedQueue::new(config.queue_capacity));
             let snap = Arc::new(RwLock::new(Arc::new(snapshot_of(&core, epoch))));
             let generation = Arc::new(AtomicU32::new(0));
@@ -370,6 +540,9 @@ impl HullService {
                 max_batch: config.max_batch,
                 workers,
                 bulk_threshold: config.bulk_threshold,
+                window: config.window,
+                rebuild_ratio: config.rebuild_ratio,
+                journal_ratio: config.journal_ratio,
                 queue: Arc::clone(&queue),
                 snap: Arc::clone(&snap),
                 stats: Arc::clone(&stats),
@@ -378,7 +551,15 @@ impl HullService {
                 degraded: Arc::clone(&degraded),
                 repl: Arc::clone(&repl),
             };
-            let worker = std::thread::spawn(move || shard_supervisor(&ctx, core, journal, epoch));
+            let recorded = core.applied();
+            let state = ShardState {
+                core,
+                journal,
+                epoch,
+                recorded,
+                live,
+            };
+            let worker = std::thread::spawn(move || shard_supervisor(&ctx, state));
             shards.push(Shard {
                 queue,
                 snap,
@@ -437,57 +618,43 @@ impl HullService {
         Ok(())
     }
 
-    /// Non-blocking insert; `Overloaded` is the backpressure signal.
-    /// A `Queued` reply is the service's **ack**: the point now either
-    /// reaches the hull or survives a worker death in the queue/journal.
-    pub fn try_insert(&self, shard: u16, point: Vec<i64>) -> Result<InsertOutcome, ServiceError> {
-        if self.read_only.load(Ordering::SeqCst) {
-            return Err(ServiceError::ReadOnly);
-        }
-        self.validate(&point)?;
-        let sh = self.shard(shard)?;
-        match sh.queue.try_push(Ingest::Insert(point)) {
-            Ok(()) => {
-                sh.stats.inserts_enqueued.fetch_add(1, Ordering::Relaxed);
-                service_metrics().inserts_enqueued.incr();
-                Ok(InsertOutcome::Queued)
-            }
-            Err(PushError::Full(_)) => {
-                sh.stats.overloaded.fetch_add(1, Ordering::Relaxed);
-                service_metrics().overloaded.incr();
-                Ok(InsertOutcome::Overloaded)
-            }
-            Err(PushError::Closed(_)) => Err(ServiceError::Closed),
-        }
-    }
-
-    /// Non-blocking batch insert (wire `InsertBatch`, protocol v2).
-    ///
-    /// Every point is validated **before** any is enqueued, so a
-    /// malformed batch fails whole with nothing queued. Enqueueing is
-    /// then per-point best-effort: `accepted[i]` is `false` when point
-    /// `i` hit a full queue (the caller retries just those). The
-    /// returned epoch is the published snapshot epoch observed at
-    /// enqueue time. Points that land in one `pop_batch` drain are
-    /// applied as a single parallel batch by the shard worker.
-    pub fn try_insert_batch(
+    /// The unified ingest surface: enqueue a sequence of mutations
+    /// (inserts, deletes, expires) for one shard. Every point is
+    /// validated **before** any is enqueued, so a malformed batch fails
+    /// whole with nothing queued. Enqueueing is then per-item
+    /// best-effort: `accepted[i]` is `false` when item `i` hit a full
+    /// queue (the caller retries just those). The returned epoch is the
+    /// published snapshot epoch observed at enqueue time. Items that
+    /// land in one `pop_batch` drain resolve and apply as a single
+    /// journal unit. A `Queued` item is the service's **ack**: it now
+    /// either reaches the hull/live set or survives a worker death in
+    /// the queue/journal.
+    pub fn try_mutate(
         &self,
         shard: u16,
-        points: Vec<Vec<i64>>,
+        muts: Vec<Mutation>,
     ) -> Result<(Vec<bool>, u64), ServiceError> {
         if self.read_only.load(Ordering::SeqCst) {
             return Err(ServiceError::ReadOnly);
         }
-        for p in &points {
-            self.validate(p)?;
+        for m in &muts {
+            match m {
+                Mutation::Insert(p) | Mutation::Delete(p) => self.validate(p)?,
+                Mutation::Expire(_) => {}
+            }
         }
         let sh = self.shard(shard)?;
-        let mut accepted = Vec::with_capacity(points.len());
-        for p in points {
-            match sh.queue.try_push(Ingest::Insert(p)) {
+        let mut accepted = Vec::with_capacity(muts.len());
+        for m in muts {
+            let is_insert = matches!(m, Mutation::Insert(_));
+            match sh.queue.try_push(Ingest::Mutate(m)) {
                 Ok(()) => {
-                    sh.stats.inserts_enqueued.fetch_add(1, Ordering::Relaxed);
-                    service_metrics().inserts_enqueued.incr();
+                    if is_insert {
+                        sh.stats.inserts_enqueued.fetch_add(1, Ordering::Relaxed);
+                        service_metrics().inserts_enqueued.incr();
+                    } else {
+                        sh.stats.deletes_enqueued.fetch_add(1, Ordering::Relaxed);
+                    }
                     accepted.push(true);
                 }
                 Err(PushError::Full(_)) => {
@@ -501,8 +668,29 @@ impl HullService {
         Ok((accepted, load_snap(&sh.snap).epoch))
     }
 
-    /// Barrier: blocks until every insert enqueued before this call has
-    /// been applied and republished; returns the publication epoch.
+    /// Non-blocking insert; `Overloaded` is the backpressure signal.
+    /// Thin shim over [`HullService::try_mutate`].
+    pub fn try_insert(&self, shard: u16, point: Vec<i64>) -> Result<InsertOutcome, ServiceError> {
+        let (accepted, _) = self.try_mutate(shard, vec![Mutation::Insert(point)])?;
+        Ok(if accepted[0] {
+            InsertOutcome::Queued
+        } else {
+            InsertOutcome::Overloaded
+        })
+    }
+
+    /// Non-blocking batch insert (wire `InsertBatch`, protocol v2).
+    /// Thin shim over [`HullService::try_mutate`].
+    pub fn try_insert_batch(
+        &self,
+        shard: u16,
+        points: Vec<Vec<i64>>,
+    ) -> Result<(Vec<bool>, u64), ServiceError> {
+        self.try_mutate(shard, points.into_iter().map(Mutation::Insert).collect())
+    }
+
+    /// Barrier: blocks until every mutation enqueued before this call
+    /// has been applied and republished; returns the publication epoch.
     ///
     /// If the worker dies while holding the barrier, its ack channel dies
     /// with it — the barrier is re-armed on the recovered worker, so a
@@ -515,7 +703,7 @@ impl HullService {
         loop {
             let (tx, rx) = mpsc::channel();
             // Blocking push: a flush may wait for queue space, but never
-            // spins — it rides the same FIFO as the inserts it fences.
+            // spins — it rides the same FIFO as the items it fences.
             match sh.queue.push(Ingest::Flush(tx)) {
                 Ok(()) => match rx.recv() {
                     Ok(epoch) => return Ok(epoch),
@@ -562,15 +750,47 @@ impl HullService {
     }
 
     /// Journal batch units this shard holds — a follower's resume
-    /// cursor: its next `ReplSubscribe` asks for exactly this index.
+    /// cursor: its next replication fetch asks for exactly this index.
     pub fn batch_units(&self, shard: u16) -> Result<u64, ServiceError> {
         Ok(self.shard(shard)?.repl.total())
     }
 
-    /// Ship one journal batch unit to a replication subscriber
-    /// (`ReplSubscribe` dispatch): returns `(index, total, flat points)`
-    /// — the unit at `from_index`, or an empty unit with
-    /// `index == total` when the subscriber is caught up.
+    /// Ship one **typed** journal batch unit to a v6 replication
+    /// subscriber: returns `(index, total, unit)` — the unit at
+    /// `from_index`, or the pending checkpoint unit (whose `index` may
+    /// be **ahead** of `from_index`: units the checkpoint collapsed are
+    /// no longer individually available and the follower must apply the
+    /// checkpoint instead), or an empty `Ops` unit with `index == total`
+    /// when the subscriber is caught up.
+    pub fn repl_unit_fetch(
+        &self,
+        shard: u16,
+        from_index: u64,
+    ) -> Result<(u64, u64, ReplUnit), ServiceError> {
+        let sh = self.shard(shard)?;
+        let total = sh.repl.total();
+        match sh.repl.get_abs(from_index) {
+            Some((index, unit)) => {
+                service_metrics().repl_units_shipped.incr();
+                Ok((index, total, (*unit).clone()))
+            }
+            None => Ok((
+                total,
+                total,
+                ReplUnit::Ops {
+                    inserts: Vec::new(),
+                    tombstones: Vec::new(),
+                },
+            )),
+        }
+    }
+
+    /// Ship one journal batch unit as a **flat point list** (protocol
+    /// v5 `ReplSubscribe` compatibility): returns `(index, total, flat
+    /// points)`. Only pure-insert units can be flattened — a fetch that
+    /// lands on a tombstone-bearing or checkpoint unit fails with
+    /// [`ServiceError::Unsupported`]; such followers must speak v6.
+    /// Insert-only shards behave byte-for-byte as before.
     pub fn repl_fetch(
         &self,
         shard: u16,
@@ -578,14 +798,33 @@ impl HullService {
     ) -> Result<(u64, u64, Vec<i64>), ServiceError> {
         let sh = self.shard(shard)?;
         let total = sh.repl.total();
-        match sh.repl.get(from_index) {
-            Some(unit) => {
-                let mut flat = Vec::with_capacity(unit.len() * self.config.dim);
-                for p in unit.iter() {
-                    flat.extend_from_slice(p);
+        match sh.repl.get_abs(from_index) {
+            Some((index, unit)) => {
+                if index != from_index {
+                    return Err(ServiceError::Unsupported(
+                        "journal checkpointed past the requested unit; \
+                         v5 flat replication cannot resume — use v6"
+                            .into(),
+                    ));
                 }
-                service_metrics().repl_units_shipped.incr();
-                Ok((from_index, total, flat))
+                match &*unit {
+                    ReplUnit::Ops {
+                        inserts,
+                        tombstones,
+                    } if tombstones.is_empty() => {
+                        let mut flat = Vec::with_capacity(inserts.len() * self.config.dim);
+                        for p in inserts {
+                            flat.extend_from_slice(p);
+                        }
+                        service_metrics().repl_units_shipped.incr();
+                        Ok((from_index, total, flat))
+                    }
+                    _ => Err(ServiceError::Unsupported(
+                        "unit holds tombstone or checkpoint ops; \
+                         v5 flat replication cannot ship it — use v6"
+                            .into(),
+                    )),
+                }
             }
             None => Ok((total, total, Vec::new())),
         }
@@ -609,25 +848,34 @@ impl HullService {
         Ok(total.saturating_sub(acked))
     }
 
-    /// Apply one replicated batch unit (follower puller path, allowed
-    /// even in read-only mode): the unit is enqueued whole and applied
-    /// as exactly one journal unit — one marker, one epoch — keeping
-    /// the follower's batch indices aligned with the primary's.
-    /// Blocks until the unit is applied and published; if the shard
-    /// worker dies mid-apply, returns the current published epoch and
-    /// the caller re-derives its resume cursor from
+    /// Apply one replicated ops unit (follower puller path, allowed
+    /// even in read-only mode): inserts plus tombstones, enqueued whole
+    /// and applied as exactly one journal unit — one marker, one epoch
+    /// — keeping the follower's batch indices aligned with the
+    /// primary's. Blocks until the unit is applied and published; if
+    /// the shard worker dies mid-apply, returns the current published
+    /// epoch and the caller re-derives its resume cursor from
     /// [`HullService::batch_units`] (the unit is journaled before it
     /// touches the hull, so it either survived whole or not at all).
-    pub fn apply_replica_unit(&self, shard: u16, unit: Vec<Vec<i64>>) -> Result<u64, ServiceError> {
-        for p in &unit {
+    pub fn apply_replica_ops(
+        &self,
+        shard: u16,
+        inserts: Vec<Vec<i64>>,
+        tombstones: Vec<Vec<i64>>,
+    ) -> Result<u64, ServiceError> {
+        for p in inserts.iter().chain(tombstones.iter()) {
             self.validate(p)?;
         }
         let sh = self.shard(shard)?;
-        if unit.is_empty() {
+        if inserts.is_empty() && tombstones.is_empty() {
             return Ok(load_snap(&sh.snap).epoch);
         }
         let (done, rx) = mpsc::channel();
-        match sh.queue.push(Ingest::Replica { unit, done }) {
+        match sh.queue.push(Ingest::Replica {
+            inserts,
+            tombstones,
+            done,
+        }) {
             Ok(()) => {}
             Err(_) => return Err(ServiceError::Closed),
         }
@@ -640,16 +888,59 @@ impl HullService {
         }
     }
 
-    /// Apply a follower's **bootstrap prefix** — every replicated batch
-    /// unit from index 0 — as one build (follower puller path, allowed
-    /// in read-only mode). Each unit is still journaled and marked
-    /// individually, keeping the 1:1 batch-index mirror with the
-    /// primary, but the hull is constructed once over the whole prefix
-    /// (through [`HullBuilder::seed_from_bulk`] when it clears
-    /// `bulk_threshold`) and published at the final epoch, instead of
-    /// replaying thousands of units one publication at a time. Blocks
-    /// until published; worker-death semantics match
-    /// [`HullService::apply_replica_unit`].
+    /// Apply one replicated pure-insert batch unit (protocol v5
+    /// follower path). Thin shim over
+    /// [`HullService::apply_replica_ops`].
+    pub fn apply_replica_unit(&self, shard: u16, unit: Vec<Vec<i64>>) -> Result<u64, ServiceError> {
+        self.apply_replica_ops(shard, unit, Vec::new())
+    }
+
+    /// Apply a primary's **checkpoint unit** (follower puller path,
+    /// allowed in read-only mode): replace the shard's journal with the
+    /// shipped survivors at cumulative unit index `units_after`,
+    /// rebuilding the hull and live set from them — the follower-side
+    /// mirror of a primary rebuild, preserving the 1:1 unit index.
+    /// A stale checkpoint (at or below the follower's current unit
+    /// count) is ignored. Blocks until published; worker-death
+    /// semantics match [`HullService::apply_replica_ops`].
+    pub fn apply_replica_checkpoint(
+        &self,
+        shard: u16,
+        units_after: u64,
+        survivors: Vec<Vec<i64>>,
+    ) -> Result<u64, ServiceError> {
+        if units_after == 0 {
+            return Err(ServiceError::BadPoint("checkpoint at unit 0".into()));
+        }
+        for p in &survivors {
+            self.validate(p)?;
+        }
+        let sh = self.shard(shard)?;
+        let (done, rx) = mpsc::channel();
+        match sh.queue.push(Ingest::ReplicaCheckpoint {
+            units_after,
+            survivors,
+            done,
+        }) {
+            Ok(()) => {}
+            Err(_) => return Err(ServiceError::Closed),
+        }
+        match rx.recv() {
+            Ok(epoch) => Ok(epoch),
+            Err(_) => Ok(load_snap(&sh.snap).epoch),
+        }
+    }
+
+    /// Apply a follower's **bootstrap prefix** — every replicated
+    /// pure-insert batch unit from index 0 — as one build (follower
+    /// puller path, allowed in read-only mode). Each unit is still
+    /// journaled and marked individually, keeping the 1:1 batch-index
+    /// mirror with the primary, but the hull is constructed once over
+    /// the whole prefix (through [`HullBuilder::seed_from_bulk`] when
+    /// it clears `bulk_threshold`) and published at the final epoch,
+    /// instead of replaying thousands of units one publication at a
+    /// time. Blocks until published; worker-death semantics match
+    /// [`HullService::apply_replica_ops`].
     pub fn apply_replica_bulk(
         &self,
         shard: u16,
@@ -744,10 +1035,10 @@ impl HullService {
     }
 
     /// Refresh each shard's level gauges (queue depth, dependence depth,
-    /// journal length, epoch) from live state. Called at scrape time — by
-    /// the wire `Metrics` dispatch and the HTTP `/metrics` pre-render
-    /// hook — so gauges are current even on an idle service. No-op while
-    /// telemetry is disarmed.
+    /// journal length, epoch, live/tombstoned rows) from live state.
+    /// Called at scrape time — by the wire `Metrics` dispatch and the
+    /// HTTP `/metrics` pre-render hook — so gauges are current even on
+    /// an idle service. No-op while telemetry is disarmed.
     pub fn update_scrape_gauges(&self) {
         if !chull_obs::armed() {
             return;
@@ -763,6 +1054,12 @@ impl HullService {
             sh.gauges.workers.set(self.workers as i64);
             sh.gauges.plane_block_len.set(snap.plane_block_len() as i64);
             sh.gauges.hull_vertices.set(snap.hull_vertex_count() as i64);
+            sh.gauges
+                .live_points
+                .set(sh.stats.live_points.load(Ordering::Relaxed) as i64);
+            sh.gauges
+                .lazy_tombstones
+                .set(sh.stats.lazy_tombstones.load(Ordering::Relaxed) as i64);
             let acked = sh.repl.acked();
             sh.gauges
                 .replica_last_acked
@@ -807,6 +1104,12 @@ struct ShardCtx {
     workers: usize,
     /// Bulk-recovery threshold (inserts; 0 = bulk path disabled).
     bulk_threshold: usize,
+    /// Retention window applied after every local publication.
+    window: WindowPolicy,
+    /// Tombstone-ratio rebuild trigger (dead entries vs live rows).
+    rebuild_ratio: f64,
+    /// Auto-compaction trigger (journal ops vs live rows; 0 disables).
+    journal_ratio: f64,
     queue: Arc<BoundedQueue<Ingest>>,
     snap: Arc<RwLock<Arc<HullSnapshot>>>,
     stats: Arc<ShardStats>,
@@ -818,53 +1121,56 @@ struct ShardCtx {
 
 /// The shard's OS thread: run the drain loop under `catch_unwind`; on a
 /// worker panic, rebuild from the journal and re-enter the loop. Never
-/// unwinds itself. (`core` arrives pre-built: WAL cold-start replay runs
-/// synchronously in [`HullService::new`].)
-fn shard_supervisor(ctx: &ShardCtx, mut core: HullBuilder, mut journal: Journal, mut epoch: u64) {
-    // Inserts already counted into `batched_inserts` (so recovery can
-    // account for a crashed batch exactly once).
-    let mut recorded = core.applied();
+/// unwinds itself. (`state` arrives pre-built: WAL cold-start replay
+/// runs synchronously in [`HullService::new`].)
+fn shard_supervisor(ctx: &ShardCtx, mut st: ShardState) {
     loop {
-        let run = catch_unwind(AssertUnwindSafe(|| {
-            drain_loop(ctx, &mut core, &mut journal, &mut epoch, &mut recorded)
-        }));
+        let run = catch_unwind(AssertUnwindSafe(|| drain_loop(ctx, &mut st)));
         match run {
             // Queue closed and drained: clean exit.
             Ok(()) => return,
             Err(_) => {
-                // The worker died mid-batch. Every popped insert is in
+                // The worker died mid-batch. Every popped mutation is in
                 // the journal (journal-before-apply), so replaying its
-                // batch units through the same parallel path rebuilds
-                // the exact hull the dead worker was building.
+                // typed batch units rebuilds the hull and live set the
+                // dead worker was maintaining.
                 ctx.degraded.store(true, Ordering::SeqCst);
                 let generation = ctx.generation.fetch_add(1, Ordering::SeqCst) + 1;
                 let t0 = Instant::now();
-                core = replay_core(
+                let (core, live) = replay_shard(
                     ctx.dim,
-                    &journal,
+                    &st.journal,
                     ctx.workers,
                     ctx.bulk_threshold,
                     &ctx.stats,
                 );
+                st.core = core;
+                st.live = live;
                 // Seal an open tail (its marker died with the worker) so
                 // every future replay keeps the same batch units — and
                 // verify the journal still holds everything this shard
                 // already published (typed torn-tail detection, active
                 // in release builds too).
-                seal_for_replay(&mut journal, epoch, &ctx.stats);
+                seal_for_replay(&mut st.journal, st.epoch, &ctx.stats);
                 // The epoch tracks journaled batch units; `max` keeps it
                 // monotone if a batch died between marker and publish.
-                epoch = journal.batch_count().max(epoch);
+                st.epoch = st.journal.batch_count().max(st.epoch);
                 // Rebuild the replication mirror from the journal — the
                 // same source of truth the replay used — so subscribers
                 // see exactly the units a future replay would.
-                ctx.repl.reset_from(&journal);
-                store_snap(&ctx.snap, snapshot_of(&core, epoch));
-                let missing = core.applied().saturating_sub(recorded);
+                ctx.repl.reset_from(&st.journal);
+                store_snap(&ctx.snap, snapshot_of(&st.core, st.epoch));
+                let missing = st.core.applied().saturating_sub(st.recorded);
                 if missing > 0 {
                     ctx.stats.record_batch(missing);
-                    recorded = core.applied();
                 }
+                st.recorded = st.core.applied();
+                ctx.stats
+                    .live_points
+                    .store(st.live.live() as u64, Ordering::Relaxed);
+                ctx.stats
+                    .lazy_tombstones
+                    .store(st.live.dead_entries() as u64, Ordering::Relaxed);
                 let us = t0.elapsed().as_micros() as u64;
                 ctx.stats.record_recovery(us, generation as u64);
                 if chull_obs::armed() {
@@ -890,21 +1196,15 @@ const DRAIN_ROUNDS_MAX: usize = 16;
 
 /// The per-shard ingest loop: block for a batch, then keep draining
 /// non-blockingly while the queue is deeper than one batch (up to
-/// [`DRAIN_ROUNDS_MAX`] rounds); each batch is journaled, marked,
-/// applied as one parallel batch insert, and republished. May panic
-/// (failpoints, or a real bug) — the supervisor one frame up recovers.
-fn drain_loop(
-    ctx: &ShardCtx,
-    core: &mut HullBuilder,
-    journal: &mut Journal,
-    epoch: &mut u64,
-    recorded: &mut u64,
-) {
+/// [`DRAIN_ROUNDS_MAX`] rounds); each batch is resolved, journaled,
+/// marked, applied, and republished. May panic (failpoints, or a real
+/// bug) — the supervisor one frame up recovers.
+fn drain_loop(ctx: &ShardCtx, st: &mut ShardState) {
     let mut batch: Vec<Ingest> = Vec::with_capacity(ctx.max_batch);
     // Baseline for per-batch ingest-kernel deltas. Re-initialized from the
     // (possibly replayed) hull on every loop (re)entry, so recovery replay
     // work is never double-counted into the ingest counters.
-    let mut prev_kernel = core.hull().map(|h| h.kernel).unwrap_or_default();
+    let mut prev_kernel = st.core.hull().map(|h| h.kernel).unwrap_or_default();
     if chull_obs::armed() {
         ctx.gauges.workers.set(ctx.workers as i64);
     }
@@ -916,15 +1216,7 @@ fn drain_loop(
         }
         let mut rounds = 1;
         loop {
-            apply_batch(
-                ctx,
-                core,
-                journal,
-                epoch,
-                recorded,
-                &mut prev_kernel,
-                &mut batch,
-            );
+            apply_batch(ctx, st, &mut prev_kernel, &mut batch);
             if rounds >= DRAIN_ROUNDS_MAX {
                 break;
             }
@@ -940,144 +1232,273 @@ fn drain_loop(
     }
 }
 
-/// Process one popped batch: local inserts coalesce into one journal
+/// Process one popped batch: local mutations coalesce into one journal
 /// unit; each replicated unit stays **its own** journal unit (the 1:1
 /// index mirror replication depends on); flush barriers ack last.
 fn apply_batch(
     ctx: &ShardCtx,
-    core: &mut HullBuilder,
-    journal: &mut Journal,
-    epoch: &mut u64,
-    recorded: &mut u64,
+    st: &mut ShardState,
     prev_kernel: &mut KernelCounts,
     batch: &mut Vec<Ingest>,
 ) {
-    let mut points: Vec<Vec<i64>> = Vec::new();
+    let mut muts: Vec<Mutation> = Vec::new();
     let mut flushes: Vec<mpsc::Sender<u64>> = Vec::new();
-    let mut replicas: Vec<(Vec<Vec<i64>>, mpsc::Sender<u64>)> = Vec::new();
+    // (inserts, tombstones, done) per replica-shipped unit.
+    type ReplPending = (Vec<Vec<i64>>, Vec<Vec<i64>>, mpsc::Sender<u64>);
+    let mut replicas: Vec<ReplPending> = Vec::new();
+    let mut checkpoints: Vec<(u64, Vec<Vec<i64>>, mpsc::Sender<u64>)> = Vec::new();
     let mut bulks: Vec<BulkIngest> = Vec::new();
     for item in batch.drain(..) {
         match item {
-            Ingest::Insert(p) => points.push(p),
+            Ingest::Mutate(m) => muts.push(m),
             Ingest::Flush(tx) => flushes.push(tx),
-            Ingest::Replica { unit, done } => replicas.push((unit, done)),
+            Ingest::Replica {
+                inserts,
+                tombstones,
+                done,
+            } => replicas.push((inserts, tombstones, done)),
+            Ingest::ReplicaCheckpoint {
+                units_after,
+                survivors,
+                done,
+            } => checkpoints.push((units_after, survivors, done)),
             Ingest::ReplicaBulk { units, done } => bulks.push((units, done)),
         }
     }
     for (units, done) in bulks {
-        apply_bulk_units(ctx, core, journal, epoch, recorded, prev_kernel, units);
-        let _ = done.send(*epoch);
+        apply_bulk_units(ctx, st, prev_kernel, units);
+        let _ = done.send(st.epoch);
     }
-    apply_unit(ctx, core, journal, epoch, recorded, prev_kernel, points);
-    for (unit, done) in replicas {
-        apply_unit(ctx, core, journal, epoch, recorded, prev_kernel, unit);
+    apply_unit(ctx, st, prev_kernel, muts, false);
+    for (inserts, tombstones, done) in replicas {
+        let unit: Vec<Mutation> = inserts
+            .into_iter()
+            .map(Mutation::Insert)
+            .chain(tombstones.into_iter().map(Mutation::Delete))
+            .collect();
+        apply_unit(ctx, st, prev_kernel, unit, true);
         service_metrics().repl_units_applied.incr();
         // Receiver may have given up (puller resubscribing) — fine.
-        let _ = done.send(*epoch);
+        let _ = done.send(st.epoch);
+    }
+    for (units_after, survivors, done) in checkpoints {
+        apply_checkpoint(ctx, st, units_after, survivors);
+        service_metrics().repl_units_applied.incr();
+        let _ = done.send(st.epoch);
     }
     for tx in flushes {
         // Receiver may have given up (client disconnect) — fine.
-        let _ = tx.send(*epoch);
+        let _ = tx.send(st.epoch);
     }
 }
 
-/// Journal, mark, sync, apply, and publish one batch unit (no-op when
-/// `points` is empty — batch units are never empty).
+/// Did this unit's tombstones invalidate the current hull? Only a row
+/// whose **last** live copy died can matter, and only when it is not
+/// strictly inside (a vertex, a boundary point, or — transiently, for
+/// buffered-but-unapplied rows — outside). While still bootstrapping
+/// (no hull to classify against) any fully-dead row forces a rebuild:
+/// the boot buffer may hold it.
+fn tombstones_affect_hull(st: &ShardState, tombstones: &[Vec<i64>]) -> bool {
+    if tombstones.is_empty() {
+        return false;
+    }
+    match st.core.hull() {
+        Some(h) => {
+            let mut scratch = KernelCounts::default();
+            let mut seen: HashSet<&[i64]> = HashSet::new();
+            tombstones.iter().any(|t| {
+                st.live.count(t) == 0
+                    && seen.insert(t.as_slice())
+                    && h.classify(t, &mut scratch) != PointLocation::Inside
+            })
+        }
+        None => tombstones.iter().any(|t| st.live.count(t) == 0),
+    }
+}
+
+/// Resolve, journal, mark, sync, apply, and publish one batch unit
+/// (no-op when nothing survives resolution — batch units are never
+/// empty). `replica` marks a follower-applied unit: the window policy
+/// does not run (the primary already ran it and shipped the resulting
+/// tombstones) and rebuild triggers stay local-only (the primary ships
+/// checkpoint units instead) — except a hull-invalidating tombstone,
+/// which forces an **in-memory** rebuild so the follower's hull stays
+/// correct between checkpoints.
 fn apply_unit(
     ctx: &ShardCtx,
-    core: &mut HullBuilder,
-    journal: &mut Journal,
-    epoch: &mut u64,
-    recorded: &mut u64,
+    st: &mut ShardState,
     prev_kernel: &mut KernelCounts,
-    points: Vec<Vec<i64>>,
+    muts: Vec<Mutation>,
+    replica: bool,
 ) {
     // One relaxed load per batch; timing blocks below pay for
     // `Instant::now` only when telemetry is armed.
     let armed = chull_obs::armed();
-    // Journal-before-apply: the whole batch becomes replayable before
-    // any of it touches the hull, so a panic below loses nothing. The
-    // marker behind the inserts makes the batch the atomic replay unit.
-    // A WAL write error is tolerated (counted), because the in-memory
-    // journal stays authoritative for in-process recovery.
-    let t_journal = armed.then(Instant::now);
-    for p in &points {
-        if journal.append(p).is_err() {
-            ctx.stats.wal_errors.fetch_add(1, Ordering::Relaxed);
-            service_metrics().wal_errors.incr();
+    // Resolve every mutation against the live multiset, in arrival
+    // order. Journaling then writes inserts before tombstones, which is
+    // replay-equivalent to the interleaved order: a delete kills the
+    // OLDEST live copy, so survivors are a suffix of each coordinate's
+    // arrivals; all of this unit's arrivals share one epoch stamp; and
+    // every journaled tombstone found a live copy here, so it finds one
+    // on replay too (replay has applied at least as many arrivals by
+    // the time its tombstones run).
+    let next_epoch = st.epoch + 1;
+    let mut inserts: Vec<Vec<i64>> = Vec::new();
+    let mut tombstones: Vec<Vec<i64>> = Vec::new();
+    let mut misses = 0u64;
+    for m in muts {
+        match m {
+            Mutation::Insert(p) => {
+                st.live.insert(p.clone(), next_epoch);
+                inserts.push(p);
+            }
+            Mutation::Delete(p) => match st.live.remove(&p) {
+                // A miss is acked but journals nothing: replay would
+                // miss identically, so the journal skips it.
+                RemoveOutcome::Miss => misses += 1,
+                RemoveOutcome::Dec | RemoveOutcome::Gone => tombstones.push(p),
+            },
+            Mutation::Expire(n) => tombstones.extend(st.live.expire_oldest(n as usize)),
         }
     }
-    if journal.mark_batch().is_err() {
-        ctx.stats.wal_errors.fetch_add(1, Ordering::Relaxed);
-        service_metrics().wal_errors.incr();
+    if !replica {
+        let expired = st.live.expire_window(&ctx.window, next_epoch);
+        if !expired.is_empty() {
+            ctx.stats
+                .window_expirations
+                .fetch_add(expired.len() as u64, Ordering::Relaxed);
+            service_metrics()
+                .window_expirations
+                .add(expired.len() as u64);
+            tombstones.extend(expired);
+        }
+    }
+    if misses > 0 {
+        ctx.stats.delete_misses.fetch_add(misses, Ordering::Relaxed);
+    }
+    if inserts.is_empty() && tombstones.is_empty() {
+        return;
+    }
+    // Journal-before-apply: the whole unit — tombstones included —
+    // becomes replayable before any of it touches the hull, so a panic
+    // below (even mid-rebuild) loses nothing. The marker behind the ops
+    // makes the unit the atomic replay unit. A WAL write error is
+    // tolerated (counted), because the in-memory journal stays
+    // authoritative for in-process recovery.
+    let t_journal = armed.then(Instant::now);
+    for p in &inserts {
+        if st.journal.append(p).is_err() {
+            wal_err(&ctx.stats);
+        }
+    }
+    for p in &tombstones {
+        if st.journal.append_tombstone(p).is_err() {
+            wal_err(&ctx.stats);
+        }
+    }
+    if st.journal.mark_batch().is_err() {
+        wal_err(&ctx.stats);
     }
     if let Some(t0) = t_journal {
-        if !points.is_empty() {
-            service_metrics()
-                .journal_append_us
-                .record(t0.elapsed().as_micros() as u64);
-        }
+        service_metrics()
+            .journal_append_us
+            .record(t0.elapsed().as_micros() as u64);
     }
     let t_sync = armed.then(Instant::now);
-    if journal.sync().is_err() {
-        ctx.stats.wal_errors.fetch_add(1, Ordering::Relaxed);
-        service_metrics().wal_errors.incr();
+    if st.journal.sync().is_err() {
+        wal_err(&ctx.stats);
     }
     if let Some(t0) = t_sync {
-        if !points.is_empty() {
-            service_metrics()
-                .wal_sync_us
-                .record(t0.elapsed().as_micros() as u64);
-        }
+        service_metrics()
+            .wal_sync_us
+            .record(t0.elapsed().as_micros() as u64);
     }
     ctx.stats
         .journal_len
-        .store(journal.len() as u64, Ordering::Relaxed);
+        .store(st.journal.len() as u64, Ordering::Relaxed);
+    if !tombstones.is_empty() {
+        ctx.stats
+            .tombstones
+            .fetch_add(tombstones.len() as u64, Ordering::Relaxed);
+        service_metrics().tombstones.add(tombstones.len() as u64);
+    }
+    ctx.stats
+        .live_points
+        .store(st.live.live() as u64, Ordering::Relaxed);
+    ctx.stats
+        .lazy_tombstones
+        .store(st.live.dead_entries() as u64, Ordering::Relaxed);
     let t_apply = armed.then(Instant::now);
-    let inserted = points.len() as u64;
+    let inserted = inserts.len() as u64;
     if inserted > 0 {
         // Failpoint `shard.apply.insert`: may panic (worker death
         // between journal and hull) or stall. Evaluated once per point
         // so armed chaos schedules keep their per-insert fire cadence.
-        for _ in &points {
+        for _ in &inserts {
             let _ = failpoint::eval(sites::SHARD_APPLY);
         }
         // One parallel batch insert (Algorithm 3 from the current hull);
         // bit-deterministic for any worker count, so recovery replay of
         // the marked unit reproduces this exact state.
-        core.push_batch(&points, ctx.workers);
-        // Failpoint `shard.drain.before_publish`: the batch is fully
-        // applied but the snapshot swap has not happened — the worst
-        // spot to die (recovery must republish it from the journal).
-        let _ = failpoint::eval(sites::SHARD_BEFORE_PUBLISH);
-        *epoch += 1;
-        // The epoch tracks journaled batch units — promoted from a
-        // debug-only assert: release builds count and log the drift
-        // (a torn tail the journal scan could not see) instead of
-        // serving silently from a diverged journal.
-        if *epoch != journal.batch_count() {
-            debug_assert_eq!(
-                *epoch,
-                journal.batch_count(),
-                "epoch tracks journaled batch units"
-            );
-            ctx.stats.torn_tails.fetch_add(1, Ordering::Relaxed);
-            service_metrics().torn_tails.incr();
-            eprintln!(
-                "journal: epoch {} out of step with {} journaled batch units",
-                *epoch,
-                journal.batch_count()
-            );
-        }
-        ctx.stats.record_batch(inserted);
-        *recorded += inserted;
-        // Mirror the unit into the replication log before the epoch
-        // becomes visible, so a subscriber that sees epoch `e` can
-        // always fetch every unit below `e`.
-        ctx.repl.push(points);
-        store_snap(&ctx.snap, snapshot_of(core, *epoch));
-        if armed {
-            let m = service_metrics();
+        st.core.push_batch(&inserts, ctx.workers);
+    }
+    // Failpoint `shard.drain.before_publish`: the unit is fully
+    // applied but the snapshot swap has not happened — the worst
+    // spot to die (recovery must republish it from the journal).
+    let _ = failpoint::eval(sites::SHARD_BEFORE_PUBLISH);
+    // Any journaled unit — tombstone-only included — bumps the epoch:
+    // the epoch tracks journaled batch units. Promoted from a
+    // debug-only assert: release builds count and log the drift (a
+    // torn tail the journal scan could not see) instead of serving
+    // silently from a diverged journal.
+    st.epoch += 1;
+    if st.epoch != st.journal.batch_count() {
+        debug_assert_eq!(
+            st.epoch,
+            st.journal.batch_count(),
+            "epoch tracks journaled batch units"
+        );
+        ctx.stats.torn_tails.fetch_add(1, Ordering::Relaxed);
+        service_metrics().torn_tails.incr();
+        eprintln!(
+            "journal: epoch {} out of step with {} journaled batch units",
+            st.epoch,
+            st.journal.batch_count()
+        );
+    }
+    ctx.stats.record_batch(inserted);
+    st.recorded += inserted;
+    // Classify after the batch applied: a row inserted and deleted in
+    // this same unit is in the hull by now, so `classify` sees it.
+    let need_rebuild = tombstones_affect_hull(st, &tombstones);
+    // Mirror the unit into the replication log before the epoch
+    // becomes visible, so a subscriber that sees epoch `e` can
+    // always fetch every unit below `e`.
+    ctx.repl.push_ops(inserts, tombstones);
+    let (tomb_trigger, journal_trigger) = if replica {
+        (false, false)
+    } else {
+        let lazy = st.live.dead_entries() as f64;
+        let live = st.live.live() as f64;
+        (
+            lazy > 0.0 && lazy > ctx.rebuild_ratio * live,
+            ctx.journal_ratio > 0.0
+                && (st.journal.len() as f64) > ctx.journal_ratio * live.max(1.0),
+        )
+    };
+    if need_rebuild || tomb_trigger || journal_trigger {
+        rebuild_from_survivors(
+            ctx,
+            st,
+            !replica,
+            journal_trigger && !need_rebuild && !tomb_trigger,
+        );
+    } else {
+        store_snap(&ctx.snap, snapshot_of(&st.core, st.epoch));
+    }
+    if armed {
+        let m = service_metrics();
+        if inserted > 0 {
             m.batches.incr();
             m.batch_size.record(inserted);
             if let Some(t0) = t_apply {
@@ -1085,47 +1506,169 @@ fn apply_unit(
                 m.batch_apply_us.record(wall.as_micros() as u64);
                 // busy/wall across the pool ≈ realized parallelism of
                 // the batch apply (0 when the batch went sequential).
-                let busy = core.hull().map(|h| h.last_batch.busy_ns).unwrap_or(0);
+                let busy = st.core.hull().map(|h| h.last_batch.busy_ns).unwrap_or(0);
                 if busy > 0 && wall.as_nanos() > 0 {
                     ctx.gauges
                         .parallelism_milli
                         .set((busy as u128 * 1000 / wall.as_nanos()) as i64);
                 }
             }
-            let now_kernel = core.hull().map(|h| h.kernel).unwrap_or_default();
-            m.ingest_kernel.fold_delta(&now_kernel, prev_kernel);
-            *prev_kernel = now_kernel;
-            ctx.gauges.queue_depth.set(ctx.queue.len() as i64);
-            ctx.gauges
-                .dep_depth
-                .set(core.hull().map(|h| h.dep_depth()).unwrap_or(0) as i64);
-            ctx.gauges.journal_len.set(journal.len() as i64);
-            ctx.gauges.epoch.set(*epoch as i64);
         }
+        let now_kernel = st.core.hull().map(|h| h.kernel).unwrap_or_default();
+        m.ingest_kernel.fold_delta(&now_kernel, prev_kernel);
+        *prev_kernel = now_kernel;
+        ctx.gauges.queue_depth.set(ctx.queue.len() as i64);
+        ctx.gauges
+            .dep_depth
+            .set(st.core.hull().map(|h| h.dep_depth()).unwrap_or(0) as i64);
+        ctx.gauges.journal_len.set(st.journal.len() as i64);
+        ctx.gauges.epoch.set(st.epoch as i64);
+        ctx.gauges.live_points.set(st.live.live() as i64);
+        ctx.gauges
+            .lazy_tombstones
+            .set(st.live.dead_entries() as i64);
     }
 }
 
-/// Follower bootstrap: journal the whole replicated prefix as its
-/// original batch units (each with its own marker — the 1:1 index mirror
-/// replication depends on), then build the hull **once** instead of unit
-/// by unit — through the bulk constructor when the prefix clears the
-/// threshold — and publish a single snapshot for the final epoch.
-#[allow(clippy::too_many_arguments)]
+/// Rebuild the shard's hull from the live set's survivors through the
+/// parallel bulk constructor. With `checkpoint` (primary-side), the
+/// journal is atomically rewritten to one checkpoint unit preserving
+/// the cumulative unit index, the replication log ships the checkpoint
+/// to followers, and the live set compacts its dead entries; without it
+/// (replica-side hull correction), the rebuild is purely in-memory —
+/// no journal rewrite, no epoch change — and the primary's own
+/// checkpoint unit arrives later. `auto` tags a rebuild that only the
+/// journal-ratio trigger asked for (the auto-compaction counter).
+fn rebuild_from_survivors(ctx: &ShardCtx, st: &mut ShardState, checkpoint: bool, auto: bool) {
+    // Failpoint `shard.rebuild`: may panic (worker death mid-rebuild).
+    // Safe at any point in this function: the unit that triggered the
+    // rebuild — tombstones included — is journaled and synced, so the
+    // supervisor's replay reconstructs the live set and re-runs the
+    // rebuild decision.
+    let _ = failpoint::eval(sites::SHARD_REBUILD);
+    let armed = chull_obs::armed();
+    let t0 = Instant::now();
+    let survivors = st.live.survivors();
+    let (core, _report) = HullBuilder::seed_from_bulk(ctx.dim, &survivors, ctx.workers);
+    st.core = core;
+    // A rebuild shrinks `applied` to the survivor count; re-baseline so
+    // a later recovery never double-counts.
+    st.recorded = st.core.applied();
+    if checkpoint {
+        if st.journal.reset_checkpoint(&survivors).is_err() {
+            wal_err(&ctx.stats);
+        }
+        st.epoch = st.journal.batch_count();
+        ctx.repl.push_checkpoint(st.epoch, survivors);
+        st.live.compact(st.epoch);
+        ctx.stats
+            .journal_len
+            .store(st.journal.len() as u64, Ordering::Relaxed);
+        if auto {
+            ctx.stats.auto_compactions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+    let us = t0.elapsed().as_micros() as u64;
+    ctx.stats.rebuilds.fetch_add(1, Ordering::Relaxed);
+    ctx.stats.rebuild_us_last.store(us, Ordering::Relaxed);
+    ctx.stats.rebuild_us_total.fetch_add(us, Ordering::Relaxed);
+    ctx.stats
+        .live_points
+        .store(st.live.live() as u64, Ordering::Relaxed);
+    ctx.stats
+        .lazy_tombstones
+        .store(st.live.dead_entries() as u64, Ordering::Relaxed);
+    store_snap(&ctx.snap, snapshot_of(&st.core, st.epoch));
+    if armed {
+        let m = service_metrics();
+        m.rebuilds.incr();
+        m.rebuild_us.record(us);
+        if auto {
+            m.auto_compactions.incr();
+        }
+        ctx.gauges.journal_len.set(st.journal.len() as i64);
+        ctx.gauges.epoch.set(st.epoch as i64);
+        ctx.gauges.live_points.set(st.live.live() as i64);
+        ctx.gauges
+            .lazy_tombstones
+            .set(st.live.dead_entries() as i64);
+    }
+}
+
+/// Follower-side mirror of a primary checkpoint: replace the journal
+/// with the survivors at cumulative unit index `units_after`, rebuild
+/// hull and live set from them, and republish. A stale checkpoint (at
+/// or below this shard's unit count) is skipped — the follower already
+/// holds everything it collapsed.
+fn apply_checkpoint(
+    ctx: &ShardCtx,
+    st: &mut ShardState,
+    units_after: u64,
+    survivors: Vec<Vec<i64>>,
+) {
+    if units_after <= st.epoch {
+        return;
+    }
+    let t0 = Instant::now();
+    if st
+        .journal
+        .install_checkpoint(&survivors, units_after)
+        .is_err()
+    {
+        wal_err(&ctx.stats);
+    }
+    let (core, _report) = HullBuilder::seed_from_bulk(ctx.dim, &survivors, ctx.workers);
+    st.core = core;
+    st.recorded = st.core.applied();
+    st.epoch = units_after;
+    let mut live = LiveSet::new();
+    for row in &survivors {
+        live.insert(row.clone(), units_after);
+    }
+    st.live = live;
+    ctx.repl.push_checkpoint(units_after, survivors);
+    let us = t0.elapsed().as_micros() as u64;
+    ctx.stats.rebuilds.fetch_add(1, Ordering::Relaxed);
+    ctx.stats.rebuild_us_last.store(us, Ordering::Relaxed);
+    ctx.stats.rebuild_us_total.fetch_add(us, Ordering::Relaxed);
+    ctx.stats
+        .journal_len
+        .store(st.journal.len() as u64, Ordering::Relaxed);
+    ctx.stats
+        .live_points
+        .store(st.live.live() as u64, Ordering::Relaxed);
+    ctx.stats.lazy_tombstones.store(0, Ordering::Relaxed);
+    store_snap(&ctx.snap, snapshot_of(&st.core, st.epoch));
+    if chull_obs::armed() {
+        let m = service_metrics();
+        m.rebuilds.incr();
+        m.rebuild_us.record(us);
+        ctx.gauges.journal_len.set(st.journal.len() as i64);
+        ctx.gauges.epoch.set(st.epoch as i64);
+        ctx.gauges.live_points.set(st.live.live() as i64);
+        ctx.gauges.lazy_tombstones.set(0);
+    }
+}
+
+/// Follower bootstrap: journal the whole replicated pure-insert prefix
+/// as its original batch units (each with its own marker — the 1:1
+/// index mirror replication depends on), then build the hull **once**
+/// instead of unit by unit — through the bulk constructor when the
+/// prefix clears the threshold — and publish a single snapshot for the
+/// final epoch.
 fn apply_bulk_units(
     ctx: &ShardCtx,
-    core: &mut HullBuilder,
-    journal: &mut Journal,
-    epoch: &mut u64,
-    recorded: &mut u64,
+    st: &mut ShardState,
     prev_kernel: &mut KernelCounts,
     units: Vec<Vec<Vec<i64>>>,
 ) {
     // Bootstrap lands on an empty shard; anything else (a racing unit
     // already applied, a retry after a partial bootstrap) degrades to
     // the ordinary one-unit-at-a-time path for safety.
-    if core.applied() > 0 || !journal.is_empty() {
+    if st.core.applied() > 0 || !st.journal.is_empty() {
         for unit in units {
-            apply_unit(ctx, core, journal, epoch, recorded, prev_kernel, unit);
+            let unit: Vec<Mutation> = unit.into_iter().map(Mutation::Insert).collect();
+            apply_unit(ctx, st, prev_kernel, unit, true);
             service_metrics().repl_units_applied.incr();
         }
         return;
@@ -1135,55 +1678,62 @@ fn apply_bulk_units(
     let mut inserted = 0u64;
     for unit in &units {
         for p in unit {
-            if journal.append(p).is_err() {
-                ctx.stats.wal_errors.fetch_add(1, Ordering::Relaxed);
-                service_metrics().wal_errors.incr();
+            if st.journal.append(p).is_err() {
+                wal_err(&ctx.stats);
             }
             inserted += 1;
         }
-        if journal.mark_batch().is_err() {
-            ctx.stats.wal_errors.fetch_add(1, Ordering::Relaxed);
-            service_metrics().wal_errors.incr();
+        if st.journal.mark_batch().is_err() {
+            wal_err(&ctx.stats);
         }
     }
     if inserted == 0 {
         return;
     }
-    if journal.sync().is_err() {
-        ctx.stats.wal_errors.fetch_add(1, Ordering::Relaxed);
-        service_metrics().wal_errors.incr();
+    if st.journal.sync().is_err() {
+        wal_err(&ctx.stats);
     }
     ctx.stats
         .journal_len
-        .store(journal.len() as u64, Ordering::Relaxed);
+        .store(st.journal.len() as u64, Ordering::Relaxed);
     // One build over the whole prefix: bulk when it clears the
     // threshold, a single incremental replay otherwise.
-    *core = replay_core(
+    st.core = replay_core(
         ctx.dim,
-        journal,
+        &st.journal,
         ctx.workers,
         ctx.bulk_threshold,
         &ctx.stats,
     );
-    *epoch = journal.batch_count();
+    st.epoch = st.journal.batch_count();
+    let mut live = LiveSet::new();
+    for (i, unit) in units.iter().enumerate() {
+        for p in unit {
+            live.insert(p.clone(), i as u64 + 1);
+        }
+    }
+    st.live = live;
+    ctx.stats
+        .live_points
+        .store(st.live.live() as u64, Ordering::Relaxed);
     for unit in units {
         ctx.stats.record_batch(unit.len() as u64);
-        ctx.repl.push(unit);
+        ctx.repl.push_ops(unit, Vec::new());
         service_metrics().repl_units_applied.incr();
     }
-    *recorded = core.applied();
-    store_snap(&ctx.snap, snapshot_of(core, *epoch));
+    st.recorded = st.core.applied();
+    store_snap(&ctx.snap, snapshot_of(&st.core, st.epoch));
     if armed {
         let m = service_metrics();
         m.batch_apply_us.record(t0.elapsed().as_micros() as u64);
-        let now_kernel = core.hull().map(|h| h.kernel).unwrap_or_default();
+        let now_kernel = st.core.hull().map(|h| h.kernel).unwrap_or_default();
         m.ingest_kernel.fold_delta(&now_kernel, prev_kernel);
         *prev_kernel = now_kernel;
-        ctx.gauges.journal_len.set(journal.len() as i64);
-        ctx.gauges.epoch.set(*epoch as i64);
+        ctx.gauges.journal_len.set(st.journal.len() as i64);
+        ctx.gauges.epoch.set(st.epoch as i64);
         ctx.gauges
             .dep_depth
-            .set(core.hull().map(|h| h.dep_depth()).unwrap_or(0) as i64);
+            .set(st.core.hull().map(|h| h.dep_depth()).unwrap_or(0) as i64);
     }
 }
 
@@ -1202,8 +1752,7 @@ mod tests {
             queue_capacity: 64,
             max_batch: 16,
             workers: 2,
-            wal_dir: None,
-            bulk_threshold: 0,
+            ..ServiceConfig::default()
         }
     }
 
@@ -1216,6 +1765,39 @@ mod tests {
                 }
             }
         }
+    }
+
+    fn mutate_all(svc: &HullService, shard: u16, muts: Vec<Mutation>) {
+        let mut pending = muts;
+        while !pending.is_empty() {
+            let (accepted, _) = svc.try_mutate(shard, pending.clone()).unwrap();
+            pending = pending
+                .into_iter()
+                .zip(accepted)
+                .filter_map(|(m, ok)| (!ok).then_some(m))
+                .collect();
+            if !pending.is_empty() {
+                std::thread::yield_now();
+            }
+        }
+    }
+
+    /// Canonical facet geometry of Algorithm 2 run offline on `rows`.
+    fn offline_canonical(
+        rows: &[Vec<i64>],
+        dim: usize,
+    ) -> std::collections::BTreeSet<Vec<Vec<i64>>> {
+        let flat: Vec<i64> = rows.iter().flatten().copied().collect();
+        let pts = PointSet::from_flat(dim, flat);
+        let run = incremental_hull_run(&pts);
+        canonical_coords(pts.flat(), &run.output, dim)
+    }
+
+    fn snap_canonical(
+        snap: &HullSnapshot,
+        dim: usize,
+    ) -> std::collections::BTreeSet<Vec<Vec<i64>>> {
+        canonical_coords(&snap.flat_points(), &snap.output(), dim)
     }
 
     #[test]
@@ -1314,6 +1896,10 @@ mod tests {
             svc.try_insert(0, vec![i64::MAX, 0]),
             Err(ServiceError::BadPoint(_))
         ));
+        assert!(matches!(
+            svc.try_mutate(0, vec![Mutation::Delete(vec![0, 0, 0])]),
+            Err(ServiceError::BadPoint(_))
+        ));
         assert!(HullService::new(cfg(1, 1)).is_err());
         assert!(HullService::new(cfg(2, 0)).is_err());
     }
@@ -1326,8 +1912,7 @@ mod tests {
             queue_capacity: 512,
             max_batch: 64,
             workers: 2,
-            wal_dir: None,
-            bulk_threshold: 0,
+            ..ServiceConfig::default()
         })
         .unwrap();
         let pts = prepare_points(
@@ -1348,6 +1933,259 @@ mod tests {
         assert!(stats.contains("\"journal_len\":200"), "{stats}");
         let agg = svc.stats_json(None).unwrap();
         assert!(agg.contains("\"applied_total\":200"), "{agg}");
+    }
+
+    #[test]
+    fn delete_miss_is_counted_not_journaled() {
+        let svc = HullService::new(cfg(2, 1)).unwrap();
+        for p in [[0, 0], [9, 0], [0, 9]] {
+            svc.try_insert(0, p.to_vec()).unwrap();
+        }
+        let e1 = svc.flush(0).unwrap();
+        mutate_all(&svc, 0, vec![Mutation::Delete(vec![7, 7])]);
+        let e2 = svc.flush(0).unwrap();
+        // A miss journals nothing, so no unit and no epoch bump.
+        assert_eq!(e1, e2);
+        let st = svc.stats_for(0).unwrap();
+        assert_eq!(st.delete_misses.load(Ordering::Relaxed), 1);
+        assert_eq!(st.tombstones.load(Ordering::Relaxed), 0);
+        svc.shutdown();
+    }
+
+    #[test]
+    fn delete_reshapes_hull_end_to_end() {
+        let mut config = cfg(2, 1);
+        // Keep triggers out of the way: the vertex delete itself must
+        // force the rebuild.
+        config.rebuild_ratio = 1e9;
+        config.journal_ratio = 0.0;
+        let svc = HullService::new(config).unwrap();
+        let square = vec![vec![0, 0], vec![10, 0], vec![0, 10], vec![10, 10]];
+        let spike = vec![40, 5];
+        let inner = vec![5, 5];
+        let mut rows = square.clone();
+        rows.push(spike.clone());
+        rows.push(inner.clone());
+        mutate_all(
+            &svc,
+            0,
+            rows.iter().cloned().map(Mutation::Insert).collect(),
+        );
+        svc.flush(0).unwrap();
+        let mut k = KernelCounts::default();
+        assert_eq!(
+            svc.snapshot(0).unwrap().contains(&[20, 5], &mut k),
+            Some(true)
+        );
+        // Interior delete: no rebuild needed, hull unchanged.
+        mutate_all(&svc, 0, vec![Mutation::Delete(inner.clone())]);
+        svc.flush(0).unwrap();
+        let st = svc.stats_for(0).unwrap();
+        assert_eq!(st.rebuilds.load(Ordering::Relaxed), 0);
+        assert_eq!(st.tombstones.load(Ordering::Relaxed), 1);
+        // Vertex delete: the hull must shrink back to the square.
+        mutate_all(&svc, 0, vec![Mutation::Delete(spike.clone())]);
+        svc.flush(0).unwrap();
+        let snap = svc.snapshot(0).unwrap();
+        assert_eq!(
+            svc.stats_for(0).unwrap().rebuilds.load(Ordering::Relaxed),
+            1
+        );
+        assert_eq!(
+            svc.snapshot(0).unwrap().contains(&[20, 5], &mut k),
+            Some(false)
+        );
+        assert_eq!(snap_canonical(&snap, 2), offline_canonical(&square, 2));
+        // The checkpoint preserved the cumulative unit index: epochs
+        // keep climbing.
+        svc.try_insert(0, vec![5, 20]).unwrap();
+        let e = svc.flush(0).unwrap();
+        assert!(e > snap.epoch);
+        svc.shutdown();
+    }
+
+    #[test]
+    fn count_window_serves_survivor_hull() {
+        for workers in [1, 2, 4] {
+            let mut config = cfg(2, 1);
+            config.workers = workers;
+            config.window = WindowPolicy::Count(60);
+            let svc = HullService::new(config).unwrap();
+            let pts = prepare_points(
+                &PointSet::from_points2(&generators::disk_2d(200, 1 << 16, 31)),
+                32,
+            );
+            insert_all(&svc, 0, &pts);
+            svc.flush(0).unwrap();
+            let snap = svc.snapshot(0).unwrap();
+            let st = svc.stats_for(0).unwrap();
+            assert_eq!(st.live_points.load(Ordering::Relaxed), 60);
+            assert!(st.window_expirations.load(Ordering::Relaxed) >= 140);
+            // A count window keeps exactly the newest 60 rows, however
+            // the stream was batched.
+            let survivors: Vec<Vec<i64>> = pts
+                .iter()
+                .skip(pts.len() - 60)
+                .map(|p| p.to_vec())
+                .collect();
+            assert_eq!(snap_canonical(&snap, 2), offline_canonical(&survivors, 2));
+            svc.shutdown();
+        }
+    }
+
+    #[test]
+    fn journal_ratio_auto_compacts() {
+        let dir = std::env::temp_dir().join(format!(
+            "chull-shard-autoc-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut config = cfg(2, 1);
+        config.wal_dir = Some(dir.clone());
+        config.rebuild_ratio = 1e9; // isolate the journal trigger
+        config.journal_ratio = 2.0;
+        let svc = HullService::new(config.clone()).unwrap();
+        // Hull vertices far out; interior rows to insert-and-delete so
+        // no delete ever touches the hull.
+        for p in [[-50, -50], [50, -50], [-50, 50], [50, 50]] {
+            svc.try_insert(0, p.to_vec()).unwrap();
+        }
+        svc.flush(0).unwrap();
+        for i in 0..20i64 {
+            mutate_all(&svc, 0, vec![Mutation::Insert(vec![i % 7, i % 5])]);
+            svc.flush(0).unwrap();
+            mutate_all(&svc, 0, vec![Mutation::Delete(vec![i % 7, i % 5])]);
+            svc.flush(0).unwrap();
+        }
+        let st = svc.stats_for(0).unwrap();
+        assert!(st.auto_compactions.load(Ordering::Relaxed) >= 1);
+        assert!(st.rebuilds.load(Ordering::Relaxed) >= 1);
+        // Compaction shrank the journal: without it the WAL would hold
+        // 4 + 40 rows; with the ratio trigger at most two insert/delete
+        // pairs ride on top of the 4 checkpointed survivors.
+        assert!(st.journal_len.load(Ordering::Relaxed) <= 8);
+        assert_eq!(st.live_points.load(Ordering::Relaxed), 4);
+        let epoch = svc.flush(0).unwrap();
+        svc.shutdown();
+        // Restart over the checkpointed WAL: same hull, same epoch
+        // (the checkpoint header preserved the unit index).
+        let svc = HullService::new(config).unwrap();
+        let snap = svc.snapshot(0).unwrap();
+        assert_eq!(snap.epoch, epoch);
+        assert_eq!(
+            snap_canonical(&snap, 2),
+            offline_canonical(
+                &[vec![-50, -50], vec![50, -50], vec![-50, 50], vec![50, 50]],
+                2
+            )
+        );
+        svc.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn wal_restart_replays_mixed_ops() {
+        let dir = std::env::temp_dir().join(format!(
+            "chull-shard-mixed-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut config = cfg(2, 1);
+        config.wal_dir = Some(dir.clone());
+        config.rebuild_ratio = 1e9;
+        config.journal_ratio = 0.0;
+        let square = vec![vec![0, 0], vec![10, 0], vec![0, 10], vec![10, 10]];
+        {
+            let svc = HullService::new(config.clone()).unwrap();
+            let mut rows = square.clone();
+            rows.push(vec![40, 5]);
+            mutate_all(
+                &svc,
+                0,
+                rows.iter().cloned().map(Mutation::Insert).collect(),
+            );
+            svc.flush(0).unwrap();
+            // Vertex delete → in-place rebuild + checkpoint, then one
+            // more mixed unit left un-compacted in the journal.
+            mutate_all(&svc, 0, vec![Mutation::Delete(vec![40, 5])]);
+            svc.flush(0).unwrap();
+            mutate_all(
+                &svc,
+                0,
+                vec![
+                    Mutation::Insert(vec![5, 5]),
+                    Mutation::Insert(vec![30, 30]),
+                    Mutation::Delete(vec![30, 30]),
+                ],
+            );
+            svc.flush(0).unwrap();
+            svc.shutdown();
+        }
+        // Restart: replay must honor the tombstones (rebuild from
+        // survivors), not just the inserts.
+        let svc = HullService::new(config).unwrap();
+        let snap = svc.snapshot(0).unwrap();
+        let mut expect = square.clone();
+        expect.push(vec![5, 5]);
+        assert_eq!(snap_canonical(&snap, 2), offline_canonical(&expect, 2));
+        let st = svc.stats_for(0).unwrap();
+        assert_eq!(st.live_points.load(Ordering::Relaxed), 5);
+        // Serving continues across the restart: delete another vertex.
+        mutate_all(&svc, 0, vec![Mutation::Delete(vec![10, 10])]);
+        svc.flush(0).unwrap();
+        let snap = svc.snapshot(0).unwrap();
+        let expect = vec![vec![0, 0], vec![10, 0], vec![0, 10], vec![5, 5]];
+        assert_eq!(snap_canonical(&snap, 2), offline_canonical(&expect, 2));
+        svc.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn mid_rebuild_crash_replay_converges() {
+        let square = vec![vec![0, 0], vec![10, 0], vec![0, 10], vec![10, 10]];
+        let mut recovered = false;
+        for round in 0..20 {
+            let mut config = cfg(2, 1);
+            config.rebuild_ratio = 1e9;
+            config.journal_ratio = 0.0;
+            let svc = HullService::new(config).unwrap();
+            let mut rows = square.clone();
+            rows.push(vec![40, 5]);
+            mutate_all(
+                &svc,
+                0,
+                rows.iter().cloned().map(Mutation::Insert).collect(),
+            );
+            svc.flush(0).unwrap();
+            failpoint::arm(FaultPlan::new(0x9E8_0000 + round).site(
+                sites::SHARD_REBUILD,
+                SiteSpec {
+                    panic_every: 1,
+                    max_fires: 1,
+                    ..SiteSpec::default()
+                },
+            ));
+            // Vertex delete triggers a rebuild; the armed failpoint
+            // kills the worker inside it.
+            mutate_all(&svc, 0, vec![Mutation::Delete(vec![40, 5])]);
+            svc.flush(0).unwrap();
+            failpoint::disarm();
+            let hit = svc.stats_for(0).unwrap().recoveries.load(Ordering::Relaxed) >= 1;
+            // Crashed or not, the served hull must converge to the
+            // survivors.
+            let snap = svc.snapshot(0).unwrap();
+            assert_eq!(snap_canonical(&snap, 2), offline_canonical(&square, 2));
+            let mut k = KernelCounts::default();
+            assert_eq!(snap.contains(&[20, 5], &mut k), Some(false));
+            svc.shutdown();
+            if hit {
+                recovered = true;
+                break;
+            }
+        }
+        assert!(recovered, "no injected panic landed in the rebuild");
     }
 
     #[test]

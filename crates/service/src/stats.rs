@@ -108,6 +108,31 @@ pub struct ShardStats {
     /// Points the bulk sweep pruned as strictly interior across those
     /// builds (never candidates, never touched the batch install).
     pub bulk_pruned: AtomicU64,
+    /// Deletes and expires accepted into the ingest queue (wire
+    /// `Mutate`, protocol v6).
+    pub deletes_enqueued: AtomicU64,
+    /// Deletes that found no live copy (acked, nothing journaled).
+    pub delete_misses: AtomicU64,
+    /// Tombstones journaled (explicit deletes, expires, and window
+    /// expirations that killed a live copy).
+    pub tombstones: AtomicU64,
+    /// Rows tombstoned by the shard's retention window specifically.
+    pub window_expirations: AtomicU64,
+    /// Live rows in the shard's multiset (gauge, updated per batch).
+    pub live_points: AtomicU64,
+    /// Dead live-set entries awaiting the next compacting rebuild
+    /// (gauge).
+    pub lazy_tombstones: AtomicU64,
+    /// Hull rebuilds from survivors (tombstone-forced, ratio-triggered,
+    /// replayed, or follower checkpoints).
+    pub rebuilds: AtomicU64,
+    /// Rebuilds triggered purely by the journal-ratio auto-compaction
+    /// policy.
+    pub auto_compactions: AtomicU64,
+    /// Duration of the most recent rebuild, in microseconds.
+    pub rebuild_us_last: AtomicU64,
+    /// Total time spent rebuilding, in microseconds.
+    pub rebuild_us_total: AtomicU64,
 }
 
 impl ShardStats {
@@ -141,6 +166,10 @@ impl ShardStats {
              \"recoveries\":{},\"recovery_us_last\":{},\"recovery_us_total\":{},\
              \"generation\":{},\"journal_len\":{},\"wal_errors\":{},\
              \"torn_tails\":{},\"bulk_builds\":{},\"bulk_pruned\":{},\
+             \"deletes_enqueued\":{},\"delete_misses\":{},\"tombstones\":{},\
+             \"window_expirations\":{},\"live_points\":{},\"lazy_tombstones\":{},\
+             \"rebuilds\":{},\"auto_compactions\":{},\
+             \"rebuild_us_last\":{},\"rebuild_us_total\":{},\
              \"ingest_kernel\":{},\"query_kernel\":{}}}",
             snap.epoch,
             snap.applied,
@@ -168,6 +197,16 @@ impl ShardStats {
             self.torn_tails.load(Ordering::Relaxed),
             self.bulk_builds.load(Ordering::Relaxed),
             self.bulk_pruned.load(Ordering::Relaxed),
+            self.deletes_enqueued.load(Ordering::Relaxed),
+            self.delete_misses.load(Ordering::Relaxed),
+            self.tombstones.load(Ordering::Relaxed),
+            self.window_expirations.load(Ordering::Relaxed),
+            self.live_points.load(Ordering::Relaxed),
+            self.lazy_tombstones.load(Ordering::Relaxed),
+            self.rebuilds.load(Ordering::Relaxed),
+            self.auto_compactions.load(Ordering::Relaxed),
+            self.rebuild_us_last.load(Ordering::Relaxed),
+            self.rebuild_us_total.load(Ordering::Relaxed),
             kernel_json(&ingest),
             kernel_json(&self.query_kernel.load()),
         )
@@ -226,6 +265,16 @@ mod tests {
             "\"torn_tails\":0",
             "\"bulk_builds\":0",
             "\"bulk_pruned\":0",
+            "\"deletes_enqueued\":0",
+            "\"delete_misses\":0",
+            "\"tombstones\":0",
+            "\"window_expirations\":0",
+            "\"live_points\":0",
+            "\"lazy_tombstones\":0",
+            "\"rebuilds\":0",
+            "\"auto_compactions\":0",
+            "\"rebuild_us_last\":0",
+            "\"rebuild_us_total\":0",
             "\"ready\":false",
             "\"dep_depth\":0",
             "\"ingest_kernel\":{\"tests\":0",

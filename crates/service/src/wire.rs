@@ -27,6 +27,8 @@
 //! | `0x0F` | `Tagged`   | status `0x05` + `u64` id + complete inner reply |
 //! | `0x10` | `ReplSubscribe` | `u64` index, `u64` total, `u8` dim, packed batch |
 //! | `0x11` | `ReplAck`  | `u64` lag (total − acked batches)               |
+//! | `0x12` | `Mutate`   | `u32` count, per-mutation accepted bitmap, `u64` epoch |
+//! | `0x13` | `ReplUnitFetch` | `u64` index, `u64` total, `u8` dim, typed unit |
 //!
 //! Opcodes `0x0A`–`0x0B` are **protocol v2** ([`PROTOCOL_V2`]);
 //! `0x0C`–`0x0E` are **protocol v3** ([`PROTOCOL_V3`]): the `*Scan`
@@ -80,6 +82,30 @@
 //! Wrapper order is fixed: `Tagged` ⊃ `Stale` ⊃ `Degraded` ⊃ plain;
 //! any other nesting is a decode error, and no wrapper nests in itself.
 //!
+//! Opcodes `0x12`–`0x13` are **protocol v6** ([`PROTOCOL_V6`],
+//! [`CAP_MUTATION`]): the **unified mutation envelope** and **typed
+//! journal-unit replication**. `Mutate` carries a heterogeneous list of
+//! [`Mutation`] ops — inserts, deletes, and window expirations — that
+//! the shard worker applies as *one* journal unit (one marker, one
+//! epoch); its Ok-reply mirrors `InsertedBatch`: a bitmap of which
+//! mutations entered the queue plus the enqueue-time epoch. A batch of
+//! pure inserts sent through `Mutate` is behaviorally identical to
+//! `InsertBatch` — the old op stays bit-for-bit as the v2 shim.
+//! `ReplUnitFetch` is `ReplSubscribe` generalized to typed units: the
+//! reply is a [`ReplUnit`] that is either `Ops` (inserts + tombstones,
+//! the v6 superset of the flat v5 batch) or `Checkpoint` (a survivor
+//! set that *replaces* the follower's shard state — how rebuilds from
+//! windowed/deleted shards replicate without shipping history).
+//! Tombstone- or checkpoint-bearing journals cannot ship over the flat
+//! v5 op; the primary answers those `ReplSubscribe` pulls with an
+//! error telling the follower to upgrade.
+//!
+//! From v6 on, the per-op admission data — minimum version, capability
+//! bit, pipeline-wrappability, write-path flag — lives in one place:
+//! the [`OP_TABLE`] registry. The server's `Hello` capability mask is
+//! [`server_caps`] (the OR of every registered bit) rather than a
+//! hand-maintained constant.
+//!
 //! Non-Ok statuses: `Overloaded` (ingest queue full — retry), `NotReady`
 //! (shard still bootstrapping its seed simplex), `Error` (+ utf-8 text),
 //! and `Degraded` (`u32` recovery generation + a complete nested
@@ -114,6 +140,10 @@ pub const PROTOCOL_V4: u16 = 4;
 /// Adds the replication ops (`ReplSubscribe`/`ReplAck`) and the
 /// `Stale` staleness wrapper on follower reads.
 pub const PROTOCOL_V5: u16 = 5;
+/// Adds the unified `Mutate` envelope (insert/delete/expire in one
+/// frame, one journal unit) and typed-unit replication
+/// (`ReplUnitFetch` shipping ops or checkpoints).
+pub const PROTOCOL_V6: u16 = 6;
 /// Capability bit: the server accepts `InsertBatch` frames.
 pub const CAP_INSERT_BATCH: u32 = 1;
 /// Capability bit: the server accepts the `*Scan` query ops.
@@ -123,12 +153,15 @@ pub const CAP_PIPELINE: u32 = 4;
 /// Capability bit: the server ships journal batch units to
 /// subscribers (`ReplSubscribe`/`ReplAck`).
 pub const CAP_REPLICATION: u32 = 8;
+/// Capability bit: the server accepts `Mutate` envelopes (deletes and
+/// window expirations) and ships typed units via `ReplUnitFetch`.
+pub const CAP_MUTATION: u32 = 16;
 
 /// The version a server answers to a client advertising `client_max`:
 /// the highest both sides speak (never below [`PROTOCOL_V1`] — a
 /// client advertising 0 is treated as v1).
 pub fn negotiate(client_max: u16) -> u16 {
-    client_max.clamp(PROTOCOL_V1, PROTOCOL_V5)
+    client_max.clamp(PROTOCOL_V1, PROTOCOL_V6)
 }
 
 const OP_INSERT: u8 = 0x01;
@@ -148,6 +181,208 @@ const OP_EXTREME_SCAN: u8 = 0x0E;
 const OP_TAGGED: u8 = 0x0F;
 const OP_REPL_SUBSCRIBE: u8 = 0x10;
 const OP_REPL_ACK: u8 = 0x11;
+const OP_MUTATE: u8 = 0x12;
+const OP_REPL_UNIT: u8 = 0x13;
+
+// Mutation tags inside a `Mutate` envelope.
+const MUT_INSERT: u8 = 0;
+const MUT_DELETE: u8 = 1;
+const MUT_EXPIRE: u8 = 2;
+
+// ReplUnit kind tags inside a `ReplUnit` reply.
+const UNIT_OPS: u8 = 0;
+const UNIT_CHECKPOINT: u8 = 1;
+
+/// One wire op's registry row: the admission data the server and
+/// router consult — which protocol version introduced the op, which
+/// capability bit advertises it, whether it may ride inside a `Tagged`
+/// pipeline wrapper, and whether it takes the journaled write path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpSpec {
+    /// The opcode byte.
+    pub code: u8,
+    /// Stable label, used for the `op="..."` metric series.
+    pub name: &'static str,
+    /// First protocol version that includes the op.
+    pub min_version: u16,
+    /// Capability bit advertising the op in `Hello` (0 = always on).
+    pub cap: u32,
+    /// May the op be wrapped in a `Tagged` pipeline frame?
+    pub wrappable: bool,
+    /// Does the op mutate shard state (journaled write path)?
+    pub write: bool,
+}
+
+/// The op registry, in opcode order. Growing the protocol means adding
+/// a row here plus the codec arms; the server capability mask
+/// ([`server_caps`]) and per-op admission checks derive from this
+/// table instead of hand-maintained constants scattered across layers.
+pub const OP_TABLE: &[OpSpec] = &[
+    OpSpec {
+        code: OP_INSERT,
+        name: "insert",
+        min_version: PROTOCOL_V1,
+        cap: 0,
+        wrappable: true,
+        write: true,
+    },
+    OpSpec {
+        code: OP_CONTAINS,
+        name: "contains",
+        min_version: PROTOCOL_V1,
+        cap: 0,
+        wrappable: true,
+        write: false,
+    },
+    OpSpec {
+        code: OP_VISIBLE,
+        name: "visible",
+        min_version: PROTOCOL_V1,
+        cap: 0,
+        wrappable: true,
+        write: false,
+    },
+    OpSpec {
+        code: OP_EXTREME,
+        name: "extreme",
+        min_version: PROTOCOL_V1,
+        cap: 0,
+        wrappable: true,
+        write: false,
+    },
+    OpSpec {
+        code: OP_STATS,
+        name: "stats",
+        min_version: PROTOCOL_V1,
+        cap: 0,
+        wrappable: true,
+        write: false,
+    },
+    OpSpec {
+        code: OP_SNAPSHOT,
+        name: "snapshot",
+        min_version: PROTOCOL_V1,
+        cap: 0,
+        wrappable: true,
+        write: false,
+    },
+    OpSpec {
+        code: OP_FLUSH,
+        name: "flush",
+        min_version: PROTOCOL_V1,
+        cap: 0,
+        wrappable: true,
+        write: true,
+    },
+    OpSpec {
+        code: OP_SHUTDOWN,
+        name: "shutdown",
+        min_version: PROTOCOL_V1,
+        cap: 0,
+        wrappable: true,
+        write: false,
+    },
+    OpSpec {
+        code: OP_METRICS,
+        name: "metrics",
+        min_version: PROTOCOL_V1,
+        cap: 0,
+        wrappable: true,
+        write: false,
+    },
+    OpSpec {
+        code: OP_INSERT_BATCH,
+        name: "insert_batch",
+        min_version: PROTOCOL_V2,
+        cap: CAP_INSERT_BATCH,
+        wrappable: true,
+        write: true,
+    },
+    OpSpec {
+        code: OP_HELLO,
+        name: "hello",
+        min_version: PROTOCOL_V2,
+        cap: 0,
+        wrappable: true,
+        write: false,
+    },
+    OpSpec {
+        code: OP_CONTAINS_SCAN,
+        name: "contains_scan",
+        min_version: PROTOCOL_V3,
+        cap: CAP_SCAN_QUERIES,
+        wrappable: true,
+        write: false,
+    },
+    OpSpec {
+        code: OP_VISIBLE_SCAN,
+        name: "visible_scan",
+        min_version: PROTOCOL_V3,
+        cap: CAP_SCAN_QUERIES,
+        wrappable: true,
+        write: false,
+    },
+    OpSpec {
+        code: OP_EXTREME_SCAN,
+        name: "extreme_scan",
+        min_version: PROTOCOL_V3,
+        cap: CAP_SCAN_QUERIES,
+        wrappable: true,
+        write: false,
+    },
+    OpSpec {
+        code: OP_TAGGED,
+        name: "tagged",
+        min_version: PROTOCOL_V4,
+        cap: CAP_PIPELINE,
+        wrappable: false,
+        write: false,
+    },
+    OpSpec {
+        code: OP_REPL_SUBSCRIBE,
+        name: "repl_subscribe",
+        min_version: PROTOCOL_V5,
+        cap: CAP_REPLICATION,
+        wrappable: true,
+        write: false,
+    },
+    OpSpec {
+        code: OP_REPL_ACK,
+        name: "repl_ack",
+        min_version: PROTOCOL_V5,
+        cap: CAP_REPLICATION,
+        wrappable: true,
+        write: false,
+    },
+    OpSpec {
+        code: OP_MUTATE,
+        name: "mutate",
+        min_version: PROTOCOL_V6,
+        cap: CAP_MUTATION,
+        wrappable: true,
+        write: true,
+    },
+    OpSpec {
+        code: OP_REPL_UNIT,
+        name: "repl_unit",
+        min_version: PROTOCOL_V6,
+        cap: CAP_MUTATION,
+        wrappable: true,
+        write: false,
+    },
+];
+
+/// Look up the registry row for an opcode byte.
+pub fn op_spec(code: u8) -> Option<&'static OpSpec> {
+    OP_TABLE.iter().find(|s| s.code == code)
+}
+
+/// The capability mask a server advertises in `Hello`: the OR of every
+/// registered op's bit. Derived, so a new registry row is advertised
+/// automatically.
+pub fn server_caps() -> u32 {
+    OP_TABLE.iter().fold(0, |m, s| m | s.cap)
+}
 
 const ST_OK: u8 = 0x00;
 const ST_OVERLOADED: u8 = 0x01;
@@ -223,6 +458,48 @@ impl From<WireError> for io::Error {
     fn from(e: WireError) -> io::Error {
         io::Error::new(io::ErrorKind::InvalidData, e)
     }
+}
+
+/// One op inside a v6 `Mutate` envelope. A mixed list of these is
+/// applied by the shard worker as one journal unit (one marker, one
+/// epoch bump), so a delete and the insert that replaces it commit or
+/// replay together.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Mutation {
+    /// Insert one point (same semantics as `Insert`/`InsertBatch`).
+    Insert(Vec<i64>),
+    /// Tombstone one live copy of the point (oldest arrival first).
+    /// A miss — deleting a point that is not live — is counted and
+    /// ignored, never an error: deletes are idempotent under replay.
+    Delete(Vec<i64>),
+    /// Expire the `n` oldest live points (explicit window advance; the
+    /// serve-side window policy issues these implicitly).
+    Expire(u32),
+}
+
+/// One typed journal unit shipped to a v6 replication subscriber.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReplUnit {
+    /// A normal unit: the inserts and tombstones journaled together
+    /// under one marker. The flat v5 batch is the `tombstones: []`
+    /// special case.
+    Ops {
+        /// Rows inserted by the unit, journal order.
+        inserts: Vec<Vec<i64>>,
+        /// Rows tombstoned by the unit (delete or window expiry).
+        tombstones: Vec<Vec<i64>>,
+    },
+    /// A rebuild checkpoint: the follower must *replace* its shard
+    /// state with `survivors` and resume pulling at `units_after`.
+    /// Shipped when the primary compacts (tombstone-ratio or
+    /// journal-ratio rebuild), so followers skip the dead history.
+    Checkpoint {
+        /// The primary's batch-unit count right after the checkpoint
+        /// (the follower's next `from_index`).
+        units_after: u64,
+        /// The live rows the rebuilt hull was constructed from.
+        survivors: Vec<Vec<i64>>,
+    },
 }
 
 /// A decoded client request.
@@ -341,6 +618,26 @@ pub enum Request {
         /// One past the highest batch unit applied by the subscriber.
         index: u64,
     },
+    /// Apply a mixed mutation list to `shard` as one journal unit
+    /// (v6). Subsumes `Insert`/`InsertBatch` — a pure-insert envelope
+    /// behaves exactly like the old batch op.
+    Mutate {
+        /// Target shard.
+        shard: u16,
+        /// The mutations, applied in list order within one unit.
+        muts: Vec<Mutation>,
+    },
+    /// Pull one *typed* journal unit from `shard`'s replication log
+    /// (v6). Unlike `ReplSubscribe`, the reply can carry tombstones or
+    /// a rebuild checkpoint, and after a compaction the answered index
+    /// may be *behind* `from_index` (the checkpoint the follower must
+    /// reset to).
+    ReplUnitFetch {
+        /// Source shard on the primary.
+        shard: u16,
+        /// Index of the first unit the subscriber still needs.
+        from_index: u64,
+    },
 }
 
 /// A decoded server response.
@@ -441,6 +738,31 @@ pub enum Response {
         /// primary (`total - acked index`, saturating).
         lag: u64,
     },
+    /// Mutation envelope outcome (v6): which mutations were queued,
+    /// and the shard's publication epoch at enqueue time. The bitmap
+    /// is positional over the request's mutation list, exactly as
+    /// `InsertedBatch` is over its point list.
+    Mutated {
+        /// `accepted[i]` iff mutation `i` entered the ingest queue (a
+        /// clear bit means backpressure — retry that mutation).
+        accepted: Vec<bool>,
+        /// Snapshot epoch when the envelope was enqueued.
+        epoch: u64,
+    },
+    /// One typed journal unit (v6 reply to [`Request::ReplUnitFetch`]).
+    /// An empty `Ops` unit with `index == total` means caught up.
+    ReplUnit {
+        /// Index of this unit in the shard's (possibly checkpointed)
+        /// replication log. May be below the requested `from_index`
+        /// when the unit is a checkpoint the follower must reset to.
+        index: u64,
+        /// The shard's total unit count at reply time.
+        total: u64,
+        /// Dimension.
+        dim: usize,
+        /// The unit itself.
+        unit: ReplUnit,
+    },
     /// The answer was served by a follower `lag` batch units behind
     /// its replication source (v5): the epoch-staleness bound,
     /// surfaced in-band. Wrapper order: `Tagged` ⊃ `Stale` ⊃
@@ -468,6 +790,32 @@ fn put_point(out: &mut Vec<u8>, p: &[i64]) {
     out.push(p.len() as u8);
     for &c in p {
         out.extend_from_slice(&c.to_le_bytes());
+    }
+}
+/// `u32` count, then dim-less flat rows (the envelope carries `dim`).
+fn put_rows(out: &mut Vec<u8>, rows: &[Vec<i64>]) {
+    put_u32(out, rows.len() as u32);
+    for p in rows {
+        for &c in p {
+            out.extend_from_slice(&c.to_le_bytes());
+        }
+    }
+}
+/// LSB-first accept bitmap: bit `i` lives at byte `i/8`, bit `i%8`.
+fn put_bitmap(out: &mut Vec<u8>, bits: &[bool]) {
+    put_u32(out, bits.len() as u32);
+    let mut byte = 0u8;
+    for (i, &a) in bits.iter().enumerate() {
+        if a {
+            byte |= 1 << (i % 8);
+        }
+        if i % 8 == 7 {
+            out.push(byte);
+            byte = 0;
+        }
+    }
+    if !bits.len().is_multiple_of(8) {
+        out.push(byte);
     }
 }
 
@@ -531,6 +879,24 @@ impl<'a> Cursor<'a> {
         }
         Ok(n)
     }
+    /// `u32` count then that many dim-less flat rows of `dim` coords.
+    fn rows(&mut self, dim: usize) -> Result<Vec<Vec<i64>>, WireError> {
+        let declared = self.u32()? as usize;
+        let n = self.checked_count(declared, dim * 8)?;
+        (0..n)
+            .map(|_| (0..dim).map(|_| self.i64()).collect())
+            .collect()
+    }
+    /// `u32` count then an LSB-first bitmap of that many bits.
+    fn bitmap(&mut self) -> Result<Vec<bool>, WireError> {
+        let declared = self.u32()? as usize;
+        // take() bounds-checks the bitmap before the Vec is sized, so
+        // a forged count cannot over-allocate.
+        let bits = self.take(declared.div_ceil(8))?;
+        Ok((0..declared)
+            .map(|i| bits[i / 8] >> (i % 8) & 1 != 0)
+            .collect())
+    }
     fn done(&self) -> Result<(), WireError> {
         if self.at != self.buf.len() {
             return Err(WireError::Trailing(self.buf.len() - self.at));
@@ -540,6 +906,36 @@ impl<'a> Cursor<'a> {
 }
 
 impl Request {
+    /// The opcode byte this request serializes under.
+    pub fn opcode(&self) -> u8 {
+        match self {
+            Request::Insert { .. } => OP_INSERT,
+            Request::Contains { .. } => OP_CONTAINS,
+            Request::Visible { .. } => OP_VISIBLE,
+            Request::Extreme { .. } => OP_EXTREME,
+            Request::Stats { .. } => OP_STATS,
+            Request::Snapshot { .. } => OP_SNAPSHOT,
+            Request::Flush { .. } => OP_FLUSH,
+            Request::Shutdown => OP_SHUTDOWN,
+            Request::Metrics => OP_METRICS,
+            Request::InsertBatch { .. } => OP_INSERT_BATCH,
+            Request::Hello { .. } => OP_HELLO,
+            Request::ContainsScan { .. } => OP_CONTAINS_SCAN,
+            Request::VisibleScan { .. } => OP_VISIBLE_SCAN,
+            Request::ExtremeScan { .. } => OP_EXTREME_SCAN,
+            Request::Tagged { .. } => OP_TAGGED,
+            Request::ReplSubscribe { .. } => OP_REPL_SUBSCRIBE,
+            Request::ReplAck { .. } => OP_REPL_ACK,
+            Request::Mutate { .. } => OP_MUTATE,
+            Request::ReplUnitFetch { .. } => OP_REPL_UNIT,
+        }
+    }
+
+    /// The registry row for this request's op (every variant has one).
+    pub fn spec(&self) -> &'static OpSpec {
+        op_spec(self.opcode()).expect("every Request variant is registered in OP_TABLE")
+    }
+
     /// Serialize to a frame payload.
     pub fn encode(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(16);
@@ -632,6 +1028,32 @@ impl Request {
                 put_u16(&mut out, *shard);
                 put_u64(&mut out, *index);
             }
+            Request::Mutate { shard, muts } => {
+                out.push(OP_MUTATE);
+                put_u16(&mut out, *shard);
+                put_u32(&mut out, muts.len() as u32);
+                for m in muts {
+                    match m {
+                        Mutation::Insert(p) => {
+                            out.push(MUT_INSERT);
+                            put_point(&mut out, p);
+                        }
+                        Mutation::Delete(p) => {
+                            out.push(MUT_DELETE);
+                            put_point(&mut out, p);
+                        }
+                        Mutation::Expire(n) => {
+                            out.push(MUT_EXPIRE);
+                            put_u32(&mut out, *n);
+                        }
+                    }
+                }
+            }
+            Request::ReplUnitFetch { shard, from_index } => {
+                out.push(OP_REPL_UNIT);
+                put_u16(&mut out, *shard);
+                put_u64(&mut out, *from_index);
+            }
         }
         out
     }
@@ -709,6 +1131,26 @@ impl Request {
                 shard,
                 index: c.u64()?,
             },
+            OP_MUTATE => {
+                let declared = c.u32()? as usize;
+                // Smallest wire mutation: 1 tag byte + u32 expire count.
+                let n = c.checked_count(declared, 5)?;
+                let muts = (0..n)
+                    .map(|_| {
+                        Ok(match c.u8()? {
+                            MUT_INSERT => Mutation::Insert(c.point()?),
+                            MUT_DELETE => Mutation::Delete(c.point()?),
+                            MUT_EXPIRE => Mutation::Expire(c.u32()?),
+                            other => return Err(WireError::BadTag(other)),
+                        })
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+                Request::Mutate { shard, muts }
+            }
+            OP_REPL_UNIT => Request::ReplUnitFetch {
+                shard,
+                from_index: c.u64()?,
+            },
             other => return Err(WireError::BadOpcode(other)),
         };
         Ok(req)
@@ -783,21 +1225,13 @@ impl Response {
             Response::InsertedBatch { accepted, epoch } => {
                 out.push(ST_OK);
                 out.push(OP_INSERT_BATCH);
-                put_u32(&mut out, accepted.len() as u32);
-                // LSB-first bitmap: point i lives at byte i/8, bit i%8.
-                let mut byte = 0u8;
-                for (i, &a) in accepted.iter().enumerate() {
-                    if a {
-                        byte |= 1 << (i % 8);
-                    }
-                    if i % 8 == 7 {
-                        out.push(byte);
-                        byte = 0;
-                    }
-                }
-                if accepted.len() % 8 != 0 {
-                    out.push(byte);
-                }
+                put_bitmap(&mut out, accepted);
+                put_u64(&mut out, *epoch);
+            }
+            Response::Mutated { accepted, epoch } => {
+                out.push(ST_OK);
+                out.push(OP_MUTATE);
+                put_bitmap(&mut out, accepted);
                 put_u64(&mut out, *epoch);
             }
             Response::Hello { version, caps } => {
@@ -826,6 +1260,36 @@ impl Response {
                 out.push(ST_OK);
                 out.push(OP_REPL_ACK);
                 put_u64(&mut out, *lag);
+            }
+            Response::ReplUnit {
+                index,
+                total,
+                dim,
+                unit,
+            } => {
+                out.push(ST_OK);
+                out.push(OP_REPL_UNIT);
+                put_u64(&mut out, *index);
+                put_u64(&mut out, *total);
+                out.push(*dim as u8);
+                match unit {
+                    ReplUnit::Ops {
+                        inserts,
+                        tombstones,
+                    } => {
+                        out.push(UNIT_OPS);
+                        put_rows(&mut out, inserts);
+                        put_rows(&mut out, tombstones);
+                    }
+                    ReplUnit::Checkpoint {
+                        units_after,
+                        survivors,
+                    } => {
+                        out.push(UNIT_CHECKPOINT);
+                        put_u64(&mut out, *units_after);
+                        put_rows(&mut out, survivors);
+                    }
+                }
             }
             Response::Overloaded => out.push(ST_OVERLOADED),
             Response::NotReady => out.push(ST_NOT_READY),
@@ -979,20 +1443,14 @@ impl Response {
                 }
                 OP_FLUSH => Response::Flushed { epoch: c.u64()? },
                 OP_SHUTDOWN => Response::ShuttingDown,
-                OP_INSERT_BATCH => {
-                    let declared = c.u32()? as usize;
-                    // take() bounds-checks the bitmap before the Vec is
-                    // sized, so a forged count cannot over-allocate.
-                    let bits = c.take(declared.div_ceil(8))?;
-                    let mut accepted = Vec::with_capacity(declared);
-                    for i in 0..declared {
-                        accepted.push(bits[i / 8] >> (i % 8) & 1 != 0);
-                    }
-                    Response::InsertedBatch {
-                        accepted,
-                        epoch: c.u64()?,
-                    }
-                }
+                OP_INSERT_BATCH => Response::InsertedBatch {
+                    accepted: c.bitmap()?,
+                    epoch: c.u64()?,
+                },
+                OP_MUTATE => Response::Mutated {
+                    accepted: c.bitmap()?,
+                    epoch: c.u64()?,
+                },
                 OP_HELLO => Response::Hello {
                     version: c.u16()?,
                     caps: c.u32()?,
@@ -1025,6 +1483,34 @@ impl Response {
                     }
                 }
                 OP_REPL_ACK => Response::ReplAcked { lag: c.u64()? },
+                OP_REPL_UNIT => {
+                    let index = c.u64()?;
+                    let total = c.u64()?;
+                    let dim = c.u8()? as usize;
+                    if !(2..=chull_core::facet::MAX_DIM).contains(&dim) {
+                        return Err(WireError::BadDim(dim));
+                    }
+                    let unit = match c.u8()? {
+                        UNIT_OPS => ReplUnit::Ops {
+                            inserts: c.rows(dim)?,
+                            tombstones: c.rows(dim)?,
+                        },
+                        UNIT_CHECKPOINT => {
+                            let units_after = c.u64()?;
+                            ReplUnit::Checkpoint {
+                                units_after,
+                                survivors: c.rows(dim)?,
+                            }
+                        }
+                        other => return Err(WireError::BadTag(other)),
+                    };
+                    Response::ReplUnit {
+                        index,
+                        total,
+                        dim,
+                        unit,
+                    }
+                }
                 other => return Err(WireError::BadTag(other)),
             },
             other => return Err(WireError::BadStatus(other)),
@@ -1356,7 +1842,205 @@ mod tests {
         assert_eq!(negotiate(PROTOCOL_V3), PROTOCOL_V3);
         assert_eq!(negotiate(PROTOCOL_V4), PROTOCOL_V4);
         assert_eq!(negotiate(PROTOCOL_V5), PROTOCOL_V5);
-        assert_eq!(negotiate(u16::MAX), PROTOCOL_V5);
+        assert_eq!(negotiate(PROTOCOL_V6), PROTOCOL_V6);
+        assert_eq!(negotiate(u16::MAX), PROTOCOL_V6);
+    }
+
+    #[test]
+    fn v6_mutate_and_unit_roundtrip() {
+        let reqs = [
+            Request::Mutate {
+                shard: 2,
+                muts: vec![
+                    Mutation::Insert(vec![1, 2]),
+                    Mutation::Delete(vec![-3, 4]),
+                    Mutation::Expire(7),
+                    Mutation::Insert(vec![0, 0]),
+                ],
+            },
+            Request::Mutate {
+                shard: 0,
+                muts: vec![],
+            },
+            Request::Mutate {
+                shard: 9,
+                muts: vec![Mutation::Expire(u32::MAX)],
+            },
+            Request::ReplUnitFetch {
+                shard: 1,
+                from_index: 0,
+            },
+            Request::ReplUnitFetch {
+                shard: 0,
+                from_index: u64::MAX,
+            },
+            Request::Tagged {
+                id: 5,
+                inner: Box::new(Request::Mutate {
+                    shard: 3,
+                    muts: vec![Mutation::Delete(vec![8, 8, 8])],
+                }),
+            },
+            Request::Hello {
+                max_version: PROTOCOL_V6,
+            },
+        ];
+        for r in reqs {
+            assert_eq!(Request::decode(&r.encode()).unwrap(), r, "{r:?}");
+        }
+        let resps = [
+            Response::Mutated {
+                accepted: vec![true, false, true],
+                epoch: 11,
+            },
+            Response::Mutated {
+                accepted: vec![],
+                epoch: 0,
+            },
+            Response::ReplUnit {
+                index: 4,
+                total: 9,
+                dim: 2,
+                unit: ReplUnit::Ops {
+                    inserts: vec![vec![0, 0], vec![5, -5]],
+                    tombstones: vec![vec![7, 7]],
+                },
+            },
+            Response::ReplUnit {
+                index: 9,
+                total: 9,
+                dim: 3,
+                unit: ReplUnit::Ops {
+                    inserts: vec![],
+                    tombstones: vec![],
+                },
+            },
+            Response::ReplUnit {
+                index: 2,
+                total: 3,
+                dim: 2,
+                unit: ReplUnit::Checkpoint {
+                    units_after: 3,
+                    survivors: vec![vec![1, 1], vec![-1, -1], vec![9, 0]],
+                },
+            },
+            Response::Hello {
+                version: PROTOCOL_V6,
+                caps: server_caps(),
+            },
+            Response::Tagged {
+                id: 6,
+                inner: Box::new(Response::Mutated {
+                    accepted: vec![true; 9],
+                    epoch: 3,
+                }),
+            },
+        ];
+        for r in resps {
+            assert_eq!(Response::decode(&r.encode()).unwrap(), r, "{r:?}");
+        }
+    }
+
+    #[test]
+    fn v6_bodies_are_bounds_checked() {
+        // Mutate with a forged count far beyond the payload.
+        let mut buf = vec![OP_MUTATE, 0, 0];
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        buf.push(MUT_EXPIRE);
+        assert!(matches!(
+            Request::decode(&buf),
+            Err(WireError::Oversized(_))
+        ));
+        // Mutate with an unknown mutation tag.
+        let mut buf = vec![OP_MUTATE, 0, 0];
+        buf.extend_from_slice(&1u32.to_le_bytes());
+        buf.push(9);
+        buf.extend_from_slice(&[0; 4]);
+        assert_eq!(Request::decode(&buf), Err(WireError::BadTag(9)));
+        // Mutate whose count says 2 but only one mutation follows.
+        let mut buf = vec![OP_MUTATE, 0, 0];
+        buf.extend_from_slice(&2u32.to_le_bytes());
+        buf.push(MUT_EXPIRE);
+        buf.extend_from_slice(&3u32.to_le_bytes());
+        buf.push(0);
+        assert!(Request::decode(&buf).is_err());
+        // Delete with a dimension out of range.
+        let mut buf = vec![OP_MUTATE, 0, 0];
+        buf.extend_from_slice(&1u32.to_le_bytes());
+        buf.push(MUT_DELETE);
+        buf.push(1);
+        buf.extend_from_slice(&[0; 8]);
+        assert_eq!(Request::decode(&buf), Err(WireError::BadDim(1)));
+        // ReplUnit with an unknown unit kind.
+        let mut buf = vec![ST_OK, OP_REPL_UNIT];
+        buf.extend_from_slice(&0u64.to_le_bytes());
+        buf.extend_from_slice(&1u64.to_le_bytes());
+        buf.push(2);
+        buf.push(7);
+        assert_eq!(Response::decode(&buf), Err(WireError::BadTag(7)));
+        // ReplUnit checkpoint claiming a gigantic survivor count.
+        let mut buf = vec![ST_OK, OP_REPL_UNIT];
+        buf.extend_from_slice(&0u64.to_le_bytes());
+        buf.extend_from_slice(&1u64.to_le_bytes());
+        buf.push(2);
+        buf.push(UNIT_CHECKPOINT);
+        buf.extend_from_slice(&1u64.to_le_bytes());
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            Response::decode(&buf),
+            Err(WireError::Oversized(_))
+        ));
+        // Truncated ReplUnitFetch (index cut short).
+        assert!(Request::decode(&[OP_REPL_UNIT, 0, 0, 1, 2]).is_err());
+        // Mutated reply bitmap claiming a gigantic envelope.
+        let mut buf = vec![ST_OK, OP_MUTATE];
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        buf.push(0xFF);
+        assert!(matches!(
+            Response::decode(&buf),
+            Err(WireError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn op_table_is_sound() {
+        // Codes are unique and every row resolves through op_spec.
+        for (i, s) in OP_TABLE.iter().enumerate() {
+            assert_eq!(op_spec(s.code), Some(s), "row {i}");
+            for t in &OP_TABLE[i + 1..] {
+                assert_ne!(s.code, t.code, "duplicate opcode {:#04x}", s.code);
+                assert_ne!(s.name, t.name, "duplicate op name {}", s.name);
+            }
+        }
+        assert_eq!(op_spec(0xEE), None);
+        // The derived capability mask carries every advertised bit.
+        assert_eq!(
+            server_caps(),
+            CAP_INSERT_BATCH | CAP_SCAN_QUERIES | CAP_PIPELINE | CAP_REPLICATION | CAP_MUTATION
+        );
+        // Every Request variant maps to a registered row.
+        let reqs = [
+            Request::Shutdown,
+            Request::Mutate {
+                shard: 0,
+                muts: vec![],
+            },
+            Request::ReplUnitFetch {
+                shard: 0,
+                from_index: 0,
+            },
+        ];
+        assert_eq!(reqs[0].spec().name, "shutdown");
+        assert_eq!(reqs[1].spec().name, "mutate");
+        assert!(reqs[1].spec().write);
+        assert_eq!(reqs[1].spec().min_version, PROTOCOL_V6);
+        assert_eq!(reqs[1].spec().cap, CAP_MUTATION);
+        assert_eq!(reqs[2].spec().name, "repl_unit");
+        assert!(!reqs[2].spec().write);
+        // Only Tagged refuses to ride inside Tagged.
+        for s in OP_TABLE {
+            assert_eq!(s.wrappable, s.name != "tagged", "{}", s.name);
+        }
     }
 
     #[test]

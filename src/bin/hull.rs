@@ -20,15 +20,18 @@
 //!             [--stats] [--stats-json] [FILE]
 //!        hull serve [--addr H:P] [--dim D] [--shards N] [--queue-cap C]
 //!                   [--batch B] [--workers W] [--wal DIR] [--bulk-threshold N]
+//!                   [--window N | --window-epochs N] [--rebuild-ratio R]
+//!                   [--journal-ratio R]
 //!                   [--metrics-addr H:P] [--chaos-seed S] [--oneshot] [--stats-json]
 //!                   [--threaded] [--dispatchers N]
 //!                   [--follow PRIMARY] [--promote-after N]
 //!        hull compact [--dim D] [--workers W] --wal DIR
 //!        hull route [--addr H:P] [--probe-ms MS] NODE...
 //!        hull query ADDR [--scan] OP [SHARD] [COORDS...]
-//!          OP: insert|contains|visible|extreme|stats|snapshot|flush|
-//!              metrics|shutdown|script  (script reads one OP line per stdin line;
-//!              consecutive same-shard inserts ride one wire InsertBatch frame)
+//!          OP: insert|delete|expire|contains|visible|extreme|stats|snapshot|
+//!              flush|metrics|shutdown|script  (script reads one OP line per
+//!              stdin line; consecutive same-shard mutations ride one wire
+//!              v6 Mutate envelope)
 //!          --scan routes contains/visible/extreme through the server's
 //!          linear-scan oracle ops (protocol v3) instead of history-graph
 //!          point location — the A/B baseline for query benchmarks
@@ -53,7 +56,8 @@ use convex_hull_suite::core::seq::incremental_hull_run;
 use convex_hull_suite::core::{HullOutput, HullStats};
 use convex_hull_suite::geometry::{Point2i, PointSet};
 use convex_hull_suite::service::{
-    route, serve, FollowOptions, HullClient, RouterOptions, ServeOptions,
+    route, serve, FollowOptions, HullClient, MutationBatch, RouterOptions, ServeOptions,
+    WindowPolicy,
 };
 use std::io::Read;
 
@@ -81,6 +85,7 @@ fn usage() -> ! {
         "USAGE: hull [--dim D] [--algo seq|par|rounds|chain] [--seed S] [--stats] [--stats-json] [FILE]\n\
          \x20      hull serve [--addr H:P] [--dim D] [--shards N] [--queue-cap C] [--batch B]\n\
          \x20                 [--workers W] [--wal DIR] [--bulk-threshold N] [--metrics-addr H:P]\n\
+         \x20                 [--window N | --window-epochs N] [--rebuild-ratio R] [--journal-ratio R]\n\
          \x20                 [--chaos-seed S] [--oneshot] [--stats-json]\n\
          \x20                 [--threaded] [--dispatchers N] [--follow PRIMARY] [--promote-after N]\n\
          \x20        --workers W sizes the pool each shard applies batches with (0 = auto, 1 = sequential baseline);\n\
@@ -88,6 +93,12 @@ fn usage() -> ! {
          \x20        --bulk-threshold N rebuilds journals holding >= N inserts through the bulk\n\
          \x20        divide-and-conquer constructor at restart/recovery/follower bootstrap\n\
          \x20        (canonically identical hull, much faster; 0 = off, the bit-identical baseline);\n\
+         \x20        --window N keeps only the newest N points per shard (sliding window: older\n\
+         \x20        rows are tombstoned after every publication); --window-epochs N retires rows\n\
+         \x20        older than N publication epochs instead; --rebuild-ratio R rebuilds the hull\n\
+         \x20        from survivors once tombstoned entries exceed R x live rows (default 0.5);\n\
+         \x20        --journal-ratio R auto-compacts the journal once it holds more than R ops per\n\
+         \x20        live row (default 4.0, 0 = off);\n\
          \x20        --metrics-addr H:P serves Prometheus text on plain HTTP GET /metrics;\n\
          \x20        --chaos-seed S arms the canned fault-injection schedule (testing only);\n\
          \x20        --threaded uses the original thread-per-connection front end instead of the\n\
@@ -105,9 +116,10 @@ fn usage() -> ! {
          \x20        consistent-hash reads across NODEs (first NODE = write primary), health-check\n\
          \x20        every MS ms, and fail over with Degraded-wrapped replies when a node dies\n\
          \x20      hull query ADDR [--scan] OP [SHARD] [COORDS...]\n\
-         \x20        OP: insert|contains|visible|extreme SHARD C1..CD\n\
-         \x20            stats [SHARD] | snapshot SHARD | flush SHARD | metrics | shutdown\n\
-         \x20            script   (reads one OP line per stdin line, one connection)\n\
+         \x20        OP: insert|delete|contains|visible|extreme SHARD C1..CD\n\
+         \x20            expire SHARD N (tombstone the N oldest live rows; delete/expire need a\n\
+         \x20            v6 server) | stats [SHARD] | snapshot SHARD | flush SHARD | metrics |\n\
+         \x20            shutdown | script (reads one OP line per stdin line, one connection)\n\
          \x20        --scan forces contains/visible/extreme down the linear-scan\n\
          \x20        oracle ops (wire v3) instead of history-graph point location\n\
          \x20      hull metrics [--raw] ADDR\n\
@@ -420,6 +432,30 @@ fn serve_main(args: &[String]) {
                     .parse()
                     .unwrap_or_else(|_| die("bad --bulk-threshold value"));
             }
+            "--window" => {
+                opts.config.window = WindowPolicy::Count(
+                    next("--window", &mut it)
+                        .parse()
+                        .unwrap_or_else(|_| die("bad --window value")),
+                );
+            }
+            "--window-epochs" => {
+                opts.config.window = WindowPolicy::Epochs(
+                    next("--window-epochs", &mut it)
+                        .parse()
+                        .unwrap_or_else(|_| die("bad --window-epochs value")),
+                );
+            }
+            "--rebuild-ratio" => {
+                opts.config.rebuild_ratio = next("--rebuild-ratio", &mut it)
+                    .parse()
+                    .unwrap_or_else(|_| die("bad --rebuild-ratio value"));
+            }
+            "--journal-ratio" => {
+                opts.config.journal_ratio = next("--journal-ratio", &mut it)
+                    .parse()
+                    .unwrap_or_else(|_| die("bad --journal-ratio value"));
+            }
             "--metrics-addr" => {
                 opts.metrics_addr = Some(next("--metrics-addr", &mut it));
             }
@@ -461,6 +497,12 @@ fn serve_main(args: &[String]) {
             die(
                 "follower replicas resync from the primary on restart; --wal is primary-only \
                  (a stale follower WAL would skew the batch-index mirror)",
+            );
+        }
+        if !matches!(opts.config.window, WindowPolicy::None) {
+            die(
+                "--window/--window-epochs are primary-only: followers mirror the primary's \
+                 tombstones instead of running their own retention policy",
             );
         }
         let mut f = FollowOptions {
@@ -524,13 +566,16 @@ fn serve_main(args: &[String]) {
 /// DESIGN §S21) prunes points strictly interior to the hull, and the
 /// survivors — every weakly-extreme point, in original arrival order —
 /// are rewritten atomically (tmp + rename) as **one** journal batch
-/// unit. A restart over the compacted WAL serves the identical hull
+/// unit. Tombstones (deletes and window expirations) are resolved
+/// before the sweep, so only rows still live enter the checkpoint. A
+/// restart over the compacted WAL serves the identical hull
 /// while replaying a fraction of the inserts. Epochs reset to 1, so
 /// replication cursors into the old journal are invalidated: followers
 /// of a compacted primary must re-bootstrap from scratch.
 fn compact_main(args: &[String]) {
     use convex_hull_suite::core::bulk::{bulk_candidates, BulkReport};
-    use convex_hull_suite::service::{rewrite_wal, Journal};
+    use convex_hull_suite::core::LiveSet;
+    use convex_hull_suite::service::{rewrite_wal, Journal, JournalOp};
 
     let mut dim = 2usize;
     let mut wal: Option<std::path::PathBuf> = None;
@@ -583,13 +628,26 @@ fn compact_main(args: &[String]) {
             .unwrap_or_else(|e| die(&format!("open shard {shard} WAL: {e}")));
         if journal.tail_damaged() {
             eprintln!(
-                "hull: shard {shard}: dropped a torn WAL tail ({} inserts recovered)",
+                "hull: shard {shard}: dropped a torn WAL tail ({} ops recovered)",
                 journal.len()
             );
         }
-        let rows = journal.entries();
         let units = journal.batch_count();
-        let pts = PointSet::from_rows(dim, rows);
+        let ops = journal.len();
+        // Resolve tombstones first: a delete or window expiration kills
+        // the oldest live copy of its row, so the survivors are exactly
+        // what a restart would serve.
+        let mut live = LiveSet::new();
+        for op in journal.ops() {
+            match op {
+                JournalOp::Insert(r) => live.insert(r.clone(), 0),
+                JournalOp::Tombstone(r) => {
+                    live.remove(r);
+                }
+            }
+        }
+        let rows = live.survivors();
+        let pts = PointSet::from_rows(dim, &rows);
         let mut report = BulkReport::default();
         // Ascending candidate ids == original arrival order, so the
         // compacted journal replays with the same seed-basis choice.
@@ -598,8 +656,7 @@ fn compact_main(args: &[String]) {
         let bytes = rewrite_wal(dim, &dir, shard, &kept)
             .unwrap_or_else(|e| die(&format!("rewrite shard {shard} WAL: {e}")));
         println!(
-            "shard {shard}: {} inserts / {units} units -> {} inserts / 1 unit ({bytes} bytes)",
-            rows.len(),
+            "shard {shard}: {ops} ops / {units} units -> {} inserts / 1 unit ({bytes} bytes)",
             kept.len(),
         );
     }
@@ -678,11 +735,23 @@ fn run_query_op(client: &mut HullClient, toks: &[String], scan: bool) -> std::io
     Ok(match op {
         "insert" => {
             let shard = parse_shard(toks.get(1));
-            if client.insert(shard, &parse_coords(&toks[2..]))? {
-                "queued".to_string()
-            } else {
-                "overloaded".to_string()
-            }
+            client.mutate(shard, MutationBatch::new().insert(parse_coords(&toks[2..])))?;
+            "queued".to_string()
+        }
+        "delete" => {
+            let shard = parse_shard(toks.get(1));
+            client.mutate(shard, MutationBatch::new().delete(parse_coords(&toks[2..])))?;
+            "queued".to_string()
+        }
+        "expire" => {
+            let shard = parse_shard(toks.get(1));
+            let n: u32 = toks
+                .get(2)
+                .unwrap_or_else(|| die("expire needs a count"))
+                .parse()
+                .unwrap_or_else(|_| die("bad expire count"));
+            client.mutate(shard, MutationBatch::new().expire(n))?;
+            "queued".to_string()
         }
         "contains" => {
             let shard = parse_shard(toks.get(1));
@@ -760,25 +829,27 @@ fn query_main(args: &[String]) {
     if args[1] == "script" {
         // One connection, one op per stdin line — the shape the oneshot CI
         // smoke test needs (the server exits when this connection closes).
-        // Consecutive inserts to the same shard coalesce into a single
-        // wire `InsertBatch` frame (protocol v2; against a v1 server the
-        // client transparently falls back to per-point inserts), still
-        // printing one `queued` line per point.
+        // Consecutive mutations (insert/delete/expire) to the same shard
+        // coalesce into a single wire v6 `Mutate` envelope (against a
+        // pre-v6 server pure-insert runs fall back to `InsertBatch` or
+        // per-point inserts; deletes and expirations fail in-band), still
+        // printing one `queued` line per op.
         let mut input = String::new();
         std::io::stdin()
             .read_to_string(&mut input)
             .expect("reading stdin");
-        let mut pending: Option<(u16, Vec<Vec<i64>>)> = None;
+        let mut pending: Option<(u16, MutationBatch)> = None;
         let flush_pending =
-            |client: &mut HullClient, pending: &mut Option<(u16, Vec<Vec<i64>>)>| {
-                if let Some((shard, points)) = pending.take() {
-                    match client.insert_batch(shard, &points) {
+            |client: &mut HullClient, pending: &mut Option<(u16, MutationBatch)>| {
+                if let Some((shard, batch)) = pending.take() {
+                    let n = batch.len();
+                    match client.mutate(shard, batch) {
                         Ok(_) => {
-                            for _ in 0..points.len() {
+                            for _ in 0..n {
                                 println!("queued");
                             }
                         }
-                        Err(e) => die(&format!("insert batch (shard {shard}): {e}")),
+                        Err(e) => die(&format!("mutate (shard {shard}): {e}")),
                     }
                 }
             };
@@ -788,16 +859,26 @@ fn query_main(args: &[String]) {
                 continue;
             }
             let toks: Vec<String> = line.split_whitespace().map(str::to_string).collect();
-            if toks[0] == "insert" {
+            if matches!(toks[0].as_str(), "insert" | "delete" | "expire") {
                 let shard = parse_shard(toks.get(1));
-                let point = parse_coords(&toks[2..]);
-                match &mut pending {
-                    Some((s, points)) if *s == shard => points.push(point),
+                let batch = match &pending {
+                    Some((s, _)) if *s == shard => pending.take().expect("just matched").1,
                     _ => {
                         flush_pending(&mut client, &mut pending);
-                        pending = Some((shard, vec![point]));
+                        MutationBatch::new()
                     }
-                }
+                };
+                let batch = match toks[0].as_str() {
+                    "insert" => batch.insert(parse_coords(&toks[2..])),
+                    "delete" => batch.delete(parse_coords(&toks[2..])),
+                    _ => batch.expire(
+                        toks.get(2)
+                            .unwrap_or_else(|| die("expire needs a count"))
+                            .parse()
+                            .unwrap_or_else(|_| die("bad expire count")),
+                    ),
+                };
+                pending = Some((shard, batch));
                 continue;
             }
             flush_pending(&mut client, &mut pending);

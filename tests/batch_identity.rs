@@ -11,6 +11,11 @@
 //! leak worker panics into unrelated servers in this binary, so every
 //! test takes one shared lock.
 
+// This binary's whole point is driving the pre-v6 insert entry points
+// (v1 per-point, v2 `InsertBatch`) against the unified serving path, so
+// it keeps calling the deprecated `insert*` shims on purpose.
+#![allow(deprecated)]
+
 use convex_hull_suite::concurrent::failpoint::{self, sites, FaultPlan, SiteSpec};
 use convex_hull_suite::core::seq::incremental_hull_run;
 use convex_hull_suite::geometry::{generators, PointSet};
@@ -39,6 +44,7 @@ fn opts(dim: usize, workers: usize) -> ServeOptions {
             workers,
             wal_dir: None,
             bulk_threshold: 0,
+            ..Default::default()
         },
         ..Default::default()
     }

@@ -28,7 +28,7 @@ use convex_hull_suite::concurrent::failpoint::{self, sites, FaultPlan, SiteSpec}
 use convex_hull_suite::core::seq::incremental_hull_run;
 use convex_hull_suite::geometry::{generators, PointSet};
 use convex_hull_suite::service::{
-    serve, HullClient, RetryPolicy, ServeOptions, ServiceConfig, SnapshotReply,
+    serve, HullClient, MutationBatch, ServeOptions, ServiceConfig, SnapshotReply,
 };
 use std::collections::BTreeSet;
 use std::net::SocketAddr;
@@ -55,6 +55,7 @@ fn opts(dim: usize, wal_dir: Option<PathBuf>) -> ServeOptions {
             workers: 2,
             wal_dir,
             bulk_threshold: 0,
+            ..Default::default()
         },
         ..Default::default()
     }
@@ -118,11 +119,10 @@ fn insert_all(addr: SocketAddr, rows: &[Vec<i64>], clients: usize) {
         for c in 0..clients {
             s.spawn(move || {
                 let mut client = connect_retry(addr);
-                let policy = RetryPolicy::default();
                 for row in rows.iter().skip(c).step_by(clients) {
                     let mut attempts = 0;
                     loop {
-                        match client.insert_retry(0, row, &policy) {
+                        match client.mutate(0, MutationBatch::new().insert(row.clone())) {
                             Ok(_) => break,
                             Err(e) => {
                                 attempts += 1;
@@ -336,9 +336,8 @@ fn wal_recovery_across_restart_with_torn_tail() {
             "restarted hull differs from offline Algorithm 2"
         );
         // The recovered shard keeps working: append one more point.
-        let policy = RetryPolicy::default();
         client
-            .insert_retry(0, &[2_000_000, 2_000_000], &policy)
+            .mutate(0, MutationBatch::new().insert([2_000_000, 2_000_000]))
             .unwrap();
         client.flush(0).unwrap();
         assert_eq!(client.snapshot(0).unwrap().points.len(), n + 1);

@@ -22,9 +22,9 @@
 
 use convex_hull_suite::geometry::rng::ChaCha8Rng;
 use convex_hull_suite::service::wire::{
-    read_frame, write_frame, Request, Response, ALL_SHARDS, MAX_FRAME,
+    read_frame, write_frame, Mutation, ReplUnit, Request, Response, ALL_SHARDS, MAX_FRAME,
 };
-use convex_hull_suite::service::{serve, HullClient, ServeOptions, ServiceConfig};
+use convex_hull_suite::service::{serve, HullClient, MutationBatch, ServeOptions, ServiceConfig};
 use std::io::{Read, Write};
 use std::net::TcpStream;
 use std::time::{Duration, Instant};
@@ -58,6 +58,27 @@ fn corpus() -> Vec<Vec<u8>> {
             inner: Box::new(Request::ReplSubscribe {
                 shard: 1,
                 from_index: 0,
+            }),
+        },
+        // v6 mutation envelope (all three mutation kinds) and the typed
+        // replication fetch, bare and under the tag wrapper.
+        Request::Mutate {
+            shard: 0,
+            muts: vec![
+                Mutation::Insert(vec![5, 5]),
+                Mutation::Delete(vec![3, -4]),
+                Mutation::Expire(2),
+            ],
+        },
+        Request::ReplUnitFetch {
+            shard: 1,
+            from_index: 4,
+        },
+        Request::Tagged {
+            id: 12,
+            inner: Box::new(Request::Mutate {
+                shard: 0,
+                muts: vec![Mutation::Insert(vec![1, 1])],
             }),
         },
     ];
@@ -110,6 +131,30 @@ fn corpus() -> Vec<Vec<u8>> {
                 lag: 2,
                 inner: Box::new(Response::Bool(false)),
             }),
+        },
+        // v6 replies: the per-mutation accepted bitmap and both typed
+        // replication unit shapes.
+        Response::Mutated {
+            accepted: vec![true, false, true],
+            epoch: 6,
+        },
+        Response::ReplUnit {
+            index: 1,
+            total: 3,
+            dim: 2,
+            unit: ReplUnit::Ops {
+                inserts: vec![vec![1, 2]],
+                tombstones: vec![vec![3, 4]],
+            },
+        },
+        Response::ReplUnit {
+            index: 3,
+            total: 3,
+            dim: 2,
+            unit: ReplUnit::Checkpoint {
+                units_after: 3,
+                survivors: vec![vec![0, 0], vec![9, 9]],
+            },
         },
     ];
     let mut out: Vec<Vec<u8>> = reqs.iter().map(|r| r.encode()).collect();
@@ -190,6 +235,7 @@ fn server(request_timeout: Duration, threaded: bool) -> convex_hull_suite::servi
             workers: 2,
             wal_dir: None,
             bulk_threshold: 0,
+            ..Default::default()
         },
         request_timeout,
         threaded,
@@ -209,7 +255,7 @@ fn on_both_backends(scenario: impl Fn(bool)) {
 fn assert_healthy(addr: std::net::SocketAddr) {
     let mut c = HullClient::builder(addr.to_string()).connect().unwrap();
     for p in [[0, 0], [10, 0], [0, 10], [10, 10]] {
-        c.insert(0, &p).unwrap();
+        c.mutate(0, MutationBatch::new().insert(p)).unwrap();
     }
     c.flush(0).unwrap();
     assert_eq!(c.contains(0, &[5, 5]).unwrap(), Some(true));
@@ -363,8 +409,11 @@ fn slow_loris_scenario(threaded: bool) {
             let mut calls = 0u64;
             while !stop.load(std::sync::atomic::Ordering::Relaxed) {
                 let t0 = Instant::now();
-                c.insert(0, &[calls as i64 % 50, (calls / 50) as i64 % 50])
-                    .unwrap();
+                c.mutate(
+                    0,
+                    MutationBatch::new().insert([calls as i64 % 50, (calls / 50) as i64 % 50]),
+                )
+                .unwrap();
                 slowest = slowest.max(t0.elapsed());
                 calls += 1;
             }
@@ -442,7 +491,7 @@ fn repl_garbage_scenario(threaded: bool) {
     // Seed one journal batch unit so there is something to ship.
     let mut c = HullClient::builder(addr.to_string()).connect().unwrap();
     for p in [[0, 0], [9, 0], [0, 9]] {
-        c.insert(0, &p).unwrap();
+        c.mutate(0, MutationBatch::new().insert(p)).unwrap();
     }
     c.flush(0).unwrap();
 
@@ -488,6 +537,86 @@ fn repl_garbage_scenario(threaded: bool) {
     let (i2, t2, _, flat2) = c.repl_fetch(0, total).unwrap();
     assert_eq!((i2, t2), (total, total));
     assert!(flat2.is_empty(), "caught-up fetch returned points");
+    assert_healthy(addr);
+    server.shutdown();
+}
+
+#[test]
+fn mutate_garbage_and_bad_envelopes_never_stall_ingest() {
+    on_both_backends(mutate_garbage_scenario);
+}
+
+/// v6 ingest ops under attack: malformed `Mutate`/`ReplUnitFetch`
+/// payloads — truncated envelopes, absurd mutation counts, unknown
+/// mutation tags, wrong-dimension rows — get typed `Error` replies (no
+/// panic, connection kept), and a healthy v6 client on another
+/// connection keeps mutating and pulling typed units throughout.
+fn mutate_garbage_scenario(threaded: bool) {
+    let mut server = server(Duration::from_secs(2), threaded);
+    let addr = server.local_addr();
+    // Seed one unit with a tombstone so the typed fetch ships both vecs.
+    let mut c = HullClient::builder(addr.to_string()).connect().unwrap();
+    c.mutate(
+        0,
+        MutationBatch::new()
+            .insert([0, 0])
+            .insert([9, 0])
+            .insert([0, 9])
+            .insert([4, 4])
+            .delete([4, 4]),
+    )
+    .unwrap();
+    c.flush(0).unwrap();
+
+    let mut s = TcpStream::connect(addr).unwrap();
+    for garbage in [
+        &[0x12u8][..],                                     // Mutate, no body
+        &[0x12, 0x00, 0x00],                               // shard but no count
+        &[0x12, 0x00, 0x00, 0xFF, 0xFF, 0xFF, 0xFF],       // absurd count, no muts
+        &[0x12, 0x00, 0x00, 0x01, 0x00, 0x00, 0x00, 0x09], // unknown mutation tag
+        // Well-formed envelope whose row has 3 coordinates on a dim-2
+        // shard: decodes fine, rejected by validation.
+        &Request::Mutate {
+            shard: 0,
+            muts: vec![Mutation::Insert(vec![1, 2, 3])],
+        }
+        .encode()[..],
+        &[0x13u8][..],             // ReplUnitFetch, no body
+        &[0x13, 0x00, 0x00, 0x01], // truncated from_index
+    ] {
+        write_frame(&mut s, garbage).unwrap();
+        let payload = read_frame(&mut s).unwrap().expect("reply frame");
+        let resp = Response::decode(&payload).unwrap();
+        assert!(matches!(resp, Response::Error(_)), "{resp:?}");
+    }
+
+    // Healthy v6 traffic on a fresh connection: the envelope still
+    // lands, and the typed fetch ships the seeded tombstone unit.
+    let mut h = HullClient::builder(addr.to_string()).connect().unwrap();
+    h.mutate(0, MutationBatch::new().insert([9, 9])).unwrap();
+    h.flush(0).unwrap();
+    let (index, total, dim, _) = h.repl_unit_fetch(0, 0).unwrap();
+    assert_eq!(index, 0);
+    assert!(total >= 1, "no units shipped (total {total})");
+    assert_eq!(dim, 2);
+    // Queue coalescing decides how the envelope splits into units; walk
+    // them all and demand the tombstone shipped typed from one of them.
+    let mut all_inserts = 0usize;
+    let mut all_tombstones: Vec<Vec<i64>> = Vec::new();
+    for i in 0..total {
+        match h.repl_unit_fetch(0, i).unwrap().3 {
+            ReplUnit::Ops {
+                inserts,
+                tombstones,
+            } => {
+                all_inserts += inserts.len();
+                all_tombstones.extend(tombstones);
+            }
+            other => panic!("expected an ops unit at {i}, got {other:?}"),
+        }
+    }
+    assert_eq!(all_inserts, 5, "every acked insert must ship");
+    assert_eq!(all_tombstones, vec![vec![4, 4]], "tombstone not shipped");
     assert_healthy(addr);
     server.shutdown();
 }

@@ -10,7 +10,7 @@
 //! depth stays logarithmic, so the histogram max is far below n).
 
 use convex_hull_suite::geometry::{generators, PointSet};
-use convex_hull_suite::service::{serve, HullClient, ServeOptions, ServiceConfig};
+use convex_hull_suite::service::{serve, HullClient, MutationBatch, ServeOptions, ServiceConfig};
 use std::collections::BTreeSet;
 use std::io::{Read, Write};
 use std::net::TcpStream;
@@ -26,6 +26,7 @@ fn serve_opts() -> ServeOptions {
             workers: 2,
             wal_dir: None,
             bulk_threshold: 0,
+            ..Default::default()
         },
         metrics_addr: Some("127.0.0.1:0".to_string()),
         ..Default::default()
@@ -89,9 +90,8 @@ fn wire_and_http_scrapes_agree_and_cover_every_layer() {
     let pts = PointSet::from_points2(&generators::disk_2d(120, 1 << 18, 77));
     for (i, p) in pts.iter().enumerate() {
         let shard = (i % 2) as u16;
-        while !c.insert(shard, p).unwrap() {
-            std::thread::yield_now();
-        }
+        c.mutate(shard, MutationBatch::new().insert(p.to_vec()))
+            .unwrap();
     }
     c.flush(0).unwrap();
     c.flush(1).unwrap();

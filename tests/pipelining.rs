@@ -31,7 +31,9 @@ use convex_hull_suite::geometry::{generators, PointSet};
 use convex_hull_suite::service::wire::{
     Request, Response, CAP_PIPELINE, PROTOCOL_V1, PROTOCOL_V2, PROTOCOL_V3, PROTOCOL_V4,
 };
-use convex_hull_suite::service::{serve, HullClient, ServeOptions, ServerHandle, ServiceConfig};
+use convex_hull_suite::service::{
+    serve, HullClient, MutationBatch, ServeOptions, ServerHandle, ServiceConfig,
+};
 use std::collections::BTreeSet;
 
 fn server(threaded: bool) -> ServerHandle {
@@ -44,6 +46,7 @@ fn server(threaded: bool) -> ServerHandle {
             workers: 2,
             wal_dir: None,
             bulk_threshold: 0,
+            ..Default::default()
         },
         threaded,
         ..Default::default()
@@ -134,7 +137,8 @@ fn pipelined_vs_sequential(threaded: bool) {
     let mut sc = client(seq.local_addr());
     for chunk in rows.chunks(100) {
         for (i, p) in chunk.iter().enumerate() {
-            assert!(sc.insert((i % 2) as u16, p).unwrap());
+            sc.mutate((i % 2) as u16, MutationBatch::new().insert(p.clone()))
+                .unwrap();
         }
     }
     sc.flush(0).unwrap();
@@ -212,7 +216,7 @@ fn pipeline_deeper_than_inflight_cap_answers_every_request() {
         let mut srv = server(threaded);
         let mut c = client(srv.local_addr());
         for p in [[0, 0], [40, 0], [0, 40], [40, 40]] {
-            c.insert(0, &p).unwrap();
+            c.mutate(0, MutationBatch::new().insert(p)).unwrap();
         }
         c.flush(0).unwrap();
         let depth = 512;
@@ -240,6 +244,9 @@ fn pipeline_deeper_than_inflight_cap_answers_every_request() {
 /// client speaks its own dialect; answers agree; pipelining is refused
 /// on connections that did not negotiate it.
 #[test]
+// Deliberately drives the deprecated pre-v6 insert shims: each pinned
+// client must keep speaking its own dialect through them.
+#[allow(deprecated)]
 fn mixed_version_clients_share_one_event_loop_server() {
     let mut srv = server(false);
     let addr = srv.local_addr().to_string();

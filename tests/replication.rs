@@ -21,8 +21,8 @@ use convex_hull_suite::concurrent::failpoint::{self, sites, FaultPlan, SiteSpec}
 use convex_hull_suite::core::seq::incremental_hull_run;
 use convex_hull_suite::geometry::{generators, PointSet};
 use convex_hull_suite::service::{
-    route, serve, FollowOptions, HullClient, RouterOptions, ServeOptions, ServiceConfig,
-    SnapshotReply,
+    route, serve, FollowOptions, HullClient, MutationBatch, RouterOptions, ServeOptions,
+    ServiceConfig, SnapshotReply,
 };
 use std::collections::BTreeSet;
 use std::io::BufRead;
@@ -50,6 +50,7 @@ fn opts(dim: usize) -> ServeOptions {
             workers: 2,
             wal_dir: None,
             bulk_threshold: 0,
+            ..Default::default()
         },
         ..Default::default()
     }
@@ -111,9 +112,8 @@ fn connect(addr: SocketAddr) -> HullClient {
 
 fn insert_all(c: &mut HullClient, rows: &[Vec<i64>]) {
     for row in rows {
-        while !c.insert(0, row).expect("insert") {
-            std::thread::yield_now();
-        }
+        c.mutate(0, MutationBatch::new().insert(row.clone()))
+            .expect("insert");
     }
     c.flush(0).expect("flush");
 }
@@ -315,7 +315,7 @@ fn router_keeps_reads_available_through_primary_death() {
     // Writes deterministically fail over to the follower, which — not
     // yet promoted — refuses them in-band; the failover still counts.
     let err = loop {
-        match rc.insert(0, &rows[0]) {
+        match rc.mutate(0, MutationBatch::new().insert(rows[0].clone())) {
             Ok(_) => std::thread::sleep(Duration::from_millis(10)),
             Err(e) => break e,
         }
@@ -543,7 +543,10 @@ fn sigkill_primary_promoted_follower_serves_identical_hull() {
     // Writes start succeeding exactly when the follower promotes. A
     // duplicate of an existing point is the probe — harmless to the
     // hull by Theorem 4.2, whatever moment it lands.
-    wait_until("follower self-promotion", || fc.insert(0, &rows[0]).is_ok());
+    wait_until("follower self-promotion", || {
+        fc.mutate(0, MutationBatch::new().insert(rows[0].clone()))
+            .is_ok()
+    });
     fc.flush(0).unwrap();
     let snap = fc.snapshot(0).unwrap();
     assert_eq!(
@@ -552,4 +555,85 @@ fn sigkill_primary_promoted_follower_serves_identical_hull() {
         "promoted hull differs from offline Algorithm 2 after SIGKILL"
     );
     fc.shutdown_server().unwrap();
+}
+
+/// Tentpole: deletes replicate. Tombstone units ship typed (wire v6
+/// `ReplUnitFetch`), a tombstone-ratio or hull-invalidating rebuild on
+/// the primary ships a **checkpoint** unit that collapses the dead
+/// history, and the follower — bootstrapping *after* all of it — must
+/// converge canonically to offline Algorithm 2 on the survivors alone.
+/// When the primary then dies, the promoted follower keeps serving the
+/// survivor hull and accepts new mutations.
+#[test]
+fn follower_mirrors_deletes_and_checkpoints() {
+    let _guard = repl_lock();
+    failpoint::disarm();
+    let pts = generators::cube_d(2, 120, 1_000_000, 53);
+    let rows = rows_of(&pts);
+
+    let mut primary = serve(opts(2)).unwrap();
+    let mut pc = connect(primary.local_addr());
+    insert_all(&mut pc, &rows);
+    // Delete two thirds of the rows — hull vertices among them, so at
+    // least one rebuild fires (hull-invalidating tombstone or the
+    // tombstone-ratio trigger) and checkpoints the journal.
+    let doomed = &rows[..80];
+    for chunk in doomed.chunks(16) {
+        let mut b = MutationBatch::new();
+        for p in chunk {
+            b = b.delete(p.clone());
+        }
+        pc.mutate(0, b).unwrap();
+    }
+    pc.flush(0).unwrap();
+    let rebuilds = primary
+        .service()
+        .stats_for(0)
+        .unwrap()
+        .rebuilds
+        .load(std::sync::atomic::Ordering::Relaxed);
+    assert!(
+        rebuilds >= 1,
+        "deleting hull vertices must have forced a survivor rebuild"
+    );
+    let units = primary.service().batch_units(0).unwrap();
+    let survivors = PointSet::from_rows(2, &rows[80..]);
+
+    // Fresh follower: everything it pulls is post-hoc — the checkpoint
+    // unit (skipping the dead history) plus whatever ops units remain.
+    let mut follower = serve(follower_opts(2, primary.local_addr(), 2)).unwrap();
+    wait_until("follower to mirror deletes and checkpoints", || {
+        follower.service().batch_units(0).unwrap() == units
+    });
+    let mut fc = connect(follower.local_addr());
+    assert_eq!(
+        canonical_served(&fc.snapshot(0).unwrap()),
+        canonical_offline(&survivors),
+        "follower hull differs from offline Algorithm 2 on the survivors"
+    );
+
+    // Failover: the primary dies; the follower promotes and keeps
+    // serving the survivor hull. The promotion probe is a duplicate of
+    // a surviving point — canonically harmless whenever it lands.
+    primary.shutdown();
+    wait_until("follower self-promotion", || {
+        fc.mutate(0, MutationBatch::new().insert(rows[80].clone()))
+            .is_ok()
+    });
+    // New mutations flow on the promoted node: insert a far-outside
+    // point and delete it again — the hull must end where it started.
+    fc.mutate(
+        0,
+        MutationBatch::new()
+            .insert([3_000_000, 3_000_000])
+            .delete([3_000_000, 3_000_000]),
+    )
+    .unwrap();
+    fc.flush(0).unwrap();
+    assert_eq!(
+        canonical_served(&fc.snapshot(0).unwrap()),
+        canonical_offline(&survivors),
+        "promoted follower lost the survivor hull after post-failover churn"
+    );
+    follower.shutdown();
 }

@@ -10,7 +10,7 @@ use convex_hull_suite::core::seq::incremental_hull_run;
 use convex_hull_suite::geometry::generators;
 use convex_hull_suite::geometry::PointSet;
 use convex_hull_suite::service::{
-    serve, HullClient, RetryPolicy, ServeOptions, ServiceConfig, SnapshotReply,
+    serve, HullClient, MutationBatch, ServeOptions, ServiceConfig, SnapshotReply,
 };
 use std::collections::BTreeSet;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -28,6 +28,7 @@ fn opts(dim: usize, queue_capacity: usize, max_batch: usize) -> ServeOptions {
             workers: 2,
             wal_dir: None,
             bulk_threshold: 0,
+            ..Default::default()
         },
         ..Default::default()
     }
@@ -78,10 +79,11 @@ fn roundtrip(pts: PointSet, queue_capacity: usize, max_batch: usize) -> u64 {
             let rejections = Arc::clone(&rejections);
             s.spawn(move || {
                 let mut client = HullClient::builder(addr.to_string()).connect().unwrap();
-                let policy = RetryPolicy::default();
                 for row in rows.iter().skip(c).step_by(CLIENTS) {
-                    let r = client.insert_retry(0, row, &policy).unwrap();
-                    rejections.fetch_add(r, Ordering::Relaxed);
+                    let r = client
+                        .mutate(0, MutationBatch::new().insert(row.clone()))
+                        .unwrap();
+                    rejections.fetch_add(r.rejections, Ordering::Relaxed);
                 }
             });
         }
